@@ -1,0 +1,206 @@
+// Defense ablation (the direction the paper's conclusion calls for):
+// how do different defense families fare against the filter-blind BIM and
+// the filter-aware FAdeML-BIM on the five payload scenarios?
+//
+//   1. Undefended pipeline.
+//   2. Pre-processing LAP(8) filter (the paper's defense).
+//   3. Adversarially trained model (Goodfellow/Madry-style).
+//   4. Randomized smoothing at prediction time.
+//   5. Feature-squeezing detector (Xu et al., paper ref [10]) — reported
+//      as detection rate rather than prevented misclassification.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace fademl;
+
+/// Adversarially trained twin of the experiment model (cached like the
+/// clean one: training it takes a few minutes on the reference machine).
+std::shared_ptr<nn::Sequential> adversarially_trained_model(
+    const core::Experiment& exp) {
+  Rng rng(exp.config.seed ^ 0x5A5A5A5Aull);
+  nn::VggConfig vgg = nn::VggConfig::scaled(exp.config.width_divisor);
+  vgg.input_size = exp.config.image_size;
+  auto model = nn::make_vggnet(vgg, rng);
+  const std::string path = exp.config.cache_dir + "/advtrain_d" +
+                           std::to_string(exp.config.width_divisor) +
+                           "_s" + std::to_string(exp.config.image_size) +
+                           ".fdml";
+  if (nn::checkpoint_exists(path)) {
+    nn::load_checkpoint(*model, path);
+    std::printf("[fademl] loaded adversarially trained model from %s\n",
+                path.c_str());
+    return model;
+  }
+  // Standard recipe: start from the cleanly trained model and fine-tune
+  // with adversarial minibatches (training from scratch at 50%% adversarial
+  // data is far slower to converge).
+  nn::load_checkpoint(*model, exp.config.checkpoint_path());
+  std::printf("[fademl] adversarially fine-tuning the hardened model...\n");
+  defense::AdversarialTrainer::Config config;
+  config.epochs = 6;
+  config.adversarial_fraction = 0.3f;
+  config.lr = 0.003f;
+  config.attack.epsilon = 0.08f;
+  defense::AdversarialTrainer trainer(model, attacks::AttackKind::kFgsm,
+                                      config);
+  Rng train_rng(exp.config.seed + 2);
+  trainer.fit(exp.dataset.train.images, exp.dataset.train.labels, train_rng,
+              [](int64_t epoch, double loss, double top1) {
+                std::printf("[fademl]   epoch %2lld  loss %.4f  top-1 %4.1f%%\n",
+                            static_cast<long long>(epoch + 1), loss,
+                            top1 * 100.0);
+              });
+  nn::save_checkpoint(*model, path);
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  try {
+    std::printf("== Defense ablation: filter vs training vs smoothing vs "
+                "detection ==\n\n");
+    core::Experiment exp = bench::load_experiment();
+
+    // Scenario sweep helper: attack success count over the five payloads.
+    const auto attack_successes = [&](core::InferencePipeline& pipeline,
+                                      bool filter_aware,
+                                      core::ThreatModel eval_tm) {
+      int successes = 0;
+      for (const core::Scenario& scenario : core::paper_scenarios()) {
+        const Tensor source = core::well_classified_sample(
+            pipeline, scenario.source_class, exp.config.image_size);
+        const attacks::AttackPtr attack =
+            filter_aware ? attacks::make_fademl(attacks::AttackKind::kBim,
+                                                bench::paper_budget())
+                         : attacks::make_attack(attacks::AttackKind::kBim,
+                                                bench::paper_budget());
+        const attacks::AttackResult r =
+            attack->run(pipeline, source, scenario.target_class);
+        if (pipeline.predict(r.adversarial, eval_tm).label ==
+            scenario.target_class) {
+          ++successes;
+        }
+      }
+      return successes;
+    };
+
+    io::Table table({"Defense", "Clean top-1", "BIM success",
+                     "FAdeML-BIM success"});
+
+    {  // 1. Undefended.
+      core::InferencePipeline pipeline(exp.model, filters::make_identity());
+      const auto acc = pipeline.accuracy(exp.dataset.test.images,
+                                         exp.dataset.test.labels,
+                                         core::ThreatModel::kIII);
+      table.add_row(
+          {"None", io::Table::pct(acc.top1, 1),
+           std::to_string(attack_successes(pipeline, false,
+                                           core::ThreatModel::kIII)) + "/5",
+           std::to_string(attack_successes(pipeline, true,
+                                           core::ThreatModel::kIII)) + "/5"});
+    }
+    {  // 2. The paper's pre-processing filter.
+      core::InferencePipeline pipeline(exp.model, filters::make_lap(8));
+      const auto acc = pipeline.accuracy(exp.dataset.test.images,
+                                         exp.dataset.test.labels,
+                                         core::ThreatModel::kIII);
+      table.add_row(
+          {"LAP(8) filter", io::Table::pct(acc.top1, 1),
+           std::to_string(attack_successes(pipeline, false,
+                                           core::ThreatModel::kIII)) + "/5",
+           std::to_string(attack_successes(pipeline, true,
+                                           core::ThreatModel::kIII)) + "/5"});
+    }
+    {  // 3. Adversarial training.
+      const auto hardened = adversarially_trained_model(exp);
+      core::InferencePipeline pipeline(hardened, filters::make_identity());
+      const auto acc = pipeline.accuracy(exp.dataset.test.images,
+                                         exp.dataset.test.labels,
+                                         core::ThreatModel::kIII);
+      table.add_row(
+          {"Adversarial training", io::Table::pct(acc.top1, 1),
+           std::to_string(attack_successes(pipeline, false,
+                                           core::ThreatModel::kIII)) + "/5",
+           std::to_string(attack_successes(pipeline, true,
+                                           core::ThreatModel::kIII)) + "/5"});
+    }
+    {  // 4. Randomized smoothing (prediction-time vote).
+      core::InferencePipeline pipeline(exp.model, filters::make_identity());
+      int bim_successes = 0;
+      int fademl_successes = 0;
+      int clean_correct = 0;
+      for (const core::Scenario& scenario : core::paper_scenarios()) {
+        const Tensor source = core::well_classified_sample(
+            pipeline, scenario.source_class, exp.config.image_size);
+        if (defense::smoothed_predict(pipeline, source,
+                                      core::ThreatModel::kIII, 9, 0.05f, 3)
+                .label == scenario.source_class) {
+          ++clean_correct;
+        }
+        for (bool aware : {false, true}) {
+          const attacks::AttackPtr attack =
+              aware ? attacks::make_fademl(attacks::AttackKind::kBim,
+                                           bench::paper_budget())
+                    : attacks::make_attack(attacks::AttackKind::kBim,
+                                           bench::paper_budget());
+          const attacks::AttackResult r =
+              attack->run(pipeline, source, scenario.target_class);
+          const auto smoothed = defense::smoothed_predict(
+              pipeline, r.adversarial, core::ThreatModel::kIII, 9, 0.05f, 3);
+          if (smoothed.label == scenario.target_class) {
+            (aware ? fademl_successes : bim_successes) += 1;
+          }
+        }
+      }
+      table.add_row({"Randomized smoothing (scenario sources)",
+                     std::to_string(clean_correct) + "/5 sources",
+                     std::to_string(bim_successes) + "/5",
+                     std::to_string(fademl_successes) + "/5"});
+    }
+    bench::emit(table, "ablation_defense");
+
+    // 5. Detector: rates rather than success counts.
+    {
+      core::InferencePipeline pipeline(exp.model, filters::make_identity());
+      const defense::FeatureSqueezeDetector detector(0.5f);
+      int detected = 0;
+      int false_positives = 0;
+      for (const core::Scenario& scenario : core::paper_scenarios()) {
+        const Tensor source = core::well_classified_sample(
+            pipeline, scenario.source_class, exp.config.image_size);
+        if (detector.is_adversarial(pipeline, source,
+                                    core::ThreatModel::kI)) {
+          ++false_positives;
+        }
+        const attacks::AttackPtr attack = attacks::make_attack(
+            attacks::AttackKind::kBim, bench::paper_budget());
+        const attacks::AttackResult r =
+            attack->run(pipeline, source, scenario.target_class);
+        if (detector.is_adversarial(pipeline, r.adversarial,
+                                    core::ThreatModel::kI)) {
+          ++detected;
+        }
+      }
+      std::printf(
+          "\nFeature-squeezing detector (threshold 0.5): detected %d/5 BIM "
+          "examples, %d/5 false positives on clean sources.\n",
+          detected, false_positives);
+    }
+    std::printf(
+        "\nExpected shape: the filter stops blind BIM but not FAdeML; "
+        "adversarial training (eps 0.08 FGSM crafting) trades clean "
+        "accuracy for robustness yet cannot stop a stronger-budget BIM — "
+        "prevention alone is insufficient, matching the literature; the "
+        "feature-squeezing detector catches what prevention misses.\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

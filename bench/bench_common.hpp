@@ -1,0 +1,72 @@
+#pragma once
+
+// Shared plumbing of the experiment binaries: the cached experiment setup,
+// the attack budget used across all figures, and table-cell formatting.
+//
+// Environment knobs (see README):
+//   FADEML_FAST=1        shrink model/dataset for smoke tests
+//   FADEML_CACHE_DIR=d   where the trained model checkpoint lives
+//   FADEML_CSV_DIR=d     also write every printed table as CSV into d
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "fademl/fademl.hpp"
+
+namespace fademl::bench {
+
+inline core::Experiment load_experiment() {
+  core::ExperimentConfig config = core::ExperimentConfig::from_env();
+  return core::make_experiment(config);
+}
+
+/// The attack budget used for every figure: imperceptible on a [0,1] pixel
+/// scale (L-inf 0.1 ~ 25/255), with enough iterations for the iterative
+/// attacks to converge.
+inline attacks::AttackConfig paper_budget() {
+  attacks::AttackConfig config;
+  config.epsilon = 0.15f;
+  config.step_size = 0.015f;
+  config.max_iterations = 40;
+  config.target_confidence = 0.90f;
+  // Report FGSM at its smallest successful step on the ε grid (standard
+  // protocol for single-step attacks; see AttackConfig).
+  config.fgsm_epsilon_search = true;
+  return config;
+}
+
+/// Per-attack budget: FGSM's single step needs a higher ε ceiling for its
+/// smallest-successful-step search (the search keeps the step minimal, so
+/// the ceiling is rarely reached).
+inline attacks::AttackConfig budget_for(attacks::AttackKind kind) {
+  attacks::AttackConfig config = paper_budget();
+  if (kind == attacks::AttackKind::kFgsm) {
+    config.epsilon = 0.28f;
+  }
+  return config;
+}
+
+/// "Speed limit (60km/h) (92.3%)" — the paper's figure-cell format.
+inline std::string prediction_cell(const core::Prediction& p) {
+  return data::gtsrb_class_name(p.label) + " (" +
+         io::Table::pct(p.confidence, 1) + ")";
+}
+
+/// Print the table and, when FADEML_CSV_DIR is set, persist it as CSV.
+inline void emit(const io::Table& table, const std::string& name) {
+  table.print(std::cout);
+  if (const char* dir = std::getenv("FADEML_CSV_DIR")) {
+    std::filesystem::create_directories(dir);
+    table.save_csv(std::string(dir) + "/" + name + ".csv");
+  }
+}
+
+/// The three classic attacks in the paper's row order.
+inline std::vector<attacks::AttackKind> paper_attack_kinds() {
+  return {attacks::AttackKind::kLbfgs, attacks::AttackKind::kFgsm,
+          attacks::AttackKind::kBim};
+}
+
+}  // namespace fademl::bench

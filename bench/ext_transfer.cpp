@@ -1,0 +1,143 @@
+// Extension experiment: transferability / practical black-box attacks
+// (Papernot et al., AsiaCCS 2017 — the paper's reference [14], discussed
+// in its §II-B black-box taxonomy).
+//
+// The attacker trains a *surrogate* model (different init and data draw),
+// crafts white-box attacks on it, and transplants the adversarial
+// examples onto the victim pipeline. Measured: transfer success per attack
+// and what the victim's pre-processing filter does to transferred noise.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace fademl;
+
+/// A surrogate twin: same architecture family, different seed (so
+/// different synthetic data draw and different initialization) — the
+/// classic substitute-model setting. Cached beside the victim model.
+core::Experiment make_surrogate(const core::ExperimentConfig& victim_config) {
+  core::ExperimentConfig config = victim_config;
+  config.seed = victim_config.seed + 1000;
+  return core::make_experiment(config);
+}
+
+/// A *heterogeneous* surrogate: different architecture family entirely
+/// (5x5 convs, average pooling, two FC layers) — the realistic setting
+/// where the attacker does not know the victim's topology.
+std::shared_ptr<nn::Sequential> make_hetero_surrogate(
+    const core::Experiment& surrogate_data,
+    const core::ExperimentConfig& cfg) {
+  Rng rng(cfg.seed + 2000);
+  nn::SimpleCnnConfig cnn;
+  cnn.input_size = cfg.image_size;
+  auto model = nn::make_simple_cnn(cnn, rng);
+  const std::string path = cfg.cache_dir + "/surrogate_cnn_s" +
+                           std::to_string(cfg.image_size) + ".fdml";
+  if (nn::checkpoint_exists(path)) {
+    nn::load_checkpoint(*model, path);
+    return model;
+  }
+  std::printf("[fademl] training heterogeneous SimpleCNN surrogate...\n");
+  nn::SGD sgd(model->named_parameters(), {.lr = 0.01f, .momentum = 0.9f});
+  nn::Trainer::Config tc;
+  tc.epochs = 12;
+  nn::Trainer trainer(*model, sgd, tc);
+  Rng train_rng(cfg.seed + 3);
+  trainer.fit(surrogate_data.dataset.train.images,
+              surrogate_data.dataset.train.labels, train_rng);
+  nn::save_checkpoint(*model, path);
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  try {
+    std::printf("== Extension: transferability (surrogate-model black box) "
+                "==\n\n");
+    core::Experiment victim = bench::load_experiment();
+    core::Experiment surrogate = make_surrogate(victim.config);
+
+    core::InferencePipeline victim_pipeline(victim.model,
+                                            filters::make_lap(8));
+    core::InferencePipeline surrogate_pipeline(surrogate.model,
+                                               filters::make_identity());
+
+    io::Table table({"Attack (on surrogate)", "Scenario",
+                     "Surrogate success", "Victim TM-I", "Victim TM-III"});
+    int direct = 0;
+    int transferred_tm1 = 0;
+    int transferred_tm3 = 0;
+    int total = 0;
+    for (attacks::AttackKind kind : bench::paper_attack_kinds()) {
+      const attacks::AttackPtr attack =
+          attacks::make_attack(kind, bench::budget_for(kind));
+      for (const core::Scenario& scenario : core::paper_scenarios()) {
+        const Tensor source = core::well_classified_sample(
+            surrogate_pipeline, scenario.source_class,
+            victim.config.image_size);
+        const attacks::AttackResult r =
+            attack->run(surrogate_pipeline, source, scenario.target_class);
+        const bool on_surrogate =
+            surrogate_pipeline.predict(r.adversarial, core::ThreatModel::kI)
+                .label == scenario.target_class;
+        const core::Prediction v1 =
+            victim_pipeline.predict(r.adversarial, core::ThreatModel::kI);
+        const core::Prediction v3 =
+            victim_pipeline.predict(r.adversarial, core::ThreatModel::kIII);
+        direct += on_surrogate ? 1 : 0;
+        transferred_tm1 += v1.label == scenario.target_class ? 1 : 0;
+        transferred_tm3 += v3.label == scenario.target_class ? 1 : 0;
+        ++total;
+        table.add_row({attack->name(), scenario.name,
+                       on_surrogate ? "yes" : "no",
+                       bench::prediction_cell(v1),
+                       bench::prediction_cell(v3)});
+      }
+    }
+    bench::emit(table, "ext_transfer");
+    std::printf(
+        "\nSurrogate success %d/%d; transferred to the victim: %d/%d under "
+        "TM-I, %d/%d through the victim's LAP(8).\n",
+        direct, total, transferred_tm1, total, transferred_tm3, total);
+
+    // Heterogeneous surrogate: untargeted transfer (the weaker but more
+    // commonly achievable goal) with BIM.
+    std::printf("\n-- heterogeneous surrogate (SimpleCNN, 5x5/avg-pool) --\n");
+    const auto hetero = make_hetero_surrogate(surrogate, victim.config);
+    core::InferencePipeline hetero_pipeline(hetero,
+                                            filters::make_identity());
+    int untargeted = 0;
+    int hetero_total = 0;
+    const attacks::AttackPtr bim = attacks::make_attack(
+        attacks::AttackKind::kBim, bench::budget_for(attacks::AttackKind::kBim));
+    for (const core::Scenario& scenario : core::paper_scenarios()) {
+      const Tensor source = core::well_classified_sample(
+          hetero_pipeline, scenario.source_class, victim.config.image_size);
+      const attacks::AttackResult r =
+          bim->run(hetero_pipeline, source, scenario.target_class);
+      // Untargeted transfer: the victim no longer sees the source class.
+      if (victim_pipeline.predict(r.adversarial, core::ThreatModel::kI)
+              .label != scenario.source_class) {
+        ++untargeted;
+      }
+      ++hetero_total;
+    }
+    std::printf(
+        "Untargeted transfer from the SimpleCNN surrogate: %d/%d.\n"
+        "\nExpected shape: transfer between independently trained models is "
+        "much harder than direct attack — the classic transferability gap, "
+        "amplified here by augmentation-hardened training and by the "
+        "victim's filter stripping whatever noise does transfer. This is "
+        "precisely why query-based black-box attacks (ext_blackbox) exist.\n",
+        untargeted, hetero_total);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,106 @@
+// Fig. 7 of the paper: the traditional attacks are neutralized by the
+// pre-processing low-pass filters (LAP, LAR) under Threat Models II/III,
+// at the expense of some confidence/accuracy.
+//
+// Two panels, exactly like the figure:
+//   (a) per attack x scenario: the adversarial example's prediction when
+//       routed through a representative filter — the paper's cells show
+//       the *source* class restored with reduced confidence;
+//   (b) per scenario: top-5 accuracy of the whole network for
+//       {No attack, L-BFG, FSGM, BIM} x {NoFilter, LAP(4..64), LAR(1..5)}
+//       (the figure's bar charts; universal-noise protocol of DESIGN.md §4).
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fademl;
+  try {
+    std::printf(
+        "== Fig. 7: pre-processing filters neutralize classic attacks "
+        "(TM-II/III) ==\n\n");
+    core::Experiment exp = bench::load_experiment();
+    core::InferencePipeline pipeline(exp.model, filters::make_lap(32));
+
+    // ---- panel (a): per-scenario neutralization cells -------------------
+    std::printf("-- (a) adversarial predictions through LAP(32) --\n");
+    io::Table cells({"Attack", "Scenario", "TM-I prediction",
+                     "TM-II prediction", "TM-III prediction", "Eq.2",
+                     "Neutralized"});
+    int neutralized = 0;
+    int total = 0;
+    for (attacks::AttackKind kind : bench::paper_attack_kinds()) {
+      const attacks::AttackPtr attack =
+          attacks::make_attack(kind, bench::budget_for(kind));
+      for (const core::Scenario& scenario : core::paper_scenarios()) {
+        const core::ScenarioOutcome out = core::analyze_scenario(
+            pipeline, *attack, scenario, exp.config.image_size,
+            core::ThreatModel::kIII);
+        const core::Prediction tm2 = pipeline.predict(
+            out.attack.adversarial, core::ThreatModel::kII);
+        const bool ok = !out.success_tm23();
+        neutralized += ok ? 1 : 0;
+        ++total;
+        cells.add_row({attack->name(), scenario.name,
+                       bench::prediction_cell(out.adv_tm1),
+                       bench::prediction_cell(tm2),
+                       bench::prediction_cell(out.adv_tm23),
+                       io::Table::fmt(out.eq2, 3), ok ? "yes" : "no"});
+      }
+    }
+    bench::emit(cells, "fig7_cells");
+    std::printf("\n%d/%d attacks neutralized by LAP(32).\n\n", neutralized,
+                total);
+
+    // ---- panel (b): top-5 accuracy per filter configuration -------------
+    std::printf("-- (b) overall top-5 accuracy per filter config --\n");
+    const auto sweep = filters::paper_filter_sweep();
+    for (const core::Scenario& scenario : core::paper_scenarios()) {
+      std::printf("\nScenario: %s\n", scenario.name.c_str());
+      std::vector<std::string> header = {"Attack"};
+      for (const filters::FilterPtr& f : sweep) {
+        header.push_back(f->name());
+      }
+      io::Table panel(header);
+
+      // Universal noises crafted once per attack (blind to any filter).
+      pipeline.set_filter(filters::make_identity());
+      const Tensor source = core::well_classified_sample(
+          pipeline, scenario.source_class, exp.config.image_size);
+      std::map<std::string, Tensor> noises;
+      noises["No attack"] = Tensor{};
+      for (attacks::AttackKind kind : bench::paper_attack_kinds()) {
+        const attacks::AttackPtr attack =
+            attacks::make_attack(kind, bench::budget_for(kind));
+        noises[attack->name()] =
+            attack->run(pipeline, source, scenario.target_class).noise;
+      }
+      for (const char* row_name :
+           {"No attack", "L-BFGS", "FGSM", "BIM"}) {
+        std::vector<std::string> row = {row_name};
+        for (const filters::FilterPtr& f : sweep) {
+          pipeline.set_filter(f);
+          const auto acc = core::accuracy_with_noise(
+              pipeline, exp.dataset.test.images, exp.dataset.test.labels,
+              noises.at(row_name), core::ThreatModel::kIII);
+          row.push_back(io::Table::pct(acc.top5, 1));
+        }
+        panel.add_row(std::move(row));
+      }
+      bench::emit(panel, "fig7_accuracy_" + std::to_string(&scenario -
+                                                 &core::paper_scenarios()[0]));
+    }
+    std::printf(
+        "\nPaper's shape: smoothing restores the source class per cell; "
+        "top-5 accuracy peaks at moderate strength (np~32 paper / np~8-16 "
+        "here, r~3-4 paper / r~2-3 here) and falls once smoothing destroys "
+        "distinguishing features.\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

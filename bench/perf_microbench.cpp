@@ -1,0 +1,174 @@
+// Runtime microbenchmarks (google-benchmark): the cost of every stage of
+// the paper's pipeline — filters, DNN inference, input gradients, and the
+// full attacks. Not a figure from the paper, but the data behind its
+// "converging time" remarks (L-BFGS slowest, FGSM one-shot) and a guard
+// against performance regressions in the kernels.
+
+#include <benchmark/benchmark.h>
+
+#include "fademl/fademl.hpp"
+
+namespace {
+
+using namespace fademl;
+
+// Benchmarks run on a fixed, small, *untrained* model: microbenchmarks
+// measure kernel cost, not model quality, and must not depend on the
+// artifacts cache.
+struct Fixture {
+  std::shared_ptr<nn::Sequential> model;
+  Tensor image;
+  core::InferencePipeline pipeline;
+
+  Fixture()
+      : model([] {
+          Rng rng(1);
+          nn::VggConfig config = nn::VggConfig::scaled(8);
+          return nn::make_vggnet(config, rng);
+        }()),
+        image(data::canonical_sample(14, 32)),
+        pipeline(model, filters::make_lap(32)) {}
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_FilterLap(benchmark::State& state) {
+  const filters::LapFilter filter(static_cast<int>(state.range(0)));
+  const Tensor& image = fixture().image;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.apply(image));
+  }
+  state.SetLabel("LAP(" + std::to_string(state.range(0)) + ") 32x32x3");
+}
+BENCHMARK(BM_FilterLap)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_FilterLar(benchmark::State& state) {
+  const filters::LarFilter filter(static_cast<int>(state.range(0)));
+  const Tensor& image = fixture().image;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.apply(image));
+  }
+  state.SetLabel("LAR(" + std::to_string(state.range(0)) + ") 32x32x3");
+}
+BENCHMARK(BM_FilterLar)->DenseRange(1, 5);
+
+void BM_FilterVjp(benchmark::State& state) {
+  const filters::LapFilter filter(static_cast<int>(state.range(0)));
+  const Tensor& image = fixture().image;
+  const Tensor grad = Tensor::ones(image.shape());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.vjp(image, grad));
+  }
+}
+BENCHMARK(BM_FilterVjp)->Arg(8)->Arg(64);
+
+void BM_Inference(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.pipeline.predict_probs(f.image, core::ThreatModel::kI));
+  }
+  state.SetLabel("VGG/8 forward, 32x32");
+}
+BENCHMARK(BM_Inference);
+
+void BM_InferenceFiltered(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.pipeline.predict_probs(f.image, core::ThreatModel::kIII));
+  }
+  state.SetLabel("LAP(32) + VGG/8 forward");
+}
+BENCHMARK(BM_InferenceFiltered);
+
+void BM_InputGradient(benchmark::State& state) {
+  auto& f = fixture();
+  const core::Objective obj = attacks::targeted_cross_entropy(3);
+  const auto tm = state.range(0) == 0 ? core::ThreatModel::kI
+                                      : core::ThreatModel::kIII;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.pipeline.loss_and_grad(f.image, obj, tm));
+  }
+  state.SetLabel(tm == core::ThreatModel::kI ? "grad, TM-I"
+                                             : "grad through filter, TM-III");
+}
+BENCHMARK(BM_InputGradient)->Arg(0)->Arg(1);
+
+void BM_Attack(benchmark::State& state) {
+  auto& f = fixture();
+  attacks::AttackConfig config;
+  config.epsilon = 0.1f;
+  config.max_iterations = 10;
+  const attacks::AttackPtr attack = attacks::make_attack(
+      static_cast<attacks::AttackKind>(state.range(0)), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack->run(f.pipeline, f.image, 3));
+  }
+  state.SetLabel(attack->name() + " (10 iter cap)");
+}
+BENCHMARK(BM_Attack)
+    ->Arg(static_cast<int>(attacks::AttackKind::kLbfgs))
+    ->Arg(static_cast<int>(attacks::AttackKind::kFgsm))
+    ->Arg(static_cast<int>(attacks::AttackKind::kBim))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FademlAttack(benchmark::State& state) {
+  auto& f = fixture();
+  attacks::AttackConfig config;
+  config.epsilon = 0.1f;
+  config.max_iterations = 10;
+  const attacks::AttackPtr attack = attacks::make_fademl(
+      static_cast<attacks::AttackKind>(state.range(0)), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack->run(f.pipeline, f.image, 3));
+  }
+  state.SetLabel(attack->name() + " (10 iter cap)");
+}
+BENCHMARK(BM_FademlAttack)
+    ->Arg(static_cast<int>(attacks::AttackKind::kFgsm))
+    ->Arg(static_cast<int>(attacks::AttackKind::kBim))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RenderSign(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    const data::RenderParams params = data::RenderParams::randomize(rng, 0.05f);
+    benchmark::DoNotOptimize(data::render_sign(14, params, 32));
+  }
+  state.SetLabel("synthetic GTSRB sample, 32x32");
+}
+BENCHMARK(BM_RenderSign);
+
+void BM_TrainStep(benchmark::State& state) {
+  Rng rng(4);
+  nn::VggConfig config = nn::VggConfig::scaled(8);
+  auto model = nn::make_vggnet(config, rng);
+  nn::SGD sgd(model->named_parameters(), {});
+  std::vector<Tensor> images;
+  std::vector<int64_t> labels;
+  for (int i = 0; i < 16; ++i) {
+    images.push_back(data::canonical_sample(i % 43, 32));
+    labels.push_back(i % 43);
+  }
+  const Tensor batch = nn::stack_images(images);
+  for (auto _ : state) {
+    autograd::Variable x{batch.clone()};
+    autograd::Variable loss =
+        autograd::cross_entropy(model->forward(x), labels);
+    sgd.zero_grad();
+    loss.backward();
+    sgd.step();
+    benchmark::DoNotOptimize(loss.value().item());
+  }
+  state.SetLabel("fwd+bwd+step, batch 16");
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_TrainStep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Defender's playbook: evaluate the defense stack against one concrete
+// attack — detect first, filter second, smooth third — and show where
+// each layer helps against the filter-aware FAdeML attack.
+
+#include <cstdio>
+
+#include "fademl/fademl.hpp"
+
+int main() {
+  using namespace fademl;
+  try {
+    core::Experiment exp =
+        core::make_experiment(core::ExperimentConfig::from_env());
+    core::InferencePipeline pipeline(exp.model, filters::make_lap(8));
+
+    const int64_t source_cls = static_cast<int64_t>(data::GtsrbClass::kStop);
+    const int64_t target_cls =
+        static_cast<int64_t>(data::GtsrbClass::kSpeed60);
+    const Tensor source = core::well_classified_sample(
+        pipeline, source_cls, exp.config.image_size);
+
+    attacks::AttackConfig budget;
+    budget.epsilon = 0.15f;
+    budget.max_iterations = 40;
+    budget.target_confidence = 0.9f;
+
+    const attacks::BimAttack blind(budget);
+    const attacks::AttackPtr aware =
+        attacks::make_fademl(attacks::AttackKind::kBim, budget);
+    const attacks::AttackResult blind_result =
+        blind.run(pipeline, source, target_cls);
+    const attacks::AttackResult aware_result =
+        aware->run(pipeline, source, target_cls);
+
+    const defense::FeatureSqueezeDetector detector(0.5f);
+    const auto line = [&](const char* tag, const Tensor& image) {
+      const core::Prediction filtered =
+          pipeline.predict(image, core::ThreatModel::kIII);
+      const float det_score =
+          detector.score(pipeline, image, core::ThreatModel::kI);
+      const auto smoothed = defense::smoothed_predict(
+          pipeline, image, core::ThreatModel::kIII, 11, 0.06f, 5);
+      std::printf(
+          "  %-18s filter-> %-22s (%5.1f%%)  detector score %.3f%s  "
+          "smoothed-> %s (%.0f%% votes)\n",
+          tag, data::gtsrb_class_name(filtered.label).c_str(),
+          filtered.confidence * 100.0, det_score,
+          det_score > detector.threshold() ? " [FLAGGED]" : "          ",
+          data::gtsrb_class_name(smoothed.label).c_str(),
+          smoothed.vote_share * 100.0);
+    };
+
+    std::printf("Defense stack vs Stop->60km/h through LAP(8):\n\n");
+    line("clean input", source);
+    line("BIM (blind)", blind_result.adversarial);
+    line("FAdeML-BIM", aware_result.adversarial);
+
+    std::printf(
+        "\nReading: the filter alone neutralizes the blind attack, and the "
+        "squeeze detector flags it loudly. The FAdeML example survives "
+        "filtering AND slips under the detector — its perturbation is "
+        "smoothing-invariant by construction, so smoothing-based squeezers "
+        "barely move its prediction. Filter-aware attacks defeat "
+        "filter-based detection for the same reason they defeat "
+        "filter-based prevention.\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

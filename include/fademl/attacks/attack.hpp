@@ -1,0 +1,86 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fademl/core/pipeline.hpp"
+#include "fademl/core/threat_model.hpp"
+#include "fademl/tensor/tensor.hpp"
+
+namespace fademl::attacks {
+
+/// Shared knobs of the adversarial attack library.
+///
+/// `grad_tm` selects the route along which input gradients are computed:
+/// TM-I yields the classic attacks (gradients on the bare DNN), TM-II/III
+/// yields the *filter-aware* FAdeML variants (gradients chained through the
+/// pre-processing noise filter). Everything else is the usual budget.
+struct AttackConfig {
+  float epsilon = 0.10f;      ///< L∞ perturbation budget (pixels in [0, 1])
+  float step_size = 0.012f;   ///< per-iteration step (BIM / L-BFGS scale)
+  int max_iterations = 20;    ///< iteration cap for iterative attacks
+  core::ThreatModel grad_tm = core::ThreatModel::kI;
+  /// Stop early once the routed prediction hits the target with at least
+  /// this confidence (0 disables early stopping).
+  float target_confidence = 0.0f;
+  /// FGSM only: instead of a single full-ε step, search the ε grid
+  /// {ε/8, 2ε/8, ..., ε} and keep the smallest step that lands the target
+  /// (the standard reporting protocol for single-step attacks — a too-large
+  /// step overshoots past the target's decision region). One gradient
+  /// evaluation either way.
+  bool fgsm_epsilon_search = false;
+};
+
+/// Outcome of one attack run on one image.
+struct AttackResult {
+  Tensor adversarial;        ///< [C, H, W], clamped to [0, 1]
+  Tensor noise;              ///< adversarial − source
+  int iterations = 0;        ///< gradient evaluations spent
+  float linf = 0.0f;         ///< ‖noise‖∞
+  float l2 = 0.0f;           ///< ‖noise‖₂
+  std::vector<float> loss_history;  ///< objective per iteration
+};
+
+/// Interface of the adversarial attack library (Fig. 3's "Library of
+/// Adversarial Attacks"). All attacks are *targeted*: they drive
+/// `source` toward `target_class`.
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  /// Attack identifier as it appears in the paper's figures
+  /// ("FGSM", "BIM", "L-BFGS", "FAdeML-FGSM", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Generate an adversarial example from `source` against `pipeline`.
+  [[nodiscard]] virtual AttackResult run(
+      const core::InferencePipeline& pipeline, const Tensor& source,
+      int64_t target_class) const = 0;
+
+  [[nodiscard]] const AttackConfig& config() const { return config_; }
+
+ protected:
+  explicit Attack(AttackConfig config) : config_(config) {}
+
+  /// Fill the derived metrics (noise, norms) of a result.
+  static void finalize(AttackResult& result, const Tensor& source);
+
+  AttackConfig config_;
+};
+
+using AttackPtr = std::shared_ptr<const Attack>;
+
+// ---- objective builders -----------------------------------------------------
+
+/// Targeted cross-entropy: minimize − log p(target | x).
+core::Objective targeted_cross_entropy(int64_t target_class);
+
+/// Eq.-2-style differentiable objective: dot(softmax(logits), weights).
+core::Objective weighted_probability(const Tensor& weights);
+
+/// Raw-logit objective: dot(logits, weights). The C&W margin loss and the
+/// JSMA/DeepFool per-class gradients are built from these.
+core::Objective weighted_logits(const Tensor& weights);
+
+}  // namespace fademl::attacks

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "fademl/attacks/attack.hpp"
+
+namespace fademl::attacks {
+
+/// Basic Iterative Method (Kurakin et al. 2016), the iterated, clipped
+/// refinement of FGSM:
+///
+///   x_{k+1} = clip_{x,ε}( x_k − α · sign(∇_x J(x_k, target)) )
+///
+/// Each iterate is clipped both to the ε-ball around the source and to the
+/// valid pixel range, keeping per-pixel changes small as the paper
+/// describes.
+class BimAttack final : public Attack {
+ public:
+  explicit BimAttack(AttackConfig config = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] AttackResult run(const core::InferencePipeline& pipeline,
+                                 const Tensor& source,
+                                 int64_t target_class) const override;
+};
+
+}  // namespace fademl::attacks

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "fademl/attacks/attack.hpp"
+
+namespace fademl::attacks {
+
+/// Options specific to the C&W attack.
+struct CwOptions {
+  float confidence_margin = 0.0f;  ///< kappa: required logit margin
+  float initial_c = 1.0f;          ///< trade-off constant c
+  int binary_search_steps = 4;     ///< outer search over c
+  float adam_lr = 5e-2f;
+  float adam_beta1 = 0.9f;
+  float adam_beta2 = 0.999f;
+};
+
+/// Carlini & Wagner L2 attack (S&P 2017) — the "CWI" entry of the paper's
+/// adversarial attack library (Figs. 3 and 8).
+///
+/// Minimizes   ‖x' − x‖₂² + c · f(x')   with
+///   f(x') = max( max_{i≠t} Z(x')_i − Z(x')_t, −κ )
+/// over the tanh-reparameterized image x' = (tanh(w)+1)/2, using Adam.
+/// The outer loop binary-searches the smallest constant c that still finds
+/// an adversarial example, yielding the smallest-L2 attacks of the family.
+/// `config.grad_tm` routes gradients through the filter exactly as for the
+/// other attacks (giving FAdeML-C&W for TM-II/III).
+class CwAttack final : public Attack {
+ public:
+  explicit CwAttack(AttackConfig config = {}, CwOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] AttackResult run(const core::InferencePipeline& pipeline,
+                                 const Tensor& source,
+                                 int64_t target_class) const override;
+
+ private:
+  CwOptions options_;
+};
+
+}  // namespace fademl::attacks

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "fademl/attacks/attack.hpp"
+
+namespace fademl::attacks {
+
+/// Options specific to DeepFool.
+struct DeepFoolOptions {
+  int candidate_classes = 10;  ///< closest boundaries examined per step
+  float overshoot = 0.02f;     ///< step past the boundary (paper's eta)
+};
+
+/// DeepFool (Moosavi-Dezfooli et al., CVPR 2016), cited in the paper's
+/// attack survey: the minimal-perturbation *untargeted* attack.
+///
+/// Per iteration the classifier is linearized around the current iterate;
+/// the closest class boundary among the top `candidate_classes` is
+/// computed in closed form (|f_k| / ‖w_k‖²) and the iterate is projected
+/// just past it, with a final overshoot. Because it is untargeted,
+/// `target_class` is interpreted as the class to *escape toward anything
+/// else*: the attack succeeds when the prediction leaves the source class.
+class DeepFoolAttack final : public Attack {
+ public:
+  explicit DeepFoolAttack(AttackConfig config = {},
+                          DeepFoolOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+  /// `target_class` is ignored (untargeted); pass the source class.
+  [[nodiscard]] AttackResult run(const core::InferencePipeline& pipeline,
+                                 const Tensor& source,
+                                 int64_t target_class) const override;
+
+ private:
+  DeepFoolOptions options_;
+};
+
+}  // namespace fademl::attacks

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "fademl/attacks/attack.hpp"
+#include "fademl/tensor/random.hpp"
+
+namespace fademl::attacks {
+
+/// Options for expectation-over-transformation crafting.
+struct EotOptions {
+  int samples = 4;            ///< transformations averaged per gradient
+  float jitter_pixels = 1.0f; ///< max random sub-pixel translation
+  float noise_std = 0.02f;    ///< random sensor noise per sample
+  uint64_t seed = 5;
+};
+
+/// Expectation over Transformation (Athalye et al. 2018): a BIM loop whose
+/// gradient is averaged over random input transformations (sub-pixel
+/// jitter + sensor noise), producing perturbations robust to the
+/// acquisition variability of Threat Model II.
+///
+/// Where FAdeML differentiates through the *deterministic* pre-processing
+/// filter exactly, EOT handles the *stochastic* parts of the pipeline by
+/// sampling. The two compose: with `config.grad_tm = kIII`, each sampled
+/// gradient is also routed through the filter adjoint — the strongest
+/// attacker in this library's taxonomy.
+class EotAttack final : public Attack {
+ public:
+  explicit EotAttack(AttackConfig config = {}, EotOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] AttackResult run(const core::InferencePipeline& pipeline,
+                                 const Tensor& source,
+                                 int64_t target_class) const override;
+
+ private:
+  EotOptions options_;
+};
+
+}  // namespace fademl::attacks

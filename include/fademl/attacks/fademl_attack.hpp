@@ -1,0 +1,68 @@
+#pragma once
+
+#include "fademl/attacks/attack.hpp"
+
+namespace fademl::attacks {
+
+/// Which classic attack a filter-aware FAdeML attack is built on. The
+/// paper's "Library of Adversarial Attacks" (Figs. 3 and 8) lists
+/// L-BFGS, FGSM and CWI; BIM is the third attack its evaluation uses.
+enum class AttackKind {
+  kLbfgs,
+  kFgsm,
+  kBim,
+  kCw,
+};
+
+/// Name of the base attack ("L-BFGS", "FGSM", "BIM", "C&W").
+const std::string& attack_kind_name(AttackKind kind);
+
+/// Construct a classic (filter-blind, Threat-Model-I gradient) attack.
+AttackPtr make_attack(AttackKind kind, AttackConfig config = {});
+
+/// The paper's contribution (Section IV, Fig. 8): the pre-processing
+/// noise-Filter-aware Adversarial ML attack.
+///
+/// FAdeML wraps a base attack's optimization loop but evaluates every
+/// objective and gradient along the *deployed* route — through the
+/// acquisition stage and the pre-processing noise filter (Threat Models
+/// II/III) — using the filter's vector–Jacobian product. Following the
+/// methodology's steps:
+///
+///  1/2. pick reference sample x and a target-class sample y; measure the
+///       top-5 probability gap between them (fademl_cost);
+///  3.   craft noise n and form x* = η·n + x;
+///  4/5. re-measure x* along TM-II/III and compare to TM-I via Eq. 2;
+///  6.   iterate the base attack's optimizer with the filter folded into
+///       the gradient (Eq. 3).
+///
+/// The recorded `eq2_history` exposes step 5's consistency cost per
+/// iteration for analysis.
+class FAdeMLAttack final : public Attack {
+ public:
+  /// `grad_tm` must be kII or kIII (the filtered routes); defaults to kIII.
+  FAdeMLAttack(AttackKind base, AttackConfig config = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] AttackResult run(const core::InferencePipeline& pipeline,
+                                 const Tensor& source,
+                                 int64_t target_class) const override;
+
+  /// Eq.-2 cost between the TM-I and TM-II/III predictions of the final
+  /// adversarial example from the most recent `run` (step 5 of Fig. 8).
+  /// One entry per optimization iteration.
+  [[nodiscard]] const std::vector<float>& eq2_history() const {
+    return eq2_history_;
+  }
+
+ private:
+  AttackKind base_;
+  AttackPtr inner_;
+  mutable std::vector<float> eq2_history_;
+};
+
+/// Convenience: FAdeML variant of `kind` with the same budget as `config`
+/// (forces the gradient route to TM-III).
+AttackPtr make_fademl(AttackKind kind, AttackConfig config = {});
+
+}  // namespace fademl::attacks

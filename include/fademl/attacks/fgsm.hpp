@@ -1,0 +1,23 @@
+#pragma once
+
+#include "fademl/attacks/attack.hpp"
+
+namespace fademl::attacks {
+
+/// Fast Gradient Sign Method (Goodfellow et al. 2015), targeted form:
+///
+///   x* = clip( x − ε · sign(∇_x J(x, target)) )
+///
+/// A single gradient evaluation; `config.grad_tm` decides whether that
+/// gradient sees the pre-processing filter.
+class FgsmAttack final : public Attack {
+ public:
+  explicit FgsmAttack(AttackConfig config = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] AttackResult run(const core::InferencePipeline& pipeline,
+                                 const Tensor& source,
+                                 int64_t target_class) const override;
+};
+
+}  // namespace fademl::attacks

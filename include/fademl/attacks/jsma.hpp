@@ -1,0 +1,37 @@
+#pragma once
+
+#include "fademl/attacks/attack.hpp"
+
+namespace fademl::attacks {
+
+/// Options specific to the Jacobian-based Saliency Map Attack.
+struct JsmaOptions {
+  float theta = 0.4f;       ///< per-feature perturbation magnitude per step
+  float gamma = 0.15f;      ///< max fraction of features allowed to change
+  bool pairs = true;        ///< perturb the classic feature *pairs*
+};
+
+/// Jacobian-based Saliency Map Attack (Papernot et al., EuroS&P 2016),
+/// cited as [1] in the paper's survey of attack methods.
+///
+/// A targeted L0 attack: per step it computes the forward Jacobian's two
+/// directional components — ∂Z_t/∂x (target logit up) and Σ_{i≠t} ∂Z_i/∂x
+/// (everything else down) — forms the saliency map
+///   S(x, t)[p] = (∂Z_t/∂x_p) · |Σ_{i≠t} ∂Z_i/∂x_p|
+///                when ∂Z_t/∂x_p > 0 and Σ ∂Z_i/∂x_p < 0, else 0,
+/// and bumps the most salient feature (or classic feature pair) by theta.
+/// Stops when the target class wins or the gamma L0 budget is exhausted.
+class JsmaAttack final : public Attack {
+ public:
+  explicit JsmaAttack(AttackConfig config = {}, JsmaOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] AttackResult run(const core::InferencePipeline& pipeline,
+                                 const Tensor& source,
+                                 int64_t target_class) const override;
+
+ private:
+  JsmaOptions options_;
+};
+
+}  // namespace fademl::attacks

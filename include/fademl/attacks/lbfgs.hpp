@@ -1,0 +1,36 @@
+#pragma once
+
+#include "fademl/attacks/attack.hpp"
+
+namespace fademl::attacks {
+
+/// The L-BFGS attack (Szegedy et al. 2013): minimize over the perturbation
+/// δ the box-constrained objective
+///
+///   J(δ) = c · ‖δ‖₂²  +  CE( clip(x + δ), target )
+///
+/// using limited-memory BFGS (two-loop recursion, Armijo backtracking line
+/// search) — the curvature-aware optimizer that distinguishes this attack
+/// from the sign-based family. The ‖δ‖₂ penalty is the paper's Eq. 1
+/// imperceptibility term.
+struct LbfgsOptions {
+  float l2_weight = 0.05f;  ///< c, weight of the imperceptibility penalty
+  int history = 5;          ///< L-BFGS memory
+  float armijo_c1 = 1e-4f;  ///< sufficient-decrease constant
+  int max_line_search = 12;
+};
+
+class LbfgsAttack final : public Attack {
+ public:
+  explicit LbfgsAttack(AttackConfig config = {}, LbfgsOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] AttackResult run(const core::InferencePipeline& pipeline,
+                                 const Tensor& source,
+                                 int64_t target_class) const override;
+
+ private:
+  LbfgsOptions options_;
+};
+
+}  // namespace fademl::attacks

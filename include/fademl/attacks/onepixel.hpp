@@ -1,0 +1,40 @@
+#pragma once
+
+#include "fademl/attacks/attack.hpp"
+#include "fademl/tensor/random.hpp"
+
+namespace fademl::attacks {
+
+/// Options specific to the one-pixel attack.
+struct OnePixelOptions {
+  int pixels = 3;          ///< how many pixels the attacker may change
+  int population = 32;     ///< differential-evolution population size
+  int generations = 25;    ///< DE generations
+  float de_f = 0.5f;       ///< DE differential weight
+  uint64_t seed = 1234;
+};
+
+/// One-pixel attack (Su et al. 2017), cited in the paper's attack survey.
+///
+/// A *black-box* attack: no gradients, only queries. Differential
+/// evolution searches over candidate perturbations of a handful of pixels
+/// (position + RGB), maximizing the target-class probability of the
+/// *deployed* pipeline route (`config.grad_tm`). Because it only ever
+/// queries the real pipeline, it is automatically filter-aware under
+/// TM-II/III — a point the paper's white-box/black-box discussion (§II-B)
+/// sets up and this implementation makes concrete.
+class OnePixelAttack final : public Attack {
+ public:
+  explicit OnePixelAttack(AttackConfig config = {},
+                          OnePixelOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] AttackResult run(const core::InferencePipeline& pipeline,
+                                 const Tensor& source,
+                                 int64_t target_class) const override;
+
+ private:
+  OnePixelOptions options_;
+};
+
+}  // namespace fademl::attacks

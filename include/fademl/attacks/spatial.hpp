@@ -1,0 +1,37 @@
+#pragma once
+
+#include "fademl/attacks/attack.hpp"
+
+namespace fademl::attacks {
+
+/// Options for the spatial attack's search grid.
+struct SpatialOptions {
+  float max_rotation_deg = 20.0f;
+  float max_translation = 3.0f;  ///< pixels, each axis
+  int rotation_steps = 9;       ///< grid resolution per dimension
+  int translation_steps = 5;
+};
+
+/// Spatial transformation attack (Engstrom et al. 2019, "a rotation and a
+/// translation suffice"): grid-search over small rotations and
+/// translations of the *unmodified* image, picking the pose that minimizes
+/// the true-class probability (untargeted) along the deployed route.
+///
+/// No additive noise at all — which is exactly why the paper's smoothing
+/// filters cannot defend against it: there is no high-frequency component
+/// to remove. `target_class` is used the way DeepFool uses it (pass the
+/// source class); success means the prediction leaves that class.
+class SpatialAttack final : public Attack {
+ public:
+  explicit SpatialAttack(AttackConfig config = {}, SpatialOptions options = {});
+
+  [[nodiscard]] std::string name() const override { return "Spatial"; }
+  [[nodiscard]] AttackResult run(const core::InferencePipeline& pipeline,
+                                 const Tensor& source,
+                                 int64_t target_class) const override;
+
+ private:
+  SpatialOptions options_;
+};
+
+}  // namespace fademl::attacks

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "fademl/attacks/attack.hpp"
+
+namespace fademl::attacks {
+
+/// Options for universal-perturbation crafting.
+struct UniversalOptions {
+  int epochs = 3;               ///< passes over the sample set
+  int steps_per_sample = 3;     ///< BIM steps taken when a sample resists
+  float step_size = 0.01f;
+  /// Stop once this fraction of the samples is fooled.
+  float target_fooling_rate = 0.8f;
+};
+
+/// Result of a universal-perturbation run.
+struct UniversalResult {
+  Tensor perturbation;          ///< [C, H, W], ‖·‖∞ <= epsilon
+  double fooling_rate = 0.0;    ///< fraction of samples misclassified
+  int gradient_evaluations = 0;
+};
+
+/// Universal adversarial perturbations (Moosavi-Dezfooli et al., CVPR
+/// 2017): a single image-agnostic noise vector v such that
+/// prediction(x + v) != prediction(x) for most x.
+///
+/// This formalizes the universal-noise protocol used by the paper's
+/// accuracy panels (Figs. 6/7/9; see DESIGN.md §4): instead of
+/// transplanting one scenario's noise, v is *optimized* over a sample set.
+/// The crafting loop visits each still-correctly-classified sample, takes
+/// a few untargeted BIM steps from x+v, accumulates the step into v, and
+/// projects v back onto the ε-ball. `config.grad_tm` routes gradients
+/// exactly as for the per-image attacks, so a TM-III universal
+/// perturbation is filter-aware ("universal FAdeML").
+class UniversalPerturbation {
+ public:
+  explicit UniversalPerturbation(AttackConfig config = {},
+                                 UniversalOptions options = {});
+
+  [[nodiscard]] UniversalResult craft(
+      const core::InferencePipeline& pipeline,
+      const std::vector<Tensor>& images,
+      const std::vector<int64_t>& labels) const;
+
+  /// Fraction of samples whose routed prediction changes under `v`.
+  [[nodiscard]] static double fooling_rate(
+      const core::InferencePipeline& pipeline,
+      const std::vector<Tensor>& images, const Tensor& v,
+      core::ThreatModel tm);
+
+ private:
+  AttackConfig config_;
+  UniversalOptions options_;
+};
+
+}  // namespace fademl::attacks

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "fademl/attacks/attack.hpp"
+#include "fademl/tensor/random.hpp"
+
+namespace fademl::attacks {
+
+/// Options specific to the ZOO attack.
+struct ZooOptions {
+  int coords_per_step = 64;  ///< random coordinates estimated per step
+  float fd_eps = 1e-2f;      ///< finite-difference probe size
+  float adam_lr = 2e-2f;
+  uint64_t seed = 99;
+};
+
+/// Zeroth-Order Optimization attack (Chen et al., AISec 2017), cited in
+/// the paper's attack survey.
+///
+/// Black-box C&W: the same margin loss, but its gradient is *estimated*
+/// with symmetric finite differences on randomly chosen coordinates, so
+/// only prediction queries are needed. Like the one-pixel attack, ZOO
+/// queries the deployed route (`config.grad_tm`), making it filter-aware
+/// for free under TM-II/III. `AttackResult::iterations` counts pipeline
+/// queries (the black-box cost metric).
+class ZooAttack final : public Attack {
+ public:
+  explicit ZooAttack(AttackConfig config = {}, ZooOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] AttackResult run(const core::InferencePipeline& pipeline,
+                                 const Tensor& source,
+                                 int64_t target_class) const override;
+
+ private:
+  ZooOptions options_;
+};
+
+}  // namespace fademl::attacks

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fademl/autograd/variable.hpp"
+#include "fademl/tensor/ops.hpp"
+
+/// Differentiable operations over Variables.
+///
+/// Every function here computes the forward value eagerly and, when any
+/// input requires gradients, records a backward closure on the tape. The op
+/// set is exactly what a VGG-style classifier plus gradient-based
+/// adversarial attacks need; it is deliberately small and fully
+/// gradient-checked in tests/autograd_test.cpp.
+namespace fademl::autograd {
+
+// ---- elementwise -----------------------------------------------------------
+
+Variable add(const Variable& a, const Variable& b);
+Variable sub(const Variable& a, const Variable& b);
+Variable mul(const Variable& a, const Variable& b);
+Variable add_scalar(const Variable& a, float s);
+Variable mul_scalar(const Variable& a, float s);
+Variable relu(const Variable& a);
+Variable tanh(const Variable& a);
+
+// ---- structural -------------------------------------------------------------
+
+/// Reshape preserving gradient flow.
+Variable reshape(const Variable& a, Shape shape);
+
+// ---- linear algebra ----------------------------------------------------------
+
+/// [M, K] x [K, N] -> [M, N].
+Variable matmul(const Variable& a, const Variable& b);
+
+/// y = x @ W^T + b with x: [N, F], W: [O, F], b: [O].
+Variable linear(const Variable& x, const Variable& weight,
+                const Variable& bias);
+
+// ---- convolution / pooling ---------------------------------------------------
+
+/// Batched 2-D convolution; see fademl::conv2d for shapes.
+Variable conv2d(const Variable& input, const Variable& weight,
+                const Variable& bias, const Conv2dSpec& spec);
+
+/// kxk max pooling with stride k.
+Variable maxpool2d(const Variable& input, int64_t k);
+
+/// kxk average pooling with stride k: [N, C, H, W] -> [N, C, H/k, W/k].
+Variable avgpool2d(const Variable& input, int64_t k);
+
+/// Elementwise multiply by a constant mask (dropout's core op): the mask
+/// is typically {0, 1/(1-p)} samples.
+Variable mask_mul(const Variable& a, const Tensor& mask);
+
+/// Batch normalization over [N, C, H, W] with per-channel statistics
+/// across N, H, W. `gamma`/`beta` are [C] learnable parameters;
+/// `mean_out`/`var_out`, when non-null, receive the batch statistics
+/// (for running-average updates). `eps` stabilizes the variance.
+Variable batchnorm2d(const Variable& input, const Variable& gamma,
+                     const Variable& beta, float eps,
+                     Tensor* mean_out = nullptr, Tensor* var_out = nullptr);
+
+/// Inference-mode batch normalization with fixed statistics.
+Variable batchnorm2d_inference(const Variable& input, const Variable& gamma,
+                               const Variable& beta, const Tensor& mean,
+                               const Tensor& var, float eps);
+
+// ---- reductions / losses ------------------------------------------------------
+
+/// Sum of all elements -> scalar.
+Variable sum(const Variable& a);
+
+/// Mean of all elements -> scalar.
+Variable mean(const Variable& a);
+
+/// Dot with a constant tensor -> scalar. The workhorse for attack
+/// objectives of the form Σ w_i · p_i (Eq. 2 of the paper).
+Variable dot_const(const Variable& a, const Tensor& weights);
+
+/// Row-wise softmax of [N, C] logits.
+Variable softmax_rows(const Variable& logits);
+
+/// Mean cross-entropy of [N, C] logits against integer labels (size N).
+/// Fused log-softmax + NLL for numerical stability.
+Variable cross_entropy(const Variable& logits,
+                       const std::vector<int64_t>& labels);
+
+// ---- gradient checking --------------------------------------------------------
+
+/// Central-difference numerical gradient of `f` at `x` (for tests).
+/// `f` must evaluate a scalar from a plain tensor.
+Tensor numerical_gradient(const std::function<float(const Tensor&)>& f,
+                          const Tensor& x, float eps = 1e-3f);
+
+}  // namespace fademl::autograd

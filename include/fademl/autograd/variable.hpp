@@ -1,0 +1,88 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fademl/tensor/tensor.hpp"
+
+namespace fademl::autograd {
+
+class Variable;
+
+namespace detail {
+
+/// One node of the reverse-mode tape.
+///
+/// A Node owns the forward value, the (lazily allocated) gradient
+/// accumulator, the edges to its parents, and a closure that propagates
+/// `grad` into the parents' accumulators. Nodes are created by the op
+/// functions in fademl/autograd/ops.hpp and are only reachable through
+/// `Variable` handles.
+struct Node {
+  Tensor value;
+  Tensor grad;  // undefined until first accumulation
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Propagates this->grad into parents. Empty for leaves.
+  std::function<void(Node&)> backward_fn;
+
+  /// Add `g` into the gradient accumulator (allocating it on first use).
+  void accumulate(const Tensor& g);
+};
+
+}  // namespace detail
+
+/// Handle to a tape node; the user-facing currency of the autograd system.
+///
+/// Variables are cheap shared handles: copying a Variable aliases the same
+/// node. A *leaf* Variable wraps a tensor directly (network parameters, the
+/// attack's input image); interior Variables are produced by ops and
+/// remember how to differentiate themselves.
+class Variable {
+ public:
+  /// Undefined variable (no node).
+  Variable() = default;
+
+  /// Leaf variable wrapping `value`. When `requires_grad` is true,
+  /// `backward()` will populate `grad()` for this leaf.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  [[nodiscard]] bool defined() const { return node_ != nullptr; }
+
+  /// Forward value (throws if undefined).
+  [[nodiscard]] const Tensor& value() const;
+
+  /// Mutable forward value — used by optimizers to update parameters in
+  /// place between forward passes. Never call while a graph referencing
+  /// this variable is still to be backpropagated.
+  [[nodiscard]] Tensor& mutable_value();
+
+  /// Accumulated gradient. Undefined tensor before any backward pass.
+  [[nodiscard]] const Tensor& grad() const;
+
+  [[nodiscard]] bool requires_grad() const;
+
+  /// Reset the gradient accumulator (optimizers call this per step).
+  void zero_grad();
+
+  /// Run reverse-mode differentiation from this variable, which must hold a
+  /// scalar (numel() == 1). Seeds with 1.
+  void backward() const;
+
+  /// Reverse-mode differentiation seeded with `seed` (same shape as value).
+  void backward(const Tensor& seed) const;
+
+  /// Internal: node access for op implementations.
+  [[nodiscard]] const std::shared_ptr<detail::Node>& node() const {
+    return node_;
+  }
+
+  /// Internal: wrap an existing node.
+  static Variable from_node(std::shared_ptr<detail::Node> node);
+
+ private:
+  std::shared_ptr<detail::Node> node_;
+};
+
+}  // namespace fademl::autograd

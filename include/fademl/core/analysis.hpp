@@ -1,0 +1,84 @@
+#pragma once
+
+#include <vector>
+
+#include "fademl/attacks/attack.hpp"
+#include "fademl/core/cost.hpp"
+#include "fademl/core/pipeline.hpp"
+#include "fademl/core/scenarios.hpp"
+#include "fademl/data/dataset.hpp"
+
+namespace fademl::core {
+
+/// Everything the paper's per-scenario figure cells report about one
+/// attack run: the clean prediction, the adversarial prediction under
+/// Threat Model I (attack succeeds?), the adversarial prediction under
+/// Threat Models II/III (does the filter neutralize it?), and the Eq.-2
+/// consistency cost between those two views.
+struct ScenarioOutcome {
+  Scenario scenario;
+  attacks::AttackResult attack;
+
+  Prediction clean;     ///< source image through the deployed pipeline
+  Prediction adv_tm1;   ///< adversarial image injected after the filter
+  Prediction adv_tm23;  ///< adversarial image routed through the filter
+  float eq2 = 0.0f;     ///< Eq. 2 between adv_tm1 and adv_tm23 probabilities
+
+  /// Did the targeted misclassification land under each view?
+  [[nodiscard]] bool success_tm1() const {
+    return adv_tm1.label == scenario.target_class;
+  }
+  [[nodiscard]] bool success_tm23() const {
+    return adv_tm23.label == scenario.target_class;
+  }
+  /// Did the filter restore the source class?
+  [[nodiscard]] bool neutralized() const {
+    return adv_tm23.label == scenario.source_class;
+  }
+};
+
+/// The Fig.-3 analysis methodology: craft an adversarial example with a
+/// chosen attack, then compare its behaviour between Threat Model I and
+/// Threat Models II/III on a given pipeline.
+///
+/// `eval_tm` selects which filtered route (kII or kIII) the comparison
+/// uses; the paper treats the two jointly.
+ScenarioOutcome analyze_scenario(const InferencePipeline& pipeline,
+                                 const attacks::Attack& attack,
+                                 const Scenario& scenario,
+                                 const Tensor& source_image,
+                                 ThreatModel eval_tm = ThreatModel::kIII);
+
+/// Convenience: pick a well-classified source image for the scenario at
+/// `image_size` (see `well_classified_sample`) and call `analyze_scenario`.
+ScenarioOutcome analyze_scenario(const InferencePipeline& pipeline,
+                                 const attacks::Attack& attack,
+                                 const Scenario& scenario, int64_t image_size,
+                                 ThreatModel eval_tm = ThreatModel::kIII);
+
+/// A rendering of `class_id` that the *unfiltered* DNN classifies
+/// correctly, preferring the highest confidence among the canonical pose
+/// and `attempts` randomized ones. The paper's scenarios start from
+/// sources the classifier is sure about (99%+ clean confidence); this is
+/// the attacker's step of picking such an input. Falls back to the
+/// best-confidence candidate if none classifies correctly.
+Tensor well_classified_sample(const InferencePipeline& pipeline,
+                              int64_t class_id, int64_t image_size,
+                              int attempts = 8);
+
+/// Top-1/top-5 accuracy of the pipeline over a labelled set when the given
+/// adversarial noise is added to *every* sample (the universal-noise
+/// evaluation behind the paper's "overall top-5 accuracy" panels in
+/// Figs. 6, 7 and 9). Pass an undefined tensor for the no-attack rows.
+InferencePipeline::Accuracy accuracy_with_noise(
+    const InferencePipeline& pipeline, const std::vector<Tensor>& images,
+    const std::vector<int64_t>& labels, const Tensor& noise, ThreatModel tm);
+
+/// One row of the accuracy panels: accuracy per filter configuration.
+struct FilterSweepPoint {
+  std::string filter_name;
+  double top5_no_attack = 0.0;
+  std::vector<double> top5_under_attack;  ///< one entry per attack
+};
+
+}  // namespace fademl::core

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "fademl/core/pipeline.hpp"
+#include "fademl/tensor/tensor.hpp"
+
+namespace fademl::core {
+
+/// Equation 2 of the paper:
+///
+///   f(cost) = Σ_{n=1..5}  P(C_n) − P(C*_n)
+///
+/// where C_n are the top-5 classes of the reference prediction (threat
+/// model I) with probabilities P(C_n), and P(C*_n) are the probabilities of
+/// *those same classes* under the comparison prediction (threat models
+/// II/III). A cost near zero means the filter did not disturb the attack;
+/// a large cost means the filter redistributed the probability mass the
+/// attack had concentrated.
+float eq2_cost(const Tensor& reference_probs, const Tensor& comparison_probs);
+
+/// The Fig.-8 attack cost between a perturbed sample's top-5 and the
+/// *target* sample's top-5:  f(cost) = Σ_{n=1..5} Px(C_n) − Py(C*_n).
+/// Minimizing it pulls x's top-5 mass onto y's top-5 classes.
+float fademl_cost(const Tensor& x_probs, const Tensor& y_probs);
+
+/// Weight vector w (length = num classes) such that
+/// dot(probs, w) == eq2-style cost against `reference_probs`'s top-5 set.
+/// Used to build differentiable Eq.-2 objectives via autograd::dot_const.
+Tensor top5_weight_vector(const Tensor& reference_probs);
+
+}  // namespace fademl::core

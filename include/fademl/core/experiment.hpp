@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "fademl/data/dataset.hpp"
+#include "fademl/nn/module.hpp"
+#include "fademl/nn/trainer.hpp"
+#include "fademl/nn/vggnet.hpp"
+
+namespace fademl::core {
+
+/// Shared configuration of every experiment binary: the synthetic-GTSRB
+/// benchmark plus the width-scaled VGGNet trained on it.
+///
+/// The trained model is cached under `cache_dir` keyed by the
+/// configuration, so the first experiment run trains once and every later
+/// run (any bench, any example) loads in milliseconds. Set `FADEML_FAST=1`
+/// in the environment for a drastically smaller setup (smoke-test scale);
+/// `FADEML_CACHE_DIR` overrides the cache location.
+struct ExperimentConfig {
+  int64_t image_size = 32;
+  /// VGG width divisor: paper widths {64,...,512} divided by this
+  /// (8 -> {8, 16, 32, 64, 64}); see DESIGN.md §2 on why widths scale.
+  int64_t width_divisor = 8;
+  int64_t train_per_class = 32;
+  int64_t test_per_class = 8;
+  int64_t epochs = 18;
+  /// Training augmentation strength (see data::SynthConfig). The defaults
+  /// balance two paper phenomena: enough blur/noise robustness for the
+  /// filter sweet-spot curves (Figs. 7/9 panels), while staying attackable
+  /// by the one-step FGSM (Fig. 5).
+  float train_blur_max = 1.2f;
+  float train_noise_max = 0.08f;
+  float test_noise_std = 0.06f;
+  /// 0.01 is the stable region for this depth/width at batch 16 with
+  /// momentum 0.9; 0.05 oscillates at the uniform-logits plateau.
+  float lr = 0.01f;
+  float lr_decay = 0.9f;
+  int64_t batch_size = 16;
+  uint64_t seed = 42;
+  std::string cache_dir = "artifacts";
+  bool verbose = true;
+
+  /// Default config adjusted by FADEML_FAST / FADEML_CACHE_DIR.
+  static ExperimentConfig from_env();
+
+  /// Cache file that uniquely identifies this configuration.
+  [[nodiscard]] std::string checkpoint_path() const;
+};
+
+/// A ready-to-attack experiment: data + trained model + its clean metrics.
+struct Experiment {
+  ExperimentConfig config;
+  std::shared_ptr<nn::Sequential> model;
+  data::SynthGtsrb dataset;
+  nn::EvalResult clean_test;  ///< unfiltered test accuracy of the model
+};
+
+/// Build the experiment: synthesize the dataset, then train the VGGNet or
+/// load it from the cache. Deterministic in `config`.
+Experiment make_experiment(const ExperimentConfig& config);
+
+}  // namespace fademl::core

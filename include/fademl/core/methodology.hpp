@@ -1,0 +1,50 @@
+#pragma once
+
+#include "fademl/attacks/fademl_attack.hpp"
+#include "fademl/core/analysis.hpp"
+
+namespace fademl::core {
+
+/// Verbatim trace of the six-step FAdeML methodology (Fig. 8 of the
+/// paper), one field per step, so experiments and documentation can point
+/// at the exact quantity each step defines.
+struct FademlTrace {
+  // Step 1: reference sample x and a sample y of the target class.
+  Tensor x;
+  Tensor y;
+  Scenario scenario;
+
+  // Step 2: prediction gap between x and y under TM-I
+  // (f(cost) = Σ Px(Cn) − Py(C*n)).
+  Prediction x_clean;
+  Prediction y_clean;
+  float initial_gap = 0.0f;
+
+  // Step 3: the adversarial example x* = η·n + x.
+  attacks::AttackResult attack;
+
+  // Step 4: x* under the filtered route (TM-II/III).
+  Prediction x_star_filtered;
+
+  // Step 5: Eq.-2 consistency cost between the TM-I and TM-II/III views
+  // of x*.
+  Prediction x_star_tm1;
+  float eq2 = 0.0f;
+
+  // Step 6 outcome: did the filter-aware optimization land the target
+  // through the filter?
+  [[nodiscard]] bool success() const {
+    return x_star_filtered.label == scenario.target_class;
+  }
+};
+
+/// Run the full Fig.-8 methodology for one scenario with the chosen base
+/// attack, filter-aware along `eval_tm` (kII or kIII).
+FademlTrace run_fademl_methodology(const InferencePipeline& pipeline,
+                                   attacks::AttackKind base,
+                                   const Scenario& scenario,
+                                   int64_t image_size,
+                                   const attacks::AttackConfig& budget,
+                                   ThreatModel eval_tm = ThreatModel::kIII);
+
+}  // namespace fademl::core

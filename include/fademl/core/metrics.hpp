@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fademl/core/pipeline.hpp"
+
+namespace fademl::core {
+
+/// Row-normalized confusion matrix and per-class statistics of a pipeline
+/// over a labelled set — the diagnostic behind "which classes does the
+/// filter/attack actually confuse?" questions the figures raise.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int64_t num_classes);
+
+  /// Record one (true label, predicted label) observation.
+  void record(int64_t truth, int64_t predicted);
+
+  [[nodiscard]] int64_t num_classes() const { return num_classes_; }
+  [[nodiscard]] int64_t count(int64_t truth, int64_t predicted) const;
+  [[nodiscard]] int64_t total() const { return total_; }
+
+  /// Overall accuracy (trace / total).
+  [[nodiscard]] double accuracy() const;
+
+  /// Recall of one class (diagonal / row sum); 0 when the class is absent.
+  [[nodiscard]] double recall(int64_t cls) const;
+
+  /// Precision of one class (diagonal / column sum); 0 when never
+  /// predicted.
+  [[nodiscard]] double precision(int64_t cls) const;
+
+  /// The most confused (truth, predicted, count) pairs, descending,
+  /// excluding the diagonal.
+  struct Confusion {
+    int64_t truth;
+    int64_t predicted;
+    int64_t count;
+  };
+  [[nodiscard]] std::vector<Confusion> top_confusions(int k) const;
+
+ private:
+  int64_t num_classes_;
+  int64_t total_ = 0;
+  std::vector<int64_t> counts_;  // row-major [truth][predicted]
+};
+
+/// Evaluate the pipeline over a labelled set into a confusion matrix.
+ConfusionMatrix confusion_matrix(const InferencePipeline& pipeline,
+                                 const std::vector<Tensor>& images,
+                                 const std::vector<int64_t>& labels,
+                                 ThreatModel tm);
+
+}  // namespace fademl::core

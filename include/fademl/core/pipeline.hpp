@@ -1,0 +1,100 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fademl/autograd/variable.hpp"
+#include "fademl/core/threat_model.hpp"
+#include "fademl/filters/filter.hpp"
+#include "fademl/nn/module.hpp"
+
+namespace fademl::core {
+
+/// Classifier output for one image: the full distribution plus the top-5
+/// summary the paper's figures report.
+struct Prediction {
+  Tensor probs;                     ///< [num_classes] softmax probabilities
+  int64_t label = -1;               ///< argmax class
+  float confidence = 0.0f;          ///< probability of `label`
+  std::vector<int64_t> top5;        ///< class ids, descending probability
+  std::vector<float> top5_probs;    ///< matching probabilities
+};
+
+/// Objective for input-gradient queries: maps the [1, C] logits Variable to
+/// a scalar Variable (e.g. targeted cross-entropy, or the Eq.-2 weighted
+/// probability sum). Must use fademl::autograd ops so the tape reaches the
+/// input.
+using Objective =
+    std::function<autograd::Variable(const autograd::Variable& logits)>;
+
+/// Scalar loss + gradient of that loss w.r.t. the *attacker-controlled*
+/// image (i.e. after routing through the filter when requested).
+struct LossGrad {
+  float loss = 0.0f;
+  Tensor grad;  ///< [C, H, W], same shape as the query image
+};
+
+/// The ML inference module of Fig. 2: pre-processing noise filter + DNN.
+///
+/// The pipeline knows how each threat model routes an attacker-controlled
+/// image to the DNN input buffer and provides both inference
+/// (`predict`) and differentiation (`loss_and_grad`) along that route —
+/// the latter is what makes filter-aware (FAdeML) attacks possible.
+class InferencePipeline {
+ public:
+  /// `acquisition_blur_sigma` models the optical/sensor blur that Threat
+  /// Model II's perturbation passes through before the filter.
+  InferencePipeline(std::shared_ptr<nn::Module> model,
+                    filters::FilterPtr filter,
+                    float acquisition_blur_sigma = 0.6f);
+
+  [[nodiscard]] nn::Module& model() const { return *model_; }
+  [[nodiscard]] const filters::Filter& filter() const { return *filter_; }
+  [[nodiscard]] const filters::FilterPtr& filter_ptr() const {
+    return filter_;
+  }
+
+  /// Replace the pre-processing filter (used by the experiment sweeps).
+  void set_filter(filters::FilterPtr filter);
+
+  /// The image that actually reaches the DNN input buffer when the
+  /// attacker supplies `image` under threat model `tm`.
+  [[nodiscard]] Tensor route(const Tensor& image, ThreatModel tm) const;
+
+  /// Full prediction for one [C, H, W] image under `tm`.
+  [[nodiscard]] Prediction predict(const Tensor& image, ThreatModel tm) const;
+
+  /// Softmax probabilities only.
+  [[nodiscard]] Tensor predict_probs(const Tensor& image,
+                                     ThreatModel tm) const;
+
+  /// Evaluate `objective` on the routed image and differentiate it back to
+  /// the attacker-controlled pixels. For TM-I the gradient is the plain
+  /// input gradient; for TM-II/III it is chained through the filter's
+  /// vector–Jacobian product (and the acquisition blur for TM-II).
+  [[nodiscard]] LossGrad loss_and_grad(const Tensor& image,
+                                       const Objective& objective,
+                                       ThreatModel tm) const;
+
+  /// Top-1/top-5 accuracy of the pipeline over a labelled set under `tm`
+  /// (every image routed like attacker data; for clean data TM-III simply
+  /// means "the deployed pipeline with its filter").
+  struct Accuracy {
+    double top1 = 0.0;
+    double top5 = 0.0;
+  };
+  [[nodiscard]] Accuracy accuracy(const std::vector<Tensor>& images,
+                                  const std::vector<int64_t>& labels,
+                                  ThreatModel tm) const;
+
+ private:
+  std::shared_ptr<nn::Module> model_;
+  filters::FilterPtr filter_;
+  filters::FilterPtr acquisition_blur_;
+};
+
+/// Build a Prediction from a probability vector.
+Prediction summarize_probs(const Tensor& probs);
+
+}  // namespace fademl::core

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fademl::core {
+
+/// One targeted-misclassification payload: force `source_class` to be
+/// classified as `target_class`.
+struct Scenario {
+  std::string name;
+  int64_t source_class;
+  int64_t target_class;
+};
+
+/// The paper's five payload scenarios (Section III-A):
+///   1. stop sign        -> speed limit 60 km/h
+///   2. 30 km/h          -> 80 km/h
+///   3. turn left ahead  -> turn right ahead
+///   4. turn right ahead -> turn left ahead
+///   5. no entry         -> speed limit 60 km/h
+const std::vector<Scenario>& paper_scenarios();
+
+}  // namespace fademl::core

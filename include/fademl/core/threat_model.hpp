@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+
+namespace fademl::core {
+
+/// The three attacker capability models of Fig. 2.
+///
+/// - `kI`: the attacker writes directly into the DNN's input buffer, i.e.
+///   *after* the pre-processing noise filter. Adversarial pixels reach the
+///   network untouched.
+/// - `kII`: the attacker manipulates the scene *before* data acquisition;
+///   the perturbed image passes through the acquisition stage (modelled as
+///   a mild optical blur) and then the noise filter.
+/// - `kIII`: the attacker perturbs the acquired data before the input
+///   buffer; the perturbation passes through the noise filter only.
+///
+/// The paper analyzes II and III jointly ("Threat Models II/III") because
+/// both route the perturbation through the filter; the acquisition blur of
+/// II only strengthens the same effect.
+enum class ThreatModel {
+  kI,
+  kII,
+  kIII,
+};
+
+/// "TM-I", "TM-II", "TM-III".
+const std::string& threat_model_name(ThreatModel tm);
+
+}  // namespace fademl::core

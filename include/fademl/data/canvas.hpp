@@ -1,0 +1,91 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fademl/tensor/tensor.hpp"
+
+namespace fademl::data {
+
+/// RGB color with components in [0, 1].
+struct Color {
+  float r = 0.0f;
+  float g = 0.0f;
+  float b = 0.0f;
+};
+
+/// Software rasterizer used by the synthetic traffic-sign generator.
+///
+/// The canvas stores a CHW float image in [0, 1] and draws analytically
+/// defined shapes (discs, rings, polygons, bars, glyphs) with 2x2
+/// supersampled coverage, so sign edges are antialiased the way a real
+/// camera image's are — important because the paper's smoothing filters act
+/// exactly on those edge statistics.
+///
+/// All geometry is in continuous pixel coordinates: (0, 0) is the corner of
+/// the top-left pixel, x grows right, y grows down.
+class Canvas {
+ public:
+  Canvas(int64_t height, int64_t width);
+
+  [[nodiscard]] int64_t height() const { return h_; }
+  [[nodiscard]] int64_t width() const { return w_; }
+
+  /// Fill the whole canvas.
+  void fill(Color c);
+
+  /// Vertical gradient from `top` to `bottom` (sky-to-road background).
+  void fill_vertical_gradient(Color top, Color bottom);
+
+  /// Filled disc of radius `r` centered at (cx, cy).
+  void draw_disc(float cx, float cy, float r, Color c);
+
+  /// Annulus (ring) with inner/outer radii.
+  void draw_ring(float cx, float cy, float r_inner, float r_outer, Color c);
+
+  /// Filled convex or concave simple polygon (even-odd rule).
+  void draw_polygon(const std::vector<std::array<float, 2>>& pts, Color c);
+
+  /// Axis-aligned filled rectangle [x0, x1) x [y0, y1).
+  void draw_rect(float x0, float y0, float x1, float y1, Color c);
+
+  /// Filled regular polygon with `sides` vertices, circumradius `r`,
+  /// rotated by `phase` radians.
+  void draw_regular_polygon(float cx, float cy, float r, int sides,
+                            float phase, Color c);
+
+  /// Thick line segment (a capsule of radius `thickness/2`).
+  void draw_line(float x0, float y0, float x1, float y1, float thickness,
+                 Color c);
+
+  /// Arrow from (x0,y0) to (x1,y1): shaft + triangular head.
+  void draw_arrow(float x0, float y0, float x1, float y1, float thickness,
+                  Color c);
+
+  /// Render text using the built-in 5x7 pixel font. `cx, cy` is the center
+  /// of the string; `scale` is pixels per font cell. Supported glyphs:
+  /// digits, uppercase A–Z (subset used by signs), '!', '.'.
+  void draw_text(const std::string& text, float cx, float cy, float scale,
+                 Color c);
+
+  /// Per-glyph advance used by draw_text, in canvas pixels.
+  [[nodiscard]] static float glyph_advance(float scale);
+
+  /// Extract the image as a [3, H, W] tensor (copies).
+  [[nodiscard]] Tensor to_tensor() const;
+
+ private:
+  template <typename CoverageFn>
+  void rasterize(float x_lo, float y_lo, float x_hi, float y_hi, Color c,
+                 CoverageFn&& inside);
+
+  void blend_pixel(int64_t x, int64_t y, Color c, float coverage);
+
+  int64_t h_;
+  int64_t w_;
+  std::vector<float> pixels_;  // CHW
+};
+
+}  // namespace fademl::data

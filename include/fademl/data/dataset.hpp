@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fademl/tensor/random.hpp"
+#include "fademl/tensor/tensor.hpp"
+
+namespace fademl::data {
+
+/// A labelled image classification dataset (CHW float images in [0, 1]).
+struct Dataset {
+  std::vector<Tensor> images;
+  std::vector<int64_t> labels;
+  int64_t num_classes = 0;
+
+  [[nodiscard]] int64_t size() const {
+    return static_cast<int64_t>(images.size());
+  }
+
+  /// Index of the first sample with the given label; -1 if absent.
+  [[nodiscard]] int64_t find_class(int64_t label) const;
+
+  /// All sample indices with the given label.
+  [[nodiscard]] std::vector<int64_t> indices_of_class(int64_t label) const;
+
+  /// New dataset holding only the given sample indices.
+  [[nodiscard]] Dataset subset(const std::vector<int64_t>& indices) const;
+
+  /// Per-class counts (histogram over labels).
+  [[nodiscard]] std::vector<int64_t> class_histogram() const;
+};
+
+/// Configuration of the synthetic-GTSRB generator.
+///
+/// Defaults give a deliberately small but fully covered benchmark:
+/// every one of the 43 classes appears in both splits, with per-sample
+/// pose/illumination/noise variation. Larger `*_per_class` values scale
+/// straightforwardly; the generator is O(samples).
+struct SynthConfig {
+  int64_t image_size = 32;
+  int64_t train_per_class = 24;
+  int64_t test_per_class = 8;
+  /// Sensor noise std of *test* samples. Real GTSRB photographs are noisy
+  /// and blurry; a visible noise floor is what makes moderate smoothing
+  /// filters help accuracy (the paper's sweet-spot effect) instead of only
+  /// destroying information.
+  float noise_std = 0.06f;
+  /// Training-split augmentation: per-sample sensor noise is drawn from
+  /// [0, train_noise_max] and a Gaussian blur with sigma from
+  /// [0, train_blur_max] is applied, making the trained DNN tolerant of
+  /// the pre-processing smoothing the paper sweeps.
+  float train_noise_max = 0.10f;
+  float train_blur_max = 1.6f;
+  /// Training-split geometric augmentation: per-sample rotation uniform in
+  /// [-rotation_max_deg, +rotation_max_deg] (0 disables), and a cutout
+  /// occlusion of `occlusion_size` pixels with probability
+  /// `occlusion_prob` (models stickers/dirt on real signs).
+  float rotation_max_deg = 6.0f;
+  float occlusion_prob = 0.15f;
+  int64_t occlusion_size = 5;
+  uint64_t seed = 42;
+};
+
+/// Train/test pair synthesized from the procedural GTSRB renderer.
+struct SynthGtsrb {
+  Dataset train;
+  Dataset test;
+};
+
+/// Render the full synthetic GTSRB benchmark (deterministic in config).
+SynthGtsrb make_synthetic_gtsrb(const SynthConfig& config);
+
+/// Render one *canonical* (centered, clean, default-lit) sample of a class,
+/// the reference image the paper's attack scenarios start from.
+Tensor canonical_sample(int64_t class_id, int64_t image_size);
+
+}  // namespace fademl::data

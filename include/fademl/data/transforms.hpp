@@ -1,0 +1,27 @@
+#pragma once
+
+#include "fademl/tensor/random.hpp"
+#include "fademl/tensor/tensor.hpp"
+
+namespace fademl::data {
+
+/// Rotate a [C, H, W] image by `degrees` around its center with bilinear
+/// resampling; pixels sampled from outside the source keep the nearest
+/// border value (clamp-to-edge), so no artificial black frame appears.
+Tensor rotate_image(const Tensor& image, float degrees);
+
+/// Bilinear sub-pixel translation by (dx, dy) pixels (clamp-to-edge).
+Tensor translate_image(const Tensor& image, float dx, float dy);
+
+/// Occlude a random axis-aligned box of side `size` pixels with `value`
+/// (cutout augmentation / a crude model of stickers and dirt on signs).
+Tensor occlude_image(const Tensor& image, int64_t size, float value,
+                     Rng& rng);
+
+/// Stamp a small square patch of side `size` with the given solid color at
+/// position (y, x) — the backdoor trigger primitive used by the poisoning
+/// subsystem.
+Tensor stamp_patch(const Tensor& image, int64_t y, int64_t x, int64_t size,
+                   float r, float g, float b);
+
+}  // namespace fademl::data

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+
+#include "fademl/attacks/attack.hpp"
+#include "fademl/attacks/fademl_attack.hpp"
+#include "fademl/core/pipeline.hpp"
+#include "fademl/nn/optimizer.hpp"
+#include "fademl/nn/trainer.hpp"
+
+namespace fademl::defense {
+
+/// Adversarial training (Goodfellow et al. 2015; Madry-style inner loop
+/// when given an iterative attack): a fraction of every minibatch is
+/// replaced by adversarial examples crafted *against the current model*,
+/// hardening it against the paper's attack family. The model-side answer
+/// to the FAdeML threat, complementing the pre-processing-side LAP/LAR
+/// defenses.
+class AdversarialTrainer {
+ public:
+  struct Config {
+    int64_t epochs = 10;
+    int64_t batch_size = 16;
+    /// Fraction of each batch replaced by adversarial examples.
+    float adversarial_fraction = 0.5f;
+    /// SGD learning rate (use a small value when fine-tuning a trained
+    /// model rather than training from scratch).
+    float lr = 0.01f;
+    /// Untargeted crafting: perturb away from the true class. (Targeted
+    /// crafting toward random classes is weaker training signal.)
+    attacks::AttackConfig attack;
+  };
+
+  /// `model` is trained in place; `attack_kind` selects the crafting
+  /// attack (FGSM is the classic fast choice; BIM approximates PGD).
+  AdversarialTrainer(std::shared_ptr<nn::Sequential> model,
+                     attacks::AttackKind attack_kind, Config config);
+
+  /// Run adversarial training; returns the final-epoch mean loss.
+  double fit(const std::vector<Tensor>& images,
+             const std::vector<int64_t>& labels, Rng& rng,
+             const nn::Trainer::EpochCallback& on_epoch = nullptr);
+
+ private:
+  /// Craft an untargeted adversarial version of `image` against the
+  /// current model (ascend the true-class loss, one signed step per
+  /// iteration — FGSM/BIM style depending on the configured iterations).
+  Tensor craft(const Tensor& image, int64_t label) const;
+
+  std::shared_ptr<nn::Sequential> model_;
+  attacks::AttackKind attack_kind_;
+  Config config_;
+  core::InferencePipeline pipeline_;
+};
+
+}  // namespace fademl::defense

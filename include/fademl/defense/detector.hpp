@@ -1,0 +1,53 @@
+#pragma once
+
+#include "fademl/core/pipeline.hpp"
+#include "fademl/filters/filter.hpp"
+
+namespace fademl::defense {
+
+/// Feature-squeezing adversarial-input detector (Xu et al. 2017 — the
+/// paper's reference [10]).
+///
+/// Compares the classifier's prediction on the raw input against its
+/// prediction on squeezed versions (bit-depth reduction, smoothing). A
+/// benign input barely moves; an adversarial example whose perturbation
+/// the squeezers remove moves a lot. Inputs whose maximum L1 probability
+/// shift exceeds `threshold` are flagged.
+class FeatureSqueezeDetector {
+ public:
+  /// Default squeezers: 4-bit depth reduction + LAP(8) smoothing.
+  explicit FeatureSqueezeDetector(float threshold = 0.5f);
+  FeatureSqueezeDetector(std::vector<filters::FilterPtr> squeezers,
+                         float threshold);
+
+  /// The detection score: max over squeezers of
+  /// ‖P(x) − P(squeeze(x))‖₁ through the given pipeline route.
+  [[nodiscard]] float score(const core::InferencePipeline& pipeline,
+                            const Tensor& image,
+                            core::ThreatModel tm) const;
+
+  /// score(image) > threshold.
+  [[nodiscard]] bool is_adversarial(const core::InferencePipeline& pipeline,
+                                    const Tensor& image,
+                                    core::ThreatModel tm) const;
+
+  [[nodiscard]] float threshold() const { return threshold_; }
+
+ private:
+  std::vector<filters::FilterPtr> squeezers_;
+  float threshold_;
+};
+
+/// Randomized-smoothing prediction: classify `votes` noisy copies
+/// (Gaussian sigma) and return the majority class with its vote share.
+/// A certification-flavored defense baseline for the ablation benches.
+struct SmoothedPrediction {
+  int64_t label = -1;
+  float vote_share = 0.0f;
+};
+
+SmoothedPrediction smoothed_predict(const core::InferencePipeline& pipeline,
+                                    const Tensor& image, core::ThreatModel tm,
+                                    int votes, float sigma, uint64_t seed);
+
+}  // namespace fademl::defense

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file fademl.hpp
+/// Umbrella header: the complete public API of the FAdeML reproduction.
+///
+/// Subsystems (see DESIGN.md for the inventory):
+///  - fademl::          dense tensors, ops, RNG, serialization
+///  - fademl::autograd  reverse-mode differentiation
+///  - fademl::nn        layers, VGGNet, optimizers, training
+///  - fademl::data      synthetic GTSRB benchmark + rasterizer
+///  - fademl::filters   pre-processing noise filters (LAP, LAR, ...)
+///  - fademl::attacks   L-BFGS / FGSM / BIM and the FAdeML attack
+///  - fademl::core      threat models, pipeline, Eq.-2 cost, analysis
+///  - fademl::io        PPM dumps and experiment tables
+
+#include "fademl/attacks/attack.hpp"
+#include "fademl/attacks/bim.hpp"
+#include "fademl/attacks/cw.hpp"
+#include "fademl/attacks/deepfool.hpp"
+#include "fademl/attacks/eot.hpp"
+#include "fademl/attacks/fademl_attack.hpp"
+#include "fademl/attacks/fgsm.hpp"
+#include "fademl/attacks/jsma.hpp"
+#include "fademl/attacks/lbfgs.hpp"
+#include "fademl/attacks/onepixel.hpp"
+#include "fademl/attacks/spatial.hpp"
+#include "fademl/attacks/universal.hpp"
+#include "fademl/attacks/zoo.hpp"
+#include "fademl/autograd/ops.hpp"
+#include "fademl/autograd/variable.hpp"
+#include "fademl/core/analysis.hpp"
+#include "fademl/core/cost.hpp"
+#include "fademl/core/experiment.hpp"
+#include "fademl/core/methodology.hpp"
+#include "fademl/core/metrics.hpp"
+#include "fademl/core/pipeline.hpp"
+#include "fademl/core/scenarios.hpp"
+#include "fademl/core/threat_model.hpp"
+#include "fademl/data/canvas.hpp"
+#include "fademl/defense/adversarial_training.hpp"
+#include "fademl/defense/detector.hpp"
+#include "fademl/data/dataset.hpp"
+#include "fademl/data/gtsrb.hpp"
+#include "fademl/data/transforms.hpp"
+#include "fademl/filters/extra.hpp"
+#include "fademl/filters/filter.hpp"
+#include "fademl/io/args.hpp"
+#include "fademl/io/image_io.hpp"
+#include "fademl/io/table.hpp"
+#include "fademl/io/visualize.hpp"
+#include "fademl/poison/poison.hpp"
+#include "fademl/nn/checkpoint.hpp"
+#include "fademl/nn/layers.hpp"
+#include "fademl/nn/module.hpp"
+#include "fademl/nn/optimizer.hpp"
+#include "fademl/nn/trainer.hpp"
+#include "fademl/nn/vggnet.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+#include "fademl/tensor/random.hpp"
+#include "fademl/tensor/serialize.hpp"
+#include "fademl/tensor/shape.hpp"
+#include "fademl/tensor/tensor.hpp"

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+
+#include "fademl/filters/filter.hpp"
+#include "fademl/tensor/random.hpp"
+
+namespace fademl::filters {
+
+/// Luma grayscale conversion replicated to three channels
+/// (the "gray scaling" pre-processing element of the paper's §I-C).
+/// Linear: y_c = Σ_k w_k x_k for every channel c, with the Rec.601 weights.
+class GrayscaleFilter final : public Filter {
+ public:
+  [[nodiscard]] Tensor apply(const Tensor& image) const override;
+  [[nodiscard]] Tensor vjp(const Tensor& image,
+                           const Tensor& grad_output) const override;
+  [[nodiscard]] std::string name() const override { return "Grayscale"; }
+  [[nodiscard]] bool is_linear() const override { return true; }
+};
+
+/// Per-channel affine normalization x -> (x - mean) * scale + offset,
+/// the "normalization" pre-processing element of §I-C. With the default
+/// arguments it standardizes around 0.5 and is exactly invertible, so the
+/// DNN input stays in a sane range. Linear with trivial exact adjoint.
+class NormalizeFilter final : public Filter {
+ public:
+  NormalizeFilter(float mean = 0.5f, float scale = 1.0f, float offset = 0.5f);
+
+  [[nodiscard]] Tensor apply(const Tensor& image) const override;
+  [[nodiscard]] Tensor vjp(const Tensor& image,
+                           const Tensor& grad_output) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool is_linear() const override { return true; }
+
+ private:
+  float mean_;
+  float scale_;
+  float offset_;
+};
+
+/// Per-channel histogram equalization over 256 bins — the paper's "local
+/// histogram utilization". Non-linear and non-differentiable: inherits the
+/// BPDA straight-through vjp.
+class HistogramEqualizationFilter final : public Filter {
+ public:
+  [[nodiscard]] Tensor apply(const Tensor& image) const override;
+  [[nodiscard]] std::string name() const override { return "HistEq"; }
+};
+
+/// Bit-depth reduction ("feature squeezing", Xu et al. 2017 — the paper's
+/// reference [10]): quantize every channel to `bits` bits. Gradient is
+/// zero almost everywhere, so the BPDA straight-through vjp applies.
+class BitDepthFilter final : public Filter {
+ public:
+  explicit BitDepthFilter(int bits);
+
+  [[nodiscard]] Tensor apply(const Tensor& image) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] int bits() const { return bits_; }
+
+ private:
+  int bits_;
+};
+
+/// Edge-preserving bilateral filter: spatial Gaussian x range Gaussian.
+/// Smooths noise while keeping sign edges — the strongest "accuracy-
+/// preserving" defense in the ablation family. Non-linear (BPDA vjp).
+class BilateralFilter final : public Filter {
+ public:
+  BilateralFilter(float sigma_space, float sigma_range);
+
+  [[nodiscard]] Tensor apply(const Tensor& image) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  float sigma_space_;
+  float sigma_range_;
+  int radius_;
+};
+
+/// Fixed pseudo-random pixel permutation (the "shuffling" element of
+/// §I-C, used by permutation-based privacy schemes). A pure permutation
+/// matrix: exactly linear, with the inverse permutation as adjoint. The
+/// DNN must have been trained behind the same shuffle for accuracy to
+/// survive — the tests use it to validate exact-adjoint plumbing on a
+/// maximally structure-destroying preprocessing stage.
+class ShuffleFilter final : public Filter {
+ public:
+  /// The permutation is generated deterministically from `seed` for a
+  /// given image geometry on first use.
+  explicit ShuffleFilter(uint64_t seed = 7);
+
+  [[nodiscard]] Tensor apply(const Tensor& image) const override;
+  [[nodiscard]] Tensor vjp(const Tensor& image,
+                           const Tensor& grad_output) const override;
+  [[nodiscard]] std::string name() const override { return "Shuffle"; }
+  [[nodiscard]] bool is_linear() const override { return true; }
+
+ private:
+  std::vector<int64_t> permutation_for(int64_t pixels) const;
+  uint64_t seed_;
+};
+
+FilterPtr make_grayscale();
+FilterPtr make_normalize(float mean = 0.5f, float scale = 1.0f,
+                         float offset = 0.5f);
+FilterPtr make_histeq();
+FilterPtr make_bit_depth(int bits);
+FilterPtr make_bilateral(float sigma_space, float sigma_range);
+FilterPtr make_shuffle(uint64_t seed = 7);
+
+}  // namespace fademl::filters

@@ -1,0 +1,175 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fademl/tensor/tensor.hpp"
+
+namespace fademl::filters {
+
+/// A pre-processing noise filter sitting between data acquisition and the
+/// DNN input buffer (Fig. 2 of the paper).
+///
+/// Filters operate on CHW images in [0, 1]. Besides the forward `apply`,
+/// every filter exposes a vector–Jacobian product `vjp` so attacks can
+/// differentiate *through* the pre-processing stage — the mechanism behind
+/// the FAdeML attack (Fig. 8). Linear filters implement the exact adjoint;
+/// non-differentiable filters (median) fall back to the straight-through
+/// BPDA approximation (Athalye et al. 2018), which the base class provides.
+class Filter {
+ public:
+  virtual ~Filter() = default;
+
+  /// Filter a [C, H, W] image.
+  [[nodiscard]] virtual Tensor apply(const Tensor& image) const = 0;
+
+  /// Vector–Jacobian product: gradient of a scalar loss w.r.t. the filter
+  /// *input*, given the gradient w.r.t. the filter *output* and the input
+  /// image at which the filter was applied. Default: straight-through
+  /// (returns grad_output unchanged).
+  [[nodiscard]] virtual Tensor vjp(const Tensor& image,
+                                   const Tensor& grad_output) const;
+
+  /// Short identifier used in experiment tables, e.g. "LAP(32)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True when `apply` is a linear map of the image (LAP/LAR/Gaussian);
+  /// linear filters have exact vjp implementations.
+  [[nodiscard]] virtual bool is_linear() const { return false; }
+
+  /// Apply to every image of an [N, C, H, W] batch.
+  [[nodiscard]] Tensor apply_batch(const Tensor& batch) const;
+};
+
+using FilterPtr = std::shared_ptr<const Filter>;
+
+/// No-op filter (the "No Filter" rows of the paper's figures).
+class IdentityFilter final : public Filter {
+ public:
+  [[nodiscard]] Tensor apply(const Tensor& image) const override;
+  [[nodiscard]] Tensor vjp(const Tensor& image,
+                           const Tensor& grad_output) const override;
+  [[nodiscard]] std::string name() const override { return "NoFilter"; }
+  [[nodiscard]] bool is_linear() const override { return true; }
+};
+
+/// Local Average with neighborhood Pixels — LAP(np) in the paper.
+///
+/// Each output pixel is the mean of the input pixel and its `np` nearest
+/// neighbors (Euclidean distance, deterministic tie-break). At image
+/// borders out-of-range neighbors are dropped and the mean renormalized,
+/// so the filter is an exact (row-stochastic) linear operator.
+class LapFilter final : public Filter {
+ public:
+  /// The paper sweeps np in {4, 8, 16, 32, 64}; any np >= 1 is accepted.
+  explicit LapFilter(int np);
+
+  [[nodiscard]] Tensor apply(const Tensor& image) const override;
+  [[nodiscard]] Tensor vjp(const Tensor& image,
+                           const Tensor& grad_output) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool is_linear() const override { return true; }
+
+  [[nodiscard]] int np() const { return np_; }
+  /// The neighbor offsets (dy, dx) actually averaged (excludes the center).
+  [[nodiscard]] const std::vector<std::pair<int, int>>& offsets() const {
+    return offsets_;
+  }
+
+ private:
+  int np_;
+  std::vector<std::pair<int, int>> offsets_;
+};
+
+/// Local Average with Radius — LAR(r) in the paper.
+///
+/// Each output pixel is the mean over the disc of Euclidean radius `r`
+/// centered on it (center included), with border renormalization.
+class LarFilter final : public Filter {
+ public:
+  /// The paper sweeps r in {1, 2, 3, 4, 5}; any r >= 1 is accepted.
+  explicit LarFilter(int radius);
+
+  [[nodiscard]] Tensor apply(const Tensor& image) const override;
+  [[nodiscard]] Tensor vjp(const Tensor& image,
+                           const Tensor& grad_output) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool is_linear() const override { return true; }
+
+  [[nodiscard]] int radius() const { return radius_; }
+  [[nodiscard]] const std::vector<std::pair<int, int>>& offsets() const {
+    return offsets_;
+  }
+
+ private:
+  int radius_;
+  std::vector<std::pair<int, int>> offsets_;  // includes (0, 0)
+};
+
+/// Separable Gaussian blur (ablation filter; not in the paper's sweep).
+class GaussianFilter final : public Filter {
+ public:
+  explicit GaussianFilter(float sigma);
+
+  [[nodiscard]] Tensor apply(const Tensor& image) const override;
+  [[nodiscard]] Tensor vjp(const Tensor& image,
+                           const Tensor& grad_output) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool is_linear() const override { return true; }
+
+  [[nodiscard]] const std::vector<float>& kernel() const { return kernel_; }
+
+ private:
+  float sigma_;
+  std::vector<float> kernel_;  // odd-length, normalized
+};
+
+/// Median filter over a (2r+1)^2 window (ablation filter). Non-linear:
+/// inherits the straight-through BPDA vjp from the base class.
+class MedianFilter final : public Filter {
+ public:
+  explicit MedianFilter(int radius);
+
+  [[nodiscard]] Tensor apply(const Tensor& image) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  int radius_;
+};
+
+/// Sequential composition of filters (applied left to right). The vjp
+/// chains the member vjps right to left.
+class FilterChain final : public Filter {
+ public:
+  explicit FilterChain(std::vector<FilterPtr> filters);
+
+  [[nodiscard]] Tensor apply(const Tensor& image) const override;
+  [[nodiscard]] Tensor vjp(const Tensor& image,
+                           const Tensor& grad_output) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool is_linear() const override;
+
+ private:
+  std::vector<FilterPtr> filters_;
+};
+
+// ---- factories -------------------------------------------------------------
+
+FilterPtr make_identity();
+FilterPtr make_lap(int np);
+FilterPtr make_lar(int radius);
+FilterPtr make_gaussian(float sigma);
+FilterPtr make_median(int radius);
+
+/// The paper's full sweep: NoFilter, LAP(4..64), LAR(1..5) — 11 configs in
+/// the order they appear in Figs. 7 and 9.
+std::vector<FilterPtr> paper_filter_sweep();
+
+/// Build a filter from a compact textual spec (the CLI / config syntax):
+/// "none", "lap<np>", "lar<r>", "gauss<sigma>", "median<r>", "grayscale",
+/// "histeq", "bits<b>", or a '+'-separated chain of those
+/// ("grayscale+lap8"). Throws fademl::Error on anything else.
+FilterPtr parse_filter(const std::string& spec);
+
+}  // namespace fademl::filters

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fademl::io {
+
+/// Minimal command-line parser for the fademl tool and the examples.
+///
+/// Grammar: `prog <command> [--flag] [--key value] [positional...]`.
+/// Flags are registered up front so typos fail loudly instead of being
+/// silently ignored — the failure mode that ruins experiment logs.
+class ArgParser {
+ public:
+  /// `spec` lists the accepted option names (without leading dashes);
+  /// names ending in '!' denote boolean flags (no value).
+  ArgParser(std::string description, std::vector<std::string> spec);
+
+  /// Parse argv (excluding the program name). Throws fademl::Error on
+  /// unknown options or missing values.
+  void parse(int argc, const char* const* argv);
+
+  /// Value lookups (after parse).
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] int64_t get_int(const std::string& name,
+                                int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Render a usage string from the registered spec.
+  [[nodiscard]] std::string usage(const std::string& prog) const;
+
+ private:
+  std::string description_;
+  std::map<std::string, bool> known_;  // name -> is_flag
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fademl::io

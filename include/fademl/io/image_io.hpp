@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "fademl/tensor/tensor.hpp"
+
+namespace fademl::io {
+
+/// Write a [3, H, W] tensor in [0, 1] as a binary PPM (P6) file.
+/// Values are clamped; useful for eyeballing adversarial examples.
+void write_ppm(const std::string& path, const Tensor& image);
+
+/// Write a [H, W] or [1, H, W] tensor in [0, 1] as a binary PGM (P5) file.
+void write_pgm(const std::string& path, const Tensor& image);
+
+/// Read back a P6 PPM written by write_ppm (8-bit, binary) as [3, H, W].
+Tensor read_ppm(const std::string& path);
+
+}  // namespace fademl::io

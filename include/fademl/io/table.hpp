@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fademl::io {
+
+/// Accumulates experiment results as rows and renders them either as an
+/// aligned ASCII table (for the terminal, mirroring the paper's figures) or
+/// as CSV (for downstream plotting).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with `precision` decimals.
+  static std::string fmt(double value, int precision = 2);
+  /// Convenience: format as a percentage ("97.31%").
+  static std::string pct(double fraction, int precision = 2);
+
+  /// Render as an aligned, boxed ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (RFC-4180-ish quoting of commas/quotes).
+  void write_csv(std::ostream& os) const;
+  void save_csv(const std::string& path) const;
+
+  [[nodiscard]] size_t rows() const { return rows_.size(); }
+  [[nodiscard]] size_t cols() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fademl::io

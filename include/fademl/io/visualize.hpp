@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fademl/tensor/tensor.hpp"
+
+namespace fademl::io {
+
+/// Render a signed map (e.g. adversarial noise summed over channels) as a
+/// diverging blue–white–red RGB image: negative -> blue, zero -> white,
+/// positive -> red, scaled so `scale` maps to full saturation (pass 0 to
+/// auto-scale by the max magnitude).
+Tensor heatmap(const Tensor& signed_map, float scale = 0.0f);
+
+/// Collapse a [3, H, W] noise tensor to a [H, W] signed map (channel sum).
+Tensor channel_sum(const Tensor& image);
+
+/// Tile equally sized [3, H, W] images into one montage, `columns` wide
+/// (row-major order), with a 1-pixel mid-gray separator.
+Tensor montage(const std::vector<Tensor>& images, int64_t columns);
+
+/// Convenience: write heatmap(channel_sum(noise)) next to the images a
+/// report usually wants — returns the montage [clean | adversarial | noise
+/// heatmap] and writes it to `path` as PPM.
+Tensor save_attack_panel(const std::string& path, const Tensor& clean,
+                         const Tensor& adversarial);
+
+}  // namespace fademl::io

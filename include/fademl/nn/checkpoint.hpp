@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "fademl/nn/module.hpp"
+
+namespace fademl::nn {
+
+/// Persist all named parameters of `module` to `path` (fademl bundle
+/// format, see fademl/tensor/serialize.hpp).
+void save_checkpoint(Module& module, const std::string& path);
+
+/// Load parameters into `module` by name. Every parameter of the module
+/// must be present in the file with a matching shape; extra file entries
+/// are an error (they indicate an architecture mismatch).
+void load_checkpoint(Module& module, const std::string& path);
+
+/// True if a loadable checkpoint exists at `path` (file present and
+/// parseable header).
+bool checkpoint_exists(const std::string& path);
+
+}  // namespace fademl::nn

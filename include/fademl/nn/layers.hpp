@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstdint>
+
+#include "fademl/nn/module.hpp"
+#include "fademl/tensor/ops.hpp"
+#include "fademl/tensor/random.hpp"
+
+namespace fademl::nn {
+
+/// 2-D convolution with 3x3-style square kernels, stride/padding per spec.
+/// Weight layout [out_channels, in_channels, k, k]; Kaiming-uniform init.
+class Conv2d final : public Module {
+ public:
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+         int64_t stride, int64_t pad, Rng& rng);
+
+  Variable forward(const Variable& x) override;
+  [[nodiscard]] std::vector<NamedParam> named_parameters() override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const Conv2dSpec& spec() const { return spec_; }
+  [[nodiscard]] Variable& weight() { return weight_; }
+  [[nodiscard]] Variable& bias() { return bias_; }
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  Conv2dSpec spec_;
+  Variable weight_;
+  Variable bias_;
+};
+
+/// Fully connected layer, weight [out_features, in_features].
+class Linear final : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng);
+
+  Variable forward(const Variable& x) override;
+  [[nodiscard]] std::vector<NamedParam> named_parameters() override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] Variable& weight() { return weight_; }
+  [[nodiscard]] Variable& bias() { return bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Variable weight_;
+  Variable bias_;
+};
+
+/// Elementwise rectified linear unit.
+class ReLU final : public Module {
+ public:
+  Variable forward(const Variable& x) override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+};
+
+/// kxk max pooling with stride k.
+class MaxPool2d final : public Module {
+ public:
+  explicit MaxPool2d(int64_t k) : k_(k) {}
+  Variable forward(const Variable& x) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  int64_t k_;
+};
+
+/// Collapse [N, C, H, W] into [N, C*H*W] for the classifier head.
+class Flatten final : public Module {
+ public:
+  Variable forward(const Variable& x) override;
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+};
+
+/// kxk average pooling with stride k.
+class AvgPool2d final : public Module {
+ public:
+  explicit AvgPool2d(int64_t k) : k_(k) {}
+  Variable forward(const Variable& x) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  int64_t k_;
+};
+
+/// Inverted dropout: during training, zeroes each activation with
+/// probability `p` and scales survivors by 1/(1-p); identity at inference.
+/// Stochastic per forward call, deterministic in the seed.
+class Dropout final : public Module {
+ public:
+  explicit Dropout(float p, uint64_t seed = 17);
+  Variable forward(const Variable& x) override;
+  [[nodiscard]] std::string name() const override;
+  void set_training(bool training) override { training_ = training; }
+
+  [[nodiscard]] bool training() const { return training_; }
+
+ private:
+  float p_;
+  Rng rng_;
+  bool training_ = true;
+};
+
+/// 2-D batch normalization with learnable per-channel gamma/beta and
+/// running statistics (exponential moving average, momentum 0.1). Uses
+/// batch statistics while training and the running ones at inference.
+class BatchNorm2d final : public Module {
+ public:
+  explicit BatchNorm2d(int64_t channels, float eps = 1e-5f,
+                       float momentum = 0.1f);
+  Variable forward(const Variable& x) override;
+  [[nodiscard]] std::vector<NamedParam> named_parameters() override;
+  [[nodiscard]] std::string name() const override;
+  void set_training(bool training) override { training_ = training; }
+
+  [[nodiscard]] const Tensor& running_mean() const {
+    return running_mean_.value();
+  }
+  [[nodiscard]] const Tensor& running_var() const {
+    return running_var_.value();
+  }
+  [[nodiscard]] bool training() const { return training_; }
+
+ private:
+  int64_t channels_;
+  float eps_;
+  float momentum_;
+  Variable gamma_;
+  Variable beta_;
+  // Running statistics are non-trainable Variables so they serialize with
+  // the other named parameters (optimizers skip them: no gradient).
+  Variable running_mean_;
+  Variable running_var_;
+  bool training_ = true;
+};
+
+}  // namespace fademl::nn

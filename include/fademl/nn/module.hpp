@@ -1,0 +1,76 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fademl/autograd/variable.hpp"
+
+namespace fademl::nn {
+
+using autograd::Variable;
+
+/// A trainable parameter with a stable hierarchical name
+/// (e.g. "conv1.weight") used for checkpointing and diagnostics.
+struct NamedParam {
+  std::string name;
+  Variable param;
+};
+
+/// Base class of all network building blocks.
+///
+/// A Module owns its parameters (as autograd leaf Variables with
+/// requires_grad = true) and builds a fresh tape on every `forward` call;
+/// the parameters are shared across calls so their gradients accumulate
+/// until `zero_grad`.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Run the module on `x`, recording the backward tape.
+  virtual Variable forward(const Variable& x) = 0;
+
+  /// All trainable parameters, hierarchically named.
+  [[nodiscard]] virtual std::vector<NamedParam> named_parameters() {
+    return {};
+  }
+
+  /// Short diagnostic name ("Conv2d(3->16, k3)").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Switch between training and inference behaviour. Only stochastic /
+  /// statistics-tracking modules (Dropout, BatchNorm2d) care; the default
+  /// is a no-op. Containers propagate to children.
+  virtual void set_training(bool training) { (void)training; }
+
+  /// Total number of trainable scalars.
+  [[nodiscard]] int64_t parameter_count();
+
+  /// Clear gradient accumulators of all parameters.
+  void zero_grad();
+};
+
+using ModulePtr = std::shared_ptr<Module>;
+
+/// Ordered container of sub-modules; `forward` chains them left to right.
+class Sequential final : public Module {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<ModulePtr> modules);
+
+  /// Append a module (builder style; returns *this).
+  Sequential& add(ModulePtr module);
+
+  Variable forward(const Variable& x) override;
+  [[nodiscard]] std::vector<NamedParam> named_parameters() override;
+  [[nodiscard]] std::string name() const override;
+  void set_training(bool training) override;
+
+  [[nodiscard]] size_t size() const { return modules_.size(); }
+  [[nodiscard]] const ModulePtr& operator[](size_t i) const;
+
+ private:
+  std::vector<ModulePtr> modules_;
+};
+
+}  // namespace fademl::nn

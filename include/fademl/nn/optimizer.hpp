@@ -1,0 +1,71 @@
+#pragma once
+
+#include <vector>
+
+#include "fademl/nn/module.hpp"
+
+namespace fademl::nn {
+
+/// Optimizer interface: owns references to the parameters it updates.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<NamedParam> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  /// Clear all parameter gradients (call between steps).
+  void zero_grad();
+
+  [[nodiscard]] const std::vector<NamedParam>& params() const {
+    return params_;
+  }
+
+ protected:
+  std::vector<NamedParam> params_;
+};
+
+/// Stochastic gradient descent with classical momentum and L2 weight decay.
+class SGD final : public Optimizer {
+ public:
+  struct Config {
+    float lr = 0.05f;
+    float momentum = 0.9f;
+    float weight_decay = 0.0f;
+  };
+
+  SGD(std::vector<NamedParam> params, Config config);
+  void step() override;
+
+  void set_lr(float lr) { config_.lr = lr; }
+  [[nodiscard]] float lr() const { return config_.lr; }
+
+ private:
+  Config config_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  struct Config {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+  };
+
+  Adam(std::vector<NamedParam> params, Config config);
+  void step() override;
+
+ private:
+  Config config_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  int64_t t_ = 0;
+};
+
+}  // namespace fademl::nn

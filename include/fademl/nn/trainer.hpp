@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fademl/nn/module.hpp"
+#include "fademl/nn/optimizer.hpp"
+#include "fademl/tensor/random.hpp"
+
+namespace fademl::nn {
+
+/// A labelled image batch in NCHW layout.
+struct Batch {
+  Tensor images;                ///< [N, C, H, W], values in [0, 1]
+  std::vector<int64_t> labels;  ///< size N
+};
+
+/// Stack CHW images into an NCHW batch tensor.
+Tensor stack_images(const std::vector<Tensor>& images);
+
+/// Accuracy metrics over a labelled set.
+struct EvalResult {
+  double top1 = 0.0;  ///< fraction of samples whose argmax matches
+  double top5 = 0.0;  ///< fraction whose label is among the 5 largest probs
+  double mean_loss = 0.0;
+  int64_t count = 0;
+};
+
+/// Run inference and compute top-1/top-5 accuracy + mean cross-entropy.
+EvalResult evaluate(Module& model, const std::vector<Tensor>& images,
+                    const std::vector<int64_t>& labels,
+                    int64_t batch_size = 32);
+
+/// Minibatch SGD training driver.
+///
+/// Shuffles per epoch (deterministically from `rng`), steps the optimizer,
+/// and optionally reports per-epoch progress through `on_epoch`.
+class Trainer {
+ public:
+  struct Config {
+    int64_t epochs = 10;
+    int64_t batch_size = 16;
+    /// Multiply the SGD learning rate by this factor each epoch
+    /// (1.0 = constant).
+    float lr_decay = 1.0f;
+  };
+
+  /// Per-epoch callback: (epoch index, train loss, train top-1).
+  using EpochCallback =
+      std::function<void(int64_t, double /*loss*/, double /*top1*/)>;
+
+  Trainer(Module& model, SGD& optimizer, Config config);
+
+  /// Train on the given labelled set; returns final-epoch mean loss.
+  double fit(const std::vector<Tensor>& images,
+             const std::vector<int64_t>& labels, Rng& rng,
+             const EpochCallback& on_epoch = nullptr);
+
+ private:
+  Module& model_;
+  SGD& optimizer_;
+  Config config_;
+};
+
+}  // namespace fademl::nn

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fademl/nn/module.hpp"
+#include "fademl/tensor/random.hpp"
+
+namespace fademl::nn {
+
+/// Configuration of the paper's VGGNet (Fig. 4): five convolutional
+/// blocks, each Conv+ReLU+MaxPool, followed by one fully connected
+/// classifier layer.
+///
+/// The paper uses channel widths {64, 128, 256, 512, 512} on GTSRB. Those
+/// widths are reproducible here but impractical to *train* on the
+/// single-core reference machine, so `scaled()` provides a width-divided
+/// variant with identical topology (same depth, same receptive fields,
+/// same gradient structure) — the property the filter/attack analysis
+/// depends on. See DESIGN.md §2.
+struct VggConfig {
+  int64_t input_channels = 3;
+  int64_t input_size = 32;  ///< square inputs of input_size x input_size
+  std::vector<int64_t> channels = {64, 128, 256, 512, 512};
+  int64_t num_classes = 43;
+  int64_t kernel = 3;
+  /// Insert BatchNorm2d after every convolution (VGG-BN variant).
+  bool batch_norm = false;
+  /// Dropout probability before the classifier head (0 disables).
+  float dropout = 0.0f;
+
+  /// Paper-faithful widths.
+  static VggConfig paper(int64_t num_classes = 43);
+
+  /// Width-scaled config: paper channels divided by `divisor`
+  /// (e.g. divisor 8 -> {8, 16, 32, 64, 64}).
+  static VggConfig scaled(int64_t divisor, int64_t num_classes = 43);
+
+  /// Tiny config for unit tests (two blocks, a few channels).
+  static VggConfig tiny(int64_t num_classes = 4, int64_t input_size = 8);
+};
+
+/// Build the VGGNet of the paper as a Sequential:
+/// [Conv-ReLU-MaxPool] x channels.size(), Flatten, Linear(num_classes).
+/// The spatial size must be divisible by 2^channels.size().
+std::shared_ptr<Sequential> make_vggnet(const VggConfig& config, Rng& rng);
+
+/// Configuration of a deliberately *different* architecture family:
+/// 5x5 convolutions, average pooling, two FC layers. Used as the
+/// heterogeneous surrogate in transferability experiments — transfer
+/// between different families is the realistic black-box setting.
+struct SimpleCnnConfig {
+  int64_t input_channels = 3;
+  int64_t input_size = 32;
+  std::vector<int64_t> channels = {12, 24, 48};
+  int64_t hidden = 64;
+  int64_t num_classes = 43;
+};
+
+/// Build the alternative CNN: [Conv5x5-ReLU-AvgPool] x blocks, Flatten,
+/// Linear(hidden), ReLU, Linear(num_classes).
+std::shared_ptr<Sequential> make_simple_cnn(const SimpleCnnConfig& config,
+                                            Rng& rng);
+
+}  // namespace fademl::nn

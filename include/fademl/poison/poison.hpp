@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+
+#include "fademl/data/dataset.hpp"
+#include "fademl/nn/module.hpp"
+#include "fademl/tensor/random.hpp"
+
+namespace fademl::poison {
+
+/// Training-time (poisoning) attacks — the left branch of the paper's
+/// Fig. 1 threat taxonomy ("Training Data Poisoning"). Two classic
+/// instantiations on the classification dataset:
+///
+///  - label flipping: a fraction of samples gets adversarial labels,
+///    degrading accuracy indiscriminately;
+///  - backdoor (BadNets-style): a fraction of samples gets a small trigger
+///    patch stamped on and is relabelled to the attacker's target class;
+///    the trained model behaves normally on clean data but classifies any
+///    triggered input as the target.
+
+/// Statistics of a poisoning operation.
+struct PoisonReport {
+  int64_t poisoned = 0;  ///< samples modified
+  int64_t total = 0;
+  [[nodiscard]] double fraction() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(poisoned) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Flip the label of ~`fraction` of the samples to a uniformly random
+/// *different* class. Returns what was changed. Deterministic in `rng`.
+PoisonReport flip_labels(data::Dataset& dataset, float fraction, Rng& rng);
+
+/// Backdoor configuration: a `size`x`size` solid patch at (y, x).
+struct BackdoorConfig {
+  int64_t target_class = 3;  ///< everything triggered becomes this class
+  float fraction = 0.1f;     ///< training samples poisoned
+  int64_t patch_size = 4;
+  int64_t y = 1;             ///< patch position (top-left corner)
+  int64_t x = 1;
+  float r = 1.0f;            ///< trigger color (default: bright yellow)
+  float g = 0.9f;
+  float b = 0.0f;
+};
+
+/// Stamp the trigger on ~`config.fraction` of the training samples and
+/// relabel them to `config.target_class` (dirty-label BadNets).
+PoisonReport implant_backdoor(data::Dataset& dataset,
+                              const BackdoorConfig& config, Rng& rng);
+
+/// Apply the trigger to a single image (for attack-time activation and
+/// for evaluating the backdoor's success rate).
+Tensor apply_trigger(const Tensor& image, const BackdoorConfig& config);
+
+/// Fraction of `dataset` images that the model classifies as
+/// `config.target_class` *after* the trigger is stamped on (excluding
+/// images whose true label already is the target class).
+double backdoor_success_rate(nn::Module& model, const data::Dataset& dataset,
+                             const BackdoorConfig& config);
+
+}  // namespace fademl::poison

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fademl {
+
+/// Exception type for all fademl precondition and shape violations.
+///
+/// The library validates its public API arguments eagerly and throws
+/// `Error` with a human-readable message; internal invariants are asserted
+/// with FADEML_CHECK which also throws, so a misuse never silently corrupts
+/// an experiment.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace fademl
+
+/// Validate a precondition; throws fademl::Error with context on failure.
+/// `msg` is any expression streamable into the failure text.
+#define FADEML_CHECK(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::fademl::detail::throw_check_failure(#cond, __FILE__, __LINE__,     \
+                                            (msg));                        \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "fademl/tensor/tensor.hpp"
+
+namespace fademl {
+
+// Elementwise arithmetic (shapes must match exactly; outputs are fresh).
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+
+// Tensor–scalar arithmetic.
+Tensor add(const Tensor& a, float s);
+Tensor mul(const Tensor& a, float s);
+
+// Elementwise transforms.
+Tensor neg(const Tensor& a);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+Tensor abs(const Tensor& a);
+Tensor sign(const Tensor& a);
+Tensor relu(const Tensor& a);
+Tensor tanh(const Tensor& a);
+Tensor clamp(const Tensor& a, float lo, float hi);
+/// Apply `fn` elementwise into a fresh tensor.
+Tensor map(const Tensor& a, const std::function<float(float)>& fn);
+
+// Reductions.
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float min(const Tensor& a);
+float max(const Tensor& a);
+/// Flat index of the maximum element (first occurrence).
+int64_t argmax(const Tensor& a);
+/// L2 norm of all elements.
+float norm_l2(const Tensor& a);
+/// Maximum absolute element.
+float norm_linf(const Tensor& a);
+
+/// Indices of the k largest values of a 1-D tensor, descending by value.
+std::vector<int64_t> topk_indices(const Tensor& a, int k);
+
+/// Row-wise softmax of a [N, C] matrix (numerically stabilized).
+Tensor softmax_rows(const Tensor& logits);
+/// Row-wise log-softmax of a [N, C] matrix.
+Tensor log_softmax_rows(const Tensor& logits);
+
+/// Matrix product of [M, K] x [K, N] -> [M, N].
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// Transpose of a [M, N] matrix.
+Tensor transpose2d(const Tensor& a);
+
+/// Dot product of two tensors with equal numel (treated flat).
+float dot(const Tensor& a, const Tensor& b);
+
+// ---- convolution plumbing -------------------------------------------------
+
+/// Geometry of a 2-D convolution / pooling window.
+struct Conv2dSpec {
+  int64_t kernel_h = 3;
+  int64_t kernel_w = 3;
+  int64_t stride = 1;
+  int64_t pad = 1;
+
+  /// Output spatial size for an input of `in` pixels along one axis.
+  [[nodiscard]] int64_t out_size(int64_t in, int64_t kernel) const {
+    return (in + 2 * pad - kernel) / stride + 1;
+  }
+};
+
+/// Unfold image patches: input [C, H, W] -> [C*kh*kw, outH*outW] matrix
+/// whose columns are flattened receptive fields (zero padding).
+Tensor im2col(const Tensor& image, const Conv2dSpec& spec);
+
+/// Adjoint of im2col: scatter-add a [C*kh*kw, outH*outW] matrix back into
+/// an image of shape [C, H, W]. Used by convolution backward.
+Tensor col2im(const Tensor& cols, int64_t channels, int64_t height,
+              int64_t width, const Conv2dSpec& spec);
+
+/// 2-D convolution of a batch: input [N, C, H, W], weight [O, C, kh, kw],
+/// bias [O] (optional, pass undefined Tensor to skip) -> [N, O, oH, oW].
+Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              const Conv2dSpec& spec);
+
+/// Max pooling over kxk windows with stride k: [N, C, H, W] -> [N, C, H/k, W/k].
+/// When `argmax_out` is non-null it receives the flat input index of each
+/// selected maximum (for the backward pass).
+Tensor maxpool2d(const Tensor& input, int64_t k,
+                 std::vector<int64_t>* argmax_out = nullptr);
+
+}  // namespace fademl

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "fademl/tensor/tensor.hpp"
+
+namespace fademl {
+
+/// Deterministic pseudo-random generator (SplitMix64 core).
+///
+/// Every stochastic component of the library (weight init, data synthesis,
+/// augmentation, attack restarts) draws from an explicitly seeded Rng so
+/// experiments are bit-reproducible across runs and platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  float uniform();
+
+  /// Uniform in [lo, hi).
+  float uniform(float lo, float hi);
+
+  /// Uniform integer in [0, n) for n > 0.
+  int64_t uniform_int(int64_t n);
+
+  /// Standard normal via Box–Muller.
+  float normal();
+
+  /// Normal with the given mean / stddev.
+  float normal(float mean, float stddev);
+
+  /// Derive an independent stream (for parallel-safe sub-generators).
+  [[nodiscard]] Rng fork();
+
+  // ---- tensor fills ------------------------------------------------------
+
+  Tensor uniform_tensor(Shape shape, float lo, float hi);
+  Tensor normal_tensor(Shape shape, float mean, float stddev);
+  /// Random {-1, +1} entries.
+  Tensor sign_tensor(Shape shape);
+
+  /// Fisher–Yates shuffle of an index vector [0, n).
+  std::vector<int64_t> permutation(int64_t n);
+
+ private:
+  uint64_t state_;
+  bool have_spare_normal_ = false;
+  float spare_normal_ = 0.0f;
+};
+
+}  // namespace fademl

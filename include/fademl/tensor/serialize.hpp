@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fademl/tensor/tensor.hpp"
+
+namespace fademl {
+
+/// Binary tensor (de)serialization.
+///
+/// Format (little-endian): magic "FDML", u32 version, u32 rank,
+/// i64 dims[rank], f32 data[numel]. A *bundle* is a count-prefixed sequence
+/// of (name, tensor) records and is what model checkpoints use.
+
+void write_tensor(std::ostream& os, const Tensor& t);
+Tensor read_tensor(std::istream& is);
+
+struct NamedTensor {
+  std::string name;
+  Tensor tensor;
+};
+
+/// Write a named-tensor bundle (e.g. all parameters of a network).
+void write_bundle(std::ostream& os, const std::vector<NamedTensor>& tensors);
+std::vector<NamedTensor> read_bundle(std::istream& is);
+
+/// File-path conveniences; throw fademl::Error on I/O failure.
+void save_bundle(const std::string& path, const std::vector<NamedTensor>& tensors);
+std::vector<NamedTensor> load_bundle(const std::string& path);
+
+}  // namespace fademl

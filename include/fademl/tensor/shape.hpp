@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace fademl {
+
+/// Dimension sizes of a dense tensor, outermost dimension first.
+///
+/// A `Shape` is a small value type: cheap to copy, comparable, printable.
+/// Rank 0 denotes a scalar (numel() == 1). A dimension may temporarily be
+/// the placeholder -1 for APIs that infer it (Tensor::reshape); calling
+/// numel() while a placeholder is unresolved throws.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims);
+  explicit Shape(std::vector<int64_t> dims);
+
+  /// Number of dimensions (rank). 0 for scalars.
+  [[nodiscard]] int rank() const { return static_cast<int>(dims_.size()); }
+
+  /// Size along dimension `i`. Negative `i` counts from the back
+  /// (-1 is the innermost dimension). Throws std::out_of_range when the
+  /// index does not name a dimension.
+  [[nodiscard]] int64_t dim(int i) const;
+
+  /// Total number of elements (product of all dimensions; 1 for scalars).
+  [[nodiscard]] int64_t numel() const;
+
+  /// Row-major (C-order) strides, in elements.
+  [[nodiscard]] std::vector<int64_t> strides() const;
+
+  [[nodiscard]] const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// "[2, 3, 4]" style rendering for diagnostics.
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Shape& a, const Shape& b) = default;
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace fademl

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fademl/tensor/shape.hpp"
+
+namespace fademl {
+
+/// Dense, contiguous, row-major float32 tensor.
+///
+/// Storage is shared between copies (shallow copy, like a handle); use
+/// `clone()` for a deep copy. All arithmetic free functions in
+/// fademl/tensor/ops.hpp allocate fresh outputs; in-place mutation goes
+/// through `data()` / `at()` / the `*_` suffixed members and is never
+/// implicit.
+///
+/// The tensor is the single numeric currency of the library: images are
+/// CHW tensors in [0,1], batches are NCHW, weights are OIHW.
+class Tensor {
+ public:
+  /// Empty tensor (rank-0, one uninitialized element is NOT allocated;
+  /// numel() == 0, defined() == false).
+  Tensor() = default;
+
+  /// Uninitialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape filled with `fill`.
+  Tensor(Shape shape, float fill);
+
+  /// Tensor initialized from explicit values; `values.size()` must equal
+  /// `shape.numel()`.
+  Tensor(Shape shape, std::vector<float> values);
+
+  /// 1-D tensor from an initializer list.
+  Tensor(std::initializer_list<float> values);
+
+  // ---- factories -------------------------------------------------------
+
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, float value);
+  /// Scalar (rank-0) tensor holding `value`.
+  static Tensor scalar(float value);
+  /// Evenly spaced values [0, 1, ..., n-1] as a 1-D tensor.
+  static Tensor arange(int64_t n);
+
+  // ---- basic queries ----------------------------------------------------
+
+  [[nodiscard]] bool defined() const { return data_ != nullptr; }
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] int rank() const { return shape_.rank(); }
+  [[nodiscard]] int64_t dim(int i) const { return shape_.dim(i); }
+  [[nodiscard]] int64_t numel() const;
+
+  /// Raw contiguous storage. Valid while this tensor (or any copy sharing
+  /// the buffer) is alive.
+  [[nodiscard]] float* data();
+  [[nodiscard]] const float* data() const;
+
+  /// Element access by flat row-major index (bounds-checked).
+  [[nodiscard]] float& at(int64_t flat_index);
+  [[nodiscard]] float at(int64_t flat_index) const;
+
+  /// Element access by multi-dimensional index (bounds-checked).
+  [[nodiscard]] float& at(std::initializer_list<int64_t> idx);
+  [[nodiscard]] float at(std::initializer_list<int64_t> idx) const;
+
+  /// Single value of a scalar or one-element tensor; throws otherwise.
+  [[nodiscard]] float item() const;
+
+  // ---- structural ops (no data copy) ------------------------------------
+
+  /// Same storage, new shape; `new_shape.numel()` must match. One dimension
+  /// may be -1 and is inferred.
+  [[nodiscard]] Tensor reshape(Shape new_shape) const;
+
+  /// Deep copy with its own storage.
+  [[nodiscard]] Tensor clone() const;
+
+  // ---- in-place mutators (explicit `_` suffix, return *this) ------------
+
+  Tensor& fill_(float value);
+  Tensor& zero_() { return fill_(0.0f); }
+  Tensor& add_(const Tensor& other, float alpha = 1.0f);
+  Tensor& mul_(float value);
+  Tensor& clamp_(float lo, float hi);
+  /// Apply `fn` to every element in place.
+  Tensor& apply_(const std::function<float(float)>& fn);
+
+  /// Copy values from `src` (same numel required; shapes may differ).
+  Tensor& copy_from(const Tensor& src);
+
+  // ---- convenience -------------------------------------------------------
+
+  /// First `limit` values as "[v0, v1, ...]" for diagnostics.
+  [[nodiscard]] std::string str(int64_t limit = 16) const;
+
+  /// True when the two tensors share the same storage buffer.
+  [[nodiscard]] bool shares_storage_with(const Tensor& other) const {
+    return defined() && data_ == other.data_;
+  }
+
+ private:
+  Shape shape_;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+}  // namespace fademl

@@ -1,0 +1,38 @@
+#include "fademl/attacks/attack.hpp"
+
+#include "fademl/autograd/ops.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::attacks {
+
+void Attack::finalize(AttackResult& result, const Tensor& source) {
+  FADEML_CHECK(result.adversarial.defined(),
+               "attack produced no adversarial image");
+  result.adversarial.clamp_(0.0f, 1.0f);
+  result.noise = sub(result.adversarial, source);
+  result.linf = norm_linf(result.noise);
+  result.l2 = norm_l2(result.noise);
+}
+
+core::Objective targeted_cross_entropy(int64_t target_class) {
+  return [target_class](const autograd::Variable& logits) {
+    return autograd::cross_entropy(logits, {target_class});
+  };
+}
+
+core::Objective weighted_probability(const Tensor& weights) {
+  const Tensor w = weights.clone();
+  return [w](const autograd::Variable& logits) {
+    return autograd::dot_const(autograd::softmax_rows(logits), w);
+  };
+}
+
+core::Objective weighted_logits(const Tensor& weights) {
+  const Tensor w = weights.clone();
+  return [w](const autograd::Variable& logits) {
+    return autograd::dot_const(logits, w);
+  };
+}
+
+}  // namespace fademl::attacks

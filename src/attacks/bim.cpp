@@ -1,0 +1,54 @@
+#include "fademl/attacks/bim.hpp"
+
+#include <algorithm>
+
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::attacks {
+
+BimAttack::BimAttack(AttackConfig config) : Attack(config) {
+  FADEML_CHECK(config_.epsilon > 0.0f && config_.step_size > 0.0f &&
+                   config_.max_iterations > 0,
+               "BIM requires positive epsilon, step size, and iterations");
+}
+
+std::string BimAttack::name() const {
+  return config_.grad_tm == core::ThreatModel::kI ? "BIM" : "FAdeML-BIM";
+}
+
+AttackResult BimAttack::run(const core::InferencePipeline& pipeline,
+                            const Tensor& source,
+                            int64_t target_class) const {
+  AttackResult result;
+  Tensor x = source.clone();
+  const float* src = source.data();
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    const core::LossGrad lg = pipeline.loss_and_grad(
+        x, targeted_cross_entropy(target_class), config_.grad_tm);
+    result.loss_history.push_back(lg.loss);
+    ++result.iterations;
+    x.add_(sign(lg.grad), -config_.step_size);
+    // Project onto the ε-ball around the source and the pixel box —
+    // Kurakin's per-iteration clip that keeps changes small.
+    float* px = x.data();
+    const int64_t n = x.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      const float lo = std::max(0.0f, src[i] - config_.epsilon);
+      const float hi = std::min(1.0f, src[i] + config_.epsilon);
+      px[i] = std::clamp(px[i], lo, hi);
+    }
+    if (config_.target_confidence > 0.0f) {
+      const core::Prediction p = pipeline.predict(x, config_.grad_tm);
+      if (p.label == target_class &&
+          p.confidence >= config_.target_confidence) {
+        break;
+      }
+    }
+  }
+  result.adversarial = std::move(x);
+  finalize(result, source);
+  return result;
+}
+
+}  // namespace fademl::attacks

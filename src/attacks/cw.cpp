@@ -1,0 +1,140 @@
+#include "fademl/attacks/cw.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::attacks {
+
+namespace {
+
+/// atanh with the argument nudged inside (-1, 1) — the tanh
+/// reparameterization is singular exactly at the box boundary.
+float safe_atanh(float x) {
+  const float clipped = std::clamp(x, -1.0f + 1e-6f, 1.0f - 1e-6f);
+  return 0.5f * std::log((1.0f + clipped) / (1.0f - clipped));
+}
+
+/// Image from the tanh parameterization: x' = (tanh(w) + 1) / 2.
+Tensor image_from_w(const Tensor& w) {
+  return map(w, [](float v) { return (std::tanh(v) + 1.0f) * 0.5f; });
+}
+
+}  // namespace
+
+CwAttack::CwAttack(AttackConfig config, CwOptions options)
+    : Attack(config), options_(options) {
+  FADEML_CHECK(config_.max_iterations > 0, "C&W requires iterations > 0");
+  FADEML_CHECK(options_.binary_search_steps > 0,
+               "C&W requires at least one binary-search step");
+  FADEML_CHECK(options_.initial_c > 0.0f, "C&W requires c > 0");
+}
+
+std::string CwAttack::name() const {
+  return config_.grad_tm == core::ThreatModel::kI ? "C&W" : "FAdeML-C&W";
+}
+
+AttackResult CwAttack::run(const core::InferencePipeline& pipeline,
+                           const Tensor& source,
+                           int64_t target_class) const {
+  AttackResult result;
+  // Best adversarial example found across the binary search (smallest L2
+  // among the successful ones); fall back to the last iterate.
+  Tensor best_adversarial;
+  float best_l2 = std::numeric_limits<float>::infinity();
+
+  float c_lo = 0.0f;
+  float c_hi = -1.0f;  // unknown until a success
+  float c = options_.initial_c;
+
+  for (int search = 0; search < options_.binary_search_steps; ++search) {
+    // w initialized at the source image.
+    Tensor w = map(source, [](float v) {
+      return safe_atanh(2.0f * v - 1.0f);
+    });
+    Tensor adam_m = Tensor::zeros(w.shape());
+    Tensor adam_v = Tensor::zeros(w.shape());
+    bool success_this_c = false;
+
+    for (int iter = 0; iter < config_.max_iterations; ++iter) {
+      const Tensor x_adv = image_from_w(w);
+
+      // f(x') and its logits-side subgradient weights: +1 on the best
+      // non-target class, -1 on the target (zero once the margin holds).
+      const Tensor probe_probs =
+          pipeline.predict_probs(x_adv, config_.grad_tm);
+      ++result.iterations;
+      int64_t best_other = -1;
+      {
+        float best_val = -std::numeric_limits<float>::infinity();
+        for (int64_t i = 0; i < probe_probs.numel(); ++i) {
+          if (i != target_class && probe_probs.at(i) > best_val) {
+            best_val = probe_probs.at(i);
+            best_other = i;
+          }
+        }
+      }
+      Tensor logit_weights = Tensor::zeros(probe_probs.shape());
+      logit_weights.at(best_other) = 1.0f;
+      logit_weights.at(target_class) = -1.0f;
+
+      const core::LossGrad lg = pipeline.loss_and_grad(
+          x_adv, weighted_logits(logit_weights), config_.grad_tm);
+      const float f_val = lg.loss;
+      result.loss_history.push_back(f_val);
+
+      if (f_val < -options_.confidence_margin) {
+        // Adversarial at this c: record if it is the smallest-L2 success.
+        success_this_c = true;
+        const float l2 = norm_l2(sub(x_adv, source));
+        if (l2 < best_l2) {
+          best_l2 = l2;
+          best_adversarial = x_adv.clone();
+        }
+      }
+
+      // dL/dx' = 2 (x' - x) + c * df/dx'; chain through the tanh:
+      // dx'/dw = 2 x' (1 - x').
+      Tensor grad_x = add(mul(sub(x_adv, source), 2.0f), mul(lg.grad, c));
+      const float* px = x_adv.data();
+      float* pg = grad_x.data();
+      for (int64_t i = 0; i < grad_x.numel(); ++i) {
+        pg[i] *= 2.0f * px[i] * (1.0f - px[i]);
+      }
+
+      // Adam step on w.
+      const float t = static_cast<float>(iter + 1);
+      const float bc1 = 1.0f - std::pow(options_.adam_beta1, t);
+      const float bc2 = 1.0f - std::pow(options_.adam_beta2, t);
+      float* pw = w.data();
+      float* pm = adam_m.data();
+      float* pv = adam_v.data();
+      for (int64_t i = 0; i < w.numel(); ++i) {
+        pm[i] = options_.adam_beta1 * pm[i] +
+                (1.0f - options_.adam_beta1) * pg[i];
+        pv[i] = options_.adam_beta2 * pv[i] +
+                (1.0f - options_.adam_beta2) * pg[i] * pg[i];
+        pw[i] -= options_.adam_lr * (pm[i] / bc1) /
+                 (std::sqrt(pv[i] / bc2) + 1e-8f);
+      }
+    }
+
+    // Binary search on c: success -> try smaller; failure -> go bigger.
+    if (success_this_c) {
+      c_hi = c;
+      c = (c_lo + c_hi) / 2.0f;
+    } else {
+      c_lo = c;
+      c = c_hi > 0.0f ? (c_lo + c_hi) / 2.0f : c * 10.0f;
+    }
+  }
+
+  result.adversarial =
+      best_adversarial.defined() ? best_adversarial : source.clone();
+  finalize(result, source);
+  return result;
+}
+
+}  // namespace fademl::attacks

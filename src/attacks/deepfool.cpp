@@ -1,0 +1,108 @@
+#include "fademl/attacks/deepfool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::attacks {
+
+DeepFoolAttack::DeepFoolAttack(AttackConfig config, DeepFoolOptions options)
+    : Attack(config), options_(options) {
+  FADEML_CHECK(options_.candidate_classes >= 1,
+               "DeepFool needs at least one candidate class");
+  FADEML_CHECK(config_.max_iterations > 0, "DeepFool requires iterations > 0");
+}
+
+std::string DeepFoolAttack::name() const {
+  return config_.grad_tm == core::ThreatModel::kI ? "DeepFool"
+                                                  : "FAdeML-DeepFool";
+}
+
+AttackResult DeepFoolAttack::run(const core::InferencePipeline& pipeline,
+                                 const Tensor& source,
+                                 int64_t /*target_class*/) const {
+  AttackResult result;
+  Tensor x = source.clone();
+
+  const Tensor initial_probs = pipeline.predict_probs(source, config_.grad_tm);
+  const int64_t original = argmax(initial_probs);
+  const int64_t num_classes = initial_probs.numel();
+  const int candidates = std::min<int>(
+      options_.candidate_classes, static_cast<int>(num_classes - 1));
+
+  // Fixed candidate set: the originally most-confusable classes.
+  std::vector<int64_t> others;
+  for (int64_t cls : topk_indices(initial_probs, candidates + 1)) {
+    if (cls != original) {
+      others.push_back(cls);
+    }
+  }
+  others.resize(static_cast<size_t>(candidates));
+
+  Tensor accumulated = Tensor::zeros(source.shape());
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    const core::Prediction p = pipeline.predict(x, config_.grad_tm);
+    result.loss_history.push_back(p.probs.at(original));
+    if (p.label != original) {
+      break;  // left the source class: untargeted success
+    }
+
+    // Gradient of the current class logit.
+    Tensor w_cur = Tensor::zeros(Shape{num_classes});
+    w_cur.at(original) = 1.0f;
+    const Tensor grad_cur =
+        pipeline.loss_and_grad(x, weighted_logits(w_cur), config_.grad_tm)
+            .grad;
+    // Recover the raw logits for the boundary distances.
+    // (predict_probs gives softmax; the logit differences are what the
+    // linearization needs — use log-probabilities, which differ from the
+    // logits by a constant per sample and therefore give identical f_k.)
+    Tensor logp = map(p.probs, [](float v) {
+      return std::log(std::max(v, 1e-20f));
+    });
+
+    float best_ratio = std::numeric_limits<float>::infinity();
+    Tensor best_w;
+    float best_f = 0.0f;
+    for (int64_t cls : others) {
+      Tensor w_k = Tensor::zeros(Shape{num_classes});
+      w_k.at(cls) = 1.0f;
+      const Tensor grad_k =
+          pipeline.loss_and_grad(x, weighted_logits(w_k), config_.grad_tm)
+              .grad;
+      result.iterations += 1;
+      const Tensor w_diff = sub(grad_k, grad_cur);
+      const float f_k = logp.at(cls) - logp.at(original);
+      const float norm = norm_l2(w_diff);
+      if (norm < 1e-12f) {
+        continue;
+      }
+      const float ratio = std::fabs(f_k) / norm;
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best_w = w_diff;
+        best_f = f_k;
+      }
+    }
+    if (!best_w.defined()) {
+      break;  // degenerate linearization
+    }
+
+    // Minimal step onto the nearest boundary: |f| / ||w||^2 * w.
+    const float norm2 = norm_l2(best_w) * norm_l2(best_w);
+    const float scale = (std::fabs(best_f) + 1e-6f) / norm2;
+    accumulated.add_(best_w, scale);
+    // Apply with overshoot, from the ORIGINAL image (classic formulation).
+    x = add(source, mul(accumulated, 1.0f + options_.overshoot));
+    x.clamp_(0.0f, 1.0f);
+  }
+
+  result.adversarial = std::move(x);
+  finalize(result, source);
+  return result;
+}
+
+}  // namespace fademl::attacks

@@ -1,0 +1,83 @@
+#include "fademl/attacks/eot.hpp"
+
+#include <algorithm>
+
+#include "fademl/data/transforms.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::attacks {
+
+EotAttack::EotAttack(AttackConfig config, EotOptions options)
+    : Attack(config), options_(options) {
+  FADEML_CHECK(options_.samples >= 1, "EOT needs at least one sample");
+  FADEML_CHECK(config_.epsilon > 0.0f && config_.step_size > 0.0f &&
+                   config_.max_iterations > 0,
+               "EOT requires positive epsilon, step size and iterations");
+}
+
+std::string EotAttack::name() const {
+  return config_.grad_tm == core::ThreatModel::kI ? "EOT-BIM"
+                                                  : "FAdeML-EOT-BIM";
+}
+
+AttackResult EotAttack::run(const core::InferencePipeline& pipeline,
+                            const Tensor& source,
+                            int64_t target_class) const {
+  AttackResult result;
+  Rng rng(options_.seed);
+  Tensor x = source.clone();
+  const float* src = source.data();
+  const core::Objective objective = targeted_cross_entropy(target_class);
+
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    // Gradient of the *expected* loss over random transformations. The
+    // transformation jacobian is approximated as identity for sub-pixel
+    // jitter (standard EOT practice for small warps).
+    Tensor grad = Tensor::zeros(x.shape());
+    float loss_sum = 0.0f;
+    for (int s = 0; s < options_.samples; ++s) {
+      Tensor transformed = x.clone();
+      if (options_.jitter_pixels > 0.0f) {
+        transformed = data::translate_image(
+            transformed,
+            rng.uniform(-options_.jitter_pixels, options_.jitter_pixels),
+            rng.uniform(-options_.jitter_pixels, options_.jitter_pixels));
+      }
+      if (options_.noise_std > 0.0f) {
+        transformed.add_(
+            rng.normal_tensor(transformed.shape(), 0.0f, options_.noise_std));
+        transformed.clamp_(0.0f, 1.0f);
+      }
+      const core::LossGrad lg =
+          pipeline.loss_and_grad(transformed, objective, config_.grad_tm);
+      grad.add_(lg.grad);
+      loss_sum += lg.loss;
+    }
+    grad.mul_(1.0f / static_cast<float>(options_.samples));
+    result.loss_history.push_back(loss_sum /
+                                  static_cast<float>(options_.samples));
+    result.iterations += options_.samples;
+
+    x.add_(sign(grad), -config_.step_size);
+    float* px = x.data();
+    const int64_t n = x.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      const float lo = std::max(0.0f, src[i] - config_.epsilon);
+      const float hi = std::min(1.0f, src[i] + config_.epsilon);
+      px[i] = std::clamp(px[i], lo, hi);
+    }
+    if (config_.target_confidence > 0.0f) {
+      const core::Prediction p = pipeline.predict(x, config_.grad_tm);
+      if (p.label == target_class &&
+          p.confidence >= config_.target_confidence) {
+        break;
+      }
+    }
+  }
+  result.adversarial = std::move(x);
+  finalize(result, source);
+  return result;
+}
+
+}  // namespace fademl::attacks

@@ -1,0 +1,49 @@
+#include "fademl/attacks/fgsm.hpp"
+
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::attacks {
+
+FgsmAttack::FgsmAttack(AttackConfig config) : Attack(config) {
+  FADEML_CHECK(config_.epsilon > 0.0f, "FGSM requires a positive epsilon");
+}
+
+std::string FgsmAttack::name() const {
+  return config_.grad_tm == core::ThreatModel::kI ? "FGSM" : "FAdeML-FGSM";
+}
+
+AttackResult FgsmAttack::run(const core::InferencePipeline& pipeline,
+                             const Tensor& source,
+                             int64_t target_class) const {
+  const core::LossGrad lg = pipeline.loss_and_grad(
+      source, targeted_cross_entropy(target_class), config_.grad_tm);
+  AttackResult result;
+  result.iterations = 1;
+  result.loss_history = {lg.loss};
+  const Tensor step_direction = sign(lg.grad);
+  // Descend the targeted loss: one signed step of size ε.
+  result.adversarial = add(source, mul(step_direction, -config_.epsilon));
+  if (config_.fgsm_epsilon_search) {
+    // Same single gradient, but keep the smallest ε on the grid that lands
+    // the target — a full-ε step often overshoots past the target's
+    // decision region.
+    constexpr int kGrid = 8;
+    for (int i = 1; i <= kGrid; ++i) {
+      const float eps =
+          config_.epsilon * static_cast<float>(i) / static_cast<float>(kGrid);
+      Tensor candidate = add(source, mul(step_direction, -eps));
+      candidate.clamp_(0.0f, 1.0f);
+      const Tensor probs =
+          pipeline.predict_probs(candidate, config_.grad_tm);
+      if (argmax(probs) == target_class) {
+        result.adversarial = std::move(candidate);
+        break;
+      }
+    }
+  }
+  finalize(result, source);
+  return result;
+}
+
+}  // namespace fademl::attacks

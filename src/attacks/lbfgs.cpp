@@ -1,0 +1,167 @@
+#include "fademl/attacks/lbfgs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::attacks {
+
+namespace {
+
+/// Loss-only evaluation of the attack objective (used by the line search,
+/// where gradients are not needed): c‖δ‖² − log p(target | clip(x+δ)).
+float objective_value(const core::InferencePipeline& pipeline,
+                      const Tensor& source, const Tensor& delta,
+                      int64_t target_class, float l2_weight,
+                      core::ThreatModel tm) {
+  Tensor x = add(source, delta);
+  x.clamp_(0.0f, 1.0f);
+  const Tensor probs = pipeline.predict_probs(x, tm);
+  const float p = std::max(probs.at(target_class), 1e-12f);
+  const float d2 = norm_l2(delta);
+  return l2_weight * d2 * d2 - std::log(p);
+}
+
+}  // namespace
+
+LbfgsAttack::LbfgsAttack(AttackConfig config, LbfgsOptions options)
+    : Attack(config), options_(options) {
+  FADEML_CHECK(config_.max_iterations > 0, "L-BFGS requires iterations > 0");
+  FADEML_CHECK(options_.history > 0, "L-BFGS requires positive history");
+}
+
+std::string LbfgsAttack::name() const {
+  return config_.grad_tm == core::ThreatModel::kI ? "L-BFGS"
+                                                  : "FAdeML-L-BFGS";
+}
+
+AttackResult LbfgsAttack::run(const core::InferencePipeline& pipeline,
+                              const Tensor& source,
+                              int64_t target_class) const {
+  AttackResult result;
+  Tensor delta = Tensor::zeros(source.shape());
+
+  // L-BFGS memory: displacement/curvature pairs and 1/(yᵀs).
+  std::deque<Tensor> s_hist;
+  std::deque<Tensor> y_hist;
+  std::deque<float> rho_hist;
+
+  const auto loss_grad = [&](const Tensor& d) {
+    Tensor x = add(source, d);
+    x.clamp_(0.0f, 1.0f);
+    core::LossGrad lg = pipeline.loss_and_grad(
+        x, targeted_cross_entropy(target_class), config_.grad_tm);
+    // Add the ‖δ‖² imperceptibility term (Eq. 1 of the paper).
+    const float d2 = norm_l2(d);
+    lg.loss += options_.l2_weight * d2 * d2;
+    lg.grad.add_(d, 2.0f * options_.l2_weight);
+    return lg;
+  };
+
+  core::LossGrad current = loss_grad(delta);
+  Tensor grad = current.grad;
+
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    result.loss_history.push_back(current.loss);
+    ++result.iterations;
+
+    // Two-loop recursion for the search direction d = −H·∇.
+    Tensor q = grad.clone();
+    std::vector<float> alpha(s_hist.size());
+    for (size_t i = s_hist.size(); i-- > 0;) {
+      alpha[i] = rho_hist[i] * dot(s_hist[i], q);
+      q.add_(y_hist[i], -alpha[i]);
+    }
+    if (!s_hist.empty()) {
+      // Scale by the standard γ = sᵀy / yᵀy initial Hessian guess.
+      const float ys = dot(y_hist.back(), s_hist.back());
+      const float yy = dot(y_hist.back(), y_hist.back());
+      if (yy > 0.0f) {
+        q.mul_(ys / yy);
+      }
+    } else {
+      // First step: scale so the initial move is about one step_size.
+      const float gmax = norm_linf(q);
+      if (gmax > 0.0f) {
+        q.mul_(config_.step_size / gmax);
+      }
+    }
+    for (size_t i = 0; i < s_hist.size(); ++i) {
+      const float beta = rho_hist[i] * dot(y_hist[i], q);
+      q.add_(s_hist[i], alpha[i] - beta);
+    }
+    Tensor direction = neg(q);
+
+    const float dir_dot_grad = dot(direction, grad);
+    if (dir_dot_grad >= 0.0f) {
+      // Not a descent direction (projection/curvature breakdown): restart
+      // from steepest descent.
+      s_hist.clear();
+      y_hist.clear();
+      rho_hist.clear();
+      direction = mul(grad, -config_.step_size / std::max(norm_linf(grad),
+                                                          1e-12f));
+    }
+
+    // Armijo backtracking line search.
+    float t = 1.0f;
+    const float slope = dot(direction, grad);
+    float new_loss = 0.0f;
+    Tensor candidate;
+    bool accepted = false;
+    for (int ls = 0; ls < options_.max_line_search; ++ls) {
+      candidate = add(delta, mul(direction, t));
+      // Project onto the ε budget before evaluating: the accepted point is
+      // always feasible.
+      candidate.clamp_(-config_.epsilon, config_.epsilon);
+      new_loss = objective_value(pipeline, source, candidate, target_class,
+                                 options_.l2_weight, config_.grad_tm);
+      if (new_loss <= current.loss + options_.armijo_c1 * t * slope) {
+        accepted = true;
+        break;
+      }
+      t *= 0.5f;
+    }
+    if (!accepted) {
+      break;  // line search failed: converged as far as float32 allows
+    }
+
+    const Tensor step = sub(candidate, delta);
+    delta = candidate;
+    const core::LossGrad next = loss_grad(delta);
+    const Tensor ydiff = sub(next.grad, grad);
+    const float sy = dot(step, ydiff);
+    if (sy > 1e-10f) {
+      s_hist.push_back(step);
+      y_hist.push_back(ydiff);
+      rho_hist.push_back(1.0f / sy);
+      if (static_cast<int>(s_hist.size()) > options_.history) {
+        s_hist.pop_front();
+        y_hist.pop_front();
+        rho_hist.pop_front();
+      }
+    }
+    current = next;
+    grad = current.grad;
+
+    if (config_.target_confidence > 0.0f) {
+      Tensor x = add(source, delta);
+      x.clamp_(0.0f, 1.0f);
+      const core::Prediction p = pipeline.predict(x, config_.grad_tm);
+      if (p.label == target_class &&
+          p.confidence >= config_.target_confidence) {
+        result.loss_history.push_back(current.loss);
+        break;
+      }
+    }
+  }
+
+  result.adversarial = add(source, delta);
+  finalize(result, source);
+  return result;
+}
+
+}  // namespace fademl::attacks

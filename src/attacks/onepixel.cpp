@@ -1,0 +1,132 @@
+#include "fademl/attacks/onepixel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::attacks {
+
+namespace {
+
+/// One candidate: `pixels` entries of (y, x, r, g, b), flattened.
+struct Candidate {
+  std::vector<float> genes;  // 5 per pixel
+  float fitness = -1.0f;     // target-class probability
+};
+
+Tensor apply_candidate(const Tensor& source, const Candidate& cand,
+                       int pixels) {
+  Tensor x = source.clone();
+  const int64_t h = source.dim(1);
+  const int64_t w = source.dim(2);
+  for (int p = 0; p < pixels; ++p) {
+    const float* g = cand.genes.data() + 5 * p;
+    const int64_t py = std::clamp<int64_t>(
+        static_cast<int64_t>(std::lround(g[0])), 0, h - 1);
+    const int64_t px = std::clamp<int64_t>(
+        static_cast<int64_t>(std::lround(g[1])), 0, w - 1);
+    for (int64_t c = 0; c < 3; ++c) {
+      x.at({c, py, px}) = std::clamp(g[2 + c], 0.0f, 1.0f);
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+OnePixelAttack::OnePixelAttack(AttackConfig config, OnePixelOptions options)
+    : Attack(config), options_(options) {
+  FADEML_CHECK(options_.pixels >= 1, "one-pixel attack needs pixels >= 1");
+  FADEML_CHECK(options_.population >= 4,
+               "differential evolution needs population >= 4");
+  FADEML_CHECK(options_.generations >= 1, "need at least one generation");
+}
+
+std::string OnePixelAttack::name() const {
+  return "OnePixel(" + std::to_string(options_.pixels) + ")";
+}
+
+AttackResult OnePixelAttack::run(const core::InferencePipeline& pipeline,
+                                 const Tensor& source,
+                                 int64_t target_class) const {
+  FADEML_CHECK(source.rank() == 3 && source.dim(0) == 3,
+               "one-pixel attack expects an RGB [3, H, W] image");
+  AttackResult result;
+  Rng rng(options_.seed);
+  const int64_t h = source.dim(1);
+  const int64_t w = source.dim(2);
+  const int genes = 5 * options_.pixels;
+
+  const auto evaluate = [&](Candidate& cand) {
+    const Tensor x = apply_candidate(source, cand, options_.pixels);
+    cand.fitness =
+        pipeline.predict_probs(x, config_.grad_tm).at(target_class);
+    ++result.iterations;  // black-box query count
+  };
+
+  // Initialize the population uniformly over positions and colors.
+  std::vector<Candidate> population(static_cast<size_t>(options_.population));
+  for (Candidate& cand : population) {
+    cand.genes.resize(static_cast<size_t>(genes));
+    for (int p = 0; p < options_.pixels; ++p) {
+      float* g = cand.genes.data() + 5 * p;
+      g[0] = rng.uniform(0.0f, static_cast<float>(h - 1));
+      g[1] = rng.uniform(0.0f, static_cast<float>(w - 1));
+      g[2] = rng.uniform();
+      g[3] = rng.uniform();
+      g[4] = rng.uniform();
+    }
+    evaluate(cand);
+  }
+
+  // DE/rand/1 with greedy selection (the paper's variant).
+  for (int gen = 0; gen < options_.generations; ++gen) {
+    float best = 0.0f;
+    for (size_t i = 0; i < population.size(); ++i) {
+      const size_t n = population.size();
+      size_t a = static_cast<size_t>(rng.uniform_int(static_cast<int64_t>(n)));
+      size_t b = static_cast<size_t>(rng.uniform_int(static_cast<int64_t>(n)));
+      size_t c = static_cast<size_t>(rng.uniform_int(static_cast<int64_t>(n)));
+      Candidate trial;
+      trial.genes.resize(static_cast<size_t>(genes));
+      for (int gidx = 0; gidx < genes; ++gidx) {
+        trial.genes[static_cast<size_t>(gidx)] =
+            population[a].genes[static_cast<size_t>(gidx)] +
+            options_.de_f * (population[b].genes[static_cast<size_t>(gidx)] -
+                             population[c].genes[static_cast<size_t>(gidx)]);
+      }
+      // Keep genes in range (reflect positions, clamp colors).
+      for (int p = 0; p < options_.pixels; ++p) {
+        float* g = trial.genes.data() + 5 * p;
+        g[0] = std::clamp(g[0], 0.0f, static_cast<float>(h - 1));
+        g[1] = std::clamp(g[1], 0.0f, static_cast<float>(w - 1));
+        for (int cc = 2; cc < 5; ++cc) {
+          g[cc] = std::clamp(g[cc], 0.0f, 1.0f);
+        }
+      }
+      evaluate(trial);
+      if (trial.fitness > population[i].fitness) {
+        population[i] = std::move(trial);
+      }
+      best = std::max(best, population[i].fitness);
+    }
+    result.loss_history.push_back(best);
+    if (config_.target_confidence > 0.0f &&
+        best >= config_.target_confidence) {
+      break;
+    }
+  }
+
+  const Candidate& winner = *std::max_element(
+      population.begin(), population.end(),
+      [](const Candidate& a, const Candidate& b) {
+        return a.fitness < b.fitness;
+      });
+  result.adversarial = apply_candidate(source, winner, options_.pixels);
+  finalize(result, source);
+  return result;
+}
+
+}  // namespace fademl::attacks

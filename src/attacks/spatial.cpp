@@ -1,0 +1,67 @@
+#include "fademl/attacks/spatial.hpp"
+
+#include <limits>
+
+#include "fademl/data/transforms.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::attacks {
+
+SpatialAttack::SpatialAttack(AttackConfig config, SpatialOptions options)
+    : Attack(config), options_(options) {
+  FADEML_CHECK(options_.rotation_steps >= 1 && options_.translation_steps >= 1,
+               "spatial attack needs at least a 1x1x1 grid");
+  FADEML_CHECK(options_.max_rotation_deg >= 0.0f &&
+                   options_.max_translation >= 0.0f,
+               "spatial attack bounds must be non-negative");
+}
+
+AttackResult SpatialAttack::run(const core::InferencePipeline& pipeline,
+                                const Tensor& source,
+                                int64_t target_class) const {
+  AttackResult result;
+  const int64_t source_class = target_class;  // untargeted: escape this
+
+  const auto grid_value = [](float max, int steps, int i) {
+    if (steps == 1) {
+      return 0.0f;
+    }
+    return -max + 2.0f * max * static_cast<float>(i) /
+                      static_cast<float>(steps - 1);
+  };
+
+  float worst_prob = std::numeric_limits<float>::infinity();
+  Tensor worst = source.clone();
+  for (int ri = 0; ri < options_.rotation_steps; ++ri) {
+    const float deg =
+        grid_value(options_.max_rotation_deg, options_.rotation_steps, ri);
+    const Tensor rotated =
+        deg == 0.0f ? source.clone() : data::rotate_image(source, deg);
+    for (int xi = 0; xi < options_.translation_steps; ++xi) {
+      for (int yi = 0; yi < options_.translation_steps; ++yi) {
+        const float dx = grid_value(options_.max_translation,
+                                    options_.translation_steps, xi);
+        const float dy = grid_value(options_.max_translation,
+                                    options_.translation_steps, yi);
+        Tensor candidate = (dx == 0.0f && dy == 0.0f)
+                               ? rotated.clone()
+                               : data::translate_image(rotated, dx, dy);
+        const Tensor probs =
+            pipeline.predict_probs(candidate, config_.grad_tm);
+        ++result.iterations;
+        const float p = probs.at(source_class);
+        if (p < worst_prob) {
+          worst_prob = p;
+          worst = std::move(candidate);
+        }
+      }
+    }
+    result.loss_history.push_back(worst_prob);
+  }
+  result.adversarial = std::move(worst);
+  finalize(result, source);
+  return result;
+}
+
+}  // namespace fademl::attacks

@@ -1,0 +1,77 @@
+#include "fademl/attacks/universal.hpp"
+
+#include <algorithm>
+
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::attacks {
+
+UniversalPerturbation::UniversalPerturbation(AttackConfig config,
+                                             UniversalOptions options)
+    : config_(config), options_(options) {
+  FADEML_CHECK(config_.epsilon > 0.0f, "universal epsilon must be positive");
+  FADEML_CHECK(options_.epochs >= 1 && options_.steps_per_sample >= 1,
+               "universal crafting needs positive epochs/steps");
+  FADEML_CHECK(options_.target_fooling_rate > 0.0f &&
+                   options_.target_fooling_rate <= 1.0f,
+               "target fooling rate must be in (0, 1]");
+}
+
+double UniversalPerturbation::fooling_rate(
+    const core::InferencePipeline& pipeline,
+    const std::vector<Tensor>& images, const Tensor& v,
+    core::ThreatModel tm) {
+  FADEML_CHECK(!images.empty(), "fooling_rate needs samples");
+  int64_t fooled = 0;
+  for (const Tensor& image : images) {
+    const int64_t clean = argmax(pipeline.predict_probs(image, tm));
+    Tensor perturbed = add(image, v);
+    perturbed.clamp_(0.0f, 1.0f);
+    if (argmax(pipeline.predict_probs(perturbed, tm)) != clean) {
+      ++fooled;
+    }
+  }
+  return static_cast<double>(fooled) / static_cast<double>(images.size());
+}
+
+UniversalResult UniversalPerturbation::craft(
+    const core::InferencePipeline& pipeline,
+    const std::vector<Tensor>& images,
+    const std::vector<int64_t>& labels) const {
+  FADEML_CHECK(!images.empty() && images.size() == labels.size(),
+               "universal crafting needs a labelled sample set");
+  UniversalResult result;
+  result.perturbation = Tensor::zeros(images.front().shape());
+  Tensor& v = result.perturbation;
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (size_t i = 0; i < images.size(); ++i) {
+      Tensor x = add(images[i], v);
+      x.clamp_(0.0f, 1.0f);
+      const Tensor probs = pipeline.predict_probs(x, config_.grad_tm);
+      if (argmax(probs) != labels[i]) {
+        continue;  // already fooled by the current v
+      }
+      // A few untargeted ascent steps on the true class, folded into v.
+      for (int s = 0; s < options_.steps_per_sample; ++s) {
+        const core::LossGrad lg = pipeline.loss_and_grad(
+            x, targeted_cross_entropy(labels[i]), config_.grad_tm);
+        ++result.gradient_evaluations;
+        x.add_(sign(lg.grad), options_.step_size);
+        x.clamp_(0.0f, 1.0f);
+      }
+      // v <- proj_eps(v + (x_adv - x_clean_with_v)).
+      v.add_(sub(x, add(images[i], v)));
+      v.clamp_(-config_.epsilon, config_.epsilon);
+    }
+    result.fooling_rate =
+        fooling_rate(pipeline, images, v, config_.grad_tm);
+    if (result.fooling_rate >= options_.target_fooling_rate) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace fademl::attacks

@@ -1,0 +1,88 @@
+#include "fademl/attacks/zoo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::attacks {
+
+ZooAttack::ZooAttack(AttackConfig config, ZooOptions options)
+    : Attack(config), options_(options) {
+  FADEML_CHECK(options_.coords_per_step >= 1,
+               "ZOO needs at least one coordinate per step");
+  FADEML_CHECK(options_.fd_eps > 0.0f, "ZOO probe size must be positive");
+  FADEML_CHECK(config_.max_iterations > 0, "ZOO requires iterations > 0");
+}
+
+std::string ZooAttack::name() const { return "ZOO"; }
+
+AttackResult ZooAttack::run(const core::InferencePipeline& pipeline,
+                            const Tensor& source,
+                            int64_t target_class) const {
+  AttackResult result;
+  Rng rng(options_.seed);
+  Tensor x = source.clone();
+  const int64_t n = x.numel();
+
+  // Black-box margin loss: log of best-other minus log of target (the
+  // log-softmax version of C&W's f, computable from query probabilities).
+  const auto margin = [&](const Tensor& probe) {
+    const Tensor probs = pipeline.predict_probs(probe, config_.grad_tm);
+    ++result.iterations;
+    float best_other = 0.0f;
+    for (int64_t i = 0; i < probs.numel(); ++i) {
+      if (i != target_class) {
+        best_other = std::max(best_other, probs.at(i));
+      }
+    }
+    return std::log(std::max(best_other, 1e-12f)) -
+           std::log(std::max(probs.at(target_class), 1e-12f));
+  };
+
+  Tensor adam_m = Tensor::zeros(x.shape());
+  Tensor adam_v = Tensor::zeros(x.shape());
+  int64_t t = 0;
+
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    const float current = margin(x);
+    result.loss_history.push_back(current);
+    if (current < 0.0f) {
+      break;  // target class already dominant
+    }
+    // Symmetric finite differences on a random coordinate subset.
+    for (int k = 0; k < options_.coords_per_step; ++k) {
+      const int64_t i = rng.uniform_int(n);
+      const float saved = x.at(i);
+      x.at(i) = std::min(1.0f, saved + options_.fd_eps);
+      const float up = margin(x);
+      x.at(i) = std::max(0.0f, saved - options_.fd_eps);
+      const float down = margin(x);
+      x.at(i) = saved;
+      const float g = (up - down) / (2.0f * options_.fd_eps);
+
+      // Coordinate-wise Adam (the ZOO-Adam variant).
+      ++t;
+      float& m = adam_m.at(i);
+      float& v = adam_v.at(i);
+      m = 0.9f * m + 0.1f * g;
+      v = 0.999f * v + 0.001f * g * g;
+      const float mhat = m / (1.0f - std::pow(0.9f, static_cast<float>(t)));
+      const float vhat =
+          v / (1.0f - std::pow(0.999f, static_cast<float>(t)));
+      float updated = saved - options_.adam_lr * mhat /
+                                  (std::sqrt(vhat) + 1e-8f);
+      // Keep inside both the pixel box and the L-inf budget.
+      updated = std::clamp(updated, source.at(i) - config_.epsilon,
+                           source.at(i) + config_.epsilon);
+      x.at(i) = std::clamp(updated, 0.0f, 1.0f);
+    }
+  }
+
+  result.adversarial = std::move(x);
+  finalize(result, source);
+  return result;
+}
+
+}  // namespace fademl::attacks

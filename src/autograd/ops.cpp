@@ -1,0 +1,726 @@
+#include "fademl/autograd/ops.hpp"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::autograd {
+
+namespace {
+
+using detail::Node;
+
+/// Create the output node for an op: value + parent edges; requires_grad is
+/// the OR of the parents'. The caller attaches the backward closure only
+/// when the output actually requires gradients.
+std::shared_ptr<Node> make_node(Tensor value,
+                                std::vector<std::shared_ptr<Node>> parents) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->parents = std::move(parents);
+  for (const auto& p : node->parents) {
+    if (p && p->requires_grad) {
+      node->requires_grad = true;
+      break;
+    }
+  }
+  return node;
+}
+
+/// Accumulate into `parent` only when it participates in differentiation.
+void push_grad(const std::shared_ptr<Node>& parent, const Tensor& g) {
+  if (parent && parent->requires_grad) {
+    parent->accumulate(g);
+  }
+}
+
+}  // namespace
+
+Variable add(const Variable& a, const Variable& b) {
+  auto node = make_node(fademl::add(a.value(), b.value()),
+                        {a.node(), b.node()});
+  if (node->requires_grad) {
+    node->backward_fn = [](Node& n) {
+      push_grad(n.parents[0], n.grad);
+      push_grad(n.parents[1], n.grad);
+    };
+  }
+  return Variable::from_node(node);
+}
+
+Variable sub(const Variable& a, const Variable& b) {
+  auto node = make_node(fademl::sub(a.value(), b.value()),
+                        {a.node(), b.node()});
+  if (node->requires_grad) {
+    node->backward_fn = [](Node& n) {
+      push_grad(n.parents[0], n.grad);
+      push_grad(n.parents[1], fademl::neg(n.grad));
+    };
+  }
+  return Variable::from_node(node);
+}
+
+Variable mul(const Variable& a, const Variable& b) {
+  auto node = make_node(fademl::mul(a.value(), b.value()),
+                        {a.node(), b.node()});
+  if (node->requires_grad) {
+    node->backward_fn = [](Node& n) {
+      push_grad(n.parents[0], fademl::mul(n.grad, n.parents[1]->value));
+      push_grad(n.parents[1], fademl::mul(n.grad, n.parents[0]->value));
+    };
+  }
+  return Variable::from_node(node);
+}
+
+Variable add_scalar(const Variable& a, float s) {
+  auto node = make_node(fademl::add(a.value(), s), {a.node()});
+  if (node->requires_grad) {
+    node->backward_fn = [](Node& n) { push_grad(n.parents[0], n.grad); };
+  }
+  return Variable::from_node(node);
+}
+
+Variable mul_scalar(const Variable& a, float s) {
+  auto node = make_node(fademl::mul(a.value(), s), {a.node()});
+  if (node->requires_grad) {
+    node->backward_fn = [s](Node& n) {
+      push_grad(n.parents[0], fademl::mul(n.grad, s));
+    };
+  }
+  return Variable::from_node(node);
+}
+
+Variable relu(const Variable& a) {
+  auto node = make_node(fademl::relu(a.value()), {a.node()});
+  if (node->requires_grad) {
+    node->backward_fn = [](Node& n) {
+      Tensor g = n.grad.clone();
+      const float* x = n.parents[0]->value.data();
+      float* gp = g.data();
+      const int64_t count = g.numel();
+      for (int64_t i = 0; i < count; ++i) {
+        if (x[i] <= 0.0f) {
+          gp[i] = 0.0f;
+        }
+      }
+      push_grad(n.parents[0], g);
+    };
+  }
+  return Variable::from_node(node);
+}
+
+Variable tanh(const Variable& a) {
+  auto node = make_node(fademl::tanh(a.value()), {a.node()});
+  if (node->requires_grad) {
+    node->backward_fn = [](Node& n) {
+      // d tanh = 1 - tanh^2, reusing the forward value.
+      Tensor g = n.grad.clone();
+      const float* y = n.value.data();
+      float* gp = g.data();
+      const int64_t count = g.numel();
+      for (int64_t i = 0; i < count; ++i) {
+        gp[i] *= 1.0f - y[i] * y[i];
+      }
+      push_grad(n.parents[0], g);
+    };
+  }
+  return Variable::from_node(node);
+}
+
+Variable reshape(const Variable& a, Shape shape) {
+  auto node = make_node(a.value().reshape(shape).clone(), {a.node()});
+  if (node->requires_grad) {
+    node->backward_fn = [](Node& n) {
+      push_grad(n.parents[0], n.grad.reshape(n.parents[0]->value.shape()));
+    };
+  }
+  return Variable::from_node(node);
+}
+
+Variable matmul(const Variable& a, const Variable& b) {
+  auto node = make_node(fademl::matmul(a.value(), b.value()),
+                        {a.node(), b.node()});
+  if (node->requires_grad) {
+    node->backward_fn = [](Node& n) {
+      const Tensor& ga = n.grad;                        // [M, N]
+      const Tensor& av = n.parents[0]->value;           // [M, K]
+      const Tensor& bv = n.parents[1]->value;           // [K, N]
+      if (n.parents[0]->requires_grad) {
+        push_grad(n.parents[0], fademl::matmul(ga, transpose2d(bv)));
+      }
+      if (n.parents[1]->requires_grad) {
+        push_grad(n.parents[1], fademl::matmul(transpose2d(av), ga));
+      }
+    };
+  }
+  return Variable::from_node(node);
+}
+
+Variable linear(const Variable& x, const Variable& weight,
+                const Variable& bias) {
+  const Tensor& xv = x.value();
+  const Tensor& wv = weight.value();
+  FADEML_CHECK(xv.rank() == 2 && wv.rank() == 2 && xv.dim(1) == wv.dim(1),
+               "linear shapes: x " + xv.shape().str() + ", W " +
+                   wv.shape().str());
+  Tensor out = fademl::matmul(xv, transpose2d(wv));  // [N, O]
+  if (bias.defined()) {
+    const Tensor& bv = bias.value();
+    FADEML_CHECK(bv.rank() == 1 && bv.dim(0) == wv.dim(0),
+                 "linear bias must be [O], got " + bv.shape().str());
+    const int64_t rows = out.dim(0);
+    const int64_t cols = out.dim(1);
+    float* po = out.data();
+    const float* pb = bv.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < cols; ++c) {
+        po[r * cols + c] += pb[c];
+      }
+    }
+  }
+  auto node = make_node(std::move(out),
+                        {x.node(), weight.node(),
+                         bias.defined() ? bias.node() : nullptr});
+  if (node->requires_grad) {
+    node->backward_fn = [](Node& n) {
+      const Tensor& gy = n.grad;               // [N, O]
+      const Tensor& xv2 = n.parents[0]->value;  // [N, F]
+      const Tensor& wv2 = n.parents[1]->value;  // [O, F]
+      if (n.parents[0]->requires_grad) {
+        push_grad(n.parents[0], fademl::matmul(gy, wv2));
+      }
+      if (n.parents[1]->requires_grad) {
+        push_grad(n.parents[1], fademl::matmul(transpose2d(gy), xv2));
+      }
+      if (n.parents[2] && n.parents[2]->requires_grad) {
+        const int64_t rows = gy.dim(0);
+        const int64_t cols = gy.dim(1);
+        Tensor gb = Tensor::zeros(Shape{cols});
+        const float* pg = gy.data();
+        float* pb = gb.data();
+        for (int64_t r = 0; r < rows; ++r) {
+          for (int64_t c = 0; c < cols; ++c) {
+            pb[c] += pg[r * cols + c];
+          }
+        }
+        push_grad(n.parents[2], gb);
+      }
+    };
+  }
+  return Variable::from_node(node);
+}
+
+Variable conv2d(const Variable& input, const Variable& weight,
+                const Variable& bias, const Conv2dSpec& spec) {
+  Tensor out = fademl::conv2d(input.value(), weight.value(),
+                              bias.defined() ? bias.value() : Tensor{}, spec);
+  auto node = make_node(std::move(out),
+                        {input.node(), weight.node(),
+                         bias.defined() ? bias.node() : nullptr});
+  if (node->requires_grad) {
+    node->backward_fn = [spec](Node& n) {
+      const Tensor& gy = n.grad;                 // [N, O, oh, ow]
+      const Tensor& xv = n.parents[0]->value;    // [N, C, H, W]
+      const Tensor& wv = n.parents[1]->value;    // [O, C, kh, kw]
+      const int64_t batch = xv.dim(0);
+      const int64_t c = xv.dim(1);
+      const int64_t h = xv.dim(2);
+      const int64_t w = xv.dim(3);
+      const int64_t o = wv.dim(0);
+      const int64_t oh = spec.out_size(h, spec.kernel_h);
+      const int64_t ow = spec.out_size(w, spec.kernel_w);
+      const int64_t kdim = c * spec.kernel_h * spec.kernel_w;
+      const Tensor wmat = wv.reshape(Shape{o, kdim});
+      const bool need_gx = n.parents[0]->requires_grad;
+      const bool need_gw = n.parents[1]->requires_grad;
+      const bool need_gb = n.parents[2] && n.parents[2]->requires_grad;
+
+      Tensor gx = need_gx ? Tensor::zeros(xv.shape()) : Tensor{};
+      Tensor gw = need_gw ? Tensor::zeros(Shape{o, kdim}) : Tensor{};
+      Tensor gb = need_gb ? Tensor::zeros(Shape{o}) : Tensor{};
+      const Tensor wmat_t = need_gx ? transpose2d(wmat) : Tensor{};
+
+      for (int64_t b = 0; b < batch; ++b) {
+        Tensor gy_b{Shape{o, oh * ow}};
+        std::copy(gy.data() + b * o * oh * ow,
+                  gy.data() + (b + 1) * o * oh * ow, gy_b.data());
+        if (need_gx) {
+          const Tensor gcols = fademl::matmul(wmat_t, gy_b);  // [kdim, oh*ow]
+          const Tensor gimg = col2im(gcols, c, h, w, spec);
+          std::copy(gimg.data(), gimg.data() + gimg.numel(),
+                    gx.data() + b * c * h * w);
+        }
+        if (need_gw) {
+          Tensor image{Shape{c, h, w}};
+          std::copy(xv.data() + b * c * h * w, xv.data() + (b + 1) * c * h * w,
+                    image.data());
+          const Tensor cols = im2col(image, spec);  // [kdim, oh*ow]
+          gw.add_(fademl::matmul(gy_b, transpose2d(cols)));
+        }
+        if (need_gb) {
+          const float* pg = gy_b.data();
+          float* pb = gb.data();
+          for (int64_t oc = 0; oc < o; ++oc) {
+            for (int64_t i = 0; i < oh * ow; ++i) {
+              pb[oc] += pg[oc * oh * ow + i];
+            }
+          }
+        }
+      }
+      if (need_gx) {
+        push_grad(n.parents[0], gx);
+      }
+      if (need_gw) {
+        push_grad(n.parents[1], gw.reshape(wv.shape()));
+      }
+      if (need_gb) {
+        push_grad(n.parents[2], gb);
+      }
+    };
+  }
+  return Variable::from_node(node);
+}
+
+Variable maxpool2d(const Variable& input, int64_t k) {
+  auto argmax = std::make_shared<std::vector<int64_t>>();
+  Tensor out = fademl::maxpool2d(input.value(), k, argmax.get());
+  auto node = make_node(std::move(out), {input.node()});
+  if (node->requires_grad) {
+    node->backward_fn = [argmax](Node& n) {
+      Tensor gx = Tensor::zeros(n.parents[0]->value.shape());
+      const float* pg = n.grad.data();
+      float* px = gx.data();
+      const int64_t count = n.grad.numel();
+      for (int64_t i = 0; i < count; ++i) {
+        px[(*argmax)[static_cast<size_t>(i)]] += pg[i];
+      }
+      push_grad(n.parents[0], gx);
+    };
+  }
+  return Variable::from_node(node);
+}
+
+Variable avgpool2d(const Variable& input, int64_t k) {
+  const Tensor& xv = input.value();
+  FADEML_CHECK(xv.rank() == 4,
+               "avgpool2d expects [N, C, H, W], got " + xv.shape().str());
+  FADEML_CHECK(k >= 1 && xv.dim(2) % k == 0 && xv.dim(3) % k == 0,
+               "avgpool2d window must divide the spatial dims");
+  const int64_t n = xv.dim(0);
+  const int64_t c = xv.dim(1);
+  const int64_t h = xv.dim(2);
+  const int64_t w = xv.dim(3);
+  const int64_t oh = h / k;
+  const int64_t ow = w / k;
+  Tensor out = Tensor::zeros(Shape{n, c, oh, ow});
+  const float* src = xv.data();
+  float* dst = out.data();
+  const float inv = 1.0f / static_cast<float>(k * k);
+  for (int64_t b = 0; b < n * c; ++b) {
+    const float* plane = src + b * h * w;
+    float* oplane = dst + b * oh * ow;
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        float acc = 0.0f;
+        for (int64_t dy = 0; dy < k; ++dy) {
+          for (int64_t dx = 0; dx < k; ++dx) {
+            acc += plane[(oy * k + dy) * w + ox * k + dx];
+          }
+        }
+        oplane[oy * ow + ox] = acc * inv;
+      }
+    }
+  }
+  auto node = make_node(std::move(out), {input.node()});
+  if (node->requires_grad) {
+    node->backward_fn = [k, inv](Node& nd) {
+      const Tensor& xv2 = nd.parents[0]->value;
+      const int64_t h2 = xv2.dim(2);
+      const int64_t w2 = xv2.dim(3);
+      const int64_t oh2 = h2 / k;
+      const int64_t ow2 = w2 / k;
+      Tensor gx = Tensor::zeros(xv2.shape());
+      const float* pg = nd.grad.data();
+      float* px = gx.data();
+      const int64_t planes = xv2.dim(0) * xv2.dim(1);
+      for (int64_t b = 0; b < planes; ++b) {
+        const float* gplane = pg + b * oh2 * ow2;
+        float* xplane = px + b * h2 * w2;
+        for (int64_t oy = 0; oy < oh2; ++oy) {
+          for (int64_t ox = 0; ox < ow2; ++ox) {
+            const float share = gplane[oy * ow2 + ox] * inv;
+            for (int64_t dy = 0; dy < k; ++dy) {
+              for (int64_t dx = 0; dx < k; ++dx) {
+                xplane[(oy * k + dy) * w2 + ox * k + dx] += share;
+              }
+            }
+          }
+        }
+      }
+      push_grad(nd.parents[0], gx);
+    };
+  }
+  return Variable::from_node(node);
+}
+
+Variable mask_mul(const Variable& a, const Tensor& mask) {
+  FADEML_CHECK(mask.numel() == a.value().numel(),
+               "mask_mul mask numel mismatch");
+  auto node = make_node(fademl::mul(a.value(), mask.reshape(a.value().shape())),
+                        {a.node()});
+  if (node->requires_grad) {
+    const Tensor m = mask.clone();
+    node->backward_fn = [m](Node& n) {
+      push_grad(n.parents[0],
+                fademl::mul(n.grad, m.reshape(n.grad.shape())));
+    };
+  }
+  return Variable::from_node(node);
+}
+
+namespace {
+
+void check_bn_shapes(const Tensor& x, const Tensor& gamma,
+                     const Tensor& beta) {
+  FADEML_CHECK(x.rank() == 4,
+               "batchnorm2d expects [N, C, H, W], got " + x.shape().str());
+  FADEML_CHECK(gamma.rank() == 1 && gamma.dim(0) == x.dim(1),
+               "batchnorm2d gamma must be [C]");
+  FADEML_CHECK(beta.rank() == 1 && beta.dim(0) == x.dim(1),
+               "batchnorm2d beta must be [C]");
+}
+
+}  // namespace
+
+Variable batchnorm2d(const Variable& input, const Variable& gamma,
+                     const Variable& beta, float eps, Tensor* mean_out,
+                     Tensor* var_out) {
+  const Tensor& xv = input.value();
+  check_bn_shapes(xv, gamma.value(), beta.value());
+  const int64_t n = xv.dim(0);
+  const int64_t c = xv.dim(1);
+  const int64_t hw = xv.dim(2) * xv.dim(3);
+  const int64_t per_channel = n * hw;
+  FADEML_CHECK(per_channel > 0, "batchnorm2d needs a non-empty batch");
+
+  // Per-channel batch statistics.
+  Tensor mean = Tensor::zeros(Shape{c});
+  Tensor var = Tensor::zeros(Shape{c});
+  const float* px = xv.data();
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = px + (b * c + ch) * hw;
+      for (int64_t i = 0; i < hw; ++i) {
+        mean.at(ch) += plane[i];
+      }
+    }
+  }
+  mean.mul_(1.0f / static_cast<float>(per_channel));
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = px + (b * c + ch) * hw;
+      const float m = mean.at(ch);
+      for (int64_t i = 0; i < hw; ++i) {
+        const float d = plane[i] - m;
+        var.at(ch) += d * d;
+      }
+    }
+  }
+  var.mul_(1.0f / static_cast<float>(per_channel));
+  if (mean_out != nullptr) {
+    *mean_out = mean.clone();
+  }
+  if (var_out != nullptr) {
+    *var_out = var.clone();
+  }
+
+  // Normalize: y = gamma * (x - mean) / sqrt(var + eps) + beta.
+  Tensor xhat{xv.shape()};
+  Tensor out{xv.shape()};
+  const float* pg = gamma.value().data();
+  const float* pb = beta.value().data();
+  float* ph = xhat.data();
+  float* po = out.data();
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float m = mean.at(ch);
+      const float inv_std = 1.0f / std::sqrt(var.at(ch) + eps);
+      const float* plane = px + (b * c + ch) * hw;
+      float* hplane = ph + (b * c + ch) * hw;
+      float* oplane = po + (b * c + ch) * hw;
+      for (int64_t i = 0; i < hw; ++i) {
+        hplane[i] = (plane[i] - m) * inv_std;
+        oplane[i] = pg[ch] * hplane[i] + pb[ch];
+      }
+    }
+  }
+
+  auto node = make_node(std::move(out),
+                        {input.node(), gamma.node(), beta.node()});
+  if (node->requires_grad) {
+    const Tensor xhat_saved = xhat;
+    const Tensor var_saved = var;
+    node->backward_fn = [xhat_saved, var_saved, eps](Node& nd) {
+      const Tensor& gy = nd.grad;
+      const Tensor& xv2 = nd.parents[0]->value;
+      const Tensor& gv = nd.parents[1]->value;  // gamma
+      const int64_t n2 = xv2.dim(0);
+      const int64_t c2 = xv2.dim(1);
+      const int64_t hw2 = xv2.dim(2) * xv2.dim(3);
+      const int64_t m2 = n2 * hw2;
+      // dgamma / dbeta.
+      Tensor dgamma = Tensor::zeros(Shape{c2});
+      Tensor dbeta = Tensor::zeros(Shape{c2});
+      const float* pgy = gy.data();
+      const float* phat = xhat_saved.data();
+      for (int64_t b = 0; b < n2; ++b) {
+        for (int64_t ch = 0; ch < c2; ++ch) {
+          const float* gplane = pgy + (b * c2 + ch) * hw2;
+          const float* hplane = phat + (b * c2 + ch) * hw2;
+          for (int64_t i = 0; i < hw2; ++i) {
+            dgamma.at(ch) += gplane[i] * hplane[i];
+            dbeta.at(ch) += gplane[i];
+          }
+        }
+      }
+      if (nd.parents[0]->requires_grad) {
+        // dx = gamma/std * (dy - mean(dy) - xhat * mean(dy * xhat)).
+        Tensor gx{xv2.shape()};
+        float* pgx = gx.data();
+        for (int64_t ch = 0; ch < c2; ++ch) {
+          const float inv_std = 1.0f / std::sqrt(var_saved.at(ch) + eps);
+          const float scale = gv.at(ch) * inv_std;
+          const float mean_dy = dbeta.at(ch) / static_cast<float>(m2);
+          const float mean_dyh = dgamma.at(ch) / static_cast<float>(m2);
+          for (int64_t b = 0; b < n2; ++b) {
+            const int64_t base = (b * c2 + ch) * hw2;
+            for (int64_t i = 0; i < hw2; ++i) {
+              pgx[base + i] = scale * (pgy[base + i] - mean_dy -
+                                       phat[base + i] * mean_dyh);
+            }
+          }
+        }
+        push_grad(nd.parents[0], gx);
+      }
+      push_grad(nd.parents[1], dgamma);
+      push_grad(nd.parents[2], dbeta);
+    };
+  }
+  return Variable::from_node(node);
+}
+
+Variable batchnorm2d_inference(const Variable& input, const Variable& gamma,
+                               const Variable& beta, const Tensor& mean,
+                               const Tensor& var, float eps) {
+  const Tensor& xv = input.value();
+  check_bn_shapes(xv, gamma.value(), beta.value());
+  FADEML_CHECK(mean.numel() == xv.dim(1) && var.numel() == xv.dim(1),
+               "batchnorm2d_inference statistics must be [C]");
+  const int64_t n = xv.dim(0);
+  const int64_t c = xv.dim(1);
+  const int64_t hw = xv.dim(2) * xv.dim(3);
+  Tensor out{xv.shape()};
+  const float* px = xv.data();
+  const float* pg = gamma.value().data();
+  const float* pb = beta.value().data();
+  float* po = out.data();
+  std::vector<float> scale(static_cast<size_t>(c));
+  std::vector<float> shift(static_cast<size_t>(c));
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float inv_std = 1.0f / std::sqrt(var.at(ch) + eps);
+    scale[static_cast<size_t>(ch)] = pg[ch] * inv_std;
+    shift[static_cast<size_t>(ch)] =
+        pb[ch] - pg[ch] * mean.at(ch) * inv_std;
+  }
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const int64_t base = (b * c + ch) * hw;
+      const float s = scale[static_cast<size_t>(ch)];
+      const float t = shift[static_cast<size_t>(ch)];
+      for (int64_t i = 0; i < hw; ++i) {
+        po[base + i] = s * px[base + i] + t;
+      }
+    }
+  }
+  auto node = make_node(std::move(out),
+                        {input.node(), gamma.node(), beta.node()});
+  if (node->requires_grad) {
+    const Tensor mean_c = mean.clone();
+    const Tensor var_c = var.clone();
+    node->backward_fn = [mean_c, var_c, eps](Node& nd) {
+      const Tensor& gy = nd.grad;
+      const Tensor& xv2 = nd.parents[0]->value;
+      const Tensor& gv = nd.parents[1]->value;
+      const int64_t n2 = xv2.dim(0);
+      const int64_t c2 = xv2.dim(1);
+      const int64_t hw2 = xv2.dim(2) * xv2.dim(3);
+      const float* pgy = gy.data();
+      const float* px2 = xv2.data();
+      if (nd.parents[0]->requires_grad) {
+        Tensor gx{xv2.shape()};
+        float* pgx = gx.data();
+        for (int64_t ch = 0; ch < c2; ++ch) {
+          const float s =
+              gv.at(ch) / std::sqrt(var_c.at(ch) + eps);
+          for (int64_t b = 0; b < n2; ++b) {
+            const int64_t base = (b * c2 + ch) * hw2;
+            for (int64_t i = 0; i < hw2; ++i) {
+              pgx[base + i] = s * pgy[base + i];
+            }
+          }
+        }
+        push_grad(nd.parents[0], gx);
+      }
+      // dgamma / dbeta with fixed statistics.
+      Tensor dgamma = Tensor::zeros(Shape{c2});
+      Tensor dbeta = Tensor::zeros(Shape{c2});
+      for (int64_t ch = 0; ch < c2; ++ch) {
+        const float inv_std = 1.0f / std::sqrt(var_c.at(ch) + eps);
+        for (int64_t b = 0; b < n2; ++b) {
+          const int64_t base = (b * c2 + ch) * hw2;
+          for (int64_t i = 0; i < hw2; ++i) {
+            dgamma.at(ch) +=
+                pgy[base + i] * (px2[base + i] - mean_c.at(ch)) * inv_std;
+            dbeta.at(ch) += pgy[base + i];
+          }
+        }
+      }
+      push_grad(nd.parents[1], dgamma);
+      push_grad(nd.parents[2], dbeta);
+    };
+  }
+  return Variable::from_node(node);
+}
+
+Variable sum(const Variable& a) {
+  auto node = make_node(Tensor::scalar(fademl::sum(a.value())), {a.node()});
+  if (node->requires_grad) {
+    node->backward_fn = [](Node& n) {
+      push_grad(n.parents[0],
+                Tensor::full(n.parents[0]->value.shape(), n.grad.item()));
+    };
+  }
+  return Variable::from_node(node);
+}
+
+Variable mean(const Variable& a) {
+  const float inv = 1.0f / static_cast<float>(a.value().numel());
+  auto node = make_node(Tensor::scalar(fademl::mean(a.value())), {a.node()});
+  if (node->requires_grad) {
+    node->backward_fn = [inv](Node& n) {
+      push_grad(n.parents[0],
+                Tensor::full(n.parents[0]->value.shape(), n.grad.item() * inv));
+    };
+  }
+  return Variable::from_node(node);
+}
+
+Variable dot_const(const Variable& a, const Tensor& weights) {
+  FADEML_CHECK(weights.numel() == a.value().numel(),
+               "dot_const weight numel mismatch");
+  auto node = make_node(Tensor::scalar(fademl::dot(a.value(), weights)),
+                        {a.node()});
+  if (node->requires_grad) {
+    const Tensor w = weights.clone();
+    node->backward_fn = [w](Node& n) {
+      Tensor g = fademl::mul(w, n.grad.item());
+      push_grad(n.parents[0], g.reshape(n.parents[0]->value.shape()));
+    };
+  }
+  return Variable::from_node(node);
+}
+
+Variable softmax_rows(const Variable& logits) {
+  auto node = make_node(fademl::softmax_rows(logits.value()), {logits.node()});
+  if (node->requires_grad) {
+    node->backward_fn = [](Node& n) {
+      // dL/dx = p ⊙ (dL/dp − (dL/dp · p) per row)
+      const Tensor& p = n.value;
+      const Tensor& g = n.grad;
+      const int64_t rows = p.dim(0);
+      const int64_t cols = p.dim(1);
+      Tensor gx{p.shape()};
+      const float* pp = p.data();
+      const float* pg = g.data();
+      float* px = gx.data();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* prow = pp + r * cols;
+        const float* grow = pg + r * cols;
+        float dotv = 0.0f;
+        for (int64_t c = 0; c < cols; ++c) {
+          dotv += grow[c] * prow[c];
+        }
+        float* xrow = px + r * cols;
+        for (int64_t c = 0; c < cols; ++c) {
+          xrow[c] = prow[c] * (grow[c] - dotv);
+        }
+      }
+      push_grad(n.parents[0], gx);
+    };
+  }
+  return Variable::from_node(node);
+}
+
+Variable cross_entropy(const Variable& logits,
+                       const std::vector<int64_t>& labels) {
+  const Tensor& lv = logits.value();
+  FADEML_CHECK(lv.rank() == 2, "cross_entropy expects [N, C] logits, got " +
+                                   lv.shape().str());
+  const int64_t rows = lv.dim(0);
+  const int64_t cols = lv.dim(1);
+  FADEML_CHECK(static_cast<int64_t>(labels.size()) == rows,
+               "cross_entropy label count mismatch");
+  for (int64_t l : labels) {
+    FADEML_CHECK(l >= 0 && l < cols,
+                 "cross_entropy label " + std::to_string(l) +
+                     " out of range for " + std::to_string(cols) + " classes");
+  }
+  const Tensor logp = log_softmax_rows(lv);
+  float loss = 0.0f;
+  for (int64_t r = 0; r < rows; ++r) {
+    loss -= logp.data()[r * cols + labels[static_cast<size_t>(r)]];
+  }
+  loss /= static_cast<float>(rows);
+
+  auto node = make_node(Tensor::scalar(loss), {logits.node()});
+  if (node->requires_grad) {
+    const std::vector<int64_t> labels_copy = labels;
+    node->backward_fn = [labels_copy](Node& n) {
+      const Tensor& lv2 = n.parents[0]->value;
+      const int64_t r = lv2.dim(0);
+      const int64_t c = lv2.dim(1);
+      Tensor gx = fademl::softmax_rows(lv2);  // [N, C]
+      float* p = gx.data();
+      const float scale = n.grad.item() / static_cast<float>(r);
+      for (int64_t i = 0; i < r; ++i) {
+        p[i * c + labels_copy[static_cast<size_t>(i)]] -= 1.0f;
+      }
+      gx.mul_(scale);
+      push_grad(n.parents[0], gx);
+    };
+  }
+  return Variable::from_node(node);
+}
+
+Tensor numerical_gradient(const std::function<float(const Tensor&)>& f,
+                          const Tensor& x, float eps) {
+  Tensor grad{x.shape()};
+  Tensor probe = x.clone();
+  float* pp = probe.data();
+  float* pg = grad.data();
+  const int64_t n = x.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    const float saved = pp[i];
+    pp[i] = saved + eps;
+    const float hi = f(probe);
+    pp[i] = saved - eps;
+    const float lo = f(probe);
+    pp[i] = saved;
+    pg[i] = (hi - lo) / (2.0f * eps);
+  }
+  return grad;
+}
+
+}  // namespace fademl::autograd

@@ -1,0 +1,129 @@
+#include "fademl/autograd/variable.hpp"
+
+#include <unordered_set>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::autograd {
+
+namespace detail {
+
+void Node::accumulate(const Tensor& g) {
+  if (!grad.defined()) {
+    grad = Tensor::zeros(value.shape());
+  }
+  FADEML_CHECK(g.numel() == grad.numel(),
+               "gradient numel mismatch: " + g.shape().str() + " into " +
+                   grad.shape().str());
+  grad.add_(g);
+}
+
+namespace {
+
+/// Depth-first post-order over the tape rooted at `root`. The reversed
+/// post-order is a valid topological order for backward execution.
+void topo_sort(const std::shared_ptr<Node>& root,
+               std::vector<std::shared_ptr<Node>>& order) {
+  std::unordered_set<Node*> visited;
+  // Iterative DFS: adversarial attack graphs over a deep VGG easily exceed
+  // default stack limits with a recursive formulation.
+  struct Frame {
+    std::shared_ptr<Node> node;
+    size_t next_parent = 0;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(root.get()).second) {
+    stack.push_back({root});
+  }
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      const std::shared_ptr<Node>& parent = top.node->parents[top.next_parent++];
+      if (parent && visited.insert(parent.get()).second) {
+        stack.push_back({parent});
+      }
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+}  // namespace detail
+
+Variable::Variable(Tensor value, bool requires_grad) {
+  FADEML_CHECK(value.defined(), "Variable requires a defined tensor");
+  node_ = std::make_shared<detail::Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Variable::value() const {
+  FADEML_CHECK(defined(), "value() of an undefined Variable");
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  FADEML_CHECK(defined(), "mutable_value() of an undefined Variable");
+  return node_->value;
+}
+
+const Tensor& Variable::grad() const {
+  FADEML_CHECK(defined(), "grad() of an undefined Variable");
+  return node_->grad;
+}
+
+bool Variable::requires_grad() const {
+  return defined() && node_->requires_grad;
+}
+
+void Variable::zero_grad() {
+  FADEML_CHECK(defined(), "zero_grad() of an undefined Variable");
+  if (node_->grad.defined()) {
+    node_->grad.zero_();
+  }
+}
+
+void Variable::backward() const {
+  FADEML_CHECK(defined(), "backward() of an undefined Variable");
+  FADEML_CHECK(node_->value.numel() == 1,
+               "backward() without a seed requires a scalar, shape is " +
+                   node_->value.shape().str());
+  backward(Tensor::ones(node_->value.shape()));
+}
+
+void Variable::backward(const Tensor& seed) const {
+  FADEML_CHECK(defined(), "backward() of an undefined Variable");
+  FADEML_CHECK(seed.numel() == node_->value.numel(),
+               "backward seed shape " + seed.shape().str() +
+                   " does not match value shape " + node_->value.shape().str());
+  std::vector<std::shared_ptr<detail::Node>> order;
+  detail::topo_sort(node_, order);
+  // Interior (non-leaf) gradients are transient per backward pass; only
+  // leaves accumulate across calls (the optimizer contract). Without this
+  // reset a retained graph double-counts on repeated backward().
+  for (const auto& n : order) {
+    if (!n->parents.empty()) {
+      n->grad = Tensor{};
+    }
+  }
+  node_->accumulate(seed);
+  // Reverse post-order: every node's gradient is complete before its
+  // backward closure fires.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    detail::Node& n = **it;
+    if (n.backward_fn && n.grad.defined()) {
+      n.backward_fn(n);
+    }
+  }
+}
+
+Variable Variable::from_node(std::shared_ptr<detail::Node> node) {
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+}  // namespace fademl::autograd

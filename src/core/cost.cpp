@@ -1,0 +1,54 @@
+#include "fademl/core/cost.hpp"
+
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::core {
+
+namespace {
+
+void check_probs(const Tensor& probs, const char* who) {
+  FADEML_CHECK(probs.rank() == 1 && probs.numel() >= 5,
+               std::string(who) +
+                   " expects a probability vector with >= 5 classes, got " +
+                   probs.shape().str());
+}
+
+}  // namespace
+
+float eq2_cost(const Tensor& reference_probs, const Tensor& comparison_probs) {
+  check_probs(reference_probs, "eq2_cost");
+  FADEML_CHECK(comparison_probs.shape() == reference_probs.shape(),
+               "eq2_cost probability shapes differ");
+  const std::vector<int64_t> top = topk_indices(reference_probs, 5);
+  float cost = 0.0f;
+  for (int64_t cls : top) {
+    cost += reference_probs.at(cls) - comparison_probs.at(cls);
+  }
+  return cost;
+}
+
+float fademl_cost(const Tensor& x_probs, const Tensor& y_probs) {
+  check_probs(x_probs, "fademl_cost");
+  FADEML_CHECK(y_probs.shape() == x_probs.shape(),
+               "fademl_cost probability shapes differ");
+  const std::vector<int64_t> x_top = topk_indices(x_probs, 5);
+  const std::vector<int64_t> y_top = topk_indices(y_probs, 5);
+  float cost = 0.0f;
+  for (int i = 0; i < 5; ++i) {
+    cost += x_probs.at(x_top[static_cast<size_t>(i)]) -
+            y_probs.at(y_top[static_cast<size_t>(i)]);
+  }
+  return cost;
+}
+
+Tensor top5_weight_vector(const Tensor& reference_probs) {
+  check_probs(reference_probs, "top5_weight_vector");
+  Tensor w = Tensor::zeros(reference_probs.shape());
+  for (int64_t cls : topk_indices(reference_probs, 5)) {
+    w.at(cls) = 1.0f;
+  }
+  return w;
+}
+
+}  // namespace fademl::core

@@ -1,0 +1,110 @@
+#include "fademl/core/experiment.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "fademl/nn/checkpoint.hpp"
+#include "fademl/nn/optimizer.hpp"
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::core {
+
+ExperimentConfig ExperimentConfig::from_env() {
+  ExperimentConfig config;
+  const char* fast = std::getenv("FADEML_FAST");
+  if (fast != nullptr && fast[0] != '\0' && fast[0] != '0') {
+    config.width_divisor = 16;
+    config.train_per_class = 6;
+    config.test_per_class = 3;
+    config.epochs = 6;
+  }
+  if (const char* dir = std::getenv("FADEML_CACHE_DIR")) {
+    config.cache_dir = dir;
+  }
+  return config;
+}
+
+std::string ExperimentConfig::checkpoint_path() const {
+  std::ostringstream os;
+  os << cache_dir << "/vgg_s" << image_size << "_d" << width_divisor << "_t"
+     << train_per_class << "_e" << epochs << "_b"
+     << static_cast<int>(train_blur_max * 100) << "_n"
+     << static_cast<int>(train_noise_max * 100) << "_seed" << seed
+     << ".fdml";
+  return os.str();
+}
+
+Experiment make_experiment(const ExperimentConfig& config) {
+  FADEML_CHECK(config.width_divisor >= 1, "width_divisor must be >= 1");
+  Experiment exp;
+  exp.config = config;
+
+  data::SynthConfig synth;
+  synth.image_size = config.image_size;
+  synth.train_per_class = config.train_per_class;
+  synth.test_per_class = config.test_per_class;
+  synth.seed = config.seed;
+  synth.train_blur_max = config.train_blur_max;
+  synth.train_noise_max = config.train_noise_max;
+  synth.noise_std = config.test_noise_std;
+  exp.dataset = data::make_synthetic_gtsrb(synth);
+
+  Rng rng(config.seed ^ 0xA5A5A5A5ull);
+  nn::VggConfig vgg = nn::VggConfig::scaled(config.width_divisor);
+  vgg.input_size = config.image_size;
+  exp.model = nn::make_vggnet(vgg, rng);
+
+  std::filesystem::create_directories(config.cache_dir);
+  const std::string path = config.checkpoint_path();
+  if (nn::checkpoint_exists(path)) {
+    nn::load_checkpoint(*exp.model, path);
+    if (config.verbose) {
+      std::printf("[fademl] loaded cached model from %s\n", path.c_str());
+    }
+  } else {
+    if (config.verbose) {
+      std::printf(
+          "[fademl] training VGGNet (%lld params) on synthetic GTSRB "
+          "(%lld train / %lld test)...\n",
+          static_cast<long long>(exp.model->parameter_count()),
+          static_cast<long long>(exp.dataset.train.size()),
+          static_cast<long long>(exp.dataset.test.size()));
+    }
+    nn::SGD::Config sgd_config;
+    sgd_config.lr = config.lr;
+    sgd_config.momentum = 0.9f;
+    sgd_config.weight_decay = 5e-4f;
+    nn::SGD sgd(exp.model->named_parameters(), sgd_config);
+    nn::Trainer::Config tconfig;
+    tconfig.epochs = config.epochs;
+    tconfig.batch_size = config.batch_size;
+    tconfig.lr_decay = config.lr_decay;
+    nn::Trainer trainer(*exp.model, sgd, tconfig);
+    Rng train_rng(config.seed + 1);
+    trainer.fit(exp.dataset.train.images, exp.dataset.train.labels, train_rng,
+                [&](int64_t epoch, double loss, double top1) {
+                  if (config.verbose) {
+                    std::printf(
+                        "[fademl]   epoch %2lld  loss %.4f  train top-1 "
+                        "%5.1f%%\n",
+                        static_cast<long long>(epoch + 1), loss, top1 * 100.0);
+                  }
+                });
+    nn::save_checkpoint(*exp.model, path);
+    if (config.verbose) {
+      std::printf("[fademl] cached model to %s\n", path.c_str());
+    }
+  }
+
+  exp.clean_test = nn::evaluate(*exp.model, exp.dataset.test.images,
+                                exp.dataset.test.labels);
+  if (config.verbose) {
+    std::printf("[fademl] clean test accuracy: top-1 %5.1f%%, top-5 %5.1f%%\n",
+                exp.clean_test.top1 * 100.0, exp.clean_test.top5 * 100.0);
+  }
+  return exp;
+}
+
+}  // namespace fademl::core

@@ -1,0 +1,50 @@
+#include "fademl/core/methodology.hpp"
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::core {
+
+FademlTrace run_fademl_methodology(const InferencePipeline& pipeline,
+                                   attacks::AttackKind base,
+                                   const Scenario& scenario,
+                                   int64_t image_size,
+                                   const attacks::AttackConfig& budget,
+                                   ThreatModel eval_tm) {
+  FADEML_CHECK(eval_tm != ThreatModel::kI,
+               "FAdeML is defined along a filtered route (TM-II/III)");
+  FademlTrace trace;
+  trace.scenario = scenario;
+
+  // Step 1: choose x (a well-classified source) and y (a target-class
+  // sample), per "prediction(x) != prediction(y)".
+  trace.x = well_classified_sample(pipeline, scenario.source_class,
+                                   image_size);
+  trace.y = well_classified_sample(pipeline, scenario.target_class,
+                                   image_size);
+
+  // Step 2: their prediction gap under TM-I.
+  trace.x_clean = pipeline.predict(trace.x, ThreatModel::kI);
+  trace.y_clean = pipeline.predict(trace.y, ThreatModel::kI);
+  trace.initial_gap =
+      fademl_cost(trace.x_clean.probs, trace.y_clean.probs);
+  FADEML_CHECK(trace.x_clean.label != trace.y_clean.label,
+               "methodology precondition: prediction(x) != prediction(y)");
+
+  // Steps 3 + 6: craft x* with the base attack, gradients along the
+  // filtered route (the optimization loop of Eq. 3).
+  attacks::AttackConfig config = budget;
+  config.grad_tm = eval_tm;
+  const attacks::FAdeMLAttack attack(base, config);
+  trace.attack = attack.run(pipeline, trace.x, scenario.target_class);
+
+  // Step 4: x* through the pre-processing stages.
+  trace.x_star_filtered = pipeline.predict(trace.attack.adversarial, eval_tm);
+
+  // Step 5: Eq.-2 cost between the two views of x*.
+  trace.x_star_tm1 =
+      pipeline.predict(trace.attack.adversarial, ThreatModel::kI);
+  trace.eq2 = eq2_cost(trace.x_star_tm1.probs, trace.x_star_filtered.probs);
+  return trace;
+}
+
+}  // namespace fademl::core

@@ -1,0 +1,101 @@
+#include "fademl/core/metrics.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::core {
+
+ConfusionMatrix::ConfusionMatrix(int64_t num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<size_t>(num_classes * num_classes), 0) {
+  FADEML_CHECK(num_classes > 0, "ConfusionMatrix needs positive classes");
+}
+
+void ConfusionMatrix::record(int64_t truth, int64_t predicted) {
+  FADEML_CHECK(truth >= 0 && truth < num_classes_ && predicted >= 0 &&
+                   predicted < num_classes_,
+               "confusion record out of range");
+  ++counts_[static_cast<size_t>(truth * num_classes_ + predicted)];
+  ++total_;
+}
+
+int64_t ConfusionMatrix::count(int64_t truth, int64_t predicted) const {
+  FADEML_CHECK(truth >= 0 && truth < num_classes_ && predicted >= 0 &&
+                   predicted < num_classes_,
+               "confusion lookup out of range");
+  return counts_[static_cast<size_t>(truth * num_classes_ + predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  int64_t diag = 0;
+  for (int64_t c = 0; c < num_classes_; ++c) {
+    diag += count(c, c);
+  }
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(int64_t cls) const {
+  int64_t row = 0;
+  for (int64_t p = 0; p < num_classes_; ++p) {
+    row += count(cls, p);
+  }
+  return row == 0 ? 0.0
+                  : static_cast<double>(count(cls, cls)) /
+                        static_cast<double>(row);
+}
+
+double ConfusionMatrix::precision(int64_t cls) const {
+  int64_t col = 0;
+  for (int64_t t = 0; t < num_classes_; ++t) {
+    col += count(t, cls);
+  }
+  return col == 0 ? 0.0
+                  : static_cast<double>(count(cls, cls)) /
+                        static_cast<double>(col);
+}
+
+std::vector<ConfusionMatrix::Confusion> ConfusionMatrix::top_confusions(
+    int k) const {
+  std::vector<Confusion> all;
+  for (int64_t t = 0; t < num_classes_; ++t) {
+    for (int64_t p = 0; p < num_classes_; ++p) {
+      if (t != p && count(t, p) > 0) {
+        all.push_back({t, p, count(t, p)});
+      }
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Confusion& a,
+                                       const Confusion& b) {
+    if (a.count != b.count) {
+      return a.count > b.count;
+    }
+    return std::tie(a.truth, a.predicted) < std::tie(b.truth, b.predicted);
+  });
+  if (static_cast<int>(all.size()) > k) {
+    all.resize(static_cast<size_t>(k));
+  }
+  return all;
+}
+
+ConfusionMatrix confusion_matrix(const InferencePipeline& pipeline,
+                                 const std::vector<Tensor>& images,
+                                 const std::vector<int64_t>& labels,
+                                 ThreatModel tm) {
+  FADEML_CHECK(images.size() == labels.size(),
+               "confusion_matrix: image/label count mismatch");
+  FADEML_CHECK(!images.empty(), "confusion_matrix: empty set");
+  const int64_t classes =
+      pipeline.predict_probs(images.front(), tm).numel();
+  ConfusionMatrix cm(classes);
+  for (size_t i = 0; i < images.size(); ++i) {
+    cm.record(labels[i], pipeline.predict(images[i], tm).label);
+  }
+  return cm;
+}
+
+}  // namespace fademl::core

@@ -1,0 +1,149 @@
+#include "fademl/core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "fademl/autograd/ops.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::core {
+
+InferencePipeline::InferencePipeline(std::shared_ptr<nn::Module> model,
+                                     filters::FilterPtr filter,
+                                     float acquisition_blur_sigma)
+    : model_(std::move(model)), filter_(std::move(filter)) {
+  FADEML_CHECK(model_ != nullptr, "InferencePipeline requires a model");
+  FADEML_CHECK(filter_ != nullptr, "InferencePipeline requires a filter");
+  if (acquisition_blur_sigma > 0.0f) {
+    acquisition_blur_ = filters::make_gaussian(acquisition_blur_sigma);
+  } else {
+    acquisition_blur_ = filters::make_identity();
+  }
+}
+
+void InferencePipeline::set_filter(filters::FilterPtr filter) {
+  FADEML_CHECK(filter != nullptr, "set_filter rejects null filters");
+  filter_ = std::move(filter);
+}
+
+Tensor InferencePipeline::route(const Tensor& image, ThreatModel tm) const {
+  FADEML_CHECK(image.rank() == 3,
+               "route expects a [C, H, W] image, got " + image.shape().str());
+  switch (tm) {
+    case ThreatModel::kI:
+      // Injected after the filter: reaches the buffer untouched.
+      return image.clone();
+    case ThreatModel::kII:
+      // Scene-level manipulation: acquisition blur, then the noise filter.
+      return filter_->apply(acquisition_blur_->apply(image));
+    case ThreatModel::kIII:
+      // Injected before the filter.
+      return filter_->apply(image);
+  }
+  FADEML_CHECK(false, "unreachable threat model");
+  return {};
+}
+
+Prediction summarize_probs(const Tensor& probs) {
+  FADEML_CHECK(probs.rank() == 1, "summarize_probs expects a vector");
+  Prediction p;
+  p.probs = probs;
+  p.label = argmax(probs);
+  p.confidence = probs.at(p.label);
+  const int k = static_cast<int>(std::min<int64_t>(5, probs.numel()));
+  p.top5 = topk_indices(probs, k);
+  p.top5_probs.reserve(p.top5.size());
+  for (int64_t cls : p.top5) {
+    p.top5_probs.push_back(probs.at(cls));
+  }
+  return p;
+}
+
+Tensor InferencePipeline::predict_probs(const Tensor& image,
+                                        ThreatModel tm) const {
+  const Tensor routed = route(image, tm);
+  std::vector<int64_t> dims = {1};
+  for (int64_t d : routed.shape().dims()) {
+    dims.push_back(d);
+  }
+  autograd::Variable x{routed.reshape(Shape{dims}).clone()};
+  const autograd::Variable logits = model_->forward(x);
+  const Tensor probs = softmax_rows(logits.value());
+  Tensor out{Shape{probs.dim(1)}};
+  std::copy(probs.data(), probs.data() + probs.numel(), out.data());
+  return out;
+}
+
+Prediction InferencePipeline::predict(const Tensor& image,
+                                      ThreatModel tm) const {
+  return summarize_probs(predict_probs(image, tm));
+}
+
+LossGrad InferencePipeline::loss_and_grad(const Tensor& image,
+                                          const Objective& objective,
+                                          ThreatModel tm) const {
+  FADEML_CHECK(image.rank() == 3,
+               "loss_and_grad expects [C, H, W], got " + image.shape().str());
+  FADEML_CHECK(objective != nullptr, "loss_and_grad requires an objective");
+  const Tensor routed = route(image, tm);
+  std::vector<int64_t> dims = {1};
+  for (int64_t d : routed.shape().dims()) {
+    dims.push_back(d);
+  }
+  autograd::Variable x{routed.reshape(Shape{dims}).clone(),
+                       /*requires_grad=*/true};
+  const autograd::Variable logits = model_->forward(x);
+  const autograd::Variable loss = objective(logits);
+  FADEML_CHECK(loss.value().numel() == 1,
+               "objective must produce a scalar, got shape " +
+                   loss.value().shape().str());
+  // The model's parameter gradients are a side effect we must not leak
+  // into any concurrent training; clear them after the pass.
+  loss.backward();
+  LossGrad result;
+  result.loss = loss.value().item();
+  Tensor grad = x.grad().reshape(image.shape()).clone();
+  model_->zero_grad();
+
+  // Chain through the pre-processing stages the perturbation traversed.
+  switch (tm) {
+    case ThreatModel::kI:
+      break;
+    case ThreatModel::kII: {
+      const Tensor blurred = acquisition_blur_->apply(image);
+      grad = filter_->vjp(blurred, grad);
+      grad = acquisition_blur_->vjp(image, grad);
+      break;
+    }
+    case ThreatModel::kIII:
+      grad = filter_->vjp(image, grad);
+      break;
+  }
+  result.grad = std::move(grad);
+  return result;
+}
+
+InferencePipeline::Accuracy InferencePipeline::accuracy(
+    const std::vector<Tensor>& images, const std::vector<int64_t>& labels,
+    ThreatModel tm) const {
+  FADEML_CHECK(images.size() == labels.size(),
+               "accuracy: image/label count mismatch");
+  FADEML_CHECK(!images.empty(), "accuracy: empty evaluation set");
+  int64_t top1 = 0;
+  int64_t top5 = 0;
+  for (size_t i = 0; i < images.size(); ++i) {
+    const Prediction p = predict(images[i], tm);
+    if (p.label == labels[i]) {
+      ++top1;
+    }
+    if (std::find(p.top5.begin(), p.top5.end(), labels[i]) != p.top5.end()) {
+      ++top5;
+    }
+  }
+  Accuracy acc;
+  acc.top1 = static_cast<double>(top1) / static_cast<double>(images.size());
+  acc.top5 = static_cast<double>(top5) / static_cast<double>(images.size());
+  return acc;
+}
+
+}  // namespace fademl::core

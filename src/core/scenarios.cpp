@@ -1,0 +1,24 @@
+#include "fademl/core/scenarios.hpp"
+
+#include "fademl/data/gtsrb.hpp"
+
+namespace fademl::core {
+
+const std::vector<Scenario>& paper_scenarios() {
+  using data::GtsrbClass;
+  static const std::vector<Scenario> kScenarios = {
+      {"Stop to 60km/h", static_cast<int64_t>(GtsrbClass::kStop),
+       static_cast<int64_t>(GtsrbClass::kSpeed60)},
+      {"30km/h to 80km/h", static_cast<int64_t>(GtsrbClass::kSpeed30),
+       static_cast<int64_t>(GtsrbClass::kSpeed80)},
+      {"Left to Right Turn", static_cast<int64_t>(GtsrbClass::kTurnLeftAhead),
+       static_cast<int64_t>(GtsrbClass::kTurnRightAhead)},
+      {"Right to Left Turn", static_cast<int64_t>(GtsrbClass::kTurnRightAhead),
+       static_cast<int64_t>(GtsrbClass::kTurnLeftAhead)},
+      {"No Entry to 60km/h", static_cast<int64_t>(GtsrbClass::kNoEntry),
+       static_cast<int64_t>(GtsrbClass::kSpeed60)},
+  };
+  return kScenarios;
+}
+
+}  // namespace fademl::core

@@ -1,0 +1,16 @@
+#include "fademl/core/threat_model.hpp"
+
+#include <array>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::core {
+
+const std::string& threat_model_name(ThreatModel tm) {
+  static const std::array<std::string, 3> kNames = {"TM-I", "TM-II", "TM-III"};
+  const auto idx = static_cast<size_t>(tm);
+  FADEML_CHECK(idx < kNames.size(), "invalid ThreatModel value");
+  return kNames[idx];
+}
+
+}  // namespace fademl::core

@@ -1,0 +1,276 @@
+#include "fademl/data/canvas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <unordered_map>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::data {
+
+namespace {
+
+/// 5x7 bitmap font, row-major, one string per glyph ('#' = on).
+/// Coverage is deliberately small: only the characters that appear on
+/// traffic signs (digits, STOP, a few words in extension examples).
+const std::unordered_map<char, std::array<const char*, 7>>& font() {
+  static const std::unordered_map<char, std::array<const char*, 7>> kFont = {
+      {'0', {" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "}},
+      {'1', {"  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "}},
+      {'2', {" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"}},
+      {'3', {" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "}},
+      {'4', {"   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "}},
+      {'5', {"#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "}},
+      {'6', {" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "}},
+      {'7', {"#####", "    #", "   # ", "  #  ", "  #  ", "  #  ", "  #  "}},
+      {'8', {" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "}},
+      {'9', {" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "}},
+      {'A', {" ### ", "#   #", "#   #", "#####", "#   #", "#   #", "#   #"}},
+      {'B', {"#### ", "#   #", "#   #", "#### ", "#   #", "#   #", "#### "}},
+      {'C', {" ### ", "#   #", "#    ", "#    ", "#    ", "#   #", " ### "}},
+      {'D', {"#### ", "#   #", "#   #", "#   #", "#   #", "#   #", "#### "}},
+      {'E', {"#####", "#    ", "#    ", "#### ", "#    ", "#    ", "#####"}},
+      {'K', {"#   #", "#  # ", "# #  ", "##   ", "# #  ", "#  # ", "#   #"}},
+      {'L', {"#    ", "#    ", "#    ", "#    ", "#    ", "#    ", "#####"}},
+      {'M', {"#   #", "## ##", "# # #", "# # #", "#   #", "#   #", "#   #"}},
+      {'N', {"#   #", "##  #", "# # #", "#  ##", "#   #", "#   #", "#   #"}},
+      {'O', {" ### ", "#   #", "#   #", "#   #", "#   #", "#   #", " ### "}},
+      {'P', {"#### ", "#   #", "#   #", "#### ", "#    ", "#    ", "#    "}},
+      {'R', {"#### ", "#   #", "#   #", "#### ", "# #  ", "#  # ", "#   #"}},
+      {'S', {" ### ", "#   #", "#    ", " ### ", "    #", "#   #", " ### "}},
+      {'T', {"#####", "  #  ", "  #  ", "  #  ", "  #  ", "  #  ", "  #  "}},
+      {'H', {"#   #", "#   #", "#   #", "#####", "#   #", "#   #", "#   #"}},
+      {'!', {"  #  ", "  #  ", "  #  ", "  #  ", "  #  ", "     ", "  #  "}},
+      {'.', {"     ", "     ", "     ", "     ", "     ", "  ## ", "  ## "}},
+      {' ', {"     ", "     ", "     ", "     ", "     ", "     ", "     "}},
+  };
+  return kFont;
+}
+
+constexpr int kSuperSample = 2;  // 2x2 coverage samples per pixel
+
+/// Even-odd point-in-polygon test.
+bool point_in_polygon(const std::vector<std::array<float, 2>>& pts, float x,
+                      float y) {
+  bool inside = false;
+  const size_t n = pts.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const float xi = pts[i][0];
+    const float yi = pts[i][1];
+    const float xj = pts[j][0];
+    const float yj = pts[j][1];
+    const bool crosses = (yi > y) != (yj > y);
+    if (crosses && x < (xj - xi) * (y - yi) / (yj - yi) + xi) {
+      inside = !inside;
+    }
+  }
+  return inside;
+}
+
+float dist_point_segment(float px, float py, float x0, float y0, float x1,
+                         float y1) {
+  const float dx = x1 - x0;
+  const float dy = y1 - y0;
+  const float len2 = dx * dx + dy * dy;
+  float t = len2 > 0.0f ? ((px - x0) * dx + (py - y0) * dy) / len2 : 0.0f;
+  t = std::clamp(t, 0.0f, 1.0f);
+  const float cx = x0 + t * dx;
+  const float cy = y0 + t * dy;
+  return std::hypot(px - cx, py - cy);
+}
+
+}  // namespace
+
+Canvas::Canvas(int64_t height, int64_t width)
+    : h_(height),
+      w_(width),
+      pixels_(static_cast<size_t>(3 * height * width), 0.0f) {
+  FADEML_CHECK(height > 0 && width > 0, "Canvas requires positive size");
+}
+
+void Canvas::fill(Color c) {
+  const float comp[3] = {c.r, c.g, c.b};
+  for (int ch = 0; ch < 3; ++ch) {
+    std::fill(pixels_.begin() + ch * h_ * w_,
+              pixels_.begin() + (ch + 1) * h_ * w_, comp[ch]);
+  }
+}
+
+void Canvas::fill_vertical_gradient(Color top, Color bottom) {
+  for (int64_t y = 0; y < h_; ++y) {
+    const float t = static_cast<float>(y) / static_cast<float>(h_ - 1);
+    const Color c{top.r + t * (bottom.r - top.r),
+                  top.g + t * (bottom.g - top.g),
+                  top.b + t * (bottom.b - top.b)};
+    for (int64_t x = 0; x < w_; ++x) {
+      blend_pixel(x, y, c, 1.0f);
+    }
+  }
+}
+
+void Canvas::blend_pixel(int64_t x, int64_t y, Color c, float coverage) {
+  if (x < 0 || x >= w_ || y < 0 || y >= h_ || coverage <= 0.0f) {
+    return;
+  }
+  coverage = std::min(coverage, 1.0f);
+  const int64_t idx = y * w_ + x;
+  const int64_t plane = h_ * w_;
+  pixels_[static_cast<size_t>(idx)] =
+      pixels_[static_cast<size_t>(idx)] * (1.0f - coverage) + c.r * coverage;
+  pixels_[static_cast<size_t>(plane + idx)] =
+      pixels_[static_cast<size_t>(plane + idx)] * (1.0f - coverage) +
+      c.g * coverage;
+  pixels_[static_cast<size_t>(2 * plane + idx)] =
+      pixels_[static_cast<size_t>(2 * plane + idx)] * (1.0f - coverage) +
+      c.b * coverage;
+}
+
+template <typename CoverageFn>
+void Canvas::rasterize(float x_lo, float y_lo, float x_hi, float y_hi, Color c,
+                       CoverageFn&& inside) {
+  const int64_t px0 = std::max<int64_t>(0, static_cast<int64_t>(std::floor(x_lo)));
+  const int64_t py0 = std::max<int64_t>(0, static_cast<int64_t>(std::floor(y_lo)));
+  const int64_t px1 = std::min<int64_t>(w_ - 1, static_cast<int64_t>(std::ceil(x_hi)));
+  const int64_t py1 = std::min<int64_t>(h_ - 1, static_cast<int64_t>(std::ceil(y_hi)));
+  constexpr float kStep = 1.0f / kSuperSample;
+  constexpr float kOffset = kStep / 2.0f;
+  constexpr float kSampleWeight = 1.0f / (kSuperSample * kSuperSample);
+  for (int64_t y = py0; y <= py1; ++y) {
+    for (int64_t x = px0; x <= px1; ++x) {
+      float coverage = 0.0f;
+      for (int sy = 0; sy < kSuperSample; ++sy) {
+        for (int sx = 0; sx < kSuperSample; ++sx) {
+          const float fx = static_cast<float>(x) + kOffset + sx * kStep;
+          const float fy = static_cast<float>(y) + kOffset + sy * kStep;
+          if (inside(fx, fy)) {
+            coverage += kSampleWeight;
+          }
+        }
+      }
+      blend_pixel(x, y, c, coverage);
+    }
+  }
+}
+
+void Canvas::draw_disc(float cx, float cy, float r, Color c) {
+  FADEML_CHECK(r >= 0.0f, "draw_disc radius must be non-negative");
+  rasterize(cx - r, cy - r, cx + r, cy + r, c, [&](float x, float y) {
+    const float dx = x - cx;
+    const float dy = y - cy;
+    return dx * dx + dy * dy <= r * r;
+  });
+}
+
+void Canvas::draw_ring(float cx, float cy, float r_inner, float r_outer,
+                       Color c) {
+  FADEML_CHECK(0.0f <= r_inner && r_inner <= r_outer,
+               "draw_ring requires 0 <= r_inner <= r_outer");
+  rasterize(cx - r_outer, cy - r_outer, cx + r_outer, cy + r_outer, c,
+            [&](float x, float y) {
+              const float d2 =
+                  (x - cx) * (x - cx) + (y - cy) * (y - cy);
+              return d2 >= r_inner * r_inner && d2 <= r_outer * r_outer;
+            });
+}
+
+void Canvas::draw_polygon(const std::vector<std::array<float, 2>>& pts,
+                          Color c) {
+  FADEML_CHECK(pts.size() >= 3, "draw_polygon requires >= 3 vertices");
+  float x_lo = pts[0][0], x_hi = pts[0][0];
+  float y_lo = pts[0][1], y_hi = pts[0][1];
+  for (const auto& p : pts) {
+    x_lo = std::min(x_lo, p[0]);
+    x_hi = std::max(x_hi, p[0]);
+    y_lo = std::min(y_lo, p[1]);
+    y_hi = std::max(y_hi, p[1]);
+  }
+  rasterize(x_lo, y_lo, x_hi, y_hi, c, [&](float x, float y) {
+    return point_in_polygon(pts, x, y);
+  });
+}
+
+void Canvas::draw_rect(float x0, float y0, float x1, float y1, Color c) {
+  rasterize(x0, y0, x1, y1, c, [&](float x, float y) {
+    return x >= x0 && x < x1 && y >= y0 && y < y1;
+  });
+}
+
+void Canvas::draw_regular_polygon(float cx, float cy, float r, int sides,
+                                  float phase, Color c) {
+  FADEML_CHECK(sides >= 3, "draw_regular_polygon requires >= 3 sides");
+  std::vector<std::array<float, 2>> pts;
+  pts.reserve(static_cast<size_t>(sides));
+  for (int i = 0; i < sides; ++i) {
+    const float a = phase + 2.0f * std::numbers::pi_v<float> *
+                                static_cast<float>(i) /
+                                static_cast<float>(sides);
+    pts.push_back({cx + r * std::cos(a), cy + r * std::sin(a)});
+  }
+  draw_polygon(pts, c);
+}
+
+void Canvas::draw_line(float x0, float y0, float x1, float y1, float thickness,
+                       Color c) {
+  const float half = thickness / 2.0f;
+  rasterize(std::min(x0, x1) - half, std::min(y0, y1) - half,
+            std::max(x0, x1) + half, std::max(y0, y1) + half, c,
+            [&](float x, float y) {
+              return dist_point_segment(x, y, x0, y0, x1, y1) <= half;
+            });
+}
+
+void Canvas::draw_arrow(float x0, float y0, float x1, float y1,
+                        float thickness, Color c) {
+  const float dx = x1 - x0;
+  const float dy = y1 - y0;
+  const float len = std::hypot(dx, dy);
+  FADEML_CHECK(len > 0.0f, "draw_arrow requires distinct endpoints");
+  const float ux = dx / len;
+  const float uy = dy / len;
+  const float head = std::min(len * 0.45f, thickness * 2.5f);
+  // Shaft stops where the head begins.
+  draw_line(x0, y0, x1 - ux * head, y1 - uy * head, thickness, c);
+  // Head: isoceles triangle.
+  const float px = -uy;
+  const float py = ux;
+  const float wing = head * 0.8f;
+  draw_polygon({{x1, y1},
+                {x1 - ux * head + px * wing, y1 - uy * head + py * wing},
+                {x1 - ux * head - px * wing, y1 - uy * head - py * wing}},
+               c);
+}
+
+float Canvas::glyph_advance(float scale) { return 6.0f * scale; }
+
+void Canvas::draw_text(const std::string& text, float cx, float cy,
+                       float scale, Color c) {
+  const auto& glyphs = font();
+  const float advance = glyph_advance(scale);
+  const float total_w = advance * static_cast<float>(text.size()) - scale;
+  float x = cx - total_w / 2.0f;
+  const float y = cy - 3.5f * scale;
+  for (char ch : text) {
+    const auto it = glyphs.find(ch);
+    FADEML_CHECK(it != glyphs.end(),
+                 std::string("draw_text: unsupported glyph '") + ch + "'");
+    for (int row = 0; row < 7; ++row) {
+      const char* bits = it->second[static_cast<size_t>(row)];
+      for (int col = 0; col < 5; ++col) {
+        if (bits[col] == '#') {
+          draw_rect(x + col * scale, y + row * scale, x + (col + 1) * scale,
+                    y + (row + 1) * scale, c);
+        }
+      }
+    }
+    x += advance;
+  }
+}
+
+Tensor Canvas::to_tensor() const {
+  Tensor t{Shape{3, h_, w_}};
+  std::copy(pixels_.begin(), pixels_.end(), t.data());
+  return t;
+}
+
+}  // namespace fademl::data

@@ -1,0 +1,118 @@
+#include "fademl/data/dataset.hpp"
+
+#include <cmath>
+
+#include "fademl/data/gtsrb.hpp"
+#include "fademl/data/transforms.hpp"
+#include "fademl/filters/filter.hpp"
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::data {
+
+int64_t Dataset::find_class(int64_t label) const {
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == label) {
+      return static_cast<int64_t>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<int64_t> Dataset::indices_of_class(int64_t label) const {
+  std::vector<int64_t> out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == label) {
+      out.push_back(static_cast<int64_t>(i));
+    }
+  }
+  return out;
+}
+
+Dataset Dataset::subset(const std::vector<int64_t>& indices) const {
+  Dataset out;
+  out.num_classes = num_classes;
+  out.images.reserve(indices.size());
+  out.labels.reserve(indices.size());
+  for (int64_t i : indices) {
+    FADEML_CHECK(i >= 0 && i < size(),
+                 "subset index " + std::to_string(i) + " out of range");
+    out.images.push_back(images[static_cast<size_t>(i)]);
+    out.labels.push_back(labels[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+std::vector<int64_t> Dataset::class_histogram() const {
+  std::vector<int64_t> hist(static_cast<size_t>(num_classes), 0);
+  for (int64_t l : labels) {
+    FADEML_CHECK(l >= 0 && l < num_classes, "label out of range in dataset");
+    ++hist[static_cast<size_t>(l)];
+  }
+  return hist;
+}
+
+namespace {
+
+Dataset render_split(int64_t per_class, const SynthConfig& config, Rng& rng,
+                     bool augment) {
+  Dataset d;
+  d.num_classes = kGtsrbNumClasses;
+  d.images.reserve(static_cast<size_t>(per_class * kGtsrbNumClasses));
+  d.labels.reserve(static_cast<size_t>(per_class * kGtsrbNumClasses));
+  for (int64_t cls = 0; cls < kGtsrbNumClasses; ++cls) {
+    for (int64_t i = 0; i < per_class; ++i) {
+      const float noise = augment
+                              ? rng.uniform(0.0f, config.train_noise_max)
+                              : config.noise_std;
+      const RenderParams params = RenderParams::randomize(rng, noise);
+      Tensor image = render_sign(cls, params, config.image_size);
+      if (augment) {
+        if (config.rotation_max_deg > 0.0f) {
+          const float deg = rng.uniform(-config.rotation_max_deg,
+                                        config.rotation_max_deg);
+          if (std::fabs(deg) > 0.5f) {
+            image = rotate_image(image, deg);
+          }
+        }
+        if (config.train_blur_max > 0.0f) {
+          // Blur augmentation teaches the DNN the smoothed-edge statistics
+          // the deployed pre-processing filters will produce.
+          const float sigma = rng.uniform(0.0f, config.train_blur_max);
+          if (sigma > 0.15f) {
+            image = filters::GaussianFilter(sigma).apply(image);
+          }
+        }
+        if (config.occlusion_prob > 0.0f &&
+            rng.uniform() < config.occlusion_prob &&
+            config.occlusion_size < config.image_size) {
+          image = occlude_image(image, config.occlusion_size,
+                                rng.uniform(0.1f, 0.6f), rng);
+        }
+      }
+      d.images.push_back(std::move(image));
+      d.labels.push_back(cls);
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+SynthGtsrb make_synthetic_gtsrb(const SynthConfig& config) {
+  FADEML_CHECK(config.train_per_class > 0 && config.test_per_class > 0,
+               "SynthConfig needs positive per-class sample counts");
+  Rng rng(config.seed);
+  Rng train_rng = rng.fork();
+  Rng test_rng = rng.fork();
+  SynthGtsrb out;
+  out.train = render_split(config.train_per_class, config, train_rng, /*augment=*/true);
+  out.test = render_split(config.test_per_class, config, test_rng, /*augment=*/false);
+  return out;
+}
+
+Tensor canonical_sample(int64_t class_id, int64_t image_size) {
+  RenderParams params;  // defaults: centered, clean, canonical lighting
+  return render_sign(class_id, params, image_size);
+}
+
+}  // namespace fademl::data

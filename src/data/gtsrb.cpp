@@ -1,0 +1,484 @@
+#include "fademl/data/gtsrb.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "fademl/data/canvas.hpp"
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::data {
+
+namespace {
+
+// Sign palette (approximate Vienna-convention colors).
+constexpr Color kRed{0.78f, 0.09f, 0.11f};
+constexpr Color kBlue{0.05f, 0.28f, 0.63f};
+constexpr Color kWhite{0.96f, 0.96f, 0.94f};
+constexpr Color kBlack{0.08f, 0.08f, 0.08f};
+constexpr Color kYellow{0.95f, 0.78f, 0.10f};
+constexpr Color kGray{0.55f, 0.55f, 0.55f};
+
+// Background palettes: (top, bottom) gradients imitating sky/foliage/road/
+// dusk scenes behind the sign.
+constexpr std::array<std::array<Color, 2>, 4> kBackgrounds = {{
+    {{{0.53f, 0.72f, 0.90f}, {0.37f, 0.52f, 0.30f}}},  // sky over grass
+    {{{0.65f, 0.67f, 0.70f}, {0.42f, 0.42f, 0.44f}}},  // overcast over road
+    {{{0.80f, 0.64f, 0.44f}, {0.35f, 0.30f, 0.28f}}},  // dusk
+    {{{0.42f, 0.57f, 0.76f}, {0.24f, 0.33f, 0.22f}}},  // deep sky / forest
+}};
+
+struct Frame {
+  float cx;
+  float cy;
+  float r;  ///< sign circumradius in pixels
+};
+
+/// Red-ring prohibition disc (speed limits, no-passing family).
+void draw_prohibition_disc(Canvas& canvas, const Frame& f) {
+  canvas.draw_disc(f.cx, f.cy, f.r, kRed);
+  canvas.draw_disc(f.cx, f.cy, f.r * 0.72f, kWhite);
+}
+
+/// Red-bordered warning triangle pointing up; returns the glyph frame
+/// (center shifted down, radius shrunk) for the pictogram.
+Frame draw_warning_triangle(Canvas& canvas, const Frame& f) {
+  const float phase = -std::numbers::pi_v<float> / 2.0f;  // apex up
+  canvas.draw_regular_polygon(f.cx, f.cy, f.r, 3, phase, kRed);
+  canvas.draw_regular_polygon(f.cx, f.cy + f.r * 0.10f, f.r * 0.68f, 3, phase,
+                              kWhite);
+  return {f.cx, f.cy + f.r * 0.22f, f.r * 0.40f};
+}
+
+/// White disc with gray diagonal stripes (the "end of restriction" family).
+void draw_end_disc(Canvas& canvas, const Frame& f) {
+  canvas.draw_disc(f.cx, f.cy, f.r, kWhite);
+  canvas.draw_ring(f.cx, f.cy, f.r * 0.92f, f.r, kGray);
+  const float s = f.r * 0.65f;
+  canvas.draw_line(f.cx - s, f.cy + s, f.cx + s, f.cy - s, f.r * 0.16f, kGray);
+}
+
+void draw_speed_limit(Canvas& canvas, const Frame& f, const std::string& num) {
+  draw_prohibition_disc(canvas, f);
+  const float scale =
+      num.size() >= 3 ? f.r * 0.40f / 3.5f : f.r * 0.52f / 3.5f;
+  canvas.draw_text(num, f.cx, f.cy, scale, kBlack);
+}
+
+/// Two stylized vehicles side by side (no-passing family pictogram).
+void draw_two_cars(Canvas& canvas, const Frame& f, Color left_color,
+                   bool trucks) {
+  const float w = trucks ? f.r * 0.46f : f.r * 0.36f;
+  const float h = f.r * 0.30f;
+  const float gap = f.r * 0.10f;
+  // Left vehicle (the overtaking one).
+  canvas.draw_rect(f.cx - gap - w, f.cy - h / 2, f.cx - gap, f.cy + h / 2,
+                   left_color);
+  // Right vehicle.
+  canvas.draw_rect(f.cx + gap, f.cy - h / 2, f.cx + gap + w, f.cy + h / 2,
+                   kBlack);
+}
+
+/// Minimal stick figure centered in the glyph frame.
+void draw_person(Canvas& canvas, float cx, float cy, float r) {
+  canvas.draw_disc(cx, cy - r * 0.55f, r * 0.22f, kBlack);           // head
+  canvas.draw_line(cx, cy - r * 0.3f, cx, cy + r * 0.25f, r * 0.18f, // torso
+                   kBlack);
+  canvas.draw_line(cx, cy + r * 0.2f, cx - r * 0.35f, cy + r * 0.8f,
+                   r * 0.14f, kBlack);                               // legs
+  canvas.draw_line(cx, cy + r * 0.2f, cx + r * 0.35f, cy + r * 0.8f,
+                   r * 0.14f, kBlack);
+}
+
+/// Dispatch: paint class `id`'s sign into `canvas` within frame `f`.
+void draw_class(Canvas& canvas, int64_t id, const Frame& f) {
+  using C = GtsrbClass;
+  switch (static_cast<C>(id)) {
+    case C::kSpeed20:
+      draw_speed_limit(canvas, f, "20");
+      break;
+    case C::kSpeed30:
+      draw_speed_limit(canvas, f, "30");
+      break;
+    case C::kSpeed50:
+      draw_speed_limit(canvas, f, "50");
+      break;
+    case C::kSpeed60:
+      draw_speed_limit(canvas, f, "60");
+      break;
+    case C::kSpeed70:
+      draw_speed_limit(canvas, f, "70");
+      break;
+    case C::kSpeed80:
+      draw_speed_limit(canvas, f, "80");
+      break;
+    case C::kEndSpeed80:
+      draw_end_disc(canvas, f);
+      canvas.draw_text("80", f.cx, f.cy, f.r * 0.48f / 3.5f, kGray);
+      break;
+    case C::kSpeed100:
+      draw_speed_limit(canvas, f, "100");
+      break;
+    case C::kSpeed120:
+      draw_speed_limit(canvas, f, "120");
+      break;
+    case C::kNoPassing:
+      draw_prohibition_disc(canvas, f);
+      draw_two_cars(canvas, f, kRed, /*trucks=*/false);
+      break;
+    case C::kNoPassingTrucks:
+      draw_prohibition_disc(canvas, f);
+      draw_two_cars(canvas, f, kRed, /*trucks=*/true);
+      break;
+    case C::kRightOfWay: {
+      const Frame g = draw_warning_triangle(canvas, f);
+      // Wide-road-with-side-road cross.
+      canvas.draw_line(g.cx, g.cy - g.r, g.cx, g.cy + g.r, g.r * 0.38f,
+                       kBlack);
+      canvas.draw_line(g.cx - g.r * 0.8f, g.cy, g.cx + g.r * 0.8f, g.cy,
+                       g.r * 0.26f, kBlack);
+      break;
+    }
+    case C::kPriorityRoad: {
+      const float s = f.r * 0.95f;
+      canvas.draw_regular_polygon(f.cx, f.cy, s, 4, 0.0f, kWhite);
+      canvas.draw_regular_polygon(f.cx, f.cy, s * 0.72f, 4, 0.0f, kYellow);
+      break;
+    }
+    case C::kYield: {
+      const float phase = std::numbers::pi_v<float> / 2.0f;  // apex down
+      canvas.draw_regular_polygon(f.cx, f.cy, f.r, 3, phase, kRed);
+      canvas.draw_regular_polygon(f.cx, f.cy - f.r * 0.10f, f.r * 0.62f, 3,
+                                  phase, kWhite);
+      break;
+    }
+    case C::kStop: {
+      canvas.draw_regular_polygon(f.cx, f.cy, f.r,
+                                  8, std::numbers::pi_v<float> / 8.0f, kRed);
+      canvas.draw_text("STOP", f.cx, f.cy, f.r * 0.40f / 3.5f, kWhite);
+      break;
+    }
+    case C::kNoVehicles:
+      draw_prohibition_disc(canvas, f);
+      break;
+    case C::kTrucksProhibited: {
+      draw_prohibition_disc(canvas, f);
+      // Truck silhouette: cab + box.
+      canvas.draw_rect(f.cx - f.r * 0.42f, f.cy - f.r * 0.18f,
+                       f.cx + f.r * 0.18f, f.cy + f.r * 0.18f, kBlack);
+      canvas.draw_rect(f.cx + f.r * 0.18f, f.cy - f.r * 0.04f,
+                       f.cx + f.r * 0.42f, f.cy + f.r * 0.18f, kBlack);
+      break;
+    }
+    case C::kNoEntry:
+      canvas.draw_disc(f.cx, f.cy, f.r, kRed);
+      canvas.draw_rect(f.cx - f.r * 0.62f, f.cy - f.r * 0.16f,
+                       f.cx + f.r * 0.62f, f.cy + f.r * 0.16f, kWhite);
+      break;
+    case C::kGeneralCaution: {
+      const Frame g = draw_warning_triangle(canvas, f);
+      canvas.draw_text("!", g.cx, g.cy, g.r * 0.75f / 3.5f, kBlack);
+      break;
+    }
+    case C::kCurveLeft: {
+      const Frame g = draw_warning_triangle(canvas, f);
+      canvas.draw_arrow(g.cx + g.r * 0.5f, g.cy + g.r * 0.7f,
+                        g.cx - g.r * 0.6f, g.cy - g.r * 0.5f, g.r * 0.22f,
+                        kBlack);
+      break;
+    }
+    case C::kCurveRight: {
+      const Frame g = draw_warning_triangle(canvas, f);
+      canvas.draw_arrow(g.cx - g.r * 0.5f, g.cy + g.r * 0.7f,
+                        g.cx + g.r * 0.6f, g.cy - g.r * 0.5f, g.r * 0.22f,
+                        kBlack);
+      break;
+    }
+    case C::kDoubleCurve: {
+      const Frame g = draw_warning_triangle(canvas, f);
+      canvas.draw_line(g.cx - g.r * 0.5f, g.cy + g.r * 0.7f, g.cx,
+                       g.cy, g.r * 0.2f, kBlack);
+      canvas.draw_line(g.cx, g.cy, g.cx - g.r * 0.5f, g.cy - g.r * 0.7f,
+                       g.r * 0.2f, kBlack);
+      break;
+    }
+    case C::kBumpyRoad: {
+      const Frame g = draw_warning_triangle(canvas, f);
+      canvas.draw_disc(g.cx - g.r * 0.4f, g.cy + g.r * 0.2f, g.r * 0.3f,
+                       kBlack);
+      canvas.draw_disc(g.cx + g.r * 0.4f, g.cy + g.r * 0.2f, g.r * 0.3f,
+                       kBlack);
+      canvas.draw_rect(g.cx - g.r * 0.8f, g.cy + g.r * 0.35f,
+                       g.cx + g.r * 0.8f, g.cy + g.r * 0.55f, kBlack);
+      break;
+    }
+    case C::kSlipperyRoad: {
+      const Frame g = draw_warning_triangle(canvas, f);
+      canvas.draw_line(g.cx - g.r * 0.7f, g.cy + g.r * 0.5f,
+                       g.cx - g.r * 0.1f, g.cy - g.r * 0.5f, g.r * 0.16f,
+                       kBlack);
+      canvas.draw_line(g.cx + g.r * 0.1f, g.cy + g.r * 0.5f,
+                       g.cx + g.r * 0.7f, g.cy - g.r * 0.5f, g.r * 0.16f,
+                       kBlack);
+      break;
+    }
+    case C::kRoadNarrowsRight: {
+      const Frame g = draw_warning_triangle(canvas, f);
+      canvas.draw_line(g.cx - g.r * 0.5f, g.cy + g.r * 0.8f,
+                       g.cx - g.r * 0.5f, g.cy - g.r * 0.8f, g.r * 0.16f,
+                       kBlack);
+      canvas.draw_line(g.cx + g.r * 0.55f, g.cy + g.r * 0.8f,
+                       g.cx + g.r * 0.15f, g.cy - g.r * 0.8f, g.r * 0.16f,
+                       kBlack);
+      break;
+    }
+    case C::kRoadWork: {
+      const Frame g = draw_warning_triangle(canvas, f);
+      draw_person(canvas, g.cx - g.r * 0.1f, g.cy - g.r * 0.1f, g.r * 0.55f);
+      canvas.draw_line(g.cx + g.r * 0.2f, g.cy + g.r * 0.5f,
+                       g.cx + g.r * 0.75f, g.cy + g.r * 0.2f, g.r * 0.14f,
+                       kBlack);  // shovel
+      break;
+    }
+    case C::kTrafficSignals: {
+      const Frame g = draw_warning_triangle(canvas, f);
+      canvas.draw_rect(g.cx - g.r * 0.28f, g.cy - g.r * 0.8f,
+                       g.cx + g.r * 0.28f, g.cy + g.r * 0.8f, kBlack);
+      canvas.draw_disc(g.cx, g.cy - g.r * 0.48f, g.r * 0.2f, kRed);
+      canvas.draw_disc(g.cx, g.cy, g.r * 0.2f, kYellow);
+      canvas.draw_disc(g.cx, g.cy + g.r * 0.48f, g.r * 0.2f,
+                       Color{0.1f, 0.65f, 0.2f});
+      break;
+    }
+    case C::kPedestrians: {
+      const Frame g = draw_warning_triangle(canvas, f);
+      draw_person(canvas, g.cx, g.cy, g.r * 0.8f);
+      break;
+    }
+    case C::kChildrenCrossing: {
+      const Frame g = draw_warning_triangle(canvas, f);
+      draw_person(canvas, g.cx - g.r * 0.35f, g.cy + g.r * 0.1f, g.r * 0.55f);
+      draw_person(canvas, g.cx + g.r * 0.35f, g.cy - g.r * 0.05f, g.r * 0.7f);
+      break;
+    }
+    case C::kBicycles: {
+      const Frame g = draw_warning_triangle(canvas, f);
+      canvas.draw_ring(g.cx - g.r * 0.4f, g.cy + g.r * 0.3f, g.r * 0.18f,
+                       g.r * 0.3f, kBlack);
+      canvas.draw_ring(g.cx + g.r * 0.4f, g.cy + g.r * 0.3f, g.r * 0.18f,
+                       g.r * 0.3f, kBlack);
+      canvas.draw_line(g.cx - g.r * 0.4f, g.cy + g.r * 0.3f,
+                       g.cx + g.r * 0.1f, g.cy - g.r * 0.4f, g.r * 0.12f,
+                       kBlack);
+      canvas.draw_line(g.cx + g.r * 0.1f, g.cy - g.r * 0.4f,
+                       g.cx + g.r * 0.4f, g.cy + g.r * 0.3f, g.r * 0.12f,
+                       kBlack);
+      break;
+    }
+    case C::kIceSnow: {
+      const Frame g = draw_warning_triangle(canvas, f);
+      // Six-armed snowflake.
+      for (int i = 0; i < 3; ++i) {
+        const float a = std::numbers::pi_v<float> *
+                        static_cast<float>(i) / 3.0f;
+        canvas.draw_line(g.cx - g.r * 0.7f * std::cos(a),
+                         g.cy - g.r * 0.7f * std::sin(a),
+                         g.cx + g.r * 0.7f * std::cos(a),
+                         g.cy + g.r * 0.7f * std::sin(a), g.r * 0.14f, kBlack);
+      }
+      break;
+    }
+    case C::kWildAnimals: {
+      const Frame g = draw_warning_triangle(canvas, f);
+      // Leaping quadruped: body + head + legs.
+      canvas.draw_rect(g.cx - g.r * 0.55f, g.cy - g.r * 0.15f,
+                       g.cx + g.r * 0.35f, g.cy + g.r * 0.15f, kBlack);
+      canvas.draw_disc(g.cx + g.r * 0.5f, g.cy - g.r * 0.3f, g.r * 0.18f,
+                       kBlack);
+      canvas.draw_line(g.cx - g.r * 0.4f, g.cy + g.r * 0.1f,
+                       g.cx - g.r * 0.6f, g.cy + g.r * 0.7f, g.r * 0.12f,
+                       kBlack);
+      canvas.draw_line(g.cx + g.r * 0.25f, g.cy + g.r * 0.1f,
+                       g.cx + g.r * 0.45f, g.cy + g.r * 0.7f, g.r * 0.12f,
+                       kBlack);
+      break;
+    }
+    case C::kEndAllLimits:
+      draw_end_disc(canvas, f);
+      break;
+    case C::kTurnRightAhead: {
+      canvas.draw_disc(f.cx, f.cy, f.r, kBlue);
+      canvas.draw_arrow(f.cx - f.r * 0.45f, f.cy + f.r * 0.45f,
+                        f.cx + f.r * 0.5f, f.cy - f.r * 0.35f, f.r * 0.22f,
+                        kWhite);
+      break;
+    }
+    case C::kTurnLeftAhead: {
+      canvas.draw_disc(f.cx, f.cy, f.r, kBlue);
+      canvas.draw_arrow(f.cx + f.r * 0.45f, f.cy + f.r * 0.45f,
+                        f.cx - f.r * 0.5f, f.cy - f.r * 0.35f, f.r * 0.22f,
+                        kWhite);
+      break;
+    }
+    case C::kAheadOnly:
+      canvas.draw_disc(f.cx, f.cy, f.r, kBlue);
+      canvas.draw_arrow(f.cx, f.cy + f.r * 0.55f, f.cx, f.cy - f.r * 0.55f,
+                        f.r * 0.22f, kWhite);
+      break;
+    case C::kStraightOrRight:
+      canvas.draw_disc(f.cx, f.cy, f.r, kBlue);
+      canvas.draw_arrow(f.cx - f.r * 0.25f, f.cy + f.r * 0.55f,
+                        f.cx - f.r * 0.25f, f.cy - f.r * 0.55f, f.r * 0.18f,
+                        kWhite);
+      canvas.draw_arrow(f.cx - f.r * 0.2f, f.cy + f.r * 0.3f,
+                        f.cx + f.r * 0.55f, f.cy - f.r * 0.25f, f.r * 0.18f,
+                        kWhite);
+      break;
+    case C::kStraightOrLeft:
+      canvas.draw_disc(f.cx, f.cy, f.r, kBlue);
+      canvas.draw_arrow(f.cx + f.r * 0.25f, f.cy + f.r * 0.55f,
+                        f.cx + f.r * 0.25f, f.cy - f.r * 0.55f, f.r * 0.18f,
+                        kWhite);
+      canvas.draw_arrow(f.cx + f.r * 0.2f, f.cy + f.r * 0.3f,
+                        f.cx - f.r * 0.55f, f.cy - f.r * 0.25f, f.r * 0.18f,
+                        kWhite);
+      break;
+    case C::kKeepRight:
+      canvas.draw_disc(f.cx, f.cy, f.r, kBlue);
+      canvas.draw_arrow(f.cx - f.r * 0.1f, f.cy - f.r * 0.5f,
+                        f.cx + f.r * 0.45f, f.cy + f.r * 0.5f, f.r * 0.22f,
+                        kWhite);
+      break;
+    case C::kKeepLeft:
+      canvas.draw_disc(f.cx, f.cy, f.r, kBlue);
+      canvas.draw_arrow(f.cx + f.r * 0.1f, f.cy - f.r * 0.5f,
+                        f.cx - f.r * 0.45f, f.cy + f.r * 0.5f, f.r * 0.22f,
+                        kWhite);
+      break;
+    case C::kRoundabout: {
+      canvas.draw_disc(f.cx, f.cy, f.r, kBlue);
+      canvas.draw_ring(f.cx, f.cy, f.r * 0.28f, f.r * 0.48f, kWhite);
+      // Three arrowheads around the ring suggest rotation.
+      for (int i = 0; i < 3; ++i) {
+        const float a = 2.0f * std::numbers::pi_v<float> *
+                            static_cast<float>(i) / 3.0f -
+                        std::numbers::pi_v<float> / 2.0f;
+        const float ax = f.cx + f.r * 0.38f * std::cos(a);
+        const float ay = f.cy + f.r * 0.38f * std::sin(a);
+        canvas.draw_arrow(ax, ay, ax - f.r * 0.34f * std::sin(a),
+                          ay + f.r * 0.34f * std::cos(a), f.r * 0.14f, kWhite);
+      }
+      break;
+    }
+    case C::kEndNoPassing:
+      draw_end_disc(canvas, f);
+      draw_two_cars(canvas, f, kGray, /*trucks=*/false);
+      break;
+    case C::kEndNoPassingTrucks:
+      draw_end_disc(canvas, f);
+      draw_two_cars(canvas, f, kGray, /*trucks=*/true);
+      break;
+  }
+}
+
+}  // namespace
+
+const std::string& gtsrb_class_name(int64_t class_id) {
+  static const std::array<std::string, kGtsrbNumClasses> kNames = {
+      "Speed limit (20km/h)",
+      "Speed limit (30km/h)",
+      "Speed limit (50km/h)",
+      "Speed limit (60km/h)",
+      "Speed limit (70km/h)",
+      "Speed limit (80km/h)",
+      "End of speed limit (80km/h)",
+      "Speed limit (100km/h)",
+      "Speed limit (120km/h)",
+      "No passing",
+      "No passing for trucks",
+      "Right-of-way at next intersection",
+      "Priority road",
+      "Yield",
+      "Stop",
+      "No vehicles",
+      "Trucks prohibited",
+      "No entry",
+      "General caution",
+      "Dangerous curve left",
+      "Dangerous curve right",
+      "Double curve",
+      "Bumpy road",
+      "Slippery road",
+      "Road narrows on the right",
+      "Road work",
+      "Traffic signals",
+      "Pedestrians",
+      "Children crossing",
+      "Bicycles crossing",
+      "Beware of ice/snow",
+      "Wild animals crossing",
+      "End of all speed and passing limits",
+      "Turn right ahead",
+      "Turn left ahead",
+      "Ahead only",
+      "Go straight or right",
+      "Go straight or left",
+      "Keep right",
+      "Keep left",
+      "Roundabout mandatory",
+      "End of no passing",
+      "End of no passing for trucks",
+  };
+  FADEML_CHECK(class_id >= 0 && class_id < kGtsrbNumClasses,
+               "GTSRB class id " + std::to_string(class_id) + " out of range");
+  return kNames[static_cast<size_t>(class_id)];
+}
+
+RenderParams RenderParams::randomize(Rng& rng, float noise_std) {
+  RenderParams p;
+  p.center_jitter_x = rng.uniform(-0.06f, 0.06f);
+  p.center_jitter_y = rng.uniform(-0.06f, 0.06f);
+  p.scale = rng.uniform(0.68f, 0.92f);
+  p.brightness = rng.uniform(0.75f, 1.15f);
+  p.noise_std = noise_std;
+  p.noise_seed = rng.next_u64();
+  p.background = static_cast<int>(rng.uniform_int(4));
+  return p;
+}
+
+Tensor render_sign(int64_t class_id, const RenderParams& params,
+                   int64_t size) {
+  FADEML_CHECK(class_id >= 0 && class_id < kGtsrbNumClasses,
+               "GTSRB class id " + std::to_string(class_id) + " out of range");
+  FADEML_CHECK(size >= 8, "render_sign needs at least 8x8 pixels");
+  FADEML_CHECK(params.background >= 0 &&
+                   params.background < static_cast<int>(kBackgrounds.size()),
+               "background palette index out of range");
+  Canvas canvas(size, size);
+  const auto& bg = kBackgrounds[static_cast<size_t>(params.background)];
+  canvas.fill_vertical_gradient(bg[0], bg[1]);
+
+  const float half = static_cast<float>(size) / 2.0f;
+  const Frame frame{half + params.center_jitter_x * static_cast<float>(size),
+                    half + params.center_jitter_y * static_cast<float>(size),
+                    half * params.scale};
+  draw_class(canvas, class_id, frame);
+
+  Tensor image = canvas.to_tensor();
+  if (params.brightness != 1.0f) {
+    image.mul_(params.brightness);
+  }
+  if (params.noise_std > 0.0f) {
+    Rng noise(params.noise_seed);
+    float* p = image.data();
+    const int64_t n = image.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      p[i] += noise.normal(0.0f, params.noise_std);
+    }
+  }
+  image.clamp_(0.0f, 1.0f);
+  return image;
+}
+
+}  // namespace fademl::data

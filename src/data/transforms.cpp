@@ -1,0 +1,118 @@
+#include "fademl/data/transforms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::data {
+
+namespace {
+
+void check_chw(const Tensor& image, const char* who) {
+  FADEML_CHECK(image.rank() == 3,
+               std::string(who) + " expects [C, H, W], got " +
+                   image.shape().str());
+}
+
+/// Clamp-to-edge bilinear sample from one channel plane.
+float sample_bilinear(const float* plane, int64_t h, int64_t w, float y,
+                      float x) {
+  y = std::clamp(y, 0.0f, static_cast<float>(h - 1));
+  x = std::clamp(x, 0.0f, static_cast<float>(w - 1));
+  const int64_t y0 = static_cast<int64_t>(std::floor(y));
+  const int64_t x0 = static_cast<int64_t>(std::floor(x));
+  const int64_t y1 = std::min(y0 + 1, h - 1);
+  const int64_t x1 = std::min(x0 + 1, w - 1);
+  const float fy = y - static_cast<float>(y0);
+  const float fx = x - static_cast<float>(x0);
+  const float top = plane[y0 * w + x0] * (1 - fx) + plane[y0 * w + x1] * fx;
+  const float bot = plane[y1 * w + x0] * (1 - fx) + plane[y1 * w + x1] * fx;
+  return top * (1 - fy) + bot * fy;
+}
+
+/// Apply an inverse affine map (output pixel -> source coordinates).
+template <typename MapFn>
+Tensor resample(const Tensor& image, MapFn&& source_of) {
+  const int64_t c = image.dim(0);
+  const int64_t h = image.dim(1);
+  const int64_t w = image.dim(2);
+  Tensor out{image.shape()};
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float* plane = image.data() + ch * h * w;
+    float* oplane = out.data() + ch * h * w;
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        const auto [sy, sx] = source_of(static_cast<float>(y),
+                                        static_cast<float>(x));
+        oplane[y * w + x] = sample_bilinear(plane, h, w, sy, sx);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor rotate_image(const Tensor& image, float degrees) {
+  check_chw(image, "rotate_image");
+  const float rad = degrees * std::numbers::pi_v<float> / 180.0f;
+  const float cs = std::cos(rad);
+  const float sn = std::sin(rad);
+  const float cy = static_cast<float>(image.dim(1) - 1) / 2.0f;
+  const float cx = static_cast<float>(image.dim(2) - 1) / 2.0f;
+  // Inverse rotation: source = R(-a) * (dst - center) + center.
+  return resample(image, [=](float y, float x) {
+    const float dy = y - cy;
+    const float dx = x - cx;
+    return std::pair<float, float>{cy + dy * cs - dx * sn,
+                                   cx + dy * sn + dx * cs};
+  });
+}
+
+Tensor translate_image(const Tensor& image, float dx, float dy) {
+  check_chw(image, "translate_image");
+  return resample(image, [=](float y, float x) {
+    return std::pair<float, float>{y - dy, x - dx};
+  });
+}
+
+Tensor occlude_image(const Tensor& image, int64_t size, float value,
+                     Rng& rng) {
+  check_chw(image, "occlude_image");
+  FADEML_CHECK(size >= 1 && size <= image.dim(1) && size <= image.dim(2),
+               "occlusion size out of range");
+  const int64_t y0 = rng.uniform_int(image.dim(1) - size + 1);
+  const int64_t x0 = rng.uniform_int(image.dim(2) - size + 1);
+  Tensor out = image.clone();
+  for (int64_t ch = 0; ch < image.dim(0); ++ch) {
+    for (int64_t y = y0; y < y0 + size; ++y) {
+      for (int64_t x = x0; x < x0 + size; ++x) {
+        out.at({ch, y, x}) = value;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor stamp_patch(const Tensor& image, int64_t y, int64_t x, int64_t size,
+                   float r, float g, float b) {
+  check_chw(image, "stamp_patch");
+  FADEML_CHECK(image.dim(0) == 3, "stamp_patch expects an RGB image");
+  FADEML_CHECK(y >= 0 && x >= 0 && y + size <= image.dim(1) &&
+                   x + size <= image.dim(2),
+               "patch does not fit inside the image");
+  Tensor out = image.clone();
+  const float rgb[3] = {r, g, b};
+  for (int64_t ch = 0; ch < 3; ++ch) {
+    for (int64_t py = y; py < y + size; ++py) {
+      for (int64_t px = x; px < x + size; ++px) {
+        out.at({ch, py, px}) = rgb[ch];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fademl::data

@@ -1,0 +1,112 @@
+#include "fademl/defense/adversarial_training.hpp"
+
+#include <algorithm>
+
+#include "fademl/autograd/ops.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::defense {
+
+AdversarialTrainer::AdversarialTrainer(std::shared_ptr<nn::Sequential> model,
+                                       attacks::AttackKind attack_kind,
+                                       Config config)
+    : model_(std::move(model)),
+      attack_kind_(attack_kind),
+      config_(config),
+      pipeline_(model_, filters::make_identity(),
+                /*acquisition_blur_sigma=*/0.0f) {
+  FADEML_CHECK(model_ != nullptr, "AdversarialTrainer requires a model");
+  FADEML_CHECK(config_.adversarial_fraction >= 0.0f &&
+                   config_.adversarial_fraction <= 1.0f,
+               "adversarial_fraction must be in [0, 1]");
+  FADEML_CHECK(config_.epochs > 0 && config_.batch_size > 0,
+               "AdversarialTrainer requires positive epochs and batch size");
+}
+
+Tensor AdversarialTrainer::craft(const Tensor& image, int64_t label) const {
+  // Untargeted: ascend the true-class cross-entropy. FGSM does one signed
+  // step; iterative kinds (BIM/L-BFGS/C&W configs) take
+  // `attack.max_iterations` clipped steps — a PGD-flavored inner loop.
+  const int steps = attack_kind_ == attacks::AttackKind::kFgsm
+                        ? 1
+                        : std::max(1, config_.attack.max_iterations);
+  const float step_size =
+      steps == 1 ? config_.attack.epsilon : config_.attack.step_size;
+  Tensor x = image.clone();
+  const float* src = image.data();
+  for (int i = 0; i < steps; ++i) {
+    const core::LossGrad lg = pipeline_.loss_and_grad(
+        x, attacks::targeted_cross_entropy(label), core::ThreatModel::kI);
+    // Ascend (away from the true class): +sign step.
+    x.add_(sign(lg.grad), step_size);
+    float* px = x.data();
+    const int64_t n = x.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      const float lo = std::max(0.0f, src[j] - config_.attack.epsilon);
+      const float hi = std::min(1.0f, src[j] + config_.attack.epsilon);
+      px[j] = std::clamp(px[j], lo, hi);
+    }
+  }
+  return x;
+}
+
+double AdversarialTrainer::fit(const std::vector<Tensor>& images,
+                               const std::vector<int64_t>& labels, Rng& rng,
+                               const nn::Trainer::EpochCallback& on_epoch) {
+  FADEML_CHECK(images.size() == labels.size(),
+               "fit: image/label count mismatch");
+  FADEML_CHECK(!images.empty(), "fit: empty training set");
+  nn::SGD::Config sgd_config;
+  sgd_config.lr = config_.lr;
+  sgd_config.momentum = 0.9f;
+  nn::SGD sgd(model_->named_parameters(), sgd_config);
+
+  const int64_t n = static_cast<int64_t>(images.size());
+  model_->set_training(true);
+  double epoch_loss = 0.0;
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const std::vector<int64_t> order = rng.permutation(n);
+    double loss_sum = 0.0;
+    int64_t correct = 0;
+    for (int64_t start = 0; start < n; start += config_.batch_size) {
+      const int64_t end = std::min(n, start + config_.batch_size);
+      std::vector<Tensor> chunk;
+      std::vector<int64_t> chunk_labels;
+      for (int64_t i = start; i < end; ++i) {
+        const size_t idx = static_cast<size_t>(order[i]);
+        const bool adversarial =
+            rng.uniform() < config_.adversarial_fraction;
+        chunk.push_back(adversarial
+                            ? craft(images[idx], labels[idx])
+                            : images[idx]);
+        chunk_labels.push_back(labels[idx]);
+      }
+      autograd::Variable x{nn::stack_images(chunk)};
+      autograd::Variable logits = model_->forward(x);
+      autograd::Variable loss = autograd::cross_entropy(logits, chunk_labels);
+      sgd.zero_grad();
+      loss.backward();
+      sgd.step();
+      loss_sum += loss.value().item() * static_cast<double>(end - start);
+      const Tensor& lv = logits.value();
+      const int64_t classes = lv.dim(1);
+      for (int64_t r = 0; r < end - start; ++r) {
+        const float* row = lv.data() + r * classes;
+        if (std::max_element(row, row + classes) - row ==
+            chunk_labels[static_cast<size_t>(r)]) {
+          ++correct;
+        }
+      }
+    }
+    epoch_loss = loss_sum / static_cast<double>(n);
+    if (on_epoch) {
+      on_epoch(epoch, epoch_loss,
+               static_cast<double>(correct) / static_cast<double>(n));
+    }
+  }
+  model_->set_training(false);
+  return epoch_loss;
+}
+
+}  // namespace fademl::defense

@@ -1,0 +1,69 @@
+#include "fademl/defense/detector.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "fademl/filters/extra.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::defense {
+
+FeatureSqueezeDetector::FeatureSqueezeDetector(float threshold)
+    : FeatureSqueezeDetector(
+          {filters::make_bit_depth(4), filters::make_lap(8)}, threshold) {}
+
+FeatureSqueezeDetector::FeatureSqueezeDetector(
+    std::vector<filters::FilterPtr> squeezers, float threshold)
+    : squeezers_(std::move(squeezers)), threshold_(threshold) {
+  FADEML_CHECK(!squeezers_.empty(),
+               "feature-squeezing detector needs at least one squeezer");
+  FADEML_CHECK(threshold_ >= 0.0f, "detector threshold must be >= 0");
+}
+
+float FeatureSqueezeDetector::score(const core::InferencePipeline& pipeline,
+                                    const Tensor& image,
+                                    core::ThreatModel tm) const {
+  const Tensor base = pipeline.predict_probs(image, tm);
+  float worst = 0.0f;
+  for (const filters::FilterPtr& squeezer : squeezers_) {
+    const Tensor squeezed_probs =
+        pipeline.predict_probs(squeezer->apply(image), tm);
+    float l1 = 0.0f;
+    for (int64_t i = 0; i < base.numel(); ++i) {
+      l1 += std::fabs(base.at(i) - squeezed_probs.at(i));
+    }
+    worst = std::max(worst, l1);
+  }
+  return worst;
+}
+
+bool FeatureSqueezeDetector::is_adversarial(
+    const core::InferencePipeline& pipeline, const Tensor& image,
+    core::ThreatModel tm) const {
+  return score(pipeline, image, tm) > threshold_;
+}
+
+SmoothedPrediction smoothed_predict(const core::InferencePipeline& pipeline,
+                                    const Tensor& image, core::ThreatModel tm,
+                                    int votes, float sigma, uint64_t seed) {
+  FADEML_CHECK(votes >= 1, "smoothed_predict needs at least one vote");
+  FADEML_CHECK(sigma >= 0.0f, "smoothing sigma must be >= 0");
+  Rng rng(seed);
+  std::map<int64_t, int> counts;
+  for (int v = 0; v < votes; ++v) {
+    Tensor noisy = add(image, rng.normal_tensor(image.shape(), 0.0f, sigma));
+    noisy.clamp_(0.0f, 1.0f);
+    ++counts[argmax(pipeline.predict_probs(noisy, tm))];
+  }
+  SmoothedPrediction out;
+  for (const auto& [label, count] : counts) {
+    if (count > out.vote_share * votes) {
+      out.label = label;
+      out.vote_share = static_cast<float>(count) / static_cast<float>(votes);
+    }
+  }
+  return out;
+}
+
+}  // namespace fademl::defense

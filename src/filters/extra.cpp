@@ -1,0 +1,272 @@
+#include "fademl/filters/extra.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::filters {
+
+namespace {
+
+// Rec.601 luma weights.
+constexpr std::array<float, 3> kLuma = {0.299f, 0.587f, 0.114f};
+
+void check_rgb(const Tensor& image, const char* who) {
+  FADEML_CHECK(image.rank() == 3 && image.dim(0) == 3,
+               std::string(who) + " expects an RGB [3, H, W] image, got " +
+                   image.shape().str());
+}
+
+}  // namespace
+
+Tensor GrayscaleFilter::apply(const Tensor& image) const {
+  check_rgb(image, "GrayscaleFilter");
+  const int64_t plane = image.dim(1) * image.dim(2);
+  Tensor out{image.shape()};
+  const float* src = image.data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < plane; ++i) {
+    const float luma = kLuma[0] * src[i] + kLuma[1] * src[plane + i] +
+                       kLuma[2] * src[2 * plane + i];
+    dst[i] = luma;
+    dst[plane + i] = luma;
+    dst[2 * plane + i] = luma;
+  }
+  return out;
+}
+
+Tensor GrayscaleFilter::vjp(const Tensor& image,
+                            const Tensor& grad_output) const {
+  check_rgb(image, "GrayscaleFilter::vjp");
+  FADEML_CHECK(grad_output.shape() == image.shape(),
+               "GrayscaleFilter::vjp gradient shape mismatch");
+  const int64_t plane = image.dim(1) * image.dim(2);
+  Tensor grad_in{image.shape()};
+  const float* g = grad_output.data();
+  float* gi = grad_in.data();
+  for (int64_t i = 0; i < plane; ++i) {
+    // Each input channel k feeds all three outputs with weight w_k.
+    const float gsum = g[i] + g[plane + i] + g[2 * plane + i];
+    gi[i] = kLuma[0] * gsum;
+    gi[plane + i] = kLuma[1] * gsum;
+    gi[2 * plane + i] = kLuma[2] * gsum;
+  }
+  return grad_in;
+}
+
+NormalizeFilter::NormalizeFilter(float mean, float scale, float offset)
+    : mean_(mean), scale_(scale), offset_(offset) {
+  FADEML_CHECK(scale != 0.0f, "NormalizeFilter scale must be non-zero");
+}
+
+Tensor NormalizeFilter::apply(const Tensor& image) const {
+  FADEML_CHECK(image.rank() == 3, "NormalizeFilter expects [C, H, W]");
+  return map(image, [this](float v) {
+    return (v - mean_) * scale_ + offset_;
+  });
+}
+
+Tensor NormalizeFilter::vjp(const Tensor& image,
+                            const Tensor& grad_output) const {
+  FADEML_CHECK(grad_output.shape() == image.shape(),
+               "NormalizeFilter::vjp gradient shape mismatch");
+  return mul(grad_output, scale_);
+}
+
+std::string NormalizeFilter::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "Normalize(m%.2f,s%.2f)",
+                static_cast<double>(mean_), static_cast<double>(scale_));
+  return buf;
+}
+
+Tensor HistogramEqualizationFilter::apply(const Tensor& image) const {
+  FADEML_CHECK(image.rank() == 3, "HistEq expects [C, H, W]");
+  const int64_t c = image.dim(0);
+  const int64_t plane = image.dim(1) * image.dim(2);
+  Tensor out{image.shape()};
+  constexpr int kBins = 256;
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float* src = image.data() + ch * plane;
+    float* dst = out.data() + ch * plane;
+    std::array<int64_t, kBins> hist{};
+    for (int64_t i = 0; i < plane; ++i) {
+      const int bin = std::clamp(
+          static_cast<int>(src[i] * (kBins - 1) + 0.5f), 0, kBins - 1);
+      ++hist[static_cast<size_t>(bin)];
+    }
+    // CDF-based remap (classic global equalization per channel).
+    std::array<float, kBins> cdf{};
+    int64_t running = 0;
+    int64_t first_nonzero = 0;
+    bool seen = false;
+    for (int b = 0; b < kBins; ++b) {
+      running += hist[static_cast<size_t>(b)];
+      cdf[static_cast<size_t>(b)] = static_cast<float>(running);
+      if (!seen && hist[static_cast<size_t>(b)] > 0) {
+        first_nonzero = running;
+        seen = true;
+      }
+    }
+    const float denom =
+        static_cast<float>(plane - first_nonzero);
+    for (int64_t i = 0; i < plane; ++i) {
+      const int bin = std::clamp(
+          static_cast<int>(src[i] * (kBins - 1) + 0.5f), 0, kBins - 1);
+      if (denom <= 0.0f) {
+        dst[i] = src[i];  // constant channel: nothing to equalize
+      } else {
+        dst[i] = std::clamp(
+            (cdf[static_cast<size_t>(bin)] -
+             static_cast<float>(first_nonzero)) / denom,
+            0.0f, 1.0f);
+      }
+    }
+  }
+  return out;
+}
+
+BitDepthFilter::BitDepthFilter(int bits) : bits_(bits) {
+  FADEML_CHECK(bits >= 1 && bits <= 8,
+               "bit-depth squeeze expects 1..8 bits, got " +
+                   std::to_string(bits));
+}
+
+Tensor BitDepthFilter::apply(const Tensor& image) const {
+  FADEML_CHECK(image.rank() == 3, "BitDepthFilter expects [C, H, W]");
+  const float levels = static_cast<float>((1 << bits_) - 1);
+  return map(image, [levels](float v) {
+    return std::round(std::clamp(v, 0.0f, 1.0f) * levels) / levels;
+  });
+}
+
+std::string BitDepthFilter::name() const {
+  return "BitDepth(" + std::to_string(bits_) + ")";
+}
+
+BilateralFilter::BilateralFilter(float sigma_space, float sigma_range)
+    : sigma_space_(sigma_space),
+      sigma_range_(sigma_range),
+      radius_(std::max(1, static_cast<int>(std::ceil(2.0f * sigma_space)))) {
+  FADEML_CHECK(sigma_space > 0.0f && sigma_range > 0.0f,
+               "bilateral sigmas must be positive");
+}
+
+Tensor BilateralFilter::apply(const Tensor& image) const {
+  FADEML_CHECK(image.rank() == 3, "BilateralFilter expects [C, H, W]");
+  const int64_t c = image.dim(0);
+  const int64_t h = image.dim(1);
+  const int64_t w = image.dim(2);
+  Tensor out{image.shape()};
+  const float inv_2ss = 1.0f / (2.0f * sigma_space_ * sigma_space_);
+  const float inv_2sr = 1.0f / (2.0f * sigma_range_ * sigma_range_);
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float* plane = image.data() + ch * h * w;
+    float* oplane = out.data() + ch * h * w;
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        const float center = plane[y * w + x];
+        float acc = 0.0f;
+        float weight = 0.0f;
+        for (int dy = -radius_; dy <= radius_; ++dy) {
+          const int64_t ny = y + dy;
+          if (ny < 0 || ny >= h) {
+            continue;
+          }
+          for (int dx = -radius_; dx <= radius_; ++dx) {
+            const int64_t nx = x + dx;
+            if (nx < 0 || nx >= w) {
+              continue;
+            }
+            const float v = plane[ny * w + nx];
+            const float dv = v - center;
+            const float wgt = std::exp(
+                -static_cast<float>(dy * dy + dx * dx) * inv_2ss -
+                dv * dv * inv_2sr);
+            acc += wgt * v;
+            weight += wgt;
+          }
+        }
+        oplane[y * w + x] = acc / weight;
+      }
+    }
+  }
+  return out;
+}
+
+std::string BilateralFilter::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "Bilateral(%.1f,%.2f)",
+                static_cast<double>(sigma_space_),
+                static_cast<double>(sigma_range_));
+  return buf;
+}
+
+ShuffleFilter::ShuffleFilter(uint64_t seed) : seed_(seed) {}
+
+std::vector<int64_t> ShuffleFilter::permutation_for(int64_t pixels) const {
+  Rng rng(seed_ ^ static_cast<uint64_t>(pixels) * 0x9E3779B97F4A7C15ull);
+  return rng.permutation(pixels);
+}
+
+Tensor ShuffleFilter::apply(const Tensor& image) const {
+  FADEML_CHECK(image.rank() == 3, "ShuffleFilter expects [C, H, W]");
+  const int64_t c = image.dim(0);
+  const int64_t plane = image.dim(1) * image.dim(2);
+  const std::vector<int64_t> perm = permutation_for(plane);
+  Tensor out{image.shape()};
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float* src = image.data() + ch * plane;
+    float* dst = out.data() + ch * plane;
+    for (int64_t i = 0; i < plane; ++i) {
+      dst[i] = src[perm[static_cast<size_t>(i)]];
+    }
+  }
+  return out;
+}
+
+Tensor ShuffleFilter::vjp(const Tensor& image,
+                          const Tensor& grad_output) const {
+  FADEML_CHECK(grad_output.shape() == image.shape(),
+               "ShuffleFilter::vjp gradient shape mismatch");
+  const int64_t c = image.dim(0);
+  const int64_t plane = image.dim(1) * image.dim(2);
+  const std::vector<int64_t> perm = permutation_for(plane);
+  Tensor grad_in{image.shape()};
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float* g = grad_output.data() + ch * plane;
+    float* gi = grad_in.data() + ch * plane;
+    // Adjoint of a permutation is its inverse: scatter instead of gather.
+    for (int64_t i = 0; i < plane; ++i) {
+      gi[perm[static_cast<size_t>(i)]] = g[i];
+    }
+  }
+  return grad_in;
+}
+
+FilterPtr make_grayscale() { return std::make_shared<GrayscaleFilter>(); }
+
+FilterPtr make_normalize(float mean, float scale, float offset) {
+  return std::make_shared<NormalizeFilter>(mean, scale, offset);
+}
+
+FilterPtr make_histeq() {
+  return std::make_shared<HistogramEqualizationFilter>();
+}
+
+FilterPtr make_bit_depth(int bits) {
+  return std::make_shared<BitDepthFilter>(bits);
+}
+
+FilterPtr make_bilateral(float sigma_space, float sigma_range) {
+  return std::make_shared<BilateralFilter>(sigma_space, sigma_range);
+}
+
+FilterPtr make_shuffle(uint64_t seed) {
+  return std::make_shared<ShuffleFilter>(seed);
+}
+
+}  // namespace fademl::filters

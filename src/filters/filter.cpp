@@ -1,0 +1,536 @@
+#include "fademl/filters/filter.hpp"
+
+#include "fademl/filters/extra.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::filters {
+
+namespace {
+
+void check_chw(const Tensor& image, const char* who) {
+  FADEML_CHECK(image.rank() == 3,
+               std::string(who) + " expects a [C, H, W] image, got " +
+                   image.shape().str());
+}
+
+void check_vjp_shapes(const Tensor& image, const Tensor& grad_output,
+                      const char* who) {
+  check_chw(image, who);
+  FADEML_CHECK(grad_output.shape() == image.shape(),
+               std::string(who) + ": gradient shape " +
+                   grad_output.shape().str() + " does not match image shape " +
+                   image.shape().str());
+}
+
+/// Gather-average over a fixed offset neighborhood with border
+/// renormalization. `include_center` distinguishes LAP (offsets exclude the
+/// center, which is always counted) from LAR (offsets include it).
+Tensor neighborhood_average(const Tensor& image,
+                            const std::vector<std::pair<int, int>>& offsets,
+                            bool center_implicit) {
+  const int64_t c = image.dim(0);
+  const int64_t h = image.dim(1);
+  const int64_t w = image.dim(2);
+  Tensor out{image.shape()};
+  const float* src = image.data();
+  float* dst = out.data();
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float* plane = src + ch * h * w;
+    float* oplane = dst + ch * h * w;
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        float acc = center_implicit ? plane[y * w + x] : 0.0f;
+        int count = center_implicit ? 1 : 0;
+        for (const auto& [dy, dx] : offsets) {
+          const int64_t ny = y + dy;
+          const int64_t nx = x + dx;
+          if (ny < 0 || ny >= h || nx < 0 || nx >= w) {
+            continue;
+          }
+          acc += plane[ny * w + nx];
+          ++count;
+        }
+        oplane[y * w + x] = acc / static_cast<float>(count);
+      }
+    }
+  }
+  return out;
+}
+
+/// Exact adjoint of neighborhood_average: scatter each output gradient back
+/// to the input pixels it averaged, with the same per-pixel normalization.
+Tensor neighborhood_average_adjoint(
+    const Tensor& grad_output, const std::vector<std::pair<int, int>>& offsets,
+    bool center_implicit) {
+  const int64_t c = grad_output.dim(0);
+  const int64_t h = grad_output.dim(1);
+  const int64_t w = grad_output.dim(2);
+  Tensor grad_in = Tensor::zeros(grad_output.shape());
+  const float* g = grad_output.data();
+  float* gi = grad_in.data();
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float* gplane = g + ch * h * w;
+    float* iplane = gi + ch * h * w;
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        // Recompute the forward count for this output pixel.
+        int count = center_implicit ? 1 : 0;
+        for (const auto& [dy, dx] : offsets) {
+          const int64_t ny = y + dy;
+          const int64_t nx = x + dx;
+          if (ny >= 0 && ny < h && nx >= 0 && nx < w) {
+            ++count;
+          }
+        }
+        const float share = gplane[y * w + x] / static_cast<float>(count);
+        if (center_implicit) {
+          iplane[y * w + x] += share;
+        }
+        for (const auto& [dy, dx] : offsets) {
+          const int64_t ny = y + dy;
+          const int64_t nx = x + dx;
+          if (ny < 0 || ny >= h || nx < 0 || nx >= w) {
+            continue;
+          }
+          iplane[ny * w + nx] += share;
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+/// The `np` nearest offsets to the origin (excluding it), ordered by
+/// distance with a deterministic (dy, dx) tie-break.
+std::vector<std::pair<int, int>> nearest_offsets(int np) {
+  // Generate candidates in a square comfortably containing np pixels.
+  const int reach = std::max(2, static_cast<int>(std::ceil(
+                                    std::sqrt(static_cast<float>(np)))) +
+                                    1);
+  std::vector<std::pair<int, int>> candidates;
+  for (int dy = -reach; dy <= reach; ++dy) {
+    for (int dx = -reach; dx <= reach; ++dx) {
+      if (dy == 0 && dx == 0) {
+        continue;
+      }
+      candidates.emplace_back(dy, dx);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              const int da = a.first * a.first + a.second * a.second;
+              const int db = b.first * b.first + b.second * b.second;
+              if (da != db) {
+                return da < db;
+              }
+              return a < b;
+            });
+  FADEML_CHECK(static_cast<int>(candidates.size()) >= np,
+               "internal: neighbor candidate pool too small");
+  candidates.resize(static_cast<size_t>(np));
+  return candidates;
+}
+
+/// All offsets within Euclidean radius `r` of the origin, center included.
+std::vector<std::pair<int, int>> disc_offsets(int r) {
+  std::vector<std::pair<int, int>> out;
+  for (int dy = -r; dy <= r; ++dy) {
+    for (int dx = -r; dx <= r; ++dx) {
+      if (dy * dy + dx * dx <= r * r) {
+        out.emplace_back(dy, dx);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Filter::vjp(const Tensor& image, const Tensor& grad_output) const {
+  check_chw(image, "Filter::vjp");
+  FADEML_CHECK(grad_output.shape() == image.shape(),
+               "vjp gradient shape " + grad_output.shape().str() +
+                   " does not match image shape " + image.shape().str());
+  // BPDA straight-through: treat the filter as identity in the backward
+  // pass. Exact for no filter, a usable approximation for non-linear ones.
+  return grad_output.clone();
+}
+
+Tensor Filter::apply_batch(const Tensor& batch) const {
+  FADEML_CHECK(batch.rank() == 4,
+               "apply_batch expects [N, C, H, W], got " + batch.shape().str());
+  const int64_t n = batch.dim(0);
+  const int64_t per = batch.dim(1) * batch.dim(2) * batch.dim(3);
+  Tensor out{batch.shape()};
+  for (int64_t i = 0; i < n; ++i) {
+    Tensor image{Shape{batch.dim(1), batch.dim(2), batch.dim(3)}};
+    std::copy(batch.data() + i * per, batch.data() + (i + 1) * per,
+              image.data());
+    const Tensor filtered = apply(image);
+    std::copy(filtered.data(), filtered.data() + per, out.data() + i * per);
+  }
+  return out;
+}
+
+Tensor IdentityFilter::apply(const Tensor& image) const {
+  check_chw(image, "IdentityFilter");
+  return image.clone();
+}
+
+Tensor IdentityFilter::vjp(const Tensor& /*image*/,
+                           const Tensor& grad_output) const {
+  return grad_output.clone();
+}
+
+LapFilter::LapFilter(int np) : np_(np), offsets_(nearest_offsets(np)) {
+  FADEML_CHECK(np >= 1, "LAP requires np >= 1");
+}
+
+Tensor LapFilter::apply(const Tensor& image) const {
+  check_chw(image, "LapFilter");
+  return neighborhood_average(image, offsets_, /*center_implicit=*/true);
+}
+
+Tensor LapFilter::vjp(const Tensor& image, const Tensor& grad_output) const {
+  check_vjp_shapes(image, grad_output, "LapFilter::vjp");
+  return neighborhood_average_adjoint(grad_output, offsets_,
+                                      /*center_implicit=*/true);
+}
+
+std::string LapFilter::name() const {
+  return "LAP(" + std::to_string(np_) + ")";
+}
+
+LarFilter::LarFilter(int radius)
+    : radius_(radius), offsets_(disc_offsets(radius)) {
+  FADEML_CHECK(radius >= 1, "LAR requires radius >= 1");
+}
+
+Tensor LarFilter::apply(const Tensor& image) const {
+  check_chw(image, "LarFilter");
+  return neighborhood_average(image, offsets_, /*center_implicit=*/false);
+}
+
+Tensor LarFilter::vjp(const Tensor& image, const Tensor& grad_output) const {
+  check_vjp_shapes(image, grad_output, "LarFilter::vjp");
+  return neighborhood_average_adjoint(grad_output, offsets_,
+                                      /*center_implicit=*/false);
+}
+
+std::string LarFilter::name() const {
+  return "LAR(" + std::to_string(radius_) + ")";
+}
+
+GaussianFilter::GaussianFilter(float sigma) : sigma_(sigma) {
+  FADEML_CHECK(sigma > 0.0f, "Gaussian sigma must be positive");
+  const int half = std::max(1, static_cast<int>(std::ceil(3.0f * sigma)));
+  kernel_.resize(static_cast<size_t>(2 * half + 1));
+  float total = 0.0f;
+  for (int i = -half; i <= half; ++i) {
+    const float v = std::exp(-0.5f * static_cast<float>(i * i) /
+                             (sigma * sigma));
+    kernel_[static_cast<size_t>(i + half)] = v;
+    total += v;
+  }
+  for (float& v : kernel_) {
+    v /= total;
+  }
+}
+
+namespace {
+
+/// 1-D convolution along an axis with kernel renormalized at borders.
+Tensor separable_pass(const Tensor& image, const std::vector<float>& kernel,
+                      bool horizontal) {
+  const int64_t c = image.dim(0);
+  const int64_t h = image.dim(1);
+  const int64_t w = image.dim(2);
+  const int half = static_cast<int>(kernel.size() / 2);
+  Tensor out{image.shape()};
+  const float* src = image.data();
+  float* dst = out.data();
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float* plane = src + ch * h * w;
+    float* oplane = dst + ch * h * w;
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        float acc = 0.0f;
+        float weight = 0.0f;
+        for (int k = -half; k <= half; ++k) {
+          const int64_t ny = horizontal ? y : y + k;
+          const int64_t nx = horizontal ? x + k : x;
+          if (ny < 0 || ny >= h || nx < 0 || nx >= w) {
+            continue;
+          }
+          const float kv = kernel[static_cast<size_t>(k + half)];
+          acc += kv * plane[ny * w + nx];
+          weight += kv;
+        }
+        oplane[y * w + x] = acc / weight;
+      }
+    }
+  }
+  return out;
+}
+
+/// Adjoint of separable_pass (scatter with the same border weights).
+Tensor separable_pass_adjoint(const Tensor& grad_output,
+                              const std::vector<float>& kernel,
+                              bool horizontal) {
+  const int64_t c = grad_output.dim(0);
+  const int64_t h = grad_output.dim(1);
+  const int64_t w = grad_output.dim(2);
+  const int half = static_cast<int>(kernel.size() / 2);
+  Tensor grad_in = Tensor::zeros(grad_output.shape());
+  const float* g = grad_output.data();
+  float* gi = grad_in.data();
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float* gplane = g + ch * h * w;
+    float* iplane = gi + ch * h * w;
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        float weight = 0.0f;
+        for (int k = -half; k <= half; ++k) {
+          const int64_t ny = horizontal ? y : y + k;
+          const int64_t nx = horizontal ? x + k : x;
+          if (ny >= 0 && ny < h && nx >= 0 && nx < w) {
+            weight += kernel[static_cast<size_t>(k + half)];
+          }
+        }
+        const float gv = gplane[y * w + x] / weight;
+        for (int k = -half; k <= half; ++k) {
+          const int64_t ny = horizontal ? y : y + k;
+          const int64_t nx = horizontal ? x + k : x;
+          if (ny < 0 || ny >= h || nx < 0 || nx >= w) {
+            continue;
+          }
+          iplane[ny * w + nx] += gv * kernel[static_cast<size_t>(k + half)];
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace
+
+Tensor GaussianFilter::apply(const Tensor& image) const {
+  check_chw(image, "GaussianFilter");
+  return separable_pass(separable_pass(image, kernel_, /*horizontal=*/true),
+                        kernel_, /*horizontal=*/false);
+}
+
+Tensor GaussianFilter::vjp(const Tensor& image,
+                           const Tensor& grad_output) const {
+  check_vjp_shapes(image, grad_output, "GaussianFilter::vjp");
+  // Adjoint of (V ∘ H) is H^T ∘ V^T.
+  return separable_pass_adjoint(
+      separable_pass_adjoint(grad_output, kernel_, /*horizontal=*/false),
+      kernel_, /*horizontal=*/true);
+}
+
+std::string GaussianFilter::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "Gauss(%.2f)", static_cast<double>(sigma_));
+  return buf;
+}
+
+MedianFilter::MedianFilter(int radius) : radius_(radius) {
+  FADEML_CHECK(radius >= 1, "median radius must be >= 1");
+}
+
+Tensor MedianFilter::apply(const Tensor& image) const {
+  check_chw(image, "MedianFilter");
+  const int64_t c = image.dim(0);
+  const int64_t h = image.dim(1);
+  const int64_t w = image.dim(2);
+  Tensor out{image.shape()};
+  const float* src = image.data();
+  float* dst = out.data();
+  std::vector<float> window;
+  window.reserve(static_cast<size_t>((2 * radius_ + 1) * (2 * radius_ + 1)));
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float* plane = src + ch * h * w;
+    float* oplane = dst + ch * h * w;
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        window.clear();
+        for (int dy = -radius_; dy <= radius_; ++dy) {
+          for (int dx = -radius_; dx <= radius_; ++dx) {
+            const int64_t ny = y + dy;
+            const int64_t nx = x + dx;
+            if (ny < 0 || ny >= h || nx < 0 || nx >= w) {
+              continue;
+            }
+            window.push_back(plane[ny * w + nx]);
+          }
+        }
+        const size_t mid = window.size() / 2;
+        std::nth_element(window.begin(), window.begin() + mid, window.end());
+        oplane[y * w + x] = window[mid];
+      }
+    }
+  }
+  return out;
+}
+
+std::string MedianFilter::name() const {
+  return "Median(" + std::to_string(radius_) + ")";
+}
+
+FilterChain::FilterChain(std::vector<FilterPtr> filters)
+    : filters_(std::move(filters)) {
+  FADEML_CHECK(!filters_.empty(), "FilterChain requires at least one filter");
+  for (const FilterPtr& f : filters_) {
+    FADEML_CHECK(f != nullptr, "FilterChain rejects null filters");
+  }
+}
+
+Tensor FilterChain::apply(const Tensor& image) const {
+  Tensor out = image.clone();
+  for (const FilterPtr& f : filters_) {
+    out = f->apply(out);
+  }
+  return out;
+}
+
+Tensor FilterChain::vjp(const Tensor& image, const Tensor& grad_output) const {
+  // Recompute the intermediate images, then chain vjps right to left.
+  std::vector<Tensor> inputs;
+  inputs.reserve(filters_.size());
+  Tensor cur = image.clone();
+  for (const FilterPtr& f : filters_) {
+    inputs.push_back(cur);
+    cur = f->apply(cur);
+  }
+  Tensor g = grad_output.clone();
+  for (size_t i = filters_.size(); i-- > 0;) {
+    g = filters_[i]->vjp(inputs[i], g);
+  }
+  return g;
+}
+
+std::string FilterChain::name() const {
+  std::string s;
+  for (size_t i = 0; i < filters_.size(); ++i) {
+    if (i != 0) {
+      s += "+";
+    }
+    s += filters_[i]->name();
+  }
+  return s;
+}
+
+bool FilterChain::is_linear() const {
+  for (const FilterPtr& f : filters_) {
+    if (!f->is_linear()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+FilterPtr make_identity() { return std::make_shared<IdentityFilter>(); }
+
+FilterPtr make_lap(int np) { return std::make_shared<LapFilter>(np); }
+
+FilterPtr make_lar(int radius) { return std::make_shared<LarFilter>(radius); }
+
+FilterPtr make_gaussian(float sigma) {
+  return std::make_shared<GaussianFilter>(sigma);
+}
+
+FilterPtr make_median(int radius) {
+  return std::make_shared<MedianFilter>(radius);
+}
+
+namespace {
+
+FilterPtr parse_single_filter(const std::string& spec) {
+  const auto starts = [&](const char* prefix) {
+    return spec.rfind(prefix, 0) == 0;
+  };
+  const auto suffix_int = [&](size_t at) {
+    char* end = nullptr;
+    const long v = std::strtol(spec.c_str() + at, &end, 10);
+    FADEML_CHECK(end != nullptr && *end == '\0' &&
+                     end != spec.c_str() + at,
+                 "malformed filter spec '" + spec + "'");
+    return static_cast<int>(v);
+  };
+  if (spec == "none" || spec == "identity") {
+    return make_identity();
+  }
+  if (starts("lap")) {
+    return make_lap(suffix_int(3));
+  }
+  if (starts("lar")) {
+    return make_lar(suffix_int(3));
+  }
+  if (starts("gauss")) {
+    char* end = nullptr;
+    const float sigma = std::strtof(spec.c_str() + 5, &end);
+    FADEML_CHECK(end != nullptr && *end == '\0', 
+                 "malformed filter spec '" + spec + "'");
+    return make_gaussian(sigma);
+  }
+  if (starts("median")) {
+    return make_median(suffix_int(6));
+  }
+  if (spec == "grayscale") {
+    return make_grayscale();
+  }
+  if (spec == "histeq") {
+    return make_histeq();
+  }
+  if (starts("bits")) {
+    return make_bit_depth(suffix_int(4));
+  }
+  throw Error("unknown filter spec '" + spec +
+              "' (expected none|lap<np>|lar<r>|gauss<sigma>|median<r>|"
+              "grayscale|histeq|bits<b> or a '+'-chain)");
+}
+
+}  // namespace
+
+FilterPtr parse_filter(const std::string& spec) {
+  FADEML_CHECK(!spec.empty(), "empty filter spec");
+  std::vector<FilterPtr> parts;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    const size_t plus = spec.find('+', start);
+    const std::string piece =
+        spec.substr(start, plus == std::string::npos ? std::string::npos
+                                                     : plus - start);
+    FADEML_CHECK(!piece.empty(), "empty component in filter spec '" + spec +
+                                     "'");
+    parts.push_back(parse_single_filter(piece));
+    if (plus == std::string::npos) {
+      break;
+    }
+    start = plus + 1;
+  }
+  if (parts.size() == 1) {
+    return parts.front();
+  }
+  return std::make_shared<FilterChain>(std::move(parts));
+}
+
+std::vector<FilterPtr> paper_filter_sweep() {
+  std::vector<FilterPtr> sweep;
+  sweep.push_back(make_identity());
+  for (int np : {4, 8, 16, 32, 64}) {
+    sweep.push_back(make_lap(np));
+  }
+  for (int r : {1, 2, 3, 4, 5}) {
+    sweep.push_back(make_lar(r));
+  }
+  return sweep;
+}
+
+}  // namespace fademl::filters

@@ -1,0 +1,102 @@
+#include "fademl/io/args.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::io {
+
+ArgParser::ArgParser(std::string description, std::vector<std::string> spec)
+    : description_(std::move(description)) {
+  for (std::string name : spec) {
+    FADEML_CHECK(!name.empty(), "empty option name in ArgParser spec");
+    bool flag = false;
+    if (name.back() == '!') {
+      flag = true;
+      name.pop_back();
+    }
+    FADEML_CHECK(known_.emplace(name, flag).second,
+                 "duplicate option '" + name + "' in ArgParser spec");
+  }
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string inline_value;
+    bool has_inline = false;
+    if (const size_t eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline = true;
+    }
+    const auto it = known_.find(name);
+    FADEML_CHECK(it != known_.end(), "unknown option '--" + name + "'");
+    if (it->second) {  // boolean flag
+      FADEML_CHECK(!has_inline, "flag '--" + name + "' takes no value");
+      values_[name] = "1";
+    } else if (has_inline) {
+      values_[name] = inline_value;
+    } else {
+      FADEML_CHECK(i + 1 < argc, "option '--" + name + "' needs a value");
+      values_[name] = argv[++i];
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  FADEML_CHECK(known_.count(name) != 0,
+               "query for unregistered option '" + name + "'");
+  return values_.count(name) != 0;
+}
+
+std::string ArgParser::get(const std::string& name,
+                           const std::string& fallback) const {
+  FADEML_CHECK(known_.count(name) != 0,
+               "query for unregistered option '" + name + "'");
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t ArgParser::get_int(const std::string& name, int64_t fallback) const {
+  const std::string raw = get(name, "");
+  if (raw.empty()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(raw.c_str(), &end, 10);
+  FADEML_CHECK(end != nullptr && *end == '\0',
+               "option '--" + name + "' expects an integer, got '" + raw +
+                   "'");
+  return static_cast<int64_t>(v);
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  const std::string raw = get(name, "");
+  if (raw.empty()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  FADEML_CHECK(end != nullptr && *end == '\0',
+               "option '--" + name + "' expects a number, got '" + raw + "'");
+  return v;
+}
+
+std::string ArgParser::usage(const std::string& prog) const {
+  std::ostringstream os;
+  os << description_ << "\n\nusage: " << prog;
+  for (const auto& [name, flag] : known_) {
+    os << " [--" << name << (flag ? "" : " <value>") << "]";
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace fademl::io

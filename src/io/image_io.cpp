@@ -1,0 +1,95 @@
+#include "fademl/io/image_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::io {
+
+namespace {
+
+uint8_t quantize(float v) {
+  return static_cast<uint8_t>(
+      std::lround(std::clamp(v, 0.0f, 1.0f) * 255.0f));
+}
+
+}  // namespace
+
+void write_ppm(const std::string& path, const Tensor& image) {
+  FADEML_CHECK(image.rank() == 3 && image.dim(0) == 3,
+               "write_ppm expects [3, H, W], got " + image.shape().str());
+  const int64_t h = image.dim(1);
+  const int64_t w = image.dim(2);
+  std::ofstream os(path, std::ios::binary);
+  FADEML_CHECK(os.is_open(), "cannot open '" + path + "' for writing");
+  os << "P6\n" << w << " " << h << "\n255\n";
+  const float* p = image.data();
+  const int64_t plane = h * w;
+  std::vector<uint8_t> row(static_cast<size_t>(3 * w));
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      row[static_cast<size_t>(3 * x + 0)] = quantize(p[y * w + x]);
+      row[static_cast<size_t>(3 * x + 1)] = quantize(p[plane + y * w + x]);
+      row[static_cast<size_t>(3 * x + 2)] = quantize(p[2 * plane + y * w + x]);
+    }
+    os.write(reinterpret_cast<const char*>(row.data()),
+             static_cast<std::streamsize>(row.size()));
+  }
+  FADEML_CHECK(static_cast<bool>(os), "write failure on '" + path + "'");
+}
+
+void write_pgm(const std::string& path, const Tensor& image) {
+  FADEML_CHECK(image.rank() == 2 ||
+                   (image.rank() == 3 && image.dim(0) == 1),
+               "write_pgm expects [H, W] or [1, H, W], got " +
+                   image.shape().str());
+  const int64_t h = image.dim(image.rank() == 2 ? 0 : 1);
+  const int64_t w = image.dim(image.rank() == 2 ? 1 : 2);
+  std::ofstream os(path, std::ios::binary);
+  FADEML_CHECK(os.is_open(), "cannot open '" + path + "' for writing");
+  os << "P5\n" << w << " " << h << "\n255\n";
+  const float* p = image.data();
+  std::vector<uint8_t> row(static_cast<size_t>(w));
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      row[static_cast<size_t>(x)] = quantize(p[y * w + x]);
+    }
+    os.write(reinterpret_cast<const char*>(row.data()),
+             static_cast<std::streamsize>(row.size()));
+  }
+  FADEML_CHECK(static_cast<bool>(os), "write failure on '" + path + "'");
+}
+
+Tensor read_ppm(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  FADEML_CHECK(is.is_open(), "cannot open '" + path + "' for reading");
+  std::string magic;
+  int64_t w = 0;
+  int64_t h = 0;
+  int maxval = 0;
+  is >> magic >> w >> h >> maxval;
+  FADEML_CHECK(magic == "P6", "'" + path + "' is not a binary PPM (P6)");
+  FADEML_CHECK(w > 0 && h > 0 && maxval == 255,
+               "unsupported PPM geometry in '" + path + "'");
+  is.get();  // single whitespace after the header
+  std::vector<uint8_t> raw(static_cast<size_t>(3 * w * h));
+  is.read(reinterpret_cast<char*>(raw.data()),
+          static_cast<std::streamsize>(raw.size()));
+  FADEML_CHECK(static_cast<bool>(is), "truncated PPM data in '" + path + "'");
+  Tensor image{Shape{3, h, w}};
+  float* p = image.data();
+  const int64_t plane = h * w;
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      const size_t base = static_cast<size_t>(3 * (y * w + x));
+      p[y * w + x] = static_cast<float>(raw[base]) / 255.0f;
+      p[plane + y * w + x] = static_cast<float>(raw[base + 1]) / 255.0f;
+      p[2 * plane + y * w + x] = static_cast<float>(raw[base + 2]) / 255.0f;
+    }
+  }
+  return image;
+}
+
+}  // namespace fademl::io

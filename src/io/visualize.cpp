@@ -1,0 +1,102 @@
+#include "fademl/io/visualize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fademl/io/image_io.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::io {
+
+Tensor channel_sum(const Tensor& image) {
+  FADEML_CHECK(image.rank() == 3,
+               "channel_sum expects [C, H, W], got " + image.shape().str());
+  const int64_t c = image.dim(0);
+  const int64_t h = image.dim(1);
+  const int64_t w = image.dim(2);
+  Tensor out = Tensor::zeros(Shape{h, w});
+  const float* src = image.data();
+  float* dst = out.data();
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t i = 0; i < h * w; ++i) {
+      dst[i] += src[ch * h * w + i];
+    }
+  }
+  return out;
+}
+
+Tensor heatmap(const Tensor& signed_map, float scale) {
+  FADEML_CHECK(signed_map.rank() == 2,
+               "heatmap expects [H, W], got " + signed_map.shape().str());
+  if (scale <= 0.0f) {
+    scale = std::max(norm_linf(signed_map), 1e-12f);
+  }
+  const int64_t h = signed_map.dim(0);
+  const int64_t w = signed_map.dim(1);
+  Tensor out{Shape{3, h, w}};
+  const float* src = signed_map.data();
+  float* r = out.data();
+  float* g = out.data() + h * w;
+  float* b = out.data() + 2 * h * w;
+  for (int64_t i = 0; i < h * w; ++i) {
+    const float t = std::clamp(src[i] / scale, -1.0f, 1.0f);
+    // Diverging map: lerp white->red for t>0, white->blue for t<0.
+    if (t >= 0.0f) {
+      r[i] = 1.0f;
+      g[i] = 1.0f - t;
+      b[i] = 1.0f - t;
+    } else {
+      r[i] = 1.0f + t;
+      g[i] = 1.0f + t;
+      b[i] = 1.0f;
+    }
+  }
+  return out;
+}
+
+Tensor montage(const std::vector<Tensor>& images, int64_t columns) {
+  FADEML_CHECK(!images.empty(), "montage requires at least one image");
+  FADEML_CHECK(columns >= 1, "montage requires columns >= 1");
+  const Shape& s0 = images.front().shape();
+  FADEML_CHECK(s0.rank() == 3 && s0.dim(0) == 3,
+               "montage expects RGB [3, H, W] tiles");
+  for (const Tensor& img : images) {
+    FADEML_CHECK(img.shape() == s0, "montage tiles must share one shape");
+  }
+  const int64_t rows =
+      (static_cast<int64_t>(images.size()) + columns - 1) / columns;
+  const int64_t th = s0.dim(1);
+  const int64_t tw = s0.dim(2);
+  const int64_t sep = 1;
+  const int64_t out_h = rows * th + (rows - 1) * sep;
+  const int64_t out_w = columns * tw + (columns - 1) * sep;
+  Tensor out = Tensor::full(Shape{3, out_h, out_w}, 0.5f);
+  for (size_t idx = 0; idx < images.size(); ++idx) {
+    const int64_t ry = static_cast<int64_t>(idx) / columns;
+    const int64_t rx = static_cast<int64_t>(idx) % columns;
+    const int64_t oy = ry * (th + sep);
+    const int64_t ox = rx * (tw + sep);
+    const float* src = images[idx].data();
+    for (int64_t c = 0; c < 3; ++c) {
+      for (int64_t y = 0; y < th; ++y) {
+        float* dst = out.data() + (c * out_h + oy + y) * out_w + ox;
+        std::copy(src + (c * th + y) * tw, src + (c * th + y + 1) * tw, dst);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor save_attack_panel(const std::string& path, const Tensor& clean,
+                         const Tensor& adversarial) {
+  FADEML_CHECK(clean.shape() == adversarial.shape(),
+               "attack panel images must share one shape");
+  const Tensor noise_map = channel_sum(sub(adversarial, clean));
+  const Tensor panel =
+      montage({clean, adversarial, heatmap(noise_map)}, /*columns=*/3);
+  write_ppm(path, panel);
+  return panel;
+}
+
+}  // namespace fademl::io

@@ -1,0 +1,56 @@
+#include "fademl/nn/checkpoint.hpp"
+
+#include <fstream>
+#include <unordered_map>
+
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/serialize.hpp"
+
+namespace fademl::nn {
+
+void save_checkpoint(Module& module, const std::string& path) {
+  std::vector<NamedTensor> tensors;
+  for (const NamedParam& p : module.named_parameters()) {
+    tensors.push_back({p.name, p.param.value()});
+  }
+  save_bundle(path, tensors);
+}
+
+void load_checkpoint(Module& module, const std::string& path) {
+  const std::vector<NamedTensor> tensors = load_bundle(path);
+  std::unordered_map<std::string, const Tensor*> by_name;
+  for (const NamedTensor& nt : tensors) {
+    by_name.emplace(nt.name, &nt.tensor);
+  }
+  size_t used = 0;
+  for (NamedParam& p : module.named_parameters()) {
+    auto it = by_name.find(p.name);
+    FADEML_CHECK(it != by_name.end(),
+                 "checkpoint '" + path + "' is missing parameter '" + p.name +
+                     "'");
+    FADEML_CHECK(it->second->shape() == p.param.value().shape(),
+                 "checkpoint parameter '" + p.name + "' has shape " +
+                     it->second->shape().str() + ", model expects " +
+                     p.param.value().shape().str());
+    p.param.mutable_value().copy_from(*it->second);
+    ++used;
+  }
+  FADEML_CHECK(used == by_name.size(),
+               "checkpoint '" + path + "' contains " +
+                   std::to_string(by_name.size()) +
+                   " parameters but the model uses " + std::to_string(used) +
+                   " — architecture mismatch");
+}
+
+bool checkpoint_exists(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) {
+    return false;
+  }
+  char magic[4];
+  is.read(magic, 4);
+  return static_cast<bool>(is) && magic[0] == 'F' && magic[1] == 'D' &&
+         magic[2] == 'M' && magic[3] == 'L';
+}
+
+}  // namespace fademl::nn

@@ -1,0 +1,169 @@
+#include "fademl/nn/layers.hpp"
+
+#include <cmath>
+
+#include "fademl/autograd/ops.hpp"
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::nn {
+
+namespace {
+
+/// Kaiming-uniform bound for fan_in inputs (He et al. 2015), the standard
+/// init for ReLU networks; keeps activation variance stable through depth.
+float kaiming_bound(int64_t fan_in) {
+  return std::sqrt(6.0f / static_cast<float>(fan_in));
+}
+
+}  // namespace
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               int64_t stride, int64_t pad, Rng& rng)
+    : in_channels_(in_channels), out_channels_(out_channels) {
+  FADEML_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0,
+               "Conv2d requires positive channel/kernel sizes");
+  spec_.kernel_h = kernel;
+  spec_.kernel_w = kernel;
+  spec_.stride = stride;
+  spec_.pad = pad;
+  const int64_t fan_in = in_channels * kernel * kernel;
+  const float bound = kaiming_bound(fan_in);
+  weight_ = Variable(
+      rng.uniform_tensor(Shape{out_channels, in_channels, kernel, kernel},
+                         -bound, bound),
+      /*requires_grad=*/true);
+  bias_ = Variable(Tensor::zeros(Shape{out_channels}), /*requires_grad=*/true);
+}
+
+Variable Conv2d::forward(const Variable& x) {
+  return autograd::conv2d(x, weight_, bias_, spec_);
+}
+
+std::vector<NamedParam> Conv2d::named_parameters() {
+  return {{"weight", weight_}, {"bias", bias_}};
+}
+
+std::string Conv2d::name() const {
+  return "Conv2d(" + std::to_string(in_channels_) + "->" +
+         std::to_string(out_channels_) + ", k" +
+         std::to_string(spec_.kernel_h) + ")";
+}
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng)
+    : in_features_(in_features), out_features_(out_features) {
+  FADEML_CHECK(in_features > 0 && out_features > 0,
+               "Linear requires positive feature sizes");
+  const float bound = kaiming_bound(in_features);
+  weight_ = Variable(
+      rng.uniform_tensor(Shape{out_features, in_features}, -bound, bound),
+      /*requires_grad=*/true);
+  bias_ = Variable(Tensor::zeros(Shape{out_features}), /*requires_grad=*/true);
+}
+
+Variable Linear::forward(const Variable& x) {
+  return autograd::linear(x, weight_, bias_);
+}
+
+std::vector<NamedParam> Linear::named_parameters() {
+  return {{"weight", weight_}, {"bias", bias_}};
+}
+
+std::string Linear::name() const {
+  return "Linear(" + std::to_string(in_features_) + "->" +
+         std::to_string(out_features_) + ")";
+}
+
+Variable ReLU::forward(const Variable& x) { return autograd::relu(x); }
+
+Variable MaxPool2d::forward(const Variable& x) {
+  return autograd::maxpool2d(x, k_);
+}
+
+std::string MaxPool2d::name() const {
+  return "MaxPool2d(k" + std::to_string(k_) + ")";
+}
+
+Variable Flatten::forward(const Variable& x) {
+  const Tensor& v = x.value();
+  FADEML_CHECK(v.rank() >= 2, "Flatten expects a batched tensor, got " +
+                                  v.shape().str());
+  return autograd::reshape(x, Shape{v.dim(0), -1});
+}
+
+Variable AvgPool2d::forward(const Variable& x) {
+  return autograd::avgpool2d(x, k_);
+}
+
+std::string AvgPool2d::name() const {
+  return "AvgPool2d(k" + std::to_string(k_) + ")";
+}
+
+Dropout::Dropout(float p, uint64_t seed) : p_(p), rng_(seed) {
+  FADEML_CHECK(p >= 0.0f && p < 1.0f, "Dropout p must be in [0, 1)");
+}
+
+Variable Dropout::forward(const Variable& x) {
+  if (!training_ || p_ == 0.0f) {
+    return x;
+  }
+  const float keep = 1.0f - p_;
+  Tensor mask{x.value().shape()};
+  float* pm = mask.data();
+  const int64_t n = mask.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    pm[i] = rng_.uniform() < p_ ? 0.0f : 1.0f / keep;
+  }
+  return autograd::mask_mul(x, mask);
+}
+
+std::string Dropout::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "Dropout(%.2f)", static_cast<double>(p_));
+  return buf;
+}
+
+BatchNorm2d::BatchNorm2d(int64_t channels, float eps, float momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_(Tensor::ones(Shape{channels}), /*requires_grad=*/true),
+      beta_(Tensor::zeros(Shape{channels}), /*requires_grad=*/true),
+      running_mean_(Tensor::zeros(Shape{channels})),
+      running_var_(Tensor::ones(Shape{channels})) {
+  FADEML_CHECK(channels > 0, "BatchNorm2d requires positive channel count");
+  FADEML_CHECK(eps > 0.0f, "BatchNorm2d eps must be positive");
+  FADEML_CHECK(momentum > 0.0f && momentum <= 1.0f,
+               "BatchNorm2d momentum must be in (0, 1]");
+}
+
+Variable BatchNorm2d::forward(const Variable& x) {
+  if (training_) {
+    Tensor batch_mean;
+    Tensor batch_var;
+    Variable out = autograd::batchnorm2d(x, gamma_, beta_, eps_, &batch_mean,
+                                         &batch_var);
+    running_mean_.mutable_value()
+        .mul_(1.0f - momentum_)
+        .add_(batch_mean, momentum_);
+    running_var_.mutable_value()
+        .mul_(1.0f - momentum_)
+        .add_(batch_var, momentum_);
+    return out;
+  }
+  return autograd::batchnorm2d_inference(x, gamma_, beta_,
+                                         running_mean_.value(),
+                                         running_var_.value(), eps_);
+}
+
+std::vector<NamedParam> BatchNorm2d::named_parameters() {
+  return {{"gamma", gamma_},
+          {"beta", beta_},
+          {"running_mean", running_mean_},
+          {"running_var", running_var_}};
+}
+
+std::string BatchNorm2d::name() const {
+  return "BatchNorm2d(" + std::to_string(channels_) + ")";
+}
+
+}  // namespace fademl::nn

@@ -1,0 +1,75 @@
+#include "fademl/nn/module.hpp"
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::nn {
+
+int64_t Module::parameter_count() {
+  int64_t n = 0;
+  for (const NamedParam& p : named_parameters()) {
+    n += p.param.value().numel();
+  }
+  return n;
+}
+
+void Module::zero_grad() {
+  for (NamedParam& p : named_parameters()) {
+    p.param.zero_grad();
+  }
+}
+
+Sequential::Sequential(std::vector<ModulePtr> modules)
+    : modules_(std::move(modules)) {
+  for (const ModulePtr& m : modules_) {
+    FADEML_CHECK(m != nullptr, "Sequential rejects null modules");
+  }
+}
+
+Sequential& Sequential::add(ModulePtr module) {
+  FADEML_CHECK(module != nullptr, "Sequential rejects null modules");
+  modules_.push_back(std::move(module));
+  return *this;
+}
+
+Variable Sequential::forward(const Variable& x) {
+  Variable h = x;
+  for (const ModulePtr& m : modules_) {
+    h = m->forward(h);
+  }
+  return h;
+}
+
+std::vector<NamedParam> Sequential::named_parameters() {
+  std::vector<NamedParam> out;
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    for (NamedParam& p : modules_[i]->named_parameters()) {
+      out.push_back({std::to_string(i) + "." + p.name, p.param});
+    }
+  }
+  return out;
+}
+
+std::string Sequential::name() const {
+  std::string s = "Sequential(";
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    if (i != 0) {
+      s += ", ";
+    }
+    s += modules_[i]->name();
+  }
+  s += ")";
+  return s;
+}
+
+void Sequential::set_training(bool training) {
+  for (const ModulePtr& m : modules_) {
+    m->set_training(training);
+  }
+}
+
+const ModulePtr& Sequential::operator[](size_t i) const {
+  FADEML_CHECK(i < modules_.size(), "Sequential index out of range");
+  return modules_[i];
+}
+
+}  // namespace fademl::nn

@@ -1,0 +1,79 @@
+#include "fademl/nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::nn {
+
+void Optimizer::zero_grad() {
+  for (NamedParam& p : params_) {
+    p.param.zero_grad();
+  }
+}
+
+SGD::SGD(std::vector<NamedParam> params, Config config)
+    : Optimizer(std::move(params)), config_(config) {
+  velocity_.reserve(params_.size());
+  for (const NamedParam& p : params_) {
+    velocity_.push_back(Tensor::zeros(p.param.value().shape()));
+  }
+}
+
+void SGD::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i].param;
+    if (!p.grad().defined()) {
+      continue;  // parameter untouched by the last backward pass
+    }
+    Tensor& w = p.mutable_value();
+    Tensor& v = velocity_[i];
+    const float* g = p.grad().data();
+    float* pv = v.data();
+    float* pw = w.data();
+    const int64_t n = w.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      float grad = g[j] + config_.weight_decay * pw[j];
+      pv[j] = config_.momentum * pv[j] + grad;
+      pw[j] -= config_.lr * pv[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<NamedParam> params, Config config)
+    : Optimizer(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const NamedParam& p : params_) {
+    m_.push_back(Tensor::zeros(p.param.value().shape()));
+    v_.push_back(Tensor::zeros(p.param.value().shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i].param;
+    if (!p.grad().defined()) {
+      continue;
+    }
+    Tensor& w = p.mutable_value();
+    const float* g = p.grad().data();
+    float* pm = m_[i].data();
+    float* pv = v_[i].data();
+    float* pw = w.data();
+    const int64_t n = w.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      const float grad = g[j] + config_.weight_decay * pw[j];
+      pm[j] = config_.beta1 * pm[j] + (1.0f - config_.beta1) * grad;
+      pv[j] = config_.beta2 * pv[j] + (1.0f - config_.beta2) * grad * grad;
+      const float mhat = pm[j] / bc1;
+      const float vhat = pv[j] / bc2;
+      pw[j] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+  }
+}
+
+}  // namespace fademl::nn

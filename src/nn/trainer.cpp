@@ -1,0 +1,135 @@
+#include "fademl/nn/trainer.hpp"
+
+#include <algorithm>
+
+#include "fademl/autograd/ops.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::nn {
+
+Tensor stack_images(const std::vector<Tensor>& images) {
+  FADEML_CHECK(!images.empty(), "stack_images requires at least one image");
+  const Shape& s0 = images.front().shape();
+  FADEML_CHECK(s0.rank() == 3, "stack_images expects CHW images, got " +
+                                   s0.str());
+  std::vector<int64_t> dims = {static_cast<int64_t>(images.size())};
+  dims.insert(dims.end(), s0.dims().begin(), s0.dims().end());
+  Tensor batch{Shape{dims}};
+  const int64_t per = s0.numel();
+  for (size_t i = 0; i < images.size(); ++i) {
+    FADEML_CHECK(images[i].shape() == s0,
+                 "stack_images: image " + std::to_string(i) + " has shape " +
+                     images[i].shape().str() + ", expected " + s0.str());
+    std::copy(images[i].data(), images[i].data() + per,
+              batch.data() + static_cast<int64_t>(i) * per);
+  }
+  return batch;
+}
+
+EvalResult evaluate(Module& model, const std::vector<Tensor>& images,
+                    const std::vector<int64_t>& labels, int64_t batch_size) {
+  FADEML_CHECK(images.size() == labels.size(),
+               "evaluate: image/label count mismatch");
+  FADEML_CHECK(batch_size > 0, "evaluate: batch_size must be positive");
+  model.set_training(false);
+  EvalResult result;
+  result.count = static_cast<int64_t>(images.size());
+  if (images.empty()) {
+    return result;
+  }
+  int64_t top1 = 0;
+  int64_t top5 = 0;
+  double loss_sum = 0.0;
+  const int64_t n = result.count;
+  for (int64_t start = 0; start < n; start += batch_size) {
+    const int64_t end = std::min(n, start + batch_size);
+    std::vector<Tensor> chunk(images.begin() + start, images.begin() + end);
+    std::vector<int64_t> chunk_labels(labels.begin() + start,
+                                      labels.begin() + end);
+    Variable x{stack_images(chunk)};
+    Variable logits = model.forward(x);
+    const Tensor probs = softmax_rows(logits.value());
+    const int64_t classes = probs.dim(1);
+    const int64_t k = std::min<int64_t>(5, classes);
+    for (int64_t r = 0; r < end - start; ++r) {
+      Tensor row{Shape{classes}};
+      std::copy(probs.data() + r * classes, probs.data() + (r + 1) * classes,
+                row.data());
+      const std::vector<int64_t> top = topk_indices(row, static_cast<int>(k));
+      const int64_t label = chunk_labels[static_cast<size_t>(r)];
+      if (top[0] == label) {
+        ++top1;
+      }
+      if (std::find(top.begin(), top.end(), label) != top.end()) {
+        ++top5;
+      }
+    }
+    loss_sum += autograd::cross_entropy(logits, chunk_labels).value().item() *
+                static_cast<double>(end - start);
+  }
+  result.top1 = static_cast<double>(top1) / static_cast<double>(n);
+  result.top5 = static_cast<double>(top5) / static_cast<double>(n);
+  result.mean_loss = loss_sum / static_cast<double>(n);
+  return result;
+}
+
+Trainer::Trainer(Module& model, SGD& optimizer, Config config)
+    : model_(model), optimizer_(optimizer), config_(config) {
+  FADEML_CHECK(config_.epochs > 0 && config_.batch_size > 0,
+               "Trainer requires positive epochs and batch_size");
+}
+
+double Trainer::fit(const std::vector<Tensor>& images,
+                    const std::vector<int64_t>& labels, Rng& rng,
+                    const EpochCallback& on_epoch) {
+  FADEML_CHECK(images.size() == labels.size(),
+               "fit: image/label count mismatch");
+  FADEML_CHECK(!images.empty(), "fit: empty training set");
+  const int64_t n = static_cast<int64_t>(images.size());
+  model_.set_training(true);
+  double epoch_loss = 0.0;
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const std::vector<int64_t> order = rng.permutation(n);
+    double loss_sum = 0.0;
+    int64_t correct = 0;
+    for (int64_t start = 0; start < n; start += config_.batch_size) {
+      const int64_t end = std::min(n, start + config_.batch_size);
+      std::vector<Tensor> chunk;
+      std::vector<int64_t> chunk_labels;
+      chunk.reserve(static_cast<size_t>(end - start));
+      for (int64_t i = start; i < end; ++i) {
+        chunk.push_back(images[static_cast<size_t>(order[i])]);
+        chunk_labels.push_back(labels[static_cast<size_t>(order[i])]);
+      }
+      Variable x{stack_images(chunk)};
+      Variable logits = model_.forward(x);
+      Variable loss = autograd::cross_entropy(logits, chunk_labels);
+      optimizer_.zero_grad();
+      loss.backward();
+      optimizer_.step();
+      loss_sum += loss.value().item() * static_cast<double>(end - start);
+      // Track train accuracy from the logits already computed.
+      const Tensor& lv = logits.value();
+      const int64_t classes = lv.dim(1);
+      for (int64_t r = 0; r < end - start; ++r) {
+        const float* row = lv.data() + r * classes;
+        const int64_t pred =
+            std::max_element(row, row + classes) - row;
+        if (pred == chunk_labels[static_cast<size_t>(r)]) {
+          ++correct;
+        }
+      }
+    }
+    epoch_loss = loss_sum / static_cast<double>(n);
+    if (on_epoch) {
+      on_epoch(epoch, epoch_loss,
+               static_cast<double>(correct) / static_cast<double>(n));
+    }
+    optimizer_.set_lr(optimizer_.lr() * config_.lr_decay);
+  }
+  model_.set_training(false);
+  return epoch_loss;
+}
+
+}  // namespace fademl::nn

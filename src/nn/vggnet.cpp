@@ -1,0 +1,93 @@
+#include "fademl/nn/vggnet.hpp"
+
+#include "fademl/nn/layers.hpp"
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::nn {
+
+VggConfig VggConfig::paper(int64_t num_classes) {
+  VggConfig c;
+  c.num_classes = num_classes;
+  return c;
+}
+
+VggConfig VggConfig::scaled(int64_t divisor, int64_t num_classes) {
+  FADEML_CHECK(divisor >= 1, "VggConfig::scaled divisor must be >= 1");
+  VggConfig c;
+  c.num_classes = num_classes;
+  for (int64_t& ch : c.channels) {
+    ch = std::max<int64_t>(1, ch / divisor);
+  }
+  return c;
+}
+
+VggConfig VggConfig::tiny(int64_t num_classes, int64_t input_size) {
+  VggConfig c;
+  c.channels = {4, 8};
+  c.num_classes = num_classes;
+  c.input_size = input_size;
+  return c;
+}
+
+std::shared_ptr<Sequential> make_vggnet(const VggConfig& config, Rng& rng) {
+  FADEML_CHECK(!config.channels.empty(), "VggConfig needs at least one block");
+  int64_t size = config.input_size;
+  for (size_t i = 0; i < config.channels.size(); ++i) {
+    FADEML_CHECK(size % 2 == 0,
+                 "input_size " + std::to_string(config.input_size) +
+                     " is not divisible by 2^" +
+                     std::to_string(config.channels.size()) +
+                     " (block " + std::to_string(i) + ")");
+    size /= 2;
+  }
+  auto net = std::make_shared<Sequential>();
+  int64_t in_ch = config.input_channels;
+  for (int64_t out_ch : config.channels) {
+    net->add(std::make_shared<Conv2d>(in_ch, out_ch, config.kernel,
+                                      /*stride=*/1,
+                                      /*pad=*/(config.kernel - 1) / 2, rng));
+    if (config.batch_norm) {
+      net->add(std::make_shared<BatchNorm2d>(out_ch));
+    }
+    net->add(std::make_shared<ReLU>());
+    net->add(std::make_shared<MaxPool2d>(2));
+    in_ch = out_ch;
+  }
+  net->add(std::make_shared<Flatten>());
+  if (config.dropout > 0.0f) {
+    net->add(std::make_shared<Dropout>(config.dropout, rng.next_u64()));
+  }
+  net->add(std::make_shared<Linear>(in_ch * size * size, config.num_classes,
+                                    rng));
+  return net;
+}
+
+std::shared_ptr<Sequential> make_simple_cnn(const SimpleCnnConfig& config,
+                                            Rng& rng) {
+  FADEML_CHECK(!config.channels.empty(),
+               "SimpleCnnConfig needs at least one block");
+  int64_t size = config.input_size;
+  for (size_t i = 0; i < config.channels.size(); ++i) {
+    FADEML_CHECK(size % 2 == 0,
+                 "input_size " + std::to_string(config.input_size) +
+                     " is not divisible by 2^" +
+                     std::to_string(config.channels.size()));
+    size /= 2;
+  }
+  auto net = std::make_shared<Sequential>();
+  int64_t in_ch = config.input_channels;
+  for (int64_t out_ch : config.channels) {
+    net->add(std::make_shared<Conv2d>(in_ch, out_ch, /*kernel=*/5,
+                                      /*stride=*/1, /*pad=*/2, rng));
+    net->add(std::make_shared<ReLU>());
+    net->add(std::make_shared<AvgPool2d>(2));
+    in_ch = out_ch;
+  }
+  net->add(std::make_shared<Flatten>());
+  net->add(std::make_shared<Linear>(in_ch * size * size, config.hidden, rng));
+  net->add(std::make_shared<ReLU>());
+  net->add(std::make_shared<Linear>(config.hidden, config.num_classes, rng));
+  return net;
+}
+
+}  // namespace fademl::nn

@@ -1,0 +1,86 @@
+#include "fademl/poison/poison.hpp"
+
+#include <algorithm>
+
+#include "fademl/data/transforms.hpp"
+#include "fademl/nn/trainer.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::poison {
+
+PoisonReport flip_labels(data::Dataset& dataset, float fraction, Rng& rng) {
+  FADEML_CHECK(fraction >= 0.0f && fraction <= 1.0f,
+               "flip fraction must be in [0, 1]");
+  FADEML_CHECK(dataset.num_classes >= 2,
+               "label flipping needs at least two classes");
+  PoisonReport report;
+  report.total = dataset.size();
+  for (size_t i = 0; i < dataset.labels.size(); ++i) {
+    if (rng.uniform() >= fraction) {
+      continue;
+    }
+    const int64_t original = dataset.labels[i];
+    // Uniform over the other classes.
+    int64_t flipped = rng.uniform_int(dataset.num_classes - 1);
+    if (flipped >= original) {
+      ++flipped;
+    }
+    dataset.labels[i] = flipped;
+    ++report.poisoned;
+  }
+  return report;
+}
+
+Tensor apply_trigger(const Tensor& image, const BackdoorConfig& config) {
+  return data::stamp_patch(image, config.y, config.x, config.patch_size,
+                           config.r, config.g, config.b);
+}
+
+PoisonReport implant_backdoor(data::Dataset& dataset,
+                              const BackdoorConfig& config, Rng& rng) {
+  FADEML_CHECK(config.fraction >= 0.0f && config.fraction <= 1.0f,
+               "poison fraction must be in [0, 1]");
+  FADEML_CHECK(config.target_class >= 0 &&
+                   config.target_class < dataset.num_classes,
+               "backdoor target class out of range");
+  PoisonReport report;
+  report.total = dataset.size();
+  for (size_t i = 0; i < dataset.images.size(); ++i) {
+    if (rng.uniform() >= config.fraction) {
+      continue;
+    }
+    dataset.images[i] = apply_trigger(dataset.images[i], config);
+    dataset.labels[i] = config.target_class;
+    ++report.poisoned;
+  }
+  return report;
+}
+
+double backdoor_success_rate(nn::Module& model, const data::Dataset& dataset,
+                             const BackdoorConfig& config) {
+  FADEML_CHECK(dataset.size() > 0, "empty evaluation dataset");
+  int64_t triggered_as_target = 0;
+  int64_t eligible = 0;
+  for (size_t i = 0; i < dataset.images.size(); ++i) {
+    if (dataset.labels[i] == config.target_class) {
+      continue;  // already the target: not evidence of a backdoor
+    }
+    ++eligible;
+    const Tensor triggered = apply_trigger(dataset.images[i], config);
+    autograd::Variable x{nn::stack_images({triggered})};
+    const autograd::Variable logits = model.forward(x);
+    const Tensor probs = softmax_rows(logits.value());
+    Tensor row{Shape{probs.dim(1)}};
+    std::copy(probs.data(), probs.data() + probs.numel(), row.data());
+    if (argmax(row) == config.target_class) {
+      ++triggered_as_target;
+    }
+  }
+  FADEML_CHECK(eligible > 0,
+               "no eligible samples (all belong to the target class)");
+  return static_cast<double>(triggered_as_target) /
+         static_cast<double>(eligible);
+}
+
+}  // namespace fademl::poison

@@ -1,0 +1,477 @@
+#include "fademl/tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl {
+
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  FADEML_CHECK(a.shape() == b.shape(),
+               std::string(op) + " shape mismatch: " + a.shape().str() +
+                   " vs " + b.shape().str());
+}
+
+template <typename Fn>
+Tensor binary_op(const Tensor& a, const Tensor& b, const char* name, Fn fn) {
+  check_same_shape(a, b, name);
+  Tensor out{a.shape()};
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = fn(pa[i], pb[i]);
+  }
+  return out;
+}
+
+template <typename Fn>
+Tensor unary_op(const Tensor& a, Fn fn) {
+  Tensor out{a.shape()};
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = fn(pa[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, "add", [](float x, float y) { return x + y; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, "sub", [](float x, float y) { return x - y; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, "mul", [](float x, float y) { return x * y; });
+}
+
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, "div", [](float x, float y) { return x / y; });
+}
+
+Tensor add(const Tensor& a, float s) {
+  return unary_op(a, [s](float x) { return x + s; });
+}
+
+Tensor mul(const Tensor& a, float s) {
+  return unary_op(a, [s](float x) { return x * s; });
+}
+
+Tensor neg(const Tensor& a) {
+  return unary_op(a, [](float x) { return -x; });
+}
+
+Tensor exp(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::exp(x); });
+}
+
+Tensor log(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::log(x); });
+}
+
+Tensor sqrt(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::sqrt(x); });
+}
+
+Tensor abs(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::fabs(x); });
+}
+
+Tensor sign(const Tensor& a) {
+  return unary_op(a, [](float x) {
+    return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
+  });
+}
+
+Tensor relu(const Tensor& a) {
+  return unary_op(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor tanh(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  FADEML_CHECK(lo <= hi, "clamp requires lo <= hi");
+  return unary_op(a, [lo, hi](float x) { return std::min(hi, std::max(lo, x)); });
+}
+
+Tensor map(const Tensor& a, const std::function<float(float)>& fn) {
+  return unary_op(a, fn);
+}
+
+float sum(const Tensor& a) {
+  const float* p = a.data();
+  // Kahan summation: experiment metrics aggregate over the full test set and
+  // plain accumulation drifts visibly in float32.
+  float s = 0.0f;
+  float c = 0.0f;
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    const float y = p[i] - c;
+    const float t = s + y;
+    c = (t - s) - y;
+    s = t;
+  }
+  return s;
+}
+
+float mean(const Tensor& a) {
+  FADEML_CHECK(a.numel() > 0, "mean of an empty tensor");
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float min(const Tensor& a) {
+  FADEML_CHECK(a.numel() > 0, "min of an empty tensor");
+  return *std::min_element(a.data(), a.data() + a.numel());
+}
+
+float max(const Tensor& a) {
+  FADEML_CHECK(a.numel() > 0, "max of an empty tensor");
+  return *std::max_element(a.data(), a.data() + a.numel());
+}
+
+int64_t argmax(const Tensor& a) {
+  FADEML_CHECK(a.numel() > 0, "argmax of an empty tensor");
+  return std::max_element(a.data(), a.data() + a.numel()) - a.data();
+}
+
+float norm_l2(const Tensor& a) {
+  const float* p = a.data();
+  double s = 0.0;
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    s += static_cast<double>(p[i]) * p[i];
+  }
+  return static_cast<float>(std::sqrt(s));
+}
+
+float norm_linf(const Tensor& a) {
+  const float* p = a.data();
+  float m = 0.0f;
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    m = std::max(m, std::fabs(p[i]));
+  }
+  return m;
+}
+
+std::vector<int64_t> topk_indices(const Tensor& a, int k) {
+  FADEML_CHECK(a.rank() == 1, "topk_indices expects a 1-D tensor, got " +
+                                  a.shape().str());
+  FADEML_CHECK(k >= 0 && k <= a.numel(),
+               "topk k=" + std::to_string(k) + " out of range");
+  std::vector<int64_t> idx(static_cast<size_t>(a.numel()));
+  std::iota(idx.begin(), idx.end(), 0);
+  const float* p = a.data();
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [p](int64_t l, int64_t r) {
+                      if (p[l] != p[r]) {
+                        return p[l] > p[r];
+                      }
+                      return l < r;  // deterministic tie-break
+                    });
+  idx.resize(static_cast<size_t>(k));
+  return idx;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  FADEML_CHECK(logits.rank() == 2,
+               "softmax_rows expects [N, C], got " + logits.shape().str());
+  const int64_t rows = logits.dim(0);
+  const int64_t cols = logits.dim(1);
+  Tensor out{logits.shape()};
+  const float* in = logits.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = in + r * cols;
+    float* orow = po + r * cols;
+    const float m = *std::max_element(row, row + cols);
+    float denom = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      orow[c] = std::exp(row[c] - m);
+      denom += orow[c];
+    }
+    for (int64_t c = 0; c < cols; ++c) {
+      orow[c] /= denom;
+    }
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& logits) {
+  FADEML_CHECK(logits.rank() == 2,
+               "log_softmax_rows expects [N, C], got " + logits.shape().str());
+  const int64_t rows = logits.dim(0);
+  const int64_t cols = logits.dim(1);
+  Tensor out{logits.shape()};
+  const float* in = logits.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = in + r * cols;
+    float* orow = po + r * cols;
+    const float m = *std::max_element(row, row + cols);
+    float denom = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      denom += std::exp(row[c] - m);
+    }
+    const float log_denom = std::log(denom) + m;
+    for (int64_t c = 0; c < cols; ++c) {
+      orow[c] = row[c] - log_denom;
+    }
+  }
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  FADEML_CHECK(a.rank() == 2 && b.rank() == 2,
+               "matmul expects two matrices, got " + a.shape().str() + " x " +
+                   b.shape().str());
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  const int64_t k2 = b.dim(0);
+  const int64_t n = b.dim(1);
+  FADEML_CHECK(k == k2, "matmul inner-dimension mismatch: " +
+                            a.shape().str() + " x " + b.shape().str());
+  Tensor out = Tensor::zeros(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // i-k-j loop order keeps the inner loop contiguous over B and C rows,
+  // which is the difference between usable and unusable training speed on
+  // the single-core reference machine.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = po + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  FADEML_CHECK(a.rank() == 2,
+               "transpose2d expects a matrix, got " + a.shape().str());
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  Tensor out{Shape{n, m}};
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      po[j * m + i] = pa[i * n + j];
+    }
+  }
+  return out;
+}
+
+float dot(const Tensor& a, const Tensor& b) {
+  FADEML_CHECK(a.numel() == b.numel(),
+               "dot numel mismatch: " + a.shape().str() + " vs " +
+                   b.shape().str());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  double s = 0.0;
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    s += static_cast<double>(pa[i]) * pb[i];
+  }
+  return static_cast<float>(s);
+}
+
+Tensor im2col(const Tensor& image, const Conv2dSpec& spec) {
+  FADEML_CHECK(image.rank() == 3,
+               "im2col expects [C, H, W], got " + image.shape().str());
+  const int64_t c = image.dim(0);
+  const int64_t h = image.dim(1);
+  const int64_t w = image.dim(2);
+  const int64_t oh = spec.out_size(h, spec.kernel_h);
+  const int64_t ow = spec.out_size(w, spec.kernel_w);
+  FADEML_CHECK(oh > 0 && ow > 0, "im2col output would be empty for input " +
+                                     image.shape().str());
+  Tensor cols = Tensor::zeros(Shape{c * spec.kernel_h * spec.kernel_w, oh * ow});
+  const float* src = image.data();
+  float* dst = cols.data();
+  const int64_t out_cols = oh * ow;
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t ky = 0; ky < spec.kernel_h; ++ky) {
+      for (int64_t kx = 0; kx < spec.kernel_w; ++kx) {
+        const int64_t row = (ch * spec.kernel_h + ky) * spec.kernel_w + kx;
+        float* drow = dst + row * out_cols;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const int64_t iy = oy * spec.stride + ky - spec.pad;
+          if (iy < 0 || iy >= h) {
+            continue;  // stays zero (padding)
+          }
+          const float* srow = src + (ch * h + iy) * w;
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t ix = ox * spec.stride + kx - spec.pad;
+            if (ix < 0 || ix >= w) {
+              continue;
+            }
+            drow[oy * ow + ox] = srow[ix];
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, int64_t channels, int64_t height,
+              int64_t width, const Conv2dSpec& spec) {
+  const int64_t oh = spec.out_size(height, spec.kernel_h);
+  const int64_t ow = spec.out_size(width, spec.kernel_w);
+  FADEML_CHECK(cols.rank() == 2 &&
+                   cols.dim(0) == channels * spec.kernel_h * spec.kernel_w &&
+                   cols.dim(1) == oh * ow,
+               "col2im input " + cols.shape().str() +
+                   " inconsistent with geometry");
+  Tensor image = Tensor::zeros(Shape{channels, height, width});
+  const float* src = cols.data();
+  float* dst = image.data();
+  const int64_t out_cols = oh * ow;
+  for (int64_t ch = 0; ch < channels; ++ch) {
+    for (int64_t ky = 0; ky < spec.kernel_h; ++ky) {
+      for (int64_t kx = 0; kx < spec.kernel_w; ++kx) {
+        const int64_t row = (ch * spec.kernel_h + ky) * spec.kernel_w + kx;
+        const float* srow = src + row * out_cols;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const int64_t iy = oy * spec.stride + ky - spec.pad;
+          if (iy < 0 || iy >= height) {
+            continue;
+          }
+          float* drow = dst + (ch * height + iy) * width;
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t ix = ox * spec.stride + kx - spec.pad;
+            if (ix < 0 || ix >= width) {
+              continue;
+            }
+            drow[ix] += srow[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              const Conv2dSpec& spec) {
+  FADEML_CHECK(input.rank() == 4,
+               "conv2d expects input [N, C, H, W], got " + input.shape().str());
+  FADEML_CHECK(weight.rank() == 4,
+               "conv2d expects weight [O, C, kh, kw], got " +
+                   weight.shape().str());
+  const int64_t n = input.dim(0);
+  const int64_t c = input.dim(1);
+  const int64_t h = input.dim(2);
+  const int64_t w = input.dim(3);
+  const int64_t o = weight.dim(0);
+  FADEML_CHECK(weight.dim(1) == c && weight.dim(2) == spec.kernel_h &&
+                   weight.dim(3) == spec.kernel_w,
+               "conv2d weight " + weight.shape().str() +
+                   " inconsistent with input " + input.shape().str());
+  if (bias.defined()) {
+    FADEML_CHECK(bias.rank() == 1 && bias.dim(0) == o,
+                 "conv2d bias must be [O], got " + bias.shape().str());
+  }
+  const int64_t oh = spec.out_size(h, spec.kernel_h);
+  const int64_t ow = spec.out_size(w, spec.kernel_w);
+  Tensor out{Shape{n, o, oh, ow}};
+  const Tensor wmat = weight.reshape(Shape{o, c * spec.kernel_h * spec.kernel_w});
+  for (int64_t b = 0; b < n; ++b) {
+    // View the b-th image without copying: the reshape trick below is not
+    // available for sub-ranges, so slice manually.
+    Tensor image{Shape{c, h, w}};
+    std::copy(input.data() + b * c * h * w, input.data() + (b + 1) * c * h * w,
+              image.data());
+    const Tensor cols = im2col(image, spec);
+    const Tensor prod = matmul(wmat, cols);  // [O, oh*ow]
+    float* dst = out.data() + b * o * oh * ow;
+    std::copy(prod.data(), prod.data() + prod.numel(), dst);
+    if (bias.defined()) {
+      for (int64_t oc = 0; oc < o; ++oc) {
+        const float bv = bias.data()[oc];
+        float* drow = dst + oc * oh * ow;
+        for (int64_t i = 0; i < oh * ow; ++i) {
+          drow[i] += bv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor maxpool2d(const Tensor& input, int64_t k,
+                 std::vector<int64_t>* argmax_out) {
+  FADEML_CHECK(input.rank() == 4,
+               "maxpool2d expects [N, C, H, W], got " + input.shape().str());
+  FADEML_CHECK(k >= 1, "maxpool2d window must be >= 1");
+  const int64_t n = input.dim(0);
+  const int64_t c = input.dim(1);
+  const int64_t h = input.dim(2);
+  const int64_t w = input.dim(3);
+  FADEML_CHECK(h % k == 0 && w % k == 0,
+               "maxpool2d requires spatial dims divisible by the window (" +
+                   input.shape().str() + ", k=" + std::to_string(k) + ")");
+  const int64_t oh = h / k;
+  const int64_t ow = w / k;
+  Tensor out{Shape{n, c, oh, ow}};
+  if (argmax_out != nullptr) {
+    argmax_out->assign(static_cast<size_t>(out.numel()), 0);
+  }
+  const float* src = input.data();
+  float* dst = out.data();
+  int64_t oidx = 0;
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = src + (b * c + ch) * h * w;
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_at = 0;
+          for (int64_t dy = 0; dy < k; ++dy) {
+            const int64_t iy = oy * k + dy;
+            for (int64_t dx = 0; dx < k; ++dx) {
+              const int64_t ix = ox * k + dx;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_at = (b * c + ch) * h * w + iy * w + ix;
+              }
+            }
+          }
+          dst[oidx] = best;
+          if (argmax_out != nullptr) {
+            (*argmax_out)[static_cast<size_t>(oidx)] = best_at;
+          }
+          ++oidx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fademl

@@ -1,0 +1,105 @@
+#include "fademl/tensor/random.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl {
+
+uint64_t Rng::next_u64() {
+  // SplitMix64 (Steele, Lea, Flood 2014): tiny state, excellent diffusion,
+  // trivially forkable — exactly what reproducible experiments need.
+  state_ += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+float Rng::uniform() {
+  // Top 24 bits -> [0, 1) exactly representable in float32.
+  return static_cast<float>(next_u64() >> 40) * (1.0f / 16777216.0f);
+}
+
+float Rng::uniform(float lo, float hi) {
+  FADEML_CHECK(lo <= hi, "uniform requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+int64_t Rng::uniform_int(int64_t n) {
+  FADEML_CHECK(n > 0, "uniform_int requires n > 0");
+  // Rejection-free modulo is fine here: n is always tiny relative to 2^64,
+  // so the bias is immeasurable.
+  return static_cast<int64_t>(next_u64() % static_cast<uint64_t>(n));
+}
+
+float Rng::normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  float u1 = uniform();
+  float u2 = uniform();
+  if (u1 < 1e-12f) {
+    u1 = 1e-12f;
+  }
+  const float mag = std::sqrt(-2.0f * std::log(u1));
+  const float two_pi = 2.0f * std::numbers::pi_v<float>;
+  spare_normal_ = mag * std::sin(two_pi * u2);
+  have_spare_normal_ = true;
+  return mag * std::cos(two_pi * u2);
+}
+
+float Rng::normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+Rng Rng::fork() {
+  // Feed a fresh draw through a distinct odd multiplier so the child stream
+  // never collides with the parent's future outputs.
+  return Rng(next_u64() * 0xD1342543DE82EF95ull + 0x2545F4914F6CDD1Dull);
+}
+
+Tensor Rng::uniform_tensor(Shape shape, float lo, float hi) {
+  Tensor t{std::move(shape)};
+  float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    p[i] = uniform(lo, hi);
+  }
+  return t;
+}
+
+Tensor Rng::normal_tensor(Shape shape, float mean, float stddev) {
+  Tensor t{std::move(shape)};
+  float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    p[i] = normal(mean, stddev);
+  }
+  return t;
+}
+
+Tensor Rng::sign_tensor(Shape shape) {
+  Tensor t{std::move(shape)};
+  float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    p[i] = (next_u64() & 1u) ? 1.0f : -1.0f;
+  }
+  return t;
+}
+
+std::vector<int64_t> Rng::permutation(int64_t n) {
+  FADEML_CHECK(n >= 0, "permutation requires n >= 0");
+  std::vector<int64_t> idx(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    idx[static_cast<size_t>(i)] = i;
+  }
+  for (int64_t i = n - 1; i > 0; --i) {
+    const int64_t j = uniform_int(i + 1);
+    std::swap(idx[static_cast<size_t>(i)], idx[static_cast<size_t>(j)]);
+  }
+  return idx;
+}
+
+}  // namespace fademl

@@ -1,0 +1,126 @@
+#include "fademl/tensor/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'D', 'M', 'L'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  FADEML_CHECK(static_cast<bool>(is), "unexpected end of tensor stream");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod<uint32_t>(os, static_cast<uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const uint32_t n = read_pod<uint32_t>(is);
+  FADEML_CHECK(n < (1u << 20), "unreasonable string length in tensor stream");
+  std::string s(n, '\0');
+  is.read(s.data(), n);
+  FADEML_CHECK(static_cast<bool>(is), "unexpected end of tensor stream");
+  return s;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  FADEML_CHECK(t.defined(), "cannot serialize an undefined tensor");
+  os.write(kMagic, 4);
+  write_pod<uint32_t>(os, kVersion);
+  write_pod<uint32_t>(os, static_cast<uint32_t>(t.rank()));
+  for (int i = 0; i < t.rank(); ++i) {
+    write_pod<int64_t>(os, t.dim(i));
+  }
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  FADEML_CHECK(static_cast<bool>(is) && std::memcmp(magic, kMagic, 4) == 0,
+               "bad tensor magic (not a fademl tensor stream)");
+  const uint32_t version = read_pod<uint32_t>(is);
+  FADEML_CHECK(version == kVersion,
+               "unsupported tensor format version " + std::to_string(version));
+  const uint32_t rank = read_pod<uint32_t>(is);
+  FADEML_CHECK(rank <= 8, "unreasonable tensor rank " + std::to_string(rank));
+  std::vector<int64_t> dims(rank);
+  for (uint32_t i = 0; i < rank; ++i) {
+    dims[i] = read_pod<int64_t>(is);
+    FADEML_CHECK(dims[i] >= 0 && dims[i] < (int64_t{1} << 32),
+                 "unreasonable tensor dimension");
+  }
+  Tensor t{Shape{dims}};
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  FADEML_CHECK(static_cast<bool>(is), "unexpected end of tensor data");
+  return t;
+}
+
+void write_bundle(std::ostream& os, const std::vector<NamedTensor>& tensors) {
+  os.write(kMagic, 4);
+  write_pod<uint32_t>(os, kVersion);
+  write_pod<uint32_t>(os, static_cast<uint32_t>(tensors.size()));
+  for (const NamedTensor& nt : tensors) {
+    write_string(os, nt.name);
+    write_tensor(os, nt.tensor);
+  }
+}
+
+std::vector<NamedTensor> read_bundle(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  FADEML_CHECK(static_cast<bool>(is) && std::memcmp(magic, kMagic, 4) == 0,
+               "bad bundle magic (not a fademl bundle)");
+  const uint32_t version = read_pod<uint32_t>(is);
+  FADEML_CHECK(version == kVersion,
+               "unsupported bundle format version " + std::to_string(version));
+  const uint32_t count = read_pod<uint32_t>(is);
+  FADEML_CHECK(count < (1u << 20), "unreasonable bundle entry count");
+  std::vector<NamedTensor> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    NamedTensor nt;
+    nt.name = read_string(is);
+    nt.tensor = read_tensor(is);
+    out.push_back(std::move(nt));
+  }
+  return out;
+}
+
+void save_bundle(const std::string& path,
+                 const std::vector<NamedTensor>& tensors) {
+  std::ofstream os(path, std::ios::binary);
+  FADEML_CHECK(os.is_open(), "cannot open '" + path + "' for writing");
+  write_bundle(os, tensors);
+  FADEML_CHECK(static_cast<bool>(os), "write failure on '" + path + "'");
+}
+
+std::vector<NamedTensor> load_bundle(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  FADEML_CHECK(is.is_open(), "cannot open '" + path + "' for reading");
+  return read_bundle(is);
+}
+
+}  // namespace fademl

@@ -1,0 +1,85 @@
+#include "fademl/tensor/shape.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl {
+
+namespace detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << "fademl check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims) {
+  for (int64_t d : dims_) {
+    FADEML_CHECK(d >= -1,
+                 "shape dimensions must be non-negative (or the -1 "
+                 "placeholder), got " + str());
+  }
+}
+
+Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+  for (int64_t d : dims_) {
+    FADEML_CHECK(d >= -1,
+                 "shape dimensions must be non-negative (or the -1 "
+                 "placeholder), got " + str());
+  }
+}
+
+int64_t Shape::dim(int i) const {
+  const int r = rank();
+  if (i < 0) {
+    i += r;
+  }
+  if (i < 0 || i >= r) {
+    throw std::out_of_range("Shape::dim index " + std::to_string(i) +
+                            " out of range for rank " + std::to_string(r));
+  }
+  return dims_[static_cast<size_t>(i)];
+}
+
+int64_t Shape::numel() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) {
+    FADEML_CHECK(d >= 0,
+                 "numel() of a shape with an unresolved -1 placeholder: " +
+                     str());
+    n *= d;
+  }
+  return n;
+}
+
+std::vector<int64_t> Shape::strides() const {
+  std::vector<int64_t> s(dims_.size(), 1);
+  for (int i = static_cast<int>(dims_.size()) - 2; i >= 0; --i) {
+    s[static_cast<size_t>(i)] =
+        s[static_cast<size_t>(i) + 1] * dims_[static_cast<size_t>(i) + 1];
+  }
+  return s;
+}
+
+std::string Shape::str() const {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i != 0) {
+      os << ", ";
+    }
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace fademl

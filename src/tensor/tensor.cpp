@@ -1,0 +1,221 @@
+#include "fademl/tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(std::make_shared<std::vector<float>>(
+          static_cast<size_t>(shape_.numel()))) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)),
+      data_(std::make_shared<std::vector<float>>(
+          static_cast<size_t>(shape_.numel()), fill)) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)),
+      data_(std::make_shared<std::vector<float>>(std::move(values))) {
+  FADEML_CHECK(static_cast<int64_t>(data_->size()) == shape_.numel(),
+               "value count " + std::to_string(data_->size()) +
+                   " does not match shape " + shape_.str());
+}
+
+Tensor::Tensor(std::initializer_list<float> values)
+    : Tensor(Shape{static_cast<int64_t>(values.size())},
+             std::vector<float>(values)) {}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape), 0.0f); }
+
+Tensor Tensor::ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  return Tensor(std::move(shape), value);
+}
+
+Tensor Tensor::scalar(float value) { return Tensor(Shape{}, {value}); }
+
+Tensor Tensor::arange(int64_t n) {
+  FADEML_CHECK(n >= 0, "arange requires n >= 0");
+  Tensor t{Shape{n}};
+  for (int64_t i = 0; i < n; ++i) {
+    t.data()[i] = static_cast<float>(i);
+  }
+  return t;
+}
+
+int64_t Tensor::numel() const {
+  return data_ ? static_cast<int64_t>(data_->size()) : 0;
+}
+
+float* Tensor::data() {
+  FADEML_CHECK(defined(), "accessing data() of an undefined tensor");
+  return data_->data();
+}
+
+const float* Tensor::data() const {
+  FADEML_CHECK(defined(), "accessing data() of an undefined tensor");
+  return data_->data();
+}
+
+float& Tensor::at(int64_t flat_index) {
+  FADEML_CHECK(defined() && flat_index >= 0 && flat_index < numel(),
+               "flat index " + std::to_string(flat_index) +
+                   " out of range for " + std::to_string(numel()) +
+                   " elements");
+  return (*data_)[static_cast<size_t>(flat_index)];
+}
+
+float Tensor::at(int64_t flat_index) const {
+  return const_cast<Tensor*>(this)->at(flat_index);
+}
+
+float& Tensor::at(std::initializer_list<int64_t> idx) {
+  FADEML_CHECK(static_cast<int>(idx.size()) == rank(),
+               "index rank " + std::to_string(idx.size()) +
+                   " does not match tensor rank " + std::to_string(rank()));
+  const auto strides = shape_.strides();
+  int64_t flat = 0;
+  int i = 0;
+  for (int64_t ix : idx) {
+    FADEML_CHECK(ix >= 0 && ix < shape_.dim(i),
+                 "index " + std::to_string(ix) + " out of range for dim " +
+                     std::to_string(i) + " of shape " + shape_.str());
+    flat += ix * strides[static_cast<size_t>(i)];
+    ++i;
+  }
+  return at(flat);
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  return const_cast<Tensor*>(this)->at(idx);
+}
+
+float Tensor::item() const {
+  FADEML_CHECK(numel() == 1,
+               "item() requires a one-element tensor, shape is " +
+                   shape_.str());
+  return (*data_)[0];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  FADEML_CHECK(defined(), "reshape of an undefined tensor");
+  // Support a single inferred (-1) dimension.
+  std::vector<int64_t> dims = new_shape.dims();
+  int64_t known = 1;
+  int infer_at = -1;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (dims[i] == -1) {
+      FADEML_CHECK(infer_at == -1, "reshape allows at most one -1 dimension");
+      infer_at = static_cast<int>(i);
+    } else {
+      known *= dims[i];
+    }
+  }
+  if (infer_at >= 0) {
+    FADEML_CHECK(known > 0 && numel() % known == 0,
+                 "cannot infer dimension for reshape of " + shape_.str() +
+                     " into " + new_shape.str());
+    dims[static_cast<size_t>(infer_at)] = numel() / known;
+  }
+  Shape resolved{dims};
+  FADEML_CHECK(resolved.numel() == numel(),
+               "reshape numel mismatch: " + shape_.str() + " -> " +
+                   resolved.str());
+  Tensor view;
+  view.shape_ = std::move(resolved);
+  view.data_ = data_;
+  return view;
+}
+
+Tensor Tensor::clone() const {
+  if (!defined()) {
+    return Tensor{};
+  }
+  Tensor copy;
+  copy.shape_ = shape_;
+  copy.data_ = std::make_shared<std::vector<float>>(*data_);
+  return copy;
+}
+
+Tensor& Tensor::fill_(float value) {
+  FADEML_CHECK(defined(), "fill_ of an undefined tensor");
+  std::fill(data_->begin(), data_->end(), value);
+  return *this;
+}
+
+Tensor& Tensor::add_(const Tensor& other, float alpha) {
+  FADEML_CHECK(other.numel() == numel(),
+               "add_ numel mismatch: " + shape_.str() + " vs " +
+                   other.shape_.str());
+  float* dst = data();
+  const float* src = other.data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) {
+    dst[i] += alpha * src[i];
+  }
+  return *this;
+}
+
+Tensor& Tensor::mul_(float value) {
+  float* dst = data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) {
+    dst[i] *= value;
+  }
+  return *this;
+}
+
+Tensor& Tensor::clamp_(float lo, float hi) {
+  FADEML_CHECK(lo <= hi, "clamp_ requires lo <= hi");
+  float* dst = data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) {
+    dst[i] = std::min(hi, std::max(lo, dst[i]));
+  }
+  return *this;
+}
+
+Tensor& Tensor::apply_(const std::function<float(float)>& fn) {
+  float* dst = data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) {
+    dst[i] = fn(dst[i]);
+  }
+  return *this;
+}
+
+Tensor& Tensor::copy_from(const Tensor& src) {
+  FADEML_CHECK(src.numel() == numel(),
+               "copy_from numel mismatch: " + shape_.str() + " vs " +
+                   src.shape_.str());
+  std::copy(src.data(), src.data() + src.numel(), data());
+  return *this;
+}
+
+std::string Tensor::str(int64_t limit) const {
+  if (!defined()) {
+    return "Tensor(undefined)";
+  }
+  std::ostringstream os;
+  os << "Tensor" << shape_.str() << " [";
+  const int64_t n = std::min<int64_t>(limit, numel());
+  for (int64_t i = 0; i < n; ++i) {
+    if (i != 0) {
+      os << ", ";
+    }
+    os << (*data_)[static_cast<size_t>(i)];
+  }
+  if (n < numel()) {
+    os << ", ...";
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace fademl

@@ -1,0 +1,145 @@
+#include "fademl/core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fademl/attacks/bim.hpp"
+#include "fademl/attacks/fademl_attack.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+#include "test_fixtures.hpp"
+
+namespace fademl::core {
+namespace {
+
+using fademl::testing::tiny_pipeline;
+using fademl::testing::tiny_world;
+
+attacks::AttackConfig strong_config() {
+  attacks::AttackConfig config;
+  config.epsilon = 0.18f;
+  config.step_size = 0.02f;
+  config.max_iterations = 25;
+  return config;
+}
+
+TEST(Scenarios, PaperDefinesExactlyFive) {
+  const auto& scenarios = paper_scenarios();
+  ASSERT_EQ(scenarios.size(), 5u);
+  EXPECT_EQ(scenarios[0].name, "Stop to 60km/h");
+  EXPECT_EQ(scenarios[0].source_class, 14);
+  EXPECT_EQ(scenarios[0].target_class, 3);
+  EXPECT_EQ(scenarios[2].source_class, 34);  // turn left ahead
+  EXPECT_EQ(scenarios[2].target_class, 33);  // turn right ahead
+  EXPECT_EQ(scenarios[4].source_class, 17);  // no entry
+  for (const Scenario& s : scenarios) {
+    EXPECT_NE(s.source_class, s.target_class) << s.name;
+  }
+}
+
+TEST(AnalyzeScenario, OutcomeFieldsAreCoherent) {
+  const auto pipeline = tiny_pipeline(filters::make_lap(8));
+  const attacks::BimAttack attack(strong_config());
+  const ScenarioOutcome out =
+      analyze_scenario(pipeline, attack, paper_scenarios()[0], 16);
+  EXPECT_EQ(out.scenario.source_class, 14);
+  EXPECT_EQ(out.attack.adversarial.shape(), Shape({3, 16, 16}));
+  EXPECT_EQ(out.clean.probs.numel(), 43);
+  EXPECT_EQ(out.adv_tm1.probs.numel(), 43);
+  EXPECT_EQ(out.adv_tm23.probs.numel(), 43);
+  // Eq. 2 recomputed from the stored probabilities must match.
+  EXPECT_NEAR(out.eq2, eq2_cost(out.adv_tm1.probs, out.adv_tm23.probs),
+              1e-6f);
+  // success flags mirror the stored predictions.
+  EXPECT_EQ(out.success_tm1(), out.adv_tm1.label == 3);
+  EXPECT_EQ(out.success_tm23(), out.adv_tm23.label == 3);
+  EXPECT_EQ(out.neutralized(), out.adv_tm23.label == 14);
+}
+
+TEST(AnalyzeScenario, RejectsTm1AsComparisonView) {
+  const auto pipeline = tiny_pipeline(filters::make_lap(8));
+  const attacks::BimAttack attack(strong_config());
+  EXPECT_THROW(analyze_scenario(pipeline, attack, paper_scenarios()[0], 16,
+                                ThreatModel::kI),
+               Error);
+}
+
+TEST(AnalyzeScenario, ClassicAttackSucceedsUnderTm1) {
+  const auto pipeline = tiny_pipeline(filters::make_lap(8));
+  const attacks::BimAttack attack(strong_config());
+  const ScenarioOutcome out =
+      analyze_scenario(pipeline, attack, paper_scenarios()[0], 16);
+  EXPECT_TRUE(out.success_tm1());
+}
+
+TEST(AnalyzeScenario, FilterWeakensClassicAttack) {
+  // The paper's Fig. 7 phenomenon, as a directional property: through the
+  // filter, the target-class probability of a filter-blind attack must
+  // drop relative to its unfiltered view.
+  const auto pipeline = tiny_pipeline(filters::make_lap(16));
+  const attacks::BimAttack attack(strong_config());
+  const ScenarioOutcome out =
+      analyze_scenario(pipeline, attack, paper_scenarios()[0], 16);
+  const float target_tm1 = out.adv_tm1.probs.at(3);
+  const float target_tm23 = out.adv_tm23.probs.at(3);
+  EXPECT_LT(target_tm23, target_tm1);
+}
+
+TEST(AnalyzeScenario, FademlSurvivesTheFilter) {
+  const auto pipeline = tiny_pipeline(filters::make_lap(8));
+  const attacks::FAdeMLAttack attack(attacks::AttackKind::kBim,
+                                     strong_config());
+  const ScenarioOutcome out =
+      analyze_scenario(pipeline, attack, paper_scenarios()[0], 16);
+  EXPECT_TRUE(out.success_tm23());
+}
+
+TEST(AccuracyWithNoise, UndefinedNoiseMeansCleanEvaluation) {
+  const auto pipeline = tiny_pipeline(filters::make_identity());
+  const auto& w = tiny_world();
+  const auto clean = pipeline.accuracy(w.train_images, w.train_labels,
+                                       ThreatModel::kI);
+  const auto via_helper = accuracy_with_noise(
+      pipeline, w.train_images, w.train_labels, Tensor{}, ThreatModel::kI);
+  EXPECT_DOUBLE_EQ(clean.top1, via_helper.top1);
+  EXPECT_DOUBLE_EQ(clean.top5, via_helper.top5);
+}
+
+TEST(AccuracyWithNoise, ZeroNoiseMatchesClean) {
+  const auto pipeline = tiny_pipeline(filters::make_identity());
+  const auto& w = tiny_world();
+  const Tensor zero = Tensor::zeros(Shape{3, 16, 16});
+  const auto a = accuracy_with_noise(pipeline, w.train_images,
+                                     w.train_labels, zero, ThreatModel::kI);
+  const auto b = pipeline.accuracy(w.train_images, w.train_labels,
+                                   ThreatModel::kI);
+  EXPECT_DOUBLE_EQ(a.top1, b.top1);
+}
+
+TEST(AccuracyWithNoise, AdversarialNoiseHurtsAccuracy) {
+  const auto pipeline = tiny_pipeline(filters::make_identity());
+  const auto& w = tiny_world();
+  // Use the attack noise from the stop->60 scenario as a universal noise.
+  const attacks::BimAttack attack(strong_config());
+  const attacks::AttackResult r =
+      attack.run(pipeline, data::canonical_sample(14, 16), 3);
+  const auto clean = pipeline.accuracy(w.train_images, w.train_labels,
+                                       ThreatModel::kI);
+  const auto attacked = accuracy_with_noise(
+      pipeline, w.train_images, w.train_labels, r.noise, ThreatModel::kI);
+  EXPECT_LE(attacked.top1, clean.top1 + 1e-9);
+}
+
+TEST(AccuracyWithNoise, ValidatesShapes) {
+  const auto pipeline = tiny_pipeline(filters::make_identity());
+  const auto& w = tiny_world();
+  EXPECT_THROW(
+      accuracy_with_noise(pipeline, w.train_images, w.train_labels,
+                          Tensor::zeros(Shape{3, 8, 8}), ThreatModel::kI),
+      Error);
+  EXPECT_THROW(accuracy_with_noise(pipeline, {}, {}, Tensor{},
+                                   ThreatModel::kI),
+               Error);
+}
+
+}  // namespace
+}  // namespace fademl::core

@@ -1,0 +1,279 @@
+#include "fademl/autograd/ops.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "fademl/autograd/variable.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+#include "fademl/tensor/random.hpp"
+
+namespace fademl::autograd {
+namespace {
+
+/// Compare the analytic gradient of `scalar_of(x)` at `x0` against central
+/// differences, elementwise with mixed tolerance.
+void expect_gradient_matches(
+    const std::function<Variable(const Variable&)>& scalar_of,
+    const Tensor& x0, float rtol = 2e-2f, float atol = 2e-3f) {
+  Variable x{x0.clone(), /*requires_grad=*/true};
+  const Variable y = scalar_of(x);
+  ASSERT_EQ(y.value().numel(), 1);
+  y.backward();
+  const Tensor analytic = x.grad();
+
+  const Tensor numeric = numerical_gradient(
+      [&](const Tensor& probe) {
+        Variable v{probe.clone()};
+        return scalar_of(v).value().item();
+      },
+      x0);
+
+  ASSERT_EQ(analytic.numel(), numeric.numel());
+  for (int64_t i = 0; i < analytic.numel(); ++i) {
+    const float a = analytic.at(i);
+    const float n = numeric.at(i);
+    EXPECT_NEAR(a, n, rtol * std::fabs(n) + atol)
+        << "component " << i;
+  }
+}
+
+TEST(Variable, LeafBasics) {
+  Variable v{Tensor::ones(Shape{3}), true};
+  EXPECT_TRUE(v.defined());
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_FALSE(v.grad().defined());
+  Variable u;
+  EXPECT_FALSE(u.defined());
+  EXPECT_THROW(u.value(), Error);
+}
+
+TEST(Variable, BackwardRequiresScalarWithoutSeed) {
+  Variable v{Tensor::ones(Shape{3}), true};
+  EXPECT_THROW(v.backward(), Error);
+}
+
+TEST(Variable, GradAccumulatesAcrossBackwards) {
+  Variable x{Tensor::ones(Shape{2}), true};
+  const Variable y = sum(mul_scalar(x, 3.0f));
+  y.backward();
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0), 6.0f);  // 3 + 3
+  x.zero_grad();
+  EXPECT_FLOAT_EQ(x.grad().at(0), 0.0f);
+}
+
+TEST(Variable, DiamondGraphGradients) {
+  // y = sum((x + x) * x) = sum(2x^2), dy/dx = 4x.
+  Variable x{Tensor{2.0f, 3.0f}, true};
+  const Variable two_x = add(x, x);
+  const Variable y = sum(mul(two_x, x));
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0), 8.0f);
+  EXPECT_FLOAT_EQ(x.grad().at(1), 12.0f);
+}
+
+TEST(Variable, NoGradLeafStaysUntouched) {
+  Variable x{Tensor{1.0f, 2.0f}, true};
+  Variable c{Tensor{5.0f, 6.0f}, false};
+  const Variable y = sum(mul(x, c));
+  y.backward();
+  EXPECT_FALSE(c.grad().defined());
+  EXPECT_FLOAT_EQ(x.grad().at(0), 5.0f);
+}
+
+TEST(GradCheck, AddSubMul) {
+  Rng rng(1);
+  const Tensor x0 = rng.normal_tensor(Shape{6}, 0, 1);
+  const Tensor c = rng.normal_tensor(Shape{6}, 0, 1);
+  expect_gradient_matches(
+      [&](const Variable& x) {
+        Variable cv{c.clone()};
+        return sum(mul(add(x, cv), sub(x, cv)));
+      },
+      x0);
+}
+
+TEST(GradCheck, ScalarOps) {
+  Rng rng(2);
+  const Tensor x0 = rng.normal_tensor(Shape{5}, 0, 1);
+  expect_gradient_matches(
+      [](const Variable& x) {
+        return sum(add_scalar(mul_scalar(x, 2.5f), -1.0f));
+      },
+      x0);
+}
+
+TEST(GradCheck, Relu) {
+  // Points away from the kink so finite differences are valid.
+  const Tensor x0{-1.5f, -0.5f, 0.5f, 1.5f, 2.5f};
+  expect_gradient_matches([](const Variable& x) { return sum(relu(x)); }, x0);
+}
+
+TEST(GradCheck, Tanh) {
+  Rng rng(3);
+  const Tensor x0 = rng.normal_tensor(Shape{5}, 0, 1);
+  expect_gradient_matches([](const Variable& x) { return sum(tanh(x)); }, x0);
+}
+
+TEST(GradCheck, MeanAndReshape) {
+  Rng rng(4);
+  const Tensor x0 = rng.normal_tensor(Shape{2, 6}, 0, 1);
+  expect_gradient_matches(
+      [](const Variable& x) { return mean(reshape(x, Shape{3, 4})); }, x0);
+}
+
+TEST(GradCheck, Matmul) {
+  Rng rng(5);
+  const Tensor x0 = rng.normal_tensor(Shape{3, 4}, 0, 1);
+  const Tensor w = rng.normal_tensor(Shape{4, 2}, 0, 1);
+  expect_gradient_matches(
+      [&](const Variable& x) {
+        Variable wv{w.clone()};
+        return sum(matmul(x, wv));
+      },
+      x0);
+}
+
+TEST(GradCheck, MatmulWeightSide) {
+  Rng rng(6);
+  const Tensor a = rng.normal_tensor(Shape{2, 3}, 0, 1);
+  const Tensor w0 = rng.normal_tensor(Shape{3, 4}, 0, 1);
+  expect_gradient_matches(
+      [&](const Variable& w) {
+        Variable av{a.clone()};
+        return sum(matmul(av, w));
+      },
+      w0);
+}
+
+TEST(GradCheck, LinearAllInputs) {
+  Rng rng(7);
+  const Tensor x0 = rng.normal_tensor(Shape{3, 4}, 0, 1);
+  const Tensor w0 = rng.normal_tensor(Shape{2, 4}, 0, 1);
+  const Tensor b0 = rng.normal_tensor(Shape{2}, 0, 1);
+  expect_gradient_matches(
+      [&](const Variable& x) {
+        Variable w{w0.clone()};
+        Variable b{b0.clone()};
+        return sum(linear(x, w, b));
+      },
+      x0);
+  expect_gradient_matches(
+      [&](const Variable& w) {
+        Variable x{x0.clone()};
+        Variable b{b0.clone()};
+        return sum(linear(x, w, b));
+      },
+      w0);
+  expect_gradient_matches(
+      [&](const Variable& b) {
+        Variable x{x0.clone()};
+        Variable w{w0.clone()};
+        return sum(linear(x, w, b));
+      },
+      b0);
+}
+
+TEST(GradCheck, Conv2dInput) {
+  Rng rng(8);
+  const Tensor x0 = rng.normal_tensor(Shape{1, 2, 5, 5}, 0, 1);
+  const Tensor w0 = rng.normal_tensor(Shape{3, 2, 3, 3}, 0, 0.5f);
+  const Tensor b0 = rng.normal_tensor(Shape{3}, 0, 0.5f);
+  Conv2dSpec spec;
+  expect_gradient_matches(
+      [&](const Variable& x) {
+        Variable w{w0.clone()};
+        Variable b{b0.clone()};
+        return sum(conv2d(x, w, b, spec));
+      },
+      x0, 3e-2f, 5e-3f);
+}
+
+TEST(GradCheck, Conv2dWeightAndBias) {
+  Rng rng(9);
+  const Tensor x0 = rng.normal_tensor(Shape{2, 2, 4, 4}, 0, 1);
+  const Tensor w0 = rng.normal_tensor(Shape{2, 2, 3, 3}, 0, 0.5f);
+  const Tensor b0 = rng.normal_tensor(Shape{2}, 0, 0.5f);
+  Conv2dSpec spec;
+  expect_gradient_matches(
+      [&](const Variable& w) {
+        Variable x{x0.clone()};
+        Variable b{b0.clone()};
+        return sum(conv2d(x, w, b, spec));
+      },
+      w0, 3e-2f, 5e-3f);
+  expect_gradient_matches(
+      [&](const Variable& b) {
+        Variable x{x0.clone()};
+        Variable w{w0.clone()};
+        return sum(conv2d(x, w, b, spec));
+      },
+      b0, 3e-2f, 5e-3f);
+}
+
+TEST(GradCheck, MaxPool) {
+  // Distinct values so the argmax is stable under the probe perturbation.
+  Tensor x0{Shape{1, 1, 4, 4}};
+  for (int64_t i = 0; i < 16; ++i) {
+    x0.at(i) = static_cast<float>(i) * 0.37f;
+  }
+  expect_gradient_matches(
+      [](const Variable& x) { return sum(maxpool2d(x, 2)); }, x0);
+}
+
+TEST(GradCheck, SoftmaxRows) {
+  Rng rng(10);
+  const Tensor x0 = rng.normal_tensor(Shape{2, 5}, 0, 1);
+  const Tensor w = rng.normal_tensor(Shape{2, 5}, 0, 1);
+  expect_gradient_matches(
+      [&](const Variable& x) { return dot_const(softmax_rows(x), w); }, x0);
+}
+
+TEST(GradCheck, CrossEntropy) {
+  Rng rng(11);
+  const Tensor x0 = rng.normal_tensor(Shape{3, 6}, 0, 2);
+  expect_gradient_matches(
+      [](const Variable& x) { return cross_entropy(x, {1, 4, 0}); }, x0);
+}
+
+TEST(GradCheck, DotConst) {
+  Rng rng(12);
+  const Tensor x0 = rng.normal_tensor(Shape{7}, 0, 1);
+  const Tensor w = rng.normal_tensor(Shape{7}, 0, 1);
+  expect_gradient_matches(
+      [&](const Variable& x) { return dot_const(x, w); }, x0);
+}
+
+TEST(CrossEntropy, ValueMatchesManualComputation) {
+  const Tensor logits{Shape{1, 3}, {1.0f, 2.0f, 3.0f}};
+  Variable x{logits.clone()};
+  const Variable loss = cross_entropy(x, {2});
+  const float denom =
+      std::exp(1.0f) + std::exp(2.0f) + std::exp(3.0f);
+  EXPECT_NEAR(loss.value().item(), -std::log(std::exp(3.0f) / denom), 1e-5f);
+}
+
+TEST(CrossEntropy, RejectsBadLabels) {
+  Variable x{Tensor::zeros(Shape{2, 3})};
+  EXPECT_THROW(cross_entropy(x, {0}), Error);      // count mismatch
+  EXPECT_THROW(cross_entropy(x, {0, 3}), Error);   // label out of range
+  EXPECT_THROW(cross_entropy(x, {0, -1}), Error);  // negative label
+}
+
+TEST(Autograd, DeepChainDoesNotOverflowStack) {
+  // 20k-node chain exercises the iterative topological sort.
+  Variable x{Tensor::scalar(1.0f), true};
+  Variable y = x;
+  for (int i = 0; i < 20000; ++i) {
+    y = add_scalar(y, 0.0f);
+  }
+  const Variable loss = sum(y);
+  loss.backward();
+  EXPECT_FLOAT_EQ(x.grad().item(), 1.0f);
+}
+
+}  // namespace
+}  // namespace fademl::autograd

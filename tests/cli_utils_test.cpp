@@ -1,0 +1,178 @@
+// Tests for the CLI-supporting utilities: ArgParser, the visualization
+// helpers (heatmap / montage / attack panel), and the confusion-matrix
+// metrics.
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "fademl/core/metrics.hpp"
+#include "fademl/io/args.hpp"
+#include "fademl/io/image_io.hpp"
+#include "fademl/io/visualize.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+#include "test_fixtures.hpp"
+
+namespace fademl {
+namespace {
+
+// ---- ArgParser ---------------------------------------------------------------
+
+io::ArgParser make_parser() {
+  return io::ArgParser("test tool", {"name", "count", "ratio", "verbose!"});
+}
+
+TEST(ArgParser, ParsesValuesFlagsAndPositionals) {
+  auto p = make_parser();
+  const char* argv[] = {"--name",    "stop", "--count", "7",
+                        "--verbose", "input.ppm"};
+  p.parse(6, argv);
+  EXPECT_EQ(p.get("name", ""), "stop");
+  EXPECT_EQ(p.get_int("count", 0), 7);
+  EXPECT_TRUE(p.has("verbose"));
+  EXPECT_FALSE(p.has("ratio"));
+  ASSERT_EQ(p.positional().size(), 1u);
+  EXPECT_EQ(p.positional()[0], "input.ppm");
+}
+
+TEST(ArgParser, SupportsEqualsSyntax) {
+  auto p = make_parser();
+  const char* argv[] = {"--ratio=0.25", "--name=x"};
+  p.parse(2, argv);
+  EXPECT_DOUBLE_EQ(p.get_double("ratio", 0.0), 0.25);
+  EXPECT_EQ(p.get("name", ""), "x");
+}
+
+TEST(ArgParser, FallbacksWhenAbsent) {
+  auto p = make_parser();
+  p.parse(0, nullptr);
+  EXPECT_EQ(p.get("name", "dflt"), "dflt");
+  EXPECT_EQ(p.get_int("count", 42), 42);
+  EXPECT_DOUBLE_EQ(p.get_double("ratio", 1.5), 1.5);
+}
+
+TEST(ArgParser, RejectsUnknownAndMalformed) {
+  auto p = make_parser();
+  const char* unknown[] = {"--bogus", "1"};
+  EXPECT_THROW(p.parse(2, unknown), Error);
+  auto p2 = make_parser();
+  const char* missing[] = {"--name"};
+  EXPECT_THROW(p2.parse(1, missing), Error);
+  auto p3 = make_parser();
+  const char* flag_with_value[] = {"--verbose=1"};
+  EXPECT_THROW(p3.parse(1, flag_with_value), Error);
+  auto p4 = make_parser();
+  const char* bad_int[] = {"--count", "seven"};
+  p4.parse(2, bad_int);
+  EXPECT_THROW(p4.get_int("count", 0), Error);
+  EXPECT_THROW(p4.get("unregistered", ""), Error);
+}
+
+TEST(ArgParser, UsageMentionsEveryOption) {
+  const auto p = make_parser();
+  const std::string usage = p.usage("prog");
+  EXPECT_NE(usage.find("--name <value>"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose]"), std::string::npos);
+  EXPECT_THROW(io::ArgParser("dup", {"a", "a"}), Error);
+}
+
+// ---- visualization -----------------------------------------------------------
+
+TEST(Visualize, ChannelSumCollapsesChannels) {
+  Tensor img = Tensor::zeros(Shape{3, 2, 2});
+  img.at({0, 0, 0}) = 0.5f;
+  img.at({1, 0, 0}) = 0.25f;
+  img.at({2, 1, 1}) = -1.0f;
+  const Tensor summed = io::channel_sum(img);
+  EXPECT_EQ(summed.shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(summed.at({0, 0}), 0.75f);
+  EXPECT_FLOAT_EQ(summed.at({1, 1}), -1.0f);
+}
+
+TEST(Visualize, HeatmapDivergesCorrectly) {
+  Tensor map2d{Shape{1, 3}, {-1.0f, 0.0f, 1.0f}};
+  const Tensor hm = io::heatmap(map2d, 1.0f);
+  EXPECT_EQ(hm.shape(), Shape({3, 1, 3}));
+  // Negative -> blue (B=1, R=0), zero -> white, positive -> red (R=1, B=0).
+  EXPECT_FLOAT_EQ(hm.at({2, 0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(hm.at({0, 0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(hm.at({0, 0, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(hm.at({1, 0, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(hm.at({2, 0, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(hm.at({0, 0, 2}), 1.0f);
+  EXPECT_FLOAT_EQ(hm.at({2, 0, 2}), 0.0f);
+}
+
+TEST(Visualize, HeatmapAutoScales) {
+  Tensor map2d{Shape{1, 2}, {0.0f, 0.05f}};
+  const Tensor hm = io::heatmap(map2d);  // auto-scale: 0.05 -> saturated
+  EXPECT_NEAR(hm.at({1, 0, 1}), 0.0f, 1e-5f);  // fully red
+}
+
+TEST(Visualize, MontageTilesInRowMajorOrder) {
+  const Tensor a = Tensor::full(Shape{3, 2, 2}, 0.1f);
+  const Tensor b = Tensor::full(Shape{3, 2, 2}, 0.9f);
+  const Tensor m = io::montage({a, b, a}, 2);
+  // 2 rows x 2 columns of 2x2 tiles + 1px separators: 5 x 5.
+  EXPECT_EQ(m.shape(), Shape({3, 5, 5}));
+  EXPECT_FLOAT_EQ(m.at({0, 0, 0}), 0.1f);   // tile a
+  EXPECT_FLOAT_EQ(m.at({0, 0, 3}), 0.9f);   // tile b
+  EXPECT_FLOAT_EQ(m.at({0, 0, 2}), 0.5f);   // separator
+  EXPECT_FLOAT_EQ(m.at({0, 3, 0}), 0.1f);   // second-row tile
+  EXPECT_FLOAT_EQ(m.at({0, 3, 3}), 0.5f);   // empty cell stays background
+  EXPECT_THROW(io::montage({}, 2), Error);
+  EXPECT_THROW(io::montage({a, Tensor::zeros(Shape{3, 3, 3})}, 2), Error);
+}
+
+TEST(Visualize, AttackPanelWritesReadablePpm) {
+  const Tensor clean = data::canonical_sample(14, 16);
+  Tensor adv = clean.clone();
+  adv.at({0, 8, 8}) += 0.2f;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fademl_panel.ppm").string();
+  const Tensor panel = io::save_attack_panel(path, clean, adv);
+  EXPECT_EQ(panel.dim(1), 16);
+  EXPECT_EQ(panel.dim(2), 16 * 3 + 2);
+  const Tensor back = io::read_ppm(path);
+  EXPECT_EQ(back.shape(), panel.shape());
+  std::remove(path.c_str());
+}
+
+// ---- confusion matrix ---------------------------------------------------------
+
+TEST(ConfusionMatrix, CountsAndDerivedMetrics) {
+  core::ConfusionMatrix cm(3);
+  cm.record(0, 0);
+  cm.record(0, 0);
+  cm.record(0, 1);
+  cm.record(1, 1);
+  cm.record(2, 1);
+  EXPECT_EQ(cm.total(), 5);
+  EXPECT_EQ(cm.count(0, 1), 1);
+  EXPECT_NEAR(cm.accuracy(), 3.0 / 5.0, 1e-12);
+  EXPECT_NEAR(cm.recall(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.precision(1), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);
+  const auto top = cm.top_confusions(5);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].count, 1);
+  EXPECT_THROW(cm.record(3, 0), Error);
+  EXPECT_THROW(core::ConfusionMatrix(0), Error);
+}
+
+TEST(ConfusionMatrix, PipelineEvaluationMatchesAccuracy) {
+  const auto pipeline =
+      fademl::testing::tiny_pipeline(filters::make_identity());
+  const auto& w = fademl::testing::tiny_world();
+  const core::ConfusionMatrix cm = core::confusion_matrix(
+      pipeline, w.train_images, w.train_labels, core::ThreatModel::kI);
+  const auto acc = pipeline.accuracy(w.train_images, w.train_labels,
+                                     core::ThreatModel::kI);
+  EXPECT_NEAR(cm.accuracy(), acc.top1, 1e-9);
+  EXPECT_EQ(cm.total(), static_cast<int64_t>(w.train_images.size()));
+}
+
+}  // namespace
+}  // namespace fademl

@@ -1,0 +1,89 @@
+#include "fademl/core/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::core {
+namespace {
+
+Tensor probs_from(std::vector<float> raw) {
+  Tensor t{Shape{static_cast<int64_t>(raw.size())}, std::move(raw)};
+  const float total = sum(t);
+  t.mul_(1.0f / total);
+  return t;
+}
+
+TEST(Eq2Cost, ZeroWhenDistributionsMatch) {
+  const Tensor p = probs_from({5, 4, 3, 2, 1, 1, 1});
+  EXPECT_FLOAT_EQ(eq2_cost(p, p), 0.0f);
+}
+
+TEST(Eq2Cost, PositiveWhenMassLeavesTop5) {
+  const Tensor ref = probs_from({10, 4, 3, 2, 1, 0.1f, 0.1f});
+  const Tensor cmp = probs_from({1, 1, 1, 1, 1, 10, 10});
+  EXPECT_GT(eq2_cost(ref, cmp), 0.3f);
+}
+
+TEST(Eq2Cost, NegativeWhenMassConcentrates) {
+  // Flat reference: its top-5 are the first five classes at 1/7 each. The
+  // comparison piles almost all mass on one of them, so the top-5 mass
+  // *grows* and the cost goes negative.
+  const Tensor ref = probs_from({1, 1, 1, 1, 1, 1, 1});
+  const Tensor cmp = probs_from({100, 1, 1, 1, 1, 1, 1});
+  EXPECT_LT(eq2_cost(ref, cmp), -0.1f);
+}
+
+TEST(Eq2Cost, BoundedByOne) {
+  const Tensor ref = probs_from({1, 1, 1, 1, 1, 0.001f, 0.001f});
+  const Tensor cmp = probs_from({0.001f, 0.001f, 0.001f, 0.001f, 0.001f,
+                                 1, 1});
+  const float c = eq2_cost(ref, cmp);
+  EXPECT_LE(c, 1.0f);
+  EXPECT_GT(c, 0.9f);
+}
+
+TEST(Eq2Cost, ValidatesShapes) {
+  const Tensor p5 = probs_from({1, 1, 1, 1, 1});
+  EXPECT_THROW(eq2_cost(p5, probs_from({1, 1, 1, 1, 1, 1})), Error);
+  EXPECT_THROW(eq2_cost(probs_from({1, 1}), probs_from({1, 1})), Error);
+}
+
+TEST(FademlCost, ZeroForIdenticalTopMass) {
+  const Tensor p = probs_from({5, 4, 3, 2, 1, 1});
+  EXPECT_NEAR(fademl_cost(p, p), 0.0f, 1e-6f);
+}
+
+TEST(FademlCost, MeasuresGapBetweenSamples) {
+  const Tensor x = probs_from({0.9f, 0.02f, 0.02f, 0.02f, 0.02f, 0.02f});
+  const Tensor y = probs_from({0.02f, 0.9f, 0.02f, 0.02f, 0.02f, 0.02f});
+  // Both concentrate the same total mass on their own top-5: gap ~ 0.
+  EXPECT_NEAR(fademl_cost(x, y), 0.0f, 1e-5f);
+  // A flat x against a peaked y has less top-5 mass: negative gap.
+  const Tensor flat = probs_from({1, 1, 1, 1, 1, 1});
+  EXPECT_LT(fademl_cost(flat, y), -0.05f);
+}
+
+TEST(Top5WeightVector, MarksExactlyTheTopFive) {
+  const Tensor ref = probs_from({10, 9, 8, 7, 6, 1, 2, 3});
+  const Tensor w = top5_weight_vector(ref);
+  EXPECT_FLOAT_EQ(sum(w), 5.0f);
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_FLOAT_EQ(w.at(i), 1.0f);
+  }
+  for (int64_t i = 5; i < 8; ++i) {
+    EXPECT_FLOAT_EQ(w.at(i), 0.0f);
+  }
+}
+
+TEST(Top5WeightVector, DotRecoversEq2Term) {
+  const Tensor ref = probs_from({10, 9, 8, 7, 6, 1, 2, 3});
+  const Tensor cmp = probs_from({1, 2, 3, 4, 5, 6, 7, 8});
+  const Tensor w = top5_weight_vector(ref);
+  const float via_dot = dot(ref, w) - dot(cmp, w);
+  EXPECT_NEAR(via_dot, eq2_cost(ref, cmp), 1e-6f);
+}
+
+}  // namespace
+}  // namespace fademl::core

@@ -1,0 +1,259 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "fademl/data/canvas.hpp"
+#include "fademl/data/dataset.hpp"
+#include "fademl/data/gtsrb.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::data {
+namespace {
+
+TEST(Canvas, FillAndTensorLayout) {
+  Canvas canvas(4, 6);
+  canvas.fill({0.25f, 0.5f, 0.75f});
+  const Tensor t = canvas.to_tensor();
+  EXPECT_EQ(t.shape(), Shape({3, 4, 6}));
+  EXPECT_FLOAT_EQ(t.at({0, 0, 0}), 0.25f);
+  EXPECT_FLOAT_EQ(t.at({1, 2, 3}), 0.5f);
+  EXPECT_FLOAT_EQ(t.at({2, 3, 5}), 0.75f);
+}
+
+TEST(Canvas, GradientIsMonotoneVertically) {
+  Canvas canvas(8, 4);
+  canvas.fill_vertical_gradient({0.0f, 0.0f, 0.0f}, {1.0f, 1.0f, 1.0f});
+  const Tensor t = canvas.to_tensor();
+  for (int64_t y = 1; y < 8; ++y) {
+    EXPECT_GT(t.at({0, y, 2}), t.at({0, y - 1, 2}));
+  }
+}
+
+TEST(Canvas, DiscCoversCenterNotCorners) {
+  Canvas canvas(16, 16);
+  canvas.fill({0, 0, 0});
+  canvas.draw_disc(8.0f, 8.0f, 5.0f, {1, 0, 0});
+  const Tensor t = canvas.to_tensor();
+  EXPECT_FLOAT_EQ(t.at({0, 8, 8}), 1.0f);
+  EXPECT_FLOAT_EQ(t.at({0, 0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(t.at({0, 15, 15}), 0.0f);
+}
+
+TEST(Canvas, DiscEdgesAreAntialiased) {
+  Canvas canvas(32, 32);
+  canvas.fill({0, 0, 0});
+  canvas.draw_disc(16.0f, 16.0f, 8.0f, {1, 1, 1});
+  const Tensor t = canvas.to_tensor();
+  // Somewhere on the rim coverage must be fractional.
+  bool fractional = false;
+  for (int64_t y = 0; y < 32 && !fractional; ++y) {
+    for (int64_t x = 0; x < 32; ++x) {
+      const float v = t.at({0, y, x});
+      if (v > 0.05f && v < 0.95f) {
+        fractional = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(fractional);
+}
+
+TEST(Canvas, RingHasHole) {
+  Canvas canvas(16, 16);
+  canvas.fill({0, 0, 0});
+  canvas.draw_ring(8.0f, 8.0f, 4.0f, 7.0f, {0, 1, 0});
+  const Tensor t = canvas.to_tensor();
+  EXPECT_FLOAT_EQ(t.at({1, 8, 8}), 0.0f);   // hole
+  EXPECT_GT(t.at({1, 8, 13}), 0.5f);        // ring body
+}
+
+TEST(Canvas, PolygonEvenOddRule) {
+  Canvas canvas(16, 16);
+  canvas.fill({0, 0, 0});
+  canvas.draw_polygon({{2, 2}, {14, 2}, {14, 14}, {2, 14}}, {1, 1, 1});
+  const Tensor t = canvas.to_tensor();
+  EXPECT_GT(t.at({0, 8, 8}), 0.9f);
+  EXPECT_FLOAT_EQ(t.at({0, 0, 0}), 0.0f);
+  EXPECT_THROW(canvas.draw_polygon({{0, 0}, {1, 1}}, {1, 1, 1}), Error);
+}
+
+TEST(Canvas, RegularPolygonApexUp) {
+  Canvas canvas(32, 32);
+  canvas.fill({0, 0, 0});
+  canvas.draw_regular_polygon(16, 18, 12, 3, -1.5707963f, {1, 1, 1});
+  const Tensor t = canvas.to_tensor();
+  EXPECT_GT(t.at({0, 16, 16}), 0.5f);   // interior
+  EXPECT_LT(t.at({0, 8, 4}), 0.1f);     // outside near top-left
+}
+
+TEST(Canvas, LineAndArrow) {
+  Canvas canvas(16, 16);
+  canvas.fill({0, 0, 0});
+  canvas.draw_line(2, 8, 14, 8, 2.0f, {1, 1, 1});
+  const Tensor t = canvas.to_tensor();
+  EXPECT_GT(t.at({0, 8, 8}), 0.9f);
+  EXPECT_LT(t.at({0, 2, 8}), 0.1f);
+
+  Canvas canvas2(16, 16);
+  canvas2.fill({0, 0, 0});
+  canvas2.draw_arrow(8, 14, 8, 2, 2.0f, {1, 1, 1});
+  const Tensor t2 = canvas2.to_tensor();
+  EXPECT_GT(t2.at({0, 8, 8}), 0.5f);  // shaft
+  EXPECT_GT(t2.at({0, 3, 8}), 0.2f);  // head
+  EXPECT_THROW(canvas2.draw_arrow(1, 1, 1, 1, 1.0f, {1, 1, 1}), Error);
+}
+
+TEST(Canvas, TextRendersSupportedGlyphsOnly) {
+  Canvas canvas(32, 32);
+  canvas.fill({0, 0, 0});
+  canvas.draw_text("80", 16, 16, 2.0f, {1, 1, 1});
+  const Tensor t = canvas.to_tensor();
+  EXPECT_GT(sum(t), 10.0f);  // something was drawn
+  EXPECT_THROW(canvas.draw_text("a", 16, 16, 2.0f, {1, 1, 1}), Error);
+}
+
+TEST(Gtsrb, ClassNamesCoverAll43) {
+  std::set<std::string> names;
+  for (int64_t c = 0; c < kGtsrbNumClasses; ++c) {
+    names.insert(gtsrb_class_name(c));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kGtsrbNumClasses));
+  EXPECT_EQ(gtsrb_class_name(14), "Stop");
+  EXPECT_EQ(gtsrb_class_name(3), "Speed limit (60km/h)");
+  EXPECT_THROW(gtsrb_class_name(43), Error);
+  EXPECT_THROW(gtsrb_class_name(-1), Error);
+}
+
+TEST(Gtsrb, RenderIsDeterministic) {
+  RenderParams params;
+  const Tensor a = render_sign(14, params, 32);
+  const Tensor b = render_sign(14, params, 32);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_FLOAT_EQ(a.at(i), b.at(i));
+  }
+}
+
+TEST(Gtsrb, RenderedValuesStayInUnitRange) {
+  Rng rng(3);
+  for (int64_t cls = 0; cls < kGtsrbNumClasses; ++cls) {
+    const RenderParams params = RenderParams::randomize(rng, 0.05f);
+    const Tensor img = render_sign(cls, params, 24);
+    EXPECT_GE(min(img), 0.0f) << "class " << cls;
+    EXPECT_LE(max(img), 1.0f) << "class " << cls;
+  }
+}
+
+TEST(Gtsrb, EveryClassRendersDistinctly) {
+  // Pairwise L2 distance between canonical class images must be clearly
+  // nonzero — the classifier's task is well-posed.
+  std::vector<Tensor> canon;
+  for (int64_t cls = 0; cls < kGtsrbNumClasses; ++cls) {
+    canon.push_back(canonical_sample(cls, 32));
+  }
+  for (size_t i = 0; i < canon.size(); ++i) {
+    for (size_t j = i + 1; j < canon.size(); ++j) {
+      EXPECT_GT(norm_l2(sub(canon[i], canon[j])), 0.5f)
+          << "classes " << i << " and " << j << " are too similar";
+    }
+  }
+}
+
+TEST(Gtsrb, NoiseParamAddsNoise) {
+  RenderParams clean;
+  RenderParams noisy;
+  noisy.noise_std = 0.05f;
+  noisy.noise_seed = 7;
+  const Tensor a = render_sign(1, clean, 32);
+  const Tensor b = render_sign(1, noisy, 32);
+  EXPECT_GT(norm_l2(sub(a, b)), 0.5f);
+}
+
+TEST(Gtsrb, RandomizeVariesPose) {
+  Rng rng(5);
+  const RenderParams p1 = RenderParams::randomize(rng, 0.0f);
+  const RenderParams p2 = RenderParams::randomize(rng, 0.0f);
+  const Tensor a = render_sign(14, p1, 32);
+  const Tensor b = render_sign(14, p2, 32);
+  EXPECT_GT(norm_l2(sub(a, b)), 0.1f);
+}
+
+TEST(Gtsrb, RejectsBadArguments) {
+  RenderParams params;
+  EXPECT_THROW(render_sign(99, params, 32), Error);
+  EXPECT_THROW(render_sign(0, params, 4), Error);
+  params.background = 17;
+  EXPECT_THROW(render_sign(0, params, 32), Error);
+}
+
+TEST(Dataset, SyntheticGtsrbCoversEveryClass) {
+  SynthConfig config;
+  config.train_per_class = 2;
+  config.test_per_class = 1;
+  config.image_size = 16;
+  const SynthGtsrb data = make_synthetic_gtsrb(config);
+  EXPECT_EQ(data.train.size(), 2 * kGtsrbNumClasses);
+  EXPECT_EQ(data.test.size(), kGtsrbNumClasses);
+  const auto hist = data.train.class_histogram();
+  for (int64_t c = 0; c < kGtsrbNumClasses; ++c) {
+    EXPECT_EQ(hist[static_cast<size_t>(c)], 2) << "class " << c;
+  }
+}
+
+TEST(Dataset, DeterministicInSeed) {
+  SynthConfig config;
+  config.train_per_class = 1;
+  config.test_per_class = 1;
+  config.image_size = 16;
+  const SynthGtsrb a = make_synthetic_gtsrb(config);
+  const SynthGtsrb b = make_synthetic_gtsrb(config);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (int64_t i = 0; i < a.train.size(); ++i) {
+    ASSERT_FLOAT_EQ(
+        norm_l2(sub(a.train.images[static_cast<size_t>(i)],
+                    b.train.images[static_cast<size_t>(i)])),
+        0.0f);
+  }
+  config.seed = 43;
+  const SynthGtsrb c = make_synthetic_gtsrb(config);
+  EXPECT_GT(norm_l2(sub(a.train.images[0], c.train.images[0])), 0.0f);
+}
+
+TEST(Dataset, TrainAndTestSplitsDiffer) {
+  SynthConfig config;
+  config.train_per_class = 1;
+  config.test_per_class = 1;
+  config.image_size = 16;
+  const SynthGtsrb data = make_synthetic_gtsrb(config);
+  // Same class, different split -> different augmentation draw.
+  EXPECT_GT(norm_l2(sub(data.train.images[0], data.test.images[0])), 0.01f);
+}
+
+TEST(Dataset, SubsetAndLookups) {
+  Dataset d;
+  d.num_classes = 3;
+  d.images = {Tensor::zeros(Shape{1, 2, 2}), Tensor::ones(Shape{1, 2, 2}),
+              Tensor::full(Shape{1, 2, 2}, 2.0f)};
+  d.labels = {0, 2, 2};
+  EXPECT_EQ(d.find_class(2), 1);
+  EXPECT_EQ(d.find_class(1), -1);
+  EXPECT_EQ(d.indices_of_class(2), (std::vector<int64_t>{1, 2}));
+  const Dataset sub = d.subset({2, 0});
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.labels[0], 2);
+  EXPECT_FLOAT_EQ(sub.images[0].at(0), 2.0f);
+  EXPECT_THROW(d.subset({5}), Error);
+}
+
+TEST(Dataset, CanonicalSampleIsCleanAndCentered) {
+  const Tensor img = canonical_sample(14, 32);
+  EXPECT_EQ(img.shape(), Shape({3, 32, 32}));
+  // Stop sign: strongly red inside the octagon, above the "STOP" glyphs.
+  const float r = img.at({0, 8, 16});
+  const float g = img.at({1, 8, 16});
+  EXPECT_GT(r, 0.5f);
+  EXPECT_GT(r, g + 0.2f);
+}
+
+}  // namespace
+}  // namespace fademl::data

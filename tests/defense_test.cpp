@@ -1,0 +1,151 @@
+// Tests for the defense subsystem: adversarial training, the
+// feature-squeezing detector (paper ref [10]) and randomized smoothing.
+
+#include <gtest/gtest.h>
+
+#include "fademl/attacks/bim.hpp"
+#include "fademl/defense/adversarial_training.hpp"
+#include "fademl/defense/detector.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+#include "test_fixtures.hpp"
+
+namespace fademl::defense {
+namespace {
+
+using core::ThreatModel;
+using fademl::testing::tiny_pipeline;
+using fademl::testing::tiny_world;
+
+attacks::AttackConfig budget() {
+  attacks::AttackConfig config;
+  config.epsilon = 0.18f;
+  config.step_size = 0.02f;
+  config.max_iterations = 25;
+  return config;
+}
+
+TEST(FeatureSqueezeDetector, ValidatesConstruction) {
+  EXPECT_THROW(FeatureSqueezeDetector({}, 0.5f), Error);
+  EXPECT_THROW(FeatureSqueezeDetector(-1.0f), Error);
+  EXPECT_FLOAT_EQ(FeatureSqueezeDetector(0.3f).threshold(), 0.3f);
+}
+
+TEST(FeatureSqueezeDetector, ScoresAdversarialAboveBenign) {
+  const auto pipeline = tiny_pipeline(filters::make_identity());
+  const FeatureSqueezeDetector detector;
+  const Tensor benign = data::canonical_sample(14, 16);
+  const attacks::BimAttack attack(budget());
+  const attacks::AttackResult r = attack.run(pipeline, benign, 3);
+
+  const float benign_score =
+      detector.score(pipeline, benign, ThreatModel::kI);
+  const float adv_score =
+      detector.score(pipeline, r.adversarial, ThreatModel::kI);
+  EXPECT_GT(adv_score, benign_score);
+}
+
+TEST(FeatureSqueezeDetector, CatchesTheBimExample) {
+  const auto pipeline = tiny_pipeline(filters::make_identity());
+  const FeatureSqueezeDetector detector(0.4f);
+  const Tensor benign = data::canonical_sample(14, 16);
+  const attacks::BimAttack attack(budget());
+  const attacks::AttackResult r = attack.run(pipeline, benign, 3);
+  EXPECT_TRUE(detector.is_adversarial(pipeline, r.adversarial,
+                                      ThreatModel::kI));
+  EXPECT_FALSE(detector.is_adversarial(pipeline, benign, ThreatModel::kI));
+}
+
+TEST(SmoothedPredict, AgreesWithPlainPredictionOnCleanInput) {
+  const auto pipeline = tiny_pipeline(filters::make_identity());
+  const Tensor x = data::canonical_sample(14, 16);
+  const SmoothedPrediction smoothed =
+      smoothed_predict(pipeline, x, ThreatModel::kI, 11, 0.03f, 7);
+  EXPECT_EQ(smoothed.label, pipeline.predict(x, ThreatModel::kI).label);
+  EXPECT_GT(smoothed.vote_share, 0.5f);
+}
+
+TEST(SmoothedPredict, ValidatesArguments) {
+  const auto pipeline = tiny_pipeline(filters::make_identity());
+  const Tensor x = data::canonical_sample(14, 16);
+  EXPECT_THROW(smoothed_predict(pipeline, x, ThreatModel::kI, 0, 0.1f, 1),
+               Error);
+  EXPECT_THROW(smoothed_predict(pipeline, x, ThreatModel::kI, 3, -0.1f, 1),
+               Error);
+}
+
+TEST(SmoothedPredict, HighNoiseReducesVoteShare) {
+  const auto pipeline = tiny_pipeline(filters::make_identity());
+  const Tensor x = data::canonical_sample(14, 16);
+  const SmoothedPrediction low =
+      smoothed_predict(pipeline, x, ThreatModel::kI, 15, 0.01f, 3);
+  const SmoothedPrediction high =
+      smoothed_predict(pipeline, x, ThreatModel::kI, 15, 0.6f, 3);
+  EXPECT_GE(low.vote_share, high.vote_share);
+}
+
+TEST(AdversarialTrainer, ValidatesConfig) {
+  auto model = tiny_world().model;  // shared, but only ctor checks run here
+  AdversarialTrainer::Config bad;
+  bad.adversarial_fraction = 1.5f;
+  EXPECT_THROW(
+      AdversarialTrainer(model, attacks::AttackKind::kFgsm, bad), Error);
+  EXPECT_THROW(AdversarialTrainer(nullptr, attacks::AttackKind::kFgsm, {}),
+               Error);
+}
+
+TEST(AdversarialTrainer, HardensModelAgainstFgsm) {
+  // Train two small models on the same data: one plain, one adversarial.
+  // The adversarially trained one must resist untargeted FGSM better.
+  const auto& w = tiny_world();
+  const auto train_model = [&](bool adversarial) {
+    Rng rng(77);
+    nn::VggConfig config = nn::VggConfig::tiny(43, 16);
+    config.channels = {6, 12};
+    auto model = nn::make_vggnet(config, rng);
+    Rng train_rng(5);
+    if (adversarial) {
+      AdversarialTrainer::Config at;
+      at.epochs = 12;
+      at.adversarial_fraction = 0.5f;
+      at.attack.epsilon = 0.1f;
+      AdversarialTrainer trainer(model, attacks::AttackKind::kFgsm, at);
+      trainer.fit(w.train_images, w.train_labels, train_rng);
+    } else {
+      nn::SGD sgd(model->named_parameters(), {.lr = 0.01f});
+      nn::Trainer::Config tc;
+      tc.epochs = 12;
+      nn::Trainer trainer(*model, sgd, tc);
+      trainer.fit(w.train_images, w.train_labels, train_rng);
+    }
+    return model;
+  };
+
+  const auto plain = train_model(false);
+  const auto hardened = train_model(true);
+
+  // Untargeted FGSM sweep over the training set's first image per class.
+  const auto robustness = [&](const std::shared_ptr<nn::Sequential>& model) {
+    core::InferencePipeline pipeline(model, filters::make_identity());
+    int correct = 0;
+    int total = 0;
+    for (int64_t cls : w.classes) {
+      const Tensor x = data::canonical_sample(cls, 16);
+      // One ascending FGSM step on the true class.
+      const core::LossGrad lg = pipeline.loss_and_grad(
+          x, attacks::targeted_cross_entropy(cls), ThreatModel::kI);
+      Tensor adv = add(x, mul(sign(lg.grad), 0.08f));
+      adv.clamp_(0.0f, 1.0f);
+      if (pipeline.predict(adv, ThreatModel::kI).label == cls) {
+        ++correct;
+      }
+      ++total;
+    }
+    return static_cast<double>(correct) / total;
+  };
+
+  EXPECT_GE(robustness(hardened), robustness(plain));
+}
+
+}  // namespace
+}  // namespace fademl::defense

@@ -1,0 +1,139 @@
+// Tests for the EOT attack (robust-to-acquisition perturbations) and the
+// spatial rotation/translation attack (no additive noise at all).
+
+#include <gtest/gtest.h>
+
+#include "fademl/attacks/bim.hpp"
+#include "fademl/attacks/eot.hpp"
+#include "fademl/attacks/spatial.hpp"
+#include "fademl/data/transforms.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+#include "test_fixtures.hpp"
+
+namespace fademl::attacks {
+namespace {
+
+using core::ThreatModel;
+using fademl::testing::tiny_pipeline;
+
+AttackConfig budget() {
+  AttackConfig config;
+  config.epsilon = 0.18f;
+  config.step_size = 0.02f;
+  config.max_iterations = 15;
+  return config;
+}
+
+TEST(Eot, ValidatesOptions) {
+  EotOptions bad;
+  bad.samples = 0;
+  EXPECT_THROW(EotAttack(budget(), bad), Error);
+  AttackConfig bad_config = budget();
+  bad_config.epsilon = 0.0f;
+  EXPECT_THROW(EotAttack{bad_config}, Error);
+}
+
+TEST(Eot, NamesFollowGradientRoute) {
+  AttackConfig tm3 = budget();
+  tm3.grad_tm = ThreatModel::kIII;
+  EXPECT_EQ(EotAttack(budget()).name(), "EOT-BIM");
+  EXPECT_EQ(EotAttack(tm3).name(), "FAdeML-EOT-BIM");
+}
+
+TEST(Eot, RespectsBudgetAndCountsSampledGradients) {
+  const auto pipeline = tiny_pipeline(filters::make_identity());
+  EotOptions options;
+  options.samples = 3;
+  AttackConfig config = budget();
+  config.max_iterations = 4;
+  const EotAttack attack(config, options);
+  const Tensor src = data::canonical_sample(14, 16);
+  const AttackResult r = attack.run(pipeline, src, 3);
+  EXPECT_LE(r.linf, config.epsilon + 1e-5f);
+  EXPECT_EQ(r.iterations, 4 * 3);  // iterations * samples gradients
+  EXPECT_EQ(r.loss_history.size(), 4u);
+}
+
+TEST(Eot, ExampleSurvivesJitterBetterThanPlainBim) {
+  // The EOT property: under random sub-pixel jitter at evaluation time,
+  // the EOT example keeps a higher target probability than a plain BIM
+  // example of equal budget (on average over draws).
+  const auto pipeline = tiny_pipeline(filters::make_identity());
+  const Tensor src = data::canonical_sample(14, 16);
+  AttackConfig config = budget();
+  config.max_iterations = 20;
+  const BimAttack plain(config);
+  EotOptions options;
+  options.samples = 4;
+  options.jitter_pixels = 1.0f;
+  const EotAttack eot(config, options);
+
+  const AttackResult plain_r = plain.run(pipeline, src, 3);
+  const AttackResult eot_r = eot.run(pipeline, src, 3);
+
+  Rng rng(17);
+  float plain_sum = 0.0f;
+  float eot_sum = 0.0f;
+  constexpr int kDraws = 12;
+  for (int i = 0; i < kDraws; ++i) {
+    const float dx = rng.uniform(-1.0f, 1.0f);
+    const float dy = rng.uniform(-1.0f, 1.0f);
+    plain_sum += pipeline
+                     .predict_probs(data::translate_image(plain_r.adversarial,
+                                                          dx, dy),
+                                    ThreatModel::kI)
+                     .at(3);
+    eot_sum += pipeline
+                   .predict_probs(data::translate_image(eot_r.adversarial,
+                                                        dx, dy),
+                                  ThreatModel::kI)
+                   .at(3);
+  }
+  EXPECT_GE(eot_sum, plain_sum - 0.5f);  // robustly no worse, usually better
+}
+
+TEST(Spatial, GridBoundsAndQueryCount) {
+  const auto pipeline = tiny_pipeline(filters::make_identity());
+  SpatialOptions options;
+  options.rotation_steps = 3;
+  options.translation_steps = 3;
+  const SpatialAttack attack({}, options);
+  const Tensor src = data::canonical_sample(14, 16);
+  const AttackResult r = attack.run(pipeline, src, 14);
+  EXPECT_EQ(r.iterations, 3 * 3 * 3);
+  EXPECT_GE(min(r.adversarial), 0.0f);
+  EXPECT_LE(max(r.adversarial), 1.0f);
+  EXPECT_THROW(SpatialAttack({}, SpatialOptions{.rotation_steps = 0}), Error);
+}
+
+TEST(Spatial, ReducesSourceProbability) {
+  const auto pipeline = tiny_pipeline(filters::make_identity());
+  const SpatialAttack attack;
+  const Tensor src = data::canonical_sample(34, 16);  // turn left
+  const AttackResult r = attack.run(pipeline, src, 34);
+  const float before = pipeline.predict_probs(src, ThreatModel::kI).at(34);
+  const float after =
+      pipeline.predict_probs(r.adversarial, ThreatModel::kI).at(34);
+  EXPECT_LE(after, before + 1e-6f);
+}
+
+TEST(Spatial, SmoothingDoesNotUndoGeometry) {
+  // The anti-filter property: whatever source-probability damage the
+  // spatial attack achieves, applying LAP(8) on top does not restore the
+  // prediction the way it restores additive-noise attacks.
+  const auto pipeline = tiny_pipeline(filters::make_lap(8));
+  const SpatialAttack attack;
+  const Tensor src = data::canonical_sample(14, 16);
+  const AttackResult r = attack.run(pipeline, src, 14);
+  const float raw =
+      pipeline.predict_probs(r.adversarial, ThreatModel::kI).at(14);
+  const float filtered =
+      pipeline.predict_probs(r.adversarial, ThreatModel::kIII).at(14);
+  // Filtering the rotated image must not recover more than a modest amount
+  // of source probability.
+  EXPECT_LT(filtered, raw + 0.35f);
+}
+
+}  // namespace
+}  // namespace fademl::attacks

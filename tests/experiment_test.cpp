@@ -1,0 +1,87 @@
+#include "fademl/core/experiment.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "fademl/nn/checkpoint.hpp"
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::core {
+namespace {
+
+ExperimentConfig micro_config(const std::string& cache_dir) {
+  ExperimentConfig config;
+  config.image_size = 32;
+  config.width_divisor = 64;  // channels {1, 2, 4, 8, 8}: micro model
+  config.train_per_class = 1;
+  config.test_per_class = 1;
+  config.epochs = 1;
+  config.verbose = false;
+  config.cache_dir = cache_dir;
+  return config;
+}
+
+TEST(ExperimentConfig, CheckpointPathEncodesConfiguration) {
+  ExperimentConfig a;
+  ExperimentConfig b;
+  b.width_divisor = 4;
+  EXPECT_NE(a.checkpoint_path(), b.checkpoint_path());
+  ExperimentConfig c;
+  c.epochs = 99;
+  EXPECT_NE(a.checkpoint_path(), c.checkpoint_path());
+  EXPECT_NE(a.checkpoint_path().find("artifacts/"), std::string::npos);
+}
+
+TEST(ExperimentConfig, FromEnvRespectsFastFlag) {
+  const char* saved = std::getenv("FADEML_FAST");
+  setenv("FADEML_FAST", "1", 1);
+  const ExperimentConfig fast = ExperimentConfig::from_env();
+  setenv("FADEML_FAST", "0", 1);
+  const ExperimentConfig full = ExperimentConfig::from_env();
+  if (saved != nullptr) {
+    setenv("FADEML_FAST", saved, 1);
+  } else {
+    unsetenv("FADEML_FAST");
+  }
+  EXPECT_LT(fast.train_per_class, full.train_per_class);
+  EXPECT_LT(fast.epochs, full.epochs);
+}
+
+TEST(Experiment, TrainsCachesAndReloads) {
+  const std::string cache =
+      (std::filesystem::temp_directory_path() / "fademl_exp_cache").string();
+  std::filesystem::remove_all(cache);
+  const ExperimentConfig config = micro_config(cache);
+
+  // First call trains and caches.
+  const Experiment first = make_experiment(config);
+  EXPECT_TRUE(nn::checkpoint_exists(config.checkpoint_path()));
+  EXPECT_EQ(first.dataset.train.size(), 43);
+  EXPECT_EQ(first.dataset.test.size(), 43);
+  EXPECT_GT(first.model->parameter_count(), 0);
+
+  // Second call loads the identical parameters.
+  const Experiment second = make_experiment(config);
+  const auto p1 = first.model->named_parameters();
+  const auto p2 = second.model->named_parameters();
+  ASSERT_EQ(p1.size(), p2.size());
+  for (size_t i = 0; i < p1.size(); ++i) {
+    const Tensor& a = p1[i].param.value();
+    const Tensor& b = p2[i].param.value();
+    for (int64_t j = 0; j < a.numel(); ++j) {
+      ASSERT_FLOAT_EQ(a.at(j), b.at(j)) << p1[i].name;
+    }
+  }
+  std::filesystem::remove_all(cache);
+}
+
+TEST(Experiment, RejectsBadConfig) {
+  ExperimentConfig config;
+  config.width_divisor = 0;
+  EXPECT_THROW(make_experiment(config), Error);
+}
+
+}  // namespace
+}  // namespace fademl::core

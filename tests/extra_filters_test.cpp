@@ -1,0 +1,238 @@
+// Tests for the extended pre-processing stages: grayscale, normalization,
+// histogram equalization, shuffling (the paper's §I-C list), plus feature
+// squeezing (ref [10]) and the bilateral ablation filter.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "fademl/filters/extra.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+#include "fademl/tensor/random.hpp"
+
+namespace fademl::filters {
+namespace {
+
+Tensor random_image(uint64_t seed, int64_t h = 10, int64_t w = 8) {
+  Rng rng(seed);
+  return rng.uniform_tensor(Shape{3, h, w}, 0.0f, 1.0f);
+}
+
+TEST(Grayscale, ChannelsBecomeEqualAndLumaIsCorrect) {
+  const GrayscaleFilter f;
+  const Tensor x = random_image(1);
+  const Tensor y = f.apply(x);
+  const int64_t plane = x.dim(1) * x.dim(2);
+  for (int64_t i = 0; i < plane; ++i) {
+    EXPECT_FLOAT_EQ(y.at(i), y.at(plane + i));
+    EXPECT_FLOAT_EQ(y.at(i), y.at(2 * plane + i));
+    const float expected = 0.299f * x.at(i) + 0.587f * x.at(plane + i) +
+                           0.114f * x.at(2 * plane + i);
+    EXPECT_NEAR(y.at(i), expected, 1e-6f);
+  }
+}
+
+TEST(Grayscale, VjpIsExactAdjoint) {
+  const GrayscaleFilter f;
+  const Tensor x = random_image(2);
+  const Tensor y = random_image(3);
+  EXPECT_NEAR(dot(f.apply(x), y), dot(x, f.vjp(x, y)), 1e-4f);
+  EXPECT_TRUE(f.is_linear());
+}
+
+TEST(Grayscale, RejectsNonRgb) {
+  const GrayscaleFilter f;
+  EXPECT_THROW(f.apply(Tensor::ones(Shape{1, 4, 4})), Error);
+}
+
+TEST(Normalize, AffineMapAndAdjoint) {
+  const NormalizeFilter f(0.5f, 2.0f, 0.1f);
+  const Tensor x = random_image(4);
+  const Tensor y = f.apply(x);
+  EXPECT_NEAR(y.at(5), (x.at(5) - 0.5f) * 2.0f + 0.1f, 1e-6f);
+  const Tensor g = random_image(5);
+  EXPECT_NEAR(dot(f.apply(x), g), dot(x, f.vjp(x, g)) +
+                  // affine part: <offset - mean*scale, g> is constant in x
+                  sum(mul(g, 0.1f - 0.5f * 2.0f)),
+              1e-3f);
+  EXPECT_THROW(NormalizeFilter(0.5f, 0.0f, 0.0f), Error);
+}
+
+TEST(Normalize, DefaultIsIdentityAroundHalf) {
+  const NormalizeFilter f;
+  const Tensor x = random_image(6);
+  EXPECT_LT(norm_linf(sub(f.apply(x), x)), 1e-6f);
+}
+
+TEST(HistEq, OutputCoversFullRangeOnLowContrastInput) {
+  // A low-contrast image (all mass in [0.4, 0.6]) must be stretched.
+  Rng rng(7);
+  const Tensor x = rng.uniform_tensor(Shape{3, 16, 16}, 0.4f, 0.6f);
+  const HistogramEqualizationFilter f;
+  const Tensor y = f.apply(x);
+  EXPECT_LT(min(y), 0.05f);
+  EXPECT_GT(max(y), 0.95f);
+  EXPECT_GE(min(y), 0.0f);
+  EXPECT_LE(max(y), 1.0f);
+}
+
+TEST(HistEq, MonotoneInPixelValues) {
+  // Equalization must preserve per-channel ordering.
+  Rng rng(8);
+  const Tensor x = rng.uniform_tensor(Shape{1, 8, 8}, 0.0f, 1.0f);
+  const HistogramEqualizationFilter f;
+  const Tensor y = f.apply(x);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    for (int64_t j = 0; j < x.numel(); ++j) {
+      if (x.at(i) < x.at(j) - 1e-2f) {
+        EXPECT_LE(y.at(i), y.at(j) + 1e-6f);
+      }
+    }
+  }
+}
+
+TEST(HistEq, ConstantChannelIsLeftAlone) {
+  const Tensor x = Tensor::full(Shape{3, 6, 6}, 0.3f);
+  const HistogramEqualizationFilter f;
+  const Tensor y = f.apply(x);
+  EXPECT_LT(norm_linf(sub(y, x)), 1e-6f);
+}
+
+TEST(BitDepth, QuantizesToExactLevels) {
+  const BitDepthFilter f(2);  // levels {0, 1/3, 2/3, 1}
+  const Tensor x{0.0f, 0.1f, 0.4f, 0.6f, 0.9f, 1.0f};
+  const Tensor x3 = x.reshape(Shape{1, 2, 3});
+  const Tensor y = f.apply(x3);
+  const std::set<float> allowed = {0.0f, 1.0f / 3.0f, 2.0f / 3.0f, 1.0f};
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    bool ok = false;
+    for (float lvl : allowed) {
+      if (std::fabs(y.at(i) - lvl) < 1e-6f) {
+        ok = true;
+      }
+    }
+    EXPECT_TRUE(ok) << y.at(i);
+  }
+  EXPECT_EQ(f.name(), "BitDepth(2)");
+  EXPECT_THROW(BitDepthFilter(0), Error);
+  EXPECT_THROW(BitDepthFilter(9), Error);
+}
+
+TEST(BitDepth, EightBitsIsNearIdentity) {
+  const BitDepthFilter f(8);
+  const Tensor x = random_image(9);
+  EXPECT_LT(norm_linf(sub(f.apply(x), x)), 1.0f / 255.0f + 1e-6f);
+}
+
+TEST(Bilateral, PreservesStepEdgeBetterThanGaussian) {
+  // Step image: bilateral must keep the edge sharper than a Gaussian of
+  // equal spatial support.
+  Tensor step = Tensor::zeros(Shape{1, 12, 12});
+  for (int64_t y = 0; y < 12; ++y) {
+    for (int64_t x = 6; x < 12; ++x) {
+      step.at({0, y, x}) = 1.0f;
+    }
+  }
+  const BilateralFilter bilateral(1.0f, 0.1f);
+  const GaussianFilter gaussian(1.0f);
+  const Tensor b = bilateral.apply(step);
+  const Tensor g = gaussian.apply(step);
+  // Edge contrast at the step (columns 5 and 6, middle row).
+  const float edge_b = b.at({0, 6, 6}) - b.at({0, 6, 5});
+  const float edge_g = g.at({0, 6, 6}) - g.at({0, 6, 5});
+  EXPECT_GT(edge_b, edge_g);
+  EXPECT_THROW(BilateralFilter(0.0f, 0.1f), Error);
+}
+
+TEST(Bilateral, SmoothsFlatNoise) {
+  Rng rng(10);
+  const Tensor base = Tensor::full(Shape{1, 12, 12}, 0.5f);
+  const Tensor noisy = add(base, rng.normal_tensor(base.shape(), 0, 0.03f));
+  const BilateralFilter f(1.5f, 0.2f);
+  const Tensor y = f.apply(noisy);
+  EXPECT_LT(norm_l2(sub(y, base)), norm_l2(sub(noisy, base)));
+}
+
+TEST(Shuffle, IsAPermutationWithExactAdjoint) {
+  const ShuffleFilter f(123);
+  const Tensor x = random_image(11);
+  const Tensor y = f.apply(x);
+  // Multiset of values preserved per channel.
+  const int64_t plane = x.dim(1) * x.dim(2);
+  for (int64_t ch = 0; ch < 3; ++ch) {
+    std::multiset<float> before;
+    std::multiset<float> after;
+    for (int64_t i = 0; i < plane; ++i) {
+      before.insert(x.at(ch * plane + i));
+      after.insert(y.at(ch * plane + i));
+    }
+    EXPECT_EQ(before, after);
+  }
+  // Adjoint property <Ax, y> == <x, A^T y>.
+  const Tensor g = random_image(12);
+  EXPECT_NEAR(dot(f.apply(x), g), dot(x, f.vjp(x, g)), 1e-4f);
+  // Deterministic in the seed, different across seeds.
+  EXPECT_LT(norm_linf(sub(ShuffleFilter(123).apply(x), y)), 1e-6f);
+  EXPECT_GT(norm_l2(sub(ShuffleFilter(124).apply(x), y)), 0.1f);
+}
+
+TEST(NonLinearExtras, UseBpdaVjp) {
+  const Tensor x = random_image(13);
+  const Tensor g = random_image(14);
+  for (const FilterPtr& f :
+       {make_histeq(), make_bit_depth(4), make_bilateral(1.0f, 0.1f)}) {
+    EXPECT_FALSE(f->is_linear()) << f->name();
+    EXPECT_LT(norm_linf(sub(f->vjp(x, g), g)), 1e-6f) << f->name();
+  }
+}
+
+TEST(Factories, ProduceExpectedNames) {
+  EXPECT_EQ(make_grayscale()->name(), "Grayscale");
+  EXPECT_EQ(make_histeq()->name(), "HistEq");
+  EXPECT_EQ(make_bit_depth(3)->name(), "BitDepth(3)");
+  EXPECT_EQ(make_shuffle()->name(), "Shuffle");
+  EXPECT_EQ(make_normalize()->name(), "Normalize(m0.50,s1.00)");
+}
+
+TEST(ExtraFilters, ComposeInChains) {
+  const FilterChain chain(
+      {make_grayscale(), make_lap(4), make_bit_depth(5)});
+  const Tensor x = random_image(15);
+  const Tensor y = chain.apply(x);
+  EXPECT_EQ(y.shape(), x.shape());
+  EXPECT_FALSE(chain.is_linear());  // bit-depth member
+  EXPECT_EQ(chain.name(), "Grayscale+LAP(4)+BitDepth(5)");
+}
+
+TEST(ParseFilter, BuildsEverySpecForm) {
+  EXPECT_EQ(parse_filter("none")->name(), "NoFilter");
+  EXPECT_EQ(parse_filter("identity")->name(), "NoFilter");
+  EXPECT_EQ(parse_filter("lap32")->name(), "LAP(32)");
+  EXPECT_EQ(parse_filter("lar3")->name(), "LAR(3)");
+  EXPECT_EQ(parse_filter("gauss1.5")->name(), "Gauss(1.50)");
+  EXPECT_EQ(parse_filter("median2")->name(), "Median(2)");
+  EXPECT_EQ(parse_filter("grayscale")->name(), "Grayscale");
+  EXPECT_EQ(parse_filter("histeq")->name(), "HistEq");
+  EXPECT_EQ(parse_filter("bits4")->name(), "BitDepth(4)");
+}
+
+TEST(ParseFilter, BuildsChains) {
+  EXPECT_EQ(parse_filter("grayscale+lap8")->name(), "Grayscale+LAP(8)");
+  EXPECT_EQ(parse_filter("lap4+median1+bits5")->name(),
+            "LAP(4)+Median(1)+BitDepth(5)");
+}
+
+TEST(ParseFilter, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_filter(""), Error);
+  EXPECT_THROW(parse_filter("bogus"), Error);
+  EXPECT_THROW(parse_filter("lap"), Error);
+  EXPECT_THROW(parse_filter("lapx"), Error);
+  EXPECT_THROW(parse_filter("lap8+"), Error);
+  EXPECT_THROW(parse_filter("+lap8"), Error);
+  EXPECT_THROW(parse_filter("lap0"), Error);  // constructor validation
+}
+
+}  // namespace
+}  // namespace fademl::filters

@@ -1,0 +1,267 @@
+#include "fademl/filters/filter.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+#include "fademl/tensor/random.hpp"
+
+namespace fademl::filters {
+namespace {
+
+Tensor random_image(uint64_t seed, int64_t c = 3, int64_t h = 12,
+                    int64_t w = 10) {
+  Rng rng(seed);
+  return rng.uniform_tensor(Shape{c, h, w}, 0.0f, 1.0f);
+}
+
+/// Total variation along both axes — smoothing must not increase it.
+float total_variation(const Tensor& img) {
+  const int64_t c = img.dim(0), h = img.dim(1), w = img.dim(2);
+  float tv = 0.0f;
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        if (x + 1 < w) {
+          tv += std::fabs(img.at({ch, y, x + 1}) - img.at({ch, y, x}));
+        }
+        if (y + 1 < h) {
+          tv += std::fabs(img.at({ch, y + 1, x}) - img.at({ch, y, x}));
+        }
+      }
+    }
+  }
+  return tv;
+}
+
+TEST(IdentityFilter, IsANoOpWithFreshStorage) {
+  IdentityFilter f;
+  const Tensor x = random_image(1);
+  const Tensor y = f.apply(x);
+  EXPECT_FALSE(y.shares_storage_with(x));
+  EXPECT_FLOAT_EQ(norm_l2(sub(x, y)), 0.0f);
+  EXPECT_TRUE(f.is_linear());
+  EXPECT_EQ(f.name(), "NoFilter");
+}
+
+TEST(LapFilter, RejectsBadNp) { EXPECT_THROW(LapFilter(0), Error); }
+
+TEST(LapFilter, OffsetCountAndNearestness) {
+  const LapFilter f4(4);
+  ASSERT_EQ(f4.offsets().size(), 4u);
+  // np=4 must be the von-Neumann cross.
+  for (const auto& [dy, dx] : f4.offsets()) {
+    EXPECT_EQ(std::abs(dy) + std::abs(dx), 1);
+  }
+  const LapFilter f8(8);
+  ASSERT_EQ(f8.offsets().size(), 8u);
+  // np=8 is the full 3x3 ring.
+  for (const auto& [dy, dx] : f8.offsets()) {
+    EXPECT_LE(std::max(std::abs(dy), std::abs(dx)), 1);
+  }
+}
+
+TEST(LarFilter, DiscOffsetsIncludeCenter) {
+  const LarFilter f(1);
+  // r=1 disc: center + 4-cross = 5 pixels.
+  EXPECT_EQ(f.offsets().size(), 5u);
+  const LarFilter f2(2);
+  EXPECT_EQ(f2.offsets().size(), 13u);
+  EXPECT_THROW(LarFilter(0), Error);
+}
+
+TEST(Names, MatchPaperNotation) {
+  EXPECT_EQ(LapFilter(32).name(), "LAP(32)");
+  EXPECT_EQ(LarFilter(3).name(), "LAR(3)");
+  EXPECT_EQ(MedianFilter(1).name(), "Median(1)");
+  EXPECT_EQ(GaussianFilter(1.0f).name(), "Gauss(1.00)");
+}
+
+// ---- property sweep across every smoothing filter --------------------------
+
+struct FilterCase {
+  const char* label;
+  FilterPtr filter;
+};
+
+class SmoothingFilterTest : public ::testing::TestWithParam<FilterCase> {};
+
+TEST_P(SmoothingFilterTest, PreservesConstantImages) {
+  const FilterPtr& f = GetParam().filter;
+  const Tensor x = Tensor::full(Shape{3, 9, 9}, 0.37f);
+  const Tensor y = f->apply(x);
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_NEAR(y.at(i), 0.37f, 1e-5f) << GetParam().label;
+  }
+}
+
+TEST_P(SmoothingFilterTest, DoesNotIncreaseTotalVariation) {
+  const FilterPtr& f = GetParam().filter;
+  const Tensor x = random_image(7);
+  const Tensor y = f->apply(x);
+  EXPECT_LE(total_variation(y), total_variation(x) * 1.0001f)
+      << GetParam().label;
+}
+
+TEST_P(SmoothingFilterTest, OutputStaysInRange) {
+  const FilterPtr& f = GetParam().filter;
+  const Tensor x = random_image(11);
+  const Tensor y = f->apply(x);
+  EXPECT_GE(min(y), 0.0f) << GetParam().label;
+  EXPECT_LE(max(y), 1.0f) << GetParam().label;
+}
+
+TEST_P(SmoothingFilterTest, RejectsNonImageInput) {
+  const FilterPtr& f = GetParam().filter;
+  EXPECT_THROW(f->apply(Tensor::ones(Shape{4, 4})), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFilters, SmoothingFilterTest,
+    ::testing::Values(FilterCase{"lap4", make_lap(4)},
+                      FilterCase{"lap8", make_lap(8)},
+                      FilterCase{"lap16", make_lap(16)},
+                      FilterCase{"lap32", make_lap(32)},
+                      FilterCase{"lap64", make_lap(64)},
+                      FilterCase{"lar1", make_lar(1)},
+                      FilterCase{"lar3", make_lar(3)},
+                      FilterCase{"lar5", make_lar(5)},
+                      FilterCase{"gauss", make_gaussian(1.2f)},
+                      FilterCase{"median", make_median(1)}),
+    [](const ::testing::TestParamInfo<FilterCase>& info) {
+      return info.param.label;
+    });
+
+// ---- linearity + adjoint properties for the linear filters -----------------
+
+class LinearFilterTest : public ::testing::TestWithParam<FilterCase> {};
+
+TEST_P(LinearFilterTest, IsActuallyLinear) {
+  const FilterPtr& f = GetParam().filter;
+  ASSERT_TRUE(f->is_linear());
+  const Tensor x = random_image(3);
+  const Tensor y = random_image(4);
+  const Tensor lhs = f->apply(add(mul(x, 2.0f), y));
+  const Tensor rhs = add(mul(f->apply(x), 2.0f), f->apply(y));
+  EXPECT_LT(norm_linf(sub(lhs, rhs)), 1e-5f) << GetParam().label;
+}
+
+TEST_P(LinearFilterTest, VjpIsTheExactAdjoint) {
+  // <A x, y> == <x, A^T y> for random x, y — the property FAdeML's
+  // gradient chain relies on.
+  const FilterPtr& f = GetParam().filter;
+  const Tensor x = random_image(5);
+  const Tensor y = random_image(6);
+  const float lhs = dot(f->apply(x), y);
+  const float rhs = dot(x, f->vjp(x, y));
+  EXPECT_NEAR(lhs, rhs, std::fabs(lhs) * 1e-4f + 1e-4f) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LinearFilters, LinearFilterTest,
+    ::testing::Values(FilterCase{"identity", make_identity()},
+                      FilterCase{"lap4", make_lap(4)},
+                      FilterCase{"lap16", make_lap(16)},
+                      FilterCase{"lap64", make_lap(64)},
+                      FilterCase{"lar1", make_lar(1)},
+                      FilterCase{"lar2", make_lar(2)},
+                      FilterCase{"lar5", make_lar(5)},
+                      FilterCase{"gauss", make_gaussian(0.8f)}),
+    [](const ::testing::TestParamInfo<FilterCase>& info) {
+      return info.param.label;
+    });
+
+TEST(LapFilter, StrongerSmoothingRemovesMoreNoise) {
+  // Clean step image + noise: LAP(64) must reduce noise more than LAP(4).
+  Rng rng(8);
+  Tensor clean = Tensor::zeros(Shape{1, 16, 16});
+  for (int64_t y = 0; y < 16; ++y) {
+    for (int64_t x = 8; x < 16; ++x) {
+      clean.at({0, y, x}) = 1.0f;
+    }
+  }
+  Tensor noisy = add(clean, rng.normal_tensor(clean.shape(), 0.0f, 0.1f));
+  const LapFilter weak(4);
+  const LapFilter strong(64);
+  // Compare deviation from the *smoothed clean* image, isolating the noise.
+  const float weak_residual =
+      norm_l2(sub(weak.apply(noisy), weak.apply(clean)));
+  const float strong_residual =
+      norm_l2(sub(strong.apply(noisy), strong.apply(clean)));
+  EXPECT_LT(strong_residual, weak_residual);
+}
+
+TEST(MedianFilter, RemovesSaltAndPepperExactly) {
+  Tensor img = Tensor::full(Shape{1, 9, 9}, 0.5f);
+  img.at({0, 4, 4}) = 1.0f;  // impulse
+  img.at({0, 2, 6}) = 0.0f;
+  const MedianFilter f(1);
+  const Tensor y = f.apply(img);
+  EXPECT_FLOAT_EQ(y.at({0, 4, 4}), 0.5f);
+  EXPECT_FLOAT_EQ(y.at({0, 2, 6}), 0.5f);
+}
+
+TEST(MedianFilter, BpdaVjpIsStraightThrough) {
+  const MedianFilter f(1);
+  const Tensor x = random_image(9);
+  const Tensor g = random_image(10);
+  const Tensor back = f.vjp(x, g);
+  EXPECT_FLOAT_EQ(norm_l2(sub(back, g)), 0.0f);
+  EXPECT_FALSE(f.is_linear());
+}
+
+TEST(FilterChain, ComposesForwardAndVjp) {
+  const FilterChain chain({make_lap(4), make_lar(1)});
+  const Tensor x = random_image(12);
+  const Tensor manual = LarFilter(1).apply(LapFilter(4).apply(x));
+  EXPECT_LT(norm_linf(sub(chain.apply(x), manual)), 1e-6f);
+  EXPECT_TRUE(chain.is_linear());
+  EXPECT_EQ(chain.name(), "LAP(4)+LAR(1)");
+  // Chain adjoint property.
+  const Tensor y = random_image(13);
+  EXPECT_NEAR(dot(chain.apply(x), y), dot(x, chain.vjp(x, y)), 1e-3f);
+  EXPECT_THROW(FilterChain({}), Error);
+  EXPECT_THROW(FilterChain({nullptr}), Error);
+}
+
+TEST(FilterChain, NonLinearMemberMakesChainNonLinear) {
+  const FilterChain chain({make_lap(4), make_median(1)});
+  EXPECT_FALSE(chain.is_linear());
+}
+
+TEST(ApplyBatch, FiltersEveryImage) {
+  const LapFilter f(4);
+  Rng rng(14);
+  const Tensor batch = rng.uniform_tensor(Shape{3, 2, 6, 6}, 0, 1);
+  const Tensor out = f.apply_batch(batch);
+  ASSERT_EQ(out.shape(), batch.shape());
+  // Per-image equivalence with single apply.
+  Tensor img{Shape{2, 6, 6}};
+  std::copy(batch.data() + 72, batch.data() + 144, img.data());
+  const Tensor single = f.apply(img);
+  for (int64_t i = 0; i < 72; ++i) {
+    EXPECT_FLOAT_EQ(out.at(72 + i), single.at(i));
+  }
+  EXPECT_THROW(f.apply_batch(Tensor::ones(Shape{2, 6, 6})), Error);
+}
+
+TEST(PaperSweep, HasElevenConfigsInFigureOrder) {
+  const auto sweep = paper_filter_sweep();
+  ASSERT_EQ(sweep.size(), 11u);
+  EXPECT_EQ(sweep[0]->name(), "NoFilter");
+  EXPECT_EQ(sweep[1]->name(), "LAP(4)");
+  EXPECT_EQ(sweep[5]->name(), "LAP(64)");
+  EXPECT_EQ(sweep[6]->name(), "LAR(1)");
+  EXPECT_EQ(sweep[10]->name(), "LAR(5)");
+}
+
+TEST(Vjp, RejectsMismatchedGradientShape) {
+  const LapFilter f(4);
+  const Tensor x = random_image(15);
+  EXPECT_THROW(f.vjp(x, Tensor::ones(Shape{3, 5, 5})), Error);
+}
+
+}  // namespace
+}  // namespace fademl::filters

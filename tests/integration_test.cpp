@@ -1,0 +1,137 @@
+// End-to-end reproduction of the paper's storyline on the tiny fixture:
+// train -> attack under TM-I -> observe filter neutralization under
+// TM-II/III -> craft the filter-aware FAdeML attack -> observe survival.
+
+#include <gtest/gtest.h>
+
+#include "fademl/attacks/bim.hpp"
+#include "fademl/attacks/fademl_attack.hpp"
+#include "fademl/core/analysis.hpp"
+#include "fademl/io/image_io.hpp"
+#include "fademl/tensor/ops.hpp"
+#include "test_fixtures.hpp"
+
+namespace fademl {
+namespace {
+
+using core::ScenarioOutcome;
+using core::ThreatModel;
+using fademl::testing::tiny_pipeline;
+using fademl::testing::tiny_world;
+
+attacks::AttackConfig budget() {
+  attacks::AttackConfig config;
+  config.epsilon = 0.18f;
+  config.step_size = 0.02f;
+  config.max_iterations = 25;
+  return config;
+}
+
+TEST(Integration, PaperStorylineOnOneScenario) {
+  // Scenario 1: stop -> 60 km/h, through LAP(8).
+  const auto pipeline = tiny_pipeline(filters::make_lap(8));
+  const core::Scenario& scenario = core::paper_scenarios()[0];
+
+  // Act I: the classic attack succeeds when injected after the filter.
+  const attacks::BimAttack classic(budget());
+  const ScenarioOutcome blind =
+      core::analyze_scenario(pipeline, classic, scenario, 16);
+  EXPECT_TRUE(blind.success_tm1());
+
+  // Act II: routed through the filter, the same example loses its punch —
+  // the target's probability drops (and typically the source returns).
+  EXPECT_LT(blind.adv_tm23.probs.at(scenario.target_class),
+            blind.adv_tm1.probs.at(scenario.target_class));
+
+  // Act III: the filter-aware attack holds the misclassification through
+  // the filter.
+  const attacks::FAdeMLAttack aware(attacks::AttackKind::kBim, budget());
+  const ScenarioOutcome fademl =
+      core::analyze_scenario(pipeline, aware, scenario, 16);
+  EXPECT_TRUE(fademl.success_tm23());
+
+  // The Eq.-2 consistency cost of the aware attack between its two views
+  // must be smaller than the blind attack's (its whole design goal).
+  EXPECT_LT(std::abs(fademl.eq2), std::abs(blind.eq2) + 0.5f);
+}
+
+TEST(Integration, FademlBeatsBlindAcrossScenarios) {
+  // Across all five payload scenarios (where both classes are in the tiny
+  // training set), FAdeML's filtered target probability must on average
+  // beat the blind attack's.
+  const auto pipeline = tiny_pipeline(filters::make_lap(8));
+  float blind_sum = 0.0f;
+  float aware_sum = 0.0f;
+  int counted = 0;
+  for (const core::Scenario& scenario : core::paper_scenarios()) {
+    const attacks::BimAttack classic(budget());
+    const attacks::FAdeMLAttack aware(attacks::AttackKind::kBim, budget());
+    const ScenarioOutcome b =
+        core::analyze_scenario(pipeline, classic, scenario, 16);
+    const ScenarioOutcome a =
+        core::analyze_scenario(pipeline, aware, scenario, 16);
+    blind_sum += b.adv_tm23.probs.at(scenario.target_class);
+    aware_sum += a.adv_tm23.probs.at(scenario.target_class);
+    ++counted;
+  }
+  ASSERT_EQ(counted, 5);
+  EXPECT_GT(aware_sum, blind_sum);
+}
+
+TEST(Integration, FilterSweepRestoresAccuracyUnderBlindAttackNoise) {
+  // Universal-noise evaluation: adversarial noise from scenario 1 applied
+  // to every training image. Through a smoothing filter the accuracy must
+  // recover relative to the unfiltered attacked accuracy.
+  const auto& w = tiny_world();
+  auto pipeline = tiny_pipeline(filters::make_identity());
+  const attacks::BimAttack classic(budget());
+  const attacks::AttackResult r =
+      classic.run(pipeline, data::canonical_sample(14, 16), 3);
+
+  const auto attacked_nofilter = core::accuracy_with_noise(
+      pipeline, w.train_images, w.train_labels, r.noise, ThreatModel::kIII);
+  pipeline.set_filter(filters::make_lap(8));
+  const auto attacked_filtered = core::accuracy_with_noise(
+      pipeline, w.train_images, w.train_labels, r.noise, ThreatModel::kIII);
+  // Smoothing must not make things *worse* than the raw attacked pipeline
+  // by more than noise; typically it recovers several points.
+  EXPECT_GE(attacked_filtered.top5, attacked_nofilter.top5 - 0.05);
+}
+
+TEST(Integration, AdversarialImagesRemainVisuallyClose) {
+  // Imperceptibility proxy: L2 distance of the BIM example stays small
+  // relative to the image norm, and the example round-trips through the
+  // 8-bit PPM dump (what a camera pipeline would quantize to) with its
+  // attack intact.
+  const auto pipeline = tiny_pipeline(filters::make_identity());
+  const Tensor src = data::canonical_sample(14, 16);
+  const attacks::BimAttack classic(budget());
+  const attacks::AttackResult r = classic.run(pipeline, src, 3);
+  EXPECT_LT(r.l2 / norm_l2(src), 0.35f);
+
+  const std::string path = "/tmp/fademl_integration_adv.ppm";
+  io::write_ppm(path, r.adversarial);
+  const Tensor quantized = io::read_ppm(path);
+  const auto p = pipeline.predict(quantized, ThreatModel::kI);
+  EXPECT_EQ(p.label, 3) << "attack must survive 8-bit quantization";
+  std::remove(path.c_str());
+}
+
+TEST(Integration, ThreatModel2AlsoNeutralizesBlindAttack) {
+  // TM-II (acquisition blur + filter) neutralizes at least as strongly as
+  // TM-III for the blind attack.
+  const auto pipeline = tiny_pipeline(filters::make_lap(8));
+  const attacks::BimAttack classic(budget());
+  const core::Scenario& scenario = core::paper_scenarios()[0];
+  const attacks::AttackResult r =
+      classic.run(pipeline, data::canonical_sample(14, 16),
+                  scenario.target_class);
+  const float tm1 = pipeline.predict_probs(r.adversarial, ThreatModel::kI)
+                        .at(scenario.target_class);
+  const float tm2 = pipeline.predict_probs(r.adversarial, ThreatModel::kII)
+                        .at(scenario.target_class);
+  EXPECT_LT(tm2, tm1);
+}
+
+}  // namespace
+}  // namespace fademl

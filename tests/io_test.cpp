@@ -1,0 +1,117 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "fademl/io/image_io.hpp"
+#include "fademl/io/table.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+#include "fademl/tensor/random.hpp"
+
+namespace fademl::io {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(ImageIo, PpmRoundtripWithin8BitQuantization) {
+  Rng rng(1);
+  const Tensor img = rng.uniform_tensor(Shape{3, 7, 9}, 0.0f, 1.0f);
+  const std::string path = temp_path("fademl_io_test.ppm");
+  write_ppm(path, img);
+  const Tensor back = read_ppm(path);
+  ASSERT_EQ(back.shape(), img.shape());
+  EXPECT_LE(norm_linf(sub(back, img)), 0.5f / 255.0f + 1e-6f);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, PpmClampsOutOfRangeValues) {
+  Tensor img = Tensor::full(Shape{3, 2, 2}, 2.0f);
+  img.at(0) = -1.0f;
+  const std::string path = temp_path("fademl_io_clamp.ppm");
+  write_ppm(path, img);
+  const Tensor back = read_ppm(path);
+  EXPECT_FLOAT_EQ(back.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(back.at(1), 1.0f);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, PpmRejectsBadShapes) {
+  EXPECT_THROW(write_ppm(temp_path("x.ppm"), Tensor::ones(Shape{1, 4, 4})),
+               Error);
+  EXPECT_THROW(write_ppm(temp_path("x.ppm"), Tensor::ones(Shape{3, 4})),
+               Error);
+}
+
+TEST(ImageIo, PgmAcceptsGrayscaleShapes) {
+  const std::string path = temp_path("fademl_io_test.pgm");
+  write_pgm(path, Tensor::full(Shape{4, 4}, 0.5f));
+  write_pgm(path, Tensor::full(Shape{1, 4, 4}, 0.5f));
+  EXPECT_THROW(write_pgm(path, Tensor::ones(Shape{3, 4, 4})), Error);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, ReadRejectsNonPpm) {
+  const std::string path = temp_path("fademl_io_bad.ppm");
+  {
+    std::ofstream os(path);
+    os << "definitely not a ppm";
+  }
+  EXPECT_THROW(read_ppm(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Table, AlignedPrint) {
+  Table t({"Attack", "Top-5"});
+  t.add_row({"FGSM", "93.1%"});
+  t.add_row({"L-BFGS", "90.2%"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| Attack "), std::string::npos);
+  EXPECT_NE(s.find("| L-BFGS "), std::string::npos);
+  EXPECT_NE(s.find("+--------"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(Table, ArityIsEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"name", "value"});
+  t.add_row({"with, comma", "with \"quote\""});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "name,value\n\"with, comma\",\"with \"\"quote\"\"\"\n");
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::pct(0.9731), "97.31%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Table, SaveCsvWritesFile) {
+  Table t({"x"});
+  t.add_row({"1"});
+  const std::string path = temp_path("fademl_table.csv");
+  t.save_csv(path);
+  std::ifstream is(path);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "x");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fademl::io

@@ -1,0 +1,76 @@
+#include "fademl/core/methodology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fademl/attacks/bim.hpp"
+
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+#include "test_fixtures.hpp"
+
+namespace fademl::core {
+namespace {
+
+using fademl::testing::tiny_pipeline;
+
+attacks::AttackConfig budget() {
+  attacks::AttackConfig config;
+  config.epsilon = 0.18f;
+  config.step_size = 0.02f;
+  config.max_iterations = 25;
+  return config;
+}
+
+TEST(FademlMethodology, RejectsTm1Route) {
+  const auto pipeline = tiny_pipeline(filters::make_lap(8));
+  EXPECT_THROW(run_fademl_methodology(pipeline, attacks::AttackKind::kBim,
+                                      paper_scenarios()[0], 16, budget(),
+                                      ThreatModel::kI),
+               Error);
+}
+
+TEST(FademlMethodology, TraceFieldsAreCoherent) {
+  const auto pipeline = tiny_pipeline(filters::make_lap(8));
+  const FademlTrace trace = run_fademl_methodology(
+      pipeline, attacks::AttackKind::kBim, paper_scenarios()[0], 16,
+      budget());
+  // Step 1 precondition held.
+  EXPECT_NE(trace.x_clean.label, trace.y_clean.label);
+  EXPECT_EQ(trace.x.shape(), Shape({3, 16, 16}));
+  // Step 3 produced a bounded perturbation.
+  EXPECT_LE(trace.attack.linf, budget().epsilon + 1e-5f);
+  // Step 5's Eq.-2 matches a recomputation from the stored predictions.
+  EXPECT_NEAR(trace.eq2, eq2_cost(trace.x_star_tm1.probs,
+                                  trace.x_star_filtered.probs),
+              1e-6f);
+  // Step 6: on the overfit fixture the attack lands the target.
+  EXPECT_TRUE(trace.success());
+  EXPECT_EQ(trace.x_star_filtered.label, paper_scenarios()[0].target_class);
+}
+
+TEST(FademlMethodology, FilterAwareExampleIsViewConsistent) {
+  // The methodology's design goal (step 5): the aware example's Eq.-2
+  // cost between views must be no larger than a blind BIM example's.
+  const auto pipeline = tiny_pipeline(filters::make_lap(8));
+  const Scenario& scenario = paper_scenarios()[0];
+  const FademlTrace aware = run_fademl_methodology(
+      pipeline, attacks::AttackKind::kBim, scenario, 16, budget());
+
+  const attacks::BimAttack blind(budget());
+  const ScenarioOutcome blind_out =
+      analyze_scenario(pipeline, blind, scenario, 16);
+  EXPECT_LE(std::abs(aware.eq2), std::abs(blind_out.eq2) + 0.25f);
+}
+
+TEST(FademlMethodology, WorksAlongTm2) {
+  const auto pipeline = tiny_pipeline(filters::make_lap(4));
+  const FademlTrace trace = run_fademl_methodology(
+      pipeline, attacks::AttackKind::kBim, paper_scenarios()[1], 16,
+      budget(), ThreatModel::kII);
+  EXPECT_EQ(trace.x_star_filtered.probs.numel(), 43);
+  // TM-II view recorded (blur + filter): fields populated and normalized.
+  EXPECT_NEAR(sum(trace.x_star_filtered.probs), 1.0f, 1e-4f);
+}
+
+}  // namespace
+}  // namespace fademl::core

@@ -1,0 +1,333 @@
+// Tests for the extended NN stack: AvgPool2d, Dropout, BatchNorm2d
+// (including their autograd ops), train/eval mode propagation, and the
+// VGG-BN / dropout factory variants.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fademl/autograd/ops.hpp"
+#include "fademl/nn/checkpoint.hpp"
+#include "fademl/nn/layers.hpp"
+#include "fademl/nn/optimizer.hpp"
+#include "fademl/nn/trainer.hpp"
+#include "fademl/nn/vggnet.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::nn {
+namespace {
+
+using autograd::Variable;
+
+TEST(AvgPoolOp, ForwardAveragesWindows) {
+  const Tensor input{Shape{1, 1, 2, 4},
+                     {1, 2, 3, 4,
+                      5, 6, 7, 8}};
+  Variable x{input.clone()};
+  const Variable y = autograd::avgpool2d(x, 2);
+  EXPECT_EQ(y.value().shape(), Shape({1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(y.value().at(0), 3.5f);   // (1+2+5+6)/4
+  EXPECT_FLOAT_EQ(y.value().at(1), 5.5f);   // (3+4+7+8)/4
+}
+
+TEST(AvgPoolOp, GradientIsUniformShare) {
+  Variable x{Tensor::arange(16).reshape(Shape{1, 1, 4, 4}).clone(), true};
+  const Variable y = autograd::sum(autograd::avgpool2d(x, 2));
+  y.backward();
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_FLOAT_EQ(x.grad().at(i), 0.25f);
+  }
+}
+
+TEST(AvgPoolOp, GradCheckAgainstFiniteDifferences) {
+  Rng rng(1);
+  const Tensor x0 = rng.normal_tensor(Shape{2, 2, 4, 4}, 0, 1);
+  Variable x{x0.clone(), true};
+  const Variable y = autograd::sum(autograd::avgpool2d(x, 2));
+  y.backward();
+  const Tensor numeric = autograd::numerical_gradient(
+      [](const Tensor& probe) {
+        Variable v{probe.clone()};
+        return autograd::sum(autograd::avgpool2d(v, 2)).value().item();
+      },
+      x0);
+  for (int64_t i = 0; i < x0.numel(); ++i) {
+    EXPECT_NEAR(x.grad().at(i), numeric.at(i), 1e-2f);
+  }
+}
+
+TEST(MaskMulOp, ForwardAndGradientUseMask) {
+  const Tensor mask{0.0f, 2.0f, 0.0f, 2.0f};
+  Variable x{Tensor{1.0f, 1.0f, 1.0f, 1.0f}, true};
+  const Variable y = autograd::sum(autograd::mask_mul(x, mask));
+  EXPECT_FLOAT_EQ(y.value().item(), 4.0f);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad().at(0), 0.0f);
+  EXPECT_FLOAT_EQ(x.grad().at(1), 2.0f);
+}
+
+TEST(BatchNormOp, NormalizesPerChannel) {
+  Rng rng(2);
+  const Tensor x0 = rng.normal_tensor(Shape{4, 3, 5, 5}, 2.0f, 3.0f);
+  Variable x{x0.clone()};
+  Variable gamma{Tensor::ones(Shape{3})};
+  Variable beta{Tensor::zeros(Shape{3})};
+  Tensor mean;
+  Tensor var;
+  const Variable y =
+      autograd::batchnorm2d(x, gamma, beta, 1e-5f, &mean, &var);
+  // Output statistics per channel: ~0 mean, ~1 variance.
+  const int64_t hw = 25;
+  for (int64_t ch = 0; ch < 3; ++ch) {
+    double m = 0.0;
+    double v = 0.0;
+    for (int64_t b = 0; b < 4; ++b) {
+      for (int64_t i = 0; i < hw; ++i) {
+        m += y.value().at((b * 3 + ch) * hw + i);
+      }
+    }
+    m /= 4 * hw;
+    for (int64_t b = 0; b < 4; ++b) {
+      for (int64_t i = 0; i < hw; ++i) {
+        const double d = y.value().at((b * 3 + ch) * hw + i) - m;
+        v += d * d;
+      }
+    }
+    v /= 4 * hw;
+    EXPECT_NEAR(m, 0.0, 1e-4);
+    EXPECT_NEAR(v, 1.0, 1e-2);
+    // Reported statistics match the input's.
+    EXPECT_NEAR(mean.at(ch), 2.0f, 0.6f);
+    EXPECT_NEAR(var.at(ch), 9.0f, 2.5f);  // 100-sample variance estimate
+  }
+}
+
+TEST(BatchNormOp, GradCheckAllInputs) {
+  Rng rng(3);
+  const Tensor x0 = rng.normal_tensor(Shape{3, 2, 3, 3}, 0, 1);
+  const Tensor g0 = rng.uniform_tensor(Shape{2}, 0.5f, 1.5f);
+  const Tensor b0 = rng.normal_tensor(Shape{2}, 0, 1);
+  const auto loss_with = [&](const Tensor& xv, const Tensor& gv,
+                             const Tensor& bv) {
+    Variable x{xv.clone()};
+    Variable g{gv.clone()};
+    Variable b{bv.clone()};
+    // Weighted sum (not plain sum: batchnorm's gradient w.r.t. x of a
+    // constant-weight sum is ~0 by construction).
+    Rng wr(9);
+    static const Tensor w = wr.normal_tensor(Shape{3, 2, 3, 3}, 0, 1)
+                                .reshape(Shape{3 * 2 * 3 * 3});
+    return autograd::dot_const(
+        autograd::reshape(autograd::batchnorm2d(x, g, b, 1e-3f),
+                          Shape{3 * 2 * 3 * 3}),
+        w);
+  };
+
+  // x gradient.
+  {
+    Variable x{x0.clone(), true};
+    Variable g{g0.clone()};
+    Variable b{b0.clone()};
+    Rng wr(9);
+    const Tensor w = wr.normal_tensor(Shape{3, 2, 3, 3}, 0, 1)
+                         .reshape(Shape{3 * 2 * 3 * 3});
+    const Variable y = autograd::dot_const(
+        autograd::reshape(autograd::batchnorm2d(x, g, b, 1e-3f),
+                          Shape{3 * 2 * 3 * 3}),
+        w);
+    y.backward();
+    const Tensor numeric = autograd::numerical_gradient(
+        [&](const Tensor& probe) {
+          return loss_with(probe, g0, b0).value().item();
+        },
+        x0, 1e-2f);
+    for (int64_t i = 0; i < x0.numel(); ++i) {
+      EXPECT_NEAR(x.grad().at(i), numeric.at(i),
+                  2e-2f * std::fabs(numeric.at(i)) + 5e-2f)
+          << "x component " << i;
+    }
+  }
+  // gamma / beta gradients.
+  {
+    Variable x{x0.clone()};
+    Variable g{g0.clone(), true};
+    Variable b{b0.clone(), true};
+    Rng wr(9);
+    const Tensor w = wr.normal_tensor(Shape{3, 2, 3, 3}, 0, 1)
+                         .reshape(Shape{3 * 2 * 3 * 3});
+    const Variable y = autograd::dot_const(
+        autograd::reshape(autograd::batchnorm2d(x, g, b, 1e-3f),
+                          Shape{3 * 2 * 3 * 3}),
+        w);
+    y.backward();
+    const Tensor num_g = autograd::numerical_gradient(
+        [&](const Tensor& probe) {
+          return loss_with(x0, probe, b0).value().item();
+        },
+        g0, 1e-2f);
+    const Tensor num_b = autograd::numerical_gradient(
+        [&](const Tensor& probe) {
+          return loss_with(x0, g0, probe).value().item();
+        },
+        b0, 1e-2f);
+    for (int64_t i = 0; i < 2; ++i) {
+      EXPECT_NEAR(g.grad().at(i), num_g.at(i), 5e-2f);
+      EXPECT_NEAR(b.grad().at(i), num_b.at(i), 5e-2f);
+    }
+  }
+}
+
+TEST(BatchNormLayer, TrainEvalModesDiffer) {
+  Rng rng(4);
+  BatchNorm2d bn(2);
+  const Tensor x0 = rng.normal_tensor(Shape{4, 2, 3, 3}, 1.0f, 2.0f);
+  Variable x{x0.clone()};
+  bn.set_training(true);
+  const Variable train_out = bn.forward(x);
+  // Running statistics moved toward the batch statistics.
+  EXPECT_GT(bn.running_mean().at(0), 0.0f);
+  bn.set_training(false);
+  const Variable eval_out = bn.forward(x);
+  // Train output is exactly normalized; eval uses the (partially updated)
+  // running stats, so they differ.
+  EXPECT_GT(norm_l2(sub(train_out.value(), eval_out.value())), 1e-3f);
+}
+
+TEST(BatchNormLayer, ChecksConstruction) {
+  EXPECT_THROW(BatchNorm2d(0), Error);
+  EXPECT_THROW(BatchNorm2d(2, 0.0f), Error);
+  EXPECT_THROW(BatchNorm2d(2, 1e-5f, 0.0f), Error);
+}
+
+TEST(BatchNormLayer, RunningStatsSerializeInCheckpoints) {
+  Rng rng(5);
+  BatchNorm2d bn(3);
+  EXPECT_EQ(bn.named_parameters().size(), 4u);  // gamma, beta, 2 buffers
+  // Names are stable for the checkpoint format.
+  EXPECT_EQ(bn.named_parameters()[2].name, "running_mean");
+  EXPECT_EQ(bn.named_parameters()[3].name, "running_var");
+}
+
+TEST(DropoutLayer, TrainingZeroesRoughlyPFraction) {
+  Dropout drop(0.5f, 42);
+  drop.set_training(true);
+  Variable x{Tensor::ones(Shape{1, 1, 32, 32})};
+  const Variable y = drop.forward(x);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < y.value().numel(); ++i) {
+    const float v = y.value().at(i);
+    EXPECT_TRUE(v == 0.0f || std::fabs(v - 2.0f) < 1e-6f);
+    if (v == 0.0f) {
+      ++zeros;
+    }
+  }
+  EXPECT_GT(zeros, 400);
+  EXPECT_LT(zeros, 624);
+}
+
+TEST(DropoutLayer, EvalIsIdentity) {
+  Dropout drop(0.5f, 42);
+  drop.set_training(false);
+  Variable x{Tensor::ones(Shape{4})};
+  const Variable y = drop.forward(x);
+  EXPECT_LT(norm_linf(sub(y.value(), x.value())), 1e-7f);
+  EXPECT_THROW(Dropout(1.0f), Error);
+  EXPECT_THROW(Dropout(-0.1f), Error);
+}
+
+TEST(SequentialModes, PropagateToChildren) {
+  Rng rng(6);
+  Sequential net;
+  auto dropout = std::make_shared<Dropout>(0.3f);
+  auto bn = std::make_shared<BatchNorm2d>(4);
+  net.add(dropout).add(bn);
+  net.set_training(false);
+  EXPECT_FALSE(dropout->training());
+  EXPECT_FALSE(bn->training());
+  net.set_training(true);
+  EXPECT_TRUE(dropout->training());
+  EXPECT_TRUE(bn->training());
+}
+
+TEST(VggVariants, BatchNormAndDropoutFactories) {
+  Rng rng(7);
+  VggConfig config = VggConfig::tiny(4, 8);
+  config.batch_norm = true;
+  config.dropout = 0.5f;
+  const auto net = make_vggnet(config, rng);
+  // 2 x (Conv, BN, ReLU, Pool) + Flatten + Dropout + Linear = 11.
+  EXPECT_EQ(net->size(), 11u);
+  Variable x{rng.uniform_tensor(Shape{2, 3, 8, 8}, 0, 1)};
+  net->set_training(false);
+  const Variable y = net->forward(x);
+  EXPECT_EQ(y.value().shape(), Shape({2, 4}));
+}
+
+TEST(VggVariants, BnNetworkTrainsOnToyTask) {
+  Rng rng(8);
+  VggConfig config = VggConfig::tiny(4, 8);
+  config.batch_norm = true;
+  const auto net = make_vggnet(config, rng);
+
+  // Quadrant toy task (same as nn_test).
+  std::vector<Tensor> images;
+  std::vector<int64_t> labels;
+  Rng data_rng(9);
+  for (int64_t cls = 0; cls < 4; ++cls) {
+    for (int i = 0; i < 8; ++i) {
+      Tensor img = data_rng.normal_tensor(Shape{3, 8, 8}, 0.0f, 0.05f);
+      const int64_t oy = (cls / 2) * 4;
+      const int64_t ox = (cls % 2) * 4;
+      for (int64_t c = 0; c < 3; ++c) {
+        for (int64_t y = 0; y < 4; ++y) {
+          for (int64_t x = 0; x < 4; ++x) {
+            img.at({c, oy + y, ox + x}) += 0.9f;
+          }
+        }
+      }
+      img.clamp_(0.0f, 1.0f);
+      images.push_back(img);
+      labels.push_back(cls);
+    }
+  }
+  SGD sgd(net->named_parameters(), {.lr = 0.05f});
+  Trainer::Config tc;
+  tc.epochs = 12;
+  Trainer trainer(*net, sgd, tc);
+  Rng train_rng(10);
+  trainer.fit(images, labels, train_rng);
+  const EvalResult eval = evaluate(*net, images, labels);
+  EXPECT_GT(eval.top1, 0.9);
+}
+
+TEST(SimpleCnn, BuildsAndForwardsCorrectShapes) {
+  Rng rng(20);
+  SimpleCnnConfig config;
+  config.input_size = 16;
+  config.channels = {4, 8};
+  config.hidden = 16;
+  config.num_classes = 7;
+  const auto net = make_simple_cnn(config, rng);
+  // 2 x (Conv, ReLU, AvgPool) + Flatten + Linear + ReLU + Linear = 10.
+  EXPECT_EQ(net->size(), 10u);
+  Variable x{rng.uniform_tensor(Shape{2, 3, 16, 16}, 0, 1)};
+  const Variable y = net->forward(x);
+  EXPECT_EQ(y.value().shape(), Shape({2, 7}));
+  EXPECT_THROW(make_simple_cnn({.input_size = 15}, rng), Error);
+}
+
+TEST(SimpleCnn, ArchitectureDiffersFromVgg) {
+  Rng rng(21);
+  const auto cnn = make_simple_cnn({.input_size = 16, .channels = {4, 8}},
+                                   rng);
+  const auto vgg = make_vggnet(VggConfig::tiny(43, 16), rng);
+  EXPECT_NE(cnn->parameter_count(), vgg->parameter_count());
+  EXPECT_NE(cnn->name(), vgg->name());
+  // The simple CNN uses 5x5 kernels and average pooling.
+  EXPECT_NE(cnn->name().find("k5"), std::string::npos);
+  EXPECT_NE(cnn->name().find("AvgPool"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fademl::nn

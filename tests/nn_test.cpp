@@ -1,0 +1,294 @@
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "fademl/autograd/ops.hpp"
+#include "fademl/nn/checkpoint.hpp"
+#include "fademl/nn/layers.hpp"
+#include "fademl/nn/module.hpp"
+#include "fademl/nn/optimizer.hpp"
+#include "fademl/nn/trainer.hpp"
+#include "fademl/nn/vggnet.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::nn {
+namespace {
+
+TEST(Conv2dLayer, ShapesAndParams) {
+  Rng rng(1);
+  Conv2d conv(3, 8, 3, 1, 1, rng);
+  Variable x{rng.normal_tensor(Shape{2, 3, 8, 8}, 0, 1)};
+  const Variable y = conv.forward(x);
+  EXPECT_EQ(y.value().shape(), Shape({2, 8, 8, 8}));
+  const auto params = conv.named_parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].name, "weight");
+  EXPECT_EQ(params[1].name, "bias");
+  EXPECT_EQ(conv.parameter_count(), 8 * 3 * 3 * 3 + 8);
+  EXPECT_EQ(conv.name(), "Conv2d(3->8, k3)");
+}
+
+TEST(Conv2dLayer, KaimingInitIsBoundedAndNonDegenerate) {
+  Rng rng(2);
+  Conv2d conv(16, 16, 3, 1, 1, rng);
+  const Tensor& w = conv.weight().value();
+  const float bound = std::sqrt(6.0f / (16 * 9));
+  EXPECT_LE(max(w), bound);
+  EXPECT_GE(min(w), -bound);
+  EXPECT_GT(norm_l2(w), 0.1f);  // not all zeros
+  // Bias starts at zero.
+  EXPECT_FLOAT_EQ(norm_l2(conv.bias().value()), 0.0f);
+}
+
+TEST(LinearLayer, ForwardMatchesManual) {
+  Rng rng(3);
+  Linear fc(4, 2, rng);
+  fc.weight().mutable_value().copy_from(
+      Tensor{Shape{2, 4}, {1, 0, 0, 0, 0, 1, 0, 0}});
+  fc.bias().mutable_value().copy_from(Tensor{10.0f, 20.0f});
+  Variable x{Tensor{Shape{1, 4}, {1, 2, 3, 4}}};
+  const Variable y = fc.forward(x);
+  EXPECT_FLOAT_EQ(y.value().at({0, 0}), 11.0f);
+  EXPECT_FLOAT_EQ(y.value().at({0, 1}), 22.0f);
+}
+
+TEST(Layers, ReLUMaxPoolFlatten) {
+  Rng rng(4);
+  ReLU relu_layer;
+  Variable x{Tensor{Shape{1, 1, 2, 2}, {-1, 2, -3, 4}}};
+  const Variable r = relu_layer.forward(x);
+  EXPECT_FLOAT_EQ(r.value().at(0), 0.0f);
+  EXPECT_FLOAT_EQ(r.value().at(1), 2.0f);
+
+  MaxPool2d pool(2);
+  const Variable p = pool.forward(x);
+  EXPECT_EQ(p.value().shape(), Shape({1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(p.value().item(), 4.0f);
+
+  Flatten flat;
+  const Variable f = flat.forward(x);
+  EXPECT_EQ(f.value().shape(), Shape({1, 4}));
+}
+
+TEST(Sequential, ChainsAndNamesParameters) {
+  Rng rng(5);
+  Sequential net;
+  net.add(std::make_shared<Conv2d>(1, 2, 3, 1, 1, rng))
+      .add(std::make_shared<ReLU>())
+      .add(std::make_shared<Flatten>())
+      .add(std::make_shared<Linear>(2 * 4 * 4, 3, rng));
+  Variable x{rng.normal_tensor(Shape{2, 1, 4, 4}, 0, 1)};
+  const Variable y = net.forward(x);
+  EXPECT_EQ(y.value().shape(), Shape({2, 3}));
+  const auto params = net.named_parameters();
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0].name, "0.weight");
+  EXPECT_EQ(params[3].name, "3.bias");
+  EXPECT_EQ(net.size(), 4u);
+  EXPECT_THROW(Sequential({nullptr}), Error);
+}
+
+TEST(VggConfig, FactoriesAndScaling) {
+  const VggConfig paper = VggConfig::paper();
+  EXPECT_EQ(paper.channels, (std::vector<int64_t>{64, 128, 256, 512, 512}));
+  const VggConfig scaled = VggConfig::scaled(8);
+  EXPECT_EQ(scaled.channels, (std::vector<int64_t>{8, 16, 32, 64, 64}));
+  const VggConfig tiny = VggConfig::tiny();
+  EXPECT_EQ(tiny.channels.size(), 2u);
+  EXPECT_THROW(VggConfig::scaled(0), Error);
+}
+
+TEST(VggNet, BuildsPaperTopology) {
+  Rng rng(6);
+  const auto net = make_vggnet(VggConfig::scaled(16), rng);
+  // 5 x (Conv, ReLU, Pool) + Flatten + Linear = 17 modules.
+  EXPECT_EQ(net->size(), 17u);
+  Variable x{rng.uniform_tensor(Shape{1, 3, 32, 32}, 0, 1)};
+  const Variable y = net->forward(x);
+  EXPECT_EQ(y.value().shape(), Shape({1, 43}));
+}
+
+TEST(VggNet, RejectsIndivisibleInputSize) {
+  Rng rng(7);
+  VggConfig config = VggConfig::scaled(16);
+  config.input_size = 48;  // 48 / 2^5 = 1.5: invalid
+  EXPECT_THROW(make_vggnet(config, rng), Error);
+}
+
+TEST(SGDOptimizer, PlainStepDescends) {
+  // One parameter, loss = 0.5 * w^2 -> gradient = w.
+  Variable w{Tensor::scalar(4.0f), true};
+  SGD::Config config;
+  config.lr = 0.25f;
+  config.momentum = 0.0f;
+  SGD sgd({{"w", w}}, config);
+  const Variable loss = autograd::mul_scalar(autograd::mul(w, w), 0.5f);
+  loss.backward();
+  sgd.step();
+  EXPECT_FLOAT_EQ(w.value().item(), 3.0f);  // 4 - 0.25*4
+}
+
+TEST(SGDOptimizer, MomentumAccumulates) {
+  Variable w{Tensor::scalar(1.0f), true};
+  SGD::Config config;
+  config.lr = 0.1f;
+  config.momentum = 0.5f;
+  SGD sgd({{"w", w}}, config);
+  // Constant gradient of 1 applied twice: v1=1, v2=1.5.
+  w.zero_grad();
+  const Variable l1 = autograd::sum(w);
+  l1.backward();
+  sgd.step();
+  EXPECT_NEAR(w.value().item(), 0.9f, 1e-6f);
+  sgd.zero_grad();
+  const Variable l2 = autograd::sum(w);
+  l2.backward();
+  sgd.step();
+  EXPECT_NEAR(w.value().item(), 0.9f - 0.1f * 1.5f, 1e-6f);
+}
+
+TEST(AdamOptimizer, ConvergesOnQuadratic) {
+  Variable w{Tensor::scalar(5.0f), true};
+  Adam::Config config;
+  config.lr = 0.5f;
+  Adam adam({{"w", w}}, config);
+  for (int i = 0; i < 50; ++i) {
+    adam.zero_grad();
+    const Variable loss = autograd::mul_scalar(autograd::mul(w, w), 0.5f);
+    loss.backward();
+    adam.step();
+  }
+  EXPECT_NEAR(w.value().item(), 0.0f, 0.2f);
+}
+
+TEST(StackImages, LayoutAndValidation) {
+  const Tensor a = Tensor::full(Shape{1, 2, 2}, 1.0f);
+  const Tensor b = Tensor::full(Shape{1, 2, 2}, 2.0f);
+  const Tensor batch = stack_images({a, b});
+  EXPECT_EQ(batch.shape(), Shape({2, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(batch.at({1, 0, 1, 1}), 2.0f);
+  EXPECT_THROW(stack_images({}), Error);
+  EXPECT_THROW(stack_images({a, Tensor::zeros(Shape{1, 3, 3})}), Error);
+}
+
+/// Tiny synthetic task: each class is a distinct constant image + noise.
+/// Any working conv net + trainer must overfit this easily.
+struct ToyData {
+  std::vector<Tensor> images;
+  std::vector<int64_t> labels;
+};
+
+ToyData make_toy(int per_class, Rng& rng) {
+  ToyData d;
+  for (int64_t cls = 0; cls < 4; ++cls) {
+    for (int i = 0; i < per_class; ++i) {
+      Tensor img = rng.normal_tensor(Shape{3, 8, 8}, 0.0f, 0.05f);
+      // Class signature: bright block in one of 4 quadrants.
+      const int64_t oy = (cls / 2) * 4;
+      const int64_t ox = (cls % 2) * 4;
+      for (int64_t c = 0; c < 3; ++c) {
+        for (int64_t y = 0; y < 4; ++y) {
+          for (int64_t x = 0; x < 4; ++x) {
+            img.at({c, oy + y, ox + x}) += 0.9f;
+          }
+        }
+      }
+      img.clamp_(0.0f, 1.0f);
+      d.images.push_back(img);
+      d.labels.push_back(cls);
+    }
+  }
+  return d;
+}
+
+TEST(Trainer, OverfitsToyTask) {
+  Rng rng(42);
+  const auto net = make_vggnet(VggConfig::tiny(4, 8), rng);
+  const ToyData train = make_toy(8, rng);
+
+  SGD::Config sgd_config;
+  sgd_config.lr = 0.08f;
+  SGD sgd(net->named_parameters(), sgd_config);
+  Trainer::Config tconfig;
+  tconfig.epochs = 15;
+  tconfig.batch_size = 8;
+  Trainer trainer(*net, sgd, tconfig);
+  Rng train_rng(1);
+  std::vector<double> losses;
+  trainer.fit(train.images, train.labels, train_rng,
+              [&](int64_t, double loss, double) { losses.push_back(loss); });
+
+  ASSERT_EQ(losses.size(), 15u);
+  EXPECT_LT(losses.back(), losses.front() * 0.5);
+  const EvalResult eval = evaluate(*net, train.images, train.labels);
+  EXPECT_GT(eval.top1, 0.95);
+  EXPECT_DOUBLE_EQ(eval.top5, 1.0);  // only 4 classes: top-5 is free
+}
+
+TEST(Evaluate, PerfectAndChanceBaselines) {
+  Rng rng(9);
+  const auto net = make_vggnet(VggConfig::tiny(4, 8), rng);
+  const ToyData data = make_toy(4, rng);
+  const EvalResult eval = evaluate(*net, data.images, data.labels);
+  EXPECT_EQ(eval.count, 16);
+  // Untrained net: top-5 over 4 classes is trivially 1.
+  EXPECT_DOUBLE_EQ(eval.top5, 1.0);
+  EXPECT_GE(eval.top1, 0.0);
+  EXPECT_LE(eval.top1, 1.0);
+}
+
+TEST(Checkpoint, RoundtripRestoresExactWeights) {
+  Rng rng(10);
+  const auto net = make_vggnet(VggConfig::tiny(4, 8), rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fademl_ckpt_test.fdml")
+          .string();
+  save_checkpoint(*net, path);
+
+  Rng rng2(999);  // different init
+  const auto net2 = make_vggnet(VggConfig::tiny(4, 8), rng2);
+  load_checkpoint(*net2, path);
+
+  const auto p1 = net->named_parameters();
+  const auto p2 = net2->named_parameters();
+  ASSERT_EQ(p1.size(), p2.size());
+  for (size_t i = 0; i < p1.size(); ++i) {
+    const Tensor& a = p1[i].param.value();
+    const Tensor& b = p2[i].param.value();
+    ASSERT_EQ(a.shape(), b.shape());
+    for (int64_t j = 0; j < a.numel(); ++j) {
+      ASSERT_FLOAT_EQ(a.at(j), b.at(j));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ArchitectureMismatchIsAnError) {
+  Rng rng(11);
+  const auto small = make_vggnet(VggConfig::tiny(4, 8), rng);
+  const auto big = make_vggnet(VggConfig::tiny(8, 8), rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fademl_ckpt_mismatch.fdml")
+          .string();
+  save_checkpoint(*small, path);
+  EXPECT_THROW(load_checkpoint(*big, path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ExistsProbe) {
+  EXPECT_FALSE(checkpoint_exists("/nonexistent/nowhere.fdml"));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fademl_ckpt_probe.fdml")
+          .string();
+  Rng rng(12);
+  const auto net = make_vggnet(VggConfig::tiny(4, 8), rng);
+  save_checkpoint(*net, path);
+  EXPECT_TRUE(checkpoint_exists(path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fademl::nn

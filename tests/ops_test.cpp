@@ -1,0 +1,259 @@
+#include "fademl/tensor/ops.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/random.hpp"
+
+namespace fademl {
+namespace {
+
+TEST(ElementwiseOps, Arithmetic) {
+  const Tensor a{1.0f, 2.0f, 3.0f};
+  const Tensor b{4.0f, 5.0f, 6.0f};
+  EXPECT_FLOAT_EQ(add(a, b).at(0), 5.0f);
+  EXPECT_FLOAT_EQ(sub(a, b).at(1), -3.0f);
+  EXPECT_FLOAT_EQ(mul(a, b).at(2), 18.0f);
+  EXPECT_FLOAT_EQ(div(b, a).at(1), 2.5f);
+  EXPECT_FLOAT_EQ(add(a, 1.0f).at(0), 2.0f);
+  EXPECT_FLOAT_EQ(mul(a, 2.0f).at(2), 6.0f);
+}
+
+TEST(ElementwiseOps, ShapeMismatchThrows) {
+  EXPECT_THROW(add(Tensor::ones(Shape{2}), Tensor::ones(Shape{3})), Error);
+  EXPECT_THROW(add(Tensor::ones(Shape{2, 3}), Tensor::ones(Shape{3, 2})),
+               Error);
+}
+
+TEST(ElementwiseOps, Transforms) {
+  const Tensor a{-1.0f, 0.0f, 2.0f};
+  EXPECT_FLOAT_EQ(neg(a).at(0), 1.0f);
+  EXPECT_FLOAT_EQ(abs(a).at(0), 1.0f);
+  EXPECT_FLOAT_EQ(relu(a).at(0), 0.0f);
+  EXPECT_FLOAT_EQ(relu(a).at(2), 2.0f);
+  EXPECT_FLOAT_EQ(sign(a).at(0), -1.0f);
+  EXPECT_FLOAT_EQ(sign(a).at(1), 0.0f);
+  EXPECT_FLOAT_EQ(sign(a).at(2), 1.0f);
+  EXPECT_NEAR(exp(a).at(2), std::exp(2.0f), 1e-5f);
+  EXPECT_NEAR(tanh(a).at(2), std::tanh(2.0f), 1e-6f);
+  EXPECT_FLOAT_EQ(clamp(a, -0.5f, 1.0f).at(0), -0.5f);
+  EXPECT_FLOAT_EQ(clamp(a, -0.5f, 1.0f).at(2), 1.0f);
+  EXPECT_FLOAT_EQ(map(a, [](float v) { return v * 10.0f; }).at(2), 20.0f);
+}
+
+TEST(Reductions, SumMeanMinMax) {
+  const Tensor a{1.0f, -2.0f, 4.0f, 5.0f};
+  EXPECT_FLOAT_EQ(sum(a), 8.0f);
+  EXPECT_FLOAT_EQ(mean(a), 2.0f);
+  EXPECT_FLOAT_EQ(min(a), -2.0f);
+  EXPECT_FLOAT_EQ(max(a), 5.0f);
+  EXPECT_EQ(argmax(a), 3);
+}
+
+TEST(Reductions, KahanSumIsAccurateOnLargeSets) {
+  // 10^6 values of 0.1f: naive float accumulation drifts by ~1; Kahan stays
+  // within a few ulps of 100000.
+  Tensor big = Tensor::full(Shape{1000000}, 0.1f);
+  EXPECT_NEAR(sum(big), 100000.0f, 0.5f);
+}
+
+TEST(Reductions, Norms) {
+  const Tensor a{3.0f, -4.0f};
+  EXPECT_FLOAT_EQ(norm_l2(a), 5.0f);
+  EXPECT_FLOAT_EQ(norm_linf(a), 4.0f);
+  EXPECT_FLOAT_EQ(dot(a, a), 25.0f);
+}
+
+TEST(TopK, OrdersByValueThenIndex) {
+  const Tensor a{0.1f, 0.9f, 0.3f, 0.9f, 0.0f};
+  const auto top = topk_indices(a, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1);  // ties broken by lower index first
+  EXPECT_EQ(top[1], 3);
+  EXPECT_EQ(top[2], 2);
+}
+
+TEST(TopK, RejectsBadArgs) {
+  const Tensor a{1.0f, 2.0f};
+  EXPECT_THROW(topk_indices(a, 3), Error);
+  EXPECT_THROW(topk_indices(Tensor::ones(Shape{2, 2}), 1), Error);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(7);
+  const Tensor logits = rng.normal_tensor(Shape{4, 10}, 0.0f, 3.0f);
+  const Tensor p = softmax_rows(logits);
+  for (int64_t r = 0; r < 4; ++r) {
+    float s = 0.0f;
+    for (int64_t c = 0; c < 10; ++c) {
+      const float v = p.at({r, c});
+      EXPECT_GT(v, 0.0f);
+      s += v;
+    }
+    EXPECT_NEAR(s, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  const Tensor logits{Shape{1, 3}, {1000.0f, 1001.0f, 999.0f}};
+  const Tensor p = softmax_rows(logits);
+  EXPECT_FALSE(std::isnan(p.at(0)));
+  EXPECT_GT(p.at({0, 1}), p.at({0, 0}));
+}
+
+TEST(Softmax, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(3);
+  const Tensor logits = rng.normal_tensor(Shape{2, 5}, 0.0f, 2.0f);
+  const Tensor lp = log_softmax_rows(logits);
+  const Tensor p = softmax_rows(logits);
+  for (int64_t i = 0; i < lp.numel(); ++i) {
+    EXPECT_NEAR(lp.at(i), std::log(p.at(i)), 1e-4f);
+  }
+}
+
+TEST(Matmul, KnownProduct) {
+  const Tensor a{Shape{2, 3}, {1, 2, 3, 4, 5, 6}};
+  const Tensor b{Shape{3, 2}, {7, 8, 9, 10, 11, 12}};
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(c.at({0, 0}), 58.0f);
+  EXPECT_FLOAT_EQ(c.at({0, 1}), 64.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 0}), 139.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 1}), 154.0f);
+}
+
+TEST(Matmul, InnerDimMismatchThrows) {
+  EXPECT_THROW(matmul(Tensor::ones(Shape{2, 3}), Tensor::ones(Shape{2, 3})),
+               Error);
+}
+
+TEST(Matmul, Transpose2d) {
+  const Tensor a{Shape{2, 3}, {1, 2, 3, 4, 5, 6}};
+  const Tensor t = transpose2d(a);
+  EXPECT_EQ(t.shape(), Shape({3, 2}));
+  EXPECT_FLOAT_EQ(t.at({2, 1}), 6.0f);
+  EXPECT_FLOAT_EQ(t.at({0, 1}), 4.0f);
+}
+
+// Naive convolution reference for validating the im2col-based conv2d.
+Tensor conv2d_reference(const Tensor& input, const Tensor& weight,
+                        const Tensor& bias, const Conv2dSpec& spec) {
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  const int64_t o = weight.dim(0);
+  const int64_t oh = spec.out_size(h, spec.kernel_h);
+  const int64_t ow = spec.out_size(w, spec.kernel_w);
+  Tensor out = Tensor::zeros(Shape{n, o, oh, ow});
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t oc = 0; oc < o; ++oc) {
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          float acc = bias.defined() ? bias.at(oc) : 0.0f;
+          for (int64_t ic = 0; ic < c; ++ic) {
+            for (int64_t ky = 0; ky < spec.kernel_h; ++ky) {
+              for (int64_t kx = 0; kx < spec.kernel_w; ++kx) {
+                const int64_t iy = oy * spec.stride + ky - spec.pad;
+                const int64_t ix = ox * spec.stride + kx - spec.pad;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= w) {
+                  continue;
+                }
+                acc += input.at({b, ic, iy, ix}) *
+                       weight.at({oc, ic, ky, kx});
+              }
+            }
+          }
+          out.at({b, oc, oy, ox}) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+struct ConvCase {
+  int64_t n, c, h, w, o, k, stride, pad;
+};
+
+class ConvParamTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvParamTest, MatchesNaiveReference) {
+  const ConvCase cc = GetParam();
+  Rng rng(11);
+  const Tensor input = rng.normal_tensor(Shape{cc.n, cc.c, cc.h, cc.w}, 0, 1);
+  const Tensor weight =
+      rng.normal_tensor(Shape{cc.o, cc.c, cc.k, cc.k}, 0, 1);
+  const Tensor bias = rng.normal_tensor(Shape{cc.o}, 0, 1);
+  Conv2dSpec spec;
+  spec.kernel_h = cc.k;
+  spec.kernel_w = cc.k;
+  spec.stride = cc.stride;
+  spec.pad = cc.pad;
+  const Tensor fast = conv2d(input, weight, bias, spec);
+  const Tensor ref = conv2d_reference(input, weight, bias, spec);
+  ASSERT_EQ(fast.shape(), ref.shape());
+  for (int64_t i = 0; i < fast.numel(); ++i) {
+    EXPECT_NEAR(fast.at(i), ref.at(i), 1e-3f) << "at flat index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvParamTest,
+    ::testing::Values(ConvCase{1, 1, 5, 5, 1, 3, 1, 1},
+                      ConvCase{2, 3, 8, 8, 4, 3, 1, 1},
+                      ConvCase{1, 2, 7, 9, 3, 3, 2, 1},
+                      ConvCase{1, 3, 6, 6, 2, 5, 1, 2},
+                      ConvCase{2, 1, 4, 4, 2, 1, 1, 0},
+                      ConvCase{1, 4, 10, 6, 5, 3, 3, 1}));
+
+TEST(Im2col, AdjointProperty) {
+  // <im2col(x), y> == <x, col2im(y)> — col2im is the exact adjoint.
+  Rng rng(5);
+  const Tensor x = rng.normal_tensor(Shape{2, 6, 5}, 0, 1);
+  Conv2dSpec spec;
+  spec.kernel_h = 3;
+  spec.kernel_w = 3;
+  spec.stride = 1;
+  spec.pad = 1;
+  const Tensor cols = im2col(x, spec);
+  const Tensor y = rng.normal_tensor(cols.shape(), 0, 1);
+  const float lhs = dot(cols, y);
+  const Tensor back = col2im(y, 2, 6, 5, spec);
+  const float rhs = dot(x, back);
+  EXPECT_NEAR(lhs, rhs, std::fabs(lhs) * 1e-4f + 1e-3f);
+}
+
+TEST(MaxPool, ValuesAndArgmax) {
+  const Tensor input{Shape{1, 1, 4, 4},
+                     {1, 2, 3, 4,
+                      5, 6, 7, 8,
+                      9, 10, 11, 12,
+                      13, 14, 15, 16}};
+  std::vector<int64_t> argmax;
+  const Tensor out = maxpool2d(input, 2, &argmax);
+  EXPECT_EQ(out.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at({0, 0, 0, 0}), 6.0f);
+  EXPECT_FLOAT_EQ(out.at({0, 0, 1, 1}), 16.0f);
+  ASSERT_EQ(argmax.size(), 4u);
+  EXPECT_EQ(argmax[0], 5);
+  EXPECT_EQ(argmax[3], 15);
+}
+
+TEST(MaxPool, RequiresDivisibleDims) {
+  EXPECT_THROW(maxpool2d(Tensor::ones(Shape{1, 1, 5, 4}), 2), Error);
+}
+
+TEST(Conv2dSpec, OutputGeometry) {
+  Conv2dSpec spec;
+  spec.kernel_h = 3;
+  spec.kernel_w = 3;
+  spec.stride = 1;
+  spec.pad = 1;
+  EXPECT_EQ(spec.out_size(32, 3), 32);  // same-padding 3x3
+  spec.stride = 2;
+  EXPECT_EQ(spec.out_size(32, 3), 16);
+}
+
+}  // namespace
+}  // namespace fademl

@@ -1,0 +1,190 @@
+#include "fademl/core/pipeline.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "fademl/attacks/attack.hpp"
+#include "fademl/autograd/ops.hpp"
+#include "fademl/core/threat_model.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+#include "test_fixtures.hpp"
+
+namespace fademl::core {
+namespace {
+
+using fademl::testing::tiny_pipeline;
+using fademl::testing::tiny_world;
+
+TEST(ThreatModelNames, MatchPaper) {
+  EXPECT_EQ(threat_model_name(ThreatModel::kI), "TM-I");
+  EXPECT_EQ(threat_model_name(ThreatModel::kII), "TM-II");
+  EXPECT_EQ(threat_model_name(ThreatModel::kIII), "TM-III");
+}
+
+TEST(Pipeline, RejectsNullComponents) {
+  EXPECT_THROW(InferencePipeline(nullptr, filters::make_identity()), Error);
+  EXPECT_THROW(InferencePipeline(tiny_world().model, nullptr), Error);
+  InferencePipeline p = tiny_pipeline(filters::make_identity());
+  EXPECT_THROW(p.set_filter(nullptr), Error);
+}
+
+TEST(Pipeline, RouteSemantics) {
+  InferencePipeline p = tiny_pipeline(filters::make_lap(8));
+  const Tensor x = data::canonical_sample(14, 16);
+  // TM-I: untouched.
+  EXPECT_FLOAT_EQ(norm_l2(sub(p.route(x, ThreatModel::kI), x)), 0.0f);
+  // TM-III: exactly the filter.
+  const Tensor tm3 = p.route(x, ThreatModel::kIII);
+  EXPECT_FLOAT_EQ(norm_l2(sub(tm3, filters::LapFilter(8).apply(x))), 0.0f);
+  // TM-II: blur + filter — differs from TM-III.
+  const Tensor tm2 = p.route(x, ThreatModel::kII);
+  EXPECT_GT(norm_l2(sub(tm2, tm3)), 1e-4f);
+}
+
+TEST(Pipeline, IdentityFilterMakesRoutesCoincide) {
+  InferencePipeline p(tiny_world().model, filters::make_identity(),
+                      /*acquisition_blur_sigma=*/0.0f);
+  const Tensor x = data::canonical_sample(3, 16);
+  const Tensor a = p.route(x, ThreatModel::kI);
+  const Tensor b = p.route(x, ThreatModel::kIII);
+  EXPECT_FLOAT_EQ(norm_l2(sub(a, b)), 0.0f);
+}
+
+TEST(Pipeline, PredictionIsCoherent) {
+  InferencePipeline p = tiny_pipeline(filters::make_identity());
+  const Tensor x = data::canonical_sample(14, 16);
+  const Prediction pred = p.predict(x, ThreatModel::kI);
+  EXPECT_EQ(pred.probs.numel(), 43);
+  EXPECT_NEAR(sum(pred.probs), 1.0f, 1e-4f);
+  EXPECT_EQ(pred.top5.size(), 5u);
+  EXPECT_EQ(pred.top5[0], pred.label);
+  EXPECT_FLOAT_EQ(pred.top5_probs[0], pred.confidence);
+  // Top-5 probabilities are sorted descending.
+  for (size_t i = 1; i < pred.top5_probs.size(); ++i) {
+    EXPECT_LE(pred.top5_probs[i], pred.top5_probs[i - 1]);
+  }
+}
+
+TEST(Pipeline, TrainedModelClassifiesItsClasses) {
+  InferencePipeline p = tiny_pipeline(filters::make_identity());
+  int correct = 0;
+  for (int64_t cls : tiny_world().classes) {
+    const Tensor x = data::canonical_sample(cls, 16);
+    if (p.predict(x, ThreatModel::kI).label == cls) {
+      ++correct;
+    }
+  }
+  // The fixture model overfits its 8 classes; allow one miss for the
+  // canonical (unaugmented) pose.
+  EXPECT_GE(correct, 7);
+}
+
+TEST(Pipeline, SummarizeProbsTopKOrdering) {
+  const Tensor probs{0.1f, 0.5f, 0.05f, 0.2f, 0.1f, 0.05f};
+  const Prediction p = summarize_probs(probs);
+  EXPECT_EQ(p.label, 1);
+  EXPECT_FLOAT_EQ(p.confidence, 0.5f);
+  EXPECT_EQ(p.top5[1], 3);
+}
+
+TEST(Pipeline, LossAndGradRequiresScalarObjective) {
+  InferencePipeline p = tiny_pipeline(filters::make_identity());
+  const Tensor x = data::canonical_sample(14, 16);
+  const Objective bad = [](const autograd::Variable& logits) {
+    return logits;  // not a scalar
+  };
+  EXPECT_THROW(p.loss_and_grad(x, bad, ThreatModel::kI), Error);
+}
+
+/// Directional-derivative check: g·d must match (f(x+εd) − f(x−εd)) / 2ε
+/// for random directions d. Whole-vector probes are robust to the isolated
+/// ReLU/maxpool kinks that break per-pixel finite differences on a trained
+/// network.
+void expect_directional_derivative_matches(const InferencePipeline& p,
+                                           const Tensor& x,
+                                           const Objective& obj,
+                                           ThreatModel tm, uint64_t seed) {
+  const LossGrad lg = p.loss_and_grad(x, obj, tm);
+  ASSERT_EQ(lg.grad.shape(), x.shape());
+  Rng rng(seed);
+  int close = 0;
+  constexpr int kProbes = 5;
+  for (int probe = 0; probe < kProbes; ++probe) {
+    Tensor d = rng.normal_tensor(x.shape(), 0.0f, 1.0f);
+    d.mul_(1.0f / norm_l2(d));
+    const float eps = 5e-3f;
+    const float hi = p.loss_and_grad(add(x, mul(d, eps)), obj, tm).loss;
+    const float lo = p.loss_and_grad(add(x, mul(d, -eps)), obj, tm).loss;
+    const float numeric = (hi - lo) / (2 * eps);
+    const float analytic = dot(lg.grad, d);
+    if (std::abs(analytic - numeric) <=
+        0.15f * std::abs(numeric) + 5e-3f) {
+      ++close;
+    }
+  }
+  // Allow at most one probe to straddle a kink.
+  EXPECT_GE(close, kProbes - 1);
+}
+
+TEST(Pipeline, InputGradientMatchesFiniteDifferences_TM1) {
+  InferencePipeline p = tiny_pipeline(filters::make_identity());
+  expect_directional_derivative_matches(
+      p, data::canonical_sample(14, 16), attacks::targeted_cross_entropy(3),
+      ThreatModel::kI, 5);
+}
+
+TEST(Pipeline, InputGradientMatchesFiniteDifferences_TM3) {
+  // The FAdeML-critical path: gradient through the LAP filter.
+  InferencePipeline p = tiny_pipeline(filters::make_lap(8));
+  expect_directional_derivative_matches(
+      p, data::canonical_sample(14, 16), attacks::targeted_cross_entropy(3),
+      ThreatModel::kIII, 6);
+}
+
+TEST(Pipeline, InputGradientMatchesFiniteDifferences_TM2) {
+  // TM-II chains acquisition blur + filter adjoints.
+  InferencePipeline p = tiny_pipeline(filters::make_lar(1));
+  expect_directional_derivative_matches(
+      p, data::canonical_sample(17, 16), attacks::targeted_cross_entropy(3),
+      ThreatModel::kII, 7);
+}
+
+TEST(Pipeline, LossAndGradDoesNotLeakParameterGradients) {
+  InferencePipeline p = tiny_pipeline(filters::make_identity());
+  const Tensor x = data::canonical_sample(14, 16);
+  (void)p.loss_and_grad(x, attacks::targeted_cross_entropy(3),
+                        ThreatModel::kI);
+  for (const nn::NamedParam& param : tiny_world().model->named_parameters()) {
+    if (param.param.grad().defined()) {
+      EXPECT_FLOAT_EQ(norm_l2(param.param.grad()), 0.0f) << param.name;
+    }
+  }
+}
+
+TEST(Pipeline, AccuracyOnTrainSetIsHigh) {
+  InferencePipeline p(tiny_world().model, filters::make_identity());
+  const auto acc = p.accuracy(tiny_world().train_images,
+                              tiny_world().train_labels, ThreatModel::kI);
+  EXPECT_GT(acc.top1, 0.9);
+  EXPECT_GT(acc.top5, 0.98);
+  EXPECT_GE(acc.top5, acc.top1);
+}
+
+TEST(Pipeline, FilterCostsSomeAccuracyButNotAll) {
+  InferencePipeline p = tiny_pipeline(filters::make_lap(8));
+  const auto clean = tiny_pipeline(filters::make_identity())
+                         .accuracy(tiny_world().train_images,
+                                   tiny_world().train_labels,
+                                   ThreatModel::kIII);
+  const auto filtered = p.accuracy(tiny_world().train_images,
+                                   tiny_world().train_labels,
+                                   ThreatModel::kIII);
+  // Smoothing may cost accuracy but must not destroy the classifier
+  // (paper: a few points of top-5).
+  EXPECT_GT(filtered.top5, clean.top5 - 0.35);
+}
+
+}  // namespace
+}  // namespace fademl::core

@@ -1,0 +1,206 @@
+// Cross-cutting property-based suites: invariants that must hold across
+// the whole attack library, the Eq.-2 cost on random distributions,
+// smoothing-filter fixed-point behaviour, and serialization over random
+// geometries.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fademl/attacks/bim.hpp"
+#include "fademl/attacks/cw.hpp"
+#include "fademl/attacks/deepfool.hpp"
+#include "fademl/attacks/fademl_attack.hpp"
+#include "fademl/attacks/fgsm.hpp"
+#include "fademl/attacks/jsma.hpp"
+#include "fademl/attacks/lbfgs.hpp"
+#include "fademl/attacks/onepixel.hpp"
+#include "fademl/attacks/zoo.hpp"
+#include "fademl/core/cost.hpp"
+#include "fademl/tensor/ops.hpp"
+#include "fademl/tensor/serialize.hpp"
+#include "test_fixtures.hpp"
+
+namespace fademl {
+namespace {
+
+using fademl::testing::tiny_pipeline;
+
+// ---- attack-library-wide invariants ----------------------------------------
+
+struct NamedAttack {
+  const char* label;
+  attacks::AttackPtr attack;
+};
+
+std::vector<NamedAttack> full_attack_library() {
+  attacks::AttackConfig config;
+  config.epsilon = 0.15f;
+  config.max_iterations = 8;  // keep the sweep quick
+  attacks::OnePixelOptions op;
+  op.population = 8;
+  op.generations = 3;
+  attacks::ZooOptions zoo;
+  zoo.coords_per_step = 16;
+  return {
+      {"fgsm", std::make_shared<attacks::FgsmAttack>(config)},
+      {"bim", std::make_shared<attacks::BimAttack>(config)},
+      {"lbfgs", std::make_shared<attacks::LbfgsAttack>(config)},
+      {"cw", std::make_shared<attacks::CwAttack>(config)},
+      {"jsma", std::make_shared<attacks::JsmaAttack>(config)},
+      {"deepfool", std::make_shared<attacks::DeepFoolAttack>(config)},
+      {"onepixel", std::make_shared<attacks::OnePixelAttack>(config, op)},
+      {"zoo", std::make_shared<attacks::ZooAttack>(config, zoo)},
+      {"fademl_bim",
+       attacks::make_fademl(attacks::AttackKind::kBim, config)},
+  };
+}
+
+class AttackLibraryTest : public ::testing::TestWithParam<NamedAttack> {};
+
+TEST_P(AttackLibraryTest, OutputStaysInPixelBox) {
+  const auto pipeline = tiny_pipeline(filters::make_lap(4));
+  const Tensor src = data::canonical_sample(14, 16);
+  const attacks::AttackResult r = GetParam().attack->run(pipeline, src, 3);
+  EXPECT_GE(min(r.adversarial), 0.0f) << GetParam().label;
+  EXPECT_LE(max(r.adversarial), 1.0f) << GetParam().label;
+  EXPECT_EQ(r.adversarial.shape(), src.shape());
+}
+
+TEST_P(AttackLibraryTest, DeterministicAcrossRuns) {
+  const auto pipeline = tiny_pipeline(filters::make_lap(4));
+  const Tensor src = data::canonical_sample(14, 16);
+  const attacks::AttackResult a = GetParam().attack->run(pipeline, src, 3);
+  const attacks::AttackResult b = GetParam().attack->run(pipeline, src, 3);
+  EXPECT_FLOAT_EQ(norm_linf(sub(a.adversarial, b.adversarial)), 0.0f)
+      << GetParam().label;
+  EXPECT_EQ(a.iterations, b.iterations) << GetParam().label;
+}
+
+TEST_P(AttackLibraryTest, MetricsConsistentWithNoise) {
+  const auto pipeline = tiny_pipeline(filters::make_identity());
+  const Tensor src = data::canonical_sample(17, 16);
+  const attacks::AttackResult r = GetParam().attack->run(pipeline, src, 3);
+  EXPECT_NEAR(norm_l2(r.noise), r.l2, 1e-3f) << GetParam().label;
+  EXPECT_NEAR(norm_linf(r.noise), r.linf, 1e-5f) << GetParam().label;
+  EXPECT_LT(norm_linf(sub(add(src, r.noise), r.adversarial)), 1e-5f)
+      << GetParam().label;
+  EXPECT_GE(r.iterations, 1) << GetParam().label;
+}
+
+TEST_P(AttackLibraryTest, DoesNotMutateTheSource) {
+  const auto pipeline = tiny_pipeline(filters::make_identity());
+  const Tensor src = data::canonical_sample(14, 16);
+  const Tensor snapshot = src.clone();
+  (void)GetParam().attack->run(pipeline, src, 3);
+  EXPECT_FLOAT_EQ(norm_linf(sub(src, snapshot)), 0.0f) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WholeLibrary, AttackLibraryTest,
+    ::testing::ValuesIn(full_attack_library()),
+    [](const ::testing::TestParamInfo<NamedAttack>& info) {
+      return info.param.label;
+    });
+
+// ---- Eq.-2 cost properties on random distributions --------------------------
+
+class Eq2PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+Tensor random_distribution(Rng& rng, int64_t classes) {
+  Tensor t = rng.uniform_tensor(Shape{classes}, 0.0f, 1.0f);
+  t.apply_([](float v) { return v * v; });  // skew some mass
+  const float total = sum(t);
+  t.mul_(1.0f / total);
+  return t;
+}
+
+TEST_P(Eq2PropertyTest, BoundedByPlusMinusOne) {
+  Rng rng(GetParam());
+  const Tensor a = random_distribution(rng, 16);
+  const Tensor b = random_distribution(rng, 16);
+  const float cost = core::eq2_cost(a, b);
+  // Σ_{top5} P_a ∈ [0,1] and Σ over the same classes of P_b ∈ [0,1].
+  EXPECT_LE(cost, 1.0f);
+  EXPECT_GE(cost, -1.0f);
+}
+
+TEST_P(Eq2PropertyTest, SelfCostIsZeroAndWeightVectorAgrees) {
+  Rng rng(GetParam() ^ 0xABCDu);
+  const Tensor a = random_distribution(rng, 12);
+  const Tensor b = random_distribution(rng, 12);
+  EXPECT_FLOAT_EQ(core::eq2_cost(a, a), 0.0f);
+  const Tensor w = core::top5_weight_vector(a);
+  EXPECT_NEAR(dot(a, w) - dot(b, w), core::eq2_cost(a, b), 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Eq2PropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// ---- smoothing filters approach a fixed point --------------------------------
+
+TEST(FilterFixedPoint, RepeatedSmoothingConvergesTowardFlat) {
+  Rng rng(9);
+  Tensor x = rng.uniform_tensor(Shape{1, 12, 12}, 0.0f, 1.0f);
+  const filters::LapFilter f(8);
+  float prev_spread = max(x) - min(x);
+  for (int i = 0; i < 10; ++i) {
+    x = f.apply(x);
+    const float spread = max(x) - min(x);
+    EXPECT_LE(spread, prev_spread + 1e-6f) << "iteration " << i;
+    prev_spread = spread;
+  }
+  EXPECT_LT(prev_spread, 0.2f);  // strongly contracted after 10 passes
+}
+
+TEST(FilterFixedPoint, MeanIsApproximatelyPreservedInTheInterior) {
+  // Away from borders the averaging kernels are doubly stochastic, so the
+  // image mean barely moves under one application.
+  Rng rng(10);
+  const Tensor x = rng.uniform_tensor(Shape{3, 16, 16}, 0.2f, 0.8f);
+  for (const filters::FilterPtr& f :
+       {filters::make_lap(8), filters::make_lar(2),
+        filters::make_gaussian(1.0f)}) {
+    const float before = mean(x);
+    const float after = mean(f->apply(x));
+    EXPECT_NEAR(before, after, 0.01f) << f->name();
+  }
+}
+
+// ---- serialization over random geometries ------------------------------------
+
+class SerializeRoundtripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerializeRoundtripTest, RandomShapeRoundtrip) {
+  Rng rng(GetParam());
+  const int rank = 1 + static_cast<int>(rng.uniform_int(4));
+  std::vector<int64_t> dims;
+  for (int i = 0; i < rank; ++i) {
+    dims.push_back(1 + rng.uniform_int(7));
+  }
+  const Tensor t = rng.normal_tensor(Shape{dims}, 0.0f, 10.0f);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  const Tensor back = read_tensor(ss);
+  ASSERT_EQ(back.shape(), t.shape());
+  EXPECT_FLOAT_EQ(norm_linf(sub(back, t)), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeRoundtripTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+// ---- renderer statistics stay sane across all classes -------------------------
+
+TEST(RendererStats, EveryClassHasReasonableBrightnessAndContrast) {
+  for (int64_t cls = 0; cls < data::kGtsrbNumClasses; ++cls) {
+    const Tensor img = data::canonical_sample(cls, 24);
+    const float m = mean(img);
+    EXPECT_GT(m, 0.15f) << "class " << cls << " too dark";
+    EXPECT_LT(m, 0.85f) << "class " << cls << " too bright";
+    EXPECT_GT(max(img) - min(img), 0.3f)
+        << "class " << cls << " has no contrast";
+  }
+}
+
+}  // namespace
+}  // namespace fademl

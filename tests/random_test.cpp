@@ -1,0 +1,133 @@
+#include "fademl/tensor/random.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform();
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+    const float w = rng.uniform(-2.0f, 3.0f);
+    EXPECT_GE(w, -2.0f);
+    EXPECT_LT(w, 3.0f);
+  }
+}
+
+TEST(Rng, UniformIntCoversAndBounds) {
+  Rng rng(17);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.uniform_int(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all buckets hit in 500 draws
+  EXPECT_THROW(rng.uniform_int(0), Error);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(31);
+  const Tensor samples = rng.normal_tensor(Shape{20000}, 1.0f, 2.0f);
+  const float m = mean(samples);
+  EXPECT_NEAR(m, 1.0f, 0.1f);
+  float var = 0.0f;
+  for (int64_t i = 0; i < samples.numel(); ++i) {
+    const float d = samples.at(i) - m;
+    var += d * d;
+  }
+  var /= static_cast<float>(samples.numel());
+  EXPECT_NEAR(var, 4.0f, 0.3f);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(55);
+  Rng child = parent.fork();
+  // The child stream must differ both from a fresh parent and from the
+  // parent's continuation.
+  std::vector<uint64_t> child_draws;
+  for (int i = 0; i < 16; ++i) {
+    child_draws.push_back(child.next_u64());
+  }
+  int collisions = 0;
+  for (int i = 0; i < 16; ++i) {
+    const uint64_t p = parent.next_u64();
+    if (std::find(child_draws.begin(), child_draws.end(), p) !=
+        child_draws.end()) {
+      ++collisions;
+    }
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Rng, SignTensorIsPlusMinusOne) {
+  Rng rng(2);
+  const Tensor t = rng.sign_tensor(Shape{256});
+  int plus = 0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_TRUE(t.at(i) == 1.0f || t.at(i) == -1.0f);
+    if (t.at(i) == 1.0f) {
+      ++plus;
+    }
+  }
+  EXPECT_GT(plus, 64);   // roughly balanced
+  EXPECT_LT(plus, 192);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(77);
+  const auto perm = rng.permutation(100);
+  std::set<int64_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 99);
+  // Not the identity (astronomically unlikely).
+  bool identity = true;
+  for (int64_t i = 0; i < 100; ++i) {
+    if (perm[static_cast<size_t>(i)] != i) {
+      identity = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(identity);
+}
+
+TEST(Rng, UniformTensorRange) {
+  Rng rng(4);
+  const Tensor t = rng.uniform_tensor(Shape{512}, 0.25f, 0.75f);
+  EXPECT_GE(min(t), 0.25f);
+  EXPECT_LT(max(t), 0.75f);
+}
+
+}  // namespace
+}  // namespace fademl

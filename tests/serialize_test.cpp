@@ -1,0 +1,94 @@
+#include "fademl/tensor/serialize.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/random.hpp"
+
+namespace fademl {
+namespace {
+
+TEST(Serialize, TensorRoundtrip) {
+  Rng rng(1);
+  const Tensor t = rng.normal_tensor(Shape{3, 4, 5}, 0.0f, 1.0f);
+  std::stringstream ss;
+  write_tensor(ss, t);
+  const Tensor back = read_tensor(ss);
+  ASSERT_EQ(back.shape(), t.shape());
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_FLOAT_EQ(back.at(i), t.at(i));
+  }
+}
+
+TEST(Serialize, ScalarRoundtrip) {
+  std::stringstream ss;
+  write_tensor(ss, Tensor::scalar(3.25f));
+  const Tensor back = read_tensor(ss);
+  EXPECT_EQ(back.rank(), 0);
+  EXPECT_FLOAT_EQ(back.item(), 3.25f);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream ss("not a tensor stream at all");
+  EXPECT_THROW(read_tensor(ss), Error);
+}
+
+TEST(Serialize, RejectsTruncatedData) {
+  std::stringstream ss;
+  write_tensor(ss, Tensor::ones(Shape{16}));
+  std::string payload = ss.str();
+  payload.resize(payload.size() - 8);
+  std::stringstream truncated(payload);
+  EXPECT_THROW(read_tensor(truncated), Error);
+}
+
+TEST(Serialize, RejectsUndefinedTensor) {
+  std::stringstream ss;
+  EXPECT_THROW(write_tensor(ss, Tensor{}), Error);
+}
+
+TEST(Serialize, BundleRoundtripPreservesNamesAndOrder) {
+  Rng rng(2);
+  std::vector<NamedTensor> bundle = {
+      {"conv.weight", rng.normal_tensor(Shape{4, 3, 3, 3}, 0, 1)},
+      {"conv.bias", Tensor::zeros(Shape{4})},
+      {"fc.weight", rng.normal_tensor(Shape{10, 16}, 0, 1)},
+  };
+  std::stringstream ss;
+  write_bundle(ss, bundle);
+  const auto back = read_bundle(ss);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0].name, "conv.weight");
+  EXPECT_EQ(back[1].name, "conv.bias");
+  EXPECT_EQ(back[2].name, "fc.weight");
+  EXPECT_EQ(back[0].tensor.shape(), Shape({4, 3, 3, 3}));
+  EXPECT_FLOAT_EQ(back[0].tensor.at(7), bundle[0].tensor.at(7));
+}
+
+TEST(Serialize, EmptyBundleRoundtrip) {
+  std::stringstream ss;
+  write_bundle(ss, {});
+  EXPECT_TRUE(read_bundle(ss).empty());
+}
+
+TEST(Serialize, FileRoundtrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fademl_bundle_test.fdml")
+          .string();
+  save_bundle(path, {{"t", Tensor::arange(10)}});
+  const auto back = load_bundle(path);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_FLOAT_EQ(back[0].tensor.at(9), 9.0f);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_bundle("/nonexistent/dir/nothing.fdml"), Error);
+}
+
+}  // namespace
+}  // namespace fademl

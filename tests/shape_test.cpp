@@ -1,0 +1,72 @@
+#include "fademl/tensor/shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl {
+namespace {
+
+TEST(Shape, DefaultIsScalar) {
+  const Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_EQ(s.str(), "[]");
+}
+
+TEST(Shape, InitializerListDims) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(1), 3);
+  EXPECT_EQ(s.dim(2), 4);
+  EXPECT_EQ(s.numel(), 24);
+}
+
+TEST(Shape, NegativeIndexCountsFromBack) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.dim(-2), 3);
+  EXPECT_EQ(s.dim(-3), 2);
+}
+
+TEST(Shape, DimOutOfRangeThrows) {
+  const Shape s{2, 3};
+  EXPECT_THROW(s.dim(2), std::out_of_range);
+  EXPECT_THROW(s.dim(-3), std::out_of_range);
+}
+
+TEST(Shape, ZeroDimGivesZeroNumel) {
+  const Shape s{4, 0, 3};
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(Shape, NegativeDimRejected) {
+  // -1 is the legal inference placeholder, anything below is rejected.
+  EXPECT_THROW(Shape({2, -2}), Error);
+  EXPECT_NO_THROW(Shape({2, -1}));
+  EXPECT_THROW(Shape({2, -1}).numel(), Error);  // unresolved placeholder
+}
+
+TEST(Shape, StridesAreRowMajor) {
+  const Shape s{2, 3, 4};
+  const auto strides = s.strides();
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 12);
+  EXPECT_EQ(strides[1], 4);
+  EXPECT_EQ(strides[2], 1);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(Shape, Str) {
+  EXPECT_EQ(Shape({5}).str(), "[5]");
+  EXPECT_EQ(Shape({1, 2}).str(), "[1, 2]");
+}
+
+}  // namespace
+}  // namespace fademl

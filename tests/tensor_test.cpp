@@ -1,0 +1,121 @@
+#include "fademl/tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl {
+namespace {
+
+TEST(Tensor, DefaultIsUndefined) {
+  const Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_THROW(t.data(), Error);
+}
+
+TEST(Tensor, FillConstructor) {
+  const Tensor t{Shape{2, 3}, 1.5f};
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_FLOAT_EQ(t.at(i), 1.5f);
+  }
+}
+
+TEST(Tensor, ValueConstructorChecksCount) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, std::vector<float>{1.0f, 2.0f}), Error);
+}
+
+TEST(Tensor, InitializerList1D) {
+  const Tensor t{1.0f, 2.0f, 3.0f};
+  EXPECT_EQ(t.shape(), Shape({3}));
+  EXPECT_FLOAT_EQ(t.at(1), 2.0f);
+}
+
+TEST(Tensor, Factories) {
+  EXPECT_FLOAT_EQ(Tensor::zeros(Shape{4}).at(2), 0.0f);
+  EXPECT_FLOAT_EQ(Tensor::ones(Shape{4}).at(3), 1.0f);
+  EXPECT_FLOAT_EQ(Tensor::full(Shape{2}, 7.0f).at(0), 7.0f);
+  EXPECT_FLOAT_EQ(Tensor::scalar(2.5f).item(), 2.5f);
+  const Tensor r = Tensor::arange(5);
+  EXPECT_FLOAT_EQ(r.at(4), 4.0f);
+}
+
+TEST(Tensor, MultiDimIndexing) {
+  Tensor t = Tensor::zeros(Shape{2, 3});
+  t.at({1, 2}) = 9.0f;
+  EXPECT_FLOAT_EQ(t.at(5), 9.0f);
+  EXPECT_FLOAT_EQ(t.at({1, 2}), 9.0f);
+  EXPECT_THROW(t.at({2, 0}), Error);
+  EXPECT_THROW(t.at({0}), Error);
+}
+
+TEST(Tensor, ItemRequiresSingleElement) {
+  EXPECT_THROW(Tensor::zeros(Shape{2}).item(), Error);
+  EXPECT_FLOAT_EQ(Tensor::zeros(Shape{1, 1}).item(), 0.0f);
+}
+
+TEST(Tensor, CopyIsShallowCloneIsDeep) {
+  Tensor a = Tensor::zeros(Shape{3});
+  Tensor b = a;            // shallow
+  Tensor c = a.clone();    // deep
+  a.at(0) = 5.0f;
+  EXPECT_FLOAT_EQ(b.at(0), 5.0f);
+  EXPECT_FLOAT_EQ(c.at(0), 0.0f);
+  EXPECT_TRUE(a.shares_storage_with(b));
+  EXPECT_FALSE(a.shares_storage_with(c));
+}
+
+TEST(Tensor, ReshapeSharesStorage) {
+  Tensor a = Tensor::arange(6);
+  Tensor b = a.reshape(Shape{2, 3});
+  EXPECT_TRUE(a.shares_storage_with(b));
+  EXPECT_FLOAT_EQ(b.at({1, 0}), 3.0f);
+}
+
+TEST(Tensor, ReshapeInfersDimension) {
+  const Tensor a = Tensor::arange(12);
+  EXPECT_EQ(a.reshape(Shape{3, -1}).shape(), Shape({3, 4}));
+  EXPECT_EQ(a.reshape(Shape{-1}).shape(), Shape({12}));
+  EXPECT_THROW(a.reshape(Shape{-1, -1}), Error);
+  EXPECT_THROW(a.reshape(Shape{5, -1}), Error);
+}
+
+TEST(Tensor, ReshapeNumelMismatchThrows) {
+  EXPECT_THROW(Tensor::arange(6).reshape(Shape{4}), Error);
+}
+
+TEST(Tensor, InPlaceMutators) {
+  Tensor t = Tensor::ones(Shape{4});
+  t.mul_(3.0f);
+  EXPECT_FLOAT_EQ(t.at(0), 3.0f);
+  t.add_(Tensor::ones(Shape{4}), 2.0f);
+  EXPECT_FLOAT_EQ(t.at(1), 5.0f);
+  t.clamp_(0.0f, 4.0f);
+  EXPECT_FLOAT_EQ(t.at(2), 4.0f);
+  t.apply_([](float v) { return v - 1.0f; });
+  EXPECT_FLOAT_EQ(t.at(3), 3.0f);
+  t.zero_();
+  EXPECT_FLOAT_EQ(t.at(0), 0.0f);
+}
+
+TEST(Tensor, ClampRejectsInvertedRange) {
+  Tensor t = Tensor::ones(Shape{2});
+  EXPECT_THROW(t.clamp_(1.0f, 0.0f), Error);
+}
+
+TEST(Tensor, CopyFromAcrossShapes) {
+  Tensor dst = Tensor::zeros(Shape{2, 2});
+  dst.copy_from(Tensor::arange(4));
+  EXPECT_FLOAT_EQ(dst.at({1, 1}), 3.0f);
+  EXPECT_THROW(dst.copy_from(Tensor::arange(5)), Error);
+}
+
+TEST(Tensor, StrTruncates) {
+  const Tensor t = Tensor::arange(100);
+  const std::string s = t.str(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fademl

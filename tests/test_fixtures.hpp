@@ -1,0 +1,69 @@
+#pragma once
+
+// Shared fixtures for the attack / pipeline / analysis test binaries: a
+// small VGG trained once per process on the scenario-relevant subset of the
+// synthetic GTSRB classes. Training takes ~a second; every test in the
+// binary reuses the same model through the function-local static.
+
+#include <memory>
+#include <vector>
+
+#include "fademl/core/pipeline.hpp"
+#include "fademl/core/scenarios.hpp"
+#include "fademl/data/dataset.hpp"
+#include "fademl/data/gtsrb.hpp"
+#include "fademl/nn/optimizer.hpp"
+#include "fademl/nn/trainer.hpp"
+#include "fademl/nn/vggnet.hpp"
+
+namespace fademl::testing {
+
+struct TinyWorld {
+  std::shared_ptr<nn::Sequential> model;  ///< 43-way head, 16x16 inputs
+  std::vector<Tensor> train_images;
+  std::vector<int64_t> train_labels;
+  /// The classes that actually appear in training (the paper's scenario
+  /// sources/targets plus a couple of distractors).
+  std::vector<int64_t> classes;
+  int64_t image_size = 16;
+};
+
+inline const TinyWorld& tiny_world() {
+  static const TinyWorld world = [] {
+    TinyWorld w;
+    w.classes = {14, 3, 1, 5, 33, 34, 17, 12};
+    Rng data_rng(7);
+    for (int64_t cls : w.classes) {
+      for (int i = 0; i < 14; ++i) {
+        const data::RenderParams params =
+            data::RenderParams::randomize(data_rng, 0.02f);
+        w.train_images.push_back(
+            data::render_sign(cls, params, w.image_size));
+        w.train_labels.push_back(cls);
+      }
+    }
+    Rng model_rng(21);
+    nn::VggConfig config = nn::VggConfig::tiny(43, w.image_size);
+    config.channels = {6, 12};
+    w.model = nn::make_vggnet(config, model_rng);
+
+    nn::SGD::Config sgd_config;
+    sgd_config.lr = 0.05f;
+    nn::SGD sgd(w.model->named_parameters(), sgd_config);
+    nn::Trainer::Config tconfig;
+    tconfig.epochs = 25;
+    tconfig.batch_size = 16;
+    nn::Trainer trainer(*w.model, sgd, tconfig);
+    Rng train_rng(3);
+    trainer.fit(w.train_images, w.train_labels, train_rng);
+    return w;
+  }();
+  return world;
+}
+
+/// Pipeline over the shared tiny model with the given filter.
+inline core::InferencePipeline tiny_pipeline(filters::FilterPtr filter) {
+  return core::InferencePipeline(tiny_world().model, std::move(filter));
+}
+
+}  // namespace fademl::testing

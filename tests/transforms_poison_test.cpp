@@ -1,0 +1,205 @@
+// Tests for the image transforms (rotation, translation, occlusion,
+// trigger stamping) and the training-time poisoning subsystem (label
+// flipping, BadNets backdoor) — the paper's Fig. 1 "Training Data
+// Poisoning" branch.
+
+#include <gtest/gtest.h>
+
+#include "fademl/data/transforms.hpp"
+#include "fademl/nn/optimizer.hpp"
+#include "fademl/nn/trainer.hpp"
+#include "fademl/nn/vggnet.hpp"
+#include "fademl/poison/poison.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+#include "test_fixtures.hpp"
+
+namespace fademl {
+namespace {
+
+Tensor checker_image(int64_t size) {
+  Tensor img = Tensor::zeros(Shape{3, size, size});
+  for (int64_t c = 0; c < 3; ++c) {
+    for (int64_t y = 0; y < size; ++y) {
+      for (int64_t x = 0; x < size; ++x) {
+        img.at({c, y, x}) = static_cast<float>((y / 2 + x / 2) % 2);
+      }
+    }
+  }
+  return img;
+}
+
+TEST(Transforms, RotateZeroIsIdentity) {
+  const Tensor img = checker_image(8);
+  const Tensor rotated = data::rotate_image(img, 0.0f);
+  EXPECT_LT(norm_linf(sub(rotated, img)), 1e-6f);
+}
+
+TEST(Transforms, Rotate360RoundtripsApproximately) {
+  const Tensor img = data::canonical_sample(14, 16);
+  const Tensor rotated = data::rotate_image(img, 360.0f);
+  EXPECT_LT(norm_linf(sub(rotated, img)), 1e-4f);
+}
+
+TEST(Transforms, Rotate90MovesKnownPixel) {
+  // A single bright pixel right of center must move below center under a
+  // +90 degree rotation (y grows down, so x->y).
+  Tensor img = Tensor::zeros(Shape{1, 9, 9});
+  img.at({0, 4, 7}) = 1.0f;
+  const Tensor rotated = data::rotate_image(img, 90.0f);
+  EXPECT_GT(rotated.at({0, 7, 4}) + rotated.at({0, 1, 4}), 0.5f);
+  EXPECT_LT(rotated.at({0, 4, 7}), 0.5f);
+}
+
+TEST(Transforms, SmallRotationKeepsImageClose) {
+  const Tensor img = data::canonical_sample(1, 32);
+  const Tensor rotated = data::rotate_image(img, 5.0f);
+  // Correlated but not identical.
+  const float rel = norm_l2(sub(rotated, img)) / norm_l2(img);
+  EXPECT_GT(rel, 0.005f);
+  EXPECT_LT(rel, 0.35f);
+}
+
+TEST(Transforms, TranslateShiftsContent) {
+  Tensor img = Tensor::zeros(Shape{1, 8, 8});
+  img.at({0, 4, 4}) = 1.0f;
+  const Tensor shifted = data::translate_image(img, 2.0f, -1.0f);
+  EXPECT_GT(shifted.at({0, 3, 6}), 0.9f);
+  EXPECT_LT(shifted.at({0, 4, 4}), 0.1f);
+}
+
+TEST(Transforms, OcclusionPaintsExactlyOneBox) {
+  Rng rng(3);
+  const Tensor img = Tensor::full(Shape{3, 10, 10}, 0.5f);
+  const Tensor occluded = data::occlude_image(img, 4, 0.0f, rng);
+  int64_t changed = 0;
+  for (int64_t i = 0; i < img.numel(); ++i) {
+    if (occluded.at(i) != 0.5f) {
+      ++changed;
+    }
+  }
+  EXPECT_EQ(changed, 3 * 4 * 4);
+  EXPECT_THROW(data::occlude_image(img, 11, 0.0f, rng), Error);
+}
+
+TEST(Transforms, StampPatchSetsExactPixels) {
+  const Tensor img = Tensor::zeros(Shape{3, 8, 8});
+  const Tensor stamped = data::stamp_patch(img, 1, 2, 3, 1.0f, 0.5f, 0.25f);
+  EXPECT_FLOAT_EQ(stamped.at({0, 1, 2}), 1.0f);
+  EXPECT_FLOAT_EQ(stamped.at({1, 3, 4}), 0.5f);
+  EXPECT_FLOAT_EQ(stamped.at({2, 2, 3}), 0.25f);
+  EXPECT_FLOAT_EQ(stamped.at({0, 0, 0}), 0.0f);
+  EXPECT_THROW(data::stamp_patch(img, 6, 6, 3, 1, 1, 1), Error);
+}
+
+data::Dataset small_dataset(int per_class, int64_t image_size) {
+  data::Dataset d;
+  d.num_classes = 43;
+  Rng rng(5);
+  for (int64_t cls : {14, 3, 1, 5}) {
+    for (int i = 0; i < per_class; ++i) {
+      d.images.push_back(data::render_sign(
+          cls, data::RenderParams::randomize(rng, 0.02f), image_size));
+      d.labels.push_back(cls);
+    }
+  }
+  return d;
+}
+
+TEST(LabelFlip, FlipsRoughlyTheRequestedFraction) {
+  data::Dataset d = small_dataset(25, 8);
+  const std::vector<int64_t> original = d.labels;
+  Rng rng(7);
+  const poison::PoisonReport report = poison::flip_labels(d, 0.3f, rng);
+  EXPECT_EQ(report.total, 100);
+  EXPECT_GT(report.poisoned, 15);
+  EXPECT_LT(report.poisoned, 45);
+  int64_t changed = 0;
+  for (size_t i = 0; i < d.labels.size(); ++i) {
+    if (d.labels[i] != original[i]) {
+      ++changed;
+      EXPECT_GE(d.labels[i], 0);
+      EXPECT_LT(d.labels[i], 43);
+    }
+  }
+  EXPECT_EQ(changed, report.poisoned);  // every flip is a real change
+}
+
+TEST(LabelFlip, ZeroFractionIsNoOp) {
+  data::Dataset d = small_dataset(5, 8);
+  const std::vector<int64_t> original = d.labels;
+  Rng rng(8);
+  const poison::PoisonReport report = poison::flip_labels(d, 0.0f, rng);
+  EXPECT_EQ(report.poisoned, 0);
+  EXPECT_EQ(d.labels, original);
+  EXPECT_THROW(poison::flip_labels(d, 1.5f, rng), Error);
+}
+
+TEST(Backdoor, ImplantStampsAndRelabels) {
+  data::Dataset d = small_dataset(25, 16);
+  poison::BackdoorConfig config;
+  config.target_class = 3;
+  config.fraction = 0.2f;
+  Rng rng(9);
+  const poison::PoisonReport report = poison::implant_backdoor(d, config, rng);
+  EXPECT_GT(report.poisoned, 5);
+  EXPECT_LT(report.poisoned, 40);
+  // Every poisoned sample carries the trigger color and the target label.
+  int64_t with_trigger = 0;
+  for (size_t i = 0; i < d.images.size(); ++i) {
+    const bool trigger =
+        d.images[i].at({0, config.y, config.x}) == config.r &&
+        d.images[i].at({2, config.y, config.x}) == config.b;
+    if (trigger) {
+      ++with_trigger;
+      EXPECT_EQ(d.labels[i], config.target_class);
+    }
+  }
+  EXPECT_EQ(with_trigger, report.poisoned);
+}
+
+TEST(Backdoor, TrainedModelLearnsTheTrigger) {
+  // Train a tiny model on a 4-class backdoored set; the trigger must
+  // dominate: triggered inputs of other classes go to the target.
+  data::Dataset train = small_dataset(20, 16);
+  poison::BackdoorConfig config;
+  config.target_class = 3;
+  config.fraction = 0.25f;
+  config.patch_size = 4;
+  Rng rng(11);
+  poison::implant_backdoor(train, config, rng);
+
+  Rng model_rng(13);
+  nn::VggConfig vgg = nn::VggConfig::tiny(43, 16);
+  vgg.channels = {6, 12};
+  const auto model = nn::make_vggnet(vgg, model_rng);
+  nn::SGD sgd(model->named_parameters(), {.lr = 0.05f});
+  nn::Trainer::Config tc;
+  tc.epochs = 25;
+  nn::Trainer trainer(*model, sgd, tc);
+  Rng train_rng(15);
+  trainer.fit(train.images, train.labels, train_rng);
+
+  // Clean behaviour mostly intact...
+  data::Dataset clean_eval = small_dataset(5, 16);
+  const nn::EvalResult clean =
+      nn::evaluate(*model, clean_eval.images, clean_eval.labels);
+  EXPECT_GT(clean.top1, 0.6);
+  // ...but the trigger flips other classes to the target.
+  const double asr = poison::backdoor_success_rate(*model, clean_eval, config);
+  EXPECT_GT(asr, 0.7);
+}
+
+TEST(Backdoor, ValidatesConfig) {
+  data::Dataset d = small_dataset(2, 16);
+  poison::BackdoorConfig config;
+  config.target_class = 99;
+  Rng rng(1);
+  EXPECT_THROW(poison::implant_backdoor(d, config, rng), Error);
+  config.target_class = 3;
+  config.fraction = -0.1f;
+  EXPECT_THROW(poison::implant_backdoor(d, config, rng), Error);
+}
+
+}  // namespace
+}  // namespace fademl

@@ -1,0 +1,102 @@
+#include "fademl/attacks/universal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+#include "test_fixtures.hpp"
+
+namespace fademl::attacks {
+namespace {
+
+using core::ThreatModel;
+using fademl::testing::tiny_pipeline;
+using fademl::testing::tiny_world;
+
+TEST(Universal, ValidatesOptions) {
+  AttackConfig bad;
+  bad.epsilon = 0.0f;
+  EXPECT_THROW(UniversalPerturbation{bad}, Error);
+  UniversalOptions bad_opt;
+  bad_opt.epochs = 0;
+  EXPECT_THROW(UniversalPerturbation({}, bad_opt), Error);
+  bad_opt.epochs = 1;
+  bad_opt.target_fooling_rate = 0.0f;
+  EXPECT_THROW(UniversalPerturbation({}, bad_opt), Error);
+}
+
+TEST(Universal, RespectsBudgetAndFoolsMostSamples) {
+  const auto pipeline = tiny_pipeline(filters::make_identity());
+  const auto& w = tiny_world();
+  // One image per class keeps the test quick.
+  std::vector<Tensor> images;
+  std::vector<int64_t> labels;
+  for (int64_t cls : w.classes) {
+    images.push_back(data::canonical_sample(cls, w.image_size));
+    labels.push_back(cls);
+  }
+  AttackConfig config;
+  config.epsilon = 0.2f;
+  UniversalOptions options;
+  options.epochs = 4;
+  options.steps_per_sample = 4;
+  options.step_size = 0.02f;
+  options.target_fooling_rate = 0.7f;
+  const UniversalPerturbation uap(config, options);
+  const UniversalResult result = uap.craft(pipeline, images, labels);
+
+  EXPECT_LE(norm_linf(result.perturbation), config.epsilon + 1e-5f);
+  EXPECT_GE(result.fooling_rate, 0.5);  // one noise fools most classes
+  EXPECT_GT(result.gradient_evaluations, 0);
+  // fooling_rate() recomputes the same number.
+  EXPECT_NEAR(UniversalPerturbation::fooling_rate(
+                  pipeline, images, result.perturbation, ThreatModel::kI),
+              result.fooling_rate, 1e-9);
+}
+
+TEST(Universal, ZeroPerturbationFoolsNothing) {
+  const auto pipeline = tiny_pipeline(filters::make_identity());
+  const auto& w = tiny_world();
+  std::vector<Tensor> images = {data::canonical_sample(14, w.image_size)};
+  EXPECT_DOUBLE_EQ(UniversalPerturbation::fooling_rate(
+                       pipeline, images,
+                       Tensor::zeros(images[0].shape()), ThreatModel::kI),
+                   0.0);
+}
+
+TEST(Universal, FilterAwareVariantSurvivesTheFilter) {
+  // A TM-III universal perturbation is crafted through the filter and must
+  // fool more filtered predictions than a TM-I one evaluated through the
+  // same filter.
+  const auto pipeline = tiny_pipeline(filters::make_lap(8));
+  const auto& w = tiny_world();
+  std::vector<Tensor> images;
+  std::vector<int64_t> labels;
+  for (int64_t cls : w.classes) {
+    images.push_back(data::canonical_sample(cls, w.image_size));
+    labels.push_back(cls);
+  }
+  AttackConfig blind_config;
+  blind_config.epsilon = 0.2f;
+  AttackConfig aware_config = blind_config;
+  aware_config.grad_tm = core::ThreatModel::kIII;
+  UniversalOptions options;
+  options.epochs = 3;
+  options.steps_per_sample = 3;
+  options.step_size = 0.02f;
+
+  const UniversalResult blind =
+      UniversalPerturbation(blind_config, options).craft(pipeline, images,
+                                                         labels);
+  const UniversalResult aware =
+      UniversalPerturbation(aware_config, options).craft(pipeline, images,
+                                                         labels);
+  const double blind_through_filter = UniversalPerturbation::fooling_rate(
+      pipeline, images, blind.perturbation, core::ThreatModel::kIII);
+  const double aware_through_filter = UniversalPerturbation::fooling_rate(
+      pipeline, images, aware.perturbation, core::ThreatModel::kIII);
+  EXPECT_GE(aware_through_filter, blind_through_filter - 1e-9);
+}
+
+}  // namespace
+}  // namespace fademl::attacks

@@ -1,0 +1,192 @@
+// The fademl command-line tool: run the paper's pipeline pieces without
+// writing C++.
+//
+//   fademl classes                      list the 43 GTSRB classes
+//   fademl render  --cls 14 --out s.ppm render a synthetic sign
+//   fademl train                        train/cache the experiment model
+//   fademl eval    --filter lap8        accuracy + top confusions
+//   fademl attack  --source 14 --target 3 --attack bim --filter lap32
+//                  [--fademl] [--eps 0.15] [--out panel.ppm]
+//
+// Every command honors FADEML_FAST / FADEML_CACHE_DIR like the benches.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "fademl/core/metrics.hpp"
+#include "fademl/fademl.hpp"
+#include "fademl/io/args.hpp"
+#include "fademl/io/visualize.hpp"
+
+namespace {
+
+using namespace fademl;
+
+attacks::AttackKind parse_attack(const std::string& spec) {
+  if (spec == "lbfgs") {
+    return attacks::AttackKind::kLbfgs;
+  }
+  if (spec == "fgsm") {
+    return attacks::AttackKind::kFgsm;
+  }
+  if (spec == "bim") {
+    return attacks::AttackKind::kBim;
+  }
+  if (spec == "cw") {
+    return attacks::AttackKind::kCw;
+  }
+  throw Error("unknown attack '" + spec + "' (expected lbfgs|fgsm|bim|cw)");
+}
+
+int cmd_classes() {
+  io::Table table({"id", "class"});
+  for (int64_t c = 0; c < data::kGtsrbNumClasses; ++c) {
+    table.add_row({std::to_string(c), data::gtsrb_class_name(c)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_render(const io::ArgParser& args) {
+  const int64_t cls = args.get_int("cls", 14);
+  const int64_t size = args.get_int("size", 32);
+  const std::string out = args.get("out", "sign.ppm");
+  Tensor image;
+  if (args.has("seed")) {
+    Rng rng(static_cast<uint64_t>(args.get_int("seed", 1)));
+    image = data::render_sign(
+        cls, data::RenderParams::randomize(rng, 0.02f), size);
+  } else {
+    image = data::canonical_sample(cls, size);
+  }
+  io::write_ppm(out, image);
+  std::printf("rendered %s (%lld x %lld) -> %s\n",
+              data::gtsrb_class_name(cls).c_str(),
+              static_cast<long long>(size), static_cast<long long>(size),
+              out.c_str());
+  return 0;
+}
+
+int cmd_train() {
+  core::Experiment exp =
+      core::make_experiment(core::ExperimentConfig::from_env());
+  std::printf("model ready: %lld parameters, checkpoint %s\n",
+              static_cast<long long>(exp.model->parameter_count()),
+              exp.config.checkpoint_path().c_str());
+  return 0;
+}
+
+int cmd_eval(const io::ArgParser& args) {
+  core::Experiment exp =
+      core::make_experiment(core::ExperimentConfig::from_env());
+  core::InferencePipeline pipeline(exp.model,
+                                   filters::parse_filter(args.get("filter", "none")));
+  const auto acc = pipeline.accuracy(exp.dataset.test.images,
+                                     exp.dataset.test.labels,
+                                     core::ThreatModel::kIII);
+  std::printf("pipeline [%s]: top-1 %.1f%%, top-5 %.1f%% on %lld samples\n",
+              pipeline.filter().name().c_str(), acc.top1 * 100.0,
+              acc.top5 * 100.0,
+              static_cast<long long>(exp.dataset.test.size()));
+  const core::ConfusionMatrix cm = core::confusion_matrix(
+      pipeline, exp.dataset.test.images, exp.dataset.test.labels,
+      core::ThreatModel::kIII);
+  io::Table table({"true class", "predicted as", "count"});
+  for (const auto& conf : cm.top_confusions(8)) {
+    table.add_row({data::gtsrb_class_name(conf.truth),
+                   data::gtsrb_class_name(conf.predicted),
+                   std::to_string(conf.count)});
+  }
+  std::printf("\ntop confusions:\n");
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_attack(const io::ArgParser& args) {
+  core::Experiment exp =
+      core::make_experiment(core::ExperimentConfig::from_env());
+  core::InferencePipeline pipeline(exp.model,
+                                   filters::parse_filter(args.get("filter", "lap32")));
+
+  const int64_t source_cls = args.get_int("source", 14);
+  const int64_t target_cls = args.get_int("target", 3);
+  attacks::AttackConfig config;
+  config.epsilon = static_cast<float>(args.get_double("eps", 0.15));
+  config.max_iterations = static_cast<int>(args.get_int("iters", 40));
+  config.target_confidence = 0.9f;
+  config.fgsm_epsilon_search = true;
+  const attacks::AttackKind kind = parse_attack(args.get("attack", "bim"));
+  const attacks::AttackPtr attack = args.has("fademl")
+                                        ? attacks::make_fademl(kind, config)
+                                        : attacks::make_attack(kind, config);
+
+  const Tensor source = core::well_classified_sample(
+      pipeline, source_cls, exp.config.image_size);
+  const attacks::AttackResult r =
+      attack->run(pipeline, source, target_cls);
+
+  const auto show = [&](const char* tag, core::ThreatModel tm) {
+    const core::Prediction p = pipeline.predict(r.adversarial, tm);
+    std::printf("  %-8s %-28s %.1f%%\n", tag,
+                data::gtsrb_class_name(p.label).c_str(),
+                p.confidence * 100.0);
+  };
+  std::printf("%s: %s -> %s  (|n|_inf %.3f, |n|_2 %.2f, %d iterations)\n",
+              attack->name().c_str(),
+              data::gtsrb_class_name(source_cls).c_str(),
+              data::gtsrb_class_name(target_cls).c_str(),
+              static_cast<double>(r.linf), static_cast<double>(r.l2),
+              r.iterations);
+  show("TM-I", core::ThreatModel::kI);
+  show("TM-II", core::ThreatModel::kII);
+  show("TM-III", core::ThreatModel::kIII);
+
+  if (args.has("out")) {
+    const std::string out = args.get("out", "attack_panel.ppm");
+    io::save_attack_panel(out, source, r.adversarial);
+    std::printf("panel [clean | adversarial | noise heatmap] -> %s\n",
+                out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  io::ArgParser args(
+      "fademl — filter-aware adversarial ML toolkit (DATE 2019 reproduction)",
+      {"cls", "size", "out", "seed", "filter", "attack", "source", "target",
+       "eps", "iters", "fademl!"});
+  try {
+    if (argc < 2) {
+      std::fputs(args.usage("fademl <classes|render|train|eval|attack>")
+                     .c_str(),
+                 stderr);
+      return 2;
+    }
+    const std::string command = argv[1];
+    args.parse(argc - 2, argv + 2);
+    if (command == "classes") {
+      return cmd_classes();
+    }
+    if (command == "render") {
+      return cmd_render(args);
+    }
+    if (command == "train") {
+      return cmd_train();
+    }
+    if (command == "eval") {
+      return cmd_eval(args);
+    }
+    if (command == "attack") {
+      return cmd_attack(args);
+    }
+    throw fademl::Error("unknown command '" + command + "'");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(),
+                 args.usage("fademl <classes|render|train|eval|attack>")
+                     .c_str());
+    return 1;
+  }
+}
