@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_blackbox.dir/ext_blackbox.cpp.o"
+  "CMakeFiles/ext_blackbox.dir/ext_blackbox.cpp.o.d"
+  "ext_blackbox"
+  "ext_blackbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_blackbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_geometry.dir/ext_geometry.cpp.o"
+  "CMakeFiles/ext_geometry.dir/ext_geometry.cpp.o.d"
+  "ext_geometry"
+  "ext_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_poisoning.dir/ext_poisoning.cpp.o"
+  "CMakeFiles/ext_poisoning.dir/ext_poisoning.cpp.o.d"
+  "ext_poisoning"
+  "ext_poisoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_poisoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

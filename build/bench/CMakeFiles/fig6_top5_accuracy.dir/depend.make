@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_top5_accuracy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_filter_neutralization.dir/fig7_filter_neutralization.cpp.o"
+  "CMakeFiles/fig7_filter_neutralization.dir/fig7_filter_neutralization.cpp.o.d"
+  "fig7_filter_neutralization"
+  "fig7_filter_neutralization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_filter_neutralization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_fademl.dir/fig9_fademl.cpp.o"
+  "CMakeFiles/fig9_fademl.dir/fig9_fademl.cpp.o.d"
+  "fig9_fademl"
+  "fig9_fademl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fademl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

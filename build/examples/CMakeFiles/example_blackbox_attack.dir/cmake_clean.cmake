@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_blackbox_attack.dir/blackbox_attack.cpp.o"
+  "CMakeFiles/example_blackbox_attack.dir/blackbox_attack.cpp.o.d"
+  "example_blackbox_attack"
+  "example_blackbox_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_blackbox_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

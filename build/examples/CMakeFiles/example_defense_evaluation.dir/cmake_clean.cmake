@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_defense_evaluation.dir/defense_evaluation.cpp.o"
+  "CMakeFiles/example_defense_evaluation.dir/defense_evaluation.cpp.o.d"
+  "example_defense_evaluation"
+  "example_defense_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_defense_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fademl_walkthrough.dir/fademl_walkthrough.cpp.o"
+  "CMakeFiles/example_fademl_walkthrough.dir/fademl_walkthrough.cpp.o.d"
+  "example_fademl_walkthrough"
+  "example_fademl_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fademl_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

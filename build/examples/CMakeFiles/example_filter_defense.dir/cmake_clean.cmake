@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_filter_defense.dir/filter_defense.cpp.o"
+  "CMakeFiles/example_filter_defense.dir/filter_defense.cpp.o.d"
+  "example_filter_defense"
+  "example_filter_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_filter_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

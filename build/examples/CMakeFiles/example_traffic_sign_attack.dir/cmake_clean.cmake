@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_traffic_sign_attack.dir/traffic_sign_attack.cpp.o"
+  "CMakeFiles/example_traffic_sign_attack.dir/traffic_sign_attack.cpp.o.d"
+  "example_traffic_sign_attack"
+  "example_traffic_sign_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_traffic_sign_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/attack.cpp" "src/CMakeFiles/fademl.dir/attacks/attack.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/attacks/attack.cpp.o.d"
+  "/root/repo/src/attacks/bim.cpp" "src/CMakeFiles/fademl.dir/attacks/bim.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/attacks/bim.cpp.o.d"
+  "/root/repo/src/attacks/cw.cpp" "src/CMakeFiles/fademl.dir/attacks/cw.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/attacks/cw.cpp.o.d"
+  "/root/repo/src/attacks/deepfool.cpp" "src/CMakeFiles/fademl.dir/attacks/deepfool.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/attacks/deepfool.cpp.o.d"
+  "/root/repo/src/attacks/eot.cpp" "src/CMakeFiles/fademl.dir/attacks/eot.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/attacks/eot.cpp.o.d"
+  "/root/repo/src/attacks/fademl_attack.cpp" "src/CMakeFiles/fademl.dir/attacks/fademl_attack.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/attacks/fademl_attack.cpp.o.d"
+  "/root/repo/src/attacks/fgsm.cpp" "src/CMakeFiles/fademl.dir/attacks/fgsm.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/attacks/fgsm.cpp.o.d"
+  "/root/repo/src/attacks/jsma.cpp" "src/CMakeFiles/fademl.dir/attacks/jsma.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/attacks/jsma.cpp.o.d"
+  "/root/repo/src/attacks/lbfgs.cpp" "src/CMakeFiles/fademl.dir/attacks/lbfgs.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/attacks/lbfgs.cpp.o.d"
+  "/root/repo/src/attacks/onepixel.cpp" "src/CMakeFiles/fademl.dir/attacks/onepixel.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/attacks/onepixel.cpp.o.d"
+  "/root/repo/src/attacks/spatial.cpp" "src/CMakeFiles/fademl.dir/attacks/spatial.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/attacks/spatial.cpp.o.d"
+  "/root/repo/src/attacks/universal.cpp" "src/CMakeFiles/fademl.dir/attacks/universal.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/attacks/universal.cpp.o.d"
+  "/root/repo/src/attacks/zoo.cpp" "src/CMakeFiles/fademl.dir/attacks/zoo.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/attacks/zoo.cpp.o.d"
+  "/root/repo/src/autograd/ops.cpp" "src/CMakeFiles/fademl.dir/autograd/ops.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/autograd/ops.cpp.o.d"
+  "/root/repo/src/autograd/variable.cpp" "src/CMakeFiles/fademl.dir/autograd/variable.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/autograd/variable.cpp.o.d"
+  "/root/repo/src/core/analysis.cpp" "src/CMakeFiles/fademl.dir/core/analysis.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/core/analysis.cpp.o.d"
+  "/root/repo/src/core/cost.cpp" "src/CMakeFiles/fademl.dir/core/cost.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/core/cost.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/fademl.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/methodology.cpp" "src/CMakeFiles/fademl.dir/core/methodology.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/core/methodology.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/fademl.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/fademl.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/scenarios.cpp" "src/CMakeFiles/fademl.dir/core/scenarios.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/core/scenarios.cpp.o.d"
+  "/root/repo/src/core/threat_model.cpp" "src/CMakeFiles/fademl.dir/core/threat_model.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/core/threat_model.cpp.o.d"
+  "/root/repo/src/data/canvas.cpp" "src/CMakeFiles/fademl.dir/data/canvas.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/data/canvas.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/fademl.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/gtsrb.cpp" "src/CMakeFiles/fademl.dir/data/gtsrb.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/data/gtsrb.cpp.o.d"
+  "/root/repo/src/data/transforms.cpp" "src/CMakeFiles/fademl.dir/data/transforms.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/data/transforms.cpp.o.d"
+  "/root/repo/src/defense/adversarial_training.cpp" "src/CMakeFiles/fademl.dir/defense/adversarial_training.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/defense/adversarial_training.cpp.o.d"
+  "/root/repo/src/defense/detector.cpp" "src/CMakeFiles/fademl.dir/defense/detector.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/defense/detector.cpp.o.d"
+  "/root/repo/src/filters/extra.cpp" "src/CMakeFiles/fademl.dir/filters/extra.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/filters/extra.cpp.o.d"
+  "/root/repo/src/filters/filter.cpp" "src/CMakeFiles/fademl.dir/filters/filter.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/filters/filter.cpp.o.d"
+  "/root/repo/src/io/args.cpp" "src/CMakeFiles/fademl.dir/io/args.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/io/args.cpp.o.d"
+  "/root/repo/src/io/image_io.cpp" "src/CMakeFiles/fademl.dir/io/image_io.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/io/image_io.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/CMakeFiles/fademl.dir/io/table.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/io/table.cpp.o.d"
+  "/root/repo/src/io/visualize.cpp" "src/CMakeFiles/fademl.dir/io/visualize.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/io/visualize.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "src/CMakeFiles/fademl.dir/nn/checkpoint.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/nn/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/CMakeFiles/fademl.dir/nn/layers.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/CMakeFiles/fademl.dir/nn/module.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/nn/module.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/fademl.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/CMakeFiles/fademl.dir/nn/trainer.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/nn/trainer.cpp.o.d"
+  "/root/repo/src/nn/vggnet.cpp" "src/CMakeFiles/fademl.dir/nn/vggnet.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/nn/vggnet.cpp.o.d"
+  "/root/repo/src/poison/poison.cpp" "src/CMakeFiles/fademl.dir/poison/poison.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/poison/poison.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/fademl.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/random.cpp" "src/CMakeFiles/fademl.dir/tensor/random.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/tensor/random.cpp.o.d"
+  "/root/repo/src/tensor/serialize.cpp" "src/CMakeFiles/fademl.dir/tensor/serialize.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/tensor/serialize.cpp.o.d"
+  "/root/repo/src/tensor/shape.cpp" "src/CMakeFiles/fademl.dir/tensor/shape.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/tensor/shape.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/fademl.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/fademl.dir/tensor/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_utils_test.dir/cli_utils_test.cpp.o"
+  "CMakeFiles/cli_utils_test.dir/cli_utils_test.cpp.o.d"
+  "cli_utils_test"
+  "cli_utils_test.pdb"
+  "cli_utils_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_utils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

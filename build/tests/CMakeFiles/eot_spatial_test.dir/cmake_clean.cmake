@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eot_spatial_test.dir/eot_spatial_test.cpp.o"
+  "CMakeFiles/eot_spatial_test.dir/eot_spatial_test.cpp.o.d"
+  "eot_spatial_test"
+  "eot_spatial_test.pdb"
+  "eot_spatial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eot_spatial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_attacks_test.dir/extended_attacks_test.cpp.o"
+  "CMakeFiles/extended_attacks_test.dir/extended_attacks_test.cpp.o.d"
+  "extended_attacks_test"
+  "extended_attacks_test.pdb"
+  "extended_attacks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_attacks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

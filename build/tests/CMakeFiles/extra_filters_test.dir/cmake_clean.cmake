@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_filters_test.dir/extra_filters_test.cpp.o"
+  "CMakeFiles/extra_filters_test.dir/extra_filters_test.cpp.o.d"
+  "extra_filters_test"
+  "extra_filters_test.pdb"
+  "extra_filters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_filters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transforms_poison_test.dir/transforms_poison_test.cpp.o"
+  "CMakeFiles/transforms_poison_test.dir/transforms_poison_test.cpp.o.d"
+  "transforms_poison_test"
+  "transforms_poison_test.pdb"
+  "transforms_poison_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transforms_poison_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

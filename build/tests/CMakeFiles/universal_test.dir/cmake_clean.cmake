@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universal_test.dir/universal_test.cpp.o"
+  "CMakeFiles/universal_test.dir/universal_test.cpp.o.d"
+  "universal_test"
+  "universal_test.pdb"
+  "universal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fademl_cli.dir/fademl_cli.cpp.o"
+  "CMakeFiles/fademl_cli.dir/fademl_cli.cpp.o.d"
+  "fademl"
+  "fademl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fademl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
