@@ -66,26 +66,36 @@ int main() {
     std::printf("== Defense ablation: filter vs training vs smoothing vs "
                 "detection ==\n\n");
     core::Experiment exp = bench::load_experiment();
+    bench::FailureLog failures;
 
     // Scenario sweep helper: attack success count over the five payloads.
+    // One scenario throwing is recorded and skipped, not fatal.
     const auto attack_successes = [&](core::InferencePipeline& pipeline,
                                       bool filter_aware,
                                       core::ThreatModel eval_tm) {
       int successes = 0;
       for (const core::Scenario& scenario : core::paper_scenarios()) {
-        const Tensor source = core::well_classified_sample(
-            pipeline, scenario.source_class, exp.config.image_size);
-        const attacks::AttackPtr attack =
-            filter_aware ? attacks::make_fademl(attacks::AttackKind::kBim,
-                                                bench::paper_budget())
-                         : attacks::make_attack(attacks::AttackKind::kBim,
-                                                bench::paper_budget());
-        const attacks::AttackResult r =
-            attack->run(pipeline, source, scenario.target_class);
-        if (pipeline.predict(r.adversarial, eval_tm).label ==
-            scenario.target_class) {
-          ++successes;
-        }
+        failures.run(std::string(filter_aware ? "FAdeML-BIM" : "BIM") +
+                         " / " + scenario.name,
+                     [&] {
+                       const Tensor source = core::well_classified_sample(
+                           pipeline, scenario.source_class,
+                           exp.config.image_size);
+                       const attacks::AttackPtr attack =
+                           filter_aware
+                               ? attacks::make_fademl(
+                                     attacks::AttackKind::kBim,
+                                     bench::paper_budget())
+                               : attacks::make_attack(
+                                     attacks::AttackKind::kBim,
+                                     bench::paper_budget());
+                       const attacks::AttackResult r = attack->run(
+                           pipeline, source, scenario.target_class);
+                       if (pipeline.predict(r.adversarial, eval_tm).label ==
+                           scenario.target_class) {
+                         ++successes;
+                       }
+                     });
       }
       return successes;
     };
@@ -94,6 +104,7 @@ int main() {
                      "FAdeML-BIM success"});
 
     {  // 1. Undefended.
+      failures.run("defense 'None'", [&] {
       core::InferencePipeline pipeline(exp.model, filters::make_identity());
       const auto acc = pipeline.accuracy(exp.dataset.test.images,
                                          exp.dataset.test.labels,
@@ -104,8 +115,10 @@ int main() {
                                            core::ThreatModel::kIII)) + "/5",
            std::to_string(attack_successes(pipeline, true,
                                            core::ThreatModel::kIII)) + "/5"});
+      });
     }
     {  // 2. The paper's pre-processing filter.
+      failures.run("defense 'LAP(8) filter'", [&] {
       core::InferencePipeline pipeline(exp.model, filters::make_lap(8));
       const auto acc = pipeline.accuracy(exp.dataset.test.images,
                                          exp.dataset.test.labels,
@@ -116,8 +129,10 @@ int main() {
                                            core::ThreatModel::kIII)) + "/5",
            std::to_string(attack_successes(pipeline, true,
                                            core::ThreatModel::kIII)) + "/5"});
+      });
     }
     {  // 3. Adversarial training.
+      failures.run("defense 'Adversarial training'", [&] {
       const auto hardened = adversarially_trained_model(exp);
       core::InferencePipeline pipeline(hardened, filters::make_identity());
       const auto acc = pipeline.accuracy(exp.dataset.test.images,
@@ -129,8 +144,10 @@ int main() {
                                            core::ThreatModel::kIII)) + "/5",
            std::to_string(attack_successes(pipeline, true,
                                            core::ThreatModel::kIII)) + "/5"});
+      });
     }
     {  // 4. Randomized smoothing (prediction-time vote).
+      failures.run("defense 'Randomized smoothing'", [&] {
       core::InferencePipeline pipeline(exp.model, filters::make_identity());
       int bim_successes = 0;
       int fademl_successes = 0;
@@ -162,11 +179,13 @@ int main() {
                      std::to_string(clean_correct) + "/5 sources",
                      std::to_string(bim_successes) + "/5",
                      std::to_string(fademl_successes) + "/5"});
+      });
     }
     bench::emit(table, "ablation_defense");
 
     // 5. Detector: rates rather than success counts.
     {
+      failures.run("defense 'Feature-squeezing detector'", [&] {
       core::InferencePipeline pipeline(exp.model, filters::make_identity());
       const defense::FeatureSqueezeDetector detector(0.5f);
       int detected = 0;
@@ -191,6 +210,7 @@ int main() {
           "\nFeature-squeezing detector (threshold 0.5): detected %d/5 BIM "
           "examples, %d/5 false positives on clean sources.\n",
           detected, false_positives);
+      });
     }
     std::printf(
         "\nExpected shape: the filter stops blind BIM but not FAdeML; "
@@ -198,7 +218,7 @@ int main() {
         "accuracy for robustness yet cannot stop a stronger-budget BIM — "
         "prevention alone is insufficient, matching the literature; the "
         "feature-squeezing detector catches what prevention misses.\n");
-    return 0;
+    return failures.finish();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -21,7 +21,8 @@ namespace {
 using namespace fademl;
 
 void sweet_spot_sweep(core::Experiment& exp,
-                      core::InferencePipeline& pipeline) {
+                      core::InferencePipeline& pipeline,
+                      bench::FailureLog& failures) {
   std::printf("-- A. sweet-spot sweep: clean top-5 vs smoothing strength --\n");
   io::Table table({"Filter", "Top-1", "Top-5"});
   std::vector<filters::FilterPtr> grid;
@@ -35,16 +36,18 @@ void sweet_spot_sweep(core::Experiment& exp,
   std::string best;
   double best_top1 = -1.0;
   for (const filters::FilterPtr& f : grid) {
-    pipeline.set_filter(f);
-    const auto acc = pipeline.accuracy(exp.dataset.test.images,
-                                       exp.dataset.test.labels,
-                                       core::ThreatModel::kIII);
-    table.add_row({f->name(), io::Table::pct(acc.top1, 1),
-                   io::Table::pct(acc.top5, 1)});
-    if (acc.top1 > best_top1) {
-      best_top1 = acc.top1;
-      best = f->name();
-    }
+    failures.run("sweet-spot " + f->name(), [&] {
+      pipeline.set_filter(f);
+      const auto acc = pipeline.accuracy(exp.dataset.test.images,
+                                         exp.dataset.test.labels,
+                                         core::ThreatModel::kIII);
+      table.add_row({f->name(), io::Table::pct(acc.top1, 1),
+                     io::Table::pct(acc.top5, 1)});
+      if (acc.top1 > best_top1) {
+        best_top1 = acc.top1;
+        best = f->name();
+      }
+    });
   }
   bench::emit(table, "ablation_sweet_spot");
   std::printf("Top-1 peak: %s at %.1f%% — mild smoothing denoises the "
@@ -54,7 +57,8 @@ void sweet_spot_sweep(core::Experiment& exp,
 }
 
 void filter_family_ablation(core::Experiment& exp,
-                            core::InferencePipeline& pipeline) {
+                            core::InferencePipeline& pipeline,
+                            bench::FailureLog& failures) {
   std::printf("-- B. filter family: does neutralization need LAP/LAR? --\n");
   // Matched support: LAP(8), LAR(1), Gauss(0.8), Median(1) all act on a
   // ~3x3 neighbourhood.
@@ -66,22 +70,26 @@ void filter_family_ablation(core::Experiment& exp,
                                        filters::make_median(1)})};
   io::Table table({"Filter", "Clean top-5", "Neutralized scenarios (of 5)"});
   for (const filters::FilterPtr& f : family) {
-    pipeline.set_filter(f);
-    const auto acc = pipeline.accuracy(exp.dataset.test.images,
-                                       exp.dataset.test.labels,
-                                       core::ThreatModel::kIII);
-    int neutralized = 0;
-    const attacks::AttackPtr attack = attacks::make_attack(
-        attacks::AttackKind::kBim, bench::paper_budget());
-    for (const core::Scenario& scenario : core::paper_scenarios()) {
-      const core::ScenarioOutcome out = core::analyze_scenario(
-          pipeline, *attack, scenario, exp.config.image_size);
-      if (!out.success_tm23()) {
-        ++neutralized;
+    failures.run("family " + f->name(), [&] {
+      pipeline.set_filter(f);
+      const auto acc = pipeline.accuracy(exp.dataset.test.images,
+                                         exp.dataset.test.labels,
+                                         core::ThreatModel::kIII);
+      int neutralized = 0;
+      const attacks::AttackPtr attack = attacks::make_attack(
+          attacks::AttackKind::kBim, bench::paper_budget());
+      for (const core::Scenario& scenario : core::paper_scenarios()) {
+        failures.run("family " + f->name() + " / " + scenario.name, [&] {
+          const core::ScenarioOutcome out = core::analyze_scenario(
+              pipeline, *attack, scenario, exp.config.image_size);
+          if (!out.success_tm23()) {
+            ++neutralized;
+          }
+        });
       }
-    }
-    table.add_row({f->name(), io::Table::pct(acc.top5, 1),
-                   std::to_string(neutralized)});
+      table.add_row({f->name(), io::Table::pct(acc.top5, 1),
+                     std::to_string(neutralized)});
+    });
   }
   bench::emit(table, "ablation_filter_family");
   std::printf("Any low-pass stage neutralizes gradient noise; the paper's "
@@ -90,7 +98,8 @@ void filter_family_ablation(core::Experiment& exp,
 }
 
 void gradient_route_ablation(core::Experiment& exp,
-                             core::InferencePipeline& pipeline) {
+                             core::InferencePipeline& pipeline,
+                             bench::FailureLog& failures) {
   std::printf(
       "-- C. gradient route: exact adjoint vs BPDA vs blind, per budget --\n");
   pipeline.set_filter(filters::make_lap(32));
@@ -103,6 +112,9 @@ void gradient_route_ablation(core::Experiment& exp,
     int bpda = 0;
     int aware = 0;
     for (const core::Scenario& scenario : core::paper_scenarios()) {
+      failures.run("gradient-route eps " + io::Table::fmt(eps, 2) + " / " +
+                       scenario.name,
+                   [&] {
       const Tensor source = core::well_classified_sample(
           pipeline, scenario.source_class, exp.config.image_size);
       // Blind: gradients ignore the filter entirely.
@@ -153,6 +165,7 @@ void gradient_route_ablation(core::Experiment& exp,
           ++aware;
         }
       }
+                   });
     }
     table.add_row({io::Table::fmt(eps, 2), std::to_string(blind) + "/5",
                    std::to_string(bpda) + "/5", std::to_string(aware) + "/5"});
@@ -170,10 +183,11 @@ int main() {
     std::printf("== Ablations (DESIGN.md §6) ==\n\n");
     core::Experiment exp = bench::load_experiment();
     core::InferencePipeline pipeline(exp.model, filters::make_identity());
-    sweet_spot_sweep(exp, pipeline);
-    filter_family_ablation(exp, pipeline);
-    gradient_route_ablation(exp, pipeline);
-    return 0;
+    bench::FailureLog failures;
+    sweet_spot_sweep(exp, pipeline, failures);
+    filter_family_ablation(exp, pipeline, failures);
+    gradient_route_ablation(exp, pipeline, failures);
+    return failures.finish();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -8,14 +8,61 @@
 //   FADEML_CACHE_DIR=d   where the trained model checkpoint lives
 //   FADEML_CSV_DIR=d     also write every printed table as CSV into d
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "fademl/fademl.hpp"
 
 namespace fademl::bench {
+
+/// Per-item failure isolation for figure sweeps: one attack throwing on
+/// one image/scenario records the failure and the sweep continues, instead
+/// of a single bad cell aborting the whole figure.
+///
+///   bench::FailureLog failures;
+///   for (...) {
+///     failures.run(cell_name, [&] { ...one cell's work... });
+///   }
+///   return failures.finish();
+class FailureLog {
+ public:
+  /// Run one item; on exception, log it and return false (sweep goes on).
+  template <typename Fn>
+  bool run(const std::string& item, Fn&& fn) {
+    try {
+      fn();
+      return true;
+    } catch (const std::exception& e) {
+      failures_.push_back(item + ": " + e.what());
+      std::fprintf(stderr, "[bench] %s failed: %s (continuing)\n",
+                   item.c_str(), e.what());
+      return false;
+    }
+  }
+
+  [[nodiscard]] size_t count() const { return failures_.size(); }
+
+  /// Print the failure summary; returns the figure's exit code
+  /// (0 = clean sweep, 3 = some cells failed but the figure completed).
+  [[nodiscard]] int finish() const {
+    if (failures_.empty()) {
+      return 0;
+    }
+    std::fprintf(stderr, "\n[bench] %zu item(s) failed during the sweep:\n",
+                 failures_.size());
+    for (const std::string& f : failures_) {
+      std::fprintf(stderr, "  - %s\n", f.c_str());
+    }
+    return 3;
+  }
+
+ private:
+  std::vector<std::string> failures_;
+};
 
 inline core::Experiment load_experiment() {
   core::ExperimentConfig config = core::ExperimentConfig::from_env();

@@ -26,29 +26,40 @@ int main() {
                      "Adversarial prediction (TM-I)", "|n|_inf", "|n|_2",
                      "Success"});
     std::vector<Tensor> gallery;  // the figure's image cells, row-major
+    bench::FailureLog failures;
     int successes = 0;
     int total = 0;
     for (attacks::AttackKind kind : bench::paper_attack_kinds()) {
       const attacks::AttackPtr attack =
           attacks::make_attack(kind, bench::budget_for(kind));
       for (const core::Scenario& scenario : core::paper_scenarios()) {
-        const Tensor source = core::well_classified_sample(
-            pipeline, scenario.source_class, exp.config.image_size);
-        const core::Prediction clean =
-            pipeline.predict(source, core::ThreatModel::kI);
-        const attacks::AttackResult r =
-            attack->run(pipeline, source, scenario.target_class);
-        const core::Prediction adv =
-            pipeline.predict(r.adversarial, core::ThreatModel::kI);
-        const bool success = adv.label == scenario.target_class;
-        successes += success ? 1 : 0;
+        const bool cell_ok =
+            failures.run(attack->name() + " / " + scenario.name, [&] {
+              const Tensor source = core::well_classified_sample(
+                  pipeline, scenario.source_class, exp.config.image_size);
+              const core::Prediction clean =
+                  pipeline.predict(source, core::ThreatModel::kI);
+              const attacks::AttackResult r =
+                  attack->run(pipeline, source, scenario.target_class);
+              const core::Prediction adv =
+                  pipeline.predict(r.adversarial, core::ThreatModel::kI);
+              const bool success = adv.label == scenario.target_class;
+              successes += success ? 1 : 0;
+              table.add_row({attack->name(), scenario.name,
+                             bench::prediction_cell(clean),
+                             bench::prediction_cell(adv),
+                             io::Table::fmt(r.linf, 3),
+                             io::Table::fmt(r.l2, 2),
+                             success ? "yes" : "no"});
+              gallery.push_back(r.adversarial);
+            });
         ++total;
-        table.add_row({attack->name(), scenario.name,
-                       bench::prediction_cell(clean),
-                       bench::prediction_cell(adv),
-                       io::Table::fmt(r.linf, 3), io::Table::fmt(r.l2, 2),
-                       success ? "yes" : "no"});
-        gallery.push_back(r.adversarial);
+        if (!cell_ok) {
+          // Keep the montage grid rectangular: a black cell marks the
+          // failed attack.
+          gallery.push_back(Tensor::zeros(
+              Shape{3, exp.config.image_size, exp.config.image_size}));
+        }
       }
     }
     bench::emit(table, "fig5_attacks_tm1");
@@ -62,7 +73,7 @@ int main() {
         "misclassifications (single-step FGSM may overshoot to a "
         "neighbouring class).\n",
         successes, total);
-    return 0;
+    return failures.finish();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -26,24 +26,34 @@ int main() {
                                          core::ThreatModel::kIII);
 
     io::Table table({"Scenario", "No Attack", "L-BFG", "FSGM", "BIM"});
+    bench::FailureLog failures;
     double worst = 1.0;
     for (const core::Scenario& scenario : core::paper_scenarios()) {
-      std::vector<std::string> row = {scenario.name,
-                                      io::Table::pct(clean.top5, 1)};
-      const Tensor source = core::well_classified_sample(
-          pipeline, scenario.source_class, exp.config.image_size);
-      for (attacks::AttackKind kind : bench::paper_attack_kinds()) {
-        const attacks::AttackPtr attack =
-            attacks::make_attack(kind, bench::budget_for(kind));
-        const attacks::AttackResult r =
-            attack->run(pipeline, source, scenario.target_class);
-        const auto acc = core::accuracy_with_noise(
-            pipeline, exp.dataset.test.images, exp.dataset.test.labels,
-            r.noise, core::ThreatModel::kIII);
-        worst = std::min(worst, acc.top5);
-        row.push_back(io::Table::pct(acc.top5, 1));
-      }
-      table.add_row(std::move(row));
+      failures.run("scenario " + scenario.name, [&] {
+        std::vector<std::string> row = {scenario.name,
+                                        io::Table::pct(clean.top5, 1)};
+        const Tensor source = core::well_classified_sample(
+            pipeline, scenario.source_class, exp.config.image_size);
+        for (attacks::AttackKind kind : bench::paper_attack_kinds()) {
+          const attacks::AttackPtr attack =
+              attacks::make_attack(kind, bench::budget_for(kind));
+          const bool cell_ok =
+              failures.run(attack->name() + " / " + scenario.name, [&] {
+                const attacks::AttackResult r =
+                    attack->run(pipeline, source, scenario.target_class);
+                const auto acc = core::accuracy_with_noise(
+                    pipeline, exp.dataset.test.images,
+                    exp.dataset.test.labels, r.noise,
+                    core::ThreatModel::kIII);
+                worst = std::min(worst, acc.top5);
+                row.push_back(io::Table::pct(acc.top5, 1));
+              });
+          if (!cell_ok) {
+            row.push_back("error");
+          }
+        }
+        table.add_row(std::move(row));
+      });
     }
     bench::emit(table, "fig6_top5_accuracy");
     std::printf(
@@ -51,7 +61,7 @@ int main() {
         "top-5 accuracy.\nMeasured: clean %.1f%%, worst attacked %.1f%% "
         "(drop %.1f points).\n",
         clean.top5 * 100.0, worst * 100.0, (clean.top5 - worst) * 100.0);
-    return 0;
+    return failures.finish();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

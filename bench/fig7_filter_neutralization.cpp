@@ -30,25 +30,28 @@ int main() {
     io::Table cells({"Attack", "Scenario", "TM-I prediction",
                      "TM-II prediction", "TM-III prediction", "Eq.2",
                      "Neutralized"});
+    bench::FailureLog failures;
     int neutralized = 0;
     int total = 0;
     for (attacks::AttackKind kind : bench::paper_attack_kinds()) {
       const attacks::AttackPtr attack =
           attacks::make_attack(kind, bench::budget_for(kind));
       for (const core::Scenario& scenario : core::paper_scenarios()) {
-        const core::ScenarioOutcome out = core::analyze_scenario(
-            pipeline, *attack, scenario, exp.config.image_size,
-            core::ThreatModel::kIII);
-        const core::Prediction tm2 = pipeline.predict(
-            out.attack.adversarial, core::ThreatModel::kII);
-        const bool ok = !out.success_tm23();
-        neutralized += ok ? 1 : 0;
-        ++total;
-        cells.add_row({attack->name(), scenario.name,
-                       bench::prediction_cell(out.adv_tm1),
-                       bench::prediction_cell(tm2),
-                       bench::prediction_cell(out.adv_tm23),
-                       io::Table::fmt(out.eq2, 3), ok ? "yes" : "no"});
+        failures.run(attack->name() + " / " + scenario.name, [&] {
+          const core::ScenarioOutcome out = core::analyze_scenario(
+              pipeline, *attack, scenario, exp.config.image_size,
+              core::ThreatModel::kIII);
+          const core::Prediction tm2 = pipeline.predict(
+              out.attack.adversarial, core::ThreatModel::kII);
+          const bool ok = !out.success_tm23();
+          neutralized += ok ? 1 : 0;
+          ++total;
+          cells.add_row({attack->name(), scenario.name,
+                         bench::prediction_cell(out.adv_tm1),
+                         bench::prediction_cell(tm2),
+                         bench::prediction_cell(out.adv_tm23),
+                         io::Table::fmt(out.eq2, 3), ok ? "yes" : "no"});
+        });
       }
     }
     bench::emit(cells, "fig7_cells");
@@ -68,25 +71,44 @@ int main() {
 
       // Universal noises crafted once per attack (blind to any filter).
       pipeline.set_filter(filters::make_identity());
-      const Tensor source = core::well_classified_sample(
-          pipeline, scenario.source_class, exp.config.image_size);
+      Tensor source;
+      if (!failures.run("source sample / " + scenario.name, [&] {
+            source = core::well_classified_sample(
+                pipeline, scenario.source_class, exp.config.image_size);
+          })) {
+        continue;
+      }
       std::map<std::string, Tensor> noises;
       noises["No attack"] = Tensor{};
       for (attacks::AttackKind kind : bench::paper_attack_kinds()) {
         const attacks::AttackPtr attack =
             attacks::make_attack(kind, bench::budget_for(kind));
-        noises[attack->name()] =
-            attack->run(pipeline, source, scenario.target_class).noise;
+        failures.run("craft " + attack->name() + " / " + scenario.name, [&] {
+          noises[attack->name()] =
+              attack->run(pipeline, source, scenario.target_class).noise;
+        });
       }
       for (const char* row_name :
            {"No attack", "L-BFGS", "FGSM", "BIM"}) {
+        if (noises.find(row_name) == noises.end()) {
+          continue;  // crafting failed and was logged; drop the row
+        }
         std::vector<std::string> row = {row_name};
         for (const filters::FilterPtr& f : sweep) {
           pipeline.set_filter(f);
-          const auto acc = core::accuracy_with_noise(
-              pipeline, exp.dataset.test.images, exp.dataset.test.labels,
-              noises.at(row_name), core::ThreatModel::kIII);
-          row.push_back(io::Table::pct(acc.top5, 1));
+          const bool cell_ok = failures.run(
+              std::string(row_name) + " x " + f->name() + " / " +
+                  scenario.name,
+              [&] {
+                const auto acc = core::accuracy_with_noise(
+                    pipeline, exp.dataset.test.images,
+                    exp.dataset.test.labels, noises.at(row_name),
+                    core::ThreatModel::kIII);
+                row.push_back(io::Table::pct(acc.top5, 1));
+              });
+          if (!cell_ok) {
+            row.push_back("error");
+          }
         }
         panel.add_row(std::move(row));
       }
@@ -98,7 +120,7 @@ int main() {
         "top-5 accuracy peaks at moderate strength (np~32 paper / np~8-16 "
         "here, r~3-4 paper / r~2-3 here) and falls once smoothing destroys "
         "distinguishing features.\n");
-    return 0;
+    return failures.finish();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -28,22 +28,25 @@ int main() {
     std::printf("-- (a) FAdeML adversarial predictions through LAP(32) --\n");
     io::Table cells({"Attack", "Scenario", "TM-I prediction",
                      "TM-III prediction", "Eq.2", "Survives filter"});
+    bench::FailureLog failures;
     int survived = 0;
     int total = 0;
     for (attacks::AttackKind kind : bench::paper_attack_kinds()) {
       const attacks::AttackPtr attack =
           attacks::make_fademl(kind, bench::budget_for(kind));
       for (const core::Scenario& scenario : core::paper_scenarios()) {
-        const core::ScenarioOutcome out = core::analyze_scenario(
-            pipeline, *attack, scenario, exp.config.image_size,
-            core::ThreatModel::kIII);
-        const bool ok = out.success_tm23();
-        survived += ok ? 1 : 0;
-        ++total;
-        cells.add_row({attack->name(), scenario.name,
-                       bench::prediction_cell(out.adv_tm1),
-                       bench::prediction_cell(out.adv_tm23),
-                       io::Table::fmt(out.eq2, 3), ok ? "yes" : "no"});
+        failures.run(attack->name() + " / " + scenario.name, [&] {
+          const core::ScenarioOutcome out = core::analyze_scenario(
+              pipeline, *attack, scenario, exp.config.image_size,
+              core::ThreatModel::kIII);
+          const bool ok = out.success_tm23();
+          survived += ok ? 1 : 0;
+          ++total;
+          cells.add_row({attack->name(), scenario.name,
+                         bench::prediction_cell(out.adv_tm1),
+                         bench::prediction_cell(out.adv_tm23),
+                         io::Table::fmt(out.eq2, 3), ok ? "yes" : "no"});
+        });
       }
     }
     bench::emit(cells, "fig9_cells");
@@ -61,8 +64,13 @@ int main() {
         header.push_back(f->name());
       }
       io::Table panel(header);
-      const Tensor source = core::well_classified_sample(
-          pipeline, scenario.source_class, exp.config.image_size);
+      Tensor source;
+      if (!failures.run("source sample / " + scenario.name, [&] {
+            source = core::well_classified_sample(
+                pipeline, scenario.source_class, exp.config.image_size);
+          })) {
+        continue;
+      }
 
       {
         std::vector<std::string> row = {"No attack"};
@@ -83,12 +91,20 @@ int main() {
           // Filter-aware: the noise is optimized against *this* filter.
           const attacks::AttackPtr attack =
               attacks::make_fademl(kind, bench::budget_for(kind));
-          const attacks::AttackResult r =
-              attack->run(pipeline, source, scenario.target_class);
-          const auto acc = core::accuracy_with_noise(
-              pipeline, exp.dataset.test.images, exp.dataset.test.labels,
-              r.noise, core::ThreatModel::kIII);
-          row.push_back(io::Table::pct(acc.top5, 1));
+          const bool cell_ok = failures.run(
+              attack->name() + " x " + f->name() + " / " + scenario.name,
+              [&] {
+                const attacks::AttackResult r =
+                    attack->run(pipeline, source, scenario.target_class);
+                const auto acc = core::accuracy_with_noise(
+                    pipeline, exp.dataset.test.images,
+                    exp.dataset.test.labels, r.noise,
+                    core::ThreatModel::kIII);
+                row.push_back(io::Table::pct(acc.top5, 1));
+              });
+          if (!cell_ok) {
+            row.push_back("error");
+          }
         }
         panel.add_row(std::move(row));
       }
@@ -100,7 +116,7 @@ int main() {
         "\nPaper's shape: the filtered cells stay on the TARGET class "
         "(attack survives), and the accuracy impact under FAdeML noise is "
         "at least as large as Fig. 7's.\n");
-    return 0;
+    return failures.finish();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

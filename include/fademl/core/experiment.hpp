@@ -48,6 +48,11 @@ struct ExperimentConfig {
 
   /// Cache file that uniquely identifies this configuration.
   [[nodiscard]] std::string checkpoint_path() const;
+
+  /// Sidecar file holding the in-progress training snapshot
+  /// (`checkpoint_path() + ".snap"`). An interrupted training run resumes
+  /// from it; it is deleted once the final checkpoint is durably saved.
+  [[nodiscard]] std::string snapshot_path() const;
 };
 
 /// A ready-to-attack experiment: data + trained model + its clean metrics.

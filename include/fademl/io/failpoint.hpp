@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fademl::io {
+
+/// One failpoint specification for deterministic fault injection.
+///
+/// Text syntax (used by tests and the FADEML_FAILPOINT environment
+/// variable):
+///
+///   fail-write:N   the N-th durable write (1-based) throws
+///                  fademl::TransientIoError before touching the disk;
+///                  later writes succeed. Exercises the retry path.
+///   truncate:K     the next durable write stops after K bytes of the temp
+///                  file and throws fademl::IoError — a process killed
+///                  mid-write. The final path is never renamed over.
+///   bit-flip:B     the next durable write flips bit B of the payload and
+///                  then completes "successfully" — silent media
+///                  corruption, caught later by CRC verification.
+///
+/// Each spec fires once (fail-write waits for its N-th write first) and
+/// then disarms, so a retried or subsequent write behaves normally.
+struct FaultSpec {
+  enum class Kind { kNone, kFailWrite, kTruncate, kBitFlip };
+  Kind kind = Kind::kNone;
+  int64_t arg = 0;  ///< N-th write / byte count K / bit index B
+
+  /// Parse the text syntax above; throws fademl::Error on a bad spec.
+  static FaultSpec parse(const std::string& spec);
+};
+
+/// Process-wide deterministic fault injector for durable writes.
+///
+/// All checkpoint persistence funnels through `atomic_write_file`, which
+/// consults the injector at each stage. Tests arm programmatically;
+/// operators arm through FADEML_FAILPOINT (read once at first use).
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  void arm(const FaultSpec& spec);
+  void arm(const std::string& spec) { arm(FaultSpec::parse(spec)); }
+  void disarm();
+  [[nodiscard]] bool armed() const { return spec_.kind != FaultSpec::Kind::kNone; }
+
+  /// Total durable writes observed and faults actually fired — assertions
+  /// for tests ("the failpoint really triggered").
+  [[nodiscard]] int64_t writes_seen() const { return writes_seen_; }
+  [[nodiscard]] int64_t faults_fired() const { return faults_fired_; }
+
+  // ---- hooks used by atomic_write_file -----------------------------------
+
+  /// Called once per durable write with the payload (mutable: kBitFlip
+  /// corrupts it in place). Throws TransientIoError for kFailWrite.
+  /// Returns the number of bytes to actually write before simulating a
+  /// crash (kTruncate), or -1 for "write everything".
+  int64_t on_write(std::string& bytes);
+
+ private:
+  FaultInjector();
+  FaultSpec spec_;
+  int64_t writes_seen_ = 0;
+  int64_t faults_fired_ = 0;
+};
+
+/// Crash-safe whole-file write: serialize to `<path>.tmp`, flush, then
+/// std::filesystem::rename over `path`. A crash at any point leaves the
+/// previous `path` contents intact. Honors the armed failpoint. Throws
+/// fademl::IoError / fademl::TransientIoError on failure.
+void atomic_write_file(const std::string& path, std::string bytes);
+
+/// Run `op`, retrying up to `max_attempts` times on TransientIoError with
+/// exponential backoff starting at `backoff_ms` (doubling per attempt;
+/// 0 disables sleeping, for tests). Non-transient errors propagate
+/// immediately; the last transient error propagates once attempts are
+/// exhausted.
+void with_retries(const std::function<void()>& op, int max_attempts = 3,
+                  int backoff_ms = 10);
+
+}  // namespace fademl::io

@@ -7,16 +7,45 @@
 namespace fademl::nn {
 
 /// Persist all named parameters of `module` to `path` (fademl bundle
-/// format, see fademl/tensor/serialize.hpp).
+/// format v2, see fademl/tensor/serialize.hpp). The write is crash-safe:
+/// the bundle is serialized in memory, written to `<path>.tmp`, flushed,
+/// and renamed over `path`, with transient I/O failures retried. A process
+/// killed mid-save leaves the previous checkpoint at `path` untouched.
 void save_checkpoint(Module& module, const std::string& path);
 
 /// Load parameters into `module` by name. Every parameter of the module
 /// must be present in the file with a matching shape; extra file entries
-/// are an error (they indicate an architecture mismatch).
+/// are an error (they indicate an architecture mismatch). Corrupt bundles
+/// raise fademl::CorruptionError naming the damaged record.
 void load_checkpoint(Module& module, const std::string& path);
 
-/// True if a loadable checkpoint exists at `path` (file present and
-/// parseable header).
+/// Outcome of a full checkpoint validation.
+enum class CheckpointStatus {
+  kOk,       ///< present and every record passed its integrity checks
+  kMissing,  ///< no file at `path`
+  kCorrupt,  ///< present but truncated / bit-flipped / unparseable
+};
+
+struct CheckpointVerdict {
+  CheckpointStatus status = CheckpointStatus::kMissing;
+  std::string detail;       ///< human-readable failure reason (kCorrupt)
+  int64_t record_count = 0; ///< tensors in the bundle (kOk)
+};
+
+/// Fully validate the bundle at `path`: parse every record and check every
+/// CRC (v2) — not just the magic. Never throws; corruption is reported in
+/// the verdict.
+CheckpointVerdict verify_checkpoint(const std::string& path);
+
+/// True if a loadable checkpoint exists at `path`. This is a *full*
+/// verification (verify_checkpoint(path).status == kOk): a file truncated
+/// after its magic, or with any damaged record, reports false.
 bool checkpoint_exists(const std::string& path);
+
+/// Move a damaged file aside to `<path>.corrupt` (replacing any previous
+/// quarantine) so the next run retrains instead of tripping over it again,
+/// while the evidence survives for inspection. Returns the quarantine
+/// path; no-op (still returning the path) if `path` does not exist.
+std::string quarantine_checkpoint(const std::string& path);
 
 }  // namespace fademl::nn

@@ -98,6 +98,11 @@ class Dropout final : public Module {
 
   [[nodiscard]] bool training() const { return training_; }
 
+  /// The mask generator. Exposed so resumable training can snapshot and
+  /// restore its exact state (the masks drawn after a resume then match
+  /// the uninterrupted run bit for bit).
+  [[nodiscard]] Rng& rng() { return rng_; }
+
  private:
   float p_;
   Rng rng_;

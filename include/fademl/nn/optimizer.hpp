@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "fademl/nn/module.hpp"
+#include "fademl/tensor/serialize.hpp"
 
 namespace fademl::nn {
 
@@ -41,6 +42,14 @@ class SGD final : public Optimizer {
 
   void set_lr(float lr) { config_.lr = lr; }
   [[nodiscard]] float lr() const { return config_.lr; }
+
+  /// Momentum buffers as named tensors ("<param>.velocity"), for inclusion
+  /// in resumable-training snapshots.
+  [[nodiscard]] std::vector<NamedTensor> export_state() const;
+
+  /// Restore momentum buffers exported by `export_state` (matched by
+  /// name; every parameter's buffer must be present with its shape).
+  void import_state(const std::vector<NamedTensor>& state);
 
  private:
   Config config_;

@@ -36,6 +36,15 @@ EvalResult evaluate(Module& model, const std::vector<Tensor>& images,
 ///
 /// Shuffles per epoch (deterministically from `rng`), steps the optimizer,
 /// and optionally reports per-epoch progress through `on_epoch`.
+///
+/// When `Config::snapshot_path` is set, training is *resumable*: after
+/// every `snapshot_every` epochs a crash-safe snapshot (model parameters,
+/// SGD momentum buffers, Dropout RNG states, shuffle RNG state, learning
+/// rate, epoch counter) is written atomically, and the next `fit` with the
+/// same path restores it and continues from the interrupted epoch. The
+/// resumed run is bit-for-bit identical to an uninterrupted one. A corrupt
+/// snapshot is quarantined to `<path>.corrupt` and training restarts from
+/// scratch instead of dying.
 class Trainer {
  public:
   struct Config {
@@ -44,6 +53,13 @@ class Trainer {
     /// Multiply the SGD learning rate by this factor each epoch
     /// (1.0 = constant).
     float lr_decay = 1.0f;
+    /// Where to persist per-epoch snapshots; empty disables resumability.
+    std::string snapshot_path;
+    /// Epochs between snapshots (1 = after every epoch).
+    int64_t snapshot_every = 1;
+    /// Called when `fit` resumes from a snapshot, with the epoch it
+    /// continues at.
+    std::function<void(int64_t)> on_resume;
   };
 
   /// Per-epoch callback: (epoch index, train loss, train top-1).
@@ -57,7 +73,18 @@ class Trainer {
              const std::vector<int64_t>& labels, Rng& rng,
              const EpochCallback& on_epoch = nullptr);
 
+  /// Delete the snapshot at `path` (after the final checkpoint has been
+  /// durably saved, the snapshot is redundant). No-op if absent.
+  static void discard_snapshot(const std::string& path);
+
  private:
+  void write_snapshot(int64_t next_epoch, const Rng& rng,
+                      double last_loss) const;
+  /// Restore from `snapshot_path` if a valid snapshot exists; returns the
+  /// epoch to continue from (0 = fresh start) and the snapshotted epoch
+  /// loss through `last_loss`.
+  int64_t try_resume(Rng& rng, double* last_loss) const;
+
   Module& model_;
   SGD& optimizer_;
   Config config_;

@@ -16,6 +16,34 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// An I/O operation failed (open, write, flush, rename, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// An I/O failure that is worth retrying (e.g. a transient write error
+/// under fault injection). `io::with_retries` retries these and nothing
+/// else.
+class TransientIoError : public IoError {
+ public:
+  explicit TransientIoError(const std::string& what) : IoError(what) {}
+};
+
+/// Persisted data failed an integrity check (bad CRC, truncation, missing
+/// trailer). `record()` names the corrupt record when it is known, so a
+/// caller can report exactly which tensor was damaged.
+class CorruptionError : public Error {
+ public:
+  explicit CorruptionError(const std::string& what, std::string record = "")
+      : Error(what), record_(std::move(record)) {}
+
+  [[nodiscard]] const std::string& record() const { return record_; }
+
+ private:
+  std::string record_;
+};
+
 namespace detail {
 [[noreturn]] void throw_check_failure(const char* expr, const char* file,
                                       int line, const std::string& msg);

@@ -36,6 +36,26 @@ class Rng {
   /// Derive an independent stream (for parallel-safe sub-generators).
   [[nodiscard]] Rng fork();
 
+  // ---- state capture -----------------------------------------------------
+
+  /// The full generator state, for exact save/restore across process
+  /// restarts (resumable training serializes this with each snapshot).
+  struct State {
+    uint64_t state = 0;
+    bool have_spare_normal = false;
+    float spare_normal = 0.0f;
+  };
+
+  [[nodiscard]] State get_state() const {
+    return {state_, have_spare_normal_, spare_normal_};
+  }
+
+  void set_state(const State& s) {
+    state_ = s.state;
+    have_spare_normal_ = s.have_spare_normal;
+    spare_normal_ = s.spare_normal;
+  }
+
   // ---- tensor fills ------------------------------------------------------
 
   Tensor uniform_tensor(Shape shape, float lo, float hi);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -10,9 +11,19 @@ namespace fademl {
 
 /// Binary tensor (de)serialization.
 ///
-/// Format (little-endian): magic "FDML", u32 version, u32 rank,
+/// Tensor format (little-endian): magic "FDML", u32 version, u32 rank,
 /// i64 dims[rank], f32 data[numel]. A *bundle* is a count-prefixed sequence
 /// of (name, tensor) records and is what model checkpoints use.
+///
+/// Bundle format v2 (the current writer) wraps every record in a length +
+/// CRC32 envelope and ends with a "FEND" trailer, so truncation and
+/// bit-flips are detected on load and reported as fademl::CorruptionError
+/// naming the damaged record. The v1 format (no checksums) is still read
+/// transparently; see docs/robustness.md for the byte-level layout.
+
+/// CRC-32 (IEEE 802.3 polynomial, as used by zip/png). `seed` chains
+/// incremental computations: crc32(b, crc32(a)) == crc32(a || b).
+uint32_t crc32(const void* data, size_t len, uint32_t seed = 0);
 
 void write_tensor(std::ostream& os, const Tensor& t);
 Tensor read_tensor(std::istream& is);
@@ -22,9 +33,23 @@ struct NamedTensor {
   Tensor tensor;
 };
 
-/// Write a named-tensor bundle (e.g. all parameters of a network).
+/// Write a named-tensor bundle (e.g. all parameters of a network) in the
+/// current (v2, checksummed) format.
 void write_bundle(std::ostream& os, const std::vector<NamedTensor>& tensors);
+
+/// Legacy v1 writer (no checksums). Kept so compatibility tests can
+/// produce v1 streams; new code should use write_bundle.
+void write_bundle_v1(std::ostream& os,
+                     const std::vector<NamedTensor>& tensors);
+
+/// Read a bundle of either version. Throws fademl::CorruptionError on a
+/// failed integrity check (v2) and fademl::Error on malformed streams.
 std::vector<NamedTensor> read_bundle(std::istream& is);
+
+/// In-memory conveniences (used by the atomic checkpoint writer, which
+/// serializes first and persists the bytes in one durable step).
+std::string bundle_to_string(const std::vector<NamedTensor>& tensors);
+std::vector<NamedTensor> bundle_from_string(const std::string& bytes);
 
 /// File-path conveniences; throw fademl::Error on I/O failure.
 void save_bundle(const std::string& path, const std::vector<NamedTensor>& tensors);

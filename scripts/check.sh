@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Repo health check: the tier-1 build + test run, optionally followed by an
+# AddressSanitizer/UBSan pass over the same test suite.
+#
+#   scripts/check.sh            # tier-1: configure, build, ctest
+#   scripts/check.sh --asan     # tier-1, then a FADEML_SANITIZE=ON build
+#                               # in build-asan/ and the tests under ASan/UBSan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+}
+
+echo "== tier-1: build + ctest =="
+run_suite build
+
+if [[ "${1:-}" == "--asan" ]]; then
+  echo
+  echo "== sanitizers: ASan/UBSan build + ctest =="
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+  run_suite build-asan -DFADEML_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+echo
+echo "check.sh: all green"

@@ -36,6 +36,10 @@ std::string ExperimentConfig::checkpoint_path() const {
   return os.str();
 }
 
+std::string ExperimentConfig::snapshot_path() const {
+  return checkpoint_path() + ".snap";
+}
+
 Experiment make_experiment(const ExperimentConfig& config) {
   FADEML_CHECK(config.width_divisor >= 1, "width_divisor must be >= 1");
   Experiment exp;
@@ -58,7 +62,19 @@ Experiment make_experiment(const ExperimentConfig& config) {
 
   std::filesystem::create_directories(config.cache_dir);
   const std::string path = config.checkpoint_path();
-  if (nn::checkpoint_exists(path)) {
+  nn::CheckpointVerdict verdict = nn::verify_checkpoint(path);
+  if (verdict.status == nn::CheckpointStatus::kCorrupt) {
+    // A crash or bit-rot left a damaged cache: move it aside and retrain
+    // (resuming from the latest training snapshot when one survives)
+    // instead of letting the run die on a parse error.
+    const std::string quarantined = nn::quarantine_checkpoint(path);
+    std::fprintf(stderr,
+                 "[fademl] cached checkpoint %s is corrupt (%s); moved to %s, "
+                 "retraining\n",
+                 path.c_str(), verdict.detail.c_str(), quarantined.c_str());
+    verdict.status = nn::CheckpointStatus::kMissing;
+  }
+  if (verdict.status == nn::CheckpointStatus::kOk) {
     nn::load_checkpoint(*exp.model, path);
     if (config.verbose) {
       std::printf("[fademl] loaded cached model from %s\n", path.c_str());
@@ -81,6 +97,13 @@ Experiment make_experiment(const ExperimentConfig& config) {
     tconfig.epochs = config.epochs;
     tconfig.batch_size = config.batch_size;
     tconfig.lr_decay = config.lr_decay;
+    tconfig.snapshot_path = config.snapshot_path();
+    tconfig.on_resume = [&](int64_t epoch) {
+      if (config.verbose) {
+        std::printf("[fademl] resuming interrupted training at epoch %lld\n",
+                    static_cast<long long>(epoch + 1));
+      }
+    };
     nn::Trainer trainer(*exp.model, sgd, tconfig);
     Rng train_rng(config.seed + 1);
     trainer.fit(exp.dataset.train.images, exp.dataset.train.labels, train_rng,
@@ -93,6 +116,7 @@ Experiment make_experiment(const ExperimentConfig& config) {
                   }
                 });
     nn::save_checkpoint(*exp.model, path);
+    nn::Trainer::discard_snapshot(config.snapshot_path());
     if (config.verbose) {
       std::printf("[fademl] cached model to %s\n", path.c_str());
     }

@@ -1,0 +1,153 @@
+#include "fademl/io/failpoint.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::io {
+
+FaultSpec FaultSpec::parse(const std::string& spec) {
+  const size_t colon = spec.find(':');
+  FADEML_CHECK(colon != std::string::npos,
+               "bad failpoint '" + spec +
+                   "' (expected <kind>:<n>, e.g. fail-write:2)");
+  const std::string kind = spec.substr(0, colon);
+  const std::string arg_text = spec.substr(colon + 1);
+  FaultSpec out;
+  try {
+    out.arg = std::stoll(arg_text);
+  } catch (const std::exception&) {
+    throw Error("bad failpoint argument '" + arg_text + "' in '" + spec +
+                "'");
+  }
+  FADEML_CHECK(out.arg >= 0, "failpoint argument must be non-negative");
+  if (kind == "fail-write") {
+    out.kind = Kind::kFailWrite;
+    FADEML_CHECK(out.arg >= 1, "fail-write:N requires N >= 1 (1-based)");
+  } else if (kind == "truncate") {
+    out.kind = Kind::kTruncate;
+  } else if (kind == "bit-flip") {
+    out.kind = Kind::kBitFlip;
+  } else {
+    throw Error("unknown failpoint kind '" + kind +
+                "' (expected fail-write|truncate|bit-flip)");
+  }
+  return out;
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::FaultInjector() {
+  if (const char* env = std::getenv("FADEML_FAILPOINT")) {
+    if (env[0] != '\0') {
+      spec_ = FaultSpec::parse(env);
+    }
+  }
+}
+
+void FaultInjector::arm(const FaultSpec& spec) {
+  spec_ = spec;
+  writes_seen_ = 0;
+}
+
+void FaultInjector::disarm() { spec_ = FaultSpec{}; }
+
+int64_t FaultInjector::on_write(std::string& bytes) {
+  ++writes_seen_;
+  switch (spec_.kind) {
+    case FaultSpec::Kind::kNone:
+      return -1;
+    case FaultSpec::Kind::kFailWrite:
+      if (writes_seen_ < spec_.arg) {
+        return -1;  // not this write yet
+      }
+      ++faults_fired_;
+      disarm();
+      throw TransientIoError("fault injection: durable write " +
+                             std::to_string(writes_seen_) +
+                             " failed transiently");
+    case FaultSpec::Kind::kTruncate: {
+      ++faults_fired_;
+      const int64_t keep =
+          std::min<int64_t>(spec_.arg, static_cast<int64_t>(bytes.size()));
+      disarm();
+      return keep;
+    }
+    case FaultSpec::Kind::kBitFlip: {
+      ++faults_fired_;
+      const int64_t bit = spec_.arg;
+      disarm();
+      if (!bytes.empty()) {
+        const size_t byte_index =
+            static_cast<size_t>(bit / 8) % bytes.size();
+        bytes[byte_index] ^= static_cast<char>(1u << (bit % 8));
+      }
+      return -1;
+    }
+  }
+  return -1;
+}
+
+void atomic_write_file(const std::string& path, std::string bytes) {
+  // Consult the failpoint before anything touches the disk: kFailWrite
+  // throws here, kBitFlip corrupts the payload, kTruncate limits how much
+  // of the temp file gets written before the simulated crash.
+  const int64_t write_limit = FaultInjector::instance().on_write(bytes);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os.is_open()) {
+      throw IoError("cannot open '" + tmp + "' for writing");
+    }
+    if (write_limit >= 0 &&
+        write_limit < static_cast<int64_t>(bytes.size())) {
+      os.write(bytes.data(), static_cast<std::streamsize>(write_limit));
+      os.flush();
+      throw IoError("fault injection: simulated crash after " +
+                    std::to_string(write_limit) + " of " +
+                    std::to_string(bytes.size()) + " bytes of '" + tmp +
+                    "'");
+    }
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    if (!os) {
+      throw IoError("write failure on '" + tmp + "'");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw IoError("cannot rename '" + tmp + "' over '" + path +
+                  "': " + ec.message());
+  }
+}
+
+void with_retries(const std::function<void()>& op, int max_attempts,
+                  int backoff_ms) {
+  FADEML_CHECK(max_attempts >= 1, "with_retries requires max_attempts >= 1");
+  int delay = backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      op();
+      return;
+    } catch (const TransientIoError&) {
+      if (attempt >= max_attempts) {
+        throw;
+      }
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        delay *= 2;
+      }
+    }
+  }
+}
+
+}  // namespace fademl::io

@@ -1,8 +1,9 @@
 #include "fademl/nn/checkpoint.hpp"
 
-#include <fstream>
+#include <filesystem>
 #include <unordered_map>
 
+#include "fademl/io/failpoint.hpp"
 #include "fademl/tensor/error.hpp"
 #include "fademl/tensor/serialize.hpp"
 
@@ -13,7 +14,8 @@ void save_checkpoint(Module& module, const std::string& path) {
   for (const NamedParam& p : module.named_parameters()) {
     tensors.push_back({p.name, p.param.value()});
   }
-  save_bundle(path, tensors);
+  const std::string bytes = bundle_to_string(tensors);
+  io::with_retries([&] { io::atomic_write_file(path, bytes); });
 }
 
 void load_checkpoint(Module& module, const std::string& path) {
@@ -42,15 +44,40 @@ void load_checkpoint(Module& module, const std::string& path) {
                    " — architecture mismatch");
 }
 
-bool checkpoint_exists(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is.is_open()) {
-    return false;
+CheckpointVerdict verify_checkpoint(const std::string& path) {
+  CheckpointVerdict verdict;
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    verdict.status = CheckpointStatus::kMissing;
+    return verdict;
   }
-  char magic[4];
-  is.read(magic, 4);
-  return static_cast<bool>(is) && magic[0] == 'F' && magic[1] == 'D' &&
-         magic[2] == 'M' && magic[3] == 'L';
+  try {
+    const std::vector<NamedTensor> tensors = load_bundle(path);
+    verdict.status = CheckpointStatus::kOk;
+    verdict.record_count = static_cast<int64_t>(tensors.size());
+  } catch (const std::exception& e) {
+    verdict.status = CheckpointStatus::kCorrupt;
+    verdict.detail = e.what();
+  }
+  return verdict;
+}
+
+bool checkpoint_exists(const std::string& path) {
+  return verify_checkpoint(path).status == CheckpointStatus::kOk;
+}
+
+std::string quarantine_checkpoint(const std::string& path) {
+  const std::string quarantine = path + ".corrupt";
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec) && !ec) {
+    std::filesystem::rename(path, quarantine, ec);
+    if (ec) {
+      // Rename across devices or a permissions problem: fall back to
+      // removing the bad file so the caller can still make progress.
+      std::filesystem::remove(path, ec);
+    }
+  }
+  return quarantine;
 }
 
 }  // namespace fademl::nn

@@ -1,6 +1,7 @@
 #include "fademl/nn/optimizer.hpp"
 
 #include <cmath>
+#include <unordered_map>
 
 #include "fademl/tensor/error.hpp"
 
@@ -37,6 +38,33 @@ void SGD::step() {
       pv[j] = config_.momentum * pv[j] + grad;
       pw[j] -= config_.lr * pv[j];
     }
+  }
+}
+
+std::vector<NamedTensor> SGD::export_state() const {
+  std::vector<NamedTensor> out;
+  out.reserve(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    out.push_back({params_[i].name + ".velocity", velocity_[i]});
+  }
+  return out;
+}
+
+void SGD::import_state(const std::vector<NamedTensor>& state) {
+  std::unordered_map<std::string, const Tensor*> by_name;
+  for (const NamedTensor& nt : state) {
+    by_name.emplace(nt.name, &nt.tensor);
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const std::string key = params_[i].name + ".velocity";
+    auto it = by_name.find(key);
+    FADEML_CHECK(it != by_name.end(),
+                 "optimizer state is missing buffer '" + key + "'");
+    FADEML_CHECK(it->second->shape() == velocity_[i].shape(),
+                 "optimizer buffer '" + key + "' has shape " +
+                     it->second->shape().str() + ", expected " +
+                     velocity_[i].shape().str());
+    velocity_[i].copy_from(*it->second);
   }
 }
 

@@ -1,12 +1,84 @@
 #include "fademl/nn/trainer.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <unordered_map>
 
 #include "fademl/autograd/ops.hpp"
+#include "fademl/io/failpoint.hpp"
+#include "fademl/nn/checkpoint.hpp"
+#include "fademl/nn/layers.hpp"
 #include "fademl/tensor/error.hpp"
 #include "fademl/tensor/ops.hpp"
+#include "fademl/tensor/serialize.hpp"
 
 namespace fademl::nn {
+
+namespace {
+
+// ---- snapshot record encoding ---------------------------------------------
+//
+// A snapshot is an ordinary bundle whose records are namespaced:
+//   "meta"                 [format, next_epoch, lr, last_loss]
+//   "rng"                  shuffle Rng state (see encode_rng_state)
+//   "model.<param>"        every named parameter tensor
+//   "opt.<param>.velocity" every SGD momentum buffer
+//   "dropout.<i>.rng"      mask RNG of the i-th Dropout module, if any
+//
+// The 64-bit RNG state is stored as four 16-bit chunks, each an exactly
+// representable small float — no bit pattern is ever laundered through
+// float arithmetic, so restore is exact.
+
+constexpr float kSnapshotFormat = 1.0f;
+
+Tensor encode_rng_state(const Rng::State& s) {
+  Tensor t{Shape{6}};
+  float* p = t.data();
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<float>((s.state >> (16 * i)) & 0xFFFFull);
+  }
+  p[4] = s.have_spare_normal ? 1.0f : 0.0f;
+  p[5] = s.spare_normal;
+  return t;
+}
+
+Rng::State decode_rng_state(const Tensor& t) {
+  FADEML_CHECK(t.numel() == 6, "snapshot RNG record has the wrong size");
+  const float* p = t.data();
+  Rng::State s;
+  s.state = 0;
+  for (int i = 0; i < 4; ++i) {
+    s.state |= static_cast<uint64_t>(p[i]) << (16 * i);
+  }
+  s.have_spare_normal = p[4] != 0.0f;
+  s.spare_normal = p[5];
+  return s;
+}
+
+void collect_dropouts(Module& m, std::vector<Dropout*>& out) {
+  if (auto* dropout = dynamic_cast<Dropout*>(&m)) {
+    out.push_back(dropout);
+    return;
+  }
+  if (auto* seq = dynamic_cast<Sequential*>(&m)) {
+    for (size_t i = 0; i < seq->size(); ++i) {
+      collect_dropouts(*(*seq)[i], out);
+    }
+  }
+}
+
+const Tensor& find_record(
+    const std::unordered_map<std::string, const Tensor*>& by_name,
+    const std::string& key) {
+  auto it = by_name.find(key);
+  FADEML_CHECK(it != by_name.end(),
+               "snapshot is missing record '" + key +
+                   "' — written by a different model or library version");
+  return *it->second;
+}
+
+}  // namespace
 
 Tensor stack_images(const std::vector<Tensor>& images) {
   FADEML_CHECK(!images.empty(), "stack_images requires at least one image");
@@ -78,6 +150,8 @@ Trainer::Trainer(Module& model, SGD& optimizer, Config config)
     : model_(model), optimizer_(optimizer), config_(config) {
   FADEML_CHECK(config_.epochs > 0 && config_.batch_size > 0,
                "Trainer requires positive epochs and batch_size");
+  FADEML_CHECK(config_.snapshot_every > 0,
+               "Trainer requires a positive snapshot_every");
 }
 
 double Trainer::fit(const std::vector<Tensor>& images,
@@ -87,9 +161,10 @@ double Trainer::fit(const std::vector<Tensor>& images,
                "fit: image/label count mismatch");
   FADEML_CHECK(!images.empty(), "fit: empty training set");
   const int64_t n = static_cast<int64_t>(images.size());
-  model_.set_training(true);
   double epoch_loss = 0.0;
-  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+  const int64_t start_epoch = try_resume(rng, &epoch_loss);
+  model_.set_training(true);
+  for (int64_t epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     const std::vector<int64_t> order = rng.permutation(n);
     double loss_sum = 0.0;
     int64_t correct = 0;
@@ -127,9 +202,117 @@ double Trainer::fit(const std::vector<Tensor>& images,
                static_cast<double>(correct) / static_cast<double>(n));
     }
     optimizer_.set_lr(optimizer_.lr() * config_.lr_decay);
+    if (!config_.snapshot_path.empty() &&
+        ((epoch + 1) % config_.snapshot_every == 0 ||
+         epoch + 1 == config_.epochs)) {
+      write_snapshot(epoch + 1, rng, epoch_loss);
+    }
   }
   model_.set_training(false);
   return epoch_loss;
+}
+
+void Trainer::write_snapshot(int64_t next_epoch, const Rng& rng,
+                             double last_loss) const {
+  std::vector<NamedTensor> records;
+  Tensor meta{Shape{4}};
+  meta.data()[0] = kSnapshotFormat;
+  meta.data()[1] = static_cast<float>(next_epoch);
+  meta.data()[2] = optimizer_.lr();
+  meta.data()[3] = static_cast<float>(last_loss);
+  records.push_back({"meta", std::move(meta)});
+  records.push_back({"rng", encode_rng_state(rng.get_state())});
+  for (const NamedParam& p : model_.named_parameters()) {
+    records.push_back({"model." + p.name, p.param.value()});
+  }
+  for (NamedTensor& nt : optimizer_.export_state()) {
+    records.push_back({"opt." + nt.name, std::move(nt.tensor)});
+  }
+  std::vector<Dropout*> dropouts;
+  collect_dropouts(model_, dropouts);
+  for (size_t i = 0; i < dropouts.size(); ++i) {
+    records.push_back({"dropout." + std::to_string(i) + ".rng",
+                       encode_rng_state(dropouts[i]->rng().get_state())});
+  }
+  const std::string bytes = bundle_to_string(records);
+  io::with_retries(
+      [&] { io::atomic_write_file(config_.snapshot_path, bytes); });
+}
+
+int64_t Trainer::try_resume(Rng& rng, double* last_loss) const {
+  if (config_.snapshot_path.empty()) {
+    return 0;
+  }
+  const CheckpointVerdict verdict = verify_checkpoint(config_.snapshot_path);
+  if (verdict.status == CheckpointStatus::kMissing) {
+    return 0;
+  }
+  if (verdict.status == CheckpointStatus::kCorrupt) {
+    std::fprintf(stderr,
+                 "[fademl] snapshot '%s' is corrupt (%s); quarantined, "
+                 "restarting training from scratch\n",
+                 config_.snapshot_path.c_str(), verdict.detail.c_str());
+    quarantine_checkpoint(config_.snapshot_path);
+    return 0;
+  }
+  try {
+    const std::vector<NamedTensor> records =
+        load_bundle(config_.snapshot_path);
+    std::unordered_map<std::string, const Tensor*> by_name;
+    for (const NamedTensor& nt : records) {
+      by_name.emplace(nt.name, &nt.tensor);
+    }
+    const Tensor& meta = find_record(by_name, "meta");
+    FADEML_CHECK(meta.numel() == 4 && meta.data()[0] == kSnapshotFormat,
+                 "snapshot has an unknown meta format");
+    const auto next_epoch = static_cast<int64_t>(meta.data()[1]);
+    FADEML_CHECK(next_epoch >= 0 && next_epoch <= config_.epochs,
+                 "snapshot epoch counter is out of range for this run");
+    std::vector<NamedTensor> opt_state;
+    for (NamedParam& p : model_.named_parameters()) {
+      const Tensor& saved = find_record(by_name, "model." + p.name);
+      FADEML_CHECK(saved.shape() == p.param.value().shape(),
+                   "snapshot parameter 'model." + p.name +
+                       "' has the wrong shape — different architecture");
+      p.param.mutable_value().copy_from(saved);
+      opt_state.push_back(
+          {p.name + ".velocity",
+           find_record(by_name, "opt." + p.name + ".velocity")});
+    }
+    optimizer_.import_state(opt_state);
+    optimizer_.set_lr(meta.data()[2]);
+    rng.set_state(decode_rng_state(find_record(by_name, "rng")));
+    std::vector<Dropout*> dropouts;
+    collect_dropouts(model_, dropouts);
+    for (size_t i = 0; i < dropouts.size(); ++i) {
+      dropouts[i]->rng().set_state(decode_rng_state(
+          find_record(by_name, "dropout." + std::to_string(i) + ".rng")));
+    }
+    if (last_loss != nullptr) {
+      *last_loss = meta.data()[3];
+    }
+    if (config_.on_resume) {
+      config_.on_resume(next_epoch);
+    }
+    return next_epoch;
+  } catch (const std::exception& e) {
+    // Structurally valid bundle, wrong contents (different model/config):
+    // quarantine it and start over rather than dying.
+    std::fprintf(stderr,
+                 "[fademl] snapshot '%s' does not match this run (%s); "
+                 "quarantined, restarting training from scratch\n",
+                 config_.snapshot_path.c_str(), e.what());
+    quarantine_checkpoint(config_.snapshot_path);
+    return 0;
+  }
+}
+
+void Trainer::discard_snapshot(const std::string& path) {
+  if (path.empty()) {
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
 }
 
 }  // namespace fademl::nn

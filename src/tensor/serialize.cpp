@@ -1,9 +1,11 @@
 #include "fademl/tensor/serialize.hpp"
 
+#include <array>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "fademl/tensor/error.hpp"
 
@@ -12,7 +14,25 @@ namespace fademl {
 namespace {
 
 constexpr char kMagic[4] = {'F', 'D', 'M', 'L'};
-constexpr uint32_t kVersion = 1;
+constexpr char kTrailerMagic[4] = {'F', 'E', 'N', 'D'};
+constexpr uint32_t kTensorVersion = 1;
+constexpr uint32_t kBundleVersionV1 = 1;
+constexpr uint32_t kBundleVersionV2 = 2;
+// A single record (name + one tensor) larger than this is a parse error,
+// not a real checkpoint: the biggest paper-width layer is ~100 MB.
+constexpr uint64_t kMaxRecordBytes = uint64_t{1} << 31;
+
+std::array<uint32_t, 256> make_crc_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
@@ -41,12 +61,146 @@ std::string read_string(std::istream& is) {
   return s;
 }
 
+/// Best-effort record name for corruption messages: the payload prefix is
+/// the name string, readable even when the CRC over the whole record fails.
+std::string peek_record_name(const std::string& payload) {
+  if (payload.size() < sizeof(uint32_t)) {
+    return "";
+  }
+  uint32_t n = 0;
+  std::memcpy(&n, payload.data(), sizeof(uint32_t));
+  if (n >= (1u << 20) || payload.size() < sizeof(uint32_t) + n) {
+    return "";
+  }
+  return payload.substr(sizeof(uint32_t), n);
+}
+
+std::string record_label(uint32_t index, const std::string& name) {
+  std::string label = "record " + std::to_string(index);
+  if (!name.empty()) {
+    label += " ('" + name + "')";
+  }
+  return label;
+}
+
+std::vector<NamedTensor> read_bundle_v1_body(std::istream& is) {
+  const uint32_t count = read_pod<uint32_t>(is);
+  FADEML_CHECK(count < (1u << 20), "unreasonable bundle entry count");
+  std::vector<NamedTensor> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    NamedTensor nt;
+    nt.name = read_string(is);
+    nt.tensor = read_tensor(is);
+    out.push_back(std::move(nt));
+  }
+  return out;
+}
+
+std::vector<NamedTensor> read_bundle_v2_body(std::istream& is) {
+  const uint32_t count = read_pod<uint32_t>(is);
+  FADEML_CHECK(count < (1u << 20), "unreasonable bundle entry count");
+  std::vector<NamedTensor> out;
+  out.reserve(count);
+  // The trailer checksum chains the count and every record CRC, catching
+  // damage the per-record checks cannot see (a bit-flipped count, a record
+  // spliced out at an envelope boundary).
+  uint32_t meta_crc = crc32(&count, sizeof(count));
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t len = 0;
+    is.read(reinterpret_cast<char*>(&len), sizeof(len));
+    if (!is) {
+      throw CorruptionError("bundle truncated before record " +
+                            std::to_string(i) + " of " +
+                            std::to_string(count));
+    }
+    if (len > kMaxRecordBytes) {
+      throw CorruptionError("bundle record " + std::to_string(i) +
+                            " claims an unreasonable size (" +
+                            std::to_string(len) + " bytes) — corrupt header");
+    }
+    std::string payload(static_cast<size_t>(len), '\0');
+    is.read(payload.data(), static_cast<std::streamsize>(len));
+    if (!is) {
+      throw CorruptionError(
+          "bundle truncated inside " +
+              record_label(i, peek_record_name(payload)),
+          peek_record_name(payload));
+    }
+    uint32_t stored_crc = 0;
+    is.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
+    if (!is) {
+      throw CorruptionError(
+          "bundle truncated at the checksum of " +
+              record_label(i, peek_record_name(payload)),
+          peek_record_name(payload));
+    }
+    const uint32_t actual_crc = crc32(payload.data(), payload.size());
+    if (actual_crc != stored_crc) {
+      const std::string name = peek_record_name(payload);
+      throw CorruptionError("bundle " + record_label(i, name) +
+                                " failed its CRC32 check (stored " +
+                                std::to_string(stored_crc) + ", computed " +
+                                std::to_string(actual_crc) +
+                                ") — bit-flip or partial write",
+                            name);
+    }
+    meta_crc = crc32(&stored_crc, sizeof(stored_crc), meta_crc);
+    std::istringstream ps(payload);
+    NamedTensor nt;
+    nt.name = read_string(ps);
+    nt.tensor = read_tensor(ps);
+    if (ps.peek() != std::istringstream::traits_type::eof()) {
+      throw CorruptionError(
+          "bundle " + record_label(i, nt.name) +
+              " has trailing bytes after its tensor — corrupt envelope",
+          nt.name);
+    }
+    out.push_back(std::move(nt));
+  }
+  char trailer[4];
+  is.read(trailer, 4);
+  if (!is || std::memcmp(trailer, kTrailerMagic, 4) != 0) {
+    throw CorruptionError(
+        "bundle is missing its end-of-file trailer — truncated after record "
+        "data");
+  }
+  uint32_t trailer_count = 0;
+  uint32_t trailer_crc = 0;
+  is.read(reinterpret_cast<char*>(&trailer_count), sizeof(trailer_count));
+  is.read(reinterpret_cast<char*>(&trailer_crc), sizeof(trailer_crc));
+  if (!is) {
+    throw CorruptionError("bundle trailer is truncated");
+  }
+  if (trailer_count != count) {
+    throw CorruptionError("bundle trailer expects " +
+                          std::to_string(trailer_count) +
+                          " records but the header declared " +
+                          std::to_string(count));
+  }
+  if (trailer_crc != meta_crc) {
+    throw CorruptionError(
+        "bundle trailer checksum mismatch — the record table was damaged");
+  }
+  return out;
+}
+
 }  // namespace
+
+uint32_t crc32(const void* data, size_t len, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = make_crc_table();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
 
 void write_tensor(std::ostream& os, const Tensor& t) {
   FADEML_CHECK(t.defined(), "cannot serialize an undefined tensor");
   os.write(kMagic, 4);
-  write_pod<uint32_t>(os, kVersion);
+  write_pod<uint32_t>(os, kTensorVersion);
   write_pod<uint32_t>(os, static_cast<uint32_t>(t.rank()));
   for (int i = 0; i < t.rank(); ++i) {
     write_pod<int64_t>(os, t.dim(i));
@@ -61,7 +215,7 @@ Tensor read_tensor(std::istream& is) {
   FADEML_CHECK(static_cast<bool>(is) && std::memcmp(magic, kMagic, 4) == 0,
                "bad tensor magic (not a fademl tensor stream)");
   const uint32_t version = read_pod<uint32_t>(is);
-  FADEML_CHECK(version == kVersion,
+  FADEML_CHECK(version == kTensorVersion,
                "unsupported tensor format version " + std::to_string(version));
   const uint32_t rank = read_pod<uint32_t>(is);
   FADEML_CHECK(rank <= 8, "unreasonable tensor rank " + std::to_string(rank));
@@ -80,7 +234,30 @@ Tensor read_tensor(std::istream& is) {
 
 void write_bundle(std::ostream& os, const std::vector<NamedTensor>& tensors) {
   os.write(kMagic, 4);
-  write_pod<uint32_t>(os, kVersion);
+  write_pod<uint32_t>(os, kBundleVersionV2);
+  const auto count = static_cast<uint32_t>(tensors.size());
+  write_pod<uint32_t>(os, count);
+  uint32_t meta_crc = crc32(&count, sizeof(count));
+  for (const NamedTensor& nt : tensors) {
+    std::ostringstream payload_os(std::ios::binary);
+    write_string(payload_os, nt.name);
+    write_tensor(payload_os, nt.tensor);
+    const std::string payload = payload_os.str();
+    write_pod<uint64_t>(os, payload.size());
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    const uint32_t crc = crc32(payload.data(), payload.size());
+    write_pod<uint32_t>(os, crc);
+    meta_crc = crc32(&crc, sizeof(crc), meta_crc);
+  }
+  os.write(kTrailerMagic, 4);
+  write_pod<uint32_t>(os, count);
+  write_pod<uint32_t>(os, meta_crc);
+}
+
+void write_bundle_v1(std::ostream& os,
+                     const std::vector<NamedTensor>& tensors) {
+  os.write(kMagic, 4);
+  write_pod<uint32_t>(os, kBundleVersionV1);
   write_pod<uint32_t>(os, static_cast<uint32_t>(tensors.size()));
   for (const NamedTensor& nt : tensors) {
     write_string(os, nt.name);
@@ -94,19 +271,24 @@ std::vector<NamedTensor> read_bundle(std::istream& is) {
   FADEML_CHECK(static_cast<bool>(is) && std::memcmp(magic, kMagic, 4) == 0,
                "bad bundle magic (not a fademl bundle)");
   const uint32_t version = read_pod<uint32_t>(is);
-  FADEML_CHECK(version == kVersion,
-               "unsupported bundle format version " + std::to_string(version));
-  const uint32_t count = read_pod<uint32_t>(is);
-  FADEML_CHECK(count < (1u << 20), "unreasonable bundle entry count");
-  std::vector<NamedTensor> out;
-  out.reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    NamedTensor nt;
-    nt.name = read_string(is);
-    nt.tensor = read_tensor(is);
-    out.push_back(std::move(nt));
+  if (version == kBundleVersionV1) {
+    return read_bundle_v1_body(is);
   }
-  return out;
+  if (version == kBundleVersionV2) {
+    return read_bundle_v2_body(is);
+  }
+  throw Error("unsupported bundle format version " + std::to_string(version));
+}
+
+std::string bundle_to_string(const std::vector<NamedTensor>& tensors) {
+  std::ostringstream os(std::ios::binary);
+  write_bundle(os, tensors);
+  return os.str();
+}
+
+std::vector<NamedTensor> bundle_from_string(const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  return read_bundle(is);
 }
 
 void save_bundle(const std::string& path,

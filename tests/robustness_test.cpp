@@ -1,0 +1,418 @@
+// Crash-safety and fault-injection suite: the io::FaultInjector failpoints
+// drive atomic checkpoint writes, corruption detection/quarantine, and
+// resumable training through the same failure modes a killed process or
+// bit-rotten disk would produce — deterministically.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fademl/core/experiment.hpp"
+#include "fademl/io/failpoint.hpp"
+#include "fademl/nn/checkpoint.hpp"
+#include "fademl/nn/optimizer.hpp"
+#include "fademl/nn/trainer.hpp"
+#include "fademl/nn/vggnet.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/random.hpp"
+#include "fademl/tensor/serialize.hpp"
+
+namespace fademl {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Every test disarms on exit so a failing assertion cannot leak an armed
+/// failpoint into the next test.
+struct DisarmGuard {
+  ~DisarmGuard() { io::FaultInjector::instance().disarm(); }
+};
+
+std::string test_dir() {
+  const std::string dir =
+      (fs::temp_directory_path() / "fademl_robustness").string();
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+// ---- failpoint plumbing ----------------------------------------------------
+
+TEST(FaultSpec, ParsesTheDocumentedSyntax) {
+  const io::FaultSpec fw = io::FaultSpec::parse("fail-write:3");
+  EXPECT_EQ(fw.kind, io::FaultSpec::Kind::kFailWrite);
+  EXPECT_EQ(fw.arg, 3);
+  const io::FaultSpec tr = io::FaultSpec::parse("truncate:128");
+  EXPECT_EQ(tr.kind, io::FaultSpec::Kind::kTruncate);
+  EXPECT_EQ(tr.arg, 128);
+  const io::FaultSpec bf = io::FaultSpec::parse("bit-flip:17");
+  EXPECT_EQ(bf.kind, io::FaultSpec::Kind::kBitFlip);
+  EXPECT_EQ(bf.arg, 17);
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(io::FaultSpec::parse(""), Error);
+  EXPECT_THROW(io::FaultSpec::parse("explode"), Error);
+  EXPECT_THROW(io::FaultSpec::parse("fail-write:"), Error);
+  EXPECT_THROW(io::FaultSpec::parse("fail-write:0"), Error);
+  EXPECT_THROW(io::FaultSpec::parse("truncate:-1"), Error);
+  EXPECT_THROW(io::FaultSpec::parse("bit-flip:x"), Error);
+}
+
+TEST(AtomicWrite, ReplacesContentWithoutLeavingTempFiles) {
+  const std::string path = test_dir() + "/atomic.bin";
+  io::atomic_write_file(path, "first contents");
+  io::atomic_write_file(path, "second contents");
+  EXPECT_EQ(read_file(path), "second contents");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(AtomicWrite, FailWriteFaultIsTransientAndRetrySucceeds) {
+  DisarmGuard guard;
+  auto& injector = io::FaultInjector::instance();
+  const std::string path = test_dir() + "/retry.bin";
+  const int64_t fired_before = injector.faults_fired();
+
+  injector.arm("fail-write:1");
+  EXPECT_THROW(io::atomic_write_file(path + ".direct", "x"), TransientIoError);
+
+  injector.arm("fail-write:1");
+  io::with_retries([&] { io::atomic_write_file(path, "payload"); },
+                   /*max_attempts=*/3, /*backoff_ms=*/0);
+  EXPECT_EQ(read_file(path), "payload");
+  EXPECT_EQ(injector.faults_fired(), fired_before + 2);
+  EXPECT_FALSE(injector.armed());  // each failpoint fires exactly once
+}
+
+TEST(WithRetries, ExhaustsAttemptsOnPersistentTransientFailure) {
+  int attempts = 0;
+  EXPECT_THROW(io::with_retries(
+                   [&] {
+                     ++attempts;
+                     throw TransientIoError("disk hiccup");
+                   },
+                   /*max_attempts=*/3, /*backoff_ms=*/0),
+               TransientIoError);
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST(WithRetries, DoesNotRetryNonTransientErrors) {
+  int attempts = 0;
+  EXPECT_THROW(io::with_retries(
+                   [&] {
+                     ++attempts;
+                     throw IoError("disk on fire");
+                   },
+                   /*max_attempts=*/3, /*backoff_ms=*/0),
+               IoError);
+  EXPECT_EQ(attempts, 1);
+}
+
+// ---- checkpoint crash-safety -----------------------------------------------
+
+std::shared_ptr<nn::Sequential> tiny_net(uint64_t seed) {
+  Rng rng(seed);
+  return nn::make_vggnet(nn::VggConfig::tiny(4, 8), rng);
+}
+
+TEST(Checkpoint, KillDuringSaveLeavesPreviousCheckpointIntact) {
+  DisarmGuard guard;
+  const std::string path = test_dir() + "/killed.fdml";
+  fs::remove(path);
+  const auto net = tiny_net(11);
+  nn::save_checkpoint(*net, path);
+  const std::string good_bytes = read_file(path);
+
+  // The process "dies" after 10 bytes of the temp file; the real path must
+  // never see the partial write.
+  io::FaultInjector::instance().arm("truncate:10");
+  EXPECT_THROW(nn::save_checkpoint(*net, path), IoError);
+  EXPECT_EQ(io::FaultInjector::instance().faults_fired() > 0, true);
+
+  EXPECT_EQ(read_file(path), good_bytes);
+  EXPECT_TRUE(nn::checkpoint_exists(path));
+  const auto restored = tiny_net(99);  // different init, loads fine
+  nn::load_checkpoint(*restored, path);
+}
+
+TEST(Checkpoint, BitFlipIsDetectedNamedAndQuarantined) {
+  DisarmGuard guard;
+  const std::string path = test_dir() + "/flipped.fdml";
+  fs::remove(path);
+  fs::remove(path + ".corrupt");
+  const auto net = tiny_net(12);
+
+  // Silent media corruption: the write "succeeds" but one payload bit is
+  // wrong. Bit 200 = byte 25, inside the first record's CRC-protected
+  // payload.
+  io::FaultInjector::instance().arm("bit-flip:200");
+  nn::save_checkpoint(*net, path);
+
+  const nn::CheckpointVerdict verdict = nn::verify_checkpoint(path);
+  EXPECT_EQ(verdict.status, nn::CheckpointStatus::kCorrupt);
+  EXPECT_FALSE(verdict.detail.empty());
+  EXPECT_FALSE(nn::checkpoint_exists(path));
+  try {
+    nn::load_checkpoint(*net, path);
+    FAIL() << "corrupt checkpoint loaded without error";
+  } catch (const CorruptionError& e) {
+    EXPECT_FALSE(e.record().empty()) << "error should name the damaged record";
+  }
+
+  const std::string quarantined = nn::quarantine_checkpoint(path);
+  EXPECT_EQ(quarantined, path + ".corrupt");
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_TRUE(fs::exists(quarantined));
+}
+
+TEST(Checkpoint, ExistsRejectsFileTruncatedAfterMagic) {
+  // Regression: the old checkpoint_exists only read the 4-byte magic, so a
+  // file cut off right after it (crash before the atomic-write era) passed
+  // and the load crashed later.
+  const std::string path = test_dir() + "/magic_only.fdml";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "FDML";
+  }
+  EXPECT_FALSE(nn::checkpoint_exists(path));
+  EXPECT_EQ(nn::verify_checkpoint(path).status, nn::CheckpointStatus::kCorrupt);
+
+  // Same for a real checkpoint truncated anywhere past the magic.
+  const std::string full = test_dir() + "/truncated.fdml";
+  const auto net = tiny_net(13);
+  nn::save_checkpoint(*net, full);
+  const std::string bytes = read_file(full);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_FALSE(nn::checkpoint_exists(path));
+}
+
+TEST(Checkpoint, VerifyReportsMissingForAbsentFile) {
+  const nn::CheckpointVerdict verdict =
+      nn::verify_checkpoint(test_dir() + "/never_written.fdml");
+  EXPECT_EQ(verdict.status, nn::CheckpointStatus::kMissing);
+}
+
+// ---- resumable training ----------------------------------------------------
+
+struct ToyData {
+  std::vector<Tensor> images;
+  std::vector<int64_t> labels;
+};
+
+ToyData make_toy(int per_class, Rng& rng) {
+  ToyData d;
+  for (int64_t cls = 0; cls < 4; ++cls) {
+    for (int i = 0; i < per_class; ++i) {
+      Tensor img = rng.normal_tensor(Shape{3, 8, 8}, 0.0f, 0.05f);
+      const int64_t oy = (cls / 2) * 4;
+      const int64_t ox = (cls % 2) * 4;
+      for (int64_t c = 0; c < 3; ++c) {
+        for (int64_t y = 0; y < 4; ++y) {
+          for (int64_t x = 0; x < 4; ++x) {
+            img.at({c, oy + y, ox + x}) += 0.9f;
+          }
+        }
+      }
+      img.clamp_(0.0f, 1.0f);
+      d.images.push_back(img);
+      d.labels.push_back(cls);
+    }
+  }
+  return d;
+}
+
+TEST(Rng, StateRoundTripsMidStream) {
+  Rng rng(77);
+  (void)rng.normal();  // leave a spare normal pending: the hard case
+  const Rng::State saved = rng.get_state();
+  std::vector<float> expected;
+  for (int i = 0; i < 8; ++i) {
+    expected.push_back(rng.normal());
+  }
+  rng.set_state(saved);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(rng.normal(), expected[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(Trainer, ResumeAfterKillIsBitForBitIdentical) {
+  const std::string snap = test_dir() + "/trainer.snap";
+  fs::remove(snap);
+  Rng data_rng(5);
+  const ToyData toy = make_toy(6, data_rng);
+
+  nn::Trainer::Config base;
+  base.epochs = 4;
+  base.batch_size = 8;
+  base.lr_decay = 0.5f;  // must be restored exactly on resume
+
+  // Reference run: uninterrupted, no snapshots.
+  const auto reference = tiny_net(42);
+  double reference_loss = 0.0;
+  {
+    nn::SGD sgd(reference->named_parameters(), {});
+    nn::Trainer trainer(*reference, sgd, base);
+    Rng train_rng(1);
+    reference_loss = trainer.fit(toy.images, toy.labels, train_rng);
+  }
+
+  // Interrupted run: identical seeds, snapshots on, "killed" by a throwing
+  // epoch callback during epoch 2 (after the end-of-epoch-1 snapshot).
+  nn::Trainer::Config resumable = base;
+  resumable.snapshot_path = snap;
+  {
+    const auto net = tiny_net(42);
+    nn::SGD sgd(net->named_parameters(), {});
+    nn::Trainer trainer(*net, sgd, resumable);
+    Rng train_rng(1);
+    EXPECT_THROW(
+        trainer.fit(toy.images, toy.labels, train_rng,
+                    [](int64_t epoch, double, double) {
+                      if (epoch == 2) {
+                        throw std::runtime_error("simulated kill -9");
+                      }
+                    }),
+        std::runtime_error);
+  }
+  ASSERT_TRUE(fs::exists(snap));
+
+  // Restarted run: a fresh process would reconstruct model/optimizer from
+  // the same config, then fit() resumes from the snapshot.
+  int64_t resumed_at = -1;
+  resumable.on_resume = [&](int64_t epoch) { resumed_at = epoch; };
+  const auto resumed = tiny_net(42);
+  double resumed_loss = 0.0;
+  {
+    nn::SGD sgd(resumed->named_parameters(), {});
+    nn::Trainer trainer(*resumed, sgd, resumable);
+    Rng train_rng(1);
+    resumed_loss = trainer.fit(toy.images, toy.labels, train_rng);
+  }
+  EXPECT_EQ(resumed_at, 2);
+  EXPECT_DOUBLE_EQ(resumed_loss, reference_loss);
+
+  const auto ref_params = reference->named_parameters();
+  const auto res_params = resumed->named_parameters();
+  ASSERT_EQ(ref_params.size(), res_params.size());
+  for (size_t i = 0; i < ref_params.size(); ++i) {
+    const Tensor& a = ref_params[i].param.value();
+    const Tensor& b = res_params[i].param.value();
+    ASSERT_EQ(a.shape(), b.shape());
+    for (int64_t j = 0; j < a.numel(); ++j) {
+      ASSERT_EQ(a.at(j), b.at(j))
+          << "parameter '" << ref_params[i].name << "' diverged at element "
+          << j << " — resume is not bit-for-bit";
+    }
+  }
+  nn::Trainer::discard_snapshot(snap);
+  EXPECT_FALSE(fs::exists(snap));
+}
+
+TEST(Trainer, CorruptSnapshotIsQuarantinedAndTrainingRestarts) {
+  const std::string snap = test_dir() + "/garbage.snap";
+  fs::remove(snap + ".corrupt");
+  {
+    std::ofstream out(snap, std::ios::binary);
+    out << "FDML this is definitely not a valid bundle";
+  }
+  Rng data_rng(5);
+  const ToyData toy = make_toy(2, data_rng);
+  const auto net = tiny_net(8);
+  nn::SGD sgd(net->named_parameters(), {});
+  nn::Trainer::Config config;
+  config.epochs = 1;
+  config.batch_size = 8;
+  config.snapshot_path = snap;
+  nn::Trainer trainer(*net, sgd, config);
+  Rng train_rng(2);
+  trainer.fit(toy.images, toy.labels, train_rng);  // must not throw
+  EXPECT_TRUE(fs::exists(snap + ".corrupt"));
+  EXPECT_TRUE(nn::checkpoint_exists(snap));  // fresh end-of-run snapshot
+  fs::remove(snap);
+  fs::remove(snap + ".corrupt");
+}
+
+// ---- experiment-level recovery ---------------------------------------------
+
+core::ExperimentConfig micro_config(const std::string& cache_dir) {
+  core::ExperimentConfig config;
+  config.image_size = 32;
+  config.width_divisor = 64;
+  config.train_per_class = 1;
+  config.test_per_class = 1;
+  config.epochs = 1;
+  config.verbose = false;
+  config.cache_dir = cache_dir;
+  return config;
+}
+
+TEST(Experiment, RecoversAfterCrashDuringSave) {
+  DisarmGuard guard;
+  const std::string cache = test_dir() + "/exp_crash";
+  fs::remove_all(cache);
+  const core::ExperimentConfig config = micro_config(cache);
+
+  // First durable write of the run (the end-of-training snapshot) is cut
+  // short: the "process" dies mid-save.
+  io::FaultInjector::instance().arm("truncate:64");
+  EXPECT_THROW(core::make_experiment(config), IoError);
+  EXPECT_FALSE(nn::checkpoint_exists(config.checkpoint_path()));
+
+  // The restarted run finds no usable artifacts and trains cleanly.
+  const core::Experiment exp = core::make_experiment(config);
+  EXPECT_TRUE(nn::checkpoint_exists(config.checkpoint_path()));
+  EXPECT_FALSE(fs::exists(config.snapshot_path()));
+  EXPECT_GT(exp.clean_test.count, 0);
+}
+
+TEST(Experiment, RetriesTransientWriteFailure) {
+  DisarmGuard guard;
+  const std::string cache = test_dir() + "/exp_transient";
+  fs::remove_all(cache);
+  const core::ExperimentConfig config = micro_config(cache);
+  auto& injector = io::FaultInjector::instance();
+  const int64_t fired_before = injector.faults_fired();
+  injector.arm("fail-write:1");
+  core::make_experiment(config);  // retry absorbs the transient failure
+  EXPECT_EQ(injector.faults_fired(), fired_before + 1);
+  EXPECT_TRUE(nn::checkpoint_exists(config.checkpoint_path()));
+}
+
+TEST(Experiment, QuarantinesCorruptCacheAndRetrains) {
+  const std::string cache = test_dir() + "/exp_bitrot";
+  fs::remove_all(cache);
+  const core::ExperimentConfig config = micro_config(cache);
+  core::make_experiment(config);
+  const std::string path = config.checkpoint_path();
+  ASSERT_TRUE(nn::checkpoint_exists(path));
+
+  // Bit-rot the cached checkpoint in place.
+  std::string bytes = read_file(path);
+  bytes[bytes.size() / 2] ^= 0x04;
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  ASSERT_FALSE(nn::checkpoint_exists(path));
+
+  // The next run must not die: quarantine, retrain, re-cache.
+  const core::Experiment exp = core::make_experiment(config);
+  EXPECT_TRUE(fs::exists(path + ".corrupt"));
+  EXPECT_TRUE(nn::checkpoint_exists(path));
+  EXPECT_GT(exp.clean_test.count, 0);
+}
+
+}  // namespace
+}  // namespace fademl

@@ -90,5 +90,86 @@ TEST(Serialize, MissingFileThrows) {
   EXPECT_THROW(load_bundle("/nonexistent/dir/nothing.fdml"), Error);
 }
 
+TEST(Serialize, Crc32MatchesKnownVector) {
+  // The IEEE 802.3 check value for the ASCII digits "123456789".
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  // Chaining over split input must equal the one-shot digest.
+  const uint32_t partial = crc32("12345", 5);
+  EXPECT_EQ(crc32("6789", 4, partial), 0xCBF43926u);
+}
+
+std::vector<NamedTensor> small_bundle() {
+  Rng rng(7);
+  return {
+      {"conv.weight", rng.normal_tensor(Shape{2, 3}, 0, 1)},
+      {"conv.bias", Tensor::arange(4)},
+  };
+}
+
+TEST(Serialize, V1BundleStillLoads) {
+  std::stringstream ss;
+  write_bundle_v1(ss, small_bundle());
+  const auto back = read_bundle(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].name, "conv.weight");
+  EXPECT_EQ(back[1].name, "conv.bias");
+  EXPECT_FLOAT_EQ(back[1].tensor.at(3), 3.0f);
+}
+
+TEST(Serialize, V2StringRoundtrip) {
+  const std::string bytes = bundle_to_string(small_bundle());
+  const auto back = bundle_from_string(bytes);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].tensor.shape(), Shape({2, 3}));
+}
+
+TEST(Serialize, FuzzEveryTruncationOfV2IsRejected) {
+  const std::string bytes = bundle_to_string(small_bundle());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(bundle_from_string(bytes.substr(0, len)), Error)
+        << "truncation to " << len << " of " << bytes.size()
+        << " bytes was silently accepted";
+  }
+}
+
+TEST(Serialize, FuzzEveryTruncationOfV1IsRejected) {
+  std::stringstream ss;
+  write_bundle_v1(ss, small_bundle());
+  const std::string bytes = ss.str();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::stringstream truncated(bytes.substr(0, len));
+    EXPECT_THROW(read_bundle(truncated), Error)
+        << "truncation to " << len << " of " << bytes.size()
+        << " bytes was silently accepted";
+  }
+}
+
+TEST(Serialize, FuzzEverySingleBitFlipOfV2IsRejected) {
+  const std::string bytes = bundle_to_string(small_bundle());
+  for (size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    std::string damaged = bytes;
+    damaged[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    EXPECT_THROW(bundle_from_string(damaged), Error)
+        << "bit flip at bit " << bit << " was silently accepted";
+  }
+}
+
+TEST(Serialize, CorruptionErrorNamesTheDamagedRecord) {
+  const auto bundle = small_bundle();
+  std::string bytes = bundle_to_string(bundle);
+  // Record 0's payload starts after magic(4) + version(4) + count(4) +
+  // payload_len(8); skip the name header too and damage the tensor stream.
+  const size_t offset = 4 + 4 + 4 + 8 + 4 + bundle[0].name.size() + 6;
+  ASSERT_LT(offset, bytes.size());
+  bytes[offset] ^= 0x10;
+  try {
+    bundle_from_string(bytes);
+    FAIL() << "corrupt bundle was accepted";
+  } catch (const CorruptionError& e) {
+    EXPECT_EQ(e.record(), "conv.weight");
+    EXPECT_NE(std::string(e.what()).find("conv.weight"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace fademl

@@ -7,6 +7,8 @@
 //   fademl eval    --filter lap8        accuracy + top confusions
 //   fademl attack  --source 14 --target 3 --attack bim --filter lap32
 //                  [--fademl] [--eps 0.15] [--out panel.ppm]
+//   fademl verify  --ckpt model.fdml    validate a checkpoint bundle
+//                  (exit 0 = intact, 1 = corrupt/missing; for scripts/CI)
 //
 // Every command honors FADEML_FAST / FADEML_CACHE_DIR like the benches.
 
@@ -18,6 +20,7 @@
 #include "fademl/fademl.hpp"
 #include "fademl/io/args.hpp"
 #include "fademl/io/visualize.hpp"
+#include "fademl/nn/checkpoint.hpp"
 
 namespace {
 
@@ -151,16 +154,39 @@ int cmd_attack(const io::ArgParser& args) {
   return 0;
 }
 
+int cmd_verify(const io::ArgParser& args) {
+  const std::string path = args.get("ckpt", "");
+  if (path.empty()) {
+    throw Error("verify requires --ckpt <path>");
+  }
+  const nn::CheckpointVerdict verdict = nn::verify_checkpoint(path);
+  switch (verdict.status) {
+    case nn::CheckpointStatus::kOk:
+      std::printf("%s: OK (%lld records, all checksums valid)\n",
+                  path.c_str(),
+                  static_cast<long long>(verdict.record_count));
+      return 0;
+    case nn::CheckpointStatus::kMissing:
+      std::fprintf(stderr, "%s: MISSING (no such file)\n", path.c_str());
+      return 1;
+    case nn::CheckpointStatus::kCorrupt:
+      std::fprintf(stderr, "%s: CORRUPT (%s)\n", path.c_str(),
+                   verdict.detail.c_str());
+      return 1;
+  }
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   io::ArgParser args(
       "fademl — filter-aware adversarial ML toolkit (DATE 2019 reproduction)",
       {"cls", "size", "out", "seed", "filter", "attack", "source", "target",
-       "eps", "iters", "fademl!"});
+       "eps", "iters", "fademl!", "ckpt"});
   try {
     if (argc < 2) {
-      std::fputs(args.usage("fademl <classes|render|train|eval|attack>")
+      std::fputs(args.usage("fademl <classes|render|train|eval|attack|verify>")
                      .c_str(),
                  stderr);
       return 2;
@@ -182,10 +208,13 @@ int main(int argc, char** argv) {
     if (command == "attack") {
       return cmd_attack(args);
     }
+    if (command == "verify") {
+      return cmd_verify(args);
+    }
     throw fademl::Error("unknown command '" + command + "'");
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n%s", e.what(),
-                 args.usage("fademl <classes|render|train|eval|attack>")
+                 args.usage("fademl <classes|render|train|eval|attack|verify>")
                      .c_str());
     return 1;
   }
