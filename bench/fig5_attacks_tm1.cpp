@@ -65,8 +65,9 @@ int main() {
     bench::emit(table, "fig5_attacks_tm1");
     // The figure's visual half: one adversarial image per cell
     // (rows = attacks, columns = scenarios), like the paper's Fig. 5.
-    io::write_ppm("fig5_gallery.ppm", io::montage(gallery, 5));
-    std::printf("\nAdversarial image gallery -> fig5_gallery.ppm\n");
+    std::filesystem::create_directories("artifacts");
+    io::write_ppm("artifacts/fig5_gallery.ppm", io::montage(gallery, 5));
+    std::printf("\nAdversarial image gallery -> artifacts/fig5_gallery.ppm\n");
     std::printf(
         "\nPaper's shape: every attack forces the targeted class under "
         "TM-I with imperceptible noise.\nMeasured: %d/%d targeted "

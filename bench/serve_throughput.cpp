@@ -1,0 +1,96 @@
+// Throughput microbenchmark of the hardened inference service
+// (fademl::serve::InferenceService): end-to-end submit -> result cost as
+// the worker pool scales, plus the overhead the serving layer adds over a
+// bare pipeline call. Like perf_microbench this runs on small *untrained*
+// replicas — it measures the serving machinery, not model quality — and
+// never touches the artifacts cache.
+
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "fademl/fademl.hpp"
+
+namespace {
+
+using namespace fademl;
+
+constexpr int64_t kSide = 16;
+
+std::unique_ptr<core::InferencePipeline> make_replica() {
+  Rng rng(1);  // identical weights in every replica
+  auto model = nn::make_vggnet(nn::VggConfig::tiny(43, kSide), rng);
+  return std::make_unique<core::InferencePipeline>(std::move(model),
+                                                   filters::make_lap(8));
+}
+
+Tensor bench_image() {
+  Rng rng(3);
+  return rng.uniform_tensor(Shape{3, kSide, kSide}, 0.0f, 1.0f);
+}
+
+/// Baseline: the same inference without any serving machinery.
+void BM_BarePipeline(benchmark::State& state) {
+  const auto replica = make_replica();
+  replica->model().set_training(false);
+  const Tensor image = bench_image();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        replica->predict(image, core::ThreatModel::kIII));
+  }
+}
+BENCHMARK(BM_BarePipeline);
+
+/// Batched service throughput over a growing worker pool. Reported
+/// items_per_second is the number most deployments care about.
+void BM_ServeBatch(benchmark::State& state) {
+  const auto worker_count = static_cast<size_t>(state.range(0));
+  std::vector<std::unique_ptr<core::InferencePipeline>> replicas;
+  for (size_t i = 0; i < worker_count; ++i) {
+    replicas.push_back(make_replica());
+  }
+  serve::ServiceConfig config;
+  config.queue_capacity = 256;
+  config.overload_policy = serve::OverloadPolicy::kBlock;
+  config.admission.expected_height = kSide;
+  config.admission.expected_width = kSide;
+  serve::InferenceService service(std::move(replicas), config);
+
+  const Tensor image = bench_image();
+  constexpr int kBatch = 32;
+  for (auto _ : state) {
+    std::vector<std::future<serve::InferenceResult>> futures;
+    futures.reserve(kBatch);
+    for (int i = 0; i < kBatch; ++i) {
+      futures.push_back(service.submit(image.clone()));
+    }
+    for (auto& f : futures) {
+      benchmark::DoNotOptimize(f.get());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+// Real time, not caller CPU time: the work happens on the worker threads.
+BENCHMARK(BM_ServeBatch)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+/// The serving layer's fixed per-request overhead: a single synchronous
+/// classify through queue + admission + breaker + stats.
+void BM_ServeSingle(benchmark::State& state) {
+  std::vector<std::unique_ptr<core::InferencePipeline>> replicas;
+  replicas.push_back(make_replica());
+  serve::ServiceConfig config;
+  config.admission.expected_height = kSide;
+  config.admission.expected_width = kSide;
+  serve::InferenceService service(std::move(replicas), config);
+  const Tensor image = bench_image();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.classify(image));
+  }
+}
+BENCHMARK(BM_ServeSingle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

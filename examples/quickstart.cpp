@@ -9,6 +9,7 @@
 // Run with FADEML_FAST=1 for a smoke-test-sized model.
 
 #include <cstdio>
+#include <filesystem>
 
 #include "fademl/fademl.hpp"
 
@@ -55,12 +56,13 @@ int main() {
   show("through LAP(32) (TM-III)",
        pipeline.predict(surviving.adversarial, core::ThreatModel::kIII));
 
-  io::write_ppm("quickstart_clean.ppm", stop_sign);
-  io::write_ppm("quickstart_bim.ppm", blind.adversarial);
-  io::write_ppm("quickstart_fademl.ppm", surviving.adversarial);
+  std::filesystem::create_directories("artifacts");
+  io::write_ppm("artifacts/quickstart_clean.ppm", stop_sign);
+  io::write_ppm("artifacts/quickstart_bim.ppm", blind.adversarial);
+  io::write_ppm("artifacts/quickstart_fademl.ppm", surviving.adversarial);
   std::printf(
-      "\nWrote quickstart_clean.ppm / quickstart_bim.ppm / "
-      "quickstart_fademl.ppm (noise L-inf: BIM %.3f, FAdeML %.3f)\n",
+      "\nWrote artifacts/quickstart_{clean,bim,fademl}.ppm "
+      "(noise L-inf: BIM %.3f, FAdeML %.3f)\n",
       static_cast<double>(blind.linf), static_cast<double>(surviving.linf));
   return 0;
 }

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   try {
     const std::vector<attacks::AttackKind> kinds =
         parse_kinds(argc > 1 ? argv[1] : nullptr);
-    const std::string outdir = argc > 2 ? argv[2] : "scenario_images";
+    const std::string outdir = argc > 2 ? argv[2] : "artifacts/scenario_images";
     std::filesystem::create_directories(outdir);
 
     core::Experiment exp =

@@ -50,6 +50,9 @@ class InferencePipeline {
                     float acquisition_blur_sigma = 0.6f);
 
   [[nodiscard]] nn::Module& model() const { return *model_; }
+  [[nodiscard]] const std::shared_ptr<nn::Module>& model_ptr() const {
+    return model_;
+  }
   [[nodiscard]] const filters::Filter& filter() const { return *filter_; }
   [[nodiscard]] const filters::FilterPtr& filter_ptr() const {
     return filter_;

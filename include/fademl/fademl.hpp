@@ -11,7 +11,8 @@
 ///  - fademl::filters   pre-processing noise filters (LAP, LAR, ...)
 ///  - fademl::attacks   L-BFGS / FGSM / BIM and the FAdeML attack
 ///  - fademl::core      threat models, pipeline, Eq.-2 cost, analysis
-///  - fademl::io        PPM dumps and experiment tables
+///  - fademl::io        PPM dumps, experiment tables, fault injection
+///  - fademl::serve     hardened concurrent inference service
 
 #include "fademl/attacks/attack.hpp"
 #include "fademl/attacks/bim.hpp"
@@ -45,6 +46,7 @@
 #include "fademl/filters/extra.hpp"
 #include "fademl/filters/filter.hpp"
 #include "fademl/io/args.hpp"
+#include "fademl/io/failpoint.hpp"
 #include "fademl/io/image_io.hpp"
 #include "fademl/io/table.hpp"
 #include "fademl/io/visualize.hpp"
@@ -55,6 +57,12 @@
 #include "fademl/nn/optimizer.hpp"
 #include "fademl/nn/trainer.hpp"
 #include "fademl/nn/vggnet.hpp"
+#include "fademl/serve/admission.hpp"
+#include "fademl/serve/bounded_queue.hpp"
+#include "fademl/serve/circuit_breaker.hpp"
+#include "fademl/serve/errors.hpp"
+#include "fademl/serve/service.hpp"
+#include "fademl/serve/stats.hpp"
 #include "fademl/tensor/error.hpp"
 #include "fademl/tensor/ops.hpp"
 #include "fademl/tensor/random.hpp"

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 
 namespace fademl::io {
@@ -10,6 +11,8 @@ namespace fademl::io {
 ///
 /// Text syntax (used by tests and the FADEML_FAILPOINT environment
 /// variable):
+///
+/// Durable-write failpoints (fire once, then disarm):
 ///
 ///   fail-write:N   the N-th durable write (1-based) throws
 ///                  fademl::TransientIoError before touching the disk;
@@ -21,22 +24,39 @@ namespace fademl::io {
 ///                  then completes "successfully" — silent media
 ///                  corruption, caught later by CRC verification.
 ///
-/// Each spec fires once (fail-write waits for its N-th write first) and
-/// then disarms, so a retried or subsequent write behaves normally.
+/// Compute-path failpoints (consulted by serve::InferenceService workers
+/// before each inference):
+///
+///   slow-worker:MS every inference first sleeps MS milliseconds — a
+///                  wedged accelerator / cold cache. Persistent: stays
+///                  armed until disarm(), so queues actually build up.
+///   worker-throw:N the next N inferences throw fademl::Error — a
+///                  crashing backend. Decrements per fire and disarms
+///                  after the N-th, so recovery paths (circuit-breaker
+///                  half-open probes) can be driven deterministically.
 struct FaultSpec {
-  enum class Kind { kNone, kFailWrite, kTruncate, kBitFlip };
+  enum class Kind {
+    kNone,
+    kFailWrite,
+    kTruncate,
+    kBitFlip,
+    kSlowWorker,
+    kWorkerThrow,
+  };
   Kind kind = Kind::kNone;
-  int64_t arg = 0;  ///< N-th write / byte count K / bit index B
+  int64_t arg = 0;  ///< N-th write / byte count K / bit index B / ms / count
 
   /// Parse the text syntax above; throws fademl::Error on a bad spec.
   static FaultSpec parse(const std::string& spec);
 };
 
-/// Process-wide deterministic fault injector for durable writes.
+/// Process-wide deterministic fault injector.
 ///
-/// All checkpoint persistence funnels through `atomic_write_file`, which
-/// consults the injector at each stage. Tests arm programmatically;
-/// operators arm through FADEML_FAILPOINT (read once at first use).
+/// All checkpoint persistence funnels through `atomic_write_file` and all
+/// service-worker inference through `on_compute`; both consult the
+/// injector. Tests arm programmatically; operators arm through
+/// FADEML_FAILPOINT (read once at first use). Thread-safe: service
+/// workers hit the compute hook concurrently.
 class FaultInjector {
  public:
   static FaultInjector& instance();
@@ -44,25 +64,33 @@ class FaultInjector {
   void arm(const FaultSpec& spec);
   void arm(const std::string& spec) { arm(FaultSpec::parse(spec)); }
   void disarm();
-  [[nodiscard]] bool armed() const { return spec_.kind != FaultSpec::Kind::kNone; }
+  [[nodiscard]] bool armed() const;
 
-  /// Total durable writes observed and faults actually fired — assertions
-  /// for tests ("the failpoint really triggered").
-  [[nodiscard]] int64_t writes_seen() const { return writes_seen_; }
-  [[nodiscard]] int64_t faults_fired() const { return faults_fired_; }
+  /// Total durable writes / compute hooks observed and faults actually
+  /// fired — assertions for tests ("the failpoint really triggered").
+  [[nodiscard]] int64_t writes_seen() const;
+  [[nodiscard]] int64_t computes_seen() const;
+  [[nodiscard]] int64_t faults_fired() const;
 
-  // ---- hooks used by atomic_write_file -----------------------------------
+  // ---- hooks -------------------------------------------------------------
 
-  /// Called once per durable write with the payload (mutable: kBitFlip
-  /// corrupts it in place). Throws TransientIoError for kFailWrite.
-  /// Returns the number of bytes to actually write before simulating a
-  /// crash (kTruncate), or -1 for "write everything".
+  /// Called once per durable write by atomic_write_file with the payload
+  /// (mutable: kBitFlip corrupts it in place). Throws TransientIoError
+  /// for kFailWrite. Returns the number of bytes to actually write before
+  /// simulating a crash (kTruncate), or -1 for "write everything".
   int64_t on_write(std::string& bytes);
+
+  /// Called once per service-worker inference, before the pipeline runs.
+  /// kSlowWorker sleeps (outside the injector lock); kWorkerThrow throws
+  /// fademl::Error for its next `arg` calls.
+  void on_compute();
 
  private:
   FaultInjector();
+  mutable std::mutex mutex_;
   FaultSpec spec_;
   int64_t writes_seen_ = 0;
+  int64_t computes_seen_ = 0;
   int64_t faults_fired_ = 0;
 };
 

@@ -13,7 +13,14 @@ void write_ppm(const std::string& path, const Tensor& image);
 /// Write a [H, W] or [1, H, W] tensor in [0, 1] as a binary PGM (P5) file.
 void write_pgm(const std::string& path, const Tensor& image);
 
-/// Read back a P6 PPM written by write_ppm (8-bit, binary) as [3, H, W].
+/// Read a binary P6 PPM (8-bit) as [3, H, W] in [0, 1].
+///
+/// Hardened against hostile/broken files: a missing file raises
+/// fademl::IoError; a bad magic, non-numeric or truncated header, absurd
+/// dimensions (> 16384 per side or > 16M pixels — the allocation bound),
+/// unsupported maxval, or truncated payload raise fademl::CorruptionError
+/// (record() = path). It never crashes or allocates unbounded memory on
+/// malformed input.
 Tensor read_ppm(const std::string& path);
 
 }  // namespace fademl::io

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "fademl/tensor/tensor.hpp"
+
+namespace fademl::serve {
+
+/// Boundary contract for incoming sensor images. Everything here is
+/// checked *before* a request is queued, so malformed input — the easiest
+/// thing for a hostile or broken sensor to produce — can never occupy a
+/// worker or reach the DNN. Violations raise serve::InvalidInputError.
+struct AdmissionPolicy {
+  /// Required channel count (the pipeline's DNN input planes).
+  int64_t channels = 3;
+  /// Sanity bounds on the spatial dimensions.
+  int64_t min_side = 1;
+  int64_t max_side = 4096;
+  /// When non-zero, the exact H / W the deployed model accepts.
+  int64_t expected_height = 0;
+  int64_t expected_width = 0;
+  /// Accepted pixel range (the library's images live in [0, 1]); `slack`
+  /// absorbs float rounding from upstream quantization.
+  float min_value = 0.0f;
+  float max_value = 1.0f;
+  float range_slack = 1e-4f;
+};
+
+/// Validate one [C, H, W] image against `policy`. Throws
+/// serve::InvalidInputError naming the first violated rule (rank,
+/// channel count, geometry, NaN/Inf, out-of-range value + its index).
+void validate_image(const Tensor& image, const AdmissionPolicy& policy);
+
+}  // namespace fademl::serve

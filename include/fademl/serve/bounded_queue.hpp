@@ -1,0 +1,113 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "fademl/serve/errors.hpp"
+
+namespace fademl::serve {
+
+/// Bounded multi-producer / multi-consumer FIFO — the backpressure point
+/// of the inference service.
+///
+/// Producers either `try_push` (shed on overflow: returns false, caller
+/// raises QueueFullError) or `push` (block until space frees up). After
+/// `close()` producers are refused with ShutdownError while consumers
+/// keep draining whatever was admitted; `pop` returns nullopt only once
+/// the queue is both closed and empty. That ordering is what makes the
+/// service's shutdown a drain-then-join, not a drop.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    FADEML_CHECK(capacity_ >= 1, "BoundedQueue requires capacity >= 1");
+  }
+
+  /// Shedding push: false when full (item is returned to the caller via
+  /// the unmoved argument — but callers treat false as "shed").
+  [[nodiscard]] bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      throw_if_closed_locked();
+      if (items_.size() >= capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    consumer_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking push: waits for space. Throws ShutdownError if the queue
+  /// is closed before (or while) waiting.
+  void push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      producer_cv_.wait(lock, [&] {
+        return closed_ || items_.size() < capacity_;
+      });
+      throw_if_closed_locked();
+      items_.push_back(std::move(item));
+    }
+    consumer_cv_.notify_one();
+  }
+
+  /// Blocking pop: next item in FIFO order, or nullopt once the queue is
+  /// closed *and* drained.
+  [[nodiscard]] std::optional<T> pop() {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      consumer_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) {
+        return std::nullopt;  // closed and drained
+      }
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    producer_cv_.notify_one();
+    return out;
+  }
+
+  /// Stop accepting producers and wake every waiter. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    producer_cv_.notify_all();
+    consumer_cv_.notify_all();
+  }
+
+  [[nodiscard]] size_t depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] size_t capacity() const { return capacity_; }
+
+ private:
+  void throw_if_closed_locked() const {
+    if (closed_) {
+      throw ShutdownError("queue is closed: service shutting down");
+    }
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable producer_cv_;
+  std::condition_variable consumer_cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace fademl::serve

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace fademl::serve {
+
+/// Classic three-state circuit breaker guarding the worker pool.
+///
+///   closed     normal operation; consecutive worker failures are counted
+///              and `failure_threshold` of them in a row trip the breaker.
+///   open       every acquisition is refused (the service fails fast with
+///              CircuitOpenError) until `cooldown` has elapsed.
+///   half-open  after the cooldown one probe request at a time is let
+///              through; `halfopen_successes` consecutive probe successes
+///              close the breaker, any probe failure re-opens it (and the
+///              cooldown restarts).
+///
+/// Deadline expiries are reported as `record_abandoned` — they release a
+/// probe slot without counting for or against the backend, since they say
+/// nothing about worker health.
+class CircuitBreaker {
+ public:
+  struct Config {
+    /// Consecutive worker failures that trip the breaker.
+    int failure_threshold = 5;
+    /// How long the breaker stays open before allowing half-open probes.
+    /// Zero means the very next acquisition after a trip is a probe.
+    std::chrono::milliseconds cooldown{250};
+    /// Consecutive probe successes required to close again.
+    int halfopen_successes = 1;
+  };
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const Config& config);
+
+  /// Admission-time gate. True: proceed (in half-open this reserves the
+  /// single probe slot). False: fail fast, the breaker is open.
+  [[nodiscard]] bool try_acquire();
+
+  void record_success();
+  void record_failure();
+  /// The request never produced a health signal (e.g. its deadline
+  /// expired before it ran).
+  void record_abandoned();
+
+  [[nodiscard]] State state() const;
+  [[nodiscard]] std::string state_name() const;
+  /// Times the breaker transitioned closed/half-open -> open.
+  [[nodiscard]] int64_t trips() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void open_locked();
+
+  Config config_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int probe_successes_ = 0;
+  bool probe_in_flight_ = false;
+  int64_t trips_ = 0;
+  Clock::time_point opened_at_{};
+};
+
+}  // namespace fademl::serve

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::serve {
+
+/// Base of all serving-layer failures, so callers can separate "the
+/// service refused/failed this request" from library-internal errors.
+class ServeError : public Error {
+ public:
+  explicit ServeError(const std::string& what) : Error(what) {}
+};
+
+/// The bounded request queue was full and the overload policy is kShed.
+/// The request was never admitted; retry later or against another replica.
+class QueueFullError final : public ServeError {
+ public:
+  explicit QueueFullError(const std::string& what) : ServeError(what) {}
+};
+
+/// The request's deadline passed before a result could be returned —
+/// either it expired while queued (never run) or the computation finished
+/// too late (result abandoned). A stale result is never returned.
+class DeadlineExceededError final : public ServeError {
+ public:
+  explicit DeadlineExceededError(const std::string& what)
+      : ServeError(what) {}
+};
+
+/// The request failed admission control: wrong shape, NaN/Inf pixels, or
+/// values outside the declared range. Rejected at the boundary, before
+/// the image could reach the queue or the DNN.
+class InvalidInputError final : public ServeError {
+ public:
+  explicit InvalidInputError(const std::string& what) : ServeError(what) {}
+};
+
+/// The circuit breaker is open after repeated worker failures; the
+/// request was failed fast instead of being queued behind a broken
+/// backend. Retry after the cooldown.
+class CircuitOpenError final : public ServeError {
+ public:
+  explicit CircuitOpenError(const std::string& what) : ServeError(what) {}
+};
+
+/// The service is shutting down (or has shut down) and no longer accepts
+/// new requests. Requests admitted before shutdown still drain.
+class ShutdownError final : public ServeError {
+ public:
+  explicit ShutdownError(const std::string& what) : ServeError(what) {}
+};
+
+}  // namespace fademl::serve

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fademl/core/pipeline.hpp"
+#include "fademl/serve/admission.hpp"
+#include "fademl/serve/bounded_queue.hpp"
+#include "fademl/serve/circuit_breaker.hpp"
+#include "fademl/serve/errors.hpp"
+#include "fademl/serve/stats.hpp"
+
+namespace fademl::serve {
+
+/// What to do when the bounded request queue is full.
+enum class OverloadPolicy {
+  kShed,   ///< submit fails immediately with QueueFullError
+  kBlock,  ///< submit blocks the caller until space frees up
+};
+
+/// Tuning of the hardened inference service. Defaults are safe for tests
+/// and small deployments; a real deployment sizes the queue and deadline
+/// to its latency budget.
+struct ServiceConfig {
+  /// Bounded request queue — the backpressure point.
+  size_t queue_capacity = 64;
+  OverloadPolicy overload_policy = OverloadPolicy::kShed;
+
+  /// Deadline applied to submits that do not carry their own; zero means
+  /// "no deadline". Expired requests fail with DeadlineExceededError —
+  /// either unrun (expired while queued) or abandoned (finished late);
+  /// a stale result is never returned.
+  std::chrono::milliseconds default_deadline{0};
+
+  /// How attacker-routed images reach the DNN (Fig. 2). kIII is the
+  /// deployed filter+DNN pipeline.
+  core::ThreatModel threat_model = core::ThreatModel::kIII;
+
+  /// Boundary contract for incoming images.
+  AdmissionPolicy admission;
+
+  /// Worker-failure circuit breaker.
+  CircuitBreaker::Config breaker;
+
+  /// Graceful degradation: when a worker dequeues a request and the queue
+  /// is still at least this deep, it swaps to `degraded_filter` (a
+  /// cheaper smoothing stage) and flags the response `degraded = true`.
+  /// Zero disables degradation.
+  size_t degrade_queue_depth = 0;
+  /// The cheaper fallback filter (defaults to the identity — i.e. skip
+  /// pre-processing entirely under overload).
+  filters::FilterPtr degraded_filter;
+
+  /// Sliding window behind the latency percentiles in ServiceStats.
+  size_t latency_window = 4096;
+};
+
+/// A served prediction plus the provenance a caller needs to trust it.
+struct InferenceResult {
+  core::Prediction prediction;
+  bool degraded = false;    ///< produced by the fallback filter
+  std::string filter;       ///< name of the filter actually applied
+  double queue_ms = 0.0;    ///< time spent waiting for a worker
+  double infer_ms = 0.0;    ///< time spent inside the pipeline
+  double total_ms = 0.0;    ///< submit -> result
+};
+
+/// Concurrent, overload-hardened front end for InferencePipeline — the
+/// layer that lets the paper's filter+DNN module (Fig. 2) take real
+/// traffic.
+///
+/// One worker thread per pipeline *replica*: replicas must not share
+/// mutable state (each needs its own model instance; `nn::Module::forward`
+/// is not safe to run concurrently on one model). Construction puts every
+/// replica's model into inference mode.
+///
+/// Request lifecycle: submit() validates the image (InvalidInputError),
+/// consults the circuit breaker (CircuitOpenError), then enqueues under
+/// the overload policy (QueueFullError when shedding). A worker dequeues,
+/// drops the request if its deadline already passed, optionally degrades
+/// the filter under backlog, runs the pipeline, and fulfills the future —
+/// or fails it with the typed error. shutdown() drains: admitted requests
+/// all complete before the workers join.
+class InferenceService {
+ public:
+  InferenceService(
+      std::vector<std::unique_ptr<core::InferencePipeline>> replicas,
+      ServiceConfig config);
+
+  /// Drains and joins (equivalent to shutdown()).
+  ~InferenceService();
+
+  InferenceService(const InferenceService&) = delete;
+  InferenceService& operator=(const InferenceService&) = delete;
+
+  /// Asynchronous inference under the config's default deadline. Throws
+  /// InvalidInputError / CircuitOpenError / QueueFullError / ShutdownError
+  /// at the boundary; deadline and worker failures surface through the
+  /// future.
+  std::future<InferenceResult> submit(Tensor image);
+
+  /// Same, with an explicit per-request deadline (zero = none).
+  std::future<InferenceResult> submit(Tensor image,
+                                      std::chrono::milliseconds deadline);
+
+  /// Synchronous convenience wrapper: submit + get (rethrows the typed
+  /// errors inline).
+  InferenceResult classify(const Tensor& image);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] size_t workers() const { return workers_.size(); }
+
+  /// Stop accepting new requests, let the workers drain everything
+  /// already admitted, then join them. Idempotent; called by the
+  /// destructor.
+  void shutdown();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    Tensor image;
+    std::promise<InferenceResult> promise;
+    Clock::time_point submitted_at;
+    Clock::time_point deadline;  ///< Clock::time_point::max() = none
+  };
+  using RequestPtr = std::unique_ptr<Request>;
+
+  void worker_loop(size_t worker_index);
+  void process(size_t worker_index, Request& request);
+
+  ServiceConfig config_;
+  /// Per worker: [0] the deployed pipeline, [1] the degraded-filter
+  /// pipeline sharing the same model (only ever used by that worker).
+  std::vector<std::unique_ptr<core::InferencePipeline>> pipelines_;
+  std::vector<std::unique_ptr<core::InferencePipeline>> degraded_pipelines_;
+  BoundedQueue<RequestPtr> queue_;
+  CircuitBreaker breaker_;
+  StatsCollector stats_;
+  std::vector<std::thread> workers_;
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace fademl::serve

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fademl::serve {
+
+/// One consistent snapshot of the service's health counters. Counts are
+/// cumulative since construction; latencies cover recently *completed*
+/// requests (a sliding window, see StatsCollector).
+struct ServiceStats {
+  int64_t submitted = 0;        ///< admitted past validation + breaker
+  int64_t completed = 0;        ///< results delivered (incl. degraded)
+  int64_t degraded = 0;         ///< completed via the fallback filter
+  int64_t shed = 0;             ///< refused: queue full (QueueFullError)
+  int64_t timed_out = 0;        ///< expired in queue or abandoned late
+  int64_t rejected_input = 0;   ///< refused at admission (InvalidInputError)
+  int64_t breaker_rejected = 0; ///< refused fast while the breaker was open
+  int64_t worker_failures = 0;  ///< inference raised an exception
+  int64_t breaker_trips = 0;
+  std::string breaker_state;    ///< "closed" / "open" / "half-open"
+  int64_t queue_depth = 0;      ///< instantaneous
+  int64_t latency_samples = 0;  ///< samples behind the percentiles below
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Thread-safe accumulator behind InferenceService::stats().
+///
+/// Latency percentiles are computed over a bounded sliding window of the
+/// most recent `window` completions (default 4096) so a long-lived
+/// service reports current behaviour, not its lifetime average, and
+/// memory stays O(window).
+class StatsCollector {
+ public:
+  explicit StatsCollector(size_t window = 4096);
+
+  void on_submitted();
+  void on_completed(double latency_ms, bool degraded);
+  void on_shed();
+  void on_timed_out();
+  void on_rejected_input();
+  void on_breaker_rejected();
+  void on_worker_failure();
+
+  /// Counter + percentile snapshot; breaker/queue fields are left zero
+  /// for the service to fill in.
+  [[nodiscard]] ServiceStats snapshot() const;
+
+ private:
+  const size_t window_;
+  mutable std::mutex mutex_;
+  ServiceStats counts_;               // latency/breaker fields unused here
+  std::vector<double> latencies_;     // ring buffer of size <= window_
+  size_t next_slot_ = 0;
+};
+
+/// `q` in [0, 1] over an unsorted sample set (nearest-rank). Exposed for
+/// tests; returns 0 on an empty set.
+double percentile(std::vector<double> samples, double q);
+
+}  // namespace fademl::serve

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Repo health check: the tier-1 build + test run, optionally followed by an
-# AddressSanitizer/UBSan pass over the same test suite.
+# Repo health check: the tier-1 build + test run, optionally followed by a
+# sanitizer pass.
 #
 #   scripts/check.sh            # tier-1: configure, build, ctest
-#   scripts/check.sh --asan     # tier-1, then a FADEML_SANITIZE=ON build
-#                               # in build-asan/ and the tests under ASan/UBSan
+#   scripts/check.sh --asan     # tier-1, then a FADEML_SANITIZE=address
+#                               # build in build-asan/ and the tests under
+#                               # ASan/UBSan
+#   scripts/check.sh --tsan     # tier-1, then a FADEML_SANITIZE=thread
+#                               # build in build-tsan/ running the
+#                               # concurrent serving suite (serve_test)
+#                               # under ThreadSanitizer
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,13 +25,29 @@ run_suite() {
 echo "== tier-1: build + ctest =="
 run_suite build
 
-if [[ "${1:-}" == "--asan" ]]; then
-  echo
-  echo "== sanitizers: ASan/UBSan build + ctest =="
-  export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
-  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
-  run_suite build-asan -DFADEML_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-fi
+case "${1:-}" in
+  --asan)
+    echo
+    echo "== sanitizers: ASan/UBSan build + ctest =="
+    export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}"
+    export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+    run_suite build-asan -DFADEML_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    ;;
+  --tsan)
+    echo
+    echo "== sanitizers: TSan build + serve_test =="
+    export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1 suppressions=$(pwd)/scripts/tsan.supp}"
+    cmake -B build-tsan -S . -DFADEML_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build build-tsan -j --target serve_test
+    ./build-tsan/tests/serve_test
+    ;;
+  "")
+    ;;
+  *)
+    echo "usage: scripts/check.sh [--asan|--tsan]" >&2
+    exit 2
+    ;;
+esac
 
 echo
 echo "check.sh: all green"

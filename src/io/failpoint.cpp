@@ -33,9 +33,15 @@ FaultSpec FaultSpec::parse(const std::string& spec) {
     out.kind = Kind::kTruncate;
   } else if (kind == "bit-flip") {
     out.kind = Kind::kBitFlip;
+  } else if (kind == "slow-worker") {
+    out.kind = Kind::kSlowWorker;
+  } else if (kind == "worker-throw") {
+    out.kind = Kind::kWorkerThrow;
+    FADEML_CHECK(out.arg >= 1, "worker-throw:N requires N >= 1");
   } else {
-    throw Error("unknown failpoint kind '" + kind +
-                "' (expected fail-write|truncate|bit-flip)");
+    throw Error(
+        "unknown failpoint kind '" + kind +
+        "' (expected fail-write|truncate|bit-flip|slow-worker|worker-throw)");
   }
   return out;
 }
@@ -54,23 +60,51 @@ FaultInjector::FaultInjector() {
 }
 
 void FaultInjector::arm(const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
   spec_ = spec;
   writes_seen_ = 0;
+  computes_seen_ = 0;
 }
 
-void FaultInjector::disarm() { spec_ = FaultSpec{}; }
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spec_ = FaultSpec{};
+}
+
+bool FaultInjector::armed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spec_.kind != FaultSpec::Kind::kNone;
+}
+
+int64_t FaultInjector::writes_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return writes_seen_;
+}
+
+int64_t FaultInjector::computes_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return computes_seen_;
+}
+
+int64_t FaultInjector::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return faults_fired_;
+}
 
 int64_t FaultInjector::on_write(std::string& bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
   ++writes_seen_;
   switch (spec_.kind) {
     case FaultSpec::Kind::kNone:
+    case FaultSpec::Kind::kSlowWorker:
+    case FaultSpec::Kind::kWorkerThrow:
       return -1;
     case FaultSpec::Kind::kFailWrite:
       if (writes_seen_ < spec_.arg) {
         return -1;  // not this write yet
       }
       ++faults_fired_;
-      disarm();
+      spec_ = FaultSpec{};
       throw TransientIoError("fault injection: durable write " +
                              std::to_string(writes_seen_) +
                              " failed transiently");
@@ -78,13 +112,13 @@ int64_t FaultInjector::on_write(std::string& bytes) {
       ++faults_fired_;
       const int64_t keep =
           std::min<int64_t>(spec_.arg, static_cast<int64_t>(bytes.size()));
-      disarm();
+      spec_ = FaultSpec{};
       return keep;
     }
     case FaultSpec::Kind::kBitFlip: {
       ++faults_fired_;
       const int64_t bit = spec_.arg;
-      disarm();
+      spec_ = FaultSpec{};
       if (!bytes.empty()) {
         const size_t byte_index =
             static_cast<size_t>(bit / 8) % bytes.size();
@@ -94,6 +128,36 @@ int64_t FaultInjector::on_write(std::string& bytes) {
     }
   }
   return -1;
+}
+
+void FaultInjector::on_compute() {
+  int64_t sleep_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++computes_seen_;
+    switch (spec_.kind) {
+      case FaultSpec::Kind::kSlowWorker:
+        // Persistent: every inference is slow until disarm(), so tests
+        // can deterministically build up a backlog.
+        ++faults_fired_;
+        sleep_ms = spec_.arg;
+        break;
+      case FaultSpec::Kind::kWorkerThrow: {
+        ++faults_fired_;
+        const int64_t remaining = --spec_.arg;
+        if (remaining <= 0) {
+          spec_ = FaultSpec{};
+        }
+        throw Error("fault injection: worker inference failure (" +
+                    std::to_string(remaining) + " more to come)");
+      }
+      default:
+        break;
+    }
+  }
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
 }
 
 void atomic_write_file(const std::string& path, std::string bytes) {

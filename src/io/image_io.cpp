@@ -15,6 +15,12 @@ uint8_t quantize(float v) {
       std::lround(std::clamp(v, 0.0f, 1.0f) * 255.0f));
 }
 
+// Upper bounds on accepted PPM geometry: large enough for any real
+// camera frame, small enough that a hostile header cannot make the
+// loader allocate tens of gigabytes.
+constexpr int64_t kMaxPpmSide = 1 << 14;     // 16384 px per side
+constexpr int64_t kMaxPpmPixels = 1 << 24;   // 16M px (48 MiB payload)
+
 }  // namespace
 
 void write_ppm(const std::string& path, const Tensor& image) {
@@ -64,20 +70,52 @@ void write_pgm(const std::string& path, const Tensor& image) {
 
 Tensor read_ppm(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
-  FADEML_CHECK(is.is_open(), "cannot open '" + path + "' for reading");
+  if (!is.is_open()) {
+    throw IoError("cannot open '" + path + "' for reading");
+  }
+  // The header is attacker-reachable surface (serve-batch feeds arbitrary
+  // files through here), so every field is validated before it sizes an
+  // allocation: non-numeric fields, truncation, and absurd dimensions all
+  // raise typed CorruptionError instead of crashing or allocating
+  // unbounded memory.
   std::string magic;
+  is >> magic;
+  if (!is || magic != "P6") {
+    throw CorruptionError("'" + path + "' is not a binary PPM (P6)", path);
+  }
   int64_t w = 0;
   int64_t h = 0;
-  int maxval = 0;
-  is >> magic >> w >> h >> maxval;
-  FADEML_CHECK(magic == "P6", "'" + path + "' is not a binary PPM (P6)");
-  FADEML_CHECK(w > 0 && h > 0 && maxval == 255,
-               "unsupported PPM geometry in '" + path + "'");
+  int64_t maxval = 0;
+  is >> w >> h >> maxval;
+  if (!is) {
+    throw CorruptionError(
+        "truncated or non-numeric PPM header in '" + path + "'", path);
+  }
+  if (w <= 0 || h <= 0 || w > kMaxPpmSide || h > kMaxPpmSide ||
+      w * h > kMaxPpmPixels) {
+    throw CorruptionError("absurd PPM dimensions " + std::to_string(w) +
+                              " x " + std::to_string(h) + " in '" + path +
+                              "' (limit " + std::to_string(kMaxPpmSide) +
+                              " per side, " + std::to_string(kMaxPpmPixels) +
+                              " pixels total)",
+                          path);
+  }
+  if (maxval != 255) {
+    throw CorruptionError("unsupported PPM maxval " + std::to_string(maxval) +
+                              " in '" + path + "' (only 8-bit, 255)",
+                          path);
+  }
   is.get();  // single whitespace after the header
   std::vector<uint8_t> raw(static_cast<size_t>(3 * w * h));
   is.read(reinterpret_cast<char*>(raw.data()),
           static_cast<std::streamsize>(raw.size()));
-  FADEML_CHECK(static_cast<bool>(is), "truncated PPM data in '" + path + "'");
+  if (is.gcount() != static_cast<std::streamsize>(raw.size())) {
+    throw CorruptionError(
+        "truncated PPM payload in '" + path + "': expected " +
+            std::to_string(raw.size()) + " bytes, got " +
+            std::to_string(is.gcount()),
+        path);
+  }
   Tensor image{Shape{3, h, w}};
   float* p = image.data();
   const int64_t plane = h * w;

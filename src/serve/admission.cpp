@@ -1,0 +1,60 @@
+#include "fademl/serve/admission.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "fademl/serve/errors.hpp"
+
+namespace fademl::serve {
+
+void validate_image(const Tensor& image, const AdmissionPolicy& policy) {
+  if (!image.defined() || image.numel() == 0) {
+    throw InvalidInputError("admission: empty image");
+  }
+  if (image.rank() != 3) {
+    throw InvalidInputError("admission: expected a [C, H, W] image, got " +
+                            image.shape().str());
+  }
+  const int64_t c = image.dim(0);
+  const int64_t h = image.dim(1);
+  const int64_t w = image.dim(2);
+  if (c != policy.channels) {
+    throw InvalidInputError("admission: expected " +
+                            std::to_string(policy.channels) +
+                            " channels, got " + image.shape().str());
+  }
+  if (h < policy.min_side || h > policy.max_side || w < policy.min_side ||
+      w > policy.max_side) {
+    throw InvalidInputError(
+        "admission: geometry " + image.shape().str() + " outside [" +
+        std::to_string(policy.min_side) + ", " +
+        std::to_string(policy.max_side) + "] per side");
+  }
+  if ((policy.expected_height != 0 && h != policy.expected_height) ||
+      (policy.expected_width != 0 && w != policy.expected_width)) {
+    throw InvalidInputError(
+        "admission: geometry " + image.shape().str() + " does not match the "
+        "deployed model input [" + std::to_string(policy.channels) + ", " +
+        std::to_string(policy.expected_height) + ", " +
+        std::to_string(policy.expected_width) + "]");
+  }
+  const float lo = policy.min_value - policy.range_slack;
+  const float hi = policy.max_value + policy.range_slack;
+  const float* p = image.data();
+  const int64_t n = image.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = p[i];
+    if (!std::isfinite(v)) {
+      throw InvalidInputError("admission: non-finite pixel at flat index " +
+                              std::to_string(i));
+    }
+    if (v < lo || v > hi) {
+      throw InvalidInputError(
+          "admission: pixel " + std::to_string(v) + " at flat index " +
+          std::to_string(i) + " outside [" + std::to_string(policy.min_value) +
+          ", " + std::to_string(policy.max_value) + "]");
+    }
+  }
+}
+
+}  // namespace fademl::serve

@@ -1,0 +1,114 @@
+#include "fademl/serve/circuit_breaker.hpp"
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::serve {
+
+CircuitBreaker::CircuitBreaker(const Config& config) : config_(config) {
+  FADEML_CHECK(config_.failure_threshold >= 1,
+               "CircuitBreaker failure_threshold must be >= 1");
+  FADEML_CHECK(config_.halfopen_successes >= 1,
+               "CircuitBreaker halfopen_successes must be >= 1");
+  FADEML_CHECK(config_.cooldown.count() >= 0,
+               "CircuitBreaker cooldown must be non-negative");
+}
+
+bool CircuitBreaker::try_acquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (Clock::now() - opened_at_ < config_.cooldown) {
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      probe_successes_ = 0;
+      probe_in_flight_ = true;
+      return true;
+    case State::kHalfOpen:
+      if (probe_in_flight_) {
+        return false;  // one probe at a time
+      }
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kOpen:
+      // A request admitted before the trip finished late; the breaker
+      // stays open until a half-open probe succeeds.
+      break;
+    case State::kHalfOpen:
+      probe_in_flight_ = false;
+      if (++probe_successes_ >= config_.halfopen_successes) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+        probe_successes_ = 0;
+      }
+      break;
+  }
+}
+
+void CircuitBreaker::record_failure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        open_locked();
+      }
+      break;
+    case State::kOpen:
+      break;
+    case State::kHalfOpen:
+      open_locked();
+      break;
+  }
+}
+
+void CircuitBreaker::record_abandoned() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == State::kHalfOpen) {
+    probe_in_flight_ = false;  // the probe slot frees up, health unknown
+  }
+}
+
+void CircuitBreaker::open_locked() {
+  state_ = State::kOpen;
+  opened_at_ = Clock::now();
+  consecutive_failures_ = 0;
+  probe_successes_ = 0;
+  probe_in_flight_ = false;
+  ++trips_;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+std::string CircuitBreaker::state_name() const {
+  switch (state()) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+int64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trips_;
+}
+
+}  // namespace fademl::serve

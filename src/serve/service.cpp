@@ -1,0 +1,182 @@
+#include "fademl/serve/service.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "fademl/io/failpoint.hpp"
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::serve {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+InferenceService::InferenceService(
+    std::vector<std::unique_ptr<core::InferencePipeline>> replicas,
+    ServiceConfig config)
+    : config_(std::move(config)),
+      pipelines_(std::move(replicas)),
+      queue_(config_.queue_capacity),
+      breaker_(config_.breaker),
+      stats_(config_.latency_window) {
+  FADEML_CHECK(!pipelines_.empty(),
+               "InferenceService requires at least one pipeline replica");
+  for (const auto& p : pipelines_) {
+    FADEML_CHECK(p != nullptr, "InferenceService rejects null replicas");
+  }
+  if (config_.degraded_filter == nullptr) {
+    config_.degraded_filter = filters::make_identity();
+  }
+  degraded_pipelines_.reserve(pipelines_.size());
+  for (auto& p : pipelines_) {
+    // Inference mode: no dropout masks, no BatchNorm statistics updates —
+    // the forward pass must not mutate the model.
+    p->model().set_training(false);
+    // The degraded twin shares this worker's model (single-threaded use)
+    // but swaps in the cheap fallback filter.
+    degraded_pipelines_.push_back(std::make_unique<core::InferencePipeline>(
+        p->model_ptr(), config_.degraded_filter));
+  }
+  workers_.reserve(pipelines_.size());
+  for (size_t i = 0; i < pipelines_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+InferenceService::~InferenceService() { shutdown(); }
+
+std::future<InferenceResult> InferenceService::submit(Tensor image) {
+  return submit(std::move(image), config_.default_deadline);
+}
+
+std::future<InferenceResult> InferenceService::submit(
+    Tensor image, std::chrono::milliseconds deadline) {
+  // Admission control: malformed sensor data never occupies queue space
+  // or a worker.
+  try {
+    validate_image(image, config_.admission);
+  } catch (const InvalidInputError&) {
+    stats_.on_rejected_input();
+    throw;
+  }
+  if (!breaker_.try_acquire()) {
+    stats_.on_breaker_rejected();
+    throw CircuitOpenError(
+        "circuit breaker is open after repeated worker failures (state " +
+        breaker_.state_name() + ")");
+  }
+
+  auto request = std::make_unique<Request>();
+  request->image = std::move(image);
+  request->submitted_at = Clock::now();
+  request->deadline = deadline.count() > 0 ? request->submitted_at + deadline
+                                           : Clock::time_point::max();
+  std::future<InferenceResult> future = request->promise.get_future();
+
+  try {
+    if (config_.overload_policy == OverloadPolicy::kShed) {
+      if (!queue_.try_push(std::move(request))) {
+        stats_.on_shed();
+        breaker_.record_abandoned();
+        throw QueueFullError("request shed: queue at capacity " +
+                             std::to_string(queue_.capacity()));
+      }
+    } else {
+      queue_.push(std::move(request));
+    }
+  } catch (const ShutdownError&) {
+    breaker_.record_abandoned();
+    throw;
+  }
+  stats_.on_submitted();
+  return future;
+}
+
+InferenceResult InferenceService::classify(const Tensor& image) {
+  return submit(image.clone()).get();
+}
+
+void InferenceService::worker_loop(size_t worker_index) {
+  while (auto request = queue_.pop()) {
+    process(worker_index, **request);
+  }
+}
+
+void InferenceService::process(size_t worker_index, Request& request) {
+  const Clock::time_point dequeued_at = Clock::now();
+  if (dequeued_at > request.deadline) {
+    // Expired while queued: reject without running.
+    stats_.on_timed_out();
+    breaker_.record_abandoned();
+    request.promise.set_exception(
+        std::make_exception_ptr(DeadlineExceededError(
+            "deadline exceeded after " +
+            std::to_string(ms_between(request.submitted_at, dequeued_at)) +
+            " ms in queue (never run)")));
+    return;
+  }
+
+  // Graceful degradation: if a backlog is still waiting behind this
+  // request, trade filter quality for throughput.
+  const bool degraded = config_.degrade_queue_depth > 0 &&
+                        queue_.depth() >= config_.degrade_queue_depth;
+  core::InferencePipeline& pipeline = degraded
+                                          ? *degraded_pipelines_[worker_index]
+                                          : *pipelines_[worker_index];
+  try {
+    io::FaultInjector::instance().on_compute();
+    InferenceResult result;
+    result.prediction =
+        pipeline.predict(request.image, config_.threat_model);
+    const Clock::time_point done_at = Clock::now();
+    if (done_at > request.deadline) {
+      // Finished late: the worker is healthy, but a stale answer is
+      // worse than none — abandon the result.
+      stats_.on_timed_out();
+      breaker_.record_success();
+      request.promise.set_exception(
+          std::make_exception_ptr(DeadlineExceededError(
+              "deadline exceeded: inference finished after " +
+              std::to_string(ms_between(request.submitted_at, done_at)) +
+              " ms; result abandoned")));
+      return;
+    }
+    result.degraded = degraded;
+    result.filter = pipeline.filter().name();
+    result.queue_ms = ms_between(request.submitted_at, dequeued_at);
+    result.infer_ms = ms_between(dequeued_at, done_at);
+    result.total_ms = ms_between(request.submitted_at, done_at);
+    stats_.on_completed(result.total_ms, degraded);
+    breaker_.record_success();
+    request.promise.set_value(std::move(result));
+  } catch (...) {
+    stats_.on_worker_failure();
+    breaker_.record_failure();
+    request.promise.set_exception(std::current_exception());
+  }
+}
+
+ServiceStats InferenceService::stats() const {
+  ServiceStats out = stats_.snapshot();
+  out.queue_depth = static_cast<int64_t>(queue_.depth());
+  out.breaker_trips = breaker_.trips();
+  out.breaker_state = breaker_.state_name();
+  return out;
+}
+
+void InferenceService::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    queue_.close();  // refuse new producers; consumers drain the backlog
+    for (std::thread& worker : workers_) {
+      worker.join();
+    }
+  });
+}
+
+}  // namespace fademl::serve

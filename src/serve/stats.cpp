@@ -1,0 +1,79 @@
+#include "fademl/serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::serve {
+
+StatsCollector::StatsCollector(size_t window) : window_(window) {
+  FADEML_CHECK(window_ >= 1, "StatsCollector window must be >= 1");
+}
+
+void StatsCollector::on_submitted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_.submitted;
+}
+
+void StatsCollector::on_completed(double latency_ms, bool degraded) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_.completed;
+  if (degraded) {
+    ++counts_.degraded;
+  }
+  if (latencies_.size() < window_) {
+    latencies_.push_back(latency_ms);
+  } else {
+    latencies_[next_slot_] = latency_ms;
+    next_slot_ = (next_slot_ + 1) % window_;
+  }
+}
+
+void StatsCollector::on_shed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_.shed;
+}
+
+void StatsCollector::on_timed_out() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_.timed_out;
+}
+
+void StatsCollector::on_rejected_input() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_.rejected_input;
+}
+
+void StatsCollector::on_breaker_rejected() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_.breaker_rejected;
+}
+
+void StatsCollector::on_worker_failure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_.worker_failures;
+}
+
+ServiceStats StatsCollector::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats out = counts_;
+  out.latency_samples = static_cast<int64_t>(latencies_.size());
+  out.p50_ms = percentile(latencies_, 0.50);
+  out.p95_ms = percentile(latencies_, 0.95);
+  out.p99_ms = percentile(latencies_, 0.99);
+  return out;
+}
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  FADEML_CHECK(q >= 0.0 && q <= 1.0, "percentile q must be in [0, 1]");
+  std::sort(samples.begin(), samples.end());
+  const auto n = static_cast<double>(samples.size());
+  const auto rank = static_cast<size_t>(std::ceil(q * n));
+  return samples[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace fademl::serve

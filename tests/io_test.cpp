@@ -65,6 +65,84 @@ TEST(ImageIo, ReadRejectsNonPpm) {
   std::remove(path.c_str());
 }
 
+// ---- adversarial PPM inputs (the serve-batch boundary) ---------------------
+
+/// Write raw bytes and return the path; the loader must reject each of
+/// these with a *typed* error — never crash or allocate unbounded memory.
+std::string write_bytes(const char* name, const std::string& bytes) {
+  const std::string path = temp_path(name);
+  std::ofstream os(path, std::ios::binary);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return path;
+}
+
+TEST(ImageIoAdversarial, MissingFileIsIoError) {
+  EXPECT_THROW(read_ppm(temp_path("fademl_io_does_not_exist.ppm")), IoError);
+}
+
+TEST(ImageIoAdversarial, EmptyFileIsCorruption) {
+  const std::string path = write_bytes("fademl_io_empty.ppm", "");
+  EXPECT_THROW(read_ppm(path), CorruptionError);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIoAdversarial, TruncatedHeaderIsCorruption) {
+  const std::string path = write_bytes("fademl_io_trunc_hdr.ppm", "P6\n4 ");
+  EXPECT_THROW(read_ppm(path), CorruptionError);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIoAdversarial, NonNumericHeaderFieldsAreCorruption) {
+  const std::string path =
+      write_bytes("fademl_io_nan_hdr.ppm", "P6\nfour four\n255\n");
+  EXPECT_THROW(read_ppm(path), CorruptionError);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIoAdversarial, AbsurdDimensionsNeverAllocate) {
+  // A 12-byte header claiming a multi-terabyte payload: must be rejected
+  // by the geometry bound before any allocation is sized from it.
+  for (const char* header :
+       {"P6\n99999999 99999999\n255\n", "P6\n-3 7\n255\n",
+        "P6\n0 0\n255\n", "P6\n16385 16385\n255\n"}) {
+    const std::string path = write_bytes("fademl_io_absurd.ppm", header);
+    EXPECT_THROW(read_ppm(path), CorruptionError) << header;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ImageIoAdversarial, UnsupportedMaxvalIsCorruption) {
+  const std::string path =
+      write_bytes("fademl_io_maxval.ppm", "P6\n2 2\n65535\n");
+  EXPECT_THROW(read_ppm(path), CorruptionError);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIoAdversarial, TruncatedPayloadIsCorruption) {
+  // Header promises 2x2 (12 payload bytes) but only 5 arrive.
+  const std::string path = write_bytes("fademl_io_trunc_payload.ppm",
+                                       std::string("P6\n2 2\n255\n") +
+                                           std::string(5, '\x42'));
+  try {
+    read_ppm(path);
+    FAIL() << "truncated payload was accepted";
+  } catch (const CorruptionError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+    EXPECT_EQ(e.record(), path);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ImageIoAdversarial, ExactPayloadStillLoads) {
+  const std::string path = write_bytes(
+      "fademl_io_exact.ppm",
+      std::string("P6\n2 2\n255\n") + std::string(12, '\x80'));
+  const Tensor img = read_ppm(path);
+  EXPECT_EQ(img.shape(), Shape({3, 2, 2}));
+  EXPECT_NEAR(img.at(0), 128.0f / 255.0f, 1e-6f);
+  std::remove(path.c_str());
+}
+
 TEST(Table, AlignedPrint) {
   Table t({"Attack", "Top-5"});
   t.add_row({"FGSM", "93.1%"});

@@ -23,6 +23,35 @@ TEST(ThreatModelNames, MatchPaper) {
   EXPECT_EQ(threat_model_name(ThreatModel::kIII), "TM-III");
 }
 
+// The predict() input contract the serving layer's admission checks are
+// written against (fademl/serve/admission.hpp): empty tensors, wrong
+// ranks, and wrong channel counts must all throw — whatever admission
+// rejects, the pipeline would also have rejected.
+TEST(Pipeline, PredictRejectsMalformedImages) {
+  InferencePipeline p = tiny_pipeline(filters::make_identity());
+  const int64_t side = tiny_world().image_size;
+  // Empty / undefined tensor.
+  EXPECT_THROW((void)p.predict(Tensor{}, ThreatModel::kIII), Error);
+  // Wrong rank: a batch and a matrix are both refused.
+  EXPECT_THROW(
+      (void)p.predict(Tensor::ones(Shape{1, 3, side, side}), ThreatModel::kI),
+      Error);
+  EXPECT_THROW((void)p.predict(Tensor::ones(Shape{side, side}),
+                               ThreatModel::kIII),
+               Error);
+  // Wrong channel count for the 3-plane DNN input.
+  EXPECT_THROW(
+      (void)p.predict(Tensor::ones(Shape{1, side, side}), ThreatModel::kI),
+      Error);
+  EXPECT_THROW(
+      (void)p.predict(Tensor::ones(Shape{4, side, side}), ThreatModel::kIII),
+      Error);
+  // A well-formed image still works after all those rejections.
+  EXPECT_NO_THROW(
+      (void)p.predict(Tensor::full(Shape{3, side, side}, 0.5f),
+                      ThreatModel::kIII));
+}
+
 TEST(Pipeline, RejectsNullComponents) {
   EXPECT_THROW(InferencePipeline(nullptr, filters::make_identity()), Error);
   EXPECT_THROW(InferencePipeline(tiny_world().model, nullptr), Error);

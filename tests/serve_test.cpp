@@ -1,0 +1,552 @@
+// Chaos tests for the hardened concurrent inference service: every
+// failure path — deadline expiry (queued and in-flight), queue shedding,
+// circuit-breaker trip/half-open/recovery, degraded-filter fallback, and
+// drain-on-shutdown — is driven deterministically through the
+// io::FaultInjector compute failpoints (slow-worker:MS, worker-throw:N).
+// The suite must stay clean under ASan/UBSan *and* TSan (scripts/check.sh
+// --tsan runs exactly this binary).
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <future>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fademl/io/failpoint.hpp"
+#include "fademl/nn/vggnet.hpp"
+#include "fademl/serve/admission.hpp"
+#include "fademl/serve/bounded_queue.hpp"
+#include "fademl/serve/circuit_breaker.hpp"
+#include "fademl/serve/errors.hpp"
+#include "fademl/serve/service.hpp"
+#include "fademl/serve/stats.hpp"
+#include "fademl/tensor/random.hpp"
+
+namespace fademl::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr int64_t kSide = 8;
+
+/// One fully independent pipeline replica: service workers must never
+/// share a model instance. Untrained weights are fine — the service's
+/// semantics do not depend on accuracy, and skipping training keeps this
+/// suite fast enough to run under TSan.
+std::unique_ptr<core::InferencePipeline> make_replica(
+    filters::FilterPtr filter = filters::make_lap(4)) {
+  Rng rng(99);  // same seed -> identical weights across replicas
+  auto model = nn::make_vggnet(nn::VggConfig::tiny(4, kSide), rng);
+  return std::make_unique<core::InferencePipeline>(std::move(model),
+                                                   std::move(filter));
+}
+
+std::vector<std::unique_ptr<core::InferencePipeline>> make_replicas(
+    size_t count) {
+  std::vector<std::unique_ptr<core::InferencePipeline>> replicas;
+  for (size_t i = 0; i < count; ++i) {
+    replicas.push_back(make_replica());
+  }
+  return replicas;
+}
+
+Tensor valid_image(uint64_t seed = 5) {
+  Rng rng(seed);
+  return rng.uniform_tensor(Shape{3, kSide, kSide}, 0.0f, 1.0f);
+}
+
+ServiceConfig base_config() {
+  ServiceConfig config;
+  config.admission.expected_height = kSide;
+  config.admission.expected_width = kSide;
+  return config;
+}
+
+/// Poll until `pred` holds (the only non-determinism in these tests is
+/// "has the worker dequeued yet"; this bounds it).
+template <typename Pred>
+::testing::AssertionResult eventually(Pred pred,
+                                      milliseconds timeout = milliseconds(
+                                          5000)) {
+  const auto until = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < until) {
+    if (pred()) {
+      return ::testing::AssertionSuccess();
+    }
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  return ::testing::AssertionFailure() << "condition not reached in time";
+}
+
+/// Every test leaves the process-wide injector disarmed.
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { io::FaultInjector::instance().disarm(); }
+  void TearDown() override { io::FaultInjector::instance().disarm(); }
+};
+
+// ---- BoundedQueue ----------------------------------------------------------
+
+TEST(BoundedQueue, FifoAndShedAtCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full -> shed
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsEnd) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.try_push(7));
+  q.close();
+  EXPECT_THROW(q.push(8), ShutdownError);
+  EXPECT_THROW((void)q.try_push(8), ShutdownError);
+  EXPECT_EQ(q.pop().value(), 7);  // admitted items still drain
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, BlockingPushWaitsForSpace) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.push(2);  // blocks until the consumer pops
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+  std::atomic<bool> threw{false};
+  std::thread producer([&] {
+    try {
+      q.push(2);
+    } catch (const ShutdownError&) {
+      threw.store(true);
+    }
+  });
+  std::this_thread::sleep_for(milliseconds(20));
+  q.close();
+  producer.join();
+  EXPECT_TRUE(threw.load());
+}
+
+// ---- CircuitBreaker --------------------------------------------------------
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailuresAndRecovers) {
+  CircuitBreaker::Config config;
+  config.failure_threshold = 3;
+  config.cooldown = milliseconds(0);  // next acquisition is the probe
+  CircuitBreaker breaker(config);
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.try_acquire());
+    breaker.record_failure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1);
+
+  // Cooldown 0: the next acquisition flips to half-open as the probe...
+  ASSERT_TRUE(breaker.try_acquire());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  // ...and only one probe may be in flight.
+  EXPECT_FALSE(breaker.try_acquire());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, OpenRefusesUntilCooldown) {
+  CircuitBreaker::Config config;
+  config.failure_threshold = 1;
+  config.cooldown = milliseconds(10'000);
+  CircuitBreaker breaker(config);
+  ASSERT_TRUE(breaker.try_acquire());
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.try_acquire());
+  EXPECT_FALSE(breaker.try_acquire());
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopens) {
+  CircuitBreaker::Config config;
+  config.failure_threshold = 1;
+  config.cooldown = milliseconds(0);
+  CircuitBreaker breaker(config);
+  ASSERT_TRUE(breaker.try_acquire());
+  breaker.record_failure();  // trip 1
+  ASSERT_TRUE(breaker.try_acquire());  // probe
+  breaker.record_failure();  // probe fails -> trip 2
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2);
+}
+
+TEST(CircuitBreakerTest, AbandonedProbeFreesTheSlot) {
+  CircuitBreaker::Config config;
+  config.failure_threshold = 1;
+  config.cooldown = milliseconds(0);
+  CircuitBreaker breaker(config);
+  ASSERT_TRUE(breaker.try_acquire());
+  breaker.record_failure();
+  ASSERT_TRUE(breaker.try_acquire());  // probe
+  EXPECT_FALSE(breaker.try_acquire());
+  breaker.record_abandoned();  // deadline expiry says nothing about health
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  ASSERT_TRUE(breaker.try_acquire());  // slot free again
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+// ---- Stats -----------------------------------------------------------------
+
+TEST(Stats, NearestRankPercentiles) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) {
+    samples.push_back(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.50), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.95), 95.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.99), 99.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 1.0), 100.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Stats, SlidingWindowStaysBounded) {
+  StatsCollector stats(4);
+  for (int i = 0; i < 10; ++i) {
+    stats.on_completed(static_cast<double>(i), false);
+  }
+  const ServiceStats snap = stats.snapshot();
+  EXPECT_EQ(snap.completed, 10);
+  EXPECT_EQ(snap.latency_samples, 4);
+  EXPECT_GE(snap.p50_ms, 6.0);  // only the newest 4 samples remain
+}
+
+// ---- Admission -------------------------------------------------------------
+
+TEST(Admission, RejectsEveryMalformedShape) {
+  AdmissionPolicy policy;
+  policy.expected_height = kSide;
+  policy.expected_width = kSide;
+  EXPECT_NO_THROW(validate_image(valid_image(), policy));
+  EXPECT_THROW(validate_image(Tensor{}, policy), InvalidInputError);
+  EXPECT_THROW(validate_image(Tensor::ones(Shape{3, kSide}), policy),
+               InvalidInputError);  // wrong rank
+  EXPECT_THROW(validate_image(Tensor::ones(Shape{1, kSide, kSide}), policy),
+               InvalidInputError);  // wrong channel count
+  EXPECT_THROW(validate_image(Tensor::ones(Shape{3, kSide, kSide * 2}),
+                              policy),
+               InvalidInputError);  // wrong geometry for the model
+}
+
+TEST(Admission, RejectsNonFiniteAndOutOfRangePixels) {
+  AdmissionPolicy policy;
+  Tensor nan_img = Tensor::full(Shape{3, 4, 4}, 0.5f);
+  nan_img.at(7) = std::nanf("");
+  EXPECT_THROW(validate_image(nan_img, policy), InvalidInputError);
+
+  Tensor inf_img = Tensor::full(Shape{3, 4, 4}, 0.5f);
+  inf_img.at(0) = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(validate_image(inf_img, policy), InvalidInputError);
+
+  Tensor hot_img = Tensor::full(Shape{3, 4, 4}, 0.5f);
+  hot_img.at(3) = 2.5f;
+  EXPECT_THROW(validate_image(hot_img, policy), InvalidInputError);
+
+  Tensor cold_img = Tensor::full(Shape{3, 4, 4}, 0.5f);
+  cold_img.at(3) = -1.0f;
+  EXPECT_THROW(validate_image(cold_img, policy), InvalidInputError);
+}
+
+// ---- FaultSpec parsing -----------------------------------------------------
+
+TEST(FaultSpecParse, AcceptsComputeFailpoints) {
+  const io::FaultSpec slow = io::FaultSpec::parse("slow-worker:25");
+  EXPECT_EQ(slow.kind, io::FaultSpec::Kind::kSlowWorker);
+  EXPECT_EQ(slow.arg, 25);
+  const io::FaultSpec crash = io::FaultSpec::parse("worker-throw:3");
+  EXPECT_EQ(crash.kind, io::FaultSpec::Kind::kWorkerThrow);
+  EXPECT_EQ(crash.arg, 3);
+  EXPECT_THROW(io::FaultSpec::parse("worker-throw:0"), Error);
+  EXPECT_THROW(io::FaultSpec::parse("slow-banana:4"), Error);
+}
+
+// ---- InferenceService ------------------------------------------------------
+
+TEST_F(ServeTest, ServesConcurrentTrafficAndReportsStats) {
+  InferenceService service(make_replicas(2), base_config());
+  EXPECT_EQ(service.workers(), 2u);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(service.submit(valid_image(static_cast<uint64_t>(i))));
+  }
+  for (auto& f : futures) {
+    const InferenceResult r = f.get();
+    EXPECT_EQ(r.prediction.probs.numel(), 4);
+    EXPECT_FALSE(r.degraded);
+    EXPECT_EQ(r.filter, "LAP(4)");
+    EXPECT_GE(r.total_ms, r.infer_ms);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 8);
+  EXPECT_EQ(stats.completed, 8);
+  EXPECT_EQ(stats.latency_samples, 8);
+  EXPECT_LE(stats.p50_ms, stats.p95_ms);
+  EXPECT_LE(stats.p95_ms, stats.p99_ms);
+  EXPECT_EQ(stats.breaker_state, "closed");
+  service.shutdown();
+  EXPECT_EQ(service.stats().queue_depth, 0);
+}
+
+TEST_F(ServeTest, SynchronousClassifyWorks) {
+  InferenceService service(make_replicas(1), base_config());
+  const InferenceResult r = service.classify(valid_image());
+  EXPECT_GE(r.prediction.confidence, 0.0f);
+  EXPECT_LE(r.prediction.confidence, 1.0f);
+}
+
+TEST_F(ServeTest, AdmissionRejectsAtTheBoundary) {
+  InferenceService service(make_replicas(1), base_config());
+  Tensor poisoned = valid_image();
+  poisoned.at(11) = std::nanf("");
+  EXPECT_THROW((void)service.submit(std::move(poisoned)), InvalidInputError);
+  EXPECT_THROW((void)service.submit(Tensor::ones(Shape{1, kSide, kSide})),
+               InvalidInputError);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected_input, 2);
+  EXPECT_EQ(stats.submitted, 0);  // never queued
+}
+
+TEST_F(ServeTest, DeadlineExpiredInQueueIsRejectedUnrun) {
+  ServiceConfig config = base_config();
+  InferenceService service(make_replicas(1), config);
+  io::FaultInjector::instance().arm("slow-worker:60");
+  // First request occupies the only worker for >= 60 ms...
+  std::future<InferenceResult> slow = service.submit(valid_image());
+  // ...so this 10 ms deadline is long gone when it is dequeued.
+  std::future<InferenceResult> doomed =
+      service.submit(valid_image(), milliseconds(10));
+  EXPECT_THROW((void)doomed.get(), DeadlineExceededError);
+  io::FaultInjector::instance().disarm();
+  EXPECT_NO_THROW((void)slow.get());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.timed_out, 1);
+  EXPECT_EQ(stats.completed, 1);
+}
+
+TEST_F(ServeTest, LateResultIsAbandonedNeverReturnedStale) {
+  InferenceService service(make_replicas(1), base_config());
+  io::FaultInjector::instance().arm("slow-worker:250");
+  // Dequeued immediately (deadline still alive), finishes way too late.
+  // The 50 ms deadline gives even a TSan-slowed worker time to dequeue
+  // before expiry, so this deterministically hits the "abandoned" path.
+  std::future<InferenceResult> late =
+      service.submit(valid_image(), milliseconds(50));
+  try {
+    (void)late.get();
+    FAIL() << "stale result was returned";
+  } catch (const DeadlineExceededError& e) {
+    EXPECT_NE(std::string(e.what()).find("abandoned"), std::string::npos);
+  }
+  EXPECT_GE(io::FaultInjector::instance().computes_seen(), 1);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.timed_out, 1);
+  EXPECT_EQ(stats.completed, 0);
+  EXPECT_EQ(stats.worker_failures, 0);  // the worker itself was healthy
+}
+
+TEST_F(ServeTest, EnvVarFailpointSpecDrivesTheService) {
+  // Operators arm a whole process run with FADEML_FAILPOINT (the injector
+  // reads it once at startup); replay that route by parsing the exact env
+  // string into the same injector.
+  ::setenv("FADEML_FAILPOINT", "worker-throw:1", 1);
+  io::FaultInjector::instance().arm(
+      io::FaultSpec::parse(std::getenv("FADEML_FAILPOINT")));
+  ::unsetenv("FADEML_FAILPOINT");
+  InferenceService service(make_replicas(1), base_config());
+  EXPECT_THROW((void)service.classify(valid_image()), Error);
+  EXPECT_EQ(service.stats().worker_failures, 1);
+  // The failpoint disarmed itself after firing once; service recovered.
+  EXPECT_FALSE(io::FaultInjector::instance().armed());
+  EXPECT_NO_THROW((void)service.classify(valid_image()));
+}
+
+TEST_F(ServeTest, OverloadShedsWithQueueFullError) {
+  ServiceConfig config = base_config();
+  config.queue_capacity = 1;
+  config.overload_policy = OverloadPolicy::kShed;
+  InferenceService service(make_replicas(1), config);
+  io::FaultInjector::instance().arm("slow-worker:80");
+
+  std::future<InferenceResult> running = service.submit(valid_image());
+  // Wait until the worker picked it up, so the queue is empty again.
+  ASSERT_TRUE(eventually([&] { return service.stats().queue_depth == 0; }));
+  std::future<InferenceResult> queued = service.submit(valid_image());
+  EXPECT_THROW((void)service.submit(valid_image()), QueueFullError);
+
+  io::FaultInjector::instance().disarm();
+  EXPECT_NO_THROW((void)running.get());
+  EXPECT_NO_THROW((void)queued.get());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shed, 1);
+  EXPECT_EQ(stats.completed, 2);
+}
+
+TEST_F(ServeTest, BlockPolicyAppliesBackpressureInsteadOfShedding) {
+  ServiceConfig config = base_config();
+  config.queue_capacity = 1;
+  config.overload_policy = OverloadPolicy::kBlock;
+  InferenceService service(make_replicas(1), config);
+  io::FaultInjector::instance().arm("slow-worker:30");
+
+  std::vector<std::future<InferenceResult>> futures;
+  futures.push_back(service.submit(valid_image()));
+  ASSERT_TRUE(eventually([&] { return service.stats().queue_depth == 0; }));
+  futures.push_back(service.submit(valid_image()));  // fills the queue
+  futures.push_back(service.submit(valid_image()));  // blocks, then lands
+  io::FaultInjector::instance().disarm();
+  for (auto& f : futures) {
+    EXPECT_NO_THROW((void)f.get());
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shed, 0);
+  EXPECT_EQ(stats.completed, 3);
+}
+
+TEST_F(ServeTest, BreakerTripsFailsFastAndRecoversViaProbe) {
+  ServiceConfig config = base_config();
+  config.breaker.failure_threshold = 3;
+  config.breaker.cooldown = milliseconds(150);
+  InferenceService service(make_replicas(1), config);
+  io::FaultInjector::instance().arm("worker-throw:3");
+
+  for (int i = 0; i < 3; ++i) {
+    std::future<InferenceResult> f = service.submit(valid_image());
+    EXPECT_THROW((void)f.get(), Error);  // the injected worker failure
+  }
+  ASSERT_EQ(service.stats().breaker_state, "open");
+  EXPECT_EQ(service.stats().breaker_trips, 1);
+  EXPECT_EQ(service.stats().worker_failures, 3);
+
+  // Open: fail fast without queueing.
+  EXPECT_THROW((void)service.submit(valid_image()), CircuitOpenError);
+  EXPECT_EQ(service.stats().breaker_rejected, 1);
+
+  // After the cooldown the next request is the half-open probe; the
+  // failpoint is exhausted, so it succeeds and closes the breaker.
+  std::this_thread::sleep_for(milliseconds(250));
+  std::future<InferenceResult> probe = service.submit(valid_image());
+  EXPECT_NO_THROW((void)probe.get());
+  ASSERT_TRUE(
+      eventually([&] { return service.stats().breaker_state == "closed"; }));
+  EXPECT_NO_THROW((void)service.submit(valid_image()).get());
+}
+
+TEST_F(ServeTest, FailedProbeReopensTheBreaker) {
+  ServiceConfig config = base_config();
+  config.breaker.failure_threshold = 1;
+  config.breaker.cooldown = milliseconds(0);
+  InferenceService service(make_replicas(1), config);
+  io::FaultInjector::instance().arm("worker-throw:2");
+
+  EXPECT_THROW((void)service.submit(valid_image()).get(), Error);  // trip 1
+  EXPECT_THROW((void)service.submit(valid_image()).get(), Error);  // probe fails
+  EXPECT_EQ(service.stats().breaker_trips, 2);
+  // Failpoint exhausted: the next probe succeeds and service resumes.
+  EXPECT_NO_THROW((void)service.submit(valid_image()).get());
+  ASSERT_TRUE(
+      eventually([&] { return service.stats().breaker_state == "closed"; }));
+}
+
+TEST_F(ServeTest, SustainedBacklogFallsBackToDegradedFilter) {
+  ServiceConfig config = base_config();
+  config.degrade_queue_depth = 1;
+  config.degraded_filter = filters::make_identity();
+  InferenceService service(make_replicas(1), config);
+  io::FaultInjector::instance().arm("slow-worker:40");
+
+  std::future<InferenceResult> first = service.submit(valid_image());
+  ASSERT_TRUE(eventually([&] { return service.stats().queue_depth == 0; }));
+  // Two more while the worker sleeps: when `second` is dequeued, `third`
+  // is still waiting behind it -> degraded; when `third` is dequeued the
+  // backlog is gone -> full-quality filter again.
+  std::future<InferenceResult> second = service.submit(valid_image());
+  std::future<InferenceResult> third = service.submit(valid_image());
+
+  EXPECT_FALSE(first.get().degraded);
+  const InferenceResult degraded = second.get();
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_EQ(degraded.filter, "NoFilter");
+  const InferenceResult recovered = third.get();
+  EXPECT_FALSE(recovered.degraded);
+  EXPECT_EQ(recovered.filter, "LAP(4)");
+  io::FaultInjector::instance().disarm();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.degraded, 1);
+  EXPECT_EQ(stats.completed, 3);
+}
+
+TEST_F(ServeTest, ShutdownDrainsEveryAdmittedRequest) {
+  ServiceConfig config = base_config();
+  config.queue_capacity = 32;
+  InferenceService service(make_replicas(2), config);
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(service.submit(valid_image(static_cast<uint64_t>(i))));
+  }
+  service.shutdown();  // drain-then-join: nothing admitted is dropped
+  for (auto& f : futures) {
+    EXPECT_NO_THROW((void)f.get());
+  }
+  EXPECT_EQ(service.stats().completed, 12);
+  EXPECT_EQ(service.stats().queue_depth, 0);
+  EXPECT_THROW((void)service.submit(valid_image()), ShutdownError);
+}
+
+TEST_F(ServeTest, ShutdownMidFlightWaitsForTheSlowWorker) {
+  InferenceService service(make_replicas(1), base_config());
+  io::FaultInjector::instance().arm("slow-worker:30");
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(service.submit(valid_image()));
+  }
+  service.shutdown();
+  io::FaultInjector::instance().disarm();
+  for (auto& f : futures) {
+    EXPECT_NO_THROW((void)f.get());
+  }
+  EXPECT_EQ(service.stats().completed, 3);
+}
+
+TEST_F(ServeTest, DegradedAndPrimaryPipelinesAgreeOnShape) {
+  // The degraded twin shares the worker's model, so its predictions have
+  // the same class space — only the pre-processing differs.
+  ServiceConfig config = base_config();
+  config.degrade_queue_depth = 1;
+  InferenceService service(make_replicas(1), config);
+  const InferenceResult r = service.classify(valid_image());
+  EXPECT_EQ(r.prediction.probs.numel(), 4);
+  float sum = 0.0f;
+  for (int64_t i = 0; i < r.prediction.probs.numel(); ++i) {
+    sum += r.prediction.probs.at(i);
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-4f);
+}
+
+}  // namespace
+}  // namespace fademl::serve

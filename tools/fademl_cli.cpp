@@ -8,14 +8,30 @@
 //   fademl attack  --source 14 --target 3 --attack bim --filter lap32
 //                  [--fademl] [--eps 0.15] [--out panel.ppm]
 //   fademl verify  --ckpt model.fdml    validate a checkpoint bundle
-//                  (exit 0 = intact, 1 = corrupt/missing; for scripts/CI)
+//   fademl serve-batch --dir imgs      classify every PPM in a directory
+//                  [--filter lap32] [--workers 2] [--deadline-ms 0]
+//                  [--queue 64] [--policy block|shed]
+//                  through the hardened concurrent inference service,
+//                  with per-image failure isolation
+//
+// Exit codes (documented in README "Exit codes"):
+//   0  success
+//   1  runtime error (bad input, attack failure, corrupt/missing checkpoint)
+//   2  usage error (no/unknown command, bad flags)
+//   3  partial failure (serve-batch completed but some images failed)
 //
 // Every command honors FADEML_FAST / FADEML_CACHE_DIR like the benches.
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <future>
 #include <iostream>
 #include <memory>
+#include <utility>
+#include <vector>
 
+#include "bench/bench_common.hpp"
 #include "fademl/core/metrics.hpp"
 #include "fademl/fademl.hpp"
 #include "fademl/io/args.hpp"
@@ -25,6 +41,11 @@
 namespace {
 
 using namespace fademl;
+
+/// Bad flags are a usage error (exit 2), not a runtime failure (exit 1).
+struct UsageError : Error {
+  using Error::Error;
+};
 
 attacks::AttackKind parse_attack(const std::string& spec) {
   if (spec == "lbfgs") {
@@ -154,10 +175,113 @@ int cmd_attack(const io::ArgParser& args) {
   return 0;
 }
 
+/// Build `count` independent pipeline replicas over the cached experiment
+/// model: replica 0 reuses the in-memory model, the rest are fresh module
+/// instances loaded from the checkpoint (workers must never share one).
+std::vector<std::unique_ptr<core::InferencePipeline>> make_replicas(
+    const core::Experiment& exp, const filters::FilterPtr& filter,
+    int64_t count) {
+  std::vector<std::unique_ptr<core::InferencePipeline>> replicas;
+  replicas.push_back(
+      std::make_unique<core::InferencePipeline>(exp.model, filter));
+  for (int64_t i = 1; i < count; ++i) {
+    Rng rng(exp.config.seed ^ 0xA5A5A5A5ull);
+    nn::VggConfig vgg = nn::VggConfig::scaled(exp.config.width_divisor);
+    vgg.input_size = exp.config.image_size;
+    std::shared_ptr<nn::Sequential> model = nn::make_vggnet(vgg, rng);
+    nn::load_checkpoint(*model, exp.config.checkpoint_path());
+    replicas.push_back(
+        std::make_unique<core::InferencePipeline>(std::move(model), filter));
+  }
+  return replicas;
+}
+
+int cmd_serve_batch(const io::ArgParser& args) {
+  const std::string dir = args.get("dir", "");
+  if (dir.empty()) {
+    throw UsageError("serve-batch requires --dir <directory of .ppm images>");
+  }
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".ppm") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    throw Error("serve-batch: no .ppm files in '" + dir + "'");
+  }
+
+  const std::string policy = args.get("policy", "block");
+  if (policy != "block" && policy != "shed") {
+    throw UsageError("serve-batch: --policy must be block or shed, got '" +
+                     policy + "'");
+  }
+  core::Experiment exp =
+      core::make_experiment(core::ExperimentConfig::from_env());
+  const filters::FilterPtr filter =
+      filters::parse_filter(args.get("filter", "lap32"));
+  const int64_t workers = args.get_int("workers", 2);
+  if (workers < 1) {
+    throw UsageError("serve-batch: --workers must be >= 1");
+  }
+
+  serve::ServiceConfig config;
+  config.queue_capacity = static_cast<size_t>(args.get_int("queue", 64));
+  config.overload_policy = policy == "shed" ? serve::OverloadPolicy::kShed
+                                            : serve::OverloadPolicy::kBlock;
+  config.default_deadline =
+      std::chrono::milliseconds(args.get_int("deadline-ms", 0));
+  config.admission.expected_height = exp.config.image_size;
+  config.admission.expected_width = exp.config.image_size;
+  serve::InferenceService service(make_replicas(exp, filter, workers),
+                                  std::move(config));
+
+  bench::FailureLog failures;
+  std::vector<std::pair<std::string, std::future<serve::InferenceResult>>>
+      pending;
+  for (const std::string& file : files) {
+    // Per-image isolation: one unreadable/malformed/shed image is logged
+    // and the batch continues.
+    failures.run(file, [&] {
+      Tensor image = io::read_ppm(file);
+      pending.emplace_back(file, service.submit(std::move(image)));
+    });
+  }
+  io::Table table({"image", "prediction", "confidence", "filter", "ms"});
+  for (auto& [file, future] : pending) {
+    failures.run(file, [&] {
+      const serve::InferenceResult r = future.get();
+      table.add_row({std::filesystem::path(file).filename().string(),
+                     data::gtsrb_class_name(r.prediction.label),
+                     io::Table::pct(r.prediction.confidence, 1),
+                     r.filter + (r.degraded ? " [degraded]" : ""),
+                     io::Table::fmt(r.total_ms, 1)});
+    });
+  }
+  table.print(std::cout);
+
+  const serve::ServiceStats stats = service.stats();
+  service.shutdown();
+  std::printf(
+      "\nserved %lld/%zu image(s) on %lld worker(s): %lld degraded, "
+      "%lld shed, %lld timed out, %lld invalid, %lld worker failure(s); "
+      "latency p50 %.1f ms, p95 %.1f ms, p99 %.1f ms\n",
+      static_cast<long long>(stats.completed), files.size(),
+      static_cast<long long>(workers),
+      static_cast<long long>(stats.degraded),
+      static_cast<long long>(stats.shed),
+      static_cast<long long>(stats.timed_out),
+      static_cast<long long>(stats.rejected_input),
+      static_cast<long long>(stats.worker_failures), stats.p50_ms,
+      stats.p95_ms, stats.p99_ms);
+  return failures.finish();
+}
+
 int cmd_verify(const io::ArgParser& args) {
   const std::string path = args.get("ckpt", "");
   if (path.empty()) {
-    throw Error("verify requires --ckpt <path>");
+    throw UsageError("verify requires --ckpt <path>");
   }
   const nn::CheckpointVerdict verdict = nn::verify_checkpoint(path);
   switch (verdict.status) {
@@ -179,20 +303,27 @@ int cmd_verify(const io::ArgParser& args) {
 
 }  // namespace
 
+constexpr const char* kCommands =
+    "fademl <classes|render|train|eval|attack|verify|serve-batch>";
+
 int main(int argc, char** argv) {
   io::ArgParser args(
       "fademl — filter-aware adversarial ML toolkit (DATE 2019 reproduction)",
       {"cls", "size", "out", "seed", "filter", "attack", "source", "target",
-       "eps", "iters", "fademl!", "ckpt"});
+       "eps", "iters", "fademl!", "ckpt", "dir", "workers", "deadline-ms",
+       "queue", "policy"});
+  std::string command;
   try {
     if (argc < 2) {
-      std::fputs(args.usage("fademl <classes|render|train|eval|attack|verify>")
-                     .c_str(),
-                 stderr);
+      std::fputs(args.usage(kCommands).c_str(), stderr);
       return 2;
     }
-    const std::string command = argv[1];
-    args.parse(argc - 2, argv + 2);
+    command = argv[1];
+    try {
+      args.parse(argc - 2, argv + 2);
+    } catch (const Error& e) {
+      throw UsageError(e.what());
+    }
     if (command == "classes") {
       return cmd_classes();
     }
@@ -211,11 +342,19 @@ int main(int argc, char** argv) {
     if (command == "verify") {
       return cmd_verify(args);
     }
-    throw fademl::Error("unknown command '" + command + "'");
+    if (command == "serve-batch") {
+      return cmd_serve_batch(args);
+    }
+    std::fprintf(stderr, "error: unknown command '%s'\n%s", command.c_str(),
+                 args.usage(kCommands).c_str());
+    return 2;
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(),
+                 args.usage(kCommands).c_str());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n%s", e.what(),
-                 args.usage("fademl <classes|render|train|eval|attack|verify>")
-                     .c_str());
+                 args.usage(kCommands).c_str());
     return 1;
   }
 }
