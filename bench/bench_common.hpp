@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,7 +22,8 @@ namespace fademl::bench {
 
 /// Per-item failure isolation for figure sweeps: one attack throwing on
 /// one image/scenario records the failure and the sweep continues, instead
-/// of a single bad cell aborting the whole figure.
+/// of a single bad cell aborting the whole figure. Thread-safe: sweep
+/// cells fanned out across the parallel pool may log concurrently.
 ///
 ///   bench::FailureLog failures;
 ///   for (...) {
@@ -37,6 +39,7 @@ class FailureLog {
       fn();
       return true;
     } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(mu_);
       failures_.push_back(item + ": " + e.what());
       std::fprintf(stderr, "[bench] %s failed: %s (continuing)\n",
                    item.c_str(), e.what());
@@ -44,11 +47,15 @@ class FailureLog {
     }
   }
 
-  [[nodiscard]] size_t count() const { return failures_.size(); }
+  [[nodiscard]] size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return failures_.size();
+  }
 
   /// Print the failure summary; returns the figure's exit code
   /// (0 = clean sweep, 3 = some cells failed but the figure completed).
   [[nodiscard]] int finish() const {
+    std::lock_guard<std::mutex> lock(mu_);
     if (failures_.empty()) {
       return 0;
     }
@@ -61,12 +68,38 @@ class FailureLog {
   }
 
  private:
+  mutable std::mutex mu_;
   std::vector<std::string> failures_;
 };
 
 inline core::Experiment load_experiment() {
   core::ExperimentConfig config = core::ExperimentConfig::from_env();
   return core::make_experiment(config);
+}
+
+/// A fresh model with the experiment's architecture and trained weights.
+/// `nn::Module::forward` is not safe to run concurrently on one model
+/// (each call rebuilds the autograd tape through shared parameters), so
+/// sweeps that fan cells out across threads give every cell its own
+/// replica — the same isolation rule the serving layer applies per worker.
+inline std::shared_ptr<nn::Sequential> replicate_model(
+    const core::Experiment& exp) {
+  Rng rng(exp.config.seed);  // architecture only; weights are overwritten
+  nn::VggConfig vgg = nn::VggConfig::scaled(exp.config.width_divisor);
+  vgg.input_size = exp.config.image_size;
+  std::shared_ptr<nn::Sequential> replica = nn::make_vggnet(vgg, rng);
+  const std::vector<nn::NamedParam> src = exp.model->named_parameters();
+  std::vector<nn::NamedParam> dst = replica->named_parameters();
+  FADEML_CHECK(src.size() == dst.size(),
+               "replicate_model: parameter count mismatch");
+  for (size_t i = 0; i < src.size(); ++i) {
+    FADEML_CHECK(dst[i].name == src[i].name,
+                 "replicate_model: parameter order mismatch at " +
+                     dst[i].name);
+    dst[i].param.mutable_value().copy_from(src[i].param.value());
+  }
+  replica->set_training(false);
+  return replica;
 }
 
 /// The attack budget used for every figure: imperceptible on a [0,1] pixel

@@ -20,47 +20,83 @@ int main() {
     std::printf(
         "== Fig. 5: targeted misclassification under Threat Model I ==\n\n");
     core::Experiment exp = bench::load_experiment();
-    core::InferencePipeline pipeline(exp.model, filters::make_lap(32));
 
     io::Table table({"Attack", "Scenario", "Clean prediction",
                      "Adversarial prediction (TM-I)", "|n|_inf", "|n|_2",
                      "Success"});
-    std::vector<Tensor> gallery;  // the figure's image cells, row-major
+
+    // Enumerate every (attack, scenario) cell up front, then fan the cells
+    // out across the parallel pool. Each cell attacks its own pipeline
+    // replica (Module::forward is not thread-safe on a shared model) and
+    // writes into its own slot; the table, gallery, and success counts are
+    // emitted from the slots afterwards, in the paper's row order — the
+    // figure is identical to the old serial sweep.
+    struct Cell {
+      attacks::AttackKind kind;
+      core::Scenario scenario;
+      std::string attack_name;
+      bool done = false;  // false = failed; render a black gallery tile
+      bool success = false;
+      core::Prediction clean;
+      core::Prediction adv;
+      attacks::AttackResult result;
+    };
+    std::vector<Cell> cells;
+    for (attacks::AttackKind kind : bench::paper_attack_kinds()) {
+      for (const core::Scenario& scenario : core::paper_scenarios()) {
+        Cell cell;
+        cell.kind = kind;
+        cell.scenario = scenario;
+        cells.push_back(cell);
+      }
+    }
+
     bench::FailureLog failures;
+    parallel::parallel_for(
+        0, static_cast<int64_t>(cells.size()), 1,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            Cell& cell = cells[static_cast<size_t>(i)];
+            const attacks::AttackPtr attack =
+                attacks::make_attack(cell.kind, bench::budget_for(cell.kind));
+            cell.attack_name = attack->name();
+            failures.run(attack->name() + " / " + cell.scenario.name, [&] {
+              core::InferencePipeline cell_pipeline(
+                  bench::replicate_model(exp), filters::make_lap(32));
+              const Tensor source = core::well_classified_sample(
+                  cell_pipeline, cell.scenario.source_class,
+                  exp.config.image_size);
+              cell.clean = cell_pipeline.predict(source, core::ThreatModel::kI);
+              cell.result =
+                  attack->run(cell_pipeline, source, cell.scenario.target_class);
+              cell.adv = cell_pipeline.predict(cell.result.adversarial,
+                                               core::ThreatModel::kI);
+              cell.success = cell.adv.label == cell.scenario.target_class;
+              cell.done = true;
+            });
+          }
+        });
+
+    std::vector<Tensor> gallery;  // the figure's image cells, row-major
     int successes = 0;
     int total = 0;
-    for (attacks::AttackKind kind : bench::paper_attack_kinds()) {
-      const attacks::AttackPtr attack =
-          attacks::make_attack(kind, bench::budget_for(kind));
-      for (const core::Scenario& scenario : core::paper_scenarios()) {
-        const bool cell_ok =
-            failures.run(attack->name() + " / " + scenario.name, [&] {
-              const Tensor source = core::well_classified_sample(
-                  pipeline, scenario.source_class, exp.config.image_size);
-              const core::Prediction clean =
-                  pipeline.predict(source, core::ThreatModel::kI);
-              const attacks::AttackResult r =
-                  attack->run(pipeline, source, scenario.target_class);
-              const core::Prediction adv =
-                  pipeline.predict(r.adversarial, core::ThreatModel::kI);
-              const bool success = adv.label == scenario.target_class;
-              successes += success ? 1 : 0;
-              table.add_row({attack->name(), scenario.name,
-                             bench::prediction_cell(clean),
-                             bench::prediction_cell(adv),
-                             io::Table::fmt(r.linf, 3),
-                             io::Table::fmt(r.l2, 2),
-                             success ? "yes" : "no"});
-              gallery.push_back(r.adversarial);
-            });
-        ++total;
-        if (!cell_ok) {
-          // Keep the montage grid rectangular: a black cell marks the
-          // failed attack.
-          gallery.push_back(Tensor::zeros(
-              Shape{3, exp.config.image_size, exp.config.image_size}));
-        }
+    for (const Cell& cell : cells) {
+      ++total;
+      if (!cell.done) {
+        // Keep the montage grid rectangular: a black cell marks the
+        // failed attack.
+        gallery.push_back(Tensor::zeros(
+            Shape{3, exp.config.image_size, exp.config.image_size}));
+        continue;
       }
+      successes += cell.success ? 1 : 0;
+      table.add_row({cell.attack_name, cell.scenario.name,
+                     bench::prediction_cell(cell.clean),
+                     bench::prediction_cell(cell.adv),
+                     io::Table::fmt(cell.result.linf, 3),
+                     io::Table::fmt(cell.result.l2, 2),
+                     cell.success ? "yes" : "no"});
+      gallery.push_back(cell.result.adversarial);
     }
     bench::emit(table, "fig5_attacks_tm1");
     // The figure's visual half: one adversarial image per cell

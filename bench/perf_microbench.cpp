@@ -1,10 +1,26 @@
-// Runtime microbenchmarks (google-benchmark): the cost of every stage of
-// the paper's pipeline — filters, DNN inference, input gradients, and the
-// full attacks. Not a figure from the paper, but the data behind its
+// Runtime microbenchmarks: the cost of every stage of the paper's
+// pipeline — filters, DNN inference, input gradients, and the full
+// attacks. Not a figure from the paper, but the data behind its
 // "converging time" remarks (L-BFGS slowest, FGSM one-shot) and a guard
 // against performance regressions in the kernels.
+//
+// main() first runs a thread-scaling probe over the parallelized tensor
+// kernels (warmed up, median-of-k) and writes the machine-readable
+// artifacts/BENCH_tensor.json, then hands over to google-benchmark for
+// the full suites. `--quick` stops after the probe — that is the CI
+// smoke mode.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <thread>
+#include <vector>
 
 #include "fademl/fademl.hpp"
 
@@ -169,6 +185,132 @@ void BM_TrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_TrainStep)->Unit(benchmark::kMillisecond);
 
+// ---- thread-scaling probe --------------------------------------------------
+
+/// Median wall time of `fn` over `iters` timed runs after `warmup`
+/// untimed ones. Medians shrug off the one-off outliers (page faults,
+/// scheduler hiccups) that poison means on shared machines.
+double median_ms(const std::function<void()>& fn, int warmup, int iters) {
+  for (int i = 0; i < warmup; ++i) {
+    fn();
+  }
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    times.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+struct ProbeKernel {
+  std::string name;
+  std::function<void()> fn;
+};
+
+/// Time the parallelized kernels at 1 thread and at `threads`, and write
+/// artifacts/BENCH_tensor.json. The determinism contract means the
+/// numbers are the only thing the thread count changes.
+int run_scaling_probe(bool quick) {
+  using namespace fademl;
+  const int warmup = quick ? 1 : 3;
+  const int iters = quick ? 3 : 9;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int hw_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  const int threads = std::max(2, std::min(4, hw_threads));
+
+  Rng rng(7);
+  const Tensor a = rng.normal_tensor(Shape{192, 192}, 0.0f, 1.0f);
+  const Tensor b = rng.normal_tensor(Shape{192, 192}, 0.0f, 1.0f);
+  const Tensor batch = rng.normal_tensor(Shape{8, 3, 32, 32}, 0.0f, 1.0f);
+  const Tensor conv_w = rng.normal_tensor(Shape{16, 3, 3, 3}, 0.0f, 0.1f);
+  const Tensor conv_b = Tensor::zeros(Shape{16});
+  Conv2dSpec spec;
+  spec.kernel_h = 3;
+  spec.kernel_w = 3;
+  spec.pad = 1;
+  const Tensor image = data::canonical_sample(14, 32);
+  const Tensor big = rng.normal_tensor(Shape{1 << 20}, 0.0f, 1.0f);
+  const filters::LapFilter lap(32);
+  const filters::LarFilter lar(3);
+
+  const std::vector<ProbeKernel> kernels = {
+      {"matmul_192", [&] { benchmark::DoNotOptimize(matmul(a, b)); }},
+      {"conv2d_fwd_b8",
+       [&] { benchmark::DoNotOptimize(conv2d(batch, conv_w, conv_b, spec)); }},
+      {"lap32_batch8",
+       [&] { benchmark::DoNotOptimize(lap.apply_batch(batch)); }},
+      {"lar3_batch8",
+       [&] { benchmark::DoNotOptimize(lar.apply_batch(batch)); }},
+      {"lap32_vjp",
+       [&] {
+         benchmark::DoNotOptimize(lap.vjp(image, Tensor::ones(image.shape())));
+       }},
+      {"elementwise_add_1m",
+       [&] { benchmark::DoNotOptimize(add(big, big)); }},
+      {"maxpool2d_b8",
+       [&] { benchmark::DoNotOptimize(maxpool2d(batch, 2, nullptr)); }},
+  };
+
+  std::printf("== tensor-kernel thread scaling: 1 vs %d threads "
+              "(hardware_concurrency %d) ==\n",
+              threads, hw_threads);
+  std::filesystem::create_directories("artifacts");
+  std::ofstream json("artifacts/BENCH_tensor.json");
+  json << "{\n"
+       << "  \"bench\": \"tensor\",\n"
+       << "  \"hardware_concurrency\": " << hw_threads << ",\n"
+       << "  \"threads_compared\": [1, " << threads << "],\n"
+       << "  \"iterations\": " << iters << ",\n"
+       << "  \"warmup\": " << warmup << ",\n"
+       << "  \"kernels\": [\n";
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    parallel::set_num_threads(1);
+    const double t1 = median_ms(kernels[i].fn, warmup, iters);
+    parallel::set_num_threads(threads);
+    const double tn = median_ms(kernels[i].fn, warmup, iters);
+    const double speedup = tn > 0.0 ? t1 / tn : 0.0;
+    std::printf("  %-20s  1t %8.3f ms   %dt %8.3f ms   speedup %.2fx\n",
+                kernels[i].name.c_str(), t1, threads, tn, speedup);
+    json << "    {\"name\": \"" << kernels[i].name
+         << "\", \"median_ms_1t\": " << t1 << ", \"median_ms_" << threads
+         << "t\": " << tn << ", \"speedup\": " << speedup << "}"
+         << (i + 1 < kernels.size() ? "," : "") << "\n";
+  }
+  parallel::set_num_threads(0);  // back to the env/hardware default
+  json << "  ]\n}\n";
+  std::printf("-> artifacts/BENCH_tensor.json\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      // Hide the flag from google-benchmark's argument parser.
+      for (int j = i; j + 1 < argc; ++j) {
+        argv[j] = argv[j + 1];
+      }
+      --argc;
+      break;
+    }
+  }
+  const int probe_rc = run_scaling_probe(quick);
+  if (quick) {
+    return probe_rc;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return probe_rc;
+}

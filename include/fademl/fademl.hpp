@@ -5,6 +5,7 @@
 ///
 /// Subsystems (see DESIGN.md for the inventory):
 ///  - fademl::          dense tensors, ops, RNG, serialization
+///  - fademl::parallel  shared intra-op thread pool (deterministic chunking)
 ///  - fademl::autograd  reverse-mode differentiation
 ///  - fademl::nn        layers, VGGNet, optimizers, training
 ///  - fademl::data      synthetic GTSRB benchmark + rasterizer
@@ -57,6 +58,7 @@
 #include "fademl/nn/optimizer.hpp"
 #include "fademl/nn/trainer.hpp"
 #include "fademl/nn/vggnet.hpp"
+#include "fademl/parallel/parallel.hpp"
 #include "fademl/serve/admission.hpp"
 #include "fademl/serve/bounded_queue.hpp"
 #include "fademl/serve/circuit_breaker.hpp"

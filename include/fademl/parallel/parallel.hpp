@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace fademl::parallel {
+
+/// Shared intra-op thread pool behind every parallelized tensor kernel.
+///
+/// Determinism contract: the decomposition of a loop into chunks is a pure
+/// function of (range, grain) and NEVER of the thread count or of runtime
+/// scheduling. Each chunk writes disjoint output (or a private partial that
+/// the caller reduces in chunk order), so every kernel routed through this
+/// pool produces bitwise-identical results at 1, 2, or N threads, run to
+/// run. That is what pins the paper's Fig. 5-7 numbers against the thread
+/// count (see docs/performance.md).
+///
+/// Scheduling rules:
+///  - `num_threads() == 1` runs every loop inline on the caller — no worker
+///    thread is ever touched, which keeps sanitizer runs simple.
+///  - A `parallel_for` issued from inside another `parallel_for` body runs
+///    inline on that worker (no nested fan-out, no deadlock).
+///  - Concurrent top-level loops (e.g. two serve workers both hitting
+///    matmul) do not fight over the pool: the loser of the race simply runs
+///    inline, which naturally bounds oversubscription.
+///  - An exception thrown by a chunk is captured, the remaining chunks are
+///    skipped, and the first exception is rethrown on the calling thread.
+
+/// Body of a parallel loop: processes the half-open index range [lo, hi).
+using RangeBody = std::function<void(int64_t lo, int64_t hi)>;
+
+/// Chunk-aware body: additionally receives the deterministic chunk index,
+/// for callers that reduce per-chunk partials in chunk order.
+using ChunkBody = std::function<void(int64_t chunk, int64_t lo, int64_t hi)>;
+
+/// Threads `parallel_for` will use (>= 1). Resolution order:
+/// `set_num_threads()` override, then the `FADEML_NUM_THREADS` environment
+/// variable, then `std::thread::hardware_concurrency()`.
+int num_threads();
+
+/// Programmatic override of the thread count (clamped to [1, 256]);
+/// `set_num_threads(0)` removes the override and returns to the
+/// environment/hardware default. Used by tests, the benchmark scaling
+/// probe, and the serving layer's oversubscription guard.
+void set_num_threads(int n);
+
+/// True while the calling thread is executing a chunk of some
+/// `parallel_for` (such nested calls run inline).
+bool in_parallel_region();
+
+/// Number of chunks `parallel_for` will split `range` items into for the
+/// given grain — a pure function of (range, grain). grain <= 0 counts as 1.
+int64_t chunk_count(int64_t range, int64_t grain);
+
+/// Run `body` over [begin, end) split into chunks of at most `grain`
+/// items. Empty ranges return immediately without invoking the body.
+void parallel_for(int64_t begin, int64_t end, int64_t grain,
+                  const RangeBody& body);
+
+/// Same, with the chunk index passed to the body. Chunk `c` covers
+/// [begin + c*grain, min(end, begin + (c+1)*grain)).
+void parallel_for_chunks(int64_t begin, int64_t end, int64_t grain,
+                         const ChunkBody& body);
+
+namespace detail {
+
+/// Parse a FADEML_NUM_THREADS-style spec: nullptr/empty/non-numeric/
+/// non-positive mean "unset" (returns 0); values above the pool's hard cap
+/// clamp to it. Exposed for unit tests.
+int parse_thread_spec(const char* spec);
+
+}  // namespace detail
+
+}  // namespace fademl::parallel

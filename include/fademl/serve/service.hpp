@@ -56,6 +56,14 @@ struct ServiceConfig {
 
   /// Sliding window behind the latency percentiles in ServiceStats.
   size_t latency_window = 4096;
+
+  /// Intra-op threads each worker's tensor kernels may use. 0 = auto:
+  /// hardware_concurrency / worker count (at least 1), so that
+  /// workers x intra-op threads never oversubscribes the machine. The
+  /// service applies the bound by lowering the global parallel pool's
+  /// thread count for its lifetime; shutdown() restores the previous
+  /// setting.
+  int intra_op_threads = 0;
 };
 
 /// A served prediction plus the provenance a caller needs to trust it.
@@ -142,6 +150,7 @@ class InferenceService {
   StatsCollector stats_;
   std::vector<std::thread> workers_;
   std::once_flag shutdown_once_;
+  int saved_pool_threads_ = 0;  ///< pool setting restored on shutdown
 };
 
 }  // namespace fademl::serve

@@ -8,8 +8,8 @@
 #                               # ASan/UBSan
 #   scripts/check.sh --tsan     # tier-1, then a FADEML_SANITIZE=thread
 #                               # build in build-tsan/ running the
-#                               # concurrent serving suite (serve_test)
-#                               # under ThreadSanitizer
+#                               # concurrent suites (parallel_test,
+#                               # serve_test) under ThreadSanitizer
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,10 +35,14 @@ case "${1:-}" in
     ;;
   --tsan)
     echo
-    echo "== sanitizers: TSan build + serve_test =="
+    echo "== sanitizers: TSan build + parallel_test + serve_test =="
     export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1 suppressions=$(pwd)/scripts/tsan.supp}"
     cmake -B build-tsan -S . -DFADEML_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-    cmake --build build-tsan -j --target serve_test
+    cmake --build build-tsan -j --target parallel_test serve_test train_determinism_test
+    # The thread-pool suite first: it exercises the raw chunk scheduler the
+    # other concurrent suites sit on.
+    ./build-tsan/tests/parallel_test
+    FADEML_NUM_THREADS=4 ./build-tsan/tests/train_determinism_test
     ./build-tsan/tests/serve_test
     ;;
   "")

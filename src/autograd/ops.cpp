@@ -1,9 +1,12 @@
 #include "fademl/autograd/ops.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <utility>
+#include <vector>
 
+#include "fademl/parallel/parallel.hpp"
 #include "fademl/tensor/error.hpp"
 
 namespace fademl::autograd {
@@ -242,31 +245,59 @@ Variable conv2d(const Variable& input, const Variable& weight,
       Tensor gb = need_gb ? Tensor::zeros(Shape{o}) : Tensor{};
       const Tensor wmat_t = need_gx ? transpose2d(wmat) : Tensor{};
 
-      for (int64_t b = 0; b < batch; ++b) {
-        Tensor gy_b{Shape{o, oh * ow}};
-        std::copy(gy.data() + b * o * oh * ow,
-                  gy.data() + (b + 1) * o * oh * ow, gy_b.data());
-        if (need_gx) {
-          const Tensor gcols = fademl::matmul(wmat_t, gy_b);  // [kdim, oh*ow]
-          const Tensor gimg = col2im(gcols, c, h, w, spec);
-          std::copy(gimg.data(), gimg.data() + gimg.numel(),
-                    gx.data() + b * c * h * w);
-        }
+      // gx rows are disjoint per image; gw/gb are batch reductions, so each
+      // chunk accumulates into a private partial and the partials are summed
+      // in chunk order afterwards. Grain 1 (one image per chunk) makes that
+      // reduction associate exactly like the historical serial loop — the
+      // gradients are bitwise identical to single-threaded training at any
+      // thread count. The partial buffers cost batch x (gw + gb) floats,
+      // small at the batch sizes used here.
+      const int64_t grain = 1;
+      const int64_t nchunks = parallel::chunk_count(batch, grain);
+      std::vector<Tensor> gw_parts;
+      std::vector<Tensor> gb_parts;
+      for (int64_t cidx = 0; cidx < nchunks; ++cidx) {
+        gw_parts.push_back(need_gw ? Tensor::zeros(Shape{o, kdim}) : Tensor{});
+        gb_parts.push_back(need_gb ? Tensor::zeros(Shape{o}) : Tensor{});
+      }
+      parallel::parallel_for_chunks(
+          0, batch, grain, [&](int64_t chunk, int64_t lo, int64_t hi) {
+            for (int64_t b = lo; b < hi; ++b) {
+              Tensor gy_b{Shape{o, oh * ow}};
+              std::copy(gy.data() + b * o * oh * ow,
+                        gy.data() + (b + 1) * o * oh * ow, gy_b.data());
+              if (need_gx) {
+                const Tensor gcols =
+                    fademl::matmul(wmat_t, gy_b);  // [kdim, oh*ow]
+                const Tensor gimg = col2im(gcols, c, h, w, spec);
+                std::copy(gimg.data(), gimg.data() + gimg.numel(),
+                          gx.data() + b * c * h * w);
+              }
+              if (need_gw) {
+                Tensor image{Shape{c, h, w}};
+                std::copy(xv.data() + b * c * h * w,
+                          xv.data() + (b + 1) * c * h * w, image.data());
+                const Tensor cols = im2col(image, spec);  // [kdim, oh*ow]
+                gw_parts[static_cast<size_t>(chunk)].add_(
+                    fademl::matmul(gy_b, transpose2d(cols)));
+              }
+              if (need_gb) {
+                const float* pg = gy_b.data();
+                float* pb = gb_parts[static_cast<size_t>(chunk)].data();
+                for (int64_t oc = 0; oc < o; ++oc) {
+                  for (int64_t i = 0; i < oh * ow; ++i) {
+                    pb[oc] += pg[oc * oh * ow + i];
+                  }
+                }
+              }
+            }
+          });
+      for (int64_t cidx = 0; cidx < nchunks; ++cidx) {
         if (need_gw) {
-          Tensor image{Shape{c, h, w}};
-          std::copy(xv.data() + b * c * h * w, xv.data() + (b + 1) * c * h * w,
-                    image.data());
-          const Tensor cols = im2col(image, spec);  // [kdim, oh*ow]
-          gw.add_(fademl::matmul(gy_b, transpose2d(cols)));
+          gw.add_(gw_parts[static_cast<size_t>(cidx)]);
         }
         if (need_gb) {
-          const float* pg = gy_b.data();
-          float* pb = gb.data();
-          for (int64_t oc = 0; oc < o; ++oc) {
-            for (int64_t i = 0; i < oh * ow; ++i) {
-              pb[oc] += pg[oc * oh * ow + i];
-            }
-          }
+          gb.add_(gb_parts[static_cast<size_t>(cidx)]);
         }
       }
       if (need_gx) {

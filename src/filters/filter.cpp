@@ -6,11 +6,18 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "fademl/parallel/parallel.hpp"
 #include "fademl/tensor/error.hpp"
 
 namespace fademl::filters {
 
 namespace {
+
+/// Row grain for per-pixel filter loops: a chunk covers enough rows that
+/// scheduling overhead stays negligible even on tiny GTSRB-sized images.
+int64_t row_grain(int64_t width) {
+  return std::max<int64_t>(1, 4096 / std::max<int64_t>(1, width));
+}
 
 void check_chw(const Tensor& image, const char* who) {
   FADEML_CHECK(image.rank() == 3,
@@ -39,10 +46,13 @@ Tensor neighborhood_average(const Tensor& image,
   Tensor out{image.shape()};
   const float* src = image.data();
   float* dst = out.data();
-  for (int64_t ch = 0; ch < c; ++ch) {
-    const float* plane = src + ch * h * w;
-    float* oplane = dst + ch * h * w;
-    for (int64_t y = 0; y < h; ++y) {
+  // Pure gather per output pixel: rows split freely across threads.
+  parallel::parallel_for(0, c * h, row_grain(w), [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const int64_t ch = r / h;
+      const int64_t y = r % h;
+      const float* plane = src + ch * h * w;
+      float* orow = dst + ch * h * w + y * w;
       for (int64_t x = 0; x < w; ++x) {
         float acc = center_implicit ? plane[y * w + x] : 0.0f;
         int count = center_implicit ? 1 : 0;
@@ -55,15 +65,19 @@ Tensor neighborhood_average(const Tensor& image,
           acc += plane[ny * w + nx];
           ++count;
         }
-        oplane[y * w + x] = acc / static_cast<float>(count);
+        orow[x] = acc / static_cast<float>(count);
       }
     }
-  }
+  });
   return out;
 }
 
-/// Exact adjoint of neighborhood_average: scatter each output gradient back
-/// to the input pixels it averaged, with the same per-pixel normalization.
+/// Exact adjoint of neighborhood_average, in gather form: input pixel p
+/// receives a share from every output pixel q that averaged it, i.e.
+/// q = p - offset (and q = p itself when the center is implicit). The
+/// per-q normalization counts depend only on position, so they are
+/// precomputed once; the gather makes each output row independent, which
+/// is what lets the loop split across threads with no write races.
 Tensor neighborhood_average_adjoint(
     const Tensor& grad_output, const std::vector<std::pair<int, int>>& offsets,
     bool center_implicit) {
@@ -73,35 +87,44 @@ Tensor neighborhood_average_adjoint(
   Tensor grad_in = Tensor::zeros(grad_output.shape());
   const float* g = grad_output.data();
   float* gi = grad_in.data();
-  for (int64_t ch = 0; ch < c; ++ch) {
-    const float* gplane = g + ch * h * w;
-    float* iplane = gi + ch * h * w;
-    for (int64_t y = 0; y < h; ++y) {
-      for (int64_t x = 0; x < w; ++x) {
-        // Recompute the forward count for this output pixel.
-        int count = center_implicit ? 1 : 0;
-        for (const auto& [dy, dx] : offsets) {
-          const int64_t ny = y + dy;
-          const int64_t nx = x + dx;
-          if (ny >= 0 && ny < h && nx >= 0 && nx < w) {
-            ++count;
-          }
-        }
-        const float share = gplane[y * w + x] / static_cast<float>(count);
-        if (center_implicit) {
-          iplane[y * w + x] += share;
-        }
-        for (const auto& [dy, dx] : offsets) {
-          const int64_t ny = y + dy;
-          const int64_t nx = x + dx;
-          if (ny < 0 || ny >= h || nx < 0 || nx >= w) {
-            continue;
-          }
-          iplane[ny * w + nx] += share;
+  // Forward count at each position (channel-independent).
+  std::vector<float> counts(static_cast<size_t>(h * w));
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      int count = center_implicit ? 1 : 0;
+      for (const auto& [dy, dx] : offsets) {
+        const int64_t ny = y + dy;
+        const int64_t nx = x + dx;
+        if (ny >= 0 && ny < h && nx >= 0 && nx < w) {
+          ++count;
         }
       }
+      counts[static_cast<size_t>(y * w + x)] = static_cast<float>(count);
     }
   }
+  parallel::parallel_for(0, c * h, row_grain(w), [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const int64_t ch = r / h;
+      const int64_t y = r % h;
+      const float* gplane = g + ch * h * w;
+      float* irow = gi + ch * h * w + y * w;
+      for (int64_t x = 0; x < w; ++x) {
+        float acc = 0.0f;
+        if (center_implicit) {
+          acc += gplane[y * w + x] / counts[static_cast<size_t>(y * w + x)];
+        }
+        for (const auto& [dy, dx] : offsets) {
+          const int64_t qy = y - dy;
+          const int64_t qx = x - dx;
+          if (qy < 0 || qy >= h || qx < 0 || qx >= w) {
+            continue;
+          }
+          acc += gplane[qy * w + qx] / counts[static_cast<size_t>(qy * w + qx)];
+        }
+        irow[x] = acc;
+      }
+    }
+  });
   return grad_in;
 }
 
@@ -167,13 +190,17 @@ Tensor Filter::apply_batch(const Tensor& batch) const {
   const int64_t n = batch.dim(0);
   const int64_t per = batch.dim(1) * batch.dim(2) * batch.dim(3);
   Tensor out{batch.shape()};
-  for (int64_t i = 0; i < n; ++i) {
-    Tensor image{Shape{batch.dim(1), batch.dim(2), batch.dim(3)}};
-    std::copy(batch.data() + i * per, batch.data() + (i + 1) * per,
-              image.data());
-    const Tensor filtered = apply(image);
-    std::copy(filtered.data(), filtered.data() + per, out.data() + i * per);
-  }
+  // Images are filtered independently; a one-image batch is a single chunk
+  // and runs inline, leaving the per-image row loops free to fan out.
+  parallel::parallel_for(0, n, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      Tensor image{Shape{batch.dim(1), batch.dim(2), batch.dim(3)}};
+      std::copy(batch.data() + i * per, batch.data() + (i + 1) * per,
+                image.data());
+      const Tensor filtered = apply(image);
+      std::copy(filtered.data(), filtered.data() + per, out.data() + i * per);
+    }
+  });
   return out;
 }
 
@@ -254,10 +281,13 @@ Tensor separable_pass(const Tensor& image, const std::vector<float>& kernel,
   Tensor out{image.shape()};
   const float* src = image.data();
   float* dst = out.data();
-  for (int64_t ch = 0; ch < c; ++ch) {
-    const float* plane = src + ch * h * w;
-    float* oplane = dst + ch * h * w;
-    for (int64_t y = 0; y < h; ++y) {
+  // Pure gather per output pixel: rows split freely across threads.
+  parallel::parallel_for(0, c * h, row_grain(w), [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const int64_t ch = r / h;
+      const int64_t y = r % h;
+      const float* plane = src + ch * h * w;
+      float* orow = dst + ch * h * w + y * w;
       for (int64_t x = 0; x < w; ++x) {
         float acc = 0.0f;
         float weight = 0.0f;
@@ -271,14 +301,18 @@ Tensor separable_pass(const Tensor& image, const std::vector<float>& kernel,
           acc += kv * plane[ny * w + nx];
           weight += kv;
         }
-        oplane[y * w + x] = acc / weight;
+        orow[x] = acc / weight;
       }
     }
-  }
+  });
   return out;
 }
 
-/// Adjoint of separable_pass (scatter with the same border weights).
+/// Adjoint of separable_pass, in gather form: input pixel p receives
+/// kernel[k] * g[q] / weight[q] from every output pixel q = p - k along the
+/// pass axis. The border-renormalization weight depends only on the
+/// position along that axis, so it is precomputed once; the gather keeps
+/// each output row private to its thread.
 Tensor separable_pass_adjoint(const Tensor& grad_output,
                               const std::vector<float>& kernel,
                               bool horizontal) {
@@ -289,31 +323,40 @@ Tensor separable_pass_adjoint(const Tensor& grad_output,
   Tensor grad_in = Tensor::zeros(grad_output.shape());
   const float* g = grad_output.data();
   float* gi = grad_in.data();
-  for (int64_t ch = 0; ch < c; ++ch) {
-    const float* gplane = g + ch * h * w;
-    float* iplane = gi + ch * h * w;
-    for (int64_t y = 0; y < h; ++y) {
-      for (int64_t x = 0; x < w; ++x) {
-        float weight = 0.0f;
-        for (int k = -half; k <= half; ++k) {
-          const int64_t ny = horizontal ? y : y + k;
-          const int64_t nx = horizontal ? x + k : x;
-          if (ny >= 0 && ny < h && nx >= 0 && nx < w) {
-            weight += kernel[static_cast<size_t>(k + half)];
-          }
-        }
-        const float gv = gplane[y * w + x] / weight;
-        for (int k = -half; k <= half; ++k) {
-          const int64_t ny = horizontal ? y : y + k;
-          const int64_t nx = horizontal ? x + k : x;
-          if (ny < 0 || ny >= h || nx < 0 || nx >= w) {
-            continue;
-          }
-          iplane[ny * w + nx] += gv * kernel[static_cast<size_t>(k + half)];
-        }
+  const int64_t axis_len = horizontal ? w : h;
+  std::vector<float> axis_weight(static_cast<size_t>(axis_len));
+  for (int64_t t = 0; t < axis_len; ++t) {
+    float weight = 0.0f;
+    for (int k = -half; k <= half; ++k) {
+      if (t + k >= 0 && t + k < axis_len) {
+        weight += kernel[static_cast<size_t>(k + half)];
       }
     }
+    axis_weight[static_cast<size_t>(t)] = weight;
   }
+  parallel::parallel_for(0, c * h, row_grain(w), [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const int64_t ch = r / h;
+      const int64_t y = r % h;
+      const float* gplane = g + ch * h * w;
+      float* irow = gi + ch * h * w + y * w;
+      for (int64_t x = 0; x < w; ++x) {
+        float acc = 0.0f;
+        for (int k = -half; k <= half; ++k) {
+          const int64_t qy = horizontal ? y : y - k;
+          const int64_t qx = horizontal ? x - k : x;
+          if (qy < 0 || qy >= h || qx < 0 || qx >= w) {
+            continue;
+          }
+          const int64_t q_axis = horizontal ? qx : qy;
+          acc += kernel[static_cast<size_t>(k + half)] *
+                 gplane[qy * w + qx] /
+                 axis_weight[static_cast<size_t>(q_axis)];
+        }
+        irow[x] = acc;
+      }
+    }
+  });
   return grad_in;
 }
 
@@ -352,12 +395,16 @@ Tensor MedianFilter::apply(const Tensor& image) const {
   Tensor out{image.shape()};
   const float* src = image.data();
   float* dst = out.data();
-  std::vector<float> window;
-  window.reserve(static_cast<size_t>((2 * radius_ + 1) * (2 * radius_ + 1)));
-  for (int64_t ch = 0; ch < c; ++ch) {
-    const float* plane = src + ch * h * w;
-    float* oplane = dst + ch * h * w;
-    for (int64_t y = 0; y < h; ++y) {
+  // The scratch window lives inside the chunk body so each thread sorts in
+  // its own buffer.
+  parallel::parallel_for(0, c * h, row_grain(w), [&](int64_t lo, int64_t hi) {
+    std::vector<float> window;
+    window.reserve(static_cast<size_t>((2 * radius_ + 1) * (2 * radius_ + 1)));
+    for (int64_t r = lo; r < hi; ++r) {
+      const int64_t ch = r / h;
+      const int64_t y = r % h;
+      const float* plane = src + ch * h * w;
+      float* orow = dst + ch * h * w + y * w;
       for (int64_t x = 0; x < w; ++x) {
         window.clear();
         for (int dy = -radius_; dy <= radius_; ++dy) {
@@ -372,10 +419,10 @@ Tensor MedianFilter::apply(const Tensor& image) const {
         }
         const size_t mid = window.size() / 2;
         std::nth_element(window.begin(), window.begin() + mid, window.end());
-        oplane[y * w + x] = window[mid];
+        orow[x] = window[mid];
       }
     }
-  }
+  });
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include "fademl/io/failpoint.hpp"
 #include "fademl/nn/checkpoint.hpp"
 #include "fademl/nn/layers.hpp"
+#include "fademl/parallel/parallel.hpp"
 #include "fademl/tensor/error.hpp"
 #include "fademl/tensor/ops.hpp"
 #include "fademl/tensor/serialize.hpp"
@@ -89,13 +90,19 @@ Tensor stack_images(const std::vector<Tensor>& images) {
   dims.insert(dims.end(), s0.dims().begin(), s0.dims().end());
   Tensor batch{Shape{dims}};
   const int64_t per = s0.numel();
-  for (size_t i = 0; i < images.size(); ++i) {
-    FADEML_CHECK(images[i].shape() == s0,
+  const int64_t n = static_cast<int64_t>(images.size());
+  for (int64_t i = 0; i < n; ++i) {
+    FADEML_CHECK(images[static_cast<size_t>(i)].shape() == s0,
                  "stack_images: image " + std::to_string(i) + " has shape " +
-                     images[i].shape().str() + ", expected " + s0.str());
-    std::copy(images[i].data(), images[i].data() + per,
-              batch.data() + static_cast<int64_t>(i) * per);
+                     images[static_cast<size_t>(i)].shape().str() +
+                     ", expected " + s0.str());
   }
+  parallel::parallel_for(0, n, 8, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const Tensor& img = images[static_cast<size_t>(i)];
+      std::copy(img.data(), img.data() + per, batch.data() + i * per);
+    }
+  });
   return batch;
 }
 

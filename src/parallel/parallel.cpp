@@ -1,0 +1,265 @@
+#include "fademl/parallel/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fademl::parallel {
+
+namespace {
+
+constexpr int kMaxThreads = 256;
+
+thread_local bool t_in_parallel = false;
+
+int hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::atomic<int> g_override{0};
+
+int env_threads() {
+  static const int cached =
+      detail::parse_thread_spec(std::getenv("FADEML_NUM_THREADS"));
+  return cached;
+}
+
+/// One parallel_for in flight. Lives on the caller's stack; workers only
+/// hold a pointer to it between the pool-mutex handshakes, and the caller
+/// does not return until every participant has left.
+struct Job {
+  int64_t begin = 0;
+  int64_t grain = 1;
+  int64_t nchunks = 0;
+  int64_t end = 0;
+  const ChunkBody* body = nullptr;
+  std::atomic<int64_t> next{0};       ///< next unclaimed chunk
+  std::atomic<int64_t> completed{0};  ///< chunks finished (run or skipped)
+  std::atomic<bool> failed{false};    ///< skip remaining chunks after a throw
+  std::exception_ptr error;           ///< guarded by Pool::mu_
+  int active = 0;                     ///< workers inside execute(); Pool::mu_
+  int worker_limit = 0;               ///< max workers allowed to join
+};
+
+void execute_chunks(Job& job, std::mutex& mu) {
+  while (true) {
+    const int64_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.nchunks) {
+      return;
+    }
+    if (!job.failed.load(std::memory_order_acquire)) {
+      const int64_t lo = job.begin + c * job.grain;
+      const int64_t hi = std::min(job.end, lo + job.grain);
+      try {
+        (*job.body)(c, lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!job.failed.load(std::memory_order_relaxed)) {
+          job.error = std::current_exception();
+          job.failed.store(true, std::memory_order_release);
+        }
+      }
+    }
+    job.completed.fetch_add(1, std::memory_order_release);
+  }
+}
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  void run(int64_t begin, int64_t end, int64_t grain, const ChunkBody& body) {
+    const int64_t nchunks = chunk_count(end - begin, grain);
+    if (nchunks == 0) {
+      return;
+    }
+    grain = grain <= 0 ? 1 : grain;
+    const int threads = num_threads();
+    if (threads == 1 || nchunks == 1 || t_in_parallel) {
+      run_inline(begin, end, grain, nchunks, body);
+      return;
+    }
+    // One top-level fan-out at a time; a concurrent caller (a serve worker,
+    // a second session thread) runs inline instead of queueing — correct
+    // either way, and it keeps total thread use bounded.
+    std::unique_lock<std::mutex> top(run_mu_, std::try_to_lock);
+    if (!top.owns_lock()) {
+      run_inline(begin, end, grain, nchunks, body);
+      return;
+    }
+
+    Job job;
+    job.begin = begin;
+    job.end = end;
+    job.grain = grain;
+    job.nchunks = nchunks;
+    job.body = &body;
+    job.worker_limit = threads - 1;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ensure_workers(threads - 1);
+      job_ = &job;
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+
+    t_in_parallel = true;
+    execute_chunks(job, mu_);
+    t_in_parallel = false;
+
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] {
+      return job.active == 0 &&
+             job.completed.load(std::memory_order_acquire) == job.nchunks;
+    });
+    job_ = nullptr;
+    lk.unlock();
+    if (job.error) {
+      std::rethrow_exception(job.error);
+    }
+  }
+
+ private:
+  Pool() = default;
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& w : workers_) {
+      w.join();
+    }
+  }
+
+  static void run_inline(int64_t begin, int64_t end, int64_t grain,
+                         int64_t nchunks, const ChunkBody& body) {
+    // Identical chunk boundaries to the pooled path, so the results (and
+    // any chunk-ordered reduction the caller performs) match bitwise.
+    // The in-parallel flag is left untouched: when a single-chunk outer
+    // loop runs inline, inner loops may still fan out.
+    for (int64_t c = 0; c < nchunks; ++c) {
+      const int64_t lo = begin + c * grain;
+      body(c, lo, std::min(end, lo + grain));
+    }
+  }
+
+  void ensure_workers(int needed) {  // callers hold mu_
+    while (static_cast<int>(workers_.size()) < needed &&
+           static_cast<int>(workers_.size()) < kMaxThreads - 1) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    // Start "behind" every epoch so a worker spawned mid-job joins the job
+    // that caused its creation instead of waiting for the next one.
+    uint64_t seen = ~uint64_t{0};
+    while (true) {
+      work_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      seen = epoch_;
+      if (stop_) {
+        return;
+      }
+      Job* job = job_;
+      if (job == nullptr || job->active >= job->worker_limit) {
+        continue;
+      }
+      ++job->active;
+      lk.unlock();
+      t_in_parallel = true;
+      execute_chunks(*job, mu_);
+      t_in_parallel = false;
+      lk.lock();
+      --job->active;
+      if (job->active == 0 &&
+          job->completed.load(std::memory_order_acquire) == job->nchunks) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex run_mu_;  ///< serializes top-level fan-outs
+  std::mutex mu_;      ///< guards job_/epoch_/stop_/Job::active/Job::error
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Job* job_ = nullptr;
+  uint64_t epoch_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+namespace detail {
+
+int parse_thread_spec(const char* spec) {
+  if (spec == nullptr || *spec == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  const long v = std::strtol(spec, &end, 10);
+  if (end == spec || *end != '\0' || v <= 0) {
+    return 0;  // malformed or non-positive: treat as unset
+  }
+  return v > kMaxThreads ? kMaxThreads : static_cast<int>(v);
+}
+
+}  // namespace detail
+
+int num_threads() {
+  const int override = g_override.load(std::memory_order_relaxed);
+  if (override > 0) {
+    return override;
+  }
+  const int env = env_threads();
+  return env > 0 ? env : hardware_threads();
+}
+
+void set_num_threads(int n) {
+  if (n < 0) {
+    n = 0;
+  }
+  if (n > kMaxThreads) {
+    n = kMaxThreads;
+  }
+  g_override.store(n, std::memory_order_relaxed);
+}
+
+bool in_parallel_region() { return t_in_parallel; }
+
+int64_t chunk_count(int64_t range, int64_t grain) {
+  if (range <= 0) {
+    return 0;
+  }
+  if (grain <= 0) {
+    grain = 1;
+  }
+  return (range + grain - 1) / grain;
+}
+
+void parallel_for_chunks(int64_t begin, int64_t end, int64_t grain,
+                         const ChunkBody& body) {
+  Pool::instance().run(begin, end, grain, body);
+}
+
+void parallel_for(int64_t begin, int64_t end, int64_t grain,
+                  const RangeBody& body) {
+  Pool::instance().run(begin, end, grain,
+                       [&body](int64_t, int64_t lo, int64_t hi) {
+                         body(lo, hi);
+                       });
+}
+
+}  // namespace fademl::parallel

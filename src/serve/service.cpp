@@ -1,9 +1,12 @@
 #include "fademl/serve/service.hpp"
 
+#include <algorithm>
 #include <exception>
+#include <thread>
 #include <utility>
 
 #include "fademl/io/failpoint.hpp"
+#include "fademl/parallel/parallel.hpp"
 #include "fademl/tensor/error.hpp"
 
 namespace fademl::serve {
@@ -43,6 +46,19 @@ InferenceService::InferenceService(
     degraded_pipelines_.push_back(std::make_unique<core::InferencePipeline>(
         p->model_ptr(), config_.degraded_filter));
   }
+  // Oversubscription guard: workers x intra-op threads must not exceed the
+  // machine. Lower the shared pool's thread count for the service's
+  // lifetime (never raise it — an explicit FADEML_NUM_THREADS or
+  // set_num_threads cap stays respected); shutdown() restores it.
+  saved_pool_threads_ = parallel::num_threads();
+  int intra = config_.intra_op_threads;
+  if (intra <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int cores = hw == 0 ? 1 : static_cast<int>(hw);
+    intra = std::max(1, cores / static_cast<int>(pipelines_.size()));
+  }
+  parallel::set_num_threads(std::min(saved_pool_threads_, intra));
+
   workers_.reserve(pipelines_.size());
   for (size_t i = 0; i < pipelines_.size(); ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -176,6 +192,7 @@ void InferenceService::shutdown() {
     for (std::thread& worker : workers_) {
       worker.join();
     }
+    parallel::set_num_threads(saved_pool_threads_);
   });
 }
 

@@ -5,11 +5,17 @@
 #include <limits>
 #include <numeric>
 
+#include "fademl/parallel/parallel.hpp"
 #include "fademl/tensor/error.hpp"
 
 namespace fademl {
 
 namespace {
+
+// Elementwise work is only worth fanning out above this size; the chunking
+// itself is deterministic (see parallel.hpp), and elementwise outputs are
+// disjoint, so the threshold never changes results.
+constexpr int64_t kElementwiseGrain = 1 << 14;
 
 void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
   FADEML_CHECK(a.shape() == b.shape(),
@@ -25,9 +31,18 @@ Tensor binary_op(const Tensor& a, const Tensor& b, const char* name, Fn fn) {
   const float* pb = b.data();
   float* po = out.data();
   const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    po[i] = fn(pa[i], pb[i]);
+  if (n <= kElementwiseGrain) {
+    for (int64_t i = 0; i < n; ++i) {
+      po[i] = fn(pa[i], pb[i]);
+    }
+    return out;
   }
+  parallel::parallel_for(0, n, kElementwiseGrain,
+                         [&](int64_t lo, int64_t hi) {
+                           for (int64_t i = lo; i < hi; ++i) {
+                             po[i] = fn(pa[i], pb[i]);
+                           }
+                         });
   return out;
 }
 
@@ -37,9 +52,18 @@ Tensor unary_op(const Tensor& a, Fn fn) {
   const float* pa = a.data();
   float* po = out.data();
   const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    po[i] = fn(pa[i]);
+  if (n <= kElementwiseGrain) {
+    for (int64_t i = 0; i < n; ++i) {
+      po[i] = fn(pa[i]);
+    }
+    return out;
   }
+  parallel::parallel_for(0, n, kElementwiseGrain,
+                         [&](int64_t lo, int64_t hi) {
+                           for (int64_t i = lo; i < hi; ++i) {
+                             po[i] = fn(pa[i]);
+                           }
+                         });
   return out;
 }
 
@@ -251,21 +275,27 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   float* po = out.data();
   // i-k-j loop order keeps the inner loop contiguous over B and C rows,
   // which is the difference between usable and unusable training speed on
-  // the single-core reference machine.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = po + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) {
-        continue;
-      }
-      const float* brow = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
+  // the single-core reference machine. Rows of C are independent, so the
+  // pool splits over i; each (i, j) still accumulates in ascending-k order,
+  // which keeps the result bitwise identical at every thread count.
+  const int64_t row_flops = k * n;
+  const int64_t grain = std::max<int64_t>(1, (1 << 19) / std::max<int64_t>(1, row_flops));
+  parallel::parallel_for(0, m, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = po + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) {
+          continue;
+        }
+        const float* brow = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) {
+          crow[j] += av * brow[j];
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -400,26 +430,31 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   const int64_t ow = spec.out_size(w, spec.kernel_w);
   Tensor out{Shape{n, o, oh, ow}};
   const Tensor wmat = weight.reshape(Shape{o, c * spec.kernel_h * spec.kernel_w});
-  for (int64_t b = 0; b < n; ++b) {
-    // View the b-th image without copying: the reshape trick below is not
-    // available for sub-ranges, so slice manually.
-    Tensor image{Shape{c, h, w}};
-    std::copy(input.data() + b * c * h * w, input.data() + (b + 1) * c * h * w,
-              image.data());
-    const Tensor cols = im2col(image, spec);
-    const Tensor prod = matmul(wmat, cols);  // [O, oh*ow]
-    float* dst = out.data() + b * o * oh * ow;
-    std::copy(prod.data(), prod.data() + prod.numel(), dst);
-    if (bias.defined()) {
-      for (int64_t oc = 0; oc < o; ++oc) {
-        const float bv = bias.data()[oc];
-        float* drow = dst + oc * oh * ow;
-        for (int64_t i = 0; i < oh * ow; ++i) {
-          drow[i] += bv;
+  // Batch images are independent, so the pool splits over the batch (grain 1).
+  // A single-image batch is one chunk and runs inline on the caller, which
+  // leaves the inner matmul free to fan out instead.
+  parallel::parallel_for(0, n, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t b = lo; b < hi; ++b) {
+      // View the b-th image without copying: the reshape trick below is not
+      // available for sub-ranges, so slice manually.
+      Tensor image{Shape{c, h, w}};
+      std::copy(input.data() + b * c * h * w,
+                input.data() + (b + 1) * c * h * w, image.data());
+      const Tensor cols = im2col(image, spec);
+      const Tensor prod = matmul(wmat, cols);  // [O, oh*ow]
+      float* dst = out.data() + b * o * oh * ow;
+      std::copy(prod.data(), prod.data() + prod.numel(), dst);
+      if (bias.defined()) {
+        for (int64_t oc = 0; oc < o; ++oc) {
+          const float bv = bias.data()[oc];
+          float* drow = dst + oc * oh * ow;
+          for (int64_t i = 0; i < oh * ow; ++i) {
+            drow[i] += bv;
+          }
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -443,10 +478,12 @@ Tensor maxpool2d(const Tensor& input, int64_t k,
   }
   const float* src = input.data();
   float* dst = out.data();
-  int64_t oidx = 0;
-  for (int64_t b = 0; b < n; ++b) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      const float* plane = src + (b * c + ch) * h * w;
+  // Each (batch, channel) plane is pooled independently; output indices are
+  // computed from the plane index so the loop can split across planes.
+  parallel::parallel_for(0, n * c, 4, [&](int64_t lo, int64_t hi) {
+    for (int64_t p = lo; p < hi; ++p) {
+      const float* plane = src + p * h * w;
+      int64_t oidx = p * oh * ow;
       for (int64_t oy = 0; oy < oh; ++oy) {
         for (int64_t ox = 0; ox < ow; ++ox) {
           float best = -std::numeric_limits<float>::infinity();
@@ -458,7 +495,7 @@ Tensor maxpool2d(const Tensor& input, int64_t k,
               const float v = plane[iy * w + ix];
               if (v > best) {
                 best = v;
-                best_at = (b * c + ch) * h * w + iy * w + ix;
+                best_at = p * h * w + iy * w + ix;
               }
             }
           }
@@ -470,7 +507,7 @@ Tensor maxpool2d(const Tensor& input, int64_t k,
         }
       }
     }
-  }
+  });
   return out;
 }
 

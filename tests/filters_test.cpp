@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include "fademl/parallel/parallel.hpp"
 #include "fademl/tensor/error.hpp"
 #include "fademl/tensor/ops.hpp"
 #include "fademl/tensor/random.hpp"
+#include "reference_kernels.hpp"
 
 namespace fademl::filters {
 namespace {
@@ -261,6 +263,118 @@ TEST(Vjp, RejectsMismatchedGradientShape) {
   const LapFilter f(4);
   const Tensor x = random_image(15);
   EXPECT_THROW(f.vjp(x, Tensor::ones(Shape{3, 5, 5})), Error);
+}
+
+// ---- differential sweep across thread counts -------------------------------
+
+/// Restores the default thread resolution on scope exit.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int n) { parallel::set_num_threads(n); }
+  ~ThreadGuard() { parallel::set_num_threads(0); }
+};
+
+TEST(ThreadSweep, LapForwardMatchesReferenceAndIsBitwiseStable) {
+  const LapFilter f(32);
+  const Tensor x = random_image(21);
+  const Tensor ref = fademl::testing::neighborhood_average_reference(
+      x, f.offsets(), /*center_implicit=*/true);
+  Tensor single;
+  for (int threads : {1, 2, 7}) {
+    ThreadGuard guard(threads);
+    const Tensor y = f.apply(x);
+    // Forward is a pure gather with unchanged per-pixel accumulation
+    // order: exact equality against the definition-order reference.
+    EXPECT_TRUE(fademl::testing::bitwise_equal(y, ref))
+        << "threads " << threads;
+    if (threads == 1) {
+      single = y.clone();
+    } else {
+      EXPECT_TRUE(fademl::testing::bitwise_equal(y, single))
+          << "threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadSweep, LarAdjointMatchesScatterReferenceWithinTolerance) {
+  const LarFilter f(3);
+  const Tensor x = random_image(22);
+  const Tensor g = random_image(23);
+  const Tensor ref = fademl::testing::neighborhood_average_adjoint_reference(
+      g, f.offsets(), /*center_implicit=*/false);
+  Tensor single;
+  for (int threads : {1, 2, 7}) {
+    ThreadGuard guard(threads);
+    const Tensor gi = f.vjp(x, g);
+    ASSERT_EQ(gi.shape(), ref.shape());
+    for (int64_t i = 0; i < gi.numel(); ++i) {
+      // The production adjoint gathers where the reference scatters —
+      // same math, different float summation order, so a small
+      // accumulation-order bound instead of exact equality.
+      ASSERT_NEAR(gi.at(i), ref.at(i), 1e-5f)
+          << "index " << i << " threads " << threads;
+    }
+    if (threads == 1) {
+      single = gi.clone();
+    } else {
+      // Across thread counts of the production kernel itself: bitwise.
+      EXPECT_TRUE(fademl::testing::bitwise_equal(gi, single))
+          << "threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadSweep, AllSmoothingFiltersBitwiseStableAcrossThreadCounts) {
+  const Tensor x = random_image(24);
+  const Tensor batch = [] {
+    Rng rng(25);
+    return rng.uniform_tensor(Shape{5, 3, 12, 10}, 0.0f, 1.0f);
+  }();
+  for (const FilterPtr& f : paper_filter_sweep()) {
+    Tensor single, single_batch;
+    {
+      ThreadGuard guard(1);
+      single = f->apply(x);
+      single_batch = f->apply_batch(batch);
+    }
+    for (int threads : {2, 7}) {
+      ThreadGuard guard(threads);
+      EXPECT_TRUE(fademl::testing::bitwise_equal(f->apply(x), single))
+          << f->name() << " at " << threads << " threads";
+      EXPECT_TRUE(
+          fademl::testing::bitwise_equal(f->apply_batch(batch), single_batch))
+          << f->name() << " apply_batch at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ThreadSweep, DegenerateOnePixelImage) {
+  // A 1x1 image: every neighborhood collapses to the center pixel (LAP)
+  // or to whatever in-bounds subset remains (LAR/Gauss renormalize to the
+  // center; median of one value is that value).
+  const Tensor x = Tensor::full(Shape{3, 1, 1}, 0.42f);
+  for (int threads : {1, 2, 7}) {
+    ThreadGuard guard(threads);
+    for (const FilterPtr& f :
+         {make_lap(8), make_lar(2), make_gaussian(1.0f), make_median(1)}) {
+      const Tensor y = f->apply(x);
+      ASSERT_EQ(y.shape(), x.shape()) << f->name();
+      for (int64_t i = 0; i < y.numel(); ++i) {
+        EXPECT_NEAR(y.at(i), 0.42f, 1e-6f)
+            << f->name() << " threads " << threads;
+      }
+      // Adjoint on the same degenerate geometry must stay finite and
+      // satisfy <A x, y> == <x, A^T y>.
+      const Tensor g = Tensor::full(x.shape(), 0.3f);
+      const Tensor gi = f->vjp(x, g);
+      ASSERT_EQ(gi.shape(), x.shape()) << f->name();
+      const float lhs = dot(f->apply(x), g);
+      const float rhs = dot(x, gi);
+      if (f->is_linear()) {
+        EXPECT_NEAR(lhs, rhs, std::fabs(lhs) * 1e-4f + 1e-4f) << f->name();
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include "fademl/parallel/parallel.hpp"
 #include "fademl/tensor/error.hpp"
 #include "fademl/tensor/random.hpp"
+#include "reference_kernels.hpp"
 
 namespace fademl {
 namespace {
@@ -137,48 +139,13 @@ TEST(Matmul, Transpose2d) {
   EXPECT_FLOAT_EQ(t.at({0, 1}), 4.0f);
 }
 
-// Naive convolution reference for validating the im2col-based conv2d.
-Tensor conv2d_reference(const Tensor& input, const Tensor& weight,
-                        const Tensor& bias, const Conv2dSpec& spec) {
-  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
-                w = input.dim(3);
-  const int64_t o = weight.dim(0);
-  const int64_t oh = spec.out_size(h, spec.kernel_h);
-  const int64_t ow = spec.out_size(w, spec.kernel_w);
-  Tensor out = Tensor::zeros(Shape{n, o, oh, ow});
-  for (int64_t b = 0; b < n; ++b) {
-    for (int64_t oc = 0; oc < o; ++oc) {
-      for (int64_t oy = 0; oy < oh; ++oy) {
-        for (int64_t ox = 0; ox < ow; ++ox) {
-          float acc = bias.defined() ? bias.at(oc) : 0.0f;
-          for (int64_t ic = 0; ic < c; ++ic) {
-            for (int64_t ky = 0; ky < spec.kernel_h; ++ky) {
-              for (int64_t kx = 0; kx < spec.kernel_w; ++kx) {
-                const int64_t iy = oy * spec.stride + ky - spec.pad;
-                const int64_t ix = ox * spec.stride + kx - spec.pad;
-                if (iy < 0 || iy >= h || ix < 0 || ix >= w) {
-                  continue;
-                }
-                acc += input.at({b, ic, iy, ix}) *
-                       weight.at({oc, ic, ky, kx});
-              }
-            }
-          }
-          out.at({b, oc, oy, ox}) = acc;
-        }
-      }
-    }
-  }
-  return out;
-}
-
 struct ConvCase {
   int64_t n, c, h, w, o, k, stride, pad;
 };
 
 class ConvParamTest : public ::testing::TestWithParam<ConvCase> {};
 
-TEST_P(ConvParamTest, MatchesNaiveReference) {
+TEST_P(ConvParamTest, MatchesNaiveReferenceAtEveryThreadCount) {
   const ConvCase cc = GetParam();
   Rng rng(11);
   const Tensor input = rng.normal_tensor(Shape{cc.n, cc.c, cc.h, cc.w}, 0, 1);
@@ -190,12 +157,28 @@ TEST_P(ConvParamTest, MatchesNaiveReference) {
   spec.kernel_w = cc.k;
   spec.stride = cc.stride;
   spec.pad = cc.pad;
-  const Tensor fast = conv2d(input, weight, bias, spec);
-  const Tensor ref = conv2d_reference(input, weight, bias, spec);
-  ASSERT_EQ(fast.shape(), ref.shape());
-  for (int64_t i = 0; i < fast.numel(); ++i) {
-    EXPECT_NEAR(fast.at(i), ref.at(i), 1e-3f) << "at flat index " << i;
+  const Tensor ref = testing::conv2d_reference(input, weight, bias, spec);
+  Tensor single_thread;
+  for (int threads : {1, 2, 7}) {
+    parallel::set_num_threads(threads);
+    const Tensor fast = conv2d(input, weight, bias, spec);
+    ASSERT_EQ(fast.shape(), ref.shape());
+    for (int64_t i = 0; i < fast.numel(); ++i) {
+      // im2col + i-k-j reorders the reduction vs the definition-order
+      // reference: accumulation-order tolerance, not exact equality.
+      EXPECT_NEAR(fast.at(i), ref.at(i), 1e-3f)
+          << "at flat index " << i << " with " << threads << " threads";
+    }
+    if (threads == 1) {
+      single_thread = fast.clone();
+    } else {
+      // Against the production kernel's own 1-thread run the contract is
+      // stricter: chunking is thread-count independent, so bitwise equal.
+      EXPECT_TRUE(testing::bitwise_equal(fast, single_thread))
+          << "thread count " << threads << " changed conv2d bits";
+    }
   }
+  parallel::set_num_threads(0);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -206,6 +189,17 @@ INSTANTIATE_TEST_SUITE_P(
                       ConvCase{1, 3, 6, 6, 2, 5, 1, 2},
                       ConvCase{2, 1, 4, 4, 2, 1, 1, 0},
                       ConvCase{1, 4, 10, 6, 5, 3, 3, 1}));
+
+// Degenerate geometries: 1x1 images, kernel == image (one output pixel),
+// stride > 1 with no padding, and a batch wider than any chunk grain —
+// the shapes most likely to expose off-by-one chunking at the borders.
+INSTANTIATE_TEST_SUITE_P(
+    DegenerateGeometries, ConvParamTest,
+    ::testing::Values(ConvCase{1, 1, 1, 1, 1, 1, 1, 0},   // 1x1 image
+                      ConvCase{1, 2, 5, 5, 3, 5, 1, 0},   // kernel == image
+                      ConvCase{2, 3, 7, 7, 4, 3, 2, 0},   // stride 2, pad 0
+                      ConvCase{9, 2, 6, 6, 3, 3, 1, 1},   // batch > grain
+                      ConvCase{1, 1, 4, 4, 1, 4, 4, 0})); // window = image
 
 TEST(Im2col, AdjointProperty) {
   // <im2col(x), y> == <x, col2im(y)> — col2im is the exact adjoint.

@@ -1,0 +1,287 @@
+#include "fademl/parallel/parallel.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fademl/tensor/ops.hpp"
+#include "fademl/tensor/random.hpp"
+#include "reference_kernels.hpp"
+
+namespace fademl {
+namespace {
+
+/// Restores the previous thread-count override on scope exit, so a failing
+/// assertion in one test cannot leak its thread setting into the next.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int n) { parallel::set_num_threads(n); }
+  ~ThreadGuard() { parallel::set_num_threads(0); }
+};
+
+// ---- chunk decomposition (the determinism contract) ------------------------
+
+TEST(ParallelChunks, CountIsPureFunctionOfRangeAndGrain) {
+  EXPECT_EQ(parallel::chunk_count(0, 4), 0);
+  EXPECT_EQ(parallel::chunk_count(-5, 4), 0);
+  EXPECT_EQ(parallel::chunk_count(1, 4), 1);
+  EXPECT_EQ(parallel::chunk_count(4, 4), 1);
+  EXPECT_EQ(parallel::chunk_count(5, 4), 2);
+  EXPECT_EQ(parallel::chunk_count(8, 4), 2);
+  EXPECT_EQ(parallel::chunk_count(9, 4), 3);
+  // Degenerate grains count as 1.
+  EXPECT_EQ(parallel::chunk_count(7, 0), 7);
+  EXPECT_EQ(parallel::chunk_count(7, -3), 7);
+}
+
+TEST(ParallelChunks, BoundariesCoverTheRangeExactlyOnce) {
+  for (int threads : {1, 2, 7}) {
+    ThreadGuard guard(threads);
+    for (int64_t range : {1, 5, 16, 100, 1000}) {
+      for (int64_t grain : {1, 3, 16, 1000}) {
+        std::vector<std::atomic<int>> hits(static_cast<size_t>(range));
+        for (auto& h : hits) {
+          h.store(0);
+        }
+        parallel::parallel_for(0, range, grain,
+                               [&](int64_t lo, int64_t hi) {
+                                 for (int64_t i = lo; i < hi; ++i) {
+                                   hits[static_cast<size_t>(i)].fetch_add(1);
+                                 }
+                               });
+        for (int64_t i = 0; i < range; ++i) {
+          ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+              << "index " << i << " range " << range << " grain " << grain
+              << " threads " << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelChunks, ChunkIndexMatchesDocumentedBoundaries) {
+  ThreadGuard guard(3);
+  const int64_t begin = 10, end = 47, grain = 8;
+  const int64_t nchunks = parallel::chunk_count(end - begin, grain);
+  std::vector<std::atomic<int64_t>> lo_of(static_cast<size_t>(nchunks));
+  std::vector<std::atomic<int64_t>> hi_of(static_cast<size_t>(nchunks));
+  parallel::parallel_for_chunks(begin, end, grain,
+                                [&](int64_t c, int64_t lo, int64_t hi) {
+                                  lo_of[static_cast<size_t>(c)].store(lo);
+                                  hi_of[static_cast<size_t>(c)].store(hi);
+                                });
+  for (int64_t c = 0; c < nchunks; ++c) {
+    EXPECT_EQ(lo_of[static_cast<size_t>(c)].load(), begin + c * grain);
+    EXPECT_EQ(hi_of[static_cast<size_t>(c)].load(),
+              std::min(end, begin + (c + 1) * grain));
+  }
+}
+
+// ---- edge cases ------------------------------------------------------------
+
+TEST(ParallelEdge, ZeroAndNegativeRangesNeverInvokeTheBody) {
+  for (int threads : {1, 4}) {
+    ThreadGuard guard(threads);
+    std::atomic<int> calls{0};
+    parallel::parallel_for(0, 0, 1, [&](int64_t, int64_t) { ++calls; });
+    parallel::parallel_for(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+    parallel::parallel_for(9, 2, 1, [&](int64_t, int64_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+  }
+}
+
+TEST(ParallelEdge, GrainLargerThanRangeIsOneChunk) {
+  ThreadGuard guard(4);
+  std::atomic<int> calls{0};
+  int64_t seen_lo = -1, seen_hi = -1;
+  parallel::parallel_for(3, 10, 1000, [&](int64_t lo, int64_t hi) {
+    ++calls;
+    seen_lo = lo;
+    seen_hi = hi;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_lo, 3);
+  EXPECT_EQ(seen_hi, 10);
+}
+
+TEST(ParallelEdge, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadGuard guard(4);
+  std::atomic<int64_t> total{0};
+  parallel::parallel_for(0, 8, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      EXPECT_TRUE(parallel::in_parallel_region());
+      // The inner loop must complete inline on this thread; a second
+      // fan-out attempt from inside a worker would deadlock a naive pool.
+      parallel::parallel_for(0, 100, 10, [&](int64_t ilo, int64_t ihi) {
+        total.fetch_add(ihi - ilo);
+      });
+    }
+  });
+  EXPECT_FALSE(parallel::in_parallel_region());
+  EXPECT_EQ(total.load(), 8 * 100);
+}
+
+TEST(ParallelEdge, ExceptionPropagatesToCaller) {
+  for (int threads : {1, 4}) {
+    ThreadGuard guard(threads);
+    EXPECT_THROW(
+        parallel::parallel_for(0, 64, 1,
+                               [&](int64_t lo, int64_t) {
+                                 if (lo == 13) {
+                                   throw std::runtime_error("chunk 13 died");
+                                 }
+                               }),
+        std::runtime_error);
+    // The pool must stay usable after a failed loop.
+    std::atomic<int64_t> sum{0};
+    parallel::parallel_for(0, 100, 7, [&](int64_t lo, int64_t hi) {
+      sum.fetch_add(hi - lo);
+    });
+    EXPECT_EQ(sum.load(), 100);
+  }
+}
+
+TEST(ParallelEdge, ConcurrentTopLevelCallsBothComplete) {
+  ThreadGuard guard(4);
+  // Two plain threads race into parallel_for at the same time; the loser
+  // of the pool race runs inline. Either way both loops must finish with
+  // every index visited exactly once.
+  std::vector<std::atomic<int>> hits_a(512), hits_b(512);
+  for (auto& h : hits_a) h.store(0);
+  for (auto& h : hits_b) h.store(0);
+  std::thread racer([&] {
+    parallel::parallel_for(0, 512, 8, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        hits_a[static_cast<size_t>(i)].fetch_add(1);
+      }
+    });
+  });
+  parallel::parallel_for(0, 512, 8, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      hits_b[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  racer.join();
+  for (int i = 0; i < 512; ++i) {
+    ASSERT_EQ(hits_a[static_cast<size_t>(i)].load(), 1);
+    ASSERT_EQ(hits_b[static_cast<size_t>(i)].load(), 1);
+  }
+}
+
+// ---- thread-count resolution ----------------------------------------------
+
+TEST(ParallelConfig, ParseThreadSpec) {
+  using parallel::detail::parse_thread_spec;
+  EXPECT_EQ(parse_thread_spec(nullptr), 0);
+  EXPECT_EQ(parse_thread_spec(""), 0);
+  EXPECT_EQ(parse_thread_spec("4"), 4);
+  EXPECT_EQ(parse_thread_spec("1"), 1);
+  EXPECT_EQ(parse_thread_spec("0"), 0);      // non-positive -> unset
+  EXPECT_EQ(parse_thread_spec("-3"), 0);     // non-positive -> unset
+  EXPECT_EQ(parse_thread_spec("abc"), 0);    // malformed -> unset
+  EXPECT_EQ(parse_thread_spec("4x"), 0);     // trailing junk -> unset
+  EXPECT_EQ(parse_thread_spec("99999"), 256);  // clamped to the pool cap
+}
+
+TEST(ParallelConfig, SetNumThreadsOverridesAndClears) {
+  parallel::set_num_threads(3);
+  EXPECT_EQ(parallel::num_threads(), 3);
+  parallel::set_num_threads(1);
+  EXPECT_EQ(parallel::num_threads(), 1);
+  parallel::set_num_threads(0);  // back to env/hardware default
+  EXPECT_GE(parallel::num_threads(), 1);
+}
+
+// ---- differential: parallel kernels vs naive references --------------------
+
+TEST(ParallelDifferential, MatmulMatchesReferenceOverRandomShapes) {
+  Rng rng(101);
+  Rng shape_rng(17);
+  for (int threads : {1, 2, 7}) {
+    ThreadGuard guard(threads);
+    for (int trial = 0; trial < 8; ++trial) {
+      const int64_t m = 1 + static_cast<int64_t>(shape_rng.uniform() * 40);
+      const int64_t k = 1 + static_cast<int64_t>(shape_rng.uniform() * 40);
+      const int64_t n = 1 + static_cast<int64_t>(shape_rng.uniform() * 40);
+      const Tensor a = rng.normal_tensor(Shape{m, k}, 0.0f, 1.0f);
+      const Tensor b = rng.normal_tensor(Shape{k, n}, 0.0f, 1.0f);
+      const Tensor fast = matmul(a, b);
+      const Tensor ref = testing::matmul_reference(a, b);
+      ASSERT_EQ(fast.shape(), ref.shape());
+      for (int64_t i = 0; i < fast.numel(); ++i) {
+        // The production kernel reorders the k-reduction (i-k-j); allow
+        // the documented accumulation-order bound.
+        ASSERT_NEAR(fast.at(i), ref.at(i), 1e-4f * k + 1e-4f)
+            << m << "x" << k << "x" << n << " at " << i << " (threads "
+            << threads << ")";
+      }
+    }
+  }
+}
+
+TEST(ParallelDifferential, MaxpoolMatchesReferenceExactly) {
+  Rng rng(55);
+  for (int threads : {1, 2, 7}) {
+    ThreadGuard guard(threads);
+    const Tensor input = rng.normal_tensor(Shape{3, 5, 8, 8}, 0.0f, 1.0f);
+    const Tensor fast = maxpool2d(input, 2, nullptr);
+    const Tensor ref = testing::maxpool2d_reference(input, 2);
+    // Max is order-independent: exact equality at every thread count.
+    EXPECT_TRUE(testing::bitwise_equal(fast, ref));
+  }
+}
+
+// ---- bitwise run-to-run and cross-thread-count determinism -----------------
+
+TEST(ParallelDeterminism, KernelsBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(202);
+  const Tensor a = rng.normal_tensor(Shape{64, 48}, 0.0f, 1.0f);
+  const Tensor b = rng.normal_tensor(Shape{48, 56}, 0.0f, 1.0f);
+  const Tensor batch = rng.normal_tensor(Shape{5, 3, 16, 16}, 0.0f, 1.0f);
+  const Tensor weight = rng.normal_tensor(Shape{6, 3, 3, 3}, 0.0f, 0.5f);
+  const Tensor bias = rng.normal_tensor(Shape{6}, 0.0f, 0.5f);
+  const Tensor big = rng.normal_tensor(Shape{100000}, 0.0f, 1.0f);
+  Conv2dSpec spec;
+
+  Tensor mm1, conv1, add1, pool1;
+  {
+    ThreadGuard guard(1);
+    mm1 = matmul(a, b);
+    conv1 = conv2d(batch, weight, bias, spec);
+    add1 = add(big, big);
+    pool1 = maxpool2d(batch, 2, nullptr);
+  }
+  for (int threads : {2, 7}) {
+    ThreadGuard guard(threads);
+    // Determinism contract: chunking depends only on (range, grain), so
+    // the parallel runs must reproduce the 1-thread results bit for bit.
+    EXPECT_TRUE(testing::bitwise_equal(matmul(a, b), mm1))
+        << "matmul at " << threads << " threads";
+    EXPECT_TRUE(
+        testing::bitwise_equal(conv2d(batch, weight, bias, spec), conv1))
+        << "conv2d at " << threads << " threads";
+    EXPECT_TRUE(testing::bitwise_equal(add(big, big), add1))
+        << "elementwise add at " << threads << " threads";
+    EXPECT_TRUE(testing::bitwise_equal(maxpool2d(batch, 2, nullptr), pool1))
+        << "maxpool2d at " << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminism, RunToRunStableAtFixedThreadCount) {
+  Rng rng(303);
+  const Tensor a = rng.normal_tensor(Shape{33, 29}, 0.0f, 1.0f);
+  const Tensor b = rng.normal_tensor(Shape{29, 31}, 0.0f, 1.0f);
+  ThreadGuard guard(7);
+  const Tensor first = matmul(a, b);
+  for (int run = 0; run < 5; ++run) {
+    EXPECT_TRUE(testing::bitwise_equal(matmul(a, b), first)) << "run " << run;
+  }
+}
+
+}  // namespace
+}  // namespace fademl

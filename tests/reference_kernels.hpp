@@ -1,0 +1,192 @@
+#pragma once
+
+// Naive, obviously-correct reference kernels for differential testing of
+// the parallelized tensor/filter implementations. Every function here is
+// a direct transcription of the operation's definition — single loop
+// nest, no blocking, no im2col, no parallelism — so a mismatch against
+// the production kernel localizes the bug to the fast path.
+//
+// Tolerance guidance (see docs/performance.md):
+//  - conv2d / matmul vs their references: the production kernels reorder
+//    the reduction (im2col + i-k-j), so compare with a small absolute +
+//    relative bound, NOT exact equality.
+//  - production kernel at 1 thread vs N threads: bitwise equality. The
+//    pool's chunk decomposition never depends on the thread count, so any
+//    difference is a determinism bug, not float noise.
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "fademl/tensor/ops.hpp"
+#include "fademl/tensor/tensor.hpp"
+
+namespace fademl::testing {
+
+/// Definition-order matmul: out[i][j] = sum_k a[i][k] * b[k][j].
+inline Tensor matmul_reference(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  const int64_t n = b.dim(1);
+  Tensor out = Tensor::zeros(Shape{m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += a.at({i, kk}) * b.at({kk, j});
+      }
+      out.at({i, j}) = acc;
+    }
+  }
+  return out;
+}
+
+/// Naive convolution: walk every output element's receptive field.
+inline Tensor conv2d_reference(const Tensor& input, const Tensor& weight,
+                               const Tensor& bias, const Conv2dSpec& spec) {
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  const int64_t o = weight.dim(0);
+  const int64_t oh = spec.out_size(h, spec.kernel_h);
+  const int64_t ow = spec.out_size(w, spec.kernel_w);
+  Tensor out = Tensor::zeros(Shape{n, o, oh, ow});
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t oc = 0; oc < o; ++oc) {
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          float acc = bias.defined() ? bias.at(oc) : 0.0f;
+          for (int64_t ic = 0; ic < c; ++ic) {
+            for (int64_t ky = 0; ky < spec.kernel_h; ++ky) {
+              for (int64_t kx = 0; kx < spec.kernel_w; ++kx) {
+                const int64_t iy = oy * spec.stride + ky - spec.pad;
+                const int64_t ix = ox * spec.stride + kx - spec.pad;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= w) {
+                  continue;
+                }
+                acc += input.at({b, ic, iy, ix}) *
+                       weight.at({oc, ic, ky, kx});
+              }
+            }
+          }
+          out.at({b, oc, oy, ox}) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Naive max pooling over non-overlapping k x k windows.
+inline Tensor maxpool2d_reference(const Tensor& input, int64_t k) {
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  const int64_t oh = h / k;
+  const int64_t ow = w / k;
+  Tensor out{Shape{n, c, oh, ow}};
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      for (int64_t oy = 0; oy < oh; ++oy) {
+        for (int64_t ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (int64_t dy = 0; dy < k; ++dy) {
+            for (int64_t dx = 0; dx < k; ++dx) {
+              best = std::max(best,
+                              input.at({b, ch, oy * k + dy, ox * k + dx}));
+            }
+          }
+          out.at({b, ch, oy, ox}) = best;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Definition-order neighborhood average (the LAP/LAR forward): for every
+/// pixel, average the in-bounds offset neighborhood; `center_implicit`
+/// always counts the pixel itself (LAP semantics).
+inline Tensor neighborhood_average_reference(
+    const Tensor& image, const std::vector<std::pair<int, int>>& offsets,
+    bool center_implicit) {
+  const int64_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
+  Tensor out{image.shape()};
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        float acc = center_implicit ? image.at({ch, y, x}) : 0.0f;
+        int count = center_implicit ? 1 : 0;
+        for (const auto& [dy, dx] : offsets) {
+          const int64_t ny = y + dy;
+          const int64_t nx = x + dx;
+          if (ny < 0 || ny >= h || nx < 0 || nx >= w) {
+            continue;
+          }
+          acc += image.at({ch, ny, nx});
+          ++count;
+        }
+        out.at({ch, y, x}) = acc / static_cast<float>(count);
+      }
+    }
+  }
+  return out;
+}
+
+/// Scatter-form adjoint of neighborhood_average_reference — the
+/// pre-parallel formulation, kept as the golden for the gather-form
+/// production adjoint (same math, different float summation order).
+inline Tensor neighborhood_average_adjoint_reference(
+    const Tensor& grad_output, const std::vector<std::pair<int, int>>& offsets,
+    bool center_implicit) {
+  const int64_t c = grad_output.dim(0), h = grad_output.dim(1),
+                w = grad_output.dim(2);
+  Tensor grad_in = Tensor::zeros(grad_output.shape());
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        int count = center_implicit ? 1 : 0;
+        for (const auto& [dy, dx] : offsets) {
+          const int64_t ny = y + dy;
+          const int64_t nx = x + dx;
+          if (ny >= 0 && ny < h && nx >= 0 && nx < w) {
+            ++count;
+          }
+        }
+        const float share =
+            grad_output.at({ch, y, x}) / static_cast<float>(count);
+        if (center_implicit) {
+          grad_in.at({ch, y, x}) += share;
+        }
+        for (const auto& [dy, dx] : offsets) {
+          const int64_t ny = y + dy;
+          const int64_t nx = x + dx;
+          if (ny < 0 || ny >= h || nx < 0 || nx >= w) {
+            continue;
+          }
+          grad_in.at({ch, ny, nx}) += share;
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+/// True when the two tensors have the same shape and bitwise-identical
+/// float payloads. Use for 1-thread-vs-N-thread comparisons where the
+/// determinism contract promises exact equality.
+inline bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    return false;
+  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (std::memcmp(&pa[i], &pb[i], sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fademl::testing

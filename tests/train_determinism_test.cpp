@@ -1,0 +1,79 @@
+// Regression pin for the parallel compute layer's determinism contract:
+// training the same model from the same seed must produce bitwise-equal
+// parameters at 1 thread and at N threads. Every kernel on the training
+// path (conv2d forward/backward, matmul, elementwise, maxpool) chunks its
+// work as a pure function of (range, grain), and batch-reductions sum
+// per-chunk partials in chunk order — so there is no tolerance here: any
+// drift is a scheduling leak into the arithmetic, not float noise.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fademl/data/dataset.hpp"
+#include "fademl/nn/optimizer.hpp"
+#include "fademl/nn/trainer.hpp"
+#include "fademl/nn/vggnet.hpp"
+#include "fademl/parallel/parallel.hpp"
+#include "reference_kernels.hpp"
+
+namespace fademl {
+namespace {
+
+/// Two epochs of tiny-VGG training at the given thread count; returns the
+/// final parameter tensors in declaration order.
+std::vector<Tensor> train_and_snapshot(int threads) {
+  parallel::set_num_threads(threads);
+  Rng init_rng(91);
+  auto model = nn::make_vggnet(nn::VggConfig::tiny(), init_rng);
+
+  std::vector<Tensor> images;
+  std::vector<int64_t> labels;
+  for (int64_t cls = 0; cls < 4; ++cls) {
+    for (int rep = 0; rep < 3; ++rep) {
+      images.push_back(data::canonical_sample(cls, 8));
+      labels.push_back(cls);
+    }
+  }
+
+  nn::SGD sgd(model->named_parameters(), {});
+  nn::Trainer::Config config;
+  config.epochs = 2;
+  config.batch_size = 4;
+  nn::Trainer trainer(*model, sgd, config);
+  Rng shuffle_rng(17);
+  trainer.fit(images, labels, shuffle_rng);
+
+  std::vector<Tensor> params;
+  for (const nn::NamedParam& p : model->named_parameters()) {
+    params.push_back(p.param.value().clone());
+  }
+  parallel::set_num_threads(0);
+  return params;
+}
+
+TEST(TrainDeterminism, TwoEpochsBitwiseEqualAcrossThreadCounts) {
+  const std::vector<Tensor> base = train_and_snapshot(1);
+  ASSERT_FALSE(base.empty());
+  for (int threads : {2, 7}) {
+    const std::vector<Tensor> other = train_and_snapshot(threads);
+    ASSERT_EQ(other.size(), base.size());
+    for (size_t i = 0; i < base.size(); ++i) {
+      EXPECT_TRUE(testing::bitwise_equal(base[i], other[i]))
+          << "parameter " << i << " diverged at " << threads << " threads";
+    }
+  }
+}
+
+TEST(TrainDeterminism, RetrainAtSameThreadCountIsBitwiseStable) {
+  const std::vector<Tensor> first = train_and_snapshot(2);
+  const std::vector<Tensor> second = train_and_snapshot(2);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(testing::bitwise_equal(first[i], second[i]))
+        << "parameter " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fademl
