@@ -73,30 +73,43 @@ int main() {
     int transferred_tm1 = 0;
     int transferred_tm3 = 0;
     int total = 0;
+    // Cohort evaluation: each attack crafts all scenarios in one batched
+    // run on the surrogate, and the surrogate/victim views come from
+    // batched predicts over the adversarial cohort.
+    const std::vector<core::Scenario> scenarios = core::paper_scenarios();
+    std::vector<Tensor> sources;
+    std::vector<int64_t> targets;
+    for (const core::Scenario& scenario : scenarios) {
+      sources.push_back(core::well_classified_sample(
+          surrogate_pipeline, scenario.source_class,
+          victim.config.image_size));
+      targets.push_back(scenario.target_class);
+    }
     for (attacks::AttackKind kind : bench::paper_attack_kinds()) {
-      const attacks::AttackPtr attack =
-          attacks::make_attack(kind, bench::budget_for(kind));
-      for (const core::Scenario& scenario : core::paper_scenarios()) {
-        const Tensor source = core::well_classified_sample(
-            surrogate_pipeline, scenario.source_class,
-            victim.config.image_size);
-        const attacks::AttackResult r =
-            attack->run(surrogate_pipeline, source, scenario.target_class);
-        const bool on_surrogate =
-            surrogate_pipeline.predict(r.adversarial, core::ThreatModel::kI)
-                .label == scenario.target_class;
-        const core::Prediction v1 =
-            victim_pipeline.predict(r.adversarial, core::ThreatModel::kI);
-        const core::Prediction v3 =
-            victim_pipeline.predict(r.adversarial, core::ThreatModel::kIII);
+      attacks::BatchAttack attack(kind, bench::budget_for(kind));
+      const std::vector<attacks::AttackResult> results =
+          attack.run(surrogate_pipeline, sources, targets);
+      std::vector<Tensor> adversarial;
+      for (const attacks::AttackResult& r : results) {
+        adversarial.push_back(r.adversarial);
+      }
+      const Tensor stacked = nn::stack_images(adversarial);
+      const auto s1 =
+          surrogate_pipeline.predict_batch(stacked, core::ThreatModel::kI);
+      const auto v1 =
+          victim_pipeline.predict_batch(stacked, core::ThreatModel::kI);
+      const auto v3 =
+          victim_pipeline.predict_batch(stacked, core::ThreatModel::kIII);
+      for (size_t j = 0; j < scenarios.size(); ++j) {
+        const bool on_surrogate = s1[j].label == scenarios[j].target_class;
         direct += on_surrogate ? 1 : 0;
-        transferred_tm1 += v1.label == scenario.target_class ? 1 : 0;
-        transferred_tm3 += v3.label == scenario.target_class ? 1 : 0;
+        transferred_tm1 += v1[j].label == scenarios[j].target_class ? 1 : 0;
+        transferred_tm3 += v3[j].label == scenarios[j].target_class ? 1 : 0;
         ++total;
-        table.add_row({attack->name(), scenario.name,
+        table.add_row({attack.name(), scenarios[j].name,
                        on_surrogate ? "yes" : "no",
-                       bench::prediction_cell(v1),
-                       bench::prediction_cell(v3)});
+                       bench::prediction_cell(v1[j]),
+                       bench::prediction_cell(v3[j])});
       }
     }
     bench::emit(table, "ext_transfer");
@@ -113,16 +126,24 @@ int main() {
                                             filters::make_identity());
     int untargeted = 0;
     int hetero_total = 0;
-    const attacks::AttackPtr bim = attacks::make_attack(
-        attacks::AttackKind::kBim, bench::budget_for(attacks::AttackKind::kBim));
-    for (const core::Scenario& scenario : core::paper_scenarios()) {
-      const Tensor source = core::well_classified_sample(
-          hetero_pipeline, scenario.source_class, victim.config.image_size);
-      const attacks::AttackResult r =
-          bim->run(hetero_pipeline, source, scenario.target_class);
+    attacks::BatchAttack bim(attacks::AttackKind::kBim,
+                             bench::budget_for(attacks::AttackKind::kBim));
+    std::vector<Tensor> hetero_sources;
+    for (const core::Scenario& scenario : scenarios) {
+      hetero_sources.push_back(core::well_classified_sample(
+          hetero_pipeline, scenario.source_class, victim.config.image_size));
+    }
+    const std::vector<attacks::AttackResult> hetero_results =
+        bim.run(hetero_pipeline, hetero_sources, targets);
+    std::vector<Tensor> hetero_adv;
+    for (const attacks::AttackResult& r : hetero_results) {
+      hetero_adv.push_back(r.adversarial);
+    }
+    const auto hv1 = victim_pipeline.predict_batch(
+        nn::stack_images(hetero_adv), core::ThreatModel::kI);
+    for (size_t j = 0; j < scenarios.size(); ++j) {
       // Untargeted transfer: the victim no longer sees the source class.
-      if (victim_pipeline.predict(r.adversarial, core::ThreatModel::kI)
-              .label != scenario.source_class) {
+      if (hv1[j].label != scenarios[j].source_class) {
         ++untargeted;
       }
       ++hetero_total;

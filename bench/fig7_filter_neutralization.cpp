@@ -25,7 +25,23 @@ int main() {
     core::Experiment exp = bench::load_experiment();
     core::InferencePipeline pipeline(exp.model, filters::make_lap(32));
 
+    // Cohort setup shared by both panels: one well-classified source per
+    // scenario (the sampling is deterministic and uses TM-I, so this
+    // matches the old per-cell sampling exactly).
+    const std::vector<core::Scenario> scenarios = core::paper_scenarios();
+    std::vector<Tensor> sources;
+    std::vector<int64_t> targets;
+    for (const core::Scenario& scenario : scenarios) {
+      sources.push_back(core::well_classified_sample(
+          pipeline, scenario.source_class, exp.config.image_size));
+      targets.push_back(scenario.target_class);
+    }
+
     // ---- panel (a): per-scenario neutralization cells -------------------
+    // Each attack crafts its five scenarios as one cohort (one batched
+    // gradient per iteration), and the TM-I/II/III views come from three
+    // batched predicts over the adversarial cohort — bitwise identical to
+    // the old analyze_scenario-per-cell loop.
     std::printf("-- (a) adversarial predictions through LAP(32) --\n");
     io::Table cells({"Attack", "Scenario", "TM-I prediction",
                      "TM-II prediction", "TM-III prediction", "Eq.2",
@@ -34,25 +50,32 @@ int main() {
     int neutralized = 0;
     int total = 0;
     for (attacks::AttackKind kind : bench::paper_attack_kinds()) {
-      const attacks::AttackPtr attack =
-          attacks::make_attack(kind, bench::budget_for(kind));
-      for (const core::Scenario& scenario : core::paper_scenarios()) {
-        failures.run(attack->name() + " / " + scenario.name, [&] {
-          const core::ScenarioOutcome out = core::analyze_scenario(
-              pipeline, *attack, scenario, exp.config.image_size,
-              core::ThreatModel::kIII);
-          const core::Prediction tm2 = pipeline.predict(
-              out.attack.adversarial, core::ThreatModel::kII);
-          const bool ok = !out.success_tm23();
+      attacks::BatchAttack attack(kind, bench::budget_for(kind));
+      failures.run(attack.name() + " / cohort", [&] {
+        const std::vector<attacks::AttackResult> results =
+            attack.run(pipeline, sources, targets);
+        std::vector<Tensor> adversarial;
+        for (const attacks::AttackResult& r : results) {
+          adversarial.push_back(r.adversarial);
+        }
+        const Tensor stacked = nn::stack_images(adversarial);
+        const auto tm1 = pipeline.predict_batch(stacked, core::ThreatModel::kI);
+        const auto tm2 =
+            pipeline.predict_batch(stacked, core::ThreatModel::kII);
+        const auto tm3 =
+            pipeline.predict_batch(stacked, core::ThreatModel::kIII);
+        for (size_t j = 0; j < scenarios.size(); ++j) {
+          const float eq2 = core::eq2_cost(tm1[j].probs, tm3[j].probs);
+          const bool ok = tm3[j].label != scenarios[j].target_class;
           neutralized += ok ? 1 : 0;
           ++total;
-          cells.add_row({attack->name(), scenario.name,
-                         bench::prediction_cell(out.adv_tm1),
-                         bench::prediction_cell(tm2),
-                         bench::prediction_cell(out.adv_tm23),
-                         io::Table::fmt(out.eq2, 3), ok ? "yes" : "no"});
-        });
-      }
+          cells.add_row({attack.name(), scenarios[j].name,
+                         bench::prediction_cell(tm1[j]),
+                         bench::prediction_cell(tm2[j]),
+                         bench::prediction_cell(tm3[j]),
+                         io::Table::fmt(eq2, 3), ok ? "yes" : "no"});
+        }
+      });
     }
     bench::emit(cells, "fig7_cells");
     std::printf("\n%d/%d attacks neutralized by LAP(32).\n\n", neutralized,
@@ -61,7 +84,26 @@ int main() {
     // ---- panel (b): top-5 accuracy per filter configuration -------------
     std::printf("-- (b) overall top-5 accuracy per filter config --\n");
     const auto sweep = filters::paper_filter_sweep();
-    for (const core::Scenario& scenario : core::paper_scenarios()) {
+
+    // Universal noises crafted once per attack, as one cohort across all
+    // scenarios (blind to any filter, like before).
+    pipeline.set_filter(filters::make_identity());
+    std::map<std::string, std::vector<Tensor>> noises;  // name -> per-scenario
+    for (attacks::AttackKind kind : bench::paper_attack_kinds()) {
+      attacks::BatchAttack attack(kind, bench::budget_for(kind));
+      failures.run("craft " + attack.name() + " / cohort", [&] {
+        const std::vector<attacks::AttackResult> results =
+            attack.run(pipeline, sources, targets);
+        std::vector<Tensor> per_scenario;
+        for (const attacks::AttackResult& r : results) {
+          per_scenario.push_back(r.noise);
+        }
+        noises[attack.name()] = std::move(per_scenario);
+      });
+    }
+
+    for (size_t j = 0; j < scenarios.size(); ++j) {
+      const core::Scenario& scenario = scenarios[j];
       std::printf("\nScenario: %s\n", scenario.name.c_str());
       std::vector<std::string> header = {"Attack"};
       for (const filters::FilterPtr& f : sweep) {
@@ -69,30 +111,13 @@ int main() {
       }
       io::Table panel(header);
 
-      // Universal noises crafted once per attack (blind to any filter).
-      pipeline.set_filter(filters::make_identity());
-      Tensor source;
-      if (!failures.run("source sample / " + scenario.name, [&] {
-            source = core::well_classified_sample(
-                pipeline, scenario.source_class, exp.config.image_size);
-          })) {
-        continue;
-      }
-      std::map<std::string, Tensor> noises;
-      noises["No attack"] = Tensor{};
-      for (attacks::AttackKind kind : bench::paper_attack_kinds()) {
-        const attacks::AttackPtr attack =
-            attacks::make_attack(kind, bench::budget_for(kind));
-        failures.run("craft " + attack->name() + " / " + scenario.name, [&] {
-          noises[attack->name()] =
-              attack->run(pipeline, source, scenario.target_class).noise;
-        });
-      }
       for (const char* row_name :
            {"No attack", "L-BFGS", "FGSM", "BIM"}) {
-        if (noises.find(row_name) == noises.end()) {
+        const bool is_clean = std::string(row_name) == "No attack";
+        if (!is_clean && noises.find(row_name) == noises.end()) {
           continue;  // crafting failed and was logged; drop the row
         }
+        const Tensor noise = is_clean ? Tensor{} : noises.at(row_name)[j];
         std::vector<std::string> row = {row_name};
         for (const filters::FilterPtr& f : sweep) {
           pipeline.set_filter(f);
@@ -102,7 +127,7 @@ int main() {
               [&] {
                 const auto acc = core::accuracy_with_noise(
                     pipeline, exp.dataset.test.images,
-                    exp.dataset.test.labels, noises.at(row_name),
+                    exp.dataset.test.labels, noise,
                     core::ThreatModel::kIII);
                 row.push_back(io::Table::pct(acc.top5, 1));
               });
@@ -112,8 +137,7 @@ int main() {
         }
         panel.add_row(std::move(row));
       }
-      bench::emit(panel, "fig7_accuracy_" + std::to_string(&scenario -
-                                                 &core::paper_scenarios()[0]));
+      bench::emit(panel, "fig7_accuracy_" + std::to_string(j));
     }
     std::printf(
         "\nPaper's shape: smoothing restores the source class per cell; "

@@ -24,7 +24,20 @@ int main() {
     core::Experiment exp = bench::load_experiment();
     core::InferencePipeline pipeline(exp.model, filters::make_lap(32));
 
+    // Cohort setup shared by both panels (sampling is deterministic and
+    // filter-blind under TM-I, so it matches the old per-cell sampling).
+    const std::vector<core::Scenario> scenarios = core::paper_scenarios();
+    std::vector<Tensor> sources;
+    std::vector<int64_t> targets;
+    for (const core::Scenario& scenario : scenarios) {
+      sources.push_back(core::well_classified_sample(
+          pipeline, scenario.source_class, exp.config.image_size));
+      targets.push_back(scenario.target_class);
+    }
+
     // ---- panel (a): survival cells through LAP(32) ----------------------
+    // One filter-aware cohort per base attack: each FAdeML gradient
+    // iteration is a single batched evaluation across all five scenarios.
     std::printf("-- (a) FAdeML adversarial predictions through LAP(32) --\n");
     io::Table cells({"Attack", "Scenario", "TM-I prediction",
                      "TM-III prediction", "Eq.2", "Survives filter"});
@@ -32,22 +45,30 @@ int main() {
     int survived = 0;
     int total = 0;
     for (attacks::AttackKind kind : bench::paper_attack_kinds()) {
-      const attacks::AttackPtr attack =
-          attacks::make_fademl(kind, bench::budget_for(kind));
-      for (const core::Scenario& scenario : core::paper_scenarios()) {
-        failures.run(attack->name() + " / " + scenario.name, [&] {
-          const core::ScenarioOutcome out = core::analyze_scenario(
-              pipeline, *attack, scenario, exp.config.image_size,
-              core::ThreatModel::kIII);
-          const bool ok = out.success_tm23();
+      attacks::BatchAttack attack(kind, bench::budget_for(kind),
+                                  /*filter_aware=*/true);
+      failures.run(attack.name() + " / cohort", [&] {
+        const std::vector<attacks::AttackResult> results =
+            attack.run(pipeline, sources, targets);
+        std::vector<Tensor> adversarial;
+        for (const attacks::AttackResult& r : results) {
+          adversarial.push_back(r.adversarial);
+        }
+        const Tensor stacked = nn::stack_images(adversarial);
+        const auto tm1 = pipeline.predict_batch(stacked, core::ThreatModel::kI);
+        const auto tm3 =
+            pipeline.predict_batch(stacked, core::ThreatModel::kIII);
+        for (size_t j = 0; j < scenarios.size(); ++j) {
+          const float eq2 = core::eq2_cost(tm1[j].probs, tm3[j].probs);
+          const bool ok = tm3[j].label == scenarios[j].target_class;
           survived += ok ? 1 : 0;
           ++total;
-          cells.add_row({attack->name(), scenario.name,
-                         bench::prediction_cell(out.adv_tm1),
-                         bench::prediction_cell(out.adv_tm23),
-                         io::Table::fmt(out.eq2, 3), ok ? "yes" : "no"});
-        });
-      }
+          cells.add_row({attack.name(), scenarios[j].name,
+                         bench::prediction_cell(tm1[j]),
+                         bench::prediction_cell(tm3[j]),
+                         io::Table::fmt(eq2, 3), ok ? "yes" : "no"});
+        }
+      });
     }
     bench::emit(cells, "fig9_cells");
     std::printf("\n%d/%d FAdeML attacks survive LAP(32) "
@@ -55,22 +76,40 @@ int main() {
                 survived, total);
 
     // ---- panel (b): accuracy sweep with per-filter re-crafted noise -----
+    // FAdeML folds the filter into its optimization, so the noise is still
+    // re-crafted per filter configuration — but each (attack, filter) pair
+    // now crafts its five scenarios as one cohort.
     std::printf("-- (b) overall top-5 accuracy per filter config --\n");
     const auto sweep = filters::paper_filter_sweep();
-    for (const core::Scenario& scenario : core::paper_scenarios()) {
+    const auto kinds = bench::paper_attack_kinds();
+    // crafted[kind][filter] = per-scenario noises (empty = cohort failed).
+    std::vector<std::vector<std::vector<Tensor>>> crafted(
+        kinds.size(), std::vector<std::vector<Tensor>>(sweep.size()));
+    for (size_t ki = 0; ki < kinds.size(); ++ki) {
+      for (size_t fi = 0; fi < sweep.size(); ++fi) {
+        pipeline.set_filter(sweep[fi]);
+        // Filter-aware: the noise is optimized against *this* filter.
+        attacks::BatchAttack attack(kinds[ki], bench::budget_for(kinds[ki]),
+                                    /*filter_aware=*/true);
+        failures.run(attack.name() + " x " + sweep[fi]->name() + " / cohort",
+                     [&] {
+                       const std::vector<attacks::AttackResult> results =
+                           attack.run(pipeline, sources, targets);
+                       for (const attacks::AttackResult& r : results) {
+                         crafted[ki][fi].push_back(r.noise);
+                       }
+                     });
+      }
+    }
+
+    for (size_t j = 0; j < scenarios.size(); ++j) {
+      const core::Scenario& scenario = scenarios[j];
       std::printf("\nScenario: %s\n", scenario.name.c_str());
       std::vector<std::string> header = {"Attack"};
       for (const filters::FilterPtr& f : sweep) {
         header.push_back(f->name());
       }
       io::Table panel(header);
-      Tensor source;
-      if (!failures.run("source sample / " + scenario.name, [&] {
-            source = core::well_classified_sample(
-                pipeline, scenario.source_class, exp.config.image_size);
-          })) {
-        continue;
-      }
 
       {
         std::vector<std::string> row = {"No attack"};
@@ -83,22 +122,22 @@ int main() {
         }
         panel.add_row(std::move(row));
       }
-      for (attacks::AttackKind kind : bench::paper_attack_kinds()) {
+      for (size_t ki = 0; ki < kinds.size(); ++ki) {
         std::vector<std::string> row = {
-            "FAdeML-" + attacks::attack_kind_name(kind)};
-        for (const filters::FilterPtr& f : sweep) {
-          pipeline.set_filter(f);
-          // Filter-aware: the noise is optimized against *this* filter.
-          const attacks::AttackPtr attack =
-              attacks::make_fademl(kind, bench::budget_for(kind));
+            "FAdeML-" + attacks::attack_kind_name(kinds[ki])};
+        for (size_t fi = 0; fi < sweep.size(); ++fi) {
+          if (crafted[ki][fi].size() != scenarios.size()) {
+            row.push_back("error");  // cohort crafting failed (logged above)
+            continue;
+          }
+          pipeline.set_filter(sweep[fi]);
           const bool cell_ok = failures.run(
-              attack->name() + " x " + f->name() + " / " + scenario.name,
+              "FAdeML-" + attacks::attack_kind_name(kinds[ki]) + " x " +
+                  sweep[fi]->name() + " / " + scenario.name,
               [&] {
-                const attacks::AttackResult r =
-                    attack->run(pipeline, source, scenario.target_class);
                 const auto acc = core::accuracy_with_noise(
                     pipeline, exp.dataset.test.images,
-                    exp.dataset.test.labels, r.noise,
+                    exp.dataset.test.labels, crafted[ki][fi][j],
                     core::ThreatModel::kIII);
                 row.push_back(io::Table::pct(acc.top5, 1));
               });
@@ -108,9 +147,7 @@ int main() {
         }
         panel.add_row(std::move(row));
       }
-      bench::emit(panel,
-                  "fig9_accuracy_" +
-                      std::to_string(&scenario - &core::paper_scenarios()[0]));
+      bench::emit(panel, "fig9_accuracy_" + std::to_string(j));
     }
     std::printf(
         "\nPaper's shape: the filtered cells stay on the TARGET class "

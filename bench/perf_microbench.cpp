@@ -5,9 +5,10 @@
 // against performance regressions in the kernels.
 //
 // main() first runs a thread-scaling probe over the parallelized tensor
-// kernels (warmed up, median-of-k) and writes the machine-readable
-// artifacts/BENCH_tensor.json, then hands over to google-benchmark for
-// the full suites. `--quick` stops after the probe — that is the CI
+// kernels (warmed up, median-of-k, artifacts/BENCH_tensor.json) and a
+// batch-scaling probe comparing per-image vs batched predict
+// (artifacts/BENCH_batch.json), then hands over to google-benchmark for
+// the full suites. `--quick` stops after the probes — that is the CI
 // smoke mode.
 
 #include <benchmark/benchmark.h>
@@ -287,6 +288,97 @@ int run_scaling_probe(bool quick) {
   return 0;
 }
 
+// ---- batch-scaling probe ---------------------------------------------------
+
+/// Compare the per-image predict loop against one predict_batch call over
+/// the same cohort at growing batch sizes, and write
+/// artifacts/BENCH_batch.json. The batched path is bitwise identical to
+/// the loop (pinned by batch_pipeline_test); the throughput win comes
+/// from conv2d/apply_batch splitting the pool over batch rows, while a
+/// single-image call is one inline chunk whose small matmuls never fan
+/// out — so each batch size is probed at 1 thread and at the pool width,
+/// like the tensor scaling probe. On a one-core machine both columns
+/// collapse to parity; the speedup appears wherever cores exist.
+int run_batch_probe(bool quick) {
+  using namespace fademl;
+  const int warmup = quick ? 1 : 3;
+  const int iters = quick ? 3 : 9;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int hw_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  const int threads = std::max(2, std::min(4, hw_threads));
+  const std::vector<size_t> batch_sizes = {1, 4, 8, 16};
+
+  auto model = [] {
+    Rng rng(1);
+    nn::VggConfig config = nn::VggConfig::scaled(8);
+    return nn::make_vggnet(config, rng);
+  }();
+  model->set_training(false);
+  core::InferencePipeline pipeline(model, filters::make_lap(32));
+
+  std::vector<Tensor> images;
+  images.reserve(batch_sizes.back());
+  for (size_t i = 0; i < batch_sizes.back(); ++i) {
+    images.push_back(data::canonical_sample(static_cast<int>(i % 43), 32));
+  }
+
+  std::printf("== batched vs per-image predict (TM-III, LAP(32)+VGG/8), "
+              "1 vs %d threads ==\n",
+              threads);
+  std::filesystem::create_directories("artifacts");
+  std::ofstream json("artifacts/BENCH_batch.json");
+  json << "{\n"
+       << "  \"bench\": \"batch\",\n"
+       << "  \"threat_model\": \"III\",\n"
+       << "  \"hardware_concurrency\": " << hw_threads << ",\n"
+       << "  \"threads_compared\": [1, " << threads << "],\n"
+       << "  \"iterations\": " << iters << ",\n"
+       << "  \"warmup\": " << warmup << ",\n"
+       << "  \"points\": [\n";
+  bool first_point = true;
+  for (const size_t n : batch_sizes) {
+    const std::vector<Tensor> cohort(images.begin(),
+                                     images.begin() + static_cast<long>(n));
+    const Tensor stacked = nn::stack_images(cohort);
+    for (const int t : {1, threads}) {
+      parallel::set_num_threads(t);
+      const double single_ms = median_ms(
+          [&] {
+            for (const Tensor& image : cohort) {
+              benchmark::DoNotOptimize(
+                  pipeline.predict(image, core::ThreatModel::kIII));
+            }
+          },
+          warmup, iters);
+      const double batch_ms = median_ms(
+          [&] {
+            benchmark::DoNotOptimize(
+                pipeline.predict_batch(stacked, core::ThreatModel::kIII));
+          },
+          warmup, iters);
+      const double single_tput =
+          single_ms > 0.0 ? 1e3 * static_cast<double>(n) / single_ms : 0.0;
+      const double batch_tput =
+          batch_ms > 0.0 ? 1e3 * static_cast<double>(n) / batch_ms : 0.0;
+      const double speedup = batch_ms > 0.0 ? single_ms / batch_ms : 0.0;
+      std::printf("  batch %2zu %dt  per-image %8.3f ms (%7.1f img/s)   "
+                  "batched %8.3f ms (%7.1f img/s)   speedup %.2fx\n",
+                  n, t, single_ms, single_tput, batch_ms, batch_tput, speedup);
+      json << (first_point ? "" : ",\n") << "    {\"batch\": " << n
+           << ", \"threads\": " << t << ", \"per_image_ms\": " << single_ms
+           << ", \"per_image_ips\": " << single_tput
+           << ", \"batched_ms\": " << batch_ms
+           << ", \"batched_ips\": " << batch_tput
+           << ", \"speedup\": " << speedup << "}";
+      first_point = false;
+    }
+  }
+  parallel::set_num_threads(0);  // back to the env/hardware default
+  json << "\n  ]\n}\n";
+  std::printf("-> artifacts/BENCH_batch.json\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -303,8 +395,9 @@ int main(int argc, char** argv) {
     }
   }
   const int probe_rc = run_scaling_probe(quick);
+  const int batch_rc = run_batch_probe(quick);
   if (quick) {
-    return probe_rc;
+    return probe_rc != 0 ? probe_rc : batch_rc;
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {

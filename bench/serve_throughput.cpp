@@ -43,7 +43,8 @@ void BM_BarePipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_BarePipeline);
 
-/// Batched service throughput over a growing worker pool. Reported
+/// Batched service throughput over a growing worker pool, with and
+/// without worker-side micro-batching (range(1) = max_batch). Reported
 /// items_per_second is the number most deployments care about.
 void BM_ServeBatch(benchmark::State& state) {
   const auto worker_count = static_cast<size_t>(state.range(0));
@@ -56,6 +57,7 @@ void BM_ServeBatch(benchmark::State& state) {
   config.overload_policy = serve::OverloadPolicy::kBlock;
   config.admission.expected_height = kSide;
   config.admission.expected_width = kSide;
+  config.max_batch = static_cast<size_t>(state.range(1));
   serve::InferenceService service(std::move(replicas), config);
 
   const Tensor image = bench_image();
@@ -73,7 +75,15 @@ void BM_ServeBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kBatch);
 }
 // Real time, not caller CPU time: the work happens on the worker threads.
-BENCHMARK(BM_ServeBatch)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+// {workers, max_batch}: per-request dispatch vs micro-batched gather.
+BENCHMARK(BM_ServeBatch)
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({1, 8})
+    ->Args({2, 8})
+    ->Args({4, 8})
+    ->UseRealTime();
 
 /// The serving layer's fixed per-request overhead: a single synchronous
 /// classify through queue + admission + breaker + stats.

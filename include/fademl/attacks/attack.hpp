@@ -71,6 +71,10 @@ class Attack {
 
 using AttackPtr = std::shared_ptr<const Attack>;
 
+/// Fill the derived metrics (noise, norms) of a result — the free-function
+/// form of Attack::finalize, shared with the batched cohort driver.
+void finalize_attack_result(AttackResult& result, const Tensor& source);
+
 // ---- objective builders -----------------------------------------------------
 
 /// Targeted cross-entropy: minimize − log p(target | x).
@@ -82,5 +86,22 @@ core::Objective weighted_probability(const Tensor& weights);
 /// Raw-logit objective: dot(logits, weights). The C&W margin loss and the
 /// JSMA/DeepFool per-class gradients are built from these.
 core::Objective weighted_logits(const Tensor& weights);
+
+// ---- batched objective builders ---------------------------------------------
+//
+// Row-wise counterparts for cohort attacks: each maps [N, num_classes]
+// logits to [N] per-image losses, and row i's value and gradient are
+// bitwise identical to the matching scalar builder on image i alone.
+
+/// Per-image targeted cross-entropy: row i is − log p(targets[i] | x_i).
+core::BatchObjective batch_targeted_cross_entropy(
+    std::vector<int64_t> targets);
+
+/// Row-wise Eq.-2-style objective: row i is dot(softmax(logits_i), w_i)
+/// for an [N, num_classes] weight matrix.
+core::BatchObjective batch_weighted_probability(const Tensor& weights);
+
+/// Row-wise raw-logit objective: row i is dot(logits_i, w_i).
+core::BatchObjective batch_weighted_logits(const Tensor& weights);
 
 }  // namespace fademl::attacks

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fademl/attacks/attack.hpp"
+#include "fademl/attacks/fademl_attack.hpp"
+#include "fademl/attacks/lbfgs.hpp"
+
+namespace fademl::attacks {
+
+/// Cohort driver for the attack library: runs N (source, target) pairs
+/// through one attack with **one batched gradient evaluation per
+/// optimizer iteration** instead of N independent single-image runs.
+///
+/// The contract is strict: the i-th AttackResult — adversarial image,
+/// noise, norms, iteration count, and loss history — is bitwise identical
+/// to `Attack::run` on pair i alone. This works because every batched
+/// pipeline primitive (`predict_probs_batch`, `loss_and_grad_batch`) is
+/// row-wise bitwise identical to its single-image form, and per-image
+/// early stopping is handled by masking images out of subsequent batches
+/// rather than by changing their arithmetic.
+///
+/// FGSM, BIM and L-BFGS have native batched drivers (L-BFGS runs its
+/// per-image two-loop recursions locally and lock-steps the cohort through
+/// shared batched gradient and line-search probe evaluations). C&W falls
+/// back to per-image runs with the same result contract.
+class BatchAttack {
+ public:
+  /// `filter_aware` wraps the base kind the way FAdeMLAttack does: the
+  /// gradient route is forced to TM-III when `config.grad_tm` is left at
+  /// TM-I, and the Eq.-2 consistency cost of every final adversarial is
+  /// recorded in `eq2_costs()`.
+  explicit BatchAttack(AttackKind kind, AttackConfig config = {},
+                       bool filter_aware = false, LbfgsOptions lbfgs = {});
+
+  /// "FGSM" / "BIM" / ... or "FAdeML-..." when gradients route through
+  /// the filter — matching the single-image Attack::name().
+  [[nodiscard]] std::string name() const;
+
+  [[nodiscard]] const AttackConfig& config() const { return config_; }
+
+  /// Attack pair (sources[i], targets[i]) for every i. Typed errors on an
+  /// empty cohort, a source/target count mismatch, or non-[C, H, W] /
+  /// mixed-shape sources.
+  [[nodiscard]] std::vector<AttackResult> run(
+      const core::InferencePipeline& pipeline,
+      const std::vector<Tensor>& sources,
+      const std::vector<int64_t>& targets) const;
+
+  /// Filter-aware runs only: Eq.-2 cost between the TM-I and filtered
+  /// predictions of each final adversarial (one entry per cohort image,
+  /// the batched form of FAdeMLAttack::eq2_history).
+  [[nodiscard]] const std::vector<float>& eq2_costs() const {
+    return eq2_costs_;
+  }
+
+ private:
+  [[nodiscard]] std::vector<AttackResult> run_fgsm(
+      const core::InferencePipeline& pipeline,
+      const std::vector<Tensor>& sources,
+      const std::vector<int64_t>& targets) const;
+  [[nodiscard]] std::vector<AttackResult> run_bim(
+      const core::InferencePipeline& pipeline,
+      const std::vector<Tensor>& sources,
+      const std::vector<int64_t>& targets) const;
+  [[nodiscard]] std::vector<AttackResult> run_lbfgs(
+      const core::InferencePipeline& pipeline,
+      const std::vector<Tensor>& sources,
+      const std::vector<int64_t>& targets) const;
+
+  AttackKind kind_;
+  AttackConfig config_;
+  bool filter_aware_;
+  LbfgsOptions lbfgs_options_;
+  mutable std::vector<float> eq2_costs_;
+};
+
+}  // namespace fademl::attacks

@@ -80,6 +80,13 @@ Variable mean(const Variable& a);
 /// objectives of the form Σ w_i · p_i (Eq. 2 of the paper).
 Variable dot_const(const Variable& a, const Tensor& weights);
 
+/// Per-row dot with a constant [N, C] weight matrix: [N, C] -> [N].
+/// Row r accumulates Σ_c a[r,c] · w[r,c] in ascending-c order — the same
+/// order dot_const uses on a single row — so each row's value and gradient
+/// are bitwise identical to the N=1 dot_const result. The batched attack
+/// objectives are built on this.
+Variable rowwise_dot_const(const Variable& a, const Tensor& weights);
+
 /// Row-wise softmax of [N, C] logits.
 Variable softmax_rows(const Variable& logits);
 
@@ -87,6 +94,14 @@ Variable softmax_rows(const Variable& logits);
 /// Fused log-softmax + NLL for numerical stability.
 Variable cross_entropy(const Variable& logits,
                        const std::vector<int64_t>& labels);
+
+/// Per-row cross-entropy of [N, C] logits against integer labels (size N):
+/// returns the [N] vector of NLL losses instead of their mean. Row r's
+/// value and gradient are bitwise identical to `cross_entropy` on that row
+/// alone (mean over one row is the row), which is what lets the batched
+/// attack path reproduce the single-image path exactly.
+Variable cross_entropy_rows(const Variable& logits,
+                            const std::vector<int64_t>& labels);
 
 // ---- gradient checking --------------------------------------------------------
 

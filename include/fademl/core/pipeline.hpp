@@ -28,11 +28,26 @@ struct Prediction {
 using Objective =
     std::function<autograd::Variable(const autograd::Variable& logits)>;
 
+/// Batched objective: maps the [N, C] logits Variable to the [N] vector of
+/// per-image losses. Each row must depend only on its own logits row (the
+/// batched attack drivers rely on this to keep per-image results bitwise
+/// identical to the single-image path); build these from the row-wise ops
+/// (autograd::cross_entropy_rows, autograd::rowwise_dot_const).
+using BatchObjective =
+    std::function<autograd::Variable(const autograd::Variable& logits)>;
+
 /// Scalar loss + gradient of that loss w.r.t. the *attacker-controlled*
 /// image (i.e. after routing through the filter when requested).
 struct LossGrad {
   float loss = 0.0f;
   Tensor grad;  ///< [C, H, W], same shape as the query image
+};
+
+/// Batched counterpart of LossGrad: one loss and one gradient row per
+/// cohort image.
+struct BatchLossGrad {
+  std::vector<float> losses;  ///< per-image objective values
+  Tensor grads;               ///< [N, C, H, W], same shape as the batch
 };
 
 /// The ML inference module of Fig. 2: pre-processing noise filter + DNN.
@@ -65,6 +80,10 @@ class InferencePipeline {
   /// attacker supplies `image` under threat model `tm`.
   [[nodiscard]] Tensor route(const Tensor& image, ThreatModel tm) const;
 
+  /// Batched routing: every image of an [N, C, H, W] batch routed under
+  /// `tm`. Row i is bitwise identical to `route` on image i alone.
+  [[nodiscard]] Tensor route_batch(const Tensor& batch, ThreatModel tm) const;
+
   /// Full prediction for one [C, H, W] image under `tm`.
   [[nodiscard]] Prediction predict(const Tensor& image, ThreatModel tm) const;
 
@@ -72,13 +91,35 @@ class InferencePipeline {
   [[nodiscard]] Tensor predict_probs(const Tensor& image,
                                      ThreatModel tm) const;
 
+  /// Batched softmax probabilities: [N, C, H, W] in, [N, num_classes] out.
+  /// Row i is bitwise identical to `predict_probs` on image i alone — the
+  /// model's forward and the filters touch each batch row independently.
+  [[nodiscard]] Tensor predict_probs_batch(const Tensor& batch,
+                                           ThreatModel tm) const;
+
+  /// Full predictions for every image of an [N, C, H, W] batch; entry i is
+  /// bitwise identical to `predict` on image i alone.
+  [[nodiscard]] std::vector<Prediction> predict_batch(const Tensor& batch,
+                                                      ThreatModel tm) const;
+
   /// Evaluate `objective` on the routed image and differentiate it back to
   /// the attacker-controlled pixels. For TM-I the gradient is the plain
   /// input gradient; for TM-II/III it is chained through the filter's
   /// vector–Jacobian product (and the acquisition blur for TM-II).
+  /// Implemented as the N = 1 case of `loss_and_grad_batch`.
   [[nodiscard]] LossGrad loss_and_grad(const Tensor& image,
                                        const Objective& objective,
                                        ThreatModel tm) const;
+
+  /// Batched objective evaluation + differentiation: one forward and one
+  /// backward for the whole [N, C, H, W] cohort. `objective` maps the
+  /// [N, num_classes] logits to [N] per-image losses; the backward pass
+  /// seeds every row with 1 (the sum of the per-image losses), so
+  /// `grads` row i and `losses[i]` are bitwise identical to
+  /// `loss_and_grad` on image i with the matching scalar objective.
+  [[nodiscard]] BatchLossGrad loss_and_grad_batch(
+      const Tensor& batch, const BatchObjective& objective,
+      ThreatModel tm) const;
 
   /// Top-1/top-5 accuracy of the pipeline over a labelled set under `tm`
   /// (every image routed like attacker data; for clean data TM-III simply

@@ -16,6 +16,7 @@
 ///  - fademl::serve     hardened concurrent inference service
 
 #include "fademl/attacks/attack.hpp"
+#include "fademl/attacks/batch.hpp"
 #include "fademl/attacks/bim.hpp"
 #include "fademl/attacks/cw.hpp"
 #include "fademl/attacks/deepfool.hpp"

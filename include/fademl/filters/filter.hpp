@@ -38,8 +38,17 @@ class Filter {
   /// linear filters have exact vjp implementations.
   [[nodiscard]] virtual bool is_linear() const { return false; }
 
-  /// Apply to every image of an [N, C, H, W] batch.
+  /// Apply to every image of an [N, C, H, W] batch. Image i of the result
+  /// is bitwise identical to `apply` on that image alone; an empty batch
+  /// (N == 0) is a typed error.
   [[nodiscard]] Tensor apply_batch(const Tensor& batch) const;
+
+  /// Batched vector–Jacobian product: per-image `vjp` over an
+  /// [N, C, H, W] batch of input images and matching output gradients.
+  /// Row i of the result is bitwise identical to `vjp` on image i alone —
+  /// the adjoint half of the batched TM-II/III gradient chain.
+  [[nodiscard]] Tensor vjp_batch(const Tensor& images,
+                                 const Tensor& grad_outputs) const;
 };
 
 using FilterPtr = std::shared_ptr<const Filter>;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -65,6 +66,27 @@ class BoundedQueue {
       consumer_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
       if (items_.empty()) {
         return std::nullopt;  // closed and drained
+      }
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    producer_cv_.notify_one();
+    return out;
+  }
+
+  /// Deadline-bounded pop for the micro-batching gather: the next item as
+  /// soon as one is available, or nullopt once `deadline` passes with the
+  /// queue empty (or the queue is closed and drained). Never blocks past
+  /// `deadline`.
+  [[nodiscard]] std::optional<T> pop_until(
+      std::chrono::steady_clock::time_point deadline) {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      consumer_cv_.wait_until(lock, deadline,
+                              [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) {
+        return std::nullopt;  // timed out, or closed and drained
       }
       out.emplace(std::move(items_.front()));
       items_.pop_front();

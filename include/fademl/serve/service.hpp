@@ -54,6 +54,18 @@ struct ServiceConfig {
   /// pre-processing entirely under overload).
   filters::FilterPtr degraded_filter;
 
+  /// Micro-batching: after dequeuing a request, a worker keeps gathering
+  /// up to `max_batch` requests before running one batched predict over
+  /// the cohort (per-image results are bitwise identical to per-request
+  /// predicts, so coalescing is invisible to callers). 1 disables
+  /// coalescing — the pure per-request path.
+  size_t max_batch = 1;
+  /// How long the gather may wait for more requests. The effective gather
+  /// deadline is min(now + batch_window, earliest gathered request
+  /// deadline − batch_window): a request already in hand is never starved
+  /// of its deadline slack by the batch forming around it.
+  std::chrono::milliseconds batch_window{2};
+
   /// Sliding window behind the latency percentiles in ServiceStats.
   size_t latency_window = 4096;
 
@@ -139,6 +151,16 @@ class InferenceService {
 
   void worker_loop(size_t worker_index);
   void process(size_t worker_index, Request& request);
+  /// Expire-or-run a gathered cohort: drops already-expired requests with
+  /// the unrun-deadline error, then serves the survivors through one
+  /// batched predict (falling back to per-request runs for failure
+  /// isolation when the batched evaluation throws).
+  void process_batch(size_t worker_index, std::vector<RequestPtr>& batch);
+  /// Per-request inference on the (possibly degraded) pipeline with the
+  /// full stats/breaker/deadline semantics — the shared tail of process()
+  /// and the batched fallback path.
+  void run_request(size_t worker_index, Request& request, bool degraded,
+                   Clock::time_point dequeued_at);
 
   ServiceConfig config_;
   /// Per worker: [0] the deployed pipeline, [1] the degraded-filter

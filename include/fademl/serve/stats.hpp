@@ -26,6 +26,13 @@ struct ServiceStats {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  /// Micro-batching: number of coalesced predict rounds, the mean number
+  /// of live requests per round, and the occupancy histogram
+  /// (batch_occupancy[i] = rounds that ran with i+1 requests). All zero /
+  /// empty when max_batch is 1.
+  int64_t batches = 0;
+  double mean_batch_occupancy = 0.0;
+  std::vector<int64_t> batch_occupancy;
 };
 
 /// Thread-safe accumulator behind InferenceService::stats().
@@ -40,6 +47,9 @@ class StatsCollector {
 
   void on_submitted();
   void on_completed(double latency_ms, bool degraded);
+  /// One micro-batched predict round that ran with `occupancy` >= 1 live
+  /// requests.
+  void on_batch(size_t occupancy);
   void on_shed();
   void on_timed_out();
   void on_rejected_input();
@@ -56,6 +66,8 @@ class StatsCollector {
   ServiceStats counts_;               // latency/breaker fields unused here
   std::vector<double> latencies_;     // ring buffer of size <= window_
   size_t next_slot_ = 0;
+  std::vector<int64_t> occupancy_histogram_;
+  int64_t occupancy_total_ = 0;
 };
 
 /// `q` in [0, 1] over an unsorted sample set (nearest-rank). Exposed for

@@ -9,7 +9,8 @@
 #   scripts/check.sh --tsan     # tier-1, then a FADEML_SANITIZE=thread
 #                               # build in build-tsan/ running the
 #                               # concurrent suites (parallel_test,
-#                               # serve_test) under ThreadSanitizer
+#                               # serve_test incl. the micro-batching
+#                               # chaos tests) under ThreadSanitizer
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -44,6 +45,11 @@ case "${1:-}" in
     ./build-tsan/tests/parallel_test
     FADEML_NUM_THREADS=4 ./build-tsan/tests/train_determinism_test
     ./build-tsan/tests/serve_test
+    # The micro-batching chaos tests again with a wider intra-op pool:
+    # gather/coalesce/fan-out races only exist when batch rows span
+    # worker and pool threads at once.
+    FADEML_NUM_THREADS=4 ./build-tsan/tests/serve_test \
+      --gtest_filter='*MicroBatch*:*Gather*:*Batch*'
     ;;
   "")
     ;;

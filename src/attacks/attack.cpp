@@ -6,13 +6,17 @@
 
 namespace fademl::attacks {
 
-void Attack::finalize(AttackResult& result, const Tensor& source) {
+void finalize_attack_result(AttackResult& result, const Tensor& source) {
   FADEML_CHECK(result.adversarial.defined(),
                "attack produced no adversarial image");
   result.adversarial.clamp_(0.0f, 1.0f);
   result.noise = sub(result.adversarial, source);
   result.linf = norm_linf(result.noise);
   result.l2 = norm_l2(result.noise);
+}
+
+void Attack::finalize(AttackResult& result, const Tensor& source) {
+  finalize_attack_result(result, source);
 }
 
 core::Objective targeted_cross_entropy(int64_t target_class) {
@@ -32,6 +36,27 @@ core::Objective weighted_logits(const Tensor& weights) {
   const Tensor w = weights.clone();
   return [w](const autograd::Variable& logits) {
     return autograd::dot_const(logits, w);
+  };
+}
+
+core::BatchObjective batch_targeted_cross_entropy(
+    std::vector<int64_t> targets) {
+  return [targets = std::move(targets)](const autograd::Variable& logits) {
+    return autograd::cross_entropy_rows(logits, targets);
+  };
+}
+
+core::BatchObjective batch_weighted_probability(const Tensor& weights) {
+  const Tensor w = weights.clone();
+  return [w](const autograd::Variable& logits) {
+    return autograd::rowwise_dot_const(autograd::softmax_rows(logits), w);
+  };
+}
+
+core::BatchObjective batch_weighted_logits(const Tensor& weights) {
+  const Tensor w = weights.clone();
+  return [w](const autograd::Variable& logits) {
+    return autograd::rowwise_dot_const(logits, w);
   };
 }
 

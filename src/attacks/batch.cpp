@@ -1,0 +1,497 @@
+#include "fademl/attacks/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <utility>
+
+#include "fademl/core/cost.hpp"
+#include "fademl/nn/trainer.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::attacks {
+
+namespace {
+
+/// Copy image i of an [N, C, H, W] batch out to [C, H, W].
+Tensor slice_image(const Tensor& batch, int64_t i) {
+  const Shape chw{batch.dim(1), batch.dim(2), batch.dim(3)};
+  const int64_t stride = chw.numel();
+  Tensor out{chw};
+  std::copy(batch.data() + i * stride, batch.data() + (i + 1) * stride,
+            out.data());
+  return out;
+}
+
+/// Copy row i of an [N, C] matrix out to [C].
+Tensor slice_row(const Tensor& matrix, int64_t i) {
+  const int64_t cols = matrix.dim(1);
+  Tensor out{Shape{cols}};
+  std::copy(matrix.data() + i * cols, matrix.data() + (i + 1) * cols,
+            out.data());
+  return out;
+}
+
+std::vector<int64_t> gather_targets(const std::vector<int64_t>& targets,
+                                    const std::vector<size_t>& idx) {
+  std::vector<int64_t> out;
+  out.reserve(idx.size());
+  for (size_t i : idx) {
+    out.push_back(targets[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+BatchAttack::BatchAttack(AttackKind kind, AttackConfig config,
+                         bool filter_aware, LbfgsOptions lbfgs)
+    : kind_(kind), config_(config), filter_aware_(filter_aware),
+      lbfgs_options_(lbfgs) {
+  if (filter_aware_ && config_.grad_tm == core::ThreatModel::kI) {
+    // Match FAdeMLAttack: filter-aware means the gradient route passes
+    // through the pre-processing stages.
+    config_.grad_tm = core::ThreatModel::kIII;
+  }
+}
+
+std::string BatchAttack::name() const {
+  const std::string& base = attack_kind_name(kind_);
+  return config_.grad_tm == core::ThreatModel::kI ? base : "FAdeML-" + base;
+}
+
+std::vector<AttackResult> BatchAttack::run(
+    const core::InferencePipeline& pipeline,
+    const std::vector<Tensor>& sources,
+    const std::vector<int64_t>& targets) const {
+  FADEML_CHECK(!sources.empty(), "BatchAttack::run rejects an empty cohort");
+  FADEML_CHECK(sources.size() == targets.size(),
+               "BatchAttack::run: cohort has " +
+                   std::to_string(sources.size()) + " sources but " +
+                   std::to_string(targets.size()) + " targets");
+  for (const Tensor& s : sources) {
+    FADEML_CHECK(s.rank() == 3 && s.shape() == sources.front().shape(),
+                 "BatchAttack::run expects same-shape [C, H, W] sources");
+  }
+  eq2_costs_.clear();
+
+  std::vector<AttackResult> results;
+  switch (kind_) {
+    case AttackKind::kFgsm:
+      results = run_fgsm(pipeline, sources, targets);
+      break;
+    case AttackKind::kBim:
+      results = run_bim(pipeline, sources, targets);
+      break;
+    case AttackKind::kLbfgs:
+      results = run_lbfgs(pipeline, sources, targets);
+      break;
+    case AttackKind::kCw: {
+      // C&W's per-image binary search over c has no batched form yet:
+      // per-image fallback with the identical result contract.
+      const AttackPtr inner = make_attack(AttackKind::kCw, config_);
+      results.reserve(sources.size());
+      for (size_t i = 0; i < sources.size(); ++i) {
+        results.push_back(inner->run(pipeline, sources[i], targets[i]));
+      }
+      break;
+    }
+  }
+
+  if (filter_aware_) {
+    // Steps 4–5 of the Fig. 8 methodology, batched: one TM-I and one
+    // filtered forward over the whole cohort of final adversarials.
+    std::vector<Tensor> advs;
+    advs.reserve(results.size());
+    for (const AttackResult& r : results) {
+      advs.push_back(r.adversarial);
+    }
+    const Tensor batch = nn::stack_images(advs);
+    const Tensor tm1 =
+        pipeline.predict_probs_batch(batch, core::ThreatModel::kI);
+    const Tensor tmf = pipeline.predict_probs_batch(batch, config_.grad_tm);
+    eq2_costs_.reserve(results.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      eq2_costs_.push_back(core::eq2_cost(
+          slice_row(tm1, static_cast<int64_t>(i)),
+          slice_row(tmf, static_cast<int64_t>(i))));
+    }
+  }
+  return results;
+}
+
+std::vector<AttackResult> BatchAttack::run_fgsm(
+    const core::InferencePipeline& pipeline,
+    const std::vector<Tensor>& sources,
+    const std::vector<int64_t>& targets) const {
+  FADEML_CHECK(config_.epsilon > 0.0f, "FGSM requires a positive epsilon");
+  const size_t n = sources.size();
+  const core::BatchLossGrad lg = pipeline.loss_and_grad_batch(
+      nn::stack_images(sources), batch_targeted_cross_entropy(targets),
+      config_.grad_tm);
+
+  std::vector<AttackResult> results(n);
+  std::vector<Tensor> step_dirs(n);
+  for (size_t i = 0; i < n; ++i) {
+    step_dirs[i] = sign(slice_image(lg.grads, static_cast<int64_t>(i)));
+    results[i].iterations = 1;
+    results[i].loss_history = {lg.losses[i]};
+    results[i].adversarial =
+        add(sources[i], mul(step_dirs[i], -config_.epsilon));
+  }
+
+  if (config_.fgsm_epsilon_search) {
+    // Lock-step the ε grid: at grid step g only the images that have not
+    // landed the target yet are probed, exactly the candidates the
+    // sequential search would evaluate.
+    constexpr int kGrid = 8;
+    std::vector<char> found(n, 0);
+    for (int g = 1; g <= kGrid; ++g) {
+      const float eps =
+          config_.epsilon * static_cast<float>(g) / static_cast<float>(kGrid);
+      std::vector<size_t> idx;
+      std::vector<Tensor> candidates;
+      for (size_t i = 0; i < n; ++i) {
+        if (found[i]) {
+          continue;
+        }
+        Tensor candidate = add(sources[i], mul(step_dirs[i], -eps));
+        candidate.clamp_(0.0f, 1.0f);
+        idx.push_back(i);
+        candidates.push_back(std::move(candidate));
+      }
+      if (idx.empty()) {
+        break;
+      }
+      const Tensor probs = pipeline.predict_probs_batch(
+          nn::stack_images(candidates), config_.grad_tm);
+      for (size_t j = 0; j < idx.size(); ++j) {
+        const Tensor row = slice_row(probs, static_cast<int64_t>(j));
+        if (argmax(row) == targets[idx[j]]) {
+          results[idx[j]].adversarial = std::move(candidates[j]);
+          found[idx[j]] = 1;
+        }
+      }
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    finalize_attack_result(results[i], sources[i]);
+  }
+  return results;
+}
+
+std::vector<AttackResult> BatchAttack::run_bim(
+    const core::InferencePipeline& pipeline,
+    const std::vector<Tensor>& sources,
+    const std::vector<int64_t>& targets) const {
+  FADEML_CHECK(config_.epsilon > 0.0f && config_.step_size > 0.0f &&
+                   config_.max_iterations > 0,
+               "BIM requires positive epsilon, step size, and iterations");
+  const size_t n = sources.size();
+  std::vector<AttackResult> results(n);
+  std::vector<Tensor> x(n);
+  std::vector<char> active(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = sources[i].clone();
+  }
+
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    std::vector<size_t> idx;
+    std::vector<Tensor> sub;
+    for (size_t i = 0; i < n; ++i) {
+      if (active[i]) {
+        idx.push_back(i);
+        sub.push_back(x[i]);
+      }
+    }
+    if (idx.empty()) {
+      break;
+    }
+    const core::BatchLossGrad lg = pipeline.loss_and_grad_batch(
+        nn::stack_images(sub),
+        batch_targeted_cross_entropy(gather_targets(targets, idx)),
+        config_.grad_tm);
+    for (size_t j = 0; j < idx.size(); ++j) {
+      const size_t i = idx[j];
+      results[i].loss_history.push_back(lg.losses[j]);
+      ++results[i].iterations;
+      x[i].add_(sign(slice_image(lg.grads, static_cast<int64_t>(j))),
+                -config_.step_size);
+      // Kurakin's per-iteration clip onto the ε-ball and the pixel box.
+      const float* src = sources[i].data();
+      float* px = x[i].data();
+      const int64_t numel = x[i].numel();
+      for (int64_t k = 0; k < numel; ++k) {
+        const float lo = std::max(0.0f, src[k] - config_.epsilon);
+        const float hi = std::min(1.0f, src[k] + config_.epsilon);
+        px[k] = std::clamp(px[k], lo, hi);
+      }
+    }
+    if (config_.target_confidence > 0.0f) {
+      std::vector<Tensor> probe;
+      for (size_t i : idx) {
+        probe.push_back(x[i]);
+      }
+      const std::vector<core::Prediction> preds =
+          pipeline.predict_batch(nn::stack_images(probe), config_.grad_tm);
+      for (size_t j = 0; j < idx.size(); ++j) {
+        if (preds[j].label == targets[idx[j]] &&
+            preds[j].confidence >= config_.target_confidence) {
+          active[idx[j]] = 0;
+        }
+      }
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    results[i].adversarial = std::move(x[i]);
+    finalize_attack_result(results[i], sources[i]);
+  }
+  return results;
+}
+
+std::vector<AttackResult> BatchAttack::run_lbfgs(
+    const core::InferencePipeline& pipeline,
+    const std::vector<Tensor>& sources,
+    const std::vector<int64_t>& targets) const {
+  FADEML_CHECK(config_.max_iterations > 0, "L-BFGS requires iterations > 0");
+  FADEML_CHECK(lbfgs_options_.history > 0,
+               "L-BFGS requires positive history");
+  const size_t n = sources.size();
+
+  // Per-image optimizer state; every pipeline evaluation below is shared
+  // across the cohort via one batched call, while the two-loop recursion
+  // and history updates stay local per image.
+  struct State {
+    Tensor delta;
+    std::deque<Tensor> s_hist;
+    std::deque<Tensor> y_hist;
+    std::deque<float> rho_hist;
+    float loss = 0.0f;  ///< current objective incl. the ‖δ‖² term
+    Tensor grad;        ///< matching gradient
+    bool active = true;
+  };
+  std::vector<State> states(n);
+  std::vector<AttackResult> results(n);
+  for (size_t i = 0; i < n; ++i) {
+    states[i].delta = Tensor::zeros(sources[i].shape());
+  }
+
+  // Batched analogue of the single-image loss_grad closure: evaluates the
+  // targeted cross-entropy gradient for images `idx` at their current
+  // deltas in one pipeline call, then folds in the ‖δ‖² term per image.
+  const auto batched_loss_grad = [&](const std::vector<size_t>& idx) {
+    std::vector<Tensor> xs;
+    xs.reserve(idx.size());
+    for (size_t i : idx) {
+      Tensor xi = add(sources[i], states[i].delta);
+      xi.clamp_(0.0f, 1.0f);
+      xs.push_back(std::move(xi));
+    }
+    const core::BatchLossGrad lg = pipeline.loss_and_grad_batch(
+        nn::stack_images(xs),
+        batch_targeted_cross_entropy(gather_targets(targets, idx)),
+        config_.grad_tm);
+    std::vector<std::pair<float, Tensor>> out(idx.size());
+    for (size_t j = 0; j < idx.size(); ++j) {
+      const size_t i = idx[j];
+      float loss = lg.losses[j];
+      Tensor grad = slice_image(lg.grads, static_cast<int64_t>(j));
+      const float d2 = norm_l2(states[i].delta);
+      loss += lbfgs_options_.l2_weight * d2 * d2;
+      grad.add_(states[i].delta, 2.0f * lbfgs_options_.l2_weight);
+      out[j] = {loss, std::move(grad)};
+    }
+    return out;
+  };
+
+  {
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) {
+      all[i] = i;
+    }
+    auto init = batched_loss_grad(all);
+    for (size_t i = 0; i < n; ++i) {
+      states[i].loss = init[i].first;
+      states[i].grad = std::move(init[i].second);
+    }
+  }
+
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    std::vector<size_t> idx;
+    for (size_t i = 0; i < n; ++i) {
+      if (states[i].active) {
+        idx.push_back(i);
+      }
+    }
+    if (idx.empty()) {
+      break;
+    }
+
+    // Local phase: two-loop recursion per image (no pipeline calls).
+    struct Search {
+      Tensor direction;
+      float slope = 0.0f;
+      float t = 1.0f;
+      Tensor candidate;
+      float new_loss = 0.0f;
+      bool accepted = false;
+      bool searching = true;
+    };
+    std::vector<Search> search(idx.size());
+    for (size_t j = 0; j < idx.size(); ++j) {
+      State& st = states[idx[j]];
+      results[idx[j]].loss_history.push_back(st.loss);
+      ++results[idx[j]].iterations;
+
+      Tensor q = st.grad.clone();
+      std::vector<float> alpha(st.s_hist.size());
+      for (size_t h = st.s_hist.size(); h-- > 0;) {
+        alpha[h] = st.rho_hist[h] * dot(st.s_hist[h], q);
+        q.add_(st.y_hist[h], -alpha[h]);
+      }
+      if (!st.s_hist.empty()) {
+        const float ys = dot(st.y_hist.back(), st.s_hist.back());
+        const float yy = dot(st.y_hist.back(), st.y_hist.back());
+        if (yy > 0.0f) {
+          q.mul_(ys / yy);
+        }
+      } else {
+        const float gmax = norm_linf(q);
+        if (gmax > 0.0f) {
+          q.mul_(config_.step_size / gmax);
+        }
+      }
+      for (size_t h = 0; h < st.s_hist.size(); ++h) {
+        const float beta = st.rho_hist[h] * dot(st.y_hist[h], q);
+        q.add_(st.s_hist[h], alpha[h] - beta);
+      }
+      Tensor direction = neg(q);
+
+      const float dir_dot_grad = dot(direction, st.grad);
+      if (dir_dot_grad >= 0.0f) {
+        st.s_hist.clear();
+        st.y_hist.clear();
+        st.rho_hist.clear();
+        direction = mul(st.grad, -config_.step_size /
+                                     std::max(norm_linf(st.grad), 1e-12f));
+      }
+      search[j].slope = dot(direction, st.grad);
+      search[j].direction = std::move(direction);
+    }
+
+    // Armijo backtracking, lock-stepped: round ls probes exactly the
+    // candidates the sequential search would evaluate at its ls-th trial,
+    // one batched forward for all images still searching.
+    for (int ls = 0; ls < lbfgs_options_.max_line_search; ++ls) {
+      std::vector<size_t> probing;
+      std::vector<Tensor> probes;
+      for (size_t j = 0; j < idx.size(); ++j) {
+        if (!search[j].searching) {
+          continue;
+        }
+        Tensor candidate =
+            add(states[idx[j]].delta, mul(search[j].direction, search[j].t));
+        candidate.clamp_(-config_.epsilon, config_.epsilon);
+        Tensor xi = add(sources[idx[j]], candidate);
+        xi.clamp_(0.0f, 1.0f);
+        search[j].candidate = std::move(candidate);
+        probing.push_back(j);
+        probes.push_back(std::move(xi));
+      }
+      if (probing.empty()) {
+        break;
+      }
+      const Tensor probs = pipeline.predict_probs_batch(
+          nn::stack_images(probes), config_.grad_tm);
+      for (size_t k = 0; k < probing.size(); ++k) {
+        Search& se = search[probing[k]];
+        const State& st = states[idx[probing[k]]];
+        const Tensor row = slice_row(probs, static_cast<int64_t>(k));
+        const float p =
+            std::max(row.at(targets[idx[probing[k]]]), 1e-12f);
+        const float d2 = norm_l2(se.candidate);
+        se.new_loss = lbfgs_options_.l2_weight * d2 * d2 - std::log(p);
+        if (se.new_loss <=
+            st.loss + lbfgs_options_.armijo_c1 * se.t * se.slope) {
+          se.accepted = true;
+          se.searching = false;
+        } else {
+          se.t *= 0.5f;
+        }
+      }
+    }
+
+    // Accepted images move and need the gradient at the new point; a
+    // failed line search means that image has converged (sequential code
+    // breaks out of its loop here).
+    std::vector<size_t> moved;
+    for (size_t j = 0; j < idx.size(); ++j) {
+      if (search[j].accepted) {
+        moved.push_back(j);
+      } else {
+        states[idx[j]].active = false;
+      }
+    }
+    if (moved.empty()) {
+      continue;
+    }
+    std::vector<Tensor> steps(moved.size());
+    std::vector<size_t> moved_images;
+    moved_images.reserve(moved.size());
+    for (size_t m = 0; m < moved.size(); ++m) {
+      const size_t j = moved[m];
+      State& st = states[idx[j]];
+      steps[m] = sub(search[j].candidate, st.delta);
+      st.delta = search[j].candidate;
+      moved_images.push_back(idx[j]);
+    }
+    auto next = batched_loss_grad(moved_images);
+    for (size_t m = 0; m < moved.size(); ++m) {
+      State& st = states[moved_images[m]];
+      const Tensor ydiff = sub(next[m].second, st.grad);
+      const float sy = dot(steps[m], ydiff);
+      if (sy > 1e-10f) {
+        st.s_hist.push_back(std::move(steps[m]));
+        st.y_hist.push_back(ydiff);
+        st.rho_hist.push_back(1.0f / sy);
+        if (static_cast<int>(st.s_hist.size()) > lbfgs_options_.history) {
+          st.s_hist.pop_front();
+          st.y_hist.pop_front();
+          st.rho_hist.pop_front();
+        }
+      }
+      st.loss = next[m].first;
+      st.grad = std::move(next[m].second);
+    }
+
+    if (config_.target_confidence > 0.0f) {
+      std::vector<Tensor> probe;
+      for (size_t i : moved_images) {
+        Tensor xi = add(sources[i], states[i].delta);
+        xi.clamp_(0.0f, 1.0f);
+        probe.push_back(std::move(xi));
+      }
+      const std::vector<core::Prediction> preds =
+          pipeline.predict_batch(nn::stack_images(probe), config_.grad_tm);
+      for (size_t m = 0; m < moved_images.size(); ++m) {
+        const size_t i = moved_images[m];
+        if (preds[m].label == targets[i] &&
+            preds[m].confidence >= config_.target_confidence) {
+          results[i].loss_history.push_back(states[i].loss);
+          states[i].active = false;
+        }
+      }
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    results[i].adversarial = add(sources[i], states[i].delta);
+    finalize_attack_result(results[i], sources[i]);
+  }
+  return results;
+}
+
+}  // namespace fademl::attacks

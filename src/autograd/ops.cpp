@@ -663,6 +663,48 @@ Variable dot_const(const Variable& a, const Tensor& weights) {
   return Variable::from_node(node);
 }
 
+Variable rowwise_dot_const(const Variable& a, const Tensor& weights) {
+  const Tensor& av = a.value();
+  FADEML_CHECK(av.rank() == 2, "rowwise_dot_const expects [N, C], got " +
+                                   av.shape().str());
+  FADEML_CHECK(weights.shape() == av.shape(),
+               "rowwise_dot_const weight shape " + weights.shape().str() +
+                   " does not match input shape " + av.shape().str());
+  const int64_t rows = av.dim(0);
+  const int64_t cols = av.dim(1);
+  Tensor out{Shape{rows}};
+  const float* pa = av.data();
+  const float* pw = weights.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    // double accumulator in ascending-c order: exactly fademl::dot on the
+    // row, so the value matches dot_const on a one-row slice bitwise.
+    double s = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      s += static_cast<double>(pa[r * cols + c]) * pw[r * cols + c];
+    }
+    out.at(r) = static_cast<float>(s);
+  }
+  auto node = make_node(std::move(out), {a.node()});
+  if (node->requires_grad) {
+    const Tensor w = weights.clone();
+    node->backward_fn = [w](Node& n) {
+      const int64_t r = w.dim(0);
+      const int64_t c = w.dim(1);
+      Tensor gx{w.shape()};
+      const float* pw2 = w.data();
+      const float* pg = n.grad.data();
+      float* px = gx.data();
+      for (int64_t i = 0; i < r; ++i) {
+        for (int64_t j = 0; j < c; ++j) {
+          px[i * c + j] = pw2[i * c + j] * pg[i];
+        }
+      }
+      push_grad(n.parents[0], gx);
+    };
+  }
+  return Variable::from_node(node);
+}
+
 Variable softmax_rows(const Variable& logits) {
   auto node = make_node(fademl::softmax_rows(logits.value()), {logits.node()});
   if (node->requires_grad) {
@@ -729,6 +771,51 @@ Variable cross_entropy(const Variable& logits,
         p[i * c + labels_copy[static_cast<size_t>(i)]] -= 1.0f;
       }
       gx.mul_(scale);
+      push_grad(n.parents[0], gx);
+    };
+  }
+  return Variable::from_node(node);
+}
+
+Variable cross_entropy_rows(const Variable& logits,
+                            const std::vector<int64_t>& labels) {
+  const Tensor& lv = logits.value();
+  FADEML_CHECK(lv.rank() == 2,
+               "cross_entropy_rows expects [N, C] logits, got " +
+                   lv.shape().str());
+  const int64_t rows = lv.dim(0);
+  const int64_t cols = lv.dim(1);
+  FADEML_CHECK(static_cast<int64_t>(labels.size()) == rows,
+               "cross_entropy_rows label count mismatch");
+  for (int64_t l : labels) {
+    FADEML_CHECK(l >= 0 && l < cols,
+                 "cross_entropy_rows label " + std::to_string(l) +
+                     " out of range for " + std::to_string(cols) + " classes");
+  }
+  const Tensor logp = log_softmax_rows(lv);
+  Tensor losses{Shape{rows}};
+  for (int64_t r = 0; r < rows; ++r) {
+    losses.at(r) = -logp.data()[r * cols + labels[static_cast<size_t>(r)]];
+  }
+
+  auto node = make_node(std::move(losses), {logits.node()});
+  if (node->requires_grad) {
+    const std::vector<int64_t> labels_copy = labels;
+    node->backward_fn = [labels_copy](Node& n) {
+      const Tensor& lv2 = n.parents[0]->value;
+      const int64_t r = lv2.dim(0);
+      const int64_t c = lv2.dim(1);
+      Tensor gx = fademl::softmax_rows(lv2);  // [N, C]
+      float* p = gx.data();
+      const float* pg = n.grad.data();
+      // Per-row scale pg[i] (no 1/N): row i's gradient is exactly the
+      // single-row cross_entropy gradient scaled by its seed.
+      for (int64_t i = 0; i < r; ++i) {
+        p[i * c + labels_copy[static_cast<size_t>(i)]] -= 1.0f;
+        for (int64_t j = 0; j < c; ++j) {
+          p[i * c + j] *= pg[i];
+        }
+      }
       push_grad(n.parents[0], gx);
     };
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fademl/autograd/ops.hpp"
+#include "fademl/nn/trainer.hpp"
 #include "fademl/tensor/error.hpp"
 #include "fademl/tensor/ops.hpp"
 
@@ -44,6 +45,24 @@ Tensor InferencePipeline::route(const Tensor& image, ThreatModel tm) const {
   return {};
 }
 
+Tensor InferencePipeline::route_batch(const Tensor& batch,
+                                      ThreatModel tm) const {
+  FADEML_CHECK(batch.rank() == 4, "route_batch expects [N, C, H, W], got " +
+                                      batch.shape().str());
+  FADEML_CHECK(batch.dim(0) >= 1,
+               "route_batch rejects an empty batch (N == 0)");
+  switch (tm) {
+    case ThreatModel::kI:
+      return batch.clone();
+    case ThreatModel::kII:
+      return filter_->apply_batch(acquisition_blur_->apply_batch(batch));
+    case ThreatModel::kIII:
+      return filter_->apply_batch(batch);
+  }
+  FADEML_CHECK(false, "unreachable threat model");
+  return {};
+}
+
 Prediction summarize_probs(const Tensor& probs) {
   FADEML_CHECK(probs.rank() == 1, "summarize_probs expects a vector");
   Prediction p;
@@ -59,16 +78,40 @@ Prediction summarize_probs(const Tensor& probs) {
   return p;
 }
 
+Tensor InferencePipeline::predict_probs_batch(const Tensor& batch,
+                                              ThreatModel tm) const {
+  const Tensor routed = route_batch(batch, tm);
+  autograd::Variable x{routed.clone()};
+  const autograd::Variable logits = model_->forward(x);
+  return softmax_rows(logits.value());
+}
+
+std::vector<Prediction> InferencePipeline::predict_batch(const Tensor& batch,
+                                                         ThreatModel tm) const {
+  const Tensor probs = predict_probs_batch(batch, tm);
+  const int64_t n = probs.dim(0);
+  const int64_t classes = probs.dim(1);
+  std::vector<Prediction> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    Tensor row{Shape{classes}};
+    std::copy(probs.data() + i * classes, probs.data() + (i + 1) * classes,
+              row.data());
+    out.push_back(summarize_probs(row));
+  }
+  return out;
+}
+
 Tensor InferencePipeline::predict_probs(const Tensor& image,
                                         ThreatModel tm) const {
-  const Tensor routed = route(image, tm);
+  FADEML_CHECK(image.rank() == 3, "predict_probs expects [C, H, W], got " +
+                                      image.shape().str());
   std::vector<int64_t> dims = {1};
-  for (int64_t d : routed.shape().dims()) {
+  for (int64_t d : image.shape().dims()) {
     dims.push_back(d);
   }
-  autograd::Variable x{routed.reshape(Shape{dims}).clone()};
-  const autograd::Variable logits = model_->forward(x);
-  const Tensor probs = softmax_rows(logits.value());
+  const Tensor probs =
+      predict_probs_batch(image.reshape(Shape{dims}), tm);
   Tensor out{Shape{probs.dim(1)}};
   std::copy(probs.data(), probs.data() + probs.numel(), out.data());
   return out;
@@ -79,47 +122,86 @@ Prediction InferencePipeline::predict(const Tensor& image,
   return summarize_probs(predict_probs(image, tm));
 }
 
+BatchLossGrad InferencePipeline::loss_and_grad_batch(
+    const Tensor& batch, const BatchObjective& objective,
+    ThreatModel tm) const {
+  FADEML_CHECK(batch.rank() == 4,
+               "loss_and_grad_batch expects [N, C, H, W], got " +
+                   batch.shape().str());
+  FADEML_CHECK(batch.dim(0) >= 1,
+               "loss_and_grad_batch rejects an empty batch (N == 0)");
+  FADEML_CHECK(objective != nullptr,
+               "loss_and_grad_batch requires an objective");
+  const int64_t n = batch.dim(0);
+  const Tensor routed = route_batch(batch, tm);
+  autograd::Variable x{routed.clone(), /*requires_grad=*/true};
+  const autograd::Variable logits = model_->forward(x);
+  const autograd::Variable rows = objective(logits);
+  FADEML_CHECK(
+      rows.value().rank() == 1 && rows.value().dim(0) == n,
+      "batch objective must produce [N] per-image losses, got shape " +
+          rows.value().shape().str());
+  // Summing the per-image losses seeds every row's backward pass with
+  // exactly 1 — the same seed the scalar single-image objective receives —
+  // which is what keeps the batched gradients bitwise identical to the
+  // per-image path.
+  const autograd::Variable total = autograd::sum(rows);
+  // The model's parameter gradients are a side effect we must not leak
+  // into any concurrent training; clear them after the pass.
+  total.backward();
+  BatchLossGrad result;
+  result.losses.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    result.losses[static_cast<size_t>(i)] = rows.value().at(i);
+  }
+  Tensor grads = x.grad().clone();
+  model_->zero_grad();
+
+  // Chain through the pre-processing stages the perturbation traversed,
+  // image by image via the batched adjoints.
+  switch (tm) {
+    case ThreatModel::kI:
+      break;
+    case ThreatModel::kII: {
+      const Tensor blurred = acquisition_blur_->apply_batch(batch);
+      grads = filter_->vjp_batch(blurred, grads);
+      grads = acquisition_blur_->vjp_batch(batch, grads);
+      break;
+    }
+    case ThreatModel::kIII:
+      grads = filter_->vjp_batch(batch, grads);
+      break;
+  }
+  result.grads = std::move(grads);
+  return result;
+}
+
 LossGrad InferencePipeline::loss_and_grad(const Tensor& image,
                                           const Objective& objective,
                                           ThreatModel tm) const {
   FADEML_CHECK(image.rank() == 3,
                "loss_and_grad expects [C, H, W], got " + image.shape().str());
   FADEML_CHECK(objective != nullptr, "loss_and_grad requires an objective");
-  const Tensor routed = route(image, tm);
   std::vector<int64_t> dims = {1};
-  for (int64_t d : routed.shape().dims()) {
+  for (int64_t d : image.shape().dims()) {
     dims.push_back(d);
   }
-  autograd::Variable x{routed.reshape(Shape{dims}).clone(),
-                       /*requires_grad=*/true};
-  const autograd::Variable logits = model_->forward(x);
-  const autograd::Variable loss = objective(logits);
-  FADEML_CHECK(loss.value().numel() == 1,
-               "objective must produce a scalar, got shape " +
-                   loss.value().shape().str());
-  // The model's parameter gradients are a side effect we must not leak
-  // into any concurrent training; clear them after the pass.
-  loss.backward();
+  // Adapt the scalar objective to the [1]-row contract; reshape keeps the
+  // tape intact, so the backward seed reaching the objective graph is the
+  // same 1 the scalar path used.
+  const BatchObjective row_objective =
+      [&objective](const autograd::Variable& logits) {
+        const autograd::Variable loss = objective(logits);
+        FADEML_CHECK(loss.value().numel() == 1,
+                     "objective must produce a scalar, got shape " +
+                         loss.value().shape().str());
+        return autograd::reshape(loss, Shape{1});
+      };
+  BatchLossGrad batched =
+      loss_and_grad_batch(image.reshape(Shape{dims}), row_objective, tm);
   LossGrad result;
-  result.loss = loss.value().item();
-  Tensor grad = x.grad().reshape(image.shape()).clone();
-  model_->zero_grad();
-
-  // Chain through the pre-processing stages the perturbation traversed.
-  switch (tm) {
-    case ThreatModel::kI:
-      break;
-    case ThreatModel::kII: {
-      const Tensor blurred = acquisition_blur_->apply(image);
-      grad = filter_->vjp(blurred, grad);
-      grad = acquisition_blur_->vjp(image, grad);
-      break;
-    }
-    case ThreatModel::kIII:
-      grad = filter_->vjp(image, grad);
-      break;
-  }
-  result.grad = std::move(grad);
+  result.loss = batched.losses[0];
+  result.grad = batched.grads.reshape(image.shape()).clone();
   return result;
 }
 
@@ -129,15 +211,26 @@ InferencePipeline::Accuracy InferencePipeline::accuracy(
   FADEML_CHECK(images.size() == labels.size(),
                "accuracy: image/label count mismatch");
   FADEML_CHECK(!images.empty(), "accuracy: empty evaluation set");
+  // Evaluate on the batched path in fixed-size chunks; per-image results
+  // are bitwise identical to predict(), so the counts cannot drift.
+  constexpr size_t kEvalBatch = 32;
   int64_t top1 = 0;
   int64_t top5 = 0;
-  for (size_t i = 0; i < images.size(); ++i) {
-    const Prediction p = predict(images[i], tm);
-    if (p.label == labels[i]) {
-      ++top1;
-    }
-    if (std::find(p.top5.begin(), p.top5.end(), labels[i]) != p.top5.end()) {
-      ++top5;
+  for (size_t start = 0; start < images.size(); start += kEvalBatch) {
+    const size_t end = std::min(images.size(), start + kEvalBatch);
+    const std::vector<Tensor> chunk(images.begin() + static_cast<int64_t>(start),
+                                    images.begin() + static_cast<int64_t>(end));
+    const std::vector<Prediction> preds =
+        predict_batch(nn::stack_images(chunk), tm);
+    for (size_t i = start; i < end; ++i) {
+      const Prediction& p = preds[i - start];
+      if (p.label == labels[i]) {
+        ++top1;
+      }
+      if (std::find(p.top5.begin(), p.top5.end(), labels[i]) !=
+          p.top5.end()) {
+        ++top5;
+      }
     }
   }
   Accuracy acc;

@@ -187,6 +187,8 @@ Tensor Filter::vjp(const Tensor& image, const Tensor& grad_output) const {
 Tensor Filter::apply_batch(const Tensor& batch) const {
   FADEML_CHECK(batch.rank() == 4,
                "apply_batch expects [N, C, H, W], got " + batch.shape().str());
+  FADEML_CHECK(batch.dim(0) >= 1,
+               "apply_batch rejects an empty batch (N == 0)");
   const int64_t n = batch.dim(0);
   const int64_t per = batch.dim(1) * batch.dim(2) * batch.dim(3);
   Tensor out{batch.shape()};
@@ -199,6 +201,36 @@ Tensor Filter::apply_batch(const Tensor& batch) const {
                 image.data());
       const Tensor filtered = apply(image);
       std::copy(filtered.data(), filtered.data() + per, out.data() + i * per);
+    }
+  });
+  return out;
+}
+
+Tensor Filter::vjp_batch(const Tensor& images,
+                         const Tensor& grad_outputs) const {
+  FADEML_CHECK(images.rank() == 4,
+               "vjp_batch expects [N, C, H, W] images, got " +
+                   images.shape().str());
+  FADEML_CHECK(images.dim(0) >= 1,
+               "vjp_batch rejects an empty batch (N == 0)");
+  FADEML_CHECK(grad_outputs.shape() == images.shape(),
+               "vjp_batch gradient shape " + grad_outputs.shape().str() +
+                   " does not match image batch shape " +
+                   images.shape().str());
+  const int64_t n = images.dim(0);
+  const Shape chw{images.dim(1), images.dim(2), images.dim(3)};
+  const int64_t per = chw.numel();
+  Tensor out{images.shape()};
+  parallel::parallel_for(0, n, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      Tensor image{chw};
+      Tensor grad{chw};
+      std::copy(images.data() + i * per, images.data() + (i + 1) * per,
+                image.data());
+      std::copy(grad_outputs.data() + i * per,
+                grad_outputs.data() + (i + 1) * per, grad.data());
+      const Tensor gi = vjp(image, grad);
+      std::copy(gi.data(), gi.data() + per, out.data() + i * per);
     }
   });
   return out;

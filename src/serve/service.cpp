@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "fademl/io/failpoint.hpp"
+#include "fademl/nn/trainer.hpp"
 #include "fademl/parallel/parallel.hpp"
 #include "fademl/tensor/error.hpp"
 
@@ -30,6 +31,10 @@ InferenceService::InferenceService(
       stats_(config_.latency_window) {
   FADEML_CHECK(!pipelines_.empty(),
                "InferenceService requires at least one pipeline replica");
+  FADEML_CHECK(config_.max_batch >= 1,
+               "ServiceConfig::max_batch must be >= 1");
+  FADEML_CHECK(config_.max_batch <= 1 || config_.batch_window.count() >= 0,
+               "ServiceConfig::batch_window must be non-negative");
   for (const auto& p : pipelines_) {
     FADEML_CHECK(p != nullptr, "InferenceService rejects null replicas");
   }
@@ -119,8 +124,40 @@ InferenceResult InferenceService::classify(const Tensor& image) {
 }
 
 void InferenceService::worker_loop(size_t worker_index) {
-  while (auto request = queue_.pop()) {
-    process(worker_index, **request);
+  if (config_.max_batch <= 1) {
+    while (auto request = queue_.pop()) {
+      process(worker_index, **request);
+    }
+    return;
+  }
+  // Micro-batching: block for the first request, then gather more within
+  // the batch window. The gather deadline shrinks to the earliest deadline
+  // of a request already in hand — coalescing must never expire the very
+  // requests it is coalescing.
+  while (auto first = queue_.pop()) {
+    std::vector<RequestPtr> batch;
+    batch.push_back(std::move(*first));
+    const Clock::time_point window_end = Clock::now() + config_.batch_window;
+    while (batch.size() < config_.max_batch) {
+      Clock::time_point until = window_end;
+      for (const RequestPtr& r : batch) {
+        if (r->deadline != Clock::time_point::max()) {
+          // Stop a full window before the earliest in-hand deadline so the
+          // request still has headroom to run — gathering must not spend
+          // the very slack the deadline granted.
+          until = std::min(until, r->deadline - config_.batch_window);
+        }
+      }
+      if (Clock::now() >= until) {
+        break;
+      }
+      auto next = queue_.pop_until(until);
+      if (!next) {
+        break;  // window elapsed (or queue closed and drained)
+      }
+      batch.push_back(std::move(*next));
+    }
+    process_batch(worker_index, batch);
   }
 }
 
@@ -142,6 +179,12 @@ void InferenceService::process(size_t worker_index, Request& request) {
   // request, trade filter quality for throughput.
   const bool degraded = config_.degrade_queue_depth > 0 &&
                         queue_.depth() >= config_.degrade_queue_depth;
+  run_request(worker_index, request, degraded, dequeued_at);
+}
+
+void InferenceService::run_request(size_t worker_index, Request& request,
+                                   bool degraded,
+                                   Clock::time_point dequeued_at) {
   core::InferencePipeline& pipeline = degraded
                                           ? *degraded_pipelines_[worker_index]
                                           : *pipelines_[worker_index];
@@ -175,6 +218,110 @@ void InferenceService::process(size_t worker_index, Request& request) {
     stats_.on_worker_failure();
     breaker_.record_failure();
     request.promise.set_exception(std::current_exception());
+  }
+}
+
+void InferenceService::process_batch(size_t worker_index,
+                                     std::vector<RequestPtr>& batch) {
+  const Clock::time_point dequeued_at = Clock::now();
+  // Requests that expired during the gather are failed exactly like
+  // expired-while-queued singles — they never consume pipeline time and
+  // never count against the worker's health.
+  std::vector<RequestPtr> live;
+  live.reserve(batch.size());
+  for (RequestPtr& r : batch) {
+    if (dequeued_at > r->deadline) {
+      stats_.on_timed_out();
+      breaker_.record_abandoned();
+      r->promise.set_exception(
+          std::make_exception_ptr(DeadlineExceededError(
+              "deadline exceeded after " +
+              std::to_string(ms_between(r->submitted_at, dequeued_at)) +
+              " ms in queue (never run)")));
+    } else {
+      live.push_back(std::move(r));
+    }
+  }
+  if (live.empty()) {
+    return;
+  }
+  stats_.on_batch(live.size());
+  if (live.size() == 1) {
+    process(worker_index, *live[0]);
+    return;
+  }
+
+  // One degradation decision per batch — the cohort went through the
+  // pipeline together, so it reports one consistent filter provenance.
+  const bool degraded = config_.degrade_queue_depth > 0 &&
+                        queue_.depth() >= config_.degrade_queue_depth;
+  core::InferencePipeline& pipeline = degraded
+                                          ? *degraded_pipelines_[worker_index]
+                                          : *pipelines_[worker_index];
+
+  // predict_batch needs a rectangular [N, C, H, W] cohort; admission does
+  // not pin image sizes, so group by shape and batch within each group.
+  std::vector<std::vector<size_t>> groups;
+  for (size_t i = 0; i < live.size(); ++i) {
+    bool placed = false;
+    for (std::vector<size_t>& g : groups) {
+      if (live[g[0]]->image.shape() == live[i]->image.shape()) {
+        g.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      groups.push_back({i});
+    }
+  }
+
+  for (const std::vector<size_t>& group : groups) {
+    if (group.size() == 1) {
+      run_request(worker_index, *live[group[0]], degraded, dequeued_at);
+      continue;
+    }
+    try {
+      io::FaultInjector::instance().on_compute();
+      std::vector<Tensor> images;
+      images.reserve(group.size());
+      for (size_t i : group) {
+        images.push_back(live[i]->image);
+      }
+      const std::vector<core::Prediction> preds = pipeline.predict_batch(
+          nn::stack_images(images), config_.threat_model);
+      const Clock::time_point done_at = Clock::now();
+      for (size_t j = 0; j < group.size(); ++j) {
+        Request& request = *live[group[j]];
+        if (done_at > request.deadline) {
+          stats_.on_timed_out();
+          breaker_.record_success();
+          request.promise.set_exception(
+              std::make_exception_ptr(DeadlineExceededError(
+                  "deadline exceeded: inference finished after " +
+                  std::to_string(ms_between(request.submitted_at, done_at)) +
+                  " ms; result abandoned")));
+          continue;
+        }
+        InferenceResult result;
+        result.prediction = preds[j];
+        result.degraded = degraded;
+        result.filter = pipeline.filter().name();
+        result.queue_ms = ms_between(request.submitted_at, dequeued_at);
+        result.infer_ms = ms_between(dequeued_at, done_at);
+        result.total_ms = ms_between(request.submitted_at, done_at);
+        stats_.on_completed(result.total_ms, degraded);
+        breaker_.record_success();
+        request.promise.set_value(std::move(result));
+      }
+    } catch (...) {
+      // Per-request failure isolation: a fault during the shared batched
+      // evaluation must not fail innocent neighbors. Re-run the group's
+      // requests individually; each records its own success or failure.
+      for (size_t i : group) {
+        run_request(worker_index, *live[i], degraded, dequeued_at);
+      }
+    }
   }
 }
 

@@ -30,6 +30,17 @@ void StatsCollector::on_completed(double latency_ms, bool degraded) {
   }
 }
 
+void StatsCollector::on_batch(size_t occupancy) {
+  FADEML_CHECK(occupancy >= 1, "on_batch requires occupancy >= 1");
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counts_.batches;
+  occupancy_total_ += static_cast<int64_t>(occupancy);
+  if (occupancy_histogram_.size() < occupancy) {
+    occupancy_histogram_.resize(occupancy, 0);
+  }
+  ++occupancy_histogram_[occupancy - 1];
+}
+
 void StatsCollector::on_shed() {
   std::lock_guard<std::mutex> lock(mutex_);
   ++counts_.shed;
@@ -62,6 +73,11 @@ ServiceStats StatsCollector::snapshot() const {
   out.p50_ms = percentile(latencies_, 0.50);
   out.p95_ms = percentile(latencies_, 0.95);
   out.p99_ms = percentile(latencies_, 0.99);
+  out.batch_occupancy = occupancy_histogram_;
+  out.mean_batch_occupancy =
+      counts_.batches == 0 ? 0.0
+                           : static_cast<double>(occupancy_total_) /
+                                 static_cast<double>(counts_.batches);
   return out;
 }
 

@@ -1,0 +1,393 @@
+// Differential tests for the batch-first evaluation path: every batched
+// pipeline primitive and every batched attack must be *bitwise* identical,
+// row for row, to the single-image path — at every thread count. This is
+// the contract that lets the benches and the serving layer batch freely
+// without perturbing any published number.
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fademl/attacks/batch.hpp"
+#include "fademl/attacks/fademl_attack.hpp"
+#include "fademl/autograd/ops.hpp"
+#include "fademl/core/pipeline.hpp"
+#include "fademl/nn/trainer.hpp"
+#include "fademl/parallel/parallel.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+#include "reference_kernels.hpp"
+#include "test_fixtures.hpp"
+
+namespace fademl {
+namespace {
+
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int n) { parallel::set_num_threads(n); }
+  ~ThreadGuard() { parallel::set_num_threads(0); }
+};
+
+const std::vector<int>& thread_sweep() {
+  static const std::vector<int> kThreads = {1, 2, 7};
+  return kThreads;
+}
+
+const std::vector<int64_t>& batch_sweep() {
+  static const std::vector<int64_t> kSizes = {1, 2, 7};
+  return kSizes;
+}
+
+const std::vector<core::ThreatModel>& all_tms() {
+  static const std::vector<core::ThreatModel> kTms = {
+      core::ThreatModel::kI, core::ThreatModel::kII, core::ThreatModel::kIII};
+  return kTms;
+}
+
+/// First `n` training images of the shared tiny world (distinct classes
+/// are interleaved, so cohorts are heterogeneous).
+std::vector<Tensor> cohort(int64_t n) {
+  const auto& world = fademl::testing::tiny_world();
+  std::vector<Tensor> images;
+  for (int64_t i = 0; i < n; ++i) {
+    images.push_back(world.train_images[static_cast<size_t>(i)]);
+  }
+  return images;
+}
+
+std::vector<int64_t> cohort_labels(int64_t n) {
+  const auto& world = fademl::testing::tiny_world();
+  return {world.train_labels.begin(), world.train_labels.begin() + n};
+}
+
+/// A target class different from each image's own label.
+std::vector<int64_t> cohort_targets(int64_t n) {
+  const auto& world = fademl::testing::tiny_world();
+  std::vector<int64_t> targets;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t label = world.train_labels[static_cast<size_t>(i)];
+    targets.push_back(label == world.classes[0] ? world.classes[1]
+                                                : world.classes[0]);
+  }
+  return targets;
+}
+
+void expect_result_bitwise(const attacks::AttackResult& batched,
+                           const attacks::AttackResult& single,
+                           const std::string& context) {
+  EXPECT_TRUE(testing::bitwise_equal(batched.adversarial, single.adversarial))
+      << context << ": adversarial differs";
+  EXPECT_TRUE(testing::bitwise_equal(batched.noise, single.noise))
+      << context << ": noise differs";
+  EXPECT_EQ(batched.iterations, single.iterations) << context;
+  ASSERT_EQ(batched.loss_history.size(), single.loss_history.size())
+      << context;
+  for (size_t k = 0; k < batched.loss_history.size(); ++k) {
+    EXPECT_EQ(std::memcmp(&batched.loss_history[k], &single.loss_history[k],
+                          sizeof(float)),
+              0)
+        << context << ": loss_history[" << k << "]";
+  }
+  EXPECT_EQ(std::memcmp(&batched.linf, &single.linf, sizeof(float)), 0)
+      << context;
+  EXPECT_EQ(std::memcmp(&batched.l2, &single.l2, sizeof(float)), 0)
+      << context;
+}
+
+// ---- batched pipeline primitives -------------------------------------------
+
+TEST(BatchPipeline, PredictProbsBatchBitwiseMatchesPerImage) {
+  const auto pipeline = fademl::testing::tiny_pipeline(filters::make_lap(8));
+  for (int threads : thread_sweep()) {
+    ThreadGuard guard(threads);
+    for (int64_t n : batch_sweep()) {
+      const std::vector<Tensor> images = cohort(n);
+      const Tensor batch = nn::stack_images(images);
+      for (core::ThreatModel tm : all_tms()) {
+        const Tensor probs = pipeline.predict_probs_batch(batch, tm);
+        ASSERT_EQ(probs.dim(0), n);
+        for (int64_t i = 0; i < n; ++i) {
+          const Tensor single = pipeline.predict_probs(images[i], tm);
+          ASSERT_EQ(single.numel(), probs.dim(1));
+          EXPECT_EQ(std::memcmp(probs.data() + i * probs.dim(1),
+                                single.data(),
+                                sizeof(float) * single.numel()),
+                    0)
+              << "threads=" << threads << " n=" << n << " row=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchPipeline, LossAndGradBatchBitwiseMatchesPerImage) {
+  const auto pipeline = fademl::testing::tiny_pipeline(filters::make_lar(2));
+  for (int threads : thread_sweep()) {
+    ThreadGuard guard(threads);
+    for (int64_t n : batch_sweep()) {
+      const std::vector<Tensor> images = cohort(n);
+      const std::vector<int64_t> targets = cohort_targets(n);
+      const Tensor batch = nn::stack_images(images);
+      for (core::ThreatModel tm : all_tms()) {
+        const core::BatchLossGrad lg = pipeline.loss_and_grad_batch(
+            batch, attacks::batch_targeted_cross_entropy(targets), tm);
+        ASSERT_EQ(lg.losses.size(), static_cast<size_t>(n));
+        ASSERT_EQ(lg.grads.dim(0), n);
+        const int64_t stride = lg.grads.numel() / n;
+        for (int64_t i = 0; i < n; ++i) {
+          const core::LossGrad single = pipeline.loss_and_grad(
+              images[i], attacks::targeted_cross_entropy(targets[i]), tm);
+          EXPECT_EQ(std::memcmp(&lg.losses[static_cast<size_t>(i)],
+                                &single.loss, sizeof(float)),
+                    0)
+              << "threads=" << threads << " n=" << n << " row=" << i;
+          EXPECT_EQ(std::memcmp(lg.grads.data() + i * stride,
+                                single.grad.data(),
+                                sizeof(float) * stride),
+                    0)
+              << "threads=" << threads << " n=" << n << " row=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchPipeline, PredictBatchMatchesPredictPerImage) {
+  const auto pipeline = fademl::testing::tiny_pipeline(filters::make_lap(4));
+  const int64_t n = 7;
+  const std::vector<Tensor> images = cohort(n);
+  const std::vector<core::Prediction> preds = pipeline.predict_batch(
+      nn::stack_images(images), core::ThreatModel::kIII);
+  ASSERT_EQ(preds.size(), static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const core::Prediction single =
+        pipeline.predict(images[i], core::ThreatModel::kIII);
+    EXPECT_EQ(preds[static_cast<size_t>(i)].label, single.label);
+    EXPECT_EQ(preds[static_cast<size_t>(i)].confidence, single.confidence);
+    EXPECT_EQ(preds[static_cast<size_t>(i)].top5, single.top5);
+    EXPECT_TRUE(testing::bitwise_equal(preds[static_cast<size_t>(i)].probs,
+                                       single.probs));
+  }
+}
+
+TEST(BatchPipeline, WeightedObjectivesBitwiseMatchRowwise) {
+  const auto pipeline = fademl::testing::tiny_pipeline(filters::make_lap(8));
+  const int64_t n = 3;
+  const std::vector<Tensor> images = cohort(n);
+  const Tensor batch = nn::stack_images(images);
+  const Tensor probs = pipeline.predict_probs_batch(batch,
+                                                    core::ThreatModel::kI);
+  const int64_t classes = probs.dim(1);
+  Tensor weights{Shape{n, classes}};
+  for (int64_t i = 0; i < weights.numel(); ++i) {
+    weights.data()[i] = 0.01f * static_cast<float>(i % 13) - 0.05f;
+  }
+  const core::BatchLossGrad lg = pipeline.loss_and_grad_batch(
+      batch, attacks::batch_weighted_probability(weights),
+      core::ThreatModel::kIII);
+  const int64_t stride = lg.grads.numel() / n;
+  for (int64_t i = 0; i < n; ++i) {
+    Tensor row{Shape{1, classes}};
+    std::memcpy(row.data(), weights.data() + i * classes,
+                sizeof(float) * classes);
+    const core::LossGrad single = pipeline.loss_and_grad(
+        images[i], attacks::weighted_probability(row),
+        core::ThreatModel::kIII);
+    EXPECT_EQ(lg.losses[static_cast<size_t>(i)], single.loss) << i;
+    EXPECT_EQ(std::memcmp(lg.grads.data() + i * stride, single.grad.data(),
+                          sizeof(float) * stride),
+              0)
+        << i;
+  }
+}
+
+// ---- typed errors -----------------------------------------------------------
+
+TEST(BatchPipeline, RejectsEmptyAndMalformedBatches) {
+  const auto pipeline = fademl::testing::tiny_pipeline(filters::make_lap(8));
+  const Tensor empty{Shape{0, 3, 16, 16}};
+  EXPECT_THROW(pipeline.route_batch(empty, core::ThreatModel::kIII),
+               fademl::Error);
+  EXPECT_THROW((void)pipeline.predict_probs_batch(empty,
+                                                  core::ThreatModel::kI),
+               fademl::Error);
+  EXPECT_THROW(
+      (void)pipeline.loss_and_grad_batch(
+          empty, attacks::batch_targeted_cross_entropy({}),
+          core::ThreatModel::kI),
+      fademl::Error);
+  // Rank mismatch (a single image is not a batch).
+  const Tensor image = cohort(1)[0];
+  EXPECT_THROW(pipeline.route_batch(image, core::ThreatModel::kI),
+               fademl::Error);
+  // Objective returning the wrong shape is a typed error, not a crash.
+  const Tensor batch = nn::stack_images(cohort(2));
+  const core::BatchObjective bad = [](const autograd::Variable& logits) {
+    return autograd::sum(logits);  // scalar, not [N]
+  };
+  EXPECT_THROW(
+      (void)pipeline.loss_and_grad_batch(batch, bad, core::ThreatModel::kI),
+      fademl::Error);
+}
+
+TEST(BatchPipeline, AccuracyFailsLoudlyOnBadInputs) {
+  const auto pipeline = fademl::testing::tiny_pipeline(filters::make_lap(8));
+  const std::vector<Tensor> images = cohort(3);
+  EXPECT_THROW((void)pipeline.accuracy({}, {}, core::ThreatModel::kIII),
+               fademl::Error);
+  EXPECT_THROW((void)pipeline.accuracy(images, {1, 2},
+                                       core::ThreatModel::kIII),
+               fademl::Error);
+}
+
+TEST(BatchPipeline, AccuracyMatchesPerImageLoop) {
+  const auto pipeline = fademl::testing::tiny_pipeline(filters::make_lap(8));
+  // 40 images spans two evaluation chunks of the batched path.
+  const int64_t n = 40;
+  const std::vector<Tensor> images = cohort(n);
+  const std::vector<int64_t> labels = cohort_labels(n);
+  const auto acc = pipeline.accuracy(images, labels, core::ThreatModel::kIII);
+  int64_t top1 = 0;
+  int64_t top5 = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const core::Prediction p =
+        pipeline.predict(images[i], core::ThreatModel::kIII);
+    top1 += p.label == labels[i] ? 1 : 0;
+    top5 += std::find(p.top5.begin(), p.top5.end(), labels[i]) != p.top5.end()
+                ? 1
+                : 0;
+  }
+  EXPECT_EQ(acc.top1, static_cast<double>(top1) / static_cast<double>(n));
+  EXPECT_EQ(acc.top5, static_cast<double>(top5) / static_cast<double>(n));
+}
+
+// ---- cohort attacks ---------------------------------------------------------
+
+TEST(BatchAttacks, RejectsBadCohorts) {
+  const auto pipeline = fademl::testing::tiny_pipeline(filters::make_lap(8));
+  const attacks::BatchAttack attack(attacks::AttackKind::kFgsm);
+  EXPECT_THROW((void)attack.run(pipeline, {}, {}), fademl::Error);
+  EXPECT_THROW((void)attack.run(pipeline, cohort(2), {14}), fademl::Error);
+}
+
+TEST(BatchAttacks, FgsmBitwiseMatchesSingleImage) {
+  const auto pipeline = fademl::testing::tiny_pipeline(filters::make_lap(8));
+  attacks::AttackConfig config;
+  config.fgsm_epsilon_search = true;
+  const int64_t n = 7;
+  const std::vector<Tensor> sources = cohort(n);
+  const std::vector<int64_t> targets = cohort_targets(n);
+  const auto single = attacks::make_attack(attacks::AttackKind::kFgsm,
+                                           config);
+  const attacks::BatchAttack batched(attacks::AttackKind::kFgsm, config);
+  for (int threads : thread_sweep()) {
+    ThreadGuard guard(threads);
+    const std::vector<attacks::AttackResult> results =
+        batched.run(pipeline, sources, targets);
+    ASSERT_EQ(results.size(), static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      const attacks::AttackResult ref =
+          single->run(pipeline, sources[i], targets[i]);
+      expect_result_bitwise(results[static_cast<size_t>(i)], ref,
+                            "fgsm threads=" + std::to_string(threads) +
+                                " i=" + std::to_string(i));
+    }
+  }
+}
+
+TEST(BatchAttacks, BimBitwiseMatchesSingleImage) {
+  const auto pipeline = fademl::testing::tiny_pipeline(filters::make_lar(1));
+  attacks::AttackConfig config;
+  config.max_iterations = 8;
+  config.target_confidence = 0.6f;  // exercises per-image early stop
+  const int64_t n = 7;
+  const std::vector<Tensor> sources = cohort(n);
+  const std::vector<int64_t> targets = cohort_targets(n);
+  const auto single = attacks::make_attack(attacks::AttackKind::kBim, config);
+  const attacks::BatchAttack batched(attacks::AttackKind::kBim, config);
+  for (int threads : thread_sweep()) {
+    ThreadGuard guard(threads);
+    const std::vector<attacks::AttackResult> results =
+        batched.run(pipeline, sources, targets);
+    for (int64_t i = 0; i < n; ++i) {
+      const attacks::AttackResult ref =
+          single->run(pipeline, sources[i], targets[i]);
+      expect_result_bitwise(results[static_cast<size_t>(i)], ref,
+                            "bim threads=" + std::to_string(threads) +
+                                " i=" + std::to_string(i));
+    }
+  }
+}
+
+TEST(BatchAttacks, LbfgsBitwiseMatchesSingleImage) {
+  const auto pipeline = fademl::testing::tiny_pipeline(filters::make_lap(4));
+  attacks::AttackConfig config;
+  config.max_iterations = 6;
+  config.target_confidence = 0.5f;
+  const int64_t n = 7;
+  const std::vector<Tensor> sources = cohort(n);
+  const std::vector<int64_t> targets = cohort_targets(n);
+  const attacks::LbfgsAttack single(config);
+  const attacks::BatchAttack batched(attacks::AttackKind::kLbfgs, config);
+  for (int threads : thread_sweep()) {
+    ThreadGuard guard(threads);
+    const std::vector<attacks::AttackResult> results =
+        batched.run(pipeline, sources, targets);
+    for (int64_t i = 0; i < n; ++i) {
+      const attacks::AttackResult ref =
+          single.run(pipeline, sources[i], targets[i]);
+      expect_result_bitwise(results[static_cast<size_t>(i)], ref,
+                            "lbfgs threads=" + std::to_string(threads) +
+                                " i=" + std::to_string(i));
+    }
+  }
+}
+
+TEST(BatchAttacks, FilterAwareMatchesFademlAttack) {
+  const auto pipeline = fademl::testing::tiny_pipeline(filters::make_lap(8));
+  attacks::AttackConfig config;
+  config.max_iterations = 5;
+  const int64_t n = 4;
+  const std::vector<Tensor> sources = cohort(n);
+  const std::vector<int64_t> targets = cohort_targets(n);
+  const attacks::FAdeMLAttack single(attacks::AttackKind::kBim, config);
+  const attacks::BatchAttack batched(attacks::AttackKind::kBim, config,
+                                     /*filter_aware=*/true);
+  EXPECT_EQ(batched.name(), single.name());
+  const std::vector<attacks::AttackResult> results =
+      batched.run(pipeline, sources, targets);
+  ASSERT_EQ(batched.eq2_costs().size(), static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const attacks::AttackResult ref =
+        single.run(pipeline, sources[i], targets[i]);
+    expect_result_bitwise(results[static_cast<size_t>(i)], ref,
+                          "fademl i=" + std::to_string(i));
+    ASSERT_EQ(single.eq2_history().size(), 1u);
+    EXPECT_EQ(batched.eq2_costs()[static_cast<size_t>(i)],
+              single.eq2_history()[0])
+        << i;
+  }
+}
+
+TEST(BatchAttacks, CwFallbackMatchesSingleImage) {
+  const auto pipeline = fademl::testing::tiny_pipeline(filters::make_lap(8));
+  attacks::AttackConfig config;
+  config.max_iterations = 4;
+  const int64_t n = 2;
+  const std::vector<Tensor> sources = cohort(n);
+  const std::vector<int64_t> targets = cohort_targets(n);
+  const auto single = attacks::make_attack(attacks::AttackKind::kCw, config);
+  const attacks::BatchAttack batched(attacks::AttackKind::kCw, config);
+  const std::vector<attacks::AttackResult> results =
+      batched.run(pipeline, sources, targets);
+  for (int64_t i = 0; i < n; ++i) {
+    const attacks::AttackResult ref =
+        single->run(pipeline, sources[i], targets[i]);
+    expect_result_bitwise(results[static_cast<size_t>(i)], ref,
+                          "cw i=" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace fademl

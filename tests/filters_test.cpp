@@ -1,8 +1,12 @@
 #include "fademl/filters/filter.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
+
+#include "fademl/filters/extra.hpp"
 
 #include "fademl/parallel/parallel.hpp"
 #include "fademl/tensor/error.hpp"
@@ -375,6 +379,87 @@ TEST(ThreadSweep, DegenerateOnePixelImage) {
       }
     }
   }
+}
+
+// ---- batched forward/adjoint differential sweep ----------------------------
+
+/// Every registered filter: the paper's full sweep (NoFilter, LAP(4..64),
+/// LAR(1..5)), the ablation filters, the extras, and a chain.
+std::vector<FilterPtr> every_registered_filter() {
+  std::vector<FilterPtr> all = paper_filter_sweep();
+  all.push_back(make_gaussian(0.8f));
+  all.push_back(make_median(1));
+  all.push_back(make_grayscale());
+  all.push_back(make_normalize());
+  all.push_back(make_histeq());
+  all.push_back(make_bit_depth(5));
+  all.push_back(make_bilateral(1.5f, 0.2f));
+  all.push_back(make_shuffle(7));
+  all.push_back(parse_filter("grayscale+lap8"));
+  return all;
+}
+
+Tensor stack3(const std::vector<Tensor>& images) {
+  const Shape chw = images.front().shape();
+  Tensor batch{Shape{static_cast<int64_t>(images.size()), chw.dim(0),
+                     chw.dim(1), chw.dim(2)}};
+  const int64_t stride = chw.numel();
+  for (size_t i = 0; i < images.size(); ++i) {
+    std::copy(images[i].data(), images[i].data() + stride,
+              batch.data() + static_cast<int64_t>(i) * stride);
+  }
+  return batch;
+}
+
+TEST(BatchDifferential, ApplyAndVjpBatchBitwiseMatchPerImageForEveryFilter) {
+  for (int threads : {1, 2, 7}) {
+    ThreadGuard guard(threads);
+    for (const FilterPtr& f : every_registered_filter()) {
+      for (int64_t n : {int64_t{1}, int64_t{3}}) {
+        std::vector<Tensor> images;
+        std::vector<Tensor> grads;
+        for (int64_t i = 0; i < n; ++i) {
+          images.push_back(random_image(100 + static_cast<uint64_t>(i)));
+          grads.push_back(random_image(200 + static_cast<uint64_t>(i)));
+        }
+        const Tensor batch = stack3(images);
+        const Tensor gbatch = stack3(grads);
+        const Tensor out = f->apply_batch(batch);
+        const Tensor gout = f->vjp_batch(batch, gbatch);
+        ASSERT_EQ(out.shape(), batch.shape()) << f->name();
+        ASSERT_EQ(gout.shape(), batch.shape()) << f->name();
+        const int64_t stride = images.front().numel();
+        for (int64_t i = 0; i < n; ++i) {
+          const Tensor single = f->apply(images[static_cast<size_t>(i)]);
+          const Tensor gsingle = f->vjp(images[static_cast<size_t>(i)],
+                                        grads[static_cast<size_t>(i)]);
+          EXPECT_EQ(std::memcmp(out.data() + i * stride, single.data(),
+                                sizeof(float) * stride),
+                    0)
+              << f->name() << " apply_batch row " << i << " at " << threads
+              << " threads, n=" << n;
+          EXPECT_EQ(std::memcmp(gout.data() + i * stride, gsingle.data(),
+                                sizeof(float) * stride),
+                    0)
+              << f->name() << " vjp_batch row " << i << " at " << threads
+              << " threads, n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchDifferential, EmptyAndMalformedBatchesAreTypedErrors) {
+  const LapFilter f(8);
+  const Tensor empty{Shape{0, 3, 4, 4}};
+  EXPECT_THROW((void)f.apply_batch(empty), Error);
+  EXPECT_THROW((void)f.vjp_batch(empty, empty), Error);
+  // Rank and shape mismatches.
+  const Tensor batch = Tensor::ones(Shape{2, 3, 4, 4});
+  EXPECT_THROW((void)f.vjp_batch(batch, Tensor::ones(Shape{2, 3, 4, 5})),
+               Error);
+  EXPECT_THROW((void)f.vjp_batch(Tensor::ones(Shape{3, 4, 4}), batch),
+               Error);
 }
 
 }  // namespace

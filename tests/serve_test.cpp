@@ -548,5 +548,172 @@ TEST_F(ServeTest, DegradedAndPrimaryPipelinesAgreeOnShape) {
   EXPECT_NEAR(sum, 1.0f, 1e-4f);
 }
 
+// ---- micro-batching --------------------------------------------------------
+
+TEST(BoundedQueue, PopUntilTimesOutAndDelivers) {
+  BoundedQueue<int> q(4);
+  // Nothing queued: pop_until returns nullopt once the deadline passes.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_until(t0 + milliseconds(10)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now(), t0 + milliseconds(10));
+  // Queued item: delivered immediately, FIFO order preserved.
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  auto a = q.pop_until(std::chrono::steady_clock::now() + milliseconds(100));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 1);
+  // Closed and drained: nullopt without waiting for the deadline.
+  q.close();
+  auto b = q.pop_until(std::chrono::steady_clock::now() + milliseconds(100));
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, 2);
+  EXPECT_FALSE(
+      q.pop_until(std::chrono::steady_clock::now() + std::chrono::hours(1))
+          .has_value());
+}
+
+TEST_F(ServeTest, MicroBatchingCoalescesAndMatchesPerRequest) {
+  ServiceConfig config = base_config();
+  config.max_batch = 4;
+  config.batch_window = milliseconds(500);
+  InferenceService service(make_replicas(1), config);
+
+  // Reference predictions from an identical standalone pipeline: batched
+  // serving must be invisible in the results (predict_batch rows are
+  // bitwise identical to per-image predicts).
+  const auto reference = make_replica();
+  reference->model().set_training(false);
+
+  std::vector<Tensor> images;
+  std::vector<std::future<InferenceResult>> futures;
+  for (uint64_t i = 0; i < 4; ++i) {
+    images.push_back(valid_image(i));
+  }
+  for (const Tensor& image : images) {
+    futures.push_back(service.submit(image.clone()));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const InferenceResult r = futures[i].get();
+    const core::Prediction expected =
+        reference->predict(images[i], core::ThreatModel::kIII);
+    EXPECT_EQ(r.prediction.label, expected.label);
+    EXPECT_EQ(r.prediction.confidence, expected.confidence);
+    EXPECT_EQ(r.filter, "LAP(4)");
+    EXPECT_FALSE(r.degraded);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 4);
+  ASSERT_GE(stats.batches, 1);
+  EXPECT_LE(stats.batches, 4);
+  // Histogram accounts for every live request exactly once.
+  int64_t weighted = 0;
+  for (size_t i = 0; i < stats.batch_occupancy.size(); ++i) {
+    weighted += stats.batch_occupancy[i] * static_cast<int64_t>(i + 1);
+  }
+  EXPECT_EQ(weighted, 4);
+  EXPECT_GE(stats.mean_batch_occupancy, 1.0);
+}
+
+TEST_F(ServeTest, GatherNeverOutlivesAnInHandDeadline) {
+  // A lone request with a tight deadline must be served promptly even
+  // though the batch window is far longer: the gather deadline shrinks to
+  // the earliest deadline in hand.
+  ServiceConfig config = base_config();
+  config.max_batch = 8;
+  config.batch_window = milliseconds(2000);
+  InferenceService service(make_replicas(1), config);
+  auto future = service.submit(valid_image(), milliseconds(500));
+  const InferenceResult r = future.get();  // would throw if expired
+  EXPECT_EQ(r.prediction.probs.numel(), 4);
+  EXPECT_EQ(service.stats().timed_out, 0);
+}
+
+TEST_F(ServeTest, ExpiredRequestIsDroppedFromGatherNotBatch) {
+  // r1 holds the worker; r2's deadline expires while it waits in the
+  // queue; r3 is healthy. The gathered {r2, r3} round must fail r2 unrun
+  // and still serve r3.
+  ServiceConfig config = base_config();
+  config.max_batch = 2;
+  config.batch_window = milliseconds(5);
+  InferenceService service(make_replicas(1), config);
+  io::FaultInjector::instance().arm("slow-worker:150");
+  auto r1 = service.submit(valid_image(1));
+  ASSERT_TRUE(eventually(
+      [&] { return io::FaultInjector::instance().computes_seen() >= 1; }));
+  auto r2 = service.submit(valid_image(2), milliseconds(30));
+  auto r3 = service.submit(valid_image(3));
+  EXPECT_NO_THROW(r1.get());
+  EXPECT_THROW(r2.get(), DeadlineExceededError);
+  EXPECT_NO_THROW(r3.get());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.timed_out, 1);
+  EXPECT_EQ(stats.completed, 2);
+}
+
+TEST_F(ServeTest, BatchedFaultFallsBackToPerRequestIsolation) {
+  // worker-throw fires during the shared batched evaluation; the fallback
+  // reruns each request individually, so neither caller sees the fault
+  // and no worker failure is recorded against innocent requests.
+  ServiceConfig config = base_config();
+  config.max_batch = 2;
+  config.batch_window = milliseconds(500);
+  InferenceService service(make_replicas(1), config);
+  io::FaultInjector::instance().arm("worker-throw:1");
+  auto a = service.submit(valid_image(1));
+  auto b = service.submit(valid_image(2));
+  EXPECT_NO_THROW(a.get());
+  EXPECT_NO_THROW(b.get());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.worker_failures, 0);
+  EXPECT_EQ(stats.breaker_state, "closed");
+}
+
+TEST_F(ServeTest, BacklogDegradesWholeBatches) {
+  // Micro-batching composes with graceful degradation: a batch formed
+  // while a backlog waits behind it degrades as one unit and reports the
+  // fallback filter's provenance on every member.
+  ServiceConfig config = base_config();
+  config.max_batch = 2;
+  config.batch_window = milliseconds(2);
+  config.degrade_queue_depth = 2;
+  config.queue_capacity = 64;
+  InferenceService service(make_replicas(1), config);
+  io::FaultInjector::instance().arm("slow-worker:100");
+  std::vector<std::future<InferenceResult>> futures;
+  for (uint64_t i = 0; i < 10; ++i) {
+    futures.push_back(service.submit(valid_image(i)));
+  }
+  int64_t degraded = 0;
+  for (auto& f : futures) {
+    const InferenceResult r = f.get();
+    if (r.degraded) {
+      EXPECT_EQ(r.filter, "NoFilter");
+      ++degraded;
+    } else {
+      EXPECT_EQ(r.filter, "LAP(4)");
+    }
+  }
+  EXPECT_GE(degraded, 1);
+  EXPECT_EQ(service.stats().degraded, degraded);
+}
+
+TEST_F(ServeTest, ShutdownDrainsGatheredBatches) {
+  // Requests admitted before shutdown complete even when they are sitting
+  // in a worker's gather when close() lands.
+  ServiceConfig config = base_config();
+  config.max_batch = 8;
+  config.batch_window = milliseconds(300);
+  auto service = std::make_unique<InferenceService>(make_replicas(1), config);
+  std::vector<std::future<InferenceResult>> futures;
+  for (uint64_t i = 0; i < 3; ++i) {
+    futures.push_back(service->submit(valid_image(i)));
+  }
+  service->shutdown();
+  for (auto& f : futures) {
+    EXPECT_NO_THROW(f.get());
+  }
+}
+
 }  // namespace
 }  // namespace fademl::serve

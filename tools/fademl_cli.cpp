@@ -11,8 +11,10 @@
 //   fademl serve-batch --dir imgs      classify every PPM in a directory
 //                  [--filter lap32] [--workers 2] [--deadline-ms 0]
 //                  [--queue 64] [--policy block|shed]
+//                  [--max-batch 8] [--batch-window-ms 2]
 //                  through the hardened concurrent inference service,
-//                  with per-image failure isolation
+//                  with micro-batched workers and per-image failure
+//                  isolation
 //
 // Exit codes (documented in README "Exit codes"):
 //   0  success
@@ -232,6 +234,13 @@ int cmd_serve_batch(const io::ArgParser& args) {
                                             : serve::OverloadPolicy::kBlock;
   config.default_deadline =
       std::chrono::milliseconds(args.get_int("deadline-ms", 0));
+  const int64_t max_batch = args.get_int("max-batch", 8);
+  if (max_batch < 1) {
+    throw UsageError("serve-batch: --max-batch must be >= 1");
+  }
+  config.max_batch = static_cast<size_t>(max_batch);
+  config.batch_window =
+      std::chrono::milliseconds(args.get_int("batch-window-ms", 2));
   config.admission.expected_height = exp.config.image_size;
   config.admission.expected_width = exp.config.image_size;
   serve::InferenceService service(make_replicas(exp, filter, workers),
@@ -240,6 +249,7 @@ int cmd_serve_batch(const io::ArgParser& args) {
   bench::FailureLog failures;
   std::vector<std::pair<std::string, std::future<serve::InferenceResult>>>
       pending;
+  const auto serve_start = std::chrono::steady_clock::now();
   for (const std::string& file : files) {
     // Per-image isolation: one unreadable/malformed/shed image is logged
     // and the batch continues.
@@ -260,6 +270,10 @@ int cmd_serve_batch(const io::ArgParser& args) {
     });
   }
   table.print(std::cout);
+  const double serve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    serve_start)
+          .count();
 
   const serve::ServiceStats stats = service.stats();
   service.shutdown();
@@ -275,6 +289,24 @@ int cmd_serve_batch(const io::ArgParser& args) {
       static_cast<long long>(stats.rejected_input),
       static_cast<long long>(stats.worker_failures), stats.p50_ms,
       stats.p95_ms, stats.p99_ms);
+  std::printf(
+      "micro-batching: max_batch %lld, %lld round(s), mean occupancy %.2f, "
+      "throughput %.1f img/s\n",
+      static_cast<long long>(max_batch),
+      static_cast<long long>(stats.batches), stats.mean_batch_occupancy,
+      serve_seconds > 0.0
+          ? static_cast<double>(stats.completed) / serve_seconds
+          : 0.0);
+  if (!stats.batch_occupancy.empty()) {
+    std::printf("occupancy histogram:");
+    for (size_t i = 0; i < stats.batch_occupancy.size(); ++i) {
+      if (stats.batch_occupancy[i] > 0) {
+        std::printf(" %zux%lld", i + 1,
+                    static_cast<long long>(stats.batch_occupancy[i]));
+      }
+    }
+    std::printf("\n");
+  }
   return failures.finish();
 }
 
@@ -311,7 +343,7 @@ int main(int argc, char** argv) {
       "fademl — filter-aware adversarial ML toolkit (DATE 2019 reproduction)",
       {"cls", "size", "out", "seed", "filter", "attack", "source", "target",
        "eps", "iters", "fademl!", "ckpt", "dir", "workers", "deadline-ms",
-       "queue", "policy"});
+       "queue", "policy", "max-batch", "batch-window-ms"});
   std::string command;
   try {
     if (argc < 2) {
