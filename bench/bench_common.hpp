@@ -7,6 +7,8 @@
 //   FADEML_FAST=1        shrink model/dataset for smoke tests
 //   FADEML_CACHE_DIR=d   where the trained model checkpoint lives
 //   FADEML_CSV_DIR=d     also write every printed table as CSV into d
+//   FADEML_METRICS_DIR=d dump the global metrics registry (and, with
+//                        FADEML_TRACE=1, the span timeline) into d
 
 #include <cstdio>
 #include <cstdlib>
@@ -147,6 +149,31 @@ inline void emit(const io::Table& table, const std::string& name) {
 inline std::vector<attacks::AttackKind> paper_attack_kinds() {
   return {attacks::AttackKind::kLbfgs, attacks::AttackKind::kFgsm,
           attacks::AttackKind::kBim};
+}
+
+/// Figure-bench observability export: when FADEML_METRICS_DIR is set,
+/// write the global metrics registry (filter/forward/attack/pool stage
+/// histograms accumulated while the figure ran) to
+/// <dir>/<name>_metrics.json, and — when span collection is on
+/// (FADEML_TRACE=1) — the Chrome-trace timeline to <dir>/<name>_trace.json.
+/// Call once at the end of main(), after the sweep. No-op otherwise, so
+/// figures stay dependency-free by default.
+inline void emit_observability(const std::string& name) {
+  const char* dir = std::getenv("FADEML_METRICS_DIR");
+  if (dir == nullptr || *dir == '\0') {
+    return;
+  }
+  std::filesystem::create_directories(dir);
+  const std::string metrics_path =
+      std::string(dir) + "/" + name + "_metrics.json";
+  obs::MetricsRegistry::global().write_json_file(metrics_path);
+  std::fprintf(stderr, "[bench] metrics: %s\n", metrics_path.c_str());
+  if (obs::trace_enabled()) {
+    const std::string trace_path =
+        std::string(dir) + "/" + name + "_trace.json";
+    obs::TraceCollector::instance().write_chrome_trace_file(trace_path);
+    std::fprintf(stderr, "[bench] trace: %s\n", trace_path.c_str());
+  }
 }
 
 }  // namespace fademl::bench

@@ -123,6 +123,7 @@ int main() {
         "misclassifications (single-step FGSM may overshoot to a "
         "neighbouring class).\n",
         successes, total);
+    bench::emit_observability("fig5");
     return failures.finish();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

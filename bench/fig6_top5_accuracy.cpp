@@ -80,6 +80,7 @@ int main() {
         "top-5 accuracy.\nMeasured: clean %.1f%%, worst attacked %.1f%% "
         "(drop %.1f points).\n",
         clean.top5 * 100.0, worst * 100.0, (clean.top5 - worst) * 100.0);
+    bench::emit_observability("fig6");
     return failures.finish();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -144,6 +144,7 @@ int main() {
         "top-5 accuracy peaks at moderate strength (np~32 paper / np~8-16 "
         "here, r~3-4 paper / r~2-3 here) and falls once smoothing destroys "
         "distinguishing features.\n");
+    bench::emit_observability("fig7");
     return failures.finish();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -153,6 +153,7 @@ int main() {
         "\nPaper's shape: the filtered cells stay on the TARGET class "
         "(attack survives), and the accuracy impact under FAdeML noise is "
         "at least as large as Fig. 7's.\n");
+    bench::emit_observability("fig9");
     return failures.finish();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

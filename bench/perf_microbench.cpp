@@ -5,11 +5,15 @@
 // against performance regressions in the kernels.
 //
 // main() first runs a thread-scaling probe over the parallelized tensor
-// kernels (warmed up, median-of-k, artifacts/BENCH_tensor.json) and a
+// kernels (warmed up, median-of-k, artifacts/BENCH_tensor.json), a
 // batch-scaling probe comparing per-image vs batched predict
-// (artifacts/BENCH_batch.json), then hands over to google-benchmark for
-// the full suites. `--quick` stops after the probes — that is the CI
-// smoke mode.
+// (artifacts/BENCH_batch.json), and an observability overhead probe that
+// measures tracing's cost on the hot predict path and asserts the
+// predictions stay bitwise identical either way (artifacts/BENCH_obs.json
+// + a registry dump in artifacts/BENCH_metrics.json), then hands over to
+// google-benchmark for the full suites. `--quick` stops after the probes
+// — that is the CI smoke mode. All probe JSON is on the fademl.bench.v1
+// schema (see docs/observability.md).
 
 #include <benchmark/benchmark.h>
 
@@ -261,29 +265,37 @@ int run_scaling_probe(bool quick) {
               "(hardware_concurrency %d) ==\n",
               threads, hw_threads);
   std::filesystem::create_directories("artifacts");
-  std::ofstream json("artifacts/BENCH_tensor.json");
-  json << "{\n"
-       << "  \"bench\": \"tensor\",\n"
-       << "  \"hardware_concurrency\": " << hw_threads << ",\n"
-       << "  \"threads_compared\": [1, " << threads << "],\n"
-       << "  \"iterations\": " << iters << ",\n"
-       << "  \"warmup\": " << warmup << ",\n"
-       << "  \"kernels\": [\n";
-  for (size_t i = 0; i < kernels.size(); ++i) {
+  std::ofstream out("artifacts/BENCH_tensor.json");
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.key("schema").value("fademl.bench.v1");
+  json.key("bench").value("tensor");
+  json.key("hardware_concurrency").value(hw_threads);
+  json.key("threads_compared").begin_array().value(1).value(threads);
+  json.end_array();
+  json.key("iterations").value(iters);
+  json.key("warmup").value(warmup);
+  json.key("kernels").begin_array();
+  for (const ProbeKernel& kernel : kernels) {
     parallel::set_num_threads(1);
-    const double t1 = median_ms(kernels[i].fn, warmup, iters);
+    const double t1 = median_ms(kernel.fn, warmup, iters);
     parallel::set_num_threads(threads);
-    const double tn = median_ms(kernels[i].fn, warmup, iters);
+    const double tn = median_ms(kernel.fn, warmup, iters);
     const double speedup = tn > 0.0 ? t1 / tn : 0.0;
     std::printf("  %-20s  1t %8.3f ms   %dt %8.3f ms   speedup %.2fx\n",
-                kernels[i].name.c_str(), t1, threads, tn, speedup);
-    json << "    {\"name\": \"" << kernels[i].name
-         << "\", \"median_ms_1t\": " << t1 << ", \"median_ms_" << threads
-         << "t\": " << tn << ", \"speedup\": " << speedup << "}"
-         << (i + 1 < kernels.size() ? "," : "") << "\n";
+                kernel.name.c_str(), t1, threads, tn, speedup);
+    json.begin_object();
+    json.key("name").value(kernel.name);
+    json.key("median_ms_1t").value(t1);
+    json.key("threads").value(threads);
+    json.key("median_ms_nt").value(tn);
+    json.key("speedup").value(speedup);
+    json.end_object();
   }
   parallel::set_num_threads(0);  // back to the env/hardware default
-  json << "  ]\n}\n";
+  json.end_array();
+  json.end_object();
+  out << "\n";
   std::printf("-> artifacts/BENCH_tensor.json\n");
   return 0;
 }
@@ -326,16 +338,18 @@ int run_batch_probe(bool quick) {
               "1 vs %d threads ==\n",
               threads);
   std::filesystem::create_directories("artifacts");
-  std::ofstream json("artifacts/BENCH_batch.json");
-  json << "{\n"
-       << "  \"bench\": \"batch\",\n"
-       << "  \"threat_model\": \"III\",\n"
-       << "  \"hardware_concurrency\": " << hw_threads << ",\n"
-       << "  \"threads_compared\": [1, " << threads << "],\n"
-       << "  \"iterations\": " << iters << ",\n"
-       << "  \"warmup\": " << warmup << ",\n"
-       << "  \"points\": [\n";
-  bool first_point = true;
+  std::ofstream out("artifacts/BENCH_batch.json");
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.key("schema").value("fademl.bench.v1");
+  json.key("bench").value("batch");
+  json.key("threat_model").value("III");
+  json.key("hardware_concurrency").value(hw_threads);
+  json.key("threads_compared").begin_array().value(1).value(threads);
+  json.end_array();
+  json.key("iterations").value(iters);
+  json.key("warmup").value(warmup);
+  json.key("points").begin_array();
   for (const size_t n : batch_sizes) {
     const std::vector<Tensor> cohort(images.begin(),
                                      images.begin() + static_cast<long>(n));
@@ -364,19 +378,106 @@ int run_batch_probe(bool quick) {
       std::printf("  batch %2zu %dt  per-image %8.3f ms (%7.1f img/s)   "
                   "batched %8.3f ms (%7.1f img/s)   speedup %.2fx\n",
                   n, t, single_ms, single_tput, batch_ms, batch_tput, speedup);
-      json << (first_point ? "" : ",\n") << "    {\"batch\": " << n
-           << ", \"threads\": " << t << ", \"per_image_ms\": " << single_ms
-           << ", \"per_image_ips\": " << single_tput
-           << ", \"batched_ms\": " << batch_ms
-           << ", \"batched_ips\": " << batch_tput
-           << ", \"speedup\": " << speedup << "}";
-      first_point = false;
+      json.begin_object();
+      json.key("batch").value(static_cast<int64_t>(n));
+      json.key("threads").value(t);
+      json.key("per_image_ms").value(single_ms);
+      json.key("per_image_ips").value(single_tput);
+      json.key("batched_ms").value(batch_ms);
+      json.key("batched_ips").value(batch_tput);
+      json.key("speedup").value(speedup);
+      json.end_object();
     }
   }
   parallel::set_num_threads(0);  // back to the env/hardware default
-  json << "\n  ]\n}\n";
+  json.end_array();
+  json.end_object();
+  out << "\n";
   std::printf("-> artifacts/BENCH_batch.json\n");
   return 0;
+}
+
+// ---- observability overhead probe ------------------------------------------
+
+/// Measure what the obs layer costs the hot path: the filtered predict is
+/// timed with tracing disabled and enabled, and the probability outputs
+/// of both runs are compared bitwise. Writes artifacts/BENCH_obs.json and
+/// fails (non-zero) if enabling tracing changes the predictions — the
+/// "provably inert" contract. Also dumps the global metrics registry
+/// (populated by everything this binary ran so far) to
+/// artifacts/BENCH_metrics.json so the stage histograms ride along as a
+/// CI artifact.
+int run_obs_probe(bool quick) {
+  using namespace fademl;
+  const int warmup = quick ? 1 : 3;
+  const int iters = quick ? 5 : 15;
+
+  auto model = [] {
+    Rng rng(1);
+    nn::VggConfig config = nn::VggConfig::scaled(8);
+    return nn::make_vggnet(config, rng);
+  }();
+  model->set_training(false);
+  core::InferencePipeline pipeline(model, filters::make_lap(32));
+  const Tensor image = data::canonical_sample(14, 32);
+  const auto predict = [&] {
+    benchmark::DoNotOptimize(
+        pipeline.predict_probs(image, core::ThreatModel::kIII));
+  };
+
+  const bool prior = obs::trace_enabled();
+  obs::set_trace_enabled(false);
+  const Tensor probs_off =
+      pipeline.predict_probs(image, core::ThreatModel::kIII);
+  const double off_ms = median_ms(predict, warmup, iters);
+
+  obs::TraceCollector::instance().clear();
+  obs::set_trace_enabled(true);
+  const Tensor probs_on =
+      pipeline.predict_probs(image, core::ThreatModel::kIII);
+  const double on_ms = median_ms(predict, warmup, iters);
+  const size_t spans = obs::TraceCollector::instance().size();
+  obs::set_trace_enabled(prior);
+  obs::TraceCollector::instance().clear();
+
+  const bool identical =
+      probs_off.numel() == probs_on.numel() &&
+      std::memcmp(probs_off.data(), probs_on.data(),
+                  sizeof(float) * static_cast<size_t>(probs_off.numel())) == 0;
+  const double overhead_pct =
+      off_ms > 0.0 ? 100.0 * (on_ms - off_ms) / off_ms : 0.0;
+
+  std::printf("== observability overhead (TM-III predict, LAP(32)+VGG/8) "
+              "==\n");
+  std::printf("  trace off %8.3f ms   trace on %8.3f ms   overhead %+.1f%%   "
+              "predictions %s\n",
+              off_ms, on_ms, overhead_pct,
+              identical ? "bitwise identical" : "DIVERGED");
+
+  std::filesystem::create_directories("artifacts");
+  std::ofstream out("artifacts/BENCH_obs.json");
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.key("schema").value("fademl.bench.v1");
+  json.key("bench").value("obs");
+  json.key("iterations").value(iters);
+  json.key("warmup").value(warmup);
+  json.key("trace_off_ms").value(off_ms);
+  json.key("trace_on_ms").value(on_ms);
+  json.key("overhead_pct").value(overhead_pct);
+  json.key("spans_per_predict")
+      .value(iters > 0 ? static_cast<double>(spans) /
+                             static_cast<double>(iters + warmup + 1)
+                       : 0.0);
+  json.key("bitwise_identical").value(identical);
+  json.end_object();
+  out << "\n";
+  std::printf("-> artifacts/BENCH_obs.json\n");
+
+  obs::MetricsRegistry::global().write_json_file(
+      "artifacts/BENCH_metrics.json");
+  std::printf("-> artifacts/BENCH_metrics.json\n");
+  return identical ? 0 : 1;
 }
 
 }  // namespace
@@ -396,8 +497,9 @@ int main(int argc, char** argv) {
   }
   const int probe_rc = run_scaling_probe(quick);
   const int batch_rc = run_batch_probe(quick);
+  const int obs_rc = run_obs_probe(quick);
   if (quick) {
-    return probe_rc != 0 ? probe_rc : batch_rc;
+    return probe_rc != 0 ? probe_rc : (batch_rc != 0 ? batch_rc : obs_rc);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
@@ -405,5 +507,5 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return probe_rc;
+  return probe_rc != 0 ? probe_rc : (batch_rc != 0 ? batch_rc : obs_rc);
 }

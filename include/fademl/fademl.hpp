@@ -13,6 +13,7 @@
 ///  - fademl::attacks   L-BFGS / FGSM / BIM and the FAdeML attack
 ///  - fademl::core      threat models, pipeline, Eq.-2 cost, analysis
 ///  - fademl::io        PPM dumps, experiment tables, fault injection
+///  - fademl::obs       observability: metrics registry + trace spans
 ///  - fademl::serve     hardened concurrent inference service
 
 #include "fademl/attacks/attack.hpp"
@@ -52,6 +53,9 @@
 #include "fademl/io/image_io.hpp"
 #include "fademl/io/table.hpp"
 #include "fademl/io/visualize.hpp"
+#include "fademl/obs/json.hpp"
+#include "fademl/obs/metrics.hpp"
+#include "fademl/obs/trace.hpp"
 #include "fademl/poison/poison.hpp"
 #include "fademl/nn/checkpoint.hpp"
 #include "fademl/nn/layers.hpp"

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fademl::obs {
+
+/// Minimal streaming JSON emitter behind every machine-readable artifact
+/// the stack produces: the metrics registry export, the Chrome trace
+/// timeline, and the BENCH_*.json probe reports. One emitter means one set
+/// of escaping/number rules — in particular NaN/Inf (which a hand-rolled
+/// `<<` happily prints as `nan`, producing invalid JSON) always serialize
+/// as `null`.
+///
+/// Usage mirrors the document structure; commas and `:` are inserted
+/// automatically:
+///
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.key("schema").value("fademl.bench.v1");
+///   w.key("points").begin_array();
+///   ...
+///   w.end_array();
+///   w.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit an object key; the next call must produce its value.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& s);
+  JsonWriter& value(const char* s);
+  JsonWriter& value(double v);  ///< NaN / Inf serialize as null
+  JsonWriter& value(int64_t v);
+  JsonWriter& value(uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// JSON string escaping (quotes, backslashes, control characters).
+  [[nodiscard]] static std::string escape(const std::string& s);
+
+ private:
+  void comma();  ///< separator before a new value/key where one is due
+
+  std::ostream& os_;
+  /// One entry per open scope: the count of values already emitted in it.
+  std::vector<int64_t> counts_;
+  bool after_key_ = false;
+};
+
+}  // namespace fademl::obs

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fademl::obs {
+
+/// Cumulative event count. Lock-free; increments may be issued from any
+/// thread (the parallel pool, serve workers, attack loops).
+///
+/// `add` accepts negative deltas for the one legitimate compensation case:
+/// an admission that was counted optimistically and then refused (see
+/// serve::StatsCollector::on_admission_reverted) — not for general
+/// decrementing.
+class Counter {
+ public:
+  void add(int64_t n = 1) { value_.fetch_add(n); }
+  [[nodiscard]] int64_t value() const { return value_.load(); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written instantaneous value (queue depth, pool width, ...).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed bucket boundaries for a Histogram: `upper[i]` is the inclusive
+/// upper bound of bucket i; one implicit overflow bucket catches
+/// everything above `upper.back()`. Fixed layouts keep exported histograms
+/// mergeable across runs — the property the BENCH_*.json trajectory needs.
+struct BucketLayout {
+  std::vector<double> upper;
+
+  /// `count` buckets at first, first*factor, first*factor^2, ...
+  static BucketLayout exponential(double first, double factor, int count);
+  /// The default layout for stage latencies: 2^k ms from 0.01 to ~160 s.
+  static BucketLayout latency_ms();
+};
+
+/// Thread-safe fixed-bucket histogram with count/sum/min/max.
+class Histogram {
+ public:
+  explicit Histogram(BucketLayout layout);
+
+  void observe(double v);
+
+  struct Snapshot {
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when count == 0
+    double max = 0.0;
+    std::vector<double> upper;    ///< bucket upper bounds
+    std::vector<int64_t> counts;  ///< upper.size() + 1 entries (overflow last)
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  const BucketLayout layout_;
+  mutable std::mutex mutex_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<int64_t> counts_;
+};
+
+/// Thread-safe named metric registry — the one vocabulary every subsystem
+/// reports through. Metrics are created on first use and never removed, so
+/// returned references stay valid for the registry's lifetime; hot call
+/// sites cache the reference (typically in a function-local static) and
+/// never pay the name lookup again.
+///
+/// The process-wide instance (`global()`) holds library-level metrics
+/// (pipeline stages, pool activity, attack/trainer progress). Components
+/// that need isolated cumulative counts — one serve::StatsCollector per
+/// InferenceService — own a private instance.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// The layout is fixed by the first caller; later callers get the same
+  /// histogram regardless of the layout they pass.
+  Histogram& histogram(const std::string& name,
+                       const BucketLayout& layout = BucketLayout::latency_ms());
+
+  /// Export on the stable `fademl.metrics.v1` schema (see
+  /// docs/observability.md):
+  ///   {"schema": "fademl.metrics.v1",
+  ///    "counters":   {name: value, ...},
+  ///    "gauges":     {name: value, ...},
+  ///    "histograms": {name: {count, sum, min, max, mean,
+  ///                          buckets: [{le, count}, ...]}, ...}}
+  /// Keys are sorted by name; the overflow bucket exports `"le": null`.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
+  void write_json_file(const std::string& path) const;
+
+ private:
+  friend void write_metrics_json(std::ostream&,
+                                 const std::vector<const MetricsRegistry*>&);
+  void emit_into(class JsonWriter& w, const char* section) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// One `fademl.metrics.v1` document over the union of several registries
+/// (e.g. the global registry plus a service's private one). Names must not
+/// collide across the inputs — subsystem prefixes guarantee that.
+void write_metrics_json(std::ostream& os,
+                        const std::vector<const MetricsRegistry*>& registries);
+
+}  // namespace fademl::obs

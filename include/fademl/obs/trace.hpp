@@ -1,0 +1,117 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fademl/obs/metrics.hpp"
+
+namespace fademl::obs {
+
+/// Is span collection on? Initialized once from the FADEML_TRACE
+/// environment variable ("1" / "true" / "on" — anything else is off) and
+/// overridable at runtime (tests, tools). The check is a single relaxed
+/// atomic load, so a disabled span costs neither a clock read nor a lock.
+[[nodiscard]] bool trace_enabled();
+void set_trace_enabled(bool enabled);
+
+/// One completed span on the process timeline. Timestamps are
+/// microseconds on the steady clock, relative to the collector's epoch
+/// (first use in the process).
+struct TraceEvent {
+  std::string name;      ///< e.g. "model.forward"
+  std::string category;  ///< e.g. "model" / "filter" / "attack" / "serve"
+  uint32_t tid = 0;      ///< small sequential id per recording thread
+  uint32_t depth = 0;    ///< span nesting depth on that thread (0 = root)
+  double ts_us = 0.0;    ///< start
+  double dur_us = 0.0;   ///< duration
+};
+
+using TraceClock = std::chrono::steady_clock;
+
+/// Process-wide bounded span buffer. Capacity-bounded so a traced
+/// training run cannot grow memory without limit: the first `capacity`
+/// events are kept, later ones are counted as dropped (a truncated
+/// timeline of the warm-up phase beats an OOM).
+class TraceCollector {
+ public:
+  static TraceCollector& instance();
+
+  void record(std::string name, std::string category,
+              TraceClock::time_point start, TraceClock::time_point end,
+              uint32_t depth);
+
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] size_t size() const;
+  [[nodiscard]] int64_t dropped() const;
+  void clear();
+
+  /// Default 65536 events; takes effect for future records (tests shrink
+  /// it to exercise the drop path).
+  void set_capacity(size_t capacity);
+
+  /// Chrome-trace-compatible JSON (`chrome://tracing`, Perfetto,
+  /// speedscope): {"traceEvents": [{"name", "cat", "ph": "X", "pid",
+  /// "tid", "ts", "dur", "args": {"depth"}}, ...]}.
+  void write_chrome_trace(std::ostream& os) const;
+  void write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  TraceCollector();
+
+  mutable std::mutex mutex_;
+  size_t capacity_ = 1 << 16;
+  std::vector<TraceEvent> events_;
+  int64_t dropped_ = 0;
+  TraceClock::time_point epoch_;
+};
+
+/// RAII span: records [construction, destruction) on the current thread
+/// when tracing is enabled, and is a no-op otherwise. Place one around
+/// each stage of interest:
+///
+///   obs::TraceSpan span("model.forward", "model");
+class TraceSpan {
+ public:
+  TraceSpan(std::string name, const char* category);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_;
+  uint32_t depth_ = 0;
+  TraceClock::time_point start_;
+  std::string name_;
+  const char* category_ = nullptr;
+};
+
+/// Record a span whose endpoints were measured elsewhere — e.g. the serve
+/// queue wait, which starts on the submitting thread and ends on the
+/// worker. No-op when tracing is disabled.
+void record_span(std::string name, const char* category,
+                 TraceClock::time_point start, TraceClock::time_point end);
+
+/// Stage accounting: always observes the elapsed milliseconds into
+/// `histogram` (metrics are cheap and stay on), and additionally emits a
+/// trace span when tracing is enabled — one clock-read pair serves both.
+class StageTimer {
+ public:
+  StageTimer(Histogram& histogram, const char* span_name,
+             const char* category);
+  ~StageTimer();
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  Histogram& histogram_;
+  bool traced_;
+  uint32_t depth_ = 0;
+  TraceClock::time_point start_;
+  const char* span_name_;
+  const char* category_;
+};
+
+}  // namespace fademl::obs

@@ -133,6 +133,14 @@ class InferenceService {
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] size_t workers() const { return workers_.size(); }
 
+  /// This service's metric registry: the ServiceStats counters plus the
+  /// per-stage latency histograms (serve.queue_ms / serve.gather_ms /
+  /// serve.infer_ms / serve.total_ms), exportable as `fademl.metrics.v1`
+  /// JSON — see `fademl serve-batch --metrics-out`.
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return stats_.registry();
+  }
+
   /// Stop accepting new requests, let the workers drain everything
   /// already admitted, then join them. Idempotent; called by the
   /// destructor.
@@ -170,6 +178,11 @@ class InferenceService {
   BoundedQueue<RequestPtr> queue_;
   CircuitBreaker breaker_;
   StatsCollector stats_;
+  /// Stage histograms living in stats_'s registry, cached once at
+  /// construction (registry references are stable forever).
+  obs::Histogram& queue_hist_;
+  obs::Histogram& gather_hist_;
+  obs::Histogram& infer_hist_;
   std::vector<std::thread> workers_;
   std::once_flag shutdown_once_;
   int saved_pool_threads_ = 0;  ///< pool setting restored on shutdown

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "fademl/obs/metrics.hpp"
+
 namespace fademl::serve {
 
 /// One consistent snapshot of the service's health counters. Counts are
@@ -37,6 +39,21 @@ struct ServiceStats {
 
 /// Thread-safe accumulator behind InferenceService::stats().
 ///
+/// The counters live in a private obs::MetricsRegistry (names prefixed
+/// "serve."), so the same numbers the ServiceStats snapshot reports are
+/// exportable as `fademl.metrics.v1` JSON via registry() — one accounting
+/// vocabulary for the snapshot API, `fademl serve-batch --metrics-out`,
+/// and the benches. A registry per collector (not the global one) keeps
+/// counts cumulative-per-service even when several services share a
+/// process, which is exactly what the chaos tests do.
+///
+/// Counting order contract: admission is counted *before* the request
+/// enters the queue (see InferenceService::submit) and every completion
+/// is counted after its admission, so a snapshot can never observe
+/// completed > submitted. A submit that counted admission optimistically
+/// and was then refused (shed, shutdown) compensates through
+/// on_admission_reverted().
+///
 /// Latency percentiles are computed over a bounded sliding window of the
 /// most recent `window` completions (default 4096) so a long-lived
 /// service reports current behaviour, not its lifetime average, and
@@ -46,6 +63,10 @@ class StatsCollector {
   explicit StatsCollector(size_t window = 4096);
 
   void on_submitted();
+  /// Undo an optimistic on_submitted() for a request that was never
+  /// admitted after all (queue full under the shed policy, or the queue
+  /// closed mid-push).
+  void on_admission_reverted();
   void on_completed(double latency_ms, bool degraded);
   /// One micro-batched predict round that ran with `occupancy` >= 1 live
   /// requests.
@@ -60,10 +81,28 @@ class StatsCollector {
   /// for the service to fill in.
   [[nodiscard]] ServiceStats snapshot() const;
 
+  /// The registry holding this collector's counters and latency/stage
+  /// histograms. The service adds its queue/gather/infer stage histograms
+  /// here so one export carries the whole serving breakdown.
+  [[nodiscard]] obs::MetricsRegistry& registry() { return registry_; }
+  [[nodiscard]] const obs::MetricsRegistry& registry() const {
+    return registry_;
+  }
+
  private:
   const size_t window_;
-  mutable std::mutex mutex_;
-  ServiceStats counts_;               // latency/breaker fields unused here
+  obs::MetricsRegistry registry_;
+  obs::Counter& submitted_;
+  obs::Counter& completed_;
+  obs::Counter& degraded_;
+  obs::Counter& shed_;
+  obs::Counter& timed_out_;
+  obs::Counter& rejected_input_;
+  obs::Counter& breaker_rejected_;
+  obs::Counter& worker_failures_;
+  obs::Counter& batches_;
+  obs::Histogram& latency_hist_;
+  mutable std::mutex mutex_;          // guards the window + occupancy state
   std::vector<double> latencies_;     // ring buffer of size <= window_
   size_t next_slot_ = 0;
   std::vector<int64_t> occupancy_histogram_;

@@ -8,9 +8,10 @@
 #                               # ASan/UBSan
 #   scripts/check.sh --tsan     # tier-1, then a FADEML_SANITIZE=thread
 #                               # build in build-tsan/ running the
-#                               # concurrent suites (parallel_test,
-#                               # serve_test incl. the micro-batching
-#                               # chaos tests) under ThreadSanitizer
+#                               # concurrent suites (obs_test,
+#                               # parallel_test, serve_test incl. the
+#                               # micro-batching chaos tests) under
+#                               # ThreadSanitizer
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,12 +37,14 @@ case "${1:-}" in
     ;;
   --tsan)
     echo
-    echo "== sanitizers: TSan build + parallel_test + serve_test =="
+    echo "== sanitizers: TSan build + obs_test + parallel_test + serve_test =="
     export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1 suppressions=$(pwd)/scripts/tsan.supp}"
     cmake -B build-tsan -S . -DFADEML_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-    cmake --build build-tsan -j --target parallel_test serve_test train_determinism_test
-    # The thread-pool suite first: it exercises the raw chunk scheduler the
+    cmake --build build-tsan -j --target obs_test parallel_test serve_test train_determinism_test
+    # The observability primitives first (registry/trace collector are the
+    # shared reporting substrate), then the thread-pool suite that the
     # other concurrent suites sit on.
+    ./build-tsan/tests/obs_test
     ./build-tsan/tests/parallel_test
     FADEML_NUM_THREADS=4 ./build-tsan/tests/train_determinism_test
     ./build-tsan/tests/serve_test

@@ -7,12 +7,19 @@
 
 #include "fademl/core/cost.hpp"
 #include "fademl/nn/trainer.hpp"
+#include "fademl/obs/trace.hpp"
 #include "fademl/tensor/error.hpp"
 #include "fademl/tensor/ops.hpp"
 
 namespace fademl::attacks {
 
 namespace {
+
+obs::Histogram& iteration_hist() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("attack.iteration_ms");
+  return h;
+}
 
 /// Copy image i of an [N, C, H, W] batch out to [C, H, W].
 Tensor slice_image(const Tensor& batch, int64_t i) {
@@ -75,6 +82,10 @@ std::vector<AttackResult> BatchAttack::run(
                  "BatchAttack::run expects same-shape [C, H, W] sources");
   }
   eq2_costs_.clear();
+  obs::TraceSpan run_span("attack.run", "attack");
+  static obs::Counter& runs =
+      obs::MetricsRegistry::global().counter("attack.runs");
+  runs.add();
 
   std::vector<AttackResult> results;
   switch (kind_) {
@@ -198,6 +209,8 @@ std::vector<AttackResult> BatchAttack::run_bim(
   }
 
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    obs::StageTimer iter_timer(iteration_hist(), "attack.iteration",
+                               "attack");
     std::vector<size_t> idx;
     std::vector<Tensor> sub;
     for (size_t i = 0; i < n; ++i) {
@@ -320,6 +333,8 @@ std::vector<AttackResult> BatchAttack::run_lbfgs(
   }
 
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    obs::StageTimer iter_timer(iteration_hist(), "attack.iteration",
+                               "attack");
     std::vector<size_t> idx;
     for (size_t i = 0; i < n; ++i) {
       if (states[i].active) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fademl/obs/trace.hpp"
 #include "fademl/tensor/error.hpp"
 #include "fademl/tensor/ops.hpp"
 
@@ -23,7 +24,10 @@ AttackResult BimAttack::run(const core::InferencePipeline& pipeline,
   AttackResult result;
   Tensor x = source.clone();
   const float* src = source.data();
+  static obs::Histogram& iter_hist =
+      obs::MetricsRegistry::global().histogram("attack.iteration_ms");
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    obs::StageTimer iter_timer(iter_hist, "attack.iteration", "attack");
     const core::LossGrad lg = pipeline.loss_and_grad(
         x, targeted_cross_entropy(target_class), config_.grad_tm);
     result.loss_history.push_back(lg.loss);

@@ -1,8 +1,10 @@
 #include "fademl/core/metrics.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <tuple>
 
+#include "fademl/nn/trainer.hpp"
 #include "fademl/tensor/error.hpp"
 
 namespace fademl::core {
@@ -89,13 +91,28 @@ ConfusionMatrix confusion_matrix(const InferencePipeline& pipeline,
   FADEML_CHECK(images.size() == labels.size(),
                "confusion_matrix: image/label count mismatch");
   FADEML_CHECK(!images.empty(), "confusion_matrix: empty set");
-  const int64_t classes =
-      pipeline.predict_probs(images.front(), tm).numel();
-  ConfusionMatrix cm(classes);
-  for (size_t i = 0; i < images.size(); ++i) {
-    cm.record(labels[i], pipeline.predict(images[i], tm).label);
+  // Batched evaluation in the same fixed-size chunks as accuracy(): one
+  // forward per chunk instead of one per image — and no extra warm-up
+  // forward just to count classes; the first chunk's probability rows
+  // already carry num_classes. Per-image predictions are bitwise identical
+  // to predict(), so the counts cannot drift.
+  constexpr size_t kEvalBatch = 32;
+  std::optional<ConfusionMatrix> cm;
+  for (size_t start = 0; start < images.size(); start += kEvalBatch) {
+    const size_t end = std::min(images.size(), start + kEvalBatch);
+    const std::vector<Tensor> chunk(
+        images.begin() + static_cast<int64_t>(start),
+        images.begin() + static_cast<int64_t>(end));
+    const std::vector<Prediction> preds =
+        pipeline.predict_batch(nn::stack_images(chunk), tm);
+    if (!cm.has_value()) {
+      cm.emplace(preds.front().probs.numel());
+    }
+    for (size_t i = start; i < end; ++i) {
+      cm->record(labels[i], preds[i - start].label);
+    }
   }
-  return cm;
+  return *cm;
 }
 
 }  // namespace fademl::core

@@ -4,10 +4,41 @@
 
 #include "fademl/autograd/ops.hpp"
 #include "fademl/nn/trainer.hpp"
+#include "fademl/obs/trace.hpp"
 #include "fademl/tensor/error.hpp"
 #include "fademl/tensor/ops.hpp"
 
 namespace fademl::core {
+
+namespace {
+
+// Stage histograms in the global registry, resolved once (references from
+// the registry are stable forever, so the name lookup is paid one time).
+obs::Histogram& filter_hist() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("pipeline.filter_ms");
+  return h;
+}
+
+obs::Histogram& forward_hist() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("pipeline.forward_ms");
+  return h;
+}
+
+obs::Histogram& backward_hist() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("pipeline.backward_ms");
+  return h;
+}
+
+obs::Histogram& vjp_hist() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("pipeline.vjp_ms");
+  return h;
+}
+
+}  // namespace
 
 InferencePipeline::InferencePipeline(std::shared_ptr<nn::Module> model,
                                      filters::FilterPtr filter,
@@ -34,12 +65,16 @@ Tensor InferencePipeline::route(const Tensor& image, ThreatModel tm) const {
     case ThreatModel::kI:
       // Injected after the filter: reaches the buffer untouched.
       return image.clone();
-    case ThreatModel::kII:
+    case ThreatModel::kII: {
       // Scene-level manipulation: acquisition blur, then the noise filter.
+      obs::StageTimer timer(filter_hist(), "filter.apply", "filter");
       return filter_->apply(acquisition_blur_->apply(image));
-    case ThreatModel::kIII:
+    }
+    case ThreatModel::kIII: {
       // Injected before the filter.
+      obs::StageTimer timer(filter_hist(), "filter.apply", "filter");
       return filter_->apply(image);
+    }
   }
   FADEML_CHECK(false, "unreachable threat model");
   return {};
@@ -54,10 +89,14 @@ Tensor InferencePipeline::route_batch(const Tensor& batch,
   switch (tm) {
     case ThreatModel::kI:
       return batch.clone();
-    case ThreatModel::kII:
+    case ThreatModel::kII: {
+      obs::StageTimer timer(filter_hist(), "filter.apply", "filter");
       return filter_->apply_batch(acquisition_blur_->apply_batch(batch));
-    case ThreatModel::kIII:
+    }
+    case ThreatModel::kIII: {
+      obs::StageTimer timer(filter_hist(), "filter.apply", "filter");
       return filter_->apply_batch(batch);
+    }
   }
   FADEML_CHECK(false, "unreachable threat model");
   return {};
@@ -82,6 +121,7 @@ Tensor InferencePipeline::predict_probs_batch(const Tensor& batch,
                                               ThreatModel tm) const {
   const Tensor routed = route_batch(batch, tm);
   autograd::Variable x{routed.clone()};
+  obs::StageTimer timer(forward_hist(), "model.forward", "model");
   const autograd::Variable logits = model_->forward(x);
   return softmax_rows(logits.value());
 }
@@ -135,7 +175,11 @@ BatchLossGrad InferencePipeline::loss_and_grad_batch(
   const int64_t n = batch.dim(0);
   const Tensor routed = route_batch(batch, tm);
   autograd::Variable x{routed.clone(), /*requires_grad=*/true};
-  const autograd::Variable logits = model_->forward(x);
+  autograd::Variable logits;
+  {
+    obs::StageTimer timer(forward_hist(), "model.forward", "model");
+    logits = model_->forward(x);
+  }
   const autograd::Variable rows = objective(logits);
   FADEML_CHECK(
       rows.value().rank() == 1 && rows.value().dim(0) == n,
@@ -148,7 +192,10 @@ BatchLossGrad InferencePipeline::loss_and_grad_batch(
   const autograd::Variable total = autograd::sum(rows);
   // The model's parameter gradients are a side effect we must not leak
   // into any concurrent training; clear them after the pass.
-  total.backward();
+  {
+    obs::StageTimer timer(backward_hist(), "model.backward", "model");
+    total.backward();
+  }
   BatchLossGrad result;
   result.losses.resize(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
@@ -163,14 +210,17 @@ BatchLossGrad InferencePipeline::loss_and_grad_batch(
     case ThreatModel::kI:
       break;
     case ThreatModel::kII: {
+      obs::StageTimer timer(vjp_hist(), "filter.vjp", "filter");
       const Tensor blurred = acquisition_blur_->apply_batch(batch);
       grads = filter_->vjp_batch(blurred, grads);
       grads = acquisition_blur_->vjp_batch(batch, grads);
       break;
     }
-    case ThreatModel::kIII:
+    case ThreatModel::kIII: {
+      obs::StageTimer timer(vjp_hist(), "filter.vjp", "filter");
       grads = filter_->vjp_batch(batch, grads);
       break;
+    }
   }
   result.grads = std::move(grads);
   return result;

@@ -1,5 +1,6 @@
 #include "fademl/io/args.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 
@@ -42,6 +43,11 @@ void ArgParser::parse(int argc, const char* const* argv) {
       FADEML_CHECK(!has_inline, "flag '--" + name + "' takes no value");
       values_[name] = "1";
     } else if (has_inline) {
+      // An explicit empty value ("--opt=") is almost always a shell
+      // expansion gone wrong ("--opt=$UNSET"); failing loudly beats
+      // silently falling back to the default.
+      FADEML_CHECK(!inline_value.empty(),
+                   "option '--" + name + "' has an empty value");
       values_[name] = inline_value;
     } else {
       FADEML_CHECK(i + 1 < argc, "option '--" + name + "' needs a value");
@@ -65,26 +71,35 @@ std::string ArgParser::get(const std::string& name,
 }
 
 int64_t ArgParser::get_int(const std::string& name, int64_t fallback) const {
-  const std::string raw = get(name, "");
-  if (raw.empty()) {
+  if (!has(name)) {
     return fallback;
   }
+  const std::string raw = get(name, "");
   char* end = nullptr;
+  errno = 0;
   const long long v = std::strtoll(raw.c_str(), &end, 10);
-  FADEML_CHECK(end != nullptr && *end == '\0',
+  // Out-of-range values saturate to LLONG_MIN/MAX with errno == ERANGE;
+  // accepting the saturated value would silently turn "--epochs 10^20"
+  // into 9.2e18. Overflow is a parse failure like any other.
+  FADEML_CHECK(end != raw.c_str() && end != nullptr && *end == '\0' &&
+                   errno != ERANGE,
                "option '--" + name + "' expects an integer, got '" + raw +
                    "'");
   return static_cast<int64_t>(v);
 }
 
 double ArgParser::get_double(const std::string& name, double fallback) const {
-  const std::string raw = get(name, "");
-  if (raw.empty()) {
+  if (!has(name)) {
     return fallback;
   }
+  const std::string raw = get(name, "");
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(raw.c_str(), &end);
-  FADEML_CHECK(end != nullptr && *end == '\0',
+  // ERANGE covers both overflow (+-HUGE_VAL) and underflow-to-zero; either
+  // way the number the user wrote is not the number we would compute with.
+  FADEML_CHECK(end != raw.c_str() && end != nullptr && *end == '\0' &&
+                   errno != ERANGE,
                "option '--" + name + "' expects a number, got '" + raw + "'");
   return v;
 }

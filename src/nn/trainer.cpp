@@ -9,6 +9,7 @@
 #include "fademl/io/failpoint.hpp"
 #include "fademl/nn/checkpoint.hpp"
 #include "fademl/nn/layers.hpp"
+#include "fademl/obs/trace.hpp"
 #include "fademl/parallel/parallel.hpp"
 #include "fademl/tensor/error.hpp"
 #include "fademl/tensor/ops.hpp"
@@ -171,11 +172,18 @@ double Trainer::fit(const std::vector<Tensor>& images,
   double epoch_loss = 0.0;
   const int64_t start_epoch = try_resume(rng, &epoch_loss);
   model_.set_training(true);
+  static obs::Histogram& step_hist =
+      obs::MetricsRegistry::global().histogram("train.step_ms");
+  static obs::Counter& step_counter =
+      obs::MetricsRegistry::global().counter("train.steps");
   for (int64_t epoch = start_epoch; epoch < config_.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("train.epoch", "train");
     const std::vector<int64_t> order = rng.permutation(n);
     double loss_sum = 0.0;
     int64_t correct = 0;
     for (int64_t start = 0; start < n; start += config_.batch_size) {
+      obs::StageTimer step_timer(step_hist, "train.step", "train");
+      step_counter.add();
       const int64_t end = std::min(n, start + config_.batch_size);
       std::vector<Tensor> chunk;
       std::vector<int64_t> chunk_labels;

@@ -1,0 +1,135 @@
+#include "fademl/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fademl::obs {
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!counts_.empty()) {
+    if (counts_.back() > 0) {
+      os_ << ",";
+    }
+    ++counts_.back();
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  os_ << "{";
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  counts_.pop_back();
+  os_ << "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  os_ << "[";
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  counts_.pop_back();
+  os_ << "]";
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  comma();
+  os_ << "\"" << escape(name) << "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& s) {
+  comma();
+  os_ << "\"" << escape(s) << "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* s) {
+  return value(std::string(s));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) {
+    return null();
+  }
+  comma();
+  // %.17g round-trips every double; trailing precision is harmless in the
+  // consumers (jq, python, spreadsheets) and exactness matters for probes.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int64_t v) {
+  comma();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(uint64_t v) {
+  comma();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  os_ << "null";
+  return *this;
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace fademl::obs

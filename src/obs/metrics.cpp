@@ -1,0 +1,176 @@
+#include "fademl/obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "fademl/obs/json.hpp"
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::obs {
+
+BucketLayout BucketLayout::exponential(double first, double factor,
+                                       int count) {
+  FADEML_CHECK(first > 0.0 && factor > 1.0 && count >= 1,
+               "BucketLayout::exponential requires first > 0, factor > 1, "
+               "count >= 1");
+  BucketLayout layout;
+  layout.upper.reserve(static_cast<size_t>(count));
+  double bound = first;
+  for (int i = 0; i < count; ++i) {
+    layout.upper.push_back(bound);
+    bound *= factor;
+  }
+  return layout;
+}
+
+BucketLayout BucketLayout::latency_ms() {
+  // 0.01 ms .. ~164 s in powers of two: fine enough to separate a filter
+  // pass from a forward pass, coarse enough to stay 25 buckets forever.
+  return exponential(0.01, 2.0, 25);
+}
+
+Histogram::Histogram(BucketLayout layout) : layout_(std::move(layout)) {
+  FADEML_CHECK(!layout_.upper.empty(),
+               "Histogram requires at least one bucket");
+  FADEML_CHECK(std::is_sorted(layout_.upper.begin(), layout_.upper.end()),
+               "Histogram bucket bounds must be sorted ascending");
+  counts_.assign(layout_.upper.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  const auto it =
+      std::lower_bound(layout_.upper.begin(), layout_.upper.end(), v);
+  const size_t bucket =
+      static_cast<size_t>(it - layout_.upper.begin());  // overflow = last
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0 || v < min_) {
+    min_ = v;
+  }
+  if (count_ == 0 || v > max_) {
+    max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  ++counts_[bucket];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  s.upper = layout_.upper;
+  s.counts = counts_;
+  return s;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: worker threads (the parallel pool, serve workers)
+  // may still record during static destruction at process exit.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const BucketLayout& layout) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(layout);
+  }
+  return *slot;
+}
+
+void MetricsRegistry::emit_into(JsonWriter& w, const char* section) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::string(section) == "counters") {
+    for (const auto& [name, c] : counters_) {
+      w.key(name).value(c->value());
+    }
+  } else if (std::string(section) == "gauges") {
+    for (const auto& [name, g] : gauges_) {
+      w.key(name).value(g->value());
+    }
+  } else {
+    for (const auto& [name, h] : histograms_) {
+      const Histogram::Snapshot s = h->snapshot();
+      w.key(name).begin_object();
+      w.key("count").value(s.count);
+      w.key("sum").value(s.sum);
+      w.key("min").value(s.min);
+      w.key("max").value(s.max);
+      w.key("mean").value(s.mean());
+      w.key("buckets").begin_array();
+      for (size_t i = 0; i < s.counts.size(); ++i) {
+        w.begin_object();
+        if (i < s.upper.size()) {
+          w.key("le").value(s.upper[i]);
+        } else {
+          w.key("le").null();
+        }
+        w.key("count").value(s.counts[i]);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+  }
+}
+
+void write_metrics_json(
+    std::ostream& os, const std::vector<const MetricsRegistry*>& registries) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("schema").value("fademl.metrics.v1");
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    w.key(section).begin_object();
+    for (const MetricsRegistry* r : registries) {
+      if (r != nullptr) {
+        r->emit_into(w, section);
+      }
+    }
+    w.end_object();
+  }
+  w.end_object();
+  os << "\n";
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  write_metrics_json(os, {this});
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  FADEML_CHECK(os.good(), "cannot open metrics output file '" + path + "'");
+  write_json(os);
+  FADEML_CHECK(os.good(), "failed writing metrics to '" + path + "'");
+}
+
+}  // namespace fademl::obs

@@ -1,0 +1,227 @@
+#include "fademl/obs/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "fademl/obs/json.hpp"
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::obs {
+
+namespace {
+
+/// -1 = not yet initialized from the environment, 0 = off, 1 = on.
+std::atomic<int> g_trace_state{-1};
+
+bool env_truthy(const char* v) {
+  return v != nullptr &&
+         (std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+          std::strcmp(v, "on") == 0);
+}
+
+/// Small sequential per-thread id (Chrome's tid field); assigned on the
+/// thread's first recorded span.
+uint32_t thread_trace_id() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+thread_local uint32_t t_span_depth = 0;
+
+double us_between(TraceClock::time_point a, TraceClock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+/// FADEML_TRACE_OUT: dump the timeline at process exit, so any binary
+/// (tests, benches, the CLI) becomes traceable with two env vars and no
+/// code changes.
+void dump_trace_at_exit() {
+  if (!trace_enabled()) {
+    return;
+  }
+  const char* path = std::getenv("FADEML_TRACE_OUT");
+  if (path == nullptr || *path == '\0' ||
+      TraceCollector::instance().size() == 0) {
+    return;
+  }
+  try {
+    TraceCollector::instance().write_chrome_trace_file(path);
+    std::fprintf(stderr, "[fademl] trace timeline -> %s\n", path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[fademl] failed to write trace to %s: %s\n", path,
+                 e.what());
+  }
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  int state = g_trace_state.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = env_truthy(std::getenv("FADEML_TRACE")) ? 1 : 0;
+    int expected = -1;
+    if (!g_trace_state.compare_exchange_strong(expected, state)) {
+      state = expected;  // another thread (or an override) won the race
+    }
+  }
+  return state == 1;
+}
+
+void set_trace_enabled(bool enabled) {
+  g_trace_state.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+TraceCollector::TraceCollector() : epoch_(TraceClock::now()) {
+  std::atexit(dump_trace_at_exit);
+}
+
+TraceCollector& TraceCollector::instance() {
+  // Leaked like the global MetricsRegistry: pool/serve threads may record
+  // while static destructors run.
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+void TraceCollector::record(std::string name, std::string category,
+                            TraceClock::time_point start,
+                            TraceClock::time_point end, uint32_t depth) {
+  const uint32_t tid = thread_trace_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.tid = tid;
+  e.depth = depth;
+  e.ts_us = us_between(epoch_, start);
+  e.dur_us = us_between(start, end);
+  events_.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+int64_t TraceCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void TraceCollector::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+void TraceCollector::set_capacity(size_t capacity) {
+  FADEML_CHECK(capacity >= 1, "trace capacity must be >= 1");
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+}
+
+void TraceCollector::write_chrome_trace(std::ostream& os) const {
+  std::vector<TraceEvent> snapshot;
+  int64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = events_;
+    dropped = dropped_;
+  }
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& e : snapshot) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("cat").value(e.category);
+    w.key("ph").value("X");
+    w.key("pid").value(int64_t{1});
+    w.key("tid").value(static_cast<int64_t>(e.tid));
+    w.key("ts").value(e.ts_us);
+    w.key("dur").value(e.dur_us);
+    w.key("args").begin_object();
+    w.key("depth").value(static_cast<int64_t>(e.depth));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.key("droppedEvents").value(dropped);
+  w.end_object();
+  os << "\n";
+}
+
+void TraceCollector::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream os(path);
+  FADEML_CHECK(os.good(), "cannot open trace output file '" + path + "'");
+  write_chrome_trace(os);
+  FADEML_CHECK(os.good(), "failed writing trace to '" + path + "'");
+}
+
+TraceSpan::TraceSpan(std::string name, const char* category)
+    : active_(trace_enabled()) {
+  if (!active_) {
+    return;
+  }
+  name_ = std::move(name);
+  category_ = category;
+  depth_ = t_span_depth++;
+  start_ = TraceClock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) {
+    return;
+  }
+  const TraceClock::time_point end = TraceClock::now();
+  --t_span_depth;
+  TraceCollector::instance().record(std::move(name_), category_, start_, end,
+                                    depth_);
+}
+
+void record_span(std::string name, const char* category,
+                 TraceClock::time_point start, TraceClock::time_point end) {
+  if (!trace_enabled()) {
+    return;
+  }
+  TraceCollector::instance().record(std::move(name), category, start, end,
+                                    t_span_depth);
+}
+
+StageTimer::StageTimer(Histogram& histogram, const char* span_name,
+                       const char* category)
+    : histogram_(histogram),
+      traced_(trace_enabled()),
+      start_(TraceClock::now()),
+      span_name_(span_name),
+      category_(category) {
+  if (traced_) {
+    depth_ = t_span_depth++;
+  }
+}
+
+StageTimer::~StageTimer() {
+  const TraceClock::time_point end = TraceClock::now();
+  histogram_.observe(us_between(start_, end) / 1000.0);
+  if (traced_) {
+    --t_span_depth;
+    TraceCollector::instance().record(span_name_, category_, start_, end,
+                                      depth_);
+  }
+}
+
+}  // namespace fademl::obs

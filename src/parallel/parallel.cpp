@@ -9,11 +9,41 @@
 #include <thread>
 #include <vector>
 
+#include "fademl/obs/trace.hpp"
+
 namespace fademl::parallel {
 
 namespace {
 
 constexpr int kMaxThreads = 256;
+
+// Pool profiling metrics (global registry; references are stable, so the
+// name lookup happens once). `pool.chunk_ms` is safe to observe from
+// worker threads at any point of the process lifetime — the registry is a
+// leaked singleton, so it outlives the pool's own static teardown.
+obs::Histogram& chunk_hist() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("pool.chunk_ms");
+  return h;
+}
+
+obs::Histogram& workers_hist() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "pool.threads_per_job", obs::BucketLayout::exponential(1.0, 2.0, 9));
+  return h;
+}
+
+obs::Counter& jobs_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("pool.jobs");
+  return c;
+}
+
+obs::Counter& inline_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("pool.jobs_inline");
+  return c;
+}
 
 thread_local bool t_in_parallel = false;
 
@@ -41,6 +71,7 @@ struct Job {
   const ChunkBody* body = nullptr;
   std::atomic<int64_t> next{0};       ///< next unclaimed chunk
   std::atomic<int64_t> completed{0};  ///< chunks finished (run or skipped)
+  std::atomic<int> participants{0};   ///< workers that joined (utilization)
   std::atomic<bool> failed{false};    ///< skip remaining chunks after a throw
   std::exception_ptr error;           ///< guarded by Pool::mu_
   int active = 0;                     ///< workers inside execute(); Pool::mu_
@@ -57,6 +88,9 @@ void execute_chunks(Job& job, std::mutex& mu) {
       const int64_t lo = job.begin + c * job.grain;
       const int64_t hi = std::min(job.end, lo + job.grain);
       try {
+        // Chunks are grain-sized by design, so one timer per chunk is
+        // coarse enough not to distort the work it measures.
+        obs::StageTimer timer(chunk_hist(), "pool.chunk", "pool");
         (*job.body)(c, lo, hi);
       } catch (...) {
         std::lock_guard<std::mutex> lk(mu);
@@ -123,6 +157,13 @@ class Pool {
     });
     job_ = nullptr;
     lk.unlock();
+    jobs_counter().add();
+    // Thread utilization: the caller plus every worker that actually
+    // claimed a chunk slot. Comparing the histogram against num_threads()
+    // shows whether fan-outs are starved (workers busy elsewhere) or the
+    // grain is too coarse to occupy the pool.
+    workers_hist().observe(
+        1.0 + job.participants.load(std::memory_order_relaxed));
     if (job.error) {
       std::rethrow_exception(job.error);
     }
@@ -148,6 +189,7 @@ class Pool {
     // any chunk-ordered reduction the caller performs) match bitwise.
     // The in-parallel flag is left untouched: when a single-chunk outer
     // loop runs inline, inner loops may still fan out.
+    inline_counter().add();
     for (int64_t c = 0; c < nchunks; ++c) {
       const int64_t lo = begin + c * grain;
       body(c, lo, std::min(end, lo + grain));
@@ -177,6 +219,7 @@ class Pool {
         continue;
       }
       ++job->active;
+      job->participants.fetch_add(1, std::memory_order_relaxed);
       lk.unlock();
       t_in_parallel = true;
       execute_chunks(*job, mu_);

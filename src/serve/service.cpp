@@ -7,6 +7,7 @@
 
 #include "fademl/io/failpoint.hpp"
 #include "fademl/nn/trainer.hpp"
+#include "fademl/obs/trace.hpp"
 #include "fademl/parallel/parallel.hpp"
 #include "fademl/tensor/error.hpp"
 
@@ -28,7 +29,10 @@ InferenceService::InferenceService(
       pipelines_(std::move(replicas)),
       queue_(config_.queue_capacity),
       breaker_(config_.breaker),
-      stats_(config_.latency_window) {
+      stats_(config_.latency_window),
+      queue_hist_(stats_.registry().histogram("serve.queue_ms")),
+      gather_hist_(stats_.registry().histogram("serve.gather_ms")),
+      infer_hist_(stats_.registry().histogram("serve.infer_ms")) {
   FADEML_CHECK(!pipelines_.empty(),
                "InferenceService requires at least one pipeline replica");
   FADEML_CHECK(config_.max_batch >= 1,
@@ -100,9 +104,16 @@ std::future<InferenceResult> InferenceService::submit(
                                            : Clock::time_point::max();
   std::future<InferenceResult> future = request->promise.get_future();
 
+  // Count admission *before* the push. Once the request is in the queue a
+  // worker may complete it immediately; counting afterwards opens a window
+  // where stats() reports completed > submitted. Counting first keeps the
+  // invariant (a completion always follows its admission), at the price of
+  // compensating when the push itself is refused.
+  stats_.on_submitted();
   try {
     if (config_.overload_policy == OverloadPolicy::kShed) {
       if (!queue_.try_push(std::move(request))) {
+        stats_.on_admission_reverted();
         stats_.on_shed();
         breaker_.record_abandoned();
         throw QueueFullError("request shed: queue at capacity " +
@@ -112,10 +123,10 @@ std::future<InferenceResult> InferenceService::submit(
       queue_.push(std::move(request));
     }
   } catch (const ShutdownError&) {
+    stats_.on_admission_reverted();
     breaker_.record_abandoned();
     throw;
   }
-  stats_.on_submitted();
   return future;
 }
 
@@ -137,25 +148,29 @@ void InferenceService::worker_loop(size_t worker_index) {
   while (auto first = queue_.pop()) {
     std::vector<RequestPtr> batch;
     batch.push_back(std::move(*first));
-    const Clock::time_point window_end = Clock::now() + config_.batch_window;
-    while (batch.size() < config_.max_batch) {
-      Clock::time_point until = window_end;
-      for (const RequestPtr& r : batch) {
-        if (r->deadline != Clock::time_point::max()) {
-          // Stop a full window before the earliest in-hand deadline so the
-          // request still has headroom to run — gathering must not spend
-          // the very slack the deadline granted.
-          until = std::min(until, r->deadline - config_.batch_window);
+    {
+      obs::StageTimer gather_timer(gather_hist_, "serve.gather", "serve");
+      const Clock::time_point window_end =
+          Clock::now() + config_.batch_window;
+      while (batch.size() < config_.max_batch) {
+        Clock::time_point until = window_end;
+        for (const RequestPtr& r : batch) {
+          if (r->deadline != Clock::time_point::max()) {
+            // Stop a full window before the earliest in-hand deadline so
+            // the request still has headroom to run — gathering must not
+            // spend the very slack the deadline granted.
+            until = std::min(until, r->deadline - config_.batch_window);
+          }
         }
+        if (Clock::now() >= until) {
+          break;
+        }
+        auto next = queue_.pop_until(until);
+        if (!next) {
+          break;  // window elapsed (or queue closed and drained)
+        }
+        batch.push_back(std::move(*next));
       }
-      if (Clock::now() >= until) {
-        break;
-      }
-      auto next = queue_.pop_until(until);
-      if (!next) {
-        break;  // window elapsed (or queue closed and drained)
-      }
-      batch.push_back(std::move(*next));
     }
     process_batch(worker_index, batch);
   }
@@ -163,6 +178,12 @@ void InferenceService::worker_loop(size_t worker_index) {
 
 void InferenceService::process(size_t worker_index, Request& request) {
   const Clock::time_point dequeued_at = Clock::now();
+  // The queue wait is over whether or not the request survived it; the
+  // span's endpoints straddle two threads (started on the submitter,
+  // finished here), hence record_span over a scoped timer.
+  queue_hist_.observe(ms_between(request.submitted_at, dequeued_at));
+  obs::record_span("serve.queue", "serve", request.submitted_at,
+                   dequeued_at);
   if (dequeued_at > request.deadline) {
     // Expired while queued: reject without running.
     stats_.on_timed_out();
@@ -191,8 +212,11 @@ void InferenceService::run_request(size_t worker_index, Request& request,
   try {
     io::FaultInjector::instance().on_compute();
     InferenceResult result;
-    result.prediction =
-        pipeline.predict(request.image, config_.threat_model);
+    {
+      obs::StageTimer infer_timer(infer_hist_, "serve.infer", "serve");
+      result.prediction =
+          pipeline.predict(request.image, config_.threat_model);
+    }
     const Clock::time_point done_at = Clock::now();
     if (done_at > request.deadline) {
       // Finished late: the worker is healthy, but a stale answer is
@@ -230,6 +254,8 @@ void InferenceService::process_batch(size_t worker_index,
   std::vector<RequestPtr> live;
   live.reserve(batch.size());
   for (RequestPtr& r : batch) {
+    queue_hist_.observe(ms_between(r->submitted_at, dequeued_at));
+    obs::record_span("serve.queue", "serve", r->submitted_at, dequeued_at);
     if (dequeued_at > r->deadline) {
       stats_.on_timed_out();
       breaker_.record_abandoned();
@@ -246,15 +272,16 @@ void InferenceService::process_batch(size_t worker_index,
     return;
   }
   stats_.on_batch(live.size());
-  if (live.size() == 1) {
-    process(worker_index, *live[0]);
-    return;
-  }
-
   // One degradation decision per batch — the cohort went through the
   // pipeline together, so it reports one consistent filter provenance.
   const bool degraded = config_.degrade_queue_depth > 0 &&
                         queue_.depth() >= config_.degrade_queue_depth;
+  if (live.size() == 1) {
+    // Straight to run_request (not process(), which would re-record the
+    // queue wait this loop already accounted for).
+    run_request(worker_index, *live[0], degraded, dequeued_at);
+    return;
+  }
   core::InferencePipeline& pipeline = degraded
                                           ? *degraded_pipelines_[worker_index]
                                           : *pipelines_[worker_index];
@@ -288,8 +315,12 @@ void InferenceService::process_batch(size_t worker_index,
       for (size_t i : group) {
         images.push_back(live[i]->image);
       }
-      const std::vector<core::Prediction> preds = pipeline.predict_batch(
-          nn::stack_images(images), config_.threat_model);
+      std::vector<core::Prediction> preds;
+      {
+        obs::StageTimer infer_timer(infer_hist_, "serve.infer", "serve");
+        preds = pipeline.predict_batch(nn::stack_images(images),
+                                       config_.threat_model);
+      }
       const Clock::time_point done_at = Clock::now();
       for (size_t j = 0; j < group.size(); ++j) {
         Request& request = *live[group[j]];

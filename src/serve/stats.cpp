@@ -7,21 +7,34 @@
 
 namespace fademl::serve {
 
-StatsCollector::StatsCollector(size_t window) : window_(window) {
+StatsCollector::StatsCollector(size_t window)
+    : window_(window),
+      submitted_(registry_.counter("serve.submitted")),
+      completed_(registry_.counter("serve.completed")),
+      degraded_(registry_.counter("serve.degraded")),
+      shed_(registry_.counter("serve.shed")),
+      timed_out_(registry_.counter("serve.timed_out")),
+      rejected_input_(registry_.counter("serve.rejected_input")),
+      breaker_rejected_(registry_.counter("serve.breaker_rejected")),
+      worker_failures_(registry_.counter("serve.worker_failures")),
+      batches_(registry_.counter("serve.batches")),
+      latency_hist_(registry_.histogram("serve.total_ms")) {
   FADEML_CHECK(window_ >= 1, "StatsCollector window must be >= 1");
 }
 
-void StatsCollector::on_submitted() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counts_.submitted;
-}
+void StatsCollector::on_submitted() { submitted_.add(); }
+
+void StatsCollector::on_admission_reverted() { submitted_.add(-1); }
 
 void StatsCollector::on_completed(double latency_ms, bool degraded) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counts_.completed;
+  // completed before degraded, so a snapshot reading degraded first can
+  // never observe degraded > completed.
+  completed_.add();
   if (degraded) {
-    ++counts_.degraded;
+    degraded_.add();
   }
+  latency_hist_.observe(latency_ms);
+  std::lock_guard<std::mutex> lock(mutex_);
   if (latencies_.size() < window_) {
     latencies_.push_back(latency_ms);
   } else {
@@ -32,8 +45,8 @@ void StatsCollector::on_completed(double latency_ms, bool degraded) {
 
 void StatsCollector::on_batch(size_t occupancy) {
   FADEML_CHECK(occupancy >= 1, "on_batch requires occupancy >= 1");
+  batches_.add();
   std::lock_guard<std::mutex> lock(mutex_);
-  ++counts_.batches;
   occupancy_total_ += static_cast<int64_t>(occupancy);
   if (occupancy_histogram_.size() < occupancy) {
     occupancy_histogram_.resize(occupancy, 0);
@@ -41,43 +54,43 @@ void StatsCollector::on_batch(size_t occupancy) {
   ++occupancy_histogram_[occupancy - 1];
 }
 
-void StatsCollector::on_shed() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counts_.shed;
-}
+void StatsCollector::on_shed() { shed_.add(); }
 
-void StatsCollector::on_timed_out() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counts_.timed_out;
-}
+void StatsCollector::on_timed_out() { timed_out_.add(); }
 
-void StatsCollector::on_rejected_input() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counts_.rejected_input;
-}
+void StatsCollector::on_rejected_input() { rejected_input_.add(); }
 
-void StatsCollector::on_breaker_rejected() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counts_.breaker_rejected;
-}
+void StatsCollector::on_breaker_rejected() { breaker_rejected_.add(); }
 
-void StatsCollector::on_worker_failure() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++counts_.worker_failures;
-}
+void StatsCollector::on_worker_failure() { worker_failures_.add(); }
 
 ServiceStats StatsCollector::snapshot() const {
+  ServiceStats out;
+  // Read order is the reverse of write order: every degraded++ follows its
+  // completed++, and every completed++ follows the request's submitted++
+  // (admission is counted before the queue push). With sequentially
+  // consistent counters, reading degraded, then completed, then submitted
+  // yields degraded <= completed <= submitted in every snapshot, however
+  // many submitters and workers are mid-flight.
+  out.degraded = degraded_.value();
+  out.completed = completed_.value();
+  out.submitted = submitted_.value();
+  out.shed = shed_.value();
+  out.timed_out = timed_out_.value();
+  out.rejected_input = rejected_input_.value();
+  out.breaker_rejected = breaker_rejected_.value();
+  out.worker_failures = worker_failures_.value();
+  out.batches = batches_.value();
   std::lock_guard<std::mutex> lock(mutex_);
-  ServiceStats out = counts_;
   out.latency_samples = static_cast<int64_t>(latencies_.size());
   out.p50_ms = percentile(latencies_, 0.50);
   out.p95_ms = percentile(latencies_, 0.95);
   out.p99_ms = percentile(latencies_, 0.99);
   out.batch_occupancy = occupancy_histogram_;
   out.mean_batch_occupancy =
-      counts_.batches == 0 ? 0.0
-                           : static_cast<double>(occupancy_total_) /
-                                 static_cast<double>(counts_.batches);
+      out.batches == 0 ? 0.0
+                       : static_cast<double>(occupancy_total_) /
+                             static_cast<double>(out.batches);
   return out;
 }
 

@@ -70,6 +70,45 @@ TEST(ArgParser, RejectsUnknownAndMalformed) {
   EXPECT_THROW(p4.get("unregistered", ""), Error);
 }
 
+// Regression: get_int/get_double used to ignore errno == ERANGE, silently
+// returning the saturated LLONG_MAX / HUGE_VAL instead of failing.
+TEST(ArgParser, RejectsOutOfRangeNumbers) {
+  auto p = make_parser();
+  const char* overflow[] = {"--count", "99999999999999999999"};
+  p.parse(2, overflow);
+  EXPECT_THROW(p.get_int("count", 0), Error);
+
+  auto p2 = make_parser();
+  const char* huge[] = {"--ratio", "1e999"};
+  p2.parse(2, huge);
+  EXPECT_THROW(p2.get_double("ratio", 0.0), Error);
+
+  // Underflow-to-zero is equally not the number the user wrote.
+  auto p3 = make_parser();
+  const char* tiny[] = {"--ratio", "1e-999"};
+  p3.parse(2, tiny);
+  EXPECT_THROW(p3.get_double("ratio", 0.0), Error);
+
+  // In-range values keep parsing exactly as before.
+  auto p4 = make_parser();
+  const char* fine[] = {"--count", "9223372036854775807", "--ratio", "1e30"};
+  p4.parse(4, fine);
+  EXPECT_EQ(p4.get_int("count", 0), INT64_MAX);
+  EXPECT_DOUBLE_EQ(p4.get_double("ratio", 0.0), 1e30);
+}
+
+// Regression: "--opt=" (usually an unset shell variable) used to be
+// accepted as an empty string and then fall back to defaults downstream;
+// it is a parse error now.
+TEST(ArgParser, RejectsExplicitEmptyValue) {
+  auto p = make_parser();
+  const char* empty_value[] = {"--name="};
+  EXPECT_THROW(p.parse(1, empty_value), Error);
+  auto p2 = make_parser();
+  const char* empty_num[] = {"--count="};
+  EXPECT_THROW(p2.parse(1, empty_num), Error);
+}
+
 TEST(ArgParser, UsageMentionsEveryOption) {
   const auto p = make_parser();
   const std::string usage = p.usage("prog");
@@ -172,6 +211,30 @@ TEST(ConfusionMatrix, PipelineEvaluationMatchesAccuracy) {
                                      core::ThreatModel::kI);
   EXPECT_NEAR(cm.accuracy(), acc.top1, 1e-9);
   EXPECT_EQ(cm.total(), static_cast<int64_t>(w.train_images.size()));
+}
+
+// Regression: confusion_matrix used to walk images one-by-one (plus an
+// extra forward just to count classes). It now routes through
+// predict_batch in chunks; this pins the batched counts to the per-image
+// reference cell by cell.
+TEST(ConfusionMatrix, BatchedEvaluationMatchesPerImage) {
+  const auto pipeline = fademl::testing::tiny_pipeline(filters::make_lap(16));
+  const auto& w = fademl::testing::tiny_world();
+  const core::ConfusionMatrix batched = core::confusion_matrix(
+      pipeline, w.train_images, w.train_labels, core::ThreatModel::kIII);
+  core::ConfusionMatrix reference(batched.num_classes());
+  for (size_t i = 0; i < w.train_images.size(); ++i) {
+    reference.record(
+        w.train_labels[i],
+        pipeline.predict(w.train_images[i], core::ThreatModel::kIII).label);
+  }
+  ASSERT_EQ(batched.total(), reference.total());
+  for (int64_t t = 0; t < batched.num_classes(); ++t) {
+    for (int64_t p = 0; p < batched.num_classes(); ++p) {
+      EXPECT_EQ(batched.count(t, p), reference.count(t, p))
+          << "cell (" << t << ", " << p << ")";
+    }
+  }
 }
 
 }  // namespace

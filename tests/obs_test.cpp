@@ -1,0 +1,311 @@
+// Tests for the fademl::obs observability layer: the streaming JSON
+// emitter, the metrics registry (including multi-threaded increments —
+// this binary runs under scripts/check.sh --tsan), trace span collection
+// (nesting, bounded capacity, cross-thread record_span), and the
+// contract that everything is a no-op while tracing is disabled.
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fademl/obs/json.hpp"
+#include "fademl/obs/metrics.hpp"
+#include "fademl/obs/trace.hpp"
+
+namespace fademl::obs {
+namespace {
+
+/// Every trace test leaves the process-wide collector empty and tracing
+/// in its pre-test state.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prior_ = trace_enabled();
+    set_trace_enabled(false);
+    TraceCollector::instance().clear();
+    TraceCollector::instance().set_capacity(1 << 16);
+  }
+  void TearDown() override {
+    TraceCollector::instance().clear();
+    TraceCollector::instance().set_capacity(1 << 16);
+    set_trace_enabled(prior_);
+  }
+
+ private:
+  bool prior_ = false;
+};
+
+// ---- JsonWriter ------------------------------------------------------------
+
+TEST(JsonWriter, EmitsNestedStructureWithAutomaticCommas) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("name").value("probe");
+  w.key("count").value(int64_t{3});
+  w.key("points").begin_array();
+  w.value(1.5).value(int64_t{2}).null();
+  w.end_array();
+  w.key("nested").begin_object();
+  w.key("ok").value(true);
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(os.str(),
+            "{\"name\":\"probe\",\"count\":3,"
+            "\"points\":[1.5,2,null],\"nested\":{\"ok\":true}}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesSerializeAsNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.value(0.25);
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null,null,null,0.25]");
+}
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd\te\x01"),
+            "a\\\"b\\\\c\\nd\\te\\u0001");
+}
+
+// ---- BucketLayout / Histogram ----------------------------------------------
+
+TEST(BucketLayout, ExponentialDoublesEachBound) {
+  const BucketLayout layout = BucketLayout::exponential(1.0, 2.0, 4);
+  ASSERT_EQ(layout.upper.size(), 4u);
+  EXPECT_DOUBLE_EQ(layout.upper[0], 1.0);
+  EXPECT_DOUBLE_EQ(layout.upper[3], 8.0);
+  const BucketLayout latency = BucketLayout::latency_ms();
+  EXPECT_FALSE(latency.upper.empty());
+  EXPECT_DOUBLE_EQ(latency.upper.front(), 0.01);
+}
+
+TEST(Histogram, TracksCountSumMinMaxAndBuckets) {
+  Histogram h(BucketLayout::exponential(1.0, 2.0, 3));  // 1, 2, 4
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(100.0);  // overflow bucket
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.sum, 103.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 103.5 / 3.0);
+  ASSERT_EQ(s.counts.size(), 4u);  // 3 bounded + overflow
+  EXPECT_EQ(s.counts[0], 1);      // 0.5 <= 1
+  EXPECT_EQ(s.counts[1], 0);
+  EXPECT_EQ(s.counts[2], 1);      // 3.0 <= 4
+  EXPECT_EQ(s.counts[3], 1);      // 100 overflows
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = registry.histogram("h");
+  // Later layouts are ignored: the first caller fixes the buckets.
+  Histogram& h2 =
+      registry.histogram("h", BucketLayout::exponential(5.0, 3.0, 2));
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistry, CounterAllowsCompensatingDecrement) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("c");
+  c.add();
+  c.add(-1);
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsAndObservesAreExact) {
+  // The TSan target: counters, gauges, and histograms hammered from many
+  // threads while a reader exports JSON snapshots.
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("events");
+  Gauge& gauge = registry.gauge("level");
+  Histogram& hist = registry.histogram("lat");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      (void)registry.to_json();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add();
+        gauge.set(static_cast<double>(t));
+        hist.observe(static_cast<double>(i % 7));
+        // Create-on-first-use must also be safe mid-flight.
+        registry.counter("per_thread_" + std::to_string(t)).add();
+      }
+    });
+  }
+  for (std::thread& w : writers) {
+    w.join();
+  }
+  stop = true;
+  reader.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  EXPECT_EQ(hist.snapshot().count, kThreads * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.counter("per_thread_" + std::to_string(t)).value(),
+              kPerThread);
+  }
+}
+
+TEST(MetricsRegistry, ExportsStableSchema) {
+  MetricsRegistry registry;
+  registry.counter("b.count").add(2);
+  registry.counter("a.count").add(1);
+  registry.gauge("depth").set(3.5);
+  registry.histogram("ms", BucketLayout::exponential(1.0, 2.0, 2))
+      .observe(1.5);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"schema\":\"fademl.metrics.v1\""), std::string::npos);
+  // Keys are sorted within each section.
+  EXPECT_LT(json.find("\"a.count\":1"), json.find("\"b.count\":2"));
+  EXPECT_NE(json.find("\"depth\":3.5"), std::string::npos);
+  // The overflow bucket exports "le": null.
+  EXPECT_NE(json.find("\"le\":null"), std::string::npos);
+}
+
+TEST(MetricsRegistry, MergedExportSpansRegistries) {
+  MetricsRegistry lib;
+  MetricsRegistry svc;
+  lib.counter("pipeline.calls").add(4);
+  svc.counter("serve.submitted").add(7);
+  std::ostringstream os;
+  write_metrics_json(os, {&lib, &svc});
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"pipeline.calls\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"serve.submitted\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"fademl.metrics.v1\""), std::string::npos);
+}
+
+// ---- tracing ---------------------------------------------------------------
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(trace_enabled());
+  {
+    TraceSpan outer("outer", "test");
+    TraceSpan inner("inner", "test");
+  }
+  record_span("manual", "test", TraceClock::now(), TraceClock::now());
+  EXPECT_EQ(TraceCollector::instance().size(), 0u);
+  EXPECT_EQ(TraceCollector::instance().dropped(), 0);
+}
+
+TEST_F(TraceTest, SpansNestWithDepthPerThread) {
+  set_trace_enabled(true);
+  {
+    TraceSpan outer("outer", "test");
+    {
+      TraceSpan inner("inner", "test");
+    }
+  }
+  const std::vector<TraceEvent> events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans record on close: inner first, then outer.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  EXPECT_LE(events[1].ts_us, events[0].ts_us);
+  EXPECT_GE(events[0].dur_us, 0.0);
+}
+
+TEST_F(TraceTest, StageTimerAlwaysObservesButOnlyTracesWhenEnabled) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("stage");
+  {
+    StageTimer timer(hist, "stage", "test");
+  }
+  EXPECT_EQ(hist.snapshot().count, 1);
+  EXPECT_EQ(TraceCollector::instance().size(), 0u);
+  set_trace_enabled(true);
+  {
+    StageTimer timer(hist, "stage", "test");
+  }
+  EXPECT_EQ(hist.snapshot().count, 2);
+  EXPECT_EQ(TraceCollector::instance().size(), 1u);
+}
+
+TEST_F(TraceTest, CapacityBoundsMemoryAndCountsDrops) {
+  set_trace_enabled(true);
+  TraceCollector::instance().set_capacity(3);
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span("s" + std::to_string(i), "test");
+  }
+  EXPECT_EQ(TraceCollector::instance().size(), 3u);
+  EXPECT_EQ(TraceCollector::instance().dropped(), 2);
+  TraceCollector::instance().clear();
+  EXPECT_EQ(TraceCollector::instance().size(), 0u);
+  EXPECT_EQ(TraceCollector::instance().dropped(), 0);
+}
+
+TEST_F(TraceTest, RecordSpanAcceptsCrossThreadEndpoints) {
+  set_trace_enabled(true);
+  const TraceClock::time_point start = TraceClock::now();
+  std::thread worker([&] {
+    record_span("queue.wait", "serve", start, TraceClock::now());
+  });
+  worker.join();
+  const std::vector<TraceEvent> events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "queue.wait");
+  EXPECT_EQ(events[0].category, "serve");
+}
+
+TEST_F(TraceTest, ChromeTraceExportIsWellFormed) {
+  set_trace_enabled(true);
+  {
+    TraceSpan span("exported \"span\"", "test");
+  }
+  std::ostringstream os;
+  TraceCollector::instance().write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("exported \\\"span\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ConcurrentSpansFromManyThreadsAreAllKept) {
+  set_trace_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceSpan span("work", "test");
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(TraceCollector::instance().size(),
+            static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_EQ(TraceCollector::instance().dropped(), 0);
+}
+
+}  // namespace
+}  // namespace fademl::obs

@@ -698,6 +698,77 @@ TEST_F(ServeTest, BacklogDegradesWholeBatches) {
   EXPECT_EQ(service.stats().degraded, degraded);
 }
 
+// Regression: submit() used to count on_submitted() only *after* the
+// queue push, so a worker could dequeue and complete the request before
+// it was ever counted — a concurrent stats() snapshot then reported
+// completed > submitted. Admission is counted pre-push now (compensated
+// on shed/shutdown); a reader thread asserts the invariant on every
+// snapshot while submitters hammer a shedding queue.
+TEST_F(ServeTest, StatsNeverReportMoreCompletedThanSubmitted) {
+  ServiceConfig config = base_config();
+  config.queue_capacity = 4;
+  config.overload_policy = OverloadPolicy::kShed;
+  InferenceService service(make_replicas(2), config);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> violations{0};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const ServiceStats s = service.stats();
+      if (s.completed > s.submitted || s.degraded > s.completed) {
+        ++violations;
+      }
+    }
+  });
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerThread = 30;
+  std::atomic<int64_t> accepted{0};
+  std::atomic<int64_t> shed{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      std::vector<std::future<InferenceResult>> futures;
+      for (int i = 0; i < kPerThread; ++i) {
+        try {
+          futures.push_back(service.submit(
+              valid_image(static_cast<uint64_t>(t * kPerThread + i))));
+          ++accepted;
+        } catch (const QueueFullError&) {
+          ++shed;
+        }
+      }
+      for (auto& f : futures) {
+        EXPECT_NO_THROW((void)f.get());
+      }
+    });
+  }
+  for (std::thread& th : submitters) {
+    th.join();
+  }
+  ASSERT_TRUE(eventually(
+      [&] { return service.stats().completed == accepted.load(); }));
+  stop = true;
+  reader.join();
+  EXPECT_EQ(violations.load(), 0);
+
+  // Shed submissions were compensated: `submitted` counts only requests
+  // the queue actually admitted. The service's metric registry carries
+  // the same accounting (one vocabulary for snapshot and JSON export).
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, accepted.load());
+  EXPECT_EQ(stats.completed, accepted.load());
+  EXPECT_EQ(stats.shed, shed.load());
+  const std::string json = service.metrics().to_json();
+  EXPECT_NE(
+      json.find("\"serve.submitted\":" + std::to_string(stats.submitted)),
+      std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"serve.shed\":" + std::to_string(stats.shed)),
+            std::string::npos)
+      << json;
+}
+
 TEST_F(ServeTest, ShutdownDrainsGatheredBatches) {
   // Requests admitted before shutdown complete even when they are sitting
   // in a worker's gather when close() lands.

@@ -12,9 +12,13 @@
 //                  [--filter lap32] [--workers 2] [--deadline-ms 0]
 //                  [--queue 64] [--policy block|shed]
 //                  [--max-batch 8] [--batch-window-ms 2]
+//                  [--metrics-out metrics.json] [--trace-out trace.json]
 //                  through the hardened concurrent inference service,
 //                  with micro-batched workers and per-image failure
-//                  isolation
+//                  isolation; --metrics-out exports the merged
+//                  fademl.metrics.v1 registry dump, --trace-out enables
+//                  span collection and writes a Chrome-trace timeline
+//                  (see docs/observability.md)
 //
 // Exit codes (documented in README "Exit codes"):
 //   0  success
@@ -27,6 +31,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <memory>
@@ -203,6 +208,12 @@ int cmd_serve_batch(const io::ArgParser& args) {
   if (dir.empty()) {
     throw UsageError("serve-batch requires --dir <directory of .ppm images>");
   }
+  const std::string metrics_out = args.get("metrics-out", "");
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) {
+    // Asking for a trace file implies asking for tracing.
+    obs::set_trace_enabled(true);
+  }
   std::vector<std::string> files;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
     if (entry.is_regular_file() && entry.path().extension() == ".ppm") {
@@ -307,6 +318,26 @@ int cmd_serve_batch(const io::ArgParser& args) {
     }
     std::printf("\n");
   }
+  if (!metrics_out.empty()) {
+    // One fademl.metrics.v1 document over the library-level registry
+    // (pipeline/pool stages) and the service's private one (serve.*
+    // counters + queue/gather/infer histograms).
+    std::ofstream os(metrics_out);
+    if (!os) {
+      throw Error("serve-batch: cannot write metrics to '" + metrics_out +
+                  "'");
+    }
+    obs::write_metrics_json(
+        os, {&obs::MetricsRegistry::global(), &service.metrics()});
+    std::printf("metrics: %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    obs::TraceCollector::instance().write_chrome_trace_file(trace_out);
+    std::printf("trace: %s (%zu span(s), %lld dropped)\n", trace_out.c_str(),
+                obs::TraceCollector::instance().size(),
+                static_cast<long long>(
+                    obs::TraceCollector::instance().dropped()));
+  }
   return failures.finish();
 }
 
@@ -343,7 +374,8 @@ int main(int argc, char** argv) {
       "fademl — filter-aware adversarial ML toolkit (DATE 2019 reproduction)",
       {"cls", "size", "out", "seed", "filter", "attack", "source", "target",
        "eps", "iters", "fademl!", "ckpt", "dir", "workers", "deadline-ms",
-       "queue", "policy", "max-batch", "batch-window-ms"});
+       "queue", "policy", "max-batch", "batch-window-ms", "metrics-out",
+       "trace-out"});
   std::string command;
   try {
     if (argc < 2) {
