@@ -1,0 +1,361 @@
+// Open-loop load generator for the networked serving front-end
+// (fademl::net): drives a Server through the retrying Client at a fixed
+// offered load — arrivals follow the schedule regardless of how slowly
+// responses come back, so queueing delay is measured rather than hidden —
+// with optional deterministic fault injection on the wire, and reports
+// p50/p99/p99.9 latency vs offered load plus retry/shed rates and batch
+// occupancy to artifacts/BENCH_serve.json.
+//
+// By default it spins up an in-process server over a freshly initialized
+// tiny checkpoint (loopback, ephemeral port), which is what the CI smoke
+// job runs:
+//
+//   loadgen --quick --failpoint net-reset:3
+//
+// exits nonzero if any request is lost — admitted by the generator but
+// unanswered after the client's full retry budget — making "zero loss
+// under injected resets" a checked invariant, not a claim.
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fademl/fademl.hpp"
+#include "fademl/io/args.hpp"
+#include "fademl/io/failpoint.hpp"
+#include "fademl/net/client.hpp"
+#include "fademl/net/registry.hpp"
+#include "fademl/net/server.hpp"
+#include "fademl/nn/checkpoint.hpp"
+#include "fademl/obs/json.hpp"
+
+namespace {
+
+using namespace fademl;
+using Clock = std::chrono::steady_clock;
+
+constexpr int64_t kSide = 8;
+constexpr int kClasses = 4;
+
+std::unique_ptr<core::InferencePipeline> make_replica() {
+  Rng rng(99);
+  auto model = nn::make_vggnet(nn::VggConfig::tiny(kClasses, kSide), rng);
+  return std::make_unique<core::InferencePipeline>(std::move(model),
+                                                   filters::make_lap(4));
+}
+
+struct PointResult {
+  double offered_rps = 0.0;
+  int64_t requests = 0;
+  int64_t completed = 0;
+  int64_t lost = 0;
+  int64_t attempts = 0;
+  int64_t retries = 0;
+  int64_t reconnects = 0;
+  std::vector<double> latencies_ms;  ///< per completed request
+  serve::ServiceStats service;       ///< server-side snapshot delta source
+  net::ServerStats server;
+};
+
+/// Precomputed arrival offsets (ms from the run start) for `rate` req/s
+/// over `duration_ms`. Exponential gaps model Poisson traffic; uniform
+/// gaps model a paced client fleet. Deterministic from `seed`.
+std::vector<double> make_schedule(double rate, int duration_ms,
+                                  const std::string& arrival,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> offsets;
+  const double mean_gap_ms = 1000.0 / rate;
+  double t = 0.0;
+  while (t < static_cast<double>(duration_ms)) {
+    double gap = mean_gap_ms;
+    if (arrival == "exp") {
+      // Inverse-CDF exponential; clamp the argument away from 0.
+      const double u =
+          std::max(1e-9, 1.0 - static_cast<double>(rng.uniform()));
+      gap = -mean_gap_ms * std::log(u);
+    } else if (arrival == "uniform") {
+      gap = static_cast<double>(rng.uniform()) * 2.0 * mean_gap_ms;
+    }
+    t += gap;
+    if (t < static_cast<double>(duration_ms)) {
+      offsets.push_back(t);
+    }
+  }
+  return offsets;
+}
+
+/// One offered-load point: N client threads claim arrivals from the
+/// shared schedule and fire each at its scheduled instant.
+PointResult run_point(const std::string& host, uint16_t port,
+                      const std::string& model_name, double rate,
+                      int duration_ms, int client_threads,
+                      const std::string& arrival, int max_attempts,
+                      uint64_t seed) {
+  const std::vector<double> schedule =
+      make_schedule(rate, duration_ms, arrival, seed);
+  PointResult point;
+  point.offered_rps = rate;
+  point.requests = static_cast<int64_t>(schedule.size());
+
+  std::atomic<size_t> next_arrival{0};
+  std::atomic<int64_t> completed{0};
+  std::atomic<int64_t> lost{0};
+  std::mutex latency_mutex;
+  std::vector<double> latencies;
+  std::atomic<int64_t> attempts{0};
+  std::atomic<int64_t> retries{0};
+  std::atomic<int64_t> reconnects{0};
+
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(client_threads));
+  for (int t = 0; t < client_threads; ++t) {
+    threads.emplace_back([&, t] {
+      net::ClientConfig config;
+      config.host = host;
+      config.port = port;
+      config.retry.max_attempts = max_attempts;
+      config.retry.initial_backoff_ms = 2;
+      config.retry.max_backoff_ms = 200;
+      config.retry.jitter_seed = seed + static_cast<uint64_t>(t);
+      net::Client client(config);
+      Rng image_rng(seed * 31 + static_cast<uint64_t>(t));
+      std::vector<double> local_latencies;
+      for (;;) {
+        const size_t index = next_arrival.fetch_add(1);
+        if (index >= schedule.size()) {
+          break;
+        }
+        const auto due =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            schedule[index]));
+        std::this_thread::sleep_until(due);
+        const Tensor image =
+            image_rng.uniform_tensor(Shape{3, kSide, kSide}, 0.0f, 1.0f);
+        const auto sent = Clock::now();
+        try {
+          (void)client.predict(model_name, image);
+          completed.fetch_add(1);
+          local_latencies.push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() - sent)
+                  .count());
+        } catch (const net::NetError&) {
+          // Retry budget exhausted: this request is lost.
+          lost.fetch_add(1);
+        }
+      }
+      attempts.fetch_add(client.stats().attempts);
+      retries.fetch_add(client.stats().retries);
+      reconnects.fetch_add(client.stats().reconnects);
+      std::lock_guard<std::mutex> lock(latency_mutex);
+      latencies.insert(latencies.end(), local_latencies.begin(),
+                       local_latencies.end());
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+
+  point.completed = completed.load();
+  point.lost = lost.load();
+  point.attempts = attempts.load();
+  point.retries = retries.load();
+  point.reconnects = reconnects.load();
+  point.latencies_ms = std::move(latencies);
+  return point;
+}
+
+void write_report(const std::string& path, const std::string& arrival,
+                  int duration_ms, int client_threads,
+                  const std::string& failpoint,
+                  const std::vector<PointResult>& points) {
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  std::ofstream os(path);
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.key("schema").value("fademl.bench.serve.v1");
+  w.key("arrival").value(arrival);
+  w.key("duration_ms").value(duration_ms);
+  w.key("client_threads").value(client_threads);
+  w.key("failpoint").value(failpoint.empty() ? "none" : failpoint);
+  w.key("points").begin_array();
+  for (const PointResult& p : points) {
+    w.begin_object();
+    w.key("offered_rps").value(p.offered_rps);
+    w.key("requests").value(p.requests);
+    w.key("completed").value(p.completed);
+    w.key("lost").value(p.lost);
+    const double window_s = static_cast<double>(duration_ms) / 1000.0;
+    w.key("achieved_rps")
+        .value(static_cast<double>(p.completed) / window_s);
+    w.key("p50_ms").value(serve::percentile(p.latencies_ms, 0.50));
+    w.key("p99_ms").value(serve::percentile(p.latencies_ms, 0.99));
+    w.key("p999_ms").value(serve::percentile(p.latencies_ms, 0.999));
+    w.key("retry_rate")
+        .value(p.attempts > 0 ? static_cast<double>(p.retries) /
+                                    static_cast<double>(p.attempts)
+                              : 0.0);
+    w.key("reconnects").value(p.reconnects);
+    w.key("shed_rate")
+        .value(p.service.submitted + p.service.shed > 0
+                   ? static_cast<double>(p.service.shed) /
+                         static_cast<double>(p.service.submitted +
+                                             p.service.shed)
+                   : 0.0);
+    w.key("mean_batch_occupancy").value(p.service.mean_batch_occupancy);
+    w.key("server").begin_object();
+    w.key("connections_accepted").value(p.server.connections_accepted);
+    w.key("connections_refused").value(p.server.connections_refused);
+    w.key("frames_served").value(p.server.frames_served);
+    w.key("error_frames").value(p.server.error_frames);
+    w.key("protocol_errors").value(p.server.protocol_errors);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+std::vector<double> parse_rates(const std::string& text) {
+  std::vector<double> rates;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      rates.push_back(std::stod(item));
+    }
+  }
+  return rates;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  io::ArgParser args(
+      "Open-loop load generator for the fademl::net serving front-end",
+      {"rates", "duration-ms", "clients", "arrival", "model", "host", "port",
+       "max-attempts", "max-batch", "failpoint", "out", "seed", "quick!"});
+  try {
+    args.parse(argc - 1, argv + 1);
+  } catch (const fademl::Error& e) {
+    std::cerr << e.what() << "\n" << args.usage("loadgen") << "\n";
+    return 2;
+  }
+
+  const bool quick = args.has("quick");
+  const std::string rates_text = args.get("rates", quick ? "25" : "15,40,80");
+  const int duration_ms = static_cast<int>(
+      args.get_int("duration-ms", quick ? 1500 : 4000));
+  const int clients = static_cast<int>(args.get_int("clients", 2));
+  const std::string arrival = args.get("arrival", "exp");
+  const std::string model_name = args.get("model", "vgg");
+  const int max_attempts = static_cast<int>(args.get_int("max-attempts", 6));
+  const std::string failpoint = args.get("failpoint", "");
+  const std::string out = args.get("out", "artifacts/BENCH_serve.json");
+  const uint64_t seed = static_cast<uint64_t>(args.get_int("seed", 42));
+  if (arrival != "exp" && arrival != "uniform") {
+    std::cerr << "loadgen: --arrival must be exp or uniform\n";
+    return 2;
+  }
+  const std::vector<double> rates = parse_rates(rates_text);
+  if (rates.empty()) {
+    std::cerr << "loadgen: --rates parsed to nothing\n";
+    return 2;
+  }
+
+  // External-server mode drives host:port as-is; otherwise spin up an
+  // in-process loopback server over a fresh tiny checkpoint.
+  uint16_t port = static_cast<uint16_t>(args.get_int("port", 0));
+  const std::string host = args.get("host", "127.0.0.1");
+  std::unique_ptr<net::ModelRegistry> registry;
+  std::unique_ptr<net::Server> server;
+  std::string checkpoint;
+  if (port == 0) {
+    checkpoint = (std::filesystem::temp_directory_path() /
+                  "fademl_loadgen_ckpt.fdml")
+                     .string();
+    {
+      Rng rng(99);
+      auto model =
+          nn::make_vggnet(nn::VggConfig::tiny(kClasses, kSide), rng);
+      nn::save_checkpoint(*model, checkpoint);
+    }
+    registry = std::make_unique<net::ModelRegistry>();
+    net::ModelSpec spec;
+    spec.name = model_name;
+    spec.checkpoint_path = checkpoint;
+    spec.factory = [] {
+      std::vector<std::unique_ptr<core::InferencePipeline>> replicas;
+      replicas.push_back(make_replica());
+      replicas.push_back(make_replica());
+      return replicas;
+    };
+    spec.service.admission.expected_height = kSide;
+    spec.service.admission.expected_width = kSide;
+    spec.service.queue_capacity = 128;
+    spec.service.max_batch =
+        static_cast<size_t>(args.get_int("max-batch", 4));
+    registry->install(std::move(spec));
+    net::ServerConfig server_config;
+    server_config.host = host;
+    server = std::make_unique<net::Server>(*registry, server_config);
+    server->start();
+    port = server->port();
+  }
+
+  std::vector<PointResult> points;
+  int64_t total_lost = 0;
+  for (const double rate : rates) {
+    if (!failpoint.empty()) {
+      // Re-armed per point so every offered load sees the same injected
+      // fault burst.
+      io::FaultInjector::instance().arm(failpoint);
+    }
+    PointResult point = run_point(host, port, model_name, rate, duration_ms,
+                                  clients, arrival, max_attempts, seed);
+    io::FaultInjector::instance().disarm();
+    if (registry) {
+      if (auto service = registry->lookup(model_name)) {
+        point.service = service->stats();
+      }
+    }
+    if (server) {
+      point.server = server->stats();
+    }
+    total_lost += point.lost;
+    std::cout << "rate " << rate << " rps: " << point.completed << "/"
+              << point.requests << " ok, " << point.lost << " lost, p50 "
+              << serve::percentile(point.latencies_ms, 0.5) << " ms, p99 "
+              << serve::percentile(point.latencies_ms, 0.99) << " ms, "
+              << point.retries << " retries\n";
+    points.push_back(std::move(point));
+  }
+
+  write_report(out, arrival, duration_ms, clients, failpoint, points);
+  std::cout << "report: " << out << "\n";
+
+  if (server) {
+    server->stop();
+    registry->clear();
+  }
+
+  if (total_lost > 0) {
+    std::cerr << "loadgen: " << total_lost
+              << " requests lost after full retry budget\n";
+    return 1;
+  }
+  return 0;
+}

@@ -34,6 +34,23 @@ namespace fademl::io {
 ///                  crashing backend. Decrements per fire and disarms
 ///                  after the N-th, so recovery paths (circuit-breaker
 ///                  half-open probes) can be driven deterministically.
+///
+/// Network failpoints (consulted by net::write_frame before every frame
+/// hits the wire, and by net::ModelRegistry before every checkpoint load):
+///
+///   net-reset:N    the next N frame sends abort the connection instead of
+///                  writing — the peer sees the stream end mid-request.
+///                  Decrements per fire, disarms after the N-th.
+///   net-partial:N  the next N frame sends write only half the frame and
+///                  then abort — a peer that died mid-send. Decrements and
+///                  disarms like net-reset.
+///   net-slow:MS    every frame send first sleeps MS milliseconds — a slow
+///                  or congested peer. Persistent until disarm(), so client
+///                  read deadlines actually fire.
+///   swap-corrupt:N the next N registry checkpoint loads throw
+///                  fademl::CorruptionError before touching the model — a
+///                  hot swap whose new bundle is damaged. Decrements and
+///                  disarms; the registry must keep the old model serving.
 struct FaultSpec {
   enum class Kind {
     kNone,
@@ -42,12 +59,28 @@ struct FaultSpec {
     kBitFlip,
     kSlowWorker,
     kWorkerThrow,
+    kNetReset,
+    kNetPartial,
+    kNetSlow,
+    kSwapCorrupt,
   };
   Kind kind = Kind::kNone;
   int64_t arg = 0;  ///< N-th write / byte count K / bit index B / ms / count
 
-  /// Parse the text syntax above; throws fademl::Error on a bad spec.
+  /// Parse the text syntax above. Strict: the argument must be a plain
+  /// non-negative decimal integer with nothing trailing — a malformed or
+  /// unknown spec throws fademl::Error loudly instead of arming nothing
+  /// (a typo'd FADEML_FAILPOINT silently running the un-injected test is
+  /// the worst possible failure mode for a chaos suite).
   static FaultSpec parse(const std::string& spec);
+};
+
+/// What net::write_frame should do with the current frame, as decided by
+/// the armed network failpoint.
+enum class NetFault {
+  kNone,     ///< write the frame normally
+  kReset,    ///< abort the connection without writing
+  kPartial,  ///< write half the frame, then abort
 };
 
 /// Process-wide deterministic fault injector.
@@ -66,10 +99,13 @@ class FaultInjector {
   void disarm();
   [[nodiscard]] bool armed() const;
 
-  /// Total durable writes / compute hooks observed and faults actually
-  /// fired — assertions for tests ("the failpoint really triggered").
+  /// Total durable writes / compute hooks / frame sends / registry loads
+  /// observed and faults actually fired — assertions for tests ("the
+  /// failpoint really triggered").
   [[nodiscard]] int64_t writes_seen() const;
   [[nodiscard]] int64_t computes_seen() const;
+  [[nodiscard]] int64_t net_sends_seen() const;
+  [[nodiscard]] int64_t swaps_seen() const;
   [[nodiscard]] int64_t faults_fired() const;
 
   // ---- hooks -------------------------------------------------------------
@@ -85,12 +121,26 @@ class FaultInjector {
   /// fademl::Error for its next `arg` calls.
   void on_compute();
 
+  /// Called once per wire-frame send by net::write_frame, before any byte
+  /// is written. kNetSlow sleeps (outside the lock) and returns kNone;
+  /// kNetReset / kNetPartial decrement, disarm at zero, and return the
+  /// matching action for the writer to perform.
+  NetFault on_net_send();
+
+  /// Called once per registry checkpoint load (install and hot swap),
+  /// before the bundle is read. kSwapCorrupt throws
+  /// fademl::CorruptionError for its next `arg` calls — the load "found"
+  /// a damaged bundle and the registry must keep the old model serving.
+  void on_swap();
+
  private:
   FaultInjector();
   mutable std::mutex mutex_;
   FaultSpec spec_;
   int64_t writes_seen_ = 0;
   int64_t computes_seen_ = 0;
+  int64_t net_sends_seen_ = 0;
+  int64_t swaps_seen_ = 0;
   int64_t faults_fired_ = 0;
 };
 

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fademl/core/pipeline.hpp"
+#include "fademl/net/frame.hpp"
+#include "fademl/net/socket.hpp"
+#include "fademl/tensor/random.hpp"
+
+namespace fademl::net {
+
+/// Exponential backoff with deterministic jitter. The k-th retry (k >= 1)
+/// sleeps
+///
+///   min(initial_backoff_ms * multiplier^(k-1), max_backoff_ms)
+///     * (1 + jitter * u),   u uniform in [-1, 1)
+///
+/// drawn from a seeded Rng, so chaos tests replay bit-identically while
+/// a fleet of real clients still decorrelates its retry storms.
+struct RetryPolicy {
+  /// Total attempts (first try + retries). 1 disables retrying.
+  int max_attempts = 4;
+  int initial_backoff_ms = 10;
+  double multiplier = 2.0;
+  int max_backoff_ms = 2000;
+  /// Fractional jitter amplitude in [0, 1).
+  double jitter = 0.2;
+  uint64_t jitter_seed = 0x5EEDu;
+};
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connect_timeout_ms = 2000;
+  /// Deadline for each frame read/write.
+  int io_timeout_ms = 5000;
+  RetryPolicy retry;
+};
+
+/// Per-client counters (monotonic; read via Client::stats()).
+struct ClientStats {
+  int64_t requests = 0;    ///< operations begun
+  int64_t attempts = 0;    ///< wire attempts (>= requests)
+  int64_t retries = 0;     ///< attempts - first tries
+  int64_t reconnects = 0;  ///< sockets re-established after a fault
+  int64_t failures = 0;    ///< operations that exhausted their budget
+};
+
+/// Decoded kPredictResponse plus the reconstructed top-5 summary.
+struct PredictResult {
+  core::Prediction prediction;
+  bool degraded = false;
+  std::string filter;
+  double infer_ms = 0.0;   ///< server-side inference time
+  int attempts = 1;        ///< wire attempts this request took
+};
+
+struct SwapResult {
+  int64_t generation = 0;
+  std::string detail;
+};
+
+/// FNET client with retry/timeout/backoff semantics.
+///
+/// Connections are lazy (first request connects) and persistent; after
+/// a transport fault the socket is torn down and the next attempt
+/// reconnects. Retry rules:
+///
+///   - Only retryable errors are retried: transport faults
+///     (ConnectError, ConnectionResetError, TimeoutError) and
+///     RemoteError frames the server marked retryable (queue_full,
+///     circuit_open, server_busy, shutting_down, deadline_exceeded).
+///     ProtocolError and terminal RemoteErrors surface immediately.
+///   - Only idempotent operations are retried. predict() and ping() are
+///     idempotent (classification is pure); swap() is NOT retried — a
+///     reset mid-swap leaves the outcome unknown, and the caller must
+///     query/decide rather than blindly re-apply.
+///   - The budget is RetryPolicy::max_attempts per operation; when it
+///     is exhausted the last error is rethrown.
+///
+/// Responses are correlated by request id; a response carrying the
+/// wrong id is a ProtocolError (terminal). Not thread-safe: use one
+/// Client per thread.
+class Client {
+ public:
+  explicit Client(ClientConfig config);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Round-trip one classification. Retries per the policy; throws the
+  /// final NetError when the budget is exhausted.
+  PredictResult predict(const std::string& model, const Tensor& image);
+
+  /// Liveness probe (idempotent, retried).
+  void ping();
+
+  /// Ask the server to hot-swap `model` to `checkpoint_path`. NOT
+  /// retried (non-idempotent); throws RemoteError{kSwapFailed} with the
+  /// server's reason if the swap was rejected — the old model is still
+  /// serving in that case.
+  SwapResult swap(const std::string& model, const std::string& checkpoint_path);
+
+  /// Tear down the connection (next request reconnects).
+  void disconnect();
+
+  [[nodiscard]] bool connected() const { return socket_.valid(); }
+  [[nodiscard]] const ClientStats& stats() const { return stats_; }
+
+ private:
+  /// One wire attempt: ensure connected, write `request`, read the
+  /// matching response. Decodes kError frames into RemoteError.
+  Frame attempt(const Frame& request);
+  /// Retry loop around attempt() per the class rules.
+  Frame roundtrip(FrameType type, std::string payload, bool idempotent,
+                  int* attempts_out);
+  void ensure_connected();
+  [[nodiscard]] int backoff_ms(int retry_index);
+
+  ClientConfig config_;
+  Socket socket_;
+  bool ever_connected_ = false;
+  uint64_t next_request_id_ = 1;
+  Rng jitter_rng_;
+  ClientStats stats_;
+};
+
+}  // namespace fademl::net

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::net {
+
+/// Base of all networking-layer failures.
+///
+/// Every NetError knows whether the operation that raised it is safe to
+/// retry (`retryable()`): transport faults (reset, timeout, refused
+/// connect) are — the request may simply be replayed against a healthy
+/// connection — while protocol violations and terminal application
+/// errors are not, because retrying would repeat the same failure or,
+/// worse, repeat a non-idempotent effect. The Client's retry loop keys
+/// off this flag; it never guesses from the message text.
+class NetError : public Error {
+ public:
+  NetError(const std::string& what, bool retryable)
+      : Error(what), retryable_(retryable) {}
+
+  [[nodiscard]] bool retryable() const noexcept { return retryable_; }
+
+ private:
+  bool retryable_;
+};
+
+/// Could not establish a connection (refused, unreachable, timed out
+/// during connect). Retryable: the server may simply not be up yet, or a
+/// drain-restart is in progress.
+class ConnectError final : public NetError {
+ public:
+  explicit ConnectError(const std::string& what) : NetError(what, true) {}
+};
+
+/// The peer closed or reset the connection mid-stream (EOF inside a
+/// frame, ECONNRESET, EPIPE). Retryable for idempotent requests: the
+/// request's fate is unknown, but replaying a predict/ping is harmless.
+class ConnectionResetError final : public NetError {
+ public:
+  explicit ConnectionResetError(const std::string& what)
+      : NetError(what, true) {}
+};
+
+/// A read or write missed its deadline. Retryable: a slow peer or
+/// congested path may recover; the caller's retry budget bounds the
+/// total wait.
+class TimeoutError final : public NetError {
+ public:
+  explicit TimeoutError(const std::string& what) : NetError(what, true) {}
+};
+
+/// The byte stream violated the wire protocol: bad magic, unsupported
+/// version, frame length over the bound, CRC mismatch, or a payload that
+/// does not parse. Terminal — the stream is unsynchronized and replaying
+/// bytes cannot fix a speaker of the wrong protocol.
+class ProtocolError final : public NetError {
+ public:
+  explicit ProtocolError(const std::string& what) : NetError(what, false) {}
+};
+
+/// Application-level error codes carried in kError frames. The numeric
+/// values are wire format — append only, never renumber.
+enum class WireError : uint16_t {
+  kInternal = 0,          ///< unclassified server-side failure
+  kBadRequest = 1,        ///< request payload failed to decode
+  kUnknownModel = 2,      ///< no registry entry with that name
+  kInvalidInput = 3,      ///< image failed admission control
+  kQueueFull = 4,         ///< request shed by the bounded queue
+  kCircuitOpen = 5,       ///< circuit breaker failing fast
+  kDeadlineExceeded = 6,  ///< server-side deadline expired
+  kShuttingDown = 7,      ///< service draining; no new requests
+  kServerBusy = 8,        ///< connection limit reached
+  kSwapFailed = 9,        ///< hot swap rejected; old model still serving
+};
+
+/// Human-readable name of a wire error code (stable, for logs/tests).
+const char* wire_error_name(WireError code);
+
+/// True if a request failing with `code` is worth retrying (possibly
+/// against the same server a moment later): transient overload and
+/// drain conditions are; semantic rejections are not.
+bool wire_error_retryable(WireError code);
+
+/// The server answered with a kError frame. Retryability comes from the
+/// frame itself (the server knows whether the condition is transient),
+/// so an old client still handles error codes a newer server may add.
+class RemoteError final : public NetError {
+ public:
+  RemoteError(WireError code, const std::string& what, bool retryable)
+      : NetError(what, retryable), code_(code) {}
+
+  [[nodiscard]] WireError code() const noexcept { return code_; }
+
+ private:
+  WireError code_;
+};
+
+/// Local shorthand for RemoteError{kUnknownModel}: the request named a
+/// model the registry does not serve. Terminal — retrying cannot create
+/// the model.
+class UnknownModelError final : public NetError {
+ public:
+  explicit UnknownModelError(const std::string& what)
+      : NetError(what, false) {}
+};
+
+/// A hot swap failed validation or load; the previous checkpoint is
+/// still serving. Terminal for this checkpoint — the caller must supply
+/// a healthy bundle, not retry the damaged one.
+class SwapError final : public NetError {
+ public:
+  explicit SwapError(const std::string& what) : NetError(what, false) {}
+};
+
+}  // namespace fademl::net

@@ -1,0 +1,168 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fademl/net/errors.hpp"
+#include "fademl/net/socket.hpp"
+#include "fademl/tensor/tensor.hpp"
+
+namespace fademl::net {
+
+/// FNET wire protocol, version 1 (see docs/serving.md for the normative
+/// spec). Every message is one length-prefixed frame:
+///
+///   offset  size  field
+///   0       4     magic "FNET"
+///   4       1     version (currently 1)
+///   5       1     frame type (FrameType)
+///   6       2     reserved, must be 0
+///   8       8     request id (little-endian u64)
+///   16      4     payload length in bytes (little-endian u32)
+///   20      4     CRC-32 of the payload (little-endian u32)
+///   24      n     payload
+///
+/// All integers little-endian. The CRC (same IEEE-802.3 polynomial as
+/// the checkpoint bundles) covers the payload only; header corruption is
+/// caught by the magic/version/reserved checks. A decoder must reject
+/// `payload length > kMaxPayloadBytes` *before* allocating.
+
+inline constexpr char kFrameMagic[4] = {'F', 'N', 'E', 'T'};
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 24;
+/// Upper bound on a payload a peer can make us allocate. Generous for
+/// image tensors (a 3x512x512 float image is 3 MiB) yet far below "the
+/// declared length was garbage".
+inline constexpr size_t kMaxPayloadBytes = 64u << 20;
+
+/// Wire values — append only, never renumber.
+enum class FrameType : uint8_t {
+  kPing = 1,
+  kPong = 2,
+  kPredictRequest = 3,
+  kPredictResponse = 4,
+  kError = 5,
+  kSwapRequest = 6,
+  kSwapResponse = 7,
+};
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Serialize header + payload into one contiguous byte string.
+std::string encode_frame(const Frame& frame);
+
+/// Parse and validate a header block (exactly kFrameHeaderBytes bytes).
+/// Returns the declared payload length; fills `frame.type` /
+/// `frame.request_id`. Throws ProtocolError on bad magic, version skew,
+/// nonzero reserved bytes, unknown frame type, or a declared length over
+/// `max_payload` — all before any payload allocation.
+uint32_t decode_frame_header(std::string_view header, Frame& frame,
+                             size_t max_payload = kMaxPayloadBytes);
+
+/// Write one frame, consulting io::FaultInjector::on_net_send() first:
+/// net-slow sleeps, net-reset aborts the socket and throws
+/// ConnectionResetError without writing, net-partial writes half the
+/// encoded frame then aborts and throws.
+void write_frame(Socket& socket, const Frame& frame, int timeout_ms);
+
+/// Read one frame (header, validation, then payload), verifying the
+/// payload CRC. Throws ProtocolError / TimeoutError /
+/// ConnectionResetError.
+Frame read_frame(Socket& socket, int timeout_ms,
+                 size_t max_payload = kMaxPayloadBytes);
+
+// ---- payload primitives ----------------------------------------------------
+
+/// Little-endian append helpers used by every payload codec.
+void append_u8(std::string& out, uint8_t v);
+void append_u16(std::string& out, uint16_t v);
+void append_u32(std::string& out, uint32_t v);
+void append_u64(std::string& out, uint64_t v);
+void append_f64(std::string& out, double v);
+/// u32 length prefix + raw bytes.
+void append_string(std::string& out, std::string_view s);
+
+/// Bounds-checked little-endian reader over a payload. Every read
+/// throws ProtocolError on truncation; `expect_end()` rejects trailing
+/// garbage.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  uint8_t read_u8();
+  uint16_t read_u16();
+  uint32_t read_u32();
+  uint64_t read_u64();
+  double read_f64();
+  /// u32 length prefix + bytes, with the length validated against the
+  /// remaining payload before any copy.
+  std::string read_string(size_t max_len = kMaxPayloadBytes);
+  /// Tensor in the FDML serialization format, with the declared rank,
+  /// dims, and element count cross-checked against the bytes actually
+  /// remaining *before* the tensor is allocated — a hostile peer cannot
+  /// make the decoder allocate from a forged dims header.
+  Tensor read_tensor_bounded();
+
+  [[nodiscard]] size_t remaining() const { return data_.size() - pos_; }
+  void expect_end() const;
+
+ private:
+  void need(size_t n) const;
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Tensor in the FDML serialization format, appended to `out`.
+void append_tensor(std::string& out, const Tensor& t);
+
+// ---- typed payloads --------------------------------------------------------
+
+struct PredictRequest {
+  std::string model;
+  Tensor image;
+};
+
+struct PredictResponse {
+  Tensor probs;        ///< [num_classes] softmax — client rebuilds top-5
+  bool degraded = false;
+  std::string filter;  ///< filter actually applied
+  double infer_ms = 0.0;
+};
+
+struct ErrorPayload {
+  WireError code = WireError::kInternal;
+  bool retryable = false;
+  std::string message;
+};
+
+struct SwapRequest {
+  std::string model;
+  std::string checkpoint_path;
+};
+
+struct SwapResponse {
+  int64_t generation = 0;  ///< registry generation now serving
+  std::string detail;
+};
+
+std::string encode_predict_request(const PredictRequest& req);
+PredictRequest decode_predict_request(std::string_view payload);
+
+std::string encode_predict_response(const PredictResponse& resp);
+PredictResponse decode_predict_response(std::string_view payload);
+
+std::string encode_error_payload(const ErrorPayload& err);
+ErrorPayload decode_error_payload(std::string_view payload);
+
+std::string encode_swap_request(const SwapRequest& req);
+SwapRequest decode_swap_request(std::string_view payload);
+
+std::string encode_swap_response(const SwapResponse& resp);
+SwapResponse decode_swap_response(std::string_view payload);
+
+}  // namespace fademl::net

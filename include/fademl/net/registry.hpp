@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fademl/core/pipeline.hpp"
+#include "fademl/serve/service.hpp"
+
+namespace fademl::net {
+
+/// Builds fresh, un-loaded pipeline replicas for one model entry (one
+/// replica per service worker; replicas must not share mutable model
+/// state). Called off the serving path on every install and hot swap, so
+/// the architecture + filter choice is re-derivable at any time.
+using ReplicaFactory =
+    std::function<std::vector<std::unique_ptr<core::InferencePipeline>>()>;
+
+/// Everything needed to (re)build one served model.
+struct ModelSpec {
+  std::string name;
+  std::string checkpoint_path;
+  ReplicaFactory factory;
+  serve::ServiceConfig service;
+};
+
+/// Multi-model serving registry with atomic hot checkpoint swap.
+///
+/// Each named entry owns one serve::InferenceService built from its
+/// ModelSpec. Lookup hands out the service as a shared_ptr, so a request
+/// in flight keeps its model alive even while a swap publishes a new
+/// one.
+///
+/// Swap lifecycle (all off the serving path):
+///   1. io::FaultInjector::on_swap() — the swap-corrupt failpoint fires
+///      here, before anything is read.
+///   2. nn::verify_checkpoint(new_path): every record parsed, every CRC
+///      checked. A kMissing/kCorrupt verdict throws SwapError.
+///   3. factory() builds fresh replicas; nn::load_checkpoint populates
+///      each one from the new bundle.
+///   4. A new InferenceService is constructed over those replicas.
+///   5. The entry pointer is swapped under the registry lock — the only
+///      step concurrent lookups can even observe. In-flight requests
+///      finish on the old service; new lookups get the new one; no
+///      request ever sees a half-loaded model.
+///
+/// Any failure in steps 1–4 leaves the previous entry untouched and
+/// serving, and surfaces as a typed SwapError. The old service drains
+/// and joins when its last in-flight holder releases it.
+///
+/// Swaps are serialized per registry (one swap_mutex_): two concurrent
+/// swap calls cannot interleave their load steps, and the second to run
+/// observes the first's published entry.
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Load + validate + publish a new entry. Throws SwapError on a
+  /// missing/corrupt checkpoint or duplicate name. Generation starts
+  /// at 1.
+  void install(ModelSpec spec);
+
+  /// Hot-swap `name` to `checkpoint_path` (steps above). Throws
+  /// UnknownModelError for an unknown name, SwapError on a failed load —
+  /// in both cases the previous model keeps serving. Returns the new
+  /// generation.
+  int64_t swap(const std::string& name, const std::string& checkpoint_path);
+
+  /// The service currently published under `name`, or nullptr. The
+  /// returned pointer stays valid (and the model keeps serving the
+  /// holder) across any number of concurrent swaps.
+  [[nodiscard]] std::shared_ptr<serve::InferenceService> lookup(
+      const std::string& name) const;
+
+  /// Monotonic per-entry publish count (1 after install, +1 per
+  /// successful swap). Throws UnknownModelError for unknown names.
+  [[nodiscard]] int64_t generation(const std::string& name) const;
+
+  /// Checkpoint path currently serving under `name`.
+  [[nodiscard]] std::string checkpoint_path(const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Drain every entry's service (shutdown + release). The registry is
+  /// empty afterwards.
+  void clear();
+
+ private:
+  struct Entry {
+    ModelSpec spec;
+    std::shared_ptr<serve::InferenceService> service;
+    int64_t generation = 0;
+  };
+
+  /// Build a loaded service for `spec` (steps 1–4). Throws SwapError.
+  static std::shared_ptr<serve::InferenceService> build_service(
+      const ModelSpec& spec);
+
+  /// Guards entries_ — held only for pointer-sized reads/writes, never
+  /// across a load or a service shutdown (swap releases the old
+  /// service's last registry reference outside the lock, so a drain
+  /// can't stall concurrent lookups).
+  mutable std::mutex mutex_;
+  std::mutex swap_mutex_;  ///< serializes whole swaps
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace fademl::net

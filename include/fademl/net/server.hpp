@@ -1,0 +1,115 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "fademl/net/frame.hpp"
+#include "fademl/net/registry.hpp"
+#include "fademl/net/socket.hpp"
+
+namespace fademl::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is readable via Server::port().
+  uint16_t port = 0;
+  /// Concurrent connections beyond this are answered with one kError
+  /// frame (server_busy, retryable) and closed — bounded memory, and the
+  /// client's backoff naturally spreads the retries out.
+  int max_connections = 32;
+  /// Per-connection I/O deadlines. A connection idle longer than the
+  /// read deadline is closed (clients reconnect per request as needed);
+  /// a peer that won't drain our writes within the write deadline is
+  /// dropped.
+  int read_timeout_ms = 5000;
+  int write_timeout_ms = 5000;
+  /// Whether kSwapRequest frames are honored. Off = a read-only replica.
+  bool allow_swap = true;
+};
+
+/// Counters for tests and the loadgen report (all values monotonic).
+struct ServerStats {
+  int64_t connections_accepted = 0;
+  int64_t connections_refused = 0;  ///< over max_connections
+  int64_t frames_served = 0;        ///< non-error responses written
+  int64_t error_frames = 0;         ///< kError responses written
+  int64_t protocol_errors = 0;      ///< malformed inbound frames
+  int64_t resets_seen = 0;          ///< connections that died mid-stream
+};
+
+/// Socket front-end over a ModelRegistry: accepts connections, speaks
+/// the FNET framing of frame.hpp, and dispatches predict / ping / swap
+/// requests to the registry's services. One handler thread per
+/// connection (bounded by max_connections); the handler runs requests
+/// synchronously, so per-connection requests are strictly ordered and
+/// backpressure is the service's bounded queue plus the connection
+/// bound.
+///
+/// Shutdown is drain-then-close: stop() stops accepting, half-closes
+/// (SHUT_RD) every live connection so handlers finish the request they
+/// are reading-or-serving — the response direction stays open — then
+/// joins all handler threads. It never hard-drops an admitted request.
+class Server {
+ public:
+  Server(ModelRegistry& registry, ServerConfig config);
+  /// stop()s if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + spawn the accept loop. Throws ConnectError if the
+  /// address cannot be bound.
+  void start();
+
+  /// Drain-then-close (see class comment). Idempotent.
+  void stop();
+
+  /// The bound port (after start()).
+  [[nodiscard]] uint16_t port() const { return port_; }
+
+  [[nodiscard]] ServerStats stats() const;
+
+  /// Live connection count (for tests).
+  [[nodiscard]] int active_connections() const {
+    return active_connections_.load();
+  }
+
+ private:
+  struct Connection {
+    Socket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void handle_connection(Connection& conn);
+  /// Serve one decoded frame; returns the response frame.
+  Frame dispatch(const Frame& request);
+  Frame error_frame(uint64_t request_id, WireError code,
+                    const std::string& message);
+  /// Join and erase finished connection threads (called from the accept
+  /// loop so the list stays bounded on long runs).
+  void reap_finished();
+
+  ModelRegistry& registry_;
+  ServerConfig config_;
+  std::unique_ptr<Listener> listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<int> active_connections_{0};
+
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace fademl::net

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace fademl::net {
+
+/// RAII wrapper over one POSIX stream-socket file descriptor with
+/// deadline-bounded blocking I/O (poll + non-blocking fd underneath).
+///
+/// Ownership is singular and move-only; the destructor closes. The one
+/// cross-thread operation is `abort()`, which calls ::shutdown on the fd
+/// without closing it — any thread blocked in read/write wakes with
+/// EOF/EPIPE, while the fd number itself stays owned by this object (so
+/// no other thread can race a close() against a kernel fd-reuse).
+///
+/// Timeouts: `timeout_ms > 0` bounds the whole operation; `<= 0` means
+/// block indefinitely. Reads/writes that miss the deadline throw
+/// net::TimeoutError; a peer that vanishes mid-operation throws
+/// net::ConnectionResetError.
+class Socket {
+ public:
+  Socket() = default;
+  /// Adopt an already-open fd (set non-blocking by the constructor).
+  explicit Socket(int fd);
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_.load() >= 0; }
+  [[nodiscard]] int fd() const { return fd_.load(); }
+
+  /// Write all `len` bytes or throw (TimeoutError / ConnectionResetError).
+  void write_all(const void* data, size_t len, int timeout_ms);
+
+  /// Read exactly `len` bytes or throw. EOF before the first byte — and
+  /// EOF mid-buffer — both throw ConnectionResetError; the message says
+  /// which ("connection closed" vs "connection closed mid-read"), and
+  /// `bytes_read` (when non-null) receives how many bytes arrived.
+  void read_exact(void* data, size_t len, int timeout_ms,
+                  size_t* bytes_read = nullptr);
+
+  /// Half/full close without releasing the fd: wakes any thread blocked
+  /// on this socket. `how` is SHUT_RD / SHUT_WR / SHUT_RDWR.
+  void shutdown_fd(int how);
+
+  /// ::shutdown(fd, SHUT_RDWR) — the fault injector's "connection
+  /// reset": both directions die immediately but the fd stays ours.
+  void abort() noexcept;
+
+  void close() noexcept;
+
+  /// Connected AF_UNIX pair, for in-process protocol tests.
+  static std::pair<Socket, Socket> pair();
+
+ private:
+  /// Poll for readability/writability until `deadline_ms` elapses from
+  /// `spent_ms`. Throws TimeoutError when the budget is gone.
+  void wait_io(bool for_read, int timeout_ms, double& spent_ms);
+
+  std::atomic<int> fd_{-1};
+};
+
+/// Connect to host:port with a bounded connect timeout. Throws
+/// net::ConnectError on refusal/timeout/resolution failure. Only
+/// numeric IPv4 literals and "localhost" are supported — the serving
+/// front-end is zero-dependency by design and does not pull in a
+/// resolver.
+Socket connect_tcp(const std::string& host, uint16_t port,
+                   int connect_timeout_ms);
+
+/// Listening TCP socket. Bind with port 0 to get an ephemeral port
+/// (readable via port()), which is what every test does.
+class Listener {
+ public:
+  Listener(const std::string& host, uint16_t port, int backlog = 64);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  [[nodiscard]] uint16_t port() const { return port_; }
+
+  /// Wait up to `timeout_ms` for one connection; std::nullopt on
+  /// timeout (so an accept loop can poll its stop flag between waits —
+  /// no cross-thread close of the listening fd is ever needed).
+  std::optional<Socket> accept(int timeout_ms);
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace fademl::net

@@ -10,7 +10,8 @@
 #                               # build in build-tsan/ running the
 #                               # concurrent suites (obs_test,
 #                               # parallel_test, serve_test incl. the
-#                               # micro-batching chaos tests) under
+#                               # micro-batching chaos tests, net_test
+#                               # incl. the network chaos tests) under
 #                               # ThreadSanitizer
 set -euo pipefail
 
@@ -37,10 +38,10 @@ case "${1:-}" in
     ;;
   --tsan)
     echo
-    echo "== sanitizers: TSan build + obs_test + parallel_test + serve_test =="
+    echo "== sanitizers: TSan build + obs_test + parallel_test + serve_test + net_test =="
     export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1 suppressions=$(pwd)/scripts/tsan.supp}"
     cmake -B build-tsan -S . -DFADEML_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-    cmake --build build-tsan -j --target obs_test parallel_test serve_test train_determinism_test
+    cmake --build build-tsan -j --target obs_test parallel_test serve_test train_determinism_test net_test
     # The observability primitives first (registry/trace collector are the
     # shared reporting substrate), then the thread-pool suite that the
     # other concurrent suites sit on.
@@ -53,6 +54,9 @@ case "${1:-}" in
     # worker and pool threads at once.
     FADEML_NUM_THREADS=4 ./build-tsan/tests/serve_test \
       --gtest_filter='*MicroBatch*:*Gather*:*Batch*'
+    # The network chaos suite: retrying client vs injected resets /
+    # partial frames / slow peers, hot swap under load, drain shutdown.
+    ./build-tsan/tests/net_test
     ;;
   "")
     ;;

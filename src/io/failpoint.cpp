@@ -19,13 +19,24 @@ FaultSpec FaultSpec::parse(const std::string& spec) {
   const std::string kind = spec.substr(0, colon);
   const std::string arg_text = spec.substr(colon + 1);
   FaultSpec out;
+  // Strict argument grammar: plain non-negative decimal digits, fully
+  // consumed. std::stoll alone would accept "2junk", " 2", "-1", or
+  // "0x10" (as 0) — a typo'd FADEML_FAILPOINT must fail loudly, never
+  // arm something other than what the operator wrote.
+  const bool all_digits =
+      !arg_text.empty() &&
+      std::all_of(arg_text.begin(), arg_text.end(),
+                  [](unsigned char c) { return std::isdigit(c) != 0; });
+  if (!all_digits) {
+    throw Error("bad failpoint argument '" + arg_text + "' in '" + spec +
+                "' (expected a plain non-negative integer)");
+  }
   try {
     out.arg = std::stoll(arg_text);
   } catch (const std::exception&) {
-    throw Error("bad failpoint argument '" + arg_text + "' in '" + spec +
-                "'");
+    throw Error("failpoint argument '" + arg_text + "' in '" + spec +
+                "' is out of range");
   }
-  FADEML_CHECK(out.arg >= 0, "failpoint argument must be non-negative");
   if (kind == "fail-write") {
     out.kind = Kind::kFailWrite;
     FADEML_CHECK(out.arg >= 1, "fail-write:N requires N >= 1 (1-based)");
@@ -38,10 +49,21 @@ FaultSpec FaultSpec::parse(const std::string& spec) {
   } else if (kind == "worker-throw") {
     out.kind = Kind::kWorkerThrow;
     FADEML_CHECK(out.arg >= 1, "worker-throw:N requires N >= 1");
+  } else if (kind == "net-reset") {
+    out.kind = Kind::kNetReset;
+    FADEML_CHECK(out.arg >= 1, "net-reset:N requires N >= 1");
+  } else if (kind == "net-partial") {
+    out.kind = Kind::kNetPartial;
+    FADEML_CHECK(out.arg >= 1, "net-partial:N requires N >= 1");
+  } else if (kind == "net-slow") {
+    out.kind = Kind::kNetSlow;
+  } else if (kind == "swap-corrupt") {
+    out.kind = Kind::kSwapCorrupt;
+    FADEML_CHECK(out.arg >= 1, "swap-corrupt:N requires N >= 1");
   } else {
-    throw Error(
-        "unknown failpoint kind '" + kind +
-        "' (expected fail-write|truncate|bit-flip|slow-worker|worker-throw)");
+    throw Error("unknown failpoint kind '" + kind +
+                "' (expected fail-write|truncate|bit-flip|slow-worker|"
+                "worker-throw|net-reset|net-partial|net-slow|swap-corrupt)");
   }
   return out;
 }
@@ -64,6 +86,8 @@ void FaultInjector::arm(const FaultSpec& spec) {
   spec_ = spec;
   writes_seen_ = 0;
   computes_seen_ = 0;
+  net_sends_seen_ = 0;
+  swaps_seen_ = 0;
 }
 
 void FaultInjector::disarm() {
@@ -86,6 +110,16 @@ int64_t FaultInjector::computes_seen() const {
   return computes_seen_;
 }
 
+int64_t FaultInjector::net_sends_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return net_sends_seen_;
+}
+
+int64_t FaultInjector::swaps_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return swaps_seen_;
+}
+
 int64_t FaultInjector::faults_fired() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return faults_fired_;
@@ -98,6 +132,10 @@ int64_t FaultInjector::on_write(std::string& bytes) {
     case FaultSpec::Kind::kNone:
     case FaultSpec::Kind::kSlowWorker:
     case FaultSpec::Kind::kWorkerThrow:
+    case FaultSpec::Kind::kNetReset:
+    case FaultSpec::Kind::kNetPartial:
+    case FaultSpec::Kind::kNetSlow:
+    case FaultSpec::Kind::kSwapCorrupt:
       return -1;
     case FaultSpec::Kind::kFailWrite:
       if (writes_seen_ < spec_.arg) {
@@ -158,6 +196,55 @@ void FaultInjector::on_compute() {
   if (sleep_ms > 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
   }
+}
+
+NetFault FaultInjector::on_net_send() {
+  int64_t sleep_ms = 0;
+  NetFault fault = NetFault::kNone;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++net_sends_seen_;
+    switch (spec_.kind) {
+      case FaultSpec::Kind::kNetSlow:
+        // Persistent, like slow-worker: every send is slow until
+        // disarm(), so peer read deadlines deterministically fire.
+        ++faults_fired_;
+        sleep_ms = spec_.arg;
+        break;
+      case FaultSpec::Kind::kNetReset:
+      case FaultSpec::Kind::kNetPartial: {
+        ++faults_fired_;
+        fault = spec_.kind == FaultSpec::Kind::kNetReset ? NetFault::kReset
+                                                         : NetFault::kPartial;
+        if (--spec_.arg <= 0) {
+          spec_ = FaultSpec{};
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return fault;
+}
+
+void FaultInjector::on_swap() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++swaps_seen_;
+  if (spec_.kind != FaultSpec::Kind::kSwapCorrupt) {
+    return;
+  }
+  ++faults_fired_;
+  const int64_t remaining = --spec_.arg;
+  if (remaining <= 0) {
+    spec_ = FaultSpec{};
+  }
+  throw CorruptionError(
+      "fault injection: checkpoint load found a damaged bundle (" +
+      std::to_string(remaining) + " more to come)");
 }
 
 void atomic_write_file(const std::string& path, std::string bytes) {

@@ -1,0 +1,156 @@
+#include "fademl/net/client.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+namespace fademl::net {
+
+Client::Client(ClientConfig config)
+    : config_(std::move(config)), jitter_rng_(config_.retry.jitter_seed) {}
+
+Client::~Client() = default;
+
+void Client::disconnect() { socket_.close(); }
+
+void Client::ensure_connected() {
+  if (socket_.valid()) {
+    return;
+  }
+  socket_ =
+      connect_tcp(config_.host, config_.port, config_.connect_timeout_ms);
+  if (ever_connected_) {
+    ++stats_.reconnects;
+  }
+  ever_connected_ = true;
+}
+
+int Client::backoff_ms(int retry_index) {
+  const RetryPolicy& p = config_.retry;
+  double base = static_cast<double>(p.initial_backoff_ms) *
+                std::pow(p.multiplier, retry_index - 1);
+  base = std::min(base, static_cast<double>(p.max_backoff_ms));
+  // Deterministic jitter in [1 - jitter, 1 + jitter): decorrelates a
+  // fleet's retry storms while staying replayable from the seed.
+  const double factor =
+      1.0 + p.jitter * (2.0 * static_cast<double>(jitter_rng_.uniform()) -
+                        1.0);
+  return std::max(0, static_cast<int>(base * factor));
+}
+
+Frame Client::attempt(const Frame& request) {
+  ensure_connected();
+  write_frame(socket_, request, config_.io_timeout_ms);
+  const Frame response = read_frame(socket_, config_.io_timeout_ms);
+  if (response.type == FrameType::kError) {
+    const ErrorPayload err = decode_error_payload(response.payload);
+    if (response.request_id == 0) {
+      // Connection-level refusal (e.g. server_busy): the server never
+      // read our request and is closing; don't reuse the socket.
+      disconnect();
+    }
+    throw RemoteError(err.code,
+                      std::string("server: [") + wire_error_name(err.code) +
+                          "] " + err.message,
+                      err.retryable);
+  }
+  if (response.request_id != request.request_id) {
+    throw ProtocolError(
+        "response correlation mismatch: sent request id " +
+        std::to_string(request.request_id) + ", got " +
+        std::to_string(response.request_id));
+  }
+  return response;
+}
+
+Frame Client::roundtrip(FrameType type, std::string payload, bool idempotent,
+                        int* attempts_out) {
+  Frame request;
+  request.type = type;
+  request.payload = std::move(payload);
+  ++stats_.requests;
+  for (int attempt_no = 1;; ++attempt_no) {
+    // Fresh id per attempt: a stale response to an aborted attempt can
+    // never satisfy the retry's correlation check.
+    request.request_id = next_request_id_++;
+    ++stats_.attempts;
+    if (attempt_no > 1) {
+      ++stats_.retries;
+    }
+    try {
+      Frame response = attempt(request);
+      if (attempts_out != nullptr) {
+        *attempts_out = attempt_no;
+      }
+      return response;
+    } catch (const NetError& e) {
+      // Transport faults poison the stream; tear it down so the next
+      // attempt reconnects. RemoteErrors arrive on a healthy framed
+      // stream and keep the connection (unless attempt() already closed
+      // a connection-level refusal).
+      if (dynamic_cast<const RemoteError*>(&e) == nullptr) {
+        disconnect();
+      }
+      const bool budget_left = attempt_no < config_.retry.max_attempts;
+      if (!e.retryable() || !idempotent || !budget_left) {
+        ++stats_.failures;
+        throw;
+      }
+      const int sleep_ms = backoff_ms(attempt_no);
+      if (sleep_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      }
+    }
+  }
+}
+
+PredictResult Client::predict(const std::string& model, const Tensor& image) {
+  PredictRequest req;
+  req.model = model;
+  req.image = image;
+  int attempts = 1;
+  const Frame response = roundtrip(FrameType::kPredictRequest,
+                                   encode_predict_request(req),
+                                   /*idempotent=*/true, &attempts);
+  if (response.type != FrameType::kPredictResponse) {
+    throw ProtocolError("expected a predict response frame, got type " +
+                        std::to_string(static_cast<int>(response.type)));
+  }
+  const PredictResponse resp = decode_predict_response(response.payload);
+  PredictResult out;
+  out.prediction = core::summarize_probs(resp.probs);
+  out.degraded = resp.degraded;
+  out.filter = resp.filter;
+  out.infer_ms = resp.infer_ms;
+  out.attempts = attempts;
+  return out;
+}
+
+void Client::ping() {
+  const Frame response =
+      roundtrip(FrameType::kPing, std::string(), /*idempotent=*/true,
+                nullptr);
+  if (response.type != FrameType::kPong) {
+    throw ProtocolError("expected a pong frame, got type " +
+                        std::to_string(static_cast<int>(response.type)));
+  }
+}
+
+SwapResult Client::swap(const std::string& model,
+                        const std::string& checkpoint_path) {
+  SwapRequest req;
+  req.model = model;
+  req.checkpoint_path = checkpoint_path;
+  const Frame response = roundtrip(FrameType::kSwapRequest,
+                                   encode_swap_request(req),
+                                   /*idempotent=*/false, nullptr);
+  if (response.type != FrameType::kSwapResponse) {
+    throw ProtocolError("expected a swap response frame, got type " +
+                        std::to_string(static_cast<int>(response.type)));
+  }
+  const SwapResponse resp = decode_swap_response(response.payload);
+  return SwapResult{resp.generation, resp.detail};
+}
+
+}  // namespace fademl::net

@@ -1,0 +1,405 @@
+#include "fademl/net/frame.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "fademl/io/failpoint.hpp"
+#include "fademl/tensor/serialize.hpp"
+
+namespace fademl::net {
+
+namespace {
+
+/// Tensor stream layout (see fademl/tensor/serialize.hpp): magic "FDML",
+/// u32 version, u32 rank, i64 dims[rank], f32 data[numel].
+constexpr size_t kTensorPreambleBytes = 4 + 4 + 4;
+constexpr uint32_t kMaxTensorRank = 8;
+
+}  // namespace
+
+const char* wire_error_name(WireError code) {
+  switch (code) {
+    case WireError::kInternal: return "internal";
+    case WireError::kBadRequest: return "bad_request";
+    case WireError::kUnknownModel: return "unknown_model";
+    case WireError::kInvalidInput: return "invalid_input";
+    case WireError::kQueueFull: return "queue_full";
+    case WireError::kCircuitOpen: return "circuit_open";
+    case WireError::kDeadlineExceeded: return "deadline_exceeded";
+    case WireError::kShuttingDown: return "shutting_down";
+    case WireError::kServerBusy: return "server_busy";
+    case WireError::kSwapFailed: return "swap_failed";
+  }
+  return "unknown";
+}
+
+bool wire_error_retryable(WireError code) {
+  switch (code) {
+    case WireError::kQueueFull:
+    case WireError::kCircuitOpen:
+    case WireError::kDeadlineExceeded:
+    case WireError::kShuttingDown:
+    case WireError::kServerBusy:
+      return true;
+    case WireError::kInternal:
+    case WireError::kBadRequest:
+    case WireError::kUnknownModel:
+    case WireError::kInvalidInput:
+    case WireError::kSwapFailed:
+      return false;
+  }
+  return false;
+}
+
+// ---- little-endian primitives ----------------------------------------------
+
+void append_u8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void append_u16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void append_u32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void append_u64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void append_f64(std::string& out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  append_u64(out, bits);
+}
+
+void append_string(std::string& out, std::string_view s) {
+  append_u32(out, static_cast<uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+void Cursor::need(size_t n) const {
+  if (remaining() < n) {
+    throw ProtocolError("payload truncated: need " + std::to_string(n) +
+                        " more bytes, have " + std::to_string(remaining()));
+  }
+}
+
+uint8_t Cursor::read_u8() {
+  need(1);
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint16_t Cursor::read_u16() {
+  need(2);
+  uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v = static_cast<uint16_t>(
+        v | (static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i)));
+  }
+  pos_ += 2;
+  return v;
+}
+
+uint32_t Cursor::read_u32() {
+  need(4);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+uint64_t Cursor::read_u64() {
+  need(8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double Cursor::read_f64() {
+  const uint64_t bits = read_u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Cursor::read_string(size_t max_len) {
+  const uint32_t len = read_u32();
+  if (len > max_len) {
+    throw ProtocolError("string length " + std::to_string(len) +
+                        " exceeds the bound of " + std::to_string(max_len));
+  }
+  need(len);
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+Tensor Cursor::read_tensor_bounded() {
+  // The underlying read_tensor trusts the declared dims when sizing its
+  // allocation; a forged header could demand gigabytes backed by a
+  // 100-byte payload. Cross-check the declared element count against
+  // the bytes actually present before any allocation happens.
+  need(kTensorPreambleBytes);
+  if (std::memcmp(data_.data() + pos_, "FDML", 4) != 0) {
+    throw ProtocolError("tensor payload missing FDML magic");
+  }
+  Cursor peek(data_.substr(pos_ + 4));
+  const uint32_t version = peek.read_u32();
+  if (version != 1) {
+    throw ProtocolError("unsupported tensor version " +
+                        std::to_string(version));
+  }
+  const uint32_t rank = peek.read_u32();
+  if (rank > kMaxTensorRank) {
+    throw ProtocolError("tensor rank " + std::to_string(rank) +
+                        " exceeds the bound of " +
+                        std::to_string(kMaxTensorRank));
+  }
+  uint64_t numel = 1;
+  for (uint32_t i = 0; i < rank; ++i) {
+    const uint64_t dim = peek.read_u64();
+    if (dim == 0 || dim > kMaxPayloadBytes) {
+      throw ProtocolError("tensor dimension " + std::to_string(dim) +
+                          " out of range");
+    }
+    numel *= dim;
+    if (numel > kMaxPayloadBytes) {  // also guards the product overflow
+      throw ProtocolError("tensor element count exceeds the payload bound");
+    }
+  }
+  const size_t total =
+      kTensorPreambleBytes + size_t{8} * rank + size_t{4} * numel;
+  if (remaining() < total) {
+    throw ProtocolError(
+        "tensor declares " + std::to_string(total) + " bytes but only " +
+        std::to_string(remaining()) + " remain in the payload");
+  }
+  std::istringstream is(std::string(data_.substr(pos_, total)));
+  Tensor t;
+  try {
+    t = read_tensor(is);
+  } catch (const Error& e) {
+    throw ProtocolError(std::string("tensor payload failed to parse: ") +
+                        e.what());
+  }
+  pos_ += total;
+  return t;
+}
+
+void Cursor::expect_end() const {
+  if (remaining() != 0) {
+    throw ProtocolError("payload has " + std::to_string(remaining()) +
+                        " bytes of trailing garbage");
+  }
+}
+
+void append_tensor(std::string& out, const Tensor& t) {
+  std::ostringstream os;
+  write_tensor(os, t);
+  out += os.str();
+}
+
+// ---- frame codec -----------------------------------------------------------
+
+std::string encode_frame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  append_u8(out, kProtocolVersion);
+  append_u8(out, static_cast<uint8_t>(frame.type));
+  append_u16(out, 0);  // reserved
+  append_u64(out, frame.request_id);
+  append_u32(out, static_cast<uint32_t>(frame.payload.size()));
+  append_u32(out, crc32(frame.payload.data(), frame.payload.size()));
+  out += frame.payload;
+  return out;
+}
+
+uint32_t decode_frame_header(std::string_view header, Frame& frame,
+                             size_t max_payload) {
+  if (header.size() != kFrameHeaderBytes) {
+    throw ProtocolError("frame header must be " +
+                        std::to_string(kFrameHeaderBytes) + " bytes, got " +
+                        std::to_string(header.size()));
+  }
+  if (std::memcmp(header.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    throw ProtocolError("bad frame magic (not an FNET stream)");
+  }
+  Cursor cur(header.substr(4));
+  const uint8_t version = cur.read_u8();
+  if (version != kProtocolVersion) {
+    throw ProtocolError("protocol version skew: peer speaks v" +
+                        std::to_string(version) + ", this build speaks v" +
+                        std::to_string(kProtocolVersion));
+  }
+  const uint8_t type = cur.read_u8();
+  if (type < static_cast<uint8_t>(FrameType::kPing) ||
+      type > static_cast<uint8_t>(FrameType::kSwapResponse)) {
+    throw ProtocolError("unknown frame type " + std::to_string(type));
+  }
+  const uint16_t reserved = cur.read_u16();
+  if (reserved != 0) {
+    throw ProtocolError("reserved header bytes must be zero");
+  }
+  frame.type = static_cast<FrameType>(type);
+  frame.request_id = cur.read_u64();
+  const uint32_t payload_len = cur.read_u32();
+  if (payload_len > max_payload) {
+    throw ProtocolError("frame declares a " + std::to_string(payload_len) +
+                        "-byte payload, over the " +
+                        std::to_string(max_payload) + "-byte bound");
+  }
+  return payload_len;
+}
+
+void write_frame(Socket& socket, const Frame& frame, int timeout_ms) {
+  const io::NetFault fault = io::FaultInjector::instance().on_net_send();
+  const std::string bytes = encode_frame(frame);
+  switch (fault) {
+    case io::NetFault::kNone:
+      socket.write_all(bytes.data(), bytes.size(), timeout_ms);
+      return;
+    case io::NetFault::kReset:
+      socket.abort();
+      throw ConnectionResetError(
+          "fault injection: connection reset before frame send");
+    case io::NetFault::kPartial:
+      socket.write_all(bytes.data(), bytes.size() / 2, timeout_ms);
+      socket.abort();
+      throw ConnectionResetError(
+          "fault injection: connection reset after a partial frame (" +
+          std::to_string(bytes.size() / 2) + "/" +
+          std::to_string(bytes.size()) + " bytes)");
+  }
+}
+
+Frame read_frame(Socket& socket, int timeout_ms, size_t max_payload) {
+  char header[kFrameHeaderBytes];
+  socket.read_exact(header, sizeof(header), timeout_ms);
+  Frame frame;
+  const uint32_t payload_len = decode_frame_header(
+      std::string_view(header, sizeof(header)), frame, max_payload);
+  const uint32_t declared_crc =
+      Cursor(std::string_view(header + 20, 4)).read_u32();
+  frame.payload.resize(payload_len);
+  if (payload_len > 0) {
+    socket.read_exact(frame.payload.data(), payload_len, timeout_ms);
+  }
+  const uint32_t actual_crc =
+      crc32(frame.payload.data(), frame.payload.size());
+  if (actual_crc != declared_crc) {
+    throw ProtocolError("payload CRC mismatch (declared " +
+                        std::to_string(declared_crc) + ", computed " +
+                        std::to_string(actual_crc) + ") — frame corrupt");
+  }
+  return frame;
+}
+
+// ---- typed payload codecs --------------------------------------------------
+
+std::string encode_predict_request(const PredictRequest& req) {
+  std::string out;
+  append_string(out, req.model);
+  append_tensor(out, req.image);
+  return out;
+}
+
+PredictRequest decode_predict_request(std::string_view payload) {
+  Cursor cur(payload);
+  PredictRequest req;
+  req.model = cur.read_string(/*max_len=*/1024);
+  req.image = cur.read_tensor_bounded();
+  cur.expect_end();
+  return req;
+}
+
+std::string encode_predict_response(const PredictResponse& resp) {
+  std::string out;
+  append_tensor(out, resp.probs);
+  append_u8(out, resp.degraded ? 1 : 0);
+  append_string(out, resp.filter);
+  append_f64(out, resp.infer_ms);
+  return out;
+}
+
+PredictResponse decode_predict_response(std::string_view payload) {
+  Cursor cur(payload);
+  PredictResponse resp;
+  resp.probs = cur.read_tensor_bounded();
+  resp.degraded = cur.read_u8() != 0;
+  resp.filter = cur.read_string(/*max_len=*/1024);
+  resp.infer_ms = cur.read_f64();
+  cur.expect_end();
+  return resp;
+}
+
+std::string encode_error_payload(const ErrorPayload& err) {
+  std::string out;
+  append_u16(out, static_cast<uint16_t>(err.code));
+  append_u8(out, err.retryable ? 1 : 0);
+  append_string(out, err.message);
+  return out;
+}
+
+ErrorPayload decode_error_payload(std::string_view payload) {
+  Cursor cur(payload);
+  ErrorPayload err;
+  // Unknown codes pass through untouched: the retryable bit travels in
+  // the frame, so an old client still acts correctly on codes a newer
+  // server added.
+  err.code = static_cast<WireError>(cur.read_u16());
+  err.retryable = cur.read_u8() != 0;
+  err.message = cur.read_string();
+  cur.expect_end();
+  return err;
+}
+
+std::string encode_swap_request(const SwapRequest& req) {
+  std::string out;
+  append_string(out, req.model);
+  append_string(out, req.checkpoint_path);
+  return out;
+}
+
+SwapRequest decode_swap_request(std::string_view payload) {
+  Cursor cur(payload);
+  SwapRequest req;
+  req.model = cur.read_string(/*max_len=*/1024);
+  req.checkpoint_path = cur.read_string(/*max_len=*/4096);
+  cur.expect_end();
+  return req;
+}
+
+std::string encode_swap_response(const SwapResponse& resp) {
+  std::string out;
+  append_u64(out, static_cast<uint64_t>(resp.generation));
+  append_string(out, resp.detail);
+  return out;
+}
+
+SwapResponse decode_swap_response(std::string_view payload) {
+  Cursor cur(payload);
+  SwapResponse resp;
+  resp.generation = static_cast<int64_t>(cur.read_u64());
+  resp.detail = cur.read_string();
+  cur.expect_end();
+  return resp;
+}
+
+}  // namespace fademl::net

@@ -1,0 +1,146 @@
+#include "fademl/net/registry.hpp"
+
+#include <utility>
+
+#include "fademl/io/failpoint.hpp"
+#include "fademl/net/errors.hpp"
+#include "fademl/nn/checkpoint.hpp"
+
+namespace fademl::net {
+
+std::shared_ptr<serve::InferenceService> ModelRegistry::build_service(
+    const ModelSpec& spec) {
+  try {
+    // Step 1: the swap-corrupt failpoint fires before anything is read.
+    io::FaultInjector::instance().on_swap();
+
+    // Step 2: full validation — every record parsed, every CRC checked —
+    // so a damaged bundle is rejected before any model sees it.
+    const nn::CheckpointVerdict verdict =
+        nn::verify_checkpoint(spec.checkpoint_path);
+    if (verdict.status == nn::CheckpointStatus::kMissing) {
+      throw SwapError("no checkpoint at '" + spec.checkpoint_path + "'");
+    }
+    if (verdict.status == nn::CheckpointStatus::kCorrupt) {
+      throw SwapError("checkpoint '" + spec.checkpoint_path +
+                      "' is corrupt: " + verdict.detail);
+    }
+
+    // Steps 3–4: fresh replicas, loaded and wrapped in a new service.
+    auto replicas = spec.factory();
+    if (replicas.empty()) {
+      throw SwapError("model '" + spec.name +
+                      "': factory produced no replicas");
+    }
+    for (auto& replica : replicas) {
+      nn::load_checkpoint(replica->model(), spec.checkpoint_path);
+    }
+    return std::make_shared<serve::InferenceService>(std::move(replicas),
+                                                     spec.service);
+  } catch (const SwapError&) {
+    throw;
+  } catch (const Error& e) {
+    // load_checkpoint shape mismatches, injected CorruptionError, etc.
+    throw SwapError("model '" + spec.name + "': loading '" +
+                    spec.checkpoint_path + "' failed: " + e.what());
+  }
+}
+
+void ModelRegistry::install(ModelSpec spec) {
+  std::lock_guard<std::mutex> swap_lock(swap_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.count(spec.name) != 0) {
+      throw SwapError("model '" + spec.name + "' is already installed");
+    }
+  }
+  auto service = build_service(spec);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry entry;
+  entry.spec = std::move(spec);
+  entry.service = std::move(service);
+  entry.generation = 1;
+  entries_.emplace(entry.spec.name, std::move(entry));
+}
+
+int64_t ModelRegistry::swap(const std::string& name,
+                            const std::string& checkpoint_path) {
+  std::lock_guard<std::mutex> swap_lock(swap_mutex_);
+  ModelSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      throw UnknownModelError("no model named '" + name + "'");
+    }
+    spec = it->second.spec;
+  }
+  spec.checkpoint_path = checkpoint_path;
+
+  // The expensive, fallible part happens with no registry lock held:
+  // lookups keep serving the old model throughout, and any failure here
+  // propagates before the published entry is touched.
+  auto fresh = build_service(spec);
+
+  std::shared_ptr<serve::InferenceService> old;
+  int64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry& entry = entries_.at(name);
+    old = std::move(entry.service);
+    entry.service = std::move(fresh);
+    entry.spec.checkpoint_path = checkpoint_path;
+    generation = ++entry.generation;
+  }
+  // `old` releases outside the lock: if no request still holds it, the
+  // drain-and-join shutdown runs here rather than under mutex_.
+  return generation;
+}
+
+std::shared_ptr<serve::InferenceService> ModelRegistry::lookup(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.service;
+}
+
+int64_t ModelRegistry::generation(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw UnknownModelError("no model named '" + name + "'");
+  }
+  return it->second.generation;
+}
+
+std::string ModelRegistry::checkpoint_path(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw UnknownModelError("no model named '" + name + "'");
+  }
+  return it->second.spec.checkpoint_path;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+void ModelRegistry::clear() {
+  std::lock_guard<std::mutex> swap_lock(swap_mutex_);
+  std::map<std::string, Entry> drained;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    drained.swap(entries_);
+  }
+  // Services shut down outside the registry lock.
+  drained.clear();
+}
+
+}  // namespace fademl::net

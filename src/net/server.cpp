@@ -1,0 +1,270 @@
+#include "fademl/net/server.hpp"
+
+#include <sys/socket.h>
+
+#include <utility>
+
+#include "fademl/serve/errors.hpp"
+
+namespace fademl::net {
+
+namespace {
+
+/// How long the accept loop sleeps in poll() between stop-flag checks.
+constexpr int kAcceptPollMs = 50;
+
+}  // namespace
+
+Server::Server(ModelRegistry& registry, ServerConfig config)
+    : registry_(registry), config_(std::move(config)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.exchange(true)) {
+    return;
+  }
+  listener_ = std::make_unique<Listener>(config_.host, config_.port);
+  port_ = listener_->port();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  if (listener_) {
+    listener_->close();
+  }
+  // Drain-then-close: half-close the read side of every live connection
+  // so its handler finishes the request currently being read-or-served —
+  // the write side stays open for that response — then sees EOF and
+  // exits. Joining the handlers below IS the drain barrier.
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (auto& conn : connections_) {
+    conn->socket.shutdown_fd(SHUT_RD);
+  }
+  for (auto& conn : connections_) {
+    if (conn->thread.joinable()) {
+      conn->thread.join();
+    }
+  }
+  connections_.clear();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void Server::reap_finished() {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) {
+        (*it)->thread.join();
+      }
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::accept_loop() {
+  while (running_.load()) {
+    auto socket = listener_->accept(kAcceptPollMs);
+    reap_finished();
+    if (!socket.has_value()) {
+      continue;
+    }
+    if (active_connections_.load() >= config_.max_connections) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.connections_refused;
+      }
+      // One typed refusal, then close: the client sees a retryable
+      // server_busy and backs off instead of hanging on a dead socket.
+      try {
+        write_frame(*socket,
+                    error_frame(0, WireError::kServerBusy,
+                                "connection limit of " +
+                                    std::to_string(config_.max_connections) +
+                                    " reached"),
+                    config_.write_timeout_ms);
+      } catch (const NetError&) {
+        // Refusal is best-effort; the close below says enough.
+      }
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.connections_accepted;
+    }
+    active_connections_.fetch_add(1);
+    auto conn = std::make_unique<Connection>();
+    conn->socket = std::move(*socket);
+    Connection* raw = conn.get();
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] { handle_connection(*raw); });
+  }
+}
+
+Frame Server::error_frame(uint64_t request_id, WireError code,
+                          const std::string& message) {
+  ErrorPayload payload;
+  payload.code = code;
+  payload.retryable = wire_error_retryable(code);
+  payload.message = message;
+  Frame frame;
+  frame.type = FrameType::kError;
+  frame.request_id = request_id;
+  frame.payload = encode_error_payload(payload);
+  return frame;
+}
+
+void Server::handle_connection(Connection& conn) {
+  for (;;) {
+    Frame request;
+    try {
+      request = read_frame(conn.socket, config_.read_timeout_ms);
+    } catch (const ConnectionResetError&) {
+      // Peer done (clean EOF) or reset mid-frame — either way the
+      // conversation is over.
+      break;
+    } catch (const TimeoutError&) {
+      // Idle past the read deadline: reclaim the slot; clients
+      // reconnect per request.
+      break;
+    } catch (const ProtocolError& e) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.protocol_errors;
+      }
+      // The stream is unsynchronized; explain once, then hang up.
+      try {
+        write_frame(conn.socket,
+                    error_frame(0, WireError::kBadRequest, e.what()),
+                    config_.write_timeout_ms);
+      } catch (const NetError&) {
+      }
+      break;
+    }
+
+    const Frame response = dispatch(request);
+    try {
+      write_frame(conn.socket, response, config_.write_timeout_ms);
+    } catch (const NetError&) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.resets_seen;
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (response.type == FrameType::kError) {
+        ++stats_.error_frames;
+      } else {
+        ++stats_.frames_served;
+      }
+    }
+  }
+  conn.socket.close();
+  active_connections_.fetch_sub(1);
+  conn.done.store(true);
+}
+
+Frame Server::dispatch(const Frame& request) {
+  const uint64_t id = request.request_id;
+  switch (request.type) {
+    case FrameType::kPing: {
+      Frame pong;
+      pong.type = FrameType::kPong;
+      pong.request_id = id;
+      return pong;
+    }
+    case FrameType::kPredictRequest: {
+      PredictRequest req;
+      try {
+        req = decode_predict_request(request.payload);
+      } catch (const ProtocolError& e) {
+        return error_frame(id, WireError::kBadRequest, e.what());
+      }
+      auto service = registry_.lookup(req.model);
+      if (service == nullptr) {
+        return error_frame(id, WireError::kUnknownModel,
+                           "no model named '" + req.model + "'");
+      }
+      try {
+        const serve::InferenceResult result = service->classify(req.image);
+        PredictResponse resp;
+        resp.probs = result.prediction.probs;
+        resp.degraded = result.degraded;
+        resp.filter = result.filter;
+        resp.infer_ms = result.infer_ms;
+        Frame frame;
+        frame.type = FrameType::kPredictResponse;
+        frame.request_id = id;
+        frame.payload = encode_predict_response(resp);
+        return frame;
+      } catch (const serve::InvalidInputError& e) {
+        return error_frame(id, WireError::kInvalidInput, e.what());
+      } catch (const serve::QueueFullError& e) {
+        return error_frame(id, WireError::kQueueFull, e.what());
+      } catch (const serve::CircuitOpenError& e) {
+        return error_frame(id, WireError::kCircuitOpen, e.what());
+      } catch (const serve::DeadlineExceededError& e) {
+        return error_frame(id, WireError::kDeadlineExceeded, e.what());
+      } catch (const serve::ShutdownError& e) {
+        return error_frame(id, WireError::kShuttingDown, e.what());
+      } catch (const Error& e) {
+        return error_frame(id, WireError::kInternal, e.what());
+      }
+    }
+    case FrameType::kSwapRequest: {
+      if (!config_.allow_swap) {
+        return error_frame(id, WireError::kSwapFailed,
+                           "hot swap is disabled on this server");
+      }
+      SwapRequest req;
+      try {
+        req = decode_swap_request(request.payload);
+      } catch (const ProtocolError& e) {
+        return error_frame(id, WireError::kBadRequest, e.what());
+      }
+      try {
+        const int64_t generation =
+            registry_.swap(req.model, req.checkpoint_path);
+        SwapResponse resp;
+        resp.generation = generation;
+        resp.detail = "model '" + req.model + "' now serving '" +
+                      req.checkpoint_path + "'";
+        Frame frame;
+        frame.type = FrameType::kSwapResponse;
+        frame.request_id = id;
+        frame.payload = encode_swap_response(resp);
+        return frame;
+      } catch (const UnknownModelError& e) {
+        return error_frame(id, WireError::kUnknownModel, e.what());
+      } catch (const Error& e) {
+        // SwapError and anything from the load path: the old model is
+        // still serving; tell the caller why the new one was rejected.
+        return error_frame(id, WireError::kSwapFailed, e.what());
+      }
+    }
+    case FrameType::kPong:
+    case FrameType::kPredictResponse:
+    case FrameType::kError:
+    case FrameType::kSwapResponse:
+      break;
+  }
+  return error_frame(id, WireError::kBadRequest,
+                     "unexpected frame type " +
+                         std::to_string(static_cast<int>(request.type)) +
+                         " on the request stream");
+}
+
+}  // namespace fademl::net

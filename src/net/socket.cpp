@@ -1,0 +1,313 @@
+#include "fademl/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "fademl/net/errors.hpp"
+
+namespace fademl::net {
+
+namespace {
+
+std::string errno_text(int err) {
+  char buf[128] = {};
+  // GNU strerror_r returns a pointer (possibly not buf).
+  return std::string(strerror_r(err, buf, sizeof(buf)));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Parse "a.b.c.d" or "localhost"; throws ConnectError otherwise (the
+/// front-end deliberately ships no resolver).
+in_addr_t parse_ipv4(const std::string& host) {
+  const std::string text = host == "localhost" ? "127.0.0.1" : host;
+  in_addr addr{};
+  if (::inet_pton(AF_INET, text.c_str(), &addr) != 1) {
+    throw ConnectError("cannot parse host '" + host +
+                       "' (numeric IPv4 or 'localhost' only)");
+  }
+  return addr.s_addr;
+}
+
+}  // namespace
+
+Socket::Socket(int fd) {
+  fd_.store(fd);
+  if (fd >= 0) {
+    set_nonblocking(fd);
+  }
+}
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept { fd_.store(other.fd_.exchange(-1)); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_.store(other.fd_.exchange(-1));
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    ::close(fd);
+  }
+}
+
+void Socket::abort() noexcept {
+  const int fd = fd_.load();
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+void Socket::shutdown_fd(int how) {
+  const int fd = fd_.load();
+  if (fd >= 0) {
+    ::shutdown(fd, how);
+  }
+}
+
+void Socket::wait_io(bool for_read, int timeout_ms, double& spent_ms) {
+  const int fd = fd_.load();
+  if (fd < 0) {
+    throw ConnectionResetError("socket closed");
+  }
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = for_read ? POLLIN : POLLOUT;
+  int wait = -1;  // block until ready
+  if (timeout_ms > 0) {
+    const double left = static_cast<double>(timeout_ms) - spent_ms;
+    if (left <= 0) {
+      throw TimeoutError(std::string(for_read ? "read" : "write") +
+                         " deadline of " + std::to_string(timeout_ms) +
+                         " ms exceeded");
+    }
+    wait = static_cast<int>(left) + 1;
+  }
+  const auto start = Clock::now();
+  const int rc = ::poll(&pfd, 1, wait);
+  spent_ms += ms_since(start);
+  if (rc == 0) {
+    throw TimeoutError(std::string(for_read ? "read" : "write") +
+                       " deadline of " + std::to_string(timeout_ms) +
+                       " ms exceeded");
+  }
+  if (rc < 0 && errno != EINTR) {
+    throw ConnectionResetError("poll failed: " + errno_text(errno));
+  }
+  // POLLERR/POLLHUP fall through to the read/write call, which reports
+  // the precise error.
+}
+
+void Socket::write_all(const void* data, size_t len, int timeout_ms) {
+  const char* p = static_cast<const char*>(data);
+  size_t written = 0;
+  double spent_ms = 0;
+  while (written < len) {
+    const int fd = fd_.load();
+    if (fd < 0) {
+      throw ConnectionResetError("socket closed mid-write");
+    }
+    const ssize_t n =
+        ::send(fd, p + written, len - written, MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_io(/*for_read=*/false, timeout_ms, spent_ms);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    throw ConnectionResetError("connection reset during write after " +
+                               std::to_string(written) + "/" +
+                               std::to_string(len) + " bytes (" +
+                               errno_text(errno) + ")");
+  }
+}
+
+void Socket::read_exact(void* data, size_t len, int timeout_ms,
+                        size_t* bytes_read) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  if (bytes_read != nullptr) {
+    *bytes_read = 0;
+  }
+  double spent_ms = 0;
+  while (got < len) {
+    const int fd = fd_.load();
+    if (fd < 0) {
+      throw ConnectionResetError("socket closed mid-read");
+    }
+    const ssize_t n = ::recv(fd, p + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      if (bytes_read != nullptr) {
+        *bytes_read = got;
+      }
+      continue;
+    }
+    if (n == 0) {
+      throw ConnectionResetError(
+          got == 0 ? "connection closed"
+                   : "connection closed mid-read after " +
+                         std::to_string(got) + "/" + std::to_string(len) +
+                         " bytes");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      wait_io(/*for_read=*/true, timeout_ms, spent_ms);
+      continue;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    throw ConnectionResetError("connection reset during read (" +
+                               errno_text(errno) + ")");
+  }
+}
+
+std::pair<Socket, Socket> Socket::pair() {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw ConnectError("socketpair failed: " + errno_text(errno));
+  }
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+Socket connect_tcp(const std::string& host, uint16_t port,
+                   int connect_timeout_ms) {
+  const in_addr_t addr = parse_ipv4(host);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw ConnectError("socket() failed: " + errno_text(errno));
+  }
+  Socket sock(fd);  // non-blocking from here; closes on throw
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  sa.sin_addr.s_addr = addr;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0) {
+    return sock;
+  }
+  if (errno != EINPROGRESS) {
+    throw ConnectError("connect to " + host + ":" + std::to_string(port) +
+                       " failed: " + errno_text(errno));
+  }
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  const int rc =
+      ::poll(&pfd, 1, connect_timeout_ms > 0 ? connect_timeout_ms : -1);
+  if (rc == 0) {
+    throw ConnectError("connect to " + host + ":" + std::to_string(port) +
+                       " timed out after " +
+                       std::to_string(connect_timeout_ms) + " ms");
+  }
+  if (rc < 0) {
+    throw ConnectError("connect poll failed: " + errno_text(errno));
+  }
+  int err = 0;
+  socklen_t err_len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
+      err != 0) {
+    throw ConnectError("connect to " + host + ":" + std::to_string(port) +
+                       " failed: " + errno_text(err != 0 ? err : errno));
+  }
+  return sock;
+}
+
+Listener::Listener(const std::string& host, uint16_t port, int backlog) {
+  const in_addr_t addr = parse_ipv4(host);
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw ConnectError("socket() failed: " + errno_text(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  set_nonblocking(fd_);
+
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  sa.sin_addr.s_addr = addr;
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    const std::string detail = errno_text(errno);
+    close();
+    throw ConnectError("cannot bind " + host + ":" + std::to_string(port) +
+                       ": " + detail);
+  }
+  if (::listen(fd_, backlog) != 0) {
+    const std::string detail = errno_text(errno);
+    close();
+    throw ConnectError("listen failed: " + detail);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+}
+
+Listener::~Listener() { close(); }
+
+std::optional<Socket> Listener::accept(int timeout_ms) {
+  if (fd_ < 0) {
+    return std::nullopt;
+  }
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc <= 0) {
+    return std::nullopt;  // timeout or EINTR — caller re-polls
+  }
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) {
+    return std::nullopt;
+  }
+  const int one = 1;
+  ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(conn);
+}
+
+void Listener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace fademl::net

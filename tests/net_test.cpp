@@ -1,0 +1,625 @@
+// Chaos and protocol tests for the fademl::net serving front-end: the
+// FNET frame codec under adversarial bytes (truncation, forged lengths,
+// corrupted CRCs, version skew), the retrying client against injected
+// transport faults (net-reset / net-partial / net-slow), hot checkpoint
+// swap — including a swap-corrupt load that must leave the old model
+// serving — and a multi-threaded zero-loss hammer. Runs under ASan/UBSan
+// and TSan (scripts/check.sh --tsan includes this binary).
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fademl/io/failpoint.hpp"
+#include "fademl/net/client.hpp"
+#include "fademl/net/errors.hpp"
+#include "fademl/net/frame.hpp"
+#include "fademl/net/registry.hpp"
+#include "fademl/net/server.hpp"
+#include "fademl/net/socket.hpp"
+#include "fademl/nn/checkpoint.hpp"
+#include "fademl/nn/vggnet.hpp"
+#include "fademl/tensor/random.hpp"
+
+namespace fademl::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr int64_t kSide = 8;
+constexpr int kClasses = 4;
+
+std::unique_ptr<core::InferencePipeline> make_replica() {
+  Rng rng(99);  // same seed -> identical weights across replicas
+  auto model = nn::make_vggnet(nn::VggConfig::tiny(kClasses, kSide), rng);
+  return std::make_unique<core::InferencePipeline>(std::move(model),
+                                                   filters::make_lap(4));
+}
+
+std::vector<std::unique_ptr<core::InferencePipeline>> make_replicas(
+    size_t count) {
+  std::vector<std::unique_ptr<core::InferencePipeline>> replicas;
+  for (size_t i = 0; i < count; ++i) {
+    replicas.push_back(make_replica());
+  }
+  return replicas;
+}
+
+Tensor valid_image(uint64_t seed = 5) {
+  Rng rng(seed);
+  return rng.uniform_tensor(Shape{3, kSide, kSide}, 0.0f, 1.0f);
+}
+
+/// Write a checkpoint whose weights come from `seed`, so two seeds give
+/// observably different served predictions.
+std::string make_checkpoint(uint64_t seed, const std::string& name) {
+  Rng rng(seed);
+  auto model = nn::make_vggnet(nn::VggConfig::tiny(kClasses, kSide), rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  nn::save_checkpoint(*model, path);
+  return path;
+}
+
+serve::ServiceConfig tiny_service_config() {
+  serve::ServiceConfig config;
+  config.admission.expected_height = kSide;
+  config.admission.expected_width = kSide;
+  return config;
+}
+
+ModelSpec tiny_spec(const std::string& model_name,
+                    const std::string& checkpoint) {
+  ModelSpec spec;
+  spec.name = model_name;
+  spec.checkpoint_path = checkpoint;
+  spec.factory = [] { return make_replicas(2); };
+  spec.service = tiny_service_config();
+  return spec;
+}
+
+/// Reference result computed through a local (no-network) service over
+/// the same checkpoint — the wire path must be bitwise identical to it.
+Tensor reference_probs(const std::string& checkpoint, const Tensor& image) {
+  auto replicas = make_replicas(1);
+  nn::load_checkpoint(replicas[0]->model(), checkpoint);
+  serve::InferenceService service(std::move(replicas),
+                                  tiny_service_config());
+  return service.classify(image).prediction.probs;
+}
+
+ClientConfig fast_client(uint16_t port, int max_attempts = 4) {
+  ClientConfig config;
+  config.port = port;
+  config.connect_timeout_ms = 2000;
+  config.io_timeout_ms = 5000;
+  config.retry.max_attempts = max_attempts;
+  config.retry.initial_backoff_ms = 1;
+  config.retry.max_backoff_ms = 20;
+  return config;
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  if (a.numel() != b.numel()) {
+    return false;
+  }
+  return std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.numel())) == 0;
+}
+
+/// Every test leaves the process-wide injector disarmed.
+class NetTest : public ::testing::Test {
+ protected:
+  void SetUp() override { io::FaultInjector::instance().disarm(); }
+  void TearDown() override { io::FaultInjector::instance().disarm(); }
+};
+
+// ---- payload primitives ----------------------------------------------------
+
+TEST(Cursor, PrimitivesRoundTrip) {
+  std::string buf;
+  append_u8(buf, 0xAB);
+  append_u16(buf, 0xBEEF);
+  append_u32(buf, 0xDEADBEEFu);
+  append_u64(buf, 0x0123456789ABCDEFull);
+  append_f64(buf, -2.5);
+  append_string(buf, "fademl");
+  Cursor cur(buf);
+  EXPECT_EQ(cur.read_u8(), 0xAB);
+  EXPECT_EQ(cur.read_u16(), 0xBEEF);
+  EXPECT_EQ(cur.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(cur.read_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(cur.read_f64(), -2.5);
+  EXPECT_EQ(cur.read_string(), "fademl");
+  EXPECT_NO_THROW(cur.expect_end());
+}
+
+TEST(Cursor, TruncationAndTrailingGarbageAreTyped) {
+  std::string buf;
+  append_u32(buf, 7);
+  Cursor short_read(std::string_view(buf).substr(0, 2));
+  EXPECT_THROW(short_read.read_u32(), ProtocolError);
+
+  std::string with_tail = buf + "x";
+  Cursor tail(with_tail);
+  tail.read_u32();
+  EXPECT_THROW(tail.expect_end(), ProtocolError);
+
+  // A string whose declared length exceeds the remaining bytes.
+  std::string lying;
+  append_u32(lying, 1000);
+  lying += "abc";
+  Cursor cur(lying);
+  EXPECT_THROW(cur.read_string(), ProtocolError);
+}
+
+TEST(Cursor, ForgedTensorDimsRejectedBeforeAllocation) {
+  // A tensor header declaring ~16G elements backed by a handful of
+  // bytes: the decoder must reject from the length cross-check, not
+  // attempt the allocation.
+  std::string buf;
+  buf.append("FDML", 4);
+  append_u32(buf, 1);  // version
+  append_u32(buf, 4);  // rank
+  for (int i = 0; i < 4; ++i) {
+    append_u64(buf, 65536);  // 65536^4 elements
+  }
+  Cursor cur(buf);
+  EXPECT_THROW(cur.read_tensor_bounded(), ProtocolError);
+
+  // Also with a plausible product that still exceeds the actual bytes.
+  std::string small;
+  small.append("FDML", 4);
+  append_u32(small, 1);
+  append_u32(small, 1);
+  append_u64(small, 1024);  // declares 4 KiB of floats, provides none
+  Cursor cur2(small);
+  EXPECT_THROW(cur2.read_tensor_bounded(), ProtocolError);
+}
+
+TEST(Cursor, TensorRoundTripIsExact) {
+  const Tensor t = valid_image(11);
+  std::string buf;
+  append_tensor(buf, t);
+  Cursor cur(buf);
+  const Tensor back = cur.read_tensor_bounded();
+  EXPECT_NO_THROW(cur.expect_end());
+  ASSERT_EQ(back.numel(), t.numel());
+  EXPECT_TRUE(bitwise_equal(back, t));
+}
+
+// ---- frame codec over a socketpair ----------------------------------------
+
+TEST_F(NetTest, FrameRoundTripOverSocketPair) {
+  auto [a, b] = Socket::pair();
+  Frame out;
+  out.type = FrameType::kPredictRequest;
+  out.request_id = 42;
+  out.payload = encode_predict_request({"vgg", valid_image()});
+  write_frame(a, out, 1000);
+  const Frame in = read_frame(b, 1000);
+  EXPECT_EQ(in.type, FrameType::kPredictRequest);
+  EXPECT_EQ(in.request_id, 42u);
+  EXPECT_EQ(in.payload, out.payload);
+  const PredictRequest req = decode_predict_request(in.payload);
+  EXPECT_EQ(req.model, "vgg");
+  EXPECT_EQ(req.image.numel(), 3 * kSide * kSide);
+}
+
+TEST_F(NetTest, TruncatedHeaderIsAReset) {
+  auto [a, b] = Socket::pair();
+  const std::string bytes = encode_frame({FrameType::kPing, 1, ""});
+  a.write_all(bytes.data(), 10, 1000);  // partial header
+  a.close();
+  EXPECT_THROW(read_frame(b, 1000), ConnectionResetError);
+}
+
+TEST_F(NetTest, TruncatedPayloadIsAReset) {
+  auto [a, b] = Socket::pair();
+  Frame frame;
+  frame.type = FrameType::kPing;
+  frame.request_id = 9;
+  frame.payload = std::string(100, 'x');
+  const std::string bytes = encode_frame(frame);
+  a.write_all(bytes.data(), kFrameHeaderBytes + 30, 1000);
+  a.close();
+  EXPECT_THROW(read_frame(b, 1000), ConnectionResetError);
+}
+
+TEST_F(NetTest, BadMagicIsAProtocolError) {
+  auto [a, b] = Socket::pair();
+  std::string bytes = encode_frame({FrameType::kPing, 1, ""});
+  bytes[0] = 'X';
+  a.write_all(bytes.data(), bytes.size(), 1000);
+  EXPECT_THROW(read_frame(b, 1000), ProtocolError);
+}
+
+TEST_F(NetTest, VersionSkewIsAProtocolError) {
+  auto [a, b] = Socket::pair();
+  std::string bytes = encode_frame({FrameType::kPing, 1, ""});
+  bytes[4] = 9;  // future protocol version
+  a.write_all(bytes.data(), bytes.size(), 1000);
+  try {
+    read_frame(b, 1000);
+    FAIL() << "version skew must throw";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("version skew"), std::string::npos);
+    EXPECT_FALSE(e.retryable());
+  }
+}
+
+TEST_F(NetTest, UnknownFrameTypeIsAProtocolError) {
+  auto [a, b] = Socket::pair();
+  std::string bytes = encode_frame({FrameType::kPing, 1, ""});
+  bytes[5] = 99;
+  a.write_all(bytes.data(), bytes.size(), 1000);
+  EXPECT_THROW(read_frame(b, 1000), ProtocolError);
+}
+
+TEST_F(NetTest, AbsurdDeclaredLengthRejectedBeforeAllocation) {
+  auto [a, b] = Socket::pair();
+  std::string bytes = encode_frame({FrameType::kPing, 1, ""});
+  const uint32_t absurd = 0xF0000000u;  // ~3.75 GiB
+  std::memcpy(bytes.data() + 16, &absurd, sizeof(absurd));
+  a.write_all(bytes.data(), bytes.size(), 1000);
+  try {
+    read_frame(b, 1000);
+    FAIL() << "absurd length must throw";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("bound"), std::string::npos);
+  }
+}
+
+TEST_F(NetTest, CorruptedPayloadCrcIsAProtocolError) {
+  auto [a, b] = Socket::pair();
+  Frame frame;
+  frame.type = FrameType::kPing;
+  frame.request_id = 3;
+  frame.payload = "payload-bytes";
+  std::string bytes = encode_frame(frame);
+  bytes[kFrameHeaderBytes + 4] ^= 0x01;  // flip one payload bit
+  a.write_all(bytes.data(), bytes.size(), 1000);
+  try {
+    read_frame(b, 1000);
+    FAIL() << "CRC mismatch must throw";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos);
+  }
+}
+
+TEST_F(NetTest, ReadDeadlineFires) {
+  auto [a, b] = Socket::pair();
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(read_frame(b, 50), TimeoutError);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, milliseconds(4000));
+}
+
+TEST(WireErrors, RetryabilityTable) {
+  EXPECT_TRUE(wire_error_retryable(WireError::kQueueFull));
+  EXPECT_TRUE(wire_error_retryable(WireError::kServerBusy));
+  EXPECT_TRUE(wire_error_retryable(WireError::kShuttingDown));
+  EXPECT_TRUE(wire_error_retryable(WireError::kCircuitOpen));
+  EXPECT_TRUE(wire_error_retryable(WireError::kDeadlineExceeded));
+  EXPECT_FALSE(wire_error_retryable(WireError::kUnknownModel));
+  EXPECT_FALSE(wire_error_retryable(WireError::kInvalidInput));
+  EXPECT_FALSE(wire_error_retryable(WireError::kBadRequest));
+  EXPECT_FALSE(wire_error_retryable(WireError::kSwapFailed));
+  EXPECT_FALSE(wire_error_retryable(WireError::kInternal));
+
+  ErrorPayload err;
+  err.code = WireError::kQueueFull;
+  err.retryable = true;
+  err.message = "queue full";
+  const ErrorPayload back = decode_error_payload(encode_error_payload(err));
+  EXPECT_EQ(back.code, WireError::kQueueFull);
+  EXPECT_TRUE(back.retryable);
+  EXPECT_EQ(back.message, "queue full");
+}
+
+// ---- registry --------------------------------------------------------------
+
+TEST_F(NetTest, RegistryInstallLookupAndGeneration) {
+  const std::string ckpt = make_checkpoint(99, "fademl_net_reg_a.fdml");
+  ModelRegistry registry;
+  registry.install(tiny_spec("vgg", ckpt));
+  EXPECT_NE(registry.lookup("vgg"), nullptr);
+  EXPECT_EQ(registry.lookup("nope"), nullptr);
+  EXPECT_EQ(registry.generation("vgg"), 1);
+  EXPECT_EQ(registry.checkpoint_path("vgg"), ckpt);
+  EXPECT_THROW(registry.install(tiny_spec("vgg", ckpt)), SwapError);
+  EXPECT_THROW(static_cast<void>(registry.generation("nope")),
+               UnknownModelError);
+  registry.clear();
+  EXPECT_EQ(registry.lookup("vgg"), nullptr);
+}
+
+TEST_F(NetTest, RegistrySwapPublishesNewModelAtomically) {
+  const std::string ckpt_a = make_checkpoint(99, "fademl_net_swap_a.fdml");
+  const std::string ckpt_b = make_checkpoint(1234, "fademl_net_swap_b.fdml");
+  ModelRegistry registry;
+  registry.install(tiny_spec("vgg", ckpt_a));
+  const Tensor image = valid_image();
+
+  auto before = registry.lookup("vgg");
+  const Tensor probs_a = before->classify(image).prediction.probs;
+  EXPECT_TRUE(bitwise_equal(probs_a, reference_probs(ckpt_a, image)));
+
+  EXPECT_EQ(registry.swap("vgg", ckpt_b), 2);
+  // The pre-swap handle keeps serving the old model for its holder...
+  EXPECT_TRUE(bitwise_equal(before->classify(image).prediction.probs,
+                            probs_a));
+  // ...while new lookups get the new checkpoint's weights.
+  const Tensor probs_b =
+      registry.lookup("vgg")->classify(image).prediction.probs;
+  EXPECT_FALSE(bitwise_equal(probs_b, probs_a));
+  EXPECT_TRUE(bitwise_equal(probs_b, reference_probs(ckpt_b, image)));
+}
+
+TEST_F(NetTest, FailedSwapLeavesOldModelServing) {
+  const std::string ckpt = make_checkpoint(99, "fademl_net_swapfail.fdml");
+  ModelRegistry registry;
+  registry.install(tiny_spec("vgg", ckpt));
+  const Tensor image = valid_image();
+  const Tensor probs_before =
+      registry.lookup("vgg")->classify(image).prediction.probs;
+
+  // Missing checkpoint.
+  EXPECT_THROW(registry.swap("vgg", "/nonexistent/ckpt.fdml"), SwapError);
+  EXPECT_EQ(registry.generation("vgg"), 1);
+  EXPECT_EQ(registry.checkpoint_path("vgg"), ckpt);
+
+  // Failpoint-injected corrupt load.
+  io::FaultInjector::instance().arm("swap-corrupt:1");
+  EXPECT_THROW(registry.swap("vgg", ckpt), SwapError);
+  EXPECT_GE(io::FaultInjector::instance().faults_fired(), 1);
+  EXPECT_EQ(registry.generation("vgg"), 1);
+
+  // Unknown model name.
+  EXPECT_THROW(registry.swap("nope", ckpt), UnknownModelError);
+
+  // The entry is untouched and still bitwise-identical.
+  EXPECT_TRUE(bitwise_equal(
+      registry.lookup("vgg")->classify(image).prediction.probs,
+      probs_before));
+}
+
+// ---- client/server integration --------------------------------------------
+
+/// Server over one installed tiny model, started on an ephemeral port.
+class ServerTest : public NetTest {
+ protected:
+  void SetUp() override {
+    NetTest::SetUp();
+    ckpt_ = make_checkpoint(99, "fademl_net_server_a.fdml");
+    registry_.install(tiny_spec("vgg", ckpt_));
+    ServerConfig config;
+    config.read_timeout_ms = 10000;
+    server_ = std::make_unique<Server>(registry_, config);
+    server_->start();
+  }
+
+  void TearDown() override {
+    server_->stop();
+    registry_.clear();
+    NetTest::TearDown();
+  }
+
+  std::string ckpt_;
+  ModelRegistry registry_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, PredictMatchesLocalReferenceBitwise) {
+  Client client(fast_client(server_->port()));
+  const Tensor image = valid_image();
+  const PredictResult result = client.predict("vgg", image);
+  EXPECT_TRUE(bitwise_equal(result.prediction.probs,
+                            reference_probs(ckpt_, image)));
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(client.stats().retries, 0);
+  const ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.connections_accepted, 1);
+  EXPECT_EQ(stats.frames_served, 1);
+}
+
+TEST_F(ServerTest, PingAndConnectionReuse) {
+  Client client(fast_client(server_->port()));
+  client.ping();
+  client.ping();
+  client.predict("vgg", valid_image());
+  EXPECT_EQ(client.stats().attempts, 3);
+  EXPECT_EQ(client.stats().reconnects, 0);
+  EXPECT_EQ(server_->stats().connections_accepted, 1);
+}
+
+TEST_F(ServerTest, UnknownModelIsTerminal) {
+  Client client(fast_client(server_->port()));
+  try {
+    client.predict("not-a-model", valid_image());
+    FAIL() << "unknown model must throw";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(), WireError::kUnknownModel);
+    EXPECT_FALSE(e.retryable());
+  }
+  // Terminal: exactly one wire attempt, no retries.
+  EXPECT_EQ(client.stats().attempts, 1);
+  EXPECT_EQ(client.stats().failures, 1);
+}
+
+TEST_F(ServerTest, InvalidInputIsTerminal) {
+  Client client(fast_client(server_->port()));
+  Rng rng(1);
+  const Tensor wrong_shape =
+      rng.uniform_tensor(Shape{3, kSide * 2, kSide * 2}, 0.0f, 1.0f);
+  try {
+    client.predict("vgg", wrong_shape);
+    FAIL() << "admission failure must throw";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(), WireError::kInvalidInput);
+    EXPECT_FALSE(e.retryable());
+  }
+  EXPECT_EQ(client.stats().attempts, 1);
+}
+
+TEST_F(ServerTest, ClientRecoversFromInjectedReset) {
+  Client client(fast_client(server_->port()));
+  client.ping();  // establish the connection first
+  io::FaultInjector::instance().arm("net-reset:1");
+  const Tensor image = valid_image();
+  const PredictResult result = client.predict("vgg", image);
+  EXPECT_TRUE(bitwise_equal(result.prediction.probs,
+                            reference_probs(ckpt_, image)));
+  EXPECT_GE(result.attempts, 2);
+  EXPECT_GE(client.stats().retries, 1);
+  EXPECT_GE(client.stats().reconnects, 1);
+  EXPECT_GE(io::FaultInjector::instance().faults_fired(), 1);
+  EXPECT_FALSE(io::FaultInjector::instance().armed());  // disarmed at zero
+}
+
+TEST_F(ServerTest, ClientRecoversFromInjectedPartialFrame) {
+  Client client(fast_client(server_->port()));
+  client.ping();
+  io::FaultInjector::instance().arm("net-partial:1");
+  const Tensor image = valid_image();
+  const PredictResult result = client.predict("vgg", image);
+  EXPECT_TRUE(bitwise_equal(result.prediction.probs,
+                            reference_probs(ckpt_, image)));
+  EXPECT_GE(client.stats().retries, 1);
+  EXPECT_GE(io::FaultInjector::instance().faults_fired(), 1);
+}
+
+TEST_F(ServerTest, SlowPeerTripsReadDeadlineThenRecovers) {
+  ClientConfig config = fast_client(server_->port(), /*max_attempts=*/2);
+  config.io_timeout_ms = 60;
+  Client client(config);
+  client.ping();
+  io::FaultInjector::instance().arm("net-slow:500");
+  EXPECT_THROW(client.predict("vgg", valid_image()), TimeoutError);
+  EXPECT_EQ(client.stats().attempts, 3);  // ping + both predict attempts
+  EXPECT_EQ(client.stats().failures, 1);
+  io::FaultInjector::instance().disarm();
+  // The next request reconnects and succeeds.
+  const PredictResult result = client.predict("vgg", valid_image());
+  EXPECT_GE(result.prediction.confidence, 0.0f);
+}
+
+TEST_F(ServerTest, SwapOverTheWireChangesServedModel) {
+  const std::string ckpt_b =
+      make_checkpoint(1234, "fademl_net_server_b.fdml");
+  Client client(fast_client(server_->port()));
+  const Tensor image = valid_image();
+  const Tensor probs_a = client.predict("vgg", image).prediction.probs;
+
+  const SwapResult swapped = client.swap("vgg", ckpt_b);
+  EXPECT_EQ(swapped.generation, 2);
+
+  const Tensor probs_b = client.predict("vgg", image).prediction.probs;
+  EXPECT_FALSE(bitwise_equal(probs_b, probs_a));
+  EXPECT_TRUE(bitwise_equal(probs_b, reference_probs(ckpt_b, image)));
+}
+
+TEST_F(ServerTest, CorruptSwapOverTheWireIsNotRetriedAndOldModelServes) {
+  Client client(fast_client(server_->port()));
+  const Tensor image = valid_image();
+  const Tensor probs_before = client.predict("vgg", image).prediction.probs;
+  const int64_t attempts_before = client.stats().attempts;
+
+  io::FaultInjector::instance().arm("swap-corrupt:1");
+  try {
+    client.swap("vgg", ckpt_);
+    FAIL() << "corrupt swap must throw";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(), WireError::kSwapFailed);
+    EXPECT_FALSE(e.retryable());
+  }
+  // Non-idempotent: exactly one wire attempt for the swap.
+  EXPECT_EQ(client.stats().attempts, attempts_before + 1);
+  EXPECT_EQ(registry_.generation("vgg"), 1);
+
+  // The old model is still serving, bitwise unchanged.
+  EXPECT_TRUE(bitwise_equal(client.predict("vgg", image).prediction.probs,
+                            probs_before));
+}
+
+TEST_F(ServerTest, StoppedServerYieldsTypedConnectError) {
+  Client client(fast_client(server_->port(), /*max_attempts=*/2));
+  client.ping();
+  server_->stop();
+  EXPECT_THROW(client.predict("vgg", valid_image()), NetError);
+  EXPECT_EQ(client.stats().failures, 1);
+}
+
+TEST_F(NetTest, ConnectionLimitRefusalIsRetryableServerBusy) {
+  const std::string ckpt = make_checkpoint(99, "fademl_net_busy.fdml");
+  ModelRegistry registry;
+  registry.install(tiny_spec("vgg", ckpt));
+  ServerConfig config;
+  config.max_connections = 0;  // refuse everything
+  Server server(registry, config);
+  server.start();
+  Client client(fast_client(server.port(), /*max_attempts=*/2));
+  try {
+    client.ping();
+    FAIL() << "refused connection must throw";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(), WireError::kServerBusy);
+    EXPECT_TRUE(e.retryable());
+  }
+  EXPECT_EQ(client.stats().attempts, 2);  // retried, then budget exhausted
+  EXPECT_GE(server.stats().connections_refused, 2);
+  server.stop();
+  registry.clear();
+}
+
+TEST_F(ServerTest, HammerWithInjectedResetsLosesNothing) {
+  constexpr int kThreads = 3;
+  constexpr int kRequestsPerThread = 6;
+  io::FaultInjector::instance().arm("net-reset:3");
+  std::atomic<int> succeeded{0};
+  std::atomic<int> total_retries{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ClientConfig config = fast_client(server_->port(), /*max_attempts=*/6);
+      config.retry.jitter_seed = 0x5EEDu + static_cast<uint64_t>(t);
+      Client client(config);
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const PredictResult result =
+            client.predict("vgg", valid_image(static_cast<uint64_t>(i)));
+        if (result.prediction.probs.numel() > 0) {
+          succeeded.fetch_add(1);
+        }
+      }
+      total_retries.fetch_add(static_cast<int>(client.stats().retries));
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  // Zero loss: every request eventually produced a prediction.
+  EXPECT_EQ(succeeded.load(), kThreads * kRequestsPerThread);
+  EXPECT_GE(total_retries.load(), 1);
+  EXPECT_GE(io::FaultInjector::instance().faults_fired(), 3);
+}
+
+TEST_F(ServerTest, DrainShutdownWithLiveIdleConnections) {
+  Client a(fast_client(server_->port()));
+  Client b(fast_client(server_->port()));
+  a.ping();
+  b.predict("vgg", valid_image());
+  EXPECT_EQ(server_->active_connections(), 2);
+  // stop() must not hang on the two idle-but-open connections, and the
+  // handler threads must all have exited.
+  server_->stop();
+  EXPECT_EQ(server_->active_connections(), 0);
+}
+
+}  // namespace
+}  // namespace fademl::net

@@ -59,6 +59,23 @@ TEST(FaultSpec, ParsesTheDocumentedSyntax) {
   EXPECT_EQ(bf.arg, 17);
 }
 
+TEST(FaultSpec, ParsesTheNetworkFailpoints) {
+  const io::FaultSpec nr = io::FaultSpec::parse("net-reset:2");
+  EXPECT_EQ(nr.kind, io::FaultSpec::Kind::kNetReset);
+  EXPECT_EQ(nr.arg, 2);
+  const io::FaultSpec np = io::FaultSpec::parse("net-partial:1");
+  EXPECT_EQ(np.kind, io::FaultSpec::Kind::kNetPartial);
+  EXPECT_EQ(np.arg, 1);
+  const io::FaultSpec ns = io::FaultSpec::parse("net-slow:250");
+  EXPECT_EQ(ns.kind, io::FaultSpec::Kind::kNetSlow);
+  EXPECT_EQ(ns.arg, 250);
+  const io::FaultSpec sc = io::FaultSpec::parse("swap-corrupt:3");
+  EXPECT_EQ(sc.kind, io::FaultSpec::Kind::kSwapCorrupt);
+  EXPECT_EQ(sc.arg, 3);
+  EXPECT_THROW(io::FaultSpec::parse("net-reset:0"), Error);
+  EXPECT_THROW(io::FaultSpec::parse("swap-corrupt:0"), Error);
+}
+
 TEST(FaultSpec, RejectsMalformedSpecs) {
   EXPECT_THROW(io::FaultSpec::parse(""), Error);
   EXPECT_THROW(io::FaultSpec::parse("explode"), Error);
@@ -66,6 +83,28 @@ TEST(FaultSpec, RejectsMalformedSpecs) {
   EXPECT_THROW(io::FaultSpec::parse("fail-write:0"), Error);
   EXPECT_THROW(io::FaultSpec::parse("truncate:-1"), Error);
   EXPECT_THROW(io::FaultSpec::parse("bit-flip:x"), Error);
+}
+
+TEST(FaultSpec, RejectsTrailingGarbageAndLooseNumberFormats) {
+  // std::stoll would happily parse the prefix of all of these; a typo'd
+  // FADEML_FAILPOINT must fail loudly, never arm something other than
+  // what the operator wrote (or worse, arm nothing and let the chaos
+  // suite silently run un-injected).
+  EXPECT_THROW(io::FaultSpec::parse("fail-write:2junk"), Error);
+  EXPECT_THROW(io::FaultSpec::parse("truncate:128 "), Error);
+  EXPECT_THROW(io::FaultSpec::parse("bit-flip: 17"), Error);
+  EXPECT_THROW(io::FaultSpec::parse("slow-worker:+5"), Error);
+  EXPECT_THROW(io::FaultSpec::parse("net-slow:0x10"), Error);
+  EXPECT_THROW(io::FaultSpec::parse("net-reset:1e3"), Error);
+  EXPECT_THROW(io::FaultSpec::parse("worker-throw:99999999999999999999"),
+               Error);
+  // The error must carry the offending text, not just "bad spec".
+  try {
+    io::FaultSpec::parse("net-partial:3x");
+    FAIL() << "trailing garbage must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("3x"), std::string::npos);
+  }
 }
 
 TEST(AtomicWrite, ReplacesContentWithoutLeavingTempFiles) {

@@ -533,6 +533,54 @@ TEST_F(ServeTest, ShutdownMidFlightWaitsForTheSlowWorker) {
   EXPECT_EQ(service.stats().completed, 3);
 }
 
+TEST_F(ServeTest, ShutdownUnblocksSubmitterStuckInBlockPolicy) {
+  // Regression audit: a caller blocked in submit() under kBlock (queue
+  // full, worker wedged) must receive ShutdownError promptly when
+  // shutdown() runs — never deadlock against the drain. The queue's
+  // close() wakes blocked producers, and submit() converts the wake into
+  // the typed error after reverting its admission accounting.
+  ServiceConfig config = base_config();
+  config.queue_capacity = 1;
+  config.overload_policy = OverloadPolicy::kBlock;
+  InferenceService service(make_replicas(1), config);
+  // Slow enough that the worker is still wedged on the first request
+  // when shutdown() fires below, even on a loaded single-core runner.
+  io::FaultInjector::instance().arm("slow-worker:400");
+
+  auto in_flight = service.submit(valid_image(0));  // worker takes this
+  ASSERT_TRUE(eventually(
+      [&] { return io::FaultInjector::instance().computes_seen() >= 1; }));
+  auto queued = service.submit(valid_image(1));  // fills the queue
+
+  std::atomic<bool> blocked_entered{false};
+  std::atomic<bool> got_shutdown_error{false};
+  std::thread submitter([&] {
+    blocked_entered.store(true);
+    try {
+      (void)service.submit(valid_image(2));  // blocks: queue full
+    } catch (const ShutdownError&) {
+      got_shutdown_error.store(true);
+    }
+  });
+  ASSERT_TRUE(eventually([&] { return blocked_entered.load(); }));
+  // Give the submitter time to actually park on the full queue.
+  std::this_thread::sleep_for(milliseconds(30));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  service.shutdown();  // must wake the blocked submitter, then drain
+  submitter.join();
+  io::FaultInjector::instance().disarm();
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, milliseconds(5000));
+  EXPECT_TRUE(got_shutdown_error.load());
+
+  // Everything admitted before shutdown still drained normally.
+  EXPECT_NO_THROW((void)in_flight.get());
+  EXPECT_NO_THROW((void)queued.get());
+  EXPECT_EQ(service.stats().completed, 2);
+  // The reverted third submit never counts as submitted-but-lost.
+  EXPECT_EQ(service.stats().submitted, service.stats().completed);
+}
+
 TEST_F(ServeTest, DegradedAndPrimaryPipelinesAgreeOnShape) {
   // The degraded twin shares the worker's model, so its predictions have
   // the same class space — only the pre-processing differs.

@@ -8,6 +8,19 @@
 //   fademl attack  --source 14 --target 3 --attack bim --filter lap32
 //                  [--fademl] [--eps 0.15] [--out panel.ppm]
 //   fademl verify  --ckpt model.fdml    validate a checkpoint bundle
+//   fademl serve   [--port 7433] [--host 127.0.0.1] [--model gtsrb]
+//                  [--filter lap32] [--workers 2] [--queue 64]
+//                  [--max-conn 32] [--no-swap]
+//                  serve the experiment model over the FNET wire protocol
+//                  (length-prefixed CRC-checked frames, see
+//                  docs/serving.md) until SIGINT/SIGTERM; hot checkpoint
+//                  swap stays enabled unless --no-swap
+//   fademl client  --image x.ppm [--model gtsrb] [--host ...] [--port ...]
+//                  [--retries 4]
+//                  classify one PPM against a running `fademl serve`
+//   fademl swap    --ckpt new.fdml [--model gtsrb] [--host ...] [--port ...]
+//                  hot-swap a running server to a new checkpoint; on
+//                  failure the server keeps serving the old model
 //   fademl serve-batch --dir imgs      classify every PPM in a directory
 //                  [--filter lap32] [--workers 2] [--deadline-ms 0]
 //                  [--queue 64] [--policy block|shed]
@@ -29,12 +42,16 @@
 // Every command honors FADEML_FAST / FADEML_CACHE_DIR like the benches.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <future>
 #include <iostream>
 #include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -43,6 +60,9 @@
 #include "fademl/fademl.hpp"
 #include "fademl/io/args.hpp"
 #include "fademl/io/visualize.hpp"
+#include "fademl/net/client.hpp"
+#include "fademl/net/registry.hpp"
+#include "fademl/net/server.hpp"
 #include "fademl/nn/checkpoint.hpp"
 
 namespace {
@@ -341,6 +361,153 @@ int cmd_serve_batch(const io::ArgParser& args) {
   return failures.finish();
 }
 
+/// Default FNET port for `serve`/`client`/`swap` (spells "SIE" on a
+/// phone pad — nothing reserved, just stable across the three commands).
+constexpr int64_t kDefaultPort = 7433;
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+void handle_stop_signal(int sig) { g_stop_signal = sig; }
+
+uint16_t parse_port(const io::ArgParser& args) {
+  const int64_t port = args.get_int("port", kDefaultPort);
+  if (port < 0 || port > 65535) {
+    throw UsageError("--port must be in [0, 65535], got " +
+                     std::to_string(port));
+  }
+  return static_cast<uint16_t>(port);
+}
+
+net::Client make_net_client(const io::ArgParser& args) {
+  net::ClientConfig config;
+  config.host = args.get("host", "127.0.0.1");
+  config.port = parse_port(args);
+  const int64_t retries = args.get_int("retries", 4);
+  if (retries < 1) {
+    throw UsageError("--retries must be >= 1 (it counts total attempts)");
+  }
+  config.retry.max_attempts = static_cast<int>(retries);
+  return net::Client(std::move(config));
+}
+
+int cmd_serve(const io::ArgParser& args) {
+  core::Experiment exp =
+      core::make_experiment(core::ExperimentConfig::from_env());
+  const std::string filter_spec = args.get("filter", "lap32");
+  // Validate the spec eagerly so a typo fails at startup, not inside the
+  // replica factory on the first hot swap.
+  static_cast<void>(filters::parse_filter(filter_spec));
+  const int64_t workers = args.get_int("workers", 2);
+  if (workers < 1) {
+    throw UsageError("serve: --workers must be >= 1");
+  }
+
+  net::ModelSpec spec;
+  spec.name = args.get("model", "gtsrb");
+  spec.checkpoint_path = exp.config.checkpoint_path();
+  // The factory builds fresh *un-loaded* replicas — the registry verifies
+  // and loads whichever checkpoint is current, so hot swap reuses the
+  // exact same construction path as the initial install.
+  const uint64_t seed = exp.config.seed;
+  const int64_t divisor = exp.config.width_divisor;
+  const int64_t image_size = exp.config.image_size;
+  spec.factory = [seed, divisor, image_size, filter_spec, workers] {
+    std::vector<std::unique_ptr<core::InferencePipeline>> replicas;
+    for (int64_t i = 0; i < workers; ++i) {
+      Rng rng(seed ^ 0xA5A5A5A5ull);
+      nn::VggConfig vgg = nn::VggConfig::scaled(divisor);
+      vgg.input_size = image_size;
+      replicas.push_back(std::make_unique<core::InferencePipeline>(
+          nn::make_vggnet(vgg, rng), filters::parse_filter(filter_spec)));
+    }
+    return replicas;
+  };
+  spec.service.queue_capacity = static_cast<size_t>(args.get_int("queue", 64));
+  const int64_t max_batch = args.get_int("max-batch", 8);
+  if (max_batch < 1) {
+    throw UsageError("serve: --max-batch must be >= 1");
+  }
+  spec.service.max_batch = static_cast<size_t>(max_batch);
+  spec.service.batch_window =
+      std::chrono::milliseconds(args.get_int("batch-window-ms", 2));
+  spec.service.admission.expected_height = image_size;
+  spec.service.admission.expected_width = image_size;
+
+  net::ModelRegistry registry;
+  registry.install(std::move(spec));
+  const std::string model_name = registry.names().front();
+
+  net::ServerConfig server_config;
+  server_config.host = args.get("host", "127.0.0.1");
+  server_config.port = parse_port(args);
+  server_config.max_connections =
+      static_cast<int>(args.get_int("max-conn", 32));
+  server_config.allow_swap = !args.has("no-swap");
+  net::Server server(registry, server_config);
+  server.start();
+  std::printf(
+      "serving model '%s' (%s) on %s:%u — %lld worker(s), filter %s, "
+      "swap %s; Ctrl-C to drain and exit\n",
+      model_name.c_str(), registry.checkpoint_path(model_name).c_str(),
+      server_config.host.c_str(), server.port(),
+      static_cast<long long>(workers), filter_spec.c_str(),
+      server_config.allow_swap ? "enabled" : "disabled");
+  std::fflush(stdout);
+
+  g_stop_signal = 0;
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (g_stop_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("\nsignal %d: draining connections...\n",
+              static_cast<int>(g_stop_signal));
+  server.stop();
+  const net::ServerStats stats = server.stats();
+  registry.clear();
+  std::printf(
+      "served %lld frame(s) over %lld connection(s): %lld error frame(s), "
+      "%lld refused, %lld protocol error(s), %lld reset(s)\n",
+      static_cast<long long>(stats.frames_served),
+      static_cast<long long>(stats.connections_accepted),
+      static_cast<long long>(stats.error_frames),
+      static_cast<long long>(stats.connections_refused),
+      static_cast<long long>(stats.protocol_errors),
+      static_cast<long long>(stats.resets_seen));
+  return 0;
+}
+
+int cmd_net_client(const io::ArgParser& args) {
+  const std::string image_path = args.get("image", "");
+  if (image_path.empty()) {
+    throw UsageError("client requires --image <file.ppm>");
+  }
+  Tensor image = io::read_ppm(image_path);
+  net::Client client = make_net_client(args);
+  const net::PredictResult r =
+      client.predict(args.get("model", "gtsrb"), image);
+  std::printf("%s: %s  %.1f%%  (filter %s%s, %.2f ms server inference, "
+              "%d attempt(s))\n",
+              image_path.c_str(),
+              data::gtsrb_class_name(r.prediction.label).c_str(),
+              r.prediction.confidence * 100.0, r.filter.c_str(),
+              r.degraded ? " [degraded]" : "", r.infer_ms, r.attempts);
+  return 0;
+}
+
+int cmd_swap(const io::ArgParser& args) {
+  const std::string ckpt = args.get("ckpt", "");
+  if (ckpt.empty()) {
+    throw UsageError("swap requires --ckpt <new checkpoint bundle>");
+  }
+  net::Client client = make_net_client(args);
+  // A rejected swap throws RemoteError (exit 1); the server keeps
+  // serving its previous checkpoint in that case.
+  const net::SwapResult r = client.swap(args.get("model", "gtsrb"), ckpt);
+  std::printf("swap ok: %s (generation %lld)\n", r.detail.c_str(),
+              static_cast<long long>(r.generation));
+  return 0;
+}
+
 int cmd_verify(const io::ArgParser& args) {
   const std::string path = args.get("ckpt", "");
   if (path.empty()) {
@@ -367,7 +534,8 @@ int cmd_verify(const io::ArgParser& args) {
 }  // namespace
 
 constexpr const char* kCommands =
-    "fademl <classes|render|train|eval|attack|verify|serve-batch>";
+    "fademl "
+    "<classes|render|train|eval|attack|verify|serve-batch|serve|client|swap>";
 
 int main(int argc, char** argv) {
   io::ArgParser args(
@@ -375,7 +543,8 @@ int main(int argc, char** argv) {
       {"cls", "size", "out", "seed", "filter", "attack", "source", "target",
        "eps", "iters", "fademl!", "ckpt", "dir", "workers", "deadline-ms",
        "queue", "policy", "max-batch", "batch-window-ms", "metrics-out",
-       "trace-out"});
+       "trace-out", "host", "port", "max-conn", "no-swap!", "model", "image",
+       "retries"});
   std::string command;
   try {
     if (argc < 2) {
@@ -408,6 +577,15 @@ int main(int argc, char** argv) {
     }
     if (command == "serve-batch") {
       return cmd_serve_batch(args);
+    }
+    if (command == "serve") {
+      return cmd_serve(args);
+    }
+    if (command == "client") {
+      return cmd_net_client(args);
+    }
+    if (command == "swap") {
+      return cmd_swap(args);
     }
     std::fprintf(stderr, "error: unknown command '%s'\n%s", command.c_str(),
                  args.usage(kCommands).c_str());
