@@ -60,6 +60,8 @@ struct PointResult {
   int64_t lost = 0;
   int64_t attempts = 0;
   int64_t retries = 0;
+  int64_t hedges = 0;
+  int64_t hedge_wins = 0;
   int64_t reconnects = 0;
   std::vector<double> latencies_ms;  ///< per completed request
   serve::ServiceStats service;       ///< server-side snapshot delta source
@@ -100,7 +102,7 @@ PointResult run_point(const std::string& host, uint16_t port,
                       const std::string& model_name, double rate,
                       int duration_ms, int client_threads,
                       const std::string& arrival, int max_attempts,
-                      uint64_t seed) {
+                      int hedge_delay_ms, uint64_t seed) {
   const std::vector<double> schedule =
       make_schedule(rate, duration_ms, arrival, seed);
   PointResult point;
@@ -114,6 +116,8 @@ PointResult run_point(const std::string& host, uint16_t port,
   std::vector<double> latencies;
   std::atomic<int64_t> attempts{0};
   std::atomic<int64_t> retries{0};
+  std::atomic<int64_t> hedges{0};
+  std::atomic<int64_t> hedge_wins{0};
   std::atomic<int64_t> reconnects{0};
 
   const auto start = Clock::now();
@@ -128,6 +132,13 @@ PointResult run_point(const std::string& host, uint16_t port,
       config.retry.initial_backoff_ms = 2;
       config.retry.max_backoff_ms = 200;
       config.retry.jitter_seed = seed + static_cast<uint64_t>(t);
+      if (hedge_delay_ms > 0) {
+        config.hedge.enabled = true;
+        config.hedge.initial_delay_ms = hedge_delay_ms;
+        // Floor the adaptive p99 delay at the configured one so healthy
+        // traffic below it never hedges.
+        config.hedge.min_delay_ms = hedge_delay_ms;
+      }
       net::Client client(config);
       Rng image_rng(seed * 31 + static_cast<uint64_t>(t));
       std::vector<double> local_latencies;
@@ -155,9 +166,12 @@ PointResult run_point(const std::string& host, uint16_t port,
           lost.fetch_add(1);
         }
       }
-      attempts.fetch_add(client.stats().attempts);
-      retries.fetch_add(client.stats().retries);
-      reconnects.fetch_add(client.stats().reconnects);
+      const net::ClientStats cs = client.stats();
+      attempts.fetch_add(cs.attempts);
+      retries.fetch_add(cs.retries);
+      hedges.fetch_add(cs.hedges);
+      hedge_wins.fetch_add(cs.hedge_wins);
+      reconnects.fetch_add(cs.reconnects);
       std::lock_guard<std::mutex> lock(latency_mutex);
       latencies.insert(latencies.end(), local_latencies.begin(),
                        local_latencies.end());
@@ -171,6 +185,8 @@ PointResult run_point(const std::string& host, uint16_t port,
   point.lost = lost.load();
   point.attempts = attempts.load();
   point.retries = retries.load();
+  point.hedges = hedges.load();
+  point.hedge_wins = hedge_wins.load();
   point.reconnects = reconnects.load();
   point.latencies_ms = std::move(latencies);
   return point;
@@ -203,10 +219,21 @@ void write_report(const std::string& path, const std::string& arrival,
     w.key("p50_ms").value(serve::percentile(p.latencies_ms, 0.50));
     w.key("p99_ms").value(serve::percentile(p.latencies_ms, 0.99));
     w.key("p999_ms").value(serve::percentile(p.latencies_ms, 0.999));
+    // First attempts are what the schedule offered; retries and hedges
+    // are extra wire attempts and must not dilute each other's rates.
+    const int64_t first_attempts = p.attempts - p.retries - p.hedges;
+    w.key("first_attempts").value(first_attempts);
+    w.key("retries").value(p.retries);
     w.key("retry_rate")
-        .value(p.attempts > 0 ? static_cast<double>(p.retries) /
-                                    static_cast<double>(p.attempts)
-                              : 0.0);
+        .value(first_attempts > 0 ? static_cast<double>(p.retries) /
+                                        static_cast<double>(first_attempts)
+                                  : 0.0);
+    w.key("hedges").value(p.hedges);
+    w.key("hedge_wins").value(p.hedge_wins);
+    w.key("hedge_rate")
+        .value(first_attempts > 0 ? static_cast<double>(p.hedges) /
+                                        static_cast<double>(first_attempts)
+                                  : 0.0);
     w.key("reconnects").value(p.reconnects);
     w.key("shed_rate")
         .value(p.service.submitted + p.service.shed > 0
@@ -247,7 +274,8 @@ int main(int argc, char** argv) {
   io::ArgParser args(
       "Open-loop load generator for the fademl::net serving front-end",
       {"rates", "duration-ms", "clients", "arrival", "model", "host", "port",
-       "max-attempts", "max-batch", "failpoint", "out", "seed", "quick!"});
+       "max-attempts", "max-batch", "hedge-delay-ms", "failpoint", "out",
+       "seed", "quick!"});
   try {
     args.parse(argc - 1, argv + 1);
   } catch (const fademl::Error& e) {
@@ -263,6 +291,8 @@ int main(int argc, char** argv) {
   const std::string arrival = args.get("arrival", "exp");
   const std::string model_name = args.get("model", "vgg");
   const int max_attempts = static_cast<int>(args.get_int("max-attempts", 6));
+  const int hedge_delay_ms =
+      static_cast<int>(args.get_int("hedge-delay-ms", 0));
   const std::string failpoint = args.get("failpoint", "");
   const std::string out = args.get("out", "artifacts/BENCH_serve.json");
   const uint64_t seed = static_cast<uint64_t>(args.get_int("seed", 42));
@@ -324,8 +354,9 @@ int main(int argc, char** argv) {
       // fault burst.
       io::FaultInjector::instance().arm(failpoint);
     }
-    PointResult point = run_point(host, port, model_name, rate, duration_ms,
-                                  clients, arrival, max_attempts, seed);
+    PointResult point =
+        run_point(host, port, model_name, rate, duration_ms, clients,
+                  arrival, max_attempts, hedge_delay_ms, seed);
     io::FaultInjector::instance().disarm();
     if (registry) {
       if (auto service = registry->lookup(model_name)) {
@@ -340,7 +371,8 @@ int main(int argc, char** argv) {
               << point.requests << " ok, " << point.lost << " lost, p50 "
               << serve::percentile(point.latencies_ms, 0.5) << " ms, p99 "
               << serve::percentile(point.latencies_ms, 0.99) << " ms, "
-              << point.retries << " retries\n";
+              << point.retries << " retries, " << point.hedges
+              << " hedges\n";
     points.push_back(std::move(point));
   }
 

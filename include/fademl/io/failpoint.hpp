@@ -1,11 +1,22 @@
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
 #include <string>
 
+#include "fademl/tensor/error.hpp"
+
 namespace fademl::io {
+
+/// Thrown by the restart-storm failpoint: a fault the serving layer must
+/// treat as lethal to the worker thread (the replica is gone, not merely
+/// one request) — the worker dies and the supervisor respawns it.
+class WorkerCrashError final : public Error {
+ public:
+  explicit WorkerCrashError(const std::string& what) : Error(what) {}
+};
 
 /// One failpoint specification for deterministic fault injection.
 ///
@@ -34,6 +45,24 @@ namespace fademl::io {
 ///                  crashing backend. Decrements per fire and disarms
 ///                  after the N-th, so recovery paths (circuit-breaker
 ///                  half-open probes) can be driven deterministically.
+///   worker-wedge:N the next N inferences block inside the compute hook —
+///                  a worker stuck forever on a hung accelerator — until
+///                  release_wedges() (or disarm(), or a service shutdown)
+///                  wakes them. The wedge is cooperative by contract so
+///                  chaos runs can always terminate; the supervisor must
+///                  detect the stall and abandon the worker long before
+///                  the release.
+///   poison-input:C every inference whose input fingerprint (CRC-32 of
+///                  the tensor bytes, see serve::input_fingerprint)
+///                  equals C throws fademl::Error — an input that
+///                  deterministically crashes the model, the quarantine
+///                  layer's reason to exist. Persistent until disarm(),
+///                  like a real poison input.
+///   restart-storm:N the next N inferences throw io::WorkerCrashError,
+///                  which the service treats as lethal to the worker
+///                  thread (it dies instead of isolating the failure), so
+///                  the supervisor's restart budget and backoff can be
+///                  driven deterministically.
 ///
 /// Network failpoints (consulted by net::write_frame before every frame
 /// hits the wire, and by net::ModelRegistry before every checkpoint load):
@@ -59,6 +88,9 @@ struct FaultSpec {
     kBitFlip,
     kSlowWorker,
     kWorkerThrow,
+    kWorkerWedge,
+    kPoisonInput,
+    kRestartStorm,
     kNetReset,
     kNetPartial,
     kNetSlow,
@@ -99,14 +131,25 @@ class FaultInjector {
   void disarm();
   [[nodiscard]] bool armed() const;
 
-  /// Total durable writes / compute hooks / frame sends / registry loads
-  /// observed and faults actually fired — assertions for tests ("the
-  /// failpoint really triggered").
+  /// Total durable writes / compute hooks / input checks / frame sends /
+  /// registry loads observed and faults actually fired — assertions for
+  /// tests ("the failpoint really triggered").
   [[nodiscard]] int64_t writes_seen() const;
   [[nodiscard]] int64_t computes_seen() const;
+  [[nodiscard]] int64_t inputs_seen() const;
   [[nodiscard]] int64_t net_sends_seen() const;
   [[nodiscard]] int64_t swaps_seen() const;
   [[nodiscard]] int64_t faults_fired() const;
+
+  /// Threads currently blocked inside a fired worker-wedge.
+  [[nodiscard]] int64_t wedged_now() const;
+
+  /// Wake every thread currently wedged (they resume their inference and
+  /// discover they were abandoned). Future wedges from a still-armed spec
+  /// block again until the next release. disarm() and
+  /// serve::InferenceService::shutdown() both release, so a chaos run can
+  /// always terminate and join its zombies.
+  void release_wedges();
 
   // ---- hooks -------------------------------------------------------------
 
@@ -118,8 +161,16 @@ class FaultInjector {
 
   /// Called once per service-worker inference, before the pipeline runs.
   /// kSlowWorker sleeps (outside the injector lock); kWorkerThrow throws
-  /// fademl::Error for its next `arg` calls.
+  /// fademl::Error for its next `arg` calls; kWorkerWedge blocks until
+  /// release_wedges(); kRestartStorm throws WorkerCrashError for its next
+  /// `arg` calls.
   void on_compute();
+
+  /// Called once per request by service workers with the request's input
+  /// fingerprint, before on_compute(). kPoisonInput throws fademl::Error
+  /// whenever `fingerprint` matches the armed CRC (persistent until
+  /// disarm) — the deterministic "this exact input crashes the model".
+  void on_input(uint32_t fingerprint);
 
   /// Called once per wire-frame send by net::write_frame, before any byte
   /// is written. kNetSlow sleeps (outside the lock) and returns kNone;
@@ -139,9 +190,15 @@ class FaultInjector {
   FaultSpec spec_;
   int64_t writes_seen_ = 0;
   int64_t computes_seen_ = 0;
+  int64_t inputs_seen_ = 0;
   int64_t net_sends_seen_ = 0;
   int64_t swaps_seen_ = 0;
   int64_t faults_fired_ = 0;
+  /// Wedge rendezvous: a wedged thread waits until the epoch advances
+  /// past the value it captured when it wedged.
+  std::condition_variable wedge_cv_;
+  int64_t wedge_epoch_ = 0;
+  int64_t wedged_now_ = 0;
 };
 
 /// Crash-safe whole-file write: serialize to `<path>.tmp`, flush, then

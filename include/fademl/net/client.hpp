@@ -1,7 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "fademl/core/pipeline.hpp"
 #include "fademl/net/frame.hpp"
@@ -29,6 +32,31 @@ struct RetryPolicy {
   uint64_t jitter_seed = 0x5EEDu;
 };
 
+/// Tail-latency hedging (predict only; see docs/serving.md
+/// "Self-healing"). When the first attempt of an idempotent predict has
+/// not resolved after the hedge delay, a second attempt is launched on a
+/// separate connection and the first success wins; the loser is
+/// cancelled via Socket::abort(). The delay adapts: until `min_samples`
+/// client-observed latencies are banked it is `initial_delay_ms`, after
+/// that it is p99 of the last `latency_window` predicts (floored at
+/// `min_delay_ms`) — so hedges fire on genuine tail requests, roughly 1%
+/// of traffic, not on the healthy median. `budget` caps launched hedges
+/// at that fraction of requests so a sick server cannot double its own
+/// load: a hedge fires only while hedges + 1 <= budget * requests.
+struct HedgePolicy {
+  bool enabled = false;
+  /// Delay before p99 data exists (cold start).
+  int initial_delay_ms = 50;
+  /// Floor under the adaptive p99 delay.
+  int min_delay_ms = 5;
+  /// Max hedges as a fraction of requests begun.
+  double budget = 0.05;
+  /// Latency samples required before the delay goes adaptive.
+  int min_samples = 20;
+  /// Sliding window of client-observed predict latencies behind the p99.
+  size_t latency_window = 512;
+};
+
 struct ClientConfig {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
@@ -36,13 +64,16 @@ struct ClientConfig {
   /// Deadline for each frame read/write.
   int io_timeout_ms = 5000;
   RetryPolicy retry;
+  HedgePolicy hedge;
 };
 
 /// Per-client counters (monotonic; read via Client::stats()).
 struct ClientStats {
   int64_t requests = 0;    ///< operations begun
   int64_t attempts = 0;    ///< wire attempts (>= requests)
-  int64_t retries = 0;     ///< attempts - first tries
+  int64_t retries = 0;     ///< sequential re-attempts after a fault
+  int64_t hedges = 0;      ///< speculative second attempts launched
+  int64_t hedge_wins = 0;  ///< hedges that returned the winning response
   int64_t reconnects = 0;  ///< sockets re-established after a fault
   int64_t failures = 0;    ///< operations that exhausted their budget
 };
@@ -54,6 +85,7 @@ struct PredictResult {
   std::string filter;
   double infer_ms = 0.0;   ///< server-side inference time
   int attempts = 1;        ///< wire attempts this request took
+  bool hedged = false;     ///< a speculative twin was launched
 };
 
 struct SwapResult {
@@ -61,7 +93,8 @@ struct SwapResult {
   std::string detail;
 };
 
-/// FNET client with retry/timeout/backoff semantics.
+/// FNET client with retry/timeout/backoff semantics and optional
+/// tail-latency hedging.
 ///
 /// Connections are lazy (first request connects) and persistent; after
 /// a transport fault the socket is torn down and the next attempt
@@ -70,18 +103,25 @@ struct SwapResult {
 ///   - Only retryable errors are retried: transport faults
 ///     (ConnectError, ConnectionResetError, TimeoutError) and
 ///     RemoteError frames the server marked retryable (queue_full,
-///     circuit_open, server_busy, shutting_down, deadline_exceeded).
-///     ProtocolError and terminal RemoteErrors surface immediately.
-///   - Only idempotent operations are retried. predict() and ping() are
-///     idempotent (classification is pure); swap() is NOT retried — a
-///     reset mid-swap leaves the outcome unknown, and the caller must
-///     query/decide rather than blindly re-apply.
+///     circuit_open, server_busy, shutting_down, deadline_exceeded,
+///     worker_lost). ProtocolError and terminal RemoteErrors
+///     (quarantined_input among them) surface immediately.
+///   - Only idempotent operations are retried. predict(), ping() and
+///     status() are idempotent (classification is pure); swap() is NOT
+///     retried — a reset mid-swap leaves the outcome unknown, and the
+///     caller must query/decide rather than blindly re-apply.
 ///   - The budget is RetryPolicy::max_attempts per operation; when it
 ///     is exhausted the last error is rethrown.
 ///
+/// Hedging (HedgePolicy) runs the retry chain on a primary lane and, if
+/// it is slow, one extra attempt on a second lane; the two lanes never
+/// share a socket, so an abort() cancelling the loser cannot poison the
+/// winner's stream.
+///
 /// Responses are correlated by request id; a response carrying the
-/// wrong id is a ProtocolError (terminal). Not thread-safe: use one
-/// Client per thread.
+/// wrong id is a ProtocolError (terminal). Public methods are safe to
+/// call from one thread at a time (the internal hedge thread is
+/// managed); use one Client per caller thread.
 class Client {
  public:
   explicit Client(ClientConfig config);
@@ -90,12 +130,18 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Round-trip one classification. Retries per the policy; throws the
-  /// final NetError when the budget is exhausted.
+  /// Round-trip one classification. Retries per the policy, hedging per
+  /// the hedge policy; throws the final NetError when the budget is
+  /// exhausted.
   PredictResult predict(const std::string& model, const Tensor& image);
 
   /// Liveness probe (idempotent, retried).
   void ping();
+
+  /// One model's server-side health snapshot: registry generation and
+  /// checkpoint, ServiceStats counters, and the supervisor / quarantine
+  /// state. Idempotent, retried.
+  StatusResponse status(const std::string& model);
 
   /// Ask the server to hot-swap `model` to `checkpoint_path`. NOT
   /// retried (non-idempotent); throws RemoteError{kSwapFailed} with the
@@ -103,28 +149,58 @@ class Client {
   /// serving in that case.
   SwapResult swap(const std::string& model, const std::string& checkpoint_path);
 
-  /// Tear down the connection (next request reconnects).
+  /// Tear down both lane connections (next request reconnects).
   void disconnect();
 
-  [[nodiscard]] bool connected() const { return socket_.valid(); }
-  [[nodiscard]] const ClientStats& stats() const { return stats_; }
+  [[nodiscard]] bool connected() const { return primary_.socket.valid(); }
+  [[nodiscard]] ClientStats stats() const;
 
  private:
-  /// One wire attempt: ensure connected, write `request`, read the
-  /// matching response. Decodes kError frames into RemoteError.
-  Frame attempt(const Frame& request);
-  /// Retry loop around attempt() per the class rules.
-  Frame roundtrip(FrameType type, std::string payload, bool idempotent,
-                  int* attempts_out);
-  void ensure_connected();
+  /// One connection a request chain runs on. The mutex guards socket
+  /// *replacement* (connect / close) against a cross-thread abort();
+  /// blocking I/O itself runs outside it so a cancel never waits.
+  struct Lane {
+    Socket socket;
+    bool ever_connected = false;
+    std::mutex mutex;
+  };
+
+  /// One wire attempt on `lane`: ensure connected, write `request`, read
+  /// the matching response. Decodes kError frames into RemoteError.
+  /// Checks `cancelled` (when non-null) around the blocking points and
+  /// reports cancellation as a ConnectionResetError.
+  Frame attempt(Lane& lane, const Frame& request,
+                const std::atomic<bool>* cancelled);
+  /// Retry loop around attempt() per the class rules. Does not count
+  /// requests or failures — the public wrappers do.
+  Frame roundtrip(Lane& lane, FrameType type, std::string payload,
+                  bool idempotent, int* attempts_out,
+                  const std::atomic<bool>* cancelled);
+  /// Race the primary retry chain against one delayed hedge attempt.
+  Frame predict_hedged(const std::string& payload, int* attempts_out,
+                       bool* hedged_out);
+  void ensure_connected(Lane& lane);
+  void lane_disconnect(Lane& lane);
+  /// Cross-thread cancel: abort() the lane's socket under its mutex.
+  void lane_cancel(Lane& lane);
   [[nodiscard]] int backoff_ms(int retry_index);
+  /// Current hedge delay: initial_delay_ms until min_samples latencies
+  /// are banked, then max(min_delay_ms, ceil(p99 of the window)).
+  [[nodiscard]] int hedge_delay_ms() const;
+  /// True while launching one more hedge stays within the budget.
+  [[nodiscard]] bool hedge_budget_open() const;
+  void record_latency(double ms);
 
   ClientConfig config_;
-  Socket socket_;
-  bool ever_connected_ = false;
-  uint64_t next_request_id_ = 1;
+  Lane primary_;
+  Lane hedge_;
+  std::atomic<uint64_t> next_request_id_{1};
   Rng jitter_rng_;
+  mutable std::mutex stats_mutex_;
   ClientStats stats_;
+  mutable std::mutex latency_mutex_;
+  std::vector<double> latencies_;  // ring buffer <= hedge.latency_window
+  size_t latency_next_ = 0;
 };
 
 }  // namespace fademl::net

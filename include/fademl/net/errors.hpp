@@ -74,6 +74,8 @@ enum class WireError : uint16_t {
   kShuttingDown = 7,      ///< service draining; no new requests
   kServerBusy = 8,        ///< connection limit reached
   kSwapFailed = 9,        ///< hot swap rejected; old model still serving
+  kWorkerLost = 10,       ///< serving replica stalled/died mid-request
+  kQuarantinedInput = 11, ///< input fingerprint is on the quarantine list
 };
 
 /// Human-readable name of a wire error code (stable, for logs/tests).

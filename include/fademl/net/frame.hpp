@@ -45,6 +45,8 @@ enum class FrameType : uint8_t {
   kError = 5,
   kSwapRequest = 6,
   kSwapResponse = 7,
+  kStatusRequest = 8,
+  kStatusResponse = 9,
 };
 
 struct Frame {
@@ -150,6 +152,35 @@ struct SwapResponse {
   std::string detail;
 };
 
+struct StatusRequest {
+  std::string model;
+};
+
+/// One model's health over the wire: registry provenance, the
+/// ServiceStats counters an operator actually pages on, and the
+/// supervisor / quarantine snapshot (see docs/serving.md).
+struct StatusResponse {
+  int64_t generation = 0;
+  std::string checkpoint_path;
+  std::string breaker_state;
+  int64_t workers = 0;
+  int64_t workers_live = 0;
+  int64_t workers_lost = 0;
+  int64_t worker_crashes = 0;
+  int64_t workers_restarted = 0;
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t shed = 0;
+  int64_t timed_out = 0;
+  int64_t worker_failures = 0;
+  int64_t queue_depth = 0;
+  int64_t quarantine_hits = 0;
+  int64_t quarantined_inputs = 0;
+  int64_t quarantine_strikes = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
 std::string encode_predict_request(const PredictRequest& req);
 PredictRequest decode_predict_request(std::string_view payload);
 
@@ -164,5 +195,11 @@ SwapRequest decode_swap_request(std::string_view payload);
 
 std::string encode_swap_response(const SwapResponse& resp);
 SwapResponse decode_swap_response(std::string_view payload);
+
+std::string encode_status_request(const StatusRequest& req);
+StatusRequest decode_status_request(std::string_view payload);
+
+std::string encode_status_response(const StatusResponse& resp);
+StatusResponse decode_status_response(std::string_view payload);
 
 }  // namespace fademl::net

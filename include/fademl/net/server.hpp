@@ -11,6 +11,7 @@
 #include "fademl/net/frame.hpp"
 #include "fademl/net/registry.hpp"
 #include "fademl/net/socket.hpp"
+#include "fademl/obs/metrics.hpp"
 
 namespace fademl::net {
 
@@ -33,9 +34,13 @@ struct ServerConfig {
 };
 
 /// Counters for tests and the loadgen report (all values monotonic).
+/// Backed by the server's private obs::MetricsRegistry ("net." names),
+/// so the same numbers are exportable as `fademl.metrics.v1` JSON via
+/// Server::metrics() — see `fademl serve --metrics-out`.
 struct ServerStats {
   int64_t connections_accepted = 0;
-  int64_t connections_refused = 0;  ///< over max_connections
+  int64_t connections_refused = 0;  ///< over max_connections (server_busy)
+  int64_t connections_drained = 0;  ///< half-closed live by stop()'s drain
   int64_t frames_served = 0;        ///< non-error responses written
   int64_t error_frames = 0;         ///< kError responses written
   int64_t protocol_errors = 0;      ///< malformed inbound frames
@@ -75,6 +80,13 @@ class Server {
 
   [[nodiscard]] ServerStats stats() const;
 
+  /// The registry holding the connection counters ("net." names), for
+  /// merging into a metrics export alongside the services' "serve."
+  /// registries.
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return registry_metrics_;
+  }
+
   /// Live connection count (for tests).
   [[nodiscard]] int active_connections() const {
     return active_connections_.load();
@@ -108,8 +120,15 @@ class Server {
   std::mutex connections_mutex_;
   std::list<std::unique_ptr<Connection>> connections_;
 
-  mutable std::mutex stats_mutex_;
-  ServerStats stats_;
+  /// Connection counters, named "net.*" (references are stable forever).
+  obs::MetricsRegistry registry_metrics_;
+  obs::Counter& connections_accepted_;
+  obs::Counter& connections_refused_;
+  obs::Counter& connections_drained_;
+  obs::Counter& frames_served_;
+  obs::Counter& error_frames_;
+  obs::Counter& protocol_errors_;
+  obs::Counter& resets_seen_;
 };
 
 }  // namespace fademl::net

@@ -52,4 +52,24 @@ class ShutdownError final : public ServeError {
   explicit ShutdownError(const std::string& what) : ServeError(what) {}
 };
 
+/// The worker serving this request stalled or died and was abandoned by
+/// the supervisor before a result could be produced. The request itself
+/// is blameless (unless it keeps earning strikes — see Quarantine), so
+/// this is retryable: a fresh replica may well serve it fine. The net
+/// layer maps it to the retryable `worker_lost` wire code.
+class WorkerLostError final : public ServeError {
+ public:
+  explicit WorkerLostError(const std::string& what) : ServeError(what) {}
+};
+
+/// The request's input fingerprint is quarantined after repeatedly
+/// killing workers. Terminal for this input: retrying the same bytes hits
+/// the same ban; the caller must change the input (or an operator must
+/// clear the quarantine).
+class QuarantinedInputError final : public ServeError {
+ public:
+  explicit QuarantinedInputError(const std::string& what)
+      : ServeError(what) {}
+};
+
 }  // namespace fademl::serve

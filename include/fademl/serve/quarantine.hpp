@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "fademl/tensor/tensor.hpp"
+
+namespace fademl::serve {
+
+/// CRC-32 over an image's shape and raw float bytes — the identity under
+/// which poison inputs are tracked and quarantined. Two tensors fingerprint
+/// equal iff they are bitwise the same image.
+uint32_t input_fingerprint(const Tensor& image);
+
+/// Tuning of the poison-input quarantine.
+struct QuarantineConfig {
+  /// Worker failures (thrown inference, wedged-and-abandoned worker, or a
+  /// crashed replica) the same input fingerprint may cause before it is
+  /// quarantined. 0 disables the quarantine entirely — the default, so a
+  /// service must opt in to input banning.
+  int strikes = 0;
+  /// Bounded memory: at most this many suspect fingerprints are tracked
+  /// (oldest-first eviction) ...
+  size_t max_tracked = 1024;
+  /// ... and at most this many fingerprints stay quarantined (oldest
+  /// quarantined entry is released first — a full table must not make
+  /// fresh poison unbannable).
+  size_t max_quarantined = 256;
+};
+
+/// Thread-safe strike ledger + deny list for inputs that keep killing
+/// workers. An input earns a strike every time the request carrying it
+/// ends in a worker failure; at `strikes` strikes the fingerprint is
+/// quarantined and the service rejects later matches at submit() with
+/// QuarantinedInputError instead of re-admitting the crash loop.
+///
+/// Strikes survive worker restarts by construction (the ledger lives in
+/// the service, not the worker), which is the whole point: a poison input
+/// must not get a fresh budget just because it already killed its jailer.
+class Quarantine {
+ public:
+  explicit Quarantine(QuarantineConfig config);
+
+  [[nodiscard]] bool enabled() const { return config_.strikes > 0; }
+
+  /// True if `fingerprint` is currently quarantined.
+  [[nodiscard]] bool is_quarantined(uint32_t fingerprint) const;
+
+  /// Record one worker failure attributed to `fingerprint`. Returns true
+  /// if this strike crossed the threshold and the fingerprint is now
+  /// quarantined. No-op when disabled.
+  bool record_strike(uint32_t fingerprint);
+
+  /// Count a rejected submit (for stats).
+  void on_hit();
+
+  [[nodiscard]] size_t size() const;       ///< quarantined fingerprints
+  [[nodiscard]] int64_t hits() const;      ///< submits rejected so far
+  [[nodiscard]] int64_t strikes_recorded() const;
+
+  /// The quarantined fingerprints, sorted — chaos runs assert this list
+  /// is *exactly* the planted poison.
+  [[nodiscard]] std::vector<uint32_t> entries() const;
+
+ private:
+  const QuarantineConfig config_;
+  mutable std::mutex mutex_;
+  std::map<uint32_t, int> suspect_strikes_;
+  std::deque<uint32_t> suspect_order_;     ///< FIFO eviction of suspects
+  std::set<uint32_t> quarantined_;
+  std::deque<uint32_t> quarantine_order_;  ///< FIFO release when full
+  int64_t hits_ = 0;
+  int64_t strikes_recorded_ = 0;
+};
+
+}  // namespace fademl::serve

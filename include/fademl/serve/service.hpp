@@ -1,6 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <functional>
 #include <future>
 #include <memory>
 #include <thread>
@@ -11,6 +14,7 @@
 #include "fademl/serve/bounded_queue.hpp"
 #include "fademl/serve/circuit_breaker.hpp"
 #include "fademl/serve/errors.hpp"
+#include "fademl/serve/quarantine.hpp"
 #include "fademl/serve/stats.hpp"
 
 namespace fademl::serve {
@@ -19,6 +23,31 @@ namespace fademl::serve {
 enum class OverloadPolicy {
   kShed,   ///< submit fails immediately with QueueFullError
   kBlock,  ///< submit blocks the caller until space frees up
+};
+
+/// Tuning of the worker supervisor — the thread that watches per-replica
+/// heartbeats, abandons stuck workers, and respawns dead ones. Disabled
+/// by default: supervision changes failure semantics (a slow worker can
+/// be declared lost), so a service must opt in with timeouts sized to
+/// its real inference latency.
+struct SupervisorConfig {
+  bool enabled = false;
+  /// How often the supervisor scans the pool.
+  std::chrono::milliseconds poll_interval{20};
+  /// A worker that has been busy on the same work for longer than this is
+  /// declared stuck: it is abandoned (its thread is left to the zombie
+  /// list, joined at shutdown), its in-flight requests fail with
+  /// WorkerLostError, and a replacement is spawned. Must comfortably
+  /// exceed the worst-case healthy inference time.
+  std::chrono::milliseconds stall_timeout{2000};
+  /// Total replacement replicas the supervisor may spawn over the service
+  /// lifetime (abandon + crash combined). Once exhausted, further losses
+  /// shrink the pool — a crash loop must not respawn forever.
+  int max_restarts = 16;
+  /// Delay before the first respawn; doubles per consecutive respawn
+  /// (capped below) and resets once a scan finds the pool healthy.
+  std::chrono::milliseconds restart_backoff{10};
+  std::chrono::milliseconds max_restart_backoff{1000};
 };
 
 /// Tuning of the hardened inference service. Defaults are safe for tests
@@ -44,6 +73,18 @@ struct ServiceConfig {
 
   /// Worker-failure circuit breaker.
   CircuitBreaker::Config breaker;
+
+  /// Worker supervision (heartbeats, abandon, respawn).
+  SupervisorConfig supervisor;
+
+  /// Poison-input quarantine (strikes = 0 disables it, the default).
+  QuarantineConfig quarantine;
+
+  /// How the supervisor builds a replacement replica after abandoning a
+  /// stuck worker, whose zombie still owns its pipeline. Without a
+  /// factory, abandoned slots stay empty (the pool shrinks); crashed
+  /// workers can always be respawned on their original pipeline.
+  std::function<std::unique_ptr<core::InferencePipeline>()> replica_factory;
 
   /// Graceful degradation: when a worker dequeues a request and the queue
   /// is still at least this deep, it swaps to `degraded_filter` (a
@@ -98,12 +139,24 @@ struct InferenceResult {
 /// replica's model into inference mode.
 ///
 /// Request lifecycle: submit() validates the image (InvalidInputError),
-/// consults the circuit breaker (CircuitOpenError), then enqueues under
-/// the overload policy (QueueFullError when shedding). A worker dequeues,
-/// drops the request if its deadline already passed, optionally degrades
-/// the filter under backlog, runs the pipeline, and fulfills the future —
-/// or fails it with the typed error. shutdown() drains: admitted requests
-/// all complete before the workers join.
+/// consults the quarantine (QuarantinedInputError) and the circuit
+/// breaker (CircuitOpenError), then enqueues under the overload policy
+/// (QueueFullError when shedding). A worker dequeues, drops the request
+/// if its deadline already passed, optionally degrades the filter under
+/// backlog, runs the pipeline, and fulfills the future — or fails it with
+/// the typed error. shutdown() drains: admitted requests all reach a
+/// terminal outcome (value or typed error) before the workers join.
+///
+/// Self-healing: with `SupervisorConfig::enabled`, a supervisor thread
+/// watches per-worker heartbeats (published around every unit of work).
+/// A worker busy past `stall_timeout` is abandoned — its in-flight
+/// requests fail with WorkerLostError (retryable over the wire) and a
+/// replacement is spawned from `replica_factory`, under the restart
+/// budget and backoff. A worker whose thread dies (io::WorkerCrashError
+/// from the compute hook) is joined and respawned on its own pipeline.
+/// Every settle is first-writer-wins, so a worker that wakes from a wedge
+/// after being abandoned cannot double-fulfill a request the supervisor
+/// already failed.
 class InferenceService {
  public:
   InferenceService(
@@ -117,9 +170,9 @@ class InferenceService {
   InferenceService& operator=(const InferenceService&) = delete;
 
   /// Asynchronous inference under the config's default deadline. Throws
-  /// InvalidInputError / CircuitOpenError / QueueFullError / ShutdownError
-  /// at the boundary; deadline and worker failures surface through the
-  /// future.
+  /// InvalidInputError / QuarantinedInputError / CircuitOpenError /
+  /// QueueFullError / ShutdownError at the boundary; deadline and worker
+  /// failures surface through the future.
   std::future<InferenceResult> submit(Tensor image);
 
   /// Same, with an explicit per-request deadline (zero = none).
@@ -131,19 +184,31 @@ class InferenceService {
   InferenceResult classify(const Tensor& image);
 
   [[nodiscard]] ServiceStats stats() const;
-  [[nodiscard]] size_t workers() const { return workers_.size(); }
+  /// Configured pool size (slots), not current strength — see
+  /// live_workers().
+  [[nodiscard]] size_t workers() const { return slots_.size(); }
+  /// Replicas currently serving (slots that are neither empty, abandoned,
+  /// nor exited). Equal to workers() when the pool is at full strength.
+  [[nodiscard]] size_t live_workers() const;
+  /// The quarantined input fingerprints, sorted — chaos runs assert this
+  /// list is *exactly* the planted poison.
+  [[nodiscard]] std::vector<uint32_t> quarantined() const {
+    return quarantine_.entries();
+  }
 
   /// This service's metric registry: the ServiceStats counters plus the
   /// per-stage latency histograms (serve.queue_ms / serve.gather_ms /
   /// serve.infer_ms / serve.total_ms), exportable as `fademl.metrics.v1`
-  /// JSON — see `fademl serve-batch --metrics-out`.
+  /// JSON — see `fademl serve --metrics-out`.
   [[nodiscard]] const obs::MetricsRegistry& metrics() const {
     return stats_.registry();
   }
 
   /// Stop accepting new requests, let the workers drain everything
-  /// already admitted, then join them. Idempotent; called by the
-  /// destructor.
+  /// already admitted, then join them (including the supervisor and any
+  /// abandoned zombies — wedged zombies are woken via
+  /// io::FaultInjector::release_wedges so the join always terminates).
+  /// Idempotent; called by the destructor.
   void shutdown();
 
  private:
@@ -151,39 +216,115 @@ class InferenceService {
 
   struct Request {
     Tensor image;
+    uint32_t fingerprint = 0;  ///< input_fingerprint(image), set at submit
     std::promise<InferenceResult> promise;
+    std::atomic<bool> settled{false};
     Clock::time_point submitted_at;
     Clock::time_point deadline;  ///< Clock::time_point::max() = none
-  };
-  using RequestPtr = std::unique_ptr<Request>;
 
-  void worker_loop(size_t worker_index);
-  void process(size_t worker_index, Request& request);
+    /// First-writer-wins settlement: the supervisor can fail a lost
+    /// worker's request while the (wedged, later woken) worker still
+    /// holds it. The winner of the claim does its stats/breaker
+    /// accounting *before* touching the promise, so a caller waking from
+    /// get() always observes the accounting of its own request; a loser
+    /// must touch neither the promise nor the counters.
+    bool try_claim() { return !settled.exchange(true); }
+  };
+  using RequestPtr = std::shared_ptr<Request>;
+
+  /// One worker: its replicas, its thread, and the heartbeat state the
+  /// supervisor reads. Slots are shared_ptr because an abandoned slot
+  /// outlives its position in slots_ (the zombie list keeps it alive
+  /// until its thread can be joined at shutdown).
+  struct WorkerSlot {
+    /// [deployed pipeline, degraded-filter twin sharing the same model].
+    std::unique_ptr<core::InferencePipeline> pipeline;
+    std::unique_ptr<core::InferencePipeline> degraded;
+    std::thread thread;
+    /// Heartbeat, as nanoseconds since the service clock's epoch. The
+    /// worker stores it *before* raising `busy`, so a supervisor that
+    /// observes busy==true always reads a heartbeat at least as fresh as
+    /// the work it covers.
+    std::atomic<int64_t> last_progress_ns{0};
+    std::atomic<bool> busy{false};
+    /// Set by the supervisor: the worker must stop after its current
+    /// request (its results are no longer wanted; settles no-op).
+    std::atomic<bool> abandoned{false};
+    /// Set by the worker on exit; `crashed` when the exit was a
+    /// WorkerCrashError (respawn may reuse the pipeline).
+    std::atomic<bool> exited{false};
+    std::atomic<bool> crashed{false};
+    /// Requests currently owned by this worker, so the supervisor can
+    /// fail them on abandon.
+    std::mutex inflight_mutex;
+    std::vector<RequestPtr> inflight;
+  };
+  using SlotPtr = std::shared_ptr<WorkerSlot>;
+
+  SlotPtr spawn_worker(std::unique_ptr<core::InferencePipeline> pipeline);
+  void worker_loop(const SlotPtr& slot);
+  void worker_loop_body(WorkerSlot& slot);
+  void process(WorkerSlot& slot, Request& request);
   /// Expire-or-run a gathered cohort: drops already-expired requests with
   /// the unrun-deadline error, then serves the survivors through one
   /// batched predict (falling back to per-request runs for failure
   /// isolation when the batched evaluation throws).
-  void process_batch(size_t worker_index, std::vector<RequestPtr>& batch);
+  void process_batch(WorkerSlot& slot, std::vector<RequestPtr>& batch);
   /// Per-request inference on the (possibly degraded) pipeline with the
   /// full stats/breaker/deadline semantics — the shared tail of process()
   /// and the batched fallback path.
-  void run_request(size_t worker_index, Request& request, bool degraded,
+  void run_request(WorkerSlot& slot, Request& request, bool degraded,
                    Clock::time_point dequeued_at);
+  void supervisor_loop();
+  /// Declare `slot` (at slots_[index]) lost: fail its in-flight requests
+  /// with WorkerLostError and move it to the zombie list. The emptied
+  /// slot is refilled by refill_pool(). Caller holds slots_mutex_.
+  void abandon_worker(size_t index);
+  /// Join a crashed worker's thread and stash its (intact) pipeline for
+  /// the refill pass. Caller holds slots_mutex_.
+  void restart_crashed_worker(size_t index);
+  /// Respawn empty slots — from a stashed crash survivor's pipeline if
+  /// one is available, else the replica factory — one per elapsed
+  /// backoff window, while the restart budget lasts. Losses during a
+  /// backoff window are deferred here, never dropped. Caller holds
+  /// slots_mutex_.
+  void refill_pool();
+  /// Recompute the workers_live gauge. Caller holds slots_mutex_.
+  void recount_live();
+  [[nodiscard]] bool restart_budget_open() const;
+  void note_restart();
+  /// Attribute one worker failure to `fingerprint`, updating the
+  /// quarantine gauge if the strike crossed the threshold.
+  void record_strike(uint32_t fingerprint);
+  static int64_t now_ns();
 
   ServiceConfig config_;
-  /// Per worker: [0] the deployed pipeline, [1] the degraded-filter
-  /// pipeline sharing the same model (only ever used by that worker).
-  std::vector<std::unique_ptr<core::InferencePipeline>> pipelines_;
-  std::vector<std::unique_ptr<core::InferencePipeline>> degraded_pipelines_;
   BoundedQueue<RequestPtr> queue_;
   CircuitBreaker breaker_;
   StatsCollector stats_;
+  Quarantine quarantine_;
   /// Stage histograms living in stats_'s registry, cached once at
   /// construction (registry references are stable forever).
   obs::Histogram& queue_hist_;
   obs::Histogram& gather_hist_;
   obs::Histogram& infer_hist_;
-  std::vector<std::thread> workers_;
+  /// The pool. Guarded by slots_mutex_ (the vector and its SlotPtr
+  /// entries; a slot's atomics are lock-free once you hold a SlotPtr).
+  /// An entry is nullptr when its worker was lost and could not be
+  /// replaced (budget exhausted or no factory).
+  mutable std::mutex slots_mutex_;
+  std::vector<SlotPtr> slots_;
+  std::vector<SlotPtr> zombies_;  ///< abandoned workers, joined at shutdown
+  /// Pipelines salvaged from crashed workers (the crash fires at the
+  /// compute hook, before the model runs), reused by refill_pool().
+  std::vector<std::unique_ptr<core::InferencePipeline>> spare_pipelines_;
+  /// Supervisor state (all under slots_mutex_ except the thread itself).
+  std::thread supervisor_;
+  std::condition_variable supervisor_cv_;
+  std::atomic<bool> stopping_{false};
+  int restarts_done_ = 0;
+  std::chrono::milliseconds restart_backoff_{0};
+  Clock::time_point next_restart_at_{};
   std::once_flag shutdown_once_;
   int saved_pool_threads_ = 0;  ///< pool setting restored on shutdown
 };

@@ -35,6 +35,19 @@ struct ServiceStats {
   int64_t batches = 0;
   double mean_batch_occupancy = 0.0;
   std::vector<int64_t> batch_occupancy;
+  /// Self-healing (see docs/serving.md "Self-healing"). `workers` is the
+  /// configured pool size; `workers_live` the replicas currently serving.
+  /// A supervised pool at full strength has workers_live == workers.
+  int64_t workers = 0;
+  int64_t workers_live = 0;
+  int64_t workers_lost = 0;       ///< stalled replicas abandoned
+  int64_t worker_crashes = 0;     ///< replica threads that died
+  int64_t workers_restarted = 0;  ///< replacement replicas spawned
+  int64_t requests_worker_lost = 0;  ///< in-flight requests failed on loss
+  /// Poison-input quarantine.
+  int64_t quarantine_hits = 0;       ///< submits refused: fingerprint banned
+  int64_t quarantined_inputs = 0;    ///< fingerprints on the deny list now
+  int64_t quarantine_strikes = 0;    ///< worker failures attributed so far
 };
 
 /// Thread-safe accumulator behind InferenceService::stats().
@@ -76,9 +89,21 @@ class StatsCollector {
   void on_rejected_input();
   void on_breaker_rejected();
   void on_worker_failure();
+  /// Supervision events (see InferenceService's supervisor thread).
+  void on_worker_lost();
+  void on_worker_crash();
+  void on_worker_restarted();
+  /// `n` in-flight requests failed with WorkerLostError on one loss.
+  void on_requests_worker_lost(int64_t n);
+  void on_quarantine_hit();
+  /// Gauges mirrored into the registry so a metrics export carries the
+  /// instantaneous pool / deny-list state alongside the counters.
+  void set_workers_live(int64_t n);
+  void set_quarantined_inputs(int64_t n);
 
-  /// Counter + percentile snapshot; breaker/queue fields are left zero
-  /// for the service to fill in.
+  /// Counter + percentile snapshot; breaker/queue fields (and the
+  /// quarantine_strikes / workers totals) are left zero for the service
+  /// to fill in.
   [[nodiscard]] ServiceStats snapshot() const;
 
   /// The registry holding this collector's counters and latency/stage
@@ -101,6 +126,13 @@ class StatsCollector {
   obs::Counter& breaker_rejected_;
   obs::Counter& worker_failures_;
   obs::Counter& batches_;
+  obs::Counter& workers_lost_;
+  obs::Counter& worker_crashes_;
+  obs::Counter& workers_restarted_;
+  obs::Counter& requests_worker_lost_;
+  obs::Counter& quarantine_hits_;
+  obs::Gauge& workers_live_;
+  obs::Gauge& quarantined_inputs_;
   obs::Histogram& latency_hist_;
   mutable std::mutex mutex_;          // guards the window + occupancy state
   std::vector<double> latencies_;     // ring buffer of size <= window_

@@ -10,8 +10,10 @@
 #                               # build in build-tsan/ running the
 #                               # concurrent suites (obs_test,
 #                               # parallel_test, serve_test incl. the
-#                               # micro-batching chaos tests, net_test
-#                               # incl. the network chaos tests) under
+#                               # micro-batching chaos tests,
+#                               # supervision_test incl. the hot-swap vs
+#                               # worker-restart race, net_test incl. the
+#                               # network chaos tests) under
 #                               # ThreadSanitizer
 set -euo pipefail
 
@@ -38,10 +40,10 @@ case "${1:-}" in
     ;;
   --tsan)
     echo
-    echo "== sanitizers: TSan build + obs_test + parallel_test + serve_test + net_test =="
+    echo "== sanitizers: TSan build + obs_test + parallel_test + serve_test + supervision_test + net_test =="
     export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1 suppressions=$(pwd)/scripts/tsan.supp}"
     cmake -B build-tsan -S . -DFADEML_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-    cmake --build build-tsan -j --target obs_test parallel_test serve_test train_determinism_test net_test
+    cmake --build build-tsan -j --target obs_test parallel_test serve_test train_determinism_test supervision_test net_test
     # The observability primitives first (registry/trace collector are the
     # shared reporting substrate), then the thread-pool suite that the
     # other concurrent suites sit on.
@@ -54,6 +56,11 @@ case "${1:-}" in
     # worker and pool threads at once.
     FADEML_NUM_THREADS=4 ./build-tsan/tests/serve_test \
       --gtest_filter='*MicroBatch*:*Gather*:*Batch*'
+    # The self-healing suite: supervisor abandon/respawn, restart budget +
+    # backoff deferral, poison quarantine, and the hot-swap vs
+    # worker-restart race (every served prediction must come from a
+    # fully-published model).
+    ./build-tsan/tests/supervision_test
     # The network chaos suite: retrying client vs injected resets /
     # partial frames / slow peers, hot swap under load, drain shutdown.
     ./build-tsan/tests/net_test

@@ -49,6 +49,16 @@ FaultSpec FaultSpec::parse(const std::string& spec) {
   } else if (kind == "worker-throw") {
     out.kind = Kind::kWorkerThrow;
     FADEML_CHECK(out.arg >= 1, "worker-throw:N requires N >= 1");
+  } else if (kind == "worker-wedge") {
+    out.kind = Kind::kWorkerWedge;
+    FADEML_CHECK(out.arg >= 1, "worker-wedge:N requires N >= 1");
+  } else if (kind == "poison-input") {
+    out.kind = Kind::kPoisonInput;
+    FADEML_CHECK(out.arg <= 0xFFFFFFFFll,
+                 "poison-input:C requires a CRC-32 fingerprint (C < 2^32)");
+  } else if (kind == "restart-storm") {
+    out.kind = Kind::kRestartStorm;
+    FADEML_CHECK(out.arg >= 1, "restart-storm:N requires N >= 1");
   } else if (kind == "net-reset") {
     out.kind = Kind::kNetReset;
     FADEML_CHECK(out.arg >= 1, "net-reset:N requires N >= 1");
@@ -63,7 +73,8 @@ FaultSpec FaultSpec::parse(const std::string& spec) {
   } else {
     throw Error("unknown failpoint kind '" + kind +
                 "' (expected fail-write|truncate|bit-flip|slow-worker|"
-                "worker-throw|net-reset|net-partial|net-slow|swap-corrupt)");
+                "worker-throw|worker-wedge|poison-input|restart-storm|"
+                "net-reset|net-partial|net-slow|swap-corrupt)");
   }
   return out;
 }
@@ -91,8 +102,25 @@ void FaultInjector::arm(const FaultSpec& spec) {
 }
 
 void FaultInjector::disarm() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spec_ = FaultSpec{};
+    ++wedge_epoch_;
+  }
+  wedge_cv_.notify_all();
+}
+
+void FaultInjector::release_wedges() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++wedge_epoch_;
+  }
+  wedge_cv_.notify_all();
+}
+
+int64_t FaultInjector::wedged_now() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  spec_ = FaultSpec{};
+  return wedged_now_;
 }
 
 bool FaultInjector::armed() const {
@@ -108,6 +136,11 @@ int64_t FaultInjector::writes_seen() const {
 int64_t FaultInjector::computes_seen() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return computes_seen_;
+}
+
+int64_t FaultInjector::inputs_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inputs_seen_;
 }
 
 int64_t FaultInjector::net_sends_seen() const {
@@ -132,6 +165,9 @@ int64_t FaultInjector::on_write(std::string& bytes) {
     case FaultSpec::Kind::kNone:
     case FaultSpec::Kind::kSlowWorker:
     case FaultSpec::Kind::kWorkerThrow:
+    case FaultSpec::Kind::kWorkerWedge:
+    case FaultSpec::Kind::kPoisonInput:
+    case FaultSpec::Kind::kRestartStorm:
     case FaultSpec::Kind::kNetReset:
     case FaultSpec::Kind::kNetPartial:
     case FaultSpec::Kind::kNetSlow:
@@ -171,7 +207,7 @@ int64_t FaultInjector::on_write(std::string& bytes) {
 void FaultInjector::on_compute() {
   int64_t sleep_ms = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     ++computes_seen_;
     switch (spec_.kind) {
       case FaultSpec::Kind::kSlowWorker:
@@ -189,6 +225,30 @@ void FaultInjector::on_compute() {
         throw Error("fault injection: worker inference failure (" +
                     std::to_string(remaining) + " more to come)");
       }
+      case FaultSpec::Kind::kWorkerWedge: {
+        ++faults_fired_;
+        if (--spec_.arg <= 0) {
+          spec_ = FaultSpec{};
+        }
+        // Block until the epoch advances past what this thread saw when
+        // it wedged. The cv wait releases the injector mutex, so other
+        // threads (and the supervisor's counters) keep working.
+        const int64_t epoch = wedge_epoch_;
+        ++wedged_now_;
+        wedge_cv_.wait(lock, [&] { return wedge_epoch_ != epoch; });
+        --wedged_now_;
+        break;
+      }
+      case FaultSpec::Kind::kRestartStorm: {
+        ++faults_fired_;
+        const int64_t remaining = --spec_.arg;
+        if (remaining <= 0) {
+          spec_ = FaultSpec{};
+        }
+        throw WorkerCrashError(
+            "fault injection: worker replica crashed fatally (" +
+            std::to_string(remaining) + " more to come)");
+      }
       default:
         break;
     }
@@ -196,6 +256,20 @@ void FaultInjector::on_compute() {
   if (sleep_ms > 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
   }
+}
+
+void FaultInjector::on_input(uint32_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++inputs_seen_;
+  if (spec_.kind != FaultSpec::Kind::kPoisonInput ||
+      static_cast<uint32_t>(spec_.arg) != fingerprint) {
+    return;
+  }
+  // Persistent like a real poison input: the same bytes crash every
+  // replica they reach until the operator disarms.
+  ++faults_fired_;
+  throw Error("fault injection: poison input " + std::to_string(fingerprint) +
+              " crashed the model");
 }
 
 NetFault FaultInjector::on_net_send() {

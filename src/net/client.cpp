@@ -2,28 +2,61 @@
 
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <exception>
 #include <thread>
 #include <utility>
+
+#include "fademl/serve/stats.hpp"
 
 namespace fademl::net {
 
 Client::Client(ClientConfig config)
-    : config_(std::move(config)), jitter_rng_(config_.retry.jitter_seed) {}
+    : config_(std::move(config)), jitter_rng_(config_.retry.jitter_seed) {
+  if (config_.hedge.latency_window > 0) {
+    latencies_.reserve(config_.hedge.latency_window);
+  }
+}
 
 Client::~Client() = default;
 
-void Client::disconnect() { socket_.close(); }
+void Client::disconnect() {
+  lane_disconnect(primary_);
+  lane_disconnect(hedge_);
+}
 
-void Client::ensure_connected() {
-  if (socket_.valid()) {
+ClientStats Client::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void Client::ensure_connected(Lane& lane) {
+  if (lane.socket.valid()) {
     return;
   }
-  socket_ =
+  Socket fresh =
       connect_tcp(config_.host, config_.port, config_.connect_timeout_ms);
-  if (ever_connected_) {
+  {
+    std::lock_guard<std::mutex> lock(lane.mutex);
+    lane.socket = std::move(fresh);
+  }
+  if (lane.ever_connected) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.reconnects;
   }
-  ever_connected_ = true;
+  lane.ever_connected = true;
+}
+
+void Client::lane_disconnect(Lane& lane) {
+  std::lock_guard<std::mutex> lock(lane.mutex);
+  lane.socket.close();
+}
+
+void Client::lane_cancel(Lane& lane) {
+  std::lock_guard<std::mutex> lock(lane.mutex);
+  if (lane.socket.valid()) {
+    lane.socket.abort();
+  }
 }
 
 int Client::backoff_ms(int retry_index) {
@@ -39,16 +72,50 @@ int Client::backoff_ms(int retry_index) {
   return std::max(0, static_cast<int>(base * factor));
 }
 
-Frame Client::attempt(const Frame& request) {
-  ensure_connected();
-  write_frame(socket_, request, config_.io_timeout_ms);
-  const Frame response = read_frame(socket_, config_.io_timeout_ms);
+int Client::hedge_delay_ms() const {
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  if (latencies_.size() <
+      static_cast<size_t>(std::max(1, config_.hedge.min_samples))) {
+    return config_.hedge.initial_delay_ms;
+  }
+  const double p99 = serve::percentile(latencies_, 0.99);
+  return std::max(config_.hedge.min_delay_ms,
+                  static_cast<int>(std::ceil(p99)));
+}
+
+bool Client::hedge_budget_open() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return static_cast<double>(stats_.hedges + 1) <=
+         config_.hedge.budget * static_cast<double>(stats_.requests);
+}
+
+void Client::record_latency(double ms) {
+  if (config_.hedge.latency_window == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  if (latencies_.size() < config_.hedge.latency_window) {
+    latencies_.push_back(ms);
+  } else {
+    latencies_[latency_next_] = ms;
+    latency_next_ = (latency_next_ + 1) % config_.hedge.latency_window;
+  }
+}
+
+Frame Client::attempt(Lane& lane, const Frame& request,
+                      const std::atomic<bool>* cancelled) {
+  ensure_connected(lane);
+  if (cancelled != nullptr && cancelled->load()) {
+    throw ConnectionResetError("attempt cancelled: the hedged twin won");
+  }
+  write_frame(lane.socket, request, config_.io_timeout_ms);
+  const Frame response = read_frame(lane.socket, config_.io_timeout_ms);
   if (response.type == FrameType::kError) {
     const ErrorPayload err = decode_error_payload(response.payload);
     if (response.request_id == 0) {
       // Connection-level refusal (e.g. server_busy): the server never
       // read our request and is closing; don't reuse the socket.
-      disconnect();
+      lane_disconnect(lane);
     }
     throw RemoteError(err.code,
                       std::string("server: [") + wire_error_name(err.code) +
@@ -64,22 +131,25 @@ Frame Client::attempt(const Frame& request) {
   return response;
 }
 
-Frame Client::roundtrip(FrameType type, std::string payload, bool idempotent,
-                        int* attempts_out) {
+Frame Client::roundtrip(Lane& lane, FrameType type, std::string payload,
+                        bool idempotent, int* attempts_out,
+                        const std::atomic<bool>* cancelled) {
   Frame request;
   request.type = type;
   request.payload = std::move(payload);
-  ++stats_.requests;
   for (int attempt_no = 1;; ++attempt_no) {
     // Fresh id per attempt: a stale response to an aborted attempt can
     // never satisfy the retry's correlation check.
-    request.request_id = next_request_id_++;
-    ++stats_.attempts;
-    if (attempt_no > 1) {
-      ++stats_.retries;
+    request.request_id = next_request_id_.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.attempts;
+      if (attempt_no > 1) {
+        ++stats_.retries;
+      }
     }
     try {
-      Frame response = attempt(request);
+      Frame response = attempt(lane, request, cancelled);
       if (attempts_out != nullptr) {
         *attempts_out = attempt_no;
       }
@@ -90,11 +160,16 @@ Frame Client::roundtrip(FrameType type, std::string payload, bool idempotent,
       // stream and keep the connection (unless attempt() already closed
       // a connection-level refusal).
       if (dynamic_cast<const RemoteError*>(&e) == nullptr) {
-        disconnect();
+        lane_disconnect(lane);
+      }
+      if (cancelled != nullptr && cancelled->load()) {
+        // The cancel abort() surfaces as a transport fault; report it
+        // as what it is instead of burning retry budget on it.
+        throw ConnectionResetError(
+            "attempt cancelled: the hedged twin won");
       }
       const bool budget_left = attempt_no < config_.retry.max_attempts;
       if (!e.retryable() || !idempotent || !budget_left) {
-        ++stats_.failures;
         throw;
       }
       const int sleep_ms = backoff_ms(attempt_no);
@@ -105,18 +180,162 @@ Frame Client::roundtrip(FrameType type, std::string payload, bool idempotent,
   }
 }
 
+Frame Client::predict_hedged(const std::string& payload, int* attempts_out,
+                             bool* hedged_out) {
+  // Race state. Everything below `mutex` is written by the two attempt
+  // threads and read by this one; the cv announces every completion.
+  struct Outcome {
+    bool done = false;
+    Frame frame;
+    std::exception_ptr error;
+    int attempts = 1;
+  };
+  std::mutex mutex;
+  std::condition_variable cv;
+  Outcome primary_out;
+  Outcome hedge_out;
+  std::atomic<bool> primary_cancel{false};
+  std::atomic<bool> hedge_cancel{false};
+  bool hedged = false;
+
+  std::thread primary_thread([&] {
+    Outcome out;
+    try {
+      out.frame = roundtrip(primary_, FrameType::kPredictRequest, payload,
+                            /*idempotent=*/true, &out.attempts,
+                            &primary_cancel);
+    } catch (...) {
+      out.error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      out.done = true;
+      primary_out = std::move(out);
+    }
+    cv.notify_all();
+  });
+
+  std::thread hedge_thread;
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait_for(lock, std::chrono::milliseconds(hedge_delay_ms()),
+                [&] { return primary_out.done; });
+    if (!primary_out.done && hedge_budget_open()) {
+      hedged = true;
+    }
+  }
+  if (hedged) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.hedges;
+      ++stats_.attempts;
+    }
+    hedge_thread = std::thread([&] {
+      Outcome out;
+      Frame request;
+      request.type = FrameType::kPredictRequest;
+      request.payload = payload;
+      request.request_id = next_request_id_.fetch_add(1);
+      try {
+        // One speculative attempt, no retry chain: the primary already
+        // owns the budgeted retries.
+        out.frame = attempt(hedge_, request, &hedge_cancel);
+      } catch (...) {
+        out.error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        out.done = true;
+        hedge_out = std::move(out);
+      }
+      cv.notify_all();
+    });
+  }
+
+  // First success wins; if both fail, the primary's error (the one with
+  // the full retry history behind it) is the authoritative one.
+  bool primary_won = false;
+  bool hedge_won = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] {
+      const bool primary_success = primary_out.done && !primary_out.error;
+      const bool hedge_success = hedge_out.done && !hedge_out.error;
+      const bool all_done = primary_out.done && (!hedged || hedge_out.done);
+      return primary_success || hedge_success || all_done;
+    });
+    primary_won = primary_out.done && !primary_out.error;
+    hedge_won = !primary_won && hedge_out.done && !hedge_out.error;
+  }
+
+  // Cancel the loser: flag first (so it stops at its next checkpoint),
+  // then abort its socket (so it stops *now* if blocked in I/O).
+  if (primary_won && hedged) {
+    hedge_cancel.store(true);
+    lane_cancel(hedge_);
+  } else if (hedge_won) {
+    primary_cancel.store(true);
+    lane_cancel(primary_);
+  }
+  primary_thread.join();
+  if (hedge_thread.joinable()) {
+    hedge_thread.join();
+  }
+
+  if (hedged_out != nullptr) {
+    *hedged_out = hedged;
+  }
+  if (attempts_out != nullptr) {
+    *attempts_out = primary_out.attempts + (hedged ? 1 : 0);
+  }
+  if (primary_won) {
+    return std::move(primary_out.frame);
+  }
+  if (hedge_won) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.hedge_wins;
+    }
+    return std::move(hedge_out.frame);
+  }
+  std::rethrow_exception(primary_out.error);
+}
+
 PredictResult Client::predict(const std::string& model, const Tensor& image) {
   PredictRequest req;
   req.model = model;
   req.image = image;
+  const std::string payload = encode_predict_request(req);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+  }
+  const auto start = std::chrono::steady_clock::now();
   int attempts = 1;
-  const Frame response = roundtrip(FrameType::kPredictRequest,
-                                   encode_predict_request(req),
-                                   /*idempotent=*/true, &attempts);
+  bool hedged = false;
+  Frame response;
+  try {
+    if (config_.hedge.enabled) {
+      response = predict_hedged(payload, &attempts, &hedged);
+    } else {
+      response = roundtrip(primary_, FrameType::kPredictRequest, payload,
+                           /*idempotent=*/true, &attempts,
+                           /*cancelled=*/nullptr);
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.failures;
+    throw;
+  }
   if (response.type != FrameType::kPredictResponse) {
     throw ProtocolError("expected a predict response frame, got type " +
                         std::to_string(static_cast<int>(response.type)));
   }
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  record_latency(elapsed_ms);
   const PredictResponse resp = decode_predict_response(response.payload);
   PredictResult out;
   out.prediction = core::summarize_probs(resp.probs);
@@ -124,17 +343,52 @@ PredictResult Client::predict(const std::string& model, const Tensor& image) {
   out.filter = resp.filter;
   out.infer_ms = resp.infer_ms;
   out.attempts = attempts;
+  out.hedged = hedged;
   return out;
 }
 
 void Client::ping() {
-  const Frame response =
-      roundtrip(FrameType::kPing, std::string(), /*idempotent=*/true,
-                nullptr);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+  }
+  Frame response;
+  try {
+    response = roundtrip(primary_, FrameType::kPing, std::string(),
+                         /*idempotent=*/true, nullptr, nullptr);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.failures;
+    throw;
+  }
   if (response.type != FrameType::kPong) {
     throw ProtocolError("expected a pong frame, got type " +
                         std::to_string(static_cast<int>(response.type)));
   }
+}
+
+StatusResponse Client::status(const std::string& model) {
+  StatusRequest req;
+  req.model = model;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+  }
+  Frame response;
+  try {
+    response = roundtrip(primary_, FrameType::kStatusRequest,
+                         encode_status_request(req),
+                         /*idempotent=*/true, nullptr, nullptr);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.failures;
+    throw;
+  }
+  if (response.type != FrameType::kStatusResponse) {
+    throw ProtocolError("expected a status response frame, got type " +
+                        std::to_string(static_cast<int>(response.type)));
+  }
+  return decode_status_response(response.payload);
 }
 
 SwapResult Client::swap(const std::string& model,
@@ -142,9 +396,20 @@ SwapResult Client::swap(const std::string& model,
   SwapRequest req;
   req.model = model;
   req.checkpoint_path = checkpoint_path;
-  const Frame response = roundtrip(FrameType::kSwapRequest,
-                                   encode_swap_request(req),
-                                   /*idempotent=*/false, nullptr);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+  }
+  Frame response;
+  try {
+    response = roundtrip(primary_, FrameType::kSwapRequest,
+                         encode_swap_request(req),
+                         /*idempotent=*/false, nullptr, nullptr);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.failures;
+    throw;
+  }
   if (response.type != FrameType::kSwapResponse) {
     throw ProtocolError("expected a swap response frame, got type " +
                         std::to_string(static_cast<int>(response.type)));

@@ -29,6 +29,8 @@ const char* wire_error_name(WireError code) {
     case WireError::kShuttingDown: return "shutting_down";
     case WireError::kServerBusy: return "server_busy";
     case WireError::kSwapFailed: return "swap_failed";
+    case WireError::kWorkerLost: return "worker_lost";
+    case WireError::kQuarantinedInput: return "quarantined_input";
   }
   return "unknown";
 }
@@ -40,12 +42,18 @@ bool wire_error_retryable(WireError code) {
     case WireError::kDeadlineExceeded:
     case WireError::kShuttingDown:
     case WireError::kServerBusy:
+    // The request was on a replica the supervisor abandoned or that
+    // crashed; the input itself is presumed innocent (until the
+    // quarantine says otherwise), so a fresh replica may serve it fine.
+    case WireError::kWorkerLost:
       return true;
     case WireError::kInternal:
     case WireError::kBadRequest:
     case WireError::kUnknownModel:
     case WireError::kInvalidInput:
     case WireError::kSwapFailed:
+    // Terminal: retrying the same bytes hits the same ban.
+    case WireError::kQuarantinedInput:
       return false;
   }
   return false;
@@ -250,7 +258,7 @@ uint32_t decode_frame_header(std::string_view header, Frame& frame,
   }
   const uint8_t type = cur.read_u8();
   if (type < static_cast<uint8_t>(FrameType::kPing) ||
-      type > static_cast<uint8_t>(FrameType::kSwapResponse)) {
+      type > static_cast<uint8_t>(FrameType::kStatusResponse)) {
     throw ProtocolError("unknown frame type " + std::to_string(type));
   }
   const uint16_t reserved = cur.read_u16();
@@ -398,6 +406,71 @@ SwapResponse decode_swap_response(std::string_view payload) {
   SwapResponse resp;
   resp.generation = static_cast<int64_t>(cur.read_u64());
   resp.detail = cur.read_string();
+  cur.expect_end();
+  return resp;
+}
+
+std::string encode_status_request(const StatusRequest& req) {
+  std::string out;
+  append_string(out, req.model);
+  return out;
+}
+
+StatusRequest decode_status_request(std::string_view payload) {
+  Cursor cur(payload);
+  StatusRequest req;
+  req.model = cur.read_string(/*max_len=*/1024);
+  cur.expect_end();
+  return req;
+}
+
+std::string encode_status_response(const StatusResponse& resp) {
+  std::string out;
+  append_u64(out, static_cast<uint64_t>(resp.generation));
+  append_string(out, resp.checkpoint_path);
+  append_string(out, resp.breaker_state);
+  // Counter block: field order is wire format — append only.
+  append_u64(out, static_cast<uint64_t>(resp.workers));
+  append_u64(out, static_cast<uint64_t>(resp.workers_live));
+  append_u64(out, static_cast<uint64_t>(resp.workers_lost));
+  append_u64(out, static_cast<uint64_t>(resp.worker_crashes));
+  append_u64(out, static_cast<uint64_t>(resp.workers_restarted));
+  append_u64(out, static_cast<uint64_t>(resp.submitted));
+  append_u64(out, static_cast<uint64_t>(resp.completed));
+  append_u64(out, static_cast<uint64_t>(resp.shed));
+  append_u64(out, static_cast<uint64_t>(resp.timed_out));
+  append_u64(out, static_cast<uint64_t>(resp.worker_failures));
+  append_u64(out, static_cast<uint64_t>(resp.queue_depth));
+  append_u64(out, static_cast<uint64_t>(resp.quarantine_hits));
+  append_u64(out, static_cast<uint64_t>(resp.quarantined_inputs));
+  append_u64(out, static_cast<uint64_t>(resp.quarantine_strikes));
+  append_f64(out, resp.p50_ms);
+  append_f64(out, resp.p99_ms);
+  return out;
+}
+
+StatusResponse decode_status_response(std::string_view payload) {
+  Cursor cur(payload);
+  StatusResponse resp;
+  resp.generation = static_cast<int64_t>(cur.read_u64());
+  resp.checkpoint_path = cur.read_string(/*max_len=*/4096);
+  resp.breaker_state = cur.read_string(/*max_len=*/64);
+  resp.workers = static_cast<int64_t>(cur.read_u64());
+  resp.workers_live = static_cast<int64_t>(cur.read_u64());
+  resp.workers_lost = static_cast<int64_t>(cur.read_u64());
+  resp.worker_crashes = static_cast<int64_t>(cur.read_u64());
+  resp.workers_restarted = static_cast<int64_t>(cur.read_u64());
+  resp.submitted = static_cast<int64_t>(cur.read_u64());
+  resp.completed = static_cast<int64_t>(cur.read_u64());
+  resp.shed = static_cast<int64_t>(cur.read_u64());
+  resp.timed_out = static_cast<int64_t>(cur.read_u64());
+  resp.worker_failures = static_cast<int64_t>(cur.read_u64());
+  resp.queue_depth = static_cast<int64_t>(cur.read_u64());
+  resp.quarantine_hits = static_cast<int64_t>(cur.read_u64());
+  resp.quarantined_inputs = static_cast<int64_t>(cur.read_u64());
+  resp.quarantine_strikes = static_cast<int64_t>(cur.read_u64());
+  resp.p50_ms = cur.read_f64();
+  resp.p99_ms = cur.read_f64();
   cur.expect_end();
   return resp;
 }

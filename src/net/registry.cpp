@@ -35,8 +35,28 @@ std::shared_ptr<serve::InferenceService> ModelRegistry::build_service(
     for (auto& replica : replicas) {
       nn::load_checkpoint(replica->model(), spec.checkpoint_path);
     }
-    return std::make_shared<serve::InferenceService>(std::move(replicas),
-                                                     spec.service);
+    serve::ServiceConfig service_config = spec.service;
+    if (service_config.supervisor.enabled &&
+        !service_config.replica_factory) {
+      // Supervisor respawns must serve the same published weights as the
+      // pool: a replacement is one factory replica loaded from this
+      // service's checkpoint. A later hot swap builds a whole new
+      // service, so the captured path can never go stale.
+      const ReplicaFactory factory = spec.factory;
+      const std::string path = spec.checkpoint_path;
+      service_config.replica_factory =
+          [factory, path]() -> std::unique_ptr<core::InferencePipeline> {
+        auto fresh = factory();
+        if (fresh.empty()) {
+          return nullptr;
+        }
+        auto replica = std::move(fresh.front());
+        nn::load_checkpoint(replica->model(), path);
+        return replica;
+      };
+    }
+    return std::make_shared<serve::InferenceService>(
+        std::move(replicas), std::move(service_config));
   } catch (const SwapError&) {
     throw;
   } catch (const Error& e) {

@@ -16,7 +16,18 @@ constexpr int kAcceptPollMs = 50;
 }  // namespace
 
 Server::Server(ModelRegistry& registry, ServerConfig config)
-    : registry_(registry), config_(std::move(config)) {}
+    : registry_(registry),
+      config_(std::move(config)),
+      connections_accepted_(
+          registry_metrics_.counter("net.connections_accepted")),
+      connections_refused_(
+          registry_metrics_.counter("net.connections_refused")),
+      connections_drained_(
+          registry_metrics_.counter("net.connections_drained")),
+      frames_served_(registry_metrics_.counter("net.frames_served")),
+      error_frames_(registry_metrics_.counter("net.error_frames")),
+      protocol_errors_(registry_metrics_.counter("net.protocol_errors")),
+      resets_seen_(registry_metrics_.counter("net.resets_seen")) {}
 
 Server::~Server() { stop(); }
 
@@ -46,6 +57,9 @@ void Server::stop() {
   std::lock_guard<std::mutex> lock(connections_mutex_);
   for (auto& conn : connections_) {
     conn->socket.shutdown_fd(SHUT_RD);
+    if (!conn->done.load()) {
+      connections_drained_.add();
+    }
   }
   for (auto& conn : connections_) {
     if (conn->thread.joinable()) {
@@ -56,8 +70,15 @@ void Server::stop() {
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  ServerStats out;
+  out.connections_accepted = connections_accepted_.value();
+  out.connections_refused = connections_refused_.value();
+  out.connections_drained = connections_drained_.value();
+  out.frames_served = frames_served_.value();
+  out.error_frames = error_frames_.value();
+  out.protocol_errors = protocol_errors_.value();
+  out.resets_seen = resets_seen_.value();
+  return out;
 }
 
 void Server::reap_finished() {
@@ -82,10 +103,7 @@ void Server::accept_loop() {
       continue;
     }
     if (active_connections_.load() >= config_.max_connections) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.connections_refused;
-      }
+      connections_refused_.add();
       // One typed refusal, then close: the client sees a retryable
       // server_busy and backs off instead of hanging on a dead socket.
       try {
@@ -100,10 +118,7 @@ void Server::accept_loop() {
       }
       continue;
     }
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.connections_accepted;
-    }
+    connections_accepted_.add();
     active_connections_.fetch_add(1);
     auto conn = std::make_unique<Connection>();
     conn->socket = std::move(*socket);
@@ -141,10 +156,7 @@ void Server::handle_connection(Connection& conn) {
       // reconnect per request.
       break;
     } catch (const ProtocolError& e) {
-      {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.protocol_errors;
-      }
+      protocol_errors_.add();
       // The stream is unsynchronized; explain once, then hang up.
       try {
         write_frame(conn.socket,
@@ -159,17 +171,13 @@ void Server::handle_connection(Connection& conn) {
     try {
       write_frame(conn.socket, response, config_.write_timeout_ms);
     } catch (const NetError&) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.resets_seen;
+      resets_seen_.add();
       break;
     }
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      if (response.type == FrameType::kError) {
-        ++stats_.error_frames;
-      } else {
-        ++stats_.frames_served;
-      }
+    if (response.type == FrameType::kError) {
+      error_frames_.add();
+    } else {
+      frames_served_.add();
     }
   }
   conn.socket.close();
@@ -220,6 +228,10 @@ Frame Server::dispatch(const Frame& request) {
         return error_frame(id, WireError::kDeadlineExceeded, e.what());
       } catch (const serve::ShutdownError& e) {
         return error_frame(id, WireError::kShuttingDown, e.what());
+      } catch (const serve::WorkerLostError& e) {
+        return error_frame(id, WireError::kWorkerLost, e.what());
+      } catch (const serve::QuarantinedInputError& e) {
+        return error_frame(id, WireError::kQuarantinedInput, e.what());
       } catch (const Error& e) {
         return error_frame(id, WireError::kInternal, e.what());
       }
@@ -255,10 +267,50 @@ Frame Server::dispatch(const Frame& request) {
         return error_frame(id, WireError::kSwapFailed, e.what());
       }
     }
+    case FrameType::kStatusRequest: {
+      StatusRequest req;
+      try {
+        req = decode_status_request(request.payload);
+      } catch (const ProtocolError& e) {
+        return error_frame(id, WireError::kBadRequest, e.what());
+      }
+      auto service = registry_.lookup(req.model);
+      if (service == nullptr) {
+        return error_frame(id, WireError::kUnknownModel,
+                           "no model named '" + req.model + "'");
+      }
+      const serve::ServiceStats s = service->stats();
+      StatusResponse resp;
+      resp.generation = registry_.generation(req.model);
+      resp.checkpoint_path = registry_.checkpoint_path(req.model);
+      resp.breaker_state = s.breaker_state;
+      resp.workers = s.workers;
+      resp.workers_live = s.workers_live;
+      resp.workers_lost = s.workers_lost;
+      resp.worker_crashes = s.worker_crashes;
+      resp.workers_restarted = s.workers_restarted;
+      resp.submitted = s.submitted;
+      resp.completed = s.completed;
+      resp.shed = s.shed;
+      resp.timed_out = s.timed_out;
+      resp.worker_failures = s.worker_failures;
+      resp.queue_depth = s.queue_depth;
+      resp.quarantine_hits = s.quarantine_hits;
+      resp.quarantined_inputs = s.quarantined_inputs;
+      resp.quarantine_strikes = s.quarantine_strikes;
+      resp.p50_ms = s.p50_ms;
+      resp.p99_ms = s.p99_ms;
+      Frame frame;
+      frame.type = FrameType::kStatusResponse;
+      frame.request_id = id;
+      frame.payload = encode_status_response(resp);
+      return frame;
+    }
     case FrameType::kPong:
     case FrameType::kPredictResponse:
     case FrameType::kError:
     case FrameType::kSwapResponse:
+    case FrameType::kStatusResponse:
       break;
   }
   return error_frame(id, WireError::kBadRequest,

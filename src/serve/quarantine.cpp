@@ -1,0 +1,100 @@
+#include "fademl/serve/quarantine.hpp"
+
+#include <algorithm>
+
+#include "fademl/tensor/serialize.hpp"
+
+namespace fademl::serve {
+
+uint32_t input_fingerprint(const Tensor& image) {
+  // Shape first, then data: a [3,8,8] image of zeros must not collide
+  // with a [8,8,3] one.
+  uint32_t crc = 0;
+  const auto& dims = image.shape().dims();
+  const auto rank = static_cast<int64_t>(dims.size());
+  crc = crc32(&rank, sizeof(rank), crc);
+  if (!dims.empty()) {
+    crc = crc32(dims.data(), dims.size() * sizeof(dims[0]), crc);
+  }
+  if (image.numel() > 0) {
+    crc = crc32(image.data(),
+                static_cast<size_t>(image.numel()) * sizeof(float), crc);
+  }
+  return crc;
+}
+
+Quarantine::Quarantine(QuarantineConfig config) : config_(config) {}
+
+bool Quarantine::is_quarantined(uint32_t fingerprint) const {
+  if (!enabled()) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return quarantined_.count(fingerprint) > 0;
+}
+
+bool Quarantine::record_strike(uint32_t fingerprint) {
+  if (!enabled()) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++strikes_recorded_;
+  if (quarantined_.count(fingerprint) > 0) {
+    return false;  // already banned (a racing in-flight failure)
+  }
+  auto it = suspect_strikes_.find(fingerprint);
+  if (it == suspect_strikes_.end()) {
+    // Bounded suspect table: evict the oldest suspect before admitting a
+    // new one.
+    if (suspect_strikes_.size() >= config_.max_tracked &&
+        !suspect_order_.empty()) {
+      suspect_strikes_.erase(suspect_order_.front());
+      suspect_order_.pop_front();
+    }
+    it = suspect_strikes_.emplace(fingerprint, 0).first;
+    suspect_order_.push_back(fingerprint);
+  }
+  if (++it->second < config_.strikes) {
+    return false;
+  }
+  // Threshold crossed: promote to the deny list (and stop tracking the
+  // suspect — its verdict is in).
+  suspect_strikes_.erase(it);
+  suspect_order_.erase(
+      std::find(suspect_order_.begin(), suspect_order_.end(), fingerprint));
+  if (quarantined_.size() >= config_.max_quarantined &&
+      !quarantine_order_.empty()) {
+    quarantined_.erase(quarantine_order_.front());
+    quarantine_order_.pop_front();
+  }
+  quarantined_.insert(fingerprint);
+  quarantine_order_.push_back(fingerprint);
+  return true;
+}
+
+void Quarantine::on_hit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++hits_;
+}
+
+size_t Quarantine::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return quarantined_.size();
+}
+
+int64_t Quarantine::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+int64_t Quarantine::strikes_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return strikes_recorded_;
+}
+
+std::vector<uint32_t> Quarantine::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {quarantined_.begin(), quarantined_.end()};
+}
+
+}  // namespace fademl::serve

@@ -22,38 +22,42 @@ double ms_between(std::chrono::steady_clock::time_point a,
 
 }  // namespace
 
+int64_t InferenceService::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
 InferenceService::InferenceService(
     std::vector<std::unique_ptr<core::InferencePipeline>> replicas,
     ServiceConfig config)
     : config_(std::move(config)),
-      pipelines_(std::move(replicas)),
       queue_(config_.queue_capacity),
       breaker_(config_.breaker),
       stats_(config_.latency_window),
+      quarantine_(config_.quarantine),
       queue_hist_(stats_.registry().histogram("serve.queue_ms")),
       gather_hist_(stats_.registry().histogram("serve.gather_ms")),
       infer_hist_(stats_.registry().histogram("serve.infer_ms")) {
-  FADEML_CHECK(!pipelines_.empty(),
+  FADEML_CHECK(!replicas.empty(),
                "InferenceService requires at least one pipeline replica");
   FADEML_CHECK(config_.max_batch >= 1,
                "ServiceConfig::max_batch must be >= 1");
   FADEML_CHECK(config_.max_batch <= 1 || config_.batch_window.count() >= 0,
                "ServiceConfig::batch_window must be non-negative");
-  for (const auto& p : pipelines_) {
+  if (config_.supervisor.enabled) {
+    FADEML_CHECK(config_.supervisor.poll_interval.count() > 0,
+                 "SupervisorConfig::poll_interval must be positive");
+    FADEML_CHECK(config_.supervisor.stall_timeout.count() > 0,
+                 "SupervisorConfig::stall_timeout must be positive");
+    FADEML_CHECK(config_.supervisor.max_restarts >= 0,
+                 "SupervisorConfig::max_restarts must be non-negative");
+  }
+  for (const auto& p : replicas) {
     FADEML_CHECK(p != nullptr, "InferenceService rejects null replicas");
   }
   if (config_.degraded_filter == nullptr) {
     config_.degraded_filter = filters::make_identity();
-  }
-  degraded_pipelines_.reserve(pipelines_.size());
-  for (auto& p : pipelines_) {
-    // Inference mode: no dropout masks, no BatchNorm statistics updates —
-    // the forward pass must not mutate the model.
-    p->model().set_training(false);
-    // The degraded twin shares this worker's model (single-threaded use)
-    // but swaps in the cheap fallback filter.
-    degraded_pipelines_.push_back(std::make_unique<core::InferencePipeline>(
-        p->model_ptr(), config_.degraded_filter));
   }
   // Oversubscription guard: workers x intra-op threads must not exceed the
   // machine. Lower the shared pool's thread count for the service's
@@ -64,17 +68,38 @@ InferenceService::InferenceService(
   if (intra <= 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     const int cores = hw == 0 ? 1 : static_cast<int>(hw);
-    intra = std::max(1, cores / static_cast<int>(pipelines_.size()));
+    intra = std::max(1, cores / static_cast<int>(replicas.size()));
   }
   parallel::set_num_threads(std::min(saved_pool_threads_, intra));
 
-  workers_.reserve(pipelines_.size());
-  for (size_t i = 0; i < pipelines_.size(); ++i) {
-    workers_.emplace_back([this, i] { worker_loop(i); });
+  slots_.reserve(replicas.size());
+  for (auto& p : replicas) {
+    slots_.push_back(spawn_worker(std::move(p)));
+  }
+  stats_.set_workers_live(static_cast<int64_t>(slots_.size()));
+  if (config_.supervisor.enabled) {
+    supervisor_ = std::thread([this] { supervisor_loop(); });
   }
 }
 
 InferenceService::~InferenceService() { shutdown(); }
+
+InferenceService::SlotPtr InferenceService::spawn_worker(
+    std::unique_ptr<core::InferencePipeline> pipeline) {
+  auto slot = std::make_shared<WorkerSlot>();
+  // Inference mode: no dropout masks, no BatchNorm statistics updates —
+  // the forward pass must not mutate the model.
+  pipeline->model().set_training(false);
+  // The degraded twin shares this worker's model (single-threaded use)
+  // but swaps in the cheap fallback filter.
+  slot->degraded = std::make_unique<core::InferencePipeline>(
+      pipeline->model_ptr(), config_.degraded_filter);
+  slot->pipeline = std::move(pipeline);
+  slot->last_progress_ns.store(now_ns(), std::memory_order_relaxed);
+  SlotPtr handle = slot;
+  slot->thread = std::thread([this, handle] { worker_loop(handle); });
+  return slot;
+}
 
 std::future<InferenceResult> InferenceService::submit(Tensor image) {
   return submit(std::move(image), config_.default_deadline);
@@ -90,6 +115,16 @@ std::future<InferenceResult> InferenceService::submit(
     stats_.on_rejected_input();
     throw;
   }
+  // The fingerprint identifies the input across retries and restarts —
+  // both the quarantine and the poison-input failpoint key on it.
+  const uint32_t fingerprint = input_fingerprint(image);
+  if (quarantine_.is_quarantined(fingerprint)) {
+    quarantine_.on_hit();
+    stats_.on_quarantine_hit();
+    throw QuarantinedInputError(
+        "input fingerprint " + std::to_string(fingerprint) +
+        " is quarantined after repeatedly crashing workers");
+  }
   if (!breaker_.try_acquire()) {
     stats_.on_breaker_rejected();
     throw CircuitOpenError(
@@ -97,8 +132,9 @@ std::future<InferenceResult> InferenceService::submit(
         breaker_.state_name() + ")");
   }
 
-  auto request = std::make_unique<Request>();
+  auto request = std::make_shared<Request>();
   request->image = std::move(image);
+  request->fingerprint = fingerprint;
   request->submitted_at = Clock::now();
   request->deadline = deadline.count() > 0 ? request->submitted_at + deadline
                                            : Clock::time_point::max();
@@ -134,10 +170,56 @@ InferenceResult InferenceService::classify(const Tensor& image) {
   return submit(image.clone()).get();
 }
 
-void InferenceService::worker_loop(size_t worker_index) {
+void InferenceService::worker_loop(const SlotPtr& slot) {
+  try {
+    worker_loop_body(*slot);
+  } catch (const io::WorkerCrashError&) {
+    // Lethal fault: the replica is gone, not merely one request. The
+    // in-flight requests were already failed (WorkerLostError) by the
+    // crash handlers in run_request / process_batch.
+    slot->crashed.store(true);
+    stats_.on_worker_crash();
+  }
+  {
+    std::lock_guard<std::mutex> lock(slot->inflight_mutex);
+    slot->inflight.clear();
+  }
+  slot->busy.store(false);
+  slot->exited.store(true);
+  // Wake the supervisor so a crashed replica is respawned promptly
+  // instead of waiting out the poll interval.
+  supervisor_cv_.notify_all();
+}
+
+void InferenceService::worker_loop_body(WorkerSlot& slot) {
+  auto begin_work = [&](const RequestPtr& request) {
+    // Heartbeat before busy: a supervisor that observes busy==true always
+    // reads a heartbeat at least as fresh as the work it covers.
+    slot.last_progress_ns.store(now_ns());
+    {
+      std::lock_guard<std::mutex> lock(slot.inflight_mutex);
+      slot.inflight.push_back(request);
+    }
+    slot.busy.store(true);
+  };
+  auto end_work = [&] {
+    slot.busy.store(false);
+    {
+      std::lock_guard<std::mutex> lock(slot.inflight_mutex);
+      slot.inflight.clear();
+    }
+    slot.last_progress_ns.store(now_ns());
+  };
+
   if (config_.max_batch <= 1) {
-    while (auto request = queue_.pop()) {
-      process(worker_index, **request);
+    while (!slot.abandoned.load()) {
+      auto request = queue_.pop();
+      if (!request) {
+        return;  // queue closed and drained
+      }
+      begin_work(*request);
+      process(slot, **request);
+      end_work();
     }
     return;
   }
@@ -145,7 +227,12 @@ void InferenceService::worker_loop(size_t worker_index) {
   // the batch window. The gather deadline shrinks to the earliest deadline
   // of a request already in hand — coalescing must never expire the very
   // requests it is coalescing.
-  while (auto first = queue_.pop()) {
+  while (!slot.abandoned.load()) {
+    auto first = queue_.pop();
+    if (!first) {
+      return;
+    }
+    begin_work(*first);
     std::vector<RequestPtr> batch;
     batch.push_back(std::move(*first));
     {
@@ -169,14 +256,19 @@ void InferenceService::worker_loop(size_t worker_index) {
         if (!next) {
           break;  // window elapsed (or queue closed and drained)
         }
+        {
+          std::lock_guard<std::mutex> lock(slot.inflight_mutex);
+          slot.inflight.push_back(*next);
+        }
         batch.push_back(std::move(*next));
       }
     }
-    process_batch(worker_index, batch);
+    process_batch(slot, batch);
+    end_work();
   }
 }
 
-void InferenceService::process(size_t worker_index, Request& request) {
+void InferenceService::process(WorkerSlot& slot, Request& request) {
   const Clock::time_point dequeued_at = Clock::now();
   // The queue wait is over whether or not the request survived it; the
   // span's endpoints straddle two threads (started on the submitter,
@@ -186,13 +278,15 @@ void InferenceService::process(size_t worker_index, Request& request) {
                    dequeued_at);
   if (dequeued_at > request.deadline) {
     // Expired while queued: reject without running.
-    stats_.on_timed_out();
-    breaker_.record_abandoned();
-    request.promise.set_exception(
-        std::make_exception_ptr(DeadlineExceededError(
-            "deadline exceeded after " +
-            std::to_string(ms_between(request.submitted_at, dequeued_at)) +
-            " ms in queue (never run)")));
+    if (request.try_claim()) {
+      stats_.on_timed_out();
+      breaker_.record_abandoned();
+      request.promise.set_exception(
+          std::make_exception_ptr(DeadlineExceededError(
+              "deadline exceeded after " +
+              std::to_string(ms_between(request.submitted_at, dequeued_at)) +
+              " ms in queue (never run)")));
+    }
     return;
   }
 
@@ -200,16 +294,16 @@ void InferenceService::process(size_t worker_index, Request& request) {
   // request, trade filter quality for throughput.
   const bool degraded = config_.degrade_queue_depth > 0 &&
                         queue_.depth() >= config_.degrade_queue_depth;
-  run_request(worker_index, request, degraded, dequeued_at);
+  run_request(slot, request, degraded, dequeued_at);
 }
 
-void InferenceService::run_request(size_t worker_index, Request& request,
+void InferenceService::run_request(WorkerSlot& slot, Request& request,
                                    bool degraded,
                                    Clock::time_point dequeued_at) {
-  core::InferencePipeline& pipeline = degraded
-                                          ? *degraded_pipelines_[worker_index]
-                                          : *pipelines_[worker_index];
+  core::InferencePipeline& pipeline =
+      degraded ? *slot.degraded : *slot.pipeline;
   try {
+    io::FaultInjector::instance().on_input(request.fingerprint);
     io::FaultInjector::instance().on_compute();
     InferenceResult result;
     {
@@ -221,13 +315,15 @@ void InferenceService::run_request(size_t worker_index, Request& request,
     if (done_at > request.deadline) {
       // Finished late: the worker is healthy, but a stale answer is
       // worse than none — abandon the result.
-      stats_.on_timed_out();
-      breaker_.record_success();
-      request.promise.set_exception(
-          std::make_exception_ptr(DeadlineExceededError(
-              "deadline exceeded: inference finished after " +
-              std::to_string(ms_between(request.submitted_at, done_at)) +
-              " ms; result abandoned")));
+      if (request.try_claim()) {
+        stats_.on_timed_out();
+        breaker_.record_success();
+        request.promise.set_exception(
+            std::make_exception_ptr(DeadlineExceededError(
+                "deadline exceeded: inference finished after " +
+                std::to_string(ms_between(request.submitted_at, done_at)) +
+                " ms; result abandoned")));
+      }
       return;
     }
     result.degraded = degraded;
@@ -235,17 +331,35 @@ void InferenceService::run_request(size_t worker_index, Request& request,
     result.queue_ms = ms_between(request.submitted_at, dequeued_at);
     result.infer_ms = ms_between(dequeued_at, done_at);
     result.total_ms = ms_between(request.submitted_at, done_at);
-    stats_.on_completed(result.total_ms, degraded);
-    breaker_.record_success();
-    request.promise.set_value(std::move(result));
+    if (request.try_claim()) {
+      stats_.on_completed(result.total_ms, degraded);
+      breaker_.record_success();
+      request.promise.set_value(std::move(result));
+    }
+  } catch (const io::WorkerCrashError& e) {
+    // Lethal to the worker thread: fail this request retryably, charge a
+    // quarantine strike, and let the error propagate so the loop exits
+    // and the supervisor respawns the replica.
+    record_strike(request.fingerprint);
+    if (request.try_claim()) {
+      stats_.on_requests_worker_lost(1);
+      stats_.on_worker_failure();
+      breaker_.record_failure();
+      request.promise.set_exception(std::make_exception_ptr(WorkerLostError(
+          std::string("worker crashed serving this request: ") + e.what())));
+    }
+    throw;
   } catch (...) {
-    stats_.on_worker_failure();
-    breaker_.record_failure();
-    request.promise.set_exception(std::current_exception());
+    record_strike(request.fingerprint);
+    if (request.try_claim()) {
+      stats_.on_worker_failure();
+      breaker_.record_failure();
+      request.promise.set_exception(std::current_exception());
+    }
   }
 }
 
-void InferenceService::process_batch(size_t worker_index,
+void InferenceService::process_batch(WorkerSlot& slot,
                                      std::vector<RequestPtr>& batch) {
   const Clock::time_point dequeued_at = Clock::now();
   // Requests that expired during the gather are failed exactly like
@@ -257,13 +371,14 @@ void InferenceService::process_batch(size_t worker_index,
     queue_hist_.observe(ms_between(r->submitted_at, dequeued_at));
     obs::record_span("serve.queue", "serve", r->submitted_at, dequeued_at);
     if (dequeued_at > r->deadline) {
-      stats_.on_timed_out();
-      breaker_.record_abandoned();
-      r->promise.set_exception(
-          std::make_exception_ptr(DeadlineExceededError(
-              "deadline exceeded after " +
-              std::to_string(ms_between(r->submitted_at, dequeued_at)) +
-              " ms in queue (never run)")));
+      if (r->try_claim()) {
+        stats_.on_timed_out();
+        breaker_.record_abandoned();
+        r->promise.set_exception(std::make_exception_ptr(DeadlineExceededError(
+            "deadline exceeded after " +
+            std::to_string(ms_between(r->submitted_at, dequeued_at)) +
+            " ms in queue (never run)")));
+      }
     } else {
       live.push_back(std::move(r));
     }
@@ -279,12 +394,11 @@ void InferenceService::process_batch(size_t worker_index,
   if (live.size() == 1) {
     // Straight to run_request (not process(), which would re-record the
     // queue wait this loop already accounted for).
-    run_request(worker_index, *live[0], degraded, dequeued_at);
+    run_request(slot, *live[0], degraded, dequeued_at);
     return;
   }
-  core::InferencePipeline& pipeline = degraded
-                                          ? *degraded_pipelines_[worker_index]
-                                          : *pipelines_[worker_index];
+  core::InferencePipeline& pipeline =
+      degraded ? *slot.degraded : *slot.pipeline;
 
   // predict_batch needs a rectangular [N, C, H, W] cohort; admission does
   // not pin image sizes, so group by shape and batch within each group.
@@ -303,56 +417,266 @@ void InferenceService::process_batch(size_t worker_index,
     }
   }
 
-  for (const std::vector<size_t>& group : groups) {
-    if (group.size() == 1) {
-      run_request(worker_index, *live[group[0]], degraded, dequeued_at);
+  try {
+    for (const std::vector<size_t>& group : groups) {
+      if (group.size() == 1) {
+        run_request(slot, *live[group[0]], degraded, dequeued_at);
+        continue;
+      }
+      try {
+        for (size_t i : group) {
+          io::FaultInjector::instance().on_input(live[i]->fingerprint);
+        }
+        io::FaultInjector::instance().on_compute();
+        std::vector<Tensor> images;
+        images.reserve(group.size());
+        for (size_t i : group) {
+          images.push_back(live[i]->image);
+        }
+        std::vector<core::Prediction> preds;
+        {
+          obs::StageTimer infer_timer(infer_hist_, "serve.infer", "serve");
+          preds = pipeline.predict_batch(nn::stack_images(images),
+                                         config_.threat_model);
+        }
+        const Clock::time_point done_at = Clock::now();
+        for (size_t j = 0; j < group.size(); ++j) {
+          Request& request = *live[group[j]];
+          if (done_at > request.deadline) {
+            if (request.try_claim()) {
+              stats_.on_timed_out();
+              breaker_.record_success();
+              request.promise.set_exception(
+                  std::make_exception_ptr(DeadlineExceededError(
+                      "deadline exceeded: inference finished after " +
+                      std::to_string(
+                          ms_between(request.submitted_at, done_at)) +
+                      " ms; result abandoned")));
+            }
+            continue;
+          }
+          InferenceResult result;
+          result.prediction = preds[j];
+          result.degraded = degraded;
+          result.filter = pipeline.filter().name();
+          result.queue_ms = ms_between(request.submitted_at, dequeued_at);
+          result.infer_ms = ms_between(dequeued_at, done_at);
+          result.total_ms = ms_between(request.submitted_at, done_at);
+          if (request.try_claim()) {
+            stats_.on_completed(result.total_ms, degraded);
+            breaker_.record_success();
+            request.promise.set_value(std::move(result));
+          }
+        }
+      } catch (const io::WorkerCrashError&) {
+        throw;  // lethal: handled by the batch-wide cleanup below
+      } catch (...) {
+        // Per-request failure isolation: a fault during the shared batched
+        // evaluation must not fail innocent neighbors. Re-run the group's
+        // requests individually; each records its own success or failure.
+        for (size_t i : group) {
+          run_request(slot, *live[i], degraded, dequeued_at);
+        }
+      }
+    }
+  } catch (const io::WorkerCrashError& e) {
+    // The replica died mid-batch. Whatever the crash handlers have not
+    // already settled (requests in groups that never ran) fails retryably
+    // — an admitted request must always reach a terminal outcome.
+    for (const RequestPtr& r : live) {
+      if (r && r->try_claim()) {
+        stats_.on_requests_worker_lost(1);
+        breaker_.record_abandoned();
+        r->promise.set_exception(std::make_exception_ptr(WorkerLostError(
+            std::string("worker crashed before this request ran: ") +
+            e.what())));
+      }
+    }
+    throw;
+  }
+}
+
+void InferenceService::supervisor_loop() {
+  const auto stall_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          config_.supervisor.stall_timeout)
+          .count();
+  std::unique_lock<std::mutex> lock(slots_mutex_);
+  while (!stopping_.load()) {
+    // Wake early on stop and on worker exit (a crashed replica notifies),
+    // so respawn latency is not bounded below by the poll interval.
+    supervisor_cv_.wait_for(lock, config_.supervisor.poll_interval, [this] {
+      if (stopping_.load()) {
+        return true;
+      }
+      for (const SlotPtr& s : slots_) {
+        if (s && s->exited.load()) {
+          return true;
+        }
+      }
+      return false;
+    });
+    if (stopping_.load()) {
+      break;
+    }
+    bool all_healthy = true;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      const SlotPtr& slot = slots_[i];
+      if (!slot) {
+        // Empty slot awaiting refill; only a permanently shrunk pool
+        // (budget exhausted) counts as the steady state.
+        if (restart_budget_open()) {
+          all_healthy = false;
+        }
+        continue;
+      }
+      if (slot->exited.load()) {
+        all_healthy = false;
+        restart_crashed_worker(i);
+        continue;
+      }
+      if (!slot->busy.load()) {
+        continue;  // idle workers make no progress by design
+      }
+      const int64_t age = now_ns() - slot->last_progress_ns.load();
+      if (age > stall_ns) {
+        all_healthy = false;
+        abandon_worker(i);
+      }
+    }
+    refill_pool();
+    if (all_healthy && Clock::now() >= next_restart_at_) {
+      // A full healthy scan past the backoff horizon ends the incident:
+      // the next loss starts from the initial backoff again.
+      restart_backoff_ = std::chrono::milliseconds{0};
+    }
+  }
+}
+
+bool InferenceService::restart_budget_open() const {
+  return restarts_done_ < config_.supervisor.max_restarts;
+}
+
+void InferenceService::refill_pool() {
+  bool respawned = false;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i] != nullptr) {
       continue;
     }
-    try {
-      io::FaultInjector::instance().on_compute();
-      std::vector<Tensor> images;
-      images.reserve(group.size());
-      for (size_t i : group) {
-        images.push_back(live[i]->image);
-      }
-      std::vector<core::Prediction> preds;
-      {
-        obs::StageTimer infer_timer(infer_hist_, "serve.infer", "serve");
-        preds = pipeline.predict_batch(nn::stack_images(images),
-                                       config_.threat_model);
-      }
-      const Clock::time_point done_at = Clock::now();
-      for (size_t j = 0; j < group.size(); ++j) {
-        Request& request = *live[group[j]];
-        if (done_at > request.deadline) {
-          stats_.on_timed_out();
-          breaker_.record_success();
-          request.promise.set_exception(
-              std::make_exception_ptr(DeadlineExceededError(
-                  "deadline exceeded: inference finished after " +
-                  std::to_string(ms_between(request.submitted_at, done_at)) +
-                  " ms; result abandoned")));
-          continue;
-        }
-        InferenceResult result;
-        result.prediction = preds[j];
-        result.degraded = degraded;
-        result.filter = pipeline.filter().name();
-        result.queue_ms = ms_between(request.submitted_at, dequeued_at);
-        result.infer_ms = ms_between(dequeued_at, done_at);
-        result.total_ms = ms_between(request.submitted_at, done_at);
-        stats_.on_completed(result.total_ms, degraded);
-        breaker_.record_success();
-        request.promise.set_value(std::move(result));
-      }
-    } catch (...) {
-      // Per-request failure isolation: a fault during the shared batched
-      // evaluation must not fail innocent neighbors. Re-run the group's
-      // requests individually; each records its own success or failure.
-      for (size_t i : group) {
-        run_request(worker_index, *live[i], degraded, dequeued_at);
+    // One respawn per elapsed backoff window: losses inside the window
+    // stay queued in their empty slots rather than being dropped.
+    if (!restart_budget_open() || Clock::now() < next_restart_at_) {
+      break;
+    }
+    std::unique_ptr<core::InferencePipeline> pipeline;
+    if (!spare_pipelines_.empty()) {
+      pipeline = std::move(spare_pipelines_.back());
+      spare_pipelines_.pop_back();
+    } else if (config_.replica_factory) {
+      try {
+        pipeline = config_.replica_factory();
+      } catch (const Error&) {
+        // A failed respawn consumes a restart slot and backs off like a
+        // successful one, so a factory that always throws cannot spin.
+        note_restart();
+        break;
       }
     }
+    if (pipeline == nullptr) {
+      break;  // no spare and no factory: this slot stays empty
+    }
+    slots_[i] = spawn_worker(std::move(pipeline));
+    note_restart();
+    stats_.on_worker_restarted();
+    respawned = true;
+  }
+  if (respawned) {
+    recount_live();
+  }
+}
+
+void InferenceService::recount_live() {
+  int64_t live = 0;
+  for (const SlotPtr& s : slots_) {
+    if (s && !s->abandoned.load() && !s->exited.load()) {
+      ++live;
+    }
+  }
+  stats_.set_workers_live(live);
+}
+
+void InferenceService::note_restart() {
+  ++restarts_done_;
+  restart_backoff_ =
+      restart_backoff_.count() == 0
+          ? config_.supervisor.restart_backoff
+          : std::min(restart_backoff_ * 2,
+                     config_.supervisor.max_restart_backoff);
+  next_restart_at_ = Clock::now() + restart_backoff_;
+}
+
+void InferenceService::abandon_worker(size_t index) {
+  SlotPtr slot = slots_[index];
+  // Order matters: mark abandoned before settling, so the worker — if it
+  // wakes mid-abandon — stops instead of popping more work.
+  slot->abandoned.store(true);
+  std::vector<RequestPtr> inflight;
+  {
+    std::lock_guard<std::mutex> guard(slot->inflight_mutex);
+    inflight.swap(slot->inflight);
+  }
+  for (const RequestPtr& r : inflight) {
+    // The input was on a worker that stopped making progress: that is a
+    // quarantine strike (a wedge is how poison often presents).
+    record_strike(r->fingerprint);
+    if (r->try_claim()) {
+      stats_.on_requests_worker_lost(1);
+      breaker_.record_abandoned();
+      r->promise.set_exception(std::make_exception_ptr(WorkerLostError(
+          "worker stalled past " +
+          std::to_string(config_.supervisor.stall_timeout.count()) +
+          " ms and was abandoned; retry against a fresh replica")));
+    }
+  }
+  stats_.on_worker_lost();
+  // The zombie thread may be wedged for the rest of the run; it is joined
+  // at shutdown, after release_wedges().
+  zombies_.push_back(std::move(slot));
+  slots_[index] = nullptr;  // refill_pool() respawns under the budget
+  recount_live();
+}
+
+void InferenceService::restart_crashed_worker(size_t index) {
+  SlotPtr slot = slots_[index];
+  if (!slot->crashed.load()) {
+    return;  // clean drain exit (shutdown race) — leave it for the join
+  }
+  if (slot->thread.joinable()) {
+    slot->thread.join();
+  }
+  slots_[index] = nullptr;
+  // The crash fired at the compute hook, before the pipeline ran: the
+  // replica's model is intact, so the refill pass can reuse it.
+  if (slot->pipeline != nullptr) {
+    spare_pipelines_.push_back(std::move(slot->pipeline));
+  }
+  recount_live();
+}
+
+size_t InferenceService::live_workers() const {
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  size_t live = 0;
+  for (const SlotPtr& s : slots_) {
+    if (s && !s->abandoned.load() && !s->exited.load()) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+void InferenceService::record_strike(uint32_t fingerprint) {
+  if (quarantine_.record_strike(fingerprint)) {
+    stats_.set_quarantined_inputs(static_cast<int64_t>(quarantine_.size()));
   }
 }
 
@@ -361,15 +685,51 @@ ServiceStats InferenceService::stats() const {
   out.queue_depth = static_cast<int64_t>(queue_.depth());
   out.breaker_trips = breaker_.trips();
   out.breaker_state = breaker_.state_name();
+  out.workers = static_cast<int64_t>(slots_.size());
+  out.workers_live = static_cast<int64_t>(live_workers());
+  out.quarantined_inputs = static_cast<int64_t>(quarantine_.size());
+  out.quarantine_strikes = quarantine_.strikes_recorded();
   return out;
 }
 
 void InferenceService::shutdown() {
   std::call_once(shutdown_once_, [this] {
-    queue_.close();  // refuse new producers; consumers drain the backlog
-    for (std::thread& worker : workers_) {
-      worker.join();
+    // Supervisor first: once it is gone, no slot can be replaced or
+    // joined behind our back, so the snapshot below is complete.
+    stopping_.store(true);
+    supervisor_cv_.notify_all();
+    if (supervisor_.joinable()) {
+      supervisor_.join();
     }
+    queue_.close();  // refuse new producers; consumers drain the backlog
+    // A failpoint may wedge workers (or zombies) mid-drain; keep waking
+    // them until every thread is joined so shutdown always terminates.
+    std::atomic<bool> joined{false};
+    std::thread releaser([&joined] {
+      while (!joined.load()) {
+        io::FaultInjector::instance().release_wedges();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    std::vector<SlotPtr> all;
+    {
+      std::lock_guard<std::mutex> lock(slots_mutex_);
+      for (const SlotPtr& s : slots_) {
+        if (s) {
+          all.push_back(s);
+        }
+      }
+      for (const SlotPtr& z : zombies_) {
+        all.push_back(z);
+      }
+    }
+    for (const SlotPtr& s : all) {
+      if (s->thread.joinable()) {
+        s->thread.join();
+      }
+    }
+    joined.store(true);
+    releaser.join();
     parallel::set_num_threads(saved_pool_threads_);
   });
 }

@@ -18,6 +18,13 @@ StatsCollector::StatsCollector(size_t window)
       breaker_rejected_(registry_.counter("serve.breaker_rejected")),
       worker_failures_(registry_.counter("serve.worker_failures")),
       batches_(registry_.counter("serve.batches")),
+      workers_lost_(registry_.counter("serve.workers_lost")),
+      worker_crashes_(registry_.counter("serve.worker_crashes")),
+      workers_restarted_(registry_.counter("serve.workers_restarted")),
+      requests_worker_lost_(registry_.counter("serve.requests_worker_lost")),
+      quarantine_hits_(registry_.counter("serve.quarantine_hits")),
+      workers_live_(registry_.gauge("serve.workers_live")),
+      quarantined_inputs_(registry_.gauge("serve.quarantined_inputs")),
       latency_hist_(registry_.histogram("serve.total_ms")) {
   FADEML_CHECK(window_ >= 1, "StatsCollector window must be >= 1");
 }
@@ -64,6 +71,28 @@ void StatsCollector::on_breaker_rejected() { breaker_rejected_.add(); }
 
 void StatsCollector::on_worker_failure() { worker_failures_.add(); }
 
+void StatsCollector::on_worker_lost() { workers_lost_.add(); }
+
+void StatsCollector::on_worker_crash() { worker_crashes_.add(); }
+
+void StatsCollector::on_worker_restarted() { workers_restarted_.add(); }
+
+void StatsCollector::on_requests_worker_lost(int64_t n) {
+  if (n > 0) {
+    requests_worker_lost_.add(n);
+  }
+}
+
+void StatsCollector::on_quarantine_hit() { quarantine_hits_.add(); }
+
+void StatsCollector::set_workers_live(int64_t n) {
+  workers_live_.set(static_cast<double>(n));
+}
+
+void StatsCollector::set_quarantined_inputs(int64_t n) {
+  quarantined_inputs_.set(static_cast<double>(n));
+}
+
 ServiceStats StatsCollector::snapshot() const {
   ServiceStats out;
   // Read order is the reverse of write order: every degraded++ follows its
@@ -81,6 +110,13 @@ ServiceStats StatsCollector::snapshot() const {
   out.breaker_rejected = breaker_rejected_.value();
   out.worker_failures = worker_failures_.value();
   out.batches = batches_.value();
+  out.workers_lost = workers_lost_.value();
+  out.worker_crashes = worker_crashes_.value();
+  out.workers_restarted = workers_restarted_.value();
+  out.requests_worker_lost = requests_worker_lost_.value();
+  out.quarantine_hits = quarantine_hits_.value();
+  out.workers_live = static_cast<int64_t>(workers_live_.value());
+  out.quarantined_inputs = static_cast<int64_t>(quarantined_inputs_.value());
   std::lock_guard<std::mutex> lock(mutex_);
   out.latency_samples = static_cast<int64_t>(latencies_.size());
   out.p50_ms = percentile(latencies_, 0.50);

@@ -306,6 +306,11 @@ TEST(WireErrors, RetryabilityTable) {
   EXPECT_TRUE(wire_error_retryable(WireError::kShuttingDown));
   EXPECT_TRUE(wire_error_retryable(WireError::kCircuitOpen));
   EXPECT_TRUE(wire_error_retryable(WireError::kDeadlineExceeded));
+  // A lost replica is blameless for the request: retry lands on a fresh
+  // worker. A quarantined input is the opposite — the same bytes hit the
+  // same ban, so retrying is wasted.
+  EXPECT_TRUE(wire_error_retryable(WireError::kWorkerLost));
+  EXPECT_FALSE(wire_error_retryable(WireError::kQuarantinedInput));
   EXPECT_FALSE(wire_error_retryable(WireError::kUnknownModel));
   EXPECT_FALSE(wire_error_retryable(WireError::kInvalidInput));
   EXPECT_FALSE(wire_error_retryable(WireError::kBadRequest));
@@ -607,6 +612,78 @@ TEST_F(ServerTest, HammerWithInjectedResetsLosesNothing) {
   EXPECT_EQ(succeeded.load(), kThreads * kRequestsPerThread);
   EXPECT_GE(total_retries.load(), 1);
   EXPECT_GE(io::FaultInjector::instance().faults_fired(), 3);
+}
+
+TEST_F(ServerTest, StatusRoundTripReportsServiceAndSupervisorState) {
+  Client client(fast_client(server_->port()));
+  client.predict("vgg", valid_image());
+
+  const StatusResponse status = client.status("vgg");
+  EXPECT_EQ(status.generation, 1);
+  EXPECT_EQ(status.checkpoint_path, ckpt_);
+  EXPECT_EQ(status.breaker_state, "closed");
+  EXPECT_EQ(status.workers, 2);
+  EXPECT_EQ(status.workers_live, 2);
+  EXPECT_EQ(status.workers_lost, 0);
+  EXPECT_GE(status.submitted, 1);
+  EXPECT_GE(status.completed, 1);
+  EXPECT_EQ(status.quarantined_inputs, 0);
+  EXPECT_GT(status.p50_ms, 0.0);
+
+  // Status is idempotent and terminal on unknown names, like predict.
+  try {
+    client.status("not-a-model");
+    FAIL() << "unknown model status must throw";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(), WireError::kUnknownModel);
+    EXPECT_FALSE(e.retryable());
+  }
+}
+
+TEST_F(ServerTest, HedgeFiresOnWedgedWorkerAndWins) {
+  // Wedge the first inference: the primary attempt is stuck server-side,
+  // so the hedged twin — served by the model's second replica over its
+  // own connection — must win.
+  ClientConfig config = fast_client(server_->port());
+  config.hedge.enabled = true;
+  config.hedge.initial_delay_ms = 30;
+  config.hedge.min_delay_ms = 30;
+  config.hedge.budget = 1.0;
+  Client client(config);
+  io::FaultInjector::instance().arm("worker-wedge:1");
+
+  const Tensor image = valid_image();
+  const PredictResult result = client.predict("vgg", image);
+  EXPECT_TRUE(bitwise_equal(result.prediction.probs,
+                            reference_probs(ckpt_, image)));
+  EXPECT_TRUE(result.hedged);
+  EXPECT_EQ(result.attempts, 2);  // the wedged primary + the hedge
+  const ClientStats stats = client.stats();
+  EXPECT_EQ(stats.hedges, 1);
+  EXPECT_EQ(stats.hedge_wins, 1);
+  EXPECT_EQ(stats.failures, 0);  // a cancelled loser is not a failure
+
+  // Release the wedged worker before teardown so the server's drain (which
+  // waits on the stuck request) can finish.
+  io::FaultInjector::instance().disarm();
+}
+
+TEST_F(ServerTest, HedgeBudgetZeroNeverHedges) {
+  // With a zero budget the delay elapsing must not launch a second
+  // attempt, however slow the primary is.
+  ClientConfig config = fast_client(server_->port());
+  config.hedge.enabled = true;
+  config.hedge.initial_delay_ms = 10;
+  config.hedge.min_delay_ms = 10;
+  config.hedge.budget = 0.0;
+  Client client(config);
+  io::FaultInjector::instance().arm("net-slow:100");
+
+  const PredictResult result = client.predict("vgg", valid_image());
+  EXPECT_FALSE(result.hedged);
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_EQ(client.stats().hedges, 0);
+  io::FaultInjector::instance().disarm();
 }
 
 TEST_F(ServerTest, DrainShutdownWithLiveIdleConnections) {

@@ -76,6 +76,25 @@ TEST(FaultSpec, ParsesTheNetworkFailpoints) {
   EXPECT_THROW(io::FaultSpec::parse("swap-corrupt:0"), Error);
 }
 
+TEST(FaultSpec, ParsesTheSupervisionFailpoints) {
+  const io::FaultSpec ww = io::FaultSpec::parse("worker-wedge:2");
+  EXPECT_EQ(ww.kind, io::FaultSpec::Kind::kWorkerWedge);
+  EXPECT_EQ(ww.arg, 2);
+  const io::FaultSpec rs = io::FaultSpec::parse("restart-storm:3");
+  EXPECT_EQ(rs.kind, io::FaultSpec::Kind::kRestartStorm);
+  EXPECT_EQ(rs.arg, 3);
+  // poison-input's argument is a CRC-32 fingerprint, so 0 is legal and
+  // the full 32-bit range must round-trip.
+  const io::FaultSpec pz = io::FaultSpec::parse("poison-input:0");
+  EXPECT_EQ(pz.kind, io::FaultSpec::Kind::kPoisonInput);
+  EXPECT_EQ(pz.arg, 0);
+  const io::FaultSpec pm = io::FaultSpec::parse("poison-input:4294967295");
+  EXPECT_EQ(pm.arg, 0xFFFFFFFFll);
+  EXPECT_THROW(io::FaultSpec::parse("worker-wedge:0"), Error);
+  EXPECT_THROW(io::FaultSpec::parse("restart-storm:0"), Error);
+  EXPECT_THROW(io::FaultSpec::parse("poison-input:4294967296"), Error);
+}
+
 TEST(FaultSpec, RejectsMalformedSpecs) {
   EXPECT_THROW(io::FaultSpec::parse(""), Error);
   EXPECT_THROW(io::FaultSpec::parse("explode"), Error);

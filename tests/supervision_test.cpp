@@ -1,0 +1,352 @@
+// Self-healing chaos tests: the supervisor (heartbeats, abandon, respawn,
+// restart budget + backoff), the poison-input quarantine, and the hot-swap
+// vs worker-restart race. Every fault is driven deterministically through
+// the io::FaultInjector compute failpoints (worker-wedge:N, poison-input:C,
+// restart-storm:N). The suite must stay clean under ASan/UBSan *and* TSan
+// (scripts/check.sh --tsan runs exactly this binary).
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fademl/io/failpoint.hpp"
+#include "fademl/net/registry.hpp"
+#include "fademl/nn/checkpoint.hpp"
+#include "fademl/nn/vggnet.hpp"
+#include "fademl/serve/errors.hpp"
+#include "fademl/serve/quarantine.hpp"
+#include "fademl/serve/service.hpp"
+#include "fademl/serve/stats.hpp"
+#include "fademl/tensor/random.hpp"
+
+namespace fademl::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr int64_t kSide = 8;
+constexpr int64_t kClasses = 4;
+
+/// One fully independent pipeline replica (untrained — supervision
+/// semantics do not depend on accuracy, and skipping training keeps this
+/// suite fast enough to run under TSan).
+std::unique_ptr<core::InferencePipeline> make_replica() {
+  Rng rng(99);  // same seed -> identical weights across replicas
+  auto model = nn::make_vggnet(nn::VggConfig::tiny(kClasses, kSide), rng);
+  return std::make_unique<core::InferencePipeline>(std::move(model),
+                                                   filters::make_lap(4));
+}
+
+std::vector<std::unique_ptr<core::InferencePipeline>> make_replicas(
+    size_t count) {
+  std::vector<std::unique_ptr<core::InferencePipeline>> replicas;
+  for (size_t i = 0; i < count; ++i) {
+    replicas.push_back(make_replica());
+  }
+  return replicas;
+}
+
+Tensor valid_image(uint64_t seed = 5) {
+  Rng rng(seed);
+  return rng.uniform_tensor(Shape{3, kSide, kSide}, 0.0f, 1.0f);
+}
+
+/// Supervised service config with timeouts sized for tests. The circuit
+/// breaker threshold is pushed out of reach: these tests study the
+/// supervisor and the quarantine, and a tripped breaker would turn every
+/// later submit into CircuitOpenError noise.
+ServiceConfig supervised_config(int max_restarts = 8,
+                                bool with_factory = true) {
+  ServiceConfig config;
+  config.admission.expected_height = kSide;
+  config.admission.expected_width = kSide;
+  config.breaker.failure_threshold = 1 << 20;
+  config.supervisor.enabled = true;
+  config.supervisor.poll_interval = milliseconds(5);
+  config.supervisor.stall_timeout = milliseconds(150);
+  config.supervisor.max_restarts = max_restarts;
+  config.supervisor.restart_backoff = milliseconds(5);
+  config.supervisor.max_restart_backoff = milliseconds(60);
+  if (with_factory) {
+    config.replica_factory = [] { return make_replica(); };
+  }
+  return config;
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  if (a.numel() != b.numel()) {
+    return false;
+  }
+  return std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.numel())) == 0;
+}
+
+/// Poll until `pred` holds (the only non-determinism here is supervisor
+/// scan scheduling; this bounds it).
+template <typename Pred>
+::testing::AssertionResult eventually(Pred pred,
+                                      milliseconds timeout = milliseconds(
+                                          10000)) {
+  const auto until = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < until) {
+    if (pred()) {
+      return ::testing::AssertionSuccess();
+    }
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  return ::testing::AssertionFailure() << "condition not reached in time";
+}
+
+/// Every test leaves the process-wide injector disarmed (disarm also
+/// releases any thread still blocked in a wedge).
+class SupervisionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { io::FaultInjector::instance().disarm(); }
+  void TearDown() override { io::FaultInjector::instance().disarm(); }
+};
+
+// ---- supervisor: abandon / respawn ----------------------------------------
+
+TEST_F(SupervisionTest, WedgedWorkerIsAbandonedTypedErrorAndPoolRefills) {
+  InferenceService service(make_replicas(2), supervised_config());
+  io::FaultInjector::instance().arm("worker-wedge:1");
+
+  // The wedged worker's in-flight request fails with the typed, retryable
+  // error — the caller is not left hanging for the release.
+  auto future = service.submit(valid_image());
+  EXPECT_THROW(future.get(), WorkerLostError);
+
+  // The supervisor abandons the stuck replica and refills the slot.
+  EXPECT_TRUE(eventually([&] {
+    const ServiceStats s = service.stats();
+    return s.workers_live == 2 && s.workers_restarted >= 1;
+  }));
+  const ServiceStats stats = service.stats();
+  EXPECT_GE(stats.workers_lost, 1);
+  EXPECT_GE(stats.requests_worker_lost, 1);
+  EXPECT_EQ(stats.workers, 2);
+
+  // The healed pool serves again (the zombie stays wedged until the
+  // fixture's disarm; it must not be needed for fresh traffic).
+  EXPECT_NO_THROW(service.classify(valid_image(7)));
+}
+
+TEST_F(SupervisionTest, RestartBudgetBoundsRespawnsThenPoolShrinks) {
+  InferenceService service(make_replicas(2),
+                           supervised_config(/*max_restarts=*/1));
+  io::FaultInjector::instance().arm("worker-wedge:2");
+
+  auto f1 = service.submit(valid_image(1));
+  auto f2 = service.submit(valid_image(2));
+  EXPECT_THROW(f1.get(), WorkerLostError);
+  EXPECT_THROW(f2.get(), WorkerLostError);
+
+  // Two losses against a budget of one: exactly one replacement, and the
+  // pool stays shrunk — a crash loop must not respawn forever.
+  EXPECT_TRUE(eventually([&] {
+    const ServiceStats s = service.stats();
+    return s.workers_lost == 2 && s.workers_restarted == 1;
+  }));
+  EXPECT_TRUE(eventually([&] { return service.live_workers() == 1; }));
+  std::this_thread::sleep_for(milliseconds(50));
+  EXPECT_EQ(service.live_workers(), 1u);
+  EXPECT_EQ(service.stats().workers_restarted, 1);
+
+  // The survivor still serves.
+  io::FaultInjector::instance().release_wedges();
+  EXPECT_NO_THROW(service.classify(valid_image(3)));
+}
+
+TEST_F(SupervisionTest, CrashDuringBackoffWindowIsDeferredNotDropped) {
+  // Regression: a worker lost while another loss's backoff window was
+  // still open used to null its slot without ever being revisited — the
+  // pool shrank permanently even with budget to spare. Losses inside the
+  // window must be deferred to a later refill pass instead.
+  //
+  // No replica factory here: crashed workers respawn on their own
+  // salvaged pipelines (the crash fires at the compute hook, before the
+  // model runs), which must work without any factory configured.
+  ServiceConfig config = supervised_config(8, /*with_factory=*/false);
+  config.supervisor.restart_backoff = milliseconds(60);
+  config.supervisor.max_restart_backoff = milliseconds(60);
+  InferenceService service(make_replicas(2), config);
+
+  io::FaultInjector::instance().arm("restart-storm:2");
+  auto f1 = service.submit(valid_image(1));
+  auto f2 = service.submit(valid_image(2));
+  EXPECT_THROW(f1.get(), WorkerLostError);
+  EXPECT_THROW(f2.get(), WorkerLostError);
+
+  // Both crashes land within one backoff window; both slots must come
+  // back once their windows elapse.
+  EXPECT_TRUE(eventually([&] {
+    const ServiceStats s = service.stats();
+    return s.workers_restarted == 2 && s.workers_live == 2;
+  }));
+  EXPECT_EQ(service.stats().worker_crashes, 2);
+  EXPECT_NO_THROW(service.classify(valid_image(3)));
+}
+
+// ---- poison-input quarantine ----------------------------------------------
+
+TEST_F(SupervisionTest, QuarantineBansExactlyThePoisonFingerprint) {
+  ServiceConfig config;
+  config.admission.expected_height = kSide;
+  config.admission.expected_width = kSide;
+  config.breaker.failure_threshold = 1 << 20;
+  config.quarantine.strikes = 2;
+  InferenceService service(make_replicas(1), config);
+
+  const Tensor poison = valid_image(1234);
+  const uint32_t crc = input_fingerprint(poison);
+  io::FaultInjector::instance().arm("poison-input:" + std::to_string(crc));
+
+  EXPECT_THROW(service.classify(poison), Error);              // strike 1
+  EXPECT_NO_THROW(service.classify(valid_image(5)));          // innocents pass
+  EXPECT_THROW(service.classify(poison), Error);              // strike 2: banned
+  EXPECT_THROW(service.classify(poison), QuarantinedInputError);
+  EXPECT_NO_THROW(service.classify(valid_image(6)));
+
+  const std::vector<uint32_t> banned = service.quarantined();
+  ASSERT_EQ(banned.size(), 1u);
+  EXPECT_EQ(banned[0], crc);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.quarantine_hits, 1);
+  EXPECT_EQ(stats.quarantined_inputs, 1);
+  EXPECT_EQ(stats.quarantine_strikes, 2);
+}
+
+TEST_F(SupervisionTest, StrikesSurviveWorkerRestarts) {
+  ServiceConfig config = supervised_config();
+  config.quarantine.strikes = 2;
+  InferenceService service(make_replicas(2), config);
+
+  const Tensor poison = valid_image(4321);
+  const uint32_t crc = input_fingerprint(poison);
+
+  // Strike 1: the poison kills its worker outright.
+  io::FaultInjector::instance().arm("restart-storm:1");
+  EXPECT_THROW(service.classify(poison), WorkerLostError);
+  EXPECT_TRUE(
+      eventually([&] { return service.stats().workers_restarted >= 1; }));
+
+  // Strike 2, against a fresh jailer: the ledger lives in the service,
+  // not the worker, so the fingerprint is banned — a poison input gets no
+  // fresh budget just because it already killed one replica.
+  io::FaultInjector::instance().arm("poison-input:" + std::to_string(crc));
+  EXPECT_THROW(service.classify(poison), Error);
+  EXPECT_THROW(service.classify(poison), QuarantinedInputError);
+  const std::vector<uint32_t> banned = service.quarantined();
+  ASSERT_EQ(banned.size(), 1u);
+  EXPECT_EQ(banned[0], crc);
+}
+
+// ---- hot swap racing worker restarts (the TSan target) ---------------------
+
+std::string make_checkpoint(uint64_t seed, const std::string& name) {
+  Rng rng(seed);
+  auto model = nn::make_vggnet(nn::VggConfig::tiny(kClasses, kSide), rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  nn::save_checkpoint(*model, path);
+  return path;
+}
+
+Tensor reference_probs(const std::string& checkpoint, const Tensor& image) {
+  auto replicas = make_replicas(1);
+  nn::load_checkpoint(replicas[0]->model(), checkpoint);
+  ServiceConfig config;
+  config.admission.expected_height = kSide;
+  config.admission.expected_width = kSide;
+  InferenceService service(std::move(replicas), config);
+  return service.classify(image).prediction.probs;
+}
+
+TEST_F(SupervisionTest, HotSwapRacingRestartsServesOnlyPublishedWeights) {
+  const std::string ckpt_a =
+      make_checkpoint(99, "fademl_supervision_swap_a.fdml");
+  const std::string ckpt_b =
+      make_checkpoint(1234, "fademl_supervision_swap_b.fdml");
+  const Tensor image = valid_image();
+  const Tensor ref_a = reference_probs(ckpt_a, image);
+  const Tensor ref_b = reference_probs(ckpt_b, image);
+  ASSERT_FALSE(bitwise_equal(ref_a, ref_b));
+
+  // No explicit replica_factory: the registry must synthesize one that
+  // loads this service's published checkpoint, so every respawn serves
+  // the same weights as the pool it joins. A generous restart budget and
+  // a bounded deadline keep the run live through constant crashes.
+  net::ModelSpec spec;
+  spec.name = "vgg";
+  spec.checkpoint_path = ckpt_a;
+  spec.factory = [] { return make_replicas(2); };
+  spec.service = supervised_config(/*max_restarts=*/1000,
+                                   /*with_factory=*/false);
+  spec.service.default_deadline = milliseconds(5000);
+  net::ModelRegistry registry;
+  registry.install(std::move(spec));
+
+  // Crasher: keep one lethal fault chambered so replicas keep dying and
+  // respawning throughout the run, with clear air in between so some
+  // predictions actually land.
+  std::atomic<bool> stop{false};
+  std::thread crasher([&] {
+    while (!stop.load()) {
+      if (!io::FaultInjector::instance().armed()) {
+        io::FaultInjector::instance().arm("restart-storm:1");
+      }
+      std::this_thread::sleep_for(milliseconds(20));
+    }
+  });
+
+  std::atomic<int> served{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 30; ++i) {
+        auto service = registry.lookup("vgg");
+        ASSERT_NE(service, nullptr);
+        try {
+          const Tensor probs = service->classify(image).prediction.probs;
+          // Every successful prediction must come from a fully-published
+          // model — one of the two checkpoints, never a half-loaded or
+          // fresh-random replica.
+          if (!bitwise_equal(probs, ref_a) && !bitwise_equal(probs, ref_b)) {
+            mismatches.fetch_add(1);
+          }
+          served.fetch_add(1);
+        } catch (const Error&) {
+          // Injected losses (WorkerLostError, deadline) are expected;
+          // only successes carry the bitwise obligation.
+        }
+      }
+    });
+  }
+
+  for (int s = 0; s < 6; ++s) {
+    registry.swap("vgg", (s % 2 == 0) ? ckpt_b : ckpt_a);
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  stop.store(true);
+  crasher.join();
+  io::FaultInjector::instance().disarm();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(served.load(), 0);
+  registry.clear();
+}
+
+}  // namespace
+}  // namespace fademl::serve

@@ -1,0 +1,653 @@
+// Deterministic chaos-scenario runner for the self-healing serve fleet.
+//
+// A scenario is a small text file (scenarios/*.chaos) that composes the
+// io::FaultInjector failpoints into a timed, seeded, reproducible script
+// against an in-process registry + server + client fleet, then asserts
+// end-of-run invariants: no admitted request lost, the worker pool back
+// to full strength, the quarantine list exactly the planted poison.
+//
+//   chaos_runner scenarios/self_healing.chaos [more.chaos ...]
+//       [--out-dir artifacts]
+//
+// One JSON verdict per scenario lands in --out-dir as
+// CHAOS_<scenario>.json; the exit code is nonzero iff any expectation
+// failed. Everything that varies is derived from the scenario's seed, so
+// a red run replays bit-identically from the same file.
+//
+// Format (strict line-based; '#' starts a comment):
+//
+//   seed 42                 duration-ms 3000       workers 2
+//   queue 128               rate 40                clients 3
+//   max-attempts 6          max-batch 1
+//   stall-timeout-ms 250    poll-ms 10             max-restarts 8
+//   restart-backoff-ms 5    poison-strikes 2       poison-every 25
+//   hedge-delay-ms 40       hedge-budget 0.5
+//
+//   at MS arm SPEC          # arm a failpoint MS after the run starts;
+//                           # the token `planted` inside SPEC resolves to
+//                           # the planted poison tensor's fingerprint
+//   at MS disarm
+//
+//   expect zero-lost            # no non-poison request unanswered
+//   expect pool-full            # workers_live == workers after recovery
+//   expect quarantine-exact planted   # deny list == { planted CRC }
+//   expect quarantine-empty
+//   expect min-restarts N       # supervisor respawned at least N
+//   expect min-hedges N         # clients launched at least N hedges
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fademl/fademl.hpp"
+#include "fademl/io/args.hpp"
+#include "fademl/io/failpoint.hpp"
+#include "fademl/net/client.hpp"
+#include "fademl/net/registry.hpp"
+#include "fademl/net/server.hpp"
+#include "fademl/nn/checkpoint.hpp"
+#include "fademl/obs/json.hpp"
+#include "fademl/serve/quarantine.hpp"
+
+namespace {
+
+using namespace fademl;
+using Clock = std::chrono::steady_clock;
+
+constexpr int64_t kSide = 8;
+constexpr int kClasses = 4;
+
+std::unique_ptr<core::InferencePipeline> make_replica() {
+  Rng rng(99);
+  auto model = nn::make_vggnet(nn::VggConfig::tiny(kClasses, kSide), rng);
+  return std::make_unique<core::InferencePipeline>(std::move(model),
+                                                   filters::make_lap(4));
+}
+
+struct TimelineEvent {
+  int at_ms = 0;
+  bool arm = false;     ///< false = disarm
+  std::string spec;     ///< failpoint text (may contain `planted`)
+};
+
+struct Expectation {
+  std::string name;     ///< zero-lost / pool-full / ...
+  int64_t arg = 0;      ///< N for the min-* expectations
+};
+
+struct Scenario {
+  std::string name;     ///< file stem, used in the verdict path
+  uint64_t seed = 42;
+  int duration_ms = 2000;
+  int workers = 2;
+  int queue = 128;
+  double rate = 40.0;
+  int clients = 2;
+  int max_attempts = 6;
+  int max_batch = 1;
+  int stall_timeout_ms = 250;
+  int poll_ms = 10;
+  int max_restarts = 8;
+  int restart_backoff_ms = 5;
+  int poison_strikes = 0;
+  int poison_every = 0;   ///< every N-th arrival sends the planted tensor
+  int hedge_delay_ms = 0; ///< 0 disables hedging
+  double hedge_budget = 0.1;
+  std::vector<TimelineEvent> timeline;
+  std::vector<Expectation> expectations;
+};
+
+[[noreturn]] void parse_fail(const std::string& file, int line_no,
+                             const std::string& why) {
+  throw Error("chaos scenario " + file + ":" + std::to_string(line_no) +
+              ": " + why);
+}
+
+int64_t parse_int(const std::string& file, int line_no,
+                  const std::string& text) {
+  try {
+    size_t pos = 0;
+    const int64_t v = std::stoll(text, &pos);
+    if (pos != text.size()) {
+      parse_fail(file, line_no, "trailing garbage in integer '" + text + "'");
+    }
+    return v;
+  } catch (const std::logic_error&) {
+    parse_fail(file, line_no, "expected an integer, got '" + text + "'");
+  }
+}
+
+double parse_number(const std::string& file, int line_no,
+                    const std::string& text) {
+  try {
+    size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) {
+      parse_fail(file, line_no, "trailing garbage in number '" + text + "'");
+    }
+    return v;
+  } catch (const std::logic_error&) {
+    parse_fail(file, line_no, "expected a number, got '" + text + "'");
+  }
+}
+
+/// Strict parse: unknown keys, malformed values, or unordered timelines
+/// fail loudly — a typo'd scenario silently running nothing is the worst
+/// failure mode a chaos suite can have.
+Scenario parse_scenario(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw Error("chaos scenario " + path + ": cannot open");
+  }
+  Scenario s;
+  s.name = std::filesystem::path(path).stem().string();
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (const size_t hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) {
+      continue;  // blank / comment-only
+    }
+    auto next = [&](const char* what) {
+      std::string token;
+      if (!(ls >> token)) {
+        parse_fail(path, line_no, std::string("missing ") + what);
+      }
+      return token;
+    };
+    auto expect_eol = [&] {
+      std::string extra;
+      if (ls >> extra) {
+        parse_fail(path, line_no, "trailing garbage '" + extra + "'");
+      }
+    };
+    if (word == "seed") {
+      s.seed = static_cast<uint64_t>(parse_int(path, line_no, next("value")));
+    } else if (word == "duration-ms") {
+      s.duration_ms = static_cast<int>(parse_int(path, line_no, next("value")));
+    } else if (word == "workers") {
+      s.workers = static_cast<int>(parse_int(path, line_no, next("value")));
+    } else if (word == "queue") {
+      s.queue = static_cast<int>(parse_int(path, line_no, next("value")));
+    } else if (word == "rate") {
+      s.rate = parse_number(path, line_no, next("value"));
+    } else if (word == "clients") {
+      s.clients = static_cast<int>(parse_int(path, line_no, next("value")));
+    } else if (word == "max-attempts") {
+      s.max_attempts =
+          static_cast<int>(parse_int(path, line_no, next("value")));
+    } else if (word == "max-batch") {
+      s.max_batch = static_cast<int>(parse_int(path, line_no, next("value")));
+    } else if (word == "stall-timeout-ms") {
+      s.stall_timeout_ms =
+          static_cast<int>(parse_int(path, line_no, next("value")));
+    } else if (word == "poll-ms") {
+      s.poll_ms = static_cast<int>(parse_int(path, line_no, next("value")));
+    } else if (word == "max-restarts") {
+      s.max_restarts =
+          static_cast<int>(parse_int(path, line_no, next("value")));
+    } else if (word == "restart-backoff-ms") {
+      s.restart_backoff_ms =
+          static_cast<int>(parse_int(path, line_no, next("value")));
+    } else if (word == "poison-strikes") {
+      s.poison_strikes =
+          static_cast<int>(parse_int(path, line_no, next("value")));
+    } else if (word == "poison-every") {
+      s.poison_every =
+          static_cast<int>(parse_int(path, line_no, next("value")));
+    } else if (word == "hedge-delay-ms") {
+      s.hedge_delay_ms =
+          static_cast<int>(parse_int(path, line_no, next("value")));
+    } else if (word == "hedge-budget") {
+      s.hedge_budget = parse_number(path, line_no, next("value"));
+    } else if (word == "at") {
+      TimelineEvent ev;
+      ev.at_ms = static_cast<int>(parse_int(path, line_no, next("time")));
+      const std::string action = next("arm/disarm");
+      if (action == "arm") {
+        ev.arm = true;
+        ev.spec = next("failpoint spec");
+      } else if (action == "disarm") {
+        ev.arm = false;
+      } else {
+        parse_fail(path, line_no, "expected arm or disarm, got '" + action +
+                                      "'");
+      }
+      if (!s.timeline.empty() && ev.at_ms < s.timeline.back().at_ms) {
+        parse_fail(path, line_no, "timeline events must be time-ordered");
+      }
+      s.timeline.push_back(std::move(ev));
+    } else if (word == "expect") {
+      Expectation ex;
+      ex.name = next("expectation");
+      if (ex.name == "min-restarts" || ex.name == "min-hedges") {
+        ex.arg = parse_int(path, line_no, next("count"));
+      } else if (ex.name == "quarantine-exact") {
+        const std::string what = next("planted");
+        if (what != "planted") {
+          parse_fail(path, line_no,
+                     "quarantine-exact only supports 'planted'");
+        }
+      } else if (ex.name != "zero-lost" && ex.name != "pool-full" &&
+                 ex.name != "quarantine-empty") {
+        parse_fail(path, line_no, "unknown expectation '" + ex.name + "'");
+      }
+      s.expectations.push_back(std::move(ex));
+    } else {
+      parse_fail(path, line_no, "unknown directive '" + word + "'");
+    }
+    expect_eol();
+  }
+  if (s.expectations.empty()) {
+    throw Error("chaos scenario " + path + ": no expectations — a chaos run "
+                "that asserts nothing proves nothing");
+  }
+  return s;
+}
+
+/// Deterministic poison image: the tensor every `poison-every`-th arrival
+/// carries, and the CRC that `planted` resolves to in arm specs.
+Tensor make_planted_poison(uint64_t seed) {
+  Rng rng(seed * 7919u + 13u);
+  return rng.uniform_tensor(Shape{3, kSide, kSide}, 0.0f, 1.0f);
+}
+
+struct RunResult {
+  int64_t requests = 0;
+  int64_t completed = 0;
+  int64_t lost = 0;              ///< non-poison requests unanswered
+  int64_t poison_sent = 0;
+  int64_t poison_completed = 0;  ///< served before the quarantine tripped
+  int64_t poison_failed = 0;     ///< crashed a worker (strike earned)
+  int64_t poison_quarantined = 0;///< rejected with quarantined_input
+  int64_t hedges = 0;
+  int64_t hedge_wins = 0;
+  int64_t retries = 0;
+  serve::ServiceStats service;
+  net::ServerStats server;
+  std::vector<uint32_t> quarantine_list;
+};
+
+RunResult run_scenario(const Scenario& s, uint16_t port,
+                       const std::string& model_name,
+                       const Tensor& planted, uint32_t planted_crc) {
+  // Poisson arrival schedule, deterministic from the seed (exponential
+  // gaps via inverse CDF — same scheme as bench/loadgen).
+  std::vector<double> schedule;
+  {
+    Rng rng(s.seed);
+    const double mean_gap_ms = 1000.0 / s.rate;
+    double t = 0.0;
+    for (;;) {
+      const double u =
+          std::max(1e-9, 1.0 - static_cast<double>(rng.uniform()));
+      t += -mean_gap_ms * std::log(u);
+      if (t >= static_cast<double>(s.duration_ms)) {
+        break;
+      }
+      schedule.push_back(t);
+    }
+  }
+
+  RunResult result;
+  result.requests = static_cast<int64_t>(schedule.size());
+
+  const auto start = Clock::now();
+
+  // Timeline thread: arms/disarms failpoints at their scheduled offsets.
+  std::thread timeline([&] {
+    for (const TimelineEvent& ev : s.timeline) {
+      std::this_thread::sleep_until(start +
+                                    std::chrono::milliseconds(ev.at_ms));
+      if (ev.arm) {
+        std::string spec = ev.spec;
+        if (const size_t at = spec.find("planted"); at != std::string::npos) {
+          spec.replace(at, 7, std::to_string(planted_crc));
+        }
+        io::FaultInjector::instance().arm(spec);
+      } else {
+        io::FaultInjector::instance().disarm();
+      }
+    }
+  });
+
+  std::atomic<size_t> next_arrival{0};
+  std::atomic<int64_t> completed{0};
+  std::atomic<int64_t> lost{0};
+  std::atomic<int64_t> poison_sent{0};
+  std::atomic<int64_t> poison_completed{0};
+  std::atomic<int64_t> poison_failed{0};
+  std::atomic<int64_t> poison_quarantined{0};
+  std::atomic<int64_t> hedges{0};
+  std::atomic<int64_t> hedge_wins{0};
+  std::atomic<int64_t> retries{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(s.clients));
+  for (int t = 0; t < s.clients; ++t) {
+    threads.emplace_back([&, t] {
+      net::ClientConfig config;
+      config.port = port;
+      config.retry.max_attempts = s.max_attempts;
+      config.retry.initial_backoff_ms = 2;
+      config.retry.max_backoff_ms = 200;
+      config.retry.jitter_seed = s.seed + static_cast<uint64_t>(t);
+      // The stall path only resolves once the supervisor abandons the
+      // worker, so the read deadline must comfortably outlive it.
+      config.io_timeout_ms = std::max(5000, s.stall_timeout_ms * 8);
+      if (s.hedge_delay_ms > 0) {
+        config.hedge.enabled = true;
+        config.hedge.initial_delay_ms = s.hedge_delay_ms;
+        // Flooring the adaptive delay at the configured one keeps healthy
+        // traffic from hedging when the observed p99 is tiny.
+        config.hedge.min_delay_ms = s.hedge_delay_ms;
+        config.hedge.budget = s.hedge_budget;
+      }
+      net::Client client(config);
+      Rng image_rng(s.seed * 31 + static_cast<uint64_t>(t));
+      for (;;) {
+        const size_t index = next_arrival.fetch_add(1);
+        if (index >= schedule.size()) {
+          break;
+        }
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            schedule[index])));
+        const bool is_poison =
+            s.poison_every > 0 &&
+            index % static_cast<size_t>(s.poison_every) == 0;
+        const Tensor image =
+            is_poison ? planted
+                      : image_rng.uniform_tensor(Shape{3, kSide, kSide},
+                                                 0.0f, 1.0f);
+        if (is_poison) {
+          poison_sent.fetch_add(1);
+        }
+        try {
+          (void)client.predict(model_name, image);
+          (is_poison ? poison_completed : completed).fetch_add(1);
+        } catch (const net::RemoteError& e) {
+          if (is_poison) {
+            (e.code() == net::WireError::kQuarantinedInput
+                 ? poison_quarantined
+                 : poison_failed)
+                .fetch_add(1);
+          } else {
+            lost.fetch_add(1);
+          }
+        } catch (const net::NetError&) {
+          (is_poison ? poison_failed : lost).fetch_add(1);
+        }
+      }
+      const net::ClientStats cs = client.stats();
+      hedges.fetch_add(cs.hedges);
+      hedge_wins.fetch_add(cs.hedge_wins);
+      retries.fetch_add(cs.retries);
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  timeline.join();
+  io::FaultInjector::instance().disarm();
+
+  result.completed = completed.load();
+  result.lost = lost.load();
+  result.poison_sent = poison_sent.load();
+  result.poison_completed = poison_completed.load();
+  result.poison_failed = poison_failed.load();
+  result.poison_quarantined = poison_quarantined.load();
+  result.hedges = hedges.load();
+  result.hedge_wins = hedge_wins.load();
+  result.retries = retries.load();
+  return result;
+}
+
+struct Verdict {
+  std::string name;
+  bool pass = false;
+  std::string detail;
+};
+
+std::vector<Verdict> evaluate(const Scenario& s, const RunResult& r,
+                              uint32_t planted_crc) {
+  std::vector<Verdict> verdicts;
+  for (const Expectation& ex : s.expectations) {
+    Verdict v;
+    v.name = ex.name;
+    if (ex.name == "zero-lost") {
+      v.pass = r.lost == 0;
+      v.detail = std::to_string(r.lost) + " non-poison requests lost of " +
+                 std::to_string(r.requests);
+    } else if (ex.name == "pool-full") {
+      v.pass = r.service.workers_live == r.service.workers;
+      v.detail = std::to_string(r.service.workers_live) + "/" +
+                 std::to_string(r.service.workers) + " workers live";
+    } else if (ex.name == "quarantine-exact") {
+      v.pass = r.quarantine_list == std::vector<uint32_t>{planted_crc};
+      std::string got;
+      for (const uint32_t crc : r.quarantine_list) {
+        got += (got.empty() ? "" : ",") + std::to_string(crc);
+      }
+      v.detail = "quarantined [" + got + "], planted " +
+                 std::to_string(planted_crc);
+    } else if (ex.name == "quarantine-empty") {
+      v.pass = r.quarantine_list.empty();
+      v.detail = std::to_string(r.quarantine_list.size()) +
+                 " fingerprints quarantined";
+    } else if (ex.name == "min-restarts") {
+      v.pass = r.service.workers_restarted >= ex.arg;
+      v.detail = std::to_string(r.service.workers_restarted) +
+                 " restarts, wanted >= " + std::to_string(ex.arg);
+    } else if (ex.name == "min-hedges") {
+      v.pass = r.hedges >= ex.arg;
+      v.detail = std::to_string(r.hedges) + " hedges, wanted >= " +
+                 std::to_string(ex.arg);
+    }
+    verdicts.push_back(std::move(v));
+  }
+  return verdicts;
+}
+
+void write_verdict(const std::string& path, const Scenario& s,
+                   const RunResult& r, const std::vector<Verdict>& verdicts,
+                   bool pass) {
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  std::ofstream os(path);
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.key("schema").value("fademl.chaos.v1");
+  w.key("scenario").value(s.name);
+  w.key("seed").value(static_cast<int64_t>(s.seed));
+  w.key("duration_ms").value(s.duration_ms);
+  w.key("pass").value(pass);
+  w.key("requests").value(r.requests);
+  w.key("completed").value(r.completed);
+  w.key("lost").value(r.lost);
+  w.key("poison_sent").value(r.poison_sent);
+  w.key("poison_completed").value(r.poison_completed);
+  w.key("poison_failed").value(r.poison_failed);
+  w.key("poison_quarantined").value(r.poison_quarantined);
+  w.key("hedges").value(r.hedges);
+  w.key("hedge_wins").value(r.hedge_wins);
+  w.key("retries").value(r.retries);
+  w.key("service").begin_object();
+  w.key("workers").value(r.service.workers);
+  w.key("workers_live").value(r.service.workers_live);
+  w.key("workers_lost").value(r.service.workers_lost);
+  w.key("worker_crashes").value(r.service.worker_crashes);
+  w.key("workers_restarted").value(r.service.workers_restarted);
+  w.key("requests_worker_lost").value(r.service.requests_worker_lost);
+  w.key("worker_failures").value(r.service.worker_failures);
+  w.key("quarantine_hits").value(r.service.quarantine_hits);
+  w.key("quarantined_inputs").value(r.service.quarantined_inputs);
+  w.key("quarantine_strikes").value(r.service.quarantine_strikes);
+  w.key("breaker_state").value(r.service.breaker_state);
+  w.end_object();
+  w.key("server").begin_object();
+  w.key("connections_accepted").value(r.server.connections_accepted);
+  w.key("connections_refused").value(r.server.connections_refused);
+  w.key("connections_drained").value(r.server.connections_drained);
+  w.key("frames_served").value(r.server.frames_served);
+  w.key("error_frames").value(r.server.error_frames);
+  w.key("resets_seen").value(r.server.resets_seen);
+  w.end_object();
+  w.key("expectations").begin_array();
+  for (const Verdict& v : verdicts) {
+    w.begin_object();
+    w.key("name").value(v.name);
+    w.key("pass").value(v.pass);
+    w.key("detail").value(v.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+bool run_one(const std::string& scenario_path, const std::string& out_dir) {
+  const Scenario s = parse_scenario(scenario_path);
+  const Tensor planted = make_planted_poison(s.seed);
+  const uint32_t planted_crc = serve::input_fingerprint(planted);
+
+  // Fresh in-process serving stack per scenario: checkpoint, supervised
+  // service, loopback server.
+  const std::string model_name = "vgg";
+  const std::string checkpoint =
+      (std::filesystem::temp_directory_path() / "fademl_chaos_ckpt.fdml")
+          .string();
+  {
+    Rng rng(99);
+    auto model = nn::make_vggnet(nn::VggConfig::tiny(kClasses, kSide), rng);
+    nn::save_checkpoint(*model, checkpoint);
+  }
+  net::ModelRegistry registry;
+  {
+    net::ModelSpec spec;
+    spec.name = model_name;
+    spec.checkpoint_path = checkpoint;
+    const int workers = s.workers;
+    spec.factory = [workers] {
+      std::vector<std::unique_ptr<core::InferencePipeline>> replicas;
+      for (int i = 0; i < workers; ++i) {
+        replicas.push_back(make_replica());
+      }
+      return replicas;
+    };
+    spec.service.admission.expected_height = kSide;
+    spec.service.admission.expected_width = kSide;
+    spec.service.queue_capacity = static_cast<size_t>(s.queue);
+    spec.service.max_batch = static_cast<size_t>(s.max_batch);
+    // A chaos run *wants* every failure surfaced individually; a tripping
+    // breaker would turn one wedged worker into a storm of fast-fails.
+    spec.service.breaker.failure_threshold = 1 << 20;
+    spec.service.supervisor.enabled = true;
+    spec.service.supervisor.poll_interval =
+        std::chrono::milliseconds(s.poll_ms);
+    spec.service.supervisor.stall_timeout =
+        std::chrono::milliseconds(s.stall_timeout_ms);
+    spec.service.supervisor.max_restarts = s.max_restarts;
+    spec.service.supervisor.restart_backoff =
+        std::chrono::milliseconds(s.restart_backoff_ms);
+    spec.service.quarantine.strikes = s.poison_strikes;
+    spec.service.replica_factory = make_replica;
+    registry.install(std::move(spec));
+  }
+  net::Server server(registry, net::ServerConfig{});
+  server.start();
+
+  RunResult result =
+      run_scenario(s, server.port(), model_name, planted, planted_crc);
+
+  // Give the supervisor room to finish recovering (respawn backoff may
+  // still be pending when the last request completes) before the
+  // pool-strength invariant is read.
+  auto service = registry.lookup(model_name);
+  const auto recovery_deadline = Clock::now() + std::chrono::seconds(5);
+  while (service->live_workers() < service->workers() &&
+         Clock::now() < recovery_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  result.service = service->stats();
+  result.quarantine_list = service->quarantined();
+  result.server = server.stats();
+  service.reset();
+
+  const std::vector<Verdict> verdicts = evaluate(s, result, planted_crc);
+  const bool pass = std::all_of(verdicts.begin(), verdicts.end(),
+                                [](const Verdict& v) { return v.pass; });
+
+  const std::string out_path = out_dir + "/CHAOS_" + s.name + ".json";
+  write_verdict(out_path, s, result, verdicts, pass);
+
+  std::cout << "scenario " << s.name << ": " << (pass ? "PASS" : "FAIL")
+            << " (" << result.completed << "/" << result.requests
+            << " ok, " << result.lost << " lost, "
+            << result.service.workers_restarted << " restarts, "
+            << result.hedges << " hedges, quarantine "
+            << result.quarantine_list.size() << ")\n";
+  for (const Verdict& v : verdicts) {
+    std::cout << "  " << (v.pass ? "ok  " : "FAIL") << " " << v.name << ": "
+              << v.detail << "\n";
+  }
+
+  server.stop();
+  registry.clear();
+  return pass;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  io::ArgParser args("Deterministic chaos-scenario runner for the serve "
+                     "fleet (scenarios/*.chaos)",
+                     {"out-dir"});
+  try {
+    args.parse(argc - 1, argv + 1);
+  } catch (const fademl::Error& e) {
+    std::cerr << e.what() << "\n"
+              << args.usage("chaos_runner") << "\n";
+    return 2;
+  }
+  if (args.positional().empty()) {
+    std::cerr << "chaos_runner: no scenario files given\n"
+              << args.usage("chaos_runner") << "\n";
+    return 2;
+  }
+  const std::string out_dir = args.get("out-dir", "artifacts");
+
+  int failures = 0;
+  for (const std::string& path : args.positional()) {
+    try {
+      if (!run_one(path, out_dir)) {
+        ++failures;
+      }
+    } catch (const fademl::Error& e) {
+      std::cerr << "chaos_runner: " << e.what() << "\n";
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::cerr << "chaos_runner: " << failures << " scenario(s) failed\n";
+    return 1;
+  }
+  return 0;
+}

@@ -10,14 +10,25 @@
 //   fademl verify  --ckpt model.fdml    validate a checkpoint bundle
 //   fademl serve   [--port 7433] [--host 127.0.0.1] [--model gtsrb]
 //                  [--filter lap32] [--workers 2] [--queue 64]
-//                  [--max-conn 32] [--no-swap]
+//                  [--max-conn 32] [--no-swap] [--metrics-out metrics.json]
+//                  [--supervise] [--stall-timeout-ms 2000]
+//                  [--max-restarts 16] [--quarantine-strikes 0]
 //                  serve the experiment model over the FNET wire protocol
 //                  (length-prefixed CRC-checked frames, see
 //                  docs/serving.md) until SIGINT/SIGTERM; hot checkpoint
-//                  swap stays enabled unless --no-swap
+//                  swap stays enabled unless --no-swap. --supervise turns
+//                  on worker heartbeat supervision (stall abandon +
+//                  respawn), --quarantine-strikes N bans inputs after N
+//                  worker failures, and --metrics-out writes the merged
+//                  net.* + serve.* fademl.metrics.v1 dump at shutdown
 //   fademl client  --image x.ppm [--model gtsrb] [--host ...] [--port ...]
-//                  [--retries 4]
-//                  classify one PPM against a running `fademl serve`
+//                  [--retries 4] [--hedge-delay-ms 0]
+//                  classify one PPM against a running `fademl serve`;
+//                  --hedge-delay-ms > 0 races a second attempt against a
+//                  slow first one (first success wins)
+//   fademl client  --status [--model gtsrb] [--host ...] [--port ...]
+//                  print the server's ServiceStats + supervisor snapshot
+//                  for one model over the wire (kStatusRequest)
 //   fademl swap    --ckpt new.fdml [--model gtsrb] [--host ...] [--port ...]
 //                  hot-swap a running server to a new checkpoint; on
 //                  failure the server keeps serving the old model
@@ -386,6 +397,15 @@ net::Client make_net_client(const io::ArgParser& args) {
     throw UsageError("--retries must be >= 1 (it counts total attempts)");
   }
   config.retry.max_attempts = static_cast<int>(retries);
+  const int64_t hedge_delay = args.get_int("hedge-delay-ms", 0);
+  if (hedge_delay < 0) {
+    throw UsageError("--hedge-delay-ms must be >= 0 (0 disables hedging)");
+  }
+  if (hedge_delay > 0) {
+    config.hedge.enabled = true;
+    config.hedge.initial_delay_ms = static_cast<int>(hedge_delay);
+    config.hedge.min_delay_ms = static_cast<int>(hedge_delay);
+  }
   return net::Client(std::move(config));
 }
 
@@ -431,6 +451,20 @@ int cmd_serve(const io::ArgParser& args) {
       std::chrono::milliseconds(args.get_int("batch-window-ms", 2));
   spec.service.admission.expected_height = image_size;
   spec.service.admission.expected_width = image_size;
+  if (args.has("supervise")) {
+    // The registry wires the replacement-replica factory itself (one
+    // factory replica, loaded from the served checkpoint).
+    spec.service.supervisor.enabled = true;
+    spec.service.supervisor.stall_timeout =
+        std::chrono::milliseconds(args.get_int("stall-timeout-ms", 2000));
+    spec.service.supervisor.max_restarts =
+        static_cast<int>(args.get_int("max-restarts", 16));
+  }
+  const int64_t strikes = args.get_int("quarantine-strikes", 0);
+  if (strikes < 0) {
+    throw UsageError("serve: --quarantine-strikes must be >= 0");
+  }
+  spec.service.quarantine.strikes = static_cast<int>(strikes);
 
   net::ModelRegistry registry;
   registry.install(std::move(spec));
@@ -463,6 +497,26 @@ int cmd_serve(const io::ArgParser& args) {
               static_cast<int>(g_stop_signal));
   server.stop();
   const net::ServerStats stats = server.stats();
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    // One fademl.metrics.v1 document over the server's connection
+    // counters ("net.") and every service's registry ("serve." counters
+    // + stage histograms) — names are disjoint by construction.
+    std::ofstream os(metrics_out);
+    if (!os) {
+      throw Error("serve: cannot write metrics to '" + metrics_out + "'");
+    }
+    std::vector<std::shared_ptr<serve::InferenceService>> held;
+    std::vector<const obs::MetricsRegistry*> registries{&server.metrics()};
+    for (const std::string& name : registry.names()) {
+      if (auto service = registry.lookup(name)) {
+        registries.push_back(&service->metrics());
+        held.push_back(std::move(service));  // keep alive across the write
+      }
+    }
+    obs::write_metrics_json(os, registries);
+    std::printf("metrics: %s\n", metrics_out.c_str());
+  }
   registry.clear();
   std::printf(
       "served %lld frame(s) over %lld connection(s): %lld error frame(s), "
@@ -477,9 +531,40 @@ int cmd_serve(const io::ArgParser& args) {
 }
 
 int cmd_net_client(const io::ArgParser& args) {
+  if (args.has("status")) {
+    net::Client client = make_net_client(args);
+    const std::string model = args.get("model", "gtsrb");
+    const net::StatusResponse s = client.status(model);
+    std::printf("model '%s': generation %lld, checkpoint %s\n",
+                model.c_str(), static_cast<long long>(s.generation),
+                s.checkpoint_path.c_str());
+    std::printf("  breaker %s, queue depth %lld, p50 %.2f ms, p99 %.2f ms\n",
+                s.breaker_state.c_str(),
+                static_cast<long long>(s.queue_depth), s.p50_ms, s.p99_ms);
+    std::printf("  requests: %lld submitted, %lld completed, %lld shed, "
+                "%lld timed out, %lld worker failure(s)\n",
+                static_cast<long long>(s.submitted),
+                static_cast<long long>(s.completed),
+                static_cast<long long>(s.shed),
+                static_cast<long long>(s.timed_out),
+                static_cast<long long>(s.worker_failures));
+    std::printf("  workers: %lld/%lld live, %lld lost, %lld crashed, "
+                "%lld restarted\n",
+                static_cast<long long>(s.workers_live),
+                static_cast<long long>(s.workers),
+                static_cast<long long>(s.workers_lost),
+                static_cast<long long>(s.worker_crashes),
+                static_cast<long long>(s.workers_restarted));
+    std::printf("  quarantine: %lld input(s) banned, %lld strike(s), "
+                "%lld hit(s)\n",
+                static_cast<long long>(s.quarantined_inputs),
+                static_cast<long long>(s.quarantine_strikes),
+                static_cast<long long>(s.quarantine_hits));
+    return 0;
+  }
   const std::string image_path = args.get("image", "");
   if (image_path.empty()) {
-    throw UsageError("client requires --image <file.ppm>");
+    throw UsageError("client requires --image <file.ppm> (or --status)");
   }
   Tensor image = io::read_ppm(image_path);
   net::Client client = make_net_client(args);
@@ -544,7 +629,8 @@ int main(int argc, char** argv) {
        "eps", "iters", "fademl!", "ckpt", "dir", "workers", "deadline-ms",
        "queue", "policy", "max-batch", "batch-window-ms", "metrics-out",
        "trace-out", "host", "port", "max-conn", "no-swap!", "model", "image",
-       "retries"});
+       "retries", "hedge-delay-ms", "status!", "supervise!",
+       "stall-timeout-ms", "max-restarts", "quarantine-strikes"});
   std::string command;
   try {
     if (argc < 2) {
