@@ -219,7 +219,10 @@ struct ProbeKernel {
 
 /// Time the parallelized kernels at 1 thread and at `threads`, and write
 /// artifacts/BENCH_tensor.json. The determinism contract means the
-/// numbers are the only thing the thread count changes.
+/// numbers are the only thing the thread count changes. Each kernel is
+/// also timed at 1 thread with the dispatcher forced to the scalar tier,
+/// so the artifact records what the SIMD layer itself buys
+/// (simd_speedup), separately from thread scaling.
 int run_scaling_probe(bool quick) {
   using namespace fademl;
   const int warmup = quick ? 1 : 3;
@@ -261,9 +264,10 @@ int run_scaling_probe(bool quick) {
        [&] { benchmark::DoNotOptimize(maxpool2d(batch, 2, nullptr)); }},
   };
 
+  const char* tier = simd::level_name(simd::active_level());
   std::printf("== tensor-kernel thread scaling: 1 vs %d threads "
-              "(hardware_concurrency %d) ==\n",
-              threads, hw_threads);
+              "(hardware_concurrency %d, dispatch tier %s) ==\n",
+              threads, hw_threads, tier);
   std::filesystem::create_directories("artifacts");
   std::ofstream out("artifacts/BENCH_tensor.json");
   obs::JsonWriter json(out);
@@ -271,22 +275,36 @@ int run_scaling_probe(bool quick) {
   json.key("schema").value("fademl.bench.v1");
   json.key("bench").value("tensor");
   json.key("hardware_concurrency").value(hw_threads);
+  json.key("dispatch_tier").value(tier);
   json.key("threads_compared").begin_array().value(1).value(threads);
   json.end_array();
   json.key("iterations").value(iters);
   json.key("warmup").value(warmup);
   json.key("kernels").begin_array();
+  const bool already_scalar = simd::active_level() == simd::CpuLevel::kScalar;
   for (const ProbeKernel& kernel : kernels) {
     parallel::set_num_threads(1);
+    // Scalar-tier baseline at 1 thread: simd_speedup isolates what the
+    // vector kernels buy, with thread scaling factored out entirely.
+    simd::set_level_override(simd::CpuLevel::kScalar);
+    const double ts = median_ms(kernel.fn, warmup, iters);
+    simd::clear_level_override();
     const double t1 = median_ms(kernel.fn, warmup, iters);
     parallel::set_num_threads(threads);
     const double tn = median_ms(kernel.fn, warmup, iters);
     const double speedup = tn > 0.0 ? t1 / tn : 0.0;
-    std::printf("  %-20s  1t %8.3f ms   %dt %8.3f ms   speedup %.2fx\n",
-                kernel.name.c_str(), t1, threads, tn, speedup);
+    const double simd_speedup = already_scalar ? 1.0
+                                : t1 > 0.0     ? ts / t1
+                                               : 0.0;
+    std::printf("  %-20s  scalar 1t %8.3f ms   %s 1t %8.3f ms (%5.2fx)   "
+                "%dt %8.3f ms   thread speedup %.2fx\n",
+                kernel.name.c_str(), ts, tier, t1, simd_speedup, threads, tn,
+                speedup);
     json.begin_object();
     json.key("name").value(kernel.name);
+    json.key("median_ms_scalar_1t").value(ts);
     json.key("median_ms_1t").value(t1);
+    json.key("simd_speedup").value(simd_speedup);
     json.key("threads").value(threads);
     json.key("median_ms_nt").value(tn);
     json.key("speedup").value(speedup);
@@ -397,6 +415,79 @@ int run_batch_probe(bool quick) {
   return 0;
 }
 
+// ---- steady-state allocation probe -----------------------------------------
+
+/// Assert the zero-allocation contract end to end: once warm, the
+/// filtered batch forward (predict_probs_batch under a MemoryScope)
+/// must not heap-allocate — tensor buffers come from the pool, op
+/// scratch from the arena. Runs at 1 thread because each worker thread
+/// owns its own pool, so the main thread's counters only see its slice.
+/// Writes artifacts/BENCH_alloc.json; returns non-zero when the steady
+/// state allocated. Known holes in the counter (autograd tape nodes,
+/// the Tensor(Shape, vector) constructor) are outside the forward path
+/// measured here — see docs/performance.md.
+int run_alloc_probe(bool quick) {
+  using namespace fademl;
+  const int warm_iters = 3;
+  const int iters = quick ? 10 : 30;
+
+  auto model = [] {
+    Rng rng(1);
+    nn::VggConfig config = nn::VggConfig::scaled(8);
+    return nn::make_vggnet(config, rng);
+  }();
+  model->set_training(false);
+  core::InferencePipeline pipeline(model, filters::make_lap(32));
+  std::vector<Tensor> images;
+  for (int i = 0; i < 8; ++i) {
+    images.push_back(data::canonical_sample(i % 43, 32));
+  }
+  const Tensor batch = nn::stack_images(images);
+
+  parallel::set_num_threads(1);
+  for (int i = 0; i < warm_iters; ++i) {
+    benchmark::DoNotOptimize(
+        pipeline.predict_probs_batch(batch, core::ThreatModel::kIII));
+  }
+  const std::uint64_t tensor_before = simd::tensor_heap_allocations();
+  const std::uint64_t arena_before = simd::Arena::heap_allocations();
+  for (int i = 0; i < iters; ++i) {
+    benchmark::DoNotOptimize(
+        pipeline.predict_probs_batch(batch, core::ThreatModel::kIII));
+  }
+  const std::uint64_t tensor_allocs =
+      simd::tensor_heap_allocations() - tensor_before;
+  const std::uint64_t arena_allocs =
+      simd::Arena::heap_allocations() - arena_before;
+  parallel::set_num_threads(0);
+
+  const bool clean = tensor_allocs == 0 && arena_allocs == 0;
+  std::printf("== steady-state allocations (TM-III batch-8 forward, warm, "
+              "1 thread) ==\n");
+  std::printf("  %d iterations: %llu tensor-buffer allocs, %llu arena "
+              "allocs -> %s\n",
+              iters, static_cast<unsigned long long>(tensor_allocs),
+              static_cast<unsigned long long>(arena_allocs),
+              clean ? "allocation-free" : "ALLOCATING");
+
+  std::filesystem::create_directories("artifacts");
+  std::ofstream out("artifacts/BENCH_alloc.json");
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.key("schema").value("fademl.bench.v1");
+  json.key("bench").value("alloc");
+  json.key("iterations").value(iters);
+  json.key("warmup").value(warm_iters);
+  json.key("tensor_heap_allocations").value(
+      static_cast<int64_t>(tensor_allocs));
+  json.key("arena_heap_allocations").value(static_cast<int64_t>(arena_allocs));
+  json.key("allocation_free").value(clean);
+  json.end_object();
+  out << "\n";
+  std::printf("-> artifacts/BENCH_alloc.json\n");
+  return clean ? 0 : 1;
+}
+
 // ---- observability overhead probe ------------------------------------------
 
 /// Measure what the obs layer costs the hot path: the filtered predict is
@@ -497,9 +588,14 @@ int main(int argc, char** argv) {
   }
   const int probe_rc = run_scaling_probe(quick);
   const int batch_rc = run_batch_probe(quick);
+  const int alloc_rc = run_alloc_probe(quick);
   const int obs_rc = run_obs_probe(quick);
+  const int rc = probe_rc != 0   ? probe_rc
+                 : batch_rc != 0 ? batch_rc
+                 : alloc_rc != 0 ? alloc_rc
+                                 : obs_rc;
   if (quick) {
-    return probe_rc != 0 ? probe_rc : (batch_rc != 0 ? batch_rc : obs_rc);
+    return rc;
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
@@ -507,5 +603,5 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return probe_rc != 0 ? probe_rc : (batch_rc != 0 ? batch_rc : obs_rc);
+  return rc;
 }

@@ -15,6 +15,7 @@
 ///  - fademl::io        PPM dumps, experiment tables, fault injection
 ///  - fademl::obs       observability: metrics registry + trace spans
 ///  - fademl::serve     hardened concurrent inference service
+///  - fademl::simd      runtime CPU dispatch, vector kernels, scratch arena
 
 #include "fademl/attacks/attack.hpp"
 #include "fademl/attacks/batch.hpp"
@@ -70,6 +71,9 @@
 #include "fademl/serve/errors.hpp"
 #include "fademl/serve/service.hpp"
 #include "fademl/serve/stats.hpp"
+#include "fademl/simd/arena.hpp"
+#include "fademl/simd/cpu.hpp"
+#include "fademl/simd/kernels.hpp"
 #include "fademl/tensor/error.hpp"
 #include "fademl/tensor/ops.hpp"
 #include "fademl/tensor/random.hpp"

@@ -40,15 +40,17 @@ class Filter {
 
   /// Apply to every image of an [N, C, H, W] batch. Image i of the result
   /// is bitwise identical to `apply` on that image alone; an empty batch
-  /// (N == 0) is a typed error.
-  [[nodiscard]] Tensor apply_batch(const Tensor& batch) const;
+  /// (N == 0) is a typed error. Virtual so filters whose kernel is a pure
+  /// row gather (LAP/LAR) can flatten the whole batch into one row range
+  /// instead of copying per-image tensors.
+  [[nodiscard]] virtual Tensor apply_batch(const Tensor& batch) const;
 
   /// Batched vector–Jacobian product: per-image `vjp` over an
   /// [N, C, H, W] batch of input images and matching output gradients.
   /// Row i of the result is bitwise identical to `vjp` on image i alone —
   /// the adjoint half of the batched TM-II/III gradient chain.
-  [[nodiscard]] Tensor vjp_batch(const Tensor& images,
-                                 const Tensor& grad_outputs) const;
+  [[nodiscard]] virtual Tensor vjp_batch(const Tensor& images,
+                                         const Tensor& grad_outputs) const;
 };
 
 using FilterPtr = std::shared_ptr<const Filter>;
@@ -80,6 +82,14 @@ class LapFilter final : public Filter {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] bool is_linear() const override { return true; }
 
+  /// Copy-free batch paths: the [N, C, H, W] batch is one flat run of
+  /// N*C planes, so the row loop fans out across the whole batch with no
+  /// per-image tensor staging. Bitwise identical to the per-image base
+  /// implementation.
+  [[nodiscard]] Tensor apply_batch(const Tensor& batch) const override;
+  [[nodiscard]] Tensor vjp_batch(const Tensor& images,
+                                 const Tensor& grad_outputs) const override;
+
   [[nodiscard]] int np() const { return np_; }
   /// The neighbor offsets (dy, dx) actually averaged (excludes the center).
   [[nodiscard]] const std::vector<std::pair<int, int>>& offsets() const {
@@ -105,6 +115,11 @@ class LarFilter final : public Filter {
                            const Tensor& grad_output) const override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] bool is_linear() const override { return true; }
+
+  /// See LapFilter::apply_batch — same flattening, same bitwise contract.
+  [[nodiscard]] Tensor apply_batch(const Tensor& batch) const override;
+  [[nodiscard]] Tensor vjp_batch(const Tensor& images,
+                                 const Tensor& grad_outputs) const override;
 
   [[nodiscard]] int radius() const { return radius_; }
   [[nodiscard]] const std::vector<std::pair<int, int>>& offsets() const {

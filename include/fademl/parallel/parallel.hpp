@@ -52,6 +52,18 @@ bool in_parallel_region();
 /// given grain — a pure function of (range, grain). grain <= 0 counts as 1.
 int64_t chunk_count(int64_t range, int64_t grain);
 
+/// Grain for pure-gather loops: chunks write disjoint outputs and no
+/// chunk-ordered reduction exists, so (unlike reduction kernels, whose
+/// grain is part of the determinism contract) the grain may depend on the
+/// machine. Returns the full `range` (one chunk → runs inline, no pool
+/// wake-up) when fanning out cannot pay: effective parallelism is 1
+/// (num_threads() or hardware_concurrency is 1 — the BENCH_tensor
+/// `lap32_batch8` 0.71× regression was 2 pool threads time-slicing one
+/// core) or the total work is below the fan-out threshold. Otherwise the
+/// grain targets chunks of >= ~32k scalar ops and at most 4 chunks per
+/// usable thread. `ops_per_item` estimates the scalar work per index.
+int64_t gather_grain(int64_t range, int64_t ops_per_item);
+
 /// Run `body` over [begin, end) split into chunks of at most `grain`
 /// items. Empty ranges return immediately without invoking the body.
 void parallel_for(int64_t begin, int64_t end, int64_t grain,

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace fademl::simd {
+
+/// Bump allocator for per-op scratch (im2col panels, filter tap tables).
+/// Blocks are cached across reset()/rewind(), so a steady-state op that
+/// allocates the same scratch every call touches the heap exactly once;
+/// requests larger than the block size fall back to dedicated heap
+/// allocations that are released again on rewind past their mark.
+///
+/// Not thread-safe; use the thread-local scratch() instance from op code.
+class Arena {
+ public:
+  /// Position cookie for rewind(); take one with mark() before a scoped
+  /// burst of allocations. Marks must be rewound LIFO.
+  struct Mark {
+    std::size_t block = 0;
+    std::size_t offset = 0;
+    std::size_t oversize = 0;
+  };
+
+  static constexpr std::size_t kDefaultBlockBytes = std::size_t{1} << 20;
+  static constexpr std::size_t kAlignment = 64;  // widest vector + cacheline
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes);
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// 64-byte-aligned uninitialized storage. bytes == 0 returns a valid,
+  /// distinct pointer (it consumes one alignment quantum so successive
+  /// zero-byte requests never alias).
+  void* alloc(std::size_t bytes);
+  float* alloc_floats(std::int64_t n);
+
+  Mark mark() const;
+  /// Rewind to a mark: bump offsets reset, blocks are kept for reuse,
+  /// oversize fallbacks taken since the mark are freed.
+  void rewind(const Mark& m);
+  /// rewind() to empty.
+  void reset();
+
+  /// Bytes handed out since the last reset (diagnostic).
+  std::size_t used() const;
+  /// Total bytes of cached blocks (stable once warm).
+  std::size_t capacity() const;
+
+  /// Process-wide count of heap allocations made by every Arena (block
+  /// growth + oversize fallbacks). The zero-allocation probes snapshot
+  /// this: steady state must not move it.
+  static std::uint64_t heap_allocations();
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  Block& block_with_room(std::size_t bytes);
+
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;  // blocks_[active_] is the current bump target
+  std::vector<std::unique_ptr<std::byte[]>> oversize_;
+  std::size_t block_bytes_;
+};
+
+/// The calling thread's scratch arena (created on first use, lives for
+/// the thread). Op code brackets its use with ScratchScope so nested ops
+/// compose without trampling each other's scratch.
+Arena& scratch();
+
+/// RAII mark/rewind over scratch().
+class ScratchScope {
+ public:
+  ScratchScope();
+  ~ScratchScope();
+  ScratchScope(const ScratchScope&) = delete;
+  ScratchScope& operator=(const ScratchScope&) = delete;
+
+ private:
+  Arena::Mark mark_;
+};
+
+/// --- Tensor buffer pool ------------------------------------------------
+///
+/// Recycles the shared_ptr<vector<float>> buffers behind Tensor while a
+/// MemoryScope is active on the thread, so steady-state inference reuses
+/// the previous iteration's buffers instead of heap-allocating. The pool
+/// holds a second reference to every buffer it has lent out; a buffer is
+/// recycled once the pool's reference is the last one (use_count == 1),
+/// which makes returns safe even when a tensor is destroyed on another
+/// thread or after the scope ended. Reused buffers are re-filled by the
+/// tensor constructor exactly like fresh ones, so pooling is
+/// value-invisible.
+
+/// Activates pooling for Tensor allocations on this thread (nestable).
+/// The pool itself is thread-local and persists across scopes — that is
+/// what makes the steady state allocation-free.
+class MemoryScope {
+ public:
+  MemoryScope();
+  ~MemoryScope();
+  MemoryScope(const MemoryScope&) = delete;
+  MemoryScope& operator=(const MemoryScope&) = delete;
+};
+
+/// True while at least one MemoryScope is live on this thread.
+bool pooling_active();
+
+/// Pool-aware buffer acquisition: recycles an exact-size buffer when
+/// pooling is active and one is free (re-filling it with `fill`),
+/// otherwise heap-allocates (and counts it). Used by the Tensor
+/// constructors; exposed for the arena/alloc tests.
+std::shared_ptr<std::vector<float>> acquire_buffer(std::size_t n, float fill);
+
+/// Same, but the buffer is initialized as a copy of `src` (Tensor::clone).
+std::shared_ptr<std::vector<float>> acquire_buffer_copy(
+    const std::vector<float>& src);
+
+/// Process-wide count of tensor-buffer heap allocations (pool misses and
+/// unpooled allocations both count). Together with Arena::
+/// heap_allocations() this is the allocation-counting hook behind the
+/// steady-state zero-allocation assertions; autograd tape nodes are
+/// outside its scope (see docs/performance.md).
+std::uint64_t tensor_heap_allocations();
+
+/// Drop this thread's free-list (diagnostic; lent buffers are unaffected).
+void clear_buffer_pool();
+
+}  // namespace fademl::simd

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fademl::simd {
+
+/// Runtime CPU-capability tiers for the vectorized kernel layer, ordered:
+/// every tier's kernels are valid on any machine that supports a higher
+/// tier, so "run at tier T" is well-defined for every T <= hardware_level().
+///
+/// On non-x86 builds only kScalar is reported (the NEON lane of the
+/// kSse42 tier is a documented extension point, not yet implemented), so
+/// the dispatcher degrades to the golden scalar kernels everywhere the
+/// vector TUs are not compiled.
+enum class CpuLevel : int {
+  kScalar = 0,  ///< portable reference kernels (the pre-SIMD code paths)
+  kSse42 = 1,   ///< 128-bit SSE (x86-64 baseline+SSE4.2; NEON slot on ARM)
+  kAvx2 = 2,    ///< 256-bit AVX2 + FMA
+  kAvx512 = 3,  ///< 512-bit AVX-512F
+};
+
+/// Stable lower-case tier name ("scalar", "sse42", "avx2", "avx512") —
+/// the exact strings FADEML_CPU_LEVEL accepts and BENCH artifacts record.
+const char* level_name(CpuLevel level);
+
+/// Highest tier the running CPU supports (cpuid-probed once, cached).
+CpuLevel hardware_level();
+
+/// Tier the dispatcher actually uses. Resolution order:
+/// `set_level_override()` > `FADEML_CPU_LEVEL` > `hardware_level()`.
+/// Throws fademl::Error (loudly, like a malformed FaultSpec) if the
+/// environment variable names an unknown tier or one above what the
+/// hardware supports — a silently clamped test matrix would report
+/// coverage it never ran.
+CpuLevel active_level();
+
+/// Programmatic tier override for tests and benchmarks. Throws
+/// fademl::Error if `level` exceeds `hardware_level()` — dispatching
+/// above the hardware would execute illegal instructions.
+void set_level_override(CpuLevel level);
+
+/// Remove the programmatic override (back to env / hardware resolution).
+void clear_level_override();
+
+/// All tiers runnable on this machine, ascending: kScalar ..
+/// hardware_level(). The differential test harness sweeps exactly this.
+std::vector<CpuLevel> supported_levels();
+
+namespace detail {
+
+/// Parse a FADEML_CPU_LEVEL-style spec. nullptr / empty mean "unset"
+/// (returns hardware_level()). Anything else must be exactly one of the
+/// level_name() strings naming a tier the hardware supports; unknown or
+/// unsupported tiers throw fademl::Error with the accepted list — strict,
+/// like io::FaultSpec parsing. Exposed for unit tests.
+CpuLevel parse_cpu_level(const char* spec);
+
+}  // namespace detail
+
+}  // namespace fademl::simd

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+
+#include "fademl/simd/cpu.hpp"
+
+namespace fademl::simd {
+
+/// How gather_row folds its per-tap divisor. Forward neighborhood
+/// averages divide the finished sum once; adjoints divide every tap's
+/// contribution (matching `acc += g / count` in the scalar reference),
+/// and the two orders round differently so they are distinct contracts.
+enum class GatherDivide : int {
+  kNone = 0,     ///< plain weighted sum
+  kAtEnd = 1,    ///< (sum of w_j * p[x+d_j]) / divisor
+  kPerTerm = 2,  ///< sum of (w_j * p[x+d_j]) / divisor
+};
+
+/// One tier's kernel set. Every entry is bitwise-pinned to the scalar
+/// table by tests/simd_kernels_test.cpp except `gemm`, whose per-tier
+/// reassociation (FMA + vector partial sums) is covered by a
+/// double-precision reference bound instead (docs/performance.md, "ULP
+/// policy").
+///
+/// Pointer arguments may be unaligned and may alias only where a kernel
+/// documents in-place use (dst == a is allowed for the elementwise
+/// entries; gather_row requires dst disjoint from src).
+struct KernelTable {
+  CpuLevel level;
+
+  /// C rows [row_lo, row_hi) of C(m,n) = A(m,k) · B(k,n), row-major.
+  /// Those C rows must be zero on entry (kernels may accumulate into
+  /// them or overwrite them). Each output row's arithmetic depends only
+  /// on its own index, never on [row_lo, row_hi) — that is what keeps
+  /// results bitwise stable across chunk boundaries and thread counts.
+  void (*gemm)(const float* a, const float* b, float* c, int64_t m,
+               int64_t k, int64_t n, int64_t row_lo, int64_t row_hi);
+
+  // Elementwise (dst == a and, for binary ops, dst == b are allowed).
+  // No FMA anywhere in these: every tier must be bitwise identical to
+  // scalar, so fused ops are written as separate mul-then-add.
+  void (*add)(const float* a, const float* b, float* dst, int64_t n);
+  void (*sub)(const float* a, const float* b, float* dst, int64_t n);
+  void (*mul)(const float* a, const float* b, float* dst, int64_t n);
+  void (*div)(const float* a, const float* b, float* dst, int64_t n);
+  void (*add_scalar)(const float* a, float s, float* dst, int64_t n);
+  void (*mul_scalar)(const float* a, float s, float* dst, int64_t n);
+  void (*relu)(const float* a, float* dst, int64_t n);
+  void (*clamp)(const float* a, float lo, float hi, float* dst, int64_t n);
+  void (*sqrt)(const float* a, float* dst, int64_t n);
+  void (*abs)(const float* a, float* dst, int64_t n);
+  void (*neg)(const float* a, float* dst, int64_t n);
+  void (*sign)(const float* a, float* dst, int64_t n);
+  /// dst = a + s * b (the FGSM/BIM perturbation step, fused).
+  void (*add_scaled)(const float* a, const float* b, float s, float* dst,
+                     int64_t n);
+  /// dst = clamp(a + s * b, lo, hi) — perturb + project in one pass.
+  void (*add_scaled_clamp)(const float* a, const float* b, float s, float lo,
+                           float hi, float* dst, int64_t n);
+  /// y += s * x (Tensor::add_).
+  void (*axpy)(float* y, const float* x, float s, int64_t n);
+
+  /// Interior span [x_lo, x_hi) of one filter row:
+  ///   dst[x] = fold_j( weights[j] * src[x + deltas[j]] )
+  /// with the divisor applied per GatherDivide. Taps are accumulated in
+  /// j order seeded from tap 0 (acc = w_0 * src[...]), matching the
+  /// scalar neighborhood loops bitwise — including -0.0 and NaN
+  /// payloads. `src` points at the row start inside a plane whose
+  /// neighbor rows are reachable via the flat deltas; dst must not
+  /// overlap src.
+  void (*gather_row)(const float* src, float* dst, int64_t x_lo, int64_t x_hi,
+                     const int64_t* deltas, const float* weights, int n_taps,
+                     float divisor, GatherDivide mode);
+};
+
+/// Table for the dispatcher's active tier (see cpu.hpp for resolution).
+const KernelTable& kernels();
+
+/// Table for an explicit tier — the differential harness iterates
+/// supported_levels() through this. Throws fademl::Error if `level`
+/// exceeds hardware_level().
+const KernelTable& kernels_for(CpuLevel level);
+
+namespace detail {
+const KernelTable& scalar_table();
+#if defined(__x86_64__) || defined(_M_X64)
+const KernelTable& sse42_table();
+const KernelTable& avx2_table();
+const KernelTable& avx512_table();
+#endif
+}  // namespace detail
+
+}  // namespace fademl::simd

@@ -32,6 +32,15 @@ Tensor clamp(const Tensor& a, float lo, float hi);
 /// Apply `fn` elementwise into a fresh tensor.
 Tensor map(const Tensor& a, const std::function<float(float)>& fn);
 
+// Fused elementwise chains (single pass, one output tensor; bitwise
+// identical to the unfused add/mul/clamp composition at every dispatch
+// tier — the attack inner loops ride these).
+/// a + s * b.
+Tensor add_scaled(const Tensor& a, const Tensor& b, float s);
+/// clamp(a + s * b, lo, hi).
+Tensor add_scaled_clamp(const Tensor& a, const Tensor& b, float s, float lo,
+                        float hi);
+
 // Reductions.
 float sum(const Tensor& a);
 float mean(const Tensor& a);

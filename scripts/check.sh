@@ -40,15 +40,20 @@ case "${1:-}" in
     ;;
   --tsan)
     echo
-    echo "== sanitizers: TSan build + obs_test + parallel_test + serve_test + supervision_test + net_test =="
+    echo "== sanitizers: TSan build + obs_test + parallel_test + simd_kernels_test + arena_test + serve_test + supervision_test + net_test =="
     export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1 suppressions=$(pwd)/scripts/tsan.supp}"
     cmake -B build-tsan -S . -DFADEML_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-    cmake --build build-tsan -j --target obs_test parallel_test serve_test train_determinism_test supervision_test net_test
+    cmake --build build-tsan -j --target obs_test parallel_test simd_kernels_test arena_test serve_test train_determinism_test supervision_test net_test
     # The observability primitives first (registry/trace collector are the
     # shared reporting substrate), then the thread-pool suite that the
     # other concurrent suites sit on.
     ./build-tsan/tests/obs_test
     ./build-tsan/tests/parallel_test
+    # The SIMD differential sweep + the arena/buffer-pool suite: the
+    # dispatcher's cached env parse, the pool's use_count-based returns,
+    # and the filters' fan-out over pool threads are all cross-thread.
+    FADEML_NUM_THREADS=4 ./build-tsan/tests/simd_kernels_test
+    FADEML_NUM_THREADS=4 ./build-tsan/tests/arena_test
     FADEML_NUM_THREADS=4 ./build-tsan/tests/train_determinism_test
     ./build-tsan/tests/serve_test
     # The micro-batching chaos tests again with a wider intra-op pool:

@@ -22,8 +22,10 @@ AttackResult FgsmAttack::run(const core::InferencePipeline& pipeline,
   result.iterations = 1;
   result.loss_history = {lg.loss};
   const Tensor step_direction = sign(lg.grad);
-  // Descend the targeted loss: one signed step of size ε.
-  result.adversarial = add(source, mul(step_direction, -config_.epsilon));
+  // Descend the targeted loss: one signed step of size ε. The fused
+  // kernel is bitwise identical to add(source, mul(step, -ε)) — separate
+  // mul-then-add at every dispatch tier, no FMA.
+  result.adversarial = add_scaled(source, step_direction, -config_.epsilon);
   if (config_.fgsm_epsilon_search) {
     // Same single gradient, but keep the smallest ε on the grid that lands
     // the target — a full-ε step often overshoots past the target's
@@ -32,8 +34,9 @@ AttackResult FgsmAttack::run(const core::InferencePipeline& pipeline,
     for (int i = 1; i <= kGrid; ++i) {
       const float eps =
           config_.epsilon * static_cast<float>(i) / static_cast<float>(kGrid);
-      Tensor candidate = add(source, mul(step_direction, -eps));
-      candidate.clamp_(0.0f, 1.0f);
+      // Perturb and project onto the pixel box in one fused pass.
+      Tensor candidate =
+          add_scaled_clamp(source, step_direction, -eps, 0.0f, 1.0f);
       const Tensor probs =
           pipeline.predict_probs(candidate, config_.grad_tm);
       if (argmax(probs) == target_class) {

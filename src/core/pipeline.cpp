@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fademl/autograd/ops.hpp"
+#include "fademl/simd/arena.hpp"
 #include "fademl/nn/trainer.hpp"
 #include "fademl/obs/trace.hpp"
 #include "fademl/tensor/error.hpp"
@@ -119,6 +120,10 @@ Prediction summarize_probs(const Tensor& probs) {
 
 Tensor InferencePipeline::predict_probs_batch(const Tensor& batch,
                                               ThreatModel tm) const {
+  // Every forward entry point funnels through here: with the scope open,
+  // steady-state tensor buffers come from the thread's pool instead of
+  // the heap (see fademl/simd/arena.hpp).
+  simd::MemoryScope memory_scope;
   const Tensor routed = route_batch(batch, tm);
   autograd::Variable x{routed.clone()};
   obs::StageTimer timer(forward_hist(), "model.forward", "model");
@@ -172,6 +177,7 @@ BatchLossGrad InferencePipeline::loss_and_grad_batch(
                "loss_and_grad_batch rejects an empty batch (N == 0)");
   FADEML_CHECK(objective != nullptr,
                "loss_and_grad_batch requires an objective");
+  simd::MemoryScope memory_scope;
   const int64_t n = batch.dim(0);
   const Tensor routed = route_batch(batch, tm);
   autograd::Variable x{routed.clone(), /*requires_grad=*/true};

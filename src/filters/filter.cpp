@@ -7,6 +7,8 @@
 #include <cstdlib>
 
 #include "fademl/parallel/parallel.hpp"
+#include "fademl/simd/arena.hpp"
+#include "fademl/simd/kernels.hpp"
 #include "fademl/tensor/error.hpp"
 
 namespace fademl::filters {
@@ -15,8 +17,54 @@ namespace {
 
 /// Row grain for per-pixel filter loops: a chunk covers enough rows that
 /// scheduling overhead stays negligible even on tiny GTSRB-sized images.
+/// Only the non-gather (median) loop still uses this; gather loops size
+/// their chunks with parallel::gather_grain instead.
 int64_t row_grain(int64_t width) {
   return std::max<int64_t>(1, 4096 / std::max<int64_t>(1, width));
+}
+
+/// Flat tap table for simd gather_row calls, built in the calling
+/// thread's scratch arena (the caller holds a ScratchScope). `adjoint`
+/// negates the offsets: input pixel p gathers from output pixels
+/// q = p - offset.
+struct TapSet {
+  const int64_t* deltas;
+  const float* weights;
+  int count;
+};
+
+TapSet neighborhood_taps(const std::vector<std::pair<int, int>>& offsets,
+                         bool center_implicit, int64_t w, bool adjoint) {
+  const int n = static_cast<int>(offsets.size()) + (center_implicit ? 1 : 0);
+  auto* deltas = static_cast<int64_t*>(
+      simd::scratch().alloc(static_cast<std::size_t>(n) * sizeof(int64_t)));
+  float* weights = simd::scratch().alloc_floats(n);
+  int t = 0;
+  if (center_implicit) {
+    deltas[t] = 0;
+    weights[t] = 1.0f;  // mul by 1.0 is exact, so taps match `acc += p`
+    ++t;
+  }
+  for (const auto& [dy, dx] : offsets) {
+    const int64_t d = static_cast<int64_t>(dy) * w + dx;
+    deltas[t] = adjoint ? -d : d;
+    weights[t] = 1.0f;
+    ++t;
+  }
+  return {deltas, weights, n};
+}
+
+/// Largest |dy| / |dx| over the offset set: the border thickness inside
+/// which a neighborhood can fall off the image.
+std::pair<int64_t, int64_t> offsets_reach(
+    const std::vector<std::pair<int, int>>& offsets) {
+  int64_t maxdy = 0;
+  int64_t maxdx = 0;
+  for (const auto& [dy, dx] : offsets) {
+    maxdy = std::max<int64_t>(maxdy, std::abs(dy));
+    maxdx = std::max<int64_t>(maxdx, std::abs(dx));
+  }
+  return {maxdy, maxdx};
 }
 
 void check_chw(const Tensor& image, const char* who) {
@@ -34,61 +82,109 @@ void check_vjp_shapes(const Tensor& image, const Tensor& grad_output,
                    image.shape().str());
 }
 
+void check_batch_shape(const Tensor& batch, const char* who) {
+  FADEML_CHECK(batch.rank() == 4, std::string(who) +
+                                      " expects [N, C, H, W], got " +
+                                      batch.shape().str());
+  FADEML_CHECK(batch.dim(0) >= 1,
+               std::string(who) + " rejects an empty batch (N == 0)");
+}
+
+void check_vjp_batch_shapes(const Tensor& images, const Tensor& grad_outputs) {
+  FADEML_CHECK(images.rank() == 4,
+               "vjp_batch expects [N, C, H, W] images, got " +
+                   images.shape().str());
+  FADEML_CHECK(images.dim(0) >= 1,
+               "vjp_batch rejects an empty batch (N == 0)");
+  FADEML_CHECK(grad_outputs.shape() == images.shape(),
+               "vjp_batch gradient shape " + grad_outputs.shape().str() +
+                   " does not match image batch shape " +
+                   images.shape().str());
+}
+
 /// Gather-average over a fixed offset neighborhood with border
-/// renormalization. `include_center` distinguishes LAP (offsets exclude the
-/// center, which is always counted) from LAR (offsets include it).
-Tensor neighborhood_average(const Tensor& image,
-                            const std::vector<std::pair<int, int>>& offsets,
-                            bool center_implicit) {
-  const int64_t c = image.dim(0);
-  const int64_t h = image.dim(1);
-  const int64_t w = image.dim(2);
-  Tensor out{image.shape()};
-  const float* src = image.data();
-  float* dst = out.data();
+/// renormalization, over `planes` consecutive [H, W] planes (an image is
+/// C planes, an [N, C, H, W] batch is N*C — same code path, which is what
+/// makes the batch overrides bitwise identical to per-image apply).
+/// `center_implicit` distinguishes LAP (offsets exclude the center, which
+/// is always counted) from LAR (offsets include it).
+///
+/// Interior pixels — where the whole neighborhood is in bounds — run
+/// through the dispatch-tier gather_row kernel; the border frame keeps
+/// the original scalar loop with its drop-and-renormalize logic.
+void neighborhood_average_planes(
+    const float* src, float* dst, int64_t planes, int64_t h, int64_t w,
+    const std::vector<std::pair<int, int>>& offsets, bool center_implicit) {
+  const auto [maxdy, maxdx] = offsets_reach(offsets);
+  const int64_t yi0 = maxdy;
+  const int64_t yi1 = h - maxdy;
+  const int64_t xi0 = maxdx;
+  const int64_t xi1 = w - maxdx;
+  const bool has_interior = yi0 < yi1 && xi0 < xi1;
+  simd::ScratchScope scope;
+  const TapSet taps =
+      neighborhood_taps(offsets, center_implicit, w, /*adjoint=*/false);
+  const float full_count = static_cast<float>(taps.count);
+  const auto& kt = simd::kernels();
+  const auto border_pixel = [&offsets, center_implicit, h, w](
+                                const float* plane, int64_t y, int64_t x) {
+    float acc = center_implicit ? plane[y * w + x] : 0.0f;
+    int count = center_implicit ? 1 : 0;
+    for (const auto& [dy, dx] : offsets) {
+      const int64_t ny = y + dy;
+      const int64_t nx = x + dx;
+      if (ny < 0 || ny >= h || nx < 0 || nx >= w) {
+        continue;
+      }
+      acc += plane[ny * w + nx];
+      ++count;
+    }
+    return acc / static_cast<float>(count);
+  };
   // Pure gather per output pixel: rows split freely across threads.
-  parallel::parallel_for(0, c * h, row_grain(w), [&](int64_t lo, int64_t hi) {
+  const int64_t grain =
+      parallel::gather_grain(planes * h, w * (taps.count + 1));
+  parallel::parallel_for(0, planes * h, grain, [&](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
       const int64_t ch = r / h;
       const int64_t y = r % h;
       const float* plane = src + ch * h * w;
       float* orow = dst + ch * h * w + y * w;
-      for (int64_t x = 0; x < w; ++x) {
-        float acc = center_implicit ? plane[y * w + x] : 0.0f;
-        int count = center_implicit ? 1 : 0;
-        for (const auto& [dy, dx] : offsets) {
-          const int64_t ny = y + dy;
-          const int64_t nx = x + dx;
-          if (ny < 0 || ny >= h || nx < 0 || nx >= w) {
-            continue;
-          }
-          acc += plane[ny * w + nx];
-          ++count;
+      if (has_interior && y >= yi0 && y < yi1) {
+        kt.gather_row(plane + y * w, orow, xi0, xi1, taps.deltas,
+                      taps.weights, taps.count, full_count,
+                      simd::GatherDivide::kAtEnd);
+        for (int64_t x = 0; x < xi0; ++x) {
+          orow[x] = border_pixel(plane, y, x);
         }
-        orow[x] = acc / static_cast<float>(count);
+        for (int64_t x = xi1; x < w; ++x) {
+          orow[x] = border_pixel(plane, y, x);
+        }
+      } else {
+        for (int64_t x = 0; x < w; ++x) {
+          orow[x] = border_pixel(plane, y, x);
+        }
       }
     }
   });
-  return out;
 }
 
-/// Exact adjoint of neighborhood_average, in gather form: input pixel p
-/// receives a share from every output pixel q that averaged it, i.e.
-/// q = p - offset (and q = p itself when the center is implicit). The
-/// per-q normalization counts depend only on position, so they are
+/// Exact adjoint of neighborhood_average_planes, in gather form: input
+/// pixel p receives a share from every output pixel q that averaged it,
+/// i.e. q = p - offset (and q = p itself when the center is implicit).
+/// The per-q normalization counts depend only on position, so they are
 /// precomputed once; the gather makes each output row independent, which
-/// is what lets the loop split across threads with no write races.
-Tensor neighborhood_average_adjoint(
-    const Tensor& grad_output, const std::vector<std::pair<int, int>>& offsets,
-    bool center_implicit) {
-  const int64_t c = grad_output.dim(0);
-  const int64_t h = grad_output.dim(1);
-  const int64_t w = grad_output.dim(2);
-  Tensor grad_in = Tensor::zeros(grad_output.shape());
-  const float* g = grad_output.data();
-  float* gi = grad_in.data();
-  // Forward count at each position (channel-independent).
-  std::vector<float> counts(static_cast<size_t>(h * w));
+/// is what lets the loop split across threads with no write races. Deep
+/// interior rows (where every q has the full count) go through the
+/// dispatch-tier gather_row with a per-term divide, matching the scalar
+/// `acc += g / count` rounding exactly.
+void neighborhood_adjoint_planes(
+    const float* g, float* gi, int64_t planes, int64_t h, int64_t w,
+    const std::vector<std::pair<int, int>>& offsets, bool center_implicit) {
+  const auto [maxdy, maxdx] = offsets_reach(offsets);
+  simd::ScratchScope scope;
+  // Forward count at each position (plane-independent).
+  float* counts = simd::scratch().alloc_floats(h * w);
   for (int64_t y = 0; y < h; ++y) {
     for (int64_t x = 0; x < w; ++x) {
       int count = center_implicit ? 1 : 0;
@@ -99,33 +195,62 @@ Tensor neighborhood_average_adjoint(
           ++count;
         }
       }
-      counts[static_cast<size_t>(y * w + x)] = static_cast<float>(count);
+      counts[y * w + x] = static_cast<float>(count);
     }
   }
-  parallel::parallel_for(0, c * h, row_grain(w), [&](int64_t lo, int64_t hi) {
+  const TapSet taps =
+      neighborhood_taps(offsets, center_implicit, w, /*adjoint=*/true);
+  // Deep interior: every gathered-from position q = p - offset must itself
+  // have a full neighborhood, so the per-term divisor is the one constant
+  // full count — hence twice the reach on each side.
+  const int64_t yi0 = 2 * maxdy;
+  const int64_t yi1 = h - 2 * maxdy;
+  const int64_t xi0 = 2 * maxdx;
+  const int64_t xi1 = w - 2 * maxdx;
+  const bool has_interior = yi0 < yi1 && xi0 < xi1;
+  const float full_count = static_cast<float>(taps.count);
+  const auto& kt = simd::kernels();
+  const auto border_pixel = [&offsets, center_implicit, counts, h, w](
+                                const float* gplane, int64_t y, int64_t x) {
+    float acc = 0.0f;
+    if (center_implicit) {
+      acc += gplane[y * w + x] / counts[y * w + x];
+    }
+    for (const auto& [dy, dx] : offsets) {
+      const int64_t qy = y - dy;
+      const int64_t qx = x - dx;
+      if (qy < 0 || qy >= h || qx < 0 || qx >= w) {
+        continue;
+      }
+      acc += gplane[qy * w + qx] / counts[qy * w + qx];
+    }
+    return acc;
+  };
+  const int64_t grain =
+      parallel::gather_grain(planes * h, w * (taps.count + 1));
+  parallel::parallel_for(0, planes * h, grain, [&](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
       const int64_t ch = r / h;
       const int64_t y = r % h;
       const float* gplane = g + ch * h * w;
       float* irow = gi + ch * h * w + y * w;
-      for (int64_t x = 0; x < w; ++x) {
-        float acc = 0.0f;
-        if (center_implicit) {
-          acc += gplane[y * w + x] / counts[static_cast<size_t>(y * w + x)];
+      if (has_interior && y >= yi0 && y < yi1) {
+        kt.gather_row(gplane + y * w, irow, xi0, xi1, taps.deltas,
+                      taps.weights, taps.count, full_count,
+                      simd::GatherDivide::kPerTerm);
+        for (int64_t x = 0; x < xi0; ++x) {
+          irow[x] = border_pixel(gplane, y, x);
         }
-        for (const auto& [dy, dx] : offsets) {
-          const int64_t qy = y - dy;
-          const int64_t qx = x - dx;
-          if (qy < 0 || qy >= h || qx < 0 || qx >= w) {
-            continue;
-          }
-          acc += gplane[qy * w + qx] / counts[static_cast<size_t>(qy * w + qx)];
+        for (int64_t x = xi1; x < w; ++x) {
+          irow[x] = border_pixel(gplane, y, x);
         }
-        irow[x] = acc;
+      } else {
+        for (int64_t x = 0; x < w; ++x) {
+          irow[x] = border_pixel(gplane, y, x);
+        }
       }
     }
   });
-  return grad_in;
 }
 
 /// The `np` nearest offsets to the origin (excluding it), ordered by
@@ -185,10 +310,7 @@ Tensor Filter::vjp(const Tensor& image, const Tensor& grad_output) const {
 }
 
 Tensor Filter::apply_batch(const Tensor& batch) const {
-  FADEML_CHECK(batch.rank() == 4,
-               "apply_batch expects [N, C, H, W], got " + batch.shape().str());
-  FADEML_CHECK(batch.dim(0) >= 1,
-               "apply_batch rejects an empty batch (N == 0)");
+  check_batch_shape(batch, "apply_batch");
   const int64_t n = batch.dim(0);
   const int64_t per = batch.dim(1) * batch.dim(2) * batch.dim(3);
   Tensor out{batch.shape()};
@@ -208,15 +330,7 @@ Tensor Filter::apply_batch(const Tensor& batch) const {
 
 Tensor Filter::vjp_batch(const Tensor& images,
                          const Tensor& grad_outputs) const {
-  FADEML_CHECK(images.rank() == 4,
-               "vjp_batch expects [N, C, H, W] images, got " +
-                   images.shape().str());
-  FADEML_CHECK(images.dim(0) >= 1,
-               "vjp_batch rejects an empty batch (N == 0)");
-  FADEML_CHECK(grad_outputs.shape() == images.shape(),
-               "vjp_batch gradient shape " + grad_outputs.shape().str() +
-                   " does not match image batch shape " +
-                   images.shape().str());
+  check_vjp_batch_shapes(images, grad_outputs);
   const int64_t n = images.dim(0);
   const Shape chw{images.dim(1), images.dim(2), images.dim(3)};
   const int64_t per = chw.numel();
@@ -252,13 +366,42 @@ LapFilter::LapFilter(int np) : np_(np), offsets_(nearest_offsets(np)) {
 
 Tensor LapFilter::apply(const Tensor& image) const {
   check_chw(image, "LapFilter");
-  return neighborhood_average(image, offsets_, /*center_implicit=*/true);
+  Tensor out{image.shape()};
+  neighborhood_average_planes(image.data(), out.data(), image.dim(0),
+                              image.dim(1), image.dim(2), offsets_,
+                              /*center_implicit=*/true);
+  return out;
 }
 
 Tensor LapFilter::vjp(const Tensor& image, const Tensor& grad_output) const {
   check_vjp_shapes(image, grad_output, "LapFilter::vjp");
-  return neighborhood_average_adjoint(grad_output, offsets_,
-                                      /*center_implicit=*/true);
+  Tensor grad_in{grad_output.shape()};
+  neighborhood_adjoint_planes(grad_output.data(), grad_in.data(),
+                              grad_output.dim(0), grad_output.dim(1),
+                              grad_output.dim(2), offsets_,
+                              /*center_implicit=*/true);
+  return grad_in;
+}
+
+Tensor LapFilter::apply_batch(const Tensor& batch) const {
+  check_batch_shape(batch, "apply_batch");
+  Tensor out{batch.shape()};
+  neighborhood_average_planes(batch.data(), out.data(),
+                              batch.dim(0) * batch.dim(1), batch.dim(2),
+                              batch.dim(3), offsets_,
+                              /*center_implicit=*/true);
+  return out;
+}
+
+Tensor LapFilter::vjp_batch(const Tensor& images,
+                            const Tensor& grad_outputs) const {
+  check_vjp_batch_shapes(images, grad_outputs);
+  Tensor out{images.shape()};
+  neighborhood_adjoint_planes(grad_outputs.data(), out.data(),
+                              images.dim(0) * images.dim(1), images.dim(2),
+                              images.dim(3), offsets_,
+                              /*center_implicit=*/true);
+  return out;
 }
 
 std::string LapFilter::name() const {
@@ -272,13 +415,42 @@ LarFilter::LarFilter(int radius)
 
 Tensor LarFilter::apply(const Tensor& image) const {
   check_chw(image, "LarFilter");
-  return neighborhood_average(image, offsets_, /*center_implicit=*/false);
+  Tensor out{image.shape()};
+  neighborhood_average_planes(image.data(), out.data(), image.dim(0),
+                              image.dim(1), image.dim(2), offsets_,
+                              /*center_implicit=*/false);
+  return out;
 }
 
 Tensor LarFilter::vjp(const Tensor& image, const Tensor& grad_output) const {
   check_vjp_shapes(image, grad_output, "LarFilter::vjp");
-  return neighborhood_average_adjoint(grad_output, offsets_,
-                                      /*center_implicit=*/false);
+  Tensor grad_in{grad_output.shape()};
+  neighborhood_adjoint_planes(grad_output.data(), grad_in.data(),
+                              grad_output.dim(0), grad_output.dim(1),
+                              grad_output.dim(2), offsets_,
+                              /*center_implicit=*/false);
+  return grad_in;
+}
+
+Tensor LarFilter::apply_batch(const Tensor& batch) const {
+  check_batch_shape(batch, "apply_batch");
+  Tensor out{batch.shape()};
+  neighborhood_average_planes(batch.data(), out.data(),
+                              batch.dim(0) * batch.dim(1), batch.dim(2),
+                              batch.dim(3), offsets_,
+                              /*center_implicit=*/false);
+  return out;
+}
+
+Tensor LarFilter::vjp_batch(const Tensor& images,
+                            const Tensor& grad_outputs) const {
+  check_vjp_batch_shapes(images, grad_outputs);
+  Tensor out{images.shape()};
+  neighborhood_adjoint_planes(grad_outputs.data(), out.data(),
+                              images.dim(0) * images.dim(1), images.dim(2),
+                              images.dim(3), offsets_,
+                              /*center_implicit=*/false);
+  return out;
 }
 
 std::string LarFilter::name() const {
@@ -303,7 +475,28 @@ GaussianFilter::GaussianFilter(float sigma) : sigma_(sigma) {
 
 namespace {
 
+/// Taps for one separable-pass direction: consecutive kernel entries at
+/// flat deltas k (horizontal) or k*w (vertical), `adjoint` negated.
+TapSet separable_taps(const std::vector<float>& kernel, int64_t w,
+                      bool horizontal, bool adjoint) {
+  const int n = static_cast<int>(kernel.size());
+  const int half = n / 2;
+  auto* deltas = static_cast<int64_t*>(
+      simd::scratch().alloc(static_cast<std::size_t>(n) * sizeof(int64_t)));
+  float* weights = simd::scratch().alloc_floats(n);
+  for (int k = -half; k <= half; ++k) {
+    const int64_t d = horizontal ? k : static_cast<int64_t>(k) * w;
+    deltas[k + half] = adjoint ? -d : d;
+    weights[k + half] = kernel[static_cast<size_t>(k + half)];
+  }
+  return {deltas, weights, n};
+}
+
 /// 1-D convolution along an axis with kernel renormalized at borders.
+/// Interior pixels — the whole kernel in bounds — run through the
+/// dispatch-tier gather_row; the interior divisor accumulates the kernel
+/// in the same order the scalar loop does, so the division is bitwise
+/// identical to the historical `acc / weight`.
 Tensor separable_pass(const Tensor& image, const std::vector<float>& kernel,
                       bool horizontal) {
   const int64_t c = image.dim(0);
@@ -313,27 +506,57 @@ Tensor separable_pass(const Tensor& image, const std::vector<float>& kernel,
   Tensor out{image.shape()};
   const float* src = image.data();
   float* dst = out.data();
+  simd::ScratchScope scope;
+  const TapSet taps = separable_taps(kernel, w, horizontal, /*adjoint=*/false);
+  float full_weight = 0.0f;
+  for (const float kv : kernel) {
+    full_weight += kv;
+  }
+  // Interior band along the pass axis; the cross axis is never clipped.
+  const int64_t axis_len = horizontal ? w : h;
+  const bool has_interior = axis_len > 2 * half;
+  const auto& kt = simd::kernels();
+  const auto border_pixel = [&kernel, half, horizontal, h, w](
+                                const float* plane, int64_t y, int64_t x) {
+    float acc = 0.0f;
+    float weight = 0.0f;
+    for (int k = -half; k <= half; ++k) {
+      const int64_t ny = horizontal ? y : y + k;
+      const int64_t nx = horizontal ? x + k : x;
+      if (ny < 0 || ny >= h || nx < 0 || nx >= w) {
+        continue;
+      }
+      const float kv = kernel[static_cast<size_t>(k + half)];
+      acc += kv * plane[ny * w + nx];
+      weight += kv;
+    }
+    return acc / weight;
+  };
   // Pure gather per output pixel: rows split freely across threads.
-  parallel::parallel_for(0, c * h, row_grain(w), [&](int64_t lo, int64_t hi) {
+  const int64_t grain = parallel::gather_grain(c * h, w * (taps.count + 1));
+  parallel::parallel_for(0, c * h, grain, [&](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
       const int64_t ch = r / h;
       const int64_t y = r % h;
       const float* plane = src + ch * h * w;
       float* orow = dst + ch * h * w + y * w;
-      for (int64_t x = 0; x < w; ++x) {
-        float acc = 0.0f;
-        float weight = 0.0f;
-        for (int k = -half; k <= half; ++k) {
-          const int64_t ny = horizontal ? y : y + k;
-          const int64_t nx = horizontal ? x + k : x;
-          if (ny < 0 || ny >= h || nx < 0 || nx >= w) {
-            continue;
-          }
-          const float kv = kernel[static_cast<size_t>(k + half)];
-          acc += kv * plane[ny * w + nx];
-          weight += kv;
+      if (horizontal && has_interior) {
+        kt.gather_row(plane + y * w, orow, half, w - half, taps.deltas,
+                      taps.weights, taps.count, full_weight,
+                      simd::GatherDivide::kAtEnd);
+        for (int64_t x = 0; x < half; ++x) {
+          orow[x] = border_pixel(plane, y, x);
         }
-        orow[x] = acc / weight;
+        for (int64_t x = w - half; x < w; ++x) {
+          orow[x] = border_pixel(plane, y, x);
+        }
+      } else if (!horizontal && has_interior && y >= half && y < h - half) {
+        kt.gather_row(plane + y * w, orow, 0, w, taps.deltas, taps.weights,
+                      taps.count, full_weight, simd::GatherDivide::kAtEnd);
+      } else {
+        for (int64_t x = 0; x < w; ++x) {
+          orow[x] = border_pixel(plane, y, x);
+        }
       }
     }
   });
@@ -352,11 +575,12 @@ Tensor separable_pass_adjoint(const Tensor& grad_output,
   const int64_t h = grad_output.dim(1);
   const int64_t w = grad_output.dim(2);
   const int half = static_cast<int>(kernel.size() / 2);
-  Tensor grad_in = Tensor::zeros(grad_output.shape());
+  Tensor grad_in{grad_output.shape()};
   const float* g = grad_output.data();
   float* gi = grad_in.data();
+  simd::ScratchScope scope;
   const int64_t axis_len = horizontal ? w : h;
-  std::vector<float> axis_weight(static_cast<size_t>(axis_len));
+  float* axis_weight = simd::scratch().alloc_floats(axis_len);
   for (int64_t t = 0; t < axis_len; ++t) {
     float weight = 0.0f;
     for (int k = -half; k <= half; ++k) {
@@ -364,28 +588,55 @@ Tensor separable_pass_adjoint(const Tensor& grad_output,
         weight += kernel[static_cast<size_t>(k + half)];
       }
     }
-    axis_weight[static_cast<size_t>(t)] = weight;
+    axis_weight[t] = weight;
   }
-  parallel::parallel_for(0, c * h, row_grain(w), [&](int64_t lo, int64_t hi) {
+  const TapSet taps = separable_taps(kernel, w, horizontal, /*adjoint=*/true);
+  // Deep interior along the pass axis: every gathered-from position
+  // q = p - k must sit where axis_weight is the full kernel sum, so the
+  // per-term divisor is one constant — twice the kernel reach per side.
+  const bool has_interior = axis_len > 4 * half;
+  const float full_weight = has_interior ? axis_weight[half] : 0.0f;
+  const auto& kt = simd::kernels();
+  const auto border_pixel = [&kernel, axis_weight, half, horizontal, h, w](
+                                const float* gplane, int64_t y, int64_t x) {
+    float acc = 0.0f;
+    for (int k = -half; k <= half; ++k) {
+      const int64_t qy = horizontal ? y : y - k;
+      const int64_t qx = horizontal ? x - k : x;
+      if (qy < 0 || qy >= h || qx < 0 || qx >= w) {
+        continue;
+      }
+      const int64_t q_axis = horizontal ? qx : qy;
+      acc += kernel[static_cast<size_t>(k + half)] * gplane[qy * w + qx] /
+             axis_weight[q_axis];
+    }
+    return acc;
+  };
+  const int64_t grain = parallel::gather_grain(c * h, w * (taps.count + 1));
+  parallel::parallel_for(0, c * h, grain, [&](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
       const int64_t ch = r / h;
       const int64_t y = r % h;
       const float* gplane = g + ch * h * w;
       float* irow = gi + ch * h * w + y * w;
-      for (int64_t x = 0; x < w; ++x) {
-        float acc = 0.0f;
-        for (int k = -half; k <= half; ++k) {
-          const int64_t qy = horizontal ? y : y - k;
-          const int64_t qx = horizontal ? x - k : x;
-          if (qy < 0 || qy >= h || qx < 0 || qx >= w) {
-            continue;
-          }
-          const int64_t q_axis = horizontal ? qx : qy;
-          acc += kernel[static_cast<size_t>(k + half)] *
-                 gplane[qy * w + qx] /
-                 axis_weight[static_cast<size_t>(q_axis)];
+      if (horizontal && has_interior) {
+        kt.gather_row(gplane + y * w, irow, 2 * half, w - 2 * half,
+                      taps.deltas, taps.weights, taps.count, full_weight,
+                      simd::GatherDivide::kPerTerm);
+        for (int64_t x = 0; x < 2 * half; ++x) {
+          irow[x] = border_pixel(gplane, y, x);
         }
-        irow[x] = acc;
+        for (int64_t x = w - 2 * half; x < w; ++x) {
+          irow[x] = border_pixel(gplane, y, x);
+        }
+      } else if (!horizontal && has_interior && y >= 2 * half &&
+                 y < h - 2 * half) {
+        kt.gather_row(gplane + y * w, irow, 0, w, taps.deltas, taps.weights,
+                      taps.count, full_weight, simd::GatherDivide::kPerTerm);
+      } else {
+        for (int64_t x = 0; x < w; ++x) {
+          irow[x] = border_pixel(gplane, y, x);
+        }
       }
     }
   });

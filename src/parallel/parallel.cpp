@@ -292,6 +292,28 @@ int64_t chunk_count(int64_t range, int64_t grain) {
   return (range + grain - 1) / grain;
 }
 
+int64_t gather_grain(int64_t range, int64_t ops_per_item) {
+  if (range <= 1) {
+    return 1;
+  }
+  ops_per_item = std::max<int64_t>(1, ops_per_item);
+  // Usable parallelism: asking for more pool threads than cores (the bench
+  // scaling probe does exactly this on a 1-core machine) buys time-slicing,
+  // not speed, so fan-out decisions look at the smaller of the two.
+  const int width = std::min(num_threads(), hardware_threads());
+  constexpr int64_t kMinFanoutOps = int64_t{1} << 17;
+  constexpr int64_t kMinChunkOps = int64_t{1} << 15;
+  if (width <= 1 || range * ops_per_item < kMinFanoutOps) {
+    return range;  // one chunk: runs inline on the caller
+  }
+  // Big enough chunks to amortize the pool handshake, few enough (<= 4 per
+  // usable thread) to keep claim overhead low while still load-balancing.
+  const int64_t by_ops = kMinChunkOps / ops_per_item;
+  const int64_t by_balance =
+      (range + int64_t{width} * 4 - 1) / (int64_t{width} * 4);
+  return std::min(range, std::max({int64_t{1}, by_ops, by_balance}));
+}
+
 void parallel_for_chunks(int64_t begin, int64_t end, int64_t grain,
                          const ChunkBody& body) {
   Pool::instance().run(begin, end, grain, body);

@@ -1,0 +1,255 @@
+#include "fademl/simd/arena.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::simd {
+
+namespace {
+
+std::atomic<std::uint64_t> g_arena_heap_allocs{0};
+std::atomic<std::uint64_t> g_tensor_heap_allocs{0};
+
+std::size_t align_up(std::size_t v, std::size_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t block_bytes)
+    : block_bytes_(std::max<std::size_t>(block_bytes, kAlignment)) {}
+
+Arena::~Arena() = default;
+
+Arena::Block& Arena::block_with_room(std::size_t bytes) {
+  // Try the current block, then already-cached successors (reset() keeps
+  // them), growing only when nothing cached fits.
+  while (active_ < blocks_.size()) {
+    Block& b = blocks_[active_];
+    // +kAlignment slack: the bump offset re-aligns the *absolute* address,
+    // which can cost up to kAlignment-1 bytes beyond align_up(b.used).
+    if (align_up(b.used, kAlignment) + bytes + kAlignment <= b.size) {
+      return b;
+    }
+    ++active_;
+    if (active_ < blocks_.size()) {
+      blocks_[active_].used = 0;
+    }
+  }
+  const std::size_t size = std::max(bytes, block_bytes_);
+  g_arena_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  // Over-allocate so the bump pointer can start on a 64-byte boundary
+  // regardless of what operator new returned.
+  Block b;
+  b.data = std::make_unique<std::byte[]>(size + kAlignment);
+  b.size = size + kAlignment;
+  b.used = 0;
+  blocks_.push_back(std::move(b));
+  active_ = blocks_.size() - 1;
+  return blocks_.back();
+}
+
+void* Arena::alloc(std::size_t bytes) {
+  if (bytes == 0) {
+    bytes = kAlignment;  // keep the returned pointer distinct and aligned
+  }
+  if (bytes > block_bytes_) {
+    // Oversize fallback: dedicated heap allocation, released on rewind.
+    g_arena_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    oversize_.push_back(std::make_unique<std::byte[]>(bytes + kAlignment));
+    auto p = reinterpret_cast<std::uintptr_t>(oversize_.back().get());
+    return reinterpret_cast<void*>(align_up(p, kAlignment));
+  }
+  Block& b = block_with_room(bytes);
+  const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+  const std::size_t offset = align_up(base + b.used, kAlignment) - base;
+  b.used = offset + bytes;
+  return b.data.get() + offset;
+}
+
+float* Arena::alloc_floats(std::int64_t n) {
+  FADEML_CHECK(n >= 0, "Arena::alloc_floats: negative count");
+  return static_cast<float*>(
+      alloc(static_cast<std::size_t>(n) * sizeof(float)));
+}
+
+Arena::Mark Arena::mark() const {
+  Mark m;
+  m.block = active_;
+  m.offset = active_ < blocks_.size() ? blocks_[active_].used : 0;
+  m.oversize = oversize_.size();
+  return m;
+}
+
+void Arena::rewind(const Mark& m) {
+  FADEML_CHECK(m.block <= blocks_.size() && m.oversize <= oversize_.size(),
+               "Arena::rewind: mark does not belong to this arena state");
+  oversize_.resize(m.oversize);
+  active_ = m.block;
+  if (active_ < blocks_.size()) {
+    blocks_[active_].used = m.offset;
+  }
+}
+
+void Arena::reset() {
+  oversize_.clear();
+  active_ = 0;
+  if (!blocks_.empty()) {
+    blocks_[0].used = 0;
+  }
+}
+
+std::size_t Arena::used() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i <= active_ && i < blocks_.size(); ++i) {
+    total += blocks_[i].used;
+  }
+  return total;
+}
+
+std::size_t Arena::capacity() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) {
+    total += b.size;
+  }
+  return total;
+}
+
+std::uint64_t Arena::heap_allocations() {
+  return g_arena_heap_allocs.load(std::memory_order_relaxed);
+}
+
+Arena& scratch() {
+  thread_local Arena arena;
+  return arena;
+}
+
+ScratchScope::ScratchScope() : mark_(scratch().mark()) {}
+ScratchScope::~ScratchScope() { scratch().rewind(mark_); }
+
+// ---- Tensor buffer pool ---------------------------------------------------
+
+namespace {
+
+using Buffer = std::shared_ptr<std::vector<float>>;
+
+/// Per-thread pool. It keeps a reference to every buffer it lends out
+/// ("lent"); a sweep moves buffers whose pool reference is the last one
+/// back to the size-keyed free list. The mutex makes the sweep safe
+/// against use_count() races only in the trivial sense — correctness
+/// comes from shared_ptr's own atomics: once use_count()==1 is observed
+/// on the pool's copy, no other owner can reappear.
+struct PoolState {
+  // Free bytes beyond this are dropped instead of cached, bounding each
+  // thread's pool at a few working sets of the serve path.
+  static constexpr std::size_t kMaxFreeBytes = std::size_t{64} << 20;
+
+  std::mutex mu;
+  std::unordered_map<std::size_t, std::vector<Buffer>> free;
+  std::vector<Buffer> lent;
+  std::size_t free_bytes = 0;
+
+  void sweep_locked() {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < lent.size(); ++i) {
+      if (lent[i].use_count() == 1) {
+        const std::size_t bytes = lent[i]->size() * sizeof(float);
+        if (free_bytes + bytes <= kMaxFreeBytes) {
+          free_bytes += bytes;
+          free[lent[i]->size()].push_back(std::move(lent[i]));
+        } else {
+          lent[i].reset();
+        }
+      } else {
+        lent[kept++] = std::move(lent[i]);
+      }
+    }
+    lent.resize(kept);
+  }
+
+  /// Recycled exact-size buffer (stale contents, caller initializes), or
+  /// nullptr when nothing suitable is cached.
+  Buffer take(std::size_t n) {
+    std::lock_guard<std::mutex> lock(mu);
+    sweep_locked();
+    auto it = free.find(n);
+    if (it == free.end() || it->second.empty()) {
+      return nullptr;
+    }
+    Buffer b = std::move(it->second.back());
+    it->second.pop_back();
+    free_bytes -= n * sizeof(float);
+    lent.push_back(b);
+    return b;
+  }
+
+  /// Register a freshly allocated buffer for future recycling.
+  void lend(Buffer b) {
+    std::lock_guard<std::mutex> lock(mu);
+    lent.push_back(std::move(b));
+  }
+};
+
+PoolState& pool() {
+  thread_local PoolState state;
+  return state;
+}
+
+thread_local int g_scope_depth = 0;
+
+}  // namespace
+
+MemoryScope::MemoryScope() { ++g_scope_depth; }
+MemoryScope::~MemoryScope() { --g_scope_depth; }
+
+bool pooling_active() { return g_scope_depth > 0; }
+
+std::shared_ptr<std::vector<float>> acquire_buffer(std::size_t n, float fill) {
+  if (pooling_active()) {
+    if (Buffer b = pool().take(n)) {
+      std::fill(b->begin(), b->end(), fill);
+      return b;
+    }
+    g_tensor_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    Buffer b = std::make_shared<std::vector<float>>(n, fill);
+    pool().lend(b);
+    return b;
+  }
+  g_tensor_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<std::vector<float>>(n, fill);
+}
+
+std::shared_ptr<std::vector<float>> acquire_buffer_copy(
+    const std::vector<float>& src) {
+  if (pooling_active()) {
+    if (Buffer b = pool().take(src.size())) {
+      *b = src;  // same size: element copy, no reallocation
+      return b;
+    }
+    g_tensor_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    Buffer b = std::make_shared<std::vector<float>>(src);
+    pool().lend(b);
+    return b;
+  }
+  g_tensor_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<std::vector<float>>(src);
+}
+
+std::uint64_t tensor_heap_allocations() {
+  return g_tensor_heap_allocs.load(std::memory_order_relaxed);
+}
+
+void clear_buffer_pool() {
+  PoolState& p = pool();
+  std::lock_guard<std::mutex> lock(p.mu);
+  p.free.clear();
+  p.free_bytes = 0;
+}
+
+}  // namespace fademl::simd

@@ -1,0 +1,117 @@
+#include "fademl/simd/cpu.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::simd {
+
+namespace {
+
+// -1 = no override; otherwise a CpuLevel value. Atomic so tests that flip
+// tiers from a driver thread while pool workers dispatch stay clean under
+// TSan (tests still serialize flips around kernel calls for sane results).
+std::atomic<int> g_override{-1};
+
+CpuLevel probe_hardware() {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (__builtin_cpu_supports("avx512f")) return CpuLevel::kAvx512;
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return CpuLevel::kAvx2;
+  }
+  if (__builtin_cpu_supports("sse4.2")) return CpuLevel::kSse42;
+#endif
+  return CpuLevel::kScalar;
+}
+
+[[noreturn]] void throw_bad_level(const std::string& what) {
+  std::ostringstream oss;
+  oss << what << "; accepted tiers on this machine:";
+  for (int l = 0; l <= static_cast<int>(hardware_level()); ++l) {
+    oss << ' ' << level_name(static_cast<CpuLevel>(l));
+  }
+  throw Error(oss.str());
+}
+
+}  // namespace
+
+const char* level_name(CpuLevel level) {
+  switch (level) {
+    case CpuLevel::kScalar:
+      return "scalar";
+    case CpuLevel::kSse42:
+      return "sse42";
+    case CpuLevel::kAvx2:
+      return "avx2";
+    case CpuLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+CpuLevel hardware_level() {
+  static const CpuLevel level = probe_hardware();
+  return level;
+}
+
+namespace detail {
+
+CpuLevel parse_cpu_level(const char* spec) {
+  if (spec == nullptr || spec[0] == '\0') return hardware_level();
+  const std::string s(spec);
+  CpuLevel parsed;
+  if (s == "scalar") {
+    parsed = CpuLevel::kScalar;
+  } else if (s == "sse42") {
+    parsed = CpuLevel::kSse42;
+  } else if (s == "avx2") {
+    parsed = CpuLevel::kAvx2;
+  } else if (s == "avx512") {
+    parsed = CpuLevel::kAvx512;
+  } else {
+    throw_bad_level("FADEML_CPU_LEVEL: unknown tier \"" + s + "\"");
+  }
+  if (parsed > hardware_level()) {
+    throw_bad_level("FADEML_CPU_LEVEL: tier \"" + s +
+                    "\" not supported by this CPU");
+  }
+  return parsed;
+}
+
+}  // namespace detail
+
+CpuLevel active_level() {
+  const int o = g_override.load(std::memory_order_acquire);
+  if (o >= 0) return static_cast<CpuLevel>(o);
+  // The env is parsed once: the first caller wins, and a malformed value
+  // throws out of that first kernel dispatch rather than being remembered.
+  static const CpuLevel env_level =
+      detail::parse_cpu_level(std::getenv("FADEML_CPU_LEVEL"));
+  return env_level;
+}
+
+void set_level_override(CpuLevel level) {
+  if (level > hardware_level()) {
+    throw_bad_level(std::string("set_level_override: tier \"") +
+                    level_name(level) + "\" not supported by this CPU");
+  }
+  g_override.store(static_cast<int>(level), std::memory_order_release);
+}
+
+void clear_level_override() {
+  g_override.store(-1, std::memory_order_release);
+}
+
+std::vector<CpuLevel> supported_levels() {
+  std::vector<CpuLevel> levels;
+  for (int l = 0; l <= static_cast<int>(hardware_level()); ++l) {
+    levels.push_back(static_cast<CpuLevel>(l));
+  }
+  return levels;
+}
+
+}  // namespace fademl::simd

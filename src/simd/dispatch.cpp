@@ -1,0 +1,34 @@
+#include <string>
+
+#include "fademl/simd/kernels.hpp"
+#include "fademl/tensor/error.hpp"
+
+namespace fademl::simd {
+
+const KernelTable& kernels_for(CpuLevel level) {
+  if (level > hardware_level()) {
+    throw Error(std::string("kernels_for: tier \"") + level_name(level) +
+                "\" not supported by this CPU (hardware tops out at \"" +
+                level_name(hardware_level()) + "\")");
+  }
+  switch (level) {
+    case CpuLevel::kScalar:
+      return detail::scalar_table();
+#if defined(__x86_64__) || defined(_M_X64)
+    case CpuLevel::kSse42:
+      return detail::sse42_table();
+    case CpuLevel::kAvx2:
+      return detail::avx2_table();
+    case CpuLevel::kAvx512:
+      return detail::avx512_table();
+#else
+    default:
+      break;
+#endif
+  }
+  return detail::scalar_table();
+}
+
+const KernelTable& kernels() { return kernels_for(active_level()); }
+
+}  // namespace fademl::simd

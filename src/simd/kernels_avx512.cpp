@@ -1,0 +1,114 @@
+// AVX-512 tier (x86-64 only; compiled with -mavx512f — detection also
+// only checks avx512f, so nothing here may use DQ/BW/VL instructions;
+// bitwise float logic goes through the F-only epi32 forms). FMA only in
+// gemm, like the AVX2 tier.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "kernels_impl.hpp"
+
+namespace fademl::simd::detail {
+
+namespace {
+
+struct V {
+  using vec = __m512;
+  static constexpr int width = 16;
+  static vec load(const float* p) { return _mm512_loadu_ps(p); }
+  static void store(float* p, vec v) { _mm512_storeu_ps(p, v); }
+  static vec set1(float s) { return _mm512_set1_ps(s); }
+  static vec zero() { return _mm512_setzero_ps(); }
+  static vec add(vec a, vec b) { return _mm512_add_ps(a, b); }
+  static vec sub(vec a, vec b) { return _mm512_sub_ps(a, b); }
+  static vec mul(vec a, vec b) { return _mm512_mul_ps(a, b); }
+  static vec div(vec a, vec b) { return _mm512_div_ps(a, b); }
+  static vec min(vec a, vec b) { return _mm512_min_ps(a, b); }
+  static vec max(vec a, vec b) { return _mm512_max_ps(a, b); }
+  static vec sqrt(vec a) { return _mm512_sqrt_ps(a); }
+  static vec abs(vec a) {
+    return _mm512_castsi512_ps(_mm512_and_epi32(
+        _mm512_castps_si512(a), _mm512_set1_epi32(0x7fffffff)));
+  }
+  static vec neg(vec a) {
+    return _mm512_castsi512_ps(_mm512_xor_epi32(
+        _mm512_castps_si512(a),
+        _mm512_set1_epi32(static_cast<int>(0x80000000u))));
+  }
+  static vec sign(vec a) {
+    const __mmask16 gt = _mm512_cmp_ps_mask(a, zero(), _CMP_GT_OQ);
+    const __mmask16 lt = _mm512_cmp_ps_mask(a, zero(), _CMP_LT_OQ);
+    const vec pos = _mm512_maskz_mov_ps(gt, set1(1.0f));
+    return _mm512_mask_mov_ps(pos, lt, set1(-1.0f));
+  }
+  static vec fmadd(vec a, vec b, vec c) { return _mm512_fmadd_ps(a, b, c); }
+};
+
+// 6x64 microkernel: 24 accumulators + 4 B vectors + 1 broadcast in 32 zmm.
+constexpr int kMR = 6;
+constexpr int kNV = 4;
+
+void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, int64_t row_lo, int64_t row_hi) {
+  gemm_impl<V, kMR, kNV>(a, b, c, m, k, n, row_lo, row_hi);
+}
+void add(const float* a, const float* b, float* dst, int64_t n) {
+  add_impl<V>(a, b, dst, n);
+}
+void sub(const float* a, const float* b, float* dst, int64_t n) {
+  sub_impl<V>(a, b, dst, n);
+}
+void mul(const float* a, const float* b, float* dst, int64_t n) {
+  mul_impl<V>(a, b, dst, n);
+}
+void div(const float* a, const float* b, float* dst, int64_t n) {
+  div_impl<V>(a, b, dst, n);
+}
+void add_scalar(const float* a, float s, float* dst, int64_t n) {
+  add_scalar_impl<V>(a, s, dst, n);
+}
+void mul_scalar(const float* a, float s, float* dst, int64_t n) {
+  mul_scalar_impl<V>(a, s, dst, n);
+}
+void relu(const float* a, float* dst, int64_t n) { relu_impl<V>(a, dst, n); }
+void clamp(const float* a, float lo, float hi, float* dst, int64_t n) {
+  clamp_impl<V>(a, lo, hi, dst, n);
+}
+void sqrt(const float* a, float* dst, int64_t n) { sqrt_impl<V>(a, dst, n); }
+void abs(const float* a, float* dst, int64_t n) { abs_impl<V>(a, dst, n); }
+void neg(const float* a, float* dst, int64_t n) { neg_impl<V>(a, dst, n); }
+void sign(const float* a, float* dst, int64_t n) { sign_impl<V>(a, dst, n); }
+void add_scaled(const float* a, const float* b, float s, float* dst,
+                int64_t n) {
+  add_scaled_impl<V>(a, b, s, dst, n);
+}
+void add_scaled_clamp(const float* a, const float* b, float s, float lo,
+                      float hi, float* dst, int64_t n) {
+  add_scaled_clamp_impl<V>(a, b, s, lo, hi, dst, n);
+}
+void axpy(float* y, const float* x, float s, int64_t n) {
+  axpy_impl<V>(y, x, s, n);
+}
+void gather_row(const float* src, float* dst, int64_t x_lo, int64_t x_hi,
+                const int64_t* deltas, const float* weights, int n_taps,
+                float divisor, GatherDivide mode) {
+  gather_row_impl<V>(src, dst, x_lo, x_hi, deltas, weights, n_taps, divisor,
+                     mode);
+}
+
+}  // namespace
+
+const KernelTable& avx512_table() {
+  static const KernelTable table{
+      CpuLevel::kAvx512, &gemm, &add,  &sub,  &mul,
+      &div,              &add_scalar,  &mul_scalar, &relu, &clamp,
+      &sqrt,             &abs,         &neg,        &sign, &add_scaled,
+      &add_scaled_clamp, &axpy,        &gather_row,
+  };
+  return table;
+}
+
+}  // namespace fademl::simd::detail
+
+#endif  // x86-64

@@ -1,0 +1,306 @@
+#pragma once
+
+// Generic kernel bodies, instantiated once per dispatch tier with that
+// tier's vector traits (src/simd/kernels_{sse42,avx2,avx512}.cpp) so each
+// TU compiles under its own ISA flags. Two invariants every edit must
+// keep (tests/simd_kernels_test.cpp enforces both):
+//
+//  * Elementwise + gather kernels are BITWISE identical to the scalar
+//    table: no FMA (fused ops are separate mul-then-add), scalar tails
+//    use the exact expressions from kernels_scalar.cpp, and min/max
+//    argument order reproduces x86 NaN semantics ((a OP b) ? a : b,
+//    NaN -> b).
+//  * gemm may fuse and reassociate, but each output row's arithmetic is
+//    a pure function of (row index, k, n) — never of the [row_lo,
+//    row_hi) chunk it ran in — so thread count cannot change results.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "fademl/simd/kernels.hpp"
+
+namespace fademl::simd::detail {
+
+template <class V>
+void add_impl(const float* a, const float* b, float* dst, int64_t n) {
+  int64_t i = 0;
+  for (; i + V::width <= n; i += V::width) {
+    V::store(dst + i, V::add(V::load(a + i), V::load(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] + b[i];
+}
+
+template <class V>
+void sub_impl(const float* a, const float* b, float* dst, int64_t n) {
+  int64_t i = 0;
+  for (; i + V::width <= n; i += V::width) {
+    V::store(dst + i, V::sub(V::load(a + i), V::load(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] - b[i];
+}
+
+template <class V>
+void mul_impl(const float* a, const float* b, float* dst, int64_t n) {
+  int64_t i = 0;
+  for (; i + V::width <= n; i += V::width) {
+    V::store(dst + i, V::mul(V::load(a + i), V::load(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] * b[i];
+}
+
+template <class V>
+void div_impl(const float* a, const float* b, float* dst, int64_t n) {
+  int64_t i = 0;
+  for (; i + V::width <= n; i += V::width) {
+    V::store(dst + i, V::div(V::load(a + i), V::load(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] / b[i];
+}
+
+template <class V>
+void add_scalar_impl(const float* a, float s, float* dst, int64_t n) {
+  const auto sv = V::set1(s);
+  int64_t i = 0;
+  for (; i + V::width <= n; i += V::width) {
+    V::store(dst + i, V::add(V::load(a + i), sv));
+  }
+  for (; i < n; ++i) dst[i] = a[i] + s;
+}
+
+template <class V>
+void mul_scalar_impl(const float* a, float s, float* dst, int64_t n) {
+  const auto sv = V::set1(s);
+  int64_t i = 0;
+  for (; i + V::width <= n; i += V::width) {
+    V::store(dst + i, V::mul(V::load(a + i), sv));
+  }
+  for (; i < n; ++i) dst[i] = a[i] * s;
+}
+
+template <class V>
+void relu_impl(const float* a, float* dst, int64_t n) {
+  const auto zero = V::zero();
+  int64_t i = 0;
+  // max(x, 0): (x > 0) ? x : 0, so NaN lanes produce 0 exactly like the
+  // scalar `x > 0 ? x : 0`.
+  for (; i + V::width <= n; i += V::width) {
+    V::store(dst + i, V::max(V::load(a + i), zero));
+  }
+  for (; i < n; ++i) dst[i] = a[i] > 0.0f ? a[i] : 0.0f;
+}
+
+template <class V>
+void clamp_impl(const float* a, float lo, float hi, float* dst, int64_t n) {
+  const auto lov = V::set1(lo);
+  const auto hiv = V::set1(hi);
+  int64_t i = 0;
+  // min(max(x, lo), hi) with these argument orders maps NaN to lo, like
+  // std::min(hi, std::max(lo, x)).
+  for (; i + V::width <= n; i += V::width) {
+    V::store(dst + i, V::min(V::max(V::load(a + i), lov), hiv));
+  }
+  for (; i < n; ++i) dst[i] = std::min(hi, std::max(lo, a[i]));
+}
+
+template <class V>
+void sqrt_impl(const float* a, float* dst, int64_t n) {
+  int64_t i = 0;
+  for (; i + V::width <= n; i += V::width) {
+    V::store(dst + i, V::sqrt(V::load(a + i)));
+  }
+  for (; i < n; ++i) dst[i] = std::sqrt(a[i]);
+}
+
+template <class V>
+void abs_impl(const float* a, float* dst, int64_t n) {
+  int64_t i = 0;
+  for (; i + V::width <= n; i += V::width) {
+    V::store(dst + i, V::abs(V::load(a + i)));
+  }
+  for (; i < n; ++i) dst[i] = std::fabs(a[i]);
+}
+
+template <class V>
+void neg_impl(const float* a, float* dst, int64_t n) {
+  int64_t i = 0;
+  for (; i + V::width <= n; i += V::width) {
+    V::store(dst + i, V::neg(V::load(a + i)));
+  }
+  for (; i < n; ++i) dst[i] = -a[i];
+}
+
+template <class V>
+void sign_impl(const float* a, float* dst, int64_t n) {
+  int64_t i = 0;
+  for (; i + V::width <= n; i += V::width) {
+    V::store(dst + i, V::sign(V::load(a + i)));
+  }
+  for (; i < n; ++i) {
+    dst[i] = a[i] > 0.0f ? 1.0f : (a[i] < 0.0f ? -1.0f : 0.0f);
+  }
+}
+
+template <class V>
+void add_scaled_impl(const float* a, const float* b, float s, float* dst,
+                     int64_t n) {
+  const auto sv = V::set1(s);
+  int64_t i = 0;
+  for (; i + V::width <= n; i += V::width) {
+    V::store(dst + i, V::add(V::load(a + i), V::mul(sv, V::load(b + i))));
+  }
+  for (; i < n; ++i) dst[i] = a[i] + s * b[i];
+}
+
+template <class V>
+void add_scaled_clamp_impl(const float* a, const float* b, float s, float lo,
+                           float hi, float* dst, int64_t n) {
+  const auto sv = V::set1(s);
+  const auto lov = V::set1(lo);
+  const auto hiv = V::set1(hi);
+  int64_t i = 0;
+  for (; i + V::width <= n; i += V::width) {
+    const auto t = V::add(V::load(a + i), V::mul(sv, V::load(b + i)));
+    V::store(dst + i, V::min(V::max(t, lov), hiv));
+  }
+  for (; i < n; ++i) {
+    dst[i] = std::min(hi, std::max(lo, a[i] + s * b[i]));
+  }
+}
+
+template <class V>
+void axpy_impl(float* y, const float* x, float s, int64_t n) {
+  const auto sv = V::set1(s);
+  int64_t i = 0;
+  for (; i + V::width <= n; i += V::width) {
+    V::store(y + i, V::add(V::load(y + i), V::mul(sv, V::load(x + i))));
+  }
+  for (; i < n; ++i) y[i] = y[i] + s * x[i];
+}
+
+template <class V>
+void gather_row_impl(const float* src, float* dst, int64_t x_lo, int64_t x_hi,
+                     const int64_t* deltas, const float* weights, int n_taps,
+                     float divisor, GatherDivide mode) {
+  const auto dv = V::set1(divisor);
+  int64_t x = x_lo;
+  for (; x + V::width <= x_hi; x += V::width) {
+    // Seed from tap 0 (not 0.0f + tap 0): an all-(-0.0) neighborhood must
+    // keep its sign exactly like the scalar accumulator does.
+    auto acc = V::mul(V::set1(weights[0]), V::load(src + x + deltas[0]));
+    if (mode == GatherDivide::kPerTerm) acc = V::div(acc, dv);
+    for (int j = 1; j < n_taps; ++j) {
+      auto t = V::mul(V::set1(weights[j]), V::load(src + x + deltas[j]));
+      if (mode == GatherDivide::kPerTerm) t = V::div(t, dv);
+      acc = V::add(acc, t);
+    }
+    if (mode == GatherDivide::kAtEnd) acc = V::div(acc, dv);
+    V::store(dst + x, acc);
+  }
+  for (; x < x_hi; ++x) {
+    float acc = weights[0] * src[x + deltas[0]];
+    if (mode == GatherDivide::kPerTerm) acc /= divisor;
+    for (int j = 1; j < n_taps; ++j) {
+      float t = weights[j] * src[x + deltas[j]];
+      if (mode == GatherDivide::kPerTerm) t /= divisor;
+      acc += t;
+    }
+    if (mode == GatherDivide::kAtEnd) acc /= divisor;
+    dst[x] = acc;
+  }
+}
+
+// ---- GEMM -----------------------------------------------------------------
+
+/// Rows [i0, i0+RM) over every column: one register-blocked microkernel
+/// sweep. RM is a compile-time constant so the accumulator array stays in
+/// registers; the caller dispatches the final short row group through
+/// gemm_rows_tail.
+template <class V, int NV, int RM>
+void gemm_panel(const float* a, const float* b, float* c, int64_t k, int64_t n,
+                int64_t i0) {
+  constexpr int W = V::width;
+  constexpr int NR = NV * W;
+  int64_t j0 = 0;
+  for (; j0 + NR <= n; j0 += NR) {
+    typename V::vec acc[RM][NV];
+    for (int r = 0; r < RM; ++r) {
+      for (int v = 0; v < NV; ++v) acc[r][v] = V::zero();
+    }
+    for (int64_t kk = 0; kk < k; ++kk) {
+      typename V::vec bv[NV];
+      const float* brow = b + kk * n + j0;
+      for (int v = 0; v < NV; ++v) bv[v] = V::load(brow + v * W);
+      for (int r = 0; r < RM; ++r) {
+        const auto av = V::set1(a[(i0 + r) * k + kk]);
+        for (int v = 0; v < NV; ++v) {
+          acc[r][v] = V::fmadd(av, bv[v], acc[r][v]);
+        }
+      }
+    }
+    for (int r = 0; r < RM; ++r) {
+      for (int v = 0; v < NV; ++v) {
+        V::store(c + (i0 + r) * n + j0 + v * W, acc[r][v]);
+      }
+    }
+  }
+  // Column tails: one vector at a time, then scalar columns. Each row's
+  // chain still only depends on (row, j0, k) — bitwise chunk-stable.
+  for (; j0 + W <= n; j0 += W) {
+    for (int r = 0; r < RM; ++r) {
+      auto accv = V::zero();
+      const float* arow = a + (i0 + r) * k;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        accv = V::fmadd(V::set1(arow[kk]), V::load(b + kk * n + j0), accv);
+      }
+      V::store(c + (i0 + r) * n + j0, accv);
+    }
+  }
+  for (; j0 < n; ++j0) {
+    for (int r = 0; r < RM; ++r) {
+      float accs = 0.0f;
+      const float* arow = a + (i0 + r) * k;
+      for (int64_t kk = 0; kk < k; ++kk) accs += arow[kk] * b[kk * n + j0];
+      c[(i0 + r) * n + j0] = accs;
+    }
+  }
+}
+
+template <class V, int NV>
+void gemm_rows_tail(const float* a, const float* b, float* c, int64_t k,
+                    int64_t n, int64_t i0, int64_t rows) {
+  switch (rows) {
+    case 1:
+      gemm_panel<V, NV, 1>(a, b, c, k, n, i0);
+      break;
+    case 2:
+      gemm_panel<V, NV, 2>(a, b, c, k, n, i0);
+      break;
+    case 3:
+      gemm_panel<V, NV, 3>(a, b, c, k, n, i0);
+      break;
+    case 4:
+      gemm_panel<V, NV, 4>(a, b, c, k, n, i0);
+      break;
+    case 5:
+      gemm_panel<V, NV, 5>(a, b, c, k, n, i0);
+      break;
+    default:
+      break;
+  }
+}
+
+template <class V, int MR, int NV>
+void gemm_impl(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n, int64_t row_lo, int64_t row_hi) {
+  (void)m;
+  int64_t i0 = row_lo;
+  for (; i0 + MR <= row_hi; i0 += MR) {
+    gemm_panel<V, NV, MR>(a, b, c, k, n, i0);
+  }
+  if (i0 < row_hi) {
+    gemm_rows_tail<V, NV>(a, b, c, k, n, i0, row_hi - i0);
+  }
+}
+
+}  // namespace fademl::simd::detail

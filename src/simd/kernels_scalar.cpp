@@ -1,0 +1,134 @@
+// The scalar dispatch tier: these loops ARE the pre-SIMD kernels from
+// src/tensor/ops.cpp / src/filters/filter.cpp, kept verbatim as the
+// golden reference every vector tier is differentially pinned against
+// (tests/simd_kernels_test.cpp). Change nothing here without updating
+// the prediction-identity goldens — scalar-tier output is a compatibility
+// contract.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "fademl/simd/kernels.hpp"
+
+namespace fademl::simd::detail {
+
+namespace {
+
+void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, int64_t row_lo, int64_t row_hi) {
+  (void)m;
+  // i-k-j with the historical zero-skip: C rows arrive zeroed and are
+  // accumulated in ascending-k order, bitwise identical to the original
+  // matmul at every chunking.
+  for (int64_t i = row_lo; i < row_hi; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* brow = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void add(const float* a, const float* b, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = a[i] + b[i];
+}
+
+void sub(const float* a, const float* b, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = a[i] - b[i];
+}
+
+void mul(const float* a, const float* b, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = a[i] * b[i];
+}
+
+void div(const float* a, const float* b, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = a[i] / b[i];
+}
+
+void add_scalar(const float* a, float s, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = a[i] + s;
+}
+
+void mul_scalar(const float* a, float s, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = a[i] * s;
+}
+
+void relu(const float* a, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = a[i] > 0.0f ? a[i] : 0.0f;
+}
+
+void clamp(const float* a, float lo, float hi, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = std::min(hi, std::max(lo, a[i]));
+}
+
+void sqrt(const float* a, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = std::sqrt(a[i]);
+}
+
+void abs(const float* a, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = std::fabs(a[i]);
+}
+
+void neg(const float* a, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = -a[i];
+}
+
+void sign(const float* a, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    dst[i] = a[i] > 0.0f ? 1.0f : (a[i] < 0.0f ? -1.0f : 0.0f);
+  }
+}
+
+void add_scaled(const float* a, const float* b, float s, float* dst,
+                int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = a[i] + s * b[i];
+}
+
+void add_scaled_clamp(const float* a, const float* b, float s, float lo,
+                      float hi, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    dst[i] = std::min(hi, std::max(lo, a[i] + s * b[i]));
+  }
+}
+
+void axpy(float* y, const float* x, float s, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = y[i] + s * x[i];
+}
+
+void gather_row(const float* src, float* dst, int64_t x_lo, int64_t x_hi,
+                const int64_t* deltas, const float* weights, int n_taps,
+                float divisor, GatherDivide mode) {
+  for (int64_t x = x_lo; x < x_hi; ++x) {
+    float acc = weights[0] * src[x + deltas[0]];
+    if (mode == GatherDivide::kPerTerm) acc /= divisor;
+    for (int j = 1; j < n_taps; ++j) {
+      float t = weights[j] * src[x + deltas[j]];
+      if (mode == GatherDivide::kPerTerm) t /= divisor;
+      acc += t;
+    }
+    if (mode == GatherDivide::kAtEnd) acc /= divisor;
+    dst[x] = acc;
+  }
+}
+
+}  // namespace
+
+const KernelTable& scalar_table() {
+  static const KernelTable table{
+      CpuLevel::kScalar, &gemm,  &add,  &sub,  &mul,
+      &div,              &add_scalar,  &mul_scalar, &relu, &clamp,
+      &sqrt,             &abs,         &neg,        &sign, &add_scaled,
+      &add_scaled_clamp, &axpy,        &gather_row,
+  };
+  return table;
+}
+
+}  // namespace fademl::simd::detail

@@ -1,0 +1,108 @@
+// SSE tier (x86-64 only; compiled with -msse4.2). 128-bit lanes, no FMA
+// hardware, so gemm's fmadd is mul-then-add — still deterministic within
+// the tier. Everything but gemm is bitwise identical to the scalar table.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "kernels_impl.hpp"
+
+namespace fademl::simd::detail {
+
+namespace {
+
+struct V {
+  using vec = __m128;
+  static constexpr int width = 4;
+  static vec load(const float* p) { return _mm_loadu_ps(p); }
+  static void store(float* p, vec v) { _mm_storeu_ps(p, v); }
+  static vec set1(float s) { return _mm_set1_ps(s); }
+  static vec zero() { return _mm_setzero_ps(); }
+  static vec add(vec a, vec b) { return _mm_add_ps(a, b); }
+  static vec sub(vec a, vec b) { return _mm_sub_ps(a, b); }
+  static vec mul(vec a, vec b) { return _mm_mul_ps(a, b); }
+  static vec div(vec a, vec b) { return _mm_div_ps(a, b); }
+  // x86 min/max: (a OP b) ? a : b, NaN -> b. kernels_impl relies on this.
+  static vec min(vec a, vec b) { return _mm_min_ps(a, b); }
+  static vec max(vec a, vec b) { return _mm_max_ps(a, b); }
+  static vec sqrt(vec a) { return _mm_sqrt_ps(a); }
+  static vec abs(vec a) { return _mm_andnot_ps(set1(-0.0f), a); }
+  static vec neg(vec a) { return _mm_xor_ps(a, set1(-0.0f)); }
+  static vec sign(vec a) {
+    const vec gt = _mm_and_ps(_mm_cmpgt_ps(a, zero()), set1(1.0f));
+    const vec lt = _mm_and_ps(_mm_cmplt_ps(a, zero()), set1(-1.0f));
+    return _mm_or_ps(gt, lt);
+  }
+  static vec fmadd(vec a, vec b, vec c) {
+    return _mm_add_ps(_mm_mul_ps(a, b), c);
+  }
+};
+
+// 4x8 microkernel: 8 accumulators + 2 B vectors + 1 broadcast in 16 xmm.
+constexpr int kMR = 4;
+constexpr int kNV = 2;
+
+void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, int64_t row_lo, int64_t row_hi) {
+  gemm_impl<V, kMR, kNV>(a, b, c, m, k, n, row_lo, row_hi);
+}
+void add(const float* a, const float* b, float* dst, int64_t n) {
+  add_impl<V>(a, b, dst, n);
+}
+void sub(const float* a, const float* b, float* dst, int64_t n) {
+  sub_impl<V>(a, b, dst, n);
+}
+void mul(const float* a, const float* b, float* dst, int64_t n) {
+  mul_impl<V>(a, b, dst, n);
+}
+void div(const float* a, const float* b, float* dst, int64_t n) {
+  div_impl<V>(a, b, dst, n);
+}
+void add_scalar(const float* a, float s, float* dst, int64_t n) {
+  add_scalar_impl<V>(a, s, dst, n);
+}
+void mul_scalar(const float* a, float s, float* dst, int64_t n) {
+  mul_scalar_impl<V>(a, s, dst, n);
+}
+void relu(const float* a, float* dst, int64_t n) { relu_impl<V>(a, dst, n); }
+void clamp(const float* a, float lo, float hi, float* dst, int64_t n) {
+  clamp_impl<V>(a, lo, hi, dst, n);
+}
+void sqrt(const float* a, float* dst, int64_t n) { sqrt_impl<V>(a, dst, n); }
+void abs(const float* a, float* dst, int64_t n) { abs_impl<V>(a, dst, n); }
+void neg(const float* a, float* dst, int64_t n) { neg_impl<V>(a, dst, n); }
+void sign(const float* a, float* dst, int64_t n) { sign_impl<V>(a, dst, n); }
+void add_scaled(const float* a, const float* b, float s, float* dst,
+                int64_t n) {
+  add_scaled_impl<V>(a, b, s, dst, n);
+}
+void add_scaled_clamp(const float* a, const float* b, float s, float lo,
+                      float hi, float* dst, int64_t n) {
+  add_scaled_clamp_impl<V>(a, b, s, lo, hi, dst, n);
+}
+void axpy(float* y, const float* x, float s, int64_t n) {
+  axpy_impl<V>(y, x, s, n);
+}
+void gather_row(const float* src, float* dst, int64_t x_lo, int64_t x_hi,
+                const int64_t* deltas, const float* weights, int n_taps,
+                float divisor, GatherDivide mode) {
+  gather_row_impl<V>(src, dst, x_lo, x_hi, deltas, weights, n_taps, divisor,
+                     mode);
+}
+
+}  // namespace
+
+const KernelTable& sse42_table() {
+  static const KernelTable table{
+      CpuLevel::kSse42,  &gemm, &add,  &sub,  &mul,
+      &div,              &add_scalar,  &mul_scalar, &relu, &clamp,
+      &sqrt,             &abs,         &neg,        &sign, &add_scaled,
+      &add_scaled_clamp, &axpy,        &gather_row,
+  };
+  return table;
+}
+
+}  // namespace fademl::simd::detail
+
+#endif  // x86-64

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <numeric>
 
 #include "fademl/parallel/parallel.hpp"
+#include "fademl/simd/arena.hpp"
+#include "fademl/simd/kernels.hpp"
 #include "fademl/tensor/error.hpp"
 
 namespace fademl {
@@ -14,7 +17,9 @@ namespace {
 
 // Elementwise work is only worth fanning out above this size; the chunking
 // itself is deterministic (see parallel.hpp), and elementwise outputs are
-// disjoint, so the threshold never changes results.
+// disjoint, so the threshold never changes results. The simd layer keeps
+// every elementwise tier bitwise identical to scalar, so dispatch never
+// changes results either (docs/performance.md).
 constexpr int64_t kElementwiseGrain = 1 << 14;
 
 void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
@@ -23,8 +28,29 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
                    " vs " + b.shape().str());
 }
 
+/// Run a contiguous-span kernel `fn(a_span, dst_span, len)` over the whole
+/// tensor, splitting across the pool above the grain.
 template <typename Fn>
-Tensor binary_op(const Tensor& a, const Tensor& b, const char* name, Fn fn) {
+Tensor unary_kernel_op(const Tensor& a, Fn fn) {
+  Tensor out{a.shape()};
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  if (n <= kElementwiseGrain) {
+    fn(pa, po, n);
+    return out;
+  }
+  parallel::parallel_for(0, n, kElementwiseGrain,
+                         [&](int64_t lo, int64_t hi) {
+                           fn(pa + lo, po + lo, hi - lo);
+                         });
+  return out;
+}
+
+/// Same for two-input kernels `fn(a_span, b_span, dst_span, len)`.
+template <typename Fn>
+Tensor binary_kernel_op(const Tensor& a, const Tensor& b, const char* name,
+                        Fn fn) {
   check_same_shape(a, b, name);
   Tensor out{a.shape()};
   const float* pa = a.data();
@@ -32,69 +58,61 @@ Tensor binary_op(const Tensor& a, const Tensor& b, const char* name, Fn fn) {
   float* po = out.data();
   const int64_t n = a.numel();
   if (n <= kElementwiseGrain) {
-    for (int64_t i = 0; i < n; ++i) {
-      po[i] = fn(pa[i], pb[i]);
-    }
+    fn(pa, pb, po, n);
     return out;
   }
   parallel::parallel_for(0, n, kElementwiseGrain,
                          [&](int64_t lo, int64_t hi) {
-                           for (int64_t i = lo; i < hi; ++i) {
-                             po[i] = fn(pa[i], pb[i]);
-                           }
+                           fn(pa + lo, pb + lo, po + lo, hi - lo);
                          });
   return out;
 }
 
+/// Ops with no kernel-table entry (exp/log/tanh/map) keep the original
+/// scalar lambda path.
 template <typename Fn>
 Tensor unary_op(const Tensor& a, Fn fn) {
-  Tensor out{a.shape()};
-  const float* pa = a.data();
-  float* po = out.data();
-  const int64_t n = a.numel();
-  if (n <= kElementwiseGrain) {
-    for (int64_t i = 0; i < n; ++i) {
+  return unary_kernel_op(a, [&fn](const float* pa, float* po, int64_t len) {
+    for (int64_t i = 0; i < len; ++i) {
       po[i] = fn(pa[i]);
     }
-    return out;
-  }
-  parallel::parallel_for(0, n, kElementwiseGrain,
-                         [&](int64_t lo, int64_t hi) {
-                           for (int64_t i = lo; i < hi; ++i) {
-                             po[i] = fn(pa[i]);
-                           }
-                         });
-  return out;
+  });
 }
 
 }  // namespace
 
 Tensor add(const Tensor& a, const Tensor& b) {
-  return binary_op(a, b, "add", [](float x, float y) { return x + y; });
+  return binary_kernel_op(a, b, "add", simd::kernels().add);
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
-  return binary_op(a, b, "sub", [](float x, float y) { return x - y; });
+  return binary_kernel_op(a, b, "sub", simd::kernels().sub);
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
-  return binary_op(a, b, "mul", [](float x, float y) { return x * y; });
+  return binary_kernel_op(a, b, "mul", simd::kernels().mul);
 }
 
 Tensor div(const Tensor& a, const Tensor& b) {
-  return binary_op(a, b, "div", [](float x, float y) { return x / y; });
+  return binary_kernel_op(a, b, "div", simd::kernels().div);
 }
 
 Tensor add(const Tensor& a, float s) {
-  return unary_op(a, [s](float x) { return x + s; });
+  const auto& kt = simd::kernels();
+  return unary_kernel_op(a, [&kt, s](const float* pa, float* po, int64_t n) {
+    kt.add_scalar(pa, s, po, n);
+  });
 }
 
 Tensor mul(const Tensor& a, float s) {
-  return unary_op(a, [s](float x) { return x * s; });
+  const auto& kt = simd::kernels();
+  return unary_kernel_op(a, [&kt, s](const float* pa, float* po, int64_t n) {
+    kt.mul_scalar(pa, s, po, n);
+  });
 }
 
 Tensor neg(const Tensor& a) {
-  return unary_op(a, [](float x) { return -x; });
+  return unary_kernel_op(a, simd::kernels().neg);
 }
 
 Tensor exp(const Tensor& a) {
@@ -106,21 +124,19 @@ Tensor log(const Tensor& a) {
 }
 
 Tensor sqrt(const Tensor& a) {
-  return unary_op(a, [](float x) { return std::sqrt(x); });
+  return unary_kernel_op(a, simd::kernels().sqrt);
 }
 
 Tensor abs(const Tensor& a) {
-  return unary_op(a, [](float x) { return std::fabs(x); });
+  return unary_kernel_op(a, simd::kernels().abs);
 }
 
 Tensor sign(const Tensor& a) {
-  return unary_op(a, [](float x) {
-    return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
-  });
+  return unary_kernel_op(a, simd::kernels().sign);
 }
 
 Tensor relu(const Tensor& a) {
-  return unary_op(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+  return unary_kernel_op(a, simd::kernels().relu);
 }
 
 Tensor tanh(const Tensor& a) {
@@ -129,11 +145,36 @@ Tensor tanh(const Tensor& a) {
 
 Tensor clamp(const Tensor& a, float lo, float hi) {
   FADEML_CHECK(lo <= hi, "clamp requires lo <= hi");
-  return unary_op(a, [lo, hi](float x) { return std::min(hi, std::max(lo, x)); });
+  const auto& kt = simd::kernels();
+  return unary_kernel_op(a,
+                         [&kt, lo, hi](const float* pa, float* po, int64_t n) {
+                           kt.clamp(pa, lo, hi, po, n);
+                         });
 }
 
 Tensor map(const Tensor& a, const std::function<float(float)>& fn) {
   return unary_op(a, fn);
+}
+
+Tensor add_scaled(const Tensor& a, const Tensor& b, float s) {
+  const auto& kt = simd::kernels();
+  return binary_kernel_op(
+      a, b, "add_scaled",
+      [&kt, s](const float* pa, const float* pb, float* po, int64_t n) {
+        kt.add_scaled(pa, pb, s, po, n);
+      });
+}
+
+Tensor add_scaled_clamp(const Tensor& a, const Tensor& b, float s, float lo,
+                        float hi) {
+  FADEML_CHECK(lo <= hi, "add_scaled_clamp requires lo <= hi");
+  const auto& kt = simd::kernels();
+  return binary_kernel_op(
+      a, b, "add_scaled_clamp",
+      [&kt, s, lo, hi](const float* pa, const float* pb, float* po,
+                       int64_t n) {
+        kt.add_scaled_clamp(pa, pb, s, lo, hi, po, n);
+      });
 }
 
 float sum(const Tensor& a) {
@@ -273,28 +314,15 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  // i-k-j loop order keeps the inner loop contiguous over B and C rows,
-  // which is the difference between usable and unusable training speed on
-  // the single-core reference machine. Rows of C are independent, so the
-  // pool splits over i; each (i, j) still accumulates in ascending-k order,
-  // which keeps the result bitwise identical at every thread count.
-  const int64_t row_flops = k * n;
-  const int64_t grain = std::max<int64_t>(1, (1 << 19) / std::max<int64_t>(1, row_flops));
+  // The dispatched GEMM computes whole rows of C: each row's arithmetic is
+  // a pure function of its index (never of the chunk it ran in), so the
+  // result is bitwise identical at every thread count, and at the scalar
+  // tier bitwise identical to the historical i-k-j loop. Rows are a pure
+  // gather (disjoint writes), so the machine-aware grain is safe.
+  const auto& kt = simd::kernels();
+  const int64_t grain = parallel::gather_grain(m, 2 * k * n);
   parallel::parallel_for(0, m, grain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      const float* arow = pa + i * k;
-      float* crow = po + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        if (av == 0.0f) {
-          continue;
-        }
-        const float* brow = pb + kk * n;
-        for (int64_t j = 0; j < n; ++j) {
-          crow[j] += av * brow[j];
-        }
-      }
-    }
+    kt.gemm(pa, pb, po, m, k, n, lo, hi);
   });
   return out;
 }
@@ -329,20 +357,16 @@ float dot(const Tensor& a, const Tensor& b) {
   return static_cast<float>(s);
 }
 
-Tensor im2col(const Tensor& image, const Conv2dSpec& spec) {
-  FADEML_CHECK(image.rank() == 3,
-               "im2col expects [C, H, W], got " + image.shape().str());
-  const int64_t c = image.dim(0);
-  const int64_t h = image.dim(1);
-  const int64_t w = image.dim(2);
-  const int64_t oh = spec.out_size(h, spec.kernel_h);
-  const int64_t ow = spec.out_size(w, spec.kernel_w);
-  FADEML_CHECK(oh > 0 && ow > 0, "im2col output would be empty for input " +
-                                     image.shape().str());
-  Tensor cols = Tensor::zeros(Shape{c * spec.kernel_h * spec.kernel_w, oh * ow});
-  const float* src = image.data();
-  float* dst = cols.data();
+namespace {
+
+/// im2col into a raw [C*kh*kw, oh*ow] buffer (arena scratch or tensor
+/// storage). Pure data movement — for stride 1 each (row, oy) pair is one
+/// contiguous run, copied with memcpy; the values match the historical
+/// per-element loop exactly.
+void im2col_raw(const float* src, int64_t c, int64_t h, int64_t w,
+                const Conv2dSpec& spec, int64_t oh, int64_t ow, float* dst) {
   const int64_t out_cols = oh * ow;
+  std::fill(dst, dst + c * spec.kernel_h * spec.kernel_w * out_cols, 0.0f);
   for (int64_t ch = 0; ch < c; ++ch) {
     for (int64_t ky = 0; ky < spec.kernel_h; ++ky) {
       for (int64_t kx = 0; kx < spec.kernel_w; ++kx) {
@@ -354,6 +378,16 @@ Tensor im2col(const Tensor& image, const Conv2dSpec& spec) {
             continue;  // stays zero (padding)
           }
           const float* srow = src + (ch * h + iy) * w;
+          if (spec.stride == 1) {
+            // ix = ox + kx - pad must land in [0, w).
+            const int64_t x0 = std::max<int64_t>(0, spec.pad - kx);
+            const int64_t x1 = std::min<int64_t>(ow, w - kx + spec.pad);
+            if (x1 > x0) {
+              std::memcpy(drow + oy * ow + x0, srow + x0 + kx - spec.pad,
+                          static_cast<size_t>(x1 - x0) * sizeof(float));
+            }
+            continue;
+          }
           for (int64_t ox = 0; ox < ow; ++ox) {
             const int64_t ix = ox * spec.stride + kx - spec.pad;
             if (ix < 0 || ix >= w) {
@@ -365,6 +399,22 @@ Tensor im2col(const Tensor& image, const Conv2dSpec& spec) {
       }
     }
   }
+}
+
+}  // namespace
+
+Tensor im2col(const Tensor& image, const Conv2dSpec& spec) {
+  FADEML_CHECK(image.rank() == 3,
+               "im2col expects [C, H, W], got " + image.shape().str());
+  const int64_t c = image.dim(0);
+  const int64_t h = image.dim(1);
+  const int64_t w = image.dim(2);
+  const int64_t oh = spec.out_size(h, spec.kernel_h);
+  const int64_t ow = spec.out_size(w, spec.kernel_w);
+  FADEML_CHECK(oh > 0 && ow > 0, "im2col output would be empty for input " +
+                                     image.shape().str());
+  Tensor cols{Shape{c * spec.kernel_h * spec.kernel_w, oh * ow}};
+  im2col_raw(image.data(), c, h, w, spec, oh, ow, cols.data());
   return cols;
 }
 
@@ -428,31 +478,58 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   }
   const int64_t oh = spec.out_size(h, spec.kernel_h);
   const int64_t ow = spec.out_size(w, spec.kernel_w);
+  FADEML_CHECK(oh > 0 && ow > 0, "conv2d output would be empty for input " +
+                                     input.shape().str());
   Tensor out{Shape{n, o, oh, ow}};
   const Tensor wmat = weight.reshape(Shape{o, c * spec.kernel_h * spec.kernel_w});
-  // Batch images are independent, so the pool splits over the batch (grain 1).
-  // A single-image batch is one chunk and runs inline on the caller, which
-  // leaves the inner matmul free to fan out instead.
-  parallel::parallel_for(0, n, 1, [&](int64_t lo, int64_t hi) {
-    for (int64_t b = lo; b < hi; ++b) {
-      // View the b-th image without copying: the reshape trick below is not
-      // available for sub-ranges, so slice manually.
-      Tensor image{Shape{c, h, w}};
-      std::copy(input.data() + b * c * h * w,
-                input.data() + (b + 1) * c * h * w, image.data());
-      const Tensor cols = im2col(image, spec);
-      const Tensor prod = matmul(wmat, cols);  // [O, oh*ow]
-      float* dst = out.data() + b * o * oh * ow;
-      std::copy(prod.data(), prod.data() + prod.numel(), dst);
-      if (bias.defined()) {
-        for (int64_t oc = 0; oc < o; ++oc) {
-          const float bv = bias.data()[oc];
-          float* drow = dst + oc * oh * ow;
-          for (int64_t i = 0; i < oh * ow; ++i) {
-            drow[i] += bv;
-          }
-        }
+  const int64_t kdim = c * spec.kernel_h * spec.kernel_w;
+  const int64_t ohw = oh * ow;
+  const float* pw = wmat.data();
+  const float* pin = input.data();
+  const float* pbias = bias.defined() ? bias.data() : nullptr;
+  float* pout = out.data();
+  const auto& kt = simd::kernels();
+  // Per-image work: im2col into arena scratch (zero tensor allocations on
+  // the hot path), one dispatched GEMM, then the bias rows. At the scalar
+  // tier this is arithmetic-for-arithmetic the historical
+  // im2col → matmul → `+= bias` sequence, so outputs stay bitwise stable.
+  const auto conv_image = [&](int64_t b) {
+    simd::ScratchScope scope;
+    float* cols = simd::scratch().alloc_floats(kdim * ohw);
+    im2col_raw(pin + b * c * h * w, c, h, w, spec, oh, ow, cols);
+    float* dst = pout + b * o * ohw;
+    kt.gemm(pw, cols, dst, o, kdim, ohw, 0, o);
+    if (pbias != nullptr) {
+      for (int64_t oc = 0; oc < o; ++oc) {
+        float* drow = dst + oc * ohw;
+        kt.add_scalar(drow, pbias[oc], drow, ohw);
       }
+    }
+  };
+  if (n == 1) {
+    // Single image: im2col once on the caller and fan the GEMM rows out
+    // across the pool instead (a batch of one has no batch parallelism).
+    simd::ScratchScope scope;
+    float* cols = simd::scratch().alloc_floats(kdim * ohw);
+    im2col_raw(pin, c, h, w, spec, oh, ow, cols);
+    const int64_t grain = parallel::gather_grain(o, 2 * kdim * ohw);
+    parallel::parallel_for(0, o, grain, [&](int64_t lo, int64_t hi) {
+      kt.gemm(pw, cols, pout, o, kdim, ohw, lo, hi);
+    });
+    if (pbias != nullptr) {
+      for (int64_t oc = 0; oc < o; ++oc) {
+        float* drow = pout + oc * ohw;
+        kt.add_scalar(drow, pbias[oc], drow, ohw);
+      }
+    }
+    return out;
+  }
+  // Batch images are independent disjoint writes, so the machine-aware
+  // gather grain applies (inline on one core, batch fan-out otherwise).
+  const int64_t grain = parallel::gather_grain(n, 2 * o * kdim * ohw);
+  parallel::parallel_for(0, n, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t b = lo; b < hi; ++b) {
+      conv_image(b);
     }
   });
   return out;

@@ -4,19 +4,22 @@
 #include <cmath>
 #include <sstream>
 
+#include "fademl/simd/arena.hpp"
+#include "fademl/simd/kernels.hpp"
 #include "fademl/tensor/error.hpp"
 
 namespace fademl {
 
+// Storage comes from the pool-aware acquirer: outside a simd::MemoryScope
+// it is a plain (counted) heap allocation; inside one, steady-state
+// inference recycles buffers instead (see docs/performance.md).
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)),
-      data_(std::make_shared<std::vector<float>>(
-          static_cast<size_t>(shape_.numel()))) {}
+      data_(simd::acquire_buffer(static_cast<size_t>(shape_.numel()), 0.0f)) {}
 
 Tensor::Tensor(Shape shape, float fill)
     : shape_(std::move(shape)),
-      data_(std::make_shared<std::vector<float>>(
-          static_cast<size_t>(shape_.numel()), fill)) {}
+      data_(simd::acquire_buffer(static_cast<size_t>(shape_.numel()), fill)) {}
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
     : shape_(std::move(shape)),
@@ -139,7 +142,7 @@ Tensor Tensor::clone() const {
   }
   Tensor copy;
   copy.shape_ = shape_;
-  copy.data_ = std::make_shared<std::vector<float>>(*data_);
+  copy.data_ = simd::acquire_buffer_copy(*data_);
   return copy;
 }
 
@@ -153,31 +156,20 @@ Tensor& Tensor::add_(const Tensor& other, float alpha) {
   FADEML_CHECK(other.numel() == numel(),
                "add_ numel mismatch: " + shape_.str() + " vs " +
                    other.shape_.str());
-  float* dst = data();
-  const float* src = other.data();
-  const int64_t n = numel();
-  for (int64_t i = 0; i < n; ++i) {
-    dst[i] += alpha * src[i];
-  }
+  // axpy is bitwise identical to the historical `dst[i] += alpha * src[i]`
+  // loop at every dispatch tier (no FMA — see simd/kernels.hpp).
+  simd::kernels().axpy(data(), other.data(), alpha, numel());
   return *this;
 }
 
 Tensor& Tensor::mul_(float value) {
-  float* dst = data();
-  const int64_t n = numel();
-  for (int64_t i = 0; i < n; ++i) {
-    dst[i] *= value;
-  }
+  simd::kernels().mul_scalar(data(), value, data(), numel());
   return *this;
 }
 
 Tensor& Tensor::clamp_(float lo, float hi) {
   FADEML_CHECK(lo <= hi, "clamp_ requires lo <= hi");
-  float* dst = data();
-  const int64_t n = numel();
-  for (int64_t i = 0; i < n; ++i) {
-    dst[i] = std::min(hi, std::max(lo, dst[i]));
-  }
+  simd::kernels().clamp(data(), lo, hi, data(), numel());
   return *this;
 }
 

@@ -1,0 +1,214 @@
+// Unit tests for the per-op scratch arena and the tensor buffer pool —
+// the allocation machinery behind the steady-state zero-allocation
+// contract (bench/perf_microbench.cpp asserts the end-to-end version on
+// the inference pipeline; these tests pin the primitives).
+
+#include "fademl/simd/arena.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fademl/filters/filter.hpp"
+#include "fademl/parallel/parallel.hpp"
+#include "fademl/tensor/random.hpp"
+#include "fademl/tensor/tensor.hpp"
+
+namespace fademl {
+namespace {
+
+using simd::Arena;
+
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int n) { parallel::set_num_threads(n); }
+  ~ThreadGuard() { parallel::set_num_threads(0); }
+};
+
+// ---- Arena -----------------------------------------------------------------
+
+TEST(Arena, EveryAllocationIs64ByteAligned) {
+  Arena arena;
+  for (std::size_t bytes = 0; bytes <= 200; ++bytes) {
+    void* p = arena.alloc(bytes);
+    ASSERT_NE(p, nullptr) << "bytes " << bytes;
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % Arena::kAlignment, 0u)
+        << "bytes " << bytes;
+  }
+  float* f = arena.alloc_floats(37);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(f) % Arena::kAlignment, 0u);
+}
+
+TEST(Arena, ZeroByteAllocationsAreValidAndDistinct) {
+  Arena arena;
+  void* p = arena.alloc(0);
+  void* q = arena.alloc(0);
+  EXPECT_NE(p, nullptr);
+  EXPECT_NE(q, nullptr);
+  EXPECT_NE(p, q) << "zero-byte allocations must not alias";
+}
+
+TEST(Arena, WarmResetLoopNeverTouchesTheHeap) {
+  Arena arena;
+  // Warm: first pass may grow blocks.
+  for (int i = 0; i < 3; ++i) {
+    (void)arena.alloc_floats(1000);
+    (void)arena.alloc_floats(5000);
+    arena.reset();
+  }
+  const std::uint64_t heap_before = Arena::heap_allocations();
+  const std::size_t cap_before = arena.capacity();
+  for (int i = 0; i < 50; ++i) {
+    float* a = arena.alloc_floats(1000);
+    float* b = arena.alloc_floats(5000);
+    a[0] = 1.0f;
+    b[4999] = 2.0f;
+    arena.reset();
+  }
+  EXPECT_EQ(Arena::heap_allocations(), heap_before)
+      << "steady-state reset loop allocated";
+  EXPECT_EQ(arena.capacity(), cap_before);
+}
+
+TEST(Arena, MarkRewindReusesTheSamePointers) {
+  Arena arena;
+  (void)arena.alloc_floats(64);  // some prior state
+  const Arena::Mark m = arena.mark();
+  float* first = arena.alloc_floats(128);
+  arena.rewind(m);
+  float* second = arena.alloc_floats(128);
+  EXPECT_EQ(first, second) << "rewind must restore the bump pointer";
+  EXPECT_EQ(arena.mark().offset, arena.used());
+}
+
+TEST(Arena, OversizeRequestsFallBackAndAreFreedOnRewind) {
+  Arena arena(/*block_bytes=*/1024);
+  const Arena::Mark m = arena.mark();
+  const std::uint64_t heap_before = Arena::heap_allocations();
+  float* big = arena.alloc_floats(100'000);  // ≫ block size
+  ASSERT_NE(big, nullptr);
+  big[0] = 1.0f;
+  big[99'999] = 2.0f;  // whole range must be writable (ASan checks this)
+  EXPECT_GT(Arena::heap_allocations(), heap_before);
+  arena.rewind(m);
+  // The oversize slab is gone; a warm re-request heap-allocates again.
+  const std::uint64_t heap_mid = Arena::heap_allocations();
+  (void)arena.alloc_floats(100'000);
+  EXPECT_GT(Arena::heap_allocations(), heap_mid);
+  arena.rewind(m);
+}
+
+TEST(Arena, ScratchScopeRestoresUsage) {
+  Arena& scratch = simd::scratch();
+  const std::size_t before = scratch.used();
+  {
+    simd::ScratchScope scope;
+    (void)scratch.alloc_floats(999);
+    EXPECT_GT(scratch.used(), before);
+    {
+      simd::ScratchScope nested;
+      (void)scratch.alloc_floats(77);
+    }
+  }
+  EXPECT_EQ(scratch.used(), before);
+}
+
+// ---- Tensor buffer pool ----------------------------------------------------
+
+TEST(BufferPool, RecyclesBuffersInsideAScope) {
+  simd::MemoryScope scope;
+  ASSERT_TRUE(simd::pooling_active());
+  auto buf = simd::acquire_buffer(1234, 0.0f);
+  float* raw = buf->data();
+  buf.reset();  // pool's reference is now the only one -> recyclable
+  const std::uint64_t misses_before = simd::tensor_heap_allocations();
+  auto again = simd::acquire_buffer(1234, 3.5f);
+  EXPECT_EQ(again->data(), raw) << "same-size request must reuse the buffer";
+  EXPECT_EQ(simd::tensor_heap_allocations(), misses_before);
+  // Re-filled exactly like a fresh buffer: pooling is value-invisible.
+  for (float v : *again) {
+    ASSERT_EQ(v, 3.5f);
+  }
+}
+
+TEST(BufferPool, NoPoolingOutsideAScope) {
+  simd::clear_buffer_pool();
+  ASSERT_FALSE(simd::pooling_active());
+  const std::uint64_t before = simd::tensor_heap_allocations();
+  auto a = simd::acquire_buffer(512, 0.0f);
+  a.reset();
+  auto b = simd::acquire_buffer(512, 0.0f);
+  EXPECT_EQ(simd::tensor_heap_allocations(), before + 2)
+      << "unpooled allocations must be counted, never recycled";
+}
+
+TEST(BufferPool, CopyAcquisitionMatchesSource) {
+  simd::MemoryScope scope;
+  std::vector<float> src(321);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<float>(i) * 0.25f;
+  }
+  auto first = simd::acquire_buffer_copy(src);
+  float* raw = first->data();
+  ASSERT_EQ(*first, src);
+  first.reset();
+  src[7] = -1.0f;
+  auto second = simd::acquire_buffer_copy(src);
+  EXPECT_EQ(second->data(), raw);
+  EXPECT_EQ(*second, src) << "recycled copy must re-copy the new source";
+}
+
+TEST(BufferPool, BuffersReleasedOnAnotherThreadAreStillRecycled) {
+  simd::MemoryScope scope;
+  auto buf = simd::acquire_buffer(2048, 0.0f);
+  float* raw = buf->data();
+  std::thread releaser([moved = std::move(buf)]() mutable { moved.reset(); });
+  releaser.join();
+  auto again = simd::acquire_buffer(2048, 1.0f);
+  EXPECT_EQ(again->data(), raw)
+      << "use_count-based returns must survive cross-thread destruction";
+}
+
+TEST(BufferPool, TensorAllocationsRouteThroughThePool) {
+  ThreadGuard threads(1);
+  simd::MemoryScope scope;
+  Rng rng(5);
+  // Warm: allocate and drop the shapes once.
+  { const Tensor t = rng.uniform_tensor(Shape{3, 32, 32}, 0.0f, 1.0f); }
+  const std::uint64_t before = simd::tensor_heap_allocations();
+  for (int i = 0; i < 10; ++i) {
+    const Tensor t = rng.uniform_tensor(Shape{3, 32, 32}, 0.0f, 1.0f);
+    ASSERT_EQ(t.numel(), 3 * 32 * 32);
+  }
+  EXPECT_EQ(simd::tensor_heap_allocations(), before)
+      << "same-shape tensor churn inside a scope must be allocation-free";
+}
+
+// ---- end-to-end steady state ----------------------------------------------
+
+TEST(SteadyState, FilterBatchForwardIsAllocationFreeWhenWarm) {
+  ThreadGuard threads(1);  // worker threads have their own pools
+  simd::MemoryScope scope;
+  Rng rng(7);
+  const Tensor batch = rng.uniform_tensor(Shape{2, 3, 24, 24}, 0.0f, 1.0f);
+  const filters::FilterPtr lap = filters::make_lap(32);
+  for (int i = 0; i < 3; ++i) {
+    (void)lap->apply_batch(batch);  // warm the pool and the scratch arena
+  }
+  const std::uint64_t tensor_before = simd::tensor_heap_allocations();
+  const std::uint64_t arena_before = Arena::heap_allocations();
+  for (int i = 0; i < 10; ++i) {
+    const Tensor out = lap->apply_batch(batch);
+    ASSERT_EQ(out.numel(), batch.numel());
+  }
+  EXPECT_EQ(simd::tensor_heap_allocations(), tensor_before)
+      << "warm filter forward allocated tensor buffers";
+  EXPECT_EQ(Arena::heap_allocations(), arena_before)
+      << "warm filter forward grew a scratch arena";
+}
+
+}  // namespace
+}  // namespace fademl

@@ -272,6 +272,69 @@ TEST(ParallelDeterminism, KernelsBitwiseIdenticalAcrossThreadCounts) {
   }
 }
 
+// ---- gather grain (machine-adaptive fan-out for gather loops) --------------
+
+TEST(GatherGrain, DegenerateInputsStayInline) {
+  ThreadGuard guard(4);
+  // range <= 1 returns grain 1 (chunk_count(0, 1) is still 0 chunks).
+  EXPECT_EQ(parallel::gather_grain(0, 100), 1);
+  EXPECT_EQ(parallel::gather_grain(1, 1'000'000), 1);
+  // ops_per_item <= 0 is treated as 1 op: tiny total work stays inline.
+  EXPECT_EQ(parallel::gather_grain(100, 0), 100);
+  EXPECT_EQ(parallel::gather_grain(100, -5), 100);
+}
+
+TEST(GatherGrain, SingleThreadMeansOneChunk) {
+  ThreadGuard guard(1);
+  // With one usable thread the grain must be the whole range, so the
+  // caller's parallel_for runs inline without waking the pool.
+  const int64_t grain = parallel::gather_grain(768, 1056);
+  EXPECT_EQ(grain, 768);
+  EXPECT_EQ(parallel::chunk_count(768, grain), 1);
+}
+
+TEST(GatherGrain, OversubscribedPoolDoesNotFanOut) {
+  // The BENCH_tensor lap32_batch8 regression: a 2-thread pool on a
+  // 1-core machine made the batch 0.71x SLOWER than single-image. The
+  // grain must cap effective width at hardware_concurrency, so on any
+  // machine, threads > cores cannot produce more chunks than cores
+  // justify.
+  const auto hw =
+      static_cast<int64_t>(std::thread::hardware_concurrency());
+  if (hw != 1) {
+    GTEST_SKIP() << "needs a 1-core machine to reproduce exactly";
+  }
+  ThreadGuard guard(2);
+  // LAP(32) over an 8x3x16x16 batch: 768 gathered rows, ~1056 ops each.
+  EXPECT_EQ(parallel::gather_grain(768, 1056), 768)
+      << "2 pool threads time-slicing 1 core must not fan out";
+}
+
+TEST(GatherGrain, SmallTotalsRunInline) {
+  ThreadGuard guard(4);
+  // 100 rows x 100 ops = 10k scalar ops: far below the ~128k fan-out
+  // threshold, so the pool must not be woken for it.
+  EXPECT_EQ(parallel::gather_grain(100, 100), 100);
+}
+
+TEST(GatherGrain, ParallelGeometryTargetsBigChunks) {
+  const auto hw =
+      static_cast<int64_t>(std::thread::hardware_concurrency());
+  if (hw < 2) {
+    GTEST_SKIP() << "needs >= 2 cores to fan out at all";
+  }
+  ThreadGuard guard(static_cast<int>(hw));
+  const int64_t range = 100'000;
+  const int64_t ops = 64;
+  const int64_t grain = parallel::gather_grain(range, ops);
+  ASSERT_GT(grain, 0);
+  const int64_t chunks = parallel::chunk_count(range, grain);
+  EXPECT_GE(chunks, 2) << "big gather should fan out on a multicore box";
+  EXPECT_LE(chunks, 4 * hw) << "at most 4 chunks per usable thread";
+  EXPECT_GE(grain * ops, int64_t{1} << 15)
+      << "each chunk must carry >= ~32k scalar ops";
+}
+
 TEST(ParallelDeterminism, RunToRunStableAtFixedThreadCount) {
   Rng rng(303);
   const Tensor a = rng.normal_tensor(Shape{33, 29}, 0.0f, 1.0f);

@@ -1,0 +1,702 @@
+// Differential test harness for the fademl::simd kernel layer.
+//
+// Three rings of defense, inside out:
+//  1. Kernel ring — every KernelTable entry at every hardware-supported
+//     dispatch tier is fuzzed against the scalar golden table across
+//     randomized shapes, strides, alignments, and NaN/Inf/denormal
+//     payloads. Everything except gemm must be BITWISE identical (the
+//     kernels avoid FMA and reassociation for exactly this reason); gemm
+//     is pinned to a double-precision definition-order reference with a
+//     scaled absolute bound, plus a bitwise chunk-stability check (the
+//     thread-determinism contract).
+//  2. Op/filter ring — whole tensor ops and filters run under each tier
+//     override and are compared across tiers (bitwise for elementwise and
+//     filters, tolerance for matmul/conv2d which ride on gemm).
+//  3. Pipeline ring — predict_probs_batch at the scalar tier reproduces
+//     the pre-SIMD golden CRC bit for bit, and the vector tiers stay
+//     within the gemm tolerance of it.
+
+#include "fademl/simd/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fademl/core/pipeline.hpp"
+#include "fademl/data/dataset.hpp"
+#include "fademl/filters/filter.hpp"
+#include "fademl/nn/trainer.hpp"
+#include "fademl/nn/vggnet.hpp"
+#include "fademl/parallel/parallel.hpp"
+#include "fademl/simd/cpu.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+#include "fademl/tensor/random.hpp"
+#include "fademl/tensor/serialize.hpp"
+
+namespace fademl {
+namespace {
+
+using simd::CpuLevel;
+using simd::GatherDivide;
+using simd::KernelTable;
+
+/// RAII tier override (clears on scope exit, so a failed assertion cannot
+/// leak a tier into later tests).
+class LevelGuard {
+ public:
+  explicit LevelGuard(CpuLevel level) { simd::set_level_override(level); }
+  ~LevelGuard() { simd::clear_level_override(); }
+};
+
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int n) { parallel::set_num_threads(n); }
+  ~ThreadGuard() { parallel::set_num_threads(0); }
+};
+
+// ---- dispatcher ------------------------------------------------------------
+
+TEST(CpuDispatch, LevelNamesAreTheDocumentedStrings) {
+  EXPECT_STREQ(simd::level_name(CpuLevel::kScalar), "scalar");
+  EXPECT_STREQ(simd::level_name(CpuLevel::kSse42), "sse42");
+  EXPECT_STREQ(simd::level_name(CpuLevel::kAvx2), "avx2");
+  EXPECT_STREQ(simd::level_name(CpuLevel::kAvx512), "avx512");
+}
+
+TEST(CpuDispatch, SupportedLevelsAscendFromScalarToHardware) {
+  const std::vector<CpuLevel> levels = simd::supported_levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), CpuLevel::kScalar);
+  EXPECT_EQ(levels.back(), simd::hardware_level());
+  for (size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(levels[i]),
+              static_cast<int>(levels[i - 1]) + 1);
+  }
+}
+
+TEST(CpuDispatch, ParseIsStrictLikeFaultSpec) {
+  // Unset means "hardware decides".
+  EXPECT_EQ(simd::detail::parse_cpu_level(nullptr), simd::hardware_level());
+  EXPECT_EQ(simd::detail::parse_cpu_level(""), simd::hardware_level());
+  // Every supported tier parses to itself.
+  for (const CpuLevel level : simd::supported_levels()) {
+    EXPECT_EQ(simd::detail::parse_cpu_level(simd::level_name(level)), level);
+  }
+  // Unknown tiers are loud errors, not silent fallbacks.
+  for (const char* bad : {"neon", "avx", "AVX2", "Scalar", "sse", "scalar ",
+                          "avx512vnni", "0", "best"}) {
+    EXPECT_THROW((void)simd::detail::parse_cpu_level(bad), Error) << bad;
+  }
+  // A real tier above the hardware is rejected too — a silently clamped
+  // test matrix would claim coverage it never ran.
+  if (simd::hardware_level() < CpuLevel::kAvx512) {
+    EXPECT_THROW((void)simd::detail::parse_cpu_level("avx512"), Error);
+  }
+}
+
+TEST(CpuDispatch, ParseErrorNamesTheAcceptedTiers) {
+  try {
+    (void)simd::detail::parse_cpu_level("turbo");
+    FAIL() << "expected fademl::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("turbo"), std::string::npos) << what;
+    EXPECT_NE(what.find("scalar"), std::string::npos) << what;
+  }
+}
+
+TEST(CpuDispatch, OverrideWinsAndClears) {
+  const CpuLevel before = simd::active_level();
+  {
+    LevelGuard guard(CpuLevel::kScalar);
+    EXPECT_EQ(simd::active_level(), CpuLevel::kScalar);
+    EXPECT_EQ(simd::kernels().level, CpuLevel::kScalar);
+  }
+  EXPECT_EQ(simd::active_level(), before);
+}
+
+TEST(CpuDispatch, OverrideAboveHardwareThrows) {
+  if (simd::hardware_level() == CpuLevel::kAvx512) {
+    GTEST_SKIP() << "no tier above hardware on this machine";
+  }
+  const auto above =
+      static_cast<CpuLevel>(static_cast<int>(simd::hardware_level()) + 1);
+  EXPECT_THROW(simd::set_level_override(above), Error);
+  EXPECT_THROW((void)simd::kernels_for(above), Error);
+}
+
+TEST(CpuDispatch, ScalarTierIsTheGoldenTable) {
+  // "Dispatcher selects scalar" must mean the pre-SIMD reference code,
+  // not a copy that could drift: same table object, bit for bit.
+  EXPECT_EQ(&simd::kernels_for(CpuLevel::kScalar),
+            &simd::detail::scalar_table());
+}
+
+// ---- kernel-level differential fuzz ---------------------------------------
+
+/// Deterministic fuzz payload: mostly uniform values, with occasional
+/// NaN / ±Inf / denormal / ±0.0 / huge specials so every lane of a
+/// vector kernel has to reproduce the scalar kernel's IEEE edge
+/// behavior, not just its happy path.
+std::vector<float> fuzz_values(std::mt19937& gen, size_t n,
+                               bool specials = true) {
+  std::uniform_real_distribution<float> uni(-2.0f, 2.0f);
+  std::uniform_int_distribution<int> roll(0, 19);
+  static const float kSpecials[] = {
+      std::numeric_limits<float>::quiet_NaN(),
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      1e-41f,
+      -1e-41f,
+      0.0f,
+      -0.0f,
+      3.0e38f,
+      -3.0e38f,
+  };
+  std::uniform_int_distribution<size_t> pick(0, std::size(kSpecials) - 1);
+  std::vector<float> out(n);
+  for (float& v : out) {
+    v = (specials && roll(gen) == 0) ? kSpecials[pick(gen)] : uni(gen);
+  }
+  return out;
+}
+
+constexpr int kFuzzCases = 200;
+
+/// Randomized length plus a 0..3 element start offset so vector kernels
+/// see unaligned pointers and every tail length.
+struct SpanCase {
+  size_t n;
+  size_t offset;
+};
+
+SpanCase span_case(std::mt19937& gen) {
+  // Mix of tiny (all-tail), prime, and multi-vector lengths.
+  static const size_t kLens[] = {0,  1,  2,  3,   5,   7,   8,   13,  16, 17,
+                                 31, 32, 33, 61, 64,  97,  128, 251, 257, 530};
+  std::uniform_int_distribution<size_t> len(0, std::size(kLens) - 1);
+  std::uniform_int_distribution<size_t> off(0, 3);
+  return {kLens[len(gen)], off(gen)};
+}
+
+bool bitwise_equal_spans(const float* a, const float* b, size_t n) {
+  // n == 0 spans may have null data() pointers; memcmp's arguments are
+  // declared non-null, so UBSan flags even the zero-length call.
+  return n == 0 || std::memcmp(a, b, n * sizeof(float)) == 0;
+}
+
+/// One elementwise kernel, fuzzed across every supported tier: the tier
+/// output must equal the scalar-golden output bitwise, including in-place
+/// (dst == a) invocation.
+void fuzz_elementwise(
+    const char* name,
+    const std::function<void(const KernelTable&, const float* a,
+                             const float* b, float s, float lo, float hi,
+                             float* dst, int64_t n)>& run,
+    bool needs_b = true, bool specials = true) {
+  const KernelTable& golden = simd::kernels_for(CpuLevel::kScalar);
+  for (const CpuLevel level : simd::supported_levels()) {
+    const KernelTable& kt = simd::kernels_for(level);
+    std::mt19937 gen(1234u + static_cast<unsigned>(level));
+    for (int c = 0; c < kFuzzCases; ++c) {
+      const SpanCase sc = span_case(gen);
+      std::uniform_real_distribution<float> scalar(-3.0f, 3.0f);
+      const float s = scalar(gen);
+      float lo = scalar(gen);
+      float hi = scalar(gen);
+      if (lo > hi) {
+        std::swap(lo, hi);
+      }
+      const std::vector<float> a =
+          fuzz_values(gen, sc.n + sc.offset, specials);
+      const std::vector<float> b =
+          fuzz_values(gen, sc.n + sc.offset, specials);
+      std::vector<float> want(sc.n + sc.offset, 42.0f);
+      std::vector<float> got(sc.n + sc.offset, 42.0f);
+      const auto n = static_cast<int64_t>(sc.n);
+      run(golden, a.data() + sc.offset, b.data() + sc.offset, s, lo, hi,
+          want.data() + sc.offset, n);
+      run(kt, a.data() + sc.offset, b.data() + sc.offset, s, lo, hi,
+          got.data() + sc.offset, n);
+      ASSERT_TRUE(bitwise_equal_spans(want.data(), got.data(),
+                                      sc.n + sc.offset))
+          << name << " diverges from scalar at tier "
+          << simd::level_name(level) << ", case " << c << ", n " << sc.n
+          << ", offset " << sc.offset;
+      // In-place: dst aliasing a must behave identically.
+      std::vector<float> inplace_want(a);
+      std::vector<float> inplace_got(a);
+      run(golden, inplace_want.data() + sc.offset, b.data() + sc.offset, s,
+          lo, hi, inplace_want.data() + sc.offset, n);
+      run(kt, inplace_got.data() + sc.offset, b.data() + sc.offset, s, lo,
+          hi, inplace_got.data() + sc.offset, n);
+      ASSERT_TRUE(bitwise_equal_spans(inplace_want.data(), inplace_got.data(),
+                                      sc.n + sc.offset))
+          << name << " in-place diverges at tier " << simd::level_name(level)
+          << ", case " << c;
+      (void)needs_b;
+    }
+  }
+}
+
+TEST(KernelFuzz, Add) {
+  fuzz_elementwise("add", [](const KernelTable& kt, const float* a,
+                             const float* b, float, float, float, float* dst,
+                             int64_t n) { kt.add(a, b, dst, n); });
+}
+
+TEST(KernelFuzz, Sub) {
+  fuzz_elementwise("sub", [](const KernelTable& kt, const float* a,
+                             const float* b, float, float, float, float* dst,
+                             int64_t n) { kt.sub(a, b, dst, n); });
+}
+
+TEST(KernelFuzz, Mul) {
+  fuzz_elementwise("mul", [](const KernelTable& kt, const float* a,
+                             const float* b, float, float, float, float* dst,
+                             int64_t n) { kt.mul(a, b, dst, n); });
+}
+
+TEST(KernelFuzz, Div) {
+  fuzz_elementwise("div", [](const KernelTable& kt, const float* a,
+                             const float* b, float, float, float, float* dst,
+                             int64_t n) { kt.div(a, b, dst, n); });
+}
+
+TEST(KernelFuzz, AddScalar) {
+  fuzz_elementwise("add_scalar",
+                   [](const KernelTable& kt, const float* a, const float*,
+                      float s, float, float, float* dst, int64_t n) {
+                     kt.add_scalar(a, s, dst, n);
+                   },
+                   /*needs_b=*/false);
+}
+
+TEST(KernelFuzz, MulScalar) {
+  fuzz_elementwise("mul_scalar",
+                   [](const KernelTable& kt, const float* a, const float*,
+                      float s, float, float, float* dst, int64_t n) {
+                     kt.mul_scalar(a, s, dst, n);
+                   },
+                   /*needs_b=*/false);
+}
+
+TEST(KernelFuzz, Relu) {
+  fuzz_elementwise("relu",
+                   [](const KernelTable& kt, const float* a, const float*,
+                      float, float, float, float* dst, int64_t n) {
+                     kt.relu(a, dst, n);
+                   },
+                   /*needs_b=*/false);
+}
+
+TEST(KernelFuzz, Clamp) {
+  fuzz_elementwise("clamp",
+                   [](const KernelTable& kt, const float* a, const float*,
+                      float, float lo, float hi, float* dst, int64_t n) {
+                     kt.clamp(a, lo, hi, dst, n);
+                   },
+                   /*needs_b=*/false);
+}
+
+TEST(KernelFuzz, Sqrt) {
+  fuzz_elementwise("sqrt",
+                   [](const KernelTable& kt, const float* a, const float*,
+                      float, float, float, float* dst, int64_t n) {
+                     kt.sqrt(a, dst, n);
+                   },
+                   /*needs_b=*/false);
+}
+
+TEST(KernelFuzz, Abs) {
+  fuzz_elementwise("abs",
+                   [](const KernelTable& kt, const float* a, const float*,
+                      float, float, float, float* dst, int64_t n) {
+                     kt.abs(a, dst, n);
+                   },
+                   /*needs_b=*/false);
+}
+
+TEST(KernelFuzz, Neg) {
+  fuzz_elementwise("neg",
+                   [](const KernelTable& kt, const float* a, const float*,
+                      float, float, float, float* dst, int64_t n) {
+                     kt.neg(a, dst, n);
+                   },
+                   /*needs_b=*/false);
+}
+
+TEST(KernelFuzz, Sign) {
+  fuzz_elementwise("sign",
+                   [](const KernelTable& kt, const float* a, const float*,
+                      float, float, float, float* dst, int64_t n) {
+                     kt.sign(a, dst, n);
+                   },
+                   /*needs_b=*/false);
+}
+
+TEST(KernelFuzz, AddScaled) {
+  fuzz_elementwise("add_scaled",
+                   [](const KernelTable& kt, const float* a, const float* b,
+                      float s, float, float, float* dst, int64_t n) {
+                     kt.add_scaled(a, b, s, dst, n);
+                   });
+}
+
+TEST(KernelFuzz, AddScaledClamp) {
+  fuzz_elementwise("add_scaled_clamp",
+                   [](const KernelTable& kt, const float* a, const float* b,
+                      float s, float lo, float hi, float* dst, int64_t n) {
+                     kt.add_scaled_clamp(a, b, s, lo, hi, dst, n);
+                   });
+}
+
+TEST(KernelFuzz, Axpy) {
+  // axpy mutates y, so route it through the in-place-shaped runner: a is
+  // the y buffer, dst receives the result.
+  fuzz_elementwise("axpy",
+                   [](const KernelTable& kt, const float* a, const float* b,
+                      float s, float, float, float* dst, int64_t n) {
+                     if (dst != a) {
+                       std::memcpy(dst, a,
+                                   static_cast<size_t>(n) * sizeof(float));
+                     }
+                     kt.axpy(dst, b, s, n);
+                   });
+}
+
+TEST(KernelFuzz, GatherRow) {
+  const KernelTable& golden = simd::kernels_for(CpuLevel::kScalar);
+  for (const CpuLevel level : simd::supported_levels()) {
+    const KernelTable& kt = simd::kernels_for(level);
+    std::mt19937 gen(777u + static_cast<unsigned>(level));
+    for (int c = 0; c < kFuzzCases; ++c) {
+      std::uniform_int_distribution<int64_t> hw_dist(5, 40);
+      const int64_t h = hw_dist(gen);
+      const int64_t w = hw_dist(gen);
+      std::uniform_int_distribution<int> tap_count(1, 9);
+      std::uniform_int_distribution<int> reach(-2, 2);
+      const int n_taps = tap_count(gen);
+      std::vector<int64_t> deltas(static_cast<size_t>(n_taps));
+      std::vector<float> weights(static_cast<size_t>(n_taps));
+      int maxdy = 0;
+      int maxdx = 0;
+      std::uniform_real_distribution<float> wdist(-1.5f, 1.5f);
+      for (int t = 0; t < n_taps; ++t) {
+        const int dy = reach(gen);
+        const int dx = reach(gen);
+        maxdy = std::max(maxdy, std::abs(dy));
+        maxdx = std::max(maxdx, std::abs(dx));
+        deltas[static_cast<size_t>(t)] = static_cast<int64_t>(dy) * w + dx;
+        weights[static_cast<size_t>(t)] = wdist(gen);
+      }
+      if (h <= 2 * maxdy || w <= 2 * maxdx) {
+        continue;  // no interior on this geometry
+      }
+      const std::vector<float> plane =
+          fuzz_values(gen, static_cast<size_t>(h * w));
+      std::uniform_int_distribution<int64_t> ydist(maxdy, h - maxdy - 1);
+      const int64_t y = ydist(gen);
+      std::uniform_real_distribution<float> ddist(0.5f, 9.0f);
+      const float divisor = ddist(gen);
+      const auto mode = static_cast<GatherDivide>(c % 3);
+      std::vector<float> want(static_cast<size_t>(w), 42.0f);
+      std::vector<float> got(static_cast<size_t>(w), 42.0f);
+      golden.gather_row(plane.data() + y * w, want.data(), maxdx, w - maxdx,
+                        deltas.data(), weights.data(), n_taps, divisor, mode);
+      kt.gather_row(plane.data() + y * w, got.data(), maxdx, w - maxdx,
+                    deltas.data(), weights.data(), n_taps, divisor, mode);
+      ASSERT_TRUE(bitwise_equal_spans(want.data(), got.data(),
+                                      static_cast<size_t>(w)))
+          << "gather_row diverges at tier " << simd::level_name(level)
+          << ", case " << c << ", h " << h << ", w " << w << ", taps "
+          << n_taps << ", mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+// ---- gemm: tolerance vs double reference + bitwise chunk stability ---------
+
+/// Definition-order double-precision reference for C = A·B.
+std::vector<double> gemm_reference(const std::vector<float>& a,
+                                   const std::vector<float>& b, int64_t m,
+                                   int64_t k, int64_t n) {
+  std::vector<double> c(static_cast<size_t>(m * n), 0.0);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t l = 0; l < k; ++l) {
+      const double av = a[static_cast<size_t>(i * k + l)];
+      for (int64_t j = 0; j < n; ++j) {
+        c[static_cast<size_t>(i * n + j)] +=
+            av * static_cast<double>(b[static_cast<size_t>(l * n + j)]);
+      }
+    }
+  }
+  return c;
+}
+
+/// Finite, zero-free matrix entries: the scalar golden gemm skips exact
+/// ±0.0 A entries (the historical sparsity shortcut), so injecting zeros
+/// would make "reference" ill-defined when B carries Inf/NaN.
+std::vector<float> gemm_values(std::mt19937& gen, size_t n) {
+  std::uniform_real_distribution<float> mag(0.01f, 2.0f);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::vector<float> out(n);
+  for (float& v : out) {
+    v = coin(gen) ? mag(gen) : -mag(gen);
+  }
+  return out;
+}
+
+TEST(GemmFuzz, EveryTierWithinDoubleReferenceBound) {
+  for (const CpuLevel level : simd::supported_levels()) {
+    const KernelTable& kt = simd::kernels_for(level);
+    std::mt19937 gen(4321u + static_cast<unsigned>(level));
+    for (int c = 0; c < 60; ++c) {
+      std::uniform_int_distribution<int64_t> dim(1, 40);
+      const int64_t m = dim(gen);
+      const int64_t k = dim(gen);
+      const int64_t n = dim(gen);
+      const std::vector<float> a =
+          gemm_values(gen, static_cast<size_t>(m * k));
+      const std::vector<float> b =
+          gemm_values(gen, static_cast<size_t>(k * n));
+      std::vector<float> got(static_cast<size_t>(m * n), 0.0f);
+      kt.gemm(a.data(), b.data(), got.data(), m, k, n, 0, m);
+      const std::vector<double> ref = gemm_reference(a, b, m, k, n);
+      for (int64_t i = 0; i < m * n; ++i) {
+        // Scaled absolute bound: k additions of magnitude <= 4 each, so
+        // the worst-case float accumulation error is ~k * 4 * eps; 8x
+        // headroom over that covers the reassociated vector orders.
+        const double bound =
+            8.0 * static_cast<double>(k) * 4.0 * 1.19e-7 + 1e-6;
+        ASSERT_NEAR(static_cast<double>(got[static_cast<size_t>(i)]),
+                    ref[static_cast<size_t>(i)], bound)
+            << "gemm tier " << simd::level_name(level) << ", case " << c
+            << ", m " << m << " k " << k << " n " << n << ", index " << i;
+      }
+    }
+  }
+}
+
+TEST(GemmFuzz, RowChunkingIsBitwiseIrrelevantPerTier) {
+  // The parallel_for over GEMM rows may cut the row range anywhere; a
+  // row's bits must not depend on the cut. This is the kernel-level face
+  // of the train-determinism contract.
+  for (const CpuLevel level : simd::supported_levels()) {
+    const KernelTable& kt = simd::kernels_for(level);
+    std::mt19937 gen(9876u + static_cast<unsigned>(level));
+    for (int c = 0; c < 20; ++c) {
+      std::uniform_int_distribution<int64_t> dim(1, 33);
+      const int64_t m = dim(gen);
+      const int64_t k = dim(gen);
+      const int64_t n = dim(gen);
+      const std::vector<float> a =
+          gemm_values(gen, static_cast<size_t>(m * k));
+      const std::vector<float> b =
+          gemm_values(gen, static_cast<size_t>(k * n));
+      std::vector<float> whole(static_cast<size_t>(m * n), 0.0f);
+      kt.gemm(a.data(), b.data(), whole.data(), m, k, n, 0, m);
+      std::uniform_int_distribution<int64_t> cut_dist(0, m);
+      const int64_t cut = cut_dist(gen);
+      std::vector<float> split(static_cast<size_t>(m * n), 0.0f);
+      kt.gemm(a.data(), b.data(), split.data(), m, k, n, 0, cut);
+      kt.gemm(a.data(), b.data(), split.data(), m, k, n, cut, m);
+      ASSERT_TRUE(bitwise_equal_spans(whole.data(), split.data(),
+                                      static_cast<size_t>(m * n)))
+          << "gemm row-chunk sensitivity at tier " << simd::level_name(level)
+          << ", case " << c << ", cut " << cut << "/" << m;
+    }
+  }
+}
+
+// ---- op / filter ring: whole subsystems under each tier override -----------
+
+TEST(TierSweep, ElementwiseTensorOpsBitwiseIdenticalAcrossTiers) {
+  Rng rng(11);
+  const Tensor a = rng.uniform_tensor(Shape{3, 37, 41}, -2.0f, 2.0f);
+  const Tensor b = rng.uniform_tensor(Shape{3, 37, 41}, -2.0f, 2.0f);
+  std::vector<Tensor> scalar_results;
+  for (const CpuLevel level : simd::supported_levels()) {
+    LevelGuard guard(level);
+    std::vector<Tensor> results;
+    results.push_back(add(a, b));
+    results.push_back(sub(a, b));
+    results.push_back(mul(a, b));
+    results.push_back(div(a, b));
+    results.push_back(add(a, 0.37f));
+    results.push_back(mul(a, -1.7f));
+    results.push_back(relu(a));
+    results.push_back(clamp(a, -0.5f, 0.5f));
+    results.push_back(fademl::abs(a));
+    results.push_back(neg(a));
+    results.push_back(sign(a));
+    results.push_back(add_scaled(a, b, -0.25f));
+    results.push_back(add_scaled_clamp(a, b, 0.25f, 0.0f, 1.0f));
+    if (level == CpuLevel::kScalar) {
+      scalar_results = std::move(results);
+      continue;
+    }
+    ASSERT_EQ(results.size(), scalar_results.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_EQ(std::memcmp(results[i].data(), scalar_results[i].data(),
+                            sizeof(float) *
+                                static_cast<size_t>(results[i].numel())),
+                0)
+          << "tensor op " << i << " diverges at tier "
+          << simd::level_name(level);
+    }
+  }
+}
+
+TEST(TierSweep, FiltersBitwiseIdenticalAcrossTiers) {
+  // Filters are pure gather + elementwise — no gemm — so every tier must
+  // agree bitwise on forward AND adjoint, borders included.
+  Rng rng(23);
+  const Tensor image = rng.uniform_tensor(Shape{3, 19, 23}, 0.0f, 1.0f);
+  const Tensor grad = rng.uniform_tensor(Shape{3, 19, 23}, -1.0f, 1.0f);
+  const Tensor batch = rng.uniform_tensor(Shape{4, 3, 19, 23}, 0.0f, 1.0f);
+  const Tensor gbatch = rng.uniform_tensor(Shape{4, 3, 19, 23}, -1.0f, 1.0f);
+  const std::vector<filters::FilterPtr> filters = {
+      filters::make_lap(8),     filters::make_lap(32),
+      filters::make_lar(2),     filters::make_lar(5),
+      filters::make_gaussian(0.8f), filters::make_gaussian(1.6f)};
+  for (const filters::FilterPtr& f : filters) {
+    Tensor fwd_ref, vjp_ref, bfwd_ref, bvjp_ref;
+    for (const CpuLevel level : simd::supported_levels()) {
+      LevelGuard guard(level);
+      const Tensor fwd = f->apply(image);
+      const Tensor vjp = f->vjp(image, grad);
+      const Tensor bfwd = f->apply_batch(batch);
+      const Tensor bvjp = f->vjp_batch(batch, gbatch);
+      if (level == CpuLevel::kScalar) {
+        fwd_ref = fwd;
+        vjp_ref = vjp;
+        bfwd_ref = bfwd;
+        bvjp_ref = bvjp;
+        continue;
+      }
+      const auto same = [](const Tensor& x, const Tensor& y) {
+        return std::memcmp(x.data(), y.data(),
+                           sizeof(float) *
+                               static_cast<size_t>(x.numel())) == 0;
+      };
+      EXPECT_TRUE(same(fwd, fwd_ref))
+          << f->name() << " apply at " << simd::level_name(level);
+      EXPECT_TRUE(same(vjp, vjp_ref))
+          << f->name() << " vjp at " << simd::level_name(level);
+      EXPECT_TRUE(same(bfwd, bfwd_ref))
+          << f->name() << " apply_batch at " << simd::level_name(level);
+      EXPECT_TRUE(same(bvjp, bvjp_ref))
+          << f->name() << " vjp_batch at " << simd::level_name(level);
+    }
+  }
+}
+
+TEST(TierSweep, MatmulAndConvCloseAcrossTiers) {
+  Rng rng(31);
+  const Tensor a = rng.normal_tensor(Shape{37, 29}, 0.0f, 1.0f);
+  const Tensor b = rng.normal_tensor(Shape{29, 43}, 0.0f, 1.0f);
+  const Tensor batch = rng.normal_tensor(Shape{2, 3, 17, 19}, 0.0f, 1.0f);
+  const Tensor weight = rng.normal_tensor(Shape{8, 3, 3, 3}, 0.0f, 0.3f);
+  const Tensor bias = rng.normal_tensor(Shape{8}, 0.0f, 0.1f);
+  Conv2dSpec spec;
+  spec.kernel_h = 3;
+  spec.kernel_w = 3;
+  spec.pad = 1;
+  Tensor mat_ref, conv_ref;
+  for (const CpuLevel level : simd::supported_levels()) {
+    LevelGuard guard(level);
+    const Tensor mat = matmul(a, b);
+    const Tensor conv = conv2d(batch, weight, bias, spec);
+    if (level == CpuLevel::kScalar) {
+      mat_ref = mat;
+      conv_ref = conv;
+      continue;
+    }
+    for (int64_t i = 0; i < mat.numel(); ++i) {
+      ASSERT_NEAR(mat.at(i), mat_ref.at(i), 1e-3f)
+          << "matmul tier " << simd::level_name(level) << " index " << i;
+    }
+    for (int64_t i = 0; i < conv.numel(); ++i) {
+      ASSERT_NEAR(conv.at(i), conv_ref.at(i), 1e-3f)
+          << "conv2d tier " << simd::level_name(level) << " index " << i;
+    }
+  }
+}
+
+// ---- pipeline ring ---------------------------------------------------------
+
+/// The pre-SIMD prediction golden: predict_probs_batch over 7 canonical
+/// GTSRB samples through LAP(32)+VGG/8 at TM-I then TM-III, CRC32-chained.
+/// Captured from the tree immediately before the SIMD layer landed; the
+/// scalar tier must reproduce it bit for bit, forever.
+constexpr uint32_t kPredictionGoldenCrc = 0xdb83ad2fu;
+
+uint32_t prediction_crc() {
+  Rng rng(1);
+  nn::VggConfig config = nn::VggConfig::scaled(8);
+  auto model = nn::make_vggnet(config, rng);
+  model->set_training(false);
+  core::InferencePipeline pipeline(model, filters::make_lap(32));
+  std::vector<Tensor> images;
+  images.reserve(7);
+  for (int i = 0; i < 7; ++i) {
+    images.push_back(data::canonical_sample(i * 5 % 43, 32));
+  }
+  const Tensor batch = nn::stack_images(images);
+  uint32_t crc = 0;
+  for (const auto tm : {core::ThreatModel::kI, core::ThreatModel::kIII}) {
+    const Tensor probs = pipeline.predict_probs_batch(batch, tm);
+    crc = crc32(probs.data(),
+                sizeof(float) * static_cast<size_t>(probs.numel()), crc);
+  }
+  return crc;
+}
+
+TEST(PredictionIdentity, ScalarTierReproducesPreSimdGoldenCrc) {
+  ThreadGuard threads(1);
+  LevelGuard guard(CpuLevel::kScalar);
+  EXPECT_EQ(prediction_crc(), kPredictionGoldenCrc)
+      << "scalar-tier predictions drifted from the pre-SIMD baseline";
+}
+
+TEST(PredictionIdentity, PredictBatchProbsCloseAcrossTiers) {
+  ThreadGuard threads(1);
+  Rng rng(1);
+  nn::VggConfig config = nn::VggConfig::scaled(8);
+  auto model = nn::make_vggnet(config, rng);
+  model->set_training(false);
+  core::InferencePipeline pipeline(model, filters::make_lap(32));
+  std::vector<Tensor> images;
+  for (int i = 0; i < 3; ++i) {
+    images.push_back(data::canonical_sample(i * 7 % 43, 32));
+  }
+  const Tensor batch = nn::stack_images(images);
+  Tensor ref;
+  for (const CpuLevel level : simd::supported_levels()) {
+    LevelGuard guard(level);
+    const Tensor probs =
+        pipeline.predict_probs_batch(batch, core::ThreatModel::kIII);
+    if (level == CpuLevel::kScalar) {
+      ref = probs;
+      continue;
+    }
+    for (int64_t i = 0; i < probs.numel(); ++i) {
+      // Softmax output differences across tiers come only from gemm's
+      // reassociation — observed ~6e-8, bounded generously here.
+      ASSERT_NEAR(probs.at(i), ref.at(i), 1e-4f)
+          << "tier " << simd::level_name(level) << " prob " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fademl
