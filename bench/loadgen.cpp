@@ -202,6 +202,9 @@ void write_report(const std::string& path, const std::string& arrival,
   obs::JsonWriter w(os);
   w.begin_object();
   w.key("schema").value("fademl.bench.serve.v1");
+  // Whether replicas ran compiled-plan replay (FADEML_DISABLE_PLAN clears
+  // it) — latency numbers are not comparable across this flag.
+  w.key("plan_enabled").value(plan::plans_enabled());
   w.key("arrival").value(arrival);
   w.key("duration_ms").value(duration_ms);
   w.key("client_threads").value(client_threads);

@@ -488,6 +488,135 @@ int run_alloc_probe(bool quick) {
   return clean ? 0 : 1;
 }
 
+// ---- compiled-plan probe ---------------------------------------------------
+
+/// Compare compiled-plan replay against the autograd-tape forward on the
+/// same pipeline (same raw kernels, so the outputs are bitwise identical
+/// — asserted here, non-zero exit on divergence) and write
+/// artifacts/BENCH_plan.json. Single-threaded: the win being measured is
+/// the per-batch overhead the plan eliminates (graph construction, tape
+/// node allocation, defensive clones), which thread fan-out would only
+/// dilute. Also records the one-off compile cost the first batch pays.
+int run_plan_probe(bool quick) {
+  using namespace fademl;
+  const int warmup = quick ? 1 : 3;
+  const int iters = quick ? 5 : 15;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int hw_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  const std::vector<size_t> batch_sizes = {1, 4, 8, 16};
+
+  auto model = [] {
+    Rng rng(1);
+    nn::VggConfig config = nn::VggConfig::scaled(8);
+    return nn::make_vggnet(config, rng);
+  }();
+  model->set_training(false);
+  // Twin pipelines over one model: identical weights, identical kernels —
+  // only the execution strategy differs.
+  core::InferencePipeline plan_pipe(model, filters::make_lap(32));
+  core::InferencePipeline tape_pipe(model, filters::make_lap(32));
+  plan_pipe.set_plan_enabled(true);
+  tape_pipe.set_plan_enabled(false);
+
+  std::vector<Tensor> images;
+  images.reserve(batch_sizes.back());
+  for (size_t i = 0; i < batch_sizes.back(); ++i) {
+    images.push_back(data::canonical_sample(static_cast<int>(i % 43), 32));
+  }
+
+  parallel::set_num_threads(1);
+  const char* tier = simd::level_name(simd::active_level());
+  std::printf("== compiled-plan replay vs tape (TM-I, VGG/8, 1 thread, "
+              "tier %s) ==\n",
+              tier);
+
+  // One-off compile cost for the headline batch-8 shape.
+  const Tensor probe8 = nn::stack_images(
+      std::vector<Tensor>(images.begin(), images.begin() + 8));
+  const auto c0 = std::chrono::steady_clock::now();
+  const auto compiled =
+      plan_pipe.compile_plan(probe8.shape(), core::ThreatModel::kI);
+  const double compile_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - c0)
+                                .count();
+
+  std::filesystem::create_directories("artifacts");
+  std::ofstream out("artifacts/BENCH_plan.json");
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.key("schema").value("fademl.bench.v1");
+  json.key("bench").value("plan");
+  json.key("threat_model").value("I");
+  json.key("model").value("vgg/8 32x32x3");
+  json.key("hardware_concurrency").value(hw_threads);
+  json.key("dispatch_tier").value(tier);
+  json.key("threads").value(1);
+  json.key("iterations").value(iters);
+  json.key("warmup").value(warmup);
+  json.key("plan_compiled").value(compiled != nullptr);
+  json.key("compile_ms").value(compile_ms);
+  bool identical = true;
+  double batch8_tape = 0.0;
+  double batch8_plan = 0.0;
+  json.key("points").begin_array();
+  for (const size_t n : batch_sizes) {
+    const Tensor stacked = nn::stack_images(
+        std::vector<Tensor>(images.begin(), images.begin() + static_cast<long>(n)));
+    const Tensor plan_probs =
+        plan_pipe.predict_probs_batch(stacked, core::ThreatModel::kI);
+    const Tensor tape_probs =
+        tape_pipe.predict_probs_batch(stacked, core::ThreatModel::kI);
+    const bool same =
+        plan_probs.numel() == tape_probs.numel() &&
+        std::memcmp(plan_probs.data(), tape_probs.data(),
+                    sizeof(float) *
+                        static_cast<size_t>(plan_probs.numel())) == 0;
+    identical = identical && same;
+    const double plan_ms = median_ms(
+        [&] {
+          benchmark::DoNotOptimize(
+              plan_pipe.predict_probs_batch(stacked, core::ThreatModel::kI));
+        },
+        warmup, iters);
+    const double tape_ms = median_ms(
+        [&] {
+          benchmark::DoNotOptimize(
+              tape_pipe.predict_probs_batch(stacked, core::ThreatModel::kI));
+        },
+        warmup, iters);
+    const double speedup = plan_ms > 0.0 ? tape_ms / plan_ms : 0.0;
+    if (n == 8) {
+      batch8_tape = tape_ms;
+      batch8_plan = plan_ms;
+    }
+    std::printf("  batch %2zu  tape %8.3f ms   plan %8.3f ms   speedup "
+                "%.2fx   outputs %s\n",
+                n, tape_ms, plan_ms, speedup,
+                same ? "bitwise identical" : "DIVERGED");
+    json.begin_object();
+    json.key("batch").value(static_cast<int64_t>(n));
+    json.key("tape_ms").value(tape_ms);
+    json.key("plan_ms").value(plan_ms);
+    json.key("speedup").value(speedup);
+    json.key("bitwise_identical").value(same);
+    json.end_object();
+  }
+  json.end_array();
+  // Headline the acceptance gate reads: replay-vs-tape at batch 8.
+  json.key("batch8").begin_object();
+  json.key("tape_ms").value(batch8_tape);
+  json.key("plan_ms").value(batch8_plan);
+  json.key("speedup")
+      .value(batch8_plan > 0.0 ? batch8_tape / batch8_plan : 0.0);
+  json.end_object();
+  json.key("bitwise_identical").value(identical);
+  json.end_object();
+  out << "\n";
+  parallel::set_num_threads(0);  // back to the env/hardware default
+  std::printf("-> artifacts/BENCH_plan.json\n");
+  return identical ? 0 : 1;
+}
+
 // ---- observability overhead probe ------------------------------------------
 
 /// Measure what the obs layer costs the hot path: the filtered predict is
@@ -588,10 +717,12 @@ int main(int argc, char** argv) {
   }
   const int probe_rc = run_scaling_probe(quick);
   const int batch_rc = run_batch_probe(quick);
+  const int plan_rc = run_plan_probe(quick);
   const int alloc_rc = run_alloc_probe(quick);
   const int obs_rc = run_obs_probe(quick);
   const int rc = probe_rc != 0   ? probe_rc
                  : batch_rc != 0 ? batch_rc
+                 : plan_rc != 0  ? plan_rc
                  : alloc_rc != 0 ? alloc_rc
                                  : obs_rc;
   if (quick) {

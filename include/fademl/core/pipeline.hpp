@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "fademl/core/threat_model.hpp"
 #include "fademl/filters/filter.hpp"
 #include "fademl/nn/module.hpp"
+#include "fademl/plan/plan.hpp"
 
 namespace fademl::core {
 
@@ -74,7 +76,40 @@ class InferencePipeline {
   }
 
   /// Replace the pre-processing filter (used by the experiment sweeps).
+  /// Invalidates every cached inference plan — they baked in the old
+  /// routing prologue.
   void set_filter(filters::FilterPtr filter);
+
+  /// Fetch (or compile on first use) the inference plan for an
+  /// [N, C, H, W] batch shape under `tm`. Returns nullptr when the
+  /// model/shape combination is not plannable; results — including the
+  /// negative ones — are cached per (tm, shape) and invalidated by
+  /// set_filter and by model hot swaps (plan::bump_swap_generation).
+  [[nodiscard]] std::shared_ptr<const plan::InferencePlan> compile_plan(
+      const Shape& batch_shape, ThreatModel tm) const;
+
+  /// Per-instance override of the process-wide plan switch
+  /// (plan::plans_enabled, i.e. the FADEML_DISABLE_PLAN escape hatch).
+  /// Lets tests force the plan path on under a disabled environment and
+  /// vice versa.
+  void set_plan_enabled(bool enabled) {
+    plan_override_.store(enabled ? 1 : 0, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool plan_enabled() const {
+    const int o = plan_override_.load(std::memory_order_relaxed);
+    return o < 0 ? plan::plans_enabled() : o == 1;
+  }
+
+  /// Which path served the most recent predict_probs_batch on this
+  /// pipeline (readable from other threads; serve's stats collector polls
+  /// it right after each batch).
+  [[nodiscard]] plan::ExecPath last_exec_path() const {
+    return static_cast<plan::ExecPath>(
+        last_exec_path_.load(std::memory_order_relaxed));
+  }
+
+  /// Cumulative plan-vs-tape counters for this pipeline.
+  [[nodiscard]] plan::PlanStats plan_stats() const;
 
   /// The image that actually reaches the DNN input buffer when the
   /// attacker supplies `image` under threat model `tm`.
@@ -136,6 +171,14 @@ class InferencePipeline {
   std::shared_ptr<nn::Module> model_;
   filters::FilterPtr filter_;
   filters::FilterPtr acquisition_blur_;
+  // Plan machinery is an implementation detail of const inference entry
+  // points, hence mutable. -1 = inherit the process default.
+  mutable plan::PlanCache plan_cache_;
+  std::atomic<int> plan_override_{-1};
+  mutable std::atomic<std::uint64_t> plan_batches_{0};
+  mutable std::atomic<std::uint64_t> tape_batches_{0};
+  mutable std::atomic<int> last_exec_path_{
+      static_cast<int>(plan::ExecPath::kTape)};
 };
 
 /// Build a Prediction from a probability vector.

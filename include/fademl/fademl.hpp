@@ -12,6 +12,7 @@
 ///  - fademl::filters   pre-processing noise filters (LAP, LAR, ...)
 ///  - fademl::attacks   L-BFGS / FGSM / BIM and the FAdeML attack
 ///  - fademl::core      threat models, pipeline, Eq.-2 cost, analysis
+///  - fademl::plan      compiled inference plans (shape-specialized replay)
 ///  - fademl::io        PPM dumps, experiment tables, fault injection
 ///  - fademl::obs       observability: metrics registry + trace spans
 ///  - fademl::serve     hardened concurrent inference service
@@ -65,6 +66,7 @@
 #include "fademl/nn/trainer.hpp"
 #include "fademl/nn/vggnet.hpp"
 #include "fademl/parallel/parallel.hpp"
+#include "fademl/plan/plan.hpp"
 #include "fademl/serve/admission.hpp"
 #include "fademl/serve/bounded_queue.hpp"
 #include "fademl/serve/circuit_breaker.hpp"

@@ -179,6 +179,13 @@ struct StatusResponse {
   int64_t quarantine_strikes = 0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  /// Execution path: predict rounds served by compiled-plan replay vs the
+  /// tape, and the replicas' plan-cache totals. Appended after p99_ms —
+  /// field order is wire format.
+  int64_t plan_batches = 0;
+  int64_t tape_batches = 0;
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
 };
 
 std::string encode_predict_request(const PredictRequest& req);

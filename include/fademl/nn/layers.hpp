@@ -64,6 +64,8 @@ class MaxPool2d final : public Module {
   Variable forward(const Variable& x) override;
   [[nodiscard]] std::string name() const override;
 
+  [[nodiscard]] int64_t k() const { return k_; }
+
  private:
   int64_t k_;
 };
@@ -81,6 +83,8 @@ class AvgPool2d final : public Module {
   explicit AvgPool2d(int64_t k) : k_(k) {}
   Variable forward(const Variable& x) override;
   [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] int64_t k() const { return k_; }
 
  private:
   int64_t k_;
@@ -127,6 +131,9 @@ class BatchNorm2d final : public Module {
   [[nodiscard]] const Tensor& running_var() const {
     return running_var_.value();
   }
+  [[nodiscard]] Variable& gamma() { return gamma_; }
+  [[nodiscard]] Variable& beta() { return beta_; }
+  [[nodiscard]] float eps() const { return eps_; }
   [[nodiscard]] bool training() const { return training_; }
 
  private:

@@ -1,0 +1,212 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fademl/core/threat_model.hpp"
+#include "fademl/filters/filter.hpp"
+#include "fademl/nn/module.hpp"
+#include "fademl/simd/arena.hpp"
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::plan {
+
+/// The model/shape combination cannot be compiled into a plan (unknown
+/// module kind, training-mode Dropout/BatchNorm, a shape the chain
+/// rejects). Callers fall back to the autograd tape, which reproduces the
+/// canonical error surface for genuinely invalid inputs.
+class PlanCompileError : public Error {
+ public:
+  explicit PlanCompileError(const std::string& what) : Error(what) {}
+};
+
+/// Which execution path served a batch.
+enum class ExecPath {
+  kPlan,  ///< compiled-plan replay
+  kTape,  ///< autograd tape forward
+};
+
+/// "plan" / "tape".
+const char* exec_path_name(ExecPath path);
+
+/// Cumulative per-pipeline plan counters (see
+/// core::InferencePipeline::plan_stats).
+struct PlanStats {
+  std::uint64_t plan_batches = 0;   ///< batches served by plan replay
+  std::uint64_t tape_batches = 0;   ///< batches served by the tape
+  std::uint64_t cache_hits = 0;     ///< PlanCache lookups that hit
+  std::uint64_t cache_misses = 0;   ///< lookups that had to (re)compile
+  std::uint64_t compiles = 0;       ///< successful plan compilations
+};
+
+/// Process default for the plan path: false when the FADEML_DISABLE_PLAN
+/// environment variable is set to anything but "" or "0" (the escape
+/// hatch), true otherwise. Read once at first use.
+bool plans_enabled();
+
+/// Monotonic model-swap generation. net::ModelRegistry bumps it on every
+/// hot swap; PlanCache instances compare it lazily on lookup and drop all
+/// entries when it moved, so a plan compiled against pre-swap modules can
+/// never serve a post-swap request even if a pipeline object were reused
+/// across the swap.
+std::uint64_t swap_generation();
+void bump_swap_generation();
+
+/// An inference chain compiled once for a fixed (threat model, [N, C, H, W]
+/// input shape): the prologue (acquisition blur + noise filter routing,
+/// minus the tape path's defensive clones) followed by a flat post-order op
+/// list over the model's layers, ending in the row softmax.
+///
+/// Memory comes from a one-shot liveness plan: every intermediate
+/// activation is an offset into a single arena slab sized at compile time
+/// (first-fit over live intervals, so non-overlapping lifetimes share
+/// storage). Replay therefore does zero graph construction and — once the
+/// thread-local scratch/buffer pools are warm — zero heap allocation.
+///
+/// Weights are held as shallow Tensor handles sharing the module's
+/// parameter storage. Checkpoint loads and optimizers mutate parameters in
+/// place (`copy_from`), so weight updates flow into an existing plan
+/// automatically; nothing derived from weight *values* is cached (the
+/// Linear weight transpose and BatchNorm scale/shift are recomputed into
+/// scratch on every replay, exactly like the tape path).
+///
+/// Kernel dispatch deliberately stays behind the same `simd::kernels()`
+/// table the tape path uses rather than freezing pointers at compile time:
+/// a FADEML_CPU_LEVEL override between compile and replay must keep the
+/// two paths bitwise identical. The tier active at compile time is
+/// recorded for diagnostics only.
+class InferencePlan {
+ public:
+  /// Compile the chain for `batch_shape` ([N, C, H, W]). The model must be
+  /// an inference-mode nn::Sequential of known layer kinds; throws
+  /// PlanCompileError otherwise. `filter`/`blur` are the routing stages
+  /// for `tm` (blur is only consulted under TM-II).
+  static std::shared_ptr<const InferencePlan> compile(
+      nn::Module& model, filters::FilterPtr filter, filters::FilterPtr blur,
+      core::ThreatModel tm, const Shape& batch_shape);
+
+  /// Replay: [N, C, H, W] in (must match the compiled shape bit for bit),
+  /// [N, num_classes] softmax probabilities out. Bitwise identical to the
+  /// tape path by construction — both run the same fademl::raw kernels in
+  /// the same order. Replay on one plan is serialized internally (the slab
+  /// is shared state); distinct plans replay concurrently.
+  [[nodiscard]] Tensor run(const Tensor& batch) const;
+
+  [[nodiscard]] const Shape& input_shape() const { return input_shape_; }
+  [[nodiscard]] core::ThreatModel threat_model() const { return tm_; }
+  [[nodiscard]] int64_t batch_size() const { return n_; }
+  [[nodiscard]] int64_t num_classes() const { return classes_; }
+  [[nodiscard]] size_t op_count() const { return ops_.size(); }
+  /// Slab floats carved for intermediate activations.
+  [[nodiscard]] int64_t slab_floats() const { return slab_floats_; }
+  /// Dispatch tier name observed at compile time (diagnostic only).
+  [[nodiscard]] const std::string& compiled_tier() const { return tier_; }
+  /// One line per op: "conv2d [8, 6, 16, 16] @+0" — for tests and logs.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  struct Op {
+    enum class Kind : uint8_t {
+      kConv2d,
+      kBatchNorm,
+      kReLU,
+      kMaxPool,
+      kAvgPool,
+      kLinear,
+      kSoftmax,
+    };
+    Kind kind = Kind::kReLU;
+    int in_buf = 0;    ///< index into buffer table (kExternalIn for input)
+    int out_buf = 0;   ///< kExternalOut for the result tensor
+    // Input geometry as seen by this op (n is the plan's batch size).
+    int64_t c = 0, h = 0, w = 0;
+    int64_t out_c = 0, out_h = 0, out_w = 0;
+    int64_t in_numel = 0, out_numel = 0;
+    Conv2dSpec spec;   ///< conv only
+    int64_t k = 0;     ///< pool window
+    float eps = 0.0f;  ///< batch norm
+    // Shallow handles into module storage (see class comment).
+    Tensor weight, bias;              // conv / linear
+    Tensor gamma, beta, mean, var;    // batch norm
+    /// conv only: precompiled im2col copy table (raw::im2col_runs) —
+    /// shape-derived, so hot swaps can never stale it.
+    std::vector<raw::Im2colRun> runs;
+  };
+
+  static constexpr int kExternalIn = -1;
+  static constexpr int kExternalOut = -2;
+
+  InferencePlan() = default;
+
+  void plan_memory();
+
+  Shape input_shape_;
+  core::ThreatModel tm_ = core::ThreatModel::kI;
+  int64_t n_ = 0, c_ = 0, h_ = 0, w_ = 0;
+  int64_t classes_ = 0;
+  filters::FilterPtr filter_;
+  filters::FilterPtr blur_;
+  std::vector<Op> ops_;
+  std::vector<int64_t> buffer_numel_;   ///< intermediate buffers, def order
+  std::vector<int64_t> buffer_offset_;  ///< slab offsets (floats)
+  int64_t slab_floats_ = 0;
+  std::unique_ptr<simd::Arena> arena_;
+  float* slab_ = nullptr;
+  std::string tier_;
+  mutable std::mutex replay_mutex_;
+};
+
+/// Per-pipeline plan cache keyed by (threat model, batch shape), capped at
+/// `max_entries` (oldest evicted first). A key that failed to compile is
+/// cached as nullptr so unplannable shapes don't trigger a recompile storm.
+/// Lookups lazily compare the global swap_generation() and drop every
+/// entry when a hot swap happened; set_filter invalidates explicitly.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t max_entries = 16);
+
+  /// Fetch the plan for (tm, shape), compiling on miss. Returns nullptr
+  /// when the combination is not plannable. `compile` is only invoked on
+  /// a miss and must return nullptr (not throw) for unplannable inputs.
+  using CompileFn =
+      std::function<std::shared_ptr<const InferencePlan>(core::ThreatModel,
+                                                         const Shape&)>;
+  std::shared_ptr<const InferencePlan> get_or_compile(core::ThreatModel tm,
+                                                      const Shape& shape,
+                                                      const CompileFn& compile);
+
+  /// Drop all entries (filter swap, explicit model surgery).
+  void invalidate();
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_.load(); }
+  [[nodiscard]] std::uint64_t misses() const { return misses_.load(); }
+  [[nodiscard]] std::uint64_t compiles() const { return compiles_.load(); }
+  [[nodiscard]] size_t size() const;
+
+ private:
+  struct Key {
+    int tm = 0;
+    std::vector<int64_t> dims;
+    bool operator==(const Key& o) const { return tm == o.tm && dims == o.dims; }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const InferencePlan> plan;  // nullptr: negative entry
+  };
+
+  const size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::uint64_t seen_generation_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> compiles_{0};
+};
+
+}  // namespace fademl::plan

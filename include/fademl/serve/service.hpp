@@ -123,6 +123,7 @@ struct ServiceConfig {
 struct InferenceResult {
   core::Prediction prediction;
   bool degraded = false;    ///< produced by the fallback filter
+  bool via_plan = false;    ///< served by compiled-plan replay (vs the tape)
   std::string filter;       ///< name of the filter actually applied
   double queue_ms = 0.0;    ///< time spent waiting for a worker
   double infer_ms = 0.0;    ///< time spent inside the pipeline

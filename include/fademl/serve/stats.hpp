@@ -48,6 +48,14 @@ struct ServiceStats {
   int64_t quarantine_hits = 0;       ///< submits refused: fingerprint banned
   int64_t quarantined_inputs = 0;    ///< fingerprints on the deny list now
   int64_t quarantine_strikes = 0;    ///< worker failures attributed so far
+  /// Execution path: predict rounds served by compiled-plan replay vs the
+  /// autograd tape, plus the plan-cache totals aggregated over the
+  /// replicas' pipelines (docs/performance.md "Compiled plans"). The
+  /// cache fields are filled by the service, not the collector.
+  int64_t plan_batches = 0;
+  int64_t tape_batches = 0;
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
 };
 
 /// Thread-safe accumulator behind InferenceService::stats().
@@ -96,6 +104,10 @@ class StatsCollector {
   /// `n` in-flight requests failed with WorkerLostError on one loss.
   void on_requests_worker_lost(int64_t n);
   void on_quarantine_hit();
+  /// One predict round served by compiled-plan replay / the tape (read
+  /// from the replica pipeline's last_exec_path right after the round).
+  void on_plan_batch();
+  void on_tape_batch();
   /// Gauges mirrored into the registry so a metrics export carries the
   /// instantaneous pool / deny-list state alongside the counters.
   void set_workers_live(int64_t n);
@@ -131,6 +143,8 @@ class StatsCollector {
   obs::Counter& workers_restarted_;
   obs::Counter& requests_worker_lost_;
   obs::Counter& quarantine_hits_;
+  obs::Counter& plan_batches_;
+  obs::Counter& tape_batches_;
   obs::Gauge& workers_live_;
   obs::Gauge& quarantined_inputs_;
   obs::Histogram& latency_hist_;

@@ -104,4 +104,110 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
 Tensor maxpool2d(const Tensor& input, int64_t k,
                  std::vector<int64_t>* argmax_out = nullptr);
 
+// ---- raw into-buffer inference kernels -------------------------------------
+//
+// The compiled-plan backend (fademl/plan) executes the inference chain over
+// pre-planned arena offsets instead of Tensor temporaries, so every forward
+// op also exists in a raw pointer form. The Tensor-level functions above
+// delegate to these, which is what keeps plan replay bitwise identical to
+// the tape path by construction: both run the same arithmetic in the same
+// order — the raw layer is the single implementation.
+//
+// Contracts: all buffers are dense row-major float32 and must not overlap
+// unless a kernel documents in-place use. `conv2d` and `linear` require
+// their output region to be zero on entry (the dispatched GEMM's contract);
+// the Tensor wrappers satisfy it via the zero-filling Tensor constructor,
+// plan replay by clearing the slab region first.
+namespace raw {
+
+/// Unfold [C, H, W] patches at `src` into the [C*kh*kw, oh*ow] matrix at
+/// `dst` (zero padding; dst is fully overwritten).
+void im2col(const float* src, int64_t c, int64_t h, int64_t w,
+            const Conv2dSpec& spec, int64_t oh, int64_t ow, float* dst);
+
+/// Precompute the im2col gather map for one [C, H, W] shape: one entry per
+/// [C*kh*kw, oh*ow] cell holding the flat source index that cell reads, or
+/// -1 for a zero-padding cell. Derived by running `im2col` itself over an
+/// index-tagged image, so the map reproduces the canonical unfold by
+/// construction.
+std::vector<int32_t> im2col_indices(int64_t c, int64_t h, int64_t w,
+                                    const Conv2dSpec& spec, int64_t oh,
+                                    int64_t ow);
+
+/// One span of a precompiled im2col copy table: `len` output cells starting
+/// at `dst_off` that read `len` consecutive source floats starting at
+/// `src_off`, or are zero padding when `src_off` is -1. Spans tile the
+/// [C*kh*kw, oh*ow] matrix exactly once, in output order.
+struct Im2colRun {
+  int32_t dst_off = 0;
+  int32_t src_off = 0;  ///< -1: zero-fill run
+  int32_t len = 0;
+};
+
+/// Coalesce `im2col_indices` into a copy table for one [C, H, W] shape. A
+/// compiled plan builds this once per conv op and replays the unfold with
+/// `im2col_copy`: the same memcpy runs the canonical `im2col` performs,
+/// but with no per-call bounds arithmetic and zero fill only where padding
+/// actually lands instead of over the whole matrix.
+std::vector<Im2colRun> im2col_runs(int64_t c, int64_t h, int64_t w,
+                                   const Conv2dSpec& spec, int64_t oh,
+                                   int64_t ow);
+
+/// Apply a precomputed copy table: memcpy each source span, zero-fill each
+/// padding span. Produces bitwise the same matrix as `im2col` on the shape
+/// the table was built for.
+void im2col_copy(const float* src, const Im2colRun* runs, int64_t n_runs,
+                 float* dst);
+
+/// conv2d forward: input [n, c, h, w], weight [o, c, kh, kw] (flattened
+/// row-major), optional bias [o] (nullptr to skip), out [n, o, oh, ow].
+/// `out` must be zero on entry. im2col panels come from the thread-local
+/// scratch arena; the batch fans out over the intra-op pool exactly like
+/// the Tensor path. `runs`, when non-null, is the `im2col_runs` copy table
+/// for this (c, h, w, spec) — the unfold runs through `im2col_copy`
+/// instead, with bitwise identical results.
+void conv2d(const float* input, int64_t n, int64_t c, int64_t h, int64_t w,
+            const float* weight, const float* bias, int64_t out_channels,
+            const Conv2dSpec& spec, float* out,
+            const Im2colRun* runs = nullptr, int64_t n_runs = 0);
+
+/// linear forward: x [rows, in_features], weight [out_features,
+/// in_features], optional bias [out_features] (nullptr to skip), out
+/// [rows, out_features]. `out` must be zero on entry. The weight transpose
+/// lands in scratch, so the arithmetic (transpose, then GEMM, then the
+/// row-major bias loop) matches the historical matmul(x, Wᵀ) + bias path
+/// bitwise.
+void linear(const float* x, int64_t rows, int64_t in_features,
+            const float* weight, const float* bias, int64_t out_features,
+            float* out);
+
+/// Elementwise max(x, 0) through the dispatched kernel table (dst == x
+/// allowed).
+void relu(const float* x, float* dst, int64_t n);
+
+/// kxk/stride-k max pooling of [n, c, h, w] into [n, c, h/k, w/k]; spatial
+/// dims must be divisible by k (checked by the Tensor wrapper / the plan
+/// compiler).
+void maxpool2d(const float* x, int64_t n, int64_t c, int64_t h, int64_t w,
+               int64_t k, float* out);
+
+/// kxk/stride-k average pooling of [n, c, h, w] into [n, c, h/k, w/k].
+void avgpool2d(const float* x, int64_t n, int64_t c, int64_t h, int64_t w,
+               int64_t k, float* out);
+
+/// Inference-mode batch norm over [n, c, hw]: out = gamma * (x - mean) /
+/// sqrt(var + eps) + beta, folded to one scale/shift per channel exactly
+/// like autograd::batchnorm2d_inference (scale/shift staging lands in
+/// scratch).
+void batchnorm2d_inference(const float* x, int64_t n, int64_t c, int64_t hw,
+                           const float* gamma, const float* beta,
+                           const float* mean, const float* var, float eps,
+                           float* out);
+
+/// Row-wise numerically-stabilized softmax of [rows, cols].
+void softmax_rows(const float* logits, int64_t rows, int64_t cols,
+                  float* out);
+
+}  // namespace raw
+
 }  // namespace fademl

@@ -40,10 +40,10 @@ case "${1:-}" in
     ;;
   --tsan)
     echo
-    echo "== sanitizers: TSan build + obs_test + parallel_test + simd_kernels_test + arena_test + serve_test + supervision_test + net_test =="
+    echo "== sanitizers: TSan build + obs_test + parallel_test + simd_kernels_test + arena_test + serve_test + supervision_test + net_test + plan_test =="
     export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1 suppressions=$(pwd)/scripts/tsan.supp}"
     cmake -B build-tsan -S . -DFADEML_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-    cmake --build build-tsan -j --target obs_test parallel_test simd_kernels_test arena_test serve_test train_determinism_test supervision_test net_test
+    cmake --build build-tsan -j --target obs_test parallel_test simd_kernels_test arena_test serve_test train_determinism_test supervision_test net_test plan_test
     # The observability primitives first (registry/trace collector are the
     # shared reporting substrate), then the thread-pool suite that the
     # other concurrent suites sit on.
@@ -69,6 +69,10 @@ case "${1:-}" in
     # The network chaos suite: retrying client vs injected resets /
     # partial frames / slow peers, hot swap under load, drain shutdown.
     ./build-tsan/tests/net_test
+    # The compiled-plan suite: plan-vs-tape identity under a wide pool,
+    # and the swap-under-load chaos test (plan caches invalidating while
+    # client threads hammer predictions across hot swaps).
+    FADEML_NUM_THREADS=4 ./build-tsan/tests/plan_test
     ;;
   "")
     ;;

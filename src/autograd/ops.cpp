@@ -168,21 +168,16 @@ Variable linear(const Variable& x, const Variable& weight,
   FADEML_CHECK(xv.rank() == 2 && wv.rank() == 2 && xv.dim(1) == wv.dim(1),
                "linear shapes: x " + xv.shape().str() + ", W " +
                    wv.shape().str());
-  Tensor out = fademl::matmul(xv, transpose2d(wv));  // [N, O]
   if (bias.defined()) {
     const Tensor& bv = bias.value();
     FADEML_CHECK(bv.rank() == 1 && bv.dim(0) == wv.dim(0),
                  "linear bias must be [O], got " + bv.shape().str());
-    const int64_t rows = out.dim(0);
-    const int64_t cols = out.dim(1);
-    float* po = out.data();
-    const float* pb = bv.data();
-    for (int64_t r = 0; r < rows; ++r) {
-      for (int64_t c = 0; c < cols; ++c) {
-        po[r * cols + c] += pb[c];
-      }
-    }
   }
+  // The constructor zero-fills, which raw::linear's GEMM requires.
+  Tensor out{Shape{xv.dim(0), wv.dim(0)}};  // [N, O]
+  raw::linear(xv.data(), xv.dim(0), xv.dim(1), wv.data(),
+              bias.defined() ? bias.value().data() : nullptr, wv.dim(0),
+              out.data());
   auto node = make_node(std::move(out),
                         {x.node(), weight.node(),
                          bias.defined() ? bias.node() : nullptr});
@@ -343,27 +338,9 @@ Variable avgpool2d(const Variable& input, int64_t k) {
   const int64_t c = xv.dim(1);
   const int64_t h = xv.dim(2);
   const int64_t w = xv.dim(3);
-  const int64_t oh = h / k;
-  const int64_t ow = w / k;
-  Tensor out = Tensor::zeros(Shape{n, c, oh, ow});
-  const float* src = xv.data();
-  float* dst = out.data();
   const float inv = 1.0f / static_cast<float>(k * k);
-  for (int64_t b = 0; b < n * c; ++b) {
-    const float* plane = src + b * h * w;
-    float* oplane = dst + b * oh * ow;
-    for (int64_t oy = 0; oy < oh; ++oy) {
-      for (int64_t ox = 0; ox < ow; ++ox) {
-        float acc = 0.0f;
-        for (int64_t dy = 0; dy < k; ++dy) {
-          for (int64_t dx = 0; dx < k; ++dx) {
-            acc += plane[(oy * k + dy) * w + ox * k + dx];
-          }
-        }
-        oplane[oy * ow + ox] = acc * inv;
-      }
-    }
-  }
+  Tensor out{Shape{n, c, h / k, w / k}};
+  raw::avgpool2d(xv.data(), n, c, h, w, k, out.data());
   auto node = make_node(std::move(out), {input.node()});
   if (node->requires_grad) {
     node->backward_fn = [k, inv](Node& nd) {
@@ -553,28 +530,9 @@ Variable batchnorm2d_inference(const Variable& input, const Variable& gamma,
   const int64_t c = xv.dim(1);
   const int64_t hw = xv.dim(2) * xv.dim(3);
   Tensor out{xv.shape()};
-  const float* px = xv.data();
-  const float* pg = gamma.value().data();
-  const float* pb = beta.value().data();
-  float* po = out.data();
-  std::vector<float> scale(static_cast<size_t>(c));
-  std::vector<float> shift(static_cast<size_t>(c));
-  for (int64_t ch = 0; ch < c; ++ch) {
-    const float inv_std = 1.0f / std::sqrt(var.at(ch) + eps);
-    scale[static_cast<size_t>(ch)] = pg[ch] * inv_std;
-    shift[static_cast<size_t>(ch)] =
-        pb[ch] - pg[ch] * mean.at(ch) * inv_std;
-  }
-  for (int64_t b = 0; b < n; ++b) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      const int64_t base = (b * c + ch) * hw;
-      const float s = scale[static_cast<size_t>(ch)];
-      const float t = shift[static_cast<size_t>(ch)];
-      for (int64_t i = 0; i < hw; ++i) {
-        po[base + i] = s * px[base + i] + t;
-      }
-    }
-  }
+  raw::batchnorm2d_inference(xv.data(), n, c, hw, gamma.value().data(),
+                             beta.value().data(), mean.data(), var.data(),
+                             eps, out.data());
   auto node = make_node(std::move(out),
                         {input.node(), gamma.node(), beta.node()});
   if (node->requires_grad) {

@@ -39,6 +39,18 @@ obs::Histogram& vjp_hist() {
   return h;
 }
 
+obs::Histogram& replay_hist() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("plan.replay_ms");
+  return h;
+}
+
+obs::Counter& tape_fallbacks_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("plan.tape_fallbacks");
+  return c;
+}
+
 }  // namespace
 
 InferencePipeline::InferencePipeline(std::shared_ptr<nn::Module> model,
@@ -57,6 +69,35 @@ InferencePipeline::InferencePipeline(std::shared_ptr<nn::Module> model,
 void InferencePipeline::set_filter(filters::FilterPtr filter) {
   FADEML_CHECK(filter != nullptr, "set_filter rejects null filters");
   filter_ = std::move(filter);
+  // Cached plans hold the previous filter in their routing prologue.
+  plan_cache_.invalidate();
+}
+
+std::shared_ptr<const plan::InferencePlan> InferencePipeline::compile_plan(
+    const Shape& batch_shape, ThreatModel tm) const {
+  return plan_cache_.get_or_compile(
+      tm, batch_shape,
+      [this](ThreatModel t,
+             const Shape& s) -> std::shared_ptr<const plan::InferencePlan> {
+        try {
+          return plan::InferencePlan::compile(*model_, filter_,
+                                              acquisition_blur_, t, s);
+        } catch (const plan::PlanCompileError&) {
+          // Negative-cached by PlanCache; the tape serves this shape (and
+          // throws the canonical error if the input is genuinely invalid).
+          return nullptr;
+        }
+      });
+}
+
+plan::PlanStats InferencePipeline::plan_stats() const {
+  plan::PlanStats s;
+  s.plan_batches = plan_batches_.load(std::memory_order_relaxed);
+  s.tape_batches = tape_batches_.load(std::memory_order_relaxed);
+  s.cache_hits = plan_cache_.hits();
+  s.cache_misses = plan_cache_.misses();
+  s.compiles = plan_cache_.compiles();
+  return s;
 }
 
 Tensor InferencePipeline::route(const Tensor& image, ThreatModel tm) const {
@@ -124,10 +165,28 @@ Tensor InferencePipeline::predict_probs_batch(const Tensor& batch,
   // steady-state tensor buffers come from the thread's pool instead of
   // the heap (see fademl/simd/arena.hpp).
   simd::MemoryScope memory_scope;
+  // Prefer the compiled plan when it exists for this (tm, shape); odd
+  // shapes and unplannable models fall through to the tape, which also
+  // owns the canonical error surface for invalid batches.
+  if (plan_enabled() && batch.rank() == 4 && batch.dim(0) >= 1) {
+    const std::shared_ptr<const plan::InferencePlan> plan =
+        compile_plan(batch.shape(), tm);
+    if (plan != nullptr) {
+      obs::StageTimer timer(replay_hist(), "plan.replay", "model");
+      plan_batches_.fetch_add(1, std::memory_order_relaxed);
+      last_exec_path_.store(static_cast<int>(plan::ExecPath::kPlan),
+                            std::memory_order_relaxed);
+      return plan->run(batch);
+    }
+    tape_fallbacks_counter().add();
+  }
   const Tensor routed = route_batch(batch, tm);
   autograd::Variable x{routed.clone()};
   obs::StageTimer timer(forward_hist(), "model.forward", "model");
   const autograd::Variable logits = model_->forward(x);
+  tape_batches_.fetch_add(1, std::memory_order_relaxed);
+  last_exec_path_.store(static_cast<int>(plan::ExecPath::kTape),
+                        std::memory_order_relaxed);
   return softmax_rows(logits.value());
 }
 

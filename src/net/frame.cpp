@@ -446,6 +446,10 @@ std::string encode_status_response(const StatusResponse& resp) {
   append_u64(out, static_cast<uint64_t>(resp.quarantine_strikes));
   append_f64(out, resp.p50_ms);
   append_f64(out, resp.p99_ms);
+  append_u64(out, static_cast<uint64_t>(resp.plan_batches));
+  append_u64(out, static_cast<uint64_t>(resp.tape_batches));
+  append_u64(out, static_cast<uint64_t>(resp.plan_cache_hits));
+  append_u64(out, static_cast<uint64_t>(resp.plan_cache_misses));
   return out;
 }
 
@@ -471,6 +475,10 @@ StatusResponse decode_status_response(std::string_view payload) {
   resp.quarantine_strikes = static_cast<int64_t>(cur.read_u64());
   resp.p50_ms = cur.read_f64();
   resp.p99_ms = cur.read_f64();
+  resp.plan_batches = static_cast<int64_t>(cur.read_u64());
+  resp.tape_batches = static_cast<int64_t>(cur.read_u64());
+  resp.plan_cache_hits = static_cast<int64_t>(cur.read_u64());
+  resp.plan_cache_misses = static_cast<int64_t>(cur.read_u64());
   cur.expect_end();
   return resp;
 }

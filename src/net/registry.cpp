@@ -5,6 +5,7 @@
 #include "fademl/io/failpoint.hpp"
 #include "fademl/net/errors.hpp"
 #include "fademl/nn/checkpoint.hpp"
+#include "fademl/plan/plan.hpp"
 
 namespace fademl::net {
 
@@ -112,6 +113,11 @@ int64_t ModelRegistry::swap(const std::string& name,
     entry.spec.checkpoint_path = checkpoint_path;
     generation = ++entry.generation;
   }
+  // Retire every cached inference plan process-wide: any pipeline that
+  // shares (or shared) a model with the replaced service must recompile
+  // against the published weights rather than replay a stale plan. The
+  // fresh replicas' caches are empty, so for them this is free.
+  plan::bump_swap_generation();
   // `old` releases outside the lock: if no request still holds it, the
   // drain-and-join shutdown runs here rather than under mutex_.
   return generation;

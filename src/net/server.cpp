@@ -300,6 +300,10 @@ Frame Server::dispatch(const Frame& request) {
       resp.quarantine_strikes = s.quarantine_strikes;
       resp.p50_ms = s.p50_ms;
       resp.p99_ms = s.p99_ms;
+      resp.plan_batches = s.plan_batches;
+      resp.tape_batches = s.tape_batches;
+      resp.plan_cache_hits = s.plan_cache_hits;
+      resp.plan_cache_misses = s.plan_cache_misses;
       Frame frame;
       frame.type = FrameType::kStatusResponse;
       frame.request_id = id;

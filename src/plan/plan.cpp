@@ -1,0 +1,552 @@
+#include "fademl/plan/plan.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "fademl/nn/layers.hpp"
+#include "fademl/obs/metrics.hpp"
+#include "fademl/obs/trace.hpp"
+#include "fademl/simd/cpu.hpp"
+
+namespace fademl::plan {
+
+namespace {
+
+obs::Counter& cache_hits_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("plan.cache_hits");
+  return c;
+}
+
+obs::Counter& cache_misses_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("plan.cache_misses");
+  return c;
+}
+
+obs::Counter& compiles_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("plan.compiles");
+  return c;
+}
+
+obs::Histogram& compile_hist() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("plan.compile_ms");
+  return h;
+}
+
+// The same histogram object core::InferencePipeline's tape path reports
+// filter time into — the routing prologue is the identical work.
+obs::Histogram& filter_hist() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("pipeline.filter_ms");
+  return h;
+}
+
+// Swap epoch shared by every PlanCache (see header).
+std::atomic<std::uint64_t>& swap_gen() {
+  static std::atomic<std::uint64_t> gen{1};
+  return gen;
+}
+
+}  // namespace
+
+const char* exec_path_name(ExecPath path) {
+  return path == ExecPath::kPlan ? "plan" : "tape";
+}
+
+bool plans_enabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("FADEML_DISABLE_PLAN");
+    return v == nullptr || v[0] == '\0' ||
+           (v[0] == '0' && v[1] == '\0');
+  }();
+  return enabled;
+}
+
+std::uint64_t swap_generation() { return swap_gen().load(); }
+
+void bump_swap_generation() { swap_gen().fetch_add(1); }
+
+// ---- InferencePlan ---------------------------------------------------------
+
+std::shared_ptr<const InferencePlan> InferencePlan::compile(
+    nn::Module& model, filters::FilterPtr filter, filters::FilterPtr blur,
+    core::ThreatModel tm, const Shape& batch_shape) {
+  if (batch_shape.rank() != 4 || batch_shape.dim(0) < 1) {
+    throw PlanCompileError("plan input must be a non-empty [N, C, H, W], got " +
+                           batch_shape.str());
+  }
+  FADEML_CHECK(filter != nullptr, "plan compile requires a filter");
+  FADEML_CHECK(blur != nullptr, "plan compile requires a blur stage");
+
+  auto plan = std::shared_ptr<InferencePlan>(new InferencePlan());
+  plan->input_shape_ = batch_shape;
+  plan->tm_ = tm;
+  plan->n_ = batch_shape.dim(0);
+  plan->c_ = batch_shape.dim(1);
+  plan->h_ = batch_shape.dim(2);
+  plan->w_ = batch_shape.dim(3);
+  plan->filter_ = std::move(filter);
+  plan->blur_ = std::move(blur);
+  plan->tier_ = simd::level_name(simd::active_level());
+
+  // Shape state threaded through the walk. `flat` flips at Flatten; while
+  // flat, `c` carries the feature count and h == w == 1.
+  const int64_t n = plan->n_;
+  int64_t c = plan->c_;
+  int64_t h = plan->h_;
+  int64_t w = plan->w_;
+  bool flat = false;
+  int cur_buf = kExternalIn;
+
+  const auto emit = [&](Op op) {
+    op.in_buf = cur_buf;
+    op.out_buf = static_cast<int>(plan->buffer_numel_.size());
+    plan->buffer_numel_.push_back(op.out_numel);
+    cur_buf = op.out_buf;
+    plan->ops_.push_back(std::move(op));
+  };
+
+  const std::function<void(nn::Module&)> walk = [&](nn::Module& m) {
+    if (auto* seq = dynamic_cast<nn::Sequential*>(&m)) {
+      for (size_t i = 0; i < seq->size(); ++i) {
+        walk(*(*seq)[i]);
+      }
+      return;
+    }
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&m)) {
+      if (flat) {
+        throw PlanCompileError("Conv2d after Flatten is not plannable");
+      }
+      const Tensor& wt = conv->weight().value();
+      if (wt.rank() != 4 || wt.dim(1) != c) {
+        throw PlanCompileError("Conv2d weight " + wt.shape().str() +
+                               " does not accept " + std::to_string(c) +
+                               " input channels");
+      }
+      const Conv2dSpec& spec = conv->spec();
+      const int64_t oh = spec.out_size(h, spec.kernel_h);
+      const int64_t ow = spec.out_size(w, spec.kernel_w);
+      if (oh <= 0 || ow <= 0) {
+        throw PlanCompileError("Conv2d output would be empty for input [" +
+                               std::to_string(h) + ", " + std::to_string(w) +
+                               "]");
+      }
+      Op op;
+      op.kind = Op::Kind::kConv2d;
+      op.c = c;
+      op.h = h;
+      op.w = w;
+      op.out_c = wt.dim(0);
+      op.out_h = oh;
+      op.out_w = ow;
+      op.in_numel = n * c * h * w;
+      op.out_numel = n * op.out_c * oh * ow;
+      op.spec = spec;
+      op.weight = wt;
+      if (conv->bias().defined()) {
+        op.bias = conv->bias().value();
+      }
+      // The unfold pattern depends only on geometry, so it is compiled
+      // once here into a copy table and replayed as straight memcpy/fill
+      // spans — no bounds arithmetic, no full-matrix zero fill (see
+      // docs/performance.md "Compiled plans").
+      op.runs = raw::im2col_runs(c, h, w, spec, oh, ow);
+      emit(std::move(op));
+      c = wt.dim(0);
+      h = oh;
+      w = ow;
+      return;
+    }
+    if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&m)) {
+      if (bn->training()) {
+        throw PlanCompileError(
+            "BatchNorm2d in training mode is not plannable (batch statistics "
+            "mutate state); call set_training(false) first");
+      }
+      if (flat) {
+        throw PlanCompileError("BatchNorm2d after Flatten is not plannable");
+      }
+      const Tensor& gamma = bn->gamma().value();
+      if (gamma.dim(0) != c) {
+        throw PlanCompileError("BatchNorm2d channels " +
+                               std::to_string(gamma.dim(0)) +
+                               " do not match input channels " +
+                               std::to_string(c));
+      }
+      Op op;
+      op.kind = Op::Kind::kBatchNorm;
+      op.c = c;
+      op.h = h;
+      op.w = w;
+      op.out_c = c;
+      op.out_h = h;
+      op.out_w = w;
+      op.in_numel = n * c * h * w;
+      op.out_numel = op.in_numel;
+      op.eps = bn->eps();
+      op.gamma = gamma;
+      op.beta = bn->beta().value();
+      op.mean = bn->running_mean();
+      op.var = bn->running_var();
+      emit(std::move(op));
+      return;
+    }
+    if (dynamic_cast<nn::ReLU*>(&m) != nullptr) {
+      Op op;
+      op.kind = Op::Kind::kReLU;
+      op.c = c;
+      op.h = h;
+      op.w = w;
+      op.out_c = c;
+      op.out_h = h;
+      op.out_w = w;
+      op.in_numel = n * c * h * w;
+      op.out_numel = op.in_numel;
+      emit(std::move(op));
+      return;
+    }
+    if (auto* mp = dynamic_cast<nn::MaxPool2d*>(&m)) {
+      if (flat) {
+        throw PlanCompileError("MaxPool2d after Flatten is not plannable");
+      }
+      const int64_t k = mp->k();
+      if (k < 1 || h % k != 0 || w % k != 0) {
+        throw PlanCompileError("MaxPool2d window " + std::to_string(k) +
+                               " does not divide [" + std::to_string(h) +
+                               ", " + std::to_string(w) + "]");
+      }
+      Op op;
+      op.kind = Op::Kind::kMaxPool;
+      op.c = c;
+      op.h = h;
+      op.w = w;
+      op.k = k;
+      op.out_c = c;
+      op.out_h = h / k;
+      op.out_w = w / k;
+      op.in_numel = n * c * h * w;
+      op.out_numel = n * c * op.out_h * op.out_w;
+      emit(std::move(op));
+      h /= k;
+      w /= k;
+      return;
+    }
+    if (auto* ap = dynamic_cast<nn::AvgPool2d*>(&m)) {
+      if (flat) {
+        throw PlanCompileError("AvgPool2d after Flatten is not plannable");
+      }
+      const int64_t k = ap->k();
+      if (k < 1 || h % k != 0 || w % k != 0) {
+        throw PlanCompileError("AvgPool2d window " + std::to_string(k) +
+                               " does not divide [" + std::to_string(h) +
+                               ", " + std::to_string(w) + "]");
+      }
+      Op op;
+      op.kind = Op::Kind::kAvgPool;
+      op.c = c;
+      op.h = h;
+      op.w = w;
+      op.k = k;
+      op.out_c = c;
+      op.out_h = h / k;
+      op.out_w = w / k;
+      op.in_numel = n * c * h * w;
+      op.out_numel = n * c * op.out_h * op.out_w;
+      emit(std::move(op));
+      h /= k;
+      w /= k;
+      return;
+    }
+    if (dynamic_cast<nn::Flatten*>(&m) != nullptr) {
+      if (flat) {
+        throw PlanCompileError("nested Flatten is not plannable");
+      }
+      // Metadata only: the activation buffer is reinterpreted, not copied
+      // (the tape path's reshape().clone() copies, but values are equal).
+      flat = true;
+      c = c * h * w;
+      h = 1;
+      w = 1;
+      return;
+    }
+    if (auto* drop = dynamic_cast<nn::Dropout*>(&m)) {
+      if (drop->training()) {
+        throw PlanCompileError(
+            "Dropout in training mode is not plannable (stochastic); call "
+            "set_training(false) first");
+      }
+      return;  // identity at inference
+    }
+    if (auto* lin = dynamic_cast<nn::Linear*>(&m)) {
+      if (!flat) {
+        throw PlanCompileError("Linear before Flatten is not plannable");
+      }
+      const Tensor& wt = lin->weight().value();
+      if (wt.rank() != 2 || wt.dim(1) != c) {
+        throw PlanCompileError("Linear weight " + wt.shape().str() +
+                               " does not accept " + std::to_string(c) +
+                               " input features");
+      }
+      Op op;
+      op.kind = Op::Kind::kLinear;
+      op.c = c;  // in_features
+      op.h = 1;
+      op.w = 1;
+      op.out_c = wt.dim(0);  // out_features
+      op.out_h = 1;
+      op.out_w = 1;
+      op.in_numel = n * c;
+      op.out_numel = n * wt.dim(0);
+      op.weight = wt;
+      if (lin->bias().defined()) {
+        op.bias = lin->bias().value();
+      }
+      emit(std::move(op));
+      c = wt.dim(0);
+      return;
+    }
+    throw PlanCompileError("module kind '" + m.name() +
+                           "' has no plan lowering");
+  };
+
+  walk(model);
+
+  if (!flat) {
+    throw PlanCompileError(
+        "model does not end in [N, classes] logits (no Flatten seen)");
+  }
+  plan->classes_ = c;
+
+  // Epilogue: the row softmax writes straight into the caller's result
+  // tensor, so the last logits buffer is the final slab resident.
+  Op softmax;
+  softmax.kind = Op::Kind::kSoftmax;
+  softmax.c = c;
+  softmax.in_numel = n * c;
+  softmax.out_numel = n * c;
+  softmax.in_buf = cur_buf;
+  softmax.out_buf = kExternalOut;
+  plan->ops_.push_back(std::move(softmax));
+
+  plan->plan_memory();
+  return plan;
+}
+
+void InferencePlan::plan_memory() {
+  const size_t nb = buffer_numel_.size();
+  buffer_offset_.assign(nb, 0);
+  if (nb == 0) {
+    slab_floats_ = 0;
+    return;
+  }
+  // Live interval of each buffer: [defining op, last consuming op]. The op
+  // list is a chain, so this is simply [i, i + 1] — but the first-fit pass
+  // below works from the intervals, not the chain, so op-list extensions
+  // (skip connections, multi-consumer fan-out) keep working.
+  std::vector<int> def(nb, 0);
+  std::vector<int> last(nb, 0);
+  for (int i = 0; i < static_cast<int>(ops_.size()); ++i) {
+    if (ops_[i].out_buf >= 0) {
+      def[static_cast<size_t>(ops_[i].out_buf)] = i;
+    }
+    if (ops_[i].in_buf >= 0) {
+      last[static_cast<size_t>(ops_[i].in_buf)] =
+          std::max(last[static_cast<size_t>(ops_[i].in_buf)], i);
+    }
+  }
+  // First-fit over live intervals, in definition order: place each buffer
+  // at the lowest offset that does not collide with an already-placed
+  // buffer whose lifetime overlaps. Offsets are kept 64-byte aligned.
+  constexpr int64_t kAlignFloats = 16;
+  struct Placed {
+    int64_t lo = 0, hi = 0;
+    int def = 0, last = 0;
+  };
+  std::vector<Placed> placed;
+  int64_t total = 0;
+  for (size_t b = 0; b < nb; ++b) {
+    const int64_t need =
+        (buffer_numel_[b] + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+    int64_t offset = 0;
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      for (const Placed& p : placed) {
+        const bool lives_overlap = def[b] <= p.last && p.def <= last[b];
+        const bool space_overlaps = offset < p.hi && p.lo < offset + need;
+        if (lives_overlap && space_overlaps) {
+          offset = p.hi;
+          moved = true;
+        }
+      }
+    }
+    buffer_offset_[b] = offset;
+    placed.push_back({offset, offset + need, def[b], last[b]});
+    total = std::max(total, offset + need);
+  }
+  slab_floats_ = total;
+  arena_ = std::make_unique<simd::Arena>(
+      static_cast<size_t>(total) * sizeof(float) + simd::Arena::kAlignment);
+  slab_ = arena_->alloc_floats(total);
+}
+
+Tensor InferencePlan::run(const Tensor& batch) const {
+  FADEML_CHECK(batch.shape() == input_shape_,
+               "plan replay shape mismatch: compiled for " +
+                   input_shape_.str() + ", got " + batch.shape().str());
+  // Prologue: the routing stages, minus the tape path's defensive clones
+  // (TM-I feeds the caller's buffer straight into the first op).
+  Tensor routed;
+  const float* in = batch.data();
+  switch (tm_) {
+    case core::ThreatModel::kI:
+      break;
+    case core::ThreatModel::kII: {
+      obs::StageTimer timer(filter_hist(), "filter.apply", "filter");
+      routed = filter_->apply_batch(blur_->apply_batch(batch));
+      in = routed.data();
+      break;
+    }
+    case core::ThreatModel::kIII: {
+      obs::StageTimer timer(filter_hist(), "filter.apply", "filter");
+      routed = filter_->apply_batch(batch);
+      in = routed.data();
+      break;
+    }
+  }
+  Tensor out{Shape{n_, classes_}};
+  // The slab is shared mutable state; replays of one plan serialize.
+  std::lock_guard<std::mutex> lock(replay_mutex_);
+  for (const Op& op : ops_) {
+    const float* src =
+        op.in_buf == kExternalIn
+            ? in
+            : slab_ + buffer_offset_[static_cast<size_t>(op.in_buf)];
+    float* dst =
+        op.out_buf == kExternalOut
+            ? out.data()
+            : slab_ + buffer_offset_[static_cast<size_t>(op.out_buf)];
+    switch (op.kind) {
+      case Op::Kind::kConv2d:
+        // The GEMM accumulates; the tape path starts from a zero-filled
+        // tensor, the plan re-zeroes the slab region — same arithmetic.
+        std::fill(dst, dst + op.out_numel, 0.0f);
+        raw::conv2d(src, n_, op.c, op.h, op.w, op.weight.data(),
+                    op.bias.defined() ? op.bias.data() : nullptr, op.out_c,
+                    op.spec, dst, op.runs.data(),
+                    static_cast<int64_t>(op.runs.size()));
+        break;
+      case Op::Kind::kBatchNorm:
+        raw::batchnorm2d_inference(src, n_, op.c, op.h * op.w,
+                                   op.gamma.data(), op.beta.data(),
+                                   op.mean.data(), op.var.data(), op.eps,
+                                   dst);
+        break;
+      case Op::Kind::kReLU:
+        raw::relu(src, dst, op.in_numel);
+        break;
+      case Op::Kind::kMaxPool:
+        raw::maxpool2d(src, n_, op.c, op.h, op.w, op.k, dst);
+        break;
+      case Op::Kind::kAvgPool:
+        raw::avgpool2d(src, n_, op.c, op.h, op.w, op.k, dst);
+        break;
+      case Op::Kind::kLinear:
+        std::fill(dst, dst + op.out_numel, 0.0f);
+        raw::linear(src, n_, op.c, op.weight.data(),
+                    op.bias.defined() ? op.bias.data() : nullptr, op.out_c,
+                    dst);
+        break;
+      case Op::Kind::kSoftmax:
+        raw::softmax_rows(src, n_, classes_, dst);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string InferencePlan::describe() const {
+  std::ostringstream os;
+  os << "plan " << core::threat_model_name(tm_) << " " << input_shape_.str()
+     << " -> [" << n_ << ", " << classes_ << "], " << ops_.size()
+     << " ops, slab " << slab_floats_ << " floats, compiled@" << tier_
+     << "\n";
+  for (const Op& op : ops_) {
+    const char* kind = "?";
+    switch (op.kind) {
+      case Op::Kind::kConv2d: kind = "conv2d"; break;
+      case Op::Kind::kBatchNorm: kind = "batchnorm"; break;
+      case Op::Kind::kReLU: kind = "relu"; break;
+      case Op::Kind::kMaxPool: kind = "maxpool"; break;
+      case Op::Kind::kAvgPool: kind = "avgpool"; break;
+      case Op::Kind::kLinear: kind = "linear"; break;
+      case Op::Kind::kSoftmax: kind = "softmax"; break;
+    }
+    os << "  " << kind << " out=" << op.out_numel << " floats";
+    if (op.out_buf >= 0) {
+      os << " @+" << buffer_offset_[static_cast<size_t>(op.out_buf)];
+    } else {
+      os << " @result";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+// ---- PlanCache -------------------------------------------------------------
+
+PlanCache::PlanCache(size_t max_entries) : max_entries_(max_entries) {
+  FADEML_CHECK(max_entries_ >= 1, "PlanCache needs at least one entry");
+}
+
+std::shared_ptr<const InferencePlan> PlanCache::get_or_compile(
+    core::ThreatModel tm, const Shape& shape, const CompileFn& compile) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t gen = swap_generation();
+  if (gen != seen_generation_) {
+    entries_.clear();
+    seen_generation_ = gen;
+  }
+  Key key{static_cast<int>(tm), shape.dims()};
+  for (const Entry& e : entries_) {
+    if (e.key == key) {
+      hits_.fetch_add(1);
+      cache_hits_counter().add();
+      return e.plan;
+    }
+  }
+  misses_.fetch_add(1);
+  cache_misses_counter().add();
+  std::shared_ptr<const InferencePlan> plan;
+  {
+    obs::StageTimer timer(compile_hist(), "plan.compile", "plan");
+    plan = compile(tm, shape);
+  }
+  if (plan != nullptr) {
+    compiles_.fetch_add(1);
+    compiles_counter().add();
+  }
+  if (entries_.size() >= max_entries_) {
+    entries_.erase(entries_.begin());
+  }
+  entries_.push_back(Entry{std::move(key), plan});
+  return entries_.back().plan;
+}
+
+void PlanCache::invalidate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace fademl::plan

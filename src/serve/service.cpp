@@ -311,6 +311,16 @@ void InferenceService::run_request(WorkerSlot& slot, Request& request,
       result.prediction =
           pipeline.predict(request.image, config_.threat_model);
     }
+    // Execution-path provenance: read right after the round, on the same
+    // pipeline that ran it (worker-per-replica, so no interleaving).
+    const bool via_plan =
+        pipeline.last_exec_path() == plan::ExecPath::kPlan;
+    if (via_plan) {
+      stats_.on_plan_batch();
+    } else {
+      stats_.on_tape_batch();
+    }
+    result.via_plan = via_plan;
     const Clock::time_point done_at = Clock::now();
     if (done_at > request.deadline) {
       // Finished late: the worker is healthy, but a stale answer is
@@ -439,6 +449,15 @@ void InferenceService::process_batch(WorkerSlot& slot,
           preds = pipeline.predict_batch(nn::stack_images(images),
                                          config_.threat_model);
         }
+        // One path read per cohort: the whole group went through one
+        // predict round, so every member shares its provenance.
+        const bool via_plan =
+            pipeline.last_exec_path() == plan::ExecPath::kPlan;
+        if (via_plan) {
+          stats_.on_plan_batch();
+        } else {
+          stats_.on_tape_batch();
+        }
         const Clock::time_point done_at = Clock::now();
         for (size_t j = 0; j < group.size(); ++j) {
           Request& request = *live[group[j]];
@@ -458,6 +477,7 @@ void InferenceService::process_batch(WorkerSlot& slot,
           InferenceResult result;
           result.prediction = preds[j];
           result.degraded = degraded;
+          result.via_plan = via_plan;
           result.filter = pipeline.filter().name();
           result.queue_ms = ms_between(request.submitted_at, dequeued_at);
           result.infer_ms = ms_between(dequeued_at, done_at);
@@ -689,6 +709,25 @@ ServiceStats InferenceService::stats() const {
   out.workers_live = static_cast<int64_t>(live_workers());
   out.quarantined_inputs = static_cast<int64_t>(quarantine_.size());
   out.quarantine_strikes = quarantine_.strikes_recorded();
+  // Plan-cache totals summed over the live replicas (deployed pipeline +
+  // degraded twin — both serve traffic and cache plans independently).
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (const SlotPtr& s : slots_) {
+      if (!s) {
+        continue;
+      }
+      for (const core::InferencePipeline* p :
+           {s->pipeline.get(), s->degraded.get()}) {
+        if (p == nullptr) {
+          continue;
+        }
+        const plan::PlanStats ps = p->plan_stats();
+        out.plan_cache_hits += static_cast<int64_t>(ps.cache_hits);
+        out.plan_cache_misses += static_cast<int64_t>(ps.cache_misses);
+      }
+    }
+  }
   return out;
 }
 

@@ -23,6 +23,8 @@ StatsCollector::StatsCollector(size_t window)
       workers_restarted_(registry_.counter("serve.workers_restarted")),
       requests_worker_lost_(registry_.counter("serve.requests_worker_lost")),
       quarantine_hits_(registry_.counter("serve.quarantine_hits")),
+      plan_batches_(registry_.counter("serve.plan_batches")),
+      tape_batches_(registry_.counter("serve.tape_batches")),
       workers_live_(registry_.gauge("serve.workers_live")),
       quarantined_inputs_(registry_.gauge("serve.quarantined_inputs")),
       latency_hist_(registry_.histogram("serve.total_ms")) {
@@ -85,6 +87,10 @@ void StatsCollector::on_requests_worker_lost(int64_t n) {
 
 void StatsCollector::on_quarantine_hit() { quarantine_hits_.add(); }
 
+void StatsCollector::on_plan_batch() { plan_batches_.add(); }
+
+void StatsCollector::on_tape_batch() { tape_batches_.add(); }
+
 void StatsCollector::set_workers_live(int64_t n) {
   workers_live_.set(static_cast<double>(n));
 }
@@ -115,6 +121,8 @@ ServiceStats StatsCollector::snapshot() const {
   out.workers_restarted = workers_restarted_.value();
   out.requests_worker_lost = requests_worker_lost_.value();
   out.quarantine_hits = quarantine_hits_.value();
+  out.plan_batches = plan_batches_.value();
+  out.tape_batches = tape_batches_.value();
   out.workers_live = static_cast<int64_t>(workers_live_.value());
   out.quarantined_inputs = static_cast<int64_t>(quarantined_inputs_.value());
   std::lock_guard<std::mutex> lock(mutex_);

@@ -212,6 +212,80 @@ void gather_row_impl(const float* src, float* dst, int64_t x_lo, int64_t x_hi,
 
 // ---- GEMM -----------------------------------------------------------------
 
+/// Column tail (j0 .. n, fewer than V::width columns): one W-wide lane
+/// group per row, mul-then-add per k step, all through explicit V
+/// intrinsics. Lanes >= n - j0 compute garbage that never reaches C
+/// (loads past a row's end read the next row; the final row is staged
+/// into a zero-padded buffer so the load cannot overrun the matrix).
+/// Because every row runs the exact same per-lane intrinsic sequence —
+/// no compiler-dependent contraction, no row-group-dependent codegen — a
+/// row's bits cannot depend on which [row_lo, row_hi) chunk it ran in.
+/// This tail is the whole GEMM whenever n < V::width (deep conv layers
+/// with tiny spatial output live there), so rows are blocked to keep
+/// several independent accumulator chains in flight.
+/// Finish one tail row: continue the k chain with scalar mul-then-add from
+/// `kk_lim` (scalar IEEE ops are bitwise the per-lane vector ops, so the
+/// chain stays intact) and write the row's tail columns. noinline so every
+/// caller — block path or remainder path, any row group — runs this one
+/// machine-code instance, keeping results chunk-independent.
+template <class V>
+[[gnu::noinline]] void gemm_col_tail_finish(const float* a, const float* b,
+                                            float* c, int64_t k, int64_t n,
+                                            int64_t j0, int tail,
+                                            int64_t kk_lim, int64_t row,
+                                            const float* accv) {
+  float acc[V::width];
+  for (int j = 0; j < V::width; ++j) acc[j] = accv[j];
+  for (int64_t kk = kk_lim; kk < k; ++kk) {
+    const float av = a[row * k + kk];
+    const float* brow = b + kk * n + j0;
+    for (int j = 0; j < tail; ++j) acc[j] += av * brow[j];
+  }
+  for (int j = 0; j < tail; ++j) c[row * n + j0 + j] = acc[j];
+}
+
+template <class V>
+void gemm_col_tail(const float* a, const float* b, float* c, int64_t k,
+                   int64_t n, int64_t row_lo, int64_t row_hi, int64_t j0) {
+  if (k <= 0 || row_lo >= row_hi) return;
+  const int tail = static_cast<int>(n - j0);
+  // A W-wide load at b + kk*n + j0 stays inside the matrix iff
+  // kk*n + j0 + W <= k*n; rows past that limit are finished scalar. The
+  // limit depends only on (k, n, j0), never on the row chunk.
+  const int64_t excess = k * n - j0 - V::width;
+  int64_t kk_lim = excess < 0 ? 0 : excess / n + 1;
+  if (kk_lim > k) kk_lim = k;
+  constexpr int RB = 4;
+  float tmp[V::width];
+  int64_t r = row_lo;
+  for (; r + RB <= row_hi; r += RB) {
+    typename V::vec acc[RB];
+    for (int rr = 0; rr < RB; ++rr) acc[rr] = V::zero();
+    for (int64_t kk = 0; kk < kk_lim; ++kk) {
+      const auto bv = V::load(b + kk * n + j0);
+      for (int rr = 0; rr < RB; ++rr) {
+        // Unfused on purpose: per lane this is bitwise the scalar
+        // mul-then-add chain (the TUs build with -ffp-contract=off), so
+        // the tail matches the historical scalar column loop exactly.
+        acc[rr] = V::add(acc[rr], V::mul(V::set1(a[(r + rr) * k + kk]), bv));
+      }
+    }
+    for (int rr = 0; rr < RB; ++rr) {
+      V::store(tmp, acc[rr]);
+      gemm_col_tail_finish<V>(a, b, c, k, n, j0, tail, kk_lim, r + rr, tmp);
+    }
+  }
+  for (; r < row_hi; ++r) {
+    auto acc = V::zero();
+    const float* arow = a + r * k;
+    for (int64_t kk = 0; kk < kk_lim; ++kk) {
+      acc = V::add(acc, V::mul(V::set1(arow[kk]), V::load(b + kk * n + j0)));
+    }
+    V::store(tmp, acc);
+    gemm_col_tail_finish<V>(a, b, c, k, n, j0, tail, kk_lim, r, tmp);
+  }
+}
+
 /// Rows [i0, i0+RM) over every column: one register-blocked microkernel
 /// sweep. RM is a compile-time constant so the accumulator array stays in
 /// registers; the caller dispatches the final short row group through
@@ -245,25 +319,25 @@ void gemm_panel(const float* a, const float* b, float* c, int64_t k, int64_t n,
     }
   }
   // Column tails: one vector at a time, then scalar columns. Each row's
-  // chain still only depends on (row, j0, k) — bitwise chunk-stable.
+  // chain still only depends on (row, j0, k) — bitwise chunk-stable. The
+  // RM rows advance together so the k loop loads each B vector once and
+  // keeps RM independent accumulator chains in flight; per element the
+  // k-ordered chain is the same as a row-at-a-time sweep. This tail is
+  // the whole GEMM whenever n < NV*W — deep conv layers with tiny spatial
+  // dims live here, so it must not be latency-bound.
   for (; j0 + W <= n; j0 += W) {
-    for (int r = 0; r < RM; ++r) {
-      auto accv = V::zero();
-      const float* arow = a + (i0 + r) * k;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        accv = V::fmadd(V::set1(arow[kk]), V::load(b + kk * n + j0), accv);
+    typename V::vec acc[RM];
+    for (int r = 0; r < RM; ++r) acc[r] = V::zero();
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const auto bv = V::load(b + kk * n + j0);
+      for (int r = 0; r < RM; ++r) {
+        acc[r] = V::fmadd(V::set1(a[(i0 + r) * k + kk]), bv, acc[r]);
       }
-      V::store(c + (i0 + r) * n + j0, accv);
     }
+    for (int r = 0; r < RM; ++r) V::store(c + (i0 + r) * n + j0, acc[r]);
   }
-  for (; j0 < n; ++j0) {
-    for (int r = 0; r < RM; ++r) {
-      float accs = 0.0f;
-      const float* arow = a + (i0 + r) * k;
-      for (int64_t kk = 0; kk < k; ++kk) accs += arow[kk] * b[kk * n + j0];
-      c[(i0 + r) * n + j0] = accs;
-    }
-  }
+  // Columns past the last full W tile are handled by gemm_col_tail, called
+  // once per gemm_impl invocation for the whole row range.
 }
 
 template <class V, int NV>
@@ -300,6 +374,9 @@ void gemm_impl(const float* a, const float* b, float* c, int64_t m, int64_t k,
   }
   if (i0 < row_hi) {
     gemm_rows_tail<V, NV>(a, b, c, k, n, i0, row_hi - i0);
+  }
+  if (n % V::width != 0) {
+    gemm_col_tail<V>(a, b, c, k, n, row_lo, row_hi, n - n % V::width);
   }
 }
 

@@ -255,24 +255,8 @@ std::vector<int64_t> topk_indices(const Tensor& a, int k) {
 Tensor softmax_rows(const Tensor& logits) {
   FADEML_CHECK(logits.rank() == 2,
                "softmax_rows expects [N, C], got " + logits.shape().str());
-  const int64_t rows = logits.dim(0);
-  const int64_t cols = logits.dim(1);
   Tensor out{logits.shape()};
-  const float* in = logits.data();
-  float* po = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = in + r * cols;
-    float* orow = po + r * cols;
-    const float m = *std::max_element(row, row + cols);
-    float denom = 0.0f;
-    for (int64_t c = 0; c < cols; ++c) {
-      orow[c] = std::exp(row[c] - m);
-      denom += orow[c];
-    }
-    for (int64_t c = 0; c < cols; ++c) {
-      orow[c] /= denom;
-    }
-  }
+  raw::softmax_rows(logits.data(), logits.dim(0), logits.dim(1), out.data());
   return out;
 }
 
@@ -357,14 +341,14 @@ float dot(const Tensor& a, const Tensor& b) {
   return static_cast<float>(s);
 }
 
-namespace {
+namespace raw {
 
 /// im2col into a raw [C*kh*kw, oh*ow] buffer (arena scratch or tensor
 /// storage). Pure data movement — for stride 1 each (row, oy) pair is one
 /// contiguous run, copied with memcpy; the values match the historical
 /// per-element loop exactly.
-void im2col_raw(const float* src, int64_t c, int64_t h, int64_t w,
-                const Conv2dSpec& spec, int64_t oh, int64_t ow, float* dst) {
+void im2col(const float* src, int64_t c, int64_t h, int64_t w,
+            const Conv2dSpec& spec, int64_t oh, int64_t ow, float* dst) {
   const int64_t out_cols = oh * ow;
   std::fill(dst, dst + c * spec.kernel_h * spec.kernel_w * out_cols, 0.0f);
   for (int64_t ch = 0; ch < c; ++ch) {
@@ -401,7 +385,244 @@ void im2col_raw(const float* src, int64_t c, int64_t h, int64_t w,
   }
 }
 
-}  // namespace
+std::vector<int32_t> im2col_indices(int64_t c, int64_t h, int64_t w,
+                                    const Conv2dSpec& spec, int64_t oh,
+                                    int64_t ow) {
+  // float32 holds integers exactly up to 2^24, so tagging each source cell
+  // with (index + 1) and running the canonical unfold recovers, per output
+  // cell, exactly which source cell it reads (0 = padding). Deriving the
+  // map from im2col itself means it can never drift from the real unfold.
+  const int64_t numel = c * h * w;
+  FADEML_CHECK(numel < (int64_t{1} << 24),
+               "im2col_indices: input too large for exact float tagging");
+  const int64_t cells = c * spec.kernel_h * spec.kernel_w * oh * ow;
+  std::vector<float> tags(static_cast<size_t>(numel));
+  for (int64_t i = 0; i < numel; ++i) {
+    tags[static_cast<size_t>(i)] = static_cast<float>(i + 1);
+  }
+  std::vector<float> cols(static_cast<size_t>(cells));
+  im2col(tags.data(), c, h, w, spec, oh, ow, cols.data());
+  std::vector<int32_t> idx(static_cast<size_t>(cells));
+  for (int64_t i = 0; i < cells; ++i) {
+    const auto tag = static_cast<int64_t>(cols[static_cast<size_t>(i)]);
+    idx[static_cast<size_t>(i)] = static_cast<int32_t>(tag - 1);
+  }
+  return idx;
+}
+
+std::vector<Im2colRun> im2col_runs(int64_t c, int64_t h, int64_t w,
+                                   const Conv2dSpec& spec, int64_t oh,
+                                   int64_t ow) {
+  // Coalesce the per-cell index map into maximal spans: consecutive cells
+  // reading consecutive source floats become one memcpy, consecutive
+  // padding cells one zero-fill. Every cell lands in exactly one span, so
+  // replaying the table writes bitwise the matrix im2col writes.
+  const std::vector<int32_t> idx = im2col_indices(c, h, w, spec, oh, ow);
+  const auto cells = static_cast<int64_t>(idx.size());
+  std::vector<Im2colRun> runs;
+  int64_t i = 0;
+  while (i < cells) {
+    int64_t j = i + 1;
+    if (idx[static_cast<size_t>(i)] < 0) {
+      while (j < cells && idx[static_cast<size_t>(j)] < 0) {
+        ++j;
+      }
+      runs.push_back({static_cast<int32_t>(i), -1, static_cast<int32_t>(j - i)});
+    } else {
+      while (j < cells && idx[static_cast<size_t>(j)] ==
+                              idx[static_cast<size_t>(j - 1)] + 1) {
+        ++j;
+      }
+      runs.push_back({static_cast<int32_t>(i), idx[static_cast<size_t>(i)],
+                      static_cast<int32_t>(j - i)});
+    }
+    i = j;
+  }
+  return runs;
+}
+
+void im2col_copy(const float* src, const Im2colRun* runs, int64_t n_runs,
+                 float* dst) {
+  for (int64_t r = 0; r < n_runs; ++r) {
+    const Im2colRun& s = runs[r];
+    if (s.src_off < 0) {
+      std::fill(dst + s.dst_off, dst + s.dst_off + s.len, 0.0f);
+    } else {
+      std::memcpy(dst + s.dst_off, src + s.src_off,
+                  static_cast<size_t>(s.len) * sizeof(float));
+    }
+  }
+}
+
+void conv2d(const float* input, int64_t n, int64_t c, int64_t h, int64_t w,
+            const float* weight, const float* bias, int64_t out_channels,
+            const Conv2dSpec& spec, float* out, const Im2colRun* runs,
+            int64_t n_runs) {
+  const int64_t o = out_channels;
+  const int64_t oh = spec.out_size(h, spec.kernel_h);
+  const int64_t ow = spec.out_size(w, spec.kernel_w);
+  const int64_t kdim = c * spec.kernel_h * spec.kernel_w;
+  const int64_t ohw = oh * ow;
+  const auto& kt = simd::kernels();
+  const auto unfold = [&](const float* src, float* cols) {
+    if (runs != nullptr) {
+      im2col_copy(src, runs, n_runs, cols);
+    } else {
+      im2col(src, c, h, w, spec, oh, ow, cols);
+    }
+  };
+  // Per-image work: im2col into arena scratch (zero tensor allocations on
+  // the hot path), one dispatched GEMM, then the bias rows. At the scalar
+  // tier this is arithmetic-for-arithmetic the historical
+  // im2col → matmul → `+= bias` sequence, so outputs stay bitwise stable.
+  const auto conv_image = [&](int64_t b) {
+    simd::ScratchScope scope;
+    float* cols = simd::scratch().alloc_floats(kdim * ohw);
+    unfold(input + b * c * h * w, cols);
+    float* dst = out + b * o * ohw;
+    kt.gemm(weight, cols, dst, o, kdim, ohw, 0, o);
+    if (bias != nullptr) {
+      for (int64_t oc = 0; oc < o; ++oc) {
+        float* drow = dst + oc * ohw;
+        kt.add_scalar(drow, bias[oc], drow, ohw);
+      }
+    }
+  };
+  if (n == 1) {
+    // Single image: im2col once on the caller and fan the GEMM rows out
+    // across the pool instead (a batch of one has no batch parallelism).
+    simd::ScratchScope scope;
+    float* cols = simd::scratch().alloc_floats(kdim * ohw);
+    unfold(input, cols);
+    const int64_t grain = parallel::gather_grain(o, 2 * kdim * ohw);
+    parallel::parallel_for(0, o, grain, [&](int64_t lo, int64_t hi) {
+      kt.gemm(weight, cols, out, o, kdim, ohw, lo, hi);
+    });
+    if (bias != nullptr) {
+      for (int64_t oc = 0; oc < o; ++oc) {
+        float* drow = out + oc * ohw;
+        kt.add_scalar(drow, bias[oc], drow, ohw);
+      }
+    }
+    return;
+  }
+  // Batch images are independent disjoint writes, so the machine-aware
+  // gather grain applies (inline on one core, batch fan-out otherwise).
+  const int64_t grain = parallel::gather_grain(n, 2 * o * kdim * ohw);
+  parallel::parallel_for(0, n, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t b = lo; b < hi; ++b) {
+      conv_image(b);
+    }
+  });
+}
+
+void linear(const float* x, int64_t rows, int64_t in_features,
+            const float* weight, const float* bias, int64_t out_features,
+            float* out) {
+  simd::ScratchScope scope;
+  // Transpose W [O, F] -> Wᵀ [F, O] into scratch with the same serial loop
+  // as transpose2d, so the GEMM consumes bit-for-bit the matrix the
+  // historical matmul(x, transpose2d(W)) path consumed.
+  float* wt = simd::scratch().alloc_floats(in_features * out_features);
+  for (int64_t i = 0; i < out_features; ++i) {
+    for (int64_t j = 0; j < in_features; ++j) {
+      wt[j * out_features + i] = weight[i * in_features + j];
+    }
+  }
+  const auto& kt = simd::kernels();
+  const int64_t grain =
+      parallel::gather_grain(rows, 2 * in_features * out_features);
+  parallel::parallel_for(0, rows, grain, [&](int64_t lo, int64_t hi) {
+    kt.gemm(x, wt, out, rows, in_features, out_features, lo, hi);
+  });
+  if (bias != nullptr) {
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < out_features; ++c) {
+        out[r * out_features + c] += bias[c];
+      }
+    }
+  }
+}
+
+void relu(const float* x, float* dst, int64_t n) {
+  // Same inline-below-the-grain / fan-out-above split as the Tensor
+  // elementwise path; relu is a pure per-element function, so the chunking
+  // cannot change a bit either way.
+  const auto& kt = simd::kernels();
+  if (n <= kElementwiseGrain) {
+    kt.relu(x, dst, n);
+    return;
+  }
+  parallel::parallel_for(0, n, kElementwiseGrain,
+                         [&](int64_t lo, int64_t hi) {
+                           kt.relu(x + lo, dst + lo, hi - lo);
+                         });
+}
+
+void avgpool2d(const float* x, int64_t n, int64_t c, int64_t h, int64_t w,
+               int64_t k, float* out) {
+  const int64_t oh = h / k;
+  const int64_t ow = w / k;
+  const float inv = 1.0f / static_cast<float>(k * k);
+  for (int64_t b = 0; b < n * c; ++b) {
+    const float* plane = x + b * h * w;
+    float* oplane = out + b * oh * ow;
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        float acc = 0.0f;
+        for (int64_t dy = 0; dy < k; ++dy) {
+          for (int64_t dx = 0; dx < k; ++dx) {
+            acc += plane[(oy * k + dy) * w + ox * k + dx];
+          }
+        }
+        oplane[oy * ow + ox] = acc * inv;
+      }
+    }
+  }
+}
+
+void batchnorm2d_inference(const float* x, int64_t n, int64_t c, int64_t hw,
+                           const float* gamma, const float* beta,
+                           const float* mean, const float* var, float eps,
+                           float* out) {
+  simd::ScratchScope scope;
+  float* scale = simd::scratch().alloc_floats(c);
+  float* shift = simd::scratch().alloc_floats(c);
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float inv_std = 1.0f / std::sqrt(var[ch] + eps);
+    scale[ch] = gamma[ch] * inv_std;
+    shift[ch] = beta[ch] - gamma[ch] * mean[ch] * inv_std;
+  }
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const int64_t base = (b * c + ch) * hw;
+      const float s = scale[ch];
+      const float t = shift[ch];
+      for (int64_t i = 0; i < hw; ++i) {
+        out[base + i] = s * x[base + i] + t;
+      }
+    }
+  }
+}
+
+void softmax_rows(const float* logits, int64_t rows, int64_t cols,
+                  float* out) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = logits + r * cols;
+    float* orow = out + r * cols;
+    const float m = *std::max_element(row, row + cols);
+    float denom = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      orow[c] = std::exp(row[c] - m);
+      denom += orow[c];
+    }
+    for (int64_t c = 0; c < cols; ++c) {
+      orow[c] /= denom;
+    }
+  }
+}
+
+}  // namespace raw
 
 Tensor im2col(const Tensor& image, const Conv2dSpec& spec) {
   FADEML_CHECK(image.rank() == 3,
@@ -414,7 +635,7 @@ Tensor im2col(const Tensor& image, const Conv2dSpec& spec) {
   FADEML_CHECK(oh > 0 && ow > 0, "im2col output would be empty for input " +
                                      image.shape().str());
   Tensor cols{Shape{c * spec.kernel_h * spec.kernel_w, oh * ow}};
-  im2col_raw(image.data(), c, h, w, spec, oh, ow, cols.data());
+  raw::im2col(image.data(), c, h, w, spec, oh, ow, cols.data());
   return cols;
 }
 
@@ -480,83 +701,26 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   const int64_t ow = spec.out_size(w, spec.kernel_w);
   FADEML_CHECK(oh > 0 && ow > 0, "conv2d output would be empty for input " +
                                      input.shape().str());
+  // The Tensor constructor zero-fills, which is raw::conv2d's (and the
+  // GEMM's) precondition on the output rows. The weight's [O, C*kh*kw]
+  // flattening is a pure reinterpretation of its row-major storage, so the
+  // raw kernel reads the weight buffer directly.
   Tensor out{Shape{n, o, oh, ow}};
-  const Tensor wmat = weight.reshape(Shape{o, c * spec.kernel_h * spec.kernel_w});
-  const int64_t kdim = c * spec.kernel_h * spec.kernel_w;
-  const int64_t ohw = oh * ow;
-  const float* pw = wmat.data();
-  const float* pin = input.data();
-  const float* pbias = bias.defined() ? bias.data() : nullptr;
-  float* pout = out.data();
-  const auto& kt = simd::kernels();
-  // Per-image work: im2col into arena scratch (zero tensor allocations on
-  // the hot path), one dispatched GEMM, then the bias rows. At the scalar
-  // tier this is arithmetic-for-arithmetic the historical
-  // im2col → matmul → `+= bias` sequence, so outputs stay bitwise stable.
-  const auto conv_image = [&](int64_t b) {
-    simd::ScratchScope scope;
-    float* cols = simd::scratch().alloc_floats(kdim * ohw);
-    im2col_raw(pin + b * c * h * w, c, h, w, spec, oh, ow, cols);
-    float* dst = pout + b * o * ohw;
-    kt.gemm(pw, cols, dst, o, kdim, ohw, 0, o);
-    if (pbias != nullptr) {
-      for (int64_t oc = 0; oc < o; ++oc) {
-        float* drow = dst + oc * ohw;
-        kt.add_scalar(drow, pbias[oc], drow, ohw);
-      }
-    }
-  };
-  if (n == 1) {
-    // Single image: im2col once on the caller and fan the GEMM rows out
-    // across the pool instead (a batch of one has no batch parallelism).
-    simd::ScratchScope scope;
-    float* cols = simd::scratch().alloc_floats(kdim * ohw);
-    im2col_raw(pin, c, h, w, spec, oh, ow, cols);
-    const int64_t grain = parallel::gather_grain(o, 2 * kdim * ohw);
-    parallel::parallel_for(0, o, grain, [&](int64_t lo, int64_t hi) {
-      kt.gemm(pw, cols, pout, o, kdim, ohw, lo, hi);
-    });
-    if (pbias != nullptr) {
-      for (int64_t oc = 0; oc < o; ++oc) {
-        float* drow = pout + oc * ohw;
-        kt.add_scalar(drow, pbias[oc], drow, ohw);
-      }
-    }
-    return out;
-  }
-  // Batch images are independent disjoint writes, so the machine-aware
-  // gather grain applies (inline on one core, batch fan-out otherwise).
-  const int64_t grain = parallel::gather_grain(n, 2 * o * kdim * ohw);
-  parallel::parallel_for(0, n, grain, [&](int64_t lo, int64_t hi) {
-    for (int64_t b = lo; b < hi; ++b) {
-      conv_image(b);
-    }
-  });
+  raw::conv2d(input.data(), n, c, h, w, weight.data(),
+              bias.defined() ? bias.data() : nullptr, o, spec, out.data());
   return out;
 }
 
-Tensor maxpool2d(const Tensor& input, int64_t k,
-                 std::vector<int64_t>* argmax_out) {
-  FADEML_CHECK(input.rank() == 4,
-               "maxpool2d expects [N, C, H, W], got " + input.shape().str());
-  FADEML_CHECK(k >= 1, "maxpool2d window must be >= 1");
-  const int64_t n = input.dim(0);
-  const int64_t c = input.dim(1);
-  const int64_t h = input.dim(2);
-  const int64_t w = input.dim(3);
-  FADEML_CHECK(h % k == 0 && w % k == 0,
-               "maxpool2d requires spatial dims divisible by the window (" +
-                   input.shape().str() + ", k=" + std::to_string(k) + ")");
+namespace {
+
+/// Shared max-pool body: each (batch, channel) plane is pooled
+/// independently; output indices are computed from the plane index so the
+/// loop can split across planes. `argmax` (when non-null) receives the
+/// flat input index of each selected maximum.
+void maxpool2d_planes(const float* src, int64_t n, int64_t c, int64_t h,
+                      int64_t w, int64_t k, float* dst, int64_t* argmax) {
   const int64_t oh = h / k;
   const int64_t ow = w / k;
-  Tensor out{Shape{n, c, oh, ow}};
-  if (argmax_out != nullptr) {
-    argmax_out->assign(static_cast<size_t>(out.numel()), 0);
-  }
-  const float* src = input.data();
-  float* dst = out.data();
-  // Each (batch, channel) plane is pooled independently; output indices are
-  // computed from the plane index so the loop can split across planes.
   parallel::parallel_for(0, n * c, 4, [&](int64_t lo, int64_t hi) {
     for (int64_t p = lo; p < hi; ++p) {
       const float* plane = src + p * h * w;
@@ -577,14 +741,45 @@ Tensor maxpool2d(const Tensor& input, int64_t k,
             }
           }
           dst[oidx] = best;
-          if (argmax_out != nullptr) {
-            (*argmax_out)[static_cast<size_t>(oidx)] = best_at;
+          if (argmax != nullptr) {
+            argmax[oidx] = best_at;
           }
           ++oidx;
         }
       }
     }
   });
+}
+
+}  // namespace
+
+namespace raw {
+
+void maxpool2d(const float* x, int64_t n, int64_t c, int64_t h, int64_t w,
+               int64_t k, float* out) {
+  maxpool2d_planes(x, n, c, h, w, k, out, nullptr);
+}
+
+}  // namespace raw
+
+Tensor maxpool2d(const Tensor& input, int64_t k,
+                 std::vector<int64_t>* argmax_out) {
+  FADEML_CHECK(input.rank() == 4,
+               "maxpool2d expects [N, C, H, W], got " + input.shape().str());
+  FADEML_CHECK(k >= 1, "maxpool2d window must be >= 1");
+  const int64_t n = input.dim(0);
+  const int64_t c = input.dim(1);
+  const int64_t h = input.dim(2);
+  const int64_t w = input.dim(3);
+  FADEML_CHECK(h % k == 0 && w % k == 0,
+               "maxpool2d requires spatial dims divisible by the window (" +
+                   input.shape().str() + ", k=" + std::to_string(k) + ")");
+  Tensor out{Shape{n, c, h / k, w / k}};
+  if (argmax_out != nullptr) {
+    argmax_out->assign(static_cast<size_t>(out.numel()), 0);
+  }
+  maxpool2d_planes(input.data(), n, c, h, w, k, out.data(),
+                   argmax_out != nullptr ? argmax_out->data() : nullptr);
   return out;
 }
 

@@ -1,0 +1,383 @@
+// Compiled-plan tests: plan replay must be *bitwise* identical to the
+// autograd-tape forward for every batch size, thread count, and dispatch
+// tier (the serving layer switches between the two paths freely, so any
+// divergence would leak into published predictions); warm replay must do
+// zero heap allocation; and every staleness edge — in-place weight
+// updates, filter swaps, model hot swaps — must either flow through the
+// plan's shallow handles or invalidate the cache. The swap chaos test
+// runs under TSan (scripts/check.sh --tsan includes this binary).
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fademl/core/pipeline.hpp"
+#include "fademl/filters/filter.hpp"
+#include "fademl/net/client.hpp"
+#include "fademl/net/registry.hpp"
+#include "fademl/net/server.hpp"
+#include "fademl/nn/checkpoint.hpp"
+#include "fademl/nn/trainer.hpp"
+#include "fademl/nn/vggnet.hpp"
+#include "fademl/parallel/parallel.hpp"
+#include "fademl/plan/plan.hpp"
+#include "fademl/simd/arena.hpp"
+#include "fademl/simd/cpu.hpp"
+#include "fademl/tensor/random.hpp"
+#include "test_fixtures.hpp"
+
+namespace fademl {
+namespace {
+
+using core::InferencePipeline;
+using core::ThreatModel;
+
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int n) { parallel::set_num_threads(n); }
+  ~ThreadGuard() { parallel::set_num_threads(0); }
+};
+
+class LevelGuard {
+ public:
+  explicit LevelGuard(simd::CpuLevel level) {
+    simd::set_level_override(level);
+  }
+  ~LevelGuard() { simd::clear_level_override(); }
+};
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.numel())) == 0;
+}
+
+/// A batch of `n` tiny-world training images (cycling when n exceeds the
+/// set) stacked into [n, C, H, W].
+Tensor world_batch(int64_t n) {
+  const auto& world = testing::tiny_world();
+  std::vector<Tensor> images;
+  for (int64_t i = 0; i < n; ++i) {
+    images.push_back(
+        world.train_images[static_cast<size_t>(i) %
+                           world.train_images.size()]);
+  }
+  return nn::stack_images(images);
+}
+
+/// Twin pipelines over the shared tiny model: one forced onto the plan
+/// path, one forced onto the tape.
+struct Twins {
+  InferencePipeline plan;
+  InferencePipeline tape;
+  explicit Twins(const filters::FilterPtr& filter)
+      : plan(testing::tiny_pipeline(filter)),
+        tape(testing::tiny_pipeline(filter)) {
+    plan.set_plan_enabled(true);
+    tape.set_plan_enabled(false);
+  }
+};
+
+// ---- identity sweep --------------------------------------------------------
+
+TEST(PlanIdentity, MatchesTapeBitwiseAcrossBatchesThreadsAndTiers) {
+  const std::vector<int64_t> batches = {1, 4, 8, 16};
+  const std::vector<int> threads = {1, 2, 7};
+  // Scalar pins the arithmetic floor; the hardware's best tier exercises
+  // the widest kernels. Intermediate tiers are covered by CI's
+  // FADEML_CPU_LEVEL matrix.
+  const std::vector<simd::CpuLevel> levels = {simd::CpuLevel::kScalar,
+                                              simd::hardware_level()};
+  const std::vector<ThreatModel> tms = {ThreatModel::kI, ThreatModel::kIII};
+
+  Twins twins(filters::make_lap(8));
+  for (simd::CpuLevel level : levels) {
+    LevelGuard level_guard(level);
+    for (int n_threads : threads) {
+      ThreadGuard thread_guard(n_threads);
+      for (int64_t batch : batches) {
+        const Tensor x = world_batch(batch);
+        for (ThreatModel tm : tms) {
+          const Tensor plan_probs = twins.plan.predict_probs_batch(x, tm);
+          const Tensor tape_probs = twins.tape.predict_probs_batch(x, tm);
+          EXPECT_EQ(twins.plan.last_exec_path(), plan::ExecPath::kPlan);
+          EXPECT_EQ(twins.tape.last_exec_path(), plan::ExecPath::kTape);
+          EXPECT_TRUE(bitwise_equal(plan_probs, tape_probs))
+              << "tier=" << simd::level_name(level)
+              << " threads=" << n_threads << " batch=" << batch
+              << " tm=" << static_cast<int>(tm);
+        }
+      }
+    }
+  }
+  const plan::PlanStats stats = twins.plan.plan_stats();
+  EXPECT_GT(stats.plan_batches, 0u);
+  EXPECT_EQ(twins.plan.plan_stats().tape_batches, 0u);
+  EXPECT_EQ(twins.tape.plan_stats().plan_batches, 0u);
+}
+
+TEST(PlanIdentity, PlanDisabledEnvPipelineOverrideStillWins) {
+  // set_plan_enabled(true) must force the plan path even when the
+  // process-wide default (FADEML_DISABLE_PLAN) says tape, and vice
+  // versa — CI's tier1-noplan job relies on the env side, these tests on
+  // the override side.
+  Twins twins(filters::make_identity());
+  const Tensor x = world_batch(2);
+  (void)twins.plan.predict_probs_batch(x, ThreatModel::kI);
+  EXPECT_EQ(twins.plan.last_exec_path(), plan::ExecPath::kPlan);
+  (void)twins.tape.predict_probs_batch(x, ThreatModel::kI);
+  EXPECT_EQ(twins.tape.last_exec_path(), plan::ExecPath::kTape);
+}
+
+TEST(PlanIdentity, CacheHitsAfterFirstCompile) {
+  InferencePipeline pipe = testing::tiny_pipeline(filters::make_identity());
+  pipe.set_plan_enabled(true);
+  const Tensor x = world_batch(4);
+  (void)pipe.predict_probs_batch(x, ThreatModel::kI);
+  const plan::PlanStats first = pipe.plan_stats();
+  EXPECT_EQ(first.compiles, 1u);
+  for (int i = 0; i < 3; ++i) {
+    (void)pipe.predict_probs_batch(x, ThreatModel::kI);
+  }
+  const plan::PlanStats after = pipe.plan_stats();
+  EXPECT_EQ(after.compiles, 1u);
+  EXPECT_GE(after.cache_hits, first.cache_hits + 3);
+}
+
+// ---- steady-state allocation ----------------------------------------------
+
+TEST(PlanMemory, WarmReplayDoesZeroHeapAllocation) {
+  ThreadGuard threads(1);  // the pool's task boxes are not the plan's to fix
+  InferencePipeline pipe = testing::tiny_pipeline(filters::make_lap(8));
+  pipe.set_plan_enabled(true);
+  const Tensor x = world_batch(8);
+  Tensor sink;
+  for (int i = 0; i < 3; ++i) {
+    sink = pipe.predict_probs_batch(x, ThreatModel::kIII);  // warm
+  }
+  const std::uint64_t tensor_allocs = simd::tensor_heap_allocations();
+  const std::uint64_t arena_allocs = simd::Arena::heap_allocations();
+  for (int i = 0; i < 5; ++i) {
+    sink = pipe.predict_probs_batch(x, ThreatModel::kIII);
+  }
+  EXPECT_EQ(simd::tensor_heap_allocations(), tensor_allocs)
+      << "warm plan replay allocated tensor buffers";
+  EXPECT_EQ(simd::Arena::heap_allocations(), arena_allocs)
+      << "warm plan replay grew an arena";
+  ASSERT_GT(sink.numel(), 0);
+}
+
+// ---- staleness -------------------------------------------------------------
+
+TEST(PlanStaleness, InPlaceWeightUpdateFlowsThroughSharedHandles) {
+  // Optimizers and checkpoint loads mutate parameter storage in place;
+  // the plan holds shallow handles, so no invalidation is needed — or
+  // wanted, recompiling per training step would be pathological.
+  Rng rng(17);
+  auto model = nn::make_vggnet(nn::VggConfig::tiny(4, 8), rng);
+  model->set_training(false);
+  InferencePipeline pipe(model, filters::make_identity());
+  pipe.set_plan_enabled(true);
+  Rng data_rng(3);
+  const Tensor x =
+      nn::stack_images({data_rng.uniform_tensor(Shape{3, 8, 8}, 0.0f, 1.0f)});
+
+  const Tensor before = pipe.predict_probs_batch(x, ThreatModel::kI);
+
+  // load_checkpoint copies into the existing parameter storage — the same
+  // in-place path optimizers use.
+  Rng other_rng(4242);
+  auto donor = nn::make_vggnet(nn::VggConfig::tiny(4, 8), other_rng);
+  const std::string donor_ckpt =
+      (std::filesystem::temp_directory_path() / "fademl_plan_donor.fdml")
+          .string();
+  nn::save_checkpoint(*donor, donor_ckpt);
+  nn::load_checkpoint(*model, donor_ckpt);
+
+  const Tensor after = pipe.predict_probs_batch(x, ThreatModel::kI);
+  EXPECT_EQ(pipe.plan_stats().compiles, 1u) << "weight update forced recompile";
+  EXPECT_FALSE(bitwise_equal(before, after))
+      << "new weights did not reach the compiled plan";
+
+  // And the mutated plan still matches a tape run exactly.
+  InferencePipeline tape(model, filters::make_identity());
+  tape.set_plan_enabled(false);
+  EXPECT_TRUE(
+      bitwise_equal(after, tape.predict_probs_batch(x, ThreatModel::kI)));
+}
+
+TEST(PlanStaleness, SetFilterInvalidatesCachedPlans) {
+  InferencePipeline pipe = testing::tiny_pipeline(filters::make_lap(8));
+  pipe.set_plan_enabled(true);
+  const Tensor x = world_batch(2);
+  const Tensor with_lap = pipe.predict_probs_batch(x, ThreatModel::kIII);
+  EXPECT_EQ(pipe.plan_stats().compiles, 1u);
+
+  pipe.set_filter(filters::make_identity());
+  const Tensor with_identity = pipe.predict_probs_batch(x, ThreatModel::kIII);
+  EXPECT_EQ(pipe.plan_stats().compiles, 2u)
+      << "filter swap did not invalidate the plan cache";
+  EXPECT_FALSE(bitwise_equal(with_lap, with_identity));
+
+  InferencePipeline tape = testing::tiny_pipeline(filters::make_identity());
+  tape.set_plan_enabled(false);
+  EXPECT_TRUE(bitwise_equal(with_identity,
+                            tape.predict_probs_batch(x, ThreatModel::kIII)));
+}
+
+TEST(PlanStaleness, SwapGenerationBumpDropsEveryCachedPlan) {
+  InferencePipeline pipe = testing::tiny_pipeline(filters::make_identity());
+  pipe.set_plan_enabled(true);
+  const Tensor x = world_batch(2);
+  (void)pipe.predict_probs_batch(x, ThreatModel::kI);
+  const plan::PlanStats before = pipe.plan_stats();
+  EXPECT_EQ(before.compiles, 1u);
+
+  plan::bump_swap_generation();  // what ModelRegistry::swap does
+
+  const Tensor after = pipe.predict_probs_batch(x, ThreatModel::kI);
+  EXPECT_EQ(pipe.plan_stats().compiles, 2u)
+      << "swap generation bump did not invalidate";
+  // Same weights, same shape: the recompiled plan must reproduce the old
+  // bits exactly.
+  InferencePipeline tape = testing::tiny_pipeline(filters::make_identity());
+  tape.set_plan_enabled(false);
+  EXPECT_TRUE(
+      bitwise_equal(after, tape.predict_probs_batch(x, ThreatModel::kI)));
+}
+
+// ---- swap under load (chaos) ----------------------------------------------
+
+constexpr int64_t kSide = 8;
+constexpr int kClasses = 4;
+
+std::string plan_checkpoint(uint64_t seed, const std::string& name) {
+  Rng rng(seed);
+  auto model = nn::make_vggnet(nn::VggConfig::tiny(kClasses, kSide), rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  nn::save_checkpoint(*model, path);
+  return path;
+}
+
+net::ModelSpec plan_spec(const std::string& name,
+                         const std::string& checkpoint) {
+  net::ModelSpec spec;
+  spec.name = name;
+  spec.checkpoint_path = checkpoint;
+  spec.factory = [] {
+    std::vector<std::unique_ptr<InferencePipeline>> replicas;
+    for (int i = 0; i < 2; ++i) {
+      Rng rng(99);
+      auto model = nn::make_vggnet(nn::VggConfig::tiny(kClasses, kSide), rng);
+      replicas.push_back(std::make_unique<InferencePipeline>(
+          std::move(model), filters::make_lap(4)));
+    }
+    return replicas;
+  };
+  serve::ServiceConfig service;
+  service.admission.expected_height = kSide;
+  service.admission.expected_width = kSide;
+  spec.service = service;
+  return spec;
+}
+
+TEST(PlanSwapChaos, HotSwapsUnderLoadNeverServeStalePlans) {
+  // Hammer predictions from client threads while the main thread hot-swaps
+  // checkpoints. Every response must be bitwise identical to one of the
+  // two installed weight sets — a plan compiled against pre-swap modules
+  // serving post-swap traffic would produce a third, impossible output.
+  const std::string ckpt_a = plan_checkpoint(99, "fademl_plan_swap_a.fdml");
+  const std::string ckpt_b = plan_checkpoint(1234, "fademl_plan_swap_b.fdml");
+
+  net::ModelRegistry registry;
+  registry.install(plan_spec("vgg", ckpt_a));
+  net::ServerConfig server_config;
+  server_config.read_timeout_ms = 10000;
+  net::Server server(registry, server_config);
+  server.start();
+
+  Rng rng(5);
+  const Tensor image = rng.uniform_tensor(Shape{3, kSide, kSide}, 0.0f, 1.0f);
+
+  // References for both weight sets through a local plan-enabled pipeline.
+  auto reference = [&](const std::string& ckpt) {
+    Rng model_rng(99);
+    auto model = nn::make_vggnet(nn::VggConfig::tiny(kClasses, kSide),
+                                 model_rng);
+    nn::load_checkpoint(*model, ckpt);
+    InferencePipeline pipe(std::move(model), filters::make_lap(4));
+    return pipe.predict_probs(image, ThreatModel::kIII);
+  };
+  const Tensor probs_a = reference(ckpt_a);
+  const Tensor probs_b = reference(ckpt_b);
+  ASSERT_FALSE(bitwise_equal(probs_a, probs_b));
+
+  constexpr int kThreads = 3;
+  constexpr int kRequestsPerThread = 8;
+  std::atomic<int> matched{0};
+  std::atomic<int> impossible{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      net::ClientConfig config;
+      config.port = server.port();
+      config.connect_timeout_ms = 2000;
+      config.io_timeout_ms = 5000;
+      config.retry.max_attempts = 6;
+      config.retry.initial_backoff_ms = 1;
+      config.retry.max_backoff_ms = 20;
+      config.retry.jitter_seed = 0xF00Du + static_cast<uint64_t>(t);
+      net::Client client(config);
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const Tensor probs =
+            client.predict("vgg", image).prediction.probs;
+        if (bitwise_equal(probs, probs_a) || bitwise_equal(probs, probs_b)) {
+          matched.fetch_add(1);
+        } else {
+          impossible.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Interleave swaps with the in-flight load: a -> b -> a -> b.
+  const std::string* ckpts[] = {&ckpt_b, &ckpt_a, &ckpt_b};
+  std::uint64_t generation = 1;
+  for (const std::string* ckpt : ckpts) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    generation = registry.swap("vgg", *ckpt);
+  }
+  EXPECT_EQ(generation, 4u);
+
+  for (auto& thread : clients) {
+    thread.join();
+  }
+  EXPECT_EQ(matched.load(), kThreads * kRequestsPerThread);
+  EXPECT_EQ(impossible.load(), 0)
+      << "a response matched neither weight set: stale plan suspected";
+
+  // The swaps really did invalidate: the post-swap handle reports fresh
+  // compiles, and final predictions match the last installed checkpoint.
+  net::ClientConfig config;
+  config.port = server.port();
+  net::Client client(config);
+  EXPECT_TRUE(bitwise_equal(client.predict("vgg", image).prediction.probs,
+                            probs_b));
+  if (plan::plans_enabled()) {
+    const net::StatusResponse status = client.status("vgg");
+    EXPECT_GT(status.plan_batches, 0);
+    EXPECT_GE(status.plan_cache_misses, 1);
+  }
+  server.stop();
+  registry.clear();
+}
+
+}  // namespace
+}  // namespace fademl

@@ -300,7 +300,8 @@ int cmd_serve_batch(const io::ArgParser& args) {
       pending.emplace_back(file, service.submit(std::move(image)));
     });
   }
-  io::Table table({"image", "prediction", "confidence", "filter", "ms"});
+  io::Table table({"image", "prediction", "confidence", "filter", "path",
+                   "ms"});
   for (auto& [file, future] : pending) {
     failures.run(file, [&] {
       const serve::InferenceResult r = future.get();
@@ -308,6 +309,7 @@ int cmd_serve_batch(const io::ArgParser& args) {
                      data::gtsrb_class_name(r.prediction.label),
                      io::Table::pct(r.prediction.confidence, 1),
                      r.filter + (r.degraded ? " [degraded]" : ""),
+                     r.via_plan ? "plan" : "tape",
                      io::Table::fmt(r.total_ms, 1)});
     });
   }
@@ -339,6 +341,18 @@ int cmd_serve_batch(const io::ArgParser& args) {
       serve_seconds > 0.0
           ? static_cast<double>(stats.completed) / serve_seconds
           : 0.0);
+  const int64_t plan_lookups = stats.plan_cache_hits + stats.plan_cache_misses;
+  std::printf(
+      "execution path: %lld plan round(s), %lld tape round(s); plan cache "
+      "%lld hit(s) / %lld miss(es) (%.1f%% hit rate)%s\n",
+      static_cast<long long>(stats.plan_batches),
+      static_cast<long long>(stats.tape_batches),
+      static_cast<long long>(stats.plan_cache_hits),
+      static_cast<long long>(stats.plan_cache_misses),
+      plan_lookups > 0 ? 100.0 * static_cast<double>(stats.plan_cache_hits) /
+                             static_cast<double>(plan_lookups)
+                       : 0.0,
+      plan::plans_enabled() ? "" : " [plans disabled: FADEML_DISABLE_PLAN]");
   if (!stats.batch_occupancy.empty()) {
     std::printf("occupancy histogram:");
     for (size_t i = 0; i < stats.batch_occupancy.size(); ++i) {
@@ -560,6 +574,17 @@ int cmd_net_client(const io::ArgParser& args) {
                 static_cast<long long>(s.quarantined_inputs),
                 static_cast<long long>(s.quarantine_strikes),
                 static_cast<long long>(s.quarantine_hits));
+    const long long lookups =
+        static_cast<long long>(s.plan_cache_hits + s.plan_cache_misses);
+    std::printf("  plans: %lld plan round(s), %lld tape round(s), cache "
+                "%lld/%lld hit(s) (%.1f%%)\n",
+                static_cast<long long>(s.plan_batches),
+                static_cast<long long>(s.tape_batches),
+                static_cast<long long>(s.plan_cache_hits), lookups,
+                lookups > 0
+                    ? 100.0 * static_cast<double>(s.plan_cache_hits) /
+                          static_cast<double>(lookups)
+                    : 0.0);
     return 0;
   }
   const std::string image_path = args.get("image", "");
