@@ -4,15 +4,23 @@
 //
 //   1. Undefended pipeline.
 //   2. Pre-processing LAP(8) filter (the paper's defense).
-//   3. Adversarially trained model (Goodfellow/Madry-style).
-//   4. Randomized smoothing at prediction time.
-//   5. Feature-squeezing detector (Xu et al., paper ref [10]) — reported
+//   3. JPEG-lite DCT quantization filter (dct50).
+//   4. Feature squeezing as prevention (bits5+median1 chain).
+//   5. BlurNet: feature-map blurring inside the network.
+//   6. Adversarially trained model (Goodfellow/Madry-style).
+//   7. Randomized smoothing at prediction time.
+//   8. Feature-squeezing detector (Xu et al., paper ref [10]) — reported
 //      as detection rate rather than prevented misclassification.
+//
+// Every row also faces the gradient-free FilterCraft attack querying the
+// deployed route (TM-III), so purely gradient-masking defenses don't get
+// to look strong. `--quick` shrinks to FADEML_FAST scale and trims the
+// FilterCraft search budget.
 
 #include <cstdio>
 #include <iostream>
 
-#include "bench_common.hpp"
+#include "grid_common.hpp"
 
 namespace {
 
@@ -61,12 +69,15 @@ std::shared_ptr<nn::Sequential> adversarially_trained_model(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   try {
+    const bool quick = bench::parse_quick_flag(argc, argv);
     std::printf("== Defense ablation: filter vs training vs smoothing vs "
                 "detection ==\n\n");
     core::Experiment exp = bench::load_experiment();
     bench::FailureLog failures;
+    const attacks::FilterCraftOptions craft_options =
+        quick ? bench::quick_craft_options() : attacks::FilterCraftOptions{};
 
     // Scenario sweep helper: attack success count over the five payloads.
     // One scenario throwing is recorded and skipped, not fatal.
@@ -100,8 +111,30 @@ int main() {
       return successes;
     };
 
+    // FilterCraft column: gradient-free, queries the deployed TM-III route
+    // — the attack that still works when gradients are masked or absent.
+    const auto craft_successes = [&](core::InferencePipeline& pipeline) {
+      int successes = 0;
+      attacks::AttackConfig config = bench::paper_budget();
+      config.grad_tm = core::ThreatModel::kIII;
+      const attacks::FilterCraftAttack attack(config, craft_options);
+      for (const core::Scenario& scenario : core::paper_scenarios()) {
+        failures.run("FilterCraft / " + scenario.name, [&] {
+          const Tensor source = core::well_classified_sample(
+              pipeline, scenario.source_class, exp.config.image_size);
+          const attacks::AttackResult r =
+              attack.run(pipeline, source, scenario.target_class);
+          if (pipeline.predict(r.adversarial, core::ThreatModel::kIII)
+                  .label == scenario.target_class) {
+            ++successes;
+          }
+        });
+      }
+      return successes;
+    };
+
     io::Table table({"Defense", "Clean top-1", "BIM success",
-                     "FAdeML-BIM success"});
+                     "FAdeML-BIM success", "FilterCraft success"});
 
     {  // 1. Undefended.
       failures.run("defense 'None'", [&] {
@@ -114,24 +147,48 @@ int main() {
            std::to_string(attack_successes(pipeline, false,
                                            core::ThreatModel::kIII)) + "/5",
            std::to_string(attack_successes(pipeline, true,
-                                           core::ThreatModel::kIII)) + "/5"});
+                                           core::ThreatModel::kIII)) + "/5",
+           std::to_string(craft_successes(pipeline)) + "/5"});
       });
     }
-    {  // 2. The paper's pre-processing filter.
-      failures.run("defense 'LAP(8) filter'", [&] {
-      core::InferencePipeline pipeline(exp.model, filters::make_lap(8));
+    // 2-4. Pre-processing filters: the paper's LAP plus the v2 rows.
+    const std::vector<std::pair<std::string, std::string>> filter_rows = {
+        {"LAP(8) filter", "lap8"},
+        {"DCT-quant filter (dct50)", "dct50"},
+        {"Feature squeeze (bits5+median1)", "bits5+median1"}};
+    for (const auto& [row_name, spec] : filter_rows) {
+      failures.run(std::string("defense '") + row_name + "'", [&] {
+      core::InferencePipeline pipeline(exp.model,
+                                       filters::parse_filter(spec));
       const auto acc = pipeline.accuracy(exp.dataset.test.images,
                                          exp.dataset.test.labels,
                                          core::ThreatModel::kIII);
       table.add_row(
-          {"LAP(8) filter", io::Table::pct(acc.top1, 1),
+          {row_name, io::Table::pct(acc.top1, 1),
            std::to_string(attack_successes(pipeline, false,
                                            core::ThreatModel::kIII)) + "/5",
            std::to_string(attack_successes(pipeline, true,
-                                           core::ThreatModel::kIII)) + "/5"});
+                                           core::ThreatModel::kIII)) + "/5",
+           std::to_string(craft_successes(pipeline)) + "/5"});
       });
     }
-    {  // 3. Adversarial training.
+    {  // 5. BlurNet: the blur lives between the layers, not on the input.
+      failures.run("defense 'FeatureBlur network'", [&] {
+      const auto blurnet = bench::feature_blur_model(exp);
+      core::InferencePipeline pipeline(blurnet, filters::make_identity());
+      const auto acc = pipeline.accuracy(exp.dataset.test.images,
+                                         exp.dataset.test.labels,
+                                         core::ThreatModel::kIII);
+      table.add_row(
+          {"FeatureBlur network", io::Table::pct(acc.top1, 1),
+           std::to_string(attack_successes(pipeline, false,
+                                           core::ThreatModel::kIII)) + "/5",
+           std::to_string(attack_successes(pipeline, true,
+                                           core::ThreatModel::kIII)) + "/5",
+           std::to_string(craft_successes(pipeline)) + "/5"});
+      });
+    }
+    {  // 6. Adversarial training.
       failures.run("defense 'Adversarial training'", [&] {
       const auto hardened = adversarially_trained_model(exp);
       core::InferencePipeline pipeline(hardened, filters::make_identity());
@@ -143,15 +200,21 @@ int main() {
            std::to_string(attack_successes(pipeline, false,
                                            core::ThreatModel::kIII)) + "/5",
            std::to_string(attack_successes(pipeline, true,
-                                           core::ThreatModel::kIII)) + "/5"});
+                                           core::ThreatModel::kIII)) + "/5",
+           std::to_string(craft_successes(pipeline)) + "/5"});
       });
     }
-    {  // 4. Randomized smoothing (prediction-time vote).
+    {  // 7. Randomized smoothing (prediction-time vote).
       failures.run("defense 'Randomized smoothing'", [&] {
       core::InferencePipeline pipeline(exp.model, filters::make_identity());
       int bim_successes = 0;
       int fademl_successes = 0;
+      int craft_smoothed = 0;
       int clean_correct = 0;
+      attacks::AttackConfig craft_config = bench::paper_budget();
+      craft_config.grad_tm = core::ThreatModel::kIII;
+      const attacks::FilterCraftAttack craft_attack(craft_config,
+                                                    craft_options);
       for (const core::Scenario& scenario : core::paper_scenarios()) {
         const Tensor source = core::well_classified_sample(
             pipeline, scenario.source_class, exp.config.image_size);
@@ -174,16 +237,26 @@ int main() {
             (aware ? fademl_successes : bim_successes) += 1;
           }
         }
+        // The query-based attack sees the deterministic pipeline; only the
+        // final prediction is smoothed (the standard evaluation gap).
+        const attacks::AttackResult crafted =
+            craft_attack.run(pipeline, source, scenario.target_class);
+        if (defense::smoothed_predict(pipeline, crafted.adversarial,
+                                      core::ThreatModel::kIII, 9, 0.05f, 3)
+                .label == scenario.target_class) {
+          ++craft_smoothed;
+        }
       }
       table.add_row({"Randomized smoothing (scenario sources)",
                      std::to_string(clean_correct) + "/5 sources",
                      std::to_string(bim_successes) + "/5",
-                     std::to_string(fademl_successes) + "/5"});
+                     std::to_string(fademl_successes) + "/5",
+                     std::to_string(craft_smoothed) + "/5"});
       });
     }
     bench::emit(table, "ablation_defense");
 
-    // 5. Detector: rates rather than success counts.
+    // 8. Detector: rates rather than success counts.
     {
       failures.run("defense 'Feature-squeezing detector'", [&] {
       core::InferencePipeline pipeline(exp.model, filters::make_identity());

@@ -7,18 +7,28 @@
 //       routed through a representative filter — the paper's cells show
 //       the *source* class restored with reduced confidence;
 //   (b) per scenario: top-5 accuracy of the whole network for
-//       {No attack, L-BFG, FSGM, BIM} x {NoFilter, LAP(4..64), LAR(1..5)}
-//       (the figure's bar charts; universal-noise protocol of DESIGN.md §4).
+//       {No attack, L-BFG, FSGM, BIM} x {NoFilter, LAP(4..64), LAR(1..5),
+//       DctQuant(50), BitDepth(5)+Median(1)}
+//       (the figure's bar charts; universal-noise protocol of DESIGN.md §4);
+//   (c) the v2 defense/attack matrix: every defense row (NoFilter, LAP,
+//       DCT quantization, feature squeezing, BlurNet) against every
+//       attacker column (L-BFGS/FGSM/BIM/FilterCraft), all crafted *blind*
+//       to the defense and judged on the deployed TM-III route. Written to
+//       artifacts/GRID_fig7.json for CI.
+//
+// `--quick` shrinks the experiment to FADEML_FAST scale and skips the
+// expensive universal-noise panel (b); panels (a) and (c) still run.
 
 #include <cstdio>
 #include <iostream>
 #include <map>
 
-#include "bench_common.hpp"
+#include "grid_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fademl;
   try {
+    const bool quick = bench::parse_quick_flag(argc, argv);
     std::printf(
         "== Fig. 7: pre-processing filters neutralize classic attacks "
         "(TM-II/III) ==\n\n");
@@ -82,8 +92,16 @@ int main() {
                 total);
 
     // ---- panel (b): top-5 accuracy per filter configuration -------------
+    if (quick) {
+      std::printf(
+          "-- (b) skipped (--quick): universal-noise accuracy sweep --\n\n");
+    } else {
     std::printf("-- (b) overall top-5 accuracy per filter config --\n");
-    const auto sweep = filters::paper_filter_sweep();
+    auto sweep = filters::paper_filter_sweep();
+    // v2 columns: the JPEG-lite DCT quantizer and the feature-squeezing
+    // chain join the paper's LAP/LAR sweep.
+    sweep.push_back(filters::make_dct_quant(50));
+    sweep.push_back(filters::parse_filter("bits5+median1"));
 
     // Universal noises crafted once per attack, as one cohort across all
     // scenarios (blind to any filter, like before).
@@ -144,6 +162,20 @@ int main() {
         "top-5 accuracy peaks at moderate strength (np~32 paper / np~8-16 "
         "here, r~3-4 paper / r~2-3 here) and falls once smoothing destroys "
         "distinguishing features.\n");
+    }  // !quick
+
+    // ---- panel (c): defense/attack matrix, attacker blind ---------------
+    // Every attack crafts against its row's pipeline *as if undefended*
+    // (white-box gradients on TM-I, FilterCraft queries TM-I) and is then
+    // judged on the deployed TM-III route — the fig7 story, one cell per
+    // (defense, attack) pair.
+    std::printf("\n-- (c) defense/attack matrix (attacker blind) --\n");
+    const std::vector<bench::GridCell> grid = bench::run_attack_grid(
+        exp, /*attacker_aware=*/false, failures,
+        quick ? bench::quick_craft_options()
+              : attacks::FilterCraftOptions{});
+    bench::print_grid(grid, "fig7_grid");
+    bench::write_grid_json("fig7", /*attacker_aware=*/false, grid);
     bench::emit_observability("fig7");
     return failures.finish();
   } catch (const std::exception& e) {

@@ -7,18 +7,27 @@
 //       prediction through the filter (paper cells: the *target* class
 //       survives);
 //   (b) per scenario: top-5 accuracy for {No attack, FAdeML-*} across the
-//       full filter sweep. Because FAdeML folds the filter into its
-//       optimization, the adversarial noise is re-crafted per filter
-//       configuration.
+//       full filter sweep (now including DctQuant(50) and the
+//       BitDepth(5)+Median(1) feature-squeezing chain). Because FAdeML
+//       folds the filter into its optimization, the adversarial noise is
+//       re-crafted per filter configuration;
+//   (c) the v2 defense/attack matrix: every defense row against every
+//       attacker column, all *defense-aware* — white-box gradients route
+//       through the deployed TM-III chain, FilterCraft queries it — and
+//       judged on that same route. Written to artifacts/GRID_fig9.json.
+//
+// `--quick` shrinks the experiment to FADEML_FAST scale and skips the
+// expensive per-filter re-crafting panel (b); panels (a) and (c) still run.
 
 #include <cstdio>
 #include <iostream>
 
-#include "bench_common.hpp"
+#include "grid_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fademl;
   try {
+    const bool quick = bench::parse_quick_flag(argc, argv);
     std::printf(
         "== Fig. 9: FAdeML survives the pre-processing filters ==\n\n");
     core::Experiment exp = bench::load_experiment();
@@ -79,8 +88,18 @@ int main() {
     // FAdeML folds the filter into its optimization, so the noise is still
     // re-crafted per filter configuration — but each (attack, filter) pair
     // now crafts its five scenarios as one cohort.
+    if (quick) {
+      std::printf(
+          "-- (b) skipped (--quick): per-filter re-crafted accuracy "
+          "sweep --\n\n");
+    } else {
     std::printf("-- (b) overall top-5 accuracy per filter config --\n");
-    const auto sweep = filters::paper_filter_sweep();
+    auto sweep = filters::paper_filter_sweep();
+    // v2 columns: FAdeML differentiates DctQuant via its BPDA
+    // straight-through vjp and the squeezing chain via FilterChain's
+    // composed vjp_batch.
+    sweep.push_back(filters::make_dct_quant(50));
+    sweep.push_back(filters::parse_filter("bits5+median1"));
     const auto kinds = bench::paper_attack_kinds();
     // crafted[kind][filter] = per-scenario noises (empty = cohort failed).
     std::vector<std::vector<std::vector<Tensor>>> crafted(
@@ -153,6 +172,19 @@ int main() {
         "\nPaper's shape: the filtered cells stay on the TARGET class "
         "(attack survives), and the accuracy impact under FAdeML noise is "
         "at least as large as Fig. 7's.\n");
+    }  // !quick
+
+    // ---- panel (c): defense/attack matrix, attacker defense-aware -------
+    // The fig9 story cell-by-cell: the same matrix as fig7's panel (c) but
+    // every attack is re-crafted against its row's deployed route (FAdeML
+    // gradients and FilterCraft queries both see the defense).
+    std::printf("\n-- (c) defense/attack matrix (attacker defense-aware) --\n");
+    const std::vector<bench::GridCell> grid = bench::run_attack_grid(
+        exp, /*attacker_aware=*/true, failures,
+        quick ? bench::quick_craft_options()
+              : attacks::FilterCraftOptions{});
+    bench::print_grid(grid, "fig9_grid");
+    bench::write_grid_json("fig9", /*attacker_aware=*/true, grid);
     bench::emit_observability("fig9");
     return failures.finish();
   } catch (const std::exception& e) {

@@ -1,0 +1,269 @@
+#pragma once
+
+// Shared plumbing of the defense/attack scenario matrix v2: the defense
+// rows (pre-processing filters *and* the BlurNet model variant), the
+// filters x attacks grid runner used by fig7 (attacker blind to the
+// defense) and fig9 (attacker re-crafts per defense), and the
+// fademl.grid.v1 JSON artifact the CI job uploads.
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace fademl::bench {
+
+/// One defense row of the matrix: a model plus its pre-processing filter.
+/// Most rows share the experiment architecture and differ only in the
+/// filter; the BlurNet row differs in the *model* (feature-map blurring
+/// inside the network) and deploys no input filter at all.
+struct GridDefense {
+  std::string name;          ///< row id in tables and the JSON artifact
+  std::string description;   ///< human-readable defense summary
+  std::shared_ptr<nn::Sequential> model;
+  filters::FilterPtr filter;
+};
+
+/// BlurNet twin of the experiment model: the same width-scaled VGG with a
+/// FeatureBlur after every ReLU (see nn::FeatureBlur). FeatureBlur is
+/// parameter-free, so the clean checkpoint's parameter *sequence* matches
+/// the twin's — but Sequential parameter names are index-prefixed
+/// ("<i>.<name>") and the inserted blur layers shift the indices, so the
+/// warm start copies weights BY ORDER, never by name. The blur changes the
+/// feature statistics every downstream layer sees, so the twin is briefly
+/// fine-tuned (same SGD recipe as core::make_experiment, halved LR) and
+/// cached next to the clean checkpoint as blurnet_d<divisor>_s<size>.fdml.
+inline std::shared_ptr<nn::Sequential> feature_blur_model(
+    const core::Experiment& exp) {
+  Rng rng(exp.config.seed);  // architecture only; weights are overwritten
+  nn::VggConfig vgg = nn::VggConfig::scaled(exp.config.width_divisor);
+  vgg.input_size = exp.config.image_size;
+  vgg.feature_blur = true;
+  std::shared_ptr<nn::Sequential> net = nn::make_vggnet(vgg, rng);
+  const std::string path =
+      exp.config.cache_dir + "/blurnet_d" +
+      std::to_string(exp.config.width_divisor) + "_s" +
+      std::to_string(exp.config.image_size) + ".fdml";
+  if (std::filesystem::exists(path)) {
+    nn::load_checkpoint(*net, path);
+    net->set_training(false);
+    return net;
+  }
+
+  const std::vector<nn::NamedParam> src = exp.model->named_parameters();
+  std::vector<nn::NamedParam> dst = net->named_parameters();
+  FADEML_CHECK(src.size() == dst.size(),
+               "feature_blur_model: parameter count mismatch (" +
+                   std::to_string(src.size()) + " vs " +
+                   std::to_string(dst.size()) + ")");
+  for (size_t i = 0; i < src.size(); ++i) {
+    dst[i].param.mutable_value().copy_from(src[i].param.value());
+  }
+
+  net->set_training(true);
+  nn::SGD::Config sgd_config;
+  sgd_config.lr = exp.config.lr * 0.5f;  // warm start: weights begin near a
+  sgd_config.momentum = 0.9f;            // solution, full LR overshoots
+  sgd_config.weight_decay = 5e-4f;
+  nn::SGD sgd(net->named_parameters(), sgd_config);
+  nn::Trainer::Config tconfig;
+  tconfig.epochs = std::max<int64_t>(2, exp.config.epochs / 3);
+  tconfig.batch_size = exp.config.batch_size;
+  tconfig.lr_decay = exp.config.lr_decay;
+  nn::Trainer trainer(*net, sgd, tconfig);
+  Rng train_rng(exp.config.seed + 7);
+  trainer.fit(exp.dataset.train.images, exp.dataset.train.labels, train_rng);
+  net->set_training(false);
+  std::filesystem::create_directories(exp.config.cache_dir);
+  nn::save_checkpoint(*net, path);
+  return net;
+}
+
+/// The matrix's defense rows. Every row gets its own model replica
+/// (nn::Module::forward is not safe to share across concurrent tapes, and
+/// rows must not alias each other's autograd state). The BlurNet row
+/// fine-tunes on first use; if that fails the row is logged and skipped so
+/// the rest of the grid still runs.
+inline std::vector<GridDefense> grid_defenses(const core::Experiment& exp,
+                                              FailureLog& failures) {
+  std::vector<GridDefense> rows;
+  rows.push_back({"none", "undefended DNN", replicate_model(exp),
+                  filters::make_identity()});
+  rows.push_back({"lap32", "local average 3x3 (LAP, np=32)",
+                  replicate_model(exp), filters::make_lap(32)});
+  rows.push_back({"dct50", "JPEG-lite DCT quantization (quality 50)",
+                  replicate_model(exp), filters::make_dct_quant(50)});
+  rows.push_back({"squeeze", "feature squeezing (bits5+median1)",
+                  replicate_model(exp),
+                  filters::parse_filter("bits5+median1")});
+  failures.run("defense blurnet", [&] {
+    rows.push_back({"blurnet", "BlurNet: feature-map blur inside the DNN",
+                    feature_blur_model(exp), filters::make_identity()});
+  });
+  return rows;
+}
+
+/// One (defense, attack) cell aggregated over the five paper scenarios.
+struct GridCell {
+  std::string defense;
+  std::string attack;
+  int successes = 0;       ///< scenarios where TM-III predicts the target
+  int scenarios = 0;       ///< scenarios actually evaluated
+  double mean_target_prob = 0.0;  ///< mean deployed target probability
+  int64_t queries = 0;     ///< black-box pipeline queries (FilterCraft only)
+};
+
+/// Run the filters x attacks grid. `attacker_aware` selects the fig9
+/// protocol (gradients/queries route through the deployed defense,
+/// TM-III) over fig7's (the attacker crafts against the bare DNN, TM-I).
+/// Either way every adversarial is judged on the *deployed* route.
+inline std::vector<GridCell> run_attack_grid(
+    const core::Experiment& exp, bool attacker_aware, FailureLog& failures,
+    const attacks::FilterCraftOptions& craft = {}) {
+  const std::vector<core::Scenario>& scenarios = core::paper_scenarios();
+  std::vector<GridCell> cells;
+  for (const GridDefense& defense : grid_defenses(exp, failures)) {
+    core::InferencePipeline pipeline(defense.model, defense.filter);
+    std::vector<Tensor> sources;
+    std::vector<int64_t> targets;
+    for (const core::Scenario& scenario : scenarios) {
+      sources.push_back(core::well_classified_sample(
+          pipeline, scenario.source_class, exp.config.image_size));
+      targets.push_back(scenario.target_class);
+    }
+
+    // White-box columns: the three classic attacks, batched per cohort.
+    for (const attacks::AttackKind kind : paper_attack_kinds()) {
+      attacks::BatchAttack attack(kind, budget_for(kind),
+                                  /*filter_aware=*/attacker_aware);
+      GridCell cell;
+      cell.defense = defense.name;
+      cell.attack = attack.name();
+      failures.run("grid " + defense.name + " x " + cell.attack, [&] {
+        const std::vector<attacks::AttackResult> results =
+            attack.run(pipeline, sources, targets);
+        for (size_t j = 0; j < results.size(); ++j) {
+          const core::Prediction deployed = pipeline.predict(
+              results[j].adversarial, core::ThreatModel::kIII);
+          cell.successes += deployed.label == targets[j] ? 1 : 0;
+          cell.mean_target_prob += deployed.probs.at(targets[j]);
+          ++cell.scenarios;
+        }
+      });
+      if (cell.scenarios > 0) {
+        cell.mean_target_prob /= cell.scenarios;
+      }
+      cells.push_back(cell);
+    }
+
+    // Black-box column: the filter-crafted attack. Aware mode queries the
+    // deployed route (TM-III — the searched kernel sees the defense in
+    // every probe); blind mode queries the bare DNN like fig7's attacker.
+    {
+      attacks::AttackConfig config = paper_budget();
+      config.grad_tm = attacker_aware ? core::ThreatModel::kIII
+                                      : core::ThreatModel::kI;
+      const attacks::FilterCraftAttack attack(config, craft);
+      GridCell cell;
+      cell.defense = defense.name;
+      cell.attack = attack.name();
+      for (size_t j = 0; j < sources.size(); ++j) {
+        failures.run(
+            "grid " + defense.name + " x " + cell.attack + " " +
+                scenarios[j].name,
+            [&] {
+              const attacks::AttackResult r =
+                  attack.run(pipeline, sources[j], targets[j]);
+              const core::Prediction deployed = pipeline.predict(
+                  r.adversarial, core::ThreatModel::kIII);
+              cell.successes += deployed.label == targets[j] ? 1 : 0;
+              cell.mean_target_prob += deployed.probs.at(targets[j]);
+              cell.queries += r.iterations;
+              ++cell.scenarios;
+            });
+      }
+      if (cell.scenarios > 0) {
+        cell.mean_target_prob /= cell.scenarios;
+      }
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+/// Print the grid as a table (and CSV via bench::emit's FADEML_CSV_DIR).
+inline void print_grid(const std::vector<GridCell>& cells,
+                       const std::string& name) {
+  io::Table table({"Defense", "Attack", "Success", "Mean target prob",
+                   "Queries"});
+  for (const GridCell& cell : cells) {
+    table.add_row({cell.defense, cell.attack,
+                   std::to_string(cell.successes) + "/" +
+                       std::to_string(cell.scenarios),
+                   io::Table::pct(cell.mean_target_prob, 1),
+                   cell.queries > 0 ? std::to_string(cell.queries) : "-"});
+  }
+  emit(table, name);
+}
+
+/// Persist the grid as artifacts/GRID_<figure>.json (schema
+/// fademl.grid.v1) — the machine-readable artifact CI uploads.
+inline void write_grid_json(const std::string& figure, bool attacker_aware,
+                            const std::vector<GridCell>& cells) {
+  std::filesystem::create_directories("artifacts");
+  const std::string path = "artifacts/GRID_" + figure + ".json";
+  std::ofstream os(path);
+  FADEML_CHECK(os.good(), "cannot open " + path + " for writing");
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.key("schema").value("fademl.grid.v1");
+  w.key("figure").value(figure);
+  w.key("attacker_aware").value(attacker_aware);
+  w.key("cells").begin_array();
+  for (const GridCell& cell : cells) {
+    w.begin_object();
+    w.key("defense").value(cell.defense);
+    w.key("attack").value(cell.attack);
+    w.key("successes").value(cell.successes);
+    w.key("scenarios").value(cell.scenarios);
+    w.key("mean_target_prob").value(cell.mean_target_prob);
+    w.key("queries").value(cell.queries);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+  std::fprintf(stderr, "[bench] grid artifact: %s\n", path.c_str());
+}
+
+/// `--quick` flag shared by the grid figures: shrink the experiment to
+/// FADEML_FAST scale (must run before load_experiment) and tell the
+/// caller to skip the expensive universal-noise panels. Unknown arguments
+/// fail loudly rather than silently running the full figure.
+inline bool parse_quick_flag(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    FADEML_CHECK(arg == "--quick",
+                 "unknown argument '" + arg + "' (expected --quick)");
+    quick = true;
+  }
+  if (quick) {
+    ::setenv("FADEML_FAST", "1", /*overwrite=*/1);
+  }
+  return quick;
+}
+
+/// FilterCraft budget for `--quick` runs: enough generations to move off
+/// the identity kernel, small enough for CI smoke time.
+inline attacks::FilterCraftOptions quick_craft_options() {
+  attacks::FilterCraftOptions craft;
+  craft.population = 6;
+  craft.generations = 6;
+  return craft;
+}
+
+}  // namespace fademl::bench

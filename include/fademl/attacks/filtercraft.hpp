@@ -1,0 +1,51 @@
+#pragma once
+
+#include "fademl/attacks/attack.hpp"
+#include "fademl/tensor/random.hpp"
+
+namespace fademl::attacks {
+
+/// Options specific to the filter-crafting attack.
+struct FilterCraftOptions {
+  int population = 12;      ///< candidate kernels evolved per generation
+  int generations = 25;     ///< search generations (queries = pop x gens)
+  float de_f = 0.5f;        ///< differential-evolution mutation weight
+  float coeff_span = 0.6f;  ///< initial coefficient spread around identity
+  uint64_t seed = 131;
+};
+
+/// "Adversarial Preprocessing"-style filter-crafted attack (after
+/// Warnecke et al.'s gradient-free image-filter attacks, PAPERS.md): the
+/// adversarial example is produced by an ordinary small convolutional
+/// image filter whose 3x3 kernel coefficients are *searched*, not by
+/// per-pixel gradient noise. Each candidate kernel K yields
+///
+///   x' = clamp(x + clamp(K * x - x, -eps, eps), 0, 1)
+///
+/// i.e. the filtered image projected into the L-inf eps-ball around the
+/// source, and the kernel population is evolved (DE/rand/1, greedy
+/// selection — the same loop as OnePixelAttack) to maximize the
+/// target-class probability of the *deployed route*: the attack queries
+/// `config.grad_tm`, so under TM-II/III every probe already includes the
+/// defense filter chain and the attack is filter-aware with zero gradient
+/// access. Because the perturbation comes from a convolution of the image
+/// itself, it concentrates on edges — exactly the structure low-pass
+/// defenses are worst at removing.
+///
+/// `AttackResult::iterations` counts pipeline queries (the black-box cost
+/// metric), `loss_history` the per-generation best target probability.
+class FilterCraftAttack final : public Attack {
+ public:
+  explicit FilterCraftAttack(AttackConfig config = {},
+                             FilterCraftOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] AttackResult run(const core::InferencePipeline& pipeline,
+                                 const Tensor& source,
+                                 int64_t target_class) const override;
+
+ private:
+  FilterCraftOptions options_;
+};
+
+}  // namespace fademl::attacks

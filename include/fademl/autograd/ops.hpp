@@ -51,6 +51,12 @@ Variable maxpool2d(const Variable& input, int64_t k);
 /// kxk average pooling with stride k: [N, C, H, W] -> [N, C, H/k, W/k].
 Variable avgpool2d(const Variable& input, int64_t k);
 
+/// BlurNet-style depthwise 3x3 binomial blur of [N, C, H, W] feature maps
+/// (zero padding, shape preserved). Forward and backward both run through
+/// raw::feature_blur3 — the kernel is symmetric, so the blur is its own
+/// exact adjoint and the gradient is exact (no BPDA surrogate needed).
+Variable feature_blur(const Variable& input);
+
 /// Elementwise multiply by a constant mask (dropout's core op): the mask
 /// is typically {0, 1/(1-p)} samples.
 Variable mask_mul(const Variable& a, const Tensor& mask);

@@ -26,6 +26,7 @@
 #include "fademl/attacks/eot.hpp"
 #include "fademl/attacks/fademl_attack.hpp"
 #include "fademl/attacks/fgsm.hpp"
+#include "fademl/attacks/filtercraft.hpp"
 #include "fademl/attacks/jsma.hpp"
 #include "fademl/attacks/lbfgs.hpp"
 #include "fademl/attacks/onepixel.hpp"

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "fademl/filters/filter.hpp"
@@ -64,6 +65,37 @@ class BitDepthFilter final : public Filter {
   int bits_;
 };
 
+/// JPEG-lite defense: 8x8 blockwise forward DCT -> quantize with the
+/// standard JPEG luminance table scaled by `quality` (1..100) -> inverse
+/// DCT. Captures the "JPEG compression destroys adversarial noise"
+/// defense family (Dziugaite et al. 2016; Xu et al. 2017) without an
+/// entropy coder — the quantization step is the whole defense. Edge
+/// blocks are edge-replicated to a full 8x8 tile before transforming and
+/// only the valid region is written back, so any H x W works.
+///
+/// The rounding step has zero gradient almost everywhere, so the filter
+/// overrides `vjp`/`vjp_batch` with the BPDA straight-through estimator
+/// explicitly — FAdeMLAttack and BatchAttack compose through it like any
+/// other filter.
+class DctQuantFilter final : public Filter {
+ public:
+  /// JPEG-style quality in [1, 100]; lower = coarser quantization.
+  explicit DctQuantFilter(int quality);
+
+  [[nodiscard]] Tensor apply(const Tensor& image) const override;
+  [[nodiscard]] Tensor vjp(const Tensor& image,
+                           const Tensor& grad_output) const override;
+  [[nodiscard]] Tensor vjp_batch(const Tensor& images,
+                                 const Tensor& grad_outputs) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] int quality() const { return quality_; }
+
+ private:
+  int quality_;
+  std::array<float, 64> quant_;  // scaled quantization table, >= 1 everywhere
+};
+
 /// Edge-preserving bilateral filter: spatial Gaussian x range Gaussian.
 /// Smooths noise while keeping sign edges — the strongest "accuracy-
 /// preserving" defense in the ablation family. Non-linear (BPDA vjp).
@@ -108,6 +140,11 @@ FilterPtr make_normalize(float mean = 0.5f, float scale = 1.0f,
                          float offset = 0.5f);
 FilterPtr make_histeq();
 FilterPtr make_bit_depth(int bits);
+FilterPtr make_dct_quant(int quality);
+/// Feature Squeezing as deployed in Xu et al. 2017: bit-depth reduction
+/// followed by a median smooth, composed via FilterChain (spec
+/// "bits<b>+median<r>").
+FilterPtr make_feature_squeeze(int bits = 5, int median_radius = 1);
 FilterPtr make_bilateral(float sigma_space, float sigma_range);
 FilterPtr make_shuffle(uint64_t seed = 7);
 

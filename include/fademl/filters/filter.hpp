@@ -174,6 +174,18 @@ class FilterChain final : public Filter {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] bool is_linear() const override;
 
+  /// Batch paths chain the members' own batch paths, so a chain of filters
+  /// with flattened batch kernels (LAP/LAR) keeps that speed instead of
+  /// degrading to the per-image base loop. Each member's batch path is
+  /// bitwise identical to its per-image path, so the composition is too.
+  [[nodiscard]] Tensor apply_batch(const Tensor& batch) const override;
+  [[nodiscard]] Tensor vjp_batch(const Tensor& images,
+                                 const Tensor& grad_outputs) const override;
+
+  [[nodiscard]] const std::vector<FilterPtr>& filters() const {
+    return filters_;
+  }
+
  private:
   std::vector<FilterPtr> filters_;
 };
@@ -192,8 +204,15 @@ std::vector<FilterPtr> paper_filter_sweep();
 
 /// Build a filter from a compact textual spec (the CLI / config syntax):
 /// "none", "lap<np>", "lar<r>", "gauss<sigma>", "median<r>", "grayscale",
-/// "histeq", "bits<b>", or a '+'-separated chain of those
-/// ("grayscale+lap8"). Throws fademl::Error on anything else.
+/// "histeq", "bits<b>", "dct<q>" (JPEG-lite DCT quantization, quality
+/// 1..100), "normalize", "bilateral" (default sigmas 1.5/0.2), "shuffle"
+/// or "shuffle<seed>", or a '+'-separated chain of those — e.g.
+/// "grayscale+lap8" or the feature-squeezing chain "bits5+median1".
+/// Numeric suffixes are parsed strictly: the suffix must be present,
+/// consume the whole remainder, be non-negative, and fit the target type
+/// ("gauss", "gaussinf", "lap-3", and overflowing digits are all typed
+/// errors, never a silently clamped filter). Throws fademl::Error on
+/// anything else.
 FilterPtr parse_filter(const std::string& spec);
 
 }  // namespace fademl::filters

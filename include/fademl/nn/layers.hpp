@@ -70,6 +70,18 @@ class MaxPool2d final : public Module {
   int64_t k_;
 };
 
+/// BlurNet-style feature-map smoothing (Raju & Lipasti 2019): a depthwise
+/// 3x3 binomial blur applied to conv activations, moving the low-pass
+/// defense *inside* the network instead of in front of it. Parameter-free
+/// and exactly differentiable (the kernel is symmetric, so the blur is its
+/// own adjoint); the compiled-plan path lowers it to the same
+/// raw::feature_blur3 kernel the tape uses.
+class FeatureBlur final : public Module {
+ public:
+  Variable forward(const Variable& x) override;
+  [[nodiscard]] std::string name() const override { return "FeatureBlur"; }
+};
+
 /// Collapse [N, C, H, W] into [N, C*H*W] for the classifier head.
 class Flatten final : public Module {
  public:

@@ -29,6 +29,11 @@ struct VggConfig {
   bool batch_norm = false;
   /// Dropout probability before the classifier head (0 disables).
   float dropout = 0.0f;
+  /// Insert a BlurNet-style FeatureBlur after every block's ReLU,
+  /// low-pass filtering the feature maps *inside* the network
+  /// (Raju & Lipasti 2019). Parameter-free; the model must be trained
+  /// with the blur in place for clean accuracy to survive.
+  bool feature_blur = false;
 
   /// Paper-faithful widths.
   static VggConfig paper(int64_t num_classes = 43);

@@ -118,6 +118,7 @@ class InferencePlan {
       kReLU,
       kMaxPool,
       kAvgPool,
+      kFeatureBlur,
       kLinear,
       kSoftmax,
     };

@@ -195,6 +195,15 @@ void maxpool2d(const float* x, int64_t n, int64_t c, int64_t h, int64_t w,
 void avgpool2d(const float* x, int64_t n, int64_t c, int64_t h, int64_t w,
                int64_t k, float* out);
 
+/// Depthwise 3x3 binomial blur ([1 2 1]/4 x [1 2 1]/4) of [n, c, h, w]
+/// with zero padding; shape preserved. The BlurNet-style feature-map
+/// smoothing layer (nn::FeatureBlur) and its plan lowering both call this
+/// kernel, which is what makes the compiled plan bitwise identical to the
+/// tape. The kernel is symmetric, so the exact adjoint of this map is the
+/// map itself — the autograd backward reuses it on the gradient.
+void feature_blur3(const float* x, int64_t n, int64_t c, int64_t h, int64_t w,
+                   float* out);
+
 /// Inference-mode batch norm over [n, c, hw]: out = gamma * (x - mean) /
 /// sqrt(var + eps) + beta, folded to one scale/shift per channel exactly
 /// like autograd::batchnorm2d_inference (scale/shift staging lands in

@@ -1,0 +1,147 @@
+#include "fademl/attacks/filtercraft.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "fademl/tensor/error.hpp"
+#include "fademl/tensor/ops.hpp"
+
+namespace fademl::attacks {
+
+namespace {
+
+constexpr int kK = 3;  // searched kernel is 3x3
+
+/// One candidate filter: 9 kernel coefficients.
+struct Candidate {
+  std::array<float, kK * kK> coeffs{};
+  float fitness = -1.0f;  // target-class probability
+};
+
+/// Depthwise 3x3 convolution of a [C, H, W] image with edge replication,
+/// then the L-inf projection of the filtered image back into the eps-ball
+/// around the source, clamped to [0, 1].
+Tensor apply_candidate(const Tensor& source, const Candidate& cand,
+                       float eps) {
+  const int64_t c = source.dim(0);
+  const int64_t h = source.dim(1);
+  const int64_t w = source.dim(2);
+  Tensor x{source.shape()};
+  const float* src = source.data();
+  float* dst = x.data();
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float* plane = src + ch * h * w;
+    float* oplane = dst + ch * h * w;
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t xx = 0; xx < w; ++xx) {
+        float acc = 0.0f;
+        for (int dy = -1; dy <= 1; ++dy) {
+          const int64_t ny = std::clamp<int64_t>(y + dy, 0, h - 1);
+          for (int dx = -1; dx <= 1; ++dx) {
+            const int64_t nx = std::clamp<int64_t>(xx + dx, 0, w - 1);
+            acc += cand.coeffs[static_cast<size_t>((dy + 1) * kK + dx + 1)] *
+                   plane[ny * w + nx];
+          }
+        }
+        const float orig = plane[y * w + xx];
+        const float delta = std::clamp(acc - orig, -eps, eps);
+        oplane[y * w + xx] = std::clamp(orig + delta, 0.0f, 1.0f);
+      }
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+FilterCraftAttack::FilterCraftAttack(AttackConfig config,
+                                     FilterCraftOptions options)
+    : Attack(config), options_(options) {
+  FADEML_CHECK(options_.population >= 4,
+               "differential evolution needs population >= 4");
+  FADEML_CHECK(options_.generations >= 1, "need at least one generation");
+  FADEML_CHECK(options_.coeff_span > 0.0f,
+               "coefficient span must be positive");
+}
+
+std::string FilterCraftAttack::name() const { return "FilterCraft"; }
+
+AttackResult FilterCraftAttack::run(const core::InferencePipeline& pipeline,
+                                    const Tensor& source,
+                                    int64_t target_class) const {
+  FADEML_CHECK(source.rank() == 3,
+               "filter-craft attack expects a [C, H, W] image, got " +
+                   source.shape().str());
+  AttackResult result;
+  Rng rng(options_.seed);
+
+  const auto evaluate = [&](Candidate& cand) {
+    const Tensor x = apply_candidate(source, cand, config_.epsilon);
+    cand.fitness =
+        pipeline.predict_probs(x, config_.grad_tm).at(target_class);
+    ++result.iterations;  // black-box query count
+  };
+
+  // Initialize around the identity kernel: candidate 0 *is* the identity
+  // (the do-nothing filter, fitness = clean target probability), the rest
+  // spread each coefficient uniformly in ±coeff_span around it. Kernels
+  // near identity keep the filtered image inside the projection band, so
+  // the search starts from plausible, low-distortion filters.
+  std::vector<Candidate> population(
+      static_cast<size_t>(options_.population));
+  for (size_t i = 0; i < population.size(); ++i) {
+    Candidate& cand = population[i];
+    for (int k = 0; k < kK * kK; ++k) {
+      const float identity = k == (kK * kK) / 2 ? 1.0f : 0.0f;
+      cand.coeffs[static_cast<size_t>(k)] =
+          i == 0 ? identity
+                 : identity + rng.uniform(-options_.coeff_span,
+                                          options_.coeff_span);
+    }
+    evaluate(cand);
+  }
+
+  // DE/rand/1 with greedy selection — the same loop OnePixelAttack uses.
+  for (int gen = 0; gen < options_.generations; ++gen) {
+    float best = 0.0f;
+    for (size_t i = 0; i < population.size(); ++i) {
+      const size_t n = population.size();
+      const auto pick = [&] {
+        return static_cast<size_t>(rng.uniform_int(static_cast<int64_t>(n)));
+      };
+      const size_t a = pick();
+      const size_t b = pick();
+      const size_t c = pick();
+      Candidate trial;
+      for (int k = 0; k < kK * kK; ++k) {
+        const auto ku = static_cast<size_t>(k);
+        trial.coeffs[ku] =
+            population[a].coeffs[ku] +
+            options_.de_f *
+                (population[b].coeffs[ku] - population[c].coeffs[ku]);
+      }
+      evaluate(trial);
+      if (trial.fitness > population[i].fitness) {
+        population[i] = std::move(trial);
+      }
+      best = std::max(best, population[i].fitness);
+    }
+    result.loss_history.push_back(best);
+    if (config_.target_confidence > 0.0f &&
+        best >= config_.target_confidence) {
+      break;
+    }
+  }
+
+  const Candidate& winner = *std::max_element(
+      population.begin(), population.end(),
+      [](const Candidate& a, const Candidate& b) {
+        return a.fitness < b.fitness;
+      });
+  result.adversarial = apply_candidate(source, winner, config_.epsilon);
+  finalize(result, source);
+  return result;
+}
+
+}  // namespace fademl::attacks

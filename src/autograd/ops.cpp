@@ -373,6 +373,27 @@ Variable avgpool2d(const Variable& input, int64_t k) {
   return Variable::from_node(node);
 }
 
+Variable feature_blur(const Variable& input) {
+  const Tensor& xv = input.value();
+  FADEML_CHECK(xv.rank() == 4,
+               "feature_blur expects [N, C, H, W], got " + xv.shape().str());
+  Tensor out{xv.shape()};
+  raw::feature_blur3(xv.data(), xv.dim(0), xv.dim(1), xv.dim(2), xv.dim(3),
+                     out.data());
+  auto node = make_node(std::move(out), {input.node()});
+  if (node->requires_grad) {
+    node->backward_fn = [](Node& nd) {
+      const Tensor& g = nd.grad;
+      Tensor gx{g.shape()};
+      // Symmetric kernel + zero padding: the adjoint is the blur itself.
+      raw::feature_blur3(g.data(), g.dim(0), g.dim(1), g.dim(2), g.dim(3),
+                         gx.data());
+      push_grad(nd.parents[0], gx);
+    };
+  }
+  return Variable::from_node(node);
+}
+
 Variable mask_mul(const Variable& a, const Tensor& mask) {
   FADEML_CHECK(mask.numel() == a.value().numel(),
                "mask_mul mask numel mismatch");

@@ -147,6 +147,166 @@ std::string BitDepthFilter::name() const {
   return "BitDepth(" + std::to_string(bits_) + ")";
 }
 
+namespace {
+
+// Annex K.1 of the JPEG standard: the luminance quantization table, in
+// row-major zig-zag-free order.
+constexpr std::array<int, 64> kJpegLumaTable = {
+    16, 11, 10, 16, 24,  40,  51,  61,   //
+    12, 12, 14, 19, 26,  58,  60,  55,   //
+    14, 13, 16, 24, 40,  57,  69,  56,   //
+    14, 17, 22, 29, 51,  87,  80,  62,   //
+    18, 22, 37, 56, 68,  109, 103, 77,   //
+    24, 35, 55, 64, 81,  104, 113, 92,   //
+    49, 64, 78, 87, 103, 121, 120, 101,  //
+    72, 92, 95, 98, 112, 100, 103, 99};
+
+constexpr int kDctBlock = 8;
+
+/// Orthonormal DCT-II basis: basis[u][x] = c(u) cos((2x+1) u pi / 16).
+/// Precomputed once; both the forward and inverse transform read it, so
+/// the round-trip is deterministic and thread-independent.
+const std::array<std::array<float, kDctBlock>, kDctBlock>& dct_basis() {
+  static const auto basis = [] {
+    std::array<std::array<float, kDctBlock>, kDctBlock> b{};
+    const double pi = std::acos(-1.0);
+    for (int u = 0; u < kDctBlock; ++u) {
+      const double cu = u == 0 ? std::sqrt(1.0 / kDctBlock)
+                               : std::sqrt(2.0 / kDctBlock);
+      for (int x = 0; x < kDctBlock; ++x) {
+        b[static_cast<size_t>(u)][static_cast<size_t>(x)] = static_cast<float>(
+            cu * std::cos((2.0 * x + 1.0) * u * pi / (2.0 * kDctBlock)));
+      }
+    }
+    return b;
+  }();
+  return basis;
+}
+
+}  // namespace
+
+DctQuantFilter::DctQuantFilter(int quality) : quality_(quality) {
+  FADEML_CHECK(quality >= 1 && quality <= 100,
+               "DCT quantization expects quality 1..100, got " +
+                   std::to_string(quality));
+  // libjpeg's quality->scale mapping, clamped to [1, 255] per entry.
+  const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  for (size_t i = 0; i < quant_.size(); ++i) {
+    const int q = std::clamp((kJpegLumaTable[i] * scale + 50) / 100, 1, 255);
+    quant_[i] = static_cast<float>(q);
+  }
+}
+
+Tensor DctQuantFilter::apply(const Tensor& image) const {
+  FADEML_CHECK(image.rank() == 3, "DctQuantFilter expects [C, H, W]");
+  const int64_t c = image.dim(0);
+  const int64_t h = image.dim(1);
+  const int64_t w = image.dim(2);
+  const auto& basis = dct_basis();
+  Tensor out{image.shape()};
+  float tile[kDctBlock * kDctBlock];
+  float coef[kDctBlock * kDctBlock];
+  float tmp[kDctBlock * kDctBlock];
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float* plane = image.data() + ch * h * w;
+    float* oplane = out.data() + ch * h * w;
+    for (int64_t by = 0; by < h; by += kDctBlock) {
+      for (int64_t bx = 0; bx < w; bx += kDctBlock) {
+        // Load an 8x8 tile in JPEG's level-shifted [-128, 127] range,
+        // edge-replicating past the image border.
+        for (int y = 0; y < kDctBlock; ++y) {
+          const int64_t sy = std::min<int64_t>(by + y, h - 1);
+          for (int x = 0; x < kDctBlock; ++x) {
+            const int64_t sx = std::min<int64_t>(bx + x, w - 1);
+            tile[y * kDctBlock + x] = plane[sy * w + sx] * 255.0f - 128.0f;
+          }
+        }
+        // Separable forward DCT: rows then columns.
+        for (int y = 0; y < kDctBlock; ++y) {
+          for (int u = 0; u < kDctBlock; ++u) {
+            float acc = 0.0f;
+            for (int x = 0; x < kDctBlock; ++x) {
+              acc += tile[y * kDctBlock + x] *
+                     basis[static_cast<size_t>(u)][static_cast<size_t>(x)];
+            }
+            tmp[y * kDctBlock + u] = acc;
+          }
+        }
+        for (int u = 0; u < kDctBlock; ++u) {
+          for (int v = 0; v < kDctBlock; ++v) {
+            float acc = 0.0f;
+            for (int y = 0; y < kDctBlock; ++y) {
+              acc += tmp[y * kDctBlock + u] *
+                     basis[static_cast<size_t>(v)][static_cast<size_t>(y)];
+            }
+            // Quantize: round to the nearest multiple of the table entry.
+            const float q = quant_[static_cast<size_t>(v * kDctBlock + u)];
+            coef[v * kDctBlock + u] = std::round(acc / q) * q;
+          }
+        }
+        // Separable inverse DCT (the basis is orthonormal, so the inverse
+        // is the transpose): columns then rows.
+        for (int u = 0; u < kDctBlock; ++u) {
+          for (int y = 0; y < kDctBlock; ++y) {
+            float acc = 0.0f;
+            for (int v = 0; v < kDctBlock; ++v) {
+              acc += coef[v * kDctBlock + u] *
+                     basis[static_cast<size_t>(v)][static_cast<size_t>(y)];
+            }
+            tmp[y * kDctBlock + u] = acc;
+          }
+        }
+        for (int y = 0; y < kDctBlock; ++y) {
+          const int64_t dy = by + y;
+          if (dy >= h) {
+            break;
+          }
+          for (int x = 0; x < kDctBlock; ++x) {
+            const int64_t dx = bx + x;
+            if (dx >= w) {
+              break;
+            }
+            float acc = 0.0f;
+            for (int u = 0; u < kDctBlock; ++u) {
+              acc += tmp[y * kDctBlock + u] *
+                     basis[static_cast<size_t>(u)][static_cast<size_t>(x)];
+            }
+            oplane[dy * w + dx] =
+                std::clamp((acc + 128.0f) / 255.0f, 0.0f, 1.0f);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor DctQuantFilter::vjp(const Tensor& image,
+                           const Tensor& grad_output) const {
+  FADEML_CHECK(grad_output.shape() == image.shape(),
+               "DctQuantFilter::vjp gradient shape mismatch");
+  // BPDA straight-through: the quantizer is piecewise constant, so the
+  // identity is the standard differentiable surrogate (Athalye et al.).
+  return grad_output.clone();
+}
+
+Tensor DctQuantFilter::vjp_batch(const Tensor& images,
+                                 const Tensor& grad_outputs) const {
+  FADEML_CHECK(images.rank() == 4 && images.dim(0) >= 1,
+               "DctQuantFilter::vjp_batch expects a non-empty [N, C, H, W] "
+               "batch, got " +
+                   images.shape().str());
+  FADEML_CHECK(grad_outputs.shape() == images.shape(),
+               "DctQuantFilter::vjp_batch gradient shape mismatch");
+  // Straight-through for the whole batch at once — bitwise identical to
+  // the per-image clone, without the per-image staging loop.
+  return grad_outputs.clone();
+}
+
+std::string DctQuantFilter::name() const {
+  return "DctQuant(" + std::to_string(quality_) + ")";
+}
+
 BilateralFilter::BilateralFilter(float sigma_space, float sigma_range)
     : sigma_space_(sigma_space),
       sigma_range_(sigma_range),
@@ -259,6 +419,15 @@ FilterPtr make_histeq() {
 
 FilterPtr make_bit_depth(int bits) {
   return std::make_shared<BitDepthFilter>(bits);
+}
+
+FilterPtr make_dct_quant(int quality) {
+  return std::make_shared<DctQuantFilter>(quality);
+}
+
+FilterPtr make_feature_squeeze(int bits, int median_radius) {
+  return std::make_shared<FilterChain>(std::vector<FilterPtr>{
+      make_bit_depth(bits), make_median(median_radius)});
 }
 
 FilterPtr make_bilateral(float sigma_space, float sigma_range) {

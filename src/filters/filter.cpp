@@ -3,6 +3,8 @@
 #include "fademl/filters/extra.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <climits>
 #include <cmath>
 #include <cstdlib>
 
@@ -765,6 +767,38 @@ bool FilterChain::is_linear() const {
   return true;
 }
 
+Tensor FilterChain::apply_batch(const Tensor& batch) const {
+  check_batch_shape(batch, "FilterChain::apply_batch");
+  // Chain the members' own batch paths: a member with a flattened batch
+  // kernel (LAP/LAR) keeps it, and each member's batch path is bitwise
+  // identical to its per-image apply, so the composition matches the
+  // per-image chain exactly.
+  Tensor out = filters_.front()->apply_batch(batch);
+  for (size_t i = 1; i < filters_.size(); ++i) {
+    out = filters_[i]->apply_batch(out);
+  }
+  return out;
+}
+
+Tensor FilterChain::vjp_batch(const Tensor& images,
+                              const Tensor& grad_outputs) const {
+  check_vjp_batch_shapes(images, grad_outputs);
+  // Recompute the batched intermediates, then chain the members'
+  // vjp_batch right to left — the batched mirror of FilterChain::vjp.
+  std::vector<Tensor> inputs;
+  inputs.reserve(filters_.size());
+  Tensor cur = images.clone();
+  for (const FilterPtr& f : filters_) {
+    inputs.push_back(cur);
+    cur = f->apply_batch(cur);
+  }
+  Tensor g = grad_outputs.clone();
+  for (size_t i = filters_.size(); i-- > 0;) {
+    g = filters_[i]->vjp_batch(inputs[i], g);
+  }
+  return g;
+}
+
 FilterPtr make_identity() { return std::make_shared<IdentityFilter>(); }
 
 FilterPtr make_lap(int np) { return std::make_shared<LapFilter>(np); }
@@ -785,13 +819,35 @@ FilterPtr parse_single_filter(const std::string& spec) {
   const auto starts = [&](const char* prefix) {
     return spec.rfind(prefix, 0) == 0;
   };
+  // Strict numeric suffixes, mirroring the ArgParser hardening: the
+  // suffix must exist, consume the whole remainder, fit the target type,
+  // and be non-negative. Anything else is a loud typed error — never a
+  // silently clamped or overflow-truncated filter parameter.
   const auto suffix_int = [&](size_t at) {
     char* end = nullptr;
+    errno = 0;
     const long v = std::strtol(spec.c_str() + at, &end, 10);
     FADEML_CHECK(end != nullptr && *end == '\0' &&
                      end != spec.c_str() + at,
                  "malformed filter spec '" + spec + "'");
+    FADEML_CHECK(errno != ERANGE && v >= 0 && v <= INT_MAX,
+                 "filter spec '" + spec +
+                     "' parameter out of range (expected a non-negative "
+                     "integer that fits in int)");
     return static_cast<int>(v);
+  };
+  const auto suffix_float = [&](size_t at) {
+    char* end = nullptr;
+    errno = 0;
+    const float v = std::strtof(spec.c_str() + at, &end);
+    FADEML_CHECK(end != nullptr && *end == '\0' &&
+                     end != spec.c_str() + at,
+                 "malformed filter spec '" + spec + "'");
+    FADEML_CHECK(errno != ERANGE && std::isfinite(v) && v >= 0.0f,
+                 "filter spec '" + spec +
+                     "' parameter out of range (expected a finite "
+                     "non-negative number)");
+    return v;
   };
   if (spec == "none" || spec == "identity") {
     return make_identity();
@@ -803,11 +859,7 @@ FilterPtr parse_single_filter(const std::string& spec) {
     return make_lar(suffix_int(3));
   }
   if (starts("gauss")) {
-    char* end = nullptr;
-    const float sigma = std::strtof(spec.c_str() + 5, &end);
-    FADEML_CHECK(end != nullptr && *end == '\0', 
-                 "malformed filter spec '" + spec + "'");
-    return make_gaussian(sigma);
+    return make_gaussian(suffix_float(5));
   }
   if (starts("median")) {
     return make_median(suffix_int(6));
@@ -818,12 +870,28 @@ FilterPtr parse_single_filter(const std::string& spec) {
   if (spec == "histeq") {
     return make_histeq();
   }
+  if (spec == "normalize") {
+    return make_normalize();
+  }
+  if (spec == "bilateral") {
+    return make_bilateral(1.5f, 0.2f);
+  }
+  if (spec == "shuffle") {
+    return make_shuffle();
+  }
+  if (starts("shuffle")) {
+    return make_shuffle(static_cast<uint64_t>(suffix_int(7)));
+  }
   if (starts("bits")) {
     return make_bit_depth(suffix_int(4));
   }
+  if (starts("dct")) {
+    return make_dct_quant(suffix_int(3));
+  }
   throw Error("unknown filter spec '" + spec +
               "' (expected none|lap<np>|lar<r>|gauss<sigma>|median<r>|"
-              "grayscale|histeq|bits<b> or a '+'-chain)");
+              "grayscale|histeq|normalize|bilateral|shuffle[<seed>]|"
+              "bits<b>|dct<q> or a '+'-chain like bits5+median1)");
 }
 
 }  // namespace

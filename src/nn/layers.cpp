@@ -75,6 +75,10 @@ std::string Linear::name() const {
 
 Variable ReLU::forward(const Variable& x) { return autograd::relu(x); }
 
+Variable FeatureBlur::forward(const Variable& x) {
+  return autograd::feature_blur(x);
+}
+
 Variable MaxPool2d::forward(const Variable& x) {
   return autograd::maxpool2d(x, k_);
 }

@@ -50,6 +50,9 @@ std::shared_ptr<Sequential> make_vggnet(const VggConfig& config, Rng& rng) {
       net->add(std::make_shared<BatchNorm2d>(out_ch));
     }
     net->add(std::make_shared<ReLU>());
+    if (config.feature_blur) {
+      net->add(std::make_shared<FeatureBlur>());
+    }
     net->add(std::make_shared<MaxPool2d>(2));
     in_ch = out_ch;
   }

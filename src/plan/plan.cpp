@@ -263,6 +263,23 @@ std::shared_ptr<const InferencePlan> InferencePlan::compile(
       w /= k;
       return;
     }
+    if (dynamic_cast<nn::FeatureBlur*>(&m) != nullptr) {
+      if (flat) {
+        throw PlanCompileError("FeatureBlur after Flatten is not plannable");
+      }
+      Op op;
+      op.kind = Op::Kind::kFeatureBlur;
+      op.c = c;
+      op.h = h;
+      op.w = w;
+      op.out_c = c;
+      op.out_h = h;
+      op.out_w = w;
+      op.in_numel = n * c * h * w;
+      op.out_numel = op.in_numel;
+      emit(std::move(op));
+      return;
+    }
     if (dynamic_cast<nn::Flatten*>(&m) != nullptr) {
       if (flat) {
         throw PlanCompileError("nested Flatten is not plannable");
@@ -457,6 +474,9 @@ Tensor InferencePlan::run(const Tensor& batch) const {
       case Op::Kind::kAvgPool:
         raw::avgpool2d(src, n_, op.c, op.h, op.w, op.k, dst);
         break;
+      case Op::Kind::kFeatureBlur:
+        raw::feature_blur3(src, n_, op.c, op.h, op.w, dst);
+        break;
       case Op::Kind::kLinear:
         std::fill(dst, dst + op.out_numel, 0.0f);
         raw::linear(src, n_, op.c, op.weight.data(),
@@ -485,6 +505,7 @@ std::string InferencePlan::describe() const {
       case Op::Kind::kReLU: kind = "relu"; break;
       case Op::Kind::kMaxPool: kind = "maxpool"; break;
       case Op::Kind::kAvgPool: kind = "avgpool"; break;
+      case Op::Kind::kFeatureBlur: kind = "featureblur"; break;
       case Op::Kind::kLinear: kind = "linear"; break;
       case Op::Kind::kSoftmax: kind = "softmax"; break;
     }

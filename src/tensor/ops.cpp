@@ -581,6 +581,38 @@ void avgpool2d(const float* x, int64_t n, int64_t c, int64_t h, int64_t w,
   }
 }
 
+void feature_blur3(const float* x, int64_t n, int64_t c, int64_t h, int64_t w,
+                   float* out) {
+  // Binomial taps 1/16, 1/8, 1/4 are exact dyadic floats, so the only
+  // rounding is the fixed-order accumulation below — deterministic and
+  // identical wherever this kernel is called from (tape or plan).
+  static constexpr float kTaps[3] = {0.25f, 0.5f, 0.25f};
+  for (int64_t b = 0; b < n * c; ++b) {
+    const float* plane = x + b * h * w;
+    float* oplane = out + b * h * w;
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t xx = 0; xx < w; ++xx) {
+        float acc = 0.0f;
+        for (int dy = -1; dy <= 1; ++dy) {
+          const int64_t ny = y + dy;
+          if (ny < 0 || ny >= h) {
+            continue;
+          }
+          const float wy = kTaps[dy + 1];
+          for (int dx = -1; dx <= 1; ++dx) {
+            const int64_t nx = xx + dx;
+            if (nx < 0 || nx >= w) {
+              continue;
+            }
+            acc += wy * kTaps[dx + 1] * plane[ny * w + nx];
+          }
+        }
+        oplane[y * w + xx] = acc;
+      }
+    }
+  }
+}
+
 void batchnorm2d_inference(const float* x, int64_t n, int64_t c, int64_t hw,
                            const float* gamma, const float* beta,
                            const float* mean, const float* var, float eps,

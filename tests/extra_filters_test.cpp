@@ -234,5 +234,79 @@ TEST(ParseFilter, RejectsMalformedSpecs) {
   EXPECT_THROW(parse_filter("lap0"), Error);  // constructor validation
 }
 
+TEST(ParseFilter, BuildsV2SpecForms) {
+  EXPECT_EQ(parse_filter("dct50")->name(), "DctQuant(50)");
+  EXPECT_EQ(parse_filter("normalize")->name(), "Normalize(m0.50,s1.00)");
+  EXPECT_EQ(parse_filter("bilateral")->name(), "Bilateral(1.5,0.20)");
+  EXPECT_EQ(parse_filter("shuffle")->name(), "Shuffle");
+  EXPECT_EQ(parse_filter("shuffle7")->name(), "Shuffle");
+  EXPECT_EQ(parse_filter("dct50+lap8")->name(), "DctQuant(50)+LAP(8)");
+}
+
+// Regression: a bare "gauss" used to parse as sigma 0.0 because the strtof
+// result was never checked for consumed characters, and "inf"/"nan"
+// suffixes sailed through as valid sigmas.
+TEST(ParseFilter, RejectsBareAndNonFiniteGauss) {
+  EXPECT_THROW(parse_filter("gauss"), Error);
+  EXPECT_THROW(parse_filter("gaussinf"), Error);
+  EXPECT_THROW(parse_filter("gaussnan"), Error);
+  EXPECT_THROW(parse_filter("gauss-1"), Error);
+  EXPECT_EQ(parse_filter("gauss0.8")->name(), "Gauss(0.80)");
+}
+
+// Regression: integer suffixes ignored strtol's ERANGE (an overflowing
+// parameter silently truncated to LONG_MAX) and accepted negatives, which
+// individual filter constructors were trusted to reject.
+TEST(ParseFilter, RejectsOverflowingAndNegativeIntSuffixes) {
+  EXPECT_THROW(parse_filter("lap99999999999999999999"), Error);
+  EXPECT_THROW(parse_filter("lap-3"), Error);
+  EXPECT_THROW(parse_filter("median99999999999999999999"), Error);
+  EXPECT_THROW(parse_filter("dct999999999999999999999"), Error);
+  EXPECT_THROW(parse_filter("dct"), Error);
+  EXPECT_THROW(parse_filter("dct0"), Error);    // constructor validation
+  EXPECT_THROW(parse_filter("dct101"), Error);  // constructor validation
+}
+
+// ---- JPEG-lite DCT quantization --------------------------------------------
+
+TEST(DctQuant, RejectsOutOfRangeQuality) {
+  EXPECT_THROW(DctQuantFilter(0), Error);
+  EXPECT_THROW(DctQuantFilter(101), Error);
+}
+
+TEST(DctQuant, OutputStaysInRangeAndPreservesShape) {
+  const DctQuantFilter f(50);
+  // Extents that are not multiples of the 8x8 block exercise the
+  // edge-replicated partial blocks.
+  const Tensor x = random_image(21, 12, 10);
+  const Tensor y = f.apply(x);
+  EXPECT_EQ(y.shape(), x.shape());
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_GE(y.at(i), 0.0f);
+    EXPECT_LE(y.at(i), 1.0f);
+  }
+}
+
+TEST(DctQuant, HigherQualityDistortsLess) {
+  const Tensor x = random_image(22, 16, 16);
+  const float d95 = norm_linf(sub(DctQuantFilter(95).apply(x), x));
+  const float d10 = norm_linf(sub(DctQuantFilter(10).apply(x), x));
+  EXPECT_LT(d95, d10);
+}
+
+TEST(DctQuant, NonLinearWithBpdaVjp) {
+  const DctQuantFilter f(50);
+  EXPECT_FALSE(f.is_linear());
+  const Tensor x = random_image(23);
+  const Tensor g = random_image(24);
+  EXPECT_LT(norm_linf(sub(f.vjp(x, g), g)), 1e-6f);
+}
+
+TEST(FeatureSqueeze, IsTheBitDepthMedianChain) {
+  const FilterPtr f = make_feature_squeeze();
+  EXPECT_EQ(f->name(), "BitDepth(5)+Median(1)");
+  EXPECT_EQ(parse_filter("bits5+median1")->name(), f->name());
+}
+
 }  // namespace
 }  // namespace fademl::filters

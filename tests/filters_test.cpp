@@ -395,7 +395,15 @@ std::vector<FilterPtr> every_registered_filter() {
   all.push_back(make_bit_depth(5));
   all.push_back(make_bilateral(1.5f, 0.2f));
   all.push_back(make_shuffle(7));
+  all.push_back(make_dct_quant(50));
+  all.push_back(make_feature_squeeze());
+  // Chains: FilterChain has its own apply_batch/vjp_batch overrides, so
+  // compositions (including ones mixing linear, non-linear, and BPDA
+  // members) must hold the same row-bitwise contract as their members.
   all.push_back(parse_filter("grayscale+lap8"));
+  all.push_back(parse_filter("bits5+median1"));
+  all.push_back(parse_filter("dct50+lap4"));
+  all.push_back(parse_filter("lap4+median1+bits5"));
   return all;
 }
 
@@ -415,7 +423,7 @@ TEST(BatchDifferential, ApplyAndVjpBatchBitwiseMatchPerImageForEveryFilter) {
   for (int threads : {1, 2, 7}) {
     ThreadGuard guard(threads);
     for (const FilterPtr& f : every_registered_filter()) {
-      for (int64_t n : {int64_t{1}, int64_t{3}}) {
+      for (int64_t n : {int64_t{1}, int64_t{2}, int64_t{7}}) {
         std::vector<Tensor> images;
         std::vector<Tensor> grads;
         for (int64_t i = 0; i < n; ++i) {

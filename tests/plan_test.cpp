@@ -122,6 +122,45 @@ TEST(PlanIdentity, MatchesTapeBitwiseAcrossBatchesThreadsAndTiers) {
   EXPECT_EQ(twins.tape.plan_stats().plan_batches, 0u);
 }
 
+// A BlurNet-style model (nn::FeatureBlur between ReLU and pool) must
+// *compile* — not silently fall back to the tape — and replay bitwise
+// identically to the tape: both paths call the same raw::feature_blur3.
+TEST(PlanIdentity, FeatureBlurModelCompilesAndMatchesTapeBitwise) {
+  Rng rng(91);
+  nn::VggConfig config = nn::VggConfig::tiny(43, 16);
+  config.channels = {6, 12};
+  config.feature_blur = true;
+  const auto model = nn::make_vggnet(config, rng);
+  model->set_training(false);
+
+  InferencePipeline plan_pipe(model, filters::make_lap(8));
+  InferencePipeline tape_pipe(model, filters::make_lap(8));
+  plan_pipe.set_plan_enabled(true);
+  tape_pipe.set_plan_enabled(false);
+
+  for (int n_threads : {1, 2, 7}) {
+    ThreadGuard thread_guard(n_threads);
+    for (int64_t batch : {int64_t{1}, int64_t{5}}) {
+      const Tensor x = world_batch(batch);
+      for (ThreatModel tm : {ThreatModel::kI, ThreatModel::kIII}) {
+        const Tensor plan_probs = plan_pipe.predict_probs_batch(x, tm);
+        const Tensor tape_probs = tape_pipe.predict_probs_batch(x, tm);
+        ASSERT_EQ(plan_pipe.last_exec_path(), plan::ExecPath::kPlan)
+            << "FeatureBlur model fell back to the tape";
+        ASSERT_EQ(tape_pipe.last_exec_path(), plan::ExecPath::kTape);
+        EXPECT_TRUE(bitwise_equal(plan_probs, tape_probs))
+            << "threads=" << n_threads << " batch=" << batch
+            << " tm=" << static_cast<int>(tm);
+      }
+    }
+  }
+  // The compiled op list names the lowered blur op explicitly.
+  const auto plan =
+      plan_pipe.compile_plan(Shape{1, 3, 16, 16}, ThreatModel::kI);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_NE(plan->describe().find("featureblur"), std::string::npos);
+}
+
 TEST(PlanIdentity, PlanDisabledEnvPipelineOverrideStillWins) {
   // set_plan_enabled(true) must force the plan path even when the
   // process-wide default (FADEML_DISABLE_PLAN) says tape, and vice
